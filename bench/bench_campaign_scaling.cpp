@@ -1,0 +1,48 @@
+// Campaign-runner throughput: experiments per second, single-worker vs
+// multi-worker.  Campaigns are embarrassingly parallel (each experiment
+// owns a private machine + engine); on multi-core hosts the speedup is
+// near-linear, on this class of single-core runners the numbers document
+// the sequential cost per experiment.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace earl;
+  const double scale = fi::campaign_scale_from_env();
+  const std::size_t experiments =
+      std::max<std::size_t>(100, static_cast<std::size_t>(600 * scale));
+
+  util::Table table({"Workers", "Experiments", "Wall time [s]",
+                     "Throughput [exp/s]"});
+  for (int c = 1; c <= 3; ++c) table.set_align(c, util::Table::Align::kRight);
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  for (std::size_t workers : {std::size_t{1}, std::size_t{2},
+                              static_cast<std::size_t>(hw)}) {
+    fi::CampaignConfig config = fi::table2_campaign(1.0);
+    config.experiments = experiments;
+    config.workers = workers;
+    const auto start = std::chrono::steady_clock::now();
+    const fi::CampaignResult result = bench::run_scifi_campaign(
+        codegen::RobustnessMode::kNone, config);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    char wall[32];
+    char throughput[32];
+    std::snprintf(wall, sizeof wall, "%.2f", seconds);
+    std::snprintf(throughput, sizeof throughput, "%.0f",
+                  result.experiments.size() / seconds);
+    table.add_row({std::to_string(workers),
+                   std::to_string(result.experiments.size()), wall,
+                   throughput});
+  }
+
+  std::printf("Campaign throughput scaling (hardware concurrency: %u)\n\n%s\n",
+              hw, table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Shared helpers for the bench harnesses that regenerate the paper's tables
+// and figures.  Campaign sizes honour EARL_CAMPAIGN_SCALE (0 < scale <= 1)
+// so the full suite can be smoke-run quickly; the default reproduces the
+// paper's fault counts (9290 / 2372).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "fi/runner.hpp"
+#include "fi/workloads.hpp"
+
+namespace earl::bench {
+
+inline fi::CampaignResult run_scifi_campaign(codegen::RobustnessMode mode,
+                                             fi::CampaignConfig config,
+                                             tvm::CacheConfig cache = {}) {
+  const fi::TargetFactory factory =
+      fi::make_tvm_pi_factory(fi::paper_pi_config(), mode, cache);
+  return fi::CampaignRunner(std::move(config)).run(factory);
+}
+
+/// Prints a CSV column header + rows through stdout (the bench contract:
+/// figures are emitted as plottable series).
+inline void print_csv_header(const std::vector<std::string>& columns) {
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    std::printf("%s%s", i ? "," : "", columns[i].c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace earl::bench

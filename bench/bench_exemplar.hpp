@@ -1,0 +1,62 @@
+// Shared machinery for the Figure 7/8/9 benches: run an Algorithm I
+// campaign, pick the first sampled experiment of the requested failure
+// class, replay it deterministically, and print the faulty vs. fault-free
+// output series (the paper's figures plot exactly this pair).
+#pragma once
+
+#include <cstdio>
+#include <optional>
+
+#include "analysis/classify.hpp"
+#include "bench_common.hpp"
+#include "plant/signals.hpp"
+
+namespace earl::bench {
+
+inline int print_exemplar(analysis::Outcome wanted, const char* figure,
+                          const char* description) {
+  // A fixed, modest campaign: exemplars only need enough samples to find
+  // one specimen of the class.
+  fi::CampaignConfig config = fi::table2_campaign(0.2);
+  config.name = std::string("exemplar_") + figure;
+  const fi::TargetFactory factory =
+      fi::make_tvm_pi_factory(fi::paper_pi_config());
+  fi::CampaignRunner runner(config);
+  const fi::CampaignResult result = runner.run(factory);
+
+  std::optional<fi::ExperimentResult> specimen;
+  for (const auto& experiment : result.experiments) {
+    if (experiment.outcome == wanted) {
+      specimen = experiment;
+      break;
+    }
+  }
+  if (!specimen) {
+    std::printf("# %s: no %s specimen among %zu sampled faults; "
+                "increase the campaign size.\n",
+                figure, analysis::outcome_name(wanted).data(),
+                result.experiments.size());
+    return 0;
+  }
+
+  const auto target = factory();
+  const auto outputs =
+      runner.replay_outputs(*target, specimen->fault, result.golden);
+
+  std::printf("# %s: %s\n", figure, description);
+  std::printf("# specimen: experiment %llu, fault %s (%s partition), "
+              "first strong deviation at iteration %zu\n",
+              static_cast<unsigned long long>(specimen->id),
+              specimen->fault.to_string().c_str(),
+              specimen->cache_location ? "cache" : "register",
+              specimen->first_strong);
+  print_csv_header({"t_s", "u_faulty_deg", "u_fault_free_deg"});
+  for (std::size_t k = 0; k < outputs.size(); ++k) {
+    std::printf("%.4f,%.5f,%.5f\n", plant::iteration_time(k),
+                static_cast<double>(outputs[k]),
+                static_cast<double>(result.golden.outputs[k]));
+  }
+  return 0;
+}
+
+}  // namespace earl::bench

@@ -1,0 +1,57 @@
+// Figure 10: the residual weakness of range assertions — the state variable
+// x is corrupted from ~10 to 69 degrees at t = 6 s.  The value is inside
+// the physical range [0, 70], so Algorithm II's assertions cannot detect
+// it; the output jumps and takes on the order of a second to re-converge —
+// a severe semi-permanent value failure that survives Algorithm II.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "fi/tvm_target.hpp"
+#include "plant/engine.hpp"
+#include "plant/signals.hpp"
+#include "util/bitops.hpp"
+
+int main() {
+  using namespace earl;
+  const auto factory = fi::make_tvm_pi_factory(
+      fi::paper_pi_config(), codegen::RobustnessMode::kRecover);
+
+  // Golden pass, then the corrupted pass.
+  std::vector<float> golden;
+  std::vector<float> faulty;
+  for (int pass = 0; pass < 2; ++pass) {
+    const auto target_ptr = factory();
+    auto* target = dynamic_cast<fi::TvmTarget*>(target_ptr.get());
+    target->reset();
+    plant::Engine engine;
+    std::vector<float>& outputs = pass == 0 ? golden : faulty;
+    float y = static_cast<float>(engine.speed());
+    for (std::size_t k = 0; k < plant::kIterations; ++k) {
+      if (pass == 1 && k == 390) {  // t ~ 6 s
+        const auto bit = target->cache_bit_of_address(tvm::kDataBase);
+        if (bit) {
+          const std::uint32_t bits = util::float_to_bits(69.0f);
+          for (unsigned b = 0; b < 32; ++b) {
+            target->scan_chain().write_bit(target->machine(), *bit + b,
+                                           util::get_bit32(bits, b));
+          }
+        }
+      }
+      const double t = plant::iteration_time(k);
+      const auto step = target->iterate(plant::reference_speed(t), y);
+      outputs.push_back(step.output);
+      y = engine.step(step.output, plant::engine_load(t));
+    }
+  }
+
+  std::printf("# Figure 10: fault-free output vs. in-range corruption of x\n");
+  std::printf("# (x: ~10 -> 69 deg at t = 6 s; within [0, 70], so the range\n");
+  std::printf("#  assertions of Algorithm II do not fire)\n");
+  bench::print_csv_header({"t_s", "u_corrupted_deg", "u_fault_free_deg"});
+  for (std::size_t k = 0; k < golden.size(); ++k) {
+    std::printf("%.4f,%.5f,%.5f\n", plant::iteration_time(k),
+                static_cast<double>(faulty[k]),
+                static_cast<double>(golden[k]));
+  }
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Figure 3: reference speed r (2000 -> 3000 rpm at t = 5 s) and actual
+// engine speed y over the 10-second observed interval, fault-free.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "control/pi.hpp"
+#include "plant/environment.hpp"
+
+int main() {
+  using namespace earl;
+  control::PiController controller(fi::paper_pi_config());
+  const auto trace = plant::run_closed_loop(
+      {}, [&](float r, float y) { return controller.step(r, y); });
+
+  std::printf("# Figure 3: reference speed and actual engine speed\n");
+  bench::print_csv_header({"t_s", "reference_rpm", "engine_speed_rpm"});
+  for (const auto& point : trace) {
+    std::printf("%.4f,%.1f,%.2f\n", point.t,
+                static_cast<double>(point.reference),
+                static_cast<double>(point.measurement));
+  }
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Figure 4: the engine-load profile over the observed interval ("hilly
+// terrain" pulses during 3 < t < 4 and 7 < t < 8).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "plant/signals.hpp"
+
+int main() {
+  using namespace earl;
+  std::printf("# Figure 4: engine load\n");
+  bench::print_csv_header({"t_s", "load"});
+  for (std::size_t k = 0; k < plant::kIterations; ++k) {
+    const double t = plant::iteration_time(k);
+    std::printf("%.4f,%.4f\n", t, plant::engine_load(t));
+  }
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Figure 5: fault-free output u_lim from the PI controller, as produced by
+// the generated code executing on the TVM (the golden run every campaign
+// classifies against).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "plant/signals.hpp"
+
+int main() {
+  using namespace earl;
+  fi::CampaignConfig config = fi::table2_campaign(1.0);
+  fi::CampaignRunner runner(config);
+  const auto target = fi::make_tvm_pi_factory(fi::paper_pi_config())();
+  const fi::GoldenRun golden = runner.run_golden(*target);
+
+  std::printf("# Figure 5: fault-free u_lim from the PI controller (TVM)\n");
+  bench::print_csv_header({"t_s", "u_lim_deg"});
+  for (std::size_t k = 0; k < golden.outputs.size(); ++k) {
+    std::printf("%.4f,%.5f\n", plant::iteration_time(k),
+                static_cast<double>(golden.outputs[k]));
+  }
+  std::printf("# total dynamic instructions: %llu (%.1f per iteration)\n",
+              static_cast<unsigned long long>(golden.total_time),
+              static_cast<double>(golden.total_time) / golden.outputs.size());
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Figure 7: a severe undetected wrong result (permanent) — the controller
+// output locked at a range limit from the failure to the end of the
+// observed interval.
+#include "bench_exemplar.hpp"
+
+int main() {
+  return earl::bench::print_exemplar(
+      earl::analysis::Outcome::kSeverePermanent, "Figure 7",
+      "severe undetected wrong result (permanent)");
+}

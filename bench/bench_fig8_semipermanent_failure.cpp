@@ -1,0 +1,9 @@
+// Figure 8: a severe undetected wrong result (semi-permanent) — strong
+// deviation over many iterations, converging back within the window.
+#include "bench_exemplar.hpp"
+
+int main() {
+  return earl::bench::print_exemplar(
+      earl::analysis::Outcome::kSevereSemiPermanent, "Figure 8",
+      "severe undetected wrong result (semi-permanent)");
+}

@@ -1,0 +1,9 @@
+// Figure 9: a minor undetected wrong result (transient) — one strong
+// deviation, rapidly reconverging.
+#include "bench_exemplar.hpp"
+
+int main() {
+  return earl::bench::print_exemplar(
+      earl::analysis::Outcome::kMinorTransient, "Figure 9",
+      "minor undetected wrong result (transient)");
+}

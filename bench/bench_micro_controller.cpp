@@ -1,0 +1,101 @@
+// Microbenchmarks: the runtime cost of the paper's technique — native
+// Algorithm I vs Algorithm II vs the generic wrapper per control step, and
+// the TVM instruction counts per iteration for all generated variants
+// (the embedded-cost view: assertions + back-ups cost ~20% instructions).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "control/pi.hpp"
+#include "core/robust_pi.hpp"
+#include "core/robust_wrapper.hpp"
+#include "fi/runner.hpp"
+#include "fi/workloads.hpp"
+
+namespace {
+
+using namespace earl;
+
+void BM_NativeAlgorithm1Step(benchmark::State& state) {
+  control::PiController controller(fi::paper_pi_config());
+  float y = 2000.0f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(controller.step(2000.0f, y));
+    y += 0.001f;
+  }
+}
+BENCHMARK(BM_NativeAlgorithm1Step);
+
+void BM_NativeAlgorithm2Step(benchmark::State& state) {
+  core::RobustPiController controller(fi::paper_pi_config());
+  float y = 2000.0f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(controller.step(2000.0f, y));
+    y += 0.001f;
+  }
+}
+BENCHMARK(BM_NativeAlgorithm2Step);
+
+void BM_GenericWrapperStep(benchmark::State& state) {
+  const control::PiConfig config = fi::paper_pi_config();
+  core::RobustController controller(
+      std::make_unique<control::PiController>(config),
+      {{config.u_min, config.u_max, config.x_init, 0.0f}},
+      {{config.u_min, config.u_max, config.x_init, 0.0f}});
+  float y = 2000.0f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(controller.step(2000.0f, y));
+    y += 0.001f;
+  }
+}
+BENCHMARK(BM_GenericWrapperStep);
+
+void BM_WrapperWithRateAssertion(benchmark::State& state) {
+  const control::PiConfig config = fi::paper_pi_config();
+  core::RobustController controller(
+      std::make_unique<control::PiController>(config),
+      {{config.u_min, config.u_max, config.x_init, /*rate=*/5.0f}},
+      {{config.u_min, config.u_max, config.x_init, 0.0f}});
+  float y = 2000.0f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(controller.step(2000.0f, y));
+    y += 0.001f;
+  }
+}
+BENCHMARK(BM_WrapperWithRateAssertion);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Embedded cost report: TVM instructions per control iteration.
+  using namespace earl;
+  std::printf("TVM instructions per control iteration (650-iteration golden "
+              "run):\n");
+  fi::CampaignConfig config = fi::table2_campaign(1.0);
+  fi::CampaignRunner runner(config);
+  const struct {
+    const char* name;
+    codegen::RobustnessMode mode;
+  } variants[] = {
+      {"Algorithm I ", codegen::RobustnessMode::kNone},
+      {"Algorithm II", codegen::RobustnessMode::kRecover},
+      {"Trap variant", codegen::RobustnessMode::kTrap},
+  };
+  double baseline = 0.0;
+  for (const auto& variant : variants) {
+    const auto target =
+        fi::make_tvm_pi_factory(fi::paper_pi_config(), variant.mode)();
+    const fi::GoldenRun golden = runner.run_golden(*target);
+    const double per_iteration =
+        static_cast<double>(golden.total_time) / golden.outputs.size();
+    if (baseline == 0.0) baseline = per_iteration;
+    std::printf("  %s: %7.1f instr/iteration (%+.1f%%)\n", variant.name,
+                per_iteration, 100.0 * (per_iteration / baseline - 1.0));
+  }
+  std::printf("\n");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

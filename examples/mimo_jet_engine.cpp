@@ -1,0 +1,89 @@
+// Future work, built: the paper's conclusion proposes applying executable
+// assertions and best effort recovery to MIMO controllers such as
+// jet-engine controllers.  This example runs a 2-state / 2-output
+// state-space controller against a coupled two-shaft demo plant, corrupts
+// its state vector periodically, and compares the unprotected and the
+// protected (RobustMimoController, Section 4.3 general approach) variants.
+//
+//   $ ./mimo_jet_engine
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+#include "control/mimo.hpp"
+#include "core/robust_mimo.hpp"
+
+namespace {
+
+using namespace earl;
+
+/// Coupled two-shaft plant: speeds respond to both actuators.
+struct TwoShaftPlant {
+  std::array<double, 2> speed = {0.0, 0.0};
+
+  void step(const std::array<float, 2>& u) {
+    const double dt = 0.0154;
+    speed[0] += dt * (1.0 * u[0] + 0.1 * u[1] - speed[0]);
+    speed[1] += dt * (0.1 * u[0] + 1.0 * u[1] - speed[1]);
+  }
+};
+
+template <typename Controller>
+double run(Controller& controller, bool corrupt, const char* name) {
+  TwoShaftPlant plant;
+  const std::array<double, 2> targets = {60.0, 40.0};
+  std::array<float, 2> u{};
+  double worst_error = 0.0;
+  for (int k = 0; k < 30000; ++k) {
+    if (corrupt && k > 6000 && k % 4000 == 0) {
+      // A particle strike in the state vector: alternate channels.
+      controller.state()[(k / 4000) % 2] = 7.3e21f;
+    }
+    const std::array<float, 2> errors = {
+        static_cast<float>(targets[0] - plant.speed[0]),
+        static_cast<float>(targets[1] - plant.speed[1])};
+    controller.step(errors, u);
+    plant.step(u);
+    if (k > 3000) {
+      worst_error = std::max({worst_error,
+                              std::fabs(plant.speed[0] - targets[0]),
+                              std::fabs(plant.speed[1] - targets[1])});
+    }
+  }
+  std::printf("  %-28s final speeds (%6.2f, %6.2f), worst excursion after "
+              "warm-up: %8.2f\n",
+              name, plant.speed[0], plant.speed[1], worst_error);
+  return worst_error;
+}
+
+}  // namespace
+
+int main() {
+  using namespace earl;
+  const control::MimoConfig config = control::make_demo_jet_engine_controller();
+
+  std::printf("fault-free baseline:\n");
+  {
+    control::MimoController plain(config);
+    run(plain, false, "MimoController");
+  }
+
+  std::printf("\nwith periodic state-vector corruption:\n");
+  control::MimoController plain(config);
+  const double plain_error = run(plain, true, "MimoController (unprotected)");
+
+  const std::vector<core::SignalSpec> state_specs = {
+      {0.0f, 100.0f, 0.0f, 0.0f}, {0.0f, 100.0f, 0.0f, 0.0f}};
+  const std::vector<core::SignalSpec> output_specs = {
+      {0.0f, 100.0f, 0.0f, 0.0f}, {0.0f, 100.0f, 0.0f, 0.0f}};
+  core::RobustMimoController robust(config, state_specs, output_specs);
+  const double robust_error = run(robust, true, "RobustMimoController");
+
+  std::printf("\nvector-level recoveries performed: %llu\n",
+              static_cast<unsigned long long>(robust.state_recoveries()));
+  std::printf("worst excursion: unprotected %.1f vs protected %.2f — the "
+              "Section 4.3 treatment generalizes beyond SISO, as the paper "
+              "anticipated.\n",
+              plain_error, robust_error);
+  return 0;
+}

@@ -1,0 +1,90 @@
+// The paper's contribution as a library: protect any controller's state and
+// outputs with executable assertions and best effort recovery.
+//
+// Runs the same state-corruption scenario as `quickstart` three ways:
+//   * plain Algorithm I                       -> throttle locks
+//   * hand-written Algorithm II               -> recovers within a sample
+//   * generic RobustController wrapper with an added *rate* assertion
+//     (the "more sophisticated assertion" of the paper's conclusion)
+//     -> also catches the in-range corruption Algorithm II misses
+//
+//   $ ./robust_controller
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "control/pi.hpp"
+#include "core/robust_pi.hpp"
+#include "core/robust_wrapper.hpp"
+#include "fi/workloads.hpp"
+#include "plant/engine.hpp"
+#include "plant/signals.hpp"
+
+namespace {
+
+using namespace earl;
+
+struct Scenario {
+  float corrupted_x;
+  const char* description;
+};
+
+void run(const char* name, control::Controller& controller,
+         const Scenario& scenario) {
+  controller.reset();
+  plant::Engine engine;
+  float y = static_cast<float>(engine.speed());
+  float final_u = 0.0f;
+  double worst_speed = 0.0;
+  for (std::size_t k = 0; k < plant::kIterations; ++k) {
+    if (k == 130) controller.state()[0] = scenario.corrupted_x;
+    const double t = plant::iteration_time(k);
+    final_u = controller.step(plant::reference_speed(t), y);
+    y = engine.step(final_u, plant::engine_load(t));
+    if (k >= 130) worst_speed = std::max(worst_speed, engine.speed());
+  }
+  std::printf("  %-34s peak speed %7.0f rpm, final u=%6.2f deg, final "
+              "speed %7.0f rpm  %s\n",
+              name, worst_speed, static_cast<double>(final_u), engine.speed(),
+              engine.speed() > 5000.0  ? "<< LOCKED, severe overspeed"
+              : worst_speed > 10000.0  ? "<< transient overspeed"
+              : worst_speed > 3600.0   ? "<< noticeable excursion"
+                                       : "OK");
+}
+
+}  // namespace
+
+int main() {
+  const control::PiConfig config = fi::paper_pi_config();
+
+  control::PiController algorithm1(config);
+  core::RobustPiController algorithm2(config);
+
+  // The generic Section 4.3 wrapper, with a rate bound on the state: the
+  // integrator physically cannot move more than ~1 degree per sample.
+  core::RobustController wrapped(
+      std::make_unique<control::PiController>(config),
+      {{config.u_min, config.u_max, config.x_init, /*max_rate=*/1.0f}},
+      {{config.u_min, config.u_max, config.x_init, 0.0f}});
+
+  const Scenario out_of_range{4.6e19f,
+                              "x -> 4.6e19 (exponent bit flip, out of range)"};
+  const Scenario in_range{69.0f, "x -> 69 (in range: Figure 10's corruption)"};
+
+  std::printf("scenario A: %s\n", out_of_range.description);
+  run("Algorithm I (unprotected)", algorithm1, out_of_range);
+  run("Algorithm II (range assertions)", algorithm2, out_of_range);
+  run("RobustController (+rate assertion)", wrapped, out_of_range);
+  std::printf("  recoveries: Algorithm II %llu, wrapper %llu\n\n",
+              static_cast<unsigned long long>(algorithm2.state_recoveries()),
+              static_cast<unsigned long long>(wrapped.state_recoveries()));
+
+  std::printf("scenario B: %s\n", in_range.description);
+  run("Algorithm I (unprotected)", algorithm1, in_range);
+  run("Algorithm II (range assertions)", algorithm2, in_range);
+  run("RobustController (+rate assertion)", wrapped, in_range);
+  std::printf("\nScenario B shows the paper's residual weakness: a range "
+              "assertion cannot see an in-range jump — the rate assertion "
+              "(future-work direction) can.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "analysis/classify.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace earl::analysis {
+
+DeviationStats deviation_stats(std::span<const float> golden,
+                               std::span<const float> faulty,
+                               const ClassifyConfig& config) {
+  assert(golden.size() == faulty.size());
+  DeviationStats stats;
+  for (std::size_t k = 0; k < golden.size(); ++k) {
+    double deviation = std::abs(static_cast<double>(faulty[k]) - golden[k]);
+    // A NaN command is maximally wrong, not "no deviation": its comparisons
+    // are all false, so it must be mapped explicitly.
+    if (std::isnan(deviation)) {
+      deviation = std::numeric_limits<double>::infinity();
+    }
+    if (deviation > 0.0 || faulty[k] != golden[k]) stats.any_deviation = true;
+    stats.max_deviation = std::max(stats.max_deviation, deviation);
+    if (deviation > config.strong_threshold) {
+      if (stats.strong_count == 0) stats.first_strong = k;
+      stats.last_strong = k;
+      ++stats.strong_count;
+    }
+  }
+  if (stats.strong_count > 0) {
+    stats.pinned_from_first_strong = true;
+    for (std::size_t k = stats.first_strong; k < faulty.size(); ++k) {
+      if (faulty[k] != config.pin_lo && faulty[k] != config.pin_hi) {
+        stats.pinned_from_first_strong = false;
+        break;
+      }
+    }
+  }
+  return stats;
+}
+
+Outcome classify_outputs(std::span<const float> golden,
+                         std::span<const float> faulty, bool state_identical,
+                         const ClassifyConfig& config) {
+  const DeviationStats stats = deviation_stats(golden, faulty, config);
+
+  if (stats.strong_count == 0) {
+    if (stats.any_deviation) return Outcome::kMinorInsignificant;
+    return state_identical ? Outcome::kOverwritten : Outcome::kLatent;
+  }
+  if (stats.pinned_from_first_strong) return Outcome::kSeverePermanent;
+  if (stats.strong_count == 1) return Outcome::kMinorTransient;
+  return Outcome::kSevereSemiPermanent;
+}
+
+}  // namespace earl::analysis

@@ -1,0 +1,100 @@
+// Error and failure classification (paper Section 4.1).
+//
+// Every fault-injection experiment ends in exactly one class:
+//
+//   Effective errors
+//     Detected            — an EDM raised (one sub-class per mechanism)
+//     Undetected wrong results (value failures)
+//       Severe / Permanent       — output pinned at a range limit from the
+//                                  first strong deviation to the end of the
+//                                  observed interval
+//       Severe / Semi-permanent  — strong deviation (> 0.1 deg) in more
+//                                  than one iteration, converging within
+//                                  the interval
+//       Minor / Transient        — strong deviation in exactly one
+//                                  iteration
+//       Minor / Insignificant    — some deviation, never above 0.1 deg
+//   Non-effective errors
+//     Latent              — outputs identical but the final observable
+//                           system state differs from the golden run
+//     Overwritten         — outputs and final state identical
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "tvm/edm.hpp"
+
+namespace earl::analysis {
+
+enum class Outcome : std::uint8_t {
+  kDetected,
+  kSeverePermanent,
+  kSevereSemiPermanent,
+  kMinorTransient,
+  kMinorInsignificant,
+  kLatent,
+  kOverwritten,
+  kCount,
+};
+
+constexpr std::size_t kOutcomeCount = static_cast<std::size_t>(Outcome::kCount);
+
+constexpr std::string_view outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::kDetected: return "Detected";
+    case Outcome::kSeverePermanent: return "Severe (Permanent)";
+    case Outcome::kSevereSemiPermanent: return "Severe (Semi-Permanent)";
+    case Outcome::kMinorTransient: return "Minor (Transient)";
+    case Outcome::kMinorInsignificant: return "Minor (Insignificant)";
+    case Outcome::kLatent: return "Latent";
+    case Outcome::kOverwritten: return "Overwritten";
+    case Outcome::kCount: break;
+  }
+  return "Unknown";
+}
+
+constexpr bool is_value_failure(Outcome o) {
+  return o == Outcome::kSeverePermanent || o == Outcome::kSevereSemiPermanent ||
+         o == Outcome::kMinorTransient || o == Outcome::kMinorInsignificant;
+}
+
+constexpr bool is_severe(Outcome o) {
+  return o == Outcome::kSeverePermanent || o == Outcome::kSevereSemiPermanent;
+}
+
+constexpr bool is_non_effective(Outcome o) {
+  return o == Outcome::kLatent || o == Outcome::kOverwritten;
+}
+
+struct ClassifyConfig {
+  float strong_threshold = 0.1f;  // "differs strongly" boundary [deg]
+  float pin_lo = 0.0f;            // actuator range limits for "permanent"
+  float pin_hi = 70.0f;
+};
+
+/// Classifies a *completed* (not detected) experiment from its output
+/// series versus the golden series, plus whether the final observable state
+/// matched the golden final state.  Series must have equal length.
+Outcome classify_outputs(std::span<const float> golden,
+                         std::span<const float> faulty, bool state_identical,
+                         const ClassifyConfig& config = {});
+
+/// Per-series deviation facts, exposed for tests and for exemplar searches
+/// (the Figure 7/8/9 benches look for archetypal failures).
+struct DeviationStats {
+  std::size_t strong_count = 0;      // iterations with deviation > threshold
+  std::size_t first_strong = 0;      // index of the first such iteration
+  std::size_t last_strong = 0;
+  bool any_deviation = false;
+  double max_deviation = 0.0;
+  bool pinned_from_first_strong = false;  // output at a limit from the
+                                          // first strong deviation onward
+};
+
+DeviationStats deviation_stats(std::span<const float> golden,
+                               std::span<const float> faulty,
+                               const ClassifyConfig& config = {});
+
+}  // namespace earl::analysis

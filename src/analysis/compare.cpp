@@ -1,0 +1,79 @@
+#include "analysis/compare.hpp"
+
+#include "util/table.hpp"
+
+namespace earl::analysis {
+
+CampaignComparison CampaignComparison::build(const fi::CampaignResult& left,
+                                             const fi::CampaignResult& right) {
+  CampaignComparison cmp;
+
+  auto proportion = [](const fi::CampaignResult& campaign, auto&& predicate) {
+    util::Proportion p;
+    p.total = campaign.experiments.size();
+    for (const fi::ExperimentResult& e : campaign.experiments) {
+      if (predicate(e)) ++p.count;
+    }
+    return p;
+  };
+
+  auto add = [&](const std::string& label, auto&& predicate) {
+    cmp.rows_.push_back({label, proportion(left, predicate),
+                         proportion(right, predicate)});
+  };
+
+  add("Total (Non Effective Errors)",
+      [](const auto& e) { return is_non_effective(e.outcome); });
+  add("Total (Detected Errors)",
+      [](const auto& e) { return e.outcome == Outcome::kDetected; });
+  add("Undetected Wrong Results (Permanent)",
+      [](const auto& e) { return e.outcome == Outcome::kSeverePermanent; });
+  add("Undetected Wrong Results (Semi-Permanent)", [](const auto& e) {
+    return e.outcome == Outcome::kSevereSemiPermanent;
+  });
+  add("Undetected Wrong Results (Transient)",
+      [](const auto& e) { return e.outcome == Outcome::kMinorTransient; });
+  add("Undetected Wrong Results (Insignificant)", [](const auto& e) {
+    return e.outcome == Outcome::kMinorInsignificant;
+  });
+  add("Total (Undetected Wrong Results)",
+      [](const auto& e) { return is_value_failure(e.outcome); });
+  add("Total (Effective Errors)",
+      [](const auto& e) { return !is_non_effective(e.outcome); });
+
+  cmp.severe_left_ = proportion(left, [](const auto& e) {
+    return is_severe(e.outcome);
+  });
+  cmp.severe_right_ = proportion(right, [](const auto& e) {
+    return is_severe(e.outcome);
+  });
+  return cmp;
+}
+
+std::string CampaignComparison::render(const std::string& title,
+                                       const std::string& left_name,
+                                       const std::string& right_name) const {
+  util::Table table({"", "Results for " + left_name,
+                     "Results for " + right_name});
+  table.set_align(1, util::Table::Align::kRight);
+  table.set_align(2, util::Table::Align::kRight);
+  for (const ComparisonRow& row : rows_) {
+    if (row.label.rfind("Total", 0) == 0) table.add_separator();
+    table.add_row({row.label,
+                   row.left.to_string() + "  " + std::to_string(row.left.count),
+                   row.right.to_string() + "  " +
+                       std::to_string(row.right.count)});
+  }
+  table.add_separator();
+  table.add_row({"Total (Faults Injected)",
+                 std::to_string(rows_.empty() ? 0 : rows_[0].left.total),
+                 std::to_string(rows_.empty() ? 0 : rows_[0].right.total)});
+  return title + "\n" + table.render();
+}
+
+bool CampaignComparison::severe_reduction_significant() const {
+  return severe_left_.value() > severe_right_.value() &&
+         util::intervals_disjoint95(severe_left_, severe_right_);
+}
+
+}  // namespace earl::analysis

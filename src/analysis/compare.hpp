@@ -1,0 +1,40 @@
+// Campaign comparison (paper Table 4): Algorithm I vs Algorithm II with
+// the value-failure breakdown into permanent / semi-permanent / transient /
+// insignificant, and the statistical statement the paper makes — whether
+// the severe-failure reduction is significant at the 95% level.
+#pragma once
+
+#include <string>
+
+#include "analysis/report.hpp"
+#include "fi/campaign.hpp"
+
+namespace earl::analysis {
+
+struct ComparisonRow {
+  std::string label;
+  util::Proportion left;
+  util::Proportion right;
+};
+
+class CampaignComparison {
+ public:
+  static CampaignComparison build(const fi::CampaignResult& left,
+                                  const fi::CampaignResult& right);
+
+  std::string render(const std::string& title, const std::string& left_name,
+                     const std::string& right_name) const;
+
+  const std::vector<ComparisonRow>& rows() const { return rows_; }
+
+  /// True when the severe-value-failure proportions have disjoint 95%
+  /// confidence intervals (normal approximation, as the paper argues).
+  bool severe_reduction_significant() const;
+
+ private:
+  std::vector<ComparisonRow> rows_;
+  util::Proportion severe_left_;
+  util::Proportion severe_right_;
+};
+
+}  // namespace earl::analysis

@@ -1,0 +1,211 @@
+#include "analysis/propagation.hpp"
+
+#include <cstdio>
+
+#include "tvm/cpu.hpp"
+#include "util/bitops.hpp"
+#include "tvm/isa.hpp"
+#include "tvm/scan_chain.hpp"
+
+namespace earl::analysis {
+
+namespace {
+
+/// Captures per-step architectural state relevant to propagation tracking.
+struct StepSnapshot {
+  std::uint32_t pc = 0;
+  std::uint32_t word = 0;
+  std::array<std::uint32_t, tvm::kNumRegs> regs{};
+  // Store effects: valid when the executed instruction was a store.
+  bool stored = false;
+  std::uint32_t store_address = 0;
+  std::uint32_t store_value = 0;
+};
+
+class Recorder : public tvm::TraceSink {
+ public:
+  void on_step(const tvm::CpuState& before, std::uint32_t word) override {
+    StepSnapshot snap;
+    snap.pc = before.pc;
+    snap.word = word;
+    snap.regs = before.regs;
+    // Stores are recognized at decode; their MAR/MDR values are observable
+    // in the *next* step's `before` state, so patch the previous record.
+    if (!steps.empty() && pending_store_) {
+      steps.back().stored = true;
+      steps.back().store_address = before.mar;
+      steps.back().store_value = before.mdr;
+    }
+    const auto decoded = tvm::decode(word);
+    pending_store_ = decoded && decoded->op == tvm::Opcode::kStw;
+    steps.push_back(snap);
+  }
+
+  /// Finalizes the last pending store using the machine's latch state.
+  void finish(const tvm::CpuState& state) {
+    if (!steps.empty() && pending_store_) {
+      steps.back().stored = true;
+      steps.back().store_address = state.mar;
+      steps.back().store_value = state.mdr;
+      pending_store_ = false;
+    }
+  }
+
+  std::vector<StepSnapshot> steps;
+
+ private:
+  bool pending_store_ = false;
+};
+
+struct Execution {
+  std::vector<StepSnapshot> steps;
+  bool detected = false;
+  tvm::Edm edm = tvm::Edm::kNone;
+};
+
+Execution run_side(const tvm::AssembledProgram& program,
+                   const fi::Fault* fault,
+                   const PropagationOptions& options) {
+  tvm::Machine machine;
+  tvm::load_program(program, machine.mem);
+  machine.reset(program.entry);
+  machine.mem.write_raw(tvm::kIoInRef,
+                        util::float_to_bits(options.reference));
+  machine.mem.write_raw(tvm::kIoInMeas,
+                        util::float_to_bits(options.measurement));
+
+  // Warm-up prefix (uninstrumented, identical on both sides). Yields pause
+  // the CPU, so keep stepping through them while refreshing the inputs.
+  std::uint64_t executed = 0;
+  while (executed < options.warmup_instructions) {
+    const tvm::RunResult r =
+        machine.run(options.warmup_instructions - executed);
+    executed += r.executed;
+    if (r.kind == tvm::RunResult::Kind::kTrap) {
+      return {{}, true, r.edm};
+    }
+  }
+
+  if (fault != nullptr) {
+    const tvm::ScanChain scan;
+    for (const std::size_t bit : fault->bits) {
+      scan.flip_bit(machine, bit);
+    }
+  }
+
+  Recorder recorder;
+  machine.cpu.set_trace_sink(&recorder);
+  Execution execution;
+  std::uint64_t window = 0;
+  while (window < options.window_instructions) {
+    const tvm::RunResult r =
+        machine.run(options.window_instructions - window);
+    window += r.executed;
+    if (r.kind == tvm::RunResult::Kind::kTrap) {
+      execution.detected = true;
+      execution.edm = r.edm;
+      break;
+    }
+    // Yield: the environment would exchange I/O; hold the inputs steady.
+  }
+  recorder.finish(machine.cpu.state());
+  execution.steps = std::move(recorder.steps);
+  return execution;
+}
+
+}  // namespace
+
+PropagationReport analyze_propagation(const tvm::AssembledProgram& program,
+                                      const fi::Fault& fault,
+                                      const PropagationOptions& options) {
+  const Execution golden = run_side(program, nullptr, options);
+  const Execution faulty = run_side(program, &fault, options);
+
+  PropagationReport report;
+  report.detected = faulty.detected;
+  report.edm = faulty.edm;
+
+  const std::size_t n = std::min(golden.steps.size(), faulty.steps.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const StepSnapshot& g = golden.steps[i];
+    const StepSnapshot& f = faulty.steps[i];
+    if (!report.diverged &&
+        (g.pc != f.pc || g.word != f.word || g.regs != f.regs)) {
+      report.diverged = true;
+      report.divergence_step = i;
+      report.divergence_pc = f.pc;
+      report.divergence_disassembly = tvm::disassemble(f.word);
+      for (unsigned r = 0; r < tvm::kNumRegs; ++r) {
+        if (g.regs[r] != f.regs[r]) report.corrupted_registers.push_back(r);
+      }
+    }
+    if (!report.control_flow_diverged && g.pc != f.pc) {
+      report.control_flow_diverged = true;
+      report.control_flow_step = i;
+    }
+    if (!report.reached_memory && f.stored &&
+        (!g.stored || g.store_address != f.store_address ||
+         g.store_value != f.store_value)) {
+      report.reached_memory = true;
+      report.memory_step = i;
+      report.memory_address = f.store_address;
+    }
+    if (report.diverged && report.reached_memory &&
+        report.control_flow_diverged) {
+      break;
+    }
+  }
+  if (!report.diverged && golden.steps.size() != faulty.steps.size()) {
+    report.diverged = true;
+    report.divergence_step = n;
+  }
+  return report;
+}
+
+std::string PropagationReport::to_string() const {
+  char buf[160];
+  std::string out;
+  if (!diverged) {
+    out = "no architectural divergence in the analysis window "
+          "(overwritten or latent)\n";
+  } else if (divergence_disassembly.empty()) {
+    std::snprintf(buf, sizeof buf,
+                  "executions diverge at step %zu (one side stopped "
+                  "earlier)\n",
+                  divergence_step);
+    out += buf;
+  } else {
+    std::snprintf(buf, sizeof buf,
+                  "first divergence at step %zu, pc=0x%x: %s\n",
+                  divergence_step, divergence_pc,
+                  divergence_disassembly.c_str());
+    out += buf;
+    if (!corrupted_registers.empty()) {
+      out += "  corrupted registers:";
+      for (const unsigned r : corrupted_registers) {
+        std::snprintf(buf, sizeof buf, " r%u", r);
+        out += buf;
+      }
+      out += "\n";
+    }
+  }
+  if (reached_memory) {
+    std::snprintf(buf, sizeof buf,
+                  "  error reached memory at step %zu (address 0x%x)\n",
+                  memory_step, memory_address);
+    out += buf;
+  }
+  if (control_flow_diverged) {
+    std::snprintf(buf, sizeof buf, "  control flow diverged at step %zu\n",
+                  control_flow_step);
+    out += buf;
+  }
+  if (detected) {
+    std::snprintf(buf, sizeof buf, "  detected: %s\n",
+                  std::string(tvm::edm_name(edm)).c_str());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace earl::analysis

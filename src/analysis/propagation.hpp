@@ -1,0 +1,75 @@
+// Error-propagation analysis (the purpose of GOOFI's *detail mode*,
+// Section 3.3.3: "the system state is logged ... before the execution of
+// each machine instruction ... allowing the error propagation to be
+// analyzed in detail").
+//
+// Given a workload and a fault, this module runs a golden and a faulty
+// execution with per-instruction state capture and reports:
+//   * where the executions first diverge architecturally,
+//   * which registers the fault had corrupted at that point,
+//   * whether/where the error first propagated to memory (a store whose
+//     address or data differs from the golden run),
+//   * whether/where control flow first diverged,
+//   * how the episode ended (detection / still running).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fi/fault_model.hpp"
+#include "tvm/assembler.hpp"
+#include "tvm/edm.hpp"
+
+namespace earl::analysis {
+
+struct PropagationReport {
+  /// No architectural difference was observed in the analysis window: the
+  /// fault was overwritten or latent.
+  bool diverged = false;
+
+  /// Index (in retired instructions since injection) and location of the
+  /// first architectural divergence.
+  std::size_t divergence_step = 0;
+  std::uint32_t divergence_pc = 0;
+  std::string divergence_disassembly;
+  std::vector<unsigned> corrupted_registers;  // differing GPRs at divergence
+
+  /// First store whose (address, value) pair differs from the golden run:
+  /// the error escaped the CPU into memory.
+  bool reached_memory = false;
+  std::size_t memory_step = 0;
+  std::uint32_t memory_address = 0;
+
+  /// First instruction where the two executions fetch different PCs.
+  bool control_flow_diverged = false;
+  std::size_t control_flow_step = 0;
+
+  /// How the faulty execution ended within the window.
+  bool detected = false;
+  tvm::Edm edm = tvm::Edm::kNone;
+
+  /// Human-readable multi-line summary.
+  std::string to_string() const;
+};
+
+struct PropagationOptions {
+  /// Instructions executed before the fault is injected (both runs execute
+  /// this prefix identically).
+  std::uint64_t warmup_instructions = 0;
+  /// Analysis window after injection.
+  std::uint64_t window_instructions = 2000;
+  /// Inputs held on the controller I/O ports during the analysis.
+  float reference = 2000.0f;
+  float measurement = 1950.0f;
+};
+
+/// Runs the analysis for `fault` (its `time` field is ignored; injection
+/// happens after `warmup_instructions`). The fault's bits address the
+/// standard scan chain of a default-configured machine.
+PropagationReport analyze_propagation(const tvm::AssembledProgram& program,
+                                      const fi::Fault& fault,
+                                      const PropagationOptions& options = {});
+
+}  // namespace earl::analysis

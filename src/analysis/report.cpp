@@ -1,0 +1,149 @@
+#include "analysis/report.hpp"
+
+#include <array>
+
+#include "util/table.hpp"
+
+namespace earl::analysis {
+
+namespace {
+
+constexpr std::array<tvm::Edm, 15> kDetectionRows = {
+    tvm::Edm::kBusError,        tvm::Edm::kAddressError,
+    tvm::Edm::kDataError,       tvm::Edm::kInstructionError,
+    tvm::Edm::kJumpError,       tvm::Edm::kConstraintError,
+    tvm::Edm::kAccessCheck,     tvm::Edm::kStorageError,
+    tvm::Edm::kOverflowCheck,   tvm::Edm::kUnderflowCheck,
+    tvm::Edm::kDivisionCheck,   tvm::Edm::kIllegalOperation,
+    tvm::Edm::kControlFlowError, tvm::Edm::kComparatorError,
+    tvm::Edm::kWatchdog,
+};
+
+}  // namespace
+
+std::string Cell::to_string() const {
+  return proportion.to_string() + "  " + std::to_string(proportion.count);
+}
+
+CampaignReport CampaignReport::build(const fi::CampaignResult& campaign) {
+  CampaignReport report;
+  for (const fi::ExperimentResult& e : campaign.experiments) {
+    if (e.cache_location) {
+      ++report.faults_cache_;
+    } else {
+      ++report.faults_registers_;
+    }
+    ++report.faults_total_;
+  }
+
+  auto make_row = [&](const std::string& label, auto&& predicate) {
+    ReportRow row;
+    row.label = label;
+    for (const fi::ExperimentResult& e : campaign.experiments) {
+      if (!predicate(e)) continue;
+      if (e.cache_location) {
+        ++row.cache.proportion.count;
+      } else {
+        ++row.registers.proportion.count;
+      }
+      ++row.total.proportion.count;
+    }
+    row.cache.proportion.total = report.faults_cache_;
+    row.registers.proportion.total = report.faults_registers_;
+    row.total.proportion.total = report.faults_total_;
+    return row;
+  };
+
+  report.rows_.push_back(make_row("Latent Errors", [](const auto& e) {
+    return e.outcome == Outcome::kLatent;
+  }));
+  report.rows_.push_back(make_row("Overwritten Errors", [](const auto& e) {
+    return e.outcome == Outcome::kOverwritten;
+  }));
+  report.rows_.push_back(
+      make_row("Total (Non Effective Errors)", [](const auto& e) {
+        return is_non_effective(e.outcome);
+      }));
+  for (const tvm::Edm edm : kDetectionRows) {
+    ReportRow row = make_row(std::string(tvm::edm_name(edm)),
+                             [edm](const auto& e) {
+                               return e.outcome == Outcome::kDetected &&
+                                      e.edm == edm;
+                             });
+    // Keep the table close to the paper's: only mechanisms that fired (the
+    // paper lists its fixed mechanism set; ours includes extras like the
+    // watchdog, shown only when non-zero).
+    if (row.total.proportion.count > 0 ||
+        (edm != tvm::Edm::kComparatorError && edm != tvm::Edm::kWatchdog &&
+         edm != tvm::Edm::kUnderflowCheck && edm != tvm::Edm::kDivisionCheck)) {
+      report.rows_.push_back(std::move(row));
+    }
+  }
+  report.rows_.push_back(
+      make_row("Undetected Wrong Results (Severe)", [](const auto& e) {
+        return is_severe(e.outcome);
+      }));
+  report.rows_.push_back(
+      make_row("Undetected Wrong Results (Minor)", [](const auto& e) {
+        return is_value_failure(e.outcome) && !is_severe(e.outcome);
+      }));
+  report.rows_.push_back(
+      make_row("Total (Effective Errors)", [](const auto& e) {
+        return !is_non_effective(e.outcome);
+      }));
+  report.rows_.push_back(
+      make_row("Total (Undetected Wrong Results)", [](const auto& e) {
+        return is_value_failure(e.outcome);
+      }));
+
+  for (const fi::ExperimentResult& e : campaign.experiments) {
+    ++report.outcome_totals_[static_cast<std::size_t>(e.outcome)];
+    if (is_severe(e.outcome)) ++report.severe_total_;
+    if (is_value_failure(e.outcome) && !is_severe(e.outcome)) {
+      ++report.minor_total_;
+    }
+  }
+  return report;
+}
+
+std::string CampaignReport::render(const std::string& title) const {
+  util::Table table({"Type of Errors and Wrong Results",
+                     "Cache (" + std::to_string(faults_cache_) + ")",
+                     "Registers (" + std::to_string(faults_registers_) + ")",
+                     "Total (" + std::to_string(faults_total_) + ")"});
+  table.set_align(1, util::Table::Align::kRight);
+  table.set_align(2, util::Table::Align::kRight);
+  table.set_align(3, util::Table::Align::kRight);
+  for (const ReportRow& row : rows_) {
+    if (row.label.rfind("Total", 0) == 0) table.add_separator();
+    table.add_row({row.label, row.cache.to_string(), row.registers.to_string(),
+                   row.total.to_string()});
+  }
+  table.add_separator();
+  const util::Proportion cov = coverage();
+  table.add_row({"Coverage", "", "", cov.to_string()});
+  return title + "\n" + table.render();
+}
+
+util::Proportion CampaignReport::total_of(Outcome outcome) const {
+  return {outcome_totals_[static_cast<std::size_t>(outcome)], faults_total_};
+}
+
+util::Proportion CampaignReport::total_value_failures() const {
+  return {severe_total_ + minor_total_, faults_total_};
+}
+
+util::Proportion CampaignReport::total_severe() const {
+  return {severe_total_, faults_total_};
+}
+
+util::Proportion CampaignReport::coverage() const {
+  // Coverage = 1 - P(undetected wrong result), as in the paper's tables.
+  return {faults_total_ - severe_total_ - minor_total_, faults_total_};
+}
+
+util::Proportion CampaignReport::severe_share_of_failures() const {
+  return {severe_total_, severe_total_ + minor_total_};
+}
+
+}  // namespace earl::analysis

@@ -1,0 +1,63 @@
+// Report builders that regenerate the paper's result tables.
+//
+// Table 2 / Table 3 layout: one row per error class (non-effective classes,
+// one row per detection mechanism, severe / minor undetected wrong
+// results), with three column groups — Cache, Registers, Total — each
+// showing "percentage (± 95% conf) #" of the faults injected into that
+// partition, plus the coverage summary rows at the bottom.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "fi/campaign.hpp"
+#include "util/stats.hpp"
+
+namespace earl::analysis {
+
+/// Count + proportion for one (row, partition) cell.
+struct Cell {
+  util::Proportion proportion;
+
+  std::string to_string() const;
+};
+
+struct ReportRow {
+  std::string label;
+  Cell cache;
+  Cell registers;
+  Cell total;
+};
+
+class CampaignReport {
+ public:
+  static CampaignReport build(const fi::CampaignResult& campaign);
+
+  /// Renders the full Table 2/3-style table.
+  std::string render(const std::string& title) const;
+
+  /// Individual aggregates used by tests, EXPERIMENTS.md and the
+  /// comparison table.
+  const std::vector<ReportRow>& rows() const { return rows_; }
+  util::Proportion total_of(Outcome outcome) const;
+  util::Proportion total_value_failures() const;
+  util::Proportion total_severe() const;
+  util::Proportion coverage() const;
+  /// Share of value failures that are severe (the paper's 10.7% -> 3.2%).
+  util::Proportion severe_share_of_failures() const;
+
+  std::size_t faults_injected() const { return faults_total_; }
+
+ private:
+  std::vector<ReportRow> rows_;
+  std::size_t faults_cache_ = 0;
+  std::size_t faults_registers_ = 0;
+  std::size_t faults_total_ = 0;
+  // Raw per-outcome totals for aggregate queries.
+  std::array<std::size_t, kOutcomeCount> outcome_totals_{};
+  std::size_t severe_total_ = 0;
+  std::size_t minor_total_ = 0;
+};
+
+}  // namespace earl::analysis

@@ -1,0 +1,184 @@
+#include "codegen/block_model.hpp"
+
+namespace earl::codegen {
+
+BlockId Diagram::add(Block block) {
+  blocks_.push_back(std::move(block));
+  return static_cast<BlockId>(blocks_.size() - 1);
+}
+
+BlockId Diagram::add_inport(std::string name, int port) {
+  Block b;
+  b.kind = BlockKind::kInport;
+  b.name = std::move(name);
+  b.port = port;
+  return add(std::move(b));
+}
+
+BlockId Diagram::add_outport(std::string name, BlockId input, int port) {
+  Block b;
+  b.kind = BlockKind::kOutport;
+  b.name = std::move(name);
+  b.inputs = {input};
+  b.port = port;
+  return add(std::move(b));
+}
+
+BlockId Diagram::add_constant(std::string name, float value) {
+  Block b;
+  b.kind = BlockKind::kConstant;
+  b.name = std::move(name);
+  b.value = value;
+  return add(std::move(b));
+}
+
+BlockId Diagram::add_sum(std::string name, std::string signs,
+                         std::vector<BlockId> inputs) {
+  Block b;
+  b.kind = BlockKind::kSum;
+  b.name = std::move(name);
+  b.signs = std::move(signs);
+  b.inputs = std::move(inputs);
+  return add(std::move(b));
+}
+
+BlockId Diagram::add_gain(std::string name, float factor, BlockId input) {
+  Block b;
+  b.kind = BlockKind::kGain;
+  b.name = std::move(name);
+  b.value = factor;
+  b.inputs = {input};
+  return add(std::move(b));
+}
+
+BlockId Diagram::add_product(std::string name, BlockId a, BlockId b2) {
+  Block b;
+  b.kind = BlockKind::kProduct;
+  b.name = std::move(name);
+  b.inputs = {a, b2};
+  return add(std::move(b));
+}
+
+BlockId Diagram::add_saturation(std::string name, float lo, float hi,
+                                BlockId input) {
+  Block b;
+  b.kind = BlockKind::kSaturation;
+  b.name = std::move(name);
+  b.lo = lo;
+  b.hi = hi;
+  b.inputs = {input};
+  return add(std::move(b));
+}
+
+BlockId Diagram::add_unit_delay(std::string name, float initial) {
+  Block b;
+  b.kind = BlockKind::kUnitDelay;
+  b.name = std::move(name);
+  b.value = initial;
+  return add(std::move(b));
+}
+
+BlockId Diagram::add_relational(std::string name, RelOp op, BlockId a,
+                                BlockId b2) {
+  Block b;
+  b.kind = BlockKind::kRelational;
+  b.name = std::move(name);
+  b.relop = op;
+  b.inputs = {a, b2};
+  return add(std::move(b));
+}
+
+BlockId Diagram::add_logic(std::string name, LogicOp op,
+                           std::vector<BlockId> inputs) {
+  Block b;
+  b.kind = BlockKind::kLogic;
+  b.name = std::move(name);
+  b.logicop = op;
+  b.inputs = std::move(inputs);
+  return add(std::move(b));
+}
+
+BlockId Diagram::add_switch(std::string name, BlockId then_input,
+                            BlockId control, BlockId else_input) {
+  Block b;
+  b.kind = BlockKind::kSwitch;
+  b.name = std::move(name);
+  b.inputs = {then_input, control, else_input};
+  return add(std::move(b));
+}
+
+void Diagram::connect_delay_input(BlockId delay, BlockId input) {
+  blocks_[delay].inputs = {input};
+}
+
+std::vector<BlockId> Diagram::blocks_of_kind(BlockKind kind) const {
+  std::vector<BlockId> ids;
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    if (blocks_[i].kind == kind) ids.push_back(static_cast<BlockId>(i));
+  }
+  return ids;
+}
+
+std::vector<std::string> Diagram::validate() const {
+  std::vector<std::string> problems;
+  auto fail = [&](const Block& b, const std::string& msg) {
+    problems.push_back("block '" + b.name + "': " + msg);
+  };
+
+  bool has_outport = false;
+  for (const Block& b : blocks_) {
+    for (BlockId input : b.inputs) {
+      if (input < 0 || input >= static_cast<BlockId>(blocks_.size())) {
+        fail(b, "dangling input id");
+      }
+    }
+    switch (b.kind) {
+      case BlockKind::kInport:
+        if (!b.inputs.empty()) fail(b, "inport takes no inputs");
+        break;
+      case BlockKind::kOutport:
+        has_outport = true;
+        if (b.inputs.size() != 1) fail(b, "outport needs one input");
+        break;
+      case BlockKind::kConstant:
+        if (!b.inputs.empty()) fail(b, "constant takes no inputs");
+        break;
+      case BlockKind::kSum:
+        if (b.inputs.empty()) fail(b, "sum needs inputs");
+        if (b.signs.size() != b.inputs.size()) {
+          fail(b, "sum sign string length must equal input count");
+        }
+        for (char c : b.signs) {
+          if (c != '+' && c != '-') fail(b, "sum signs must be + or -");
+        }
+        break;
+      case BlockKind::kGain:
+      case BlockKind::kSaturation:
+        if (b.inputs.size() != 1) fail(b, "needs exactly one input");
+        break;
+      case BlockKind::kProduct:
+      case BlockKind::kRelational:
+        if (b.inputs.size() != 2) fail(b, "needs exactly two inputs");
+        break;
+      case BlockKind::kUnitDelay:
+        if (b.inputs.size() != 1) {
+          fail(b, "unit delay input not connected");
+        }
+        break;
+      case BlockKind::kLogic:
+        if (b.logicop == LogicOp::kNot) {
+          if (b.inputs.size() != 1) fail(b, "not takes one input");
+        } else if (b.inputs.size() < 2) {
+          fail(b, "and/or need at least two inputs");
+        }
+        break;
+      case BlockKind::kSwitch:
+        if (b.inputs.size() != 3) fail(b, "switch needs three inputs");
+        break;
+    }
+  }
+  if (!has_outport) problems.push_back("diagram has no outport");
+  return problems;
+}
+
+}  // namespace earl::codegen

@@ -1,0 +1,88 @@
+// Block-diagram model (the Simulink substitute).
+//
+// The paper's controller is a Simulink block diagram turned into target code
+// by Real-Time Workshop.  This module provides the same workflow: a small
+// block library sufficient for discrete control diagrams, a Diagram
+// container with validation, and (emitter.hpp) a code generator producing
+// TVM assembly.  Block semantics are data-flow: every block's output is a
+// single-precision value computed once per sample from its input ports;
+// UnitDelay is the only stateful block (its output is last sample's input).
+//
+// Boolean signals are represented as 0.0/1.0-free integers 0/1 flowing in
+// 32-bit words; Relational produces them, Logic combines them, Switch
+// consumes them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace earl::codegen {
+
+using BlockId = int;
+
+enum class BlockKind {
+  kInport,      // external input; param `port` selects which (0 = r, 1 = y)
+  kOutport,     // external output; one input; param `port`
+  kConstant,    // param `value`
+  kSum,         // n inputs combined per `signs` ("+-", "++-", ...)
+  kGain,        // one input scaled by `value`
+  kProduct,     // two inputs multiplied
+  kSaturation,  // one input clamped into [lo, hi]
+  kUnitDelay,   // one input; output = previous sample's input; `value` = init
+  kRelational,  // two float inputs -> 0/1 word, per `relop`
+  kLogic,       // 0/1 word inputs, per `logicop` (Not takes one input)
+  kSwitch,      // inputs: {then, control, else}: control != 0 ? then : else
+};
+
+enum class RelOp { kLt, kLe, kGt, kGe, kEq, kNe };
+enum class LogicOp { kAnd, kOr, kNot };
+
+struct Block {
+  BlockKind kind = BlockKind::kConstant;
+  std::string name;
+  std::vector<BlockId> inputs;
+
+  float value = 0.0f;   // Constant value / Gain factor / UnitDelay init
+  float lo = 0.0f;      // Saturation bounds
+  float hi = 0.0f;
+  std::string signs;    // Sum port signs
+  RelOp relop = RelOp::kLt;
+  LogicOp logicop = LogicOp::kAnd;
+  int port = 0;         // Inport/Outport index
+};
+
+class Diagram {
+ public:
+  BlockId add_inport(std::string name, int port);
+  BlockId add_outport(std::string name, BlockId input, int port);
+  BlockId add_constant(std::string name, float value);
+  BlockId add_sum(std::string name, std::string signs,
+                  std::vector<BlockId> inputs);
+  BlockId add_gain(std::string name, float factor, BlockId input);
+  BlockId add_product(std::string name, BlockId a, BlockId b);
+  BlockId add_saturation(std::string name, float lo, float hi, BlockId input);
+  BlockId add_unit_delay(std::string name, float initial);
+  BlockId add_relational(std::string name, RelOp op, BlockId a, BlockId b);
+  BlockId add_logic(std::string name, LogicOp op, std::vector<BlockId> inputs);
+  BlockId add_switch(std::string name, BlockId then_input, BlockId control,
+                     BlockId else_input);
+
+  /// UnitDelay inputs are connected after construction so diagrams may
+  /// contain feedback loops through delays.
+  void connect_delay_input(BlockId delay, BlockId input);
+
+  const Block& block(BlockId id) const { return blocks_[id]; }
+  std::size_t size() const { return blocks_.size(); }
+
+  std::vector<BlockId> blocks_of_kind(BlockKind kind) const;
+
+  /// Structural validation: port arities, sign strings, dangling ids,
+  /// delay inputs connected, at least one outport. Returns problems found.
+  std::vector<std::string> validate() const;
+
+ private:
+  BlockId add(Block block);
+  std::vector<Block> blocks_;
+};
+
+}  // namespace earl::codegen

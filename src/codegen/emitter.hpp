@@ -1,0 +1,47 @@
+// TVM assembly emitter (the Real-Time Workshop substitute).
+//
+// Generates a complete workload from a Diagram:
+//
+//   main:                         ; infinite control loop
+//     jal controller_step
+//     yield                       ; I/O exchange with the environment
+//     jmp main
+//   controller_step:
+//     <prologue: frame + saved lr>
+//     <robust mode: assert + back-up/recover every UnitDelay state>
+//     <straight-line/data-flow code, one stanza per scheduled block>
+//     <delay updates>
+//     <robust mode: assert outputs, recover output + state on failure>
+//     <outport stores to memory-mapped I/O>
+//     <epilogue>
+//
+// Block temporaries live in the stack frame (as Simulink-generated code
+// keeps its block outputs in a work structure); controller state
+// (UnitDelay) and the robust back-ups live in .data.  The frame is padded
+// to cover every data-cache index so the frame traffic periodically evicts
+// the state's cache line — giving the state the resident-dirty cache
+// lifetime the paper's fault-injection results hinge on.
+//
+// Every basic block is closed with a .sigcheck, so the generated workload
+// is protected by the CPU's control-flow monitoring end to end.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "codegen/block_model.hpp"
+#include "codegen/robustify.hpp"
+
+namespace earl::codegen {
+
+struct EmitResult {
+  std::string assembly;
+  std::vector<std::string> errors;
+
+  bool ok() const { return errors.empty(); }
+};
+
+EmitResult emit_assembly(const Diagram& diagram,
+                         const EmitOptions& options = {});
+
+}  // namespace earl::codegen

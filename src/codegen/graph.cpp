@@ -1,0 +1,52 @@
+#include "codegen/graph.hpp"
+
+namespace earl::codegen {
+
+Schedule schedule_blocks(const Diagram& diagram) {
+  Schedule schedule;
+  const std::size_t n = diagram.size();
+
+  // in-degree counts only data dependencies that must be satisfied within
+  // the current sample; UnitDelay outputs depend on nothing.
+  std::vector<int> indegree(n, 0);
+  std::vector<std::vector<BlockId>> consumers(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Block& b = diagram.block(static_cast<BlockId>(i));
+    if (b.kind == BlockKind::kUnitDelay) continue;  // no same-sample deps
+    for (BlockId input : b.inputs) {
+      consumers[input].push_back(static_cast<BlockId>(i));
+      ++indegree[i];
+    }
+  }
+
+  // Kahn's algorithm; scanning ready blocks in id order keeps the schedule
+  // deterministic, which keeps generated code (and its signatures) stable.
+  std::vector<bool> emitted(n, false);
+  schedule.order.reserve(n);
+  for (std::size_t round = 0; round < n; ++round) {
+    BlockId next = -1;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!emitted[i] && indegree[i] == 0) {
+        next = static_cast<BlockId>(i);
+        break;
+      }
+    }
+    if (next < 0) break;
+    emitted[next] = true;
+    schedule.order.push_back(next);
+    for (BlockId consumer : consumers[next]) --indegree[consumer];
+  }
+
+  if (schedule.order.size() != n) {
+    std::string cycle = "algebraic loop involving:";
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!emitted[i]) {
+        cycle += " '" + diagram.block(static_cast<BlockId>(i)).name + "'";
+      }
+    }
+    schedule.errors.push_back(cycle);
+  }
+  return schedule;
+}
+
+}  // namespace earl::codegen

@@ -1,0 +1,29 @@
+// Scheduling: topological ordering of a Diagram's blocks.
+//
+// Data-flow semantics require every block's inputs to be computed before the
+// block itself, with one exception: a UnitDelay's *output* is last sample's
+// value and is available immediately (its input is consumed at the end of
+// the step, in the delay-update phase).  A cycle that does not pass through
+// a UnitDelay is an algebraic loop and rejected — the same rule Simulink
+// enforces.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "codegen/block_model.hpp"
+
+namespace earl::codegen {
+
+struct Schedule {
+  /// Evaluation order over all blocks (UnitDelays appear where their output
+  /// is first needed; their state update is a separate phase).
+  std::vector<BlockId> order;
+  std::vector<std::string> errors;  // non-empty on algebraic loops
+
+  bool ok() const { return errors.empty(); }
+};
+
+Schedule schedule_blocks(const Diagram& diagram);
+
+}  // namespace earl::codegen

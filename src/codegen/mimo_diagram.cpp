@@ -1,0 +1,91 @@
+#include "codegen/mimo_diagram.hpp"
+
+#include <string>
+#include <vector>
+
+namespace earl::codegen {
+
+namespace {
+
+std::string indexed(const char* stem, std::size_t i) {
+  return std::string(stem) + std::to_string(i);
+}
+
+std::string indexed2(const char* stem, std::size_t i, std::size_t j) {
+  return std::string(stem) + std::to_string(i) + "_" + std::to_string(j);
+}
+
+/// Emits the row dot-product M[row]·v as Gain blocks feeding one Sum, in
+/// column order — the same accumulation order as Matrix::multiply.
+BlockId dot_product(Diagram& d, const char* stem, std::size_t row,
+                    const control::Matrix& m,
+                    const std::vector<BlockId>& inputs) {
+  std::vector<BlockId> terms;
+  terms.reserve(m.cols());
+  for (std::size_t c = 0; c < m.cols(); ++c) {
+    terms.push_back(d.add_gain(indexed2(stem, row, c), m.at(row, c),
+                               inputs[c]));
+  }
+  return d.add_sum(indexed(stem, row) + "_sum",
+                   std::string(terms.size(), '+'), terms);
+}
+
+}  // namespace
+
+Diagram make_mimo_diagram(const control::MimoConfig& config) {
+  Diagram d;
+  const std::size_t n = config.a.rows();   // states
+  const std::size_t p = config.b.cols();   // error inputs
+  const std::size_t m = config.c.rows();   // outputs
+
+  std::vector<BlockId> errors;
+  errors.reserve(p);
+  for (std::size_t j = 0; j < p; ++j) {
+    errors.push_back(d.add_inport(indexed("e", j), static_cast<int>(j)));
+  }
+  std::vector<BlockId> states;
+  states.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    states.push_back(d.add_unit_delay(indexed("x", i), config.x_init[i]));
+  }
+
+  // u_j = sat( (C x)_j + (D e)_j ): two grouped dot products, summed —
+  // matching MimoController::step's "cx[j] + de[j]".
+  for (std::size_t j = 0; j < m; ++j) {
+    const BlockId cx = dot_product(d, "cx", j, config.c, states);
+    const BlockId de = dot_product(d, "de", j, config.d, errors);
+    const BlockId u = d.add_sum(indexed("u", j), "++", {cx, de});
+    const BlockId u_sat = d.add_saturation(indexed("u_sat", j),
+                                           config.u_min[j], config.u_max[j],
+                                           u);
+    d.add_outport(indexed("out", j), u_sat, static_cast<int>(j));
+  }
+
+  // x_i' = (A x)_i + (B e)_i.
+  for (std::size_t i = 0; i < n; ++i) {
+    const BlockId ax = dot_product(d, "ax", i, config.a, states);
+    const BlockId be = dot_product(d, "be", i, config.b, errors);
+    const BlockId next = d.add_sum(indexed("xnext", i), "++", {ax, be});
+    d.connect_delay_input(states[i], next);
+  }
+  return d;
+}
+
+EmitOptions make_mimo_options(const control::MimoConfig& config,
+                              RobustnessMode mode) {
+  EmitOptions options;
+  options.mode = mode;
+  if (mode == RobustnessMode::kNone) return options;
+  // The integrating states track the outputs, so the output ranges are the
+  // natural physical bounds for both signal groups.
+  for (std::size_t i = 0; i < config.a.rows(); ++i) {
+    const std::size_t j = i < config.u_min.size() ? i : 0;
+    options.state_ranges.push_back({config.u_min[j], config.u_max[j]});
+  }
+  for (std::size_t j = 0; j < config.c.rows(); ++j) {
+    options.output_ranges.push_back({config.u_min[j], config.u_max[j]});
+  }
+  return options;
+}
+
+}  // namespace earl::codegen

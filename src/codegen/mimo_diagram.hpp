@@ -1,0 +1,40 @@
+// MIMO controller diagrams (the paper's future-work workload, generated
+// for the embedded target).
+//
+// Builds a block diagram computing the discrete state-space law
+//
+//   u(k)   = sat( C x(k) + D e(k) )
+//   x(k+1) = A x(k) + B e(k)
+//
+// for an arbitrary control::MimoConfig: one Inport per error input, one
+// UnitDelay per state, one saturated Outport per output.  The block
+// structure reproduces control::MimoController::step's operation order
+// exactly (per-row dot products left to right, C·x and D·e summed as two
+// groups), so generated code and the native controller agree bit-for-bit —
+// the same equivalence contract the PI workload has.
+//
+// Combined with EmitOptions{mode = kRecover, ...}, the emitter applies the
+// Section 4.3 general approach to ALL states and outputs of the generated
+// code: the paper's proposed extension to jet-engine-class controllers,
+// running on the simulated embedded target.
+#pragma once
+
+#include "codegen/block_model.hpp"
+#include "codegen/robustify.hpp"
+#include "control/mimo.hpp"
+
+namespace earl::codegen {
+
+/// Builds the state-space diagram for `config`.  I/O convention: error
+/// input j arrives on Inport port j (I/O words kIoBase + 4j for j < 2),
+/// output j leaves on Outport port j (kIoOutU, kIoOutDebug, ...).  The
+/// default I/O map supports up to 2 inputs and 2 outputs.
+Diagram make_mimo_diagram(const control::MimoConfig& config);
+
+/// Section 4.3 options for a MIMO diagram: every state and output guarded
+/// by the given physical ranges (one per state / output, matching the
+/// config's dimensions).
+EmitOptions make_mimo_options(const control::MimoConfig& config,
+                              RobustnessMode mode);
+
+}  // namespace earl::codegen

@@ -1,0 +1,132 @@
+#include "codegen/robustify.hpp"
+
+namespace earl::codegen {
+
+Diagram make_pi_diagram(const control::PiConfig& config) {
+  Diagram d;
+
+  const BlockId r = d.add_inport("reference", 0);
+  const BlockId y = d.add_inport("engine_speed", 1);
+  const BlockId e = d.add_sum("control_error", "+-", {r, y});
+
+  // Integrator state x (UnitDelay); input connected below.
+  const BlockId x = d.add_unit_delay("integrator_state", config.x_init);
+
+  // u = e * Kp + x.
+  const BlockId p_term = d.add_gain("proportional", config.kp, e);
+  const BlockId u = d.add_sum("unlimited_output", "++", {p_term, x});
+
+  // u_lim = limit(u).
+  const BlockId u_lim =
+      d.add_saturation("limit_output", config.u_min, config.u_max, u);
+
+  // Clamping anti-windup: stop integrating while the unlimited command is
+  // outside the range and the error pushes it further out.
+  const BlockId zero = d.add_constant("zero", 0.0f);
+  const BlockId hi_const = d.add_constant("upper_limit", config.u_max);
+  const BlockId lo_const = d.add_constant("lower_limit", config.u_min);
+  const BlockId over = d.add_relational("over_limit", RelOp::kGt, u, hi_const);
+  const BlockId e_pos = d.add_relational("error_positive", RelOp::kGt, e, zero);
+  const BlockId under = d.add_relational("under_limit", RelOp::kLt, u, lo_const);
+  const BlockId e_neg = d.add_relational("error_negative", RelOp::kLt, e, zero);
+  const BlockId wind_hi = d.add_logic("windup_high", LogicOp::kAnd, {over, e_pos});
+  const BlockId wind_lo = d.add_logic("windup_low", LogicOp::kAnd, {under, e_neg});
+  const BlockId windup =
+      d.add_logic("anti_windup_activated", LogicOp::kOr, {wind_hi, wind_lo});
+
+  const BlockId ki_const = d.add_constant("integral_gain", config.ki);
+  const BlockId ki_eff = d.add_switch("effective_ki", zero, windup, ki_const);
+
+  // x' = x + (T * e) * Ki_eff.
+  const BlockId dt_const = d.add_constant("sample_interval", config.dt);
+  const BlockId te = d.add_product("t_times_e", dt_const, e);
+  const BlockId delta = d.add_product("integration_step", te, ki_eff);
+  const BlockId x_next = d.add_sum("next_state", "++", {x, delta});
+  d.connect_delay_input(x, x_next);
+
+  d.add_outport("throttle_angle", u_lim, 0);
+  return d;
+}
+
+EmitOptions make_pi_options(const control::PiConfig& config,
+                            RobustnessMode mode) {
+  EmitOptions options;
+  options.mode = mode;
+  if (mode != RobustnessMode::kNone) {
+    options.state_ranges = {{config.u_min, config.u_max}};
+    options.output_ranges = {{config.u_min, config.u_max}};
+  }
+  return options;
+}
+
+EmitOptions make_pi_options_with_rate(const control::PiConfig& config,
+                                      float rate_bound) {
+  EmitOptions options = make_pi_options(config, RobustnessMode::kRecover);
+  options.state_rate_bounds = {rate_bound};
+  return options;
+}
+
+Diagram make_pid_diagram(const control::PidConfig& config) {
+  const control::PiConfig& pi = config.pi;
+  Diagram d;
+
+  const BlockId r = d.add_inport("reference", 0);
+  const BlockId y = d.add_inport("engine_speed", 1);
+  const BlockId e = d.add_sum("control_error", "+-", {r, y});
+
+  // Two state variables: the integrator and the previous error.
+  const BlockId x = d.add_unit_delay("integrator_state", pi.x_init);
+  const BlockId e_prev = d.add_unit_delay("previous_error", 0.0f);
+
+  // d(k) = Kd * (e - e_prev).
+  const BlockId e_delta = d.add_sum("error_delta", "+-", {e, e_prev});
+  const BlockId d_term = d.add_gain("derivative", config.kd, e_delta);
+
+  // u = Kp*e + x + d: one flat sum, left to right, matching the native
+  // ((Kp*e + x) + d) association.
+  const BlockId p_term = d.add_gain("proportional", pi.kp, e);
+  const BlockId u = d.add_sum("unlimited_output", "+++", {p_term, x, d_term});
+  const BlockId u_lim =
+      d.add_saturation("limit_output", pi.u_min, pi.u_max, u);
+
+  // Clamping anti-windup, identical to the PI diagram.
+  const BlockId zero = d.add_constant("zero", 0.0f);
+  const BlockId hi_const = d.add_constant("upper_limit", pi.u_max);
+  const BlockId lo_const = d.add_constant("lower_limit", pi.u_min);
+  const BlockId over = d.add_relational("over_limit", RelOp::kGt, u, hi_const);
+  const BlockId e_pos = d.add_relational("error_positive", RelOp::kGt, e, zero);
+  const BlockId under = d.add_relational("under_limit", RelOp::kLt, u, lo_const);
+  const BlockId e_neg = d.add_relational("error_negative", RelOp::kLt, e, zero);
+  const BlockId wind_hi = d.add_logic("windup_high", LogicOp::kAnd, {over, e_pos});
+  const BlockId wind_lo = d.add_logic("windup_low", LogicOp::kAnd, {under, e_neg});
+  const BlockId windup =
+      d.add_logic("anti_windup_activated", LogicOp::kOr, {wind_hi, wind_lo});
+  const BlockId ki_const = d.add_constant("integral_gain", pi.ki);
+  const BlockId ki_eff = d.add_switch("effective_ki", zero, windup, ki_const);
+
+  const BlockId dt_const = d.add_constant("sample_interval", pi.dt);
+  const BlockId te = d.add_product("t_times_e", dt_const, e);
+  const BlockId delta = d.add_product("integration_step", te, ki_eff);
+  const BlockId x_next = d.add_sum("next_state", "++", {x, delta});
+  d.connect_delay_input(x, x_next);
+  d.connect_delay_input(e_prev, e);
+
+  d.add_outport("throttle_angle", u_lim, 0);
+  return d;
+}
+
+EmitOptions make_pid_options(const control::PidConfig& config,
+                             RobustnessMode mode, float error_bound) {
+  EmitOptions options;
+  options.mode = mode;
+  if (mode != RobustnessMode::kNone) {
+    // State order follows block ids: the integrator delay is created before
+    // the previous-error delay in make_pid_diagram.
+    options.state_ranges = {{config.pi.u_min, config.pi.u_max},
+                            {-error_bound, error_bound}};
+    options.output_ranges = {{config.pi.u_min, config.pi.u_max}};
+  }
+  return options;
+}
+
+}  // namespace earl::codegen

@@ -1,0 +1,88 @@
+// The robustify transform: code-generation options that harden a diagram's
+// generated code with executable assertions and best effort recovery
+// (paper Section 4.3), plus the canonical PI diagram of Section 2.
+//
+// Three robustness modes:
+//   kNone     -> Algorithm I  (plain generated code)
+//   kRecover  -> Algorithm II (assert state/output, best effort recovery)
+//   kTrap     -> ablation: assertions raise a CONSTRAINT ERROR trap instead
+//                of recovering, turning potential value failures into
+//                detected errors (fail-stop) — the behaviour a duplex
+//                architecture that only needs strong failure semantics
+//                would choose.
+//
+// Ranges come from the physical constraints of the controlled object; for
+// the engine throttle both the integrator state and the output live in
+// [0, 70] degrees.
+#pragma once
+
+#include <vector>
+
+#include "codegen/block_model.hpp"
+#include "control/pi.hpp"
+#include "control/pid.hpp"
+
+namespace earl::codegen {
+
+enum class RobustnessMode { kNone, kRecover, kTrap };
+
+struct RangeSpec {
+  float lo = 0.0f;
+  float hi = 0.0f;
+};
+
+struct EmitOptions {
+  RobustnessMode mode = RobustnessMode::kNone;
+  /// Per-UnitDelay assertion ranges, in diagram id order. Required (same
+  /// length as the diagram's delay count) unless mode == kNone or the
+  /// state assertions are disabled below.
+  std::vector<RangeSpec> state_ranges;
+  /// Per-Outport assertion ranges, in diagram id order.
+  std::vector<RangeSpec> output_ranges;
+  /// Ablation switches: apply the Section 4.3 treatment to only one of the
+  /// two signal groups. Both true reproduces Algorithm II exactly.
+  bool protect_states = true;
+  bool protect_outputs = true;
+
+  /// The paper's future-work extension, generated for the embedded target:
+  /// per-state *rate* assertions — |x(k) - x(k-1)| must not exceed the
+  /// bound (0 disables the check for that state).  Catches in-range
+  /// corruptions (Figure 10) that range assertions cannot see.  Only
+  /// supported with mode == kRecover and protect_states (the check needs
+  /// the back-up as its reference).  Empty = no rate checks.
+  std::vector<float> state_rate_bounds;
+};
+
+/// Builds the Section 2 PI engine-speed controller diagram: error sum,
+/// proportional path, discrete integrator (UnitDelay) with clamping
+/// anti-windup, and output saturation. Generated code performs the same
+/// single-precision operations in the same order as
+/// control::PiController::step, so native and TVM runs agree bit-for-bit.
+Diagram make_pi_diagram(const control::PiConfig& config = {});
+
+/// EmitOptions matching `make_pi_diagram(config)` for the requested mode
+/// (state and output ranges are the throttle's physical limits).
+EmitOptions make_pi_options(const control::PiConfig& config,
+                            RobustnessMode mode);
+
+/// Algorithm II plus a rate assertion on the integrator state.  The bound
+/// must exceed the largest fault-free per-sample state change (for the
+/// paper scenario that is ~0.2 degrees; the default bound of 1.0 leaves a
+/// 5x margin — verified by tests).
+EmitOptions make_pi_options_with_rate(const control::PiConfig& config,
+                                      float rate_bound = 1.0f);
+
+/// PID variant of the Section 2 controller: two state variables (the
+/// integrator and the previous error), exercising the multi-state
+/// Section 4.3 treatment on a SISO target.  Operation order matches
+/// control::PidController::step bit-for-bit.
+Diagram make_pid_diagram(const control::PidConfig& config = {});
+
+/// Options for make_pid_diagram: the integrator is guarded by the throttle
+/// range, the previous-error state by the physical speed-error envelope
+/// `error_bound` (rpm; the engine's speed range bounds |r - y|).
+EmitOptions make_pid_options(const control::PidConfig& config,
+                             RobustnessMode mode,
+                             float error_bound = 21000.0f);
+
+}  // namespace earl::codegen

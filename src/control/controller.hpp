@@ -1,0 +1,43 @@
+// Common interface for discrete-time controllers.
+//
+// A controller consumes the reference r and the measurement y once per
+// sample interval and produces the actuator command u (already limited to
+// the actuator's physical range).  The persistent state is exposed as a
+// mutable span so that (a) the SWIFI fault injector can flip bits in it and
+// (b) the generic robustness wrapper (core/robust_wrapper.hpp) can apply
+// the paper's assertion + best-effort-recovery recipe to any controller.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace earl::control {
+
+class Controller {
+ public:
+  virtual ~Controller() = default;
+
+  /// One sample step: returns the limited actuator command.
+  virtual float step(float reference, float measurement) = 0;
+
+  /// Restores the initial state.
+  virtual void reset() = 0;
+
+  /// Persistent state variables (everything that carries information from
+  /// one sample to the next).  The span stays valid until the controller is
+  /// destroyed.
+  virtual std::span<float> state() = 0;
+
+  /// Number of output signals (1 for SISO controllers).
+  virtual std::size_t output_count() const { return 1; }
+};
+
+/// Saturates `u` into [lo, hi]. NaN propagates (deliberately: a corrupted
+/// NaN command must remain visible to executable assertions downstream).
+constexpr float limit_output(float u, float lo, float hi) {
+  if (u > hi) return hi;
+  if (u < lo) return lo;
+  return u;  // includes NaN, which fails both comparisons
+}
+
+}  // namespace earl::control

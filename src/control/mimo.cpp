@@ -1,0 +1,82 @@
+#include "control/mimo.hpp"
+
+#include <cassert>
+
+#include "control/controller.hpp"
+
+namespace earl::control {
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1.0f;
+  return m;
+}
+
+std::vector<float> Matrix::multiply(std::span<const float> x) const {
+  assert(x.size() == cols_);
+  std::vector<float> y(rows_, 0.0f);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    float acc = 0.0f;
+    for (std::size_t c = 0; c < cols_; ++c) acc += at(r, c) * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+MimoController::MimoController(MimoConfig config)
+    : config_(std::move(config)), x_(config_.x_init) {
+  assert(config_.a.rows() == config_.a.cols());
+  assert(config_.b.rows() == config_.a.rows());
+  assert(config_.c.cols() == config_.a.rows());
+  assert(config_.d.rows() == config_.c.rows());
+  assert(config_.d.cols() == config_.b.cols());
+  assert(config_.x_init.size() == config_.a.rows());
+  assert(config_.u_min.size() == config_.c.rows());
+  assert(config_.u_max.size() == config_.c.rows());
+}
+
+void MimoController::step(std::span<const float> errors,
+                          std::span<float> outputs) {
+  assert(errors.size() == input_count());
+  assert(outputs.size() == output_count());
+
+  // u = sat(C x + D e), computed from the *current* state.
+  const std::vector<float> cx = config_.c.multiply(x_);
+  const std::vector<float> de = config_.d.multiply(errors);
+  for (std::size_t j = 0; j < outputs.size(); ++j) {
+    outputs[j] = limit_output(cx[j] + de[j], config_.u_min[j],
+                              config_.u_max[j]);
+  }
+
+  // x' = A x + B e.
+  const std::vector<float> ax = config_.a.multiply(x_);
+  const std::vector<float> be = config_.b.multiply(errors);
+  for (std::size_t i = 0; i < x_.size(); ++i) x_[i] = ax[i] + be[i];
+}
+
+void MimoController::reset() { x_ = config_.x_init; }
+
+MimoConfig make_demo_jet_engine_controller() {
+  // Two integrating states with mild cross-coupling, two outputs: a PI-like
+  // structure per channel.  Gains keep the closed loop with the matching
+  // demo plant comfortably stable (verified by tests).
+  MimoConfig cfg;
+  cfg.a = Matrix(2, 2);
+  cfg.a.at(0, 0) = 1.0f;
+  cfg.a.at(1, 1) = 1.0f;
+  cfg.b = Matrix(2, 2);
+  cfg.b.at(0, 0) = 0.002f;
+  cfg.b.at(0, 1) = 0.0004f;
+  cfg.b.at(1, 0) = 0.0004f;
+  cfg.b.at(1, 1) = 0.002f;
+  cfg.c = Matrix::identity(2);
+  cfg.d = Matrix(2, 2);
+  cfg.d.at(0, 0) = 0.01f;
+  cfg.d.at(1, 1) = 0.01f;
+  cfg.x_init = {0.0f, 0.0f};
+  cfg.u_min = {0.0f, 0.0f};
+  cfg.u_max = {100.0f, 100.0f};
+  return cfg;
+}
+
+}  // namespace earl::control

@@ -1,0 +1,86 @@
+// Discrete-time MIMO state-space controller.
+//
+// The paper's conclusion names multiple-input multiple-output controllers
+// (jet-engine controllers) as the next target for executable assertions and
+// best effort recovery.  This module provides that target: a standard
+// discrete state-space control law
+//
+//   x(k+1) = A x(k) + B e(k)
+//   u(k)   = sat( C x(k) + D e(k) )
+//
+// with per-output saturation, plus the plumbing (state exposure, reset)
+// that core/robust_wrapper.hpp needs to protect an arbitrary number of
+// states and outputs.  All arithmetic is single precision, matching the
+// embedded-target arithmetic used throughout the library.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace earl::control {
+
+/// Row-major matrix of floats sized at construction.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  float& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  float at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// y = M * x (sizes must match; asserted in debug builds).
+  std::vector<float> multiply(std::span<const float> x) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+struct MimoConfig {
+  Matrix a;  // n x n
+  Matrix b;  // n x p   (p = number of error inputs)
+  Matrix c;  // m x n   (m = number of outputs)
+  Matrix d;  // m x p
+  std::vector<float> x_init;      // n
+  std::vector<float> u_min;       // m
+  std::vector<float> u_max;       // m
+};
+
+class MimoController {
+ public:
+  explicit MimoController(MimoConfig config);
+
+  std::size_t state_count() const { return x_.size(); }
+  std::size_t input_count() const { return config_.b.cols(); }
+  std::size_t output_count() const { return config_.c.rows(); }
+
+  /// One sample step: `errors` holds e_j(k) = r_j(k) - y_j(k); the limited
+  /// commands are written to `outputs` (sized output_count()).
+  void step(std::span<const float> errors, std::span<float> outputs);
+
+  void reset();
+
+  std::span<float> state() { return {x_.data(), x_.size()}; }
+  std::span<const float> state() const { return {x_.data(), x_.size()}; }
+
+  const MimoConfig& config() const { return config_; }
+
+ private:
+  MimoConfig config_;
+  std::vector<float> x_;
+};
+
+/// A two-spool jet-engine-flavoured demo plant/controller pair used by the
+/// MIMO example and tests: two coupled first-order shafts, two actuators
+/// (fuel flow, nozzle area), a 2-state 2-output stabilizing controller.
+MimoConfig make_demo_jet_engine_controller();
+
+}  // namespace earl::control

@@ -1,0 +1,15 @@
+#include "control/pi.hpp"
+
+namespace earl::control {
+
+float PiController::step(float reference, float measurement) {
+  const float e = reference - measurement;
+  const float u = e * config_.kp + x_;
+  const float u_lim = limit_output(u, config_.u_min, config_.u_max);
+  anti_windup_ = anti_windup_activated(u, e, config_.u_min, config_.u_max);
+  const float ki_eff = anti_windup_ ? 0.0f : config_.ki;
+  x_ = x_ + config_.dt * e * ki_eff;
+  return u_lim;
+}
+
+}  // namespace earl::control

@@ -1,0 +1,63 @@
+// Algorithm I — the plain PI speed controller (paper Section 2).
+//
+//   e(k)     = r(k) - y(k)
+//   u(k)     = Kp * e(k) + x(k-1)
+//   u_lim(k) = limit(u(k))
+//   x(k)     = x(k-1) + T * Ki_eff * e(k)
+//
+// with clamping anti-windup: integration is cut off (Ki_eff = 0) while the
+// output is saturated *and* the error would push it further into
+// saturation — the paper's "integration will be stopped until u_lim is back
+// within the defined limits".
+//
+// All arithmetic is 32-bit IEEE-754 single precision in exactly this
+// operation order; the TVM code generated from the equivalent block diagram
+// performs the same operations in the same order, so the native and
+// simulated controllers agree bit-for-bit (asserted by integration tests).
+#pragma once
+
+#include <array>
+
+#include "control/controller.hpp"
+
+namespace earl::control {
+
+struct PiConfig {
+  float kp = 0.02f;        // proportional gain [deg / rpm]
+  float ki = 0.012f;       // integral gain [deg / (rpm s)]
+  float dt = 0.0154f;      // sample interval [s] (650 samples = 10 s)
+  float u_min = 0.0f;      // throttle angle limits [deg]
+  float u_max = 70.0f;
+  float x_init = 0.0f;     // initial integrator state
+};
+
+class PiController : public Controller {
+ public:
+  explicit PiController(PiConfig config = {})
+      : config_(config), x_(config.x_init) {}
+
+  float step(float reference, float measurement) override;
+  void reset() override { x_ = config_.x_init; }
+  std::span<float> state() override { return {&x_, 1}; }
+
+  const PiConfig& config() const { return config_; }
+  float integrator() const { return x_; }
+  void set_integrator(float x) { x_ = x; }
+
+  /// True when the previous step cut off integration (test observability).
+  bool anti_windup_active() const { return anti_windup_; }
+
+ private:
+  PiConfig config_;
+  float x_;
+  bool anti_windup_ = false;
+};
+
+/// The clamping anti-windup predicate shared by Algorithm I, Algorithm II
+/// and the code generator: integration is disabled when the unlimited
+/// command lies outside the range and the error drives it further out.
+constexpr bool anti_windup_activated(float u, float e, float lo, float hi) {
+  return (u > hi && e > 0.0f) || (u < lo && e < 0.0f);
+}
+
+}  // namespace earl::control

@@ -1,0 +1,27 @@
+#include "control/pid.hpp"
+
+namespace earl::control {
+
+void PidController::reset() {
+  state_[0] = config_.pi.x_init;
+  state_[1] = 0.0f;
+}
+
+float PidController::step(float reference, float measurement) {
+  float& x = state_[0];
+  float& e_prev = state_[1];
+
+  const float e = reference - measurement;
+  const float d_term = config_.kd * (e - e_prev);
+  const float u = e * config_.pi.kp + x + d_term;
+  const float u_lim = limit_output(u, config_.pi.u_min, config_.pi.u_max);
+  const float ki_eff =
+      anti_windup_activated(u, e, config_.pi.u_min, config_.pi.u_max)
+          ? 0.0f
+          : config_.pi.ki;
+  x = x + config_.pi.dt * e * ki_eff;
+  e_prev = e;
+  return u_lim;
+}
+
+}  // namespace earl::control

@@ -1,0 +1,51 @@
+// PID engine-speed controller — the PI controller of the paper plus a
+// derivative term.
+//
+// Included because it is the smallest controller with TWO state variables
+// (the integrator x and the previous error e_prev), which makes it the
+// natural SISO test vehicle for the Section 4.3 multi-state treatment:
+// both states get assertions + back-ups, and a corrupted e_prev shows why
+// per-state physical ranges matter (its range is an error in rpm, not a
+// throttle angle).
+//
+//   e(k)     = r(k) - y(k)
+//   d(k)     = Kd * (e(k) - e_prev(k-1))          (Kd absorbs the 1/T)
+//   u(k)     = Kp * e(k) + x(k-1) + d(k)
+//   u_lim(k) = limit(u(k))
+//   x(k)     = x(k-1) + T * Ki_eff * e(k)         (clamping anti-windup)
+//   e_prev(k)= e(k)
+//
+// Operation order matches the code generated from make_pid_diagram so the
+// native and TVM implementations agree bit-for-bit.
+#pragma once
+
+#include <array>
+
+#include "control/controller.hpp"
+#include "control/pi.hpp"
+
+namespace earl::control {
+
+struct PidConfig {
+  PiConfig pi;          // gains, limits, sample interval, x_init
+  float kd = 0.001f;    // derivative gain [deg / rpm], 1/T folded in
+};
+
+class PidController : public Controller {
+ public:
+  explicit PidController(PidConfig config = {}) : config_(config) { reset(); }
+
+  float step(float reference, float measurement) override;
+  void reset() override;
+  std::span<float> state() override { return {state_.data(), state_.size()}; }
+
+  const PidConfig& config() const { return config_; }
+  float integrator() const { return state_[0]; }
+  float previous_error() const { return state_[1]; }
+
+ private:
+  PidConfig config_;
+  std::array<float, 2> state_{};  // [0] = x, [1] = e_prev
+};
+
+}  // namespace earl::control

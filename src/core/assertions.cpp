@@ -1,0 +1,59 @@
+#include "core/assertions.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace earl::core {
+
+std::string RangeAssertion::describe() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "range[%g, %g]", static_cast<double>(lo_),
+                static_cast<double>(hi_));
+  return buf;
+}
+
+bool RateAssertion::holds(float value) {
+  if (!has_previous_) return !std::isnan(value);
+  const float delta = value - previous_;
+  // std::fabs(NaN) is NaN and the comparison fails, so NaN is rejected.
+  return std::fabs(delta) <= max_delta_;
+}
+
+std::string RateAssertion::describe() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "rate[|d| <= %g]",
+                static_cast<double>(max_delta_));
+  return buf;
+}
+
+bool AssertionSet::holds(float value) {
+  for (const auto& assertion : assertions_) {
+    if (!assertion->holds(value)) {
+      last_failure_ = assertion->describe();
+      return false;
+    }
+  }
+  last_failure_.clear();
+  return true;
+}
+
+void AssertionSet::commit(float value) {
+  for (const auto& assertion : assertions_) assertion->commit(value);
+}
+
+void AssertionSet::reset() {
+  for (const auto& assertion : assertions_) assertion->reset();
+  last_failure_.clear();
+}
+
+std::string AssertionSet::describe() const {
+  std::string out = "all(";
+  for (std::size_t i = 0; i < assertions_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += assertions_[i]->describe();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace earl::core

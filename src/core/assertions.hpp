@@ -1,0 +1,127 @@
+// Executable assertions (the first half of the paper's contribution).
+//
+// An executable assertion is a software-implemented check verifying that a
+// variable fulfils limitations given by a specification (paper, footnote 2).
+// For control state the specification comes from the *physics of the
+// controlled object*: a throttle angle exists in [0, 70] degrees, a speed is
+// non-negative and bounded, a state cannot move faster than the plant
+// allows.  This header provides composable assertion objects over float
+// signals:
+//
+//   RangeAssertion   — value within [lo, hi] (NaN always fails)
+//   RateAssertion    — |value - previous accepted value| <= max_delta
+//                      (the "more sophisticated assertion" the paper's
+//                      conclusion calls for: it catches in-range jumps like
+//                      Figure 10's x: 10 -> 69 corruption)
+//   PredicateAssertion — arbitrary user check
+//   AssertionSet     — conjunction with first-failure reporting
+//
+// Assertions never modify the checked value; recovery is a separate policy
+// (recovery.hpp) so detection and reaction stay independently testable.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace earl::core {
+
+class FloatAssertion {
+ public:
+  virtual ~FloatAssertion() = default;
+
+  /// True when the value satisfies the specification.
+  virtual bool holds(float value) = 0;
+
+  /// Informs stateful assertions (e.g. rate checks) of the value that was
+  /// actually committed this iteration — after recovery, that is the
+  /// recovered value, not the rejected one.
+  virtual void commit(float value) { (void)value; }
+
+  /// Restores initial assertion state.
+  virtual void reset() {}
+
+  virtual std::string describe() const = 0;
+};
+
+class RangeAssertion final : public FloatAssertion {
+ public:
+  RangeAssertion(float lo, float hi) : lo_(lo), hi_(hi) {}
+
+  bool holds(float value) override {
+    // Written so NaN fails: NaN comparisons are false, so the conjunction
+    // below is false for NaN.
+    return value >= lo_ && value <= hi_;
+  }
+  std::string describe() const override;
+
+  float lo() const { return lo_; }
+  float hi() const { return hi_; }
+
+ private:
+  float lo_;
+  float hi_;
+};
+
+class RateAssertion final : public FloatAssertion {
+ public:
+  /// `max_delta` is the largest physically possible change per sample.
+  explicit RateAssertion(float max_delta)
+      : max_delta_(max_delta) {}
+
+  bool holds(float value) override;
+  void commit(float value) override {
+    previous_ = value;
+    has_previous_ = true;
+  }
+  void reset() override { has_previous_ = false; }
+  std::string describe() const override;
+
+ private:
+  float max_delta_;
+  float previous_ = 0.0f;
+  bool has_previous_ = false;
+};
+
+class PredicateAssertion final : public FloatAssertion {
+ public:
+  PredicateAssertion(std::function<bool(float)> predicate,
+                     std::string description)
+      : predicate_(std::move(predicate)),
+        description_(std::move(description)) {}
+
+  bool holds(float value) override { return predicate_(value); }
+  std::string describe() const override { return description_; }
+
+ private:
+  std::function<bool(float)> predicate_;
+  std::string description_;
+};
+
+/// Conjunction of assertions applied to one signal.
+class AssertionSet final : public FloatAssertion {
+ public:
+  AssertionSet() = default;
+
+  void add(std::unique_ptr<FloatAssertion> assertion) {
+    assertions_.push_back(std::move(assertion));
+  }
+
+  bool empty() const { return assertions_.empty(); }
+
+  /// True when every member holds. The first failing member's description
+  /// is retrievable through last_failure() for diagnostics.
+  bool holds(float value) override;
+  void commit(float value) override;
+  void reset() override;
+  std::string describe() const override;
+
+  const std::string& last_failure() const { return last_failure_; }
+
+ private:
+  std::vector<std::unique_ptr<FloatAssertion>> assertions_;
+  std::string last_failure_;
+};
+
+}  // namespace earl::core

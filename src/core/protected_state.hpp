@@ -1,0 +1,86 @@
+// ProtectedVar — one variable under assertion + best-effort-recovery
+// protection, following the paper's per-state protocol:
+//
+//   validate():  if the assertion rejects the current value, replace it via
+//                the recovery policy (using the last good back-up) and
+//                report the recovery; otherwise back the value up.
+//
+// A ProtectedVar owns its back-up copy.  Composing several ProtectedVars is
+// how the Section 4.3 general approach scales to controllers with an
+// arbitrary number of state variables and outputs (see robust_wrapper.hpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "core/assertions.hpp"
+#include "core/recovery.hpp"
+
+namespace earl::core {
+
+class ProtectedVar {
+ public:
+  /// `safe_default` seeds the back-up and feeds ResetRecovery.
+  ProtectedVar(std::unique_ptr<FloatAssertion> assertion,
+               std::unique_ptr<RecoveryPolicy> recovery, float safe_default,
+               float range_lo = 0.0f, float range_hi = 0.0f)
+      : assertion_(std::move(assertion)),
+        recovery_(std::move(recovery)),
+        safe_default_(safe_default),
+        range_lo_(range_lo),
+        range_hi_(range_hi),
+        backup_(safe_default) {}
+
+  /// Validates `value` in place. Returns true when the value passed and was
+  /// backed up; false when a recovery replaced it.
+  bool validate(float& value) {
+    if (assertion_->holds(value)) {
+      backup_ = value;
+      assertion_->commit(value);
+      return true;
+    }
+    RecoveryContext context;
+    context.rejected = value;
+    context.previous = backup_;
+    context.range_lo = range_lo_;
+    context.range_hi = range_hi_;
+    context.safe_default = safe_default_;
+    value = recovery_->recover(context);
+    assertion_->commit(value);
+    ++recoveries_;
+    return false;
+  }
+
+  /// Overwrites the back-up without validation (used when a *different*
+  /// signal's recovery forces this one back to its corresponding value).
+  void force_backup_into(float& value) const { value = backup_; }
+
+  float backup() const { return backup_; }
+  std::uint64_t recoveries() const { return recoveries_; }
+
+  void reset() {
+    backup_ = safe_default_;
+    recoveries_ = 0;
+    assertion_->reset();
+  }
+
+ private:
+  std::unique_ptr<FloatAssertion> assertion_;
+  std::unique_ptr<RecoveryPolicy> recovery_;
+  float safe_default_;
+  float range_lo_;
+  float range_hi_;
+  float backup_;
+  std::uint64_t recoveries_ = 0;
+};
+
+/// Convenience factory: range assertion + previous-value recovery, the
+/// configuration the paper evaluates.
+inline ProtectedVar make_range_protected(float lo, float hi,
+                                         float initial_value) {
+  return ProtectedVar(std::make_unique<RangeAssertion>(lo, hi),
+                      make_previous_value_recovery(), initial_value, lo, hi);
+}
+
+}  // namespace earl::core

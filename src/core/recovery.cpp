@@ -1,0 +1,17 @@
+#include "core/recovery.hpp"
+
+namespace earl::core {
+
+std::unique_ptr<RecoveryPolicy> make_previous_value_recovery() {
+  return std::make_unique<PreviousValueRecovery>();
+}
+
+std::unique_ptr<RecoveryPolicy> make_clamp_recovery() {
+  return std::make_unique<ClampRecovery>();
+}
+
+std::unique_ptr<RecoveryPolicy> make_reset_recovery() {
+  return std::make_unique<ResetRecovery>();
+}
+
+}  // namespace earl::core

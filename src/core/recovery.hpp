@@ -1,0 +1,72 @@
+// Best-effort recovery policies (the second half of the contribution).
+//
+// When an executable assertion rejects a value, a *best effort recovery*
+// replaces it with a plausible substitute and lets the control loop's own
+// feedback absorb the residual error.  This is not true recovery — the
+// paper is explicit that the substituted value may differ from the value a
+// fault-free run would have used, turning a potential severe failure into a
+// minor one — hence "best effort".
+//
+// Policies:
+//   PreviousValueRecovery — roll back to the last value that passed its
+//                           assertion (the paper's mechanism)
+//   ClampRecovery         — clamp into the assertion range (ablation)
+//   ResetRecovery         — reset to a configured safe default (ablation;
+//                           e.g. "throttle closed" for a fail-safe plant)
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace earl::core {
+
+/// Context a policy may use to synthesize the replacement value.
+struct RecoveryContext {
+  float rejected = 0.0f;   // the value that failed its assertion
+  float previous = 0.0f;   // last committed (asserted-good) value
+  float range_lo = 0.0f;   // assertion range, when one exists
+  float range_hi = 0.0f;
+  float safe_default = 0.0f;
+};
+
+class RecoveryPolicy {
+ public:
+  virtual ~RecoveryPolicy() = default;
+  virtual float recover(const RecoveryContext& context) const = 0;
+  virtual std::string describe() const = 0;
+};
+
+class PreviousValueRecovery final : public RecoveryPolicy {
+ public:
+  float recover(const RecoveryContext& context) const override {
+    return context.previous;
+  }
+  std::string describe() const override { return "previous-value"; }
+};
+
+class ClampRecovery final : public RecoveryPolicy {
+ public:
+  float recover(const RecoveryContext& context) const override {
+    // NaN cannot be clamped meaningfully; fall back to the previous value.
+    if (!(context.rejected >= context.range_lo)) {
+      if (!(context.rejected <= context.range_hi)) return context.previous;
+      return context.range_lo;
+    }
+    return context.range_hi;
+  }
+  std::string describe() const override { return "clamp"; }
+};
+
+class ResetRecovery final : public RecoveryPolicy {
+ public:
+  float recover(const RecoveryContext& context) const override {
+    return context.safe_default;
+  }
+  std::string describe() const override { return "reset-to-default"; }
+};
+
+std::unique_ptr<RecoveryPolicy> make_previous_value_recovery();
+std::unique_ptr<RecoveryPolicy> make_clamp_recovery();
+std::unique_ptr<RecoveryPolicy> make_reset_recovery();
+
+}  // namespace earl::core

@@ -1,0 +1,88 @@
+#include "core/robust_mimo.hpp"
+
+#include <cassert>
+
+namespace earl::core {
+
+RobustMimoController::RobustMimoController(control::MimoConfig config,
+                                           std::vector<SignalSpec> state_specs,
+                                           std::vector<SignalSpec> output_specs)
+    : inner_(std::move(config)),
+      state_specs_(std::move(state_specs)),
+      output_specs_(std::move(output_specs)) {
+  assert(state_specs_.size() == inner_.state_count());
+  assert(output_specs_.size() == inner_.output_count());
+  state_backup_.reserve(state_specs_.size());
+  for (const SignalSpec& spec : state_specs_) {
+    state_backup_.push_back(spec.initial);
+  }
+  output_backup_.reserve(output_specs_.size());
+  for (const SignalSpec& spec : output_specs_) {
+    output_backup_.push_back(spec.initial);
+  }
+}
+
+bool RobustMimoController::state_in_spec(std::size_t i, float v) const {
+  return v >= state_specs_[i].lo && v <= state_specs_[i].hi;  // NaN fails
+}
+
+bool RobustMimoController::output_in_spec(std::size_t j, float v) const {
+  return v >= output_specs_[j].lo && v <= output_specs_[j].hi;
+}
+
+void RobustMimoController::step(std::span<const float> errors,
+                                std::span<float> outputs) {
+  const std::span<float> xs = inner_.state();
+
+  // Step 1: vector-level assert + back-up/recover of the state.
+  bool state_ok = true;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (!state_in_spec(i, xs[i])) {
+      state_ok = false;
+      break;
+    }
+  }
+  if (state_ok) {
+    for (std::size_t i = 0; i < xs.size(); ++i) state_backup_[i] = xs[i];
+  } else {
+    for (std::size_t i = 0; i < xs.size(); ++i) xs[i] = state_backup_[i];
+    ++state_recoveries_;
+  }
+
+  inner_.step(errors, outputs);
+
+  // Step 2: vector-level output assertion.
+  bool outputs_ok = true;
+  for (std::size_t j = 0; j < outputs.size(); ++j) {
+    if (!output_in_spec(j, outputs[j])) {
+      outputs_ok = false;
+      break;
+    }
+  }
+  if (!outputs_ok) {
+    for (std::size_t j = 0; j < outputs.size(); ++j) {
+      outputs[j] = output_backup_[j];
+    }
+    for (std::size_t i = 0; i < xs.size(); ++i) xs[i] = state_backup_[i];
+    ++output_recoveries_;
+  }
+
+  // Step 3: back up the delivered outputs.
+  for (std::size_t j = 0; j < outputs.size(); ++j) {
+    output_backup_[j] = outputs[j];
+  }
+}
+
+void RobustMimoController::reset() {
+  inner_.reset();
+  for (std::size_t i = 0; i < state_specs_.size(); ++i) {
+    state_backup_[i] = state_specs_[i].initial;
+  }
+  for (std::size_t j = 0; j < output_specs_.size(); ++j) {
+    output_backup_[j] = output_specs_[j].initial;
+  }
+  state_recoveries_ = 0;
+  output_recoveries_ = 0;
+}
+
+}  // namespace earl::core

@@ -1,0 +1,60 @@
+// RobustMimoController — the Section 4.3 general approach for controllers
+// with an arbitrary number of state variables and output signals, stated in
+// the paper exactly as implemented here:
+//
+//   1. before backing up any state x_i(k), assert it; on failure recover
+//      x_i(k) = x_i(k-1) for ALL i, otherwise back up x_i(k-1) = x_i(k);
+//   2. before returning, assert every output u_j(k); if ANY output is
+//      incorrect, recover u_j(k) = u_j(k-1) for all j and
+//      x_i(k) = x_i(k-1) for all i;
+//   3. back up the outputs u_j(k-1) = u_j(k);
+//   4. return the outputs.
+//
+// Note the all-or-nothing semantics in steps 1-2 (the paper's formulas
+// range over every index once a recovery triggers): a MIMO controller's
+// states and outputs are mutually consistent only as a vector, so recovery
+// rolls the whole vector back.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "control/mimo.hpp"
+#include "core/robust_wrapper.hpp"
+
+namespace earl::core {
+
+class RobustMimoController {
+ public:
+  RobustMimoController(control::MimoConfig config,
+                       std::vector<SignalSpec> state_specs,
+                       std::vector<SignalSpec> output_specs);
+
+  std::size_t state_count() const { return inner_.state_count(); }
+  std::size_t output_count() const { return inner_.output_count(); }
+
+  void step(std::span<const float> errors, std::span<float> outputs);
+  void reset();
+
+  std::span<float> state() { return inner_.state(); }
+
+  std::uint64_t state_recoveries() const { return state_recoveries_; }
+  std::uint64_t output_recoveries() const { return output_recoveries_; }
+
+  control::MimoController& inner() { return inner_; }
+
+ private:
+  bool state_in_spec(std::size_t i, float v) const;
+  bool output_in_spec(std::size_t j, float v) const;
+
+  control::MimoController inner_;
+  std::vector<SignalSpec> state_specs_;
+  std::vector<SignalSpec> output_specs_;
+  std::vector<float> state_backup_;
+  std::vector<float> output_backup_;
+  std::uint64_t state_recoveries_ = 0;
+  std::uint64_t output_recoveries_ = 0;
+};
+
+}  // namespace earl::core

@@ -1,0 +1,48 @@
+#include "core/robust_pi.hpp"
+
+namespace earl::core {
+
+void RobustPiController::reset() {
+  state_[0] = config_.x_init;
+  state_[1] = config_.x_init;
+  state_[2] = control::limit_output(config_.x_init, config_.u_min,
+                                    config_.u_max);
+  state_recoveries_ = 0;
+  output_recoveries_ = 0;
+}
+
+float RobustPiController::step(float reference, float measurement) {
+  float& x = state_[0];
+  float& x_old = state_[1];
+  float& u_old = state_[2];
+
+  const float e = reference - measurement;
+
+  // Executable assertion on the state, then back-up (paper step 1).
+  if (!in_range(x)) {
+    x = x_old;  // best effort recovery
+    ++state_recoveries_;
+  } else {
+    x_old = x;
+  }
+
+  const float u = e * config_.kp + x;
+  float u_lim = control::limit_output(u, config_.u_min, config_.u_max);
+  const float ki_eff =
+      control::anti_windup_activated(u, e, config_.u_min, config_.u_max)
+          ? 0.0f
+          : config_.ki;
+  x = x + config_.dt * e * ki_eff;
+
+  // Executable assertion on the output (paper step 2): recover both the
+  // output and the state that corresponds to it.
+  if (!in_range(u_lim)) {
+    u_lim = u_old;
+    x = x_old;
+    ++output_recoveries_;
+  }
+  u_old = u_lim;  // back up the delivered output (paper step 3)
+  return u_lim;
+}
+
+}  // namespace earl::core

@@ -1,0 +1,70 @@
+// Algorithm II — the PI controller hardened with executable assertions and
+// best effort recovery (paper Section 4.3).  Changes from Algorithm I:
+//
+//   x : state            x_old, u_old : back-up copies
+//
+//   e = r - y
+//   if not in_range(x):  x = x_old          -- assert state, recover
+//   else:                x_old = x          -- back up state
+//   u = e * Kp + x
+//   u_lim = limit(u)
+//   Ki_eff = anti-windup ? 0 : Ki
+//   x = x + T * e * Ki_eff
+//   if not in_range(u_lim): u_lim = u_old   -- assert output, recover
+//                           x = x_old       -- and the matching state
+//   u_old = u_lim                           -- back up output
+//   return u_lim
+//
+// in_range() checks the physical throttle constraints [0, 70] degrees; the
+// back-up variables are ordinary state (they live in the same memory as x
+// and are themselves part of the fault space — the paper's residual minor
+// failures partly come from corrupted back-ups).
+//
+// The operation order matches the robust code emitted for the TVM so native
+// and simulated runs agree bit-for-bit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "control/controller.hpp"
+#include "control/pi.hpp"
+
+namespace earl::core {
+
+class RobustPiController : public control::Controller {
+ public:
+  explicit RobustPiController(control::PiConfig config = {})
+      : config_(config) {
+    reset();
+  }
+
+  float step(float reference, float measurement) override;
+  void reset() override;
+
+  /// State span covers x and both back-ups: a SWIFI campaign on Algorithm II
+  /// injects into all three, as the SCIFI campaign does via the cache.
+  std::span<float> state() override { return {state_.data(), state_.size()}; }
+
+  const control::PiConfig& config() const { return config_; }
+  float integrator() const { return state_[0]; }
+  void set_integrator(float x) { state_[0] = x; }
+  float state_backup() const { return state_[1]; }
+  float output_backup() const { return state_[2]; }
+
+  /// Diagnostics: how often each assertion fired since reset().
+  std::uint64_t state_recoveries() const { return state_recoveries_; }
+  std::uint64_t output_recoveries() const { return output_recoveries_; }
+
+ private:
+  bool in_range(float v) const {
+    return v >= config_.u_min && v <= config_.u_max;  // NaN fails
+  }
+
+  control::PiConfig config_;
+  std::array<float, 3> state_{};  // [0]=x, [1]=x_old, [2]=u_old
+  std::uint64_t state_recoveries_ = 0;
+  std::uint64_t output_recoveries_ = 0;
+};
+
+}  // namespace earl::core

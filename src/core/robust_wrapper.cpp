@@ -1,0 +1,83 @@
+#include "core/robust_wrapper.hpp"
+
+#include <cassert>
+
+namespace earl::core {
+
+ProtectedVar RobustController::make_protected(const SignalSpec& spec) {
+  auto assertions = std::make_unique<AssertionSet>();
+  assertions->add(std::make_unique<RangeAssertion>(spec.lo, spec.hi));
+  if (spec.max_rate > 0.0f) {
+    assertions->add(std::make_unique<RateAssertion>(spec.max_rate));
+  }
+  return ProtectedVar(std::move(assertions), make_previous_value_recovery(),
+                      spec.initial, spec.lo, spec.hi);
+}
+
+RobustController::RobustController(
+    std::unique_ptr<control::Controller> inner,
+    std::vector<SignalSpec> state_specs, std::vector<SignalSpec> output_specs)
+    : inner_(std::move(inner)) {
+  assert(inner_ != nullptr);
+  assert(state_specs.size() == inner_->state().size());
+  assert(output_specs.size() == inner_->output_count());
+  state_guards_.reserve(state_specs.size());
+  for (const SignalSpec& spec : state_specs) {
+    state_guards_.push_back(make_protected(spec));
+  }
+  output_guards_.reserve(output_specs.size());
+  last_output_.reserve(output_specs.size());
+  for (const SignalSpec& spec : output_specs) {
+    output_guards_.push_back(make_protected(spec));
+    last_output_.push_back(
+        control::limit_output(spec.initial, spec.lo, spec.hi));
+  }
+}
+
+float RobustController::step(float reference, float measurement) {
+  const std::span<float> xs = inner_->state();
+
+  // Step 1: assert + back up (or recover) every state variable.
+  for (std::size_t i = 0; i < state_guards_.size(); ++i) {
+    state_guards_[i].validate(xs[i]);
+  }
+
+  // Step 2: run the wrapped control algorithm.
+  float u = inner_->step(reference, measurement);
+
+  // Step 3: assert the output; on failure deliver the previous output and
+  // roll the state back to the back-ups taken this iteration.
+  if (!output_guards_[0].validate(u)) {
+    u = last_output_[0];
+    for (std::size_t i = 0; i < state_guards_.size(); ++i) {
+      state_guards_[i].force_backup_into(xs[i]);
+    }
+  }
+
+  // Step 4: back up the delivered output.
+  last_output_[0] = u;
+  return u;
+}
+
+void RobustController::reset() {
+  inner_->reset();
+  for (auto& guard : state_guards_) guard.reset();
+  for (std::size_t i = 0; i < output_guards_.size(); ++i) {
+    output_guards_[i].reset();
+    last_output_[i] = output_guards_[i].backup();
+  }
+}
+
+std::uint64_t RobustController::state_recoveries() const {
+  std::uint64_t total = 0;
+  for (const auto& guard : state_guards_) total += guard.recoveries();
+  return total;
+}
+
+std::uint64_t RobustController::output_recoveries() const {
+  std::uint64_t total = 0;
+  for (const auto& guard : output_guards_) total += guard.recoveries();
+  return total;
+}
+
+}  // namespace earl::core

@@ -1,0 +1,63 @@
+// RobustController — the paper's Section 4.3 *general approach*, applied
+// mechanically to any Controller with any number of state variables and
+// outputs:
+//
+//   1. before each step, validate every state variable x_i against its
+//      assertion; recover x_i from its back-up on failure, otherwise back
+//      it up: x_i(k-1) := x_i(k);
+//   2. step the wrapped controller;
+//   3. validate the output u_j; on failure deliver the previous output
+//      u_j(k-1) and roll every state variable back to the back-up that
+//      corresponds to that output;
+//   4. back up the delivered outputs.
+//
+// The wrapper needs nothing from the controller beyond the Controller
+// interface — it is the reusable library form of what Algorithm II does by
+// hand inside the PI code.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "control/controller.hpp"
+#include "core/protected_state.hpp"
+
+namespace earl::core {
+
+/// Protection specification for one signal.
+struct SignalSpec {
+  float lo = 0.0f;
+  float hi = 0.0f;
+  float initial = 0.0f;
+  /// Optional rate bound (max change per sample); 0 disables rate checking.
+  float max_rate = 0.0f;
+};
+
+class RobustController : public control::Controller {
+ public:
+  /// `state_specs` must match the wrapped controller's state() length and
+  /// `output_specs` its output_count() (SISO controllers pass one entry).
+  RobustController(std::unique_ptr<control::Controller> inner,
+                   std::vector<SignalSpec> state_specs,
+                   std::vector<SignalSpec> output_specs);
+
+  float step(float reference, float measurement) override;
+  void reset() override;
+  std::span<float> state() override { return inner_->state(); }
+  std::size_t output_count() const override { return inner_->output_count(); }
+
+  std::uint64_t state_recoveries() const;
+  std::uint64_t output_recoveries() const;
+
+  control::Controller& inner() { return *inner_; }
+
+ private:
+  static ProtectedVar make_protected(const SignalSpec& spec);
+
+  std::unique_ptr<control::Controller> inner_;
+  std::vector<ProtectedVar> state_guards_;
+  std::vector<ProtectedVar> output_guards_;
+  std::vector<float> last_output_;
+};
+
+}  // namespace earl::core

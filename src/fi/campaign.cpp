@@ -1,0 +1,29 @@
+#include "fi/campaign.hpp"
+
+namespace earl::fi {
+
+std::size_t CampaignResult::count(analysis::Outcome outcome) const {
+  std::size_t n = 0;
+  for (const ExperimentResult& e : experiments) {
+    if (e.outcome == outcome) ++n;
+  }
+  return n;
+}
+
+std::size_t CampaignResult::value_failures() const {
+  std::size_t n = 0;
+  for (const ExperimentResult& e : experiments) {
+    if (analysis::is_value_failure(e.outcome)) ++n;
+  }
+  return n;
+}
+
+std::size_t CampaignResult::severe_failures() const {
+  std::size_t n = 0;
+  for (const ExperimentResult& e : experiments) {
+    if (analysis::is_severe(e.outcome)) ++n;
+  }
+  return n;
+}
+
+}  // namespace earl::fi

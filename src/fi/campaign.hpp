@@ -1,0 +1,83 @@
+// Campaign configuration and per-experiment records.
+//
+// A campaign (paper Section 3.3) is: a target + workload, a fault model, a
+// number of experiments, uniform sampling of fault locations over the
+// selected partition and of injection times over the golden run, and a
+// termination condition (detection, or 650 iterations).  Everything is
+// derived deterministically from the seed, so a campaign can be reproduced
+// exactly — the role GOOFI's SQL database plays for the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/classify.hpp"
+#include "fi/fault_model.hpp"
+#include "plant/engine.hpp"
+#include "plant/signals.hpp"
+
+namespace earl::fi {
+
+enum class LocationFilter : std::uint8_t {
+  kAll,            // whole scan chain (the paper's campaigns)
+  kRegistersOnly,  // register partition
+  kCacheOnly,      // cache partition
+};
+
+struct CampaignConfig {
+  std::string name = "campaign";
+  std::size_t experiments = 1000;
+  std::uint64_t seed = 20010701;  // DSN 2001, Göteborg
+  std::size_t iterations = plant::kIterations;
+  FaultSpec fault;
+  LocationFilter filter = LocationFilter::kAll;
+
+  /// Watchdog: a faulty iteration may run this many times the longest
+  /// golden iteration before the node watchdog fires.
+  double watchdog_factor = 10.0;
+
+  plant::EngineConfig engine;
+  plant::SignalProfile signals;
+  analysis::ClassifyConfig classify;
+
+  /// Worker threads for the experiment loop (0 = hardware concurrency).
+  std::size_t workers = 0;
+};
+
+/// Result of the fault-free reference execution (Section 3.3.3: "a
+/// reference execution of the workload is made, logging the fault-free
+/// system state").
+struct GoldenRun {
+  std::vector<float> outputs;                 // u_lim(k)
+  std::vector<std::uint64_t> final_state;     // observable state snapshot
+  std::uint64_t total_time = 0;               // time-sampling space size
+  std::uint64_t max_iteration_time = 0;       // watchdog base
+};
+
+struct ExperimentResult {
+  std::uint64_t id = 0;
+  Fault fault;
+  bool cache_location = false;  // Cache vs Registers partition
+
+  analysis::Outcome outcome = analysis::Outcome::kOverwritten;
+  tvm::Edm edm = tvm::Edm::kNone;      // for detected outcomes
+  std::size_t end_iteration = 0;       // iteration of detection / last run
+  std::size_t first_strong = 0;        // deviation facts for diagnostics
+  std::size_t strong_count = 0;
+  double max_deviation = 0.0;
+};
+
+struct CampaignResult {
+  CampaignConfig config;
+  GoldenRun golden;
+  std::vector<ExperimentResult> experiments;
+  std::uint64_t fault_space_bits = 0;
+  std::uint64_t register_partition_bits = 0;
+
+  std::size_t count(analysis::Outcome outcome) const;
+  std::size_t value_failures() const;
+  std::size_t severe_failures() const;
+};
+
+}  // namespace earl::fi

@@ -1,0 +1,141 @@
+#include "fi/database.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/csv.hpp"
+
+namespace earl::fi {
+
+namespace {
+
+util::CsvRow header_row() {
+  return {"id",          "kind",        "time",        "bits",
+          "cache",       "outcome",     "edm",         "end_iteration",
+          "first_strong", "strong_count", "max_deviation", "campaign",
+          "seed"};
+}
+
+std::string bits_field(const std::vector<std::size_t>& bits) {
+  std::string out;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (i > 0) out += ";";
+    out += std::to_string(bits[i]);
+  }
+  return out;
+}
+
+std::vector<std::size_t> parse_bits(const std::string& field) {
+  std::vector<std::size_t> bits;
+  std::size_t pos = 0;
+  while (pos < field.size()) {
+    const std::size_t next = field.find(';', pos);
+    const std::string token =
+        field.substr(pos, next == std::string::npos ? std::string::npos
+                                                    : next - pos);
+    if (!token.empty()) bits.push_back(std::strtoull(token.c_str(), nullptr, 10));
+    if (next == std::string::npos) break;
+    pos = next + 1;
+  }
+  return bits;
+}
+
+}  // namespace
+
+ResultDatabase::ResultDatabase(const CampaignResult& campaign)
+    : campaign_name_(campaign.config.name),
+      seed_(campaign.config.seed),
+      experiments_(campaign.experiments) {}
+
+void ResultDatabase::insert(const ExperimentResult& experiment) {
+  experiments_.push_back(experiment);
+}
+
+std::vector<ExperimentResult> ResultDatabase::by_outcome(
+    analysis::Outcome outcome) const {
+  std::vector<ExperimentResult> out;
+  for (const ExperimentResult& e : experiments_) {
+    if (e.outcome == outcome) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<ExperimentResult> ResultDatabase::by_partition(
+    bool cache_location) const {
+  std::vector<ExperimentResult> out;
+  for (const ExperimentResult& e : experiments_) {
+    if (e.cache_location == cache_location) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<ExperimentResult> ResultDatabase::by_edm(tvm::Edm edm) const {
+  std::vector<ExperimentResult> out;
+  for (const ExperimentResult& e : experiments_) {
+    if (e.outcome == analysis::Outcome::kDetected && e.edm == edm) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::optional<ExperimentResult> ResultDatabase::first_of(
+    analysis::Outcome outcome) const {
+  for (const ExperimentResult& e : experiments_) {
+    if (e.outcome == outcome) return e;
+  }
+  return std::nullopt;
+}
+
+bool ResultDatabase::save(const std::string& path) const {
+  std::vector<util::CsvRow> rows;
+  rows.reserve(experiments_.size());
+  char buf[32];
+  for (const ExperimentResult& e : experiments_) {
+    std::snprintf(buf, sizeof buf, "%.9g", e.max_deviation);
+    rows.push_back({
+        std::to_string(e.id),
+        std::to_string(static_cast<int>(e.fault.kind)),
+        std::to_string(e.fault.time),
+        bits_field(e.fault.bits),
+        e.cache_location ? "1" : "0",
+        std::to_string(static_cast<int>(e.outcome)),
+        std::to_string(static_cast<int>(e.edm)),
+        std::to_string(e.end_iteration),
+        std::to_string(e.first_strong),
+        std::to_string(e.strong_count),
+        buf,
+        campaign_name_,
+        std::to_string(seed_),
+    });
+  }
+  return util::csv_write_file(path, header_row(), rows);
+}
+
+ResultDatabase ResultDatabase::load(const std::string& path) {
+  ResultDatabase db;
+  const std::vector<util::CsvRow> rows = util::csv_read_file(path);
+  if (rows.size() < 1 || rows[0] != header_row()) return db;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const util::CsvRow& row = rows[i];
+    if (row.size() != header_row().size()) continue;
+    ExperimentResult e;
+    e.id = std::strtoull(row[0].c_str(), nullptr, 10);
+    e.fault.kind = static_cast<FaultKind>(std::atoi(row[1].c_str()));
+    e.fault.time = std::strtoull(row[2].c_str(), nullptr, 10);
+    e.fault.bits = parse_bits(row[3]);
+    e.cache_location = row[4] == "1";
+    e.outcome = static_cast<analysis::Outcome>(std::atoi(row[5].c_str()));
+    e.edm = static_cast<tvm::Edm>(std::atoi(row[6].c_str()));
+    e.end_iteration = std::strtoull(row[7].c_str(), nullptr, 10);
+    e.first_strong = std::strtoull(row[8].c_str(), nullptr, 10);
+    e.strong_count = std::strtoull(row[9].c_str(), nullptr, 10);
+    e.max_deviation = std::strtod(row[10].c_str(), nullptr);
+    db.campaign_name_ = row[11];
+    db.seed_ = std::strtoull(row[12].c_str(), nullptr, 10);
+    db.experiments_.push_back(std::move(e));
+  }
+  return db;
+}
+
+}  // namespace earl::fi

@@ -1,0 +1,49 @@
+// Result database (the GOOFI SQL-database substitute).
+//
+// Stores experiment records with typed query helpers and round-trips to
+// CSV, so the analysis phase can run — and re-run — without repeating the
+// campaign.  One row per experiment; campaign metadata in a side header.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fi/campaign.hpp"
+
+namespace earl::fi {
+
+class ResultDatabase {
+ public:
+  ResultDatabase() = default;
+  explicit ResultDatabase(const CampaignResult& campaign);
+
+  void insert(const ExperimentResult& experiment);
+
+  const std::vector<ExperimentResult>& all() const { return experiments_; }
+  std::size_t size() const { return experiments_.size(); }
+
+  /// Queries (predicates compose in the caller; these cover the table
+  /// dimensions of the paper).
+  std::vector<ExperimentResult> by_outcome(analysis::Outcome outcome) const;
+  std::vector<ExperimentResult> by_partition(bool cache_location) const;
+  std::vector<ExperimentResult> by_edm(tvm::Edm edm) const;
+
+  /// First experiment matching an outcome, if any (exemplar lookup).
+  std::optional<ExperimentResult> first_of(analysis::Outcome outcome) const;
+
+  /// CSV persistence. save() returns false on I/O error; load() returns an
+  /// empty database on error (check size()).
+  bool save(const std::string& path) const;
+  static ResultDatabase load(const std::string& path);
+
+  const std::string& campaign_name() const { return campaign_name_; }
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::string campaign_name_;
+  std::uint64_t seed_ = 0;
+  std::vector<ExperimentResult> experiments_;
+};
+
+}  // namespace earl::fi

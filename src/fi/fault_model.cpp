@@ -1,0 +1,47 @@
+#include "fi/fault_model.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace earl::fi {
+
+std::string Fault::to_string() const {
+  std::string out;
+  switch (kind) {
+    case FaultKind::kSingleBitFlip: out = "flip"; break;
+    case FaultKind::kMultiBitFlip: out = "multiflip"; break;
+    case FaultKind::kStuckAt0: out = "stuck0"; break;
+    case FaultKind::kStuckAt1: out = "stuck1"; break;
+  }
+  out += " @t=" + std::to_string(time) + " bits=[";
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(bits[i]);
+  }
+  out += "]";
+  return out;
+}
+
+Fault sample_fault(const FaultSpec& spec, std::uint64_t location_lo,
+                   std::uint64_t location_hi, std::uint64_t time_space,
+                   util::Rng& rng) {
+  Fault fault;
+  fault.kind = spec.kind;
+  fault.time = time_space == 0 ? 0 : rng.below(time_space);
+  const std::uint64_t span = location_hi - location_lo;
+  const unsigned count =
+      spec.kind == FaultKind::kMultiBitFlip ? std::max(1u, spec.multiplicity)
+                                            : 1u;
+  fault.bits.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    std::size_t bit = 0;
+    do {
+      bit = static_cast<std::size_t>(location_lo + rng.below(span));
+    } while (std::find(fault.bits.begin(), fault.bits.end(), bit) !=
+             fault.bits.end());
+    fault.bits.push_back(bit);
+  }
+  return fault;
+}
+
+}  // namespace earl::fi

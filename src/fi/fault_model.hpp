@@ -1,0 +1,54 @@
+// Fault models.
+//
+// The paper's model is the single bit-flip in a CPU state element — the
+// standard model for transients caused by particle strikes (heavy ions,
+// alpha particles, high-energy neutrons).  The campaign machinery is
+// parameterized over the model so multi-bit upsets (increasingly relevant
+// for dense geometries) and stuck-at faults can be studied as extensions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace earl::fi {
+
+enum class FaultKind : std::uint8_t {
+  kSingleBitFlip,
+  kMultiBitFlip,  // `multiplicity` adjacent-independent bits flipped at once
+  kStuckAt0,      // location forced to 0 at injection and re-forced at every
+  kStuckAt1,      //   iteration boundary until the run ends (approximation
+                  //   of a permanent fault at scan-chain granularity)
+};
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kSingleBitFlip;
+  unsigned multiplicity = 1;  // used by kMultiBitFlip
+};
+
+/// A concrete fault instance: which scan-chain bits, and when.  `time` is a
+/// dynamic-instruction index for SCIFI targets and an iteration index for
+/// SWIFI targets (both uniformly sampled over the golden run, per the
+/// paper's Section 3.3.2).
+struct Fault {
+  FaultKind kind = FaultKind::kSingleBitFlip;
+  std::vector<std::size_t> bits;
+  std::uint64_t time = 0;
+
+  std::string to_string() const;
+};
+
+/// Draws a fault per `spec`, uniform over `location_bits` locations
+/// (restricted by the caller to a partition when needed) and uniform over
+/// `time_space` points in time.
+Fault sample_fault(const FaultSpec& spec, std::uint64_t location_lo,
+                   std::uint64_t location_hi, std::uint64_t time_space,
+                   util::Rng& rng);
+
+constexpr bool is_stuck_at(FaultKind kind) {
+  return kind == FaultKind::kStuckAt0 || kind == FaultKind::kStuckAt1;
+}
+
+}  // namespace earl::fi

@@ -1,0 +1,95 @@
+#include "fi/native_target.hpp"
+
+#include <cassert>
+
+#include "util/bitops.hpp"
+
+namespace earl::fi {
+
+NativeTarget::NativeTarget(ControllerFactory factory)
+    : factory_(std::move(factory)), controller_(factory_()) {
+  assert(controller_ != nullptr);
+}
+
+void NativeTarget::reset() {
+  controller_->reset();
+  iteration_ = 0;
+  armed_.reset();
+  injected_ = false;
+}
+
+void NativeTarget::arm(const Fault& fault) {
+  armed_ = fault;
+  injected_ = false;
+}
+
+void NativeTarget::apply_fault_bits() {
+  const std::span<float> state = controller_->state();
+  for (const std::size_t bit : armed_->bits) {
+    const std::size_t index = bit / 32;
+    const unsigned offset = static_cast<unsigned>(bit % 32);
+    if (index >= state.size()) continue;
+    std::uint32_t word = util::float_to_bits(state[index]);
+    switch (armed_->kind) {
+      case FaultKind::kSingleBitFlip:
+      case FaultKind::kMultiBitFlip:
+        word = util::flip_bit32(word, offset);
+        break;
+      case FaultKind::kStuckAt0:
+        word = util::set_bit32(word, offset, false);
+        break;
+      case FaultKind::kStuckAt1:
+        word = util::set_bit32(word, offset, true);
+        break;
+    }
+    state[index] = util::bits_to_float(word);
+  }
+}
+
+IterationOutcome NativeTarget::iterate(float reference, float measurement) {
+  if (armed_ && ((!injected_ && armed_->time == iteration_) ||
+                 (injected_ && is_stuck_at(armed_->kind)))) {
+    apply_fault_bits();
+    injected_ = true;
+  }
+  IterationOutcome outcome;
+  outcome.output = controller_->step(reference, measurement);
+  outcome.elapsed = 1;
+  ++iteration_;
+  return outcome;
+}
+
+std::uint64_t NativeTarget::fault_space_bits() const {
+  return controller_->state().size() * 32ull;
+}
+
+std::uint64_t NativeTarget::register_partition_bits() const {
+  // The whole native state plays the role of data memory; there is no
+  // separate register partition on this path.
+  return 0;
+}
+
+std::vector<std::uint64_t> NativeTarget::observable_state() const {
+  // const_cast is confined here: Controller::state() is non-const only
+  // because injection needs mutable access; reading it does not mutate.
+  auto& controller = const_cast<control::Controller&>(*controller_);
+  const std::span<float> state = controller.state();
+  std::vector<std::uint64_t> out;
+  out.reserve(state.size() / 2 + 1);
+  std::uint64_t pending = 0;
+  bool half = false;
+  for (const float value : state) {
+    const std::uint32_t word = util::float_to_bits(value);
+    if (!half) {
+      pending = word;
+      half = true;
+    } else {
+      out.push_back(pending | (static_cast<std::uint64_t>(word) << 32));
+      half = false;
+    }
+  }
+  if (half) out.push_back(pending);
+  return out;
+}
+
+}  // namespace earl::fi

@@ -1,0 +1,52 @@
+// SWIFI target: pre-runtime software-implemented fault injection into the
+// state variables of a native controller.
+//
+// GOOFI supports SWIFI alongside SCIFI (Section 3.3.1); here it serves as a
+// fast cross-check that the Algorithm I/II comparison is not an artefact of
+// the CPU simulator: bits are flipped directly in the controller's
+// persistent state (the float variables that survive between iterations) at
+// an iteration boundary.  There are no hardware EDMs on this path, so every
+// effective error becomes a value failure — which is exactly the population
+// the executable assertions must handle.
+//
+// Time base: one time unit per iteration.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "control/controller.hpp"
+#include "fi/target.hpp"
+
+namespace earl::fi {
+
+class NativeTarget : public Target {
+ public:
+  using ControllerFactory =
+      std::function<std::unique_ptr<control::Controller>()>;
+
+  explicit NativeTarget(ControllerFactory factory);
+
+  void reset() override;
+  IterationOutcome iterate(float reference, float measurement) override;
+  void arm(const Fault& fault) override;
+  std::uint64_t fault_space_bits() const override;
+  std::uint64_t register_partition_bits() const override;
+  std::vector<std::uint64_t> observable_state() const override;
+  void set_iteration_budget(std::uint64_t budget) override {
+    (void)budget;  // no watchdog on the native path
+  }
+
+  control::Controller& controller() { return *controller_; }
+
+ private:
+  void apply_fault_bits();
+
+  ControllerFactory factory_;
+  std::unique_ptr<control::Controller> controller_;
+  std::uint64_t iteration_ = 0;
+  std::optional<Fault> armed_;
+  bool injected_ = false;
+};
+
+}  // namespace earl::fi

@@ -1,0 +1,187 @@
+#include "fi/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace earl::fi {
+
+GoldenRun CampaignRunner::run_golden(Target& target) const {
+  GoldenRun golden;
+  golden.outputs.reserve(config_.iterations);
+  target.reset();
+  // An unconstrained budget for the reference run; the real watchdog value
+  // derives from what this run measures.
+  target.set_iteration_budget(std::uint64_t{1} << 32);
+
+  plant::Engine engine(config_.engine);
+  float y = static_cast<float>(engine.speed());
+  for (std::size_t k = 0; k < config_.iterations; ++k) {
+    const double t = plant::iteration_time(k);
+    const float r = plant::reference_speed(t, config_.signals);
+    const IterationOutcome step = target.iterate(r, y);
+    assert(!step.detected && "golden run raised a detection");
+    golden.outputs.push_back(step.output);
+    golden.total_time += step.elapsed;
+    golden.max_iteration_time = std::max(golden.max_iteration_time,
+                                         step.elapsed);
+    y = engine.step(step.output, plant::engine_load(t, config_.signals));
+  }
+  golden.final_state = target.observable_state();
+  return golden;
+}
+
+std::vector<Fault> CampaignRunner::sample_faults(
+    std::uint64_t fault_space_bits, std::uint64_t register_bits,
+    std::uint64_t time_space) const {
+  std::uint64_t location_lo = 0;
+  std::uint64_t location_hi = fault_space_bits;
+  switch (config_.filter) {
+    case LocationFilter::kAll:
+      break;
+    case LocationFilter::kRegistersOnly:
+      location_hi = register_bits;
+      break;
+    case LocationFilter::kCacheOnly:
+      location_lo = register_bits;
+      break;
+  }
+  util::Rng rng(config_.seed);
+  std::vector<Fault> faults;
+  faults.reserve(config_.experiments);
+  for (std::size_t i = 0; i < config_.experiments; ++i) {
+    faults.push_back(sample_fault(config_.fault, location_lo, location_hi,
+                                  time_space, rng));
+  }
+  return faults;
+}
+
+ExperimentResult CampaignRunner::run_experiment(Target& target,
+                                                const Fault& fault,
+                                                std::uint64_t id,
+                                                const GoldenRun& golden) const {
+  ExperimentResult result;
+  result.id = id;
+  result.fault = fault;
+
+  target.reset();
+  target.set_iteration_budget(std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             static_cast<double>(golden.max_iteration_time) *
+             config_.watchdog_factor)));
+  target.arm(fault);
+
+  plant::Engine engine(config_.engine);
+  std::vector<float> outputs;
+  outputs.reserve(config_.iterations);
+  float y = static_cast<float>(engine.speed());
+  for (std::size_t k = 0; k < config_.iterations; ++k) {
+    const double t = plant::iteration_time(k);
+    const float r = plant::reference_speed(t, config_.signals);
+    const IterationOutcome step = target.iterate(r, y);
+    if (step.detected) {
+      result.outcome = analysis::Outcome::kDetected;
+      result.edm = step.edm;
+      result.end_iteration = k;
+      return result;
+    }
+    outputs.push_back(step.output);
+    y = engine.step(step.output, plant::engine_load(t, config_.signals));
+  }
+  result.end_iteration = config_.iterations;
+
+  const bool state_identical = target.observable_state() == golden.final_state;
+  const analysis::DeviationStats stats =
+      analysis::deviation_stats(golden.outputs, outputs, config_.classify);
+  result.outcome = analysis::classify_outputs(golden.outputs, outputs,
+                                              state_identical,
+                                              config_.classify);
+  result.first_strong = stats.first_strong;
+  result.strong_count = stats.strong_count;
+  result.max_deviation = stats.max_deviation;
+  return result;
+}
+
+std::vector<float> CampaignRunner::replay_outputs(Target& target,
+                                                  const Fault& fault,
+                                                  const GoldenRun& golden) const {
+  target.reset();
+  target.set_iteration_budget(std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             static_cast<double>(golden.max_iteration_time) *
+             config_.watchdog_factor)));
+  target.arm(fault);
+
+  plant::Engine engine(config_.engine);
+  std::vector<float> outputs;
+  outputs.reserve(config_.iterations);
+  float y = static_cast<float>(engine.speed());
+  for (std::size_t k = 0; k < config_.iterations; ++k) {
+    const double t = plant::iteration_time(k);
+    const float r = plant::reference_speed(t, config_.signals);
+    const IterationOutcome step = target.iterate(r, y);
+    if (step.detected) break;
+    outputs.push_back(step.output);
+    y = engine.step(step.output, plant::engine_load(t, config_.signals));
+  }
+  return outputs;
+}
+
+CampaignResult CampaignRunner::run(const TargetFactory& factory) const {
+  CampaignResult result;
+  result.config = config_;
+
+  const std::unique_ptr<Target> probe = factory();
+  result.fault_space_bits = probe->fault_space_bits();
+  result.register_partition_bits = probe->register_partition_bits();
+  result.golden = run_golden(*probe);
+
+  const std::vector<Fault> faults = sample_faults(
+      result.fault_space_bits, result.register_partition_bits,
+      result.golden.total_time);
+
+  result.experiments.resize(faults.size());
+
+  std::size_t workers = config_.workers;
+  if (workers == 0) {
+    workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers = std::min(workers, faults.size());
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      result.experiments[i] =
+          run_experiment(*probe, faults[i], i, result.golden);
+      result.experiments[i].cache_location =
+          faults[i].bits[0] >= result.register_partition_bits;
+    }
+    return result;
+  }
+
+  // Workers pull experiment indices from a shared counter; each owns a
+  // private target so no synchronization beyond the counter is needed.
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      const std::unique_ptr<Target> target =
+          w == 0 ? nullptr : factory();
+      Target& mine = w == 0 ? *probe : *target;
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= faults.size()) break;
+        result.experiments[i] =
+            run_experiment(mine, faults[i], i, result.golden);
+        result.experiments[i].cache_location =
+            faults[i].bits[0] >= result.register_partition_bits;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  return result;
+}
+
+}  // namespace earl::fi

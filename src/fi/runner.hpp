@@ -1,0 +1,55 @@
+// Campaign runner: golden run, fault sampling, experiment execution,
+// classification (paper Section 3.3.3 fault-injection phase + Section 4.1
+// classification, fused so experiments store compact outcomes).
+//
+// Experiments are fully deterministic: fault parameters derive from the
+// campaign seed alone (not from execution order), each experiment runs a
+// private target + engine, and classification compares against the shared
+// golden run.  Re-running any experiment id reproduces it exactly — which
+// is how the exemplar benches (Figures 7-9) recover full output traces for
+// interesting experiments without the campaign storing 650 floats each.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "fi/campaign.hpp"
+#include "fi/target.hpp"
+#include "plant/environment.hpp"
+
+namespace earl::fi {
+
+using TargetFactory = std::function<std::unique_ptr<Target>()>;
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(CampaignConfig config) : config_(std::move(config)) {}
+
+  /// Runs golden + all experiments. The factory is called once per worker.
+  CampaignResult run(const TargetFactory& factory) const;
+
+  /// Reference execution only (also useful for Figure 3/4/5 traces).
+  GoldenRun run_golden(Target& target) const;
+
+  /// Re-runs a single already-sampled fault and returns the full output
+  /// series (zero-padded from the detection point when detected early).
+  std::vector<float> replay_outputs(Target& target, const Fault& fault,
+                                    const GoldenRun& golden) const;
+
+  /// The deterministic fault list for this campaign against a target with
+  /// the given fault space (exposed for tests).
+  std::vector<Fault> sample_faults(std::uint64_t fault_space_bits,
+                                   std::uint64_t register_bits,
+                                   std::uint64_t time_space) const;
+
+  const CampaignConfig& config() const { return config_; }
+
+ private:
+  ExperimentResult run_experiment(Target& target, const Fault& fault,
+                                  std::uint64_t id,
+                                  const GoldenRun& golden) const;
+
+  CampaignConfig config_;
+};
+
+}  // namespace earl::fi

@@ -1,0 +1,68 @@
+// Target abstraction for fault-injection campaigns.
+//
+// GOOFI's architecture separates the campaign engine from the target system
+// and the injection technique; the same separation lives here.  A Target is
+// a controller implementation that the campaign runner drives one iteration
+// at a time from the host-side environment simulator, with a fault armed to
+// fire at a sampled point in the run:
+//
+//   TvmTarget    — SCIFI: the controller program executes on the TVM; the
+//                  armed fault is injected through the scan chain at a
+//                  dynamic-instruction boundary.
+//   NativeTarget — SWIFI: the controller is native code; the armed fault is
+//                  injected into the controller's state variables at an
+//                  iteration boundary.
+//
+// Time base: iterate() reports how many "time units" elapsed (instructions
+// for SCIFI, 1 per iteration for SWIFI).  The golden run's accumulated
+// total defines the uniform time-sampling space, so campaign code is
+// identical across techniques.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fi/fault_model.hpp"
+#include "tvm/edm.hpp"
+
+namespace earl::fi {
+
+struct IterationOutcome {
+  float output = 0.0f;
+  bool detected = false;
+  tvm::Edm edm = tvm::Edm::kNone;
+  std::uint64_t elapsed = 0;  // time units consumed by this iteration
+};
+
+class Target {
+ public:
+  virtual ~Target() = default;
+
+  /// Restores the pristine post-load state and disarms any fault.
+  virtual void reset() = 0;
+
+  /// Runs one control iteration with inputs r, y.  If a fault is armed and
+  /// its time falls inside this iteration, it is injected mid-iteration.
+  virtual IterationOutcome iterate(float reference, float measurement) = 0;
+
+  /// Arms a fault for the current run (call after reset()).
+  virtual void arm(const Fault& fault) = 0;
+
+  /// Size of the fault-location space in bits, and the boundary below which
+  /// locations belong to the "Registers" partition (locations at or above
+  /// it belong to "Cache"). Targets without a cache return register_bits ==
+  /// fault_space_bits.
+  virtual std::uint64_t fault_space_bits() const = 0;
+  virtual std::uint64_t register_partition_bits() const = 0;
+
+  /// Full observable state (scan chain + observable memory), used for the
+  /// latent/overwritten distinction after a completed run.
+  virtual std::vector<std::uint64_t> observable_state() const = 0;
+
+  /// Watchdog: maximum time units one iteration may consume before the
+  /// node's watchdog fires (set by the runner from the golden run).
+  virtual void set_iteration_budget(std::uint64_t budget) = 0;
+};
+
+}  // namespace earl::fi

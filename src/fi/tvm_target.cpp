@@ -1,0 +1,151 @@
+#include "fi/tvm_target.hpp"
+
+#include <cassert>
+
+#include "util/bitops.hpp"
+
+namespace earl::fi {
+
+TvmTarget::TvmTarget(const tvm::AssembledProgram& program,
+                     tvm::CacheConfig cache_config)
+    : machine_(cache_config),
+      scan_(cache_config),
+      entry_(program.entry) {
+  assert(program.ok());
+  const bool loaded = tvm::load_program(program, machine_.mem);
+  assert(loaded);
+  (void)loaded;
+  machine_.reset(entry_);
+}
+
+void TvmTarget::reset() {
+  machine_.reset(entry_);
+  executed_ = 0;
+  armed_.reset();
+  injected_ = false;
+}
+
+void TvmTarget::arm(const Fault& fault) {
+  armed_ = fault;
+  injected_ = false;
+}
+
+void TvmTarget::apply_fault_bits() {
+  for (const std::size_t bit : armed_->bits) {
+    switch (armed_->kind) {
+      case FaultKind::kSingleBitFlip:
+      case FaultKind::kMultiBitFlip:
+        scan_.flip_bit(machine_, bit);
+        break;
+      case FaultKind::kStuckAt0:
+        scan_.write_bit(machine_, bit, false);
+        break;
+      case FaultKind::kStuckAt1:
+        scan_.write_bit(machine_, bit, true);
+        break;
+    }
+  }
+}
+
+IterationOutcome TvmTarget::iterate(float reference, float measurement) {
+  IterationOutcome outcome;
+
+  // Stuck-at faults are re-forced at every iteration boundary once injected
+  // (scan-chain approximation of a permanent fault).
+  if (armed_ && injected_ && is_stuck_at(armed_->kind)) apply_fault_bits();
+
+  // Environment -> target I/O exchange.
+  machine_.mem.write_raw(tvm::kIoInRef, util::float_to_bits(reference));
+  machine_.mem.write_raw(tvm::kIoInMeas, util::float_to_bits(measurement));
+
+  std::uint64_t remaining = iteration_budget_;
+  while (remaining > 0) {
+    std::uint64_t chunk = remaining;
+    if (armed_ && !injected_ && armed_->time >= executed_) {
+      const std::uint64_t until_fault = armed_->time - executed_;
+      if (until_fault == 0) {
+        apply_fault_bits();
+        injected_ = true;
+        continue;
+      }
+      chunk = std::min(chunk, until_fault);
+    }
+    const tvm::RunResult run = machine_.run(chunk);
+    executed_ += run.executed;
+    outcome.elapsed += run.executed;
+    remaining -= std::min(remaining, run.executed);
+    switch (run.kind) {
+      case tvm::RunResult::Kind::kYield:
+        outcome.output =
+            util::bits_to_float(machine_.mem.read_raw(tvm::kIoOutU));
+        return outcome;
+      case tvm::RunResult::Kind::kTrap:
+        outcome.detected = true;
+        outcome.edm = run.edm;
+        return outcome;
+      case tvm::RunResult::Kind::kHalt:
+        // HALT is privileged and never executes fault-free; a corrupted
+        // mode bit could reach it. The node stops — a detected condition.
+        outcome.detected = true;
+        outcome.edm = tvm::Edm::kInstructionError;
+        return outcome;
+      case tvm::RunResult::Kind::kBudgetExhausted:
+        break;  // reached the injection point, or the watchdog budget
+    }
+  }
+  outcome.detected = true;
+  outcome.edm = tvm::Edm::kWatchdog;
+  return outcome;
+}
+
+std::uint64_t TvmTarget::fault_space_bits() const { return scan_.total_bits(); }
+
+std::uint64_t TvmTarget::register_partition_bits() const {
+  return scan_.register_bits();
+}
+
+std::vector<std::uint64_t> TvmTarget::observable_state() const {
+  // Scan-chain state plus the observable data and stack RAM: GOOFI logs
+  // "the contents of all the locations in the target system that are
+  // observable".
+  std::vector<std::uint64_t> state = scan_.snapshot(machine_);
+  state.reserve(state.size() +
+                (tvm::kDataSize + tvm::kStackSize) / 8 + 1);
+  std::uint64_t pending = 0;
+  bool half = false;
+  auto push_word = [&](std::uint32_t word) {
+    if (!half) {
+      pending = word;
+      half = true;
+    } else {
+      state.push_back(pending | (static_cast<std::uint64_t>(word) << 32));
+      half = false;
+    }
+  };
+  for (std::uint32_t a = tvm::kDataBase; a < tvm::kDataBase + tvm::kDataSize;
+       a += 4) {
+    push_word(machine_.mem.read_raw(a));
+  }
+  for (std::uint32_t a = tvm::kStackBase; a < tvm::kStackTop; a += 4) {
+    push_word(machine_.mem.read_raw(a));
+  }
+  if (half) state.push_back(pending);
+  return state;
+}
+
+void TvmTarget::set_iteration_budget(std::uint64_t budget) {
+  iteration_budget_ = budget;
+}
+
+std::optional<std::size_t> TvmTarget::cache_bit_of_address(
+    std::uint32_t addr) const {
+  if (!machine_.cache.probe(addr)) return std::nullopt;
+  const unsigned line = (addr >> 4) & 7u;
+  const unsigned word = (addr >> 2) & 3u;
+  // Cache data elements are laid out first in the cache partition, in
+  // (line, word) order, 32 bits each (see ScanChain's constructor).
+  return scan_.register_bits() +
+         static_cast<std::size_t>(line * tvm::kWordsPerLine + word) * 32;
+}
+
+}  // namespace earl::fi

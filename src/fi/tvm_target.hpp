@@ -1,0 +1,59 @@
+// SCIFI target: a controller program running on the TVM, injected through
+// the scan chain (paper Section 3.3: GOOFI + Thor).
+//
+// Protocol per experiment (matching Section 3.3.3):
+//   * reset() restores ROM/RAM images, invalidates the cache and resets the
+//     CPU — "reinitialising the target system and downloading the workload".
+//   * The runner writes r(k), y(k) to the memory-mapped inputs and calls
+//     iterate(); the CPU runs until YIELD (end of the iteration), pausing
+//     once at the armed fault's dynamic-instruction index to flip the
+//     selected scan-chain bit(s).
+//   * A raised EDM stops the node (strong failure semantics) and surfaces
+//     as detected=true; exceeding the iteration watchdog budget surfaces as
+//     a WATCHDOG detection.
+#pragma once
+
+#include "fi/target.hpp"
+#include "tvm/assembler.hpp"
+#include "tvm/cpu.hpp"
+#include "tvm/scan_chain.hpp"
+
+namespace earl::fi {
+
+class TvmTarget : public Target {
+ public:
+  /// The program must already have assembled cleanly (asserted).
+  explicit TvmTarget(const tvm::AssembledProgram& program,
+                     tvm::CacheConfig cache_config = {});
+
+  void reset() override;
+  IterationOutcome iterate(float reference, float measurement) override;
+  void arm(const Fault& fault) override;
+  std::uint64_t fault_space_bits() const override;
+  std::uint64_t register_partition_bits() const override;
+  std::vector<std::uint64_t> observable_state() const override;
+  void set_iteration_budget(std::uint64_t budget) override;
+
+  /// Scan-chain access for directed experiments (e.g. the Figure 10 bench
+  /// corrupts the state variable to a chosen in-range value).
+  tvm::Machine& machine() { return machine_; }
+  const tvm::ScanChain& scan_chain() const { return scan_; }
+
+  /// Locates the flat scan-chain bit range [first, first+32) of the cache
+  /// word currently holding data-RAM address `addr`, if resident. Used by
+  /// directed benches and tests.
+  std::optional<std::size_t> cache_bit_of_address(std::uint32_t addr) const;
+
+ private:
+  void apply_fault_bits();
+
+  tvm::Machine machine_;
+  tvm::ScanChain scan_;
+  std::uint32_t entry_;
+  std::uint64_t executed_ = 0;
+  std::uint64_t iteration_budget_ = 1u << 20;
+  std::optional<Fault> armed_;
+  bool injected_ = false;
+};
+
+}  // namespace earl::fi

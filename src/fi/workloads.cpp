@@ -1,0 +1,112 @@
+#include "fi/workloads.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "codegen/emitter.hpp"
+#include "core/robust_pi.hpp"
+#include "fi/native_target.hpp"
+
+namespace earl::fi {
+
+control::PiConfig paper_pi_config() {
+  control::PiConfig config;
+  config.kp = 0.02f;
+  config.ki = 0.012f;
+  config.dt = 0.0154f;
+  config.u_min = 0.0f;
+  config.u_max = 70.0f;
+  // Equilibrium throttle for the initial 2000 rpm operating point with the
+  // default engine gain of 300 rpm/deg.
+  config.x_init = 2000.0f / 300.0f;
+  return config;
+}
+
+tvm::AssembledProgram build_pi_program(const control::PiConfig& config,
+                                       codegen::RobustnessMode mode) {
+  const codegen::Diagram diagram = codegen::make_pi_diagram(config);
+  const codegen::EmitResult emitted =
+      codegen::emit_assembly(diagram, codegen::make_pi_options(config, mode));
+  // The PI pipeline is exercised by tests for every mode; a failure here is
+  // a programming error that must be loud even in release builds (assert()
+  // vanishes under NDEBUG).
+  if (!emitted.ok()) {
+    std::fprintf(stderr, "build_pi_program: emit failed: %s\n",
+                 emitted.errors.front().c_str());
+    std::abort();
+  }
+  tvm::AssembledProgram program = tvm::assemble(emitted.assembly);
+  if (!program.ok()) {
+    std::fprintf(stderr, "build_pi_program: assembly failed: %s\n",
+                 program.errors.front().c_str());
+    std::abort();
+  }
+  return program;
+}
+
+TargetFactory make_tvm_pi_factory(const control::PiConfig& config,
+                                  codegen::RobustnessMode mode,
+                                  tvm::CacheConfig cache_config) {
+  // Assemble once; every target construction loads the shared image.
+  auto program =
+      std::make_shared<tvm::AssembledProgram>(build_pi_program(config, mode));
+  return [program, cache_config]() -> std::unique_ptr<Target> {
+    return std::make_unique<TvmTarget>(*program, cache_config);
+  };
+}
+
+TargetFactory make_native_pi_factory(const control::PiConfig& config,
+                                     bool robust) {
+  return [config, robust]() -> std::unique_ptr<Target> {
+    return std::make_unique<NativeTarget>(
+        [config, robust]() -> std::unique_ptr<control::Controller> {
+          if (robust) return std::make_unique<core::RobustPiController>(config);
+          return std::make_unique<control::PiController>(config);
+        });
+  };
+}
+
+namespace {
+
+CampaignConfig base_campaign() {
+  CampaignConfig config;
+  config.iterations = plant::kIterations;
+  config.fault.kind = FaultKind::kSingleBitFlip;
+  config.filter = LocationFilter::kAll;
+  return config;
+}
+
+std::size_t scaled(std::size_t n, double scale) {
+  const double s = std::clamp(scale, 0.0001, 1.0);
+  return std::max<std::size_t>(10, static_cast<std::size_t>(n * s));
+}
+
+}  // namespace
+
+CampaignConfig table2_campaign(double scale) {
+  CampaignConfig config = base_campaign();
+  config.name = "table2_algorithm1";
+  config.experiments = scaled(9290, scale);
+  config.seed = 20010701;
+  return config;
+}
+
+CampaignConfig table3_campaign(double scale) {
+  CampaignConfig config = base_campaign();
+  config.name = "table3_algorithm2";
+  config.experiments = scaled(2372, scale);
+  config.seed = 20010702;
+  return config;
+}
+
+double campaign_scale_from_env() {
+  const char* value = std::getenv("EARL_CAMPAIGN_SCALE");
+  if (value == nullptr) return 1.0;
+  const double scale = std::atof(value);
+  return scale > 0.0 && scale <= 1.0 ? scale : 1.0;
+}
+
+}  // namespace earl::fi

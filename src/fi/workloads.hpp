@@ -1,0 +1,51 @@
+// Canonical workloads and campaign presets for the paper's experiments.
+//
+// Centralizes the diagram -> codegen -> assemble pipeline for the PI
+// controller (Algorithm I / II / trap-ablation) and the target factories
+// and campaign configurations that the benches, examples and integration
+// tests share.  Defaults reproduce the paper's experimental parameters:
+// 650 iterations, single bit-flips, uniform location/time sampling, 9290
+// experiments for Algorithm I (Table 2) and 2372 for Algorithm II
+// (Table 3).
+#pragma once
+
+#include "codegen/robustify.hpp"
+#include "control/pi.hpp"
+#include "fi/runner.hpp"
+#include "fi/tvm_target.hpp"
+#include "tvm/assembler.hpp"
+
+namespace earl::fi {
+
+/// The calibrated controller configuration used by every paper experiment:
+/// gains giving the Figure 3 closed-loop shape, 15.4 ms sample interval,
+/// throttle limits [0, 70] degrees, and the integrator pre-set to the
+/// equilibrium throttle for the initial 2000 rpm operating point (the
+/// paper's traces start in steady state).
+control::PiConfig paper_pi_config();
+
+/// Assembles the generated PI controller program. Asserts (debug) /
+/// guarantees (by construction + tests) a clean assembly.
+tvm::AssembledProgram build_pi_program(
+    const control::PiConfig& config = {},
+    codegen::RobustnessMode mode = codegen::RobustnessMode::kNone);
+
+/// SCIFI factory: PI workload on a TVM.
+TargetFactory make_tvm_pi_factory(
+    const control::PiConfig& config = {},
+    codegen::RobustnessMode mode = codegen::RobustnessMode::kNone,
+    tvm::CacheConfig cache_config = {});
+
+/// SWIFI factory: native PI controller (robust = Algorithm II).
+TargetFactory make_native_pi_factory(const control::PiConfig& config = {},
+                                     bool robust = false);
+
+/// Campaign presets. `scale` in (0, 1] shrinks the experiment count for
+/// quick runs (tests use ~0.05); benches honour the EARL_CAMPAIGN_SCALE
+/// environment variable through campaign_scale_from_env().
+CampaignConfig table2_campaign(double scale = 1.0);  // Algorithm I,  9290
+CampaignConfig table3_campaign(double scale = 1.0);  // Algorithm II, 2372
+
+double campaign_scale_from_env();
+
+}  // namespace earl::fi

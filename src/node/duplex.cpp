@@ -1,0 +1,39 @@
+#include "node/duplex.hpp"
+
+namespace earl::node {
+
+NodeSystem::SystemOutput DuplexSystem::step(float reference,
+                                            float measurement) {
+  // Both nodes run every sample (hot standby) so the standby's state tracks
+  // the plant and switch-over is seamless.
+  const NodeOutput p = primary_.step(reference, measurement);
+  const NodeOutput s = standby_.step(reference, measurement);
+
+  SystemOutput result;
+  const NodeOutput& active = switched_ ? s : p;
+  if (active.produced) {
+    held_ = active.value;
+    result.value = active.value;
+    if (!switched_ && primary_.failed()) switched_ = true;  // unreachable safety
+    return result;
+  }
+  // Active node fail-stopped: switch over (once) and use the other node.
+  if (!switched_ && s.produced) {
+    switched_ = true;
+    held_ = s.value;
+    result.value = s.value;
+    return result;
+  }
+  result.value = held_;
+  result.omission = true;
+  return result;
+}
+
+void DuplexSystem::reset() {
+  primary_.reset();
+  standby_.reset();
+  switched_ = false;
+  held_ = 0.0f;
+}
+
+}  // namespace earl::node

@@ -1,0 +1,36 @@
+// Duplex system: f+1 = 2 computer nodes tolerating one fail-stop node
+// failure.  The active node's output drives the actuator; when the active
+// node fail-stops, the system switches to the standby node.  Because node
+// failure identification relies entirely on self-detection (strong failure
+// semantics), an undetected wrong result on the active node propagates to
+// the actuator — which is why the paper's technique matters for exactly
+// this architecture.
+#pragma once
+
+#include "node/node.hpp"
+
+namespace earl::node {
+
+class DuplexSystem : public NodeSystem {
+ public:
+  DuplexSystem(std::unique_ptr<fi::Target> primary,
+               std::unique_ptr<fi::Target> standby)
+      : primary_(std::move(primary)), standby_(std::move(standby)) {}
+
+  SystemOutput step(float reference, float measurement) override;
+  void reset() override;
+
+  ComputerNode& primary() { return primary_; }
+  ComputerNode& standby() { return standby_; }
+
+  /// True once the system has switched over to the standby node.
+  bool switched_over() const { return switched_; }
+
+ private:
+  ComputerNode primary_;
+  ComputerNode standby_;
+  bool switched_ = false;
+  float held_ = 0.0f;
+};
+
+}  // namespace earl::node

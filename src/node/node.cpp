@@ -1,0 +1,48 @@
+#include "node/node.hpp"
+
+namespace earl::node {
+
+NodeOutput ComputerNode::step(float reference, float measurement) {
+  NodeOutput output;
+  if (failed_) {
+    output.edm = failure_edm_;
+    return output;  // fail-stop: omission forever
+  }
+  const fi::IterationOutcome outcome = target_->iterate(reference, measurement);
+  if (outcome.detected) {
+    failed_ = true;
+    failure_edm_ = outcome.edm;
+    output.edm = outcome.edm;
+    return output;
+  }
+  output.produced = true;
+  output.value = outcome.output;
+  return output;
+}
+
+void ComputerNode::reset() {
+  target_->reset();
+  failed_ = false;
+  failure_edm_ = tvm::Edm::kNone;
+}
+
+NodeSystem::SystemOutput SimplexSystem::step(float reference,
+                                             float measurement) {
+  const NodeOutput out = node_.step(reference, measurement);
+  SystemOutput result;
+  if (out.produced) {
+    held_ = out.value;
+    result.value = out.value;
+  } else {
+    result.value = held_;
+    result.omission = true;
+  }
+  return result;
+}
+
+void SimplexSystem::reset() {
+  node_.reset();
+  held_ = 0.0f;
+}
+
+}  // namespace earl::node

@@ -1,0 +1,88 @@
+// Computer-node failure semantics (paper Section 1).
+//
+// A ComputerNode is one controller channel built from a fault-injection
+// target.  Its error-detection mechanisms give it *strong failure
+// semantics*: on any detection the node fail-stops and never produces
+// another output (it exhibits omission failures only).  A value failure —
+// an undetected wrong result — is precisely a violation of strong failure
+// semantics, which is what the node-level architectures below must cope
+// with:
+//
+//   SimplexSystem — one node; any node value failure reaches the actuator.
+//   DuplexSystem  — f+1 = 2 nodes; correct as long as failures are
+//                   fail-stop.  A value failure on the active node reaches
+//                   the actuator (the paper's point: assertions + recovery
+//                   shrink exactly that hazard).
+//   TmrSystem     — 2f+1 = 3 nodes with a majority voter; masks one node's
+//                   value failures at 3x hardware cost.
+//
+// On an omission (no node produced an output) the actuator holds its last
+// commanded value.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "fi/target.hpp"
+
+namespace earl::node {
+
+struct NodeOutput {
+  bool produced = false;  // false once the node has fail-stopped
+  float value = 0.0f;
+  tvm::Edm edm = tvm::Edm::kNone;  // first detection, when fail-stopped
+};
+
+class ComputerNode {
+ public:
+  explicit ComputerNode(std::unique_ptr<fi::Target> target)
+      : target_(std::move(target)) {}
+
+  NodeOutput step(float reference, float measurement);
+
+  void reset();
+  void arm(const fi::Fault& fault) { target_->arm(fault); }
+  void set_iteration_budget(std::uint64_t budget) {
+    target_->set_iteration_budget(budget);
+  }
+
+  bool failed() const { return failed_; }
+  fi::Target& target() { return *target_; }
+
+ private:
+  std::unique_ptr<fi::Target> target_;
+  bool failed_ = false;
+  tvm::Edm failure_edm_ = tvm::Edm::kNone;
+};
+
+/// Common interface for node assemblies driven by the closed loop.
+class NodeSystem {
+ public:
+  virtual ~NodeSystem() = default;
+
+  /// System-level output for this sample; on total omission the previous
+  /// command is held (and `omission` reports it).
+  struct SystemOutput {
+    float value = 0.0f;
+    bool omission = false;
+  };
+  virtual SystemOutput step(float reference, float measurement) = 0;
+  virtual void reset() = 0;
+};
+
+class SimplexSystem : public NodeSystem {
+ public:
+  explicit SimplexSystem(std::unique_ptr<fi::Target> target)
+      : node_(std::move(target)) {}
+
+  SystemOutput step(float reference, float measurement) override;
+  void reset() override;
+
+  ComputerNode& node() { return node_; }
+
+ private:
+  ComputerNode node_;
+  float held_ = 0.0f;
+};
+
+}  // namespace earl::node

@@ -1,0 +1,74 @@
+#include "node/tmr.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace earl::node {
+
+VoteResult majority_vote(std::span<const std::optional<float>> outputs) {
+  VoteResult result;
+  // Exact 2-of-N agreement first.
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    if (!outputs[i]) continue;
+    for (std::size_t j = i + 1; j < outputs.size(); ++j) {
+      if (outputs[j] && *outputs[i] == *outputs[j]) {
+        result.value = *outputs[i];
+        result.majority = true;
+        result.available = true;
+        return result;
+      }
+    }
+  }
+  // Median of whatever is available.
+  std::vector<float> present;
+  for (const auto& output : outputs) {
+    if (output) present.push_back(*output);
+  }
+  if (present.empty()) return result;
+  std::sort(present.begin(), present.end());
+  result.value = present[present.size() / 2];
+  result.available = true;
+  return result;
+}
+
+TmrSystem::TmrSystem(std::unique_ptr<fi::Target> a,
+                     std::unique_ptr<fi::Target> b,
+                     std::unique_ptr<fi::Target> c) {
+  nodes_[0] = std::make_unique<ComputerNode>(std::move(a));
+  nodes_[1] = std::make_unique<ComputerNode>(std::move(b));
+  nodes_[2] = std::make_unique<ComputerNode>(std::move(c));
+}
+
+NodeSystem::SystemOutput TmrSystem::step(float reference, float measurement) {
+  std::array<std::optional<float>, 3> outputs;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const NodeOutput out = nodes_[i]->step(reference, measurement);
+    if (out.produced) outputs[i] = out.value;
+  }
+  const VoteResult vote = majority_vote(outputs);
+
+  SystemOutput result;
+  if (!vote.available) {
+    result.value = held_;
+    result.omission = true;
+    return result;
+  }
+  // Count samples where some replica disagreed with the voted value.
+  for (const auto& output : outputs) {
+    if (output && *output != vote.value) {
+      ++masked_;
+      break;
+    }
+  }
+  held_ = vote.value;
+  result.value = vote.value;
+  return result;
+}
+
+void TmrSystem::reset() {
+  for (auto& node : nodes_) node->reset();
+  masked_ = 0;
+  held_ = 0.0f;
+}
+
+}  // namespace earl::node

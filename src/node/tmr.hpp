@@ -1,0 +1,34 @@
+// Triple modular redundancy: 2f+1 = 3 nodes with majority voting, the
+// massive-redundancy alternative the paper's introduction describes.  TMR
+// tolerates one arbitrarily-failing node — including value failures — at
+// three times the hardware cost of a simplex channel.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "node/node.hpp"
+#include "node/voter.hpp"
+
+namespace earl::node {
+
+class TmrSystem : public NodeSystem {
+ public:
+  TmrSystem(std::unique_ptr<fi::Target> a, std::unique_ptr<fi::Target> b,
+            std::unique_ptr<fi::Target> c);
+
+  SystemOutput step(float reference, float measurement) override;
+  void reset() override;
+
+  ComputerNode& node(std::size_t index) { return *nodes_[index]; }
+
+  /// Samples on which the voter saw disagreement (a masked value failure).
+  std::uint64_t masked_disagreements() const { return masked_; }
+
+ private:
+  std::array<std::unique_ptr<ComputerNode>, 3> nodes_;
+  std::uint64_t masked_ = 0;
+  float held_ = 0.0f;
+};
+
+}  // namespace earl::node

@@ -1,0 +1,26 @@
+// Majority voting over redundant float outputs.
+//
+// Bitwise agreement is meaningful here because replicated nodes run the
+// same deterministic program on the same inputs: fault-free replicas agree
+// exactly. The voter prefers a bitwise 2-of-N majority; with no exact
+// majority among available values it falls back to the median, which
+// bounds the voted command by a correct replica's value whenever at most
+// one replica is faulty.
+#pragma once
+
+#include <optional>
+#include <span>
+
+namespace earl::node {
+
+struct VoteResult {
+  float value = 0.0f;
+  bool majority = false;   // an exact 2-of-N agreement existed
+  bool available = false;  // at least one input was present
+};
+
+/// Votes over the produced outputs (entries may be missing when a node has
+/// fail-stopped).
+VoteResult majority_vote(std::span<const std::optional<float>> outputs);
+
+}  // namespace earl::node

@@ -1,0 +1,31 @@
+#include "plant/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace earl::plant {
+
+float Engine::step(float u, double load) {
+  // A corrupted controller can emit NaN; the physical engine cannot ingest
+  // "NaN degrees" — the throttle plate simply stays where it was, so we
+  // treat NaN as "no change in command" by holding the previous dynamics
+  // input at the current equilibrium-equivalent value.  Finite commands are
+  // clamped to the physical plate range.
+  double command = static_cast<double>(u);
+  if (std::isnan(command)) command = plate_;
+  command = std::clamp(command, 0.0, 70.0);
+
+  // The throttle servo tracks the command at a bounded rate.
+  const double max_step = config_.throttle_slew_rate * config_.dt;
+  plate_ += std::clamp(command - plate_, -max_step, max_step);
+
+  const double torque_speed = config_.gain * plate_;
+  const double derivative =
+      (torque_speed - speed_ - config_.load_gain * load) /
+      config_.time_constant;
+  speed_ += config_.dt * derivative;
+  speed_ = std::max(speed_, 0.0);  // engines do not spin backwards
+  return static_cast<float>(speed_);
+}
+
+}  // namespace earl::plant

@@ -1,0 +1,76 @@
+// Engine model — the controlled object.
+//
+// The paper simulates the engine with the Simulink model surrounding the PI
+// controller block (Figure 1) on the host workstation; the controller alone
+// runs on the target CPU.  We reproduce that split: this engine runs on the
+// host in double precision and is NEVER part of the fault space.
+//
+// Model: a first-order nonlinear engine.  Throttle angle u (degrees)
+// produces torque; speed omega (rpm) follows with time constant tau and is
+// dragged down by an external load torque:
+//
+//   d(omega)/dt = ( gain * u - omega - load_gain * load(t) ) / tau
+//
+// discretized with forward Euler at the controller's sample interval.
+// Speed is physically non-negative (an engine stalls rather than spinning
+// backwards).  Calibration (defaults below, verified by tests):
+//   * steady state at 2000 rpm needs ~6.7 deg throttle, 3000 rpm ~10 deg —
+//     matching the paper's Figure 5/10 magnitudes;
+//   * maximum speed at full throttle is gain * 70 = 21000 rpm, so a
+//     throttle locked at 70 deg is a severe overspeed (the paper's
+//     critical failure);
+//   * tau is large enough that a single-sample actuator glitch perturbs
+//     the speed by only a few rpm, which the loop absorbs below the 0.1 deg
+//     output-deviation threshold — the paper's "transient" failure class.
+#pragma once
+
+namespace earl::plant {
+
+struct EngineConfig {
+  double gain = 300.0;       // steady-state rpm per throttle degree
+  double time_constant = 2.0;  // s
+  double load_gain = 600.0;  // rpm drop per unit load at steady state
+  double dt = 0.0154;        // s, must equal the controller sample interval
+  double initial_speed = 2000.0;  // rpm
+  /// Throttle-servo slew rate [deg/s].  An electronic throttle plate moves
+  /// at a finite speed (~100-200 deg/s), so a command spike lasting one
+  /// 15.4 ms sample barely moves the plate — the physical filtering that
+  /// lets the control loop shrug off single-sample value failures (the
+  /// paper's "transient" class) while sustained wrong commands still drive
+  /// the plate all the way (the "permanent" class).
+  double throttle_slew_rate = 130.0;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineConfig config = {})
+      : config_(config),
+        speed_(config.initial_speed),
+        plate_(config.initial_speed / config.gain) {}
+
+  /// Advances one sample interval under throttle `u` (degrees) and external
+  /// load `load` (dimensionless, >= 0). Returns the new speed in rpm as the
+  /// sensor sees it (single precision).
+  float step(float u, double load);
+
+  void reset() {
+    speed_ = config_.initial_speed;
+    plate_ = config_.initial_speed / config_.gain;
+  }
+
+  double speed() const { return speed_; }
+  double throttle_plate() const { return plate_; }
+  const EngineConfig& config() const { return config_; }
+
+  /// Throttle angle that holds `speed_rpm` in steady state with no load.
+  double equilibrium_throttle(double speed_rpm) const {
+    return speed_rpm / config_.gain;
+  }
+
+ private:
+  EngineConfig config_;
+  double speed_;
+  double plate_;  // actual throttle-plate angle [deg], slew-limited
+};
+
+}  // namespace earl::plant

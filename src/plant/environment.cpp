@@ -1,0 +1,38 @@
+#include "plant/environment.hpp"
+
+namespace earl::plant {
+
+std::vector<TracePoint> run_closed_loop(const ClosedLoopConfig& config,
+                                        const ControllerFn& controller) {
+  Engine engine(config.engine);
+  std::vector<TracePoint> trace;
+  trace.reserve(config.iterations);
+  float y = static_cast<float>(engine.speed());
+  for (std::size_t k = 0; k < config.iterations; ++k) {
+    TracePoint point;
+    point.t = iteration_time(k);
+    point.reference = reference_speed(point.t, config.signals);
+    point.measurement = y;
+    point.load = engine_load(point.t, config.signals);
+    point.command = controller(point.reference, point.measurement);
+    y = engine.step(point.command, point.load);
+    trace.push_back(point);
+  }
+  return trace;
+}
+
+std::vector<float> command_series(const std::vector<TracePoint>& trace) {
+  std::vector<float> out;
+  out.reserve(trace.size());
+  for (const TracePoint& p : trace) out.push_back(p.command);
+  return out;
+}
+
+std::vector<float> speed_series(const std::vector<TracePoint>& trace) {
+  std::vector<float> out;
+  out.reserve(trace.size());
+  for (const TracePoint& p : trace) out.push_back(p.measurement);
+  return out;
+}
+
+}  // namespace earl::plant

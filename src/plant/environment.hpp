@@ -1,0 +1,48 @@
+// Closed-loop environment simulator.
+//
+// Plays the role of the Simulink-generated engine model running on the host
+// workstation (paper Section 3.3.2): each iteration it hands the controller
+// the reference r(k) and measurement y(k), receives the command u_lim(k),
+// and advances the engine one sample under the load profile.
+//
+// The controller side is abstracted as a callable so the same loop drives a
+// native controller, the TVM target, or a node assembly (duplex/TMR).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "plant/engine.hpp"
+#include "plant/signals.hpp"
+
+namespace earl::plant {
+
+struct TracePoint {
+  double t = 0.0;
+  float reference = 0.0f;    // r(k), rpm
+  float measurement = 0.0f;  // y(k), rpm (speed before this iteration's u)
+  float command = 0.0f;      // u_lim(k), degrees
+  double load = 0.0;
+};
+
+using ControllerFn = std::function<float(float reference, float measurement)>;
+
+struct ClosedLoopConfig {
+  EngineConfig engine;
+  SignalProfile signals;
+  std::size_t iterations = kIterations;
+};
+
+/// Runs the closed loop and returns the full trace. The engine and profile
+/// are reconstructed per call, so runs are independent and repeatable.
+std::vector<TracePoint> run_closed_loop(const ClosedLoopConfig& config,
+                                        const ControllerFn& controller);
+
+/// Extracts the command series u_lim(k) from a trace (the signal the
+/// paper's failure classification operates on).
+std::vector<float> command_series(const std::vector<TracePoint>& trace);
+
+/// Extracts the speed series y(k).
+std::vector<float> speed_series(const std::vector<TracePoint>& trace);
+
+}  // namespace earl::plant

@@ -1,0 +1,33 @@
+#include "plant/signals.hpp"
+
+#include <algorithm>
+
+namespace earl::plant {
+
+float reference_speed(double t, const SignalProfile& profile) {
+  return static_cast<float>(t < profile.step_time ? profile.ref_low
+                                                  : profile.ref_high);
+}
+
+namespace {
+
+/// Trapezoidal pulse: 0 outside [start, end], ramping linearly over `ramp`
+/// seconds at each edge, `amplitude` in between.
+double pulse(double t, double start, double end, double ramp,
+             double amplitude) {
+  if (t <= start || t >= end) return 0.0;
+  const double rise = (t - start) / ramp;
+  const double fall = (end - t) / ramp;
+  return amplitude * std::min({1.0, rise, fall});
+}
+
+}  // namespace
+
+double engine_load(double t, const SignalProfile& profile) {
+  return pulse(t, profile.load1_start, profile.load1_end, profile.load_ramp,
+               profile.load_amplitude) +
+         pulse(t, profile.load2_start, profile.load2_end, profile.load_ramp,
+               profile.load_amplitude);
+}
+
+}  // namespace earl::plant

@@ -1,0 +1,42 @@
+// Reference-speed and engine-load profiles (paper Figures 3 and 4).
+//
+// The observed interval is 10 seconds = 650 iterations at T = 15.4 ms.
+//   * Reference speed: 2000 rpm for t < 5 s, then a momentary step to
+//     3000 rpm for the rest of the interval.
+//   * Engine load: zero except two trapezoidal pulses during 3 < t < 4 and
+//     7 < t < 8 (the "hilly terrain" disturbance), which produce the speed
+//     dips visible in Figure 3.
+#pragma once
+
+#include <cstddef>
+
+namespace earl::plant {
+
+inline constexpr double kSampleInterval = 0.0154;  // s
+inline constexpr std::size_t kIterations = 650;    // 10 s observed interval
+
+struct SignalProfile {
+  double ref_low = 2000.0;    // rpm
+  double ref_high = 3000.0;   // rpm
+  double step_time = 5.0;     // s
+
+  double load_amplitude = 1.0;
+  double load1_start = 3.0;   // s
+  double load1_end = 4.0;
+  double load2_start = 7.0;
+  double load2_end = 8.0;
+  double load_ramp = 0.1;     // s rise/fall time of each pulse
+};
+
+/// Reference speed r(t) in rpm.
+float reference_speed(double t, const SignalProfile& profile = {});
+
+/// External load profile (dimensionless, 0..amplitude).
+double engine_load(double t, const SignalProfile& profile = {});
+
+/// Sample time of iteration k.
+inline double iteration_time(std::size_t k) {
+  return static_cast<double>(k) * kSampleInterval;
+}
+
+}  // namespace earl::plant

@@ -1,0 +1,823 @@
+#include "tvm/assembler.hpp"
+
+#include <cassert>
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+
+#include "util/bitops.hpp"
+
+namespace earl::tvm {
+
+std::uint32_t AssembledProgram::symbol(const std::string& name) const {
+  const auto it = symbols.find(name);
+  assert(it != symbols.end() && "unknown symbol");
+  return it == symbols.end() ? 0u : it->second;
+}
+
+namespace {
+
+struct Operand {
+  enum class Kind { kReg, kImm, kSym, kMem } kind = Kind::kImm;
+  unsigned reg = 0;          // kReg / kMem base register
+  std::int64_t value = 0;    // kImm / kMem displacement
+  std::string sym;           // kSym / kMem absolute symbol
+  bool mem_absolute = false; // kMem with [sym] form
+};
+
+struct Statement {
+  enum class Kind {
+    kInstruction,
+    kSigCheck,
+    kWord,
+    kFloat,
+    kSpace,
+  } kind = Kind::kInstruction;
+  std::string mnemonic;
+  std::vector<Operand> operands;
+  int line = 0;
+  bool in_text = true;
+  std::uint32_t address = 0;  // assigned in pass 1
+  unsigned size_words = 1;
+  double fvalue = 0.0;        // .float payload
+};
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::vector<std::string> split_operands(std::string_view s) {
+  std::vector<std::string> out;
+  std::string cur;
+  int depth = 0;
+  for (char c : s) {
+    if (c == '[') ++depth;
+    if (c == ']') --depth;
+    if (c == ',' && depth == 0) {
+      out.push_back(trim(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  const std::string last = trim(cur);
+  if (!last.empty()) out.push_back(last);
+  return out;
+}
+
+bool parse_int(std::string_view text, std::int64_t* out) {
+  std::string t = trim(text);
+  if (t.empty()) return false;
+  bool negative = false;
+  std::size_t pos = 0;
+  if (t[0] == '-' || t[0] == '+') {
+    negative = t[0] == '-';
+    pos = 1;
+  }
+  int base = 10;
+  if (t.size() > pos + 1 && t[pos] == '0' && (t[pos + 1] == 'x' || t[pos + 1] == 'X')) {
+    base = 16;
+    pos += 2;
+  }
+  std::uint64_t magnitude = 0;
+  const char* first = t.data() + pos;
+  const char* last = t.data() + t.size();
+  if (first == last) return false;
+  const auto [ptr, ec] = std::from_chars(first, last, magnitude, base);
+  if (ec != std::errc{} || ptr != last) return false;
+  *out = negative ? -static_cast<std::int64_t>(magnitude)
+                  : static_cast<std::int64_t>(magnitude);
+  return true;
+}
+
+std::optional<unsigned> parse_register(std::string_view text) {
+  std::string t = trim(text);
+  for (auto& c : t) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (t == "zero") return 0u;
+  if (t == "sp") return kRegSp;
+  if (t == "lr") return kRegLr;
+  if (t.size() >= 2 && t[0] == 'r') {
+    std::int64_t n = 0;
+    if (parse_int(t.substr(1), &n) && n >= 0 && n < kNumRegs) {
+      return static_cast<unsigned>(n);
+    }
+  }
+  return std::nullopt;
+}
+
+bool valid_symbol_name(std::string_view s) {
+  if (s.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(s[0])) && s[0] != '_') return false;
+  for (char c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != '.') {
+      return false;
+    }
+  }
+  return true;
+}
+
+Operand parse_operand(const std::string& text, std::vector<std::string>* errors,
+                      int line) {
+  Operand op;
+  auto error = [&](const std::string& msg) {
+    errors->push_back("line " + std::to_string(line) + ": " + msg);
+  };
+
+  if (text.empty()) {
+    error("empty operand");
+    return op;
+  }
+  if (text.front() == '[') {
+    if (text.back() != ']') {
+      error("unterminated memory operand '" + text + "'");
+      return op;
+    }
+    op.kind = Operand::Kind::kMem;
+    const std::string inner = trim(text.substr(1, text.size() - 2));
+    // Forms: rX | rX+imm | rX-imm | sym
+    std::size_t split = inner.find_first_of("+-", 1);
+    const std::string base = trim(split == std::string::npos
+                                      ? inner
+                                      : inner.substr(0, split));
+    if (auto r = parse_register(base)) {
+      op.reg = *r;
+      if (split != std::string::npos) {
+        std::int64_t disp = 0;
+        if (!parse_int(inner.substr(split), &disp)) {
+          error("bad displacement in '" + text + "'");
+        }
+        op.value = disp;
+      }
+    } else if (valid_symbol_name(inner)) {
+      op.mem_absolute = true;
+      op.sym = inner;
+      op.reg = 0;
+    } else {
+      error("bad memory operand '" + text + "'");
+    }
+    return op;
+  }
+  if (auto r = parse_register(text)) {
+    op.kind = Operand::Kind::kReg;
+    op.reg = *r;
+    return op;
+  }
+  std::int64_t value = 0;
+  if (parse_int(text, &value)) {
+    op.kind = Operand::Kind::kImm;
+    op.value = value;
+    return op;
+  }
+  if (valid_symbol_name(text)) {
+    op.kind = Operand::Kind::kSym;
+    op.sym = text;
+    return op;
+  }
+  error("unparseable operand '" + text + "'");
+  return op;
+}
+
+bool fits_imm18(std::int64_t v) { return v >= -(1 << 17) && v < (1 << 17); }
+
+struct MnemonicInfo {
+  Opcode op;
+  enum class Shape {
+    kNone,        // nop, halt, yield
+    kRdRaRb,      // add rd, ra, rb
+    kRdRa,        // fneg rd, ra
+    kRaRb,        // cmp ra, rb
+    kRdRaImm,     // addi rd, ra, imm
+    kRaImm,       // cmpi ra, imm
+    kRdImm,       // movi rd, imm
+    kMem,         // ldw/stw rd, [..]
+    kBranch,      // beq label
+    kJump,        // jmp/jal label
+    kJr,          // jr ra
+    kTrap,        // trap imm
+  } shape;
+};
+
+std::optional<MnemonicInfo> mnemonic_info(const std::string& m) {
+  using S = MnemonicInfo::Shape;
+  static const std::map<std::string, MnemonicInfo> table = {
+      {"nop", {Opcode::kNop, S::kNone}},
+      {"halt", {Opcode::kHalt, S::kNone}},
+      {"yield", {Opcode::kYield, S::kNone}},
+      {"trap", {Opcode::kTrap, S::kTrap}},
+      {"add", {Opcode::kAdd, S::kRdRaRb}},
+      {"sub", {Opcode::kSub, S::kRdRaRb}},
+      {"mul", {Opcode::kMul, S::kRdRaRb}},
+      {"divs", {Opcode::kDivs, S::kRdRaRb}},
+      {"and", {Opcode::kAnd, S::kRdRaRb}},
+      {"or", {Opcode::kOr, S::kRdRaRb}},
+      {"xor", {Opcode::kXor, S::kRdRaRb}},
+      {"sll", {Opcode::kSll, S::kRdRaRb}},
+      {"srl", {Opcode::kSrl, S::kRdRaRb}},
+      {"sra", {Opcode::kSra, S::kRdRaRb}},
+      {"addi", {Opcode::kAddi, S::kRdRaImm}},
+      {"ori", {Opcode::kOri, S::kRdRaImm}},
+      {"andi", {Opcode::kAndi, S::kRdRaImm}},
+      {"xori", {Opcode::kXori, S::kRdRaImm}},
+      {"movi", {Opcode::kMovi, S::kRdImm}},
+      {"movhi", {Opcode::kMovhi, S::kRdImm}},
+      {"ldw", {Opcode::kLdw, S::kMem}},
+      {"stw", {Opcode::kStw, S::kMem}},
+      {"cmp", {Opcode::kCmp, S::kRaRb}},
+      {"cmpi", {Opcode::kCmpi, S::kRaImm}},
+      {"fcmp", {Opcode::kFcmp, S::kRaRb}},
+      {"fadd", {Opcode::kFadd, S::kRdRaRb}},
+      {"fsub", {Opcode::kFsub, S::kRdRaRb}},
+      {"fmul", {Opcode::kFmul, S::kRdRaRb}},
+      {"fdiv", {Opcode::kFdiv, S::kRdRaRb}},
+      {"fneg", {Opcode::kFneg, S::kRdRa}},
+      {"fabs", {Opcode::kFabs, S::kRdRa}},
+      {"itof", {Opcode::kItof, S::kRdRa}},
+      {"ftoi", {Opcode::kFtoi, S::kRdRa}},
+      {"beq", {Opcode::kBeq, S::kBranch}},
+      {"bne", {Opcode::kBne, S::kBranch}},
+      {"blt", {Opcode::kBlt, S::kBranch}},
+      {"bge", {Opcode::kBge, S::kBranch}},
+      {"ble", {Opcode::kBle, S::kBranch}},
+      {"bgt", {Opcode::kBgt, S::kBranch}},
+      {"jmp", {Opcode::kJmp, S::kJump}},
+      {"jal", {Opcode::kJal, S::kJump}},
+      {"jr", {Opcode::kJr, S::kJr}},
+  };
+  const auto it = table.find(m);
+  if (it == table.end()) return std::nullopt;
+  return it->second;
+}
+
+/// Assembly context shared by both passes.
+class Assembly {
+ public:
+  AssembledProgram run(std::string_view source) {
+    parse(source);
+    if (program_.errors.empty()) layout();
+    if (program_.errors.empty()) emit();
+    return std::move(program_);
+  }
+
+ private:
+  void error(int line, const std::string& msg) {
+    program_.errors.push_back("line " + std::to_string(line) + ": " + msg);
+  }
+
+  // --- Pass 0: parse source into statements + raw labels -----------------
+  void parse(std::string_view source) {
+    int line_no = 0;
+    bool in_text = true;
+    std::size_t pos = 0;
+    while (pos <= source.size()) {
+      const std::size_t nl = source.find('\n', pos);
+      std::string_view raw = source.substr(
+          pos, nl == std::string_view::npos ? source.size() - pos : nl - pos);
+      pos = nl == std::string_view::npos ? source.size() + 1 : nl + 1;
+      ++line_no;
+
+      // Strip comments.
+      const std::size_t comment = raw.find_first_of(";#");
+      if (comment != std::string_view::npos) raw = raw.substr(0, comment);
+      std::string text = trim(raw);
+      if (text.empty()) continue;
+
+      // Labels (possibly several on one line).
+      while (true) {
+        const std::size_t colon = text.find(':');
+        if (colon == std::string::npos) break;
+        const std::string label = trim(text.substr(0, colon));
+        if (!valid_symbol_name(label)) {
+          error(line_no, "bad label '" + label + "'");
+          return;
+        }
+        labels_.push_back({label, statements_.size(), in_text, line_no});
+        text = trim(text.substr(colon + 1));
+      }
+      if (text.empty()) continue;
+
+      if (text[0] == '.') {
+        parse_directive(text, line_no, &in_text);
+      } else {
+        parse_instruction(text, line_no, in_text);
+      }
+    }
+  }
+
+  void parse_directive(const std::string& text, int line_no, bool* in_text) {
+    const std::size_t space = text.find_first_of(" \t");
+    const std::string name =
+        space == std::string::npos ? text : text.substr(0, space);
+    const std::string rest =
+        space == std::string::npos ? "" : trim(text.substr(space));
+    if (name == ".text") {
+      *in_text = true;
+    } else if (name == ".data") {
+      *in_text = false;
+    } else if (name == ".entry") {
+      entry_symbol_ = rest;
+      entry_line_ = line_no;
+    } else if (name == ".equ") {
+      const auto parts = split_operands(rest);
+      std::int64_t value = 0;
+      if (parts.size() != 2 || !valid_symbol_name(parts[0]) ||
+          !parse_int(parts[1], &value)) {
+        error(line_no, "bad .equ");
+        return;
+      }
+      if (!program_.symbols.emplace(parts[0], static_cast<std::uint32_t>(value)).second) {
+        error(line_no, "duplicate symbol '" + parts[0] + "'");
+      }
+    } else if (name == ".sigcheck") {
+      Statement st;
+      st.kind = Statement::Kind::kSigCheck;
+      st.line = line_no;
+      st.in_text = *in_text;
+      if (!*in_text) {
+        error(line_no, ".sigcheck outside .text");
+        return;
+      }
+      statements_.push_back(std::move(st));
+    } else if (name == ".word") {
+      Statement st;
+      st.kind = Statement::Kind::kWord;
+      st.line = line_no;
+      st.in_text = *in_text;
+      st.operands.push_back(parse_operand(rest, &program_.errors, line_no));
+      statements_.push_back(std::move(st));
+    } else if (name == ".float") {
+      Statement st;
+      st.kind = Statement::Kind::kFloat;
+      st.line = line_no;
+      st.in_text = *in_text;
+      char* end = nullptr;
+      st.fvalue = std::strtod(rest.c_str(), &end);
+      if (end == rest.c_str() || *end != '\0') {
+        error(line_no, "bad .float value '" + rest + "'");
+      }
+      statements_.push_back(std::move(st));
+    } else if (name == ".space") {
+      Statement st;
+      st.kind = Statement::Kind::kSpace;
+      st.line = line_no;
+      st.in_text = *in_text;
+      std::int64_t bytes = 0;
+      if (!parse_int(rest, &bytes) || bytes < 0 || bytes % 4 != 0) {
+        error(line_no, ".space needs a non-negative word multiple");
+        return;
+      }
+      st.size_words = static_cast<unsigned>(bytes / 4);
+      statements_.push_back(std::move(st));
+    } else {
+      error(line_no, "unknown directive '" + name + "'");
+    }
+  }
+
+  void parse_instruction(const std::string& text, int line_no, bool in_text) {
+    if (!in_text) {
+      error(line_no, "instruction outside .text");
+      return;
+    }
+    const std::size_t space = text.find_first_of(" \t");
+    Statement st;
+    st.kind = Statement::Kind::kInstruction;
+    st.line = line_no;
+    st.in_text = true;
+    st.mnemonic = space == std::string::npos ? text : text.substr(0, space);
+    for (auto& c : st.mnemonic) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    if (space != std::string::npos) {
+      const auto operand_texts = split_operands(text.substr(space));
+      if (st.mnemonic == "lif") {
+        // lif rd, <float literal>: the second operand is a float, which the
+        // generic operand grammar does not cover.
+        if (operand_texts.size() == 2) {
+          st.operands.push_back(
+              parse_operand(operand_texts[0], &program_.errors, line_no));
+          char* end = nullptr;
+          st.fvalue = std::strtod(operand_texts[1].c_str(), &end);
+          if (end == operand_texts[1].c_str() || *end != '\0') {
+            error(line_no, "bad float literal '" + operand_texts[1] + "'");
+          }
+        } else {
+          error(line_no, "lif needs two operands");
+        }
+      } else {
+        for (const auto& operand_text : operand_texts) {
+          st.operands.push_back(
+              parse_operand(operand_text, &program_.errors, line_no));
+        }
+      }
+    }
+    // Size pseudo-instructions now so pass-1 layout is possible.
+    st.size_words = pseudo_size(st);
+    statements_.push_back(std::move(st));
+  }
+
+  unsigned pseudo_size(const Statement& st) {
+    const std::string& m = st.mnemonic;
+    if (m == "lif") {
+      const auto bits = static_cast<std::int32_t>(
+          util::float_to_bits(static_cast<float>(st.fvalue)));
+      return fits_imm18(bits) ? 1 : 2;
+    }
+    if (m == "li") {
+      if (st.operands.size() == 2 &&
+          st.operands[1].kind == Operand::Kind::kImm) {
+        return fits_imm18(st.operands[1].value) ? 1 : 2;
+      }
+      return 2;
+    }
+    if (m == "la") return 2;
+    if (m == "push" || m == "pop") return 2;
+    return 1;
+  }
+
+  // --- Pass 1: address assignment -----------------------------------------
+  void layout() {
+    std::uint32_t code_addr = kCodeBase;
+    std::uint32_t data_addr = kDataBase;
+    std::size_t label_cursor = 0;
+    for (std::size_t i = 0; i < statements_.size(); ++i) {
+      // Bind labels that precede this statement.
+      while (label_cursor < labels_.size() &&
+             labels_[label_cursor].statement == i) {
+        bind_label(labels_[label_cursor],
+                   labels_[label_cursor].in_text ? code_addr : data_addr);
+        ++label_cursor;
+      }
+      Statement& st = statements_[i];
+      std::uint32_t& addr = st.in_text ? code_addr : data_addr;
+      st.address = addr;
+      addr += 4 * st.size_words;
+    }
+    // Trailing labels bind to the end of their section.
+    while (label_cursor < labels_.size()) {
+      bind_label(labels_[label_cursor],
+                 labels_[label_cursor].in_text ? code_addr : data_addr);
+      ++label_cursor;
+    }
+    if (code_addr > kCodeBase + kCodeSize) {
+      program_.errors.push_back("code image exceeds ROM size");
+    }
+    if (data_addr > kDataBase + kDataSize) {
+      program_.errors.push_back("data image exceeds RAM size");
+    }
+    if (!entry_symbol_.empty()) {
+      const auto it = program_.symbols.find(entry_symbol_);
+      if (it == program_.symbols.end()) {
+        error(entry_line_, "unknown entry symbol '" + entry_symbol_ + "'");
+      } else {
+        program_.entry = it->second;
+      }
+    }
+  }
+
+  struct Label {
+    std::string name;
+    std::size_t statement;  // index of the statement the label precedes
+    bool in_text;
+    int line;
+  };
+
+  void bind_label(const Label& label, std::uint32_t addr) {
+    if (!program_.symbols.emplace(label.name, addr).second) {
+      error(label.line, "duplicate symbol '" + label.name + "'");
+    }
+  }
+
+  // --- Pass 2: encoding ----------------------------------------------------
+  std::optional<std::int64_t> resolve(const Operand& op, int line) {
+    switch (op.kind) {
+      case Operand::Kind::kImm:
+        return op.value;
+      case Operand::Kind::kSym: {
+        const auto it = program_.symbols.find(op.sym);
+        if (it == program_.symbols.end()) {
+          error(line, "unknown symbol '" + op.sym + "'");
+          return std::nullopt;
+        }
+        return static_cast<std::int64_t>(it->second);
+      }
+      default:
+        error(line, "expected an immediate or symbol");
+        return std::nullopt;
+    }
+  }
+
+  void emit_word(const Statement& st, std::uint32_t word) {
+    std::vector<std::uint32_t>& section = st.in_text ? program_.code : program_.data;
+    section.push_back(word);
+    if (st.in_text) {
+      const auto decoded = decode(word);
+      if (decoded && decoded->op != Opcode::kSig &&
+          !is_control_transfer(decoded->op)) {
+        sig_acc_ = sig_step(sig_acc_, word);
+      }
+    }
+  }
+
+  void emit_instruction(const Statement& st, Opcode op, unsigned rd,
+                        unsigned ra, unsigned rb, std::int32_t imm) {
+    Instruction ins;
+    ins.op = op;
+    ins.rd = rd;
+    ins.ra = ra;
+    ins.rb = rb;
+    ins.imm = imm;
+    emit_word(st, encode(ins));
+  }
+
+  bool expect_operands(const Statement& st, std::size_t n) {
+    if (st.operands.size() != n) {
+      error(st.line, "expected " + std::to_string(n) + " operands for '" +
+                         st.mnemonic + "'");
+      return false;
+    }
+    return true;
+  }
+
+  bool expect_reg(const Statement& st, std::size_t index) {
+    if (index >= st.operands.size() ||
+        st.operands[index].kind != Operand::Kind::kReg) {
+      error(st.line, "operand " + std::to_string(index + 1) +
+                         " of '" + st.mnemonic + "' must be a register");
+      return false;
+    }
+    return true;
+  }
+
+  void emit_li(const Statement& st, unsigned rd, std::uint32_t value) {
+    const auto as_signed = static_cast<std::int32_t>(value);
+    if (fits_imm18(as_signed) && st.size_words == 1) {
+      emit_instruction(st, Opcode::kMovi, rd, 0, 0, as_signed);
+      return;
+    }
+    emit_instruction(st, Opcode::kMovhi, rd, 0, 0,
+                     static_cast<std::int32_t>(value >> 16));
+    emit_instruction(st, Opcode::kOri, rd, rd, 0,
+                     static_cast<std::int32_t>(value & 0xffffu));
+  }
+
+  void emit() {
+    // Code labels are basic-block entries: by the signature discipline
+    // (assembler.hpp) execution always reaches a label with a freshly reset
+    // accumulator, so the static accumulator resets there too.
+    std::vector<bool> label_at_statement(statements_.size() + 1, false);
+    for (const Label& label : labels_) {
+      if (label.in_text) label_at_statement[label.statement] = true;
+    }
+    for (std::size_t i = 0; i < statements_.size(); ++i) {
+      if (label_at_statement[i] && statements_[i].in_text) sig_acc_ = 0;
+      const Statement& st = statements_[i];
+      switch (st.kind) {
+        case Statement::Kind::kWord: {
+          if (st.in_text) {
+            error(st.line, ".word in .text is not supported");
+            break;
+          }
+          std::int64_t value = 0;
+          if (st.operands.size() == 1) {
+            if (auto v = resolve(st.operands[0], st.line)) value = *v;
+          } else {
+            error(st.line, ".word needs one value");
+          }
+          program_.data.push_back(static_cast<std::uint32_t>(value));
+          break;
+        }
+        case Statement::Kind::kFloat:
+          if (st.in_text) {
+            error(st.line, ".float in .text is not supported");
+          } else {
+            program_.data.push_back(
+                util::float_to_bits(static_cast<float>(st.fvalue)));
+          }
+          break;
+        case Statement::Kind::kSpace:
+          for (unsigned w = 0; w < st.size_words; ++w) {
+            (st.in_text ? program_.code : program_.data).push_back(0);
+          }
+          break;
+        case Statement::Kind::kSigCheck:
+          emit_instruction(st, Opcode::kSig, 0, 0, 0,
+                           static_cast<std::int32_t>(sig_acc_));
+          sig_acc_ = 0;
+          break;
+        case Statement::Kind::kInstruction:
+          emit_one(st);
+          break;
+      }
+    }
+    if (program_.errors.empty() && entry_symbol_.empty() &&
+        !program_.code.empty()) {
+      program_.entry = kCodeBase;
+    }
+  }
+
+  void emit_one(const Statement& st) {
+    const std::string& m = st.mnemonic;
+
+    // Pseudo-instructions first.
+    if (m == "lif") {
+      if (st.operands.size() != 1 ||
+          st.operands[0].kind != Operand::Kind::kReg) {
+        error(st.line, "lif needs a register and a float literal");
+        return;
+      }
+      emit_li(st, st.operands[0].reg,
+              util::float_to_bits(static_cast<float>(st.fvalue)));
+      return;
+    }
+    if (m == "li" || m == "la") {
+      if (!expect_operands(st, 2) || !expect_reg(st, 0)) return;
+      const auto resolved = resolve(st.operands[1], st.line);
+      if (!resolved) return;
+      emit_li(st, st.operands[0].reg, static_cast<std::uint32_t>(*resolved));
+      return;
+    }
+    if (m == "mov") {
+      if (!expect_operands(st, 2) || !expect_reg(st, 0) || !expect_reg(st, 1)) return;
+      emit_instruction(st, Opcode::kOr, st.operands[0].reg,
+                       st.operands[1].reg, 0, 0);
+      return;
+    }
+    if (m == "push") {
+      if (!expect_operands(st, 1) || !expect_reg(st, 0)) return;
+      emit_instruction(st, Opcode::kAddi, kRegSp, kRegSp, 0, -4);
+      emit_instruction(st, Opcode::kStw, st.operands[0].reg, kRegSp, 0, 0);
+      return;
+    }
+    if (m == "pop") {
+      if (!expect_operands(st, 1) || !expect_reg(st, 0)) return;
+      emit_instruction(st, Opcode::kLdw, st.operands[0].reg, kRegSp, 0, 0);
+      emit_instruction(st, Opcode::kAddi, kRegSp, kRegSp, 0, 4);
+      return;
+    }
+    if (m == "ret") {
+      emit_instruction(st, Opcode::kJr, 0, kRegLr, 0, 0);
+      return;
+    }
+
+    const auto info = mnemonic_info(m);
+    if (!info) {
+      error(st.line, "unknown mnemonic '" + m + "'");
+      return;
+    }
+    using S = MnemonicInfo::Shape;
+    switch (info->shape) {
+      case S::kNone:
+        if (!expect_operands(st, 0)) return;
+        emit_instruction(st, info->op, 0, 0, 0, 0);
+        break;
+      case S::kRdRaRb:
+        if (!expect_operands(st, 3) || !expect_reg(st, 0) ||
+            !expect_reg(st, 1) || !expect_reg(st, 2)) {
+          return;
+        }
+        emit_instruction(st, info->op, st.operands[0].reg, st.operands[1].reg,
+                         st.operands[2].reg, 0);
+        break;
+      case S::kRdRa:
+        if (!expect_operands(st, 2) || !expect_reg(st, 0) || !expect_reg(st, 1)) return;
+        emit_instruction(st, info->op, st.operands[0].reg, st.operands[1].reg,
+                         0, 0);
+        break;
+      case S::kRaRb:
+        if (!expect_operands(st, 2) || !expect_reg(st, 0) || !expect_reg(st, 1)) return;
+        emit_instruction(st, info->op, 0, st.operands[0].reg,
+                         st.operands[1].reg, 0);
+        break;
+      case S::kRdRaImm: {
+        if (!expect_operands(st, 3) || !expect_reg(st, 0) || !expect_reg(st, 1)) return;
+        const auto imm = resolve(st.operands[2], st.line);
+        if (!imm) return;
+        if (info->op == Opcode::kAddi ? !fits_imm18(*imm)
+                                      : (*imm < 0 || *imm >= (1 << 18))) {
+          error(st.line, "immediate out of range");
+          return;
+        }
+        emit_instruction(st, info->op, st.operands[0].reg, st.operands[1].reg,
+                         0, static_cast<std::int32_t>(*imm));
+        break;
+      }
+      case S::kRaImm: {
+        if (!expect_operands(st, 2) || !expect_reg(st, 0)) return;
+        const auto imm = resolve(st.operands[1], st.line);
+        if (!imm) return;
+        if (!fits_imm18(*imm)) {
+          error(st.line, "immediate out of range");
+          return;
+        }
+        emit_instruction(st, info->op, 0, st.operands[0].reg, 0,
+                         static_cast<std::int32_t>(*imm));
+        break;
+      }
+      case S::kRdImm: {
+        if (!expect_operands(st, 2) || !expect_reg(st, 0)) return;
+        const auto imm = resolve(st.operands[1], st.line);
+        if (!imm) return;
+        if (info->op == Opcode::kMovi && !fits_imm18(*imm)) {
+          error(st.line, "movi immediate out of range (use li)");
+          return;
+        }
+        emit_instruction(st, info->op, st.operands[0].reg, 0, 0,
+                         static_cast<std::int32_t>(*imm));
+        break;
+      }
+      case S::kMem: {
+        if (!expect_operands(st, 2) || !expect_reg(st, 0)) return;
+        const Operand& mem = st.operands[1];
+        if (mem.kind != Operand::Kind::kMem) {
+          error(st.line, "second operand must be a memory reference");
+          return;
+        }
+        std::int64_t disp = mem.value;
+        unsigned base = mem.reg;
+        if (mem.mem_absolute) {
+          const auto it = program_.symbols.find(mem.sym);
+          if (it == program_.symbols.end()) {
+            error(st.line, "unknown symbol '" + mem.sym + "'");
+            return;
+          }
+          disp = it->second;
+          base = 0;
+        }
+        if (!fits_imm18(disp)) {
+          error(st.line, "memory displacement out of range");
+          return;
+        }
+        emit_instruction(st, info->op, st.operands[0].reg, base, 0,
+                         static_cast<std::int32_t>(disp));
+        break;
+      }
+      case S::kBranch: {
+        if (!expect_operands(st, 1)) return;
+        const auto target = resolve(st.operands[0], st.line);
+        if (!target) return;
+        const std::int64_t offset_bytes = *target - st.address;
+        if (offset_bytes % 4 != 0 || !fits_imm18(offset_bytes / 4)) {
+          error(st.line, "branch target out of range");
+          return;
+        }
+        emit_instruction(st, info->op, 0, 0, 0,
+                         static_cast<std::int32_t>(offset_bytes / 4));
+        break;
+      }
+      case S::kJump: {
+        if (!expect_operands(st, 1)) return;
+        const auto target = resolve(st.operands[0], st.line);
+        if (!target) return;
+        if (*target % 4 != 0 || *target < 0 || *target >= (1 << 28)) {
+          error(st.line, "jump target out of range");
+          return;
+        }
+        emit_instruction(st, info->op, 0, 0, 0,
+                         static_cast<std::int32_t>(*target / 4));
+        break;
+      }
+      case S::kJr:
+        if (!expect_operands(st, 1) || !expect_reg(st, 0)) return;
+        emit_instruction(st, info->op, 0, st.operands[0].reg, 0, 0);
+        break;
+      case S::kTrap: {
+        if (!expect_operands(st, 1)) return;
+        const auto code = resolve(st.operands[0], st.line);
+        if (!code || *code < 0 || *code > 255) {
+          error(st.line, "trap code out of range");
+          return;
+        }
+        emit_instruction(st, info->op, 0, 0, 0,
+                         static_cast<std::int32_t>(*code));
+        break;
+      }
+    }
+  }
+
+  AssembledProgram program_;
+  std::vector<Statement> statements_;
+  std::vector<Label> labels_;
+  std::string entry_symbol_;
+  int entry_line_ = 0;
+  std::uint16_t sig_acc_ = 0;
+};
+
+}  // namespace
+
+AssembledProgram assemble(std::string_view source) {
+  return Assembly().run(source);
+}
+
+bool load_program(const AssembledProgram& program, MemoryMap& mem) {
+  if (!program.ok()) return false;
+  if (!mem.load_code(program.code)) return false;
+  if (!mem.load_data(program.data)) return false;
+  return true;
+}
+
+}  // namespace earl::tvm

@@ -1,0 +1,75 @@
+// Two-pass assembler for the TVM ISA.
+//
+// This is the bottom half of the "Real-Time Workshop" substitute: the block
+// code generator (codegen/emitter.hpp) emits assembly text, and this
+// assembler turns it into a loadable image.  It is also used directly by
+// tests and by hand-written workloads.
+//
+// Syntax
+//   ; or # start a comment.
+//   label:            defines a symbol at the current location counter.
+//   .text / .data     switch sections (code defaults first).
+//   .word N | sym     emit a 32-bit word in the current section.
+//   .float F          emit an IEEE-754 single constant.
+//   .space N          reserve N bytes (word multiple) of zeros.
+//   .equ name, value  define an absolute symbol.
+//   .entry label      set the program entry point (default: first code word).
+//   .sigcheck         emit a control-flow signature check (SIG) whose
+//                     expected value the assembler computes over the
+//                     instructions emitted since the previous .sigcheck or
+//                     label (control transfers excluded, matching the CPU).
+//
+// Signature discipline (for code that uses .sigcheck): control may only be
+// transferred to a label; every label must be reached with a freshly reset
+// accumulator, i.e. it must be preceded in layout by a .sigcheck, or by an
+// instruction that never falls through (jmp, jr, ret, trap, halt), or be a
+// function entry reached via jal placed directly after a .sigcheck.  The
+// code generator emits conforming code automatically; hand-written code
+// that violates the discipline fails its next signature check at run time
+// (a false CONTROL FLOW ERROR), which tests will catch immediately.
+//
+// Registers are r0..r15 with aliases zero (r0), sp (r14) and lr (r15).
+// Memory operands are [rX], [rX+imm], [rX-imm] or [sym] (absolute via r0).
+//
+// Pseudo-instructions (expanded deterministically):
+//   li  rd, imm32     1 word (movi) when the literal fits 18 signed bits,
+//                     else 2 words (movhi + ori). Symbolic values always 2.
+//   lif rd, float     li with the float's bit pattern.
+//   la  rd, sym       movhi + ori with the symbol's address (always 2).
+//   mov rd, ra        or rd, ra, r0
+//   push rs / pop rd  stack ops through sp
+//   ret               jr lr
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tvm/isa.hpp"
+#include "tvm/memory.hpp"
+
+namespace earl::tvm {
+
+struct AssembledProgram {
+  std::vector<std::uint32_t> code;
+  std::vector<std::uint32_t> data;
+  std::map<std::string, std::uint32_t> symbols;  // name -> value/address
+  std::uint32_t entry = kCodeBase;
+  std::vector<std::string> errors;  // "line N: message"
+
+  bool ok() const { return errors.empty(); }
+
+  /// Address of a symbol; asserts in debug builds when missing — callers
+  /// use this for symbols they just assembled.
+  std::uint32_t symbol(const std::string& name) const;
+};
+
+AssembledProgram assemble(std::string_view source);
+
+/// Loads code + data images into a machine and resets the CPU at the entry
+/// point. Returns false if an image does not fit its region.
+bool load_program(const AssembledProgram& program, MemoryMap& mem);
+
+}  // namespace earl::tvm

@@ -1,0 +1,144 @@
+#include "tvm/cache.hpp"
+
+#include "util/bitops.hpp"
+
+namespace earl::tvm {
+
+DataCache::DataCache(CacheConfig config) : config_(config) {}
+
+Edm DataCache::fill(std::uint32_t addr, MemoryMap& mem) {
+  const unsigned index = index_of(addr);
+  Line& line = lines_[index];
+  const std::uint32_t want_tag = tag_of(addr);
+  if (line.valid && line.tag == want_tag) return Edm::kNone;
+
+  if (line.valid && line.dirty) {
+    const Edm victim_fault = write_back(index, mem);
+    if (victim_fault != Edm::kNone) return victim_fault;
+  }
+
+  const std::uint32_t base = addr & ~(kLineBytes - 1u);
+  Edm fault = Edm::kNone;
+  for (unsigned w = 0; w < kWordsPerLine; ++w) {
+    const std::uint32_t word_addr = base + w * 4;
+    if (mem.is_poisoned(word_addr)) fault = Edm::kDataError;
+    line.words[w] = mem.read_raw(word_addr);
+    line.parity[w] = util::odd_parity32(line.words[w]);
+  }
+  line.tag = want_tag;
+  line.valid = true;
+  line.dirty = false;
+  return fault;
+}
+
+Edm DataCache::write_back(unsigned index, MemoryMap& mem) {
+  Line& line = lines_[index];
+  const std::uint32_t base = line_base_address(line.tag, index);
+  // The write-back address is reconstructed from the stored tag. A
+  // corrupted tag aims the bus transaction at non-cacheable or unmapped
+  // memory; the bus interface refuses it — this is how tag-bit upsets
+  // surface as ADDRESS/BUS errors rather than silent corruption.
+  const Region region = classify_address(base);
+  if (region != Region::kData && region != Region::kStack) {
+    line.dirty = false;  // transaction aborted; the node traps anyway
+    return region == Region::kUnmapped ? Edm::kBusError : Edm::kAddressError;
+  }
+  for (unsigned w = 0; w < kWordsPerLine; ++w) {
+    mem.write_raw(base + w * 4, line.words[w]);
+  }
+  line.dirty = false;
+  ++stats_.writebacks;
+  return Edm::kNone;
+}
+
+CacheAccess DataCache::read_word(std::uint32_t addr, MemoryMap& mem) {
+  CacheAccess result;
+  const unsigned index = index_of(addr);
+  Line& line = lines_[index];
+  result.hit = line.valid && line.tag == tag_of(addr);
+  if (result.hit) {
+    ++stats_.hits;
+  } else {
+    ++stats_.misses;
+    result.fault = fill(addr, mem);
+    if (result.fault != Edm::kNone) return result;
+  }
+  const unsigned w = (addr >> 2) & (kWordsPerLine - 1u);
+  result.value = line.words[w];
+  if (config_.parity_enabled &&
+      line.parity[w] != util::odd_parity32(line.words[w])) {
+    result.fault = Edm::kDataError;
+  }
+  return result;
+}
+
+CacheAccess DataCache::write_word(std::uint32_t addr, std::uint32_t value,
+                                  MemoryMap& mem) {
+  CacheAccess result;
+  const unsigned index = index_of(addr);
+  Line& line = lines_[index];
+  result.hit = line.valid && line.tag == tag_of(addr);
+  if (result.hit) {
+    ++stats_.hits;
+  } else {
+    ++stats_.misses;
+    result.fault = fill(addr, mem);
+    if (result.fault != Edm::kNone) return result;
+  }
+  const unsigned w = (addr >> 2) & (kWordsPerLine - 1u);
+  line.words[w] = value;
+  line.parity[w] = util::odd_parity32(value);
+  line.dirty = true;
+  result.value = value;
+  return result;
+}
+
+void DataCache::flush(MemoryMap& mem) {
+  for (unsigned index = 0; index < kCacheLines; ++index) {
+    if (lines_[index].valid && lines_[index].dirty) {
+      (void)write_back(index, mem);
+    }
+  }
+}
+
+void DataCache::invalidate_all() {
+  for (Line& line : lines_) line = Line{};
+  stats_ = CacheStats{};
+}
+
+bool DataCache::probe(std::uint32_t addr) const {
+  const Line& line = lines_[index_of(addr)];
+  return line.valid && line.tag == tag_of(addr);
+}
+
+std::uint32_t DataCache::data_word(unsigned line, unsigned word) const {
+  return lines_[line & 7u].words[word & 3u];
+}
+
+void DataCache::set_data_word(unsigned line, unsigned word,
+                              std::uint32_t value) {
+  lines_[line & 7u].words[word & 3u] = value;
+}
+
+std::uint32_t DataCache::tag(unsigned line) const {
+  return lines_[line & 7u].tag;
+}
+
+void DataCache::set_tag(unsigned line, std::uint32_t value) {
+  lines_[line & 7u].tag = value & ((1u << kTagBits) - 1u);
+}
+
+bool DataCache::valid(unsigned line) const { return lines_[line & 7u].valid; }
+void DataCache::set_valid(unsigned line, bool v) { lines_[line & 7u].valid = v; }
+bool DataCache::dirty(unsigned line) const { return lines_[line & 7u].dirty; }
+void DataCache::set_dirty(unsigned line, bool v) { lines_[line & 7u].dirty = v; }
+
+bool DataCache::parity_bit(unsigned line, unsigned word) const {
+  return lines_[line & 7u].parity[word & 3u];
+}
+
+void DataCache::set_parity_bit(unsigned line, unsigned word, bool v) {
+  lines_[line & 7u].parity[word & 3u] = v;
+}
+
+}  // namespace earl::tvm

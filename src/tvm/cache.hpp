@@ -1,0 +1,117 @@
+// 128-byte write-back data cache.
+//
+// Mirrors the structural role of Thor's 128-byte in-pipeline data cache: a
+// small cache whose *contents are part of the CPU's fault space*.  Bit-flips
+// in the data bits of a resident dirty line corrupt program variables
+// without any hardware mechanism noticing — the escape path behind the
+// paper's severe value failures.
+//
+// Geometry: 8 direct-mapped lines x 16 bytes (4 words); write-back,
+// write-allocate.  Only the data RAM and stack regions are cacheable.
+//
+// Optional word parity models the paper's Section 4.3 alternative ("a parity
+// protected cache"): one parity bit per cached word, checked on every read
+// hit; a mismatch raises DATA ERROR.  The parity bits themselves join the
+// fault space when enabled (a flipped parity bit causes a false-positive
+// detection, exactly as in hardware).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "tvm/edm.hpp"
+#include "tvm/memory.hpp"
+
+namespace earl::tvm {
+
+inline constexpr unsigned kCacheLines = 8;
+inline constexpr unsigned kWordsPerLine = 4;
+inline constexpr unsigned kLineBytes = kWordsPerLine * 4;
+inline constexpr unsigned kCacheBytes = kCacheLines * kLineBytes;
+inline constexpr unsigned kTagBits = 11;  // 18-bit address space, 7 line bits
+
+struct CacheConfig {
+  bool parity_enabled = false;
+};
+
+struct CacheAccess {
+  std::uint32_t value = 0;
+  Edm fault = Edm::kNone;
+  bool hit = false;
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t writebacks = 0;
+};
+
+class DataCache {
+ public:
+  explicit DataCache(CacheConfig config = {});
+
+  /// Word read through the cache; fills on miss (evicting and writing back
+  /// the victim).  `addr` is word-aligned and permission-checked.  Returns a
+  /// DATA ERROR fault when a poisoned memory word is filled or when parity
+  /// checking fails, and a BUS/ADDRESS ERROR when a victim's write-back
+  /// address (reconstructed from its — possibly corrupted — tag) does not
+  /// point at cacheable memory: a flipped tag bit makes the write-back bus
+  /// transaction target a bogus address, which the bus interface detects.
+  CacheAccess read_word(std::uint32_t addr, MemoryMap& mem);
+
+  /// Word write through the cache (write-allocate).
+  CacheAccess write_word(std::uint32_t addr, std::uint32_t value,
+                         MemoryMap& mem);
+
+  /// Writes back every dirty line (keeps them resident).
+  void flush(MemoryMap& mem);
+
+  /// Invalidates all lines without writing back (power-on state).
+  void invalidate_all();
+
+  const CacheConfig& config() const { return config_; }
+  const CacheStats& stats() const { return stats_; }
+
+  /// True when `addr` currently hits in the cache (no state change).
+  bool probe(std::uint32_t addr) const;
+
+  // --- Scan-chain access (raw state elements; no side effects) ------------
+  std::uint32_t data_word(unsigned line, unsigned word) const;
+  void set_data_word(unsigned line, unsigned word, std::uint32_t value);
+  std::uint32_t tag(unsigned line) const;
+  void set_tag(unsigned line, std::uint32_t value);
+  bool valid(unsigned line) const;
+  void set_valid(unsigned line, bool v);
+  bool dirty(unsigned line) const;
+  void set_dirty(unsigned line, bool v);
+  bool parity_bit(unsigned line, unsigned word) const;
+  void set_parity_bit(unsigned line, unsigned word, bool v);
+
+ private:
+  struct Line {
+    std::array<std::uint32_t, kWordsPerLine> words{};
+    std::uint32_t tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    std::array<bool, kWordsPerLine> parity{};
+  };
+
+  static unsigned index_of(std::uint32_t addr) { return (addr >> 4) & 7u; }
+  static std::uint32_t tag_of(std::uint32_t addr) {
+    return (addr >> 7) & ((1u << kTagBits) - 1u);
+  }
+  static std::uint32_t line_base_address(std::uint32_t tag, unsigned index) {
+    return (tag << 7) | (index << 4);
+  }
+
+  /// Ensures the line containing `addr` is resident; returns DATA ERROR if a
+  /// poisoned word was filled, or the victim write-back's fault.
+  Edm fill(std::uint32_t addr, MemoryMap& mem);
+  Edm write_back(unsigned index, MemoryMap& mem);
+
+  CacheConfig config_;
+  std::array<Line, kCacheLines> lines_;
+  CacheStats stats_;
+};
+
+}  // namespace earl::tvm

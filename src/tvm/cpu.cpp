@@ -1,0 +1,374 @@
+#include "tvm/cpu.hpp"
+
+#include <cfloat>
+#include <cmath>
+#include <limits>
+
+#include "util/bitops.hpp"
+
+namespace earl::tvm {
+
+namespace {
+
+bool add_overflows(std::int32_t a, std::int32_t b, std::int32_t* out) {
+  return __builtin_add_overflow(a, b, out);
+}
+
+bool sub_overflows(std::int32_t a, std::int32_t b, std::int32_t* out) {
+  return __builtin_sub_overflow(a, b, out);
+}
+
+bool mul_overflows(std::int32_t a, std::int32_t b, std::int32_t* out) {
+  return __builtin_mul_overflow(a, b, out);
+}
+
+bool is_denormal(float f) {
+  return f != 0.0f && std::fabs(f) < FLT_MIN;
+}
+
+/// Classifies a float operand per the paper's ILLEGAL OPERATION mechanism:
+/// fault-free control code never produces NaN or Inf, so an operand that is
+/// either indicates corruption and the hardware flags it.
+bool illegal_operand(float f) { return std::isnan(f) || std::isinf(f); }
+
+}  // namespace
+
+void Cpu::reset(std::uint32_t entry, const MemoryMap& mem) {
+  state_ = CpuState{};
+  state_.regs[kRegSp] = kStackTop;
+  state_.pc = entry;
+  state_.ir = mem.fetch(entry);
+  stopped_ = false;
+  stop_outcome_ = StepOutcome{};
+  instret_ = 0;
+}
+
+StepOutcome Cpu::trap(Edm edm, std::uint8_t code) {
+  stopped_ = true;
+  stop_outcome_ = StepOutcome{StepOutcome::Kind::kTrap, edm, code};
+  return stop_outcome_;
+}
+
+StepOutcome Cpu::finish(std::uint32_t next_pc, const MemoryMap& mem,
+                        StepOutcome::Kind kind) {
+  // Prefetch the next instruction. A sequential walk off the code region is
+  // caught here as an ADDRESS ERROR (fetch from non-code memory).
+  const Edm fetch_fault = check_access(next_pc, AccessKind::kFetch,
+                                       state_.psr.user_mode, reg(kRegSp));
+  if (fetch_fault != Edm::kNone) return trap(fetch_fault);
+  state_.pc = next_pc;
+  state_.ir = mem.fetch(next_pc);
+  if (kind == StepOutcome::Kind::kHalt) {
+    stopped_ = true;
+    stop_outcome_ = StepOutcome{kind, Edm::kNone, 0};
+    return stop_outcome_;
+  }
+  return StepOutcome{kind, Edm::kNone, 0};
+}
+
+StepOutcome Cpu::step(MemoryMap& mem, DataCache& cache) {
+  if (stopped_) return stop_outcome_;
+
+  const std::uint32_t word = state_.ir;
+  if (trace_ != nullptr) trace_->on_step(state_, word);
+
+  const auto decoded = decode(word);
+  if (!decoded) return trap(Edm::kInstructionError);
+  const Instruction ins = *decoded;
+  const OpcodeInfo& info = opcode_info(ins.op);
+  if (info.privileged && state_.psr.user_mode) {
+    return trap(Edm::kInstructionError);
+  }
+
+  // Control-flow signature accumulates over every executed word except the
+  // checks themselves and control transfers.  Excluding transfers makes a
+  // block's expected signature independent of which predecessor branched to
+  // it, so the assembler can compute it statically (see assembler.hpp).
+  if (ins.op != Opcode::kSig && !is_control_transfer(ins.op)) {
+    state_.sig = sig_step(state_.sig, word);
+  }
+
+  ++instret_;
+  std::uint32_t next_pc = state_.pc + 4;
+
+  auto branch_to = [&](std::uint32_t target) -> Edm {
+    if ((target & 3u) != 0 ||
+        classify_address(target) != Region::kCode) {
+      return Edm::kJumpError;
+    }
+    next_pc = target;
+    return Edm::kNone;
+  };
+
+  auto int_result = [&](std::uint32_t value) {
+    state_.ex = value;
+    write_reg(ins.rd, value);
+  };
+
+  // Float helper: validates operands, computes, validates the result, and
+  // stores it. Returns the EDM to raise, or kNone.
+  auto float_op = [&](float a, float b, char op) -> Edm {
+    if (illegal_operand(a) || illegal_operand(b)) {
+      return Edm::kIllegalOperation;
+    }
+    float r = 0.0f;
+    switch (op) {
+      case '+': r = a + b; break;
+      case '-': r = a - b; break;
+      case '*': r = a * b; break;
+      case '/':
+        if (b == 0.0f) return Edm::kDivisionCheck;
+        r = a / b;
+        break;
+    }
+    if (std::isnan(r)) return Edm::kIllegalOperation;
+    if (std::isinf(r)) return Edm::kOverflowCheck;
+    if (is_denormal(r)) return Edm::kUnderflowCheck;
+    int_result(util::float_to_bits(r));
+    return Edm::kNone;
+  };
+
+  switch (ins.op) {
+    case Opcode::kNop:
+      break;
+    case Opcode::kHalt:
+      return finish(next_pc, mem, StepOutcome::Kind::kHalt);
+    case Opcode::kYield:
+      return finish(next_pc, mem, StepOutcome::Kind::kYield);
+    case Opcode::kSig: {
+      if (state_.sig != static_cast<std::uint16_t>(ins.imm)) {
+        return trap(Edm::kControlFlowError);
+      }
+      state_.sig = 0;
+      break;
+    }
+    case Opcode::kTrap:
+      return trap(Edm::kConstraintError, static_cast<std::uint8_t>(ins.imm));
+
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul: {
+      const auto a = static_cast<std::int32_t>(reg(ins.ra));
+      const auto b = static_cast<std::int32_t>(reg(ins.rb));
+      std::int32_t out = 0;
+      bool ovf = false;
+      if (ins.op == Opcode::kAdd) ovf = add_overflows(a, b, &out);
+      if (ins.op == Opcode::kSub) ovf = sub_overflows(a, b, &out);
+      if (ins.op == Opcode::kMul) ovf = mul_overflows(a, b, &out);
+      if (ovf) return trap(Edm::kOverflowCheck);
+      int_result(static_cast<std::uint32_t>(out));
+      break;
+    }
+    case Opcode::kDivs: {
+      const auto a = static_cast<std::int32_t>(reg(ins.ra));
+      const auto b = static_cast<std::int32_t>(reg(ins.rb));
+      if (b == 0) return trap(Edm::kDivisionCheck);
+      if (a == std::numeric_limits<std::int32_t>::min() && b == -1) {
+        return trap(Edm::kOverflowCheck);
+      }
+      int_result(static_cast<std::uint32_t>(a / b));
+      break;
+    }
+    case Opcode::kAnd: int_result(reg(ins.ra) & reg(ins.rb)); break;
+    case Opcode::kOr: int_result(reg(ins.ra) | reg(ins.rb)); break;
+    case Opcode::kXor: int_result(reg(ins.ra) ^ reg(ins.rb)); break;
+    case Opcode::kSll: int_result(reg(ins.ra) << (reg(ins.rb) & 31u)); break;
+    case Opcode::kSrl: int_result(reg(ins.ra) >> (reg(ins.rb) & 31u)); break;
+    case Opcode::kSra:
+      int_result(static_cast<std::uint32_t>(
+          static_cast<std::int32_t>(reg(ins.ra)) >>
+          (reg(ins.rb) & 31u)));
+      break;
+
+    case Opcode::kAddi: {
+      const auto a = static_cast<std::int32_t>(reg(ins.ra));
+      std::int32_t out = 0;
+      if (add_overflows(a, ins.imm, &out)) return trap(Edm::kOverflowCheck);
+      int_result(static_cast<std::uint32_t>(out));
+      break;
+    }
+    case Opcode::kOri:
+      int_result(reg(ins.ra) | static_cast<std::uint32_t>(ins.imm));
+      break;
+    case Opcode::kAndi:
+      int_result(reg(ins.ra) & static_cast<std::uint32_t>(ins.imm));
+      break;
+    case Opcode::kXori:
+      int_result(reg(ins.ra) ^ static_cast<std::uint32_t>(ins.imm));
+      break;
+    case Opcode::kMovi:
+      int_result(static_cast<std::uint32_t>(ins.imm));
+      break;
+    case Opcode::kMovhi:
+      int_result(static_cast<std::uint32_t>(ins.imm & 0xffff) << 16);
+      break;
+
+    case Opcode::kLdw:
+    case Opcode::kStw: {
+      const std::uint32_t addr =
+          reg(ins.ra) + static_cast<std::uint32_t>(ins.imm);
+      state_.mar = addr;
+      const AccessKind kind =
+          ins.op == Opcode::kLdw ? AccessKind::kLoad : AccessKind::kStore;
+      const Edm fault =
+          check_access(addr, kind, state_.psr.user_mode, reg(kRegSp));
+      if (fault != Edm::kNone) return trap(fault);
+      if (ins.op == Opcode::kLdw) {
+        std::uint32_t value = 0;
+        if (is_uncached(addr)) {
+          value = mem.read_raw(addr);
+        } else {
+          const CacheAccess access = cache.read_word(addr, mem);
+          if (access.fault != Edm::kNone) return trap(access.fault);
+          value = access.value;
+        }
+        state_.mdr = value;
+        write_reg(ins.rd, value);
+      } else {
+        const std::uint32_t value = reg(ins.rd);
+        state_.mdr = value;
+        if (is_uncached(addr)) {
+          mem.write_raw(addr, value);
+        } else {
+          const CacheAccess access = cache.write_word(addr, value, mem);
+          if (access.fault != Edm::kNone) return trap(access.fault);
+        }
+      }
+      break;
+    }
+
+    case Opcode::kCmp:
+    case Opcode::kCmpi: {
+      const auto a = static_cast<std::int32_t>(reg(ins.ra));
+      const auto b = ins.op == Opcode::kCmp
+                         ? static_cast<std::int32_t>(reg(ins.rb))
+                         : ins.imm;
+      state_.psr.z = a == b;
+      state_.psr.n = a < b;
+      state_.psr.c = static_cast<std::uint32_t>(a) <
+                     static_cast<std::uint32_t>(b);
+      std::int32_t diff = 0;
+      state_.psr.v = sub_overflows(a, b, &diff);
+      break;
+    }
+    case Opcode::kFcmp: {
+      const float a = util::bits_to_float(reg(ins.ra));
+      const float b = util::bits_to_float(reg(ins.rb));
+      if (std::isnan(a) || std::isnan(b)) {
+        return trap(Edm::kIllegalOperation);
+      }
+      state_.psr.z = a == b;
+      state_.psr.n = a < b;
+      state_.psr.c = false;
+      state_.psr.v = false;
+      break;
+    }
+
+    case Opcode::kFadd:
+    case Opcode::kFsub:
+    case Opcode::kFmul:
+    case Opcode::kFdiv: {
+      const float a = util::bits_to_float(reg(ins.ra));
+      const float b = util::bits_to_float(reg(ins.rb));
+      const char symbol = ins.op == Opcode::kFadd   ? '+'
+                          : ins.op == Opcode::kFsub ? '-'
+                          : ins.op == Opcode::kFmul ? '*'
+                                                    : '/';
+      const Edm fault = float_op(a, b, symbol);
+      if (fault != Edm::kNone) return trap(fault);
+      break;
+    }
+    case Opcode::kFneg:
+      int_result(reg(ins.ra) ^ 0x80000000u);
+      break;
+    case Opcode::kFabs:
+      int_result(reg(ins.ra) & 0x7fffffffu);
+      break;
+    case Opcode::kItof: {
+      const auto a = static_cast<std::int32_t>(reg(ins.ra));
+      int_result(util::float_to_bits(static_cast<float>(a)));
+      break;
+    }
+    case Opcode::kFtoi: {
+      const float a = util::bits_to_float(reg(ins.ra));
+      if (illegal_operand(a)) return trap(Edm::kIllegalOperation);
+      if (a >= 2147483648.0f || a < -2147483648.0f) {
+        return trap(Edm::kOverflowCheck);
+      }
+      int_result(static_cast<std::uint32_t>(static_cast<std::int32_t>(a)));
+      break;
+    }
+
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+    case Opcode::kBle:
+    case Opcode::kBgt: {
+      bool taken = false;
+      switch (ins.op) {
+        case Opcode::kBeq: taken = state_.psr.z; break;
+        case Opcode::kBne: taken = !state_.psr.z; break;
+        case Opcode::kBlt: taken = state_.psr.n; break;
+        case Opcode::kBge: taken = !state_.psr.n; break;
+        case Opcode::kBle: taken = state_.psr.n || state_.psr.z; break;
+        case Opcode::kBgt: taken = !(state_.psr.n || state_.psr.z); break;
+        default: break;
+      }
+      if (taken) {
+        const std::uint32_t target =
+            state_.pc + static_cast<std::uint32_t>(ins.imm * 4);
+        const Edm fault = branch_to(target);
+        if (fault != Edm::kNone) return trap(fault);
+      }
+      break;
+    }
+    case Opcode::kJmp: {
+      const Edm fault =
+          branch_to(static_cast<std::uint32_t>(ins.imm) * 4);
+      if (fault != Edm::kNone) return trap(fault);
+      break;
+    }
+    case Opcode::kJal: {
+      write_reg(kRegLr, state_.pc + 4);
+      const Edm fault =
+          branch_to(static_cast<std::uint32_t>(ins.imm) * 4);
+      if (fault != Edm::kNone) return trap(fault);
+      break;
+    }
+    case Opcode::kJr: {
+      const Edm fault = branch_to(reg(ins.ra));
+      if (fault != Edm::kNone) return trap(fault);
+      break;
+    }
+  }
+
+  return finish(next_pc, mem, StepOutcome::Kind::kOk);
+}
+
+RunResult Cpu::run(MemoryMap& mem, DataCache& cache, std::uint64_t budget) {
+  RunResult result;
+  while (result.executed < budget) {
+    const StepOutcome outcome = step(mem, cache);
+    ++result.executed;
+    switch (outcome.kind) {
+      case StepOutcome::Kind::kOk:
+        break;
+      case StepOutcome::Kind::kYield:
+        result.kind = RunResult::Kind::kYield;
+        return result;
+      case StepOutcome::Kind::kHalt:
+        result.kind = RunResult::Kind::kHalt;
+        return result;
+      case StepOutcome::Kind::kTrap:
+        result.kind = RunResult::Kind::kTrap;
+        result.edm = outcome.edm;
+        result.trap_code = outcome.trap_code;
+        return result;
+    }
+  }
+  result.kind = RunResult::Kind::kBudgetExhausted;
+  return result;
+}
+
+}  // namespace earl::tvm

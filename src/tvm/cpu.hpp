@@ -1,0 +1,139 @@
+// TVM CPU core.
+//
+// Functional interpreter with explicit micro-architectural latches.  The
+// four-stage pipeline is modelled at instruction granularity: the next
+// instruction is *prefetched* into IR at the end of every step (so a bit-flip
+// injected at an instruction boundary corrupts the instruction about to
+// execute, like a flip in a real pipeline's fetch latch), and the
+// MAR/MDR/EX latches hold the values that flowed through the most recent
+// memory access and ALU operation.  All latches are scan-chain state
+// elements and therefore part of the fault space.
+//
+// Detection semantics: every mechanism from the paper's Table 1 raises a
+// trap that stops the CPU — the node fail-stops, which is the "strong
+// failure semantics" behaviour the paper's architecture assumes, and which
+// terminates a fault-injection experiment ("debug event").
+//
+// Flag semantics (set by cmp/cmpi/fcmp only): Z = equal, N = "a < b",
+// C = unsigned borrow, V = signed overflow of the comparison subtraction.
+// Conditional branches read N and Z.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "tvm/cache.hpp"
+#include "tvm/edm.hpp"
+#include "tvm/isa.hpp"
+#include "tvm/memory.hpp"
+
+namespace earl::tvm {
+
+/// Program-status-register bits (scan-chain order: bit 0 first).
+struct Psr {
+  bool n = false;
+  bool z = false;
+  bool c = false;
+  bool v = false;
+  bool user_mode = true;
+};
+
+/// All architected + micro-architected CPU state. Plain data: copying a
+/// CpuState forks an execution, which is how campaign experiments start from
+/// the golden initial state.
+struct CpuState {
+  std::array<std::uint32_t, kNumRegs> regs{};
+  std::uint32_t pc = kCodeBase;  // address of the instruction in IR
+  std::uint32_t ir = 0;          // prefetched instruction word
+  std::uint32_t mar = 0;         // memory address register
+  std::uint32_t mdr = 0;         // memory data register
+  std::uint32_t ex = 0;          // ALU/FPU result latch
+  std::uint16_t sig = 0;         // control-flow signature accumulator
+  Psr psr;
+};
+
+struct StepOutcome {
+  enum class Kind : std::uint8_t { kOk, kYield, kHalt, kTrap };
+  Kind kind = Kind::kOk;
+  Edm edm = Edm::kNone;
+  std::uint8_t trap_code = 0;  // reason code of a software TRAP
+};
+
+struct RunResult {
+  enum class Kind : std::uint8_t { kYield, kHalt, kTrap, kBudgetExhausted };
+  Kind kind = Kind::kBudgetExhausted;
+  Edm edm = Edm::kNone;
+  std::uint8_t trap_code = 0;
+  std::uint64_t executed = 0;  // instructions retired during this run call
+};
+
+/// Observer for detail-mode execution traces (see trace.hpp).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_step(const CpuState& before, std::uint32_t word) = 0;
+};
+
+class Cpu {
+ public:
+  /// Resets all state and prefetches the first instruction from `entry`.
+  void reset(std::uint32_t entry, const MemoryMap& mem);
+
+  /// Executes exactly one instruction (the one in IR). After a trap the CPU
+  /// is stopped: further step() calls return the same trap outcome.
+  StepOutcome step(MemoryMap& mem, DataCache& cache);
+
+  /// Runs until yield/halt/trap or until `budget` instructions retire.
+  RunResult run(MemoryMap& mem, DataCache& cache, std::uint64_t budget);
+
+  const CpuState& state() const { return state_; }
+  CpuState& mutable_state() { return state_; }
+
+  bool stopped() const { return stopped_; }
+  std::uint64_t instructions_retired() const { return instret_; }
+
+  /// Detail-mode observer; pass nullptr to disable (the default).
+  void set_trace_sink(TraceSink* sink) { trace_ = sink; }
+
+  /// Register read honouring the r0-is-zero convention.
+  std::uint32_t reg(unsigned index) const {
+    return index == 0 ? 0u : state_.regs[index & 15u];
+  }
+
+ private:
+  void write_reg(unsigned index, std::uint32_t value) {
+    if (index != 0) state_.regs[index & 15u] = value;
+  }
+
+  StepOutcome trap(Edm edm, std::uint8_t code = 0);
+  StepOutcome finish(std::uint32_t next_pc, const MemoryMap& mem,
+                     StepOutcome::Kind kind);
+
+  CpuState state_;
+  bool stopped_ = false;
+  StepOutcome stop_outcome_{};
+  std::uint64_t instret_ = 0;
+  TraceSink* trace_ = nullptr;
+};
+
+/// A complete TVM node: memory, data cache and CPU. Copyable — each
+/// fault-injection experiment clones the post-load machine and runs
+/// independently, which makes campaigns embarrassingly parallel.
+struct Machine {
+  MemoryMap mem;
+  DataCache cache;
+  Cpu cpu;
+
+  explicit Machine(CacheConfig cache_config = {}) : cache(cache_config) {}
+
+  void reset(std::uint32_t entry) {
+    mem.reset();
+    cache.invalidate_all();
+    cpu.reset(entry, mem);
+  }
+
+  StepOutcome step() { return cpu.step(mem, cache); }
+  RunResult run(std::uint64_t budget) { return cpu.run(mem, cache, budget); }
+};
+
+}  // namespace earl::tvm

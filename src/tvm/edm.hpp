@@ -1,0 +1,58 @@
+// Error-detection mechanisms (EDMs) of the TVM node, mirroring Table 1 of
+// the paper (the Thor CPU's mechanisms) plus a watchdog.  A raised EDM is a
+// *detected error*: the node stops producing outputs (fail-stop / strong
+// failure semantics), which in the fault-injection protocol terminates the
+// experiment.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace earl::tvm {
+
+enum class Edm : std::uint8_t {
+  kNone = 0,
+  kBusError,          // access to unmapped physical memory (bus time-out)
+  kAddressError,      // unaligned access or access to protected memory
+  kInstructionError,  // undefined opcode / privileged op in user mode
+  kJumpError,         // control transfer outside the code address space
+  kConstraintError,   // software-raised runtime constraint trap
+  kAccessCheck,       // null-pointer dereference (low guard page)
+  kStorageError,      // user-mode access outside the task stack
+  kOverflowCheck,     // signed integer / float overflow
+  kUnderflowCheck,    // float underflow or denormalized result
+  kDivisionCheck,     // integer divide by zero, float divide by +-0
+  kIllegalOperation,  // float op with NaN/Inf operand or invalid result
+  kDataError,         // uncorrectable error in data read from memory
+  kControlFlowError,  // basic-block signature mismatch
+  kComparatorError,   // master/slave lockstep mismatch
+  kWatchdog,          // iteration instruction budget exceeded
+  kCount,             // sentinel
+};
+
+inline constexpr std::size_t kEdmCount = static_cast<std::size_t>(Edm::kCount);
+
+constexpr std::string_view edm_name(Edm e) {
+  switch (e) {
+    case Edm::kNone: return "None";
+    case Edm::kBusError: return "Bus Error";
+    case Edm::kAddressError: return "Address Error";
+    case Edm::kInstructionError: return "Instruction Error";
+    case Edm::kJumpError: return "Jump Error";
+    case Edm::kConstraintError: return "Constraint Check";
+    case Edm::kAccessCheck: return "Access Check";
+    case Edm::kStorageError: return "Storage Error";
+    case Edm::kOverflowCheck: return "Overflow";
+    case Edm::kUnderflowCheck: return "Underflow";
+    case Edm::kDivisionCheck: return "Division Check";
+    case Edm::kIllegalOperation: return "Illegal Operation";
+    case Edm::kDataError: return "Data Error";
+    case Edm::kControlFlowError: return "Control Flow Error";
+    case Edm::kComparatorError: return "Master/Slave Comparator";
+    case Edm::kWatchdog: return "Watchdog";
+    case Edm::kCount: break;
+  }
+  return "Unknown";
+}
+
+}  // namespace earl::tvm

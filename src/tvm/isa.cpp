@@ -1,0 +1,247 @@
+#include "tvm/isa.hpp"
+
+#include <array>
+#include <cstdio>
+
+#include "util/bitops.hpp"
+
+namespace earl::tvm {
+
+namespace {
+
+constexpr OpcodeInfo kInvalid{"<invalid>", Format::kNone, false, false};
+
+std::array<OpcodeInfo, 64> build_table() {
+  std::array<OpcodeInfo, 64> t;
+  t.fill(kInvalid);
+  auto set = [&](Opcode op, const char* name, Format f, bool priv = false) {
+    t[static_cast<std::uint8_t>(op)] = OpcodeInfo{name, f, priv, true};
+  };
+  set(Opcode::kNop, "nop", Format::kNone);
+  set(Opcode::kHalt, "halt", Format::kNone, /*priv=*/true);
+  set(Opcode::kYield, "yield", Format::kNone);
+  set(Opcode::kSig, "sig", Format::kSig);
+  set(Opcode::kTrap, "trap", Format::kTrap);
+  set(Opcode::kAdd, "add", Format::kR);
+  set(Opcode::kSub, "sub", Format::kR);
+  set(Opcode::kMul, "mul", Format::kR);
+  set(Opcode::kDivs, "divs", Format::kR);
+  set(Opcode::kAnd, "and", Format::kR);
+  set(Opcode::kOr, "or", Format::kR);
+  set(Opcode::kXor, "xor", Format::kR);
+  set(Opcode::kSll, "sll", Format::kR);
+  set(Opcode::kSrl, "srl", Format::kR);
+  set(Opcode::kSra, "sra", Format::kR);
+  set(Opcode::kAddi, "addi", Format::kI);
+  set(Opcode::kOri, "ori", Format::kI);
+  set(Opcode::kAndi, "andi", Format::kI);
+  set(Opcode::kXori, "xori", Format::kI);
+  set(Opcode::kMovi, "movi", Format::kI);
+  set(Opcode::kMovhi, "movhi", Format::kI);
+  set(Opcode::kLdw, "ldw", Format::kMem);
+  set(Opcode::kStw, "stw", Format::kMem);
+  set(Opcode::kCmp, "cmp", Format::kR);
+  set(Opcode::kCmpi, "cmpi", Format::kI);
+  set(Opcode::kFcmp, "fcmp", Format::kR);
+  set(Opcode::kFadd, "fadd", Format::kR);
+  set(Opcode::kFsub, "fsub", Format::kR);
+  set(Opcode::kFmul, "fmul", Format::kR);
+  set(Opcode::kFdiv, "fdiv", Format::kR);
+  set(Opcode::kFneg, "fneg", Format::kRTwo);
+  set(Opcode::kFabs, "fabs", Format::kRTwo);
+  set(Opcode::kItof, "itof", Format::kRTwo);
+  set(Opcode::kFtoi, "ftoi", Format::kRTwo);
+  set(Opcode::kBeq, "beq", Format::kI);
+  set(Opcode::kBne, "bne", Format::kI);
+  set(Opcode::kBlt, "blt", Format::kI);
+  set(Opcode::kBge, "bge", Format::kI);
+  set(Opcode::kBle, "ble", Format::kI);
+  set(Opcode::kBgt, "bgt", Format::kI);
+  set(Opcode::kJmp, "jmp", Format::kJ);
+  set(Opcode::kJal, "jal", Format::kJ);
+  set(Opcode::kJr, "jr", Format::kRTwo);
+  return t;
+}
+
+const std::array<OpcodeInfo, 64>& table() {
+  static const std::array<OpcodeInfo, 64> t = build_table();
+  return t;
+}
+
+}  // namespace
+
+const OpcodeInfo& opcode_info(std::uint8_t opcode) {
+  return table()[opcode & 0x3f];
+}
+
+const OpcodeInfo& opcode_info(Opcode op) {
+  return opcode_info(static_cast<std::uint8_t>(op));
+}
+
+std::uint32_t encode(const Instruction& ins) {
+  const std::uint32_t op6 =
+      static_cast<std::uint32_t>(static_cast<std::uint8_t>(ins.op) & 0x3f);
+  std::uint32_t word = op6 << 26;
+  const auto& info = opcode_info(ins.op);
+  switch (info.format) {
+    case Format::kNone:
+      break;
+    case Format::kR:
+      word |= (ins.rd & 0xf) << 22;
+      word |= (ins.ra & 0xf) << 18;
+      word |= (ins.rb & 0xf) << 14;
+      break;
+    case Format::kRTwo:
+      word |= (ins.rd & 0xf) << 22;
+      word |= (ins.ra & 0xf) << 18;
+      break;
+    case Format::kI:
+    case Format::kMem:
+      word |= (ins.rd & 0xf) << 22;
+      word |= (ins.ra & 0xf) << 18;
+      word |= static_cast<std::uint32_t>(ins.imm) & 0x3ffff;
+      break;
+    case Format::kJ:
+      word |= static_cast<std::uint32_t>(ins.imm) & 0x3ffffff;
+      break;
+    case Format::kSig:
+      word |= static_cast<std::uint32_t>(ins.imm) & 0xffff;
+      break;
+    case Format::kTrap:
+      word |= static_cast<std::uint32_t>(ins.imm) & 0xff;
+      break;
+  }
+  return word;
+}
+
+std::optional<Instruction> decode(std::uint32_t word) {
+  const std::uint8_t op6 = static_cast<std::uint8_t>(word >> 26);
+  const auto& info = opcode_info(op6);
+  if (!info.valid) return std::nullopt;
+
+  Instruction ins;
+  ins.op = static_cast<Opcode>(op6);
+  switch (info.format) {
+    case Format::kNone:
+      break;
+    case Format::kR:
+      ins.rd = util::bits32(word, 22, 4);
+      ins.ra = util::bits32(word, 18, 4);
+      ins.rb = util::bits32(word, 14, 4);
+      break;
+    case Format::kRTwo:
+      ins.rd = util::bits32(word, 22, 4);
+      ins.ra = util::bits32(word, 18, 4);
+      break;
+    case Format::kI:
+    case Format::kMem:
+      ins.rd = util::bits32(word, 22, 4);
+      ins.ra = util::bits32(word, 18, 4);
+      switch (ins.op) {
+        case Opcode::kOri:
+        case Opcode::kAndi:
+        case Opcode::kXori:
+        case Opcode::kMovhi:
+          // Logical immediates are zero-extended.
+          ins.imm = static_cast<std::int32_t>(util::bits32(word, 0, 18));
+          break;
+        default:
+          ins.imm = util::sign_extend32(word, 18);
+          break;
+      }
+      break;
+    case Format::kJ:
+      ins.imm = static_cast<std::int32_t>(util::bits32(word, 0, 26));
+      break;
+    case Format::kSig:
+      ins.imm = static_cast<std::int32_t>(util::bits32(word, 0, 16));
+      break;
+    case Format::kTrap:
+      ins.imm = static_cast<std::int32_t>(util::bits32(word, 0, 8));
+      break;
+  }
+  return ins;
+}
+
+std::string disassemble(std::uint32_t word) {
+  const auto decoded = decode(word);
+  char buf[64];
+  if (!decoded) {
+    std::snprintf(buf, sizeof buf, ".word 0x%08x  ; invalid", word);
+    return buf;
+  }
+  const Instruction& i = *decoded;
+  const char* m = opcode_info(i.op).mnemonic;
+  switch (opcode_info(i.op).format) {
+    case Format::kNone:
+      std::snprintf(buf, sizeof buf, "%s", m);
+      break;
+    case Format::kR:
+      if (i.op == Opcode::kCmp || i.op == Opcode::kFcmp) {
+        std::snprintf(buf, sizeof buf, "%s r%u, r%u", m, i.ra, i.rb);
+      } else {
+        std::snprintf(buf, sizeof buf, "%s r%u, r%u, r%u", m, i.rd, i.ra,
+                      i.rb);
+      }
+      break;
+    case Format::kRTwo:
+      if (i.op == Opcode::kJr) {
+        std::snprintf(buf, sizeof buf, "%s r%u", m, i.ra);
+      } else {
+        std::snprintf(buf, sizeof buf, "%s r%u, r%u", m, i.rd, i.ra);
+      }
+      break;
+    case Format::kI:
+      if (i.op == Opcode::kCmpi) {
+        std::snprintf(buf, sizeof buf, "%s r%u, %d", m, i.ra, i.imm);
+      } else if (i.op == Opcode::kMovi || i.op == Opcode::kMovhi) {
+        std::snprintf(buf, sizeof buf, "%s r%u, %d", m, i.rd, i.imm);
+      } else if (i.op >= Opcode::kBeq && i.op <= Opcode::kBgt) {
+        std::snprintf(buf, sizeof buf, "%s %+d", m, i.imm);
+      } else {
+        std::snprintf(buf, sizeof buf, "%s r%u, r%u, %d", m, i.rd, i.ra,
+                      i.imm);
+      }
+      break;
+    case Format::kMem:
+      if (i.op == Opcode::kLdw) {
+        std::snprintf(buf, sizeof buf, "%s r%u, [r%u%+d]", m, i.rd, i.ra,
+                      i.imm);
+      } else {
+        std::snprintf(buf, sizeof buf, "%s r%u, [r%u%+d]", m, i.rd, i.ra,
+                      i.imm);
+      }
+      break;
+    case Format::kJ:
+      std::snprintf(buf, sizeof buf, "%s 0x%x", m,
+                    static_cast<unsigned>(i.imm) * 4);
+      break;
+    case Format::kSig:
+      std::snprintf(buf, sizeof buf, "%s 0x%04x", m,
+                    static_cast<unsigned>(i.imm));
+      break;
+    case Format::kTrap:
+      std::snprintf(buf, sizeof buf, "%s %d", m, i.imm);
+      break;
+  }
+  return buf;
+}
+
+bool is_control_transfer(Opcode op) {
+  switch (op) {
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+    case Opcode::kBle:
+    case Opcode::kBgt:
+    case Opcode::kJmp:
+    case Opcode::kJal:
+    case Opcode::kJr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace earl::tvm

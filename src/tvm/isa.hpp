@@ -1,0 +1,140 @@
+// TVM instruction-set architecture.
+//
+// TVM is a deterministic 32-bit RISC-style CPU modelled after the role the
+// Thor microprocessor plays in the paper: a small embedded CPU with hardware
+// error-detection mechanisms whose internal state elements can be read and
+// written bit-by-bit through a scan chain.  The ISA is *not* Thor's (Thor's
+// ISA is proprietary); what the reproduction needs is an ISA rich enough to
+// run compiled control code (integer + IEEE-754 single float + calls +
+// branches) so that bit-flips in architected and micro-architected state
+// produce the same classes of consequences the paper observes.
+//
+// Encoding (32-bit fixed width):
+//   [31:26] opcode
+//   R-type:  [25:22] rd   [21:18] ra   [17:14] rb   [13:0] reserved
+//   I-type:  [25:22] rd   [21:18] ra   [17:0]  imm18 (sign-extended)
+//   J-type:  [25:0] imm26 (absolute word index; byte address = imm26 * 4)
+//   S-type:  [15:0] imm16 (SIG) / [7:0] imm8 (TRAP)
+// Reserved bits are ignored on decode (don't-cares), so a bit-flip in a
+// reserved field is architecturally silent — as in real hardware.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace earl::tvm {
+
+enum class Opcode : std::uint8_t {
+  kNop = 0x00,
+  kHalt = 0x01,   // privileged: stops the CPU (supervisor only)
+  kYield = 0x02,  // end of control iteration: pause for I/O exchange
+  kSig = 0x03,    // control-flow signature check (S-type, imm16)
+  kTrap = 0x04,   // software constraint trap (S-type, imm8 reason code)
+
+  // Integer register-register (R-type).
+  kAdd = 0x07,
+  kSub = 0x08,
+  kMul = 0x09,
+  kDivs = 0x0A,  // signed divide; divide-by-zero raises DIVISION CHECK
+  kAnd = 0x0B,
+  kOr = 0x0C,
+  kXor = 0x0D,
+  kSll = 0x0E,
+  kSrl = 0x0F,
+  kSra = 0x10,
+
+  // Integer register-immediate (I-type).
+  kAddi = 0x11,
+  kOri = 0x12,   // zero-extended imm18
+  kAndi = 0x13,  // zero-extended imm18
+  kXori = 0x14,  // zero-extended imm18
+  kMovi = 0x15,  // rd = sign-extended imm18
+  kMovhi = 0x16, // rd = imm18 << 16 (low 16 bits of imm used)
+
+  // Memory (I-type, word-aligned only).
+  kLdw = 0x17,  // rd = mem[ra + imm18]
+  kStw = 0x18,  // mem[ra + imm18] = r(rd-field)
+
+  // Compare (set PSR flags).
+  kCmp = 0x19,   // R-type: flags from ra - rb (signed)
+  kCmpi = 0x1A,  // I-type: flags from ra - imm18
+  kFcmp = 0x1B,  // R-type: float compare ra, rb
+
+  // IEEE-754 single precision (operands/results live in GPR bit patterns).
+  kFadd = 0x1C,
+  kFsub = 0x1D,
+  kFmul = 0x1E,
+  kFdiv = 0x1F,
+  kFneg = 0x20,  // R-type rd, ra
+  kFabs = 0x21,  // R-type rd, ra
+  kItof = 0x22,  // rd = float(int(ra))
+  kFtoi = 0x23,  // rd = int(truncate(float(ra))); overflow raises OVERFLOW
+
+  // Control transfer.
+  kBeq = 0x24,  // I-type: PC-relative word offset in imm18
+  kBne = 0x25,
+  kBlt = 0x26,
+  kBge = 0x27,
+  kBle = 0x28,
+  kBgt = 0x29,
+  kJmp = 0x2A,  // J-type absolute
+  kJal = 0x2B,  // J-type absolute, link in r15
+  kJr = 0x2C,   // R-type: jump to address in ra
+};
+
+/// Number of general-purpose registers. r0 reads as zero and ignores writes;
+/// r14 is the stack pointer by convention; r15 is the link register.
+inline constexpr unsigned kNumRegs = 16;
+inline constexpr unsigned kRegSp = 14;
+inline constexpr unsigned kRegLr = 15;
+
+enum class Format : std::uint8_t { kNone, kR, kRTwo, kI, kMem, kJ, kSig, kTrap };
+
+/// Static description of one opcode.
+struct OpcodeInfo {
+  const char* mnemonic;
+  Format format;
+  bool privileged;
+  bool valid;
+};
+
+/// Metadata for every possible 6-bit opcode value (invalid slots included).
+const OpcodeInfo& opcode_info(std::uint8_t opcode);
+const OpcodeInfo& opcode_info(Opcode op);
+
+/// A decoded instruction.
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  unsigned rd = 0;
+  unsigned ra = 0;
+  unsigned rb = 0;
+  std::int32_t imm = 0;  // sign- or zero-extended per opcode semantics
+};
+
+/// Encodes an instruction into its 32-bit word. Fields outside the format
+/// are ignored. Immediates are masked to their field width.
+std::uint32_t encode(const Instruction& ins);
+
+/// Decodes a word. Returns nullopt when the opcode is not architecturally
+/// defined (the CPU raises INSTRUCTION ERROR in that case).
+std::optional<Instruction> decode(std::uint32_t word);
+
+/// Human-readable disassembly of one word, e.g. "fadd r3, r1, r2".
+std::string disassemble(std::uint32_t word);
+
+/// Control-flow signature step function, shared by the CPU (which accumulates
+/// it at runtime) and the assembler (which computes the expected block value
+/// statically for `.sigcheck`): rotate-left-1 then XOR with both halves of
+/// the instruction word.
+constexpr std::uint16_t sig_step(std::uint16_t sig, std::uint32_t word) {
+  const std::uint16_t rotated =
+      static_cast<std::uint16_t>((sig << 1) | (sig >> 15));
+  return static_cast<std::uint16_t>(rotated ^ (word & 0xffffu) ^ (word >> 16));
+}
+
+/// True for opcodes that transfer control (used by the assembler to place
+/// signature checks at basic-block boundaries).
+bool is_control_transfer(Opcode op);
+
+}  // namespace earl::tvm

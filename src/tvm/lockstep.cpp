@@ -1,0 +1,60 @@
+#include "tvm/lockstep.hpp"
+
+#include "tvm/assembler.hpp"
+
+namespace earl::tvm {
+
+bool LockstepPair::load(const AssembledProgram& program) {
+  if (!load_program(program, master_.mem)) return false;
+  if (!load_program(program, slave_.mem)) return false;
+  entry_ = program.entry;
+  reset(entry_);
+  return true;
+}
+
+void LockstepPair::reset(std::uint32_t entry) {
+  entry_ = entry;
+  master_.reset(entry);
+  slave_.reset(entry);
+}
+
+bool LockstepPair::bus_state_matches() const {
+  const CpuState& a = master_.cpu.state();
+  const CpuState& b = slave_.cpu.state();
+  return a.pc == b.pc && a.mar == b.mar && a.mdr == b.mdr && a.ex == b.ex;
+}
+
+StepOutcome LockstepPair::step() {
+  const StepOutcome ma = master_.step();
+  const StepOutcome sa = slave_.step();
+  if (ma.kind != sa.kind || ma.edm != sa.edm || !bus_state_matches()) {
+    return StepOutcome{StepOutcome::Kind::kTrap, Edm::kComparatorError, 0};
+  }
+  return ma;
+}
+
+RunResult LockstepPair::run(std::uint64_t budget) {
+  RunResult result;
+  while (result.executed < budget) {
+    const StepOutcome outcome = step();
+    ++result.executed;
+    switch (outcome.kind) {
+      case StepOutcome::Kind::kOk:
+        break;
+      case StepOutcome::Kind::kYield:
+        result.kind = RunResult::Kind::kYield;
+        return result;
+      case StepOutcome::Kind::kHalt:
+        result.kind = RunResult::Kind::kHalt;
+        return result;
+      case StepOutcome::Kind::kTrap:
+        result.kind = RunResult::Kind::kTrap;
+        result.edm = outcome.edm;
+        result.trap_code = outcome.trap_code;
+        return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace earl::tvm

@@ -1,0 +1,48 @@
+// Master/slave lockstep execution.
+//
+// Thor includes a MASTER/SLAVE COMPARATOR mechanism (two Thor processors
+// executing in lockstep with result comparison) that the paper lists but
+// does not use.  We implement it as an optional node configuration so the
+// duplication-and-comparison alternative the introduction discusses can be
+// evaluated: two Machines run the same program; after every instruction the
+// comparator checks the architected state the instruction exposed on the
+// "bus" (PC, memory address/data latches and the result latch).  A mismatch
+// raises COMPARATOR ERROR, giving the node fail-stop behaviour for any
+// fault that perturbs either copy — at double the hardware cost.
+#pragma once
+
+#include <cstdint>
+
+#include "tvm/cpu.hpp"
+
+namespace earl::tvm {
+
+class LockstepPair {
+ public:
+  explicit LockstepPair(CacheConfig cache_config = {})
+      : master_(cache_config), slave_(cache_config) {}
+
+  Machine& master() { return master_; }
+  Machine& slave() { return slave_; }
+
+  /// Loads the same program into both machines and resets them.
+  bool load(const class AssembledProgram& program);
+  void reset(std::uint32_t entry);
+
+  /// Steps both machines and compares their bus-visible state. Any
+  /// divergence (including one machine trapping and the other not) is a
+  /// COMPARATOR ERROR.
+  StepOutcome step();
+
+  /// Runs until yield/halt/trap/comparator error or budget exhaustion.
+  RunResult run(std::uint64_t budget);
+
+ private:
+  bool bus_state_matches() const;
+
+  Machine master_;
+  Machine slave_;
+  std::uint32_t entry_ = kCodeBase;
+};
+
+}  // namespace earl::tvm

@@ -1,0 +1,135 @@
+#include "tvm/memory.hpp"
+
+namespace earl::tvm {
+
+Region classify_address(std::uint32_t addr) {
+  if (addr < kNullGuardSize) return Region::kNullGuard;
+  if (addr >= kCodeBase && addr < kCodeBase + kCodeSize) return Region::kCode;
+  if (addr >= kDataBase && addr < kDataBase + kDataSize) return Region::kData;
+  if (addr >= kStackBase && addr < kStackTop) return Region::kStack;
+  if (addr >= kIoBase && addr < kIoBase + kIoSize) return Region::kIo;
+  return Region::kUnmapped;
+}
+
+Edm check_access(std::uint32_t addr, AccessKind kind, bool user_mode,
+                 std::uint32_t sp) {
+  if ((addr & 3u) != 0) return Edm::kAddressError;
+  const Region region = classify_address(addr);
+  if (kind == AccessKind::kFetch) {
+    return region == Region::kCode ? Edm::kNone : Edm::kAddressError;
+  }
+  switch (region) {
+    case Region::kNullGuard:
+      return Edm::kAccessCheck;
+    case Region::kCode:
+      // Code ROM is execute-only; wild data pointers into it are caught.
+      return Edm::kAddressError;
+    case Region::kData:
+    case Region::kIo:
+      return Edm::kNone;
+    case Region::kStack:
+      // The task stack grows down from kStackTop; in user mode an access
+      // below the current stack pointer is outside the allocated frames.
+      if (user_mode && addr < sp) return Edm::kStorageError;
+      return Edm::kNone;
+    case Region::kUnmapped:
+      return Edm::kBusError;
+  }
+  return Edm::kBusError;
+}
+
+MemoryMap::MemoryMap()
+    : code_(kCodeSize / 4, 0),
+      data_(kDataSize / 4, 0),
+      stack_(kStackSize / 4, 0),
+      io_(kIoSize / 4, 0),
+      data_poison_(kDataSize / 4, false),
+      stack_poison_(kStackSize / 4, false) {}
+
+bool MemoryMap::load_code(const std::vector<std::uint32_t>& words) {
+  if (words.size() > code_.size()) return false;
+  code_image_ = words;
+  code_.assign(kCodeSize / 4, 0);
+  for (std::size_t i = 0; i < words.size(); ++i) code_[i] = words[i];
+  return true;
+}
+
+bool MemoryMap::load_data(const std::vector<std::uint32_t>& words) {
+  if (words.size() > data_.size()) return false;
+  data_image_ = words;
+  data_.assign(kDataSize / 4, 0);
+  for (std::size_t i = 0; i < words.size(); ++i) data_[i] = words[i];
+  return true;
+}
+
+std::uint32_t MemoryMap::read_raw(std::uint32_t addr) const {
+  switch (classify_address(addr)) {
+    case Region::kCode:
+      return code_[(addr - kCodeBase) / 4];
+    case Region::kData:
+      return data_[(addr - kDataBase) / 4];
+    case Region::kStack:
+      return stack_[(addr - kStackBase) / 4];
+    case Region::kIo:
+      return io_[(addr - kIoBase) / 4];
+    default:
+      return 0;
+  }
+}
+
+void MemoryMap::write_raw(std::uint32_t addr, std::uint32_t value) {
+  switch (classify_address(addr)) {
+    case Region::kData:
+      data_[(addr - kDataBase) / 4] = value;
+      data_poison_[(addr - kDataBase) / 4] = false;
+      break;
+    case Region::kStack:
+      stack_[(addr - kStackBase) / 4] = value;
+      stack_poison_[(addr - kStackBase) / 4] = false;
+      break;
+    case Region::kIo:
+      io_[(addr - kIoBase) / 4] = value;
+      break;
+    default:
+      break;  // ROM and unmapped writes are dropped (caller already trapped)
+  }
+}
+
+std::uint32_t MemoryMap::fetch(std::uint32_t addr) const {
+  return code_[(addr - kCodeBase) / 4];
+}
+
+void MemoryMap::poison_word(std::uint32_t addr) {
+  switch (classify_address(addr)) {
+    case Region::kData:
+      data_poison_[(addr - kDataBase) / 4] = true;
+      break;
+    case Region::kStack:
+      stack_poison_[(addr - kStackBase) / 4] = true;
+      break;
+    default:
+      break;
+  }
+}
+
+bool MemoryMap::is_poisoned(std::uint32_t addr) const {
+  switch (classify_address(addr)) {
+    case Region::kData:
+      return data_poison_[(addr - kDataBase) / 4];
+    case Region::kStack:
+      return stack_poison_[(addr - kStackBase) / 4];
+    default:
+      return false;
+  }
+}
+
+void MemoryMap::reset() {
+  data_.assign(kDataSize / 4, 0);
+  for (std::size_t i = 0; i < data_image_.size(); ++i) data_[i] = data_image_[i];
+  stack_.assign(kStackSize / 4, 0);
+  io_.assign(kIoSize / 4, 0);
+  data_poison_.assign(kDataSize / 4, false);
+  stack_poison_.assign(kStackSize / 4, false);
+}
+
+}  // namespace earl::tvm

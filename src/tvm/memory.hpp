@@ -1,0 +1,116 @@
+// Physical memory map of the TVM node.
+//
+// Layout (byte addresses, all accesses word-aligned):
+//   0x00000000 .. 0x00000FFF   null guard page  -> ACCESS CHECK on data use
+//   0x00001000 .. 0x00001FFF   code ROM (1024 instructions), execute-only
+//   0x00010000 .. 0x000103FF   data RAM (1 KiB), cacheable
+//   0x00020000 .. 0x000203FF   task stack (1 KiB), cacheable; user-mode
+//                              accesses below SP raise STORAGE ERROR
+//   0x00018000 .. 0x0001803F   memory-mapped I/O (uncached): controller
+//                              inputs/outputs exchanged with the environment
+//                              simulator each iteration
+//   anything else              -> BUS ERROR (bus time-out)
+//
+// The data RAM base and stack base share the same cache index bits on
+// purpose: the controller's state variables and its call frames alias in the
+// 128-byte data cache, so lines are periodically evicted and written back —
+// the residency pattern the paper's cache results depend on.
+//
+// Code ROM is not part of the fault space (the paper injects CPU state
+// elements only; program memory on the Thor board is EDAC-protected), but
+// words of RAM can be marked "poisoned" to model an uncorrectable memory
+// error, which raises DATA ERROR when read — the mechanism's detection path
+// is exercised by tests and by memory-fault campaigns.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tvm/edm.hpp"
+
+namespace earl::tvm {
+
+inline constexpr std::uint32_t kNullGuardSize = 0x1000;
+inline constexpr std::uint32_t kCodeBase = 0x00001000;
+inline constexpr std::uint32_t kCodeSize = 0x1000;  // 1024 instructions
+inline constexpr std::uint32_t kDataBase = 0x00010000;
+inline constexpr std::uint32_t kDataSize = 0x400;
+inline constexpr std::uint32_t kStackBase = 0x00020000;
+inline constexpr std::uint32_t kStackSize = 0x400;
+inline constexpr std::uint32_t kStackTop = kStackBase + kStackSize;
+// Placed below 2^17 so the whole I/O block is absolute-addressable through
+// an 18-bit signed displacement off r0.
+inline constexpr std::uint32_t kIoBase = 0x00018000;
+inline constexpr std::uint32_t kIoSize = 0x40;
+
+/// Well-known I/O register offsets used by the controller workloads.
+inline constexpr std::uint32_t kIoInRef = kIoBase + 0x00;    // input r
+inline constexpr std::uint32_t kIoInMeas = kIoBase + 0x04;   // input y
+inline constexpr std::uint32_t kIoOutU = kIoBase + 0x08;     // output u_lim
+inline constexpr std::uint32_t kIoOutDebug = kIoBase + 0x0C; // scratch
+
+enum class Region : std::uint8_t {
+  kNullGuard,
+  kCode,
+  kData,
+  kStack,
+  kIo,
+  kUnmapped,
+};
+
+enum class AccessKind : std::uint8_t { kFetch, kLoad, kStore };
+
+Region classify_address(std::uint32_t addr);
+
+/// Result of an access-permission check: kNone means the access is allowed.
+Edm check_access(std::uint32_t addr, AccessKind kind, bool user_mode,
+                 std::uint32_t sp);
+
+/// True when loads/stores to this address bypass the data cache.
+inline bool is_uncached(std::uint32_t addr) {
+  return classify_address(addr) == Region::kIo;
+}
+
+class MemoryMap {
+ public:
+  MemoryMap();
+
+  /// Loads a program image into code ROM. Truncates silently at ROM size is
+  /// a bug, so images larger than ROM are rejected (returns false).
+  bool load_code(const std::vector<std::uint32_t>& words);
+
+  /// Initializes data RAM contents (the workload's initial data image).
+  bool load_data(const std::vector<std::uint32_t>& words);
+
+  /// Raw backing-store access used by the cache for fills and write-backs
+  /// and by the CPU for uncached regions.  `addr` must be word-aligned and
+  /// already permission-checked; unmapped addresses return 0 / are ignored.
+  std::uint32_t read_raw(std::uint32_t addr) const;
+  void write_raw(std::uint32_t addr, std::uint32_t value);
+
+  /// Instruction fetch (code ROM only; caller has permission-checked).
+  std::uint32_t fetch(std::uint32_t addr) const;
+
+  /// Models an uncorrectable memory error in a RAM/stack word: reads of a
+  /// poisoned word raise DATA ERROR (see Cpu). Writes clear the poison.
+  void poison_word(std::uint32_t addr);
+  bool is_poisoned(std::uint32_t addr) const;
+
+  /// Resets RAM, stack and I/O to the images supplied at load time (code is
+  /// immutable).  Poison marks are cleared.
+  void reset();
+
+  std::size_t code_words() const { return code_image_.size(); }
+
+ private:
+  std::vector<std::uint32_t> code_;
+  std::vector<std::uint32_t> code_image_;
+  std::vector<std::uint32_t> data_;
+  std::vector<std::uint32_t> data_image_;
+  std::vector<std::uint32_t> stack_;
+  std::vector<std::uint32_t> io_;
+  std::vector<bool> data_poison_;
+  std::vector<bool> stack_poison_;
+};
+
+}  // namespace earl::tvm

@@ -1,0 +1,218 @@
+#include "tvm/scan_chain.hpp"
+
+#include <cstdio>
+
+#include "util/bitops.hpp"
+
+namespace earl::tvm {
+
+namespace {
+
+std::uint32_t pack_psr(const Psr& psr) {
+  std::uint32_t v = 0;
+  v |= psr.n ? 1u : 0u;
+  v |= psr.z ? 2u : 0u;
+  v |= psr.c ? 4u : 0u;
+  v |= psr.v ? 8u : 0u;
+  v |= psr.user_mode ? 16u : 0u;
+  return v;
+}
+
+Psr unpack_psr(std::uint32_t v) {
+  Psr psr;
+  psr.n = (v & 1u) != 0;
+  psr.z = (v & 2u) != 0;
+  psr.c = (v & 4u) != 0;
+  psr.v = (v & 8u) != 0;
+  psr.user_mode = (v & 16u) != 0;
+  return psr;
+}
+
+std::string element_name(ScanUnit unit, unsigned index, unsigned subindex) {
+  char buf[48];
+  switch (unit) {
+    case ScanUnit::kGpr:
+      std::snprintf(buf, sizeof buf, "r%u", index);
+      break;
+    case ScanUnit::kPc: return "pc";
+    case ScanUnit::kIr: return "ir";
+    case ScanUnit::kMar: return "mar";
+    case ScanUnit::kMdr: return "mdr";
+    case ScanUnit::kEx: return "ex";
+    case ScanUnit::kSig: return "sig";
+    case ScanUnit::kPsr: return "psr";
+    case ScanUnit::kCacheData:
+      std::snprintf(buf, sizeof buf, "cache.data[%u][%u]", index, subindex);
+      break;
+    case ScanUnit::kCacheTag:
+      std::snprintf(buf, sizeof buf, "cache.tag[%u]", index);
+      break;
+    case ScanUnit::kCacheValid:
+      std::snprintf(buf, sizeof buf, "cache.valid[%u]", index);
+      break;
+    case ScanUnit::kCacheDirty:
+      std::snprintf(buf, sizeof buf, "cache.dirty[%u]", index);
+      break;
+    case ScanUnit::kCacheParity:
+      std::snprintf(buf, sizeof buf, "cache.parity[%u][%u]", index, subindex);
+      break;
+  }
+  return buf;
+}
+
+}  // namespace
+
+ScanChain::ScanChain(CacheConfig cache_config) {
+  auto add = [&](ScanUnit unit, unsigned index, unsigned subindex,
+                 unsigned width) {
+    ScanElement e;
+    e.unit = unit;
+    e.index = index;
+    e.subindex = subindex;
+    e.width = width;
+    e.offset = total_bits_;
+    e.name = element_name(unit, index, subindex);
+    total_bits_ += width;
+    elements_.push_back(std::move(e));
+  };
+
+  // --- Register partition --------------------------------------------------
+  for (unsigned r = 1; r < kNumRegs; ++r) add(ScanUnit::kGpr, r, 0, 32);
+  add(ScanUnit::kPc, 0, 0, 32);
+  add(ScanUnit::kIr, 0, 0, 32);
+  add(ScanUnit::kMar, 0, 0, 32);
+  add(ScanUnit::kMdr, 0, 0, 32);
+  add(ScanUnit::kEx, 0, 0, 32);
+  add(ScanUnit::kSig, 0, 0, 16);
+  add(ScanUnit::kPsr, 0, 0, 5);
+  register_bits_ = total_bits_;
+
+  // --- Cache partition ------------------------------------------------------
+  for (unsigned line = 0; line < kCacheLines; ++line) {
+    for (unsigned word = 0; word < kWordsPerLine; ++word) {
+      add(ScanUnit::kCacheData, line, word, 32);
+    }
+  }
+  for (unsigned line = 0; line < kCacheLines; ++line) {
+    add(ScanUnit::kCacheTag, line, 0, kTagBits);
+  }
+  for (unsigned line = 0; line < kCacheLines; ++line) {
+    add(ScanUnit::kCacheValid, line, 0, 1);
+  }
+  for (unsigned line = 0; line < kCacheLines; ++line) {
+    add(ScanUnit::kCacheDirty, line, 0, 1);
+  }
+  if (cache_config.parity_enabled) {
+    for (unsigned line = 0; line < kCacheLines; ++line) {
+      for (unsigned word = 0; word < kWordsPerLine; ++word) {
+        add(ScanUnit::kCacheParity, line, word, 1);
+      }
+    }
+  }
+}
+
+const ScanElement& ScanChain::element_at(std::size_t flat_bit,
+                                         unsigned* bit) const {
+  // Binary search over element offsets.
+  std::size_t lo = 0;
+  std::size_t hi = elements_.size();
+  while (lo + 1 < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (elements_[mid].offset <= flat_bit) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const ScanElement& e = elements_[lo];
+  *bit = static_cast<unsigned>(flat_bit - e.offset);
+  return e;
+}
+
+std::uint32_t ScanChain::read_element(const Machine& m,
+                                      const ScanElement& e) const {
+  const CpuState& s = m.cpu.state();
+  switch (e.unit) {
+    case ScanUnit::kGpr: return s.regs[e.index];
+    case ScanUnit::kPc: return s.pc;
+    case ScanUnit::kIr: return s.ir;
+    case ScanUnit::kMar: return s.mar;
+    case ScanUnit::kMdr: return s.mdr;
+    case ScanUnit::kEx: return s.ex;
+    case ScanUnit::kSig: return s.sig;
+    case ScanUnit::kPsr: return pack_psr(s.psr);
+    case ScanUnit::kCacheData: return m.cache.data_word(e.index, e.subindex);
+    case ScanUnit::kCacheTag: return m.cache.tag(e.index);
+    case ScanUnit::kCacheValid: return m.cache.valid(e.index) ? 1u : 0u;
+    case ScanUnit::kCacheDirty: return m.cache.dirty(e.index) ? 1u : 0u;
+    case ScanUnit::kCacheParity:
+      return m.cache.parity_bit(e.index, e.subindex) ? 1u : 0u;
+  }
+  return 0;
+}
+
+void ScanChain::write_element(Machine& m, const ScanElement& e,
+                              std::uint32_t value) const {
+  CpuState& s = m.cpu.mutable_state();
+  switch (e.unit) {
+    case ScanUnit::kGpr: s.regs[e.index] = value; break;
+    case ScanUnit::kPc: s.pc = value; break;
+    case ScanUnit::kIr: s.ir = value; break;
+    case ScanUnit::kMar: s.mar = value; break;
+    case ScanUnit::kMdr: s.mdr = value; break;
+    case ScanUnit::kEx: s.ex = value; break;
+    case ScanUnit::kSig: s.sig = static_cast<std::uint16_t>(value); break;
+    case ScanUnit::kPsr: s.psr = unpack_psr(value); break;
+    case ScanUnit::kCacheData:
+      m.cache.set_data_word(e.index, e.subindex, value);
+      break;
+    case ScanUnit::kCacheTag: m.cache.set_tag(e.index, value); break;
+    case ScanUnit::kCacheValid: m.cache.set_valid(e.index, value != 0); break;
+    case ScanUnit::kCacheDirty: m.cache.set_dirty(e.index, value != 0); break;
+    case ScanUnit::kCacheParity:
+      m.cache.set_parity_bit(e.index, e.subindex, value != 0);
+      break;
+  }
+}
+
+bool ScanChain::read_bit(const Machine& m, std::size_t flat_bit) const {
+  unsigned bit = 0;
+  const ScanElement& e = element_at(flat_bit, &bit);
+  return util::get_bit32(read_element(m, e), bit);
+}
+
+void ScanChain::write_bit(Machine& m, std::size_t flat_bit, bool value) const {
+  unsigned bit = 0;
+  const ScanElement& e = element_at(flat_bit, &bit);
+  write_element(m, e, util::set_bit32(read_element(m, e), bit, value));
+}
+
+void ScanChain::flip_bit(Machine& m, std::size_t flat_bit) const {
+  unsigned bit = 0;
+  const ScanElement& e = element_at(flat_bit, &bit);
+  write_element(m, e, util::flip_bit32(read_element(m, e), bit));
+}
+
+std::vector<std::uint64_t> ScanChain::snapshot(const Machine& m) const {
+  std::vector<std::uint64_t> packed((total_bits_ + 63) / 64, 0);
+  for (const ScanElement& e : elements_) {
+    const std::uint32_t value = read_element(m, e);
+    for (unsigned bit = 0; bit < e.width; ++bit) {
+      if (util::get_bit32(value, bit)) {
+        const std::size_t flat = e.offset + bit;
+        packed[flat / 64] |= std::uint64_t{1} << (flat % 64);
+      }
+    }
+  }
+  return packed;
+}
+
+std::string ScanChain::describe_bit(std::size_t flat_bit) const {
+  unsigned bit = 0;
+  const ScanElement& e = element_at(flat_bit, &bit);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s[%u]", e.name.c_str(), bit);
+  return buf;
+}
+
+}  // namespace earl::tvm

@@ -1,0 +1,88 @@
+// Scan chain: bit-addressable access to every state element of a Machine.
+//
+// The paper's SCIFI technique (Scan-Chain Implemented Fault Injection) halts
+// the CPU at an instruction boundary, reads the scan chains, inverts the bit
+// corresponding to the fault location, and writes the chain back.  This
+// class provides exactly that interface over the TVM: a stable enumeration
+// of every state element (registers, PC, PSR, pipeline latches, signature
+// register, and all cache data/tag/valid/dirty[/parity] bits), a flat bit
+// address space over them, and read/write/flip operations.
+//
+// The element order is fixed — register-partition elements first, then the
+// cache partition — so a flat bit index below `register_bits()` is a
+// "Registers" fault location and anything above is a "Cache" fault location,
+// the same two-way split the paper's Tables 2 and 3 report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tvm/cpu.hpp"
+
+namespace earl::tvm {
+
+enum class ScanUnit : std::uint8_t {
+  kGpr,          // r1..r15 (r0 is hardwired zero, not a state element)
+  kPc,
+  kIr,
+  kMar,
+  kMdr,
+  kEx,
+  kSig,
+  kPsr,
+  kCacheData,    // index = line, subindex = word
+  kCacheTag,     // index = line
+  kCacheValid,   // index = line
+  kCacheDirty,   // index = line
+  kCacheParity,  // index = line, subindex = word (parity-enabled caches only)
+};
+
+struct ScanElement {
+  ScanUnit unit;
+  unsigned index = 0;
+  unsigned subindex = 0;
+  unsigned width = 0;       // bits
+  std::size_t offset = 0;   // flat address of this element's bit 0
+  std::string name;
+};
+
+class ScanChain {
+ public:
+  /// The enumeration depends only on the cache configuration, so a single
+  /// ScanChain serves every Machine built with the same CacheConfig.
+  explicit ScanChain(CacheConfig cache_config = {});
+
+  const std::vector<ScanElement>& elements() const { return elements_; }
+  std::size_t total_bits() const { return total_bits_; }
+  std::size_t register_bits() const { return register_bits_; }
+  std::size_t cache_bits() const { return total_bits_ - register_bits_; }
+
+  bool is_cache_bit(std::size_t flat_bit) const {
+    return flat_bit >= register_bits_;
+  }
+
+  bool read_bit(const Machine& m, std::size_t flat_bit) const;
+  void write_bit(Machine& m, std::size_t flat_bit, bool value) const;
+  void flip_bit(Machine& m, std::size_t flat_bit) const;
+
+  /// Full state read-out, packed 64 bits per word; two snapshots compare
+  /// equal iff every scannable state element matches (the latent/overwritten
+  /// distinction in the analysis phase).
+  std::vector<std::uint64_t> snapshot(const Machine& m) const;
+
+  /// Human-readable location, e.g. "r5[12]" or "cache.data[3][2][7]".
+  std::string describe_bit(std::size_t flat_bit) const;
+
+ private:
+  const ScanElement& element_at(std::size_t flat_bit, unsigned* bit) const;
+  std::uint32_t read_element(const Machine& m, const ScanElement& e) const;
+  void write_element(Machine& m, const ScanElement& e,
+                     std::uint32_t value) const;
+
+  std::vector<ScanElement> elements_;
+  std::size_t total_bits_ = 0;
+  std::size_t register_bits_ = 0;
+};
+
+}  // namespace earl::tvm

@@ -1,0 +1,50 @@
+#include "tvm/trace.hpp"
+
+#include <cstdio>
+
+#include "tvm/isa.hpp"
+
+namespace earl::tvm {
+
+void ExecutionTrace::on_step(const CpuState& before, std::uint32_t word) {
+  TraceRecord rec;
+  rec.pc = before.pc;
+  rec.word = word;
+  if (capture_registers_) rec.regs = before.regs;
+  records_.push_back(rec);
+}
+
+std::string ExecutionTrace::to_listing(std::size_t max_records) const {
+  std::string out;
+  const std::size_t n = max_records == 0
+                            ? records_.size()
+                            : std::min(max_records, records_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    char head[40];
+    std::snprintf(head, sizeof head, "%6zu  %08x  ", i, records_[i].pc);
+    out += head;
+    out += disassemble(records_[i].word);
+    out.push_back('\n');
+  }
+  if (n < records_.size()) {
+    out += "  ... (" + std::to_string(records_.size() - n) + " more)\n";
+  }
+  return out;
+}
+
+std::size_t first_divergence(const ExecutionTrace& golden,
+                             const ExecutionTrace& faulty) {
+  const auto& a = golden.records();
+  const auto& b = faulty.records();
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i].pc != b[i].pc || a[i].word != b[i].word ||
+        a[i].regs != b[i].regs) {
+      return i;
+    }
+  }
+  if (a.size() != b.size()) return n;
+  return static_cast<std::size_t>(-1);
+}
+
+}  // namespace earl::tvm

@@ -1,0 +1,51 @@
+// Detail-mode execution tracing.
+//
+// GOOFI's "detail mode" logs the system state before every machine
+// instruction so error propagation can be analyzed offline.  ExecutionTrace
+// is the equivalent: attach it to a Cpu via set_trace_sink() and it records,
+// per retired instruction, the PC, the instruction word, and (optionally)
+// the full register file.  RegisterDiff then pinpoints the first architec-
+// tural divergence between a golden and a faulty trace.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tvm/cpu.hpp"
+
+namespace earl::tvm {
+
+struct TraceRecord {
+  std::uint32_t pc = 0;
+  std::uint32_t word = 0;
+  std::array<std::uint32_t, kNumRegs> regs{};  // captured only in full mode
+};
+
+class ExecutionTrace : public TraceSink {
+ public:
+  /// `capture_registers` selects full detail mode (one register-file copy
+  /// per instruction) vs. the cheap pc+word stream.
+  explicit ExecutionTrace(bool capture_registers = false)
+      : capture_registers_(capture_registers) {}
+
+  void on_step(const CpuState& before, std::uint32_t word) override;
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  void clear() { records_.clear(); }
+
+  /// Renders a disassembly listing of the trace (for examples/debugging).
+  std::string to_listing(std::size_t max_records = 0) const;
+
+ private:
+  bool capture_registers_;
+  std::vector<TraceRecord> records_;
+};
+
+/// First index at which two traces diverge in pc, instruction word, or (if
+/// captured) register contents. Returns the shorter length when one trace
+/// is a prefix of the other, or SIZE_MAX when identical.
+std::size_t first_divergence(const ExecutionTrace& golden,
+                             const ExecutionTrace& faulty);
+
+}  // namespace earl::tvm

@@ -1,0 +1,57 @@
+// Small bit-manipulation helpers shared by the scan chain, fault models and
+// cache.  All operations are on explicit widths — the simulator never relies
+// on host-integer overflow behaviour.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+namespace earl::util {
+
+/// Returns `word` with bit `bit` (0 = LSB) inverted.
+constexpr std::uint32_t flip_bit32(std::uint32_t word, unsigned bit) {
+  return word ^ (std::uint32_t{1} << (bit & 31u));
+}
+
+constexpr std::uint64_t flip_bit64(std::uint64_t word, unsigned bit) {
+  return word ^ (std::uint64_t{1} << (bit & 63u));
+}
+
+constexpr bool get_bit32(std::uint32_t word, unsigned bit) {
+  return ((word >> (bit & 31u)) & 1u) != 0;
+}
+
+constexpr std::uint32_t set_bit32(std::uint32_t word, unsigned bit, bool v) {
+  const std::uint32_t mask = std::uint32_t{1} << (bit & 31u);
+  return v ? (word | mask) : (word & ~mask);
+}
+
+/// Extracts bits [lo, lo+len) of `word` (len <= 32).
+constexpr std::uint32_t bits32(std::uint32_t word, unsigned lo, unsigned len) {
+  const std::uint32_t mask =
+      len >= 32 ? 0xffffffffu : ((std::uint32_t{1} << len) - 1u);
+  return (word >> lo) & mask;
+}
+
+/// Sign-extends the low `len` bits of `value` to a signed 32-bit integer.
+constexpr std::int32_t sign_extend32(std::uint32_t value, unsigned len) {
+  const std::uint32_t mask = std::uint32_t{1} << (len - 1);
+  const std::uint32_t low =
+      len >= 32 ? value : value & ((std::uint32_t{1} << len) - 1u);
+  return static_cast<std::int32_t>((low ^ mask) - mask);
+}
+
+/// Even parity of a 32-bit word (true if an odd number of bits are set).
+constexpr bool odd_parity32(std::uint32_t word) {
+  return std::popcount(word) % 2 == 1;
+}
+
+/// Reinterprets a float's bits as uint32 (IEEE-754 single).
+inline std::uint32_t float_to_bits(float f) {
+  return std::bit_cast<std::uint32_t>(f);
+}
+
+inline float bits_to_float(std::uint32_t u) { return std::bit_cast<float>(u); }
+
+}  // namespace earl::util

@@ -1,0 +1,115 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace earl::util {
+
+namespace {
+
+bool needs_quoting(std::string_view field) {
+  return field.find_first_of(",\"\n\r") != std::string_view::npos;
+}
+
+std::string quote(std::string_view field) {
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+std::string csv_format_row(const CsvRow& fields) {
+  std::string line;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) line.push_back(',');
+    if (needs_quoting(fields[i])) {
+      line += quote(fields[i]);
+    } else {
+      line += fields[i];
+    }
+  }
+  return line;
+}
+
+CsvRow csv_parse_row(std::string_view line) {
+  CsvRow fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (c == '\r') {
+      // ignore CR in CRLF input
+    } else {
+      cur.push_back(c);
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+void CsvWriter::write_row(const CsvRow& fields) {
+  out_ << csv_format_row(fields) << '\n';
+}
+
+std::vector<CsvRow> csv_read_all(std::istream& in) {
+  std::vector<CsvRow> rows;
+  std::string record;
+  std::string line;
+  bool in_quotes = false;
+  while (std::getline(in, line)) {
+    if (!record.empty()) record.push_back('\n');
+    record += line;
+    // A record is complete when quotes are balanced.
+    for (char c : line) {
+      if (c == '"') in_quotes = !in_quotes;
+    }
+    if (!in_quotes) {
+      if (!record.empty()) rows.push_back(csv_parse_row(record));
+      record.clear();
+    }
+  }
+  if (!record.empty()) rows.push_back(csv_parse_row(record));
+  return rows;
+}
+
+bool csv_write_file(const std::string& path, const CsvRow& header,
+                    const std::vector<CsvRow>& rows) {
+  std::ofstream out(path);
+  if (!out) return false;
+  CsvWriter writer(out);
+  if (!header.empty()) writer.write_row(header);
+  for (const auto& row : rows) writer.write_row(row);
+  return static_cast<bool>(out);
+}
+
+std::vector<CsvRow> csv_read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  return csv_read_all(in);
+}
+
+}  // namespace earl::util

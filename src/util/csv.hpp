@@ -1,0 +1,46 @@
+// Minimal CSV reader/writer.
+//
+// GOOFI persisted campaign data in a SQL database; our equivalent is a typed
+// in-memory result store (fi/database.hpp) persisted as CSV so campaigns can
+// be re-analyzed without re-running, and so bench output can be plotted.
+// Fields containing commas, quotes or newlines are quoted per RFC 4180.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace earl::util {
+
+using CsvRow = std::vector<std::string>;
+
+/// Escapes and joins one row; no trailing newline.
+std::string csv_format_row(const CsvRow& fields);
+
+/// Parses one logical CSV line (already split on record boundary).
+CsvRow csv_parse_row(std::string_view line);
+
+/// Writer that streams rows to any ostream.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+  void write_row(const CsvRow& fields);
+
+ private:
+  std::ostream& out_;
+};
+
+/// Reads every record from a stream. Handles quoted fields that span
+/// multiple physical lines.
+std::vector<CsvRow> csv_read_all(std::istream& in);
+
+/// Convenience: write a header + rows to a file path. Returns false on I/O
+/// failure (the caller decides whether that is fatal).
+bool csv_write_file(const std::string& path, const CsvRow& header,
+                    const std::vector<CsvRow>& rows);
+
+/// Convenience: read a whole file; returns empty on failure.
+std::vector<CsvRow> csv_read_file(const std::string& path);
+
+}  // namespace earl::util

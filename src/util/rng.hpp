@@ -1,0 +1,64 @@
+// Deterministic pseudo-random number generation for reproducible campaigns.
+//
+// Fault-injection campaigns must be exactly reproducible from a single seed
+// (the paper's GOOFI tool stores campaign configuration in a database so a
+// campaign can be re-run).  We use xoshiro256** which is fast, has solid
+// statistical quality, and — unlike std::mt19937 with std::uniform_int_
+// distribution — produces identical streams on every platform, because we
+// implement the integer-range reduction ourselves.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace earl::util {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+/// Satisfies UniformRandomBitGenerator so it can be handed to <random> too.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a 64-bit seed via splitmix64, which
+  /// guarantees a non-zero state for every seed value.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound). Uses Lemire's multiply-shift rejection
+  /// method; unbiased. bound == 0 is a precondition violation and returns 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p);
+
+  /// Derives an independent child generator (for per-experiment streams that
+  /// must not depend on the order experiments are executed in).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// splitmix64 step — used for seeding and stream splitting.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+}  // namespace earl::util

@@ -1,0 +1,80 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace earl::util {
+
+namespace {
+constexpr double kZ95 = 1.959963984540054;  // 97.5th percentile of N(0,1)
+}
+
+double Proportion::value() const {
+  if (total == 0) return 0.0;
+  return static_cast<double>(count) / static_cast<double>(total);
+}
+
+double Proportion::half_width95() const {
+  if (total == 0) return 0.0;
+  const double p = value();
+  const double n = static_cast<double>(total);
+  return kZ95 * std::sqrt(p * (1.0 - p) / n);
+}
+
+Proportion::Interval Proportion::wilson95() const {
+  if (total == 0) return {};
+  const double n = static_cast<double>(total);
+  const double p = value();
+  const double z2 = kZ95 * kZ95;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      (kZ95 * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n))) / denom;
+  return {std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+std::string Proportion::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2f%% (±%.2f%%)", value() * 100.0,
+                half_width95() * 100.0);
+  return buf;
+}
+
+bool intervals_disjoint95(const Proportion& a, const Proportion& b) {
+  const double a_lo = a.value() - a.half_width95();
+  const double a_hi = a.value() + a.half_width95();
+  const double b_lo = b.value() - b.half_width95();
+  const double b_hi = b.value() + b.half_width95();
+  return a_hi < b_lo || b_hi < a_lo;
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  s.min = xs[0];
+  s.max = xs[0];
+  double sum = 0.0;
+  for (double x : xs) {
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+    sum += x;
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - s.mean) * (x - s.mean);
+  s.stddev = std::sqrt(var / static_cast<double>(xs.size()));
+  return s;
+}
+
+double max_abs_diff(std::span<const float> a, std::span<const float> b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    worst = std::max(worst, std::abs(static_cast<double>(a[i]) - b[i]));
+  }
+  return worst;
+}
+
+}  // namespace earl::util

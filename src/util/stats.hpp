@@ -1,0 +1,58 @@
+// Statistics helpers for campaign analysis.
+//
+// The paper reports every classification row as "percentage (± 95% conf) #",
+// i.e. a binomial proportion with a normal-approximation confidence
+// half-width.  We provide that estimator (to match the paper's tables) plus
+// the Wilson interval (better behaved for near-zero counts) and a few basic
+// descriptive statistics used by tests and benches.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace earl::util {
+
+/// A binomial proportion estimate: `count` successes out of `total` trials.
+struct Proportion {
+  std::size_t count = 0;
+  std::size_t total = 0;
+
+  /// Point estimate, in [0,1]. Zero when total == 0.
+  double value() const;
+
+  /// Normal-approximation 95% half-width: 1.96 * sqrt(p(1-p)/n).
+  /// This is the estimator used in the paper's tables.
+  double half_width95() const;
+
+  /// Wilson score interval at 95% confidence; returns {lo, hi} in [0,1].
+  struct Interval {
+    double lo = 0.0;
+    double hi = 0.0;
+  };
+  Interval wilson95() const;
+
+  /// Formats like the paper: "12.16% (±0.66%)".
+  std::string to_string() const;
+};
+
+/// True when two proportions' normal-approx 95% intervals do not overlap —
+/// the criterion the paper uses to claim Algorithm II beats Algorithm I.
+bool intervals_disjoint95(const Proportion& a, const Proportion& b);
+
+/// Descriptive statistics over a sample.
+struct Summary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  // population standard deviation
+  std::size_t n = 0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+/// Maximum absolute pairwise difference between two equal-length series.
+/// Used to compare controller outputs against a golden trace.
+double max_abs_diff(std::span<const float> a, std::span<const float> b);
+
+}  // namespace earl::util

@@ -1,0 +1,70 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+namespace earl::util {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)), aligns_(headers_.size(), Align::kLeft) {}
+
+void Table::set_align(std::size_t column, Align align) {
+  if (column < aligns_.size()) aligns_[column] = align;
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back({std::move(cells), pending_separator_});
+  pending_separator_ = false;
+}
+
+void Table::add_separator() { pending_separator_ = true; }
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto pad = [&](const std::string& s, std::size_t c) {
+    std::string out;
+    const std::size_t fill = widths[c] - std::min(widths[c], s.size());
+    if (aligns_[c] == Align::kRight) out.append(fill, ' ');
+    out += s;
+    if (aligns_[c] == Align::kLeft) out.append(fill, ' ');
+    return out;
+  };
+
+  auto rule = [&] {
+    std::string line;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      if (c > 0) line += "-+-";
+      line.append(widths[c], '-');
+    }
+    line.push_back('\n');
+    return line;
+  };
+
+  std::string out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c > 0) out += " | ";
+    out += pad(headers_[c], c);
+  }
+  out.push_back('\n');
+  out += rule();
+  for (const auto& row : rows_) {
+    if (row.separator_before) out += rule();
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      if (c > 0) out += " | ";
+      out += pad(row.cells[c], c);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace earl::util

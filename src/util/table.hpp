@@ -1,0 +1,45 @@
+// ASCII table rendering for the bench harnesses that regenerate the paper's
+// Tables 2-4.  Columns are right- or left-aligned and sized to fit content.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace earl::util {
+
+class Table {
+ public:
+  enum class Align { kLeft, kRight };
+
+  /// Creates a table with the given column headers; all columns default to
+  /// left alignment.
+  explicit Table(std::vector<std::string> headers);
+
+  void set_align(std::size_t column, Align align);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Inserts a horizontal separator line before the next added row.
+  void add_separator();
+
+  /// Renders with a header rule and column padding, e.g.
+  ///   Name        | %               | #
+  ///   ------------+-----------------+----
+  ///   Latent      | 12.16% (±0.66%) | 1130
+  std::string render() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before = false;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+  bool pending_separator_ = false;
+};
+
+}  // namespace earl::util

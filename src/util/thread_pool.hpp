@@ -1,0 +1,55 @@
+// Fixed-size worker pool used by the fault-injection runner.
+//
+// Campaigns are embarrassingly parallel: each experiment owns a private copy
+// of the target system, so the only shared state is the job queue and the
+// result sink.  The pool is deliberately simple — submit tasks, then wait for
+// quiescence — because that is the whole lifecycle a campaign needs.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace earl::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads; 0 means std::thread::hardware_concurrency()
+  /// (minimum 1).
+  explicit ThreadPool(std::size_t workers = 0);
+
+  /// Drains outstanding work, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw; a task that does terminates the
+  /// process (campaign code reports failures through its own result channel).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void wait_idle();
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace earl::util

@@ -1,0 +1,237 @@
+#include "analysis/classify.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace earl::analysis {
+namespace {
+
+const std::vector<float> kGolden(650, 10.0f);
+
+std::vector<float> golden_copy() { return kGolden; }
+
+TEST(ClassifyTest, IdenticalOutputsStateIdenticalIsOverwritten) {
+  EXPECT_EQ(classify_outputs(kGolden, kGolden, /*state_identical=*/true),
+            Outcome::kOverwritten);
+}
+
+TEST(ClassifyTest, IdenticalOutputsStateDiffersIsLatent) {
+  EXPECT_EQ(classify_outputs(kGolden, kGolden, /*state_identical=*/false),
+            Outcome::kLatent);
+}
+
+TEST(ClassifyTest, TinyDeviationIsInsignificant) {
+  auto faulty = golden_copy();
+  faulty[300] += 0.05f;
+  EXPECT_EQ(classify_outputs(kGolden, faulty, true),
+            Outcome::kMinorInsignificant);
+}
+
+TEST(ClassifyTest, DeviationAtThresholdIsInsignificant) {
+  // "More than 0.1" is strict: a deviation of exactly the threshold value
+  // stays insignificant.  Use zero-based series so the float arithmetic is
+  // exact (10.0f + 0.1f rounds *above* the threshold).
+  const std::vector<float> golden(650, 0.0f);
+  auto faulty = golden;
+  faulty[300] = 0.1f;
+  EXPECT_EQ(classify_outputs(golden, faulty, true),
+            Outcome::kMinorInsignificant);
+}
+
+TEST(ClassifyTest, InsignificantBeatsLatent) {
+  // Any output deviation makes the error a value failure even if the state
+  // also differs.
+  auto faulty = golden_copy();
+  faulty[300] += 0.01f;
+  EXPECT_EQ(classify_outputs(kGolden, faulty, false),
+            Outcome::kMinorInsignificant);
+}
+
+TEST(ClassifyTest, SingleStrongDeviationIsTransient) {
+  auto faulty = golden_copy();
+  faulty[300] = 50.0f;
+  EXPECT_EQ(classify_outputs(kGolden, faulty, true), Outcome::kMinorTransient);
+}
+
+TEST(ClassifyTest, TwoStrongDeviationsAreSemiPermanent) {
+  auto faulty = golden_copy();
+  faulty[300] = 50.0f;
+  faulty[301] = 49.0f;
+  EXPECT_EQ(classify_outputs(kGolden, faulty, true),
+            Outcome::kSevereSemiPermanent);
+}
+
+TEST(ClassifyTest, PinnedHighFromFirstDeviationIsPermanent) {
+  auto faulty = golden_copy();
+  for (std::size_t k = 200; k < faulty.size(); ++k) faulty[k] = 70.0f;
+  EXPECT_EQ(classify_outputs(kGolden, faulty, true),
+            Outcome::kSeverePermanent);
+}
+
+TEST(ClassifyTest, PinnedLowIsPermanent) {
+  auto faulty = golden_copy();
+  for (std::size_t k = 400; k < faulty.size(); ++k) faulty[k] = 0.0f;
+  EXPECT_EQ(classify_outputs(kGolden, faulty, true),
+            Outcome::kSeverePermanent);
+}
+
+TEST(ClassifyTest, PinnedButRecoveringIsSemiPermanent) {
+  // Output at the limit for a while, then converging: not permanent.
+  auto faulty = golden_copy();
+  for (std::size_t k = 200; k < 400; ++k) faulty[k] = 70.0f;
+  EXPECT_EQ(classify_outputs(kGolden, faulty, true),
+            Outcome::kSevereSemiPermanent);
+}
+
+TEST(ClassifyTest, AlternatingLimitsStillPermanent) {
+  // "Output is at maximum value or minimum value" from the failure onward.
+  auto faulty = golden_copy();
+  for (std::size_t k = 200; k < faulty.size(); ++k) {
+    faulty[k] = (k % 2 == 0) ? 70.0f : 0.0f;
+  }
+  EXPECT_EQ(classify_outputs(kGolden, faulty, true),
+            Outcome::kSeverePermanent);
+}
+
+TEST(ClassifyTest, NanOutputIsStrongDeviation) {
+  auto faulty = golden_copy();
+  faulty[100] = std::nanf("");
+  EXPECT_EQ(classify_outputs(kGolden, faulty, true), Outcome::kMinorTransient);
+  faulty[101] = std::nanf("");
+  EXPECT_EQ(classify_outputs(kGolden, faulty, true),
+            Outcome::kSevereSemiPermanent);
+}
+
+TEST(ClassifyTest, ThresholdIsConfigurable) {
+  auto faulty = golden_copy();
+  faulty[300] = 10.5f;
+  ClassifyConfig config;
+  config.strong_threshold = 1.0f;
+  EXPECT_EQ(classify_outputs(kGolden, faulty, true, config),
+            Outcome::kMinorInsignificant);
+  config.strong_threshold = 0.1f;
+  EXPECT_EQ(classify_outputs(kGolden, faulty, true, config),
+            Outcome::kMinorTransient);
+}
+
+TEST(ClassifyTest, PinLimitsConfigurable) {
+  auto faulty = golden_copy();
+  for (std::size_t k = 100; k < faulty.size(); ++k) faulty[k] = 100.0f;
+  ClassifyConfig config;
+  config.pin_hi = 100.0f;
+  EXPECT_EQ(classify_outputs(kGolden, faulty, true, config),
+            Outcome::kSeverePermanent);
+}
+
+TEST(DeviationStatsTest, CountsAndPositions) {
+  auto faulty = golden_copy();
+  faulty[100] = 20.0f;
+  faulty[200] = 30.0f;
+  faulty[300] = 10.05f;
+  const DeviationStats stats = deviation_stats(kGolden, faulty);
+  EXPECT_EQ(stats.strong_count, 2u);
+  EXPECT_EQ(stats.first_strong, 100u);
+  EXPECT_EQ(stats.last_strong, 200u);
+  EXPECT_TRUE(stats.any_deviation);
+  EXPECT_DOUBLE_EQ(stats.max_deviation, 20.0);
+}
+
+TEST(DeviationStatsTest, CleanRunHasNoDeviation) {
+  const DeviationStats stats = deviation_stats(kGolden, kGolden);
+  EXPECT_EQ(stats.strong_count, 0u);
+  EXPECT_FALSE(stats.any_deviation);
+  EXPECT_DOUBLE_EQ(stats.max_deviation, 0.0);
+}
+
+TEST(DeviationStatsTest, PinnedDetectionRequiresExactLimits) {
+  auto faulty = golden_copy();
+  for (std::size_t k = 100; k < faulty.size(); ++k) faulty[k] = 69.99f;
+  const DeviationStats stats = deviation_stats(kGolden, faulty);
+  EXPECT_FALSE(stats.pinned_from_first_strong);
+}
+
+TEST(OutcomePredicateTest, ValueFailureClassification) {
+  EXPECT_TRUE(is_value_failure(Outcome::kSeverePermanent));
+  EXPECT_TRUE(is_value_failure(Outcome::kSevereSemiPermanent));
+  EXPECT_TRUE(is_value_failure(Outcome::kMinorTransient));
+  EXPECT_TRUE(is_value_failure(Outcome::kMinorInsignificant));
+  EXPECT_FALSE(is_value_failure(Outcome::kDetected));
+  EXPECT_FALSE(is_value_failure(Outcome::kLatent));
+  EXPECT_FALSE(is_value_failure(Outcome::kOverwritten));
+}
+
+TEST(OutcomePredicateTest, SeverityClassification) {
+  EXPECT_TRUE(is_severe(Outcome::kSeverePermanent));
+  EXPECT_TRUE(is_severe(Outcome::kSevereSemiPermanent));
+  EXPECT_FALSE(is_severe(Outcome::kMinorTransient));
+  EXPECT_FALSE(is_severe(Outcome::kMinorInsignificant));
+}
+
+TEST(OutcomePredicateTest, NonEffectiveClassification) {
+  EXPECT_TRUE(is_non_effective(Outcome::kLatent));
+  EXPECT_TRUE(is_non_effective(Outcome::kOverwritten));
+  EXPECT_FALSE(is_non_effective(Outcome::kDetected));
+  EXPECT_FALSE(is_non_effective(Outcome::kSeverePermanent));
+}
+
+TEST(OutcomePredicateTest, NamesAreDistinct) {
+  for (std::size_t a = 0; a < kOutcomeCount; ++a) {
+    for (std::size_t b = a + 1; b < kOutcomeCount; ++b) {
+      EXPECT_NE(outcome_name(static_cast<Outcome>(a)),
+                outcome_name(static_cast<Outcome>(b)));
+    }
+  }
+}
+
+// Property sweep: every (deviation magnitude, duration, pinned) combination
+// maps to exactly one class, and the mapping is monotone in severity.
+struct ClassifyCase {
+  float magnitude;
+  std::size_t duration;
+  bool pin;
+  Outcome expected;
+};
+
+class ClassifySweep : public ::testing::TestWithParam<ClassifyCase> {};
+
+TEST_P(ClassifySweep, MapsToExpectedClass) {
+  const ClassifyCase& c = GetParam();
+  auto faulty = golden_copy();
+  for (std::size_t k = 0; k < c.duration; ++k) {
+    faulty[100 + k] = c.pin ? 70.0f : 10.0f + c.magnitude;
+  }
+  if (c.pin) {
+    for (std::size_t k = 100; k < faulty.size(); ++k) faulty[k] = 70.0f;
+  }
+  EXPECT_EQ(classify_outputs(kGolden, faulty, true), c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Magnitudes, ClassifySweep,
+    ::testing::Values(
+        ClassifyCase{0.05f, 1, false, Outcome::kMinorInsignificant},
+        ClassifyCase{0.05f, 100, false, Outcome::kMinorInsignificant},
+        ClassifyCase{0.2f, 1, false, Outcome::kMinorTransient},
+        ClassifyCase{5.0f, 1, false, Outcome::kMinorTransient},
+        ClassifyCase{59.9f, 1, false, Outcome::kMinorTransient},
+        ClassifyCase{0.2f, 2, false, Outcome::kSevereSemiPermanent},
+        ClassifyCase{0.2f, 100, false, Outcome::kSevereSemiPermanent},
+        ClassifyCase{30.0f, 50, false, Outcome::kSevereSemiPermanent},
+        ClassifyCase{0.0f, 1, true, Outcome::kSeverePermanent}));
+
+TEST(ClassifyTest, ShortSeriesSupported) {
+  const std::vector<float> golden = {1.0f, 2.0f};
+  const std::vector<float> faulty = {1.0f, 50.0f};
+  EXPECT_EQ(classify_outputs(golden, faulty, true), Outcome::kMinorTransient);
+}
+
+TEST(ClassifyTest, EmptySeriesIsOverwrittenOrLatent) {
+  const std::vector<float> empty;
+  EXPECT_EQ(classify_outputs(empty, empty, true), Outcome::kOverwritten);
+  EXPECT_EQ(classify_outputs(empty, empty, false), Outcome::kLatent);
+}
+
+}  // namespace
+}  // namespace earl::analysis

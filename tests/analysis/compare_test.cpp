@@ -1,0 +1,100 @@
+#include "analysis/compare.hpp"
+
+#include <gtest/gtest.h>
+
+namespace earl::analysis {
+namespace {
+
+fi::ExperimentResult experiment(Outcome outcome) {
+  fi::ExperimentResult e;
+  e.outcome = outcome;
+  e.fault.bits = {1};
+  return e;
+}
+
+fi::CampaignResult campaign_with(std::size_t permanent, std::size_t semi,
+                                 std::size_t transient, std::size_t insig,
+                                 std::size_t detected, std::size_t quiet) {
+  fi::CampaignResult campaign;
+  for (std::size_t i = 0; i < permanent; ++i)
+    campaign.experiments.push_back(experiment(Outcome::kSeverePermanent));
+  for (std::size_t i = 0; i < semi; ++i)
+    campaign.experiments.push_back(experiment(Outcome::kSevereSemiPermanent));
+  for (std::size_t i = 0; i < transient; ++i)
+    campaign.experiments.push_back(experiment(Outcome::kMinorTransient));
+  for (std::size_t i = 0; i < insig; ++i)
+    campaign.experiments.push_back(experiment(Outcome::kMinorInsignificant));
+  for (std::size_t i = 0; i < detected; ++i)
+    campaign.experiments.push_back(experiment(Outcome::kDetected));
+  for (std::size_t i = 0; i < quiet; ++i)
+    campaign.experiments.push_back(experiment(Outcome::kOverwritten));
+  return campaign;
+}
+
+TEST(CompareTest, RowsMatchPaperTable4Layout) {
+  // Use the paper's own Table 4 numbers as the fixture.
+  const auto alg1 = campaign_with(11, 39, 87, 329, 1961, 6863);
+  const auto alg2 = campaign_with(0, 4, 37, 83, 520, 1728);
+  const CampaignComparison cmp = CampaignComparison::build(alg1, alg2);
+
+  ASSERT_EQ(cmp.rows().size(), 8u);
+  EXPECT_EQ(cmp.rows()[0].label, "Total (Non Effective Errors)");
+  EXPECT_EQ(cmp.rows()[0].left.count, 6863u);
+  EXPECT_EQ(cmp.rows()[2].label, "Undetected Wrong Results (Permanent)");
+  EXPECT_EQ(cmp.rows()[2].left.count, 11u);
+  EXPECT_EQ(cmp.rows()[2].right.count, 0u);
+  EXPECT_EQ(cmp.rows()[6].label, "Total (Undetected Wrong Results)");
+  EXPECT_EQ(cmp.rows()[6].left.count, 466u);
+  EXPECT_EQ(cmp.rows()[6].right.count, 124u);
+}
+
+TEST(CompareTest, PaperNumbersShowSignificantSevereReduction) {
+  const auto alg1 = campaign_with(11, 39, 87, 329, 1961, 6863);
+  const auto alg2 = campaign_with(0, 4, 37, 83, 520, 1728);
+  const CampaignComparison cmp = CampaignComparison::build(alg1, alg2);
+  EXPECT_TRUE(cmp.severe_reduction_significant());
+}
+
+TEST(CompareTest, NoReductionNotSignificant) {
+  const auto alg1 = campaign_with(5, 5, 10, 10, 100, 870);
+  const CampaignComparison cmp = CampaignComparison::build(alg1, alg1);
+  EXPECT_FALSE(cmp.severe_reduction_significant());
+}
+
+TEST(CompareTest, IncreaseNotFlaggedAsReduction) {
+  const auto fewer = campaign_with(0, 1, 10, 10, 100, 879);
+  const auto more = campaign_with(50, 50, 10, 10, 100, 780);
+  const CampaignComparison cmp = CampaignComparison::build(fewer, more);
+  EXPECT_FALSE(cmp.severe_reduction_significant());
+}
+
+TEST(CompareTest, PercentagesUseOwnCampaignTotals) {
+  const auto alg1 = campaign_with(10, 0, 0, 0, 0, 90);   // 10% permanent
+  const auto alg2 = campaign_with(10, 0, 0, 0, 0, 190);  // 5% permanent
+  const CampaignComparison cmp = CampaignComparison::build(alg1, alg2);
+  EXPECT_DOUBLE_EQ(cmp.rows()[2].left.value(), 0.10);
+  EXPECT_DOUBLE_EQ(cmp.rows()[2].right.value(), 0.05);
+}
+
+TEST(CompareTest, RenderContainsNamesAndCounts) {
+  const auto alg1 = campaign_with(11, 39, 87, 329, 1961, 6863);
+  const auto alg2 = campaign_with(0, 4, 37, 83, 520, 1728);
+  const CampaignComparison cmp = CampaignComparison::build(alg1, alg2);
+  const std::string table =
+      cmp.render("Table 4", "Algorithm I", "Algorithm II");
+  EXPECT_NE(table.find("Algorithm I"), std::string::npos);
+  EXPECT_NE(table.find("Algorithm II"), std::string::npos);
+  EXPECT_NE(table.find("Semi-Permanent"), std::string::npos);
+  EXPECT_NE(table.find("9290"), std::string::npos);
+  EXPECT_NE(table.find("2372"), std::string::npos);
+}
+
+TEST(CompareTest, EmptyCampaignsDoNotCrash) {
+  fi::CampaignResult empty;
+  const CampaignComparison cmp = CampaignComparison::build(empty, empty);
+  EXPECT_FALSE(cmp.severe_reduction_significant());
+  EXPECT_FALSE(cmp.render("t", "a", "b").empty());
+}
+
+}  // namespace
+}  // namespace earl::analysis

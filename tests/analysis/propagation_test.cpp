@@ -1,0 +1,120 @@
+#include "analysis/propagation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fi/workloads.hpp"
+#include "tvm/scan_chain.hpp"
+
+namespace earl::analysis {
+namespace {
+
+std::size_t gpr_bit(unsigned reg, unsigned bit) {
+  // r1 is the first scan element (32 bits per GPR).
+  return static_cast<std::size_t>(reg - 1) * 32 + bit;
+}
+
+class PropagationTest : public ::testing::Test {
+ protected:
+  PropagationTest() : program_(fi::build_pi_program()) {}
+  tvm::AssembledProgram program_;
+};
+
+TEST_F(PropagationTest, NoFaultNoDivergence) {
+  fi::Fault fault;  // empty bit list: nothing flipped
+  const PropagationReport report = analyze_propagation(program_, fault);
+  EXPECT_FALSE(report.diverged);
+  EXPECT_FALSE(report.reached_memory);
+  EXPECT_FALSE(report.detected);
+  EXPECT_NE(report.to_string().find("no architectural divergence"),
+            std::string::npos);
+}
+
+TEST_F(PropagationTest, DeadRegisterFaultStaysLatent) {
+  // r9 is never touched by the generated code: the corruption sits there
+  // without ever diverging the executed state the recorder compares...
+  fi::Fault fault;
+  fault.bits = {gpr_bit(9, 7)};
+  PropagationOptions options;
+  options.warmup_instructions = 200;
+  options.window_instructions = 500;
+  const PropagationReport report =
+      analyze_propagation(program_, fault, options);
+  // ...except that the register file itself is part of the snapshot, so
+  // the divergence is visible immediately but never propagates.
+  EXPECT_TRUE(report.diverged);
+  ASSERT_EQ(report.corrupted_registers.size(), 1u);
+  EXPECT_EQ(report.corrupted_registers[0], 9u);
+  EXPECT_FALSE(report.reached_memory);
+  EXPECT_FALSE(report.control_flow_diverged);
+  EXPECT_FALSE(report.detected);
+}
+
+TEST_F(PropagationTest, LiveRegisterFaultReachesMemory) {
+  // r1 carries every value in the generated code. Whether a corruption in
+  // it escapes to memory depends on where between a load and a store the
+  // flip lands, so scan a window of injection points: every one must
+  // diverge architecturally, and at least one must propagate into a store.
+  bool any_reached_memory = false;
+  for (std::uint64_t warmup = 50; warmup <= 80; warmup += 5) {
+    fi::Fault fault;
+    fault.bits = {gpr_bit(1, 28)};
+    PropagationOptions options;
+    options.warmup_instructions = warmup;
+    const PropagationReport report =
+        analyze_propagation(program_, fault, options);
+    EXPECT_TRUE(report.diverged) << "warmup " << warmup;
+    if (report.reached_memory) {
+      any_reached_memory = true;
+      EXPECT_GE(report.memory_step, report.divergence_step);
+    }
+  }
+  EXPECT_TRUE(any_reached_memory);
+}
+
+TEST_F(PropagationTest, PcFaultDivergesControlFlow) {
+  tvm::ScanChain scan;
+  std::size_t pc_offset = 0;
+  for (const auto& e : scan.elements()) {
+    if (e.unit == tvm::ScanUnit::kPc) pc_offset = e.offset;
+  }
+  fi::Fault fault;
+  fault.bits = {pc_offset + 6};  // +64 bytes: lands inside the code region
+  PropagationOptions options;
+  options.warmup_instructions = 40;
+  const PropagationReport report =
+      analyze_propagation(program_, fault, options);
+  EXPECT_TRUE(report.diverged);
+  EXPECT_TRUE(report.control_flow_diverged || report.detected);
+}
+
+TEST_F(PropagationTest, SigFaultIsDetectedAsControlFlowError) {
+  tvm::ScanChain scan;
+  std::size_t sig_offset = 0;
+  for (const auto& e : scan.elements()) {
+    if (e.unit == tvm::ScanUnit::kSig) sig_offset = e.offset;
+  }
+  fi::Fault fault;
+  fault.bits = {sig_offset + 3};
+  PropagationOptions options;
+  options.warmup_instructions = 10;
+  const PropagationReport report =
+      analyze_propagation(program_, fault, options);
+  EXPECT_TRUE(report.detected);
+  EXPECT_EQ(report.edm, tvm::Edm::kControlFlowError);
+  EXPECT_NE(report.to_string().find("Control Flow Error"), std::string::npos);
+}
+
+TEST_F(PropagationTest, ReportRendersDivergenceDetails) {
+  fi::Fault fault;
+  fault.bits = {gpr_bit(1, 28)};
+  PropagationOptions options;
+  options.warmup_instructions = 60;
+  const PropagationReport report =
+      analyze_propagation(program_, fault, options);
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("first divergence"), std::string::npos);
+  EXPECT_NE(text.find("r1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace earl::analysis

@@ -1,0 +1,133 @@
+#include "analysis/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace earl::analysis {
+namespace {
+
+fi::ExperimentResult experiment(Outcome outcome, bool cache,
+                                tvm::Edm edm = tvm::Edm::kNone) {
+  fi::ExperimentResult e;
+  e.outcome = outcome;
+  e.cache_location = cache;
+  e.edm = edm;
+  e.fault.bits = {cache ? 2000u : 100u};
+  return e;
+}
+
+fi::CampaignResult make_campaign() {
+  fi::CampaignResult campaign;
+  // 10 experiments: 4 overwritten, 2 latent, 2 detected (1 address, 1 bus),
+  // 1 severe (cache), 1 minor (cache).
+  campaign.experiments = {
+      experiment(Outcome::kOverwritten, true),
+      experiment(Outcome::kOverwritten, true),
+      experiment(Outcome::kOverwritten, false),
+      experiment(Outcome::kOverwritten, false),
+      experiment(Outcome::kLatent, false),
+      experiment(Outcome::kLatent, false),
+      experiment(Outcome::kDetected, false, tvm::Edm::kAddressError),
+      experiment(Outcome::kDetected, true, tvm::Edm::kBusError),
+      experiment(Outcome::kSeverePermanent, true),
+      experiment(Outcome::kMinorInsignificant, true),
+  };
+  campaign.register_partition_bits = 661;
+  return campaign;
+}
+
+TEST(ReportTest, TotalsAddUp) {
+  const CampaignReport report = CampaignReport::build(make_campaign());
+  EXPECT_EQ(report.faults_injected(), 10u);
+  EXPECT_EQ(report.total_of(Outcome::kOverwritten).count, 4u);
+  EXPECT_EQ(report.total_of(Outcome::kLatent).count, 2u);
+  EXPECT_EQ(report.total_of(Outcome::kDetected).count, 2u);
+  EXPECT_EQ(report.total_value_failures().count, 2u);
+  EXPECT_EQ(report.total_severe().count, 1u);
+}
+
+TEST(ReportTest, CoverageComplementOfValueFailures) {
+  const CampaignReport report = CampaignReport::build(make_campaign());
+  EXPECT_DOUBLE_EQ(report.coverage().value(), 0.8);
+}
+
+TEST(ReportTest, SevereShareOfFailures) {
+  const CampaignReport report = CampaignReport::build(make_campaign());
+  EXPECT_DOUBLE_EQ(report.severe_share_of_failures().value(), 0.5);
+}
+
+TEST(ReportTest, PartitionCellsSplitCorrectly) {
+  const CampaignReport report = CampaignReport::build(make_campaign());
+  for (const ReportRow& row : report.rows()) {
+    if (row.label == "Undetected Wrong Results (Severe)") {
+      EXPECT_EQ(row.cache.proportion.count, 1u);
+      EXPECT_EQ(row.registers.proportion.count, 0u);
+      EXPECT_EQ(row.total.proportion.count, 1u);
+      EXPECT_EQ(row.cache.proportion.total, 5u);      // cache faults
+      EXPECT_EQ(row.registers.proportion.total, 5u);  // register faults
+    }
+  }
+}
+
+TEST(ReportTest, PerMechanismRows) {
+  const CampaignReport report = CampaignReport::build(make_campaign());
+  bool found_address = false;
+  for (const ReportRow& row : report.rows()) {
+    if (row.label == "Address Error") {
+      found_address = true;
+      EXPECT_EQ(row.total.proportion.count, 1u);
+    }
+  }
+  EXPECT_TRUE(found_address);
+}
+
+TEST(ReportTest, ZeroOnlyMechanismsHidden) {
+  const CampaignReport report = CampaignReport::build(make_campaign());
+  for (const ReportRow& row : report.rows()) {
+    EXPECT_NE(row.label, "Watchdog");  // zero occurrences: hidden
+    EXPECT_NE(row.label, "Master/Slave Comparator");
+  }
+}
+
+TEST(ReportTest, NonZeroWatchdogShown) {
+  fi::CampaignResult campaign = make_campaign();
+  campaign.experiments.push_back(
+      experiment(Outcome::kDetected, false, tvm::Edm::kWatchdog));
+  const CampaignReport report = CampaignReport::build(campaign);
+  bool found = false;
+  for (const ReportRow& row : report.rows()) {
+    if (row.label == "Watchdog") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ReportTest, RenderContainsPaperRows) {
+  const CampaignReport report = CampaignReport::build(make_campaign());
+  const std::string table = report.render("Table 2");
+  EXPECT_NE(table.find("Table 2"), std::string::npos);
+  EXPECT_NE(table.find("Latent Errors"), std::string::npos);
+  EXPECT_NE(table.find("Overwritten Errors"), std::string::npos);
+  EXPECT_NE(table.find("Total (Non Effective Errors)"), std::string::npos);
+  EXPECT_NE(table.find("Undetected Wrong Results (Severe)"),
+            std::string::npos);
+  EXPECT_NE(table.find("Coverage"), std::string::npos);
+  EXPECT_NE(table.find("Cache (5)"), std::string::npos);
+  EXPECT_NE(table.find("Registers (5)"), std::string::npos);
+}
+
+TEST(ReportTest, EmptyCampaignDoesNotCrash) {
+  fi::CampaignResult campaign;
+  const CampaignReport report = CampaignReport::build(campaign);
+  EXPECT_EQ(report.faults_injected(), 0u);
+  EXPECT_FALSE(report.render("empty").empty());
+}
+
+TEST(CellTest, FormatIncludesCount) {
+  Cell cell;
+  cell.proportion = {25, 100};
+  const std::string text = cell.to_string();
+  EXPECT_NE(text.find("25.00%"), std::string::npos);
+  EXPECT_NE(text.find("25"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace earl::analysis

@@ -1,0 +1,253 @@
+// Emitter tests: generated code must assemble cleanly and *execute* with
+// block-diagram semantics on the TVM.  The fixture runs a diagram for a few
+// iterations against chosen inputs and checks the output sequence.
+#include "codegen/emitter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tvm/assembler.hpp"
+#include "tvm/cpu.hpp"
+#include "util/bitops.hpp"
+
+namespace earl::codegen {
+namespace {
+
+class EmitterFixture : public ::testing::Test {
+ protected:
+  /// Emits, assembles, loads; returns output series for the input pairs.
+  std::vector<float> run(const Diagram& diagram,
+                         const std::vector<std::pair<float, float>>& inputs,
+                         const EmitOptions& options = {}) {
+    const EmitResult emitted = emit_assembly(diagram, options);
+    EXPECT_TRUE(emitted.ok()) << (emitted.errors.empty()
+                                      ? ""
+                                      : emitted.errors.front());
+    tvm::AssembledProgram program = tvm::assemble(emitted.assembly);
+    EXPECT_TRUE(program.ok()) << (program.errors.empty()
+                                      ? emitted.assembly
+                                      : program.errors.front());
+    tvm::Machine machine;
+    EXPECT_TRUE(tvm::load_program(program, machine.mem));
+    machine.reset(program.entry);
+
+    std::vector<float> outputs;
+    for (const auto& [r, y] : inputs) {
+      machine.mem.write_raw(tvm::kIoInRef, util::float_to_bits(r));
+      machine.mem.write_raw(tvm::kIoInMeas, util::float_to_bits(y));
+      const tvm::RunResult result = machine.run(100000);
+      EXPECT_EQ(result.kind, tvm::RunResult::Kind::kYield);
+      outputs.push_back(
+          util::bits_to_float(machine.mem.read_raw(tvm::kIoOutU)));
+    }
+    return outputs;
+  }
+};
+
+Diagram passthrough() {
+  Diagram d;
+  const BlockId in = d.add_inport("r", 0);
+  d.add_outport("o", in, 0);
+  return d;
+}
+
+TEST_F(EmitterFixture, PassthroughForwardsInput) {
+  const auto out = run(passthrough(), {{1.5f, 0.0f}, {-2.0f, 0.0f}});
+  EXPECT_FLOAT_EQ(out[0], 1.5f);
+  EXPECT_FLOAT_EQ(out[1], -2.0f);
+}
+
+TEST_F(EmitterFixture, SecondInportIsMeasurement) {
+  Diagram d;
+  const BlockId y = d.add_inport("y", 1);
+  d.add_outport("o", y, 0);
+  const auto out = run(d, {{9.0f, 3.25f}});
+  EXPECT_FLOAT_EQ(out[0], 3.25f);
+}
+
+TEST_F(EmitterFixture, ConstantBlock) {
+  Diagram d;
+  d.add_outport("o", d.add_constant("c", 42.5f), 0);
+  EXPECT_FLOAT_EQ(run(d, {{0, 0}})[0], 42.5f);
+}
+
+TEST_F(EmitterFixture, SumWithMixedSigns) {
+  Diagram d;
+  const BlockId r = d.add_inport("r", 0);
+  const BlockId y = d.add_inport("y", 1);
+  const BlockId c = d.add_constant("c", 10.0f);
+  d.add_outport("o", d.add_sum("s", "+-+", {r, y, c}), 0);
+  EXPECT_FLOAT_EQ(run(d, {{5.0f, 3.0f}})[0], 12.0f);
+}
+
+TEST_F(EmitterFixture, SumLeadingMinus) {
+  Diagram d;
+  const BlockId r = d.add_inport("r", 0);
+  d.add_outport("o", d.add_sum("s", "-", {r}), 0);
+  EXPECT_FLOAT_EQ(run(d, {{4.0f, 0.0f}})[0], -4.0f);
+}
+
+TEST_F(EmitterFixture, GainAndProduct) {
+  Diagram d;
+  const BlockId r = d.add_inport("r", 0);
+  const BlockId y = d.add_inport("y", 1);
+  const BlockId g = d.add_gain("g", 2.5f, r);
+  d.add_outport("o", d.add_product("p", g, y), 0);
+  EXPECT_FLOAT_EQ(run(d, {{2.0f, 3.0f}})[0], 15.0f);
+}
+
+TEST_F(EmitterFixture, SaturationClampsBothSides) {
+  Diagram d;
+  const BlockId r = d.add_inport("r", 0);
+  d.add_outport("o", d.add_saturation("sat", -1.0f, 1.0f, r), 0);
+  const auto out = run(d, {{5.0f, 0}, {-5.0f, 0}, {0.25f, 0}, {1.0f, 0}});
+  EXPECT_FLOAT_EQ(out[0], 1.0f);
+  EXPECT_FLOAT_EQ(out[1], -1.0f);
+  EXPECT_FLOAT_EQ(out[2], 0.25f);
+  EXPECT_FLOAT_EQ(out[3], 1.0f);
+}
+
+TEST_F(EmitterFixture, UnitDelayDelaysByOneSample) {
+  Diagram d;
+  const BlockId r = d.add_inport("r", 0);
+  const BlockId x = d.add_unit_delay("x", -7.0f);
+  d.connect_delay_input(x, r);
+  d.add_outport("o", x, 0);
+  const auto out = run(d, {{1.0f, 0}, {2.0f, 0}, {3.0f, 0}});
+  EXPECT_FLOAT_EQ(out[0], -7.0f);  // initial value
+  EXPECT_FLOAT_EQ(out[1], 1.0f);
+  EXPECT_FLOAT_EQ(out[2], 2.0f);
+}
+
+TEST_F(EmitterFixture, AccumulatorThroughDelayFeedback) {
+  Diagram d;
+  const BlockId r = d.add_inport("r", 0);
+  const BlockId x = d.add_unit_delay("x", 0.0f);
+  const BlockId sum = d.add_sum("s", "++", {x, r});
+  d.connect_delay_input(x, sum);
+  d.add_outport("o", sum, 0);
+  const auto out = run(d, {{1.0f, 0}, {1.0f, 0}, {1.0f, 0}, {1.0f, 0}});
+  EXPECT_FLOAT_EQ(out[3], 4.0f);
+}
+
+TEST_F(EmitterFixture, RelationalOperators) {
+  // out = (r > y) ? 1 : 0 routed through a switch to observe the boolean.
+  for (const auto& [op, expected_lt, expected_gt] :
+       std::vector<std::tuple<RelOp, float, float>>{
+           {RelOp::kGt, 0.0f, 1.0f},
+           {RelOp::kLt, 1.0f, 0.0f},
+           {RelOp::kGe, 0.0f, 1.0f},
+           {RelOp::kLe, 1.0f, 0.0f},
+           {RelOp::kNe, 1.0f, 1.0f},
+           {RelOp::kEq, 0.0f, 0.0f}}) {
+    Diagram d;
+    const BlockId r = d.add_inport("r", 0);
+    const BlockId y = d.add_inport("y", 1);
+    const BlockId rel = d.add_relational("rel", op, r, y);
+    const BlockId one = d.add_constant("one", 1.0f);
+    const BlockId zero = d.add_constant("zero", 0.0f);
+    d.add_outport("o", d.add_switch("sw", one, rel, zero), 0);
+    const auto out = run(d, {{1.0f, 2.0f}, {2.0f, 1.0f}});
+    EXPECT_FLOAT_EQ(out[0], expected_lt) << static_cast<int>(op);
+    EXPECT_FLOAT_EQ(out[1], expected_gt) << static_cast<int>(op);
+  }
+}
+
+TEST_F(EmitterFixture, RelationalEqualInputs) {
+  Diagram d;
+  const BlockId r = d.add_inport("r", 0);
+  const BlockId y = d.add_inport("y", 1);
+  const BlockId rel = d.add_relational("rel", RelOp::kGe, r, y);
+  const BlockId one = d.add_constant("one", 1.0f);
+  const BlockId zero = d.add_constant("zero", 0.0f);
+  d.add_outport("o", d.add_switch("sw", one, rel, zero), 0);
+  EXPECT_FLOAT_EQ(run(d, {{5.0f, 5.0f}})[0], 1.0f);
+}
+
+TEST_F(EmitterFixture, LogicGates) {
+  Diagram d;
+  const BlockId r = d.add_inport("r", 0);
+  const BlockId y = d.add_inport("y", 1);
+  const BlockId zero = d.add_constant("zero", 0.0f);
+  const BlockId a = d.add_relational("a", RelOp::kGt, r, zero);
+  const BlockId b = d.add_relational("b", RelOp::kGt, y, zero);
+  const BlockId both = d.add_logic("and", LogicOp::kAnd, {a, b});
+  const BlockId one = d.add_constant("one", 1.0f);
+  const BlockId zf = d.add_constant("zf", 0.0f);
+  d.add_outport("o", d.add_switch("sw", one, both, zf), 0);
+  const auto out = run(d, {{1, 1}, {1, -1}, {-1, 1}, {-1, -1}});
+  EXPECT_FLOAT_EQ(out[0], 1.0f);
+  EXPECT_FLOAT_EQ(out[1], 0.0f);
+  EXPECT_FLOAT_EQ(out[2], 0.0f);
+  EXPECT_FLOAT_EQ(out[3], 0.0f);
+}
+
+TEST_F(EmitterFixture, LogicNotInverts) {
+  Diagram d;
+  const BlockId r = d.add_inport("r", 0);
+  const BlockId zero = d.add_constant("zero", 0.0f);
+  const BlockId pos = d.add_relational("pos", RelOp::kGt, r, zero);
+  const BlockId npos = d.add_logic("not", LogicOp::kNot, {pos});
+  const BlockId one = d.add_constant("one", 1.0f);
+  const BlockId zf = d.add_constant("zf", 0.0f);
+  d.add_outport("o", d.add_switch("sw", one, npos, zf), 0);
+  const auto out = run(d, {{1, 0}, {-1, 0}});
+  EXPECT_FLOAT_EQ(out[0], 0.0f);
+  EXPECT_FLOAT_EQ(out[1], 1.0f);
+}
+
+TEST_F(EmitterFixture, InvalidDiagramReportsErrors) {
+  Diagram d;
+  d.add_inport("r", 0);  // no outport
+  const EmitResult emitted = emit_assembly(d);
+  EXPECT_FALSE(emitted.ok());
+}
+
+TEST_F(EmitterFixture, RobustModeNeedsRanges) {
+  Diagram d = passthrough();
+  EmitOptions options;
+  options.mode = RobustnessMode::kRecover;  // no output_ranges supplied
+  const EmitResult emitted = emit_assembly(d, options);
+  EXPECT_FALSE(emitted.ok());
+}
+
+TEST_F(EmitterFixture, GeneratedCodeUsesSignatureChecks) {
+  const EmitResult emitted = emit_assembly(passthrough());
+  ASSERT_TRUE(emitted.ok());
+  EXPECT_NE(emitted.assembly.find(".sigcheck"), std::string::npos);
+}
+
+TEST_F(EmitterFixture, RobustOutputRecoveryDeliversPreviousValue) {
+  // Output range [0, 10]; the passthrough delivers the input unless it is
+  // out of range, in which case the previous output must be delivered.
+  Diagram d = passthrough();
+  EmitOptions options;
+  options.mode = RobustnessMode::kRecover;
+  options.output_ranges = {{0.0f, 10.0f}};
+  const auto out = run(d, {{3.0f, 0}, {55.0f, 0}, {4.0f, 0}}, options);
+  EXPECT_FLOAT_EQ(out[0], 3.0f);
+  EXPECT_FLOAT_EQ(out[1], 3.0f);  // recovered: previous output
+  EXPECT_FLOAT_EQ(out[2], 4.0f);
+}
+
+TEST_F(EmitterFixture, TrapModeRaisesConstraintError) {
+  Diagram d = passthrough();
+  EmitOptions options;
+  options.mode = RobustnessMode::kTrap;
+  options.output_ranges = {{0.0f, 10.0f}};
+  const EmitResult emitted = emit_assembly(d, options);
+  ASSERT_TRUE(emitted.ok());
+  tvm::AssembledProgram program = tvm::assemble(emitted.assembly);
+  ASSERT_TRUE(program.ok());
+  tvm::Machine machine;
+  ASSERT_TRUE(tvm::load_program(program, machine.mem));
+  machine.reset(program.entry);
+  machine.mem.write_raw(tvm::kIoInRef, util::float_to_bits(55.0f));
+  const tvm::RunResult result = machine.run(100000);
+  EXPECT_EQ(result.kind, tvm::RunResult::Kind::kTrap);
+  EXPECT_EQ(result.edm, tvm::Edm::kConstraintError);
+}
+
+}  // namespace
+}  // namespace earl::codegen

@@ -1,0 +1,88 @@
+#include "codegen/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace earl::codegen {
+namespace {
+
+std::size_t position(const Schedule& schedule, BlockId id) {
+  const auto it =
+      std::find(schedule.order.begin(), schedule.order.end(), id);
+  EXPECT_NE(it, schedule.order.end());
+  return static_cast<std::size_t>(it - schedule.order.begin());
+}
+
+TEST(GraphTest, LinearChainInOrder) {
+  Diagram d;
+  const BlockId in = d.add_inport("r", 0);
+  const BlockId gain = d.add_gain("g", 2.0f, in);
+  const BlockId out = d.add_outport("o", gain, 0);
+  const Schedule schedule = schedule_blocks(d);
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_LT(position(schedule, in), position(schedule, gain));
+  EXPECT_LT(position(schedule, gain), position(schedule, out));
+}
+
+TEST(GraphTest, EveryBlockScheduledExactlyOnce) {
+  Diagram d;
+  const BlockId a = d.add_constant("a", 1.0f);
+  const BlockId b = d.add_constant("b", 2.0f);
+  const BlockId sum = d.add_sum("s", "++", {a, b});
+  d.add_outport("o", sum, 0);
+  const Schedule schedule = schedule_blocks(d);
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_EQ(schedule.order.size(), d.size());
+  auto sorted = schedule.order;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    EXPECT_EQ(sorted[i], static_cast<BlockId>(i));
+  }
+}
+
+TEST(GraphTest, DelayBreaksFeedbackLoop) {
+  // x' = x + in: legal because the loop passes through a UnitDelay.
+  Diagram d;
+  const BlockId in = d.add_inport("r", 0);
+  const BlockId x = d.add_unit_delay("x", 0.0f);
+  const BlockId sum = d.add_sum("s", "++", {x, in});
+  d.connect_delay_input(x, sum);
+  d.add_outport("o", sum, 0);
+  const Schedule schedule = schedule_blocks(d);
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_LT(position(schedule, x), position(schedule, sum));
+}
+
+TEST(GraphTest, AlgebraicLoopRejected) {
+  Diagram d;
+  const BlockId g1 = d.add_gain("g1", 1.0f, 1);  // feeds g2
+  const BlockId g2 = d.add_gain("g2", 1.0f, g1);
+  (void)g2;
+  d.add_outport("o", g1, 0);
+  const Schedule schedule = schedule_blocks(d);
+  ASSERT_FALSE(schedule.ok());
+  EXPECT_NE(schedule.errors[0].find("algebraic loop"), std::string::npos);
+  EXPECT_NE(schedule.errors[0].find("g1"), std::string::npos);
+}
+
+TEST(GraphTest, DeterministicOrder) {
+  Diagram d;
+  const BlockId a = d.add_constant("a", 1.0f);
+  const BlockId b = d.add_constant("b", 2.0f);
+  const BlockId sum = d.add_sum("s", "++", {b, a});
+  d.add_outport("o", sum, 0);
+  const Schedule first = schedule_blocks(d);
+  const Schedule second = schedule_blocks(d);
+  EXPECT_EQ(first.order, second.order);
+}
+
+TEST(GraphTest, EmptyDiagramSchedulesEmpty) {
+  Diagram d;
+  const Schedule schedule = schedule_blocks(d);
+  EXPECT_TRUE(schedule.ok());
+  EXPECT_TRUE(schedule.order.empty());
+}
+
+}  // namespace
+}  // namespace earl::codegen

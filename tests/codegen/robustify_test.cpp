@@ -1,0 +1,228 @@
+// Tests for the canonical PI diagram and the robustify options — including
+// the central equivalence properties: generated Algorithm I matches the
+// native PiController bit-for-bit, and generated Algorithm II matches the
+// native RobustPiController, over the full 650-iteration closed loop.
+#include "codegen/robustify.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "codegen/emitter.hpp"
+#include "control/pi.hpp"
+#include "core/robust_pi.hpp"
+#include "fi/workloads.hpp"
+#include "plant/environment.hpp"
+#include "tvm/assembler.hpp"
+#include "tvm/cpu.hpp"
+#include "util/bitops.hpp"
+
+namespace earl::codegen {
+namespace {
+
+TEST(RobustifyTest, PiDiagramValidatesAndSchedules) {
+  const Diagram d = make_pi_diagram();
+  EXPECT_TRUE(d.validate().empty());
+  EXPECT_EQ(d.blocks_of_kind(BlockKind::kUnitDelay).size(), 1u);
+  EXPECT_EQ(d.blocks_of_kind(BlockKind::kOutport).size(), 1u);
+  EXPECT_EQ(d.blocks_of_kind(BlockKind::kInport).size(), 2u);
+}
+
+TEST(RobustifyTest, OptionsCarryThrottleRanges) {
+  const control::PiConfig config = fi::paper_pi_config();
+  const EmitOptions plain = make_pi_options(config, RobustnessMode::kNone);
+  EXPECT_TRUE(plain.state_ranges.empty());
+  const EmitOptions robust = make_pi_options(config, RobustnessMode::kRecover);
+  ASSERT_EQ(robust.state_ranges.size(), 1u);
+  EXPECT_FLOAT_EQ(robust.state_ranges[0].lo, 0.0f);
+  EXPECT_FLOAT_EQ(robust.state_ranges[0].hi, 70.0f);
+  ASSERT_EQ(robust.output_ranges.size(), 1u);
+}
+
+TEST(RobustifyTest, AllThreeModesAssemble) {
+  const control::PiConfig config = fi::paper_pi_config();
+  for (const RobustnessMode mode :
+       {RobustnessMode::kNone, RobustnessMode::kRecover,
+        RobustnessMode::kTrap}) {
+    const tvm::AssembledProgram program = fi::build_pi_program(config, mode);
+    EXPECT_TRUE(program.ok());
+    EXPECT_GT(program.code.size(), 50u);
+  }
+}
+
+TEST(RobustifyTest, RobustProgramIsLargerAndHasBackups) {
+  const control::PiConfig config = fi::paper_pi_config();
+  const tvm::AssembledProgram plain =
+      fi::build_pi_program(config, RobustnessMode::kNone);
+  const tvm::AssembledProgram robust =
+      fi::build_pi_program(config, RobustnessMode::kRecover);
+  EXPECT_GT(robust.code.size(), plain.code.size());
+  EXPECT_GT(robust.data.size(), plain.data.size());
+  EXPECT_TRUE(robust.symbols.count("state0_old"));
+  EXPECT_TRUE(robust.symbols.count("out0_old"));
+  EXPECT_FALSE(plain.symbols.count("state0_old"));
+}
+
+TEST(RobustifyTest, DataImageFillsWholeCacheLines) {
+  const control::PiConfig config = fi::paper_pi_config();
+  for (const RobustnessMode mode :
+       {RobustnessMode::kNone, RobustnessMode::kRecover}) {
+    const tvm::AssembledProgram program = fi::build_pi_program(config, mode);
+    EXPECT_EQ(program.data.size() % 4, 0u)
+        << "mode " << static_cast<int>(mode);
+  }
+}
+
+/// Runs the generated program in closed loop on the TVM, mirroring the
+/// campaign runner's environment exchange.
+std::vector<float> run_tvm_closed_loop(const tvm::AssembledProgram& program,
+                                       std::size_t iterations) {
+  tvm::Machine machine;
+  EXPECT_TRUE(tvm::load_program(program, machine.mem));
+  machine.reset(program.entry);
+  plant::Engine engine;
+  std::vector<float> outputs;
+  float y = static_cast<float>(engine.speed());
+  for (std::size_t k = 0; k < iterations; ++k) {
+    const double t = plant::iteration_time(k);
+    machine.mem.write_raw(tvm::kIoInRef,
+                          util::float_to_bits(plant::reference_speed(t)));
+    machine.mem.write_raw(tvm::kIoInMeas, util::float_to_bits(y));
+    const tvm::RunResult result = machine.run(1 << 20);
+    EXPECT_EQ(result.kind, tvm::RunResult::Kind::kYield);
+    const float u = util::bits_to_float(machine.mem.read_raw(tvm::kIoOutU));
+    outputs.push_back(u);
+    y = engine.step(u, plant::engine_load(t));
+  }
+  return outputs;
+}
+
+TEST(RobustifyTest, GeneratedAlgorithm1MatchesNativeBitForBit) {
+  const control::PiConfig config = fi::paper_pi_config();
+  const auto tvm_out = run_tvm_closed_loop(
+      fi::build_pi_program(config, RobustnessMode::kNone), 650);
+
+  control::PiController native(config);
+  plant::Engine engine;
+  float y = static_cast<float>(engine.speed());
+  for (std::size_t k = 0; k < tvm_out.size(); ++k) {
+    const double t = plant::iteration_time(k);
+    const float u = native.step(plant::reference_speed(t), y);
+    ASSERT_EQ(util::float_to_bits(u), util::float_to_bits(tvm_out[k]))
+        << "iteration " << k;
+    y = engine.step(u, plant::engine_load(t));
+  }
+}
+
+TEST(RobustifyTest, GeneratedAlgorithm2MatchesNativeBitForBit) {
+  const control::PiConfig config = fi::paper_pi_config();
+  const auto tvm_out = run_tvm_closed_loop(
+      fi::build_pi_program(config, RobustnessMode::kRecover), 650);
+
+  core::RobustPiController native(config);
+  plant::Engine engine;
+  float y = static_cast<float>(engine.speed());
+  for (std::size_t k = 0; k < tvm_out.size(); ++k) {
+    const double t = plant::iteration_time(k);
+    const float u = native.step(plant::reference_speed(t), y);
+    ASSERT_EQ(util::float_to_bits(u), util::float_to_bits(tvm_out[k]))
+        << "iteration " << k;
+    y = engine.step(u, plant::engine_load(t));
+  }
+}
+
+TEST(RobustifyTest, TrapModeMatchesAlgorithm1WhenFaultFree) {
+  const control::PiConfig config = fi::paper_pi_config();
+  const auto plain = run_tvm_closed_loop(
+      fi::build_pi_program(config, RobustnessMode::kNone), 100);
+  const auto trap = run_tvm_closed_loop(
+      fi::build_pi_program(config, RobustnessMode::kTrap), 100);
+  EXPECT_EQ(plain, trap);
+}
+
+
+// --- rate-assertion extension (the paper's future work, generated) --------
+
+TEST(RateAssertionCodegenTest, RequiresRecoverModeWithStateProtection) {
+  const control::PiConfig config = fi::paper_pi_config();
+  EmitOptions options = make_pi_options(config, RobustnessMode::kNone);
+  options.state_rate_bounds = {1.0f};
+  EXPECT_FALSE(emit_assembly(make_pi_diagram(config), options).ok());
+
+  options = make_pi_options(config, RobustnessMode::kRecover);
+  options.protect_states = false;
+  options.state_rate_bounds = {1.0f};
+  EXPECT_FALSE(emit_assembly(make_pi_diagram(config), options).ok());
+}
+
+TEST(RateAssertionCodegenTest, BoundCountMustMatchStates) {
+  const control::PiConfig config = fi::paper_pi_config();
+  EmitOptions options = make_pi_options_with_rate(config);
+  options.state_rate_bounds = {1.0f, 2.0f};  // one state only
+  EXPECT_FALSE(emit_assembly(make_pi_diagram(config), options).ok());
+}
+
+TEST(RateAssertionCodegenTest, AssemblesAndIsLargerThanAlgorithm2) {
+  const control::PiConfig config = fi::paper_pi_config();
+  const EmitResult rate = emit_assembly(make_pi_diagram(config),
+                                        make_pi_options_with_rate(config));
+  ASSERT_TRUE(rate.ok());
+  const tvm::AssembledProgram with_rate = tvm::assemble(rate.assembly);
+  ASSERT_TRUE(with_rate.ok());
+  const tvm::AssembledProgram plain =
+      fi::build_pi_program(config, RobustnessMode::kRecover);
+  EXPECT_GT(with_rate.code.size(), plain.code.size());
+}
+
+TEST(RateAssertionCodegenTest, NoFalsePositivesOnGoldenRun) {
+  // The fault-free closed loop never violates the rate bound: outputs are
+  // bit-identical to Algorithm II's over all 650 iterations.
+  const control::PiConfig config = fi::paper_pi_config();
+  const EmitResult rate = emit_assembly(make_pi_diagram(config),
+                                        make_pi_options_with_rate(config));
+  ASSERT_TRUE(rate.ok());
+  const auto with_rate =
+      run_tvm_closed_loop(tvm::assemble(rate.assembly), 650);
+  const auto alg2 = run_tvm_closed_loop(
+      fi::build_pi_program(config, RobustnessMode::kRecover), 650);
+  EXPECT_EQ(with_rate, alg2);
+}
+
+TEST(RateAssertionCodegenTest, CatchesFigure10InRangeCorruption) {
+  // The corruption Algorithm II cannot see (x -> 69, in range) is caught
+  // and recovered by the rate assertion within one iteration.
+  const control::PiConfig config = fi::paper_pi_config();
+  const EmitResult emitted = emit_assembly(make_pi_diagram(config),
+                                           make_pi_options_with_rate(config));
+  ASSERT_TRUE(emitted.ok());
+  const tvm::AssembledProgram program = tvm::assemble(emitted.assembly);
+  ASSERT_TRUE(program.ok());
+
+  fi::TvmTarget target(program);
+  target.reset();
+  plant::Engine engine;
+  float y = static_cast<float>(engine.speed());
+  float worst_after = 0.0f;
+  for (std::size_t k = 0; k < 650; ++k) {
+    if (k == 390) {
+      const auto bit = target.cache_bit_of_address(tvm::kDataBase);
+      ASSERT_TRUE(bit.has_value());
+      const std::uint32_t bits = util::float_to_bits(69.0f);
+      for (unsigned b = 0; b < 32; ++b) {
+        target.scan_chain().write_bit(target.machine(), *bit + b,
+                                      util::get_bit32(bits, b));
+      }
+    }
+    const double t = plant::iteration_time(k);
+    const auto step = target.iterate(plant::reference_speed(t), y);
+    ASSERT_FALSE(step.detected);
+    y = engine.step(step.output, plant::engine_load(t));
+    if (k > 391) worst_after = std::max(worst_after, step.output);
+  }
+  // Without the rate check the output jumps to ~69 and stays high for a
+  // second; with it the excursion is capped near the fault-free level.
+  EXPECT_LT(worst_after, 15.0f);
+}
+
+}  // namespace
+}  // namespace earl::codegen

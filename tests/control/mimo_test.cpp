@@ -1,0 +1,134 @@
+#include "control/mimo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace earl::control {
+namespace {
+
+TEST(MatrixTest, IdentityMultiplication) {
+  const Matrix eye = Matrix::identity(3);
+  const std::array<float, 3> x = {1.0f, 2.0f, 3.0f};
+  const auto y = eye.multiply(x);
+  EXPECT_FLOAT_EQ(y[0], 1.0f);
+  EXPECT_FLOAT_EQ(y[1], 2.0f);
+  EXPECT_FLOAT_EQ(y[2], 3.0f);
+}
+
+TEST(MatrixTest, RectangularMultiplication) {
+  Matrix m(2, 3);
+  m.at(0, 0) = 1.0f;
+  m.at(0, 1) = 2.0f;
+  m.at(0, 2) = 3.0f;
+  m.at(1, 2) = 4.0f;
+  const std::array<float, 3> x = {1.0f, 1.0f, 1.0f};
+  const auto y = m.multiply(x);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_FLOAT_EQ(y[0], 6.0f);
+  EXPECT_FLOAT_EQ(y[1], 4.0f);
+}
+
+MimoConfig simple_integrators() {
+  // Two decoupled discrete integrators with passthrough outputs.
+  MimoConfig cfg;
+  cfg.a = Matrix::identity(2);
+  cfg.b = Matrix(2, 2);
+  cfg.b.at(0, 0) = 0.1f;
+  cfg.b.at(1, 1) = 0.1f;
+  cfg.c = Matrix::identity(2);
+  cfg.d = Matrix(2, 2);
+  cfg.x_init = {0.0f, 0.0f};
+  cfg.u_min = {-10.0f, -10.0f};
+  cfg.u_max = {10.0f, 10.0f};
+  return cfg;
+}
+
+TEST(MimoControllerTest, Dimensions) {
+  MimoController ctrl(simple_integrators());
+  EXPECT_EQ(ctrl.state_count(), 2u);
+  EXPECT_EQ(ctrl.input_count(), 2u);
+  EXPECT_EQ(ctrl.output_count(), 2u);
+}
+
+TEST(MimoControllerTest, OutputUsesCurrentStateBeforeUpdate) {
+  MimoConfig cfg = simple_integrators();
+  cfg.x_init = {3.0f, -2.0f};
+  MimoController ctrl(cfg);
+  std::array<float, 2> e = {1.0f, 1.0f};
+  std::array<float, 2> u{};
+  ctrl.step(e, u);
+  EXPECT_FLOAT_EQ(u[0], 3.0f);   // C*x with the pre-update state
+  EXPECT_FLOAT_EQ(u[1], -2.0f);
+  EXPECT_FLOAT_EQ(ctrl.state()[0], 3.1f);  // A*x + B*e
+}
+
+TEST(MimoControllerTest, IntegratorsAccumulate) {
+  MimoController ctrl(simple_integrators());
+  std::array<float, 2> e = {1.0f, -1.0f};
+  std::array<float, 2> u{};
+  for (int k = 0; k < 10; ++k) ctrl.step(e, u);
+  EXPECT_NEAR(ctrl.state()[0], 1.0f, 1e-5);
+  EXPECT_NEAR(ctrl.state()[1], -1.0f, 1e-5);
+}
+
+TEST(MimoControllerTest, OutputsSaturatePerChannel) {
+  MimoConfig cfg = simple_integrators();
+  cfg.x_init = {50.0f, -50.0f};
+  MimoController ctrl(cfg);
+  std::array<float, 2> e = {0.0f, 0.0f};
+  std::array<float, 2> u{};
+  ctrl.step(e, u);
+  EXPECT_FLOAT_EQ(u[0], 10.0f);
+  EXPECT_FLOAT_EQ(u[1], -10.0f);
+}
+
+TEST(MimoControllerTest, ResetRestoresInitialState) {
+  MimoConfig cfg = simple_integrators();
+  cfg.x_init = {1.0f, 2.0f};
+  MimoController ctrl(cfg);
+  std::array<float, 2> e = {5.0f, 5.0f};
+  std::array<float, 2> u{};
+  ctrl.step(e, u);
+  ctrl.reset();
+  EXPECT_FLOAT_EQ(ctrl.state()[0], 1.0f);
+  EXPECT_FLOAT_EQ(ctrl.state()[1], 2.0f);
+}
+
+TEST(MimoControllerTest, CrossCouplingFlowsThroughB) {
+  MimoConfig cfg = simple_integrators();
+  cfg.b.at(0, 1) = 0.05f;  // channel 1 error couples into state 0
+  MimoController ctrl(cfg);
+  std::array<float, 2> e = {0.0f, 1.0f};
+  std::array<float, 2> u{};
+  ctrl.step(e, u);
+  EXPECT_FLOAT_EQ(ctrl.state()[0], 0.05f);
+}
+
+TEST(DemoJetEngineTest, ConfigIsConsistent) {
+  const MimoConfig cfg = make_demo_jet_engine_controller();
+  MimoController ctrl(cfg);
+  EXPECT_EQ(ctrl.state_count(), 2u);
+  EXPECT_EQ(ctrl.output_count(), 2u);
+}
+
+TEST(DemoJetEngineTest, ClosedLoopConvergesOnBothChannels) {
+  MimoController ctrl(make_demo_jet_engine_controller());
+  // Two coupled first-order plants (speed per channel).
+  std::array<double, 2> speed = {0.0, 0.0};
+  const std::array<double, 2> targets = {60.0, 40.0};
+  std::array<float, 2> u{};
+  for (int k = 0; k < 20000; ++k) {
+    std::array<float, 2> e = {
+        static_cast<float>(targets[0] - speed[0]),
+        static_cast<float>(targets[1] - speed[1])};
+    ctrl.step(e, u);
+    speed[0] += 0.0154 / 1.0 * (1.0 * u[0] + 0.1 * u[1] - speed[0]);
+    speed[1] += 0.0154 / 1.0 * (0.1 * u[0] + 1.0 * u[1] - speed[1]);
+  }
+  EXPECT_NEAR(speed[0], targets[0], 1.0);
+  EXPECT_NEAR(speed[1], targets[1], 1.0);
+}
+
+}  // namespace
+}  // namespace earl::control

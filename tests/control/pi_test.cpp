@@ -1,0 +1,133 @@
+#include "control/pi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace earl::control {
+namespace {
+
+TEST(LimitOutputTest, ClampsBothEnds) {
+  EXPECT_FLOAT_EQ(limit_output(80.0f, 0.0f, 70.0f), 70.0f);
+  EXPECT_FLOAT_EQ(limit_output(-5.0f, 0.0f, 70.0f), 0.0f);
+  EXPECT_FLOAT_EQ(limit_output(35.0f, 0.0f, 70.0f), 35.0f);
+  EXPECT_FLOAT_EQ(limit_output(70.0f, 0.0f, 70.0f), 70.0f);
+}
+
+TEST(LimitOutputTest, NanPropagates) {
+  const float nan = std::nanf("");
+  EXPECT_TRUE(std::isnan(limit_output(nan, 0.0f, 70.0f)));
+}
+
+TEST(AntiWindupTest, ActivatesOnlyWhenDrivingFurtherOut) {
+  EXPECT_TRUE(anti_windup_activated(75.0f, 1.0f, 0.0f, 70.0f));
+  EXPECT_FALSE(anti_windup_activated(75.0f, -1.0f, 0.0f, 70.0f));
+  EXPECT_TRUE(anti_windup_activated(-5.0f, -1.0f, 0.0f, 70.0f));
+  EXPECT_FALSE(anti_windup_activated(-5.0f, 1.0f, 0.0f, 70.0f));
+  EXPECT_FALSE(anti_windup_activated(35.0f, 1.0f, 0.0f, 70.0f));
+}
+
+TEST(PiControllerTest, ZeroErrorHoldsState) {
+  PiConfig config;
+  config.x_init = 5.0f;
+  PiController pi(config);
+  const float u = pi.step(1000.0f, 1000.0f);
+  EXPECT_FLOAT_EQ(u, 5.0f);  // u = Kp*0 + x
+  EXPECT_FLOAT_EQ(pi.integrator(), 5.0f);
+}
+
+TEST(PiControllerTest, FirstStepUsesPreviousState) {
+  PiConfig config;
+  config.kp = 0.02f;
+  config.x_init = 6.0f;
+  PiController pi(config);
+  // u(k) = Kp*e(k) + x(k-1), before x is updated.
+  const float u = pi.step(2100.0f, 2000.0f);
+  EXPECT_FLOAT_EQ(u, 0.02f * 100.0f + 6.0f);
+}
+
+TEST(PiControllerTest, IntegratorAccumulates) {
+  PiConfig config;
+  config.ki = 0.012f;
+  config.dt = 0.0154f;
+  PiController pi(config);
+  pi.step(100.0f, 0.0f);
+  const float expected = 0.0f + 0.0154f * 100.0f * 0.012f;
+  EXPECT_FLOAT_EQ(pi.integrator(), expected);
+  pi.step(100.0f, 0.0f);
+  EXPECT_FLOAT_EQ(pi.integrator(), expected + 0.0154f * 100.0f * 0.012f);
+}
+
+TEST(PiControllerTest, OutputSaturates) {
+  PiController pi;
+  const float u = pi.step(1e6f, 0.0f);
+  EXPECT_FLOAT_EQ(u, 70.0f);
+  const float d = pi.step(-1e6f, 0.0f);
+  EXPECT_FLOAT_EQ(d, 0.0f);
+}
+
+TEST(PiControllerTest, AntiWindupStopsIntegrationWhenSaturatedHigh) {
+  PiController pi;
+  pi.step(1e6f, 0.0f);  // saturates high with positive error
+  EXPECT_TRUE(pi.anti_windup_active());
+  EXPECT_FLOAT_EQ(pi.integrator(), 0.0f);  // integration was cut off
+}
+
+TEST(PiControllerTest, AntiWindupAllowsUnwindingFromSaturation) {
+  PiConfig config;
+  config.x_init = 100.0f;  // deep in saturation
+  PiController pi(config);
+  // Negative error at the upper limit pulls the state down: integration
+  // must remain enabled (clamping anti-windup).
+  pi.step(0.0f, 5000.0f);
+  EXPECT_FALSE(pi.anti_windup_active());
+  EXPECT_LT(pi.integrator(), 100.0f);
+}
+
+TEST(PiControllerTest, ResetRestoresInitialState) {
+  PiConfig config;
+  config.x_init = 3.0f;
+  PiController pi(config);
+  pi.step(500.0f, 0.0f);
+  ASSERT_NE(pi.integrator(), 3.0f);
+  pi.reset();
+  EXPECT_FLOAT_EQ(pi.integrator(), 3.0f);
+}
+
+TEST(PiControllerTest, StateSpanExposesIntegrator) {
+  PiController pi;
+  const std::span<float> state = pi.state();
+  ASSERT_EQ(state.size(), 1u);
+  state[0] = 12.5f;
+  EXPECT_FLOAT_EQ(pi.integrator(), 12.5f);
+}
+
+TEST(PiControllerTest, SingleOutput) {
+  PiController pi;
+  EXPECT_EQ(pi.output_count(), 1u);
+}
+
+TEST(PiControllerTest, ClosedFormRegulationConverges) {
+  // Against a trivial first-order plant, the loop must settle near the
+  // reference (integral action removes steady-state error).
+  PiController pi;
+  double speed = 0.0;
+  for (int k = 0; k < 5000; ++k) {
+    const float u = pi.step(2000.0f, static_cast<float>(speed));
+    speed += 0.0154 / 2.0 * (300.0 * u - speed);
+  }
+  EXPECT_NEAR(speed, 2000.0, 5.0);
+}
+
+TEST(PiControllerTest, CorruptedStateDrivesOutputToLimit) {
+  // The paper's severe-failure mechanism in miniature.
+  PiController pi;
+  pi.set_integrator(1e20f);
+  const float u = pi.step(2000.0f, 2000.0f);
+  EXPECT_FLOAT_EQ(u, 70.0f);
+  pi.set_integrator(-1e20f);
+  EXPECT_FLOAT_EQ(pi.step(2000.0f, 2000.0f), 0.0f);
+}
+
+}  // namespace
+}  // namespace earl::control

@@ -1,0 +1,84 @@
+#include "control/pid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fi/workloads.hpp"
+#include "plant/environment.hpp"
+
+namespace earl::control {
+namespace {
+
+PidConfig config() {
+  PidConfig c;
+  c.pi = fi::paper_pi_config();
+  return c;
+}
+
+TEST(PidControllerTest, ZeroKdReducesToPi) {
+  PidConfig c = config();
+  c.kd = 0.0f;
+  PidController pid(c);
+  PiController pi(c.pi);
+  for (int k = 0; k < 300; ++k) {
+    const float r = k < 150 ? 2000.0f : 3000.0f;
+    const float y = 1990.0f + 2.0f * k;
+    ASSERT_EQ(pid.step(r, y), pi.step(r, y)) << "iteration " << k;
+  }
+}
+
+TEST(PidControllerTest, DerivativeKicksOnErrorChange) {
+  PidConfig c = config();
+  c.kd = 0.01f;
+  PidController pid(c);
+  pid.step(2000.0f, 2000.0f);  // e = 0, e_prev -> 0
+  // A 100 rpm error step adds Kd * 100 on top of the PI response.
+  const float with_d = pid.step(2100.0f, 2000.0f);
+  PiController pi(c.pi);
+  pi.step(2000.0f, 2000.0f);
+  const float without_d = pi.step(2100.0f, 2000.0f);
+  EXPECT_NEAR(with_d - without_d, 0.01f * 100.0f, 1e-4f);
+}
+
+TEST(PidControllerTest, TracksPreviousError) {
+  PidController pid(config());
+  pid.step(2100.0f, 2000.0f);
+  EXPECT_FLOAT_EQ(pid.previous_error(), 100.0f);
+  pid.step(2100.0f, 2050.0f);
+  EXPECT_FLOAT_EQ(pid.previous_error(), 50.0f);
+}
+
+TEST(PidControllerTest, TwoStateVariablesExposed) {
+  PidController pid(config());
+  EXPECT_EQ(pid.state().size(), 2u);
+}
+
+TEST(PidControllerTest, ResetClearsBothStates) {
+  PidController pid(config());
+  pid.step(3000.0f, 2000.0f);
+  pid.reset();
+  EXPECT_FLOAT_EQ(pid.integrator(), config().pi.x_init);
+  EXPECT_FLOAT_EQ(pid.previous_error(), 0.0f);
+}
+
+TEST(PidControllerTest, ClosedLoopStable) {
+  PidConfig c = config();
+  c.kd = 0.002f;
+  PidController pid(c);
+  const auto trace = plant::run_closed_loop(
+      {}, [&](float r, float y) { return pid.step(r, y); });
+  EXPECT_NEAR(trace[150].measurement, 2000.0f, 30.0f);
+  EXPECT_NEAR(trace[640].measurement, 3000.0f, 60.0f);
+  for (const auto& p : trace) {
+    EXPECT_GE(p.command, 0.0f);
+    EXPECT_LE(p.command, 70.0f);
+  }
+}
+
+TEST(PidControllerTest, AntiWindupBoundsIntegrator) {
+  PidController pid(config());
+  for (int k = 0; k < 200; ++k) pid.step(30000.0f, 0.0f);
+  EXPECT_LE(pid.integrator(), 70.0f);
+}
+
+}  // namespace
+}  // namespace earl::control

@@ -1,0 +1,153 @@
+#include "core/assertions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace earl::core {
+namespace {
+
+TEST(RangeAssertionTest, AcceptsInRange) {
+  RangeAssertion range(0.0f, 70.0f);
+  EXPECT_TRUE(range.holds(0.0f));
+  EXPECT_TRUE(range.holds(35.0f));
+  EXPECT_TRUE(range.holds(70.0f));
+}
+
+TEST(RangeAssertionTest, RejectsOutOfRange) {
+  RangeAssertion range(0.0f, 70.0f);
+  EXPECT_FALSE(range.holds(-0.001f));
+  EXPECT_FALSE(range.holds(70.001f));
+  EXPECT_FALSE(range.holds(1e20f));
+  EXPECT_FALSE(range.holds(-1e20f));
+}
+
+TEST(RangeAssertionTest, RejectsNanAndInfinity) {
+  RangeAssertion range(0.0f, 70.0f);
+  EXPECT_FALSE(range.holds(std::nanf("")));
+  EXPECT_FALSE(range.holds(std::numeric_limits<float>::infinity()));
+  EXPECT_FALSE(range.holds(-std::numeric_limits<float>::infinity()));
+}
+
+TEST(RangeAssertionTest, DescribeMentionsBounds) {
+  RangeAssertion range(0.0f, 70.0f);
+  const std::string text = range.describe();
+  EXPECT_NE(text.find("0"), std::string::npos);
+  EXPECT_NE(text.find("70"), std::string::npos);
+}
+
+TEST(RateAssertionTest, FirstValueAlwaysAccepted) {
+  RateAssertion rate(1.0f);
+  EXPECT_TRUE(rate.holds(1000.0f));
+}
+
+TEST(RateAssertionTest, FirstNanRejected) {
+  RateAssertion rate(1.0f);
+  EXPECT_FALSE(rate.holds(std::nanf("")));
+}
+
+TEST(RateAssertionTest, BoundsStepSize) {
+  RateAssertion rate(2.0f);
+  rate.commit(10.0f);
+  EXPECT_TRUE(rate.holds(12.0f));
+  EXPECT_TRUE(rate.holds(8.0f));
+  EXPECT_FALSE(rate.holds(12.5f));
+  EXPECT_FALSE(rate.holds(7.4f));
+}
+
+TEST(RateAssertionTest, CommitTracksRecoveredValueNotRejected) {
+  RateAssertion rate(1.0f);
+  rate.commit(10.0f);
+  EXPECT_FALSE(rate.holds(50.0f));
+  rate.commit(10.0f);  // recovery kept the old value
+  EXPECT_TRUE(rate.holds(10.5f));
+}
+
+TEST(RateAssertionTest, CatchesInRangeJump) {
+  // The Figure 10 scenario: x jumps from ~10 to 69, inside the physical
+  // range — a range assertion misses it, a rate assertion catches it.
+  RangeAssertion range(0.0f, 70.0f);
+  RateAssertion rate(5.0f);
+  rate.commit(10.0f);
+  EXPECT_TRUE(range.holds(69.0f));
+  EXPECT_FALSE(rate.holds(69.0f));
+}
+
+TEST(RateAssertionTest, ResetForgetsHistory) {
+  RateAssertion rate(1.0f);
+  rate.commit(10.0f);
+  rate.reset();
+  EXPECT_TRUE(rate.holds(99.0f));
+}
+
+TEST(RateAssertionTest, RejectsNanAfterCommit) {
+  RateAssertion rate(1.0f);
+  rate.commit(1.0f);
+  EXPECT_FALSE(rate.holds(std::nanf("")));
+}
+
+TEST(PredicateAssertionTest, DelegatesToFunction) {
+  PredicateAssertion even([](float v) { return static_cast<int>(v) % 2 == 0; },
+                          "even");
+  EXPECT_TRUE(even.holds(4.0f));
+  EXPECT_FALSE(even.holds(3.0f));
+  EXPECT_EQ(even.describe(), "even");
+}
+
+TEST(AssertionSetTest, EmptySetAlwaysHolds) {
+  AssertionSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_TRUE(set.holds(1e30f));
+}
+
+TEST(AssertionSetTest, ConjunctionSemantics) {
+  AssertionSet set;
+  set.add(std::make_unique<RangeAssertion>(0.0f, 70.0f));
+  set.add(std::make_unique<RateAssertion>(5.0f));
+  set.commit(10.0f);
+  EXPECT_TRUE(set.holds(12.0f));
+  EXPECT_FALSE(set.holds(80.0f));  // fails range
+  EXPECT_FALSE(set.holds(40.0f));  // fails rate
+}
+
+TEST(AssertionSetTest, LastFailureNamesCulprit) {
+  AssertionSet set;
+  set.add(std::make_unique<RangeAssertion>(0.0f, 70.0f));
+  set.add(std::make_unique<RateAssertion>(5.0f));
+  set.commit(10.0f);
+  set.holds(80.0f);
+  EXPECT_NE(set.last_failure().find("range"), std::string::npos);
+  set.holds(40.0f);
+  EXPECT_NE(set.last_failure().find("rate"), std::string::npos);
+  set.holds(11.0f);
+  EXPECT_TRUE(set.last_failure().empty());
+}
+
+TEST(AssertionSetTest, CommitPropagatesToMembers) {
+  AssertionSet set;
+  set.add(std::make_unique<RateAssertion>(1.0f));
+  set.commit(5.0f);
+  EXPECT_TRUE(set.holds(5.5f));
+  EXPECT_FALSE(set.holds(7.0f));
+}
+
+TEST(AssertionSetTest, ResetPropagates) {
+  AssertionSet set;
+  set.add(std::make_unique<RateAssertion>(1.0f));
+  set.commit(5.0f);
+  set.reset();
+  EXPECT_TRUE(set.holds(99.0f));
+}
+
+TEST(AssertionSetTest, DescribeListsMembers) {
+  AssertionSet set;
+  set.add(std::make_unique<RangeAssertion>(0.0f, 1.0f));
+  set.add(std::make_unique<RateAssertion>(2.0f));
+  const std::string text = set.describe();
+  EXPECT_NE(text.find("range"), std::string::npos);
+  EXPECT_NE(text.find("rate"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace earl::core

@@ -1,0 +1,97 @@
+#include "core/protected_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace earl::core {
+namespace {
+
+TEST(ProtectedVarTest, GoodValuePassesAndBacksUp) {
+  ProtectedVar var = make_range_protected(0.0f, 70.0f, 5.0f);
+  float value = 12.0f;
+  EXPECT_TRUE(var.validate(value));
+  EXPECT_FLOAT_EQ(value, 12.0f);
+  EXPECT_FLOAT_EQ(var.backup(), 12.0f);
+  EXPECT_EQ(var.recoveries(), 0u);
+}
+
+TEST(ProtectedVarTest, BadValueRecoveredFromBackup) {
+  ProtectedVar var = make_range_protected(0.0f, 70.0f, 5.0f);
+  float value = 12.0f;
+  var.validate(value);
+  value = 1e20f;  // corruption
+  EXPECT_FALSE(var.validate(value));
+  EXPECT_FLOAT_EQ(value, 12.0f);  // rolled back to last good
+  EXPECT_EQ(var.recoveries(), 1u);
+}
+
+TEST(ProtectedVarTest, InitialBackupIsSafeDefault) {
+  ProtectedVar var = make_range_protected(0.0f, 70.0f, 6.7f);
+  float value = -50.0f;  // corrupted before any good value seen
+  EXPECT_FALSE(var.validate(value));
+  EXPECT_FLOAT_EQ(value, 6.7f);
+}
+
+TEST(ProtectedVarTest, NanRecovered) {
+  ProtectedVar var = make_range_protected(0.0f, 70.0f, 6.7f);
+  float value = std::nanf("");
+  EXPECT_FALSE(var.validate(value));
+  EXPECT_FLOAT_EQ(value, 6.7f);
+}
+
+TEST(ProtectedVarTest, BackupNotPoisonedByRejectedValue) {
+  ProtectedVar var = make_range_protected(0.0f, 70.0f, 5.0f);
+  float value = 30.0f;
+  var.validate(value);
+  value = 500.0f;
+  var.validate(value);       // recovered to 30
+  value = -500.0f;
+  var.validate(value);       // must still recover to 30, not 500
+  EXPECT_FLOAT_EQ(value, 30.0f);
+  EXPECT_EQ(var.recoveries(), 2u);
+}
+
+TEST(ProtectedVarTest, ForceBackupInto) {
+  ProtectedVar var = make_range_protected(0.0f, 70.0f, 5.0f);
+  float value = 22.0f;
+  var.validate(value);
+  float other = 99.0f;
+  var.force_backup_into(other);
+  EXPECT_FLOAT_EQ(other, 22.0f);
+}
+
+TEST(ProtectedVarTest, ResetRestoresDefaultsAndCounters) {
+  ProtectedVar var = make_range_protected(0.0f, 70.0f, 5.0f);
+  float value = 1e9f;
+  var.validate(value);
+  var.reset();
+  EXPECT_FLOAT_EQ(var.backup(), 5.0f);
+  EXPECT_EQ(var.recoveries(), 0u);
+}
+
+TEST(ProtectedVarTest, ClampPolicyVariant) {
+  ProtectedVar var(std::make_unique<RangeAssertion>(0.0f, 70.0f),
+                   make_clamp_recovery(), 5.0f, 0.0f, 70.0f);
+  float value = 100.0f;
+  EXPECT_FALSE(var.validate(value));
+  EXPECT_FLOAT_EQ(value, 70.0f);
+}
+
+TEST(ProtectedVarTest, RateAssertionWithCommitTracking) {
+  auto set = std::make_unique<AssertionSet>();
+  set->add(std::make_unique<RangeAssertion>(0.0f, 70.0f));
+  set->add(std::make_unique<RateAssertion>(5.0f));
+  ProtectedVar var(std::move(set), make_previous_value_recovery(), 10.0f,
+                   0.0f, 70.0f);
+  float value = 12.0f;
+  EXPECT_TRUE(var.validate(value));
+  value = 40.0f;  // in range but a 28-unit jump
+  EXPECT_FALSE(var.validate(value));
+  EXPECT_FLOAT_EQ(value, 12.0f);
+  value = 15.0f;  // small step from the recovered value
+  EXPECT_TRUE(var.validate(value));
+}
+
+}  // namespace
+}  // namespace earl::core

@@ -1,0 +1,61 @@
+#include "core/recovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace earl::core {
+namespace {
+
+RecoveryContext context(float rejected, float previous) {
+  RecoveryContext ctx;
+  ctx.rejected = rejected;
+  ctx.previous = previous;
+  ctx.range_lo = 0.0f;
+  ctx.range_hi = 70.0f;
+  ctx.safe_default = 0.0f;
+  return ctx;
+}
+
+TEST(PreviousValueRecoveryTest, ReturnsBackup) {
+  PreviousValueRecovery policy;
+  EXPECT_FLOAT_EQ(policy.recover(context(1e20f, 6.7f)), 6.7f);
+  EXPECT_FLOAT_EQ(policy.recover(context(std::nanf(""), 10.0f)), 10.0f);
+}
+
+TEST(ClampRecoveryTest, ClampsHigh) {
+  ClampRecovery policy;
+  EXPECT_FLOAT_EQ(policy.recover(context(100.0f, 5.0f)), 70.0f);
+}
+
+TEST(ClampRecoveryTest, ClampsLow) {
+  ClampRecovery policy;
+  EXPECT_FLOAT_EQ(policy.recover(context(-3.0f, 5.0f)), 0.0f);
+}
+
+TEST(ClampRecoveryTest, NanFallsBackToPrevious) {
+  ClampRecovery policy;
+  EXPECT_FLOAT_EQ(policy.recover(context(std::nanf(""), 5.0f)), 5.0f);
+}
+
+TEST(ResetRecoveryTest, ReturnsSafeDefault) {
+  ResetRecovery policy;
+  RecoveryContext ctx = context(99.0f, 5.0f);
+  ctx.safe_default = 1.5f;
+  EXPECT_FLOAT_EQ(policy.recover(ctx), 1.5f);
+}
+
+TEST(RecoveryFactoryTest, FactoriesProduceCorrectPolicies) {
+  EXPECT_EQ(make_previous_value_recovery()->describe(), "previous-value");
+  EXPECT_EQ(make_clamp_recovery()->describe(), "clamp");
+  EXPECT_EQ(make_reset_recovery()->describe(), "reset-to-default");
+}
+
+TEST(RecoveryPolicyTest, PolymorphicUse) {
+  const std::unique_ptr<RecoveryPolicy> policy =
+      make_previous_value_recovery();
+  EXPECT_FLOAT_EQ(policy->recover(context(999.0f, 7.0f)), 7.0f);
+}
+
+}  // namespace
+}  // namespace earl::core

@@ -1,0 +1,154 @@
+#include "core/robust_pi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/pi.hpp"
+#include "plant/environment.hpp"
+
+namespace earl::core {
+namespace {
+
+control::PiConfig config() {
+  control::PiConfig c;
+  c.x_init = 2000.0f / 300.0f;
+  return c;
+}
+
+TEST(RobustPiTest, FaultFreeIdenticalToAlgorithm1) {
+  // With no faults, the assertions never fire and Algorithm II's outputs
+  // are bit-identical to Algorithm I's over the whole scenario.
+  control::PiController alg1(config());
+  RobustPiController alg2(config());
+  const plant::ClosedLoopConfig loop;
+  const auto trace1 =
+      plant::run_closed_loop(loop, [&](float r, float y) { return alg1.step(r, y); });
+  const auto trace2 =
+      plant::run_closed_loop(loop, [&](float r, float y) { return alg2.step(r, y); });
+  for (std::size_t k = 0; k < trace1.size(); ++k) {
+    ASSERT_EQ(trace1[k].command, trace2[k].command) << "iteration " << k;
+  }
+  EXPECT_EQ(alg2.state_recoveries(), 0u);
+  EXPECT_EQ(alg2.output_recoveries(), 0u);
+}
+
+TEST(RobustPiTest, RecoversStateCorruptedAboveRange) {
+  RobustPiController pi(config());
+  pi.step(2000.0f, 2000.0f);  // establish a backup
+  const float good = pi.integrator();
+  pi.set_integrator(1e20f);
+  const float u = pi.step(2000.0f, 2000.0f);
+  EXPECT_EQ(pi.state_recoveries(), 1u);
+  EXPECT_NEAR(pi.integrator(), good, 0.01f);
+  EXPECT_LE(u, 70.0f);
+  EXPECT_NEAR(u, good, 0.1f);  // output close to fault-free
+}
+
+TEST(RobustPiTest, RecoversStateCorruptedBelowRange) {
+  RobustPiController pi(config());
+  pi.step(2000.0f, 2000.0f);
+  pi.set_integrator(-55.0f);
+  pi.step(2000.0f, 2000.0f);
+  EXPECT_EQ(pi.state_recoveries(), 1u);
+  EXPECT_GE(pi.integrator(), 0.0f);
+}
+
+TEST(RobustPiTest, RecoversNanState) {
+  RobustPiController pi(config());
+  pi.step(2000.0f, 2000.0f);
+  pi.set_integrator(std::nanf(""));
+  const float u = pi.step(2000.0f, 2000.0f);
+  EXPECT_EQ(pi.state_recoveries(), 1u);
+  EXPECT_FALSE(std::isnan(u));
+}
+
+TEST(RobustPiTest, InRangeCorruptionEscapesAssertions) {
+  // Figure 10: a corruption *within* [0, 70] passes the range assertion —
+  // the paper's residual severe failures.
+  RobustPiController pi(config());
+  pi.step(3000.0f, 3000.0f);
+  pi.set_integrator(69.0f);
+  pi.step(3000.0f, 3000.0f);
+  EXPECT_EQ(pi.state_recoveries(), 0u);
+  EXPECT_NEAR(pi.integrator(), 69.0f, 0.1f);
+}
+
+TEST(RobustPiTest, NoPermanentLockAfterRecovery) {
+  // The headline scenario: corrupt x to a huge value mid-run; Algorithm I
+  // locks the throttle, Algorithm II recovers within an iteration.
+  control::PiConfig cfg = config();
+  control::PiController alg1(cfg);
+  RobustPiController alg2(cfg);
+  plant::Engine e1;
+  plant::Engine e2;
+  float y1 = static_cast<float>(e1.speed());
+  float y2 = static_cast<float>(e2.speed());
+  for (int k = 0; k < 650; ++k) {
+    if (k == 100) {
+      alg1.set_integrator(1e20f);
+      alg2.set_integrator(1e20f);
+    }
+    const float u1 = alg1.step(2000.0f, y1);
+    const float u2 = alg2.step(2000.0f, y2);
+    y1 = e1.step(u1, 0.0);
+    y2 = e2.step(u2, 0.0);
+    if (k > 200) {
+      EXPECT_FLOAT_EQ(u1, 70.0f) << "Algorithm I must stay locked";
+      EXPECT_LT(u2, 20.0f) << "Algorithm II must have recovered";
+    }
+  }
+  EXPECT_GT(y1, 15000.0f);           // Algorithm I: severe overspeed
+  EXPECT_NEAR(y2, 2000.0f, 100.0f);  // Algorithm II: back in control
+}
+
+TEST(RobustPiTest, StateBackupTracksGoodValues) {
+  RobustPiController pi(config());
+  pi.step(2500.0f, 2000.0f);
+  EXPECT_FLOAT_EQ(pi.state_backup(), config().x_init);
+  const float x_after = pi.integrator();
+  pi.step(2500.0f, 2100.0f);
+  EXPECT_FLOAT_EQ(pi.state_backup(), x_after);
+}
+
+TEST(RobustPiTest, OutputBackupTracksDeliveredOutput) {
+  RobustPiController pi(config());
+  const float u = pi.step(2500.0f, 2000.0f);
+  EXPECT_FLOAT_EQ(pi.output_backup(), u);
+}
+
+TEST(RobustPiTest, StateSpanCoversBackupsToo) {
+  RobustPiController pi(config());
+  EXPECT_EQ(pi.state().size(), 3u);
+}
+
+TEST(RobustPiTest, CorruptedBackupLimitsRecoveryQuality) {
+  // If the *backup* is corrupted (it lives in the same memory), recovery
+  // restores a wrong-but-in-range value: a minor failure, per the paper.
+  RobustPiController pi(config());
+  pi.step(2000.0f, 2000.0f);
+  pi.state()[1] = 20.0f;  // corrupt x_old within range
+  pi.set_integrator(1e20f);  // corrupt x out of range
+  pi.step(2000.0f, 2000.0f);
+  EXPECT_NEAR(pi.integrator(), 20.0f, 0.1f);
+}
+
+TEST(RobustPiTest, ResetClearsCountersAndState) {
+  RobustPiController pi(config());
+  pi.set_integrator(1e20f);
+  pi.step(2000.0f, 2000.0f);
+  ASSERT_EQ(pi.state_recoveries(), 1u);
+  pi.reset();
+  EXPECT_EQ(pi.state_recoveries(), 0u);
+  EXPECT_FLOAT_EQ(pi.integrator(), config().x_init);
+}
+
+TEST(RobustPiTest, AntiWindupStillWorks) {
+  RobustPiController pi(config());
+  for (int k = 0; k < 100; ++k) pi.step(30000.0f, 0.0f);
+  // With clamping anti-windup the state must not exceed the output range.
+  EXPECT_LE(pi.integrator(), 70.0f);
+}
+
+}  // namespace
+}  // namespace earl::core

@@ -1,0 +1,126 @@
+#include "core/robust_wrapper.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/pi.hpp"
+#include "core/robust_pi.hpp"
+
+namespace earl::core {
+namespace {
+
+std::unique_ptr<RobustController> wrapped_pi(control::PiConfig config = {}) {
+  std::vector<SignalSpec> state_specs = {
+      {config.u_min, config.u_max, config.x_init, 0.0f}};
+  std::vector<SignalSpec> output_specs = {
+      {config.u_min, config.u_max,
+       control::limit_output(config.x_init, config.u_min, config.u_max),
+       0.0f}};
+  return std::make_unique<RobustController>(
+      std::make_unique<control::PiController>(config), std::move(state_specs),
+      std::move(output_specs));
+}
+
+TEST(RobustWrapperTest, FaultFreeMatchesUnwrapped) {
+  control::PiConfig config;
+  config.x_init = 5.0f;
+  control::PiController plain(config);
+  auto robust = wrapped_pi(config);
+  for (int k = 0; k < 200; ++k) {
+    const float r = 2000.0f + 10.0f * k;
+    const float y = 1900.0f + 9.0f * k;
+    ASSERT_EQ(plain.step(r, y), robust->step(r, y)) << "iteration " << k;
+  }
+  EXPECT_EQ(robust->state_recoveries(), 0u);
+}
+
+TEST(RobustWrapperTest, StateCorruptionRecovered) {
+  control::PiConfig config;
+  config.x_init = 5.0f;
+  auto robust = wrapped_pi(config);
+  robust->step(2000.0f, 2000.0f);
+  robust->state()[0] = 1e20f;
+  const float u = robust->step(2000.0f, 2000.0f);
+  EXPECT_EQ(robust->state_recoveries(), 1u);
+  EXPECT_NEAR(u, 5.0f, 0.1f);
+}
+
+TEST(RobustWrapperTest, NanStateRecovered) {
+  control::PiConfig config;
+  config.x_init = 5.0f;
+  auto robust = wrapped_pi(config);
+  robust->step(2000.0f, 2000.0f);
+  robust->state()[0] = std::nanf("");
+  const float u = robust->step(2000.0f, 2000.0f);
+  EXPECT_FALSE(std::isnan(u));
+  EXPECT_EQ(robust->state_recoveries(), 1u);
+}
+
+TEST(RobustWrapperTest, WrapperEquivalentToHandWrittenAlgorithm2) {
+  // The generic Section 4.3 wrapper and the hand-written Algorithm II must
+  // agree on every output in a fault-free run.
+  control::PiConfig config;
+  config.x_init = 6.0f;
+  RobustPiController hand_written(config);
+  auto wrapper = wrapped_pi(config);
+  for (int k = 0; k < 300; ++k) {
+    const float r = k < 150 ? 2000.0f : 3000.0f;
+    const float y = 2000.0f + 3.0f * k;
+    ASSERT_EQ(hand_written.step(r, y), wrapper->step(r, y))
+        << "iteration " << k;
+  }
+}
+
+TEST(RobustWrapperTest, WrapperMatchesAlgorithm2UnderStateCorruption) {
+  control::PiConfig config;
+  config.x_init = 6.0f;
+  RobustPiController hand_written(config);
+  auto wrapper = wrapped_pi(config);
+  for (int k = 0; k < 100; ++k) {
+    if (k == 40) {
+      hand_written.set_integrator(-1e9f);
+      wrapper->state()[0] = -1e9f;
+    }
+    const float u1 = hand_written.step(2500.0f, 2400.0f);
+    const float u2 = wrapper->step(2500.0f, 2400.0f);
+    ASSERT_EQ(u1, u2) << "iteration " << k;
+  }
+  EXPECT_EQ(wrapper->state_recoveries(), 1u);
+}
+
+TEST(RobustWrapperTest, RateAssertionCatchesInRangeJump) {
+  // The extension the paper's conclusion asks for: a rate bound on the
+  // state catches Figure 10's in-range corruption.
+  control::PiConfig config;
+  config.x_init = 10.0f;
+  std::vector<SignalSpec> state_specs = {{0.0f, 70.0f, 10.0f, /*rate=*/1.0f}};
+  std::vector<SignalSpec> output_specs = {{0.0f, 70.0f, 10.0f, 0.0f}};
+  RobustController robust(std::make_unique<control::PiController>(config),
+                          std::move(state_specs), std::move(output_specs));
+  robust.step(3000.0f, 3000.0f);
+  robust.state()[0] = 69.0f;  // in-range jump, invisible to range checks
+  robust.step(3000.0f, 3000.0f);
+  EXPECT_EQ(robust.state_recoveries(), 1u);
+  EXPECT_LT(robust.state()[0], 15.0f);
+}
+
+TEST(RobustWrapperTest, ResetRestoresEverything) {
+  control::PiConfig config;
+  config.x_init = 5.0f;
+  auto robust = wrapped_pi(config);
+  robust->state()[0] = 1e20f;
+  robust->step(2000.0f, 2000.0f);
+  robust->reset();
+  EXPECT_EQ(robust->state_recoveries(), 0u);
+  EXPECT_FLOAT_EQ(robust->state()[0], 5.0f);
+}
+
+TEST(RobustWrapperTest, InnerAccessor) {
+  auto robust = wrapped_pi();
+  EXPECT_EQ(robust->inner().output_count(), 1u);
+  EXPECT_EQ(robust->output_count(), 1u);
+}
+
+}  // namespace
+}  // namespace earl::core

@@ -1,0 +1,150 @@
+#include "fi/database.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace earl::fi {
+namespace {
+
+ExperimentResult make_experiment(std::uint64_t id, analysis::Outcome outcome,
+                                 bool cache, tvm::Edm edm = tvm::Edm::kNone) {
+  ExperimentResult e;
+  e.id = id;
+  e.fault.kind = FaultKind::kSingleBitFlip;
+  e.fault.bits = {id * 7 + 1};
+  e.fault.time = id * 100;
+  e.cache_location = cache;
+  e.outcome = outcome;
+  e.edm = edm;
+  e.end_iteration = 650;
+  e.first_strong = 10;
+  e.strong_count = 3;
+  e.max_deviation = 1.25;
+  return e;
+}
+
+ResultDatabase make_db() {
+  ResultDatabase db;
+  db.insert(make_experiment(0, analysis::Outcome::kOverwritten, true));
+  db.insert(make_experiment(1, analysis::Outcome::kDetected, false,
+                            tvm::Edm::kAddressError));
+  db.insert(make_experiment(2, analysis::Outcome::kSeverePermanent, true));
+  db.insert(make_experiment(3, analysis::Outcome::kMinorTransient, true));
+  db.insert(make_experiment(4, analysis::Outcome::kDetected, false,
+                            tvm::Edm::kBusError));
+  return db;
+}
+
+TEST(DatabaseTest, InsertAndSize) {
+  const ResultDatabase db = make_db();
+  EXPECT_EQ(db.size(), 5u);
+}
+
+TEST(DatabaseTest, QueryByOutcome) {
+  const ResultDatabase db = make_db();
+  EXPECT_EQ(db.by_outcome(analysis::Outcome::kDetected).size(), 2u);
+  EXPECT_EQ(db.by_outcome(analysis::Outcome::kSeverePermanent).size(), 1u);
+  EXPECT_EQ(db.by_outcome(analysis::Outcome::kLatent).size(), 0u);
+}
+
+TEST(DatabaseTest, QueryByPartition) {
+  const ResultDatabase db = make_db();
+  EXPECT_EQ(db.by_partition(true).size(), 3u);
+  EXPECT_EQ(db.by_partition(false).size(), 2u);
+}
+
+TEST(DatabaseTest, QueryByEdm) {
+  const ResultDatabase db = make_db();
+  const auto address_errors = db.by_edm(tvm::Edm::kAddressError);
+  ASSERT_EQ(address_errors.size(), 1u);
+  EXPECT_EQ(address_errors[0].id, 1u);
+}
+
+TEST(DatabaseTest, FirstOfFindsEarliest) {
+  const ResultDatabase db = make_db();
+  const auto found = db.first_of(analysis::Outcome::kDetected);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->id, 1u);
+  EXPECT_FALSE(db.first_of(analysis::Outcome::kLatent).has_value());
+}
+
+TEST(DatabaseTest, SaveLoadRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "earl_db_test.csv").string();
+  const ResultDatabase original = make_db();
+  ASSERT_TRUE(original.save(path));
+
+  const ResultDatabase loaded = ResultDatabase::load(path);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    const ExperimentResult& a = original.all()[i];
+    const ExperimentResult& b = loaded.all()[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.fault.bits, b.fault.bits);
+    EXPECT_EQ(a.fault.time, b.fault.time);
+    EXPECT_EQ(a.cache_location, b.cache_location);
+    EXPECT_EQ(a.outcome, b.outcome);
+    EXPECT_EQ(a.edm, b.edm);
+    EXPECT_EQ(a.end_iteration, b.end_iteration);
+    EXPECT_EQ(a.strong_count, b.strong_count);
+    EXPECT_DOUBLE_EQ(a.max_deviation, b.max_deviation);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatabaseTest, LoadMissingFileGivesEmpty) {
+  const ResultDatabase db = ResultDatabase::load("/nonexistent/db.csv");
+  EXPECT_EQ(db.size(), 0u);
+}
+
+TEST(DatabaseTest, LoadRejectsWrongHeader) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "earl_bad_header.csv").string();
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    fputs("not,a,database\n1,2,3\n", f);
+    fclose(f);
+  }
+  EXPECT_EQ(ResultDatabase::load(path).size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(DatabaseTest, CampaignMetadataPreserved) {
+  CampaignResult campaign;
+  campaign.config.name = "test_campaign";
+  campaign.config.seed = 777;
+  campaign.experiments.push_back(
+      make_experiment(0, analysis::Outcome::kLatent, false));
+  const ResultDatabase db(campaign);
+  EXPECT_EQ(db.campaign_name(), "test_campaign");
+  EXPECT_EQ(db.seed(), 777u);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "earl_meta.csv").string();
+  ASSERT_TRUE(db.save(path));
+  const ResultDatabase loaded = ResultDatabase::load(path);
+  EXPECT_EQ(loaded.campaign_name(), "test_campaign");
+  EXPECT_EQ(loaded.seed(), 777u);
+  std::remove(path.c_str());
+}
+
+TEST(DatabaseTest, MultiBitFaultBitsRoundTrip) {
+  ResultDatabase db;
+  ExperimentResult e = make_experiment(0, analysis::Outcome::kLatent, true);
+  e.fault.kind = FaultKind::kMultiBitFlip;
+  e.fault.bits = {5, 900, 12345};
+  db.insert(e);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "earl_multibit.csv").string();
+  ASSERT_TRUE(db.save(path));
+  const ResultDatabase loaded = ResultDatabase::load(path);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded.all()[0].fault.bits, e.fault.bits);
+  EXPECT_EQ(loaded.all()[0].fault.kind, FaultKind::kMultiBitFlip);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace earl::fi

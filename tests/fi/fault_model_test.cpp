@@ -1,0 +1,97 @@
+#include "fi/fault_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace earl::fi {
+namespace {
+
+TEST(FaultModelTest, SingleBitFlipHasOneLocation) {
+  util::Rng rng(1);
+  const Fault fault = sample_fault({}, 0, 1000, 5000, rng);
+  EXPECT_EQ(fault.kind, FaultKind::kSingleBitFlip);
+  EXPECT_EQ(fault.bits.size(), 1u);
+  EXPECT_LT(fault.bits[0], 1000u);
+  EXPECT_LT(fault.time, 5000u);
+}
+
+TEST(FaultModelTest, LocationRespectsPartitionBounds) {
+  util::Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const Fault fault = sample_fault({}, 600, 700, 100, rng);
+    EXPECT_GE(fault.bits[0], 600u);
+    EXPECT_LT(fault.bits[0], 700u);
+  }
+}
+
+TEST(FaultModelTest, MultiBitFlipDistinctLocations) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kMultiBitFlip;
+  spec.multiplicity = 4;
+  util::Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const Fault fault = sample_fault(spec, 0, 100, 100, rng);
+    EXPECT_EQ(fault.bits.size(), 4u);
+    const std::set<std::size_t> unique(fault.bits.begin(), fault.bits.end());
+    EXPECT_EQ(unique.size(), 4u);
+  }
+}
+
+TEST(FaultModelTest, MultiplicityZeroTreatedAsOne) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kMultiBitFlip;
+  spec.multiplicity = 0;
+  util::Rng rng(4);
+  EXPECT_EQ(sample_fault(spec, 0, 100, 100, rng).bits.size(), 1u);
+}
+
+TEST(FaultModelTest, SamplingIsDeterministic) {
+  util::Rng a(7);
+  util::Rng b(7);
+  for (int i = 0; i < 50; ++i) {
+    const Fault fa = sample_fault({}, 0, 2250, 100000, a);
+    const Fault fb = sample_fault({}, 0, 2250, 100000, b);
+    EXPECT_EQ(fa.bits, fb.bits);
+    EXPECT_EQ(fa.time, fb.time);
+  }
+}
+
+TEST(FaultModelTest, TimeCoversWholeSpace) {
+  util::Rng rng(8);
+  std::uint64_t lo = ~0ull;
+  std::uint64_t hi = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const Fault fault = sample_fault({}, 0, 10, 1000, rng);
+    lo = std::min(lo, fault.time);
+    hi = std::max(hi, fault.time);
+  }
+  EXPECT_LT(lo, 20u);
+  EXPECT_GT(hi, 980u);
+}
+
+TEST(FaultModelTest, ZeroTimeSpace) {
+  util::Rng rng(9);
+  EXPECT_EQ(sample_fault({}, 0, 10, 0, rng).time, 0u);
+}
+
+TEST(FaultModelTest, StuckAtClassification) {
+  EXPECT_TRUE(is_stuck_at(FaultKind::kStuckAt0));
+  EXPECT_TRUE(is_stuck_at(FaultKind::kStuckAt1));
+  EXPECT_FALSE(is_stuck_at(FaultKind::kSingleBitFlip));
+  EXPECT_FALSE(is_stuck_at(FaultKind::kMultiBitFlip));
+}
+
+TEST(FaultModelTest, ToStringIsInformative) {
+  Fault fault;
+  fault.kind = FaultKind::kSingleBitFlip;
+  fault.bits = {123};
+  fault.time = 456;
+  const std::string text = fault.to_string();
+  EXPECT_NE(text.find("flip"), std::string::npos);
+  EXPECT_NE(text.find("123"), std::string::npos);
+  EXPECT_NE(text.find("456"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace earl::fi

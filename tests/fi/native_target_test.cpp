@@ -1,0 +1,132 @@
+#include "fi/native_target.hpp"
+
+#include <gtest/gtest.h>
+
+#include "control/pi.hpp"
+#include "core/robust_pi.hpp"
+#include "fi/workloads.hpp"
+#include "util/bitops.hpp"
+
+namespace earl::fi {
+namespace {
+
+NativeTarget make_target(bool robust = false) {
+  const control::PiConfig config = paper_pi_config();
+  return NativeTarget([config, robust]() -> std::unique_ptr<control::Controller> {
+    if (robust) return std::make_unique<core::RobustPiController>(config);
+    return std::make_unique<control::PiController>(config);
+  });
+}
+
+TEST(NativeTargetTest, FaultSpaceIsStateBits) {
+  NativeTarget plain = make_target(false);
+  EXPECT_EQ(plain.fault_space_bits(), 32u);  // one float state
+  NativeTarget robust = make_target(true);
+  EXPECT_EQ(robust.fault_space_bits(), 96u);  // x + x_old + u_old
+  EXPECT_EQ(plain.register_partition_bits(), 0u);
+}
+
+TEST(NativeTargetTest, IterationMatchesDirectController) {
+  NativeTarget target = make_target();
+  control::PiController reference(paper_pi_config());
+  target.reset();
+  for (int k = 0; k < 20; ++k) {
+    const float r = 2000.0f + k;
+    const float y = 1990.0f + k;
+    const IterationOutcome outcome = target.iterate(r, y);
+    EXPECT_FALSE(outcome.detected);
+    EXPECT_EQ(outcome.output, reference.step(r, y));
+    EXPECT_EQ(outcome.elapsed, 1u);
+  }
+}
+
+TEST(NativeTargetTest, FaultInjectedAtScheduledIteration) {
+  NativeTarget target = make_target();
+  target.reset();
+  Fault fault;
+  fault.bits = {31};  // sign bit of x
+  fault.time = 3;     // before iteration 3
+  target.arm(fault);
+  control::PiController reference(paper_pi_config());
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_EQ(target.iterate(2000.0f, 2000.0f).output,
+              reference.step(2000.0f, 2000.0f));
+  }
+  // Iteration 3 sees the negated state: output saturates to 0.
+  const IterationOutcome faulty = target.iterate(2000.0f, 2000.0f);
+  EXPECT_FLOAT_EQ(faulty.output, 0.0f);
+}
+
+TEST(NativeTargetTest, NoDetectionOnNativePath) {
+  // Even a NaN injection is undetected here: there are no hardware EDMs.
+  NativeTarget target = make_target();
+  target.reset();
+  Fault fault;
+  fault.kind = FaultKind::kMultiBitFlip;
+  fault.bits = {23, 24, 25, 26, 27, 28, 29, 30};  // exponent all-ones -> inf
+  fault.time = 0;
+  target.arm(fault);
+  const IterationOutcome outcome = target.iterate(2000.0f, 2000.0f);
+  EXPECT_FALSE(outcome.detected);
+}
+
+TEST(NativeTargetTest, RobustControllerRecoversInjectedState) {
+  NativeTarget target = make_target(true);
+  target.reset();
+  target.iterate(2000.0f, 2000.0f);  // establish backups
+  Fault fault;
+  fault.bits = {29};  // exponent bit of x: 6.67 -> ~4.6e19, out of range
+  fault.time = 2;
+  target.arm(fault);
+  target.iterate(2000.0f, 2000.0f);
+  const IterationOutcome after = target.iterate(2000.0f, 2000.0f);
+  // Algorithm II: output stays near the pre-fault value.
+  EXPECT_NEAR(after.output, 2000.0f / 300.0f, 0.5f);
+}
+
+TEST(NativeTargetTest, ObservableStateTracksControllerState) {
+  NativeTarget target = make_target();
+  target.reset();
+  const auto before = target.observable_state();
+  target.iterate(2500.0f, 2000.0f);  // integrator moves
+  EXPECT_NE(target.observable_state(), before);
+}
+
+TEST(NativeTargetTest, ResetRestoresInitialState) {
+  NativeTarget target = make_target();
+  target.reset();
+  const auto initial = target.observable_state();
+  target.iterate(2500.0f, 2000.0f);
+  target.reset();
+  EXPECT_EQ(target.observable_state(), initial);
+}
+
+TEST(NativeTargetTest, OutOfRangeBitIndexIgnored) {
+  NativeTarget target = make_target();
+  target.reset();
+  Fault fault;
+  fault.bits = {4096};  // beyond the single float
+  fault.time = 0;
+  target.arm(fault);
+  const IterationOutcome outcome = target.iterate(2000.0f, 2000.0f);
+  EXPECT_FALSE(outcome.detected);  // no crash, no effect
+}
+
+TEST(NativeTargetTest, StuckAtReappliedEveryIteration) {
+  NativeTarget target = make_target();
+  target.reset();
+  Fault fault;
+  fault.kind = FaultKind::kStuckAt1;
+  fault.bits = {31};  // sign of x stuck negative
+  fault.time = 0;
+  target.arm(fault);
+  for (int k = 0; k < 5; ++k) {
+    // Zero error: the output is exactly the (sign-stuck, negative) state,
+    // saturated to the lower limit.
+    const IterationOutcome outcome = target.iterate(2000.0f, 2000.0f);
+    EXPECT_FLOAT_EQ(outcome.output, 0.0f) << "iteration " << k;
+  }
+}
+
+}  // namespace
+}  // namespace earl::fi

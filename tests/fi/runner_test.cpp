@@ -1,0 +1,178 @@
+#include "fi/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fi/workloads.hpp"
+
+namespace earl::fi {
+namespace {
+
+CampaignConfig small_campaign(std::size_t experiments = 40) {
+  CampaignConfig config = table2_campaign(1.0);
+  config.experiments = experiments;
+  config.iterations = 80;  // short runs keep the suite fast
+  config.workers = 1;
+  return config;
+}
+
+TEST(RunnerTest, GoldenRunMatchesNativeController) {
+  const CampaignConfig config = small_campaign();
+  CampaignRunner runner(config);
+  const auto factory = make_tvm_pi_factory(paper_pi_config());
+  const auto target = factory();
+  const GoldenRun golden = runner.run_golden(*target);
+  ASSERT_EQ(golden.outputs.size(), config.iterations);
+  EXPECT_GT(golden.total_time, 0u);
+  EXPECT_GT(golden.max_iteration_time, 50u);
+  EXPECT_FALSE(golden.final_state.empty());
+}
+
+TEST(RunnerTest, GoldenRunDeterministic) {
+  const CampaignConfig config = small_campaign();
+  CampaignRunner runner(config);
+  const auto factory = make_tvm_pi_factory(paper_pi_config());
+  const auto t1 = factory();
+  const auto t2 = factory();
+  const GoldenRun a = runner.run_golden(*t1);
+  const GoldenRun b = runner.run_golden(*t2);
+  EXPECT_EQ(a.outputs, b.outputs);
+  EXPECT_EQ(a.final_state, b.final_state);
+  EXPECT_EQ(a.total_time, b.total_time);
+}
+
+TEST(RunnerTest, FaultSamplingDeterministicFromSeed) {
+  CampaignRunner runner(small_campaign());
+  const auto a = runner.sample_faults(2250, 661, 100000);
+  const auto b = runner.sample_faults(2250, 661, 100000);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].bits, b[i].bits);
+    EXPECT_EQ(a[i].time, b[i].time);
+  }
+}
+
+TEST(RunnerTest, LocationFilterRestrictsPartition) {
+  CampaignConfig config = small_campaign();
+  config.filter = LocationFilter::kCacheOnly;
+  CampaignRunner cache_runner(config);
+  for (const Fault& fault : cache_runner.sample_faults(2250, 661, 1000)) {
+    EXPECT_GE(fault.bits[0], 661u);
+  }
+  config.filter = LocationFilter::kRegistersOnly;
+  CampaignRunner reg_runner(config);
+  for (const Fault& fault : reg_runner.sample_faults(2250, 661, 1000)) {
+    EXPECT_LT(fault.bits[0], 661u);
+  }
+}
+
+TEST(RunnerTest, CampaignProducesOneResultPerExperiment) {
+  const CampaignConfig config = small_campaign(30);
+  CampaignRunner runner(config);
+  const CampaignResult result = runner.run(make_tvm_pi_factory(paper_pi_config()));
+  EXPECT_EQ(result.experiments.size(), 30u);
+  for (std::size_t i = 0; i < result.experiments.size(); ++i) {
+    EXPECT_EQ(result.experiments[i].id, i);
+  }
+}
+
+TEST(RunnerTest, EveryExperimentHasAnOutcome) {
+  const CampaignConfig config = small_campaign(60);
+  CampaignRunner runner(config);
+  const CampaignResult result = runner.run(make_tvm_pi_factory(paper_pi_config()));
+  std::size_t total = 0;
+  for (std::size_t o = 0; o < analysis::kOutcomeCount; ++o) {
+    total += result.count(static_cast<analysis::Outcome>(o));
+  }
+  EXPECT_EQ(total, result.experiments.size());
+}
+
+TEST(RunnerTest, CampaignIsReproducible) {
+  const CampaignConfig config = small_campaign(30);
+  const auto factory = make_tvm_pi_factory(paper_pi_config());
+  const CampaignResult a = CampaignRunner(config).run(factory);
+  const CampaignResult b = CampaignRunner(config).run(factory);
+  for (std::size_t i = 0; i < a.experiments.size(); ++i) {
+    EXPECT_EQ(a.experiments[i].outcome, b.experiments[i].outcome);
+    EXPECT_EQ(a.experiments[i].edm, b.experiments[i].edm);
+  }
+}
+
+TEST(RunnerTest, DifferentSeedsGiveDifferentFaults) {
+  CampaignConfig config = small_campaign(30);
+  const auto factory = make_tvm_pi_factory(paper_pi_config());
+  const CampaignResult a = CampaignRunner(config).run(factory);
+  config.seed += 1;
+  const CampaignResult b = CampaignRunner(config).run(factory);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.experiments.size(); ++i) {
+    if (a.experiments[i].fault.bits != b.experiments[i].fault.bits) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(RunnerTest, CachePartitionFlagMatchesBitIndex) {
+  const CampaignConfig config = small_campaign(50);
+  CampaignRunner runner(config);
+  const CampaignResult result = runner.run(make_tvm_pi_factory(paper_pi_config()));
+  for (const ExperimentResult& e : result.experiments) {
+    EXPECT_EQ(e.cache_location,
+              e.fault.bits[0] >= result.register_partition_bits);
+  }
+}
+
+TEST(RunnerTest, ReplayReproducesExperimentOutputs) {
+  const CampaignConfig config = small_campaign(40);
+  CampaignRunner runner(config);
+  const auto factory = make_tvm_pi_factory(paper_pi_config());
+  const CampaignResult result = runner.run(factory);
+  // Find a value failure and replay it: deviation facts must match.
+  const auto target = factory();
+  for (const ExperimentResult& e : result.experiments) {
+    if (!analysis::is_value_failure(e.outcome)) continue;
+    const auto outputs = runner.replay_outputs(*target, e.fault, result.golden);
+    ASSERT_EQ(outputs.size(), config.iterations);
+    const auto stats = analysis::deviation_stats(result.golden.outputs,
+                                                 outputs, config.classify);
+    EXPECT_EQ(stats.strong_count, e.strong_count);
+    EXPECT_DOUBLE_EQ(stats.max_deviation, e.max_deviation);
+    break;
+  }
+}
+
+TEST(RunnerTest, ParallelAndSerialAgree) {
+  CampaignConfig config = small_campaign(24);
+  const auto factory = make_tvm_pi_factory(paper_pi_config());
+  config.workers = 1;
+  const CampaignResult serial = CampaignRunner(config).run(factory);
+  config.workers = 3;
+  const CampaignResult parallel = CampaignRunner(config).run(factory);
+  ASSERT_EQ(serial.experiments.size(), parallel.experiments.size());
+  for (std::size_t i = 0; i < serial.experiments.size(); ++i) {
+    EXPECT_EQ(serial.experiments[i].outcome, parallel.experiments[i].outcome);
+    EXPECT_EQ(serial.experiments[i].end_iteration,
+              parallel.experiments[i].end_iteration);
+  }
+}
+
+TEST(RunnerTest, NativeCampaignRuns) {
+  CampaignConfig config = small_campaign(30);
+  CampaignRunner runner(config);
+  const CampaignResult result =
+      runner.run(make_native_pi_factory(paper_pi_config()));
+  EXPECT_EQ(result.experiments.size(), 30u);
+  EXPECT_EQ(result.fault_space_bits, 32u);
+  // SWIFI has no detections.
+  EXPECT_EQ(result.count(analysis::Outcome::kDetected), 0u);
+}
+
+TEST(RunnerTest, PresetCampaignSizesMatchPaper) {
+  EXPECT_EQ(table2_campaign().experiments, 9290u);
+  EXPECT_EQ(table3_campaign().experiments, 2372u);
+  EXPECT_EQ(table2_campaign(0.1).experiments, 929u);
+  EXPECT_EQ(table2_campaign().iterations, 650u);
+}
+
+}  // namespace
+}  // namespace earl::fi

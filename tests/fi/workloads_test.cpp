@@ -1,0 +1,71 @@
+#include "fi/workloads.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace earl::fi {
+namespace {
+
+TEST(WorkloadsTest, PaperConfigCalibration) {
+  const control::PiConfig config = paper_pi_config();
+  EXPECT_FLOAT_EQ(config.dt, 0.0154f);
+  EXPECT_FLOAT_EQ(config.u_min, 0.0f);
+  EXPECT_FLOAT_EQ(config.u_max, 70.0f);
+  // Integrator starts at the 2000 rpm equilibrium throttle.
+  EXPECT_NEAR(config.x_init, 6.667f, 0.01f);
+}
+
+TEST(WorkloadsTest, ProgramsBuildForAllModes) {
+  for (const auto mode :
+       {codegen::RobustnessMode::kNone, codegen::RobustnessMode::kRecover,
+        codegen::RobustnessMode::kTrap}) {
+    const tvm::AssembledProgram program = build_pi_program({}, mode);
+    EXPECT_TRUE(program.ok());
+  }
+}
+
+TEST(WorkloadsTest, TvmFactoryProducesIndependentTargets) {
+  const TargetFactory factory = make_tvm_pi_factory();
+  const auto a = factory();
+  const auto b = factory();
+  a->reset();
+  b->reset();
+  a->iterate(2500.0f, 2000.0f);
+  // b is untouched by a's progress.
+  EXPECT_EQ(b->observable_state(), factory()->observable_state());
+}
+
+TEST(WorkloadsTest, NativeFactorySelectsAlgorithm) {
+  const auto plain = make_native_pi_factory(paper_pi_config(), false)();
+  const auto robust = make_native_pi_factory(paper_pi_config(), true)();
+  EXPECT_EQ(plain->fault_space_bits(), 32u);
+  EXPECT_EQ(robust->fault_space_bits(), 96u);
+}
+
+TEST(WorkloadsTest, CampaignPresetsMatchPaper) {
+  EXPECT_EQ(table2_campaign().experiments, 9290u);
+  EXPECT_EQ(table3_campaign().experiments, 2372u);
+  EXPECT_NE(table2_campaign().seed, table3_campaign().seed);
+  EXPECT_EQ(table2_campaign().iterations, 650u);
+}
+
+TEST(WorkloadsTest, ScaleClampsAndFloors) {
+  EXPECT_EQ(table2_campaign(0.5).experiments, 4645u);
+  EXPECT_GE(table2_campaign(0.000001).experiments, 10u);
+  EXPECT_EQ(table2_campaign(1.0).experiments, 9290u);
+}
+
+TEST(WorkloadsTest, ScaleFromEnvironment) {
+  ::setenv("EARL_CAMPAIGN_SCALE", "0.25", 1);
+  EXPECT_DOUBLE_EQ(campaign_scale_from_env(), 0.25);
+  ::setenv("EARL_CAMPAIGN_SCALE", "2.5", 1);  // out of range -> 1.0
+  EXPECT_DOUBLE_EQ(campaign_scale_from_env(), 1.0);
+  ::setenv("EARL_CAMPAIGN_SCALE", "junk", 1);
+  EXPECT_DOUBLE_EQ(campaign_scale_from_env(), 1.0);
+  ::unsetenv("EARL_CAMPAIGN_SCALE");
+  EXPECT_DOUBLE_EQ(campaign_scale_from_env(), 1.0);
+}
+
+}  // namespace
+}  // namespace earl::fi

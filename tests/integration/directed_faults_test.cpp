@@ -1,0 +1,172 @@
+// Directed fault experiments reproducing the paper's failure archetypes one
+// by one: the full-throttle lock (Figure 7), the semi-permanent transient
+// (Figure 8), the single-spike transient (Figure 9) and the in-range
+// corruption that defeats range assertions (Figure 10).
+#include <gtest/gtest.h>
+
+#include "analysis/classify.hpp"
+#include "fi/runner.hpp"
+#include "fi/tvm_target.hpp"
+#include "fi/workloads.hpp"
+#include "plant/engine.hpp"
+#include "plant/signals.hpp"
+#include "util/bitops.hpp"
+
+namespace earl {
+namespace {
+
+class DirectedFaultTest : public ::testing::Test {
+ protected:
+  /// Runs `mode`'s PI workload for 650 iterations, invoking `corrupt` at
+  /// the start of iteration `fault_iteration`; returns the output series.
+  std::vector<float> run_with_corruption(
+      codegen::RobustnessMode mode, std::size_t fault_iteration,
+      const std::function<void(fi::TvmTarget&)>& corrupt) {
+    const auto factory =
+        fi::make_tvm_pi_factory(fi::paper_pi_config(), mode);
+    auto target_ptr = factory();
+    auto* target = dynamic_cast<fi::TvmTarget*>(target_ptr.get());
+    EXPECT_NE(target, nullptr);
+    target->reset();
+    plant::Engine engine;
+    std::vector<float> outputs;
+    float y = static_cast<float>(engine.speed());
+    for (std::size_t k = 0; k < plant::kIterations; ++k) {
+      if (k == fault_iteration) corrupt(*target);
+      const double t = plant::iteration_time(k);
+      const auto step = target->iterate(plant::reference_speed(t), y);
+      EXPECT_FALSE(step.detected) << "iteration " << k;
+      outputs.push_back(step.output);
+      y = engine.step(step.output, plant::engine_load(t));
+    }
+    return outputs;
+  }
+
+  std::vector<float> golden(codegen::RobustnessMode mode) {
+    return run_with_corruption(mode, plant::kIterations + 1,
+                               [](fi::TvmTarget&) {});
+  }
+
+  /// Overwrites the cached state variable x with the float `value`.
+  static void set_x(fi::TvmTarget& target, float value) {
+    const auto bit = target.cache_bit_of_address(tvm::kDataBase);
+    ASSERT_TRUE(bit.has_value());
+    // The scan chain writes bit-by-bit; write all 32.
+    const std::uint32_t bits = util::float_to_bits(value);
+    for (unsigned b = 0; b < 32; ++b) {
+      target.scan_chain().write_bit(target.machine(), *bit + b,
+                                    util::get_bit32(bits, b));
+    }
+  }
+};
+
+TEST_F(DirectedFaultTest, Figure7PermanentLockAtFullThrottle) {
+  const auto reference = golden(codegen::RobustnessMode::kNone);
+  const auto outputs = run_with_corruption(
+      codegen::RobustnessMode::kNone, 390,
+      [](fi::TvmTarget& t) { set_x(t, 4.6e19f); });
+  const auto outcome =
+      analysis::classify_outputs(reference, outputs, false);
+  EXPECT_EQ(outcome, analysis::Outcome::kSeverePermanent);
+  for (std::size_t k = 400; k < outputs.size(); ++k) {
+    EXPECT_FLOAT_EQ(outputs[k], 70.0f);
+  }
+}
+
+TEST_F(DirectedFaultTest, PermanentLockAtClosedThrottle) {
+  const auto reference = golden(codegen::RobustnessMode::kNone);
+  const auto outputs = run_with_corruption(
+      codegen::RobustnessMode::kNone, 390,
+      [](fi::TvmTarget& t) { set_x(t, -4.6e19f); });
+  EXPECT_EQ(analysis::classify_outputs(reference, outputs, false),
+            analysis::Outcome::kSeverePermanent);
+  EXPECT_FLOAT_EQ(outputs.back(), 0.0f);
+}
+
+TEST_F(DirectedFaultTest, Figure8SemiPermanentFromModerateCorruption) {
+  // A moderate out-of-range corruption: Algorithm I integrates its way
+  // back within the window — strong deviation for a while, then recovery.
+  const auto reference = golden(codegen::RobustnessMode::kNone);
+  const auto outputs = run_with_corruption(
+      codegen::RobustnessMode::kNone, 200,
+      [](fi::TvmTarget& t) { set_x(t, 90.0f); });
+  EXPECT_EQ(analysis::classify_outputs(reference, outputs, false),
+            analysis::Outcome::kSevereSemiPermanent);
+  // Converged again by the end of the window.
+  EXPECT_NEAR(outputs.back(), reference.back(), 0.1f);
+}
+
+TEST_F(DirectedFaultTest, Figure9TransientFromOutputGlitch) {
+  // Corrupt the *output path* for one iteration (the state stays intact):
+  // one strong deviation, then the loop swallows it.
+  const auto reference = golden(codegen::RobustnessMode::kNone);
+  const auto factory = fi::make_tvm_pi_factory(fi::paper_pi_config());
+  auto target_ptr = factory();
+  auto* target = dynamic_cast<fi::TvmTarget*>(target_ptr.get());
+  ASSERT_NE(target, nullptr);
+  target->reset();
+  plant::Engine engine;
+  std::vector<float> outputs;
+  float y = static_cast<float>(engine.speed());
+  for (std::size_t k = 0; k < plant::kIterations; ++k) {
+    const double t = plant::iteration_time(k);
+    auto step = target->iterate(plant::reference_speed(t), y);
+    if (k == 420) step.output = 45.0f;  // corrupted actuator word
+    outputs.push_back(step.output);
+    y = engine.step(step.output, plant::engine_load(t));
+  }
+  EXPECT_EQ(analysis::classify_outputs(reference, outputs, false),
+            analysis::Outcome::kMinorTransient);
+}
+
+TEST_F(DirectedFaultTest, Figure7ScenarioFixedByAlgorithm2) {
+  const auto reference = golden(codegen::RobustnessMode::kRecover);
+  const auto outputs = run_with_corruption(
+      codegen::RobustnessMode::kRecover, 390,
+      [](fi::TvmTarget& t) { set_x(t, 4.6e19f); });
+  const auto outcome = analysis::classify_outputs(reference, outputs, false);
+  EXPECT_TRUE(outcome == analysis::Outcome::kMinorTransient ||
+              outcome == analysis::Outcome::kMinorInsignificant ||
+              outcome == analysis::Outcome::kOverwritten ||
+              outcome == analysis::Outcome::kLatent)
+      << outcome_name(outcome);
+  // Definitely no lock.
+  EXPECT_NEAR(outputs.back(), reference.back(), 0.1f);
+}
+
+TEST_F(DirectedFaultTest, Figure10InRangeCorruptionEscapesAssertions) {
+  // x jumps from ~10 to 69 degrees at t = 6 s: inside [0, 70], invisible
+  // to the range assertions, severe semi-permanent consequence (the
+  // paper's Figure 10 and its motivation for "more sophisticated
+  // assertions").
+  const auto reference = golden(codegen::RobustnessMode::kRecover);
+  const std::size_t fault_iteration = 390;  // t ~ 6 s
+  const auto outputs = run_with_corruption(
+      codegen::RobustnessMode::kRecover, fault_iteration,
+      [](fi::TvmTarget& t) { set_x(t, 69.0f); });
+  EXPECT_EQ(analysis::classify_outputs(reference, outputs, false),
+            analysis::Outcome::kSevereSemiPermanent);
+  // The first faulty output jumps toward the corrupted state...
+  EXPECT_GT(outputs[fault_iteration], 60.0f);
+  // ...and the loop pulls it back within the window.
+  EXPECT_NEAR(outputs.back(), reference.back(), 0.5f);
+}
+
+TEST_F(DirectedFaultTest, TinyStateNudgeIsInsignificant) {
+  const auto reference = golden(codegen::RobustnessMode::kNone);
+  const auto outputs = run_with_corruption(
+      codegen::RobustnessMode::kNone, 100, [this](fi::TvmTarget& t) {
+        // Flip the LSB of x's mantissa.
+        const auto bit = t.cache_bit_of_address(tvm::kDataBase);
+        ASSERT_TRUE(bit.has_value());
+        t.scan_chain().flip_bit(t.machine(), *bit);
+      });
+  const auto outcome = analysis::classify_outputs(reference, outputs, false);
+  EXPECT_TRUE(outcome == analysis::Outcome::kMinorInsignificant ||
+              outcome == analysis::Outcome::kOverwritten ||
+              outcome == analysis::Outcome::kLatent)
+      << outcome_name(outcome);
+}
+
+}  // namespace
+}  // namespace earl

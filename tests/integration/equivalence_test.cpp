@@ -1,0 +1,115 @@
+// Cross-substrate equivalence: the same controller semantics must hold
+// whether executed natively, on the TVM via generated code, or wrapped by
+// the generic robustifier — the foundation every campaign comparison
+// stands on.
+#include <gtest/gtest.h>
+
+#include "control/pi.hpp"
+#include "core/robust_pi.hpp"
+#include "core/robust_wrapper.hpp"
+#include "fi/runner.hpp"
+#include "fi/workloads.hpp"
+#include "plant/environment.hpp"
+
+namespace earl {
+namespace {
+
+TEST(EquivalenceTest, GoldenRunsAgreeAcrossTargets) {
+  const control::PiConfig config = fi::paper_pi_config();
+  fi::CampaignConfig campaign = fi::table2_campaign(1.0);
+  campaign.iterations = 650;
+  fi::CampaignRunner runner(campaign);
+
+  const auto tvm_target = fi::make_tvm_pi_factory(config)();
+  const fi::GoldenRun tvm_golden = runner.run_golden(*tvm_target);
+
+  const auto native_target = fi::make_native_pi_factory(config)();
+  const fi::GoldenRun native_golden = runner.run_golden(*native_target);
+
+  ASSERT_EQ(tvm_golden.outputs.size(), native_golden.outputs.size());
+  for (std::size_t k = 0; k < tvm_golden.outputs.size(); ++k) {
+    ASSERT_EQ(tvm_golden.outputs[k], native_golden.outputs[k])
+        << "iteration " << k;
+  }
+}
+
+TEST(EquivalenceTest, RobustGoldenRunsAgreeAcrossTargets) {
+  const control::PiConfig config = fi::paper_pi_config();
+  fi::CampaignConfig campaign = fi::table3_campaign(1.0);
+  campaign.iterations = 650;
+  fi::CampaignRunner runner(campaign);
+
+  const auto tvm_target =
+      fi::make_tvm_pi_factory(config, codegen::RobustnessMode::kRecover)();
+  const fi::GoldenRun tvm_golden = runner.run_golden(*tvm_target);
+
+  const auto native_target = fi::make_native_pi_factory(config, true)();
+  const fi::GoldenRun native_golden = runner.run_golden(*native_target);
+
+  for (std::size_t k = 0; k < tvm_golden.outputs.size(); ++k) {
+    ASSERT_EQ(tvm_golden.outputs[k], native_golden.outputs[k])
+        << "iteration " << k;
+  }
+}
+
+TEST(EquivalenceTest, Algorithm2FaultFreeCostsNothingInAccuracy) {
+  // Algorithm II's outputs are identical to Algorithm I's when no fault
+  // occurs (the paper's modification is behaviour-preserving).
+  const control::PiConfig config = fi::paper_pi_config();
+  fi::CampaignConfig campaign = fi::table2_campaign(1.0);
+  fi::CampaignRunner runner(campaign);
+  const auto alg1 = fi::make_tvm_pi_factory(config)();
+  const auto alg2 =
+      fi::make_tvm_pi_factory(config, codegen::RobustnessMode::kRecover)();
+  const fi::GoldenRun g1 = runner.run_golden(*alg1);
+  const fi::GoldenRun g2 = runner.run_golden(*alg2);
+  EXPECT_EQ(g1.outputs, g2.outputs);
+}
+
+TEST(EquivalenceTest, Algorithm2InstructionOverheadIsModerate) {
+  // The robustness costs instructions (assertions + back-ups) but well
+  // under 50% — the cost story behind "cost-effective software solution".
+  const control::PiConfig config = fi::paper_pi_config();
+  fi::CampaignConfig campaign = fi::table2_campaign(1.0);
+  campaign.iterations = 100;
+  fi::CampaignRunner runner(campaign);
+  const auto alg1 = fi::make_tvm_pi_factory(config)();
+  const auto alg2 =
+      fi::make_tvm_pi_factory(config, codegen::RobustnessMode::kRecover)();
+  const fi::GoldenRun g1 = runner.run_golden(*alg1);
+  const fi::GoldenRun g2 = runner.run_golden(*alg2);
+  EXPECT_GT(g2.total_time, g1.total_time);
+  EXPECT_LT(g2.total_time, g1.total_time * 3 / 2);
+}
+
+TEST(EquivalenceTest, TrapModeDetectsWhatRecoverModeRecovers) {
+  // Inject the same out-of-range state corruption into both hardened
+  // variants: kTrap fail-stops (constraint error), kRecover keeps going.
+  const control::PiConfig config = fi::paper_pi_config();
+  const auto recover_factory =
+      fi::make_tvm_pi_factory(config, codegen::RobustnessMode::kRecover);
+  const auto trap_factory =
+      fi::make_tvm_pi_factory(config, codegen::RobustnessMode::kTrap);
+
+  for (int variant = 0; variant < 2; ++variant) {
+    const auto target_ptr = variant == 0 ? recover_factory() : trap_factory();
+    auto* target = dynamic_cast<fi::TvmTarget*>(target_ptr.get());
+    ASSERT_NE(target, nullptr);
+    target->reset();
+    target->iterate(2000.0f, 2000.0f);
+    const auto x_bit = target->cache_bit_of_address(tvm::kDataBase);
+    ASSERT_TRUE(x_bit.has_value());
+    target->scan_chain().flip_bit(target->machine(), *x_bit + 29);
+    const fi::IterationOutcome outcome = target->iterate(2000.0f, 2000.0f);
+    if (variant == 0) {
+      EXPECT_FALSE(outcome.detected);
+      EXPECT_NEAR(outcome.output, 6.67f, 0.2f);  // recovered
+    } else {
+      EXPECT_TRUE(outcome.detected);
+      EXPECT_EQ(outcome.edm, tvm::Edm::kConstraintError);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace earl

@@ -1,0 +1,105 @@
+// Fault-free trace tests backing Figures 3, 4 and 5: the shapes the bench
+// harnesses print must be present in the data they print.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "control/pi.hpp"
+#include "fi/workloads.hpp"
+#include "plant/environment.hpp"
+
+namespace earl {
+namespace {
+
+class FigureTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    control::PiController controller(fi::paper_pi_config());
+    trace_ = new std::vector<plant::TracePoint>(plant::run_closed_loop(
+        {}, [&](float r, float y) { return controller.step(r, y); }));
+  }
+  static void TearDownTestSuite() { delete trace_; }
+  static std::vector<plant::TracePoint>* trace_;
+};
+
+std::vector<plant::TracePoint>* FigureTest::trace_ = nullptr;
+
+TEST_F(FigureTest, Figure3ReferenceIsTwoLevelStep) {
+  for (const auto& p : *trace_) {
+    if (p.t < 5.0) {
+      EXPECT_FLOAT_EQ(p.reference, 2000.0f);
+    } else {
+      EXPECT_FLOAT_EQ(p.reference, 3000.0f);
+    }
+  }
+}
+
+TEST_F(FigureTest, Figure3SpeedTracksReference) {
+  // Before the step: near 2000 (outside the load pulse). After settling:
+  // near 3000.
+  EXPECT_NEAR((*trace_)[150].measurement, 2000.0f, 30.0f);
+  EXPECT_NEAR((*trace_)[640].measurement, 3000.0f, 60.0f);
+}
+
+TEST_F(FigureTest, Figure3LoadCausesSpeedDips) {
+  auto min_in = [&](std::size_t lo, std::size_t hi) {
+    float lowest = 1e9f;
+    for (std::size_t k = lo; k < hi; ++k) {
+      lowest = std::min(lowest, (*trace_)[k].measurement);
+    }
+    return lowest;
+  };
+  // Dips during 3 < t < 4 (iterations ~195..260) and 7 < t < 8 (~455..520).
+  // The second dip is shallower: the same load torque is a smaller relative
+  // disturbance at the 3000 rpm operating point.
+  EXPECT_LT(min_in(195, 280), 1950.0f);
+  EXPECT_LT(min_in(455, 540), 2975.0f);
+  // No dip in quiet periods.
+  EXPECT_GT(min_in(60, 180), 1980.0f);
+}
+
+TEST_F(FigureTest, Figure4LoadPulsesWhereThePaperPutsThem) {
+  for (const auto& p : *trace_) {
+    if (p.t > 3.2 && p.t < 3.8) {
+      EXPECT_GT(p.load, 0.9);
+    }
+    if (p.t > 7.2 && p.t < 7.8) {
+      EXPECT_GT(p.load, 0.9);
+    }
+    if (p.t < 2.9 || (p.t > 4.1 && p.t < 6.9) || p.t > 8.1) {
+      EXPECT_DOUBLE_EQ(p.load, 0.0);
+    }
+  }
+}
+
+TEST_F(FigureTest, Figure5OutputLevelsAndHumps) {
+  // ~6.7 deg at 2000 rpm, ~10 deg at 3000 rpm, humps during load pulses.
+  EXPECT_NEAR((*trace_)[150].command, 6.67f, 0.3f);
+  EXPECT_NEAR((*trace_)[640].command, 10.0f, 0.3f);
+  float max_during_pulse = 0.0f;
+  for (std::size_t k = 195; k < 280; ++k) {
+    max_during_pulse = std::max(max_during_pulse, (*trace_)[k].command);
+  }
+  EXPECT_GT(max_during_pulse, 7.5f);  // the controller works against load
+  // Never saturated in the fault-free run.
+  for (const auto& p : *trace_) {
+    EXPECT_GT(p.command, 0.0f);
+    EXPECT_LT(p.command, 70.0f);
+  }
+}
+
+TEST_F(FigureTest, TvmGoldenMatchesNativeTrace) {
+  // The Figure 5 bench prints the TVM golden run; it must be the same
+  // series as the native closed loop used here.
+  fi::CampaignConfig config = fi::table2_campaign(1.0);
+  fi::CampaignRunner runner(config);
+  const auto target = fi::make_tvm_pi_factory(fi::paper_pi_config())();
+  const fi::GoldenRun golden = runner.run_golden(*target);
+  ASSERT_EQ(golden.outputs.size(), trace_->size());
+  for (std::size_t k = 0; k < golden.outputs.size(); ++k) {
+    ASSERT_EQ(golden.outputs[k], (*trace_)[k].command) << "iteration " << k;
+  }
+}
+
+}  // namespace
+}  // namespace earl

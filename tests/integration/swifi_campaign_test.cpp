@@ -1,0 +1,118 @@
+// SWIFI cross-check (GOOFI's second technique): injecting directly into the
+// native controllers' state variables must show the same Algorithm I vs II
+// contrast, demonstrating the effect is not an artefact of the CPU
+// simulator.
+#include <gtest/gtest.h>
+
+#include "analysis/report.hpp"
+#include "fi/runner.hpp"
+#include "fi/workloads.hpp"
+
+namespace earl {
+namespace {
+
+fi::CampaignResult run_swifi(bool robust, std::size_t experiments = 800) {
+  fi::CampaignConfig config = fi::table2_campaign(1.0);
+  config.name = robust ? "swifi_alg2" : "swifi_alg1";
+  config.experiments = experiments;
+  config.workers = 1;
+  return fi::CampaignRunner(config).run(
+      fi::make_native_pi_factory(fi::paper_pi_config(), robust));
+}
+
+class SwifiCampaignTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    alg1_ = new fi::CampaignResult(run_swifi(false));
+    alg2_ = new fi::CampaignResult(run_swifi(true));
+  }
+  static void TearDownTestSuite() {
+    delete alg1_;
+    delete alg2_;
+  }
+  static fi::CampaignResult* alg1_;
+  static fi::CampaignResult* alg2_;
+};
+
+fi::CampaignResult* SwifiCampaignTest::alg1_ = nullptr;
+fi::CampaignResult* SwifiCampaignTest::alg2_ = nullptr;
+
+TEST_F(SwifiCampaignTest, NoDetectionsWithoutHardwareMechanisms) {
+  EXPECT_EQ(alg1_->count(analysis::Outcome::kDetected), 0u);
+  EXPECT_EQ(alg2_->count(analysis::Outcome::kDetected), 0u);
+}
+
+TEST_F(SwifiCampaignTest, StateInjectionProducesSevereFailuresInAlgorithm1) {
+  // Every fault lands in the state variable itself, so the severe fraction
+  // is much higher than in the SCIFI campaign — the concentrated version
+  // of the paper's "errors in x cause severe failures".
+  EXPECT_GT(alg1_->severe_failures(), alg1_->experiments.size() / 20);
+  EXPECT_GT(alg1_->count(analysis::Outcome::kSeverePermanent), 0u);
+}
+
+TEST_F(SwifiCampaignTest, Algorithm2EliminatesSustainedLocks) {
+  // A fault injected in the final iterations can leave the output at a
+  // limit "until the end of the observed interval" — the paper's literal
+  // permanent definition — purely by window truncation (the paper's own
+  // permanent note: "the output may converge ... later").  What must not
+  // survive Algorithm II is a *sustained* lock.
+  for (const auto& e : alg2_->experiments) {
+    if (e.outcome == analysis::Outcome::kSeverePermanent) {
+      EXPECT_GT(e.first_strong, alg2_->config.iterations - 10)
+          << "sustained throttle lock escaped Algorithm II: "
+          << e.fault.to_string();
+    }
+  }
+}
+
+TEST_F(SwifiCampaignTest, Algorithm2CutsSevereRateSubstantially) {
+  const double rate1 = static_cast<double>(alg1_->severe_failures()) /
+                       alg1_->experiments.size();
+  const double rate2 = static_cast<double>(alg2_->severe_failures()) /
+                       alg2_->experiments.size();
+  EXPECT_LT(rate2, rate1 / 2.0);
+}
+
+TEST_F(SwifiCampaignTest, LowMantissaFlipsAreMinor) {
+  // Flips in low mantissa bits of x perturb the command far below the
+  // 0.1-degree threshold.
+  for (const auto& e : alg1_->experiments) {
+    if (e.fault.bits[0] < 8) {
+      EXPECT_FALSE(analysis::is_severe(e.outcome))
+          << "bit " << e.fault.bits[0];
+    }
+  }
+}
+
+TEST_F(SwifiCampaignTest, HighBitFlipsDominateSevereFailures) {
+  // Sign, exponent, and high-mantissa flips of x (bit >= 20 moves the
+  // state by >= ~1 degree) account for the clear majority of severe
+  // failures; low-mantissa flips cannot.
+  std::size_t severe_high_bits = 0;
+  std::size_t severe_total = 0;
+  for (const auto& e : alg1_->experiments) {
+    if (!analysis::is_severe(e.outcome)) continue;
+    ++severe_total;
+    if (e.fault.bits[0] % 32 >= 20) ++severe_high_bits;
+  }
+  ASSERT_GT(severe_total, 0u);
+  EXPECT_GT(severe_high_bits * 3, severe_total * 2);
+}
+
+TEST_F(SwifiCampaignTest, BackupCorruptionIsMostlyHarmless) {
+  // Algorithm II's extra state (x_old, u_old: bits 32..95) is only read
+  // during a recovery, so flips there rarely become value failures.
+  std::size_t backup_faults = 0;
+  std::size_t backup_failures = 0;
+  for (const auto& e : alg2_->experiments) {
+    if (e.fault.bits[0] >= 32) {
+      ++backup_faults;
+      if (analysis::is_value_failure(e.outcome)) ++backup_failures;
+    }
+  }
+  ASSERT_GT(backup_faults, 0u);
+  EXPECT_LT(backup_failures * 4, backup_faults);
+}
+
+}  // namespace
+}  // namespace earl

@@ -1,0 +1,119 @@
+#include "node/duplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fi/workloads.hpp"
+#include "tvm/scan_chain.hpp"
+
+namespace earl::node {
+namespace {
+
+std::unique_ptr<fi::Target> make_target() {
+  static const auto factory = fi::make_tvm_pi_factory(fi::paper_pi_config());
+  auto target = factory();
+  target->reset();
+  return target;
+}
+
+fi::Fault detection_fault(std::uint64_t time = 30) {
+  tvm::ScanChain scan;
+  std::size_t pc_offset = 0;
+  for (const auto& e : scan.elements()) {
+    if (e.unit == tvm::ScanUnit::kPc) pc_offset = e.offset;
+  }
+  fi::Fault fault;
+  fault.bits = {pc_offset + 19};
+  fault.time = time;
+  return fault;
+}
+
+TEST(DuplexTest, BothHealthyUsesPrimary) {
+  DuplexSystem duplex(make_target(), make_target());
+  const auto out = duplex.step(2000.0f, 2000.0f);
+  EXPECT_FALSE(out.omission);
+  EXPECT_FALSE(duplex.switched_over());
+}
+
+TEST(DuplexTest, ReplicasAgreeWhenHealthy) {
+  DuplexSystem duplex(make_target(), make_target());
+  float y = 2000.0f;
+  for (int k = 0; k < 20; ++k) {
+    duplex.step(2100.0f, y);
+    y += 1.0f;
+  }
+  // No switch-over and continuous output: replicas ran identically.
+  EXPECT_FALSE(duplex.switched_over());
+}
+
+TEST(DuplexTest, SwitchesToStandbyOnPrimaryFailStop) {
+  DuplexSystem duplex(make_target(), make_target());
+  duplex.primary().arm(detection_fault());
+  // Primary fail-stops during the first iteration; the standby's output is
+  // used from the same sample on (hot standby).
+  const auto out = duplex.step(2000.0f, 2000.0f);
+  EXPECT_FALSE(out.omission);
+  EXPECT_TRUE(duplex.switched_over());
+  EXPECT_NEAR(out.value, 6.67f, 0.1f);
+}
+
+TEST(DuplexTest, ToleratesExactlyOneFailStop) {
+  DuplexSystem duplex(make_target(), make_target());
+  duplex.primary().arm(detection_fault());
+  for (int k = 0; k < 10; ++k) {
+    EXPECT_FALSE(duplex.step(2000.0f, 2000.0f).omission) << "iteration " << k;
+  }
+}
+
+TEST(DuplexTest, BothFailuresCauseOmission) {
+  DuplexSystem duplex(make_target(), make_target());
+  duplex.primary().arm(detection_fault());
+  duplex.standby().arm(detection_fault());
+  const auto first = duplex.step(2000.0f, 2000.0f);
+  EXPECT_TRUE(first.omission);
+  const auto later = duplex.step(2000.0f, 2000.0f);
+  EXPECT_TRUE(later.omission);
+}
+
+TEST(DuplexTest, HeldValueAfterDoubleFailure) {
+  DuplexSystem duplex(make_target(), make_target());
+  const auto healthy = duplex.step(2000.0f, 2000.0f);
+  duplex.primary().arm(detection_fault(500));
+  duplex.standby().arm(detection_fault(500));
+  // Run until both nodes have fail-stopped.
+  NodeSystem::SystemOutput out{};
+  for (int k = 0; k < 12; ++k) out = duplex.step(2000.0f, 2000.0f);
+  EXPECT_TRUE(out.omission);
+  EXPECT_NEAR(out.value, healthy.value, 1.0f);
+}
+
+TEST(DuplexTest, ValueFailureOnPrimaryReachesActuator) {
+  // The architectural weakness the paper addresses: a value failure is NOT
+  // detected by the duplex structure itself.
+  DuplexSystem duplex(make_target(), make_target());
+  duplex.step(2000.0f, 2000.0f);
+  // Corrupt the primary's integrator state via the target machine directly.
+  auto* primary_target =
+      dynamic_cast<fi::TvmTarget*>(&duplex.primary().target());
+  ASSERT_NE(primary_target, nullptr);
+  const auto x_bit = primary_target->cache_bit_of_address(tvm::kDataBase);
+  ASSERT_TRUE(x_bit.has_value());
+  primary_target->scan_chain().flip_bit(primary_target->machine(),
+                                        *x_bit + 29);
+  const auto out = duplex.step(2000.0f, 2000.0f);
+  EXPECT_FALSE(out.omission);
+  EXPECT_FLOAT_EQ(out.value, 70.0f);  // wrong output delivered
+  EXPECT_FALSE(duplex.switched_over());
+}
+
+TEST(DuplexTest, ResetRestoresBothNodes) {
+  DuplexSystem duplex(make_target(), make_target());
+  duplex.primary().arm(detection_fault());
+  duplex.standby().arm(detection_fault());
+  duplex.step(2000.0f, 2000.0f);
+  duplex.reset();
+  EXPECT_FALSE(duplex.switched_over());
+  EXPECT_FALSE(duplex.step(2000.0f, 2000.0f).omission);
+}
+
+}  // namespace
+}  // namespace earl::node

@@ -1,0 +1,103 @@
+#include "node/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fi/workloads.hpp"
+#include "tvm/scan_chain.hpp"
+
+namespace earl::node {
+namespace {
+
+std::unique_ptr<fi::Target> make_target() {
+  static const auto factory = fi::make_tvm_pi_factory(fi::paper_pi_config());
+  auto target = factory();
+  target->reset();
+  return target;
+}
+
+/// A fault that reliably raises a detection quickly: flip a high PC bit.
+fi::Fault detection_fault() {
+  tvm::ScanChain scan;
+  std::size_t pc_offset = 0;
+  for (const auto& e : scan.elements()) {
+    if (e.unit == tvm::ScanUnit::kPc) pc_offset = e.offset;
+  }
+  fi::Fault fault;
+  fault.bits = {pc_offset + 19};
+  fault.time = 30;
+  return fault;
+}
+
+TEST(ComputerNodeTest, HealthyNodeProducesOutputs) {
+  ComputerNode node(make_target());
+  const NodeOutput out = node.step(2000.0f, 2000.0f);
+  EXPECT_TRUE(out.produced);
+  EXPECT_FALSE(node.failed());
+  EXPECT_NEAR(out.value, 6.67f, 0.1f);
+}
+
+TEST(ComputerNodeTest, DetectionCausesFailStop) {
+  ComputerNode node(make_target());
+  node.arm(detection_fault());
+  const NodeOutput out = node.step(2000.0f, 2000.0f);
+  EXPECT_FALSE(out.produced);
+  EXPECT_NE(out.edm, tvm::Edm::kNone);
+  EXPECT_TRUE(node.failed());
+}
+
+TEST(ComputerNodeTest, FailStopIsPermanent) {
+  ComputerNode node(make_target());
+  node.arm(detection_fault());
+  node.step(2000.0f, 2000.0f);
+  for (int k = 0; k < 5; ++k) {
+    const NodeOutput out = node.step(2000.0f, 2000.0f);
+    EXPECT_FALSE(out.produced);  // omission failures only, forever
+  }
+}
+
+TEST(ComputerNodeTest, ResetRevivesNode) {
+  ComputerNode node(make_target());
+  node.arm(detection_fault());
+  node.step(2000.0f, 2000.0f);
+  ASSERT_TRUE(node.failed());
+  node.reset();
+  EXPECT_FALSE(node.failed());
+  EXPECT_TRUE(node.step(2000.0f, 2000.0f).produced);
+}
+
+TEST(SimplexTest, ForwardsNodeOutput) {
+  SimplexSystem system(make_target());
+  const auto out = system.step(2000.0f, 2000.0f);
+  EXPECT_FALSE(out.omission);
+  EXPECT_NEAR(out.value, 6.67f, 0.1f);
+}
+
+TEST(SimplexTest, HoldsLastCommandOnFailStop) {
+  SimplexSystem system(make_target());
+  const auto first = system.step(2000.0f, 2000.0f);
+  system.node().arm(detection_fault());
+  // The armed fault's time has already passed within iteration 2's window,
+  // so re-arm with a time inside the next iteration.
+  fi::Fault fault = detection_fault();
+  fault.time = first.omission ? 0 : 200;
+  system.node().arm(fault);
+  system.step(2000.0f, 2000.0f);  // may or may not detect this iteration
+  auto out = system.step(2000.0f, 2000.0f);
+  int guard = 0;
+  while (!out.omission && guard++ < 10) {
+    out = system.step(2000.0f, 2000.0f);
+  }
+  EXPECT_TRUE(out.omission);
+  EXPECT_NEAR(out.value, first.value, 1.0f);  // held command
+}
+
+TEST(SimplexTest, ResetRestoresSystem) {
+  SimplexSystem system(make_target());
+  system.node().arm(detection_fault());
+  system.step(2000.0f, 2000.0f);
+  system.reset();
+  EXPECT_FALSE(system.step(2000.0f, 2000.0f).omission);
+}
+
+}  // namespace
+}  // namespace earl::node

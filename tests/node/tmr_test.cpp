@@ -1,0 +1,145 @@
+#include "node/tmr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fi/tvm_target.hpp"
+#include "fi/workloads.hpp"
+#include "tvm/scan_chain.hpp"
+
+namespace earl::node {
+namespace {
+
+std::unique_ptr<fi::Target> make_target() {
+  static const auto factory = fi::make_tvm_pi_factory(fi::paper_pi_config());
+  auto target = factory();
+  target->reset();
+  return target;
+}
+
+fi::Fault detection_fault() {
+  tvm::ScanChain scan;
+  std::size_t pc_offset = 0;
+  for (const auto& e : scan.elements()) {
+    if (e.unit == tvm::ScanUnit::kPc) pc_offset = e.offset;
+  }
+  fi::Fault fault;
+  fault.bits = {pc_offset + 19};
+  fault.time = 30;
+  return fault;
+}
+
+void corrupt_state(ComputerNode& node) {
+  auto* target = dynamic_cast<fi::TvmTarget*>(&node.target());
+  ASSERT_NE(target, nullptr);
+  const auto x_bit = target->cache_bit_of_address(tvm::kDataBase);
+  ASSERT_TRUE(x_bit.has_value());
+  target->scan_chain().flip_bit(target->machine(), *x_bit + 29);
+}
+
+TEST(VoterTest, UnanimousAgreement) {
+  const std::array<std::optional<float>, 3> outputs = {1.5f, 1.5f, 1.5f};
+  const VoteResult vote = majority_vote(outputs);
+  EXPECT_TRUE(vote.available);
+  EXPECT_TRUE(vote.majority);
+  EXPECT_FLOAT_EQ(vote.value, 1.5f);
+}
+
+TEST(VoterTest, TwoOfThreeOutvoteOutlier) {
+  const std::array<std::optional<float>, 3> outputs = {1.5f, 99.0f, 1.5f};
+  const VoteResult vote = majority_vote(outputs);
+  EXPECT_TRUE(vote.majority);
+  EXPECT_FLOAT_EQ(vote.value, 1.5f);
+}
+
+TEST(VoterTest, MissingEntryStillMajority) {
+  const std::array<std::optional<float>, 3> outputs = {2.0f, std::nullopt,
+                                                       2.0f};
+  const VoteResult vote = majority_vote(outputs);
+  EXPECT_TRUE(vote.majority);
+  EXPECT_FLOAT_EQ(vote.value, 2.0f);
+}
+
+TEST(VoterTest, AllDistinctFallsBackToMedian) {
+  const std::array<std::optional<float>, 3> outputs = {1.0f, 5.0f, 3.0f};
+  const VoteResult vote = majority_vote(outputs);
+  EXPECT_FALSE(vote.majority);
+  EXPECT_FLOAT_EQ(vote.value, 3.0f);
+}
+
+TEST(VoterTest, SingleSurvivorUsed) {
+  const std::array<std::optional<float>, 3> outputs = {std::nullopt, 4.0f,
+                                                       std::nullopt};
+  const VoteResult vote = majority_vote(outputs);
+  EXPECT_TRUE(vote.available);
+  EXPECT_FALSE(vote.majority);
+  EXPECT_FLOAT_EQ(vote.value, 4.0f);
+}
+
+TEST(VoterTest, NothingAvailable) {
+  const std::array<std::optional<float>, 3> outputs = {std::nullopt,
+                                                       std::nullopt,
+                                                       std::nullopt};
+  EXPECT_FALSE(majority_vote(outputs).available);
+}
+
+TEST(TmrTest, HealthyTripletAgrees) {
+  TmrSystem tmr(make_target(), make_target(), make_target());
+  const auto out = tmr.step(2000.0f, 2000.0f);
+  EXPECT_FALSE(out.omission);
+  EXPECT_NEAR(out.value, 6.67f, 0.1f);
+  EXPECT_EQ(tmr.masked_disagreements(), 0u);
+}
+
+TEST(TmrTest, MasksOneValueFailure) {
+  // The massive-redundancy advantage: a value failure on one replica is
+  // outvoted, where a duplex system would deliver it.
+  TmrSystem tmr(make_target(), make_target(), make_target());
+  tmr.step(2000.0f, 2000.0f);
+  corrupt_state(tmr.node(0));
+  const auto out = tmr.step(2000.0f, 2000.0f);
+  EXPECT_FALSE(out.omission);
+  EXPECT_LT(out.value, 20.0f);  // corrupted replica's 70.0 was outvoted
+  EXPECT_GE(tmr.masked_disagreements(), 1u);
+}
+
+TEST(TmrTest, SurvivesOneFailStop) {
+  TmrSystem tmr(make_target(), make_target(), make_target());
+  tmr.node(1).arm(detection_fault());
+  for (int k = 0; k < 5; ++k) {
+    EXPECT_FALSE(tmr.step(2000.0f, 2000.0f).omission);
+  }
+  EXPECT_TRUE(tmr.node(1).failed());
+}
+
+TEST(TmrTest, SurvivesFailStopPlusValueFailure) {
+  TmrSystem tmr(make_target(), make_target(), make_target());
+  tmr.node(0).arm(detection_fault());
+  tmr.step(2000.0f, 2000.0f);  // node 0 fail-stops
+  corrupt_state(tmr.node(1));
+  // With one fail-stop and one corrupt replica, the median of the two
+  // remaining values bounds the command by the correct replica's value...
+  const auto out = tmr.step(2000.0f, 2000.0f);
+  EXPECT_FALSE(out.omission);
+  // ...but no exact majority exists; the median of {70, good} is one of
+  // them — this configuration is beyond TMR's fault hypothesis.
+  EXPECT_TRUE(out.value <= 70.0f);
+}
+
+TEST(TmrTest, AllFailStopsGiveOmission) {
+  TmrSystem tmr(make_target(), make_target(), make_target());
+  for (std::size_t i = 0; i < 3; ++i) tmr.node(i).arm(detection_fault());
+  const auto out = tmr.step(2000.0f, 2000.0f);
+  EXPECT_TRUE(out.omission);
+}
+
+TEST(TmrTest, ResetRestoresAllNodes) {
+  TmrSystem tmr(make_target(), make_target(), make_target());
+  for (std::size_t i = 0; i < 3; ++i) tmr.node(i).arm(detection_fault());
+  tmr.step(2000.0f, 2000.0f);
+  tmr.reset();
+  EXPECT_FALSE(tmr.step(2000.0f, 2000.0f).omission);
+  EXPECT_EQ(tmr.masked_disagreements(), 0u);
+}
+
+}  // namespace
+}  // namespace earl::node

@@ -1,0 +1,125 @@
+#include "plant/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace earl::plant {
+namespace {
+
+TEST(EngineTest, StartsAtInitialSpeed) {
+  Engine engine;
+  EXPECT_DOUBLE_EQ(engine.speed(), 2000.0);
+}
+
+TEST(EngineTest, EquilibriumHoldsSpeed) {
+  Engine engine;
+  const float u_eq = static_cast<float>(engine.equilibrium_throttle(2000.0));
+  for (int k = 0; k < 100; ++k) engine.step(u_eq, 0.0);
+  EXPECT_NEAR(engine.speed(), 2000.0, 1.0);
+}
+
+TEST(EngineTest, MoreThrottleAccelerates) {
+  Engine engine;
+  const float u = 20.0f;
+  const double before = engine.speed();
+  engine.step(u, 0.0);
+  EXPECT_GT(engine.speed(), before);
+}
+
+TEST(EngineTest, LessThrottleDecelerates) {
+  Engine engine;
+  engine.step(1.0f, 0.0);
+  EXPECT_LT(engine.speed(), 2000.0);
+}
+
+TEST(EngineTest, ConvergesToGainTimesThrottle) {
+  EngineConfig config;
+  Engine engine(config);
+  for (int k = 0; k < 5000; ++k) engine.step(10.0f, 0.0);
+  EXPECT_NEAR(engine.speed(), config.gain * 10.0, 5.0);
+}
+
+TEST(EngineTest, FullThrottleIsSevereOverspeed) {
+  Engine engine;
+  for (int k = 0; k < 5000; ++k) engine.step(70.0f, 0.0);
+  EXPECT_GT(engine.speed(), 20000.0);
+}
+
+TEST(EngineTest, LoadDragsSpeedDown) {
+  Engine engine;
+  const float u_eq = static_cast<float>(engine.equilibrium_throttle(2000.0));
+  for (int k = 0; k < 200; ++k) engine.step(u_eq, 1.0);
+  EXPECT_LT(engine.speed(), 1900.0);
+}
+
+TEST(EngineTest, SpeedNeverNegative) {
+  Engine engine;
+  for (int k = 0; k < 5000; ++k) engine.step(0.0f, 5.0);
+  EXPECT_GE(engine.speed(), 0.0);
+}
+
+TEST(EngineTest, CommandClampedToPhysicalRange) {
+  Engine a;
+  Engine b;
+  for (int k = 0; k < 100; ++k) {
+    a.step(70.0f, 0.0);
+    b.step(500.0f, 0.0);  // beyond the plate's range
+  }
+  EXPECT_DOUBLE_EQ(a.speed(), b.speed());
+}
+
+TEST(EngineTest, NanCommandHoldsPlate) {
+  Engine engine;
+  engine.step(20.0f, 0.0);
+  const double plate = engine.throttle_plate();
+  engine.step(std::nanf(""), 0.0);
+  EXPECT_DOUBLE_EQ(engine.throttle_plate(), plate);
+  EXPECT_FALSE(std::isnan(engine.speed()));
+}
+
+TEST(EngineTest, SlewRateLimitsPlateMotion) {
+  EngineConfig config;
+  Engine engine(config);
+  const double plate_before = engine.throttle_plate();
+  engine.step(70.0f, 0.0);
+  const double max_step = config.throttle_slew_rate * config.dt;
+  EXPECT_NEAR(engine.throttle_plate(), plate_before + max_step, 1e-9);
+}
+
+TEST(EngineTest, SingleSampleSpikeBarelyMovesSpeed) {
+  // The physical filtering behind the paper's "transient" failures: one
+  // sample of full throttle perturbs the speed only slightly.
+  Engine engine;
+  const float u_eq = static_cast<float>(engine.equilibrium_throttle(2000.0));
+  for (int k = 0; k < 50; ++k) engine.step(u_eq, 0.0);
+  const double before = engine.speed();
+  engine.step(70.0f, 0.0);            // the glitch
+  engine.step(u_eq, 0.0);
+  for (int k = 0; k < 3; ++k) engine.step(u_eq, 0.0);
+  EXPECT_LT(engine.speed() - before, 30.0);
+}
+
+TEST(EngineTest, SustainedWrongCommandFullyEffective) {
+  Engine engine;
+  for (int k = 0; k < 1000; ++k) engine.step(70.0f, 0.0);
+  EXPECT_NEAR(engine.throttle_plate(), 70.0, 1e-6);
+}
+
+TEST(EngineTest, ResetRestoresInitialState) {
+  Engine engine;
+  for (int k = 0; k < 100; ++k) engine.step(70.0f, 0.0);
+  engine.reset();
+  EXPECT_DOUBLE_EQ(engine.speed(), 2000.0);
+  EXPECT_DOUBLE_EQ(engine.throttle_plate(),
+                   engine.equilibrium_throttle(2000.0));
+}
+
+TEST(EngineTest, StepReturnsSpeedAsFloat) {
+  Engine engine;
+  const float y = engine.step(10.0f, 0.0);
+  EXPECT_FLOAT_EQ(y, static_cast<float>(engine.speed()));
+}
+
+}  // namespace
+}  // namespace earl::plant

@@ -1,0 +1,118 @@
+#include "plant/environment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "control/pi.hpp"
+#include "fi/workloads.hpp"
+
+namespace earl::plant {
+namespace {
+
+control::PiController make_controller() {
+  return control::PiController(fi::paper_pi_config());
+}
+
+TEST(ClosedLoopTest, ProducesRequestedIterationCount) {
+  ClosedLoopConfig config;
+  config.iterations = 100;
+  auto controller = make_controller();
+  const auto trace = run_closed_loop(
+      config, [&](float r, float y) { return controller.step(r, y); });
+  EXPECT_EQ(trace.size(), 100u);
+}
+
+TEST(ClosedLoopTest, TimeAxisIsUniform) {
+  ClosedLoopConfig config;
+  config.iterations = 10;
+  auto controller = make_controller();
+  const auto trace = run_closed_loop(
+      config, [&](float r, float y) { return controller.step(r, y); });
+  for (std::size_t k = 1; k < trace.size(); ++k) {
+    EXPECT_NEAR(trace[k].t - trace[k - 1].t, kSampleInterval, 1e-12);
+  }
+}
+
+TEST(ClosedLoopTest, ReproducesFigure3Shape) {
+  // Fault-free closed loop: steady at 2000 rpm, step to ~3000 rpm at t=5s,
+  // settled well before the end of the window (paper Figure 3).
+  ClosedLoopConfig config;
+  auto controller = make_controller();
+  const auto trace = run_closed_loop(
+      config, [&](float r, float y) { return controller.step(r, y); });
+  ASSERT_EQ(trace.size(), kIterations);
+  EXPECT_NEAR(trace[100].measurement, 2000.0f, 25.0f);
+  EXPECT_NEAR(trace[300].measurement, 2000.0f, 120.0f);  // during load pulse recovery
+  EXPECT_NEAR(trace[649].measurement, 3000.0f, 60.0f);
+  // Settled within ~1.5 s of the step.
+  for (std::size_t k = 425; k < trace.size(); ++k) {
+    EXPECT_NEAR(trace[k].measurement, 3000.0f, 120.0f) << "iteration " << k;
+  }
+}
+
+TEST(ClosedLoopTest, LoadPulsesCauseVisibleDips) {
+  ClosedLoopConfig config;
+  auto controller = make_controller();
+  const auto trace = run_closed_loop(
+      config, [&](float r, float y) { return controller.step(r, y); });
+  float min_during_pulse = 1e9f;
+  for (std::size_t k = 195; k < 280; ++k) {
+    min_during_pulse = std::min(min_during_pulse, trace[k].measurement);
+  }
+  EXPECT_LT(min_during_pulse, 1960.0f);  // a clear dip
+  EXPECT_GT(min_during_pulse, 1700.0f);  // but controlled
+}
+
+TEST(ClosedLoopTest, CommandStaysWithinActuatorRange) {
+  ClosedLoopConfig config;
+  auto controller = make_controller();
+  const auto trace = run_closed_loop(
+      config, [&](float r, float y) { return controller.step(r, y); });
+  for (const TracePoint& p : trace) {
+    EXPECT_GE(p.command, 0.0f);
+    EXPECT_LE(p.command, 70.0f);
+  }
+}
+
+TEST(ClosedLoopTest, FaultFreeOutputMatchesFigure5Levels) {
+  // u_lim sits near the 2000 rpm equilibrium (~6.7 deg) before the step
+  // and near ~10 deg after it (paper Figures 5 and 10).
+  ClosedLoopConfig config;
+  auto controller = make_controller();
+  const auto trace = run_closed_loop(
+      config, [&](float r, float y) { return controller.step(r, y); });
+  EXPECT_NEAR(trace[100].command, 6.7f, 0.5f);
+  EXPECT_NEAR(trace[640].command, 10.0f, 0.5f);
+}
+
+TEST(ClosedLoopTest, RunsAreIndependent) {
+  ClosedLoopConfig config;
+  config.iterations = 50;
+  auto c1 = make_controller();
+  const auto first = run_closed_loop(
+      config, [&](float r, float y) { return c1.step(r, y); });
+  auto c2 = make_controller();
+  const auto second = run_closed_loop(
+      config, [&](float r, float y) { return c2.step(r, y); });
+  for (std::size_t k = 0; k < first.size(); ++k) {
+    EXPECT_EQ(first[k].command, second[k].command);
+  }
+}
+
+TEST(SeriesExtractionTest, CommandAndSpeedSeries) {
+  ClosedLoopConfig config;
+  config.iterations = 20;
+  auto controller = make_controller();
+  const auto trace = run_closed_loop(
+      config, [&](float r, float y) { return controller.step(r, y); });
+  const auto commands = command_series(trace);
+  const auto speeds = speed_series(trace);
+  ASSERT_EQ(commands.size(), trace.size());
+  ASSERT_EQ(speeds.size(), trace.size());
+  for (std::size_t k = 0; k < trace.size(); ++k) {
+    EXPECT_EQ(commands[k], trace[k].command);
+    EXPECT_EQ(speeds[k], trace[k].measurement);
+  }
+}
+
+}  // namespace
+}  // namespace earl::plant

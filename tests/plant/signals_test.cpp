@@ -1,0 +1,72 @@
+#include "plant/signals.hpp"
+
+#include <gtest/gtest.h>
+
+namespace earl::plant {
+namespace {
+
+TEST(SignalsTest, ReferenceStepsAtFiveSeconds) {
+  EXPECT_FLOAT_EQ(reference_speed(0.0), 2000.0f);
+  EXPECT_FLOAT_EQ(reference_speed(4.999), 2000.0f);
+  EXPECT_FLOAT_EQ(reference_speed(5.0), 3000.0f);
+  EXPECT_FLOAT_EQ(reference_speed(9.99), 3000.0f);
+}
+
+TEST(SignalsTest, CustomProfileRespected) {
+  SignalProfile profile;
+  profile.ref_low = 1000.0;
+  profile.ref_high = 1500.0;
+  profile.step_time = 2.0;
+  EXPECT_FLOAT_EQ(reference_speed(1.0, profile), 1000.0f);
+  EXPECT_FLOAT_EQ(reference_speed(3.0, profile), 1500.0f);
+}
+
+TEST(SignalsTest, LoadZeroOutsidePulses) {
+  EXPECT_DOUBLE_EQ(engine_load(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(engine_load(2.9), 0.0);
+  EXPECT_DOUBLE_EQ(engine_load(4.5), 0.0);
+  EXPECT_DOUBLE_EQ(engine_load(6.5), 0.0);
+  EXPECT_DOUBLE_EQ(engine_load(9.9), 0.0);
+}
+
+TEST(SignalsTest, LoadFullAmplitudeMidPulse) {
+  EXPECT_DOUBLE_EQ(engine_load(3.5), 1.0);
+  EXPECT_DOUBLE_EQ(engine_load(7.5), 1.0);
+}
+
+TEST(SignalsTest, LoadRampsAtEdges) {
+  const double halfway_up = engine_load(3.05);
+  EXPECT_GT(halfway_up, 0.0);
+  EXPECT_LT(halfway_up, 1.0);
+  const double halfway_down = engine_load(3.95);
+  EXPECT_GT(halfway_down, 0.0);
+  EXPECT_LT(halfway_down, 1.0);
+}
+
+TEST(SignalsTest, LoadNonNegativeEverywhere) {
+  for (int k = 0; k < 1000; ++k) {
+    EXPECT_GE(engine_load(k * 0.01), 0.0);
+  }
+}
+
+TEST(SignalsTest, LoadAmplitudeConfigurable) {
+  SignalProfile profile;
+  profile.load_amplitude = 2.5;
+  EXPECT_DOUBLE_EQ(engine_load(3.5, profile), 2.5);
+}
+
+TEST(SignalsTest, IterationTimeMatchesSampleInterval) {
+  EXPECT_DOUBLE_EQ(iteration_time(0), 0.0);
+  EXPECT_DOUBLE_EQ(iteration_time(100), 1.54);
+  // 650 iterations cover the 10-second observation window.
+  EXPECT_NEAR(iteration_time(kIterations), 10.0, 0.02);
+}
+
+TEST(SignalsTest, ReferenceStepFallsInsideWindow) {
+  // The reference step at t = 5 s happens near iteration 325.
+  EXPECT_FLOAT_EQ(reference_speed(iteration_time(324)), 2000.0f);
+  EXPECT_FLOAT_EQ(reference_speed(iteration_time(325)), 3000.0f);
+}
+
+}  // namespace
+}  // namespace earl::plant

@@ -1,0 +1,350 @@
+#include "tvm/assembler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tvm/isa.hpp"
+#include "util/bitops.hpp"
+
+namespace earl::tvm {
+namespace {
+
+AssembledProgram ok(const std::string& source) {
+  AssembledProgram program = assemble(source);
+  EXPECT_TRUE(program.ok()) << (program.errors.empty()
+                                    ? ""
+                                    : program.errors.front());
+  return program;
+}
+
+TEST(AssemblerTest, EmptyProgram) {
+  const AssembledProgram program = assemble("");
+  EXPECT_TRUE(program.ok());
+  EXPECT_TRUE(program.code.empty());
+}
+
+TEST(AssemblerTest, SingleInstruction) {
+  const AssembledProgram program = ok("nop\n");
+  ASSERT_EQ(program.code.size(), 1u);
+  EXPECT_EQ(program.code[0], encode({Opcode::kNop, 0, 0, 0, 0}));
+}
+
+TEST(AssemblerTest, CommentsAndBlankLines) {
+  const AssembledProgram program = ok(R"(
+    ; full-line comment
+    # another style
+    nop  ; trailing comment
+    nop  # trailing hash
+  )");
+  EXPECT_EQ(program.code.size(), 2u);
+}
+
+TEST(AssemblerTest, RegisterAliases) {
+  const AssembledProgram program = ok("mov sp, lr\nmov r1, zero\n");
+  const auto first = decode(program.code[0]);
+  ASSERT_TRUE(first);
+  EXPECT_EQ(first->rd, kRegSp);
+  EXPECT_EQ(first->ra, kRegLr);
+}
+
+TEST(AssemblerTest, ThreeOperandArithmetic) {
+  const AssembledProgram program = ok("fadd r3, r1, r2\n");
+  const auto ins = decode(program.code[0]);
+  ASSERT_TRUE(ins);
+  EXPECT_EQ(ins->op, Opcode::kFadd);
+  EXPECT_EQ(ins->rd, 3u);
+}
+
+TEST(AssemblerTest, MemoryOperandForms) {
+  const AssembledProgram program = ok(R"(
+    ldw r1, [r2]
+    ldw r1, [r2+8]
+    stw r1, [r2-4]
+  )");
+  const auto plain = decode(program.code[0]);
+  const auto positive = decode(program.code[1]);
+  const auto negative = decode(program.code[2]);
+  ASSERT_TRUE(plain && positive && negative);
+  EXPECT_EQ(plain->imm, 0);
+  EXPECT_EQ(positive->imm, 8);
+  EXPECT_EQ(negative->imm, -4);
+}
+
+TEST(AssemblerTest, AbsoluteMemoryOperandThroughSymbol) {
+  const AssembledProgram program = ok(R"(
+    ldw r1, [x]
+    .data
+    x: .float 1.5
+  )");
+  const auto ins = decode(program.code[0]);
+  ASSERT_TRUE(ins);
+  EXPECT_EQ(ins->ra, 0u);
+  EXPECT_EQ(static_cast<std::uint32_t>(ins->imm), kDataBase);
+}
+
+TEST(AssemblerTest, DataSectionLayout) {
+  const AssembledProgram program = ok(R"(
+    nop
+    .data
+    a: .float 1.0
+    b: .word 42
+    c: .space 8
+    d: .word 7
+  )");
+  ASSERT_EQ(program.data.size(), 5u);
+  EXPECT_EQ(program.data[0], util::float_to_bits(1.0f));
+  EXPECT_EQ(program.data[1], 42u);
+  EXPECT_EQ(program.data[2], 0u);
+  EXPECT_EQ(program.data[4], 7u);
+  EXPECT_EQ(program.symbol("a"), kDataBase);
+  EXPECT_EQ(program.symbol("b"), kDataBase + 4);
+  EXPECT_EQ(program.symbol("c"), kDataBase + 8);
+  EXPECT_EQ(program.symbol("d"), kDataBase + 16);
+}
+
+TEST(AssemblerTest, EquSymbols) {
+  const AssembledProgram program = ok(R"(
+    .equ magic, 0x1234
+    movi r1, magic
+  )");
+  const auto ins = decode(program.code[0]);
+  ASSERT_TRUE(ins);
+  EXPECT_EQ(ins->imm, 0x1234);
+}
+
+TEST(AssemblerTest, ForwardBranchTarget) {
+  const AssembledProgram program = ok(R"(
+    cmpi r1, 0
+    beq skip
+    nop
+  skip:
+    nop
+  )");
+  const auto branch = decode(program.code[1]);
+  ASSERT_TRUE(branch);
+  EXPECT_EQ(branch->imm, 2);  // two instructions forward
+}
+
+TEST(AssemblerTest, BackwardBranchTarget) {
+  const AssembledProgram program = ok(R"(
+  top:
+    cmpi r1, 0
+    bne top
+  )");
+  const auto branch = decode(program.code[1]);
+  ASSERT_TRUE(branch);
+  EXPECT_EQ(branch->imm, -1);
+}
+
+TEST(AssemblerTest, JumpEncodesWordIndex) {
+  const AssembledProgram program = ok(R"(
+  main:
+    jmp main
+  )");
+  const auto jump = decode(program.code[0]);
+  ASSERT_TRUE(jump);
+  EXPECT_EQ(static_cast<std::uint32_t>(jump->imm) * 4, kCodeBase);
+}
+
+TEST(AssemblerTest, EntryDirective) {
+  const AssembledProgram program = ok(R"(
+    .entry start
+    nop
+  start:
+    nop
+  )");
+  EXPECT_EQ(program.entry, kCodeBase + 4);
+}
+
+TEST(AssemblerTest, DefaultEntryIsCodeBase) {
+  const AssembledProgram program = ok("nop\n");
+  EXPECT_EQ(program.entry, kCodeBase);
+}
+
+TEST(AssemblerTest, LiSmallUsesSingleWord) {
+  const AssembledProgram program = ok("li r1, 100\n");
+  EXPECT_EQ(program.code.size(), 1u);
+  const auto ins = decode(program.code[0]);
+  ASSERT_TRUE(ins);
+  EXPECT_EQ(ins->op, Opcode::kMovi);
+}
+
+TEST(AssemblerTest, LiLargeExpandsToTwoWords) {
+  const AssembledProgram program = ok("li r1, 0x12345678\n");
+  ASSERT_EQ(program.code.size(), 2u);
+  EXPECT_EQ(decode(program.code[0])->op, Opcode::kMovhi);
+  EXPECT_EQ(decode(program.code[1])->op, Opcode::kOri);
+}
+
+TEST(AssemblerTest, LifEncodesFloatBits) {
+  const AssembledProgram program = ok("lif r1, 70.0\n");
+  ASSERT_EQ(program.code.size(), 2u);
+  const std::uint32_t hi = static_cast<std::uint32_t>(
+      decode(program.code[0])->imm & 0xffff) << 16;
+  const std::uint32_t lo =
+      static_cast<std::uint32_t>(decode(program.code[1])->imm);
+  EXPECT_EQ(hi | lo, util::float_to_bits(70.0f));
+}
+
+TEST(AssemblerTest, LifZeroIsSingleWord) {
+  const AssembledProgram program = ok("lif r1, 0.0\n");
+  EXPECT_EQ(program.code.size(), 1u);
+}
+
+TEST(AssemblerTest, PushPopExpansion) {
+  const AssembledProgram program = ok("push r1\npop r2\n");
+  ASSERT_EQ(program.code.size(), 4u);
+  EXPECT_EQ(decode(program.code[0])->op, Opcode::kAddi);
+  EXPECT_EQ(decode(program.code[0])->imm, -4);
+  EXPECT_EQ(decode(program.code[1])->op, Opcode::kStw);
+  EXPECT_EQ(decode(program.code[2])->op, Opcode::kLdw);
+  EXPECT_EQ(decode(program.code[3])->imm, 4);
+}
+
+TEST(AssemblerTest, RetIsJrLr) {
+  const AssembledProgram program = ok("ret\n");
+  const auto ins = decode(program.code[0]);
+  ASSERT_TRUE(ins);
+  EXPECT_EQ(ins->op, Opcode::kJr);
+  EXPECT_EQ(ins->ra, kRegLr);
+}
+
+TEST(AssemblerTest, SigcheckComputesBlockSignature) {
+  const AssembledProgram program = ok(R"(
+    movi r1, 1
+    movi r2, 2
+    .sigcheck
+  )");
+  ASSERT_EQ(program.code.size(), 3u);
+  std::uint16_t expected = 0;
+  expected = sig_step(expected, program.code[0]);
+  expected = sig_step(expected, program.code[1]);
+  const auto sig = decode(program.code[2]);
+  ASSERT_TRUE(sig);
+  EXPECT_EQ(sig->op, Opcode::kSig);
+  EXPECT_EQ(static_cast<std::uint16_t>(sig->imm), expected);
+}
+
+TEST(AssemblerTest, SigcheckExcludesControlTransfers) {
+  const AssembledProgram program = ok(R"(
+  top:
+    movi r1, 1
+    jmp top
+  after:
+    movi r2, 2
+    .sigcheck
+  )");
+  // Signature covers only "movi r2, 2": the label reset the accumulator.
+  std::uint16_t expected = sig_step(0, program.code[2]);
+  const auto sig = decode(program.code[3]);
+  ASSERT_TRUE(sig);
+  EXPECT_EQ(static_cast<std::uint16_t>(sig->imm), expected);
+}
+
+TEST(AssemblerTest, LabelResetsSignatureAccumulator) {
+  const AssembledProgram a = ok(R"(
+    movi r1, 99
+    .sigcheck
+  block:
+    movi r2, 2
+    .sigcheck
+  )");
+  const AssembledProgram b = ok(R"(
+  block:
+    movi r2, 2
+    .sigcheck
+  )");
+  // The second check in `a` must equal the only check in `b`.
+  EXPECT_EQ(a.code[3], b.code[1]);
+}
+
+// --- error handling -------------------------------------------------------
+
+TEST(AssemblerErrorTest, UnknownMnemonic) {
+  const AssembledProgram program = assemble("frobnicate r1\n");
+  ASSERT_FALSE(program.ok());
+  EXPECT_NE(program.errors[0].find("unknown mnemonic"), std::string::npos);
+}
+
+TEST(AssemblerErrorTest, UnknownSymbol) {
+  EXPECT_FALSE(assemble("jmp nowhere\n").ok());
+}
+
+TEST(AssemblerErrorTest, DuplicateLabel) {
+  EXPECT_FALSE(assemble("x:\nnop\nx:\nnop\n").ok());
+}
+
+TEST(AssemblerErrorTest, MoviOutOfRange) {
+  EXPECT_FALSE(assemble("movi r1, 200000\n").ok());
+  EXPECT_TRUE(assemble("li r1, 200000\n").ok());
+}
+
+TEST(AssemblerErrorTest, WrongOperandCount) {
+  EXPECT_FALSE(assemble("add r1, r2\n").ok());
+  EXPECT_FALSE(assemble("nop r1\n").ok());
+}
+
+TEST(AssemblerErrorTest, NonRegisterWhereRegisterExpected) {
+  EXPECT_FALSE(assemble("add r1, r2, 5\n").ok());
+}
+
+TEST(AssemblerErrorTest, InstructionInDataSection) {
+  EXPECT_FALSE(assemble(".data\nnop\n").ok());
+}
+
+TEST(AssemblerErrorTest, FloatInTextSection) {
+  EXPECT_FALSE(assemble(".float 1.0\n").ok());
+}
+
+TEST(AssemblerErrorTest, BadSpace) {
+  EXPECT_FALSE(assemble(".data\n.space 3\n").ok());
+  EXPECT_FALSE(assemble(".data\n.space -4\n").ok());
+}
+
+TEST(AssemblerErrorTest, UnknownEntrySymbol) {
+  EXPECT_FALSE(assemble(".entry missing\nnop\n").ok());
+}
+
+TEST(AssemblerErrorTest, TrapCodeRange) {
+  EXPECT_TRUE(assemble("trap 255\n").ok());
+  EXPECT_FALSE(assemble("trap 256\n").ok());
+}
+
+TEST(AssemblerErrorTest, ErrorsCarryLineNumbers) {
+  const AssembledProgram program = assemble("nop\nbadop\n");
+  ASSERT_FALSE(program.ok());
+  EXPECT_NE(program.errors[0].find("line 2"), std::string::npos);
+}
+
+TEST(AssemblerErrorTest, CodeImageOverflow) {
+  std::string big;
+  for (int i = 0; i < 1100; ++i) big += "nop\n";
+  EXPECT_FALSE(assemble(big).ok());
+}
+
+TEST(AssemblerErrorTest, DataImageOverflow) {
+  std::string big = ".data\n";
+  for (int i = 0; i < 300; ++i) big += ".word 1\n";
+  EXPECT_FALSE(assemble(big).ok());
+}
+
+TEST(LoadProgramTest, LoadsCodeAndData) {
+  const AssembledProgram program = ok(R"(
+    ldw r1, [x]
+    yield
+    .data
+    x: .word 77
+  )");
+  MemoryMap mem;
+  ASSERT_TRUE(load_program(program, mem));
+  EXPECT_EQ(mem.fetch(kCodeBase), program.code[0]);
+  EXPECT_EQ(mem.read_raw(kDataBase), 77u);
+}
+
+TEST(LoadProgramTest, RejectsFailedAssembly) {
+  const AssembledProgram program = assemble("badop\n");
+  MemoryMap mem;
+  EXPECT_FALSE(load_program(program, mem));
+}
+
+}  // namespace
+}  // namespace earl::tvm

@@ -1,0 +1,209 @@
+#include "tvm/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/bitops.hpp"
+
+namespace earl::tvm {
+namespace {
+
+class CacheTest : public ::testing::Test {
+ protected:
+  MemoryMap mem_;
+  DataCache cache_;
+};
+
+TEST_F(CacheTest, ColdReadMissesAndFills) {
+  mem_.write_raw(kDataBase, 42u);
+  const CacheAccess access = cache_.read_word(kDataBase, mem_);
+  EXPECT_FALSE(access.hit);
+  EXPECT_EQ(access.value, 42u);
+  EXPECT_EQ(access.fault, Edm::kNone);
+  EXPECT_EQ(cache_.stats().misses, 1u);
+}
+
+TEST_F(CacheTest, SecondReadHits) {
+  cache_.read_word(kDataBase, mem_);
+  const CacheAccess access = cache_.read_word(kDataBase, mem_);
+  EXPECT_TRUE(access.hit);
+  EXPECT_EQ(cache_.stats().hits, 1u);
+}
+
+TEST_F(CacheTest, FillBringsWholeLine) {
+  for (unsigned w = 0; w < kWordsPerLine; ++w) {
+    mem_.write_raw(kDataBase + w * 4, 100 + w);
+  }
+  cache_.read_word(kDataBase, mem_);
+  for (unsigned w = 0; w < kWordsPerLine; ++w) {
+    const CacheAccess access = cache_.read_word(kDataBase + w * 4, mem_);
+    EXPECT_TRUE(access.hit);
+    EXPECT_EQ(access.value, 100 + w);
+  }
+}
+
+TEST_F(CacheTest, WriteAllocatesAndSetsDirty) {
+  const CacheAccess access = cache_.write_word(kDataBase + 4, 7u, mem_);
+  EXPECT_FALSE(access.hit);
+  const unsigned line = (kDataBase >> 4) & 7u;
+  EXPECT_TRUE(cache_.valid(line));
+  EXPECT_TRUE(cache_.dirty(line));
+  // Write-back: memory still has the old value.
+  EXPECT_EQ(mem_.read_raw(kDataBase + 4), 0u);
+}
+
+TEST_F(CacheTest, EvictionWritesBackDirtyLine) {
+  cache_.write_word(kDataBase, 0xaau, mem_);
+  // Same index, different tag: data base and stack base alias by design.
+  const std::uint32_t alias = kStackBase;
+  ASSERT_EQ((kDataBase >> 4) & 7u, (alias >> 4) & 7u);
+  cache_.read_word(alias, mem_);
+  EXPECT_EQ(mem_.read_raw(kDataBase), 0xaau);
+  EXPECT_EQ(cache_.stats().writebacks, 1u);
+}
+
+TEST_F(CacheTest, CleanEvictionSkipsWriteback) {
+  cache_.read_word(kDataBase, mem_);
+  cache_.read_word(kStackBase, mem_);
+  EXPECT_EQ(cache_.stats().writebacks, 0u);
+}
+
+TEST_F(CacheTest, FlushWritesAllDirtyLines) {
+  cache_.write_word(kDataBase, 1u, mem_);
+  cache_.write_word(kDataBase + 16, 2u, mem_);
+  cache_.flush(mem_);
+  EXPECT_EQ(mem_.read_raw(kDataBase), 1u);
+  EXPECT_EQ(mem_.read_raw(kDataBase + 16), 2u);
+  // Lines stay resident and clean.
+  EXPECT_TRUE(cache_.probe(kDataBase));
+  EXPECT_FALSE(cache_.dirty((kDataBase >> 4) & 7u));
+}
+
+TEST_F(CacheTest, InvalidateAllDropsContents) {
+  cache_.write_word(kDataBase, 1u, mem_);
+  cache_.invalidate_all();
+  EXPECT_FALSE(cache_.probe(kDataBase));
+  EXPECT_EQ(mem_.read_raw(kDataBase), 0u);  // write was lost (no write-back)
+}
+
+TEST_F(CacheTest, ProbeDoesNotFill) {
+  EXPECT_FALSE(cache_.probe(kDataBase));
+  EXPECT_EQ(cache_.stats().misses, 0u);
+}
+
+TEST_F(CacheTest, DataBitFlipCorruptsSilently) {
+  // The paper's escape path: a flip in a resident dirty word is invisible
+  // to every mechanism (without parity) and propagates to memory.
+  cache_.write_word(kDataBase, util::float_to_bits(6.67f), mem_);
+  const unsigned line = (kDataBase >> 4) & 7u;
+  cache_.set_data_word(line, 0,
+                       util::flip_bit32(cache_.data_word(line, 0), 30));
+  const CacheAccess access = cache_.read_word(kDataBase, mem_);
+  EXPECT_EQ(access.fault, Edm::kNone);
+  EXPECT_NE(access.value, util::float_to_bits(6.67f));
+}
+
+TEST_F(CacheTest, TagFlipCausesMissAndStaleRefill) {
+  mem_.write_raw(kDataBase, 1u);
+  cache_.write_word(kDataBase, 2u, mem_);
+  const unsigned line = (kDataBase >> 4) & 7u;
+  // Corrupt the tag to another *cacheable* line (stack alias).
+  cache_.set_tag(line, (kStackBase >> 7) & ((1u << kTagBits) - 1));
+  const CacheAccess access = cache_.read_word(kDataBase, mem_);
+  EXPECT_FALSE(access.hit);
+  // The dirty victim was written back to the *stack* address and the
+  // original data refilled stale from memory.
+  EXPECT_EQ(access.value, 1u);
+  EXPECT_EQ(mem_.read_raw(kStackBase), 2u);
+}
+
+TEST_F(CacheTest, TagFlipToBogusAddressRaisesBusError) {
+  cache_.write_word(kDataBase, 2u, mem_);
+  const unsigned line = (kDataBase >> 4) & 7u;
+  // Tag pointing far outside any mapped region.
+  cache_.set_tag(line, 0x7ff);
+  const CacheAccess access = cache_.read_word(kDataBase, mem_);
+  EXPECT_EQ(access.fault, Edm::kBusError);
+}
+
+TEST_F(CacheTest, TagFlipToProtectedAddressRaisesAddressError) {
+  cache_.write_word(kDataBase, 2u, mem_);
+  const unsigned line = (kDataBase >> 4) & 7u;
+  // Tag reconstructing to the code region.
+  cache_.set_tag(line, (kCodeBase >> 7) & ((1u << kTagBits) - 1));
+  const CacheAccess access = cache_.read_word(kDataBase, mem_);
+  EXPECT_EQ(access.fault, Edm::kAddressError);
+}
+
+TEST_F(CacheTest, ValidFlipDropsLine) {
+  cache_.write_word(kDataBase, 9u, mem_);
+  const unsigned line = (kDataBase >> 4) & 7u;
+  cache_.set_valid(line, false);
+  const CacheAccess access = cache_.read_word(kDataBase, mem_);
+  EXPECT_FALSE(access.hit);
+  EXPECT_EQ(access.value, 0u);  // stale memory value; the write was lost
+}
+
+TEST_F(CacheTest, DirtyFlipLosesWriteback) {
+  cache_.write_word(kDataBase, 9u, mem_);
+  const unsigned line = (kDataBase >> 4) & 7u;
+  cache_.set_dirty(line, false);
+  cache_.read_word(kStackBase, mem_);  // evict
+  EXPECT_EQ(mem_.read_raw(kDataBase), 0u);
+}
+
+TEST_F(CacheTest, PoisonedFillRaisesDataError) {
+  mem_.poison_word(kDataBase + 8);
+  const CacheAccess access = cache_.read_word(kDataBase, mem_);
+  EXPECT_EQ(access.fault, Edm::kDataError);
+}
+
+TEST(CacheParityTest, ParityDetectsDataFlip) {
+  MemoryMap mem;
+  DataCache cache({.parity_enabled = true});
+  cache.write_word(kDataBase, 0x12345678u, mem);
+  const unsigned line = (kDataBase >> 4) & 7u;
+  cache.set_data_word(line, 0, util::flip_bit32(cache.data_word(line, 0), 5));
+  const CacheAccess access = cache.read_word(kDataBase, mem);
+  EXPECT_EQ(access.fault, Edm::kDataError);
+}
+
+TEST(CacheParityTest, ParityBitFlipIsFalseAlarm) {
+  MemoryMap mem;
+  DataCache cache({.parity_enabled = true});
+  cache.write_word(kDataBase, 0x12345678u, mem);
+  const unsigned line = (kDataBase >> 4) & 7u;
+  cache.set_parity_bit(line, 0, !cache.parity_bit(line, 0));
+  const CacheAccess access = cache.read_word(kDataBase, mem);
+  EXPECT_EQ(access.fault, Edm::kDataError);
+}
+
+TEST(CacheParityTest, NoParityNoDetection) {
+  MemoryMap mem;
+  DataCache cache;  // parity disabled
+  cache.write_word(kDataBase, 0x12345678u, mem);
+  const unsigned line = (kDataBase >> 4) & 7u;
+  cache.set_data_word(line, 0, util::flip_bit32(cache.data_word(line, 0), 5));
+  EXPECT_EQ(cache.read_word(kDataBase, mem).fault, Edm::kNone);
+}
+
+TEST(CacheParityTest, CleanAccessPassesParity) {
+  MemoryMap mem;
+  DataCache cache({.parity_enabled = true});
+  for (int i = 0; i < 16; ++i) {
+    cache.write_word(kDataBase + 4 * i, 0xabcd0000u + i, mem);
+  }
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(cache.read_word(kDataBase + 4 * i, mem).fault, Edm::kNone);
+  }
+}
+
+TEST(CacheGeometryTest, IndexAndAliasLayout) {
+  // Data base and stack base must share index 0 for the state/frame cache
+  // interplay the experiments rely on.
+  EXPECT_EQ((kDataBase >> 4) & 7u, 0u);
+  EXPECT_EQ((kStackBase >> 4) & 7u, 0u);
+  EXPECT_EQ(kCacheBytes, 128u);
+}
+
+}  // namespace
+}  // namespace earl::tvm

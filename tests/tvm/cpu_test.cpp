@@ -1,0 +1,358 @@
+#include "tvm/cpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tvm/assembler.hpp"
+#include "util/bitops.hpp"
+
+namespace earl::tvm {
+namespace {
+
+/// Assembles, loads and runs `source` until halt/yield/trap (bounded), in
+/// supervisor mode so `halt` is usable as a terminator.
+class CpuFixture : public ::testing::Test {
+ protected:
+  Machine& run(const std::string& source, std::uint64_t budget = 10000) {
+    AssembledProgram program = assemble(source);
+    EXPECT_TRUE(program.ok()) << (program.errors.empty()
+                                      ? ""
+                                      : program.errors.front());
+    EXPECT_TRUE(load_program(program, machine_.mem));
+    machine_.reset(program.entry);
+    machine_.cpu.mutable_state().psr.user_mode = false;
+    result_ = machine_.run(budget);
+    return machine_;
+  }
+
+  std::uint32_t reg(unsigned index) const { return machine_.cpu.reg(index); }
+  float freg(unsigned index) const {
+    return util::bits_to_float(machine_.cpu.reg(index));
+  }
+
+  Machine machine_;
+  RunResult result_;
+};
+
+TEST_F(CpuFixture, MoviAndHalt) {
+  run("movi r1, 42\nhalt\n");
+  EXPECT_EQ(result_.kind, RunResult::Kind::kHalt);
+  EXPECT_EQ(reg(1), 42u);
+}
+
+TEST_F(CpuFixture, R0AlwaysZero) {
+  run("movi r0, 99\nor r1, r0, r0\nhalt\n");
+  EXPECT_EQ(reg(0), 0u);
+  EXPECT_EQ(reg(1), 0u);
+}
+
+TEST_F(CpuFixture, IntegerArithmetic) {
+  run(R"(
+    movi r1, 10
+    movi r2, 3
+    add r3, r1, r2
+    sub r4, r1, r2
+    mul r5, r1, r2
+    divs r6, r1, r2
+    halt
+  )");
+  EXPECT_EQ(reg(3), 13u);
+  EXPECT_EQ(reg(4), 7u);
+  EXPECT_EQ(reg(5), 30u);
+  EXPECT_EQ(reg(6), 3u);
+}
+
+TEST_F(CpuFixture, NegativeDivisionTruncatesTowardZero) {
+  run("movi r1, -7\nmovi r2, 2\ndivs r3, r1, r2\nhalt\n");
+  EXPECT_EQ(static_cast<std::int32_t>(reg(3)), -3);
+}
+
+TEST_F(CpuFixture, LogicalOps) {
+  run(R"(
+    li r1, 0xff00
+    li r2, 0x0ff0
+    and r3, r1, r2
+    or r4, r1, r2
+    xor r5, r1, r2
+    halt
+  )");
+  EXPECT_EQ(reg(3), 0x0f00u);
+  EXPECT_EQ(reg(4), 0xfff0u);
+  EXPECT_EQ(reg(5), 0xf0f0u);
+}
+
+TEST_F(CpuFixture, Shifts) {
+  run(R"(
+    movi r1, -16
+    movi r2, 2
+    sll r3, r1, r2
+    srl r4, r1, r2
+    sra r5, r1, r2
+    halt
+  )");
+  EXPECT_EQ(reg(3), static_cast<std::uint32_t>(-64));
+  EXPECT_EQ(reg(4), 0x3ffffffcu);
+  EXPECT_EQ(static_cast<std::int32_t>(reg(5)), -4);
+}
+
+TEST_F(CpuFixture, MovhiOriBuilds32BitConstant) {
+  run("li r1, 0xdeadbeef\nhalt\n");
+  EXPECT_EQ(reg(1), 0xdeadbeefu);
+}
+
+TEST_F(CpuFixture, FloatArithmetic) {
+  run(R"(
+    lif r1, 1.5
+    lif r2, 2.5
+    fadd r3, r1, r2
+    fsub r4, r1, r2
+    fmul r5, r1, r2
+    fdiv r6, r2, r1
+    halt
+  )");
+  EXPECT_FLOAT_EQ(freg(3), 4.0f);
+  EXPECT_FLOAT_EQ(freg(4), -1.0f);
+  EXPECT_FLOAT_EQ(freg(5), 3.75f);
+  EXPECT_FLOAT_EQ(freg(6), 2.5f / 1.5f);
+}
+
+TEST_F(CpuFixture, FnegFabs) {
+  run(R"(
+    lif r1, -3.5
+    fabs r2, r1
+    fneg r3, r2
+    halt
+  )");
+  EXPECT_FLOAT_EQ(freg(2), 3.5f);
+  EXPECT_FLOAT_EQ(freg(3), -3.5f);
+}
+
+TEST_F(CpuFixture, IntFloatConversions) {
+  run(R"(
+    movi r1, -7
+    itof r2, r1
+    lif r3, 42.9
+    ftoi r4, r3
+    halt
+  )");
+  EXPECT_FLOAT_EQ(freg(2), -7.0f);
+  EXPECT_EQ(static_cast<std::int32_t>(reg(4)), 42);  // truncation
+}
+
+TEST_F(CpuFixture, LoadStoreRoundTrip) {
+  run(R"(
+    movi r1, 77
+    stw r1, [x]
+    ldw r2, [x]
+    halt
+    .data
+    x: .word 0
+  )");
+  EXPECT_EQ(reg(2), 77u);
+}
+
+TEST_F(CpuFixture, LoadStoreThroughStack) {
+  run(R"(
+    movi r1, 5
+    push r1
+    movi r1, 0
+    pop r2
+    halt
+  )");
+  EXPECT_EQ(reg(2), 5u);
+  EXPECT_EQ(reg(kRegSp), kStackTop);
+}
+
+TEST_F(CpuFixture, BranchTakenAndNotTaken) {
+  run(R"(
+    movi r1, 5
+    cmpi r1, 5
+    beq equal
+    movi r2, 111
+    halt
+  equal:
+    movi r2, 222
+    halt
+  )");
+  EXPECT_EQ(reg(2), 222u);
+}
+
+TEST_F(CpuFixture, SignedComparisons) {
+  run(R"(
+    movi r1, -1
+    cmpi r1, 1
+    blt less
+    movi r2, 0
+    halt
+  less:
+    movi r2, 1
+    halt
+  )");
+  EXPECT_EQ(reg(2), 1u);  // -1 < 1 signed (unsigned it would be greater)
+}
+
+TEST_F(CpuFixture, FloatComparisonFlags) {
+  run(R"(
+    lif r1, 2.5
+    lif r2, 7.0
+    fcmp r1, r2
+    blt less
+    movi r3, 0
+    halt
+  less:
+    movi r3, 1
+    halt
+  )");
+  EXPECT_EQ(reg(3), 1u);
+}
+
+TEST_F(CpuFixture, CallAndReturn) {
+  run(R"(
+    jal func
+    movi r2, 10
+    halt
+  func:
+    movi r1, 20
+    ret
+  )");
+  EXPECT_EQ(reg(1), 20u);
+  EXPECT_EQ(reg(2), 10u);
+}
+
+TEST_F(CpuFixture, LoopExecutesNTimes) {
+  run(R"(
+    movi r1, 0
+    movi r2, 10
+  loop:
+    addi r1, r1, 1
+    cmp r1, r2
+    blt loop
+    halt
+  )");
+  EXPECT_EQ(reg(1), 10u);
+}
+
+TEST_F(CpuFixture, YieldPausesAndResumes) {
+  AssembledProgram program = assemble(R"(
+    movi r1, 1
+    yield
+    movi r1, 2
+    halt
+  )");
+  ASSERT_TRUE(program.ok());
+  ASSERT_TRUE(load_program(program, machine_.mem));
+  machine_.reset(program.entry);
+  machine_.cpu.mutable_state().psr.user_mode = false;
+  RunResult first = machine_.run(100);
+  EXPECT_EQ(first.kind, RunResult::Kind::kYield);
+  EXPECT_EQ(machine_.cpu.reg(1), 1u);
+  RunResult second = machine_.run(100);
+  EXPECT_EQ(second.kind, RunResult::Kind::kHalt);
+  EXPECT_EQ(machine_.cpu.reg(1), 2u);
+}
+
+TEST_F(CpuFixture, BudgetExhaustionStopsInfiniteLoop) {
+  run("loop: jmp loop\n", 50);
+  EXPECT_EQ(result_.kind, RunResult::Kind::kBudgetExhausted);
+  EXPECT_EQ(result_.executed, 50u);
+}
+
+TEST_F(CpuFixture, PipelineLatchesTrackMemoryTraffic) {
+  run(R"(
+    movi r1, 99
+    stw r1, [x]
+    halt
+    .data
+    x: .word 0
+  )");
+  const CpuState& state = machine_.cpu.state();
+  EXPECT_EQ(state.mar, kDataBase);
+  EXPECT_EQ(state.mdr, 99u);
+}
+
+TEST_F(CpuFixture, ExLatchHoldsLastAluResult) {
+  run("movi r1, 6\nmovi r2, 7\nmul r3, r1, r2\nhalt\n");
+  EXPECT_EQ(machine_.cpu.state().ex, 42u);
+}
+
+TEST_F(CpuFixture, InstructionsRetiredCounts) {
+  run("nop\nnop\nnop\nhalt\n");
+  EXPECT_EQ(machine_.cpu.instructions_retired(), 4u);
+}
+
+TEST_F(CpuFixture, StoppedCpuStaysStopped) {
+  run("halt\n");
+  EXPECT_TRUE(machine_.cpu.stopped());
+  const StepOutcome again = machine_.step();
+  EXPECT_EQ(again.kind, StepOutcome::Kind::kHalt);
+}
+
+TEST_F(CpuFixture, SignatureCheckPassesOnCleanRun) {
+  run(R"(
+    movi r1, 1
+    addi r1, r1, 2
+    .sigcheck
+    halt
+  )");
+  EXPECT_EQ(result_.kind, RunResult::Kind::kHalt);
+  EXPECT_EQ(reg(1), 3u);
+}
+
+TEST_F(CpuFixture, SignatureSurvivesLoops) {
+  // Note the .sigcheck before the loop label: a label must always be
+  // reached with a freshly reset accumulator (see assembler.hpp).
+  run(R"(
+    movi r1, 0
+    .sigcheck
+  loop:
+    addi r1, r1, 1
+    cmpi r1, 5
+    .sigcheck
+    blt loop
+    halt
+  )");
+  EXPECT_EQ(result_.kind, RunResult::Kind::kHalt);
+  EXPECT_EQ(reg(1), 5u);
+}
+
+TEST_F(CpuFixture, SignatureSurvivesCalls) {
+  run(R"(
+    movi r1, 0
+    .sigcheck
+    jal fn
+    addi r1, r1, 100
+    .sigcheck
+    halt
+  fn:
+    addi r1, r1, 1
+    .sigcheck
+    ret
+  )");
+  EXPECT_EQ(result_.kind, RunResult::Kind::kHalt);
+  EXPECT_EQ(reg(1), 101u);
+}
+
+TEST_F(CpuFixture, ResetRestoresInitialState) {
+  run("movi r1, 5\nhalt\n");
+  machine_.reset(kCodeBase);
+  EXPECT_EQ(machine_.cpu.reg(1), 0u);
+  EXPECT_EQ(machine_.cpu.reg(kRegSp), kStackTop);
+  EXPECT_FALSE(machine_.cpu.stopped());
+  EXPECT_EQ(machine_.cpu.state().pc, kCodeBase);
+}
+
+TEST_F(CpuFixture, MachineCopyForksExecution) {
+  AssembledProgram program = assemble("movi r1, 1\nyield\nmovi r1, 2\nhalt\n");
+  ASSERT_TRUE(program.ok());
+  ASSERT_TRUE(load_program(program, machine_.mem));
+  machine_.reset(program.entry);
+  machine_.cpu.mutable_state().psr.user_mode = false;
+  machine_.run(100);  // at yield, r1 == 1
+
+  Machine fork = machine_;  // fork here
+  fork.run(100);
+  EXPECT_EQ(fork.cpu.reg(1), 2u);
+  EXPECT_EQ(machine_.cpu.reg(1), 1u);  // original untouched
+}
+
+}  // namespace
+}  // namespace earl::tvm

@@ -1,0 +1,283 @@
+// One test per error-detection mechanism of the paper's Table 1: each
+// mechanism must fire on its triggering condition and stop the node.
+#include <gtest/gtest.h>
+
+#include "tvm/assembler.hpp"
+#include "tvm/cpu.hpp"
+
+namespace earl::tvm {
+namespace {
+
+class EdmFixture : public ::testing::Test {
+ protected:
+  RunResult run(const std::string& source, bool user_mode = true,
+                std::uint64_t budget = 10000) {
+    AssembledProgram program = assemble(source);
+    EXPECT_TRUE(program.ok()) << (program.errors.empty()
+                                      ? ""
+                                      : program.errors.front());
+    EXPECT_TRUE(load_program(program, machine_.mem));
+    machine_.reset(program.entry);
+    machine_.cpu.mutable_state().psr.user_mode = user_mode;
+    return machine_.run(budget);
+  }
+
+  void expect_trap(const RunResult& result, Edm edm) {
+    EXPECT_EQ(result.kind, RunResult::Kind::kTrap);
+    EXPECT_EQ(result.edm, edm);
+    EXPECT_TRUE(machine_.cpu.stopped());
+  }
+
+  Machine machine_;
+};
+
+TEST_F(EdmFixture, BusErrorOnUnmappedAccess) {
+  expect_trap(run("li r1, 0x100000\nldw r2, [r1]\nhalt\n", false),
+              Edm::kBusError);
+}
+
+TEST_F(EdmFixture, AddressErrorOnUnalignedAccess) {
+  expect_trap(run(R"(
+    la r1, x
+    addi r1, r1, 2
+    ldw r2, [r1]
+    halt
+    .data
+    x: .word 0
+  )", false),
+              Edm::kAddressError);
+}
+
+TEST_F(EdmFixture, AddressErrorOnDataAccessToCode) {
+  expect_trap(run("li r1, 0x1000\nldw r2, [r1]\nhalt\n", false),
+              Edm::kAddressError);
+}
+
+TEST_F(EdmFixture, AddressErrorOnSequentialWalkOffCode) {
+  // A lone nop at the end of the image: the prefetch of the following word
+  // decodes as nop too (zeros)... so walk off the ROM end instead.
+  AssembledProgram program = assemble("nop\n");
+  ASSERT_TRUE(program.ok());
+  ASSERT_TRUE(load_program(program, machine_.mem));
+  // Start execution at the last code word: prefetch past the ROM boundary
+  // must raise an address error.
+  machine_.reset(kCodeBase + kCodeSize - 4);
+  machine_.cpu.mutable_state().psr.user_mode = false;
+  const RunResult result = machine_.run(10);
+  expect_trap(result, Edm::kAddressError);
+}
+
+TEST_F(EdmFixture, InstructionErrorOnUndefinedOpcode) {
+  AssembledProgram program = assemble("nop\nhalt\n");
+  ASSERT_TRUE(program.ok());
+  program.code[0] = 0x3fu << 26;  // undefined opcode
+  ASSERT_TRUE(load_program(program, machine_.mem));
+  machine_.reset(program.entry);
+  const RunResult result = machine_.run(10);
+  expect_trap(result, Edm::kInstructionError);
+}
+
+TEST_F(EdmFixture, InstructionErrorOnPrivilegedInUserMode) {
+  expect_trap(run("halt\n", /*user_mode=*/true), Edm::kInstructionError);
+}
+
+TEST_F(EdmFixture, HaltAllowedInSupervisorMode) {
+  const RunResult result = run("halt\n", /*user_mode=*/false);
+  EXPECT_EQ(result.kind, RunResult::Kind::kHalt);
+}
+
+TEST_F(EdmFixture, JumpErrorOnWildRegisterJump) {
+  expect_trap(run("li r1, 0x90000\njr r1\nhalt\n", false), Edm::kJumpError);
+}
+
+TEST_F(EdmFixture, JumpErrorOnUnalignedTarget) {
+  expect_trap(run("li r1, 0x1002\njr r1\nhalt\n", false), Edm::kJumpError);
+}
+
+TEST_F(EdmFixture, ConstraintErrorOnTrapInstruction) {
+  const RunResult result = run("trap 7\nhalt\n", false);
+  expect_trap(result, Edm::kConstraintError);
+  EXPECT_EQ(result.trap_code, 7);
+}
+
+TEST_F(EdmFixture, AccessCheckOnNullPointer) {
+  expect_trap(run("movi r1, 0\nldw r2, [r1]\nhalt\n", false),
+              Edm::kAccessCheck);
+}
+
+TEST_F(EdmFixture, StorageErrorOnAccessBelowSp) {
+  expect_trap(run(R"(
+    addi sp, sp, -8
+    ldw r1, [sp-4]
+    halt
+  )", /*user_mode=*/true),
+              Edm::kStorageError);
+}
+
+TEST_F(EdmFixture, StackAccessAboveSpAllowed) {
+  const RunResult result = run(R"(
+    addi sp, sp, -8
+    movi r1, 3
+    stw r1, [sp+4]
+    ldw r2, [sp+4]
+    addi sp, sp, 8
+    yield
+  )", /*user_mode=*/true);
+  EXPECT_EQ(result.kind, RunResult::Kind::kYield);
+  EXPECT_EQ(machine_.cpu.reg(2), 3u);
+}
+
+TEST_F(EdmFixture, OverflowOnIntegerAdd) {
+  expect_trap(run(R"(
+    li r1, 0x7fffffff
+    movi r2, 1
+    add r3, r1, r2
+    halt
+  )", false),
+              Edm::kOverflowCheck);
+}
+
+TEST_F(EdmFixture, OverflowOnIntegerMul) {
+  expect_trap(run(R"(
+    li r1, 0x10000
+    li r2, 0x10000
+    mul r3, r1, r2
+    halt
+  )", false),
+              Edm::kOverflowCheck);
+}
+
+TEST_F(EdmFixture, OverflowOnFloatAdd) {
+  expect_trap(run(R"(
+    li r1, 0x7f7fffff   ; FLT_MAX
+    or r2, r1, r0
+    fadd r3, r1, r2
+    halt
+  )", false),
+              Edm::kOverflowCheck);
+}
+
+TEST_F(EdmFixture, OverflowOnFtoiOutOfRange) {
+  expect_trap(run("lif r1, 3e9\nftoi r2, r1\nhalt\n", false),
+              Edm::kOverflowCheck);
+}
+
+TEST_F(EdmFixture, UnderflowOnDenormalResult) {
+  expect_trap(run(R"(
+    li r1, 0x00800000   ; FLT_MIN
+    lif r2, 0.5
+    fmul r3, r1, r2
+    halt
+  )", false),
+              Edm::kUnderflowCheck);
+}
+
+TEST_F(EdmFixture, DivisionCheckOnIntegerDivideByZero) {
+  expect_trap(run("movi r1, 5\nmovi r2, 0\ndivs r3, r1, r2\nhalt\n", false),
+              Edm::kDivisionCheck);
+}
+
+TEST_F(EdmFixture, DivisionCheckOnFloatDivideByZero) {
+  expect_trap(run("lif r1, 5.0\nlif r2, 0.0\nfdiv r3, r1, r2\nhalt\n", false),
+              Edm::kDivisionCheck);
+}
+
+TEST_F(EdmFixture, OverflowOnIntMinDivMinusOne) {
+  expect_trap(run(R"(
+    li r1, 0x80000000
+    movi r2, -1
+    divs r3, r1, r2
+    halt
+  )", false),
+              Edm::kOverflowCheck);
+}
+
+TEST_F(EdmFixture, IllegalOperationOnNanOperand) {
+  expect_trap(run(R"(
+    li r1, 0x7fc00000   ; quiet NaN
+    lif r2, 1.0
+    fadd r3, r1, r2
+    halt
+  )", false),
+              Edm::kIllegalOperation);
+}
+
+TEST_F(EdmFixture, IllegalOperationOnInfinityOperand) {
+  expect_trap(run(R"(
+    li r1, 0x7f800000   ; +inf
+    lif r2, 1.0
+    fmul r3, r1, r2
+    halt
+  )", false),
+              Edm::kIllegalOperation);
+}
+
+TEST_F(EdmFixture, IllegalOperationOnNanCompare) {
+  expect_trap(run(R"(
+    li r1, 0x7fc00000
+    lif r2, 1.0
+    fcmp r1, r2
+    halt
+  )", false),
+              Edm::kIllegalOperation);
+}
+
+TEST_F(EdmFixture, DataErrorOnPoisonedMemory) {
+  AssembledProgram program = assemble(R"(
+    ldw r1, [x]
+    halt
+    .data
+    x: .word 1
+  )");
+  ASSERT_TRUE(program.ok());
+  ASSERT_TRUE(load_program(program, machine_.mem));
+  machine_.reset(program.entry);
+  // Poison after reset: reset() models re-initialising the board, which
+  // clears injected memory faults.
+  machine_.mem.poison_word(program.symbol("x"));
+  machine_.cpu.mutable_state().psr.user_mode = false;
+  expect_trap(machine_.run(10), Edm::kDataError);
+}
+
+TEST_F(EdmFixture, ControlFlowErrorOnCorruptedSignature) {
+  AssembledProgram program = assemble(R"(
+    movi r1, 1
+    movi r2, 2
+    .sigcheck
+    halt
+  )");
+  ASSERT_TRUE(program.ok());
+  ASSERT_TRUE(load_program(program, machine_.mem));
+  machine_.reset(program.entry);
+  machine_.cpu.mutable_state().psr.user_mode = false;
+  // Pre-load a wrong accumulator, as a control-flow upset would leave.
+  machine_.cpu.mutable_state().sig = 0x5555;
+  expect_trap(machine_.run(10), Edm::kControlFlowError);
+}
+
+TEST_F(EdmFixture, ControlFlowErrorOnSkippedInstruction) {
+  AssembledProgram program = assemble(R"(
+    movi r1, 1
+    movi r2, 2
+    movi r3, 3
+    .sigcheck
+    halt
+  )");
+  ASSERT_TRUE(program.ok());
+  ASSERT_TRUE(load_program(program, machine_.mem));
+  // Start past the first instruction: the accumulated signature misses one
+  // word and the check fires.
+  machine_.reset(program.entry + 4);
+  machine_.cpu.mutable_state().psr.user_mode = false;
+  expect_trap(machine_.run(10), Edm::kControlFlowError);
+}
+
+TEST_F(EdmFixture, EdmNamesAreStable) {
+  EXPECT_EQ(edm_name(Edm::kAddressError), "Address Error");
+  EXPECT_EQ(edm_name(Edm::kControlFlowError), "Control Flow Error");
+  EXPECT_EQ(edm_name(Edm::kComparatorError), "Master/Slave Comparator");
+  EXPECT_EQ(edm_name(Edm::kWatchdog), "Watchdog");
+}
+
+}  // namespace
+}  // namespace earl::tvm

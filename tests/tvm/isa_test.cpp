@@ -1,0 +1,176 @@
+#include "tvm/isa.hpp"
+
+#include <gtest/gtest.h>
+
+namespace earl::tvm {
+namespace {
+
+TEST(IsaTest, EncodeDecodeRType) {
+  Instruction ins;
+  ins.op = Opcode::kFadd;
+  ins.rd = 3;
+  ins.ra = 1;
+  ins.rb = 2;
+  const auto decoded = decode(encode(ins));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->op, Opcode::kFadd);
+  EXPECT_EQ(decoded->rd, 3u);
+  EXPECT_EQ(decoded->ra, 1u);
+  EXPECT_EQ(decoded->rb, 2u);
+}
+
+TEST(IsaTest, EncodeDecodePositiveImmediate) {
+  Instruction ins;
+  ins.op = Opcode::kAddi;
+  ins.rd = 5;
+  ins.ra = 6;
+  ins.imm = 1234;
+  const auto decoded = decode(encode(ins));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->imm, 1234);
+}
+
+TEST(IsaTest, EncodeDecodeNegativeImmediate) {
+  Instruction ins;
+  ins.op = Opcode::kAddi;
+  ins.rd = 5;
+  ins.ra = 6;
+  ins.imm = -4;
+  const auto decoded = decode(encode(ins));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->imm, -4);
+}
+
+TEST(IsaTest, ImmediateBoundaries) {
+  for (std::int32_t imm : {-131072, -1, 0, 1, 131071}) {
+    Instruction ins;
+    ins.op = Opcode::kMovi;
+    ins.rd = 1;
+    ins.imm = imm;
+    const auto decoded = decode(encode(ins));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->imm, imm) << "imm=" << imm;
+  }
+}
+
+TEST(IsaTest, LogicalImmediatesZeroExtend) {
+  Instruction ins;
+  ins.op = Opcode::kOri;
+  ins.rd = 1;
+  ins.ra = 1;
+  ins.imm = 0x2ffff;  // high bit of imm18 set
+  const auto decoded = decode(encode(ins));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->imm, 0x2ffff);  // not sign extended
+}
+
+TEST(IsaTest, JumpImmediate26Bits) {
+  Instruction ins;
+  ins.op = Opcode::kJal;
+  ins.imm = 0x3ffffff;
+  const auto decoded = decode(encode(ins));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->imm, 0x3ffffff);
+}
+
+TEST(IsaTest, SigImmediate16Bits) {
+  Instruction ins;
+  ins.op = Opcode::kSig;
+  ins.imm = 0xbeef;
+  const auto decoded = decode(encode(ins));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->imm, 0xbeef);
+}
+
+TEST(IsaTest, UndefinedOpcodeFailsDecode) {
+  // Opcode 0x3f is not architecturally defined.
+  EXPECT_FALSE(decode(0x3fu << 26).has_value());
+  EXPECT_FALSE(decode(0x05u << 26).has_value());  // gap below kAdd
+}
+
+TEST(IsaTest, ReservedBitsIgnoredOnDecode) {
+  Instruction ins;
+  ins.op = Opcode::kAdd;
+  ins.rd = 1;
+  ins.ra = 2;
+  ins.rb = 3;
+  const std::uint32_t word = encode(ins) | 0x1fff;  // junk in reserved bits
+  const auto decoded = decode(word);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->op, Opcode::kAdd);
+  EXPECT_EQ(decoded->rb, 3u);
+}
+
+TEST(IsaTest, AllDefinedOpcodesRoundTrip) {
+  for (std::uint8_t op = 0; op < 64; ++op) {
+    if (!opcode_info(op).valid) continue;
+    Instruction ins;
+    ins.op = static_cast<Opcode>(op);
+    ins.rd = 1;
+    ins.ra = 2;
+    ins.rb = 3;
+    ins.imm = 4;
+    const auto decoded = decode(encode(ins));
+    ASSERT_TRUE(decoded.has_value()) << "opcode " << int(op);
+    EXPECT_EQ(decoded->op, ins.op);
+  }
+}
+
+TEST(IsaTest, OnlyHaltIsPrivileged) {
+  for (std::uint8_t op = 0; op < 64; ++op) {
+    const OpcodeInfo& info = opcode_info(op);
+    if (!info.valid) continue;
+    EXPECT_EQ(info.privileged, static_cast<Opcode>(op) == Opcode::kHalt);
+  }
+}
+
+TEST(IsaTest, DisassembleKnownForms) {
+  Instruction ins;
+  ins.op = Opcode::kFadd;
+  ins.rd = 3;
+  ins.ra = 1;
+  ins.rb = 2;
+  EXPECT_EQ(disassemble(encode(ins)), "fadd r3, r1, r2");
+
+  ins = Instruction{};
+  ins.op = Opcode::kLdw;
+  ins.rd = 4;
+  ins.ra = 14;
+  ins.imm = 8;
+  EXPECT_EQ(disassemble(encode(ins)), "ldw r4, [r14+8]");
+
+  ins = Instruction{};
+  ins.op = Opcode::kYield;
+  EXPECT_EQ(disassemble(encode(ins)), "yield");
+}
+
+TEST(IsaTest, DisassembleInvalidWord) {
+  const std::string text = disassemble(0xffffffffu);
+  EXPECT_NE(text.find("invalid"), std::string::npos);
+}
+
+TEST(IsaTest, SigStepMixesBothHalves) {
+  const std::uint16_t base = sig_step(0, 0);
+  EXPECT_NE(sig_step(0, 0x00010000u), base);
+  EXPECT_NE(sig_step(0, 0x00000001u), base);
+}
+
+TEST(IsaTest, SigStepOrderSensitive) {
+  const std::uint16_t ab = sig_step(sig_step(0, 0x1111), 0x2222);
+  const std::uint16_t ba = sig_step(sig_step(0, 0x2222), 0x1111);
+  EXPECT_NE(ab, ba);
+}
+
+TEST(IsaTest, ControlTransferClassification) {
+  EXPECT_TRUE(is_control_transfer(Opcode::kBeq));
+  EXPECT_TRUE(is_control_transfer(Opcode::kJmp));
+  EXPECT_TRUE(is_control_transfer(Opcode::kJal));
+  EXPECT_TRUE(is_control_transfer(Opcode::kJr));
+  EXPECT_FALSE(is_control_transfer(Opcode::kAdd));
+  EXPECT_FALSE(is_control_transfer(Opcode::kYield));
+  EXPECT_FALSE(is_control_transfer(Opcode::kSig));
+  EXPECT_FALSE(is_control_transfer(Opcode::kTrap));
+}
+
+}  // namespace
+}  // namespace earl::tvm

@@ -1,0 +1,157 @@
+#include "tvm/memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace earl::tvm {
+namespace {
+
+TEST(MemoryMapTest, RegionClassification) {
+  EXPECT_EQ(classify_address(0x0), Region::kNullGuard);
+  EXPECT_EQ(classify_address(0xFFC), Region::kNullGuard);
+  EXPECT_EQ(classify_address(kCodeBase), Region::kCode);
+  EXPECT_EQ(classify_address(kCodeBase + kCodeSize - 4), Region::kCode);
+  EXPECT_EQ(classify_address(kCodeBase + kCodeSize), Region::kUnmapped);
+  EXPECT_EQ(classify_address(kDataBase), Region::kData);
+  EXPECT_EQ(classify_address(kStackBase), Region::kStack);
+  EXPECT_EQ(classify_address(kStackTop - 4), Region::kStack);
+  EXPECT_EQ(classify_address(kStackTop), Region::kUnmapped);
+  EXPECT_EQ(classify_address(kIoBase), Region::kIo);
+  EXPECT_EQ(classify_address(0x00100000), Region::kUnmapped);
+}
+
+TEST(AccessCheckTest, UnalignedIsAddressError) {
+  EXPECT_EQ(check_access(kDataBase + 1, AccessKind::kLoad, true, kStackTop),
+            Edm::kAddressError);
+  EXPECT_EQ(check_access(kDataBase + 2, AccessKind::kStore, true, kStackTop),
+            Edm::kAddressError);
+}
+
+TEST(AccessCheckTest, NullGuardIsAccessCheck) {
+  EXPECT_EQ(check_access(0, AccessKind::kLoad, true, kStackTop),
+            Edm::kAccessCheck);
+  EXPECT_EQ(check_access(4, AccessKind::kStore, true, kStackTop),
+            Edm::kAccessCheck);
+}
+
+TEST(AccessCheckTest, DataAccessAllowed) {
+  EXPECT_EQ(check_access(kDataBase, AccessKind::kLoad, true, kStackTop),
+            Edm::kNone);
+  EXPECT_EQ(check_access(kDataBase, AccessKind::kStore, true, kStackTop),
+            Edm::kNone);
+}
+
+TEST(AccessCheckTest, CodeIsExecuteOnly) {
+  EXPECT_EQ(check_access(kCodeBase, AccessKind::kLoad, true, kStackTop),
+            Edm::kAddressError);
+  EXPECT_EQ(check_access(kCodeBase, AccessKind::kStore, true, kStackTop),
+            Edm::kAddressError);
+  EXPECT_EQ(check_access(kCodeBase, AccessKind::kFetch, true, kStackTop),
+            Edm::kNone);
+}
+
+TEST(AccessCheckTest, FetchOutsideCodeIsAddressError) {
+  EXPECT_EQ(check_access(kDataBase, AccessKind::kFetch, true, kStackTop),
+            Edm::kAddressError);
+  EXPECT_EQ(check_access(0x00100000, AccessKind::kFetch, true, kStackTop),
+            Edm::kAddressError);
+}
+
+TEST(AccessCheckTest, UnmappedIsBusError) {
+  EXPECT_EQ(check_access(0x00100000, AccessKind::kLoad, true, kStackTop),
+            Edm::kBusError);
+}
+
+TEST(AccessCheckTest, StackBelowSpIsStorageErrorInUserMode) {
+  const std::uint32_t sp = kStackTop - 64;
+  EXPECT_EQ(check_access(sp - 4, AccessKind::kLoad, true, sp),
+            Edm::kStorageError);
+  EXPECT_EQ(check_access(sp, AccessKind::kLoad, true, sp), Edm::kNone);
+  EXPECT_EQ(check_access(sp + 4, AccessKind::kStore, true, sp), Edm::kNone);
+}
+
+TEST(AccessCheckTest, SupervisorModeBypassesStackCheck) {
+  const std::uint32_t sp = kStackTop - 64;
+  EXPECT_EQ(check_access(sp - 4, AccessKind::kLoad, false, sp), Edm::kNone);
+}
+
+TEST(AccessCheckTest, IoAccessAllowedAndUncached) {
+  EXPECT_EQ(check_access(kIoInRef, AccessKind::kLoad, true, kStackTop),
+            Edm::kNone);
+  EXPECT_TRUE(is_uncached(kIoInRef));
+  EXPECT_FALSE(is_uncached(kDataBase));
+  EXPECT_FALSE(is_uncached(kStackBase));
+}
+
+TEST(MemoryMapTest, RawReadWriteRoundTrip) {
+  MemoryMap mem;
+  mem.write_raw(kDataBase + 8, 0xdeadbeefu);
+  EXPECT_EQ(mem.read_raw(kDataBase + 8), 0xdeadbeefu);
+  mem.write_raw(kStackTop - 4, 123u);
+  EXPECT_EQ(mem.read_raw(kStackTop - 4), 123u);
+  mem.write_raw(kIoOutU, 456u);
+  EXPECT_EQ(mem.read_raw(kIoOutU), 456u);
+}
+
+TEST(MemoryMapTest, UnmappedReadsZeroWritesDropped) {
+  MemoryMap mem;
+  mem.write_raw(0x00100000, 77u);
+  EXPECT_EQ(mem.read_raw(0x00100000), 0u);
+}
+
+TEST(MemoryMapTest, CodeLoadRejectsOversizedImage) {
+  MemoryMap mem;
+  std::vector<std::uint32_t> too_big(kCodeSize / 4 + 1, 0);
+  EXPECT_FALSE(mem.load_code(too_big));
+  std::vector<std::uint32_t> fits(kCodeSize / 4, 0);
+  EXPECT_TRUE(mem.load_code(fits));
+}
+
+TEST(MemoryMapTest, DataLoadRejectsOversizedImage) {
+  MemoryMap mem;
+  std::vector<std::uint32_t> too_big(kDataSize / 4 + 1, 0);
+  EXPECT_FALSE(mem.load_data(too_big));
+}
+
+TEST(MemoryMapTest, ResetRestoresImagesAndClearsIo) {
+  MemoryMap mem;
+  ASSERT_TRUE(mem.load_data({11, 22}));
+  mem.write_raw(kDataBase, 99u);
+  mem.write_raw(kStackBase, 5u);
+  mem.write_raw(kIoOutU, 7u);
+  mem.reset();
+  EXPECT_EQ(mem.read_raw(kDataBase), 11u);
+  EXPECT_EQ(mem.read_raw(kDataBase + 4), 22u);
+  EXPECT_EQ(mem.read_raw(kStackBase), 0u);
+  EXPECT_EQ(mem.read_raw(kIoOutU), 0u);
+}
+
+TEST(MemoryMapTest, PoisonSetAndClearedByWrite) {
+  MemoryMap mem;
+  mem.poison_word(kDataBase + 4);
+  EXPECT_TRUE(mem.is_poisoned(kDataBase + 4));
+  EXPECT_FALSE(mem.is_poisoned(kDataBase));
+  mem.write_raw(kDataBase + 4, 1u);
+  EXPECT_FALSE(mem.is_poisoned(kDataBase + 4));
+}
+
+TEST(MemoryMapTest, PoisonClearedByReset) {
+  MemoryMap mem;
+  mem.poison_word(kStackBase + 8);
+  mem.reset();
+  EXPECT_FALSE(mem.is_poisoned(kStackBase + 8));
+}
+
+TEST(MemoryMapTest, IoRegisterAddressesAreDistinctWords) {
+  EXPECT_EQ(kIoInMeas - kIoInRef, 4u);
+  EXPECT_EQ(kIoOutU - kIoInMeas, 4u);
+  EXPECT_EQ(classify_address(kIoOutDebug), Region::kIo);
+}
+
+TEST(MemoryMapTest, IoFitsInAbsoluteDisplacement) {
+  // The assembler addresses I/O through an 18-bit signed displacement off
+  // r0; the whole block must stay below 2^17.
+  EXPECT_LT(kIoBase + kIoSize, 1u << 17);
+}
+
+}  // namespace
+}  // namespace earl::tvm

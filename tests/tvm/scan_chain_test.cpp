@@ -1,0 +1,193 @@
+#include "tvm/scan_chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tvm/assembler.hpp"
+#include "util/bitops.hpp"
+
+namespace earl::tvm {
+namespace {
+
+TEST(ScanChainTest, PartitionSizes) {
+  ScanChain scan;
+  // 15 GPRs + pc/ir/mar/mdr/ex (32 each) + sig (16) + psr (5).
+  EXPECT_EQ(scan.register_bits(), 15u * 32 + 5 * 32 + 16 + 5);
+  // 8 lines x (4x32 data + 11 tag + valid + dirty).
+  EXPECT_EQ(scan.cache_bits(), 8u * (128 + kTagBits + 2));
+  EXPECT_EQ(scan.total_bits(), scan.register_bits() + scan.cache_bits());
+}
+
+TEST(ScanChainTest, ParityAddsElements) {
+  ScanChain plain;
+  ScanChain parity({.parity_enabled = true});
+  EXPECT_EQ(parity.total_bits(), plain.total_bits() + 32);
+}
+
+TEST(ScanChainTest, PartitionBoundary) {
+  ScanChain scan;
+  EXPECT_FALSE(scan.is_cache_bit(0));
+  EXPECT_FALSE(scan.is_cache_bit(scan.register_bits() - 1));
+  EXPECT_TRUE(scan.is_cache_bit(scan.register_bits()));
+  EXPECT_TRUE(scan.is_cache_bit(scan.total_bits() - 1));
+}
+
+TEST(ScanChainTest, ElementOffsetsAreContiguous) {
+  ScanChain scan;
+  std::size_t expected = 0;
+  for (const ScanElement& e : scan.elements()) {
+    EXPECT_EQ(e.offset, expected);
+    expected += e.width;
+  }
+  EXPECT_EQ(expected, scan.total_bits());
+}
+
+TEST(ScanChainTest, ReadWriteGprBit) {
+  Machine machine;
+  ScanChain scan;
+  machine.cpu.mutable_state().regs[1] = 0b100;
+  // r1 is the first element (r0 is not scannable).
+  EXPECT_FALSE(scan.read_bit(machine, 0));
+  EXPECT_TRUE(scan.read_bit(machine, 2));
+  scan.write_bit(machine, 0, true);
+  EXPECT_EQ(machine.cpu.state().regs[1], 0b101u);
+}
+
+TEST(ScanChainTest, FlipBitIsInvolution) {
+  Machine machine;
+  ScanChain scan;
+  machine.cpu.mutable_state().regs[5] = 0x12345678;
+  const auto before = scan.snapshot(machine);
+  scan.flip_bit(machine, 4 * 32 + 13);  // some bit of r5
+  EXPECT_NE(scan.snapshot(machine), before);
+  scan.flip_bit(machine, 4 * 32 + 13);
+  EXPECT_EQ(scan.snapshot(machine), before);
+}
+
+TEST(ScanChainTest, EveryBitIsWritableAndReadable) {
+  Machine machine;
+  ScanChain scan;
+  for (std::size_t bit = 0; bit < scan.total_bits(); ++bit) {
+    scan.write_bit(machine, bit, true);
+    EXPECT_TRUE(scan.read_bit(machine, bit)) << scan.describe_bit(bit);
+    scan.write_bit(machine, bit, false);
+    EXPECT_FALSE(scan.read_bit(machine, bit)) << scan.describe_bit(bit);
+  }
+}
+
+TEST(ScanChainTest, BitsAreIndependent) {
+  // Setting one bit must not disturb neighbours across element borders.
+  Machine machine;
+  ScanChain scan;
+  scan.write_bit(machine, 31, true);   // top bit of r1
+  scan.write_bit(machine, 32, false);  // bottom bit of r2
+  EXPECT_TRUE(scan.read_bit(machine, 31));
+  scan.write_bit(machine, 32, true);
+  EXPECT_TRUE(scan.read_bit(machine, 31));
+  EXPECT_TRUE(scan.read_bit(machine, 32));
+}
+
+TEST(ScanChainTest, PcAndPipelineLatchesScannable) {
+  Machine machine;
+  ScanChain scan;
+  machine.cpu.mutable_state().pc = 0x1234;
+  machine.cpu.mutable_state().ir = 0xabcd0000;
+  bool found_pc = false;
+  for (const ScanElement& e : scan.elements()) {
+    if (e.unit == ScanUnit::kPc) {
+      found_pc = true;
+      EXPECT_TRUE(scan.read_bit(machine, e.offset + 2));   // 0x1234 bit 2
+      EXPECT_FALSE(scan.read_bit(machine, e.offset + 0));
+    }
+    if (e.unit == ScanUnit::kIr) {
+      EXPECT_TRUE(scan.read_bit(machine, e.offset + 31));  // 0xabcd0000
+    }
+  }
+  EXPECT_TRUE(found_pc);
+}
+
+TEST(ScanChainTest, PsrBitsScannable) {
+  Machine machine;
+  ScanChain scan;
+  machine.cpu.mutable_state().psr.z = true;
+  machine.cpu.mutable_state().psr.user_mode = true;
+  for (const ScanElement& e : scan.elements()) {
+    if (e.unit != ScanUnit::kPsr) continue;
+    EXPECT_FALSE(scan.read_bit(machine, e.offset + 0));  // n
+    EXPECT_TRUE(scan.read_bit(machine, e.offset + 1));   // z
+    EXPECT_TRUE(scan.read_bit(machine, e.offset + 4));   // user mode
+    scan.write_bit(machine, e.offset + 4, false);
+    EXPECT_FALSE(machine.cpu.state().psr.user_mode);
+  }
+}
+
+TEST(ScanChainTest, CacheBitsReachCacheState) {
+  Machine machine;
+  ScanChain scan;
+  machine.cache.set_data_word(3, 2, 0);
+  for (const ScanElement& e : scan.elements()) {
+    if (e.unit == ScanUnit::kCacheData && e.index == 3 && e.subindex == 2) {
+      scan.write_bit(machine, e.offset + 7, true);
+    }
+  }
+  EXPECT_EQ(machine.cache.data_word(3, 2), 0x80u);
+}
+
+TEST(ScanChainTest, CacheTagWidthRespected) {
+  Machine machine;
+  ScanChain scan;
+  for (const ScanElement& e : scan.elements()) {
+    if (e.unit == ScanUnit::kCacheTag) {
+      EXPECT_EQ(e.width, kTagBits);
+    }
+  }
+}
+
+TEST(ScanChainTest, SnapshotEqualForIdenticalMachines) {
+  Machine a;
+  Machine b;
+  ScanChain scan;
+  EXPECT_EQ(scan.snapshot(a), scan.snapshot(b));
+  b.cpu.mutable_state().regs[7] = 1;
+  EXPECT_NE(scan.snapshot(a), scan.snapshot(b));
+}
+
+TEST(ScanChainTest, SnapshotReflectsCacheState) {
+  Machine a;
+  Machine b;
+  ScanChain scan;
+  b.cache.set_valid(2, true);
+  EXPECT_NE(scan.snapshot(a), scan.snapshot(b));
+}
+
+TEST(ScanChainTest, DescribeBitNamesElements) {
+  ScanChain scan;
+  EXPECT_EQ(scan.describe_bit(0), "r1[0]");
+  EXPECT_EQ(scan.describe_bit(33), "r2[1]");
+  const std::string cache_bit = scan.describe_bit(scan.register_bits());
+  EXPECT_NE(cache_bit.find("cache.data[0][0]"), std::string::npos);
+}
+
+TEST(ScanChainTest, FlipAffectsSubsequentExecution) {
+  // End-to-end: flipping a register bit through the scan chain changes the
+  // value the program computes (SCIFI in miniature).
+  AssembledProgram program = assemble(R"(
+    movi r1, 4
+    yield
+    addi r2, r1, 0
+    halt
+  )");
+  ASSERT_TRUE(program.ok());
+  Machine machine;
+  ASSERT_TRUE(load_program(program, machine.mem));
+  machine.reset(program.entry);
+  machine.cpu.mutable_state().psr.user_mode = false;
+  machine.run(100);  // paused at yield, r1 == 4
+
+  ScanChain scan;
+  scan.flip_bit(machine, 0);  // LSB of r1 -> 5
+  machine.run(100);
+  EXPECT_EQ(machine.cpu.reg(2), 5u);
+}
+
+}  // namespace
+}  // namespace earl::tvm

@@ -1,0 +1,127 @@
+#include "tvm/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tvm/assembler.hpp"
+
+namespace earl::tvm {
+namespace {
+
+Machine make_machine(const std::string& source) {
+  AssembledProgram program = assemble(source);
+  EXPECT_TRUE(program.ok());
+  Machine machine;
+  EXPECT_TRUE(load_program(program, machine.mem));
+  machine.reset(program.entry);
+  machine.cpu.mutable_state().psr.user_mode = false;
+  return machine;
+}
+
+TEST(TraceTest, RecordsEveryRetiredInstruction) {
+  Machine machine = make_machine("movi r1, 1\nmovi r2, 2\nhalt\n");
+  ExecutionTrace trace;
+  machine.cpu.set_trace_sink(&trace);
+  machine.run(100);
+  ASSERT_EQ(trace.records().size(), 3u);
+  EXPECT_EQ(trace.records()[0].pc, kCodeBase);
+  EXPECT_EQ(trace.records()[1].pc, kCodeBase + 4);
+}
+
+TEST(TraceTest, FullModeCapturesRegisters) {
+  Machine machine = make_machine("movi r1, 7\nmovi r2, 8\nhalt\n");
+  ExecutionTrace trace(/*capture_registers=*/true);
+  machine.cpu.set_trace_sink(&trace);
+  machine.run(100);
+  // State captured *before* each instruction.
+  EXPECT_EQ(trace.records()[1].regs[1], 7u);
+  EXPECT_EQ(trace.records()[0].regs[1], 0u);
+}
+
+TEST(TraceTest, NullSinkDisablesTracing) {
+  Machine machine = make_machine("movi r1, 1\nhalt\n");
+  ExecutionTrace trace;
+  machine.cpu.set_trace_sink(&trace);
+  machine.cpu.set_trace_sink(nullptr);
+  machine.run(100);
+  EXPECT_TRUE(trace.records().empty());
+}
+
+TEST(TraceTest, ListingContainsDisassembly) {
+  Machine machine = make_machine("movi r1, 42\nhalt\n");
+  ExecutionTrace trace;
+  machine.cpu.set_trace_sink(&trace);
+  machine.run(100);
+  const std::string listing = trace.to_listing();
+  EXPECT_NE(listing.find("movi r1, 42"), std::string::npos);
+  EXPECT_NE(listing.find("halt"), std::string::npos);
+}
+
+TEST(TraceTest, ListingTruncation) {
+  Machine machine = make_machine("nop\nnop\nnop\nnop\nhalt\n");
+  ExecutionTrace trace;
+  machine.cpu.set_trace_sink(&trace);
+  machine.run(100);
+  const std::string listing = trace.to_listing(2);
+  EXPECT_NE(listing.find("more)"), std::string::npos);
+}
+
+TEST(TraceTest, DivergenceIdentical) {
+  ExecutionTrace a;
+  ExecutionTrace b;
+  Machine ma = make_machine("movi r1, 1\nhalt\n");
+  ma.cpu.set_trace_sink(&a);
+  ma.run(100);
+  Machine mb = make_machine("movi r1, 1\nhalt\n");
+  mb.cpu.set_trace_sink(&b);
+  mb.run(100);
+  EXPECT_EQ(first_divergence(a, b), static_cast<std::size_t>(-1));
+}
+
+TEST(TraceTest, DivergenceLocatesFirstDifference) {
+  const std::string source = R"(
+    movi r1, 4
+    yield
+    addi r2, r1, 1
+    addi r3, r2, 1
+    halt
+  )";
+  ExecutionTrace golden(true);
+  Machine gm = make_machine(source);
+  gm.cpu.set_trace_sink(&golden);
+  gm.run(1000);
+  gm.run(1000);
+
+  ExecutionTrace faulty(true);
+  Machine fm = make_machine(source);
+  fm.cpu.set_trace_sink(&faulty);
+  fm.run(1000);                              // pause at yield
+  fm.cpu.mutable_state().regs[1] = 99;       // inject into r1
+  fm.run(1000);
+
+  // Records 0..1 (movi, yield) match; record 2 sees the corrupted r1.
+  EXPECT_EQ(first_divergence(golden, faulty), 2u);
+}
+
+TEST(TraceTest, DivergenceOnPrefix) {
+  ExecutionTrace a;
+  ExecutionTrace b;
+  Machine ma = make_machine("nop\nnop\nhalt\n");
+  ma.cpu.set_trace_sink(&a);
+  ma.run(100);
+  Machine mb = make_machine("nop\nnop\nnop\nhalt\n");
+  mb.cpu.set_trace_sink(&b);
+  mb.run(100);
+  EXPECT_EQ(first_divergence(a, b), 2u);
+}
+
+TEST(TraceTest, ClearEmptiesRecords) {
+  Machine machine = make_machine("nop\nhalt\n");
+  ExecutionTrace trace;
+  machine.cpu.set_trace_sink(&trace);
+  machine.run(100);
+  trace.clear();
+  EXPECT_TRUE(trace.records().empty());
+}
+
+}  // namespace
+}  // namespace earl::tvm

@@ -1,0 +1,102 @@
+#include "util/bitops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace earl::util {
+namespace {
+
+TEST(BitopsTest, FlipBit32TogglesSingleBit) {
+  EXPECT_EQ(flip_bit32(0u, 0), 1u);
+  EXPECT_EQ(flip_bit32(0u, 31), 0x80000000u);
+  EXPECT_EQ(flip_bit32(0xffffffffu, 15), 0xffff7fffu);
+}
+
+TEST(BitopsTest, FlipBit32IsInvolution) {
+  const std::uint32_t word = 0xdeadbeefu;
+  for (unsigned bit = 0; bit < 32; ++bit) {
+    EXPECT_EQ(flip_bit32(flip_bit32(word, bit), bit), word);
+  }
+}
+
+TEST(BitopsTest, FlipBit64HighBits) {
+  EXPECT_EQ(flip_bit64(0ull, 63), 0x8000000000000000ull);
+  EXPECT_EQ(flip_bit64(flip_bit64(0x12345678ull, 40), 40), 0x12345678ull);
+}
+
+TEST(BitopsTest, GetBit32ReadsCorrectBit) {
+  const std::uint32_t word = 0b1010;
+  EXPECT_FALSE(get_bit32(word, 0));
+  EXPECT_TRUE(get_bit32(word, 1));
+  EXPECT_FALSE(get_bit32(word, 2));
+  EXPECT_TRUE(get_bit32(word, 3));
+}
+
+TEST(BitopsTest, SetBit32SetsAndClears) {
+  EXPECT_EQ(set_bit32(0u, 5, true), 32u);
+  EXPECT_EQ(set_bit32(32u, 5, false), 0u);
+  EXPECT_EQ(set_bit32(32u, 5, true), 32u);  // idempotent
+}
+
+TEST(BitopsTest, Bits32ExtractsField) {
+  EXPECT_EQ(bits32(0xabcd1234u, 0, 4), 0x4u);
+  EXPECT_EQ(bits32(0xabcd1234u, 16, 16), 0xabcdu);
+  EXPECT_EQ(bits32(0xffffffffu, 0, 32), 0xffffffffu);
+}
+
+TEST(BitopsTest, SignExtend32PositiveValues) {
+  EXPECT_EQ(sign_extend32(0x7f, 8), 127);
+  EXPECT_EQ(sign_extend32(0x1ffff, 18), 0x1ffff);
+}
+
+TEST(BitopsTest, SignExtend32NegativeValues) {
+  EXPECT_EQ(sign_extend32(0xff, 8), -1);
+  EXPECT_EQ(sign_extend32(0x20000, 18), -131072);
+  EXPECT_EQ(sign_extend32(0x3ffff, 18), -1);
+}
+
+TEST(BitopsTest, SignExtend32FullWidthIsIdentity) {
+  EXPECT_EQ(sign_extend32(0x80000000u, 32),
+            static_cast<std::int32_t>(0x80000000u));
+}
+
+TEST(BitopsTest, OddParity32) {
+  EXPECT_FALSE(odd_parity32(0u));
+  EXPECT_TRUE(odd_parity32(1u));
+  EXPECT_FALSE(odd_parity32(3u));
+  EXPECT_TRUE(odd_parity32(7u));
+  EXPECT_FALSE(odd_parity32(0xffffffffu));
+}
+
+TEST(BitopsTest, FloatBitsRoundTrip) {
+  for (float f : {0.0f, 1.0f, -1.0f, 3.14159f, 70.0f, 1e-30f, 1e30f}) {
+    EXPECT_EQ(bits_to_float(float_to_bits(f)), f);
+  }
+}
+
+TEST(BitopsTest, FloatBitsKnownPatterns) {
+  EXPECT_EQ(float_to_bits(1.0f), 0x3f800000u);
+  EXPECT_EQ(float_to_bits(-2.0f), 0xc0000000u);
+  EXPECT_EQ(float_to_bits(0.0f), 0u);
+}
+
+TEST(BitopsTest, SignBitFlipNegatesFloat) {
+  const float value = 6.6667f;
+  const float flipped = bits_to_float(flip_bit32(float_to_bits(value), 31));
+  EXPECT_FLOAT_EQ(flipped, -value);
+}
+
+TEST(BitopsTest, ExponentFlipsCatapultValues) {
+  // The mechanism behind the paper's permanent failures: exponent-bit flips
+  // in the state variable catapult it far outside the physical range.
+  const float value = 6.6667f;  // exponent 129: bit 30 set, bit 29 clear
+  const float up = bits_to_float(flip_bit32(float_to_bits(value), 29));
+  EXPECT_GT(up, 1e18f);
+  const float down = bits_to_float(flip_bit32(float_to_bits(value), 30));
+  EXPECT_LT(down, 1e-30f);
+  EXPECT_GT(down, 0.0f);
+}
+
+}  // namespace
+}  // namespace earl::util

@@ -1,0 +1,106 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+namespace earl::util {
+namespace {
+
+TEST(CsvFormatTest, PlainFields) {
+  EXPECT_EQ(csv_format_row({"a", "b", "c"}), "a,b,c");
+}
+
+TEST(CsvFormatTest, EmptyRow) {
+  EXPECT_EQ(csv_format_row({}), "");
+  EXPECT_EQ(csv_format_row({""}), "");
+  EXPECT_EQ(csv_format_row({"", ""}), ",");
+}
+
+TEST(CsvFormatTest, QuotesFieldWithComma) {
+  EXPECT_EQ(csv_format_row({"a,b", "c"}), "\"a,b\",c");
+}
+
+TEST(CsvFormatTest, EscapesEmbeddedQuotes) {
+  EXPECT_EQ(csv_format_row({"say \"hi\""}), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvFormatTest, QuotesNewlines) {
+  EXPECT_EQ(csv_format_row({"line1\nline2"}), "\"line1\nline2\"");
+}
+
+TEST(CsvParseTest, PlainRow) {
+  const CsvRow row = csv_parse_row("a,b,c");
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0], "a");
+  EXPECT_EQ(row[2], "c");
+}
+
+TEST(CsvParseTest, QuotedFieldWithComma) {
+  const CsvRow row = csv_parse_row("\"a,b\",c");
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[0], "a,b");
+}
+
+TEST(CsvParseTest, EscapedQuote) {
+  const CsvRow row = csv_parse_row("\"say \"\"hi\"\"\"");
+  ASSERT_EQ(row.size(), 1u);
+  EXPECT_EQ(row[0], "say \"hi\"");
+}
+
+TEST(CsvParseTest, IgnoresCarriageReturn) {
+  const CsvRow row = csv_parse_row("a,b\r");
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[1], "b");
+}
+
+TEST(CsvParseTest, EmptyFields) {
+  const CsvRow row = csv_parse_row(",,");
+  ASSERT_EQ(row.size(), 3u);
+  for (const auto& field : row) EXPECT_TRUE(field.empty());
+}
+
+TEST(CsvRoundTripTest, ArbitraryContentSurvives) {
+  const CsvRow original = {"plain", "with,comma", "with \"quote\"",
+                           "multi\nline", ""};
+  const CsvRow parsed = csv_parse_row(csv_format_row(original));
+  EXPECT_EQ(parsed, original);
+}
+
+TEST(CsvStreamTest, ReadAllHandlesMultilineRecords) {
+  std::stringstream stream;
+  CsvWriter writer(stream);
+  writer.write_row({"a", "x\ny", "b"});
+  writer.write_row({"1", "2", "3"});
+  const auto rows = csv_read_all(stream);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][1], "x\ny");
+  EXPECT_EQ(rows[1][2], "3");
+}
+
+TEST(CsvFileTest, WriteAndReadBack) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "earl_csv_test.csv").string();
+  const CsvRow header = {"id", "value"};
+  const std::vector<CsvRow> rows = {{"1", "alpha"}, {"2", "beta,gamma"}};
+  ASSERT_TRUE(csv_write_file(path, header, rows));
+  const auto read = csv_read_file(path);
+  ASSERT_EQ(read.size(), 3u);
+  EXPECT_EQ(read[0], header);
+  EXPECT_EQ(read[1], rows[0]);
+  EXPECT_EQ(read[2], rows[1]);
+  std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, MissingFileGivesEmpty) {
+  EXPECT_TRUE(csv_read_file("/nonexistent/path/zzz.csv").empty());
+}
+
+TEST(CsvFileTest, UnwritablePathFails) {
+  EXPECT_FALSE(csv_write_file("/nonexistent/dir/file.csv", {"a"}, {}));
+}
+
+}  // namespace
+}  // namespace earl::util

@@ -1,0 +1,184 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+#include <vector>
+
+namespace earl::util {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ZeroSeedProducesNonZeroStream) {
+  Rng rng(0);
+  bool any_nonzero = false;
+  for (int i = 0; i < 10; ++i) {
+    if (rng.next() != 0) any_nonzero = true;
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng rng(7);
+  const std::uint64_t first = rng.next();
+  rng.next();
+  rng.reseed(7);
+  EXPECT_EQ(rng.next(), first);
+}
+
+TEST(RngTest, BelowStaysInBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(RngTest, BelowOneAlwaysZero) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.below(1), 0u);
+  }
+}
+
+TEST(RngTest, BelowZeroReturnsZero) {
+  Rng rng(3);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(RngTest, BelowCoversAllValues) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.below(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, BelowRoughlyUniform) {
+  Rng rng(11);
+  std::array<int, 10> histogram{};
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    ++histogram[rng.below(10)];
+  }
+  for (int count : histogram) {
+    EXPECT_NEAR(count, kSamples / 10, kSamples / 100);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(13);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    if (v == 5) saw_lo = true;
+    if (v == 8) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng rng(19);
+  double sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(RngTest, ChanceApproximatesProbability) {
+  Rng rng(31);
+  int hits = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (rng.chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(kSamples), 0.25, 0.01);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(37);
+  Rng child = parent.split();
+  // Child stream should differ from the parent's continued stream.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.next() == child.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, SplitIsDeterministic) {
+  Rng a(41);
+  Rng b(41);
+  Rng ca = a.split();
+  Rng cb = b.split();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(ca.next(), cb.next());
+  }
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  EXPECT_EQ(Rng::min(), 0u);
+  EXPECT_EQ(Rng::max(), ~0ull);
+}
+
+TEST(SplitMix64Test, KnownSequenceIsStable) {
+  // Regression anchor: campaign reproducibility depends on these values
+  // never changing.
+  std::uint64_t state = 0;
+  const std::uint64_t first = splitmix64(state);
+  const std::uint64_t second = splitmix64(state);
+  EXPECT_EQ(first, 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(second, 0x6e789e6aa1b965f4ULL);
+}
+
+}  // namespace
+}  // namespace earl::util

@@ -1,0 +1,135 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace earl::util {
+namespace {
+
+TEST(ProportionTest, ValueIsRatio) {
+  Proportion p{25, 100};
+  EXPECT_DOUBLE_EQ(p.value(), 0.25);
+}
+
+TEST(ProportionTest, EmptyTotalIsZero) {
+  Proportion p{0, 0};
+  EXPECT_DOUBLE_EQ(p.value(), 0.0);
+  EXPECT_DOUBLE_EQ(p.half_width95(), 0.0);
+}
+
+TEST(ProportionTest, HalfWidthMatchesPaperScale) {
+  // Paper Table 2 total column: 12.16% (±0.66%) with 1130 of 9290.
+  Proportion p{1130, 9290};
+  EXPECT_NEAR(p.value(), 0.1216, 0.0002);
+  EXPECT_NEAR(p.half_width95(), 0.0066, 0.0002);
+}
+
+TEST(ProportionTest, HalfWidthZeroForDegenerate) {
+  EXPECT_DOUBLE_EQ((Proportion{0, 100}).half_width95(), 0.0);
+  EXPECT_DOUBLE_EQ((Proportion{100, 100}).half_width95(), 0.0);
+}
+
+TEST(ProportionTest, HalfWidthShrinksWithSampleSize) {
+  Proportion small{10, 100};
+  Proportion large{1000, 10000};
+  EXPECT_GT(small.half_width95(), large.half_width95());
+}
+
+TEST(ProportionTest, WilsonIntervalContainsEstimate) {
+  Proportion p{50, 466};
+  const auto interval = p.wilson95();
+  EXPECT_LT(interval.lo, p.value());
+  EXPECT_GT(interval.hi, p.value());
+}
+
+TEST(ProportionTest, WilsonIntervalNonDegenerateAtZeroCount) {
+  // The Wilson interval stays informative when nothing was observed —
+  // the normal approximation collapses to zero width there.
+  Proportion p{0, 2372};
+  const auto interval = p.wilson95();
+  EXPECT_DOUBLE_EQ(interval.lo, 0.0);
+  EXPECT_GT(interval.hi, 0.0);
+  EXPECT_LT(interval.hi, 0.01);
+}
+
+TEST(ProportionTest, WilsonBoundsWithinUnitInterval) {
+  for (std::size_t count : {0u, 1u, 5u, 9u, 10u}) {
+    Proportion p{count, 10};
+    const auto interval = p.wilson95();
+    EXPECT_GE(interval.lo, 0.0);
+    EXPECT_LE(interval.hi, 1.0);
+    EXPECT_LE(interval.lo, interval.hi);
+  }
+}
+
+TEST(ProportionTest, ToStringFormat) {
+  Proportion p{1130, 9290};
+  EXPECT_EQ(p.to_string(), "12.16% (±0.66%)");
+}
+
+TEST(IntervalsDisjointTest, PaperSevereComparisonIsSignificant) {
+  // Paper: Algorithm I severe 50/9290, Algorithm II severe 4/2372; the
+  // paper argues the intervals show a real reduction.
+  Proportion alg1{50, 9290};
+  Proportion alg2{4, 2372};
+  EXPECT_TRUE(intervals_disjoint95(alg1, alg2));
+}
+
+TEST(IntervalsDisjointTest, OverlappingNotDisjoint) {
+  Proportion a{50, 1000};
+  Proportion b{55, 1000};
+  EXPECT_FALSE(intervals_disjoint95(a, b));
+}
+
+TEST(IntervalsDisjointTest, Symmetric) {
+  Proportion a{10, 1000};
+  Proportion b{200, 1000};
+  EXPECT_TRUE(intervals_disjoint95(a, b));
+  EXPECT_TRUE(intervals_disjoint95(b, a));
+}
+
+TEST(SummaryTest, EmptyInput) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(SummaryTest, SingleValue) {
+  const std::vector<double> xs = {4.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.n, 1u);
+  EXPECT_DOUBLE_EQ(s.min, 4.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(SummaryTest, KnownMoments) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);  // classic population-stddev example
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(MaxAbsDiffTest, IdenticalSeriesIsZero) {
+  const std::vector<float> a = {1.0f, 2.0f, 3.0f};
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, a), 0.0);
+}
+
+TEST(MaxAbsDiffTest, FindsWorstDeviation) {
+  const std::vector<float> a = {1.0f, 2.0f, 3.0f};
+  const std::vector<float> b = {1.5f, 2.0f, 0.0f};
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 3.0);
+}
+
+TEST(MaxAbsDiffTest, HandlesLengthMismatchByPrefix) {
+  const std::vector<float> a = {1.0f, 2.0f};
+  const std::vector<float> b = {1.0f, 2.0f, 99.0f};
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 0.0);
+}
+
+}  // namespace
+}  // namespace earl::util

@@ -1,0 +1,80 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace earl::util {
+namespace {
+
+TEST(TableTest, HeaderOnly) {
+  Table t({"Name", "Value"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Name"), std::string::npos);
+  EXPECT_NE(out.find("Value"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TableTest, ColumnsSizedToWidestCell) {
+  Table t({"A"});
+  t.add_row({"a-very-long-cell"});
+  const std::string out = t.render();
+  // The header rule must span the widest cell.
+  const std::size_t rule_start = out.find('\n') + 1;
+  const std::size_t rule_end = out.find('\n', rule_start);
+  EXPECT_EQ(rule_end - rule_start, std::string("a-very-long-cell").size());
+}
+
+TEST(TableTest, RightAlignmentPadsLeft) {
+  Table t({"Col"});
+  t.set_align(0, Table::Align::kRight);
+  t.add_row({"x"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("  x"), std::string::npos);
+}
+
+TEST(TableTest, LeftAlignmentPadsRight) {
+  Table t({"Column"});
+  t.add_row({"x"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("x     "), std::string::npos);
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  Table t({"A", "B", "C"});
+  t.add_row({"1"});
+  EXPECT_EQ(t.row_count(), 1u);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("1"), std::string::npos);
+}
+
+TEST(TableTest, SeparatorInsertedBeforeNextRow) {
+  Table t({"A"});
+  t.add_row({"first"});
+  t.add_separator();
+  t.add_row({"second"});
+  const std::string out = t.render();
+  // Three rules: under the header and before "second".
+  std::size_t rules = 0;
+  std::size_t pos = 0;
+  while ((pos = out.find("-----", pos)) != std::string::npos) {
+    ++rules;
+    pos = out.find('\n', pos);
+  }
+  EXPECT_EQ(rules, 2u);
+}
+
+TEST(TableTest, CellsAppearInOrder) {
+  Table t({"A", "B"});
+  t.add_row({"left", "right"});
+  const std::string out = t.render();
+  EXPECT_LT(out.find("left"), out.find("right"));
+}
+
+TEST(TableTest, SetAlignOutOfRangeIsIgnored) {
+  Table t({"A"});
+  t.set_align(5, Table::Align::kRight);  // must not crash
+  t.add_row({"x"});
+  EXPECT_FALSE(t.render().empty());
+}
+
+}  // namespace
+}  // namespace earl::util

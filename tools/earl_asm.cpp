@@ -1,0 +1,158 @@
+// earl-asm — assembler / disassembler / runner for TVM programs.
+//
+//   earl-asm program.s                 assemble, report sizes and symbols
+//   earl-asm --dis program.s           assemble and print a disassembly
+//   earl-asm --run program.s           assemble and execute (supervisor
+//                                      mode, halt/yield/trap terminates;
+//                                      prints registers at the end)
+//   earl-asm --trace program.s         like --run with a per-instruction log
+//   earl-asm --gen alg1|alg2|alg2rate|trap
+//                                      print the generated PI workload
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "codegen/emitter.hpp"
+#include "fi/workloads.hpp"
+#include "tvm/assembler.hpp"
+#include "tvm/cpu.hpp"
+#include "tvm/trace.hpp"
+
+namespace {
+
+using namespace earl;
+
+std::string read_file(const char* path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int generate(const std::string& variant) {
+  const control::PiConfig pi = fi::paper_pi_config();
+  codegen::EmitOptions options;
+  if (variant == "alg1") {
+    options = codegen::make_pi_options(pi, codegen::RobustnessMode::kNone);
+  } else if (variant == "alg2") {
+    options = codegen::make_pi_options(pi, codegen::RobustnessMode::kRecover);
+  } else if (variant == "alg2rate") {
+    options = codegen::make_pi_options_with_rate(pi);
+  } else if (variant == "trap") {
+    options = codegen::make_pi_options(pi, codegen::RobustnessMode::kTrap);
+  } else {
+    std::fprintf(stderr, "unknown variant '%s'\n", variant.c_str());
+    return 1;
+  }
+  const codegen::EmitResult emitted =
+      codegen::emit_assembly(codegen::make_pi_diagram(pi), options);
+  if (!emitted.ok()) {
+    for (const auto& error : emitted.errors) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+    }
+    return 1;
+  }
+  std::fputs(emitted.assembly.c_str(), stdout);
+  return 0;
+}
+
+int run_program(const tvm::AssembledProgram& program, bool trace_mode) {
+  tvm::Machine machine;
+  if (!tvm::load_program(program, machine.mem)) {
+    std::fprintf(stderr, "program does not fit the memory map\n");
+    return 1;
+  }
+  machine.reset(program.entry);
+  machine.cpu.mutable_state().psr.user_mode = false;
+  tvm::ExecutionTrace trace;
+  if (trace_mode) machine.cpu.set_trace_sink(&trace);
+
+  const tvm::RunResult result = machine.run(1u << 22);
+  if (trace_mode) std::fputs(trace.to_listing(200).c_str(), stdout);
+
+  const char* reason = "instruction budget exhausted";
+  switch (result.kind) {
+    case tvm::RunResult::Kind::kHalt: reason = "halt"; break;
+    case tvm::RunResult::Kind::kYield: reason = "yield"; break;
+    case tvm::RunResult::Kind::kTrap: reason = "trap"; break;
+    case tvm::RunResult::Kind::kBudgetExhausted: break;
+  }
+  std::printf("stopped after %llu instructions (%s%s%s)\n",
+              static_cast<unsigned long long>(result.executed), reason,
+              result.kind == tvm::RunResult::Kind::kTrap ? ": " : "",
+              result.kind == tvm::RunResult::Kind::kTrap
+                  ? std::string(tvm::edm_name(result.edm)).c_str()
+                  : "");
+  for (unsigned r = 0; r < tvm::kNumRegs; r += 4) {
+    for (unsigned c = 0; c < 4; ++c) {
+      std::printf("r%-2u=%08x  ", r + c, machine.cpu.reg(r + c));
+    }
+    std::printf("\n");
+  }
+  std::printf("pc=%08x\n", machine.cpu.state().pc);
+  return result.kind == tvm::RunResult::Kind::kTrap ? 2 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool disassemble_mode = false;
+  bool run_mode = false;
+  bool trace_mode = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--dis")) {
+      disassemble_mode = true;
+    } else if (!std::strcmp(argv[i], "--run")) {
+      run_mode = true;
+    } else if (!std::strcmp(argv[i], "--trace")) {
+      run_mode = true;
+      trace_mode = true;
+    } else if (!std::strcmp(argv[i], "--gen")) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--gen needs a variant\n");
+        return 1;
+      }
+      return generate(argv[++i]);
+    } else {
+      path = argv[i];
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: earl-asm [--dis|--run|--trace] program.s\n"
+                 "       earl-asm --gen alg1|alg2|alg2rate|trap\n");
+    return 1;
+  }
+
+  const std::string source = read_file(path);
+  if (source.empty()) {
+    std::fprintf(stderr, "cannot read '%s'\n", path);
+    return 1;
+  }
+  const tvm::AssembledProgram program = tvm::assemble(source);
+  if (!program.ok()) {
+    for (const auto& error : program.errors) {
+      std::fprintf(stderr, "%s: %s\n", path, error.c_str());
+    }
+    return 1;
+  }
+  std::printf("%s: %zu instructions, %zu data words, entry 0x%x\n", path,
+              program.code.size(), program.data.size(), program.entry);
+
+  if (disassemble_mode) {
+    for (std::size_t i = 0; i < program.code.size(); ++i) {
+      const std::uint32_t addr = tvm::kCodeBase + 4 * i;
+      std::printf("  %06x:  %08x  %s\n", addr, program.code[i],
+                  tvm::disassemble(program.code[i]).c_str());
+    }
+    for (const auto& [name, value] : program.symbols) {
+      std::printf("  %-20s = 0x%x\n", name.c_str(), value);
+    }
+  }
+  if (run_mode) return run_program(program, trace_mode);
+  return 0;
+}

@@ -1,0 +1,263 @@
+// earl-goofi — command-line fault-injection tool (the GOOFI role).
+//
+// Covers GOOFI's four phases from the command line:
+//   configuration  -> flags select technique, workload, fault model
+//   set-up         -> campaign parameters (experiments, seed, filter)
+//   fault injection-> the campaign itself (deterministic from the seed)
+//   analysis       -> paper-style report; or re-analyze a saved database
+//
+// Examples
+//   earl-goofi --workload alg1 --experiments 9290            # Table 2
+//   earl-goofi --workload alg2 --experiments 2372            # Table 3
+//   earl-goofi --workload alg1 --technique swifi -n 2000     # SWIFI
+//   earl-goofi --workload alg2 --filter cache --save out.csv
+//   earl-goofi --analyze out.csv                             # analysis only
+//   earl-goofi --workload alg1 --replay 165 --save out.csv   # trace one
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "analysis/report.hpp"
+#include "codegen/emitter.hpp"
+#include "fi/database.hpp"
+#include "fi/runner.hpp"
+#include "fi/workloads.hpp"
+#include "plant/signals.hpp"
+
+namespace {
+
+using namespace earl;
+
+struct Options {
+  std::string workload = "alg1";   // alg1 | alg2 | alg2rate | trap
+  std::string technique = "scifi";  // scifi | swifi
+  std::string filter = "all";       // all | cache | registers
+  std::string fault = "single";     // single | multi2 | multi4 | stuck0 | stuck1
+  std::size_t experiments = 1000;
+  std::uint64_t seed = 20010701;
+  bool parity = false;
+  std::string save_path;
+  std::string analyze_path;
+  std::optional<std::uint64_t> replay_id;
+  bool help = false;
+};
+
+void print_usage() {
+  std::puts(R"(earl-goofi — fault injection campaigns on the EARL stack
+
+usage: earl-goofi [options]
+  --workload W      alg1 | alg2 | alg2rate | trap        (default alg1)
+  --technique T     scifi (TVM scan chain) | swifi        (default scifi)
+  --experiments N   number of faults to inject            (default 1000)
+  -n N              shorthand for --experiments
+  --seed S          campaign seed                         (default 20010701)
+  --filter F        all | cache | registers               (default all)
+  --fault M         single | multi2 | multi4 | stuck0 | stuck1
+  --parity          enable the parity-protected data cache
+  --save PATH       write the result database as CSV
+  --analyze PATH    skip injection; re-analyze a saved database
+  --replay ID       after the campaign, print experiment ID's output trace
+  --help)");
+}
+
+bool parse(int argc, char** argv, Options* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--help" || arg == "-h") {
+      options->help = true;
+    } else if (arg == "--workload") {
+      if (const char* v = next()) options->workload = v; else return false;
+    } else if (arg == "--technique") {
+      if (const char* v = next()) options->technique = v; else return false;
+    } else if (arg == "--experiments" || arg == "-n") {
+      if (const char* v = next()) options->experiments = std::strtoull(v, nullptr, 10);
+      else return false;
+    } else if (arg == "--seed") {
+      if (const char* v = next()) options->seed = std::strtoull(v, nullptr, 10);
+      else return false;
+    } else if (arg == "--filter") {
+      if (const char* v = next()) options->filter = v; else return false;
+    } else if (arg == "--fault") {
+      if (const char* v = next()) options->fault = v; else return false;
+    } else if (arg == "--parity") {
+      options->parity = true;
+    } else if (arg == "--save") {
+      if (const char* v = next()) options->save_path = v; else return false;
+    } else if (arg == "--analyze") {
+      if (const char* v = next()) options->analyze_path = v; else return false;
+    } else if (arg == "--replay") {
+      if (const char* v = next()) options->replay_id = std::strtoull(v, nullptr, 10);
+      else return false;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<fi::TargetFactory> make_factory(const Options& options) {
+  tvm::CacheConfig cache;
+  cache.parity_enabled = options.parity;
+  const control::PiConfig pi = fi::paper_pi_config();
+
+  if (options.technique == "swifi") {
+    if (options.workload == "alg1") return fi::make_native_pi_factory(pi, false);
+    if (options.workload == "alg2") return fi::make_native_pi_factory(pi, true);
+    std::fprintf(stderr, "swifi supports workloads alg1 | alg2\n");
+    return std::nullopt;
+  }
+  if (options.technique != "scifi") {
+    std::fprintf(stderr, "unknown technique '%s'\n", options.technique.c_str());
+    return std::nullopt;
+  }
+  if (options.workload == "alg1") {
+    return fi::make_tvm_pi_factory(pi, codegen::RobustnessMode::kNone, cache);
+  }
+  if (options.workload == "alg2") {
+    return fi::make_tvm_pi_factory(pi, codegen::RobustnessMode::kRecover, cache);
+  }
+  if (options.workload == "trap") {
+    return fi::make_tvm_pi_factory(pi, codegen::RobustnessMode::kTrap, cache);
+  }
+  if (options.workload == "alg2rate") {
+    const codegen::EmitResult emitted = codegen::emit_assembly(
+        codegen::make_pi_diagram(pi), codegen::make_pi_options_with_rate(pi));
+    auto program = std::make_shared<tvm::AssembledProgram>(
+        tvm::assemble(emitted.assembly));
+    return [program, cache]() -> std::unique_ptr<fi::Target> {
+      return std::make_unique<fi::TvmTarget>(*program, cache);
+    };
+  }
+  std::fprintf(stderr, "unknown workload '%s'\n", options.workload.c_str());
+  return std::nullopt;
+}
+
+bool configure_fault(const Options& options, fi::CampaignConfig* config) {
+  if (options.fault == "single") {
+    config->fault.kind = fi::FaultKind::kSingleBitFlip;
+  } else if (options.fault == "multi2") {
+    config->fault.kind = fi::FaultKind::kMultiBitFlip;
+    config->fault.multiplicity = 2;
+  } else if (options.fault == "multi4") {
+    config->fault.kind = fi::FaultKind::kMultiBitFlip;
+    config->fault.multiplicity = 4;
+  } else if (options.fault == "stuck0") {
+    config->fault.kind = fi::FaultKind::kStuckAt0;
+  } else if (options.fault == "stuck1") {
+    config->fault.kind = fi::FaultKind::kStuckAt1;
+  } else {
+    std::fprintf(stderr, "unknown fault model '%s'\n", options.fault.c_str());
+    return false;
+  }
+  if (options.filter == "all") {
+    config->filter = fi::LocationFilter::kAll;
+  } else if (options.filter == "cache") {
+    config->filter = fi::LocationFilter::kCacheOnly;
+  } else if (options.filter == "registers") {
+    config->filter = fi::LocationFilter::kRegistersOnly;
+  } else {
+    std::fprintf(stderr, "unknown filter '%s'\n", options.filter.c_str());
+    return false;
+  }
+  return true;
+}
+
+int analyze_only(const std::string& path) {
+  const fi::ResultDatabase db = fi::ResultDatabase::load(path);
+  if (db.size() == 0) {
+    std::fprintf(stderr, "could not load database '%s'\n", path.c_str());
+    return 1;
+  }
+  fi::CampaignResult result;
+  result.config.name = db.campaign_name();
+  result.config.seed = db.seed();
+  result.experiments = db.all();
+  const analysis::CampaignReport report =
+      analysis::CampaignReport::build(result);
+  std::printf("%s\n",
+              report.render("Analysis of " + path + " (campaign '" +
+                            db.campaign_name() + "', seed " +
+                            std::to_string(db.seed()) + ")")
+                  .c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!parse(argc, argv, &options)) {
+    print_usage();
+    return 1;
+  }
+  if (options.help) {
+    print_usage();
+    return 0;
+  }
+  if (!options.analyze_path.empty()) return analyze_only(options.analyze_path);
+
+  const auto factory = make_factory(options);
+  if (!factory) return 1;
+
+  fi::CampaignConfig config = fi::table2_campaign(1.0);
+  config.name = options.workload + "_" + options.technique;
+  config.experiments = options.experiments;
+  config.seed = options.seed;
+  if (!configure_fault(options, &config)) return 1;
+
+  std::printf("campaign '%s': %zu experiments, seed %llu, fault=%s, "
+              "filter=%s%s\n",
+              config.name.c_str(), config.experiments,
+              static_cast<unsigned long long>(config.seed),
+              options.fault.c_str(), options.filter.c_str(),
+              options.parity ? ", parity cache" : "");
+
+  fi::CampaignRunner runner(config);
+  const fi::CampaignResult result = runner.run(*factory);
+  const analysis::CampaignReport report =
+      analysis::CampaignReport::build(result);
+  std::printf("\n%s\n", report.render("Campaign results").c_str());
+
+  if (options.replay_id) {
+    bool found = false;
+    for (const auto& experiment : result.experiments) {
+      if (experiment.id != *options.replay_id) continue;
+      found = true;
+      std::printf("replaying experiment %llu: %s -> %s\n",
+                  static_cast<unsigned long long>(experiment.id),
+                  experiment.fault.to_string().c_str(),
+                  std::string(analysis::outcome_name(experiment.outcome)).c_str());
+      const auto target = (*factory)();
+      const auto outputs =
+          runner.replay_outputs(*target, experiment.fault, result.golden);
+      std::printf("t_s,u_faulty,u_golden\n");
+      for (std::size_t k = 0; k < outputs.size(); ++k) {
+        std::printf("%.4f,%.5f,%.5f\n", plant::iteration_time(k),
+                    static_cast<double>(outputs[k]),
+                    static_cast<double>(result.golden.outputs[k]));
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "experiment %llu not in this campaign\n",
+                   static_cast<unsigned long long>(*options.replay_id));
+    }
+  }
+
+  if (!options.save_path.empty()) {
+    const fi::ResultDatabase db(result);
+    if (db.save(options.save_path)) {
+      std::printf("saved %zu records to %s\n", db.size(),
+                  options.save_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", options.save_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
