@@ -5,6 +5,7 @@
 
 #include "analysis/report.hpp"
 #include "bench_common.hpp"
+#include "obs/collector.hpp"
 
 int main() {
   using namespace earl;
@@ -33,5 +34,8 @@ int main() {
               report.severe_share_of_failures().to_string().c_str());
   std::printf("Coverage: %s  (paper: 94.98%%)\n",
               report.coverage().to_string().c_str());
+  std::printf("\nDetection latency per mechanism "
+              "(injection -> detection, dynamic instructions):\n%s\n",
+              obs::render_detection_latency_table(result).c_str());
   return 0;
 }

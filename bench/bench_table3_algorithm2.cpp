@@ -4,6 +4,7 @@
 
 #include "analysis/report.hpp"
 #include "bench_common.hpp"
+#include "obs/collector.hpp"
 
 int main() {
   using namespace earl;
@@ -28,5 +29,8 @@ int main() {
               result.count(analysis::Outcome::kSeverePermanent));
   std::printf("Coverage: %s  (paper: 94.77%%)\n",
               report.coverage().to_string().c_str());
+  std::printf("\nDetection latency per mechanism "
+              "(injection -> detection, dynamic instructions):\n%s\n",
+              obs::render_detection_latency_table(result).c_str());
   return 0;
 }

@@ -63,6 +63,7 @@ struct ExperimentResult {
   analysis::Outcome outcome = analysis::Outcome::kOverwritten;
   tvm::Edm edm = tvm::Edm::kNone;      // for detected outcomes
   std::size_t end_iteration = 0;       // iteration of detection / last run
+  std::uint64_t detection_distance = 0;  // injection -> detection time units
   std::size_t first_strong = 0;        // deviation facts for diagnostics
   std::size_t strong_count = 0;
   double max_deviation = 0.0;

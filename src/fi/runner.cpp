@@ -3,19 +3,32 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <thread>
 
 #include "util/rng.hpp"
 
 namespace earl::fi {
 
-GoldenRun CampaignRunner::run_golden(Target& target) const {
-  GoldenRun golden;
-  golden.outputs.reserve(config_.iterations);
+namespace {
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+}  // namespace
+
+CampaignRunner::ClosedLoop CampaignRunner::run_closed_loop(
+    Target& target, const Fault* fault, std::uint64_t iteration_budget) const {
+  ClosedLoop loop;
+  loop.outputs.reserve(config_.iterations);
+
   target.reset();
-  // An unconstrained budget for the reference run; the real watchdog value
-  // derives from what this run measures.
-  target.set_iteration_budget(std::uint64_t{1} << 32);
+  target.set_iteration_budget(iteration_budget);
+  if (fault != nullptr) target.arm(*fault);
 
   plant::Engine engine(config_.engine);
   float y = static_cast<float>(engine.speed());
@@ -23,13 +36,39 @@ GoldenRun CampaignRunner::run_golden(Target& target) const {
     const double t = plant::iteration_time(k);
     const float r = plant::reference_speed(t, config_.signals);
     const IterationOutcome step = target.iterate(r, y);
-    assert(!step.detected && "golden run raised a detection");
-    golden.outputs.push_back(step.output);
-    golden.total_time += step.elapsed;
-    golden.max_iteration_time = std::max(golden.max_iteration_time,
-                                         step.elapsed);
+    if (step.detected) {
+      assert(fault != nullptr && "golden run raised a detection");
+      loop.detected = true;
+      loop.edm = step.edm;
+      loop.detection_distance = step.detection_distance;
+      loop.end_iteration = k;
+      return loop;
+    }
+    loop.outputs.push_back(step.output);
+    loop.total_time += step.elapsed;
+    loop.max_iteration_time = std::max(loop.max_iteration_time, step.elapsed);
     y = engine.step(step.output, plant::engine_load(t, config_.signals));
   }
+  loop.end_iteration = config_.iterations;
+  return loop;
+}
+
+std::uint64_t CampaignRunner::watchdog_budget(const GoldenRun& golden) const {
+  return std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             static_cast<double>(golden.max_iteration_time) *
+             config_.watchdog_factor));
+}
+
+GoldenRun CampaignRunner::run_golden(Target& target) const {
+  // An unconstrained budget for the reference run; the real watchdog value
+  // derives from what this run measures.
+  ClosedLoop loop =
+      run_closed_loop(target, nullptr, std::uint64_t{1} << 32);
+  GoldenRun golden;
+  golden.outputs = std::move(loop.outputs);
+  golden.total_time = loop.total_time;
+  golden.max_iteration_time = loop.max_iteration_time;
   golden.final_state = target.observable_state();
   return golden;
 }
@@ -59,44 +98,29 @@ std::vector<Fault> CampaignRunner::sample_faults(
   return faults;
 }
 
-ExperimentResult CampaignRunner::run_experiment(Target& target,
-                                                const Fault& fault,
-                                                std::uint64_t id,
-                                                const GoldenRun& golden) const {
+ExperimentResult CampaignRunner::run_experiment(
+    Target& target, const Fault& fault, std::uint64_t id,
+    const GoldenRun& golden, std::uint64_t register_bits) const {
   ExperimentResult result;
   result.id = id;
   result.fault = fault;
+  result.cache_location = fault.bits[0] >= register_bits;
 
-  target.reset();
-  target.set_iteration_budget(std::max<std::uint64_t>(
-      1, static_cast<std::uint64_t>(
-             static_cast<double>(golden.max_iteration_time) *
-             config_.watchdog_factor)));
-  target.arm(fault);
-
-  plant::Engine engine(config_.engine);
-  std::vector<float> outputs;
-  outputs.reserve(config_.iterations);
-  float y = static_cast<float>(engine.speed());
-  for (std::size_t k = 0; k < config_.iterations; ++k) {
-    const double t = plant::iteration_time(k);
-    const float r = plant::reference_speed(t, config_.signals);
-    const IterationOutcome step = target.iterate(r, y);
-    if (step.detected) {
-      result.outcome = analysis::Outcome::kDetected;
-      result.edm = step.edm;
-      result.end_iteration = k;
-      return result;
-    }
-    outputs.push_back(step.output);
-    y = engine.step(step.output, plant::engine_load(t, config_.signals));
+  const ClosedLoop loop =
+      run_closed_loop(target, &fault, watchdog_budget(golden));
+  result.end_iteration = loop.end_iteration;
+  if (loop.detected) {
+    result.outcome = analysis::Outcome::kDetected;
+    result.edm = loop.edm;
+    result.detection_distance = loop.detection_distance;
+    return result;
   }
-  result.end_iteration = config_.iterations;
 
   const bool state_identical = target.observable_state() == golden.final_state;
   const analysis::DeviationStats stats =
-      analysis::deviation_stats(golden.outputs, outputs, config_.classify);
-  result.outcome = analysis::classify_outputs(golden.outputs, outputs,
+      analysis::deviation_stats(golden.outputs, loop.outputs,
+                                config_.classify);
+  result.outcome = analysis::classify_outputs(golden.outputs, loop.outputs,
                                               state_identical,
                                               config_.classify);
   result.first_strong = stats.first_strong;
@@ -108,36 +132,35 @@ ExperimentResult CampaignRunner::run_experiment(Target& target,
 std::vector<float> CampaignRunner::replay_outputs(Target& target,
                                                   const Fault& fault,
                                                   const GoldenRun& golden) const {
-  target.reset();
-  target.set_iteration_budget(std::max<std::uint64_t>(
-      1, static_cast<std::uint64_t>(
-             static_cast<double>(golden.max_iteration_time) *
-             config_.watchdog_factor)));
-  target.arm(fault);
-
-  plant::Engine engine(config_.engine);
-  std::vector<float> outputs;
-  outputs.reserve(config_.iterations);
-  float y = static_cast<float>(engine.speed());
-  for (std::size_t k = 0; k < config_.iterations; ++k) {
-    const double t = plant::iteration_time(k);
-    const float r = plant::reference_speed(t, config_.signals);
-    const IterationOutcome step = target.iterate(r, y);
-    if (step.detected) break;
-    outputs.push_back(step.output);
-    y = engine.step(step.output, plant::engine_load(t, config_.signals));
-  }
-  return outputs;
+  return run_closed_loop(target, &fault, watchdog_budget(golden)).outputs;
 }
 
-CampaignResult CampaignRunner::run(const TargetFactory& factory) const {
+CampaignResult CampaignRunner::run(const TargetFactory& factory,
+                                   obs::CampaignObserver* observer) const {
   CampaignResult result;
   result.config = config_;
 
   const std::unique_ptr<Target> probe = factory();
+  if (observer != nullptr) probe->set_profiling(true);
   result.fault_space_bits = probe->fault_space_bits();
   result.register_partition_bits = probe->register_partition_bits();
+
+  std::size_t workers = config_.workers;
+  if (workers == 0) {
+    workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers = std::min(workers, std::max<std::size_t>(1, config_.experiments));
+
+  if (observer != nullptr) {
+    obs::CampaignStartInfo info;
+    info.fault_space_bits = result.fault_space_bits;
+    info.register_partition_bits = result.register_partition_bits;
+    info.workers = workers;
+    observer->on_campaign_start(config_, info);
+  }
+
   result.golden = run_golden(*probe);
+  if (observer != nullptr) observer->on_golden_done(result.golden);
 
   const std::vector<Fault> faults = sample_faults(
       result.fault_space_bits, result.register_partition_bits,
@@ -145,17 +168,20 @@ CampaignResult CampaignRunner::run(const TargetFactory& factory) const {
 
   result.experiments.resize(faults.size());
 
-  std::size_t workers = config_.workers;
-  if (workers == 0) {
-    workers = std::max(1u, std::thread::hardware_concurrency());
-  }
-  workers = std::min(workers, faults.size());
   if (workers <= 1) {
     for (std::size_t i = 0; i < faults.size(); ++i) {
+      const auto started = std::chrono::steady_clock::now();
       result.experiments[i] =
-          run_experiment(*probe, faults[i], i, result.golden);
-      result.experiments[i].cache_location =
-          faults[i].bits[0] >= result.register_partition_bits;
+          run_experiment(*probe, faults[i], i, result.golden,
+                         result.register_partition_bits);
+      if (observer != nullptr) {
+        observer->on_experiment_done(0, result.experiments[i],
+                                     elapsed_ns(started));
+      }
+    }
+    if (observer != nullptr) {
+      observer->on_worker_profile(0, probe->profile());
+      observer->on_campaign_end(result);
     }
     return result;
   }
@@ -170,17 +196,24 @@ CampaignResult CampaignRunner::run(const TargetFactory& factory) const {
       const std::unique_ptr<Target> target =
           w == 0 ? nullptr : factory();
       Target& mine = w == 0 ? *probe : *target;
+      if (observer != nullptr && w != 0) mine.set_profiling(true);
       for (;;) {
         const std::size_t i = next.fetch_add(1);
         if (i >= faults.size()) break;
+        const auto started = std::chrono::steady_clock::now();
         result.experiments[i] =
-            run_experiment(mine, faults[i], i, result.golden);
-        result.experiments[i].cache_location =
-            faults[i].bits[0] >= result.register_partition_bits;
+            run_experiment(mine, faults[i], i, result.golden,
+                           result.register_partition_bits);
+        if (observer != nullptr) {
+          observer->on_experiment_done(w, result.experiments[i],
+                                       elapsed_ns(started));
+        }
       }
+      if (observer != nullptr) observer->on_worker_profile(w, mine.profile());
     });
   }
   for (std::thread& t : threads) t.join();
+  if (observer != nullptr) observer->on_campaign_end(result);
   return result;
 }
 

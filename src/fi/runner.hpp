@@ -8,6 +8,12 @@
 // golden run.  Re-running any experiment id reproduces it exactly — which
 // is how the exemplar benches (Figures 7-9) recover full output traces for
 // interesting experiments without the campaign storing 650 floats each.
+//
+// Telemetry: run() accepts an optional obs::CampaignObserver that is
+// notified of campaign lifecycle events and per-experiment completions
+// (from worker threads — see obs/observer.hpp for the threading contract).
+// Observation is passive: results are bit-identical with and without an
+// observer attached.
 #pragma once
 
 #include <functional>
@@ -15,6 +21,7 @@
 
 #include "fi/campaign.hpp"
 #include "fi/target.hpp"
+#include "obs/observer.hpp"
 #include "plant/environment.hpp"
 
 namespace earl::fi {
@@ -26,13 +33,15 @@ class CampaignRunner {
   explicit CampaignRunner(CampaignConfig config) : config_(std::move(config)) {}
 
   /// Runs golden + all experiments. The factory is called once per worker.
-  CampaignResult run(const TargetFactory& factory) const;
+  /// `observer`, when non-null, receives lifecycle + per-experiment events.
+  CampaignResult run(const TargetFactory& factory,
+                     obs::CampaignObserver* observer = nullptr) const;
 
   /// Reference execution only (also useful for Figure 3/4/5 traces).
   GoldenRun run_golden(Target& target) const;
 
   /// Re-runs a single already-sampled fault and returns the full output
-  /// series (zero-padded from the detection point when detected early).
+  /// series (truncated at the detection point when detected early).
   std::vector<float> replay_outputs(Target& target, const Fault& fault,
                                     const GoldenRun& golden) const;
 
@@ -45,9 +54,28 @@ class CampaignRunner {
   const CampaignConfig& config() const { return config_; }
 
  private:
+  /// One closed-loop execution of the workload: reset, arm (when `fault` is
+  /// non-null), then step target + engine until detection or the configured
+  /// iteration count.  The single stepping loop shared by the golden run,
+  /// experiments and replays.
+  struct ClosedLoop {
+    std::vector<float> outputs;
+    bool detected = false;
+    tvm::Edm edm = tvm::Edm::kNone;
+    std::uint64_t detection_distance = 0;
+    std::size_t end_iteration = 0;
+    std::uint64_t total_time = 0;          // summed iteration time units
+    std::uint64_t max_iteration_time = 0;  // watchdog base
+  };
+  ClosedLoop run_closed_loop(Target& target, const Fault* fault,
+                             std::uint64_t iteration_budget) const;
+
+  /// Watchdog budget for faulty runs, derived from the golden run.
+  std::uint64_t watchdog_budget(const GoldenRun& golden) const;
+
   ExperimentResult run_experiment(Target& target, const Fault& fault,
-                                  std::uint64_t id,
-                                  const GoldenRun& golden) const;
+                                  std::uint64_t id, const GoldenRun& golden,
+                                  std::uint64_t register_bits) const;
 
   CampaignConfig config_;
 };

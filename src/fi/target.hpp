@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "fi/fault_model.hpp"
+#include "obs/profile.hpp"
 #include "tvm/edm.hpp"
 
 namespace earl::fi {
@@ -33,6 +34,9 @@ struct IterationOutcome {
   bool detected = false;
   tvm::Edm edm = tvm::Edm::kNone;
   std::uint64_t elapsed = 0;  // time units consumed by this iteration
+  /// Detection latency: time units between the armed fault's injection and
+  /// the detection (0 when not detected, or detected before injection).
+  std::uint64_t detection_distance = 0;
 };
 
 class Target {
@@ -63,6 +67,16 @@ class Target {
   /// Watchdog: maximum time units one iteration may consume before the
   /// node's watchdog fires (set by the runner from the golden run).
   virtual void set_iteration_budget(std::uint64_t budget) = 0;
+
+  /// Enables lightweight execution profiling (instruction mix, cache
+  /// traffic, raw EDM trigger counts).  Off by default; enabling must not
+  /// change any observable behaviour.  Targets without instrumentation
+  /// ignore it.
+  virtual void set_profiling(bool enabled) { (void)enabled; }
+
+  /// Profile accumulated since profiling was enabled (across resets);
+  /// all-zero when disabled or unsupported.
+  virtual obs::TargetProfile profile() const { return {}; }
 };
 
 }  // namespace earl::fi

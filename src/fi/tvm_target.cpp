@@ -19,10 +19,36 @@ TvmTarget::TvmTarget(const tvm::AssembledProgram& program,
 }
 
 void TvmTarget::reset() {
+  if (profiling_) accumulate_cache_stats();
   machine_.reset(entry_);
   executed_ = 0;
   armed_.reset();
   injected_ = false;
+}
+
+void TvmTarget::accumulate_cache_stats() {
+  const tvm::CacheStats& stats = machine_.cache.stats();
+  profile_.cache_hits += stats.hits;
+  profile_.cache_misses += stats.misses;
+  profile_.cache_writebacks += stats.writebacks;
+}
+
+void TvmTarget::set_profiling(bool enabled) {
+  profiling_ = enabled;
+  machine_.cpu.set_exec_profile(enabled ? &exec_profile_ : nullptr);
+}
+
+obs::TargetProfile TvmTarget::profile() const {
+  obs::TargetProfile out = profile_;
+  out.instret_by_opcode = exec_profile_.opcode;
+  if (profiling_) {
+    // Fold in the current run's not-yet-accumulated cache stats.
+    const tvm::CacheStats& stats = machine_.cache.stats();
+    out.cache_hits += stats.hits;
+    out.cache_misses += stats.misses;
+    out.cache_writebacks += stats.writebacks;
+  }
+  return out;
 }
 
 void TvmTarget::arm(const Fault& fault) {
@@ -49,6 +75,19 @@ void TvmTarget::apply_fault_bits() {
 
 IterationOutcome TvmTarget::iterate(float reference, float measurement) {
   IterationOutcome outcome;
+
+  // Marks the iteration as detected, recording the injection->detection
+  // instruction distance and the raw EDM trigger for the profile.
+  auto detect = [&](tvm::Edm edm) {
+    outcome.detected = true;
+    outcome.edm = edm;
+    if (armed_ && injected_) {
+      outcome.detection_distance = executed_ - armed_->time;
+    }
+    if (profiling_) {
+      ++profile_.edm_raised[static_cast<std::size_t>(edm)];
+    }
+  };
 
   // Stuck-at faults are re-forced at every iteration boundary once injected
   // (scan-chain approximation of a permanent fault).
@@ -80,21 +119,18 @@ IterationOutcome TvmTarget::iterate(float reference, float measurement) {
             util::bits_to_float(machine_.mem.read_raw(tvm::kIoOutU));
         return outcome;
       case tvm::RunResult::Kind::kTrap:
-        outcome.detected = true;
-        outcome.edm = run.edm;
+        detect(run.edm);
         return outcome;
       case tvm::RunResult::Kind::kHalt:
         // HALT is privileged and never executes fault-free; a corrupted
         // mode bit could reach it. The node stops — a detected condition.
-        outcome.detected = true;
-        outcome.edm = tvm::Edm::kInstructionError;
+        detect(tvm::Edm::kInstructionError);
         return outcome;
       case tvm::RunResult::Kind::kBudgetExhausted:
         break;  // reached the injection point, or the watchdog budget
     }
   }
-  outcome.detected = true;
-  outcome.edm = tvm::Edm::kWatchdog;
+  detect(tvm::Edm::kWatchdog);
   return outcome;
 }
 

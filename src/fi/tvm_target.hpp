@@ -26,6 +26,10 @@ class TvmTarget : public Target {
   explicit TvmTarget(const tvm::AssembledProgram& program,
                      tvm::CacheConfig cache_config = {});
 
+  // The CPU's profile hook points at a member, so the target must not move.
+  TvmTarget(const TvmTarget&) = delete;
+  TvmTarget& operator=(const TvmTarget&) = delete;
+
   void reset() override;
   IterationOutcome iterate(float reference, float measurement) override;
   void arm(const Fault& fault) override;
@@ -33,6 +37,8 @@ class TvmTarget : public Target {
   std::uint64_t register_partition_bits() const override;
   std::vector<std::uint64_t> observable_state() const override;
   void set_iteration_budget(std::uint64_t budget) override;
+  void set_profiling(bool enabled) override;
+  obs::TargetProfile profile() const override;
 
   /// Scan-chain access for directed experiments (e.g. the Figure 10 bench
   /// corrupts the state variable to a chosen in-range value).
@@ -46,6 +52,7 @@ class TvmTarget : public Target {
 
  private:
   void apply_fault_bits();
+  void accumulate_cache_stats();
 
   tvm::Machine machine_;
   tvm::ScanChain scan_;
@@ -54,6 +61,13 @@ class TvmTarget : public Target {
   std::uint64_t iteration_budget_ = 1u << 20;
   std::optional<Fault> armed_;
   bool injected_ = false;
+
+  // Profiling state (see Target::set_profiling).  Cache stats are cleared
+  // by Machine::reset, so reset() folds them into profile_ first; the
+  // instruction mix accumulates directly through the CPU's hook.
+  bool profiling_ = false;
+  tvm::ExecProfile exec_profile_;
+  obs::TargetProfile profile_;
 };
 
 }  // namespace earl::fi

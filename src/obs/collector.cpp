@@ -1,0 +1,176 @@
+#include "obs/collector.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "obs/labels.hpp"
+#include "tvm/isa.hpp"
+#include "util/table.hpp"
+
+namespace earl::obs {
+
+namespace {
+
+std::span<const double> wall_us_bounds() {
+  static constexpr double kBounds[] = {10,    20,    50,     100,   200,
+                                       500,   1000,  2000,   5000,  10000,
+                                       20000, 50000, 100000, 200000, 500000};
+  return kBounds;
+}
+
+std::span<const double> end_iteration_bounds() {
+  static constexpr double kBounds[] = {0,   1,   2,   5,   10,  20, 50,
+                                       100, 200, 325, 500, 650};
+  return kBounds;
+}
+
+}  // namespace
+
+MetricsCollector::MetricsCollector(MetricsRegistry& registry)
+    : registry_(registry) {
+  for (std::size_t o = 0; o < analysis::kOutcomeCount; ++o) {
+    outcome_counters_[o] = &registry_.counter(
+        "campaign.outcome." + outcome_slug(static_cast<analysis::Outcome>(o)));
+  }
+  for (std::size_t e = 1; e < tvm::kEdmCount; ++e) {
+    const std::string slug = edm_slug(static_cast<tvm::Edm>(e));
+    edm_counters_[e] = &registry_.counter("campaign.edm." + slug);
+    latency_histograms_[e] = &registry_.histogram(
+        "campaign.detection_latency." + slug, detection_latency_bounds());
+  }
+  latency_all_ = &registry_.histogram("campaign.detection_latency",
+                                      detection_latency_bounds());
+  wall_us_ = &registry_.histogram("campaign.experiment_wall_us",
+                                  wall_us_bounds());
+  end_iteration_ = &registry_.histogram("campaign.end_iteration",
+                                        end_iteration_bounds());
+}
+
+void MetricsCollector::on_campaign_start(const fi::CampaignConfig& config,
+                                         const CampaignStartInfo& info) {
+  registry_.gauge("campaign.experiments")
+      .set(static_cast<double>(config.experiments));
+  registry_.gauge("campaign.iterations")
+      .set(static_cast<double>(config.iterations));
+  registry_.gauge("campaign.seed").set(static_cast<double>(config.seed));
+  registry_.gauge("campaign.workers").set(static_cast<double>(info.workers));
+  registry_.gauge("campaign.fault_space_bits")
+      .set(static_cast<double>(info.fault_space_bits));
+  registry_.gauge("campaign.register_partition_bits")
+      .set(static_cast<double>(info.register_partition_bits));
+}
+
+void MetricsCollector::on_golden_done(const fi::GoldenRun& golden) {
+  registry_.gauge("campaign.golden.total_time")
+      .set(static_cast<double>(golden.total_time));
+  registry_.gauge("campaign.golden.max_iteration_time")
+      .set(static_cast<double>(golden.max_iteration_time));
+}
+
+void MetricsCollector::on_experiment_done(std::size_t worker,
+                                          const fi::ExperimentResult& result,
+                                          std::uint64_t wall_ns) {
+  (void)worker;
+  outcome_counters_[static_cast<std::size_t>(result.outcome)]->add();
+  wall_us_->observe(static_cast<double>(wall_ns) / 1000.0);
+  end_iteration_->observe(static_cast<double>(result.end_iteration));
+  if (result.outcome == analysis::Outcome::kDetected) {
+    const auto e = static_cast<std::size_t>(result.edm);
+    const double distance = static_cast<double>(result.detection_distance);
+    latency_all_->observe(distance);
+    if (e > 0 && e < tvm::kEdmCount) {
+      edm_counters_[e]->add();
+      latency_histograms_[e]->observe(distance);
+    }
+  }
+}
+
+void MetricsCollector::on_worker_profile(std::size_t worker,
+                                         const TargetProfile& profile) {
+  (void)worker;
+  const std::lock_guard<std::mutex> lock(profile_mutex_);
+  merged_profile_.merge(profile);
+}
+
+void MetricsCollector::on_campaign_end(const fi::CampaignResult& result) {
+  (void)result;
+  const std::lock_guard<std::mutex> lock(profile_mutex_);
+  if (merged_profile_.empty()) return;
+  for (std::size_t op = 0; op < kOpcodeSlots; ++op) {
+    const std::uint64_t n = merged_profile_.instret_by_opcode[op];
+    if (n == 0) continue;
+    const tvm::OpcodeInfo& info =
+        tvm::opcode_info(static_cast<std::uint8_t>(op));
+    const std::string name =
+        info.valid ? info.mnemonic : "op" + std::to_string(op);
+    registry_.counter("tvm.instret." + name).add(n);
+  }
+  registry_.counter("tvm.instret").add(merged_profile_.instret_total());
+  registry_.counter("tvm.cache.hits").add(merged_profile_.cache_hits);
+  registry_.counter("tvm.cache.misses").add(merged_profile_.cache_misses);
+  registry_.counter("tvm.cache.writebacks")
+      .add(merged_profile_.cache_writebacks);
+  for (std::size_t e = 1; e < tvm::kEdmCount; ++e) {
+    const std::uint64_t n = merged_profile_.edm_raised[e];
+    if (n == 0) continue;
+    registry_
+        .counter("tvm.edm_raised." + edm_slug(static_cast<tvm::Edm>(e)))
+        .add(n);
+  }
+}
+
+std::string render_detection_latency_table(const fi::CampaignResult& result) {
+  // Gather injection->detection distances per mechanism.
+  std::array<std::vector<std::uint64_t>, tvm::kEdmCount> distances;
+  std::vector<std::uint64_t> all;
+  for (const fi::ExperimentResult& e : result.experiments) {
+    if (e.outcome != analysis::Outcome::kDetected) continue;
+    distances[static_cast<std::size_t>(e.edm)].push_back(
+        e.detection_distance);
+    all.push_back(e.detection_distance);
+  }
+
+  util::Table table({"Mechanism", "N", "min", "p50", "p90", "max",
+                     "<=10", "<=100", "<=1k", ">1k"});
+  for (std::size_t c = 1; c < 10; ++c) {
+    table.set_align(c, util::Table::Align::kRight);
+  }
+
+  auto add_row = [&](const std::string& name,
+                     std::vector<std::uint64_t> xs) {
+    std::sort(xs.begin(), xs.end());
+    auto percentile = [&](double p) {
+      const std::size_t index = static_cast<std::size_t>(
+          p * static_cast<double>(xs.size() - 1) + 0.5);
+      return xs[std::min(index, xs.size() - 1)];
+    };
+    std::size_t le10 = 0, le100 = 0, le1k = 0;
+    for (const std::uint64_t x : xs) {
+      le10 += x <= 10;
+      le100 += x <= 100;
+      le1k += x <= 1000;
+    }
+    table.add_row({name, std::to_string(xs.size()), std::to_string(xs.front()),
+                   std::to_string(percentile(0.5)),
+                   std::to_string(percentile(0.9)), std::to_string(xs.back()),
+                   std::to_string(le10), std::to_string(le100),
+                   std::to_string(le1k), std::to_string(xs.size() - le1k)});
+  };
+
+  for (std::size_t e = 1; e < tvm::kEdmCount; ++e) {
+    if (distances[e].empty()) continue;
+    add_row(std::string(tvm::edm_name(static_cast<tvm::Edm>(e))),
+            std::move(distances[e]));
+  }
+  if (!all.empty()) {
+    table.add_separator();
+    add_row("Total", std::move(all));
+  } else {
+    table.add_row({"(no detections)", "0", "-", "-", "-", "-", "-", "-", "-",
+                   "-"});
+  }
+  return table.render();
+}
+
+}  // namespace earl::obs

@@ -1,0 +1,66 @@
+// MetricsCollector — the CampaignObserver that feeds a MetricsRegistry —
+// and the per-mechanism detection-latency report the Table 2/3 benches
+// print (data the paper's tables leave implicit: *how fast* each EDM
+// catches the errors it catches, in dynamic instructions).
+#pragma once
+
+#include <array>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
+
+namespace earl::obs {
+
+/// Fills a registry with the canonical campaign metrics:
+///
+///   campaign.outcome.<slug>            counter, one per classification
+///   campaign.edm.<slug>                counter, detected experiments per EDM
+///   campaign.detection_latency         histogram, injection->detection
+///   campaign.detection_latency.<slug>  histogram, same but per EDM
+///   campaign.experiment_wall_us        histogram, per-experiment wall time
+///   campaign.end_iteration             histogram, where experiments stopped
+///   tvm.instret.<mnemonic>             counter, instruction mix (profiled)
+///   tvm.cache.{hits,misses,writebacks} counter, data-cache traffic
+///   tvm.edm_raised.<slug>              counter, raw EDM triggers (profiled)
+///   campaign.{experiments,workers,...} gauges, campaign facts
+///
+/// All instrument handles are resolved in the constructor, so the
+/// per-experiment path is a handful of relaxed atomic ops.
+class MetricsCollector final : public CampaignObserver {
+ public:
+  explicit MetricsCollector(MetricsRegistry& registry);
+
+  void on_campaign_start(const fi::CampaignConfig& config,
+                         const CampaignStartInfo& info) override;
+  void on_golden_done(const fi::GoldenRun& golden) override;
+  void on_experiment_done(std::size_t worker,
+                          const fi::ExperimentResult& result,
+                          std::uint64_t wall_ns) override;
+  void on_worker_profile(std::size_t worker,
+                         const TargetProfile& profile) override;
+  void on_campaign_end(const fi::CampaignResult& result) override;
+
+  MetricsRegistry& registry() { return registry_; }
+
+ private:
+  MetricsRegistry& registry_;
+  std::array<Counter*, analysis::kOutcomeCount> outcome_counters_{};
+  std::array<Counter*, tvm::kEdmCount> edm_counters_{};
+  std::array<Histogram*, tvm::kEdmCount> latency_histograms_{};
+  Histogram* latency_all_ = nullptr;
+  Histogram* wall_us_ = nullptr;
+  Histogram* end_iteration_ = nullptr;
+
+  std::mutex profile_mutex_;
+  TargetProfile merged_profile_;
+};
+
+/// ASCII table of detection latency (injection -> detection, in dynamic
+/// instructions) per error-detection mechanism, computed from a finished
+/// campaign's experiment records.  Mechanisms with no detections are
+/// omitted; a Total row closes the table.
+std::string render_detection_latency_table(const fi::CampaignResult& result);
+
+}  // namespace earl::obs

@@ -1,0 +1,148 @@
+#include "obs/events.hpp"
+
+#include "obs/json.hpp"
+#include "obs/labels.hpp"
+
+namespace earl::obs {
+
+namespace {
+
+constexpr std::size_t kFlushThreshold = 64 * 1024;
+
+const char* fault_kind_name(fi::FaultKind kind) {
+  switch (kind) {
+    case fi::FaultKind::kSingleBitFlip: return "single_bit_flip";
+    case fi::FaultKind::kMultiBitFlip: return "multi_bit_flip";
+    case fi::FaultKind::kStuckAt0: return "stuck_at_0";
+    case fi::FaultKind::kStuckAt1: return "stuck_at_1";
+  }
+  return "unknown";
+}
+
+std::string bits_array(const std::vector<std::size_t>& bits) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (i) out.push_back(',');
+    out += std::to_string(bits[i]);
+  }
+  out.push_back(']');
+  return out;
+}
+
+}  // namespace
+
+JsonlEventLogger::JsonlEventLogger(const std::string& path)
+    : file_(path, std::ios::out | std::ios::trunc) {
+  if (file_.is_open()) out_ = &file_;
+}
+
+JsonlEventLogger::JsonlEventLogger(std::ostream& sink) : out_(&sink) {}
+
+JsonlEventLogger::~JsonlEventLogger() { flush(); }
+
+void JsonlEventLogger::write_line(const std::string& line) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (out_ != nullptr) *out_ << line << '\n';
+}
+
+void JsonlEventLogger::flush() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (out_ == nullptr) return;
+  for (std::string& buffer : buffers_) {
+    if (buffer.empty()) continue;
+    *out_ << buffer;
+    buffer.clear();
+  }
+  out_->flush();
+}
+
+void JsonlEventLogger::on_campaign_start(const fi::CampaignConfig& config,
+                                         const CampaignStartInfo& info) {
+  buffers_.assign(info.workers, std::string());
+  JsonObject event;
+  event.field("event", "campaign_start")
+      .field("campaign", config.name)
+      .field("experiments", static_cast<std::uint64_t>(config.experiments))
+      .field("seed", config.seed)
+      .field("iterations", static_cast<std::uint64_t>(config.iterations))
+      .field("fault_kind", fault_kind_name(config.fault.kind))
+      .field("fault_multiplicity",
+             static_cast<std::uint64_t>(config.fault.multiplicity))
+      .field("workers", static_cast<std::uint64_t>(info.workers))
+      .field("fault_space_bits", info.fault_space_bits)
+      .field("register_partition_bits", info.register_partition_bits);
+  write_line(std::move(event).str());
+}
+
+void JsonlEventLogger::on_golden_done(const fi::GoldenRun& golden) {
+  JsonObject event;
+  event.field("event", "golden_run")
+      .field("total_time", golden.total_time)
+      .field("max_iteration_time", golden.max_iteration_time)
+      .field("outputs", static_cast<std::uint64_t>(golden.outputs.size()));
+  write_line(std::move(event).str());
+}
+
+void JsonlEventLogger::on_experiment_done(std::size_t worker,
+                                          const fi::ExperimentResult& result,
+                                          std::uint64_t wall_ns) {
+  JsonObject event;
+  event.field("event", "experiment")
+      .field("id", result.id)
+      .field("worker", static_cast<std::uint64_t>(worker))
+      .raw_field("bits", bits_array(result.fault.bits))
+      .field("time", result.fault.time)
+      .field("cache", result.cache_location)
+      .field("outcome", outcome_slug(result.outcome))
+      .field("end_iteration", static_cast<std::uint64_t>(result.end_iteration))
+      .field("wall_ns", wall_ns);
+  if (result.outcome == analysis::Outcome::kDetected) {
+    event.field("edm", edm_slug(result.edm))
+        .field("detection_distance", result.detection_distance);
+  } else if (analysis::is_value_failure(result.outcome)) {
+    event.field("first_strong",
+                static_cast<std::uint64_t>(result.first_strong))
+        .field("strong_count", static_cast<std::uint64_t>(result.strong_count))
+        .field("max_deviation", result.max_deviation);
+  }
+  std::string line = std::move(event).str();
+  line.push_back('\n');
+
+  if (worker < buffers_.size()) {
+    std::string& buffer = buffers_[worker];
+    buffer += line;
+    if (buffer.size() >= kFlushThreshold) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (out_ != nullptr) *out_ << buffer;
+      buffer.clear();
+    }
+  } else {
+    // Defensive: an unknown worker id (observer attached mid-run) still logs.
+    line.pop_back();
+    write_line(line);
+  }
+}
+
+void JsonlEventLogger::on_campaign_end(const fi::CampaignResult& result) {
+  flush();
+  std::string outcomes = "{";
+  for (std::size_t o = 0; o < analysis::kOutcomeCount; ++o) {
+    if (o) outcomes.push_back(',');
+    outcomes += "\"" +
+                outcome_slug(static_cast<analysis::Outcome>(o)) +
+                "\":" + std::to_string(
+                            result.count(static_cast<analysis::Outcome>(o)));
+  }
+  outcomes.push_back('}');
+  JsonObject event;
+  event.field("event", "campaign_end")
+      .field("campaign", result.config.name)
+      .field("experiments",
+             static_cast<std::uint64_t>(result.experiments.size()))
+      .raw_field("outcomes", outcomes);
+  write_line(std::move(event).str());
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (out_ != nullptr) out_->flush();
+}
+
+}  // namespace earl::obs

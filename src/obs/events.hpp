@@ -1,0 +1,63 @@
+// Structured JSONL campaign event log.
+//
+// The machine-readable counterpart of GOOFI's normal-mode logging: one JSON
+// object per line, one line per lifecycle event, so a campaign's full run
+// record can be replayed through jq/pandas without bespoke parsing.
+//
+// Event stream (see docs/OBSERVABILITY.md for the field-level schema):
+//   campaign_start  — config + resolved fault space and worker count
+//   golden_run      — reference-execution facts (time space, watchdog base)
+//   experiment      — fault coordinates, outcome, EDM, detection latency,
+//                     end iteration, wall time; one per experiment
+//   campaign_end    — outcome tallies + total wall time
+//
+// Hot-path design: each worker appends formatted lines to a private string
+// buffer (no shared state touched), and only a full buffer (64 KiB) or the
+// final flush takes the sink mutex.  Experiment events therefore appear
+// roughly in completion order, not sorted by id — consumers must key on the
+// "id" field, never on line order.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/observer.hpp"
+
+namespace earl::obs {
+
+class JsonlEventLogger final : public CampaignObserver {
+ public:
+  /// File-backed (truncates). Check ok() before running the campaign.
+  explicit JsonlEventLogger(const std::string& path);
+  /// Stream-backed (tests); the sink must outlive the logger.
+  explicit JsonlEventLogger(std::ostream& sink);
+  ~JsonlEventLogger() override;
+
+  bool ok() const { return out_ != nullptr && out_->good(); }
+
+  void on_campaign_start(const fi::CampaignConfig& config,
+                         const CampaignStartInfo& info) override;
+  void on_golden_done(const fi::GoldenRun& golden) override;
+  void on_experiment_done(std::size_t worker,
+                          const fi::ExperimentResult& result,
+                          std::uint64_t wall_ns) override;
+  void on_campaign_end(const fi::CampaignResult& result) override;
+
+  /// Drains every worker buffer to the sink (also done by campaign_end and
+  /// the destructor).
+  void flush();
+
+ private:
+  void write_line(const std::string& line);  // takes the sink mutex
+
+  std::ofstream file_;
+  std::ostream* out_ = nullptr;
+  std::mutex mutex_;                   // guards *out_
+  std::vector<std::string> buffers_;   // one per worker, index = worker id
+};
+
+}  // namespace earl::obs

@@ -1,0 +1,88 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace earl::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[32];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+  }
+  return buf;
+}
+
+void JsonObject::begin_field(std::string_view key) {
+  if (!first_) out_.push_back(',');
+  first_ = false;
+  out_.push_back('"');
+  out_.append(key);
+  out_ += "\":";
+}
+
+JsonObject& JsonObject::field(std::string_view key, std::string_view value) {
+  begin_field(key);
+  out_.push_back('"');
+  out_ += json_escape(value);
+  out_.push_back('"');
+  return *this;
+}
+
+JsonObject& JsonObject::field(std::string_view key, std::uint64_t value) {
+  begin_field(key);
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonObject& JsonObject::field(std::string_view key, double value) {
+  begin_field(key);
+  out_ += json_number(value);
+  return *this;
+}
+
+JsonObject& JsonObject::field(std::string_view key, bool value) {
+  begin_field(key);
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonObject& JsonObject::raw_field(std::string_view key, std::string_view raw) {
+  begin_field(key);
+  out_.append(raw);
+  return *this;
+}
+
+std::string JsonObject::str() && {
+  out_.push_back('}');
+  return std::move(out_);
+}
+
+}  // namespace earl::obs

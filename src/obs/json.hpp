@@ -1,0 +1,46 @@
+// Minimal JSON emission helpers shared by the event log and the metrics
+// exporter.  Emission only — the observability layer writes JSON/JSONL for
+// external consumers (jq, pandas, dashboards); it never parses it back.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace earl::obs {
+
+/// Escapes `s` for use inside a JSON string literal (quotes not included).
+std::string json_escape(std::string_view s);
+
+/// Shortest-round-trip style formatting for a double JSON value: integral
+/// values print without a trailing ".0"; NaN/Inf (not representable in
+/// JSON) print as 0.
+std::string json_number(double v);
+
+/// Incremental builder for one JSON object on a single line (the JSONL
+/// contract).  Keys must be pre-escaped (ours are literals).
+class JsonObject {
+ public:
+  JsonObject() : out_("{") {}
+
+  JsonObject& field(std::string_view key, std::string_view string_value);
+  JsonObject& field(std::string_view key, const char* string_value) {
+    return field(key, std::string_view(string_value));
+  }
+  JsonObject& field(std::string_view key, std::uint64_t value);
+  JsonObject& field(std::string_view key, double value);
+  JsonObject& field(std::string_view key, bool value);
+  /// Inserts `raw` verbatim as the value (caller guarantees valid JSON).
+  JsonObject& raw_field(std::string_view key, std::string_view raw);
+
+  /// Closes the object; the builder must not be reused afterwards.
+  std::string str() &&;
+
+ private:
+  void begin_field(std::string_view key);
+
+  std::string out_;
+  bool first_ = true;
+};
+
+}  // namespace earl::obs

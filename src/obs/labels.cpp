@@ -1,0 +1,30 @@
+#include "obs/labels.hpp"
+
+#include <cctype>
+
+namespace earl::obs {
+
+std::string slugify(std::string_view name) {
+  std::string slug;
+  slug.reserve(name.size());
+  bool pending_separator = false;
+  for (const char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      if (pending_separator && !slug.empty()) slug.push_back('_');
+      pending_separator = false;
+      slug.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else {
+      pending_separator = true;
+    }
+  }
+  return slug;
+}
+
+std::string edm_slug(tvm::Edm edm) { return slugify(tvm::edm_name(edm)); }
+
+std::string outcome_slug(analysis::Outcome outcome) {
+  return slugify(analysis::outcome_name(outcome));
+}
+
+}  // namespace earl::obs

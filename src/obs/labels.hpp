@@ -1,0 +1,28 @@
+// Stable machine-readable labels for telemetry.
+//
+// Human-facing names ("Severe (Semi-Permanent)", "Master/Slave Comparator")
+// are unsuitable as JSON field values or metric-name components, so every
+// enum the observability layer exports gets a lower_snake_case slug that is
+// stable across releases: consumers key dashboards and scripts on these.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "analysis/classify.hpp"
+#include "tvm/edm.hpp"
+
+namespace earl::obs {
+
+/// Lower-cases `name` and folds every non-alphanumeric run into a single
+/// '_' (leading/trailing runs are dropped): "Severe (Semi-Permanent)" ->
+/// "severe_semi_permanent".
+std::string slugify(std::string_view name);
+
+/// Slug of an error-detection mechanism, e.g. "control_flow_error".
+std::string edm_slug(tvm::Edm edm);
+
+/// Slug of a classification outcome, e.g. "minor_transient".
+std::string outcome_slug(analysis::Outcome outcome);
+
+}  // namespace earl::obs

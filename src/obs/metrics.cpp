@@ -1,0 +1,169 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "obs/json.hpp"
+
+namespace earl::obs {
+
+Histogram::Histogram(std::span<const double> bounds)
+    : bounds_(bounds.begin(), bounds.end()),
+      buckets_(new std::atomic<std::uint64_t>[bounds.size() + 1]) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double x) {
+  std::size_t bucket = bounds_.size();  // +inf overflow slot
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (x <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(x, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::span<const double> bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>(bounds))
+             .first;
+  } else {
+    assert(it->second->bounds().size() == bounds.size());
+  }
+  return *it->second;
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* MetricsRegistry::find_histogram(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::string MetricsRegistry::to_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) + "\": " + std::to_string(c->value());
+  }
+  out += first ? "}" : "\n  }";
+  out += ",\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) + "\": " + json_number(g->value());
+  }
+  out += first ? "}" : "\n  }";
+  out += ",\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) + "\": {\"count\": " +
+           std::to_string(h->count()) + ", \"sum\": " + json_number(h->sum()) +
+           ", \"buckets\": [";
+    const std::vector<std::uint64_t> counts = h->counts();
+    const std::vector<double>& bounds = h->bounds();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (i) out += ", ";
+      out += "{\"le\": ";
+      out += i < bounds.size() ? json_number(bounds[i]) : "\"inf\"";
+      out += ", \"count\": " + std::to_string(counts[i]) + "}";
+    }
+    out += "]}";
+  }
+  out += first ? "}" : "\n  }";
+  out += "\n}\n";
+  return out;
+}
+
+std::string MetricsRegistry::to_csv() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "kind,name,field,value\n";
+  auto csv_quote = [](const std::string& s) {
+    // Metric names are slugs, but be defensive about commas/quotes anyway.
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string quoted = "\"";
+    for (const char c : s) {
+      if (c == '"') quoted += "\"\"";
+      else quoted.push_back(c);
+    }
+    quoted += "\"";
+    return quoted;
+  };
+  for (const auto& [name, c] : counters_) {
+    out += "counter," + csv_quote(name) + ",value," +
+           std::to_string(c->value()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += "gauge," + csv_quote(name) + ",value," + json_number(g->value()) +
+           "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += "histogram," + csv_quote(name) + ",count," +
+           std::to_string(h->count()) + "\n";
+    out += "histogram," + csv_quote(name) + ",sum," + json_number(h->sum()) +
+           "\n";
+    const std::vector<std::uint64_t> counts = h->counts();
+    const std::vector<double>& bounds = h->bounds();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      out += "histogram," + csv_quote(name) + ",le_" +
+             (i < bounds.size() ? json_number(bounds[i]) : "inf") + "," +
+             std::to_string(counts[i]) + "\n";
+    }
+  }
+  return out;
+}
+
+std::span<const double> detection_latency_bounds() {
+  static constexpr double kBounds[] = {1,    2,    5,     10,    20,    50,
+                                       100,  200,  500,   1000,  2000,  5000,
+                                       10000, 20000, 50000, 100000};
+  return kBounds;
+}
+
+}  // namespace earl::obs

@@ -1,0 +1,103 @@
+// Thread-safe metrics registry: counters, gauges, fixed-bucket histograms.
+//
+// The registry is the campaign's numeric backbone, in the DETOx spirit of
+// per-detector cost/coverage accounting: anything a later performance PR
+// wants to regress against gets a named metric here.  Design constraints:
+//
+//   * Instrument handles (Counter&, Gauge&, Histogram&) are resolved once
+//     by name (one mutex acquisition) and are then lock-free to update —
+//     plain std::atomic operations, safe from any number of worker threads.
+//   * Handles stay valid for the registry's lifetime (instruments are
+//     stored behind stable pointers; the name map only grows).
+//   * Export is deterministic: instruments are emitted sorted by name, so
+//     two runs with the same seed produce byte-identical JSON/CSV (modulo
+//     wall-clock gauges the caller chooses to set).
+//
+// Naming convention: dot-separated lower_snake_case paths, unit suffix in
+// the last component where applicable ("campaign.experiment_wall_us").
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace earl::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper edges in ascending
+/// order; an implicit +inf bucket catches the overflow.  observe() is two
+/// relaxed atomic adds plus a branch-light linear scan (bucket counts are
+/// small — latency histograms have ~16 edges).
+class Histogram {
+ public:
+  explicit Histogram(std::span<const double> bounds);
+
+  void observe(double x);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts; size is bounds().size() + 1 (last = overflow).
+  std::vector<std::uint64_t> counts() const;
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+class MetricsRegistry {
+ public:
+  /// Finds or creates the named instrument.  The returned reference stays
+  /// valid for the registry's lifetime.  Looking a name up as the wrong
+  /// kind, or re-registering a histogram with different bounds, is a
+  /// programming error (asserted in debug builds; first registration wins).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name, std::span<const double> bounds);
+
+  /// Snapshot export, instruments sorted by name.
+  std::string to_json() const;
+  std::string to_csv() const;
+
+  /// Lookup for tests/tools; nullptr when absent.
+  const Counter* find_counter(std::string_view name) const;
+  const Histogram* find_histogram(std::string_view name) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Default bucket edges (in dynamic instructions) for detection-latency
+/// histograms: roughly logarithmic, covering same-instruction detection up
+/// to a full iteration's worth of distance.
+std::span<const double> detection_latency_bounds();
+
+}  // namespace earl::obs

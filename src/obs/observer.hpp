@@ -1,0 +1,104 @@
+// Campaign observation interface.
+//
+// `fi::CampaignRunner::run` drives thousands of deterministic experiments
+// across worker threads; a CampaignObserver is how telemetry taps that loop
+// without touching its semantics.  The contract:
+//
+//   * Observation is passive — attaching an observer MUST NOT change any
+//     experiment result.  Campaigns stay bit-identical with and without
+//     telemetry (guarded by ObserverDoesNotPerturbCampaign in the tests).
+//   * on_campaign_start / on_golden_done / on_campaign_end are called once,
+//     from the campaign thread, in that order.
+//   * on_experiment_done and on_worker_profile are called concurrently from
+//     worker threads (worker ids are dense in [0, info.workers)), so
+//     implementations must be thread-safe.  Per-experiment work should be
+//     O(a few atomic ops) — it sits on the campaign's hot path.
+//   * wall_ns is the experiment's wall-clock execution time; it is the only
+//     nondeterministic input an observer receives.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fi/campaign.hpp"
+#include "obs/profile.hpp"
+
+namespace earl::obs {
+
+/// Campaign facts resolved by the runner before the first experiment.
+struct CampaignStartInfo {
+  std::uint64_t fault_space_bits = 0;
+  std::uint64_t register_partition_bits = 0;
+  std::size_t workers = 1;  // resolved worker count (>= 1)
+};
+
+class CampaignObserver {
+ public:
+  virtual ~CampaignObserver() = default;
+
+  virtual void on_campaign_start(const fi::CampaignConfig& config,
+                                 const CampaignStartInfo& info) {
+    (void)config;
+    (void)info;
+  }
+
+  virtual void on_golden_done(const fi::GoldenRun& golden) { (void)golden; }
+
+  /// One call per experiment, from the worker that ran it.
+  virtual void on_experiment_done(std::size_t worker,
+                                  const fi::ExperimentResult& result,
+                                  std::uint64_t wall_ns) {
+    (void)worker;
+    (void)result;
+    (void)wall_ns;
+  }
+
+  /// A worker's accumulated execution profile (instruction mix, cache,
+  /// EDM trigger counts), reported once when the worker drains the queue.
+  /// Worker 0's profile includes the golden run.
+  virtual void on_worker_profile(std::size_t worker,
+                                 const TargetProfile& profile) {
+    (void)worker;
+    (void)profile;
+  }
+
+  virtual void on_campaign_end(const fi::CampaignResult& result) {
+    (void)result;
+  }
+};
+
+/// Fans every callback out to a list of non-owned children, in add() order.
+class MultiObserver final : public CampaignObserver {
+ public:
+  void add(CampaignObserver* child) {
+    if (child != nullptr) children_.push_back(child);
+  }
+  bool empty() const { return children_.empty(); }
+
+  void on_campaign_start(const fi::CampaignConfig& config,
+                         const CampaignStartInfo& info) override {
+    for (CampaignObserver* c : children_) c->on_campaign_start(config, info);
+  }
+  void on_golden_done(const fi::GoldenRun& golden) override {
+    for (CampaignObserver* c : children_) c->on_golden_done(golden);
+  }
+  void on_experiment_done(std::size_t worker,
+                          const fi::ExperimentResult& result,
+                          std::uint64_t wall_ns) override {
+    for (CampaignObserver* c : children_) {
+      c->on_experiment_done(worker, result, wall_ns);
+    }
+  }
+  void on_worker_profile(std::size_t worker,
+                         const TargetProfile& profile) override {
+    for (CampaignObserver* c : children_) c->on_worker_profile(worker, profile);
+  }
+  void on_campaign_end(const fi::CampaignResult& result) override {
+    for (CampaignObserver* c : children_) c->on_campaign_end(result);
+  }
+
+ private:
+  std::vector<CampaignObserver*> children_;
+};
+
+}  // namespace earl::obs

@@ -1,0 +1,34 @@
+#include "obs/profile.hpp"
+
+namespace earl::obs {
+
+std::uint64_t TargetProfile::instret_total() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t n : instret_by_opcode) total += n;
+  return total;
+}
+
+void TargetProfile::merge(const TargetProfile& other) {
+  for (std::size_t i = 0; i < kOpcodeSlots; ++i) {
+    instret_by_opcode[i] += other.instret_by_opcode[i];
+  }
+  cache_hits += other.cache_hits;
+  cache_misses += other.cache_misses;
+  cache_writebacks += other.cache_writebacks;
+  for (std::size_t i = 0; i < tvm::kEdmCount; ++i) {
+    edm_raised[i] += other.edm_raised[i];
+  }
+}
+
+bool TargetProfile::empty() const {
+  if (cache_hits || cache_misses || cache_writebacks) return false;
+  for (const std::uint64_t n : instret_by_opcode) {
+    if (n) return false;
+  }
+  for (const std::uint64_t n : edm_raised) {
+    if (n) return false;
+  }
+  return true;
+}
+
+}  // namespace earl::obs

@@ -1,0 +1,38 @@
+// Execution profile of a fault-injection target.
+//
+// GOOFI's detail mode records what the target actually executed; the cheap
+// always-on equivalent here is a counter block the target fills while it
+// runs: retired instructions per opcode (the instruction mix), data-cache
+// hit/miss/write-back totals, and how often each hardware EDM fired.  A
+// profile is plain data — workers each own one and the campaign observer
+// merges them at the end, so the hot path never takes a lock.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "tvm/edm.hpp"
+
+namespace earl::obs {
+
+/// One slot per possible 6-bit TVM opcode value (invalid slots stay zero).
+inline constexpr std::size_t kOpcodeSlots = 64;
+
+struct TargetProfile {
+  std::array<std::uint64_t, kOpcodeSlots> instret_by_opcode{};
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_writebacks = 0;
+  std::array<std::uint64_t, tvm::kEdmCount> edm_raised{};
+
+  /// Total retired instructions (sum over the opcode slots).
+  std::uint64_t instret_total() const;
+
+  /// Element-wise accumulation of another worker's profile.
+  void merge(const TargetProfile& other);
+
+  /// True when nothing was recorded (profiling disabled or unsupported).
+  bool empty() const;
+};
+
+}  // namespace earl::obs

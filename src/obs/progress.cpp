@@ -1,0 +1,97 @@
+#include "obs/progress.hpp"
+
+namespace earl::obs {
+
+namespace {
+
+std::int64_t now_ns(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+ProgressReporter::ProgressReporter() : ProgressReporter(Options{}) {}
+
+ProgressReporter::ProgressReporter(Options options) : options_(options) {}
+
+void ProgressReporter::on_campaign_start(const fi::CampaignConfig& config,
+                                         const CampaignStartInfo& info) {
+  (void)info;
+  total_ = config.experiments;
+  start_ = std::chrono::steady_clock::now();
+  completed_.store(0, std::memory_order_relaxed);
+  last_print_ns_.store(0, std::memory_order_relaxed);
+  for (auto& tally : tallies_) tally.store(0, std::memory_order_relaxed);
+}
+
+void ProgressReporter::on_experiment_done(std::size_t worker,
+                                          const fi::ExperimentResult& result,
+                                          std::uint64_t wall_ns) {
+  (void)worker;
+  (void)wall_ns;
+  tallies_[static_cast<std::size_t>(result.outcome)].fetch_add(
+      1, std::memory_order_relaxed);
+  completed_.fetch_add(1, std::memory_order_relaxed);
+
+  const std::int64_t interval_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          options_.min_interval)
+          .count();
+  const std::int64_t now = now_ns(start_);
+  std::int64_t last = last_print_ns_.load(std::memory_order_relaxed);
+  if (now - last < interval_ns) return;
+  // One worker wins the right to print this tick; the rest carry on.
+  if (!last_print_ns_.compare_exchange_strong(last, now,
+                                              std::memory_order_relaxed)) {
+    return;
+  }
+  print_line(false);
+}
+
+void ProgressReporter::on_campaign_end(const fi::CampaignResult& result) {
+  (void)result;
+  print_line(true);
+}
+
+void ProgressReporter::print_line(bool final_line) {
+  const std::size_t done = completed_.load(std::memory_order_relaxed);
+  const double elapsed_s =
+      static_cast<double>(now_ns(start_)) / 1e9;
+  const double rate = elapsed_s > 0.0 ? static_cast<double>(done) / elapsed_s
+                                      : 0.0;
+  const std::size_t remaining = total_ > done ? total_ - done : 0;
+  const double eta_s = rate > 0.0 ? static_cast<double>(remaining) / rate
+                                  : 0.0;
+  const double percent =
+      total_ > 0 ? 100.0 * static_cast<double>(done) /
+                       static_cast<double>(total_)
+                 : 100.0;
+
+  auto tally = [&](analysis::Outcome o) {
+    return tallies_[static_cast<std::size_t>(o)].load(
+        std::memory_order_relaxed);
+  };
+  const std::uint64_t detected = tally(analysis::Outcome::kDetected);
+  const std::uint64_t severe = tally(analysis::Outcome::kSeverePermanent) +
+                               tally(analysis::Outcome::kSevereSemiPermanent);
+  const std::uint64_t minor = tally(analysis::Outcome::kMinorTransient) +
+                              tally(analysis::Outcome::kMinorInsignificant);
+  const std::uint64_t benign = tally(analysis::Outcome::kLatent) +
+                               tally(analysis::Outcome::kOverwritten);
+
+  std::fprintf(options_.sink,
+               "%s%zu/%zu (%5.1f%%)  %8.1f exp/s  ETA %6.1fs  "
+               "det %llu  sev %llu  min %llu  benign %llu%s",
+               options_.carriage_return ? "\r" : "", done, total_, percent,
+               rate, final_line ? 0.0 : eta_s,
+               static_cast<unsigned long long>(detected),
+               static_cast<unsigned long long>(severe),
+               static_cast<unsigned long long>(minor),
+               static_cast<unsigned long long>(benign),
+               options_.carriage_return && !final_line ? "" : "\n");
+  std::fflush(options_.sink);
+}
+
+}  // namespace earl::obs

@@ -1,0 +1,52 @@
+// Live campaign progress: completed/total, throughput, ETA, outcome tallies.
+//
+// Prints a single self-overwriting line (carriage return, no newline until
+// the campaign ends), throttled to a minimum interval so a thousand fast
+// experiments per second cost one atomic compare-exchange each, not a
+// formatted write.  All counters are atomics; any worker may tick.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+
+#include "obs/observer.hpp"
+
+namespace earl::obs {
+
+class ProgressReporter final : public CampaignObserver {
+ public:
+  struct Options {
+    std::FILE* sink = stderr;
+    std::chrono::milliseconds min_interval{200};
+    bool carriage_return = true;  // false = one line per update (plain logs)
+  };
+
+  ProgressReporter();
+  explicit ProgressReporter(Options options);
+
+  void on_campaign_start(const fi::CampaignConfig& config,
+                         const CampaignStartInfo& info) override;
+  void on_experiment_done(std::size_t worker,
+                          const fi::ExperimentResult& result,
+                          std::uint64_t wall_ns) override;
+  void on_campaign_end(const fi::CampaignResult& result) override;
+
+  std::size_t completed() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void print_line(bool final_line);
+
+  Options options_;
+  std::size_t total_ = 0;
+  std::chrono::steady_clock::time_point start_{};
+  std::atomic<std::size_t> completed_{0};
+  std::atomic<std::int64_t> last_print_ns_{0};
+  std::array<std::atomic<std::uint64_t>, analysis::kOutcomeCount> tallies_{};
+};
+
+}  // namespace earl::obs

@@ -89,6 +89,9 @@ StepOutcome Cpu::step(MemoryMap& mem, DataCache& cache) {
   }
 
   ++instret_;
+  if (exec_profile_ != nullptr) {
+    ++exec_profile_->opcode[static_cast<std::uint8_t>(ins.op) & 63u];
+  }
   std::uint32_t next_pc = state_.pc + 4;
 
   auto branch_to = [&](std::uint32_t target) -> Edm {

@@ -74,6 +74,15 @@ class TraceSink {
   virtual void on_step(const CpuState& before, std::uint32_t word) = 0;
 };
 
+/// Lightweight retired-instruction profile (see obs/profile.hpp for the
+/// campaign-level aggregation).  Owned by the caller; when attached, the
+/// CPU bumps the slot of every decoded opcode it executes — one predictable
+/// branch plus one increment on the hot path, and unlike instret_ it is NOT
+/// cleared by reset(), so it accumulates across experiments.
+struct ExecProfile {
+  std::array<std::uint64_t, 64> opcode{};  // one slot per 6-bit opcode value
+};
+
 class Cpu {
  public:
   /// Resets all state and prefetches the first instruction from `entry`.
@@ -95,6 +104,10 @@ class Cpu {
   /// Detail-mode observer; pass nullptr to disable (the default).
   void set_trace_sink(TraceSink* sink) { trace_ = sink; }
 
+  /// Instruction-mix profile; pass nullptr to disable (the default).  The
+  /// profile must outlive the CPU or be detached first.
+  void set_exec_profile(ExecProfile* profile) { exec_profile_ = profile; }
+
   /// Register read honouring the r0-is-zero convention.
   std::uint32_t reg(unsigned index) const {
     return index == 0 ? 0u : state_.regs[index & 15u];
@@ -114,6 +127,7 @@ class Cpu {
   StepOutcome stop_outcome_{};
   std::uint64_t instret_ = 0;
   TraceSink* trace_ = nullptr;
+  ExecProfile* exec_profile_ = nullptr;
 };
 
 /// A complete TVM node: memory, data cache and CPU. Copyable — each

@@ -1,0 +1,200 @@
+#include "obs/events.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace earl::obs {
+namespace {
+
+// Minimal field extraction for round-trip checks: finds `"key":` in a JSONL
+// line and returns the raw value token (string values without quotes).
+std::string field_of(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return {};
+  std::size_t begin = at + needle.size();
+  if (line[begin] == '"') {
+    const std::size_t end = line.find('"', begin + 1);
+    return line.substr(begin + 1, end - begin - 1);
+  }
+  std::size_t end = begin;
+  int depth = 0;
+  while (end < line.size()) {
+    const char c = line[end];
+    if (c == '[' || c == '{') ++depth;
+    if (c == ']' || c == '}') {
+      if (depth == 0) break;
+      --depth;
+    }
+    if ((c == ',') && depth == 0) break;
+    ++end;
+  }
+  return line.substr(begin, end - begin);
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+fi::ExperimentResult detected_result() {
+  fi::ExperimentResult result;
+  result.id = 7;
+  result.fault.kind = fi::FaultKind::kSingleBitFlip;
+  result.fault.bits = {123};
+  result.fault.time = 4567;
+  result.cache_location = true;
+  result.outcome = analysis::Outcome::kDetected;
+  result.edm = tvm::Edm::kOverflowCheck;
+  result.end_iteration = 12;
+  result.detection_distance = 34;
+  return result;
+}
+
+TEST(JsonTest, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+TEST(JsonTest, NumberFormatting) {
+  EXPECT_EQ(json_number(42.0), "42");
+  EXPECT_EQ(json_number(2.5), "2.5");
+  EXPECT_EQ(json_number(0.0), "0");
+}
+
+TEST(JsonTest, ObjectBuilderEmitsValidFields) {
+  JsonObject o;
+  const std::string s = std::move(o.field("a", std::uint64_t{1})
+                                      .field("b", "x\"y")
+                                      .field("c", true))
+                            .str();
+  EXPECT_EQ(s, "{\"a\":1,\"b\":\"x\\\"y\",\"c\":true}");
+}
+
+TEST(EventsTest, ExperimentEventRoundTrip) {
+  std::ostringstream sink;
+  JsonlEventLogger logger(sink);
+
+  fi::CampaignConfig config;
+  config.name = "roundtrip";
+  config.experiments = 3;
+  config.seed = 99;
+  CampaignStartInfo info;
+  info.fault_space_bits = 2250;
+  info.register_partition_bits = 661;
+  info.workers = 2;
+  logger.on_campaign_start(config, info);
+  logger.on_experiment_done(1, detected_result(), 52000);
+  logger.flush();
+
+  const std::vector<std::string> lines = lines_of(sink.str());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(field_of(lines[0], "event"), "campaign_start");
+  EXPECT_EQ(field_of(lines[0], "campaign"), "roundtrip");
+  EXPECT_EQ(field_of(lines[0], "seed"), "99");
+  EXPECT_EQ(field_of(lines[0], "fault_space_bits"), "2250");
+  EXPECT_EQ(field_of(lines[0], "workers"), "2");
+
+  const std::string& e = lines[1];
+  EXPECT_EQ(field_of(e, "event"), "experiment");
+  EXPECT_EQ(field_of(e, "id"), "7");
+  EXPECT_EQ(field_of(e, "worker"), "1");
+  EXPECT_EQ(field_of(e, "bits"), "[123]");
+  EXPECT_EQ(field_of(e, "time"), "4567");
+  EXPECT_EQ(field_of(e, "cache"), "true");
+  EXPECT_EQ(field_of(e, "outcome"), "detected");
+  EXPECT_EQ(field_of(e, "edm"), "overflow");
+  EXPECT_EQ(field_of(e, "detection_distance"), "34");
+  EXPECT_EQ(field_of(e, "end_iteration"), "12");
+  EXPECT_EQ(field_of(e, "wall_ns"), "52000");
+}
+
+TEST(EventsTest, ValueFailureEventCarriesDeviationFacts) {
+  std::ostringstream sink;
+  JsonlEventLogger logger(sink);
+  fi::CampaignConfig config;
+  CampaignStartInfo info;
+  info.workers = 1;
+  logger.on_campaign_start(config, info);
+
+  fi::ExperimentResult result;
+  result.id = 1;
+  result.fault.bits = {5, 6};
+  result.outcome = analysis::Outcome::kSevereSemiPermanent;
+  result.first_strong = 390;
+  result.strong_count = 17;
+  result.max_deviation = 21.5;
+  logger.on_experiment_done(0, result, 1000);
+  logger.flush();
+
+  const std::vector<std::string> lines = lines_of(sink.str());
+  ASSERT_EQ(lines.size(), 2u);
+  const std::string& e = lines[1];
+  EXPECT_EQ(field_of(e, "outcome"), "severe_semi_permanent");
+  EXPECT_EQ(field_of(e, "bits"), "[5,6]");
+  EXPECT_EQ(field_of(e, "first_strong"), "390");
+  EXPECT_EQ(field_of(e, "strong_count"), "17");
+  EXPECT_EQ(field_of(e, "max_deviation"), "21.5");
+  EXPECT_EQ(field_of(e, "edm"), "");  // only detected events carry an EDM
+}
+
+TEST(EventsTest, CampaignEndTalliesOutcomes) {
+  std::ostringstream sink;
+  JsonlEventLogger logger(sink);
+  fi::CampaignConfig config;
+  CampaignStartInfo info;
+  info.workers = 1;
+  logger.on_campaign_start(config, info);
+
+  fi::CampaignResult result;
+  result.config.name = "done";
+  result.experiments.resize(4);
+  result.experiments[0].outcome = analysis::Outcome::kDetected;
+  result.experiments[1].outcome = analysis::Outcome::kDetected;
+  result.experiments[2].outcome = analysis::Outcome::kOverwritten;
+  result.experiments[3].outcome = analysis::Outcome::kLatent;
+  logger.on_campaign_end(result);
+
+  const std::vector<std::string> lines = lines_of(sink.str());
+  ASSERT_EQ(lines.size(), 2u);
+  const std::string& e = lines.back();
+  EXPECT_EQ(field_of(e, "event"), "campaign_end");
+  EXPECT_EQ(field_of(e, "experiments"), "4");
+  const std::string outcomes = field_of(e, "outcomes");
+  EXPECT_NE(outcomes.find("\"detected\":2"), std::string::npos);
+  EXPECT_NE(outcomes.find("\"overwritten\":1"), std::string::npos);
+  EXPECT_NE(outcomes.find("\"latent\":1"), std::string::npos);
+}
+
+TEST(EventsTest, BuffersFlushOnDestruction) {
+  std::ostringstream sink;
+  {
+    JsonlEventLogger logger(sink);
+    fi::CampaignConfig config;
+    CampaignStartInfo info;
+    info.workers = 1;
+    logger.on_campaign_start(config, info);
+    fi::ExperimentResult result;
+    logger.on_experiment_done(0, result, 0);
+    // No explicit flush: the destructor must drain the worker buffer.
+  }
+  EXPECT_EQ(lines_of(sink.str()).size(), 2u);
+}
+
+TEST(EventsTest, UnwritablePathReportsNotOk) {
+  JsonlEventLogger logger(std::string("/nonexistent-dir/run.jsonl"));
+  EXPECT_FALSE(logger.ok());
+}
+
+}  // namespace
+}  // namespace earl::obs

@@ -1,0 +1,122 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/labels.hpp"
+
+namespace earl::obs {
+namespace {
+
+TEST(MetricsTest, CounterStartsAtZeroAndAdds) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("a.b");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(MetricsTest, SameNameReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x");
+  Counter& b = registry.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(MetricsTest, ConcurrentIncrementsSumCorrectly) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("contended");
+  Histogram& h = registry.histogram("contended_h", std::vector<double>{10, 20});
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        c.add();
+        h.observe(static_cast<double>(t));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+}
+
+TEST(MetricsTest, GaugeStoresLastValue) {
+  MetricsRegistry registry;
+  Gauge& g = registry.gauge("speed");
+  g.set(3.5);
+  g.set(7.25);
+  EXPECT_DOUBLE_EQ(g.value(), 7.25);
+}
+
+TEST(MetricsTest, HistogramBucketEdgesAreInclusive) {
+  MetricsRegistry registry;
+  Histogram& h =
+      registry.histogram("lat", std::vector<double>{1, 10, 100});
+  h.observe(0);    // <= 1
+  h.observe(1);    // <= 1 (inclusive upper edge)
+  h.observe(2);    // <= 10
+  h.observe(10);   // <= 10
+  h.observe(11);   // <= 100
+  h.observe(1000); // overflow
+  const std::vector<std::uint64_t> counts = h.counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1024.0);
+}
+
+TEST(MetricsTest, JsonExportContainsAllInstruments) {
+  MetricsRegistry registry;
+  registry.counter("c.one").add(5);
+  registry.gauge("g.two").set(2.5);
+  registry.histogram("h.three", std::vector<double>{1.0}).observe(0.5);
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"c.one\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"g.two\": 2.5"), std::string::npos);
+  EXPECT_NE(json.find("\"h.three\""), std::string::npos);
+  EXPECT_NE(json.find("\"le\": 1, \"count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"le\": \"inf\", \"count\": 0"), std::string::npos);
+}
+
+TEST(MetricsTest, CsvExportOneRowPerScalar) {
+  MetricsRegistry registry;
+  registry.counter("hits").add(7);
+  registry.gauge("ratio").set(0.5);
+  const std::string csv = registry.to_csv();
+  EXPECT_NE(csv.find("kind,name,field,value\n"), std::string::npos);
+  EXPECT_NE(csv.find("counter,hits,value,7\n"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,ratio,value,0.5\n"), std::string::npos);
+}
+
+TEST(MetricsTest, ExportIsDeterministicallySorted) {
+  MetricsRegistry a, b;
+  a.counter("zeta").add(1);
+  a.counter("alpha").add(2);
+  b.counter("alpha").add(2);
+  b.counter("zeta").add(1);
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_LT(a.to_json().find("alpha"), a.to_json().find("zeta"));
+}
+
+TEST(LabelsTest, SlugifyFoldsSeparators) {
+  EXPECT_EQ(slugify("Severe (Semi-Permanent)"), "severe_semi_permanent");
+  EXPECT_EQ(slugify("Master/Slave Comparator"), "master_slave_comparator");
+  EXPECT_EQ(slugify("Watchdog"), "watchdog");
+  EXPECT_EQ(edm_slug(tvm::Edm::kControlFlowError), "control_flow_error");
+  EXPECT_EQ(outcome_slug(analysis::Outcome::kMinorTransient),
+            "minor_transient");
+}
+
+}  // namespace
+}  // namespace earl::obs

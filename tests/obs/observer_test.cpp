@@ -1,0 +1,251 @@
+// Integration tests: CampaignObserver wired through fi::CampaignRunner.
+#include "obs/observer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+
+#include "fi/runner.hpp"
+#include "fi/workloads.hpp"
+#include "obs/collector.hpp"
+#include "obs/events.hpp"
+#include "obs/labels.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+
+namespace earl::obs {
+namespace {
+
+fi::CampaignConfig small_campaign(std::size_t experiments,
+                                  std::size_t workers) {
+  fi::CampaignConfig config = fi::table2_campaign(1.0);
+  config.experiments = experiments;
+  config.iterations = 80;
+  config.workers = workers;
+  return config;
+}
+
+class CountingObserver final : public CampaignObserver {
+ public:
+  std::atomic<std::size_t> starts{0};
+  std::atomic<std::size_t> goldens{0};
+  std::atomic<std::size_t> experiments{0};
+  std::atomic<std::size_t> profiles{0};
+  std::atomic<std::size_t> ends{0};
+  std::atomic<std::size_t> max_worker{0};
+  CampaignStartInfo info;
+
+  void on_campaign_start(const fi::CampaignConfig& config,
+                         const CampaignStartInfo& start_info) override {
+    (void)config;
+    info = start_info;
+    ++starts;
+  }
+  void on_golden_done(const fi::GoldenRun& golden) override {
+    EXPECT_GT(golden.total_time, 0u);
+    ++goldens;
+  }
+  void on_experiment_done(std::size_t worker,
+                          const fi::ExperimentResult& result,
+                          std::uint64_t wall_ns) override {
+    (void)result;
+    (void)wall_ns;
+    std::size_t seen = max_worker.load();
+    while (worker > seen && !max_worker.compare_exchange_weak(seen, worker)) {
+    }
+    ++experiments;
+  }
+  void on_worker_profile(std::size_t worker,
+                         const TargetProfile& profile) override {
+    (void)worker;
+    EXPECT_FALSE(profile.empty());
+    EXPECT_GT(profile.instret_total(), 0u);
+    ++profiles;
+  }
+  void on_campaign_end(const fi::CampaignResult& result) override {
+    EXPECT_EQ(result.experiments.size(), experiments.load());
+    ++ends;
+  }
+};
+
+TEST(ObserverTest, CallbackCountsMatchCampaignShape) {
+  const fi::CampaignConfig config = small_campaign(30, 3);
+  CountingObserver observer;
+  const fi::CampaignResult result =
+      fi::CampaignRunner(config).run(
+          fi::make_tvm_pi_factory(fi::paper_pi_config()), &observer);
+  EXPECT_EQ(observer.starts.load(), 1u);
+  EXPECT_EQ(observer.goldens.load(), 1u);
+  EXPECT_EQ(observer.experiments.load(), config.experiments);
+  EXPECT_EQ(observer.ends.load(), 1u);
+  EXPECT_EQ(observer.info.workers, 3u);
+  EXPECT_EQ(observer.profiles.load(), observer.info.workers);
+  EXPECT_LT(observer.max_worker.load(), observer.info.workers);
+  EXPECT_EQ(observer.info.fault_space_bits, result.fault_space_bits);
+  EXPECT_EQ(observer.info.register_partition_bits,
+            result.register_partition_bits);
+}
+
+TEST(ObserverTest, SerialCampaignReportsSingleWorker) {
+  const fi::CampaignConfig config = small_campaign(10, 1);
+  CountingObserver observer;
+  fi::CampaignRunner(config).run(
+      fi::make_tvm_pi_factory(fi::paper_pi_config()), &observer);
+  EXPECT_EQ(observer.info.workers, 1u);
+  EXPECT_EQ(observer.profiles.load(), 1u);
+  EXPECT_EQ(observer.max_worker.load(), 0u);
+}
+
+TEST(ObserverTest, ObserverDoesNotPerturbCampaign) {
+  // Multithreaded observed campaign == unobserved campaign, bit for bit.
+  const fi::CampaignConfig config = small_campaign(24, 3);
+  const auto factory = fi::make_tvm_pi_factory(fi::paper_pi_config());
+  const fi::CampaignResult bare = fi::CampaignRunner(config).run(factory);
+
+  MetricsRegistry registry;
+  MetricsCollector collector(registry);
+  std::ostringstream events_sink;
+  JsonlEventLogger events(events_sink);
+  MultiObserver multi;
+  multi.add(&collector);
+  multi.add(&events);
+  const fi::CampaignResult observed =
+      fi::CampaignRunner(config).run(factory, &multi);
+
+  ASSERT_EQ(bare.experiments.size(), observed.experiments.size());
+  EXPECT_EQ(bare.golden.outputs, observed.golden.outputs);
+  for (std::size_t i = 0; i < bare.experiments.size(); ++i) {
+    EXPECT_EQ(bare.experiments[i].outcome, observed.experiments[i].outcome);
+    EXPECT_EQ(bare.experiments[i].edm, observed.experiments[i].edm);
+    EXPECT_EQ(bare.experiments[i].end_iteration,
+              observed.experiments[i].end_iteration);
+    EXPECT_EQ(bare.experiments[i].fault.bits,
+              observed.experiments[i].fault.bits);
+    EXPECT_EQ(bare.experiments[i].detection_distance,
+              observed.experiments[i].detection_distance);
+    EXPECT_EQ(bare.experiments[i].max_deviation,
+              observed.experiments[i].max_deviation);
+  }
+}
+
+TEST(ObserverTest, EventLogHasOneExperimentEventPerExperiment) {
+  const fi::CampaignConfig config = small_campaign(25, 2);
+  std::ostringstream sink;
+  JsonlEventLogger logger(sink);
+  fi::CampaignRunner(config).run(
+      fi::make_tvm_pi_factory(fi::paper_pi_config()), &logger);
+
+  std::size_t experiment_events = 0;
+  std::size_t start_events = 0;
+  std::size_t end_events = 0;
+  std::istringstream in(sink.str());
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"event\":\"experiment\"") != std::string::npos) {
+      ++experiment_events;
+    }
+    start_events += line.find("\"event\":\"campaign_start\"") !=
+                    std::string::npos;
+    end_events += line.find("\"event\":\"campaign_end\"") != std::string::npos;
+  }
+  EXPECT_EQ(experiment_events, config.experiments);
+  EXPECT_EQ(start_events, 1u);
+  EXPECT_EQ(end_events, 1u);
+}
+
+TEST(ObserverTest, MetricsCollectorTalliesOutcomesAndProfile) {
+  const fi::CampaignConfig config = small_campaign(40, 2);
+  MetricsRegistry registry;
+  MetricsCollector collector(registry);
+  const fi::CampaignResult result =
+      fi::CampaignRunner(config).run(
+          fi::make_tvm_pi_factory(fi::paper_pi_config()), &collector);
+
+  // Outcome counters sum to the experiment count and match the result.
+  std::uint64_t outcome_total = 0;
+  for (std::size_t o = 0; o < analysis::kOutcomeCount; ++o) {
+    const auto outcome = static_cast<analysis::Outcome>(o);
+    const Counter* c =
+        registry.find_counter("campaign.outcome." + outcome_slug(outcome));
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->value(), result.count(outcome));
+    outcome_total += c->value();
+  }
+  EXPECT_EQ(outcome_total, config.experiments);
+
+  // The TVM ran real code: instruction mix and cache traffic are non-zero.
+  const Counter* instret = registry.find_counter("tvm.instret");
+  ASSERT_NE(instret, nullptr);
+  EXPECT_GT(instret->value(), 0u);
+  const Counter* hits = registry.find_counter("tvm.cache.hits");
+  ASSERT_NE(hits, nullptr);
+  EXPECT_GT(hits->value(), 0u);
+
+  // Detection-latency histogram counts every detected experiment.
+  const Histogram* latency =
+      registry.find_histogram("campaign.detection_latency");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count(), result.count(analysis::Outcome::kDetected));
+}
+
+TEST(ObserverTest, DetectionDistanceConsistentWithDetection) {
+  const fi::CampaignConfig config = small_campaign(60, 1);
+  const fi::CampaignResult result = fi::CampaignRunner(config).run(
+      fi::make_tvm_pi_factory(fi::paper_pi_config()));
+  bool any_positive = false;
+  for (const fi::ExperimentResult& e : result.experiments) {
+    if (e.outcome != analysis::Outcome::kDetected) {
+      EXPECT_EQ(e.detection_distance, 0u);
+    } else if (e.detection_distance > 0) {
+      any_positive = true;
+    }
+  }
+  EXPECT_TRUE(any_positive);
+}
+
+TEST(ObserverTest, ProgressReporterCountsAllExperiments) {
+  const fi::CampaignConfig config = small_campaign(20, 2);
+  ProgressReporter::Options options;
+  options.sink = std::tmpfile();
+  ASSERT_NE(options.sink, nullptr);
+  options.min_interval = std::chrono::milliseconds(0);
+  {
+    ProgressReporter progress(options);
+    fi::CampaignRunner(config).run(
+        fi::make_tvm_pi_factory(fi::paper_pi_config()), &progress);
+    EXPECT_EQ(progress.completed(), config.experiments);
+  }
+  std::fclose(options.sink);
+}
+
+TEST(ObserverTest, RenderDetectionLatencyTableListsMechanisms) {
+  const fi::CampaignConfig config = small_campaign(60, 2);
+  const fi::CampaignResult result = fi::CampaignRunner(config).run(
+      fi::make_tvm_pi_factory(fi::paper_pi_config()));
+  ASSERT_GT(result.count(analysis::Outcome::kDetected), 0u);
+  const std::string table = render_detection_latency_table(result);
+  EXPECT_NE(table.find("Mechanism"), std::string::npos);
+  EXPECT_NE(table.find("Total"), std::string::npos);
+}
+
+TEST(ObserverTest, TargetProfileMergeAccumulates) {
+  TargetProfile a, b;
+  a.instret_by_opcode[7] = 10;
+  a.cache_hits = 5;
+  a.edm_raised[3] = 2;
+  b.instret_by_opcode[7] = 1;
+  b.instret_by_opcode[8] = 4;
+  b.cache_misses = 6;
+  a.merge(b);
+  EXPECT_EQ(a.instret_by_opcode[7], 11u);
+  EXPECT_EQ(a.instret_by_opcode[8], 4u);
+  EXPECT_EQ(a.cache_hits, 5u);
+  EXPECT_EQ(a.cache_misses, 6u);
+  EXPECT_EQ(a.instret_total(), 15u);
+  EXPECT_FALSE(a.empty());
+  EXPECT_TRUE(TargetProfile{}.empty());
+}
+
+}  // namespace
+}  // namespace earl::obs

@@ -16,6 +16,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -24,6 +26,10 @@
 #include "fi/database.hpp"
 #include "fi/runner.hpp"
 #include "fi/workloads.hpp"
+#include "obs/collector.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
 #include "plant/signals.hpp"
 
 namespace {
@@ -37,7 +43,11 @@ struct Options {
   std::string fault = "single";     // single | multi2 | multi4 | stuck0 | stuck1
   std::size_t experiments = 1000;
   std::uint64_t seed = 20010701;
+  std::size_t workers = 0;  // 0 = hardware concurrency
   bool parity = false;
+  bool progress = false;
+  std::string events_path;
+  std::string metrics_path;
   std::string save_path;
   std::string analyze_path;
   std::optional<std::uint64_t> replay_id;
@@ -56,6 +66,12 @@ usage: earl-goofi [options]
   --filter F        all | cache | registers               (default all)
   --fault M         single | multi2 | multi4 | stuck0 | stuck1
   --parity          enable the parity-protected data cache
+  --workers N       experiment worker threads (0 = hardware concurrency)
+  --progress        live progress line (completed/total, exp/s, ETA) on stderr
+  --events PATH     structured JSONL event log (one event per experiment)
+  --metrics PATH    campaign metrics as JSON (PATH ending in .csv => CSV):
+                    instruction mix, cache hit/miss, per-EDM trigger counts,
+                    detection-latency histograms
   --save PATH       write the result database as CSV
   --analyze PATH    skip injection; re-analyze a saved database
   --replay ID       after the campaign, print experiment ID's output trace
@@ -86,6 +102,15 @@ bool parse(int argc, char** argv, Options* options) {
       if (const char* v = next()) options->fault = v; else return false;
     } else if (arg == "--parity") {
       options->parity = true;
+    } else if (arg == "--workers") {
+      if (const char* v = next()) options->workers = std::strtoull(v, nullptr, 10);
+      else return false;
+    } else if (arg == "--progress") {
+      options->progress = true;
+    } else if (arg == "--events") {
+      if (const char* v = next()) options->events_path = v; else return false;
+    } else if (arg == "--metrics") {
+      if (const char* v = next()) options->metrics_path = v; else return false;
     } else if (arg == "--save") {
       if (const char* v = next()) options->save_path = v; else return false;
     } else if (arg == "--analyze") {
@@ -209,6 +234,7 @@ int main(int argc, char** argv) {
   config.name = options.workload + "_" + options.technique;
   config.experiments = options.experiments;
   config.seed = options.seed;
+  config.workers = options.workers;
   if (!configure_fault(options, &config)) return 1;
 
   std::printf("campaign '%s': %zu experiments, seed %llu, fault=%s, "
@@ -218,11 +244,64 @@ int main(int argc, char** argv) {
               options.fault.c_str(), options.filter.c_str(),
               options.parity ? ", parity cache" : "");
 
+  // Telemetry: any combination of progress / events / metrics observers.
+  obs::MultiObserver multi;
+  std::unique_ptr<obs::ProgressReporter> progress;
+  std::unique_ptr<obs::JsonlEventLogger> events;
+  obs::MetricsRegistry registry;
+  std::unique_ptr<obs::MetricsCollector> collector;
+  if (options.progress) {
+    progress = std::make_unique<obs::ProgressReporter>();
+    multi.add(progress.get());
+  }
+  if (!options.events_path.empty()) {
+    events = std::make_unique<obs::JsonlEventLogger>(options.events_path);
+    if (!events->ok()) {
+      std::fprintf(stderr, "cannot open event log '%s'\n",
+                   options.events_path.c_str());
+      return 1;
+    }
+    multi.add(events.get());
+  }
+  std::ofstream metrics_out;
+  if (!options.metrics_path.empty()) {
+    // Open the sink before the campaign so a bad path fails fast instead of
+    // discarding hours of completed experiments.
+    metrics_out.open(options.metrics_path, std::ios::out | std::ios::trunc);
+    if (!metrics_out.good()) {
+      std::fprintf(stderr, "cannot open metrics file '%s'\n",
+                   options.metrics_path.c_str());
+      return 1;
+    }
+    collector = std::make_unique<obs::MetricsCollector>(registry);
+    multi.add(collector.get());
+  }
+
   fi::CampaignRunner runner(config);
-  const fi::CampaignResult result = runner.run(*factory);
+  const fi::CampaignResult result =
+      runner.run(*factory, multi.empty() ? nullptr : &multi);
   const analysis::CampaignReport report =
       analysis::CampaignReport::build(result);
   std::printf("\n%s\n", report.render("Campaign results").c_str());
+
+  if (!options.events_path.empty()) {
+    std::printf("wrote event log to %s\n", options.events_path.c_str());
+  }
+  if (!options.metrics_path.empty()) {
+    const bool csv =
+        options.metrics_path.size() >= 4 &&
+        options.metrics_path.compare(options.metrics_path.size() - 4, 4,
+                                     ".csv") == 0;
+    metrics_out << (csv ? registry.to_csv() : registry.to_json());
+    metrics_out.flush();
+    if (!metrics_out.good()) {
+      std::fprintf(stderr, "failed to write %s\n",
+                   options.metrics_path.c_str());
+      return 1;
+    }
+    std::printf("wrote metrics (%s) to %s\n", csv ? "CSV" : "JSON",
+                options.metrics_path.c_str());
+  }
 
   if (options.replay_id) {
     bool found = false;
