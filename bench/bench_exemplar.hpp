@@ -8,6 +8,7 @@
 #include <optional>
 
 #include "analysis/classify.hpp"
+#include "analysis/trace_reader.hpp"
 #include "bench_common.hpp"
 #include "plant/signals.hpp"
 
@@ -43,19 +44,16 @@ inline int print_exemplar(analysis::Outcome wanted, const char* figure,
   const auto outputs =
       runner.replay_outputs(*target, specimen->fault, result.golden);
 
-  std::printf("# %s: %s\n", figure, description);
-  std::printf("# specimen: experiment %llu, fault %s (%s partition), "
-              "first strong deviation at iteration %zu\n",
-              static_cast<unsigned long long>(specimen->id),
-              specimen->fault.to_string().c_str(),
-              specimen->cache_location ? "cache" : "register",
-              specimen->first_strong);
-  print_csv_header({"t_s", "u_faulty_deg", "u_fault_free_deg"});
-  for (std::size_t k = 0; k < outputs.size(); ++k) {
-    std::printf("%.4f,%.5f,%.5f\n", plant::iteration_time(k),
-                static_cast<double>(outputs[k]),
-                static_cast<double>(result.golden.outputs[k]));
-  }
+  // Rendering is shared with `earl-trace`, which rebuilds this exact output
+  // offline from a detail-mode event log (guarded by a round-trip test).
+  std::fputs(analysis::render_exemplar_header(
+                 figure, description, specimen->id, specimen->fault,
+                 specimen->cache_location, specimen->first_strong)
+                 .c_str(),
+             stdout);
+  std::fputs(
+      analysis::render_waveform_csv(outputs, result.golden.outputs).c_str(),
+      stdout);
   return 0;
 }
 

@@ -6,6 +6,7 @@
 #include "util/bitops.hpp"
 #include "tvm/isa.hpp"
 #include "tvm/scan_chain.hpp"
+#include "tvm/trace.hpp"
 
 namespace earl::analysis {
 
@@ -135,9 +136,8 @@ PropagationReport analyze_propagation(const tvm::AssembledProgram& program,
       report.divergence_step = i;
       report.divergence_pc = f.pc;
       report.divergence_disassembly = tvm::disassemble(f.word);
-      for (unsigned r = 0; r < tvm::kNumRegs; ++r) {
-        if (g.regs[r] != f.regs[r]) report.corrupted_registers.push_back(r);
-      }
+      report.corrupted_registers =
+          tvm::register_diff(g.regs, f.regs).registers();
     }
     if (!report.control_flow_diverged && g.pc != f.pc) {
       report.control_flow_diverged = true;
@@ -160,6 +160,22 @@ PropagationReport analyze_propagation(const tvm::AssembledProgram& program,
     report.divergence_step = n;
   }
   return report;
+}
+
+PropagationRecord PropagationReport::record() const {
+  PropagationRecord rec;
+  rec.diverged = diverged;
+  rec.divergence_step = static_cast<std::uint32_t>(divergence_step);
+  rec.divergence_pc = divergence_pc;
+  for (const unsigned r : corrupted_registers) {
+    rec.corrupted_regs |= 1u << r;
+  }
+  rec.reached_memory = reached_memory;
+  rec.memory_step = static_cast<std::uint32_t>(memory_step);
+  rec.memory_address = memory_address;
+  rec.control_flow_diverged = control_flow_diverged;
+  rec.control_flow_step = static_cast<std::uint32_t>(control_flow_step);
+  return rec;
 }
 
 std::string PropagationReport::to_string() const {

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/propagation_record.hpp"
 #include "fi/fault_model.hpp"
 #include "tvm/assembler.hpp"
 #include "tvm/edm.hpp"
@@ -52,6 +53,9 @@ struct PropagationReport {
 
   /// Human-readable multi-line summary.
   std::string to_string() const;
+
+  /// The compact per-experiment subset (see propagation_record.hpp).
+  PropagationRecord record() const;
 };
 
 struct PropagationOptions {

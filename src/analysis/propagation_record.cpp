@@ -1,0 +1,43 @@
+#include "analysis/propagation_record.hpp"
+
+#include <cstdio>
+
+namespace earl::analysis {
+
+std::vector<unsigned> PropagationRecord::registers() const {
+  std::vector<unsigned> out;
+  for (unsigned r = 0; r < 32; ++r) {
+    if ((corrupted_regs >> r) & 1u) out.push_back(r);
+  }
+  return out;
+}
+
+std::string PropagationRecord::to_string() const {
+  if (!diverged) return "no architectural divergence";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "diverged @+%u pc=0x%x", divergence_step,
+                divergence_pc);
+  std::string out = buf;
+  if (corrupted_regs != 0) {
+    out += " regs=";
+    bool first = true;
+    for (const unsigned r : registers()) {
+      if (!first) out.push_back(' ');
+      first = false;
+      std::snprintf(buf, sizeof buf, "r%u", r);
+      out += buf;
+    }
+  }
+  if (reached_memory) {
+    std::snprintf(buf, sizeof buf, ", memory @+%u (0x%x)", memory_step,
+                  memory_address);
+    out += buf;
+  }
+  if (control_flow_diverged) {
+    std::snprintf(buf, sizeof buf, ", cf @+%u", control_flow_step);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace earl::analysis

@@ -1,0 +1,50 @@
+// Compact per-experiment propagation facts.
+//
+// PropagationReport (propagation.hpp) is the full offline analysis result;
+// PropagationRecord is the subset small enough to ride on every value-failure
+// ExperimentResult, travel through the JSONL `experiment` event and persist
+// in a ResultDatabase column: where the executions first diverged
+// architecturally (instruction index since injection + PC), which registers
+// were corrupted at that point (tvm::RegisterDiff mask), and whether/where
+// the error escaped to memory or bent control flow.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace earl::analysis {
+
+struct PropagationRecord {
+  /// False: no architectural difference in the analysis window (the injected
+  /// error was overwritten or stayed latent at the micro-architecture level).
+  bool diverged = false;
+
+  /// First architectural divergence: retired-instruction index since
+  /// injection, and the faulty side's PC there.
+  std::uint32_t divergence_step = 0;
+  std::uint32_t divergence_pc = 0;
+
+  /// tvm::RegisterDiff::mask of the GPRs differing at the divergence point.
+  std::uint32_t corrupted_regs = 0;
+
+  /// First store whose (address, value) differs from the golden run.
+  bool reached_memory = false;
+  std::uint32_t memory_step = 0;
+  std::uint32_t memory_address = 0;
+
+  /// First instruction where the two executions fetch different PCs.
+  bool control_flow_diverged = false;
+  std::uint32_t control_flow_step = 0;
+
+  /// Indices of corrupted registers, ascending (decoded from the mask).
+  std::vector<unsigned> registers() const;
+
+  /// One-line summary, e.g.
+  /// "diverged @+12 pc=0x1040 regs=r3 r5, memory @+19 (0x10004), cf @+14".
+  std::string to_string() const;
+
+  bool operator==(const PropagationRecord&) const = default;
+};
+
+}  // namespace earl::analysis

@@ -1,0 +1,405 @@
+#include "analysis/trace_reader.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <utility>
+
+#include "obs/labels.hpp"
+#include "plant/signals.hpp"
+
+namespace earl::analysis {
+
+namespace {
+
+// Minimal recursive-descent JSON parser, just enough for the event stream
+// (obs/json.hpp is emission-only by design, so the reading half lives with
+// the offline analysis).  Numbers are doubles — every value the emitters
+// write round-trips through one.  \uXXXX escapes decode to UTF-8 (BMP
+// only; the emitter writes them for control characters alone).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* find(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  double num(std::string_view key, double fallback = 0.0) const {
+    const JsonValue* v = find(key);
+    return v != nullptr && v->kind == Kind::kNumber ? v->number : fallback;
+  }
+  bool flag(std::string_view key) const {
+    const JsonValue* v = find(key);
+    return v != nullptr && v->kind == Kind::kBool && v->boolean;
+  }
+  std::string str(std::string_view key) const {
+    const JsonValue* v = find(key);
+    return v != nullptr && v->kind == Kind::kString ? v->string : "";
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> parse() {
+    std::optional<JsonValue> value = parse_value();
+    skip_ws();
+    if (!value || pos_ != text_.size()) return std::nullopt;
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  std::optional<JsonValue> parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return std::nullopt;
+    JsonValue value;
+    switch (text_[pos_]) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        std::optional<std::string> s = parse_string();
+        if (!s) return std::nullopt;
+        value.kind = JsonValue::Kind::kString;
+        value.string = std::move(*s);
+        return value;
+      }
+      case 't':
+        if (!literal("true")) return std::nullopt;
+        value.kind = JsonValue::Kind::kBool;
+        value.boolean = true;
+        return value;
+      case 'f':
+        if (!literal("false")) return std::nullopt;
+        value.kind = JsonValue::Kind::kBool;
+        return value;
+      case 'n':
+        if (!literal("null")) return std::nullopt;
+        return value;
+      default: return parse_number();
+    }
+  }
+
+  std::optional<JsonValue> parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '-' ||
+            text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return std::nullopt;
+    JsonValue value;
+    value.kind = JsonValue::Kind::kNumber;
+    value.number =
+        std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                    nullptr);
+    return value;
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return std::nullopt;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return std::nullopt;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return std::nullopt;
+          }
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: return std::nullopt;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<JsonValue> parse_array() {
+    if (!consume('[')) return std::nullopt;
+    JsonValue value;
+    value.kind = JsonValue::Kind::kArray;
+    if (consume(']')) return value;
+    while (true) {
+      std::optional<JsonValue> element = parse_value();
+      if (!element) return std::nullopt;
+      value.array.push_back(std::move(*element));
+      if (consume(']')) return value;
+      if (!consume(',')) return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> parse_object() {
+    if (!consume('{')) return std::nullopt;
+    JsonValue value;
+    value.kind = JsonValue::Kind::kObject;
+    if (consume('}')) return value;
+    while (true) {
+      skip_ws();
+      std::optional<std::string> key = parse_string();
+      if (!key || !consume(':')) return std::nullopt;
+      std::optional<JsonValue> element = parse_value();
+      if (!element) return std::nullopt;
+      value.object.emplace_back(std::move(*key), std::move(*element));
+      if (consume('}')) return value;
+      if (!consume(',')) return std::nullopt;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+TraceIteration parse_iteration(const JsonValue& event) {
+  TraceIteration it;
+  it.k = static_cast<std::uint32_t>(event.num("k"));
+  it.reference = static_cast<float>(event.num("r"));
+  it.measurement = static_cast<float>(event.num("y"));
+  it.output = static_cast<float>(event.num("u"));
+  it.golden_output = static_cast<float>(event.num("u_golden"));
+  it.deviation = static_cast<float>(event.num("deviation"));
+  it.state = static_cast<float>(event.num("state"));
+  it.assertion_fired = event.flag("assertion");
+  it.recovery_fired = event.flag("recovery");
+  it.elapsed = static_cast<std::uint64_t>(event.num("elapsed"));
+  return it;
+}
+
+std::optional<PropagationRecord> parse_propagation(const JsonValue& event) {
+  const JsonValue* prop = event.find("propagation");
+  if (prop == nullptr || prop->kind != JsonValue::Kind::kObject) {
+    return std::nullopt;
+  }
+  PropagationRecord record;
+  record.diverged = prop->flag("diverged");
+  record.divergence_step = static_cast<std::uint32_t>(prop->num("step"));
+  record.divergence_pc = static_cast<std::uint32_t>(prop->num("pc"));
+  record.corrupted_regs = static_cast<std::uint32_t>(prop->num("regs"));
+  record.memory_step = static_cast<std::uint32_t>(prop->num("memory_step"));
+  record.memory_address =
+      static_cast<std::uint32_t>(prop->num("memory_address"));
+  record.reached_memory = prop->find("memory_step") != nullptr;
+  record.control_flow_step = static_cast<std::uint32_t>(prop->num("cf_step"));
+  record.control_flow_diverged = prop->find("cf_step") != nullptr;
+  return record;
+}
+
+}  // namespace
+
+std::vector<float> TraceExperiment::outputs() const {
+  std::vector<float> out;
+  out.reserve(iterations.size());
+  for (const TraceIteration& it : iterations) out.push_back(it.output);
+  return out;
+}
+
+std::vector<float> CampaignTrace::golden_outputs() const {
+  std::vector<float> out;
+  out.reserve(golden.size());
+  for (const TraceIteration& it : golden) out.push_back(it.output);
+  return out;
+}
+
+const TraceExperiment* CampaignTrace::find(std::uint64_t id) const {
+  const auto it = std::lower_bound(
+      experiments.begin(), experiments.end(), id,
+      [](const TraceExperiment& e, std::uint64_t v) { return e.id < v; });
+  return it != experiments.end() && it->id == id ? &*it : nullptr;
+}
+
+const TraceExperiment* CampaignTrace::first_of(Outcome outcome) const {
+  for (const TraceExperiment& e : experiments) {
+    if (e.outcome == outcome) return &e;
+  }
+  return nullptr;
+}
+
+std::size_t CampaignTrace::count(Outcome outcome) const {
+  std::size_t n = 0;
+  for (const TraceExperiment& e : experiments) n += e.outcome == outcome;
+  return n;
+}
+
+std::optional<CampaignTrace> load_trace(std::istream& in) {
+  CampaignTrace trace;
+  bool saw_start = false;
+  std::map<std::uint64_t, std::vector<TraceIteration>> pending;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::optional<JsonValue> parsed = JsonParser(line).parse();
+    if (!parsed || parsed->kind != JsonValue::Kind::kObject) continue;
+    const JsonValue& event = *parsed;
+    const std::string kind = event.str("event");
+
+    if (kind == "campaign_start") {
+      saw_start = true;
+      trace.campaign = event.str("campaign");
+      trace.seed = static_cast<std::uint64_t>(event.num("seed"));
+      trace.experiments_configured =
+          static_cast<std::size_t>(event.num("experiments"));
+      trace.iterations_configured =
+          static_cast<std::size_t>(event.num("iterations"));
+      trace.workers = static_cast<std::size_t>(event.num("workers"));
+      if (const auto k = obs::parse_fault_kind_slug(event.str("fault_kind"))) {
+        trace.fault_kind = *k;
+      }
+    } else if (kind == "iteration") {
+      const TraceIteration it = parse_iteration(event);
+      if (event.flag("golden")) {
+        trace.golden.push_back(it);
+      } else if (event.find("id") != nullptr) {
+        pending[static_cast<std::uint64_t>(event.num("id"))].push_back(it);
+      }
+    } else if (kind == "experiment") {
+      TraceExperiment e;
+      e.id = static_cast<std::uint64_t>(event.num("id"));
+      e.fault.kind = trace.fault_kind;
+      e.fault.time = static_cast<std::uint64_t>(event.num("time"));
+      if (const JsonValue* bits = event.find("bits");
+          bits != nullptr && bits->kind == JsonValue::Kind::kArray) {
+        for (const JsonValue& b : bits->array) {
+          e.fault.bits.push_back(static_cast<std::size_t>(b.number));
+        }
+      }
+      e.cache_location = event.flag("cache");
+      if (const auto o = obs::parse_outcome_slug(event.str("outcome"))) {
+        e.outcome = *o;
+      }
+      if (const auto d = obs::parse_edm_slug(event.str("edm"))) e.edm = *d;
+      e.end_iteration = static_cast<std::size_t>(event.num("end_iteration"));
+      e.detection_distance =
+          static_cast<std::uint64_t>(event.num("detection_distance"));
+      e.first_strong = static_cast<std::size_t>(event.num("first_strong"));
+      e.strong_count = static_cast<std::size_t>(event.num("strong_count"));
+      e.max_deviation = event.num("max_deviation");
+      e.propagation = parse_propagation(event);
+      if (const auto it = pending.find(e.id); it != pending.end()) {
+        e.iterations = std::move(it->second);
+        pending.erase(it);
+      }
+      trace.experiments.push_back(std::move(e));
+    }
+    // golden_run / campaign_end / unknown events carry nothing the typed
+    // records need; skipping them keeps old readers usable on new streams.
+  }
+  if (!saw_start) return std::nullopt;
+
+  std::sort(trace.experiments.begin(), trace.experiments.end(),
+            [](const TraceExperiment& a, const TraceExperiment& b) {
+              return a.id < b.id;
+            });
+  const auto by_k = [](const TraceIteration& a, const TraceIteration& b) {
+    return a.k < b.k;
+  };
+  std::sort(trace.golden.begin(), trace.golden.end(), by_k);
+  for (TraceExperiment& e : trace.experiments) {
+    std::sort(e.iterations.begin(), e.iterations.end(), by_k);
+  }
+  return trace;
+}
+
+std::optional<CampaignTrace> load_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return std::nullopt;
+  return load_trace(in);
+}
+
+std::string render_exemplar_header(std::string_view figure,
+                                   std::string_view description,
+                                   std::uint64_t id, const fi::Fault& fault,
+                                   bool cache_location,
+                                   std::size_t first_strong) {
+  std::string out = "# ";
+  out.append(figure);
+  out += ": ";
+  out.append(description);
+  out += "\n# specimen: experiment " + std::to_string(id) + ", fault " +
+         fault.to_string() + " (" + (cache_location ? "cache" : "register") +
+         " partition), first strong deviation at iteration " +
+         std::to_string(first_strong) + "\n";
+  return out;
+}
+
+std::string render_waveform_csv(std::span<const float> faulty,
+                                std::span<const float> golden) {
+  std::string out = "t_s,u_faulty_deg,u_fault_free_deg\n";
+  const std::size_t rows = std::min(faulty.size(), golden.size());
+  char buf[96];
+  for (std::size_t k = 0; k < rows; ++k) {
+    std::snprintf(buf, sizeof buf, "%.4f,%.5f,%.5f\n",
+                  plant::iteration_time(k), static_cast<double>(faulty[k]),
+                  static_cast<double>(golden[k]));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace earl::analysis

@@ -1,0 +1,105 @@
+// Offline campaign-trace reader (the DETOx-style post-hoc analysis path).
+//
+// Parses the JSONL event stream obs::JsonlEventLogger writes — including
+// detail-mode `iteration` events — back into typed records, so failure
+// waveforms (the paper's Figures 7–9) and propagation reports can be
+// reconstructed from a recorded file alone, without re-running the
+// campaign.  The parser accepts any interleaving of events across workers:
+// iteration records are grouped per experiment id and re-sorted, and
+// experiments are returned in id order regardless of completion order.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/classify.hpp"
+#include "analysis/propagation_record.hpp"
+#include "fi/fault_model.hpp"
+#include "tvm/edm.hpp"
+
+namespace earl::analysis {
+
+/// One detail-mode iteration record (mirror of obs::IterationRecord minus
+/// the experiment id, which the grouping carries).
+struct TraceIteration {
+  std::uint32_t k = 0;
+  float reference = 0.0f;
+  float measurement = 0.0f;
+  float output = 0.0f;
+  float golden_output = 0.0f;
+  float deviation = 0.0f;
+  float state = 0.0f;
+  bool assertion_fired = false;
+  bool recovery_fired = false;
+  std::uint64_t elapsed = 0;
+};
+
+struct TraceExperiment {
+  std::uint64_t id = 0;
+  fi::Fault fault;  // kind comes from the campaign-level fault spec
+  bool cache_location = false;
+  Outcome outcome = Outcome::kOverwritten;
+  tvm::Edm edm = tvm::Edm::kNone;
+  std::size_t end_iteration = 0;
+  std::uint64_t detection_distance = 0;
+  std::size_t first_strong = 0;
+  std::size_t strong_count = 0;
+  double max_deviation = 0.0;
+  std::optional<PropagationRecord> propagation;
+  /// Detail-mode records in iteration order; empty when the campaign ran
+  /// without detail mode.
+  std::vector<TraceIteration> iterations;
+
+  /// The faulty output series u_lim(k), from the iteration records.
+  std::vector<float> outputs() const;
+};
+
+struct CampaignTrace {
+  std::string campaign;
+  std::uint64_t seed = 0;
+  std::size_t experiments_configured = 0;
+  std::size_t iterations_configured = 0;
+  fi::FaultKind fault_kind = fi::FaultKind::kSingleBitFlip;
+  std::size_t workers = 0;
+  std::vector<TraceIteration> golden;        // golden run, iteration order
+  std::vector<TraceExperiment> experiments;  // sorted by id
+
+  std::vector<float> golden_outputs() const;
+  const TraceExperiment* find(std::uint64_t id) const;
+  const TraceExperiment* first_of(Outcome outcome) const;
+  std::size_t count(Outcome outcome) const;
+};
+
+/// Parses a JSONL event stream.  Returns nullopt when the stream contains
+/// no `campaign_start` event (not an event log); unknown events and
+/// malformed lines are skipped, so readers stay compatible with streams
+/// from newer writers.
+std::optional<CampaignTrace> load_trace(std::istream& in);
+
+/// File variant; nullopt when the file cannot be opened or load_trace
+/// rejects its content.
+std::optional<CampaignTrace> load_trace_file(const std::string& path);
+
+/// Renders the bench_exemplar specimen banner:
+///   # <figure>: <description>
+///   # specimen: experiment <id>, fault <...> (<...> partition), first
+///   strong deviation at iteration <n>
+/// Shared by the figure benches and `earl-trace` so the two paths are
+/// byte-identical.
+std::string render_exemplar_header(std::string_view figure,
+                                   std::string_view description,
+                                   std::uint64_t id, const fi::Fault& fault,
+                                   bool cache_location,
+                                   std::size_t first_strong);
+
+/// Renders the figure CSV: "t_s,u_faulty_deg,u_fault_free_deg" then one
+/// row per faulty sample with t = plant::iteration_time(k).
+std::string render_waveform_csv(std::span<const float> faulty,
+                                std::span<const float> golden);
+
+}  // namespace earl::analysis

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 
 namespace earl::control {
@@ -30,6 +31,12 @@ class Controller {
 
   /// Number of output signals (1 for SISO controllers).
   virtual std::size_t output_count() const { return 1; }
+
+  /// Total best-effort recovery actions taken since reset() — 0 for
+  /// controllers without executable assertions.  Detail-mode observability
+  /// hook: implementations count recoveries they perform anyway, so reading
+  /// this never changes behaviour.
+  virtual std::uint64_t recovery_count() const { return 0; }
 };
 
 /// Saturates `u` into [lo, hi]. NaN propagates (deliberately: a corrupted

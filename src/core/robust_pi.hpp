@@ -55,6 +55,9 @@ class RobustPiController : public control::Controller {
   /// Diagnostics: how often each assertion fired since reset().
   std::uint64_t state_recoveries() const { return state_recoveries_; }
   std::uint64_t output_recoveries() const { return output_recoveries_; }
+  std::uint64_t recovery_count() const override {
+    return state_recoveries_ + output_recoveries_;
+  }
 
  private:
   bool in_range(float v) const {

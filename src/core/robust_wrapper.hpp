@@ -48,6 +48,9 @@ class RobustController : public control::Controller {
 
   std::uint64_t state_recoveries() const;
   std::uint64_t output_recoveries() const;
+  std::uint64_t recovery_count() const override {
+    return state_recoveries() + output_recoveries();
+  }
 
   control::Controller& inner() { return *inner_; }
 

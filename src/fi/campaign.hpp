@@ -9,10 +9,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "analysis/classify.hpp"
+#include "analysis/propagation_record.hpp"
 #include "fi/fault_model.hpp"
 #include "plant/engine.hpp"
 #include "plant/signals.hpp"
@@ -67,6 +69,11 @@ struct ExperimentResult {
   std::size_t first_strong = 0;        // deviation facts for diagnostics
   std::size_t strong_count = 0;
   double max_deviation = 0.0;
+
+  /// Architectural propagation path, captured for value failures when the
+  /// runner has a propagation prober attached (detail mode). The capture is
+  /// a separate passive re-execution — it never influences the fields above.
+  std::optional<analysis::PropagationRecord> propagation;
 };
 
 struct CampaignResult {

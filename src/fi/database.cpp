@@ -12,8 +12,8 @@ namespace {
 util::CsvRow header_row() {
   return {"id",          "kind",        "time",        "bits",
           "cache",       "outcome",     "edm",         "end_iteration",
-          "first_strong", "strong_count", "max_deviation", "campaign",
-          "seed"};
+          "first_strong", "strong_count", "max_deviation", "propagation",
+          "campaign",    "seed"};
 }
 
 std::string bits_field(const std::vector<std::size_t>& bits) {
@@ -38,6 +38,44 @@ std::vector<std::size_t> parse_bits(const std::string& field) {
     pos = next + 1;
   }
   return bits;
+}
+
+// Propagation record <-> CSV field.  Nine semicolon-joined integers
+// (diverged;step;pc;regmask;memory;mem_step;mem_addr;cf;cf_step); the empty
+// string means "not captured" (campaign ran without a propagation prober).
+std::string propagation_field(
+    const std::optional<analysis::PropagationRecord>& propagation) {
+  if (!propagation) return "";
+  const analysis::PropagationRecord& p = *propagation;
+  std::string out;
+  const std::uint32_t fields[] = {
+      p.diverged ? 1u : 0u, p.divergence_step,  p.divergence_pc,
+      p.corrupted_regs,     p.reached_memory ? 1u : 0u,
+      p.memory_step,        p.memory_address,
+      p.control_flow_diverged ? 1u : 0u,        p.control_flow_step};
+  for (const std::uint32_t f : fields) {
+    if (!out.empty()) out += ";";
+    out += std::to_string(f);
+  }
+  return out;
+}
+
+std::optional<analysis::PropagationRecord> parse_propagation(
+    const std::string& field) {
+  if (field.empty()) return std::nullopt;
+  const std::vector<std::size_t> values = parse_bits(field);
+  if (values.size() != 9) return std::nullopt;
+  analysis::PropagationRecord p;
+  p.diverged = values[0] != 0;
+  p.divergence_step = static_cast<std::uint32_t>(values[1]);
+  p.divergence_pc = static_cast<std::uint32_t>(values[2]);
+  p.corrupted_regs = static_cast<std::uint32_t>(values[3]);
+  p.reached_memory = values[4] != 0;
+  p.memory_step = static_cast<std::uint32_t>(values[5]);
+  p.memory_address = static_cast<std::uint32_t>(values[6]);
+  p.control_flow_diverged = values[7] != 0;
+  p.control_flow_step = static_cast<std::uint32_t>(values[8]);
+  return p;
 }
 
 }  // namespace
@@ -105,6 +143,7 @@ bool ResultDatabase::save(const std::string& path) const {
         std::to_string(e.first_strong),
         std::to_string(e.strong_count),
         buf,
+        propagation_field(e.propagation),
         campaign_name_,
         std::to_string(seed_),
     });
@@ -112,10 +151,14 @@ bool ResultDatabase::save(const std::string& path) const {
   return util::csv_write_file(path, header_row(), rows);
 }
 
-ResultDatabase ResultDatabase::load(const std::string& path) {
-  ResultDatabase db;
+std::optional<ResultDatabase> ResultDatabase::load(const std::string& path) {
   const std::vector<util::CsvRow> rows = util::csv_read_file(path);
-  if (rows.size() < 1 || rows[0] != header_row()) return db;
+  // No header row means either an unreadable file (csv_read_file yields
+  // nothing) or a file that is not a result database; both are load errors.
+  // A saved zero-row campaign still carries the header and loads as an
+  // engaged, empty database.
+  if (rows.size() < 1 || rows[0] != header_row()) return std::nullopt;
+  ResultDatabase db;
   for (std::size_t i = 1; i < rows.size(); ++i) {
     const util::CsvRow& row = rows[i];
     if (row.size() != header_row().size()) continue;
@@ -131,8 +174,9 @@ ResultDatabase ResultDatabase::load(const std::string& path) {
     e.first_strong = std::strtoull(row[8].c_str(), nullptr, 10);
     e.strong_count = std::strtoull(row[9].c_str(), nullptr, 10);
     e.max_deviation = std::strtod(row[10].c_str(), nullptr);
-    db.campaign_name_ = row[11];
-    db.seed_ = std::strtoull(row[12].c_str(), nullptr, 10);
+    e.propagation = parse_propagation(row[11]);
+    db.campaign_name_ = row[12];
+    db.seed_ = std::strtoull(row[13].c_str(), nullptr, 10);
     db.experiments_.push_back(std::move(e));
   }
   return db;

@@ -17,6 +17,10 @@ class ResultDatabase {
  public:
   ResultDatabase() = default;
   explicit ResultDatabase(const CampaignResult& campaign);
+  /// Metadata-only construction for streaming fills (obs::DatabaseObserver
+  /// inserts experiments as workers complete them).
+  ResultDatabase(std::string campaign_name, std::uint64_t seed)
+      : campaign_name_(std::move(campaign_name)), seed_(seed) {}
 
   void insert(const ExperimentResult& experiment);
 
@@ -32,10 +36,12 @@ class ResultDatabase {
   /// First experiment matching an outcome, if any (exemplar lookup).
   std::optional<ExperimentResult> first_of(analysis::Outcome outcome) const;
 
-  /// CSV persistence. save() returns false on I/O error; load() returns an
-  /// empty database on error (check size()).
+  /// CSV persistence. save() returns false on I/O error.  load() returns
+  /// nullopt when the file cannot be read or is not a result database
+  /// (wrong/missing header) — distinct from an engaged database with zero
+  /// rows, which is what a valid empty campaign loads as.
   bool save(const std::string& path) const;
-  static ResultDatabase load(const std::string& path);
+  static std::optional<ResultDatabase> load(const std::string& path);
 
   const std::string& campaign_name() const { return campaign_name_; }
   std::uint64_t seed() const { return seed_; }

@@ -52,10 +52,19 @@ IterationOutcome NativeTarget::iterate(float reference, float measurement) {
     apply_fault_bits();
     injected_ = true;
   }
+  const std::uint64_t recoveries_before =
+      detail_ ? controller_->recovery_count() : 0;
   IterationOutcome outcome;
   outcome.output = controller_->step(reference, measurement);
   outcome.elapsed = 1;
   ++iteration_;
+  if (detail_) {
+    const std::span<float> state = controller_->state();
+    last_detail_.state = state.empty() ? 0.0f : state[0];
+    const bool recovered = controller_->recovery_count() > recoveries_before;
+    last_detail_.assertion_fired = recovered;
+    last_detail_.recovery_fired = recovered;
+  }
   return outcome;
 }
 

@@ -36,6 +36,8 @@ class NativeTarget : public Target {
   void set_iteration_budget(std::uint64_t budget) override {
     (void)budget;  // no watchdog on the native path
   }
+  void set_detail(bool enabled) override { detail_ = enabled; }
+  IterationDetail iteration_detail() const override { return last_detail_; }
 
   control::Controller& controller() { return *controller_; }
 
@@ -47,6 +49,12 @@ class NativeTarget : public Target {
   std::uint64_t iteration_ = 0;
   std::optional<Fault> armed_;
   bool injected_ = false;
+
+  // Detail mode: the native assertion path and the recovery path are the
+  // same code, so one Controller::recovery_count() delta per step drives
+  // both flags.
+  bool detail_ = false;
+  IterationDetail last_detail_;
 };
 
 }  // namespace earl::fi

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cassert>
 #include <chrono>
+#include <cmath>
 #include <thread>
 
 #include "util/rng.hpp"
@@ -21,8 +22,17 @@ std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
 
 }  // namespace
 
+struct CampaignRunner::IterationTap {
+  obs::CampaignObserver* observer = nullptr;
+  std::size_t worker = 0;
+  std::uint64_t experiment = obs::kGoldenExperimentId;
+  /// Fault-free outputs for the deviation field; null for the golden run.
+  const std::vector<float>* golden_outputs = nullptr;
+};
+
 CampaignRunner::ClosedLoop CampaignRunner::run_closed_loop(
-    Target& target, const Fault* fault, std::uint64_t iteration_budget) const {
+    Target& target, const Fault* fault, std::uint64_t iteration_budget,
+    const IterationTap* tap) const {
   ClosedLoop loop;
   loop.outputs.reserve(config_.iterations);
 
@@ -44,6 +54,25 @@ CampaignRunner::ClosedLoop CampaignRunner::run_closed_loop(
       loop.end_iteration = k;
       return loop;
     }
+    if (tap != nullptr) {
+      obs::IterationRecord record;
+      record.experiment = tap->experiment;
+      record.iteration = static_cast<std::uint32_t>(k);
+      record.reference = r;
+      record.measurement = y;
+      record.output = step.output;
+      record.golden_output =
+          tap->golden_outputs != nullptr && k < tap->golden_outputs->size()
+              ? (*tap->golden_outputs)[k]
+              : step.output;
+      record.deviation = std::fabs(record.output - record.golden_output);
+      const IterationDetail detail = target.iteration_detail();
+      record.state = detail.state;
+      record.assertion_fired = detail.assertion_fired;
+      record.recovery_fired = detail.recovery_fired;
+      record.elapsed = step.elapsed;
+      tap->observer->on_iteration(tap->worker, record);
+    }
     loop.outputs.push_back(step.output);
     loop.total_time += step.elapsed;
     loop.max_iteration_time = std::max(loop.max_iteration_time, step.elapsed);
@@ -60,11 +89,18 @@ std::uint64_t CampaignRunner::watchdog_budget(const GoldenRun& golden) const {
              config_.watchdog_factor));
 }
 
-GoldenRun CampaignRunner::run_golden(Target& target) const {
+GoldenRun CampaignRunner::run_golden(Target& target,
+                                     obs::CampaignObserver* observer) const {
+  IterationTap tap;
+  const bool detail = observer != nullptr && observer->wants_iterations();
+  if (detail) {
+    target.set_detail(true);
+    tap.observer = observer;
+  }
   // An unconstrained budget for the reference run; the real watchdog value
   // derives from what this run measures.
-  ClosedLoop loop =
-      run_closed_loop(target, nullptr, std::uint64_t{1} << 32);
+  ClosedLoop loop = run_closed_loop(target, nullptr, std::uint64_t{1} << 32,
+                                    detail ? &tap : nullptr);
   GoldenRun golden;
   golden.outputs = std::move(loop.outputs);
   golden.total_time = loop.total_time;
@@ -100,14 +136,24 @@ std::vector<Fault> CampaignRunner::sample_faults(
 
 ExperimentResult CampaignRunner::run_experiment(
     Target& target, const Fault& fault, std::uint64_t id,
-    const GoldenRun& golden, std::uint64_t register_bits) const {
+    const GoldenRun& golden, std::uint64_t register_bits,
+    obs::CampaignObserver* observer, std::size_t worker) const {
   ExperimentResult result;
   result.id = id;
   result.fault = fault;
   result.cache_location = fault.bits[0] >= register_bits;
 
-  const ClosedLoop loop =
-      run_closed_loop(target, &fault, watchdog_budget(golden));
+  IterationTap tap;
+  const bool detail = observer != nullptr && observer->wants_iterations();
+  if (detail) {
+    tap.observer = observer;
+    tap.worker = worker;
+    tap.experiment = id;
+    tap.golden_outputs = &golden.outputs;
+  }
+  const ClosedLoop loop = run_closed_loop(target, &fault,
+                                          watchdog_budget(golden),
+                                          detail ? &tap : nullptr);
   result.end_iteration = loop.end_iteration;
   if (loop.detected) {
     result.outcome = analysis::Outcome::kDetected;
@@ -126,6 +172,11 @@ ExperimentResult CampaignRunner::run_experiment(
   result.first_strong = stats.first_strong;
   result.strong_count = stats.strong_count;
   result.max_deviation = stats.max_deviation;
+  // Propagation capture runs after classification on a prober-private
+  // execution, so it cannot influence the outcome above.
+  if (prober_ && analysis::is_value_failure(result.outcome)) {
+    result.propagation = prober_(fault);
+  }
   return result;
 }
 
@@ -159,8 +210,9 @@ CampaignResult CampaignRunner::run(const TargetFactory& factory,
     observer->on_campaign_start(config_, info);
   }
 
-  result.golden = run_golden(*probe);
+  result.golden = run_golden(*probe, observer);
   if (observer != nullptr) observer->on_golden_done(result.golden);
+  const bool detail = observer != nullptr && observer->wants_iterations();
 
   const std::vector<Fault> faults = sample_faults(
       result.fault_space_bits, result.register_partition_bits,
@@ -173,7 +225,7 @@ CampaignResult CampaignRunner::run(const TargetFactory& factory,
       const auto started = std::chrono::steady_clock::now();
       result.experiments[i] =
           run_experiment(*probe, faults[i], i, result.golden,
-                         result.register_partition_bits);
+                         result.register_partition_bits, observer, 0);
       if (observer != nullptr) {
         observer->on_experiment_done(0, result.experiments[i],
                                      elapsed_ns(started));
@@ -197,13 +249,14 @@ CampaignResult CampaignRunner::run(const TargetFactory& factory,
           w == 0 ? nullptr : factory();
       Target& mine = w == 0 ? *probe : *target;
       if (observer != nullptr && w != 0) mine.set_profiling(true);
+      if (detail && w != 0) mine.set_detail(true);
       for (;;) {
         const std::size_t i = next.fetch_add(1);
         if (i >= faults.size()) break;
         const auto started = std::chrono::steady_clock::now();
         result.experiments[i] =
             run_experiment(mine, faults[i], i, result.golden,
-                           result.register_partition_bits);
+                           result.register_partition_bits, observer, w);
         if (observer != nullptr) {
           observer->on_experiment_done(w, result.experiments[i],
                                        elapsed_ns(started));

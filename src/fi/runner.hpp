@@ -14,6 +14,13 @@
 // (from worker threads — see obs/observer.hpp for the threading contract).
 // Observation is passive: results are bit-identical with and without an
 // observer attached.
+//
+// Detail mode (GOOFI): when the observer opts in via wants_iterations(),
+// the runner switches every target into detail capture and streams one
+// obs::IterationRecord per output-producing iteration; a propagation
+// prober, when attached, additionally re-executes each value failure on a
+// private machine to record its architectural propagation path.  Both are
+// passive — the experiment outcomes stay bit-identical.
 #pragma once
 
 #include <functional>
@@ -30,7 +37,22 @@ using TargetFactory = std::function<std::unique_ptr<Target>()>;
 
 class CampaignRunner {
  public:
+  /// Computes the architectural propagation record for a sampled fault, on
+  /// an execution entirely private to the prober (never on a campaign
+  /// target).  Returns nullopt when the capture is unsupported for the
+  /// fault or target kind.  Must be thread-safe: value failures from
+  /// several workers probe concurrently.
+  using PropagationProber =
+      std::function<std::optional<analysis::PropagationRecord>(const Fault&)>;
+
   explicit CampaignRunner(CampaignConfig config) : config_(std::move(config)) {}
+
+  /// Attaches a propagation prober, invoked once per value-failure
+  /// experiment after classification (see make_tvm_propagation_prober in
+  /// workloads.hpp for the SCIFI implementation).
+  void set_propagation_prober(PropagationProber prober) {
+    prober_ = std::move(prober);
+  }
 
   /// Runs golden + all experiments. The factory is called once per worker.
   /// `observer`, when non-null, receives lifecycle + per-experiment events.
@@ -38,7 +60,10 @@ class CampaignRunner {
                      obs::CampaignObserver* observer = nullptr) const;
 
   /// Reference execution only (also useful for Figure 3/4/5 traces).
-  GoldenRun run_golden(Target& target) const;
+  /// `observer`, when non-null and iteration-hungry, receives golden-run
+  /// IterationRecords (experiment == obs::kGoldenExperimentId) on worker 0.
+  GoldenRun run_golden(Target& target,
+                       obs::CampaignObserver* observer = nullptr) const;
 
   /// Re-runs a single already-sampled fault and returns the full output
   /// series (truncated at the detection point when detected early).
@@ -67,17 +92,24 @@ class CampaignRunner {
     std::uint64_t total_time = 0;          // summed iteration time units
     std::uint64_t max_iteration_time = 0;  // watchdog base
   };
+  /// Detail-mode sink for run_closed_loop: where to send IterationRecords
+  /// and what to compare outputs against. Null tap = no per-iteration work.
+  struct IterationTap;
   ClosedLoop run_closed_loop(Target& target, const Fault* fault,
-                             std::uint64_t iteration_budget) const;
+                             std::uint64_t iteration_budget,
+                             const IterationTap* tap = nullptr) const;
 
   /// Watchdog budget for faulty runs, derived from the golden run.
   std::uint64_t watchdog_budget(const GoldenRun& golden) const;
 
   ExperimentResult run_experiment(Target& target, const Fault& fault,
                                   std::uint64_t id, const GoldenRun& golden,
-                                  std::uint64_t register_bits) const;
+                                  std::uint64_t register_bits,
+                                  obs::CampaignObserver* observer = nullptr,
+                                  std::size_t worker = 0) const;
 
   CampaignConfig config_;
+  PropagationProber prober_;
 };
 
 }  // namespace earl::fi

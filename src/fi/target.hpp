@@ -29,6 +29,16 @@
 
 namespace earl::fi {
 
+/// Per-iteration facts captured only in detail mode (GOOFI's detail mode,
+/// surfaced through obs::CampaignObserver::on_iteration).  All fields are
+/// read-only views of state the iteration produced anyway — capturing them
+/// must never change an experiment's outcome.
+struct IterationDetail {
+  float state = 0.0f;          // controller integrator state x after the step
+  bool assertion_fired = false;  // an executable assertion took its bad path
+  bool recovery_fired = false;   // ... and best-effort recovery ran
+};
+
 struct IterationOutcome {
   float output = 0.0f;
   bool detected = false;
@@ -77,6 +87,16 @@ class Target {
   /// Profile accumulated since profiling was enabled (across resets);
   /// all-zero when disabled or unsupported.
   virtual obs::TargetProfile profile() const { return {}; }
+
+  /// Enables per-iteration detail capture (integrator state, assertion /
+  /// recovery activity).  Off by default; like profiling, enabling it must
+  /// not change any observable behaviour.  Targets without instrumentation
+  /// ignore it.
+  virtual void set_detail(bool enabled) { (void)enabled; }
+
+  /// Detail facts for the most recent iterate() call; default-constructed
+  /// when detail capture is disabled or unsupported.
+  virtual IterationDetail iteration_detail() const { return {}; }
 };
 
 }  // namespace earl::fi

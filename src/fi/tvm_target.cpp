@@ -1,10 +1,21 @@
 #include "fi/tvm_target.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <string_view>
 
 #include "util/bitops.hpp"
 
 namespace earl::fi {
+
+namespace {
+
+bool has_prefix(std::string_view name, std::string_view prefix) {
+  return name.size() >= prefix.size() &&
+         name.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace
 
 TvmTarget::TvmTarget(const tvm::AssembledProgram& program,
                      tvm::CacheConfig cache_config)
@@ -15,6 +26,38 @@ TvmTarget::TvmTarget(const tvm::AssembledProgram& program,
   const bool loaded = tvm::load_program(program, machine_.mem);
   assert(loaded);
   (void)loaded;
+
+  // Resolve detail-mode anchors from the program's symbols.  The emitter
+  // brackets every assertion bad path between a `state_bad_*`/`out_bad_*`
+  // label and the next `state_done_*`/`out_done_*` label in address order
+  // (the label numbers come from one shared counter, so only addresses
+  // pair reliably).  Back-up symbols exist only in best-effort-recovery
+  // builds, which is what distinguishes "assertion fired" from "recovery
+  // ran".
+  std::vector<std::uint32_t> bads;
+  std::vector<std::uint32_t> dones;
+  for (const auto& [name, addr] : program.symbols) {
+    if (has_prefix(name, "state_bad_") || has_prefix(name, "out_bad_")) {
+      bads.push_back(addr);
+    } else if (has_prefix(name, "state_done_") ||
+               has_prefix(name, "out_done_")) {
+      dones.push_back(addr);
+    } else if (has_prefix(name, "state") && name.find("_old") != std::string::npos) {
+      recovery_available_ = true;
+    } else if (has_prefix(name, "out") && name.find("_old") != std::string::npos) {
+      recovery_available_ = true;
+    }
+  }
+  std::sort(dones.begin(), dones.end());
+  for (const std::uint32_t bad : bads) {
+    const auto done = std::upper_bound(dones.begin(), dones.end(), bad);
+    if (done != dones.end()) detail_regions_.emplace_back(bad, *done);
+  }
+  if (const auto state0 = program.symbols.find("state0");
+      state0 != program.symbols.end()) {
+    state_addr_ = state0->second;
+  }
+
   machine_.reset(entry_);
 }
 
@@ -36,6 +79,48 @@ void TvmTarget::accumulate_cache_stats() {
 void TvmTarget::set_profiling(bool enabled) {
   profiling_ = enabled;
   machine_.cpu.set_exec_profile(enabled ? &exec_profile_ : nullptr);
+}
+
+void TvmTarget::DetailProbe::on_step(const tvm::CpuState& before,
+                                     std::uint32_t word) {
+  (void)word;
+  for (const auto& [bad, done] : owner->detail_regions_) {
+    if (before.pc >= bad && before.pc < done) {
+      owner->assertion_seen_ = true;
+      return;
+    }
+  }
+}
+
+void TvmTarget::set_detail(bool enabled) {
+  detail_ = enabled;
+  detail_probe_.owner = this;
+  // The sink is purely observational (and Cpu::reset preserves it), so the
+  // probe cannot perturb the run; skip it entirely for programs without
+  // assertion regions.
+  machine_.cpu.set_trace_sink(
+      enabled && !detail_regions_.empty() ? &detail_probe_ : nullptr);
+  assertion_seen_ = false;
+}
+
+std::uint32_t TvmTarget::peek_data_word(std::uint32_t addr) const {
+  if (machine_.cache.probe(addr)) {
+    const unsigned line = (addr >> 4) & 7u;
+    const unsigned word = (addr >> 2) & 3u;
+    return machine_.cache.data_word(line, word);
+  }
+  return machine_.mem.read_raw(addr);
+}
+
+IterationDetail TvmTarget::iteration_detail() const {
+  IterationDetail detail;
+  if (!detail_) return detail;
+  if (state_addr_) {
+    detail.state = util::bits_to_float(peek_data_word(*state_addr_));
+  }
+  detail.assertion_fired = assertion_seen_;
+  detail.recovery_fired = assertion_seen_ && recovery_available_;
+  return detail;
 }
 
 obs::TargetProfile TvmTarget::profile() const {
@@ -75,6 +160,7 @@ void TvmTarget::apply_fault_bits() {
 
 IterationOutcome TvmTarget::iterate(float reference, float measurement) {
   IterationOutcome outcome;
+  assertion_seen_ = false;  // iteration_detail() reports the current call
 
   // Marks the iteration as detected, recording the injection->detection
   // instruction distance and the raw EDM trigger for the profile.

@@ -13,6 +13,8 @@
 //     a WATCHDOG detection.
 #pragma once
 
+#include <utility>
+
 #include "fi/target.hpp"
 #include "tvm/assembler.hpp"
 #include "tvm/cpu.hpp"
@@ -39,6 +41,8 @@ class TvmTarget : public Target {
   void set_iteration_budget(std::uint64_t budget) override;
   void set_profiling(bool enabled) override;
   obs::TargetProfile profile() const override;
+  void set_detail(bool enabled) override;
+  IterationDetail iteration_detail() const override;
 
   /// Scan-chain access for directed experiments (e.g. the Figure 10 bench
   /// corrupts the state variable to a chosen in-range value).
@@ -53,6 +57,17 @@ class TvmTarget : public Target {
  private:
   void apply_fault_bits();
   void accumulate_cache_stats();
+  /// Reads a data-RAM word through the cache (the cached copy wins when the
+  /// line is resident, so a dirty integrator value is seen). Side-effect
+  /// free: uses DataCache::probe + raw accessors only.
+  std::uint32_t peek_data_word(std::uint32_t addr) const;
+
+  /// Detail-mode trace sink: flags when execution enters one of the
+  /// generated assertion bad-path regions (see detail_regions_).
+  struct DetailProbe final : tvm::TraceSink {
+    TvmTarget* owner = nullptr;
+    void on_step(const tvm::CpuState& before, std::uint32_t word) override;
+  };
 
   tvm::Machine machine_;
   tvm::ScanChain scan_;
@@ -68,6 +83,18 @@ class TvmTarget : public Target {
   bool profiling_ = false;
   tvm::ExecProfile exec_profile_;
   obs::TargetProfile profile_;
+
+  // Detail-mode state (see Target::set_detail).  Regions are [bad, done)
+  // code-address ranges of the generated assertion bad paths, resolved from
+  // the program's `state_bad_*`/`out_bad_*` labels at construction; the
+  // probe marks the iteration when the PC enters one.  state_addr_ is the
+  // data address of the controller's first state variable (`state0`).
+  bool detail_ = false;
+  bool assertion_seen_ = false;
+  bool recovery_available_ = false;
+  DetailProbe detail_probe_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> detail_regions_;
+  std::optional<std::uint32_t> state_addr_;
 };
 
 }  // namespace earl::fi

@@ -58,6 +58,17 @@ TargetFactory make_tvm_pi_factory(const control::PiConfig& config,
   };
 }
 
+CampaignRunner::PropagationProber make_tvm_propagation_prober(
+    std::shared_ptr<const tvm::AssembledProgram> program,
+    analysis::PropagationOptions options) {
+  assert(program != nullptr && program->ok());
+  return [program = std::move(program),
+          options](const Fault& fault)
+             -> std::optional<analysis::PropagationRecord> {
+    return analysis::analyze_propagation(*program, fault, options).record();
+  };
+}
+
 TargetFactory make_native_pi_factory(const control::PiConfig& config,
                                      bool robust) {
   return [config, robust]() -> std::unique_ptr<Target> {

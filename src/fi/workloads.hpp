@@ -9,6 +9,7 @@
 // (Table 3).
 #pragma once
 
+#include "analysis/propagation.hpp"
 #include "codegen/robustify.hpp"
 #include "control/pi.hpp"
 #include "fi/runner.hpp"
@@ -39,6 +40,18 @@ TargetFactory make_tvm_pi_factory(
 /// SWIFI factory: native PI controller (robust = Algorithm II).
 TargetFactory make_native_pi_factory(const control::PiConfig& config = {},
                                      bool robust = false);
+
+/// Detail-mode propagation prober for SCIFI campaigns: re-executes the
+/// fault's post-injection window on a prober-private machine pair (golden +
+/// faulty, per analysis::analyze_propagation) and returns the compact
+/// architectural propagation record.  Thread-safe — each call builds its
+/// own machines from the shared program image.  Note the analysis window
+/// starts at a fresh reset (the fault's sampled injection *time* is not
+/// replayed), so the record describes the fault's architectural character,
+/// not the exact campaign episode.
+CampaignRunner::PropagationProber make_tvm_propagation_prober(
+    std::shared_ptr<const tvm::AssembledProgram> program,
+    analysis::PropagationOptions options = {});
 
 /// Campaign presets. `scale` in (0, 1] shrinks the experiment count for
 /// quick runs (tests use ~0.05); benches honour the EARL_CAMPAIGN_SCALE

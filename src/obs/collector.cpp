@@ -29,6 +29,51 @@ std::span<const double> end_iteration_bounds() {
 
 MetricsCollector::MetricsCollector(MetricsRegistry& registry)
     : registry_(registry) {
+  // Help text for the Prometheus exposition (see docs/OBSERVABILITY.md for
+  // the full catalog; families share one line via their common prefix).
+  registry_.set_help("campaign.detection_latency",
+                     "Injection-to-detection distance in dynamic time units");
+  registry_.set_help("campaign.experiment_wall_us",
+                     "Host wall-clock time per experiment in microseconds");
+  registry_.set_help("campaign.end_iteration",
+                     "Iteration at which each experiment stopped");
+  registry_.set_help("campaign.experiments",
+                     "Configured experiment count for this campaign");
+  registry_.set_help("campaign.iterations",
+                     "Closed-loop iterations per experiment");
+  registry_.set_help("campaign.seed", "Campaign sampling seed");
+  registry_.set_help("campaign.workers", "Resolved worker thread count");
+  registry_.set_help("campaign.fault_space_bits",
+                     "Scan-chain fault-location space size in bits");
+  registry_.set_help("campaign.register_partition_bits",
+                     "Boundary below which locations are register bits");
+  registry_.set_help("campaign.golden.total_time",
+                     "Golden-run total time units (the time-sampling space)");
+  registry_.set_help("campaign.golden.max_iteration_time",
+                     "Longest golden iteration in time units (watchdog base)");
+  registry_.set_help("tvm.instret",
+                     "Simulated instructions retired across all workers");
+  registry_.set_help("tvm.cache.hits", "Data-cache hits across all workers");
+  registry_.set_help("tvm.cache.misses",
+                     "Data-cache misses across all workers");
+  registry_.set_help("tvm.cache.writebacks",
+                     "Dirty data-cache lines written back across all workers");
+  for (std::size_t o = 0; o < analysis::kOutcomeCount; ++o) {
+    const auto outcome = static_cast<analysis::Outcome>(o);
+    registry_.set_help("campaign.outcome." + outcome_slug(outcome),
+                       "Experiments classified " +
+                           std::string(analysis::outcome_name(outcome)));
+  }
+  for (std::size_t e = 1; e < tvm::kEdmCount; ++e) {
+    const auto edm = static_cast<tvm::Edm>(e);
+    const std::string name(tvm::edm_name(edm));
+    registry_.set_help("campaign.edm." + edm_slug(edm),
+                       "Detections attributed to " + name);
+    registry_.set_help("campaign.detection_latency." + edm_slug(edm),
+                       "Injection-to-detection distance via " + name);
+    registry_.set_help("tvm.edm_raised." + edm_slug(edm),
+                       "Raw " + name + " triggers inside the TVM");
+  }
   for (std::size_t o = 0; o < analysis::kOutcomeCount; ++o) {
     outcome_counters_[o] = &registry_.counter(
         "campaign.outcome." + outcome_slug(static_cast<analysis::Outcome>(o)));

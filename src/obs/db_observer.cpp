@@ -1,0 +1,42 @@
+#include "obs/db_observer.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace earl::obs {
+
+void DatabaseObserver::on_campaign_start(const fi::CampaignConfig& config,
+                                         const CampaignStartInfo& info) {
+  (void)info;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  database_ = fi::ResultDatabase(config.name, config.seed);
+  save_ok_.reset();
+}
+
+void DatabaseObserver::on_experiment_done(std::size_t worker,
+                                          const fi::ExperimentResult& result,
+                                          std::uint64_t wall_ns) {
+  (void)worker;
+  (void)wall_ns;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  database_.insert(result);
+}
+
+void DatabaseObserver::on_campaign_end(const fi::CampaignResult& result) {
+  (void)result;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // Workers race, so insertions arrive interleaved; re-sorting by id makes
+  // the streamed database indistinguishable from ResultDatabase(result).
+  std::vector<fi::ExperimentResult> sorted = database_.all();
+  std::sort(sorted.begin(), sorted.end(),
+            [](const fi::ExperimentResult& a, const fi::ExperimentResult& b) {
+              return a.id < b.id;
+            });
+  fi::ResultDatabase rebuilt(database_.campaign_name(), database_.seed());
+  for (fi::ExperimentResult& e : sorted) rebuilt.insert(e);
+  database_ = std::move(rebuilt);
+  if (!path_.empty()) save_ok_ = database_.save(path_);
+}
+
+}  // namespace earl::obs

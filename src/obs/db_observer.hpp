@@ -1,0 +1,47 @@
+// Streaming result-database observer.
+//
+// Fills a fi::ResultDatabase while the campaign runs, so `--events` and
+// `--db` share one observer sink instead of the CLI materialising a second
+// copy of the campaign after the fact.  Experiments arrive concurrently and
+// out of order from worker threads; the observer collects them under a
+// mutex and restores deterministic id order at campaign end, so the saved
+// CSV is byte-identical to one built from the finished CampaignResult.
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "fi/database.hpp"
+#include "obs/observer.hpp"
+
+namespace earl::obs {
+
+class DatabaseObserver final : public CampaignObserver {
+ public:
+  /// When `path` is non-empty, on_campaign_end saves the database there
+  /// (check save_ok() afterwards).
+  explicit DatabaseObserver(std::string path = "") : path_(std::move(path)) {}
+
+  void on_campaign_start(const fi::CampaignConfig& config,
+                         const CampaignStartInfo& info) override;
+  void on_experiment_done(std::size_t worker,
+                          const fi::ExperimentResult& result,
+                          std::uint64_t wall_ns) override;
+  void on_campaign_end(const fi::CampaignResult& result) override;
+
+  /// The streamed database, sorted by experiment id after on_campaign_end.
+  const fi::ResultDatabase& database() const { return database_; }
+
+  /// Whether the save to `path` succeeded; nullopt before on_campaign_end
+  /// or when no path was configured.
+  std::optional<bool> save_ok() const { return save_ok_; }
+
+ private:
+  std::string path_;
+  std::mutex mutex_;
+  fi::ResultDatabase database_;
+  std::optional<bool> save_ok_;
+};
+
+}  // namespace earl::obs

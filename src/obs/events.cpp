@@ -9,16 +9,6 @@ namespace {
 
 constexpr std::size_t kFlushThreshold = 64 * 1024;
 
-const char* fault_kind_name(fi::FaultKind kind) {
-  switch (kind) {
-    case fi::FaultKind::kSingleBitFlip: return "single_bit_flip";
-    case fi::FaultKind::kMultiBitFlip: return "multi_bit_flip";
-    case fi::FaultKind::kStuckAt0: return "stuck_at_0";
-    case fi::FaultKind::kStuckAt1: return "stuck_at_1";
-  }
-  return "unknown";
-}
-
 std::string bits_array(const std::vector<std::size_t>& bits) {
   std::string out = "[";
   for (std::size_t i = 0; i < bits.size(); ++i) {
@@ -65,7 +55,7 @@ void JsonlEventLogger::on_campaign_start(const fi::CampaignConfig& config,
       .field("experiments", static_cast<std::uint64_t>(config.experiments))
       .field("seed", config.seed)
       .field("iterations", static_cast<std::uint64_t>(config.iterations))
-      .field("fault_kind", fault_kind_name(config.fault.kind))
+      .field("fault_kind", fault_kind_slug(config.fault.kind))
       .field("fault_multiplicity",
              static_cast<std::uint64_t>(config.fault.multiplicity))
       .field("workers", static_cast<std::uint64_t>(info.workers))
@@ -81,6 +71,23 @@ void JsonlEventLogger::on_golden_done(const fi::GoldenRun& golden) {
       .field("max_iteration_time", golden.max_iteration_time)
       .field("outputs", static_cast<std::uint64_t>(golden.outputs.size()));
   write_line(std::move(event).str());
+}
+
+void JsonlEventLogger::append_buffered(std::size_t worker, std::string line) {
+  line.push_back('\n');
+  if (worker < buffers_.size()) {
+    std::string& buffer = buffers_[worker];
+    buffer += line;
+    if (buffer.size() >= kFlushThreshold) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (out_ != nullptr) *out_ << buffer;
+      buffer.clear();
+    }
+  } else {
+    // Defensive: an unknown worker id (observer attached mid-run) still logs.
+    line.pop_back();
+    write_line(line);
+  }
 }
 
 void JsonlEventLogger::on_experiment_done(std::size_t worker,
@@ -105,22 +112,50 @@ void JsonlEventLogger::on_experiment_done(std::size_t worker,
         .field("strong_count", static_cast<std::uint64_t>(result.strong_count))
         .field("max_deviation", result.max_deviation);
   }
-  std::string line = std::move(event).str();
-  line.push_back('\n');
-
-  if (worker < buffers_.size()) {
-    std::string& buffer = buffers_[worker];
-    buffer += line;
-    if (buffer.size() >= kFlushThreshold) {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      if (out_ != nullptr) *out_ << buffer;
-      buffer.clear();
+  if (result.propagation) {
+    const analysis::PropagationRecord& p = *result.propagation;
+    JsonObject prop;
+    prop.field("diverged", p.diverged);
+    if (p.diverged) {
+      prop.field("step", static_cast<std::uint64_t>(p.divergence_step))
+          .field("pc", static_cast<std::uint64_t>(p.divergence_pc))
+          .field("regs", static_cast<std::uint64_t>(p.corrupted_regs));
     }
-  } else {
-    // Defensive: an unknown worker id (observer attached mid-run) still logs.
-    line.pop_back();
-    write_line(line);
+    if (p.reached_memory) {
+      prop.field("memory_step", static_cast<std::uint64_t>(p.memory_step))
+          .field("memory_address",
+                 static_cast<std::uint64_t>(p.memory_address));
+    }
+    if (p.control_flow_diverged) {
+      prop.field("cf_step", static_cast<std::uint64_t>(p.control_flow_step));
+    }
+    event.raw_field("propagation", std::move(prop).str());
   }
+  append_buffered(worker, std::move(event).str());
+}
+
+void JsonlEventLogger::on_iteration(std::size_t worker,
+                                    const IterationRecord& record) {
+  JsonObject event;
+  event.field("event", "iteration");
+  if (record.experiment == kGoldenExperimentId) {
+    event.field("golden", true);
+  } else {
+    event.field("id", record.experiment);
+  }
+  event.field("k", static_cast<std::uint64_t>(record.iteration))
+      .field("r", static_cast<double>(record.reference))
+      .field("y", static_cast<double>(record.measurement))
+      .field("u", static_cast<double>(record.output))
+      .field("u_golden", static_cast<double>(record.golden_output))
+      .field("deviation", static_cast<double>(record.deviation))
+      .field("state", static_cast<double>(record.state));
+  // The flags are rare and default false; emit only when set to keep the
+  // (very chatty) iteration stream lean.
+  if (record.assertion_fired) event.field("assertion", true);
+  if (record.recovery_fired) event.field("recovery", true);
+  event.field("elapsed", record.elapsed);
+  append_buffered(worker, std::move(event).str());
 }
 
 void JsonlEventLogger::on_campaign_end(const fi::CampaignResult& result) {

@@ -7,8 +7,12 @@
 // Event stream (see docs/OBSERVABILITY.md for the field-level schema):
 //   campaign_start  — config + resolved fault space and worker count
 //   golden_run      — reference-execution facts (time space, watchdog base)
+//   iteration       — detail mode only: one per output-producing iteration
+//                     (golden run included, flagged "golden":true)
 //   experiment      — fault coordinates, outcome, EDM, detection latency,
-//                     end iteration, wall time; one per experiment
+//                     end iteration, wall time; one per experiment.  Value
+//                     failures probed for propagation carry a "propagation"
+//                     sub-object
 //   campaign_end    — outcome tallies + total wall time
 //
 // Hot-path design: each worker appends formatted lines to a private string
@@ -39,6 +43,11 @@ class JsonlEventLogger final : public CampaignObserver {
 
   bool ok() const { return out_ != nullptr && out_->good(); }
 
+  /// Detail mode: when enabled the logger asks the runner for per-iteration
+  /// records (wants_iterations()) and emits one `iteration` event each.
+  /// Set before the campaign starts.
+  void set_detail(bool enabled) { detail_ = enabled; }
+
   void on_campaign_start(const fi::CampaignConfig& config,
                          const CampaignStartInfo& info) override;
   void on_golden_done(const fi::GoldenRun& golden) override;
@@ -46,6 +55,9 @@ class JsonlEventLogger final : public CampaignObserver {
                           const fi::ExperimentResult& result,
                           std::uint64_t wall_ns) override;
   void on_campaign_end(const fi::CampaignResult& result) override;
+  bool wants_iterations() const override { return detail_; }
+  void on_iteration(std::size_t worker,
+                    const IterationRecord& record) override;
 
   /// Drains every worker buffer to the sink (also done by campaign_end and
   /// the destructor).
@@ -53,11 +65,13 @@ class JsonlEventLogger final : public CampaignObserver {
 
  private:
   void write_line(const std::string& line);  // takes the sink mutex
+  void append_buffered(std::size_t worker, std::string line);
 
   std::ofstream file_;
   std::ostream* out_ = nullptr;
   std::mutex mutex_;                   // guards *out_
   std::vector<std::string> buffers_;   // one per worker, index = worker id
+  bool detail_ = false;
 };
 
 }  // namespace earl::obs

@@ -1,5 +1,6 @@
 #include "obs/json.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 
@@ -34,10 +35,12 @@ std::string json_number(double v) {
   if (v == static_cast<double>(static_cast<long long>(v)) &&
       std::fabs(v) < 1e15) {
     std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
-  } else {
-    std::snprintf(buf, sizeof buf, "%.9g", v);
+    return buf;
   }
-  return buf;
+  // Shortest decimal that parses back to exactly `v` (so recorded doubles —
+  // e.g. max_deviation in the event log — survive an offline read bit-exact).
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  return ec == std::errc() ? std::string(buf, end) : "0";
 }
 
 void JsonObject::begin_field(std::string_view key) {

@@ -27,4 +27,39 @@ std::string outcome_slug(analysis::Outcome outcome) {
   return slugify(analysis::outcome_name(outcome));
 }
 
+std::string fault_kind_slug(fi::FaultKind kind) {
+  switch (kind) {
+    case fi::FaultKind::kSingleBitFlip: return "single_bit_flip";
+    case fi::FaultKind::kMultiBitFlip: return "multi_bit_flip";
+    case fi::FaultKind::kStuckAt0: return "stuck_at_0";
+    case fi::FaultKind::kStuckAt1: return "stuck_at_1";
+  }
+  return "unknown";
+}
+
+std::optional<analysis::Outcome> parse_outcome_slug(std::string_view slug) {
+  for (std::size_t o = 0; o < analysis::kOutcomeCount; ++o) {
+    const auto outcome = static_cast<analysis::Outcome>(o);
+    if (outcome_slug(outcome) == slug) return outcome;
+  }
+  return std::nullopt;
+}
+
+std::optional<tvm::Edm> parse_edm_slug(std::string_view slug) {
+  for (std::size_t e = 0; e < tvm::kEdmCount; ++e) {
+    const auto edm = static_cast<tvm::Edm>(e);
+    if (edm_slug(edm) == slug) return edm;
+  }
+  return std::nullopt;
+}
+
+std::optional<fi::FaultKind> parse_fault_kind_slug(std::string_view slug) {
+  for (const fi::FaultKind kind :
+       {fi::FaultKind::kSingleBitFlip, fi::FaultKind::kMultiBitFlip,
+        fi::FaultKind::kStuckAt0, fi::FaultKind::kStuckAt1}) {
+    if (fault_kind_slug(kind) == slug) return kind;
+  }
+  return std::nullopt;
+}
+
 }  // namespace earl::obs

@@ -6,10 +6,12 @@
 // stable across releases: consumers key dashboards and scripts on these.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <string_view>
 
 #include "analysis/classify.hpp"
+#include "fi/fault_model.hpp"
 #include "tvm/edm.hpp"
 
 namespace earl::obs {
@@ -24,5 +26,14 @@ std::string edm_slug(tvm::Edm edm);
 
 /// Slug of a classification outcome, e.g. "minor_transient".
 std::string outcome_slug(analysis::Outcome outcome);
+
+/// Slug of a fault model, e.g. "single_bit_flip".
+std::string fault_kind_slug(fi::FaultKind kind);
+
+/// Reverse lookups for trace/event consumers (offline analysis re-reads the
+/// slugs the emitters wrote).  nullopt for an unknown slug.
+std::optional<analysis::Outcome> parse_outcome_slug(std::string_view slug);
+std::optional<tvm::Edm> parse_edm_slug(std::string_view slug);
+std::optional<fi::FaultKind> parse_fault_kind_slug(std::string_view slug);
 
 }  // namespace earl::obs

@@ -159,6 +159,86 @@ std::string MetricsRegistry::to_csv() const {
   return out;
 }
 
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool valid = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(valid ? c : '_');
+  }
+  if (!out.empty() && out.front() >= '0' && out.front() <= '9') {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+void MetricsRegistry::set_help(std::string_view name, std::string_view help) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  help_[std::string(name)] = std::string(help);
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+
+  // Escape rules for HELP text: backslash and newline only.
+  auto escape_help = [](const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '\\') out += "\\\\";
+      else if (c == '\n') out += "\\n";
+      else out.push_back(c);
+    }
+    return out;
+  };
+  auto help_for = [&](const std::string& name) {
+    const auto it = help_.find(name);
+    return escape_help(it == help_.end() ? name : it->second);
+  };
+
+  // One self-contained block (# HELP, # TYPE, samples) per instrument,
+  // merged across kinds and sorted by exposition name for determinism.
+  std::vector<std::pair<std::string, std::string>> blocks;
+  for (const auto& [name, c] : counters_) {
+    const std::string prom = prometheus_name(name);
+    std::string block = "# HELP " + prom + " " + help_for(name) + "\n";
+    block += "# TYPE " + prom + " counter\n";
+    block += prom + " " + std::to_string(c->value()) + "\n";
+    blocks.emplace_back(prom, std::move(block));
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string prom = prometheus_name(name);
+    std::string block = "# HELP " + prom + " " + help_for(name) + "\n";
+    block += "# TYPE " + prom + " gauge\n";
+    block += prom + " " + json_number(g->value()) + "\n";
+    blocks.emplace_back(prom, std::move(block));
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string prom = prometheus_name(name);
+    std::string block = "# HELP " + prom + " " + help_for(name) + "\n";
+    block += "# TYPE " + prom + " histogram\n";
+    const std::vector<std::uint64_t> counts = h->counts();
+    const std::vector<double>& bounds = h->bounds();
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      cumulative += counts[i];
+      block += prom + "_bucket{le=\"" +
+               (i < bounds.size() ? json_number(bounds[i]) : "+Inf") + "\"} " +
+               std::to_string(cumulative) + "\n";
+    }
+    block += prom + "_sum " + json_number(h->sum()) + "\n";
+    block += prom + "_count " + std::to_string(h->count()) + "\n";
+    blocks.emplace_back(prom, std::move(block));
+  }
+  std::sort(blocks.begin(), blocks.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  std::string out;
+  for (const auto& [prom, block] : blocks) out += block;
+  return out;
+}
+
 std::span<const double> detection_latency_bounds() {
   static constexpr double kBounds[] = {1,    2,    5,     10,    20,    50,
                                        100,  200,  500,   1000,  2000,  5000,

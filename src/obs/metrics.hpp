@@ -83,6 +83,16 @@ class MetricsRegistry {
   /// Snapshot export, instruments sorted by name.
   std::string to_json() const;
   std::string to_csv() const;
+  /// Prometheus text exposition format: `# HELP`/`# TYPE` headers plus
+  /// samples, instruments sorted by name.  Dots in metric names become
+  /// underscores ("campaign.outcome.detected" -> "campaign_outcome_detected");
+  /// histograms render as cumulative `_bucket{le="..."}` series plus
+  /// `_sum`/`_count`, per the exposition-format spec.
+  std::string to_prometheus() const;
+
+  /// Help text attached to a metric's `# HELP` line (the metric need not
+  /// exist yet; unhelped metrics fall back to their own name).
+  void set_help(std::string_view name, std::string_view help);
 
   /// Lookup for tests/tools; nullptr when absent.
   const Counter* find_counter(std::string_view name) const;
@@ -93,7 +103,13 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::string, std::less<>> help_;
 };
+
+/// Sanitizes a dot-path metric name into a Prometheus metric name: every
+/// character outside [a-zA-Z0-9_:] becomes '_', and a leading digit gets a
+/// '_' prefix.
+std::string prometheus_name(std::string_view name);
 
 /// Default bucket edges (in dynamic instructions) for detection-latency
 /// histograms: roughly logarithmic, covering same-instruction detection up

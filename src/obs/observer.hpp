@@ -32,6 +32,29 @@ struct CampaignStartInfo {
   std::size_t workers = 1;  // resolved worker count (>= 1)
 };
 
+/// `IterationRecord::experiment` value marking golden-run iterations.
+inline constexpr std::uint64_t kGoldenExperimentId = ~std::uint64_t{0};
+
+/// One closed-loop iteration, reported in detail mode (GOOFI's detail mode:
+/// per-iteration state logging for offline error-propagation analysis).
+/// Records are emitted only for output-producing iterations — a detecting
+/// iteration's facts live in the experiment record instead — so an
+/// experiment emits exactly `end_iteration` records and the golden run
+/// emits one per configured iteration.
+struct IterationRecord {
+  std::uint64_t experiment = 0;  // kGoldenExperimentId for the golden run
+  std::uint32_t iteration = 0;   // k
+  float reference = 0.0f;        // r(k), reference speed [rad/s]
+  float measurement = 0.0f;      // y(k), measured speed fed to the controller
+  float output = 0.0f;           // u_lim(k), limited throttle angle [deg]
+  float golden_output = 0.0f;    // fault-free u_lim(k) (== output for golden)
+  float deviation = 0.0f;        // |output - golden_output|
+  float state = 0.0f;            // controller integrator state x
+  bool assertion_fired = false;  // executable assertion took its bad path
+  bool recovery_fired = false;   // ... and best-effort recovery ran
+  std::uint64_t elapsed = 0;     // time units this iteration consumed
+};
+
 class CampaignObserver {
  public:
   virtual ~CampaignObserver() = default;
@@ -65,6 +88,22 @@ class CampaignObserver {
   virtual void on_campaign_end(const fi::CampaignResult& result) {
     (void)result;
   }
+
+  /// Detail-mode opt-in, sampled once by the runner before the golden run.
+  /// Returning true switches the targets into detail capture and enables
+  /// on_iteration() — a call per output-producing iteration, orders of
+  /// magnitude chattier than on_experiment_done, hence opt-in.
+  virtual bool wants_iterations() const { return false; }
+
+  /// One call per output-producing iteration, from the worker running the
+  /// experiment (worker 0 for the golden run). Same threading contract as
+  /// on_experiment_done; all of an experiment's records arrive in iteration
+  /// order from one worker, before its on_experiment_done.
+  virtual void on_iteration(std::size_t worker,
+                            const IterationRecord& record) {
+    (void)worker;
+    (void)record;
+  }
 };
 
 /// Fans every callback out to a list of non-owned children, in add() order.
@@ -95,6 +134,16 @@ class MultiObserver final : public CampaignObserver {
   }
   void on_campaign_end(const fi::CampaignResult& result) override {
     for (CampaignObserver* c : children_) c->on_campaign_end(result);
+  }
+  bool wants_iterations() const override {
+    for (const CampaignObserver* c : children_) {
+      if (c->wants_iterations()) return true;
+    }
+    return false;
+  }
+  void on_iteration(std::size_t worker,
+                    const IterationRecord& record) override {
+    for (CampaignObserver* c : children_) c->on_iteration(worker, record);
   }
 
  private:

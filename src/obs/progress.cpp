@@ -12,6 +12,40 @@ std::int64_t now_ns(std::chrono::steady_clock::time_point since) {
 
 }  // namespace
 
+double progress_rate(std::size_t done, double elapsed_s) {
+  return elapsed_s > 0.0 ? static_cast<double>(done) / elapsed_s : 0.0;
+}
+
+double progress_eta_seconds(std::size_t done, std::size_t total,
+                            double elapsed_s) {
+  const double rate = progress_rate(done, elapsed_s);
+  const std::size_t remaining = total > done ? total - done : 0;
+  return rate > 0.0 ? static_cast<double>(remaining) / rate : 0.0;
+}
+
+std::string render_progress_line(const ProgressSnapshot& snapshot,
+                                 bool final_line, bool carriage_return) {
+  const double rate = progress_rate(snapshot.done, snapshot.elapsed_s);
+  const double eta_s =
+      progress_eta_seconds(snapshot.done, snapshot.total, snapshot.elapsed_s);
+  const double percent =
+      snapshot.total > 0 ? 100.0 * static_cast<double>(snapshot.done) /
+                               static_cast<double>(snapshot.total)
+                         : 100.0;
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "%s%zu/%zu (%5.1f%%)  %8.1f exp/s  ETA %6.1fs  "
+                "det %llu  sev %llu  min %llu  benign %llu%s",
+                carriage_return ? "\r" : "", snapshot.done, snapshot.total,
+                percent, rate, final_line ? 0.0 : eta_s,
+                static_cast<unsigned long long>(snapshot.detected),
+                static_cast<unsigned long long>(snapshot.severe),
+                static_cast<unsigned long long>(snapshot.minor),
+                static_cast<unsigned long long>(snapshot.benign),
+                carriage_return && !final_line ? "" : "\n");
+  return buf;
+}
+
 ProgressReporter::ProgressReporter() : ProgressReporter(Options{}) {}
 
 ProgressReporter::ProgressReporter(Options options) : options_(options) {}
@@ -35,19 +69,38 @@ void ProgressReporter::on_experiment_done(std::size_t worker,
       1, std::memory_order_relaxed);
   completed_.fetch_add(1, std::memory_order_relaxed);
 
+  if (try_claim_print(now_ns(start_))) print_line(false);
+}
+
+bool ProgressReporter::try_claim_print(std::int64_t now_ns) {
   const std::int64_t interval_ns =
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           options_.min_interval)
           .count();
-  const std::int64_t now = now_ns(start_);
   std::int64_t last = last_print_ns_.load(std::memory_order_relaxed);
-  if (now - last < interval_ns) return;
+  if (now_ns - last < interval_ns) return false;
   // One worker wins the right to print this tick; the rest carry on.
-  if (!last_print_ns_.compare_exchange_strong(last, now,
-                                              std::memory_order_relaxed)) {
-    return;
-  }
-  print_line(false);
+  return last_print_ns_.compare_exchange_strong(last, now_ns,
+                                                std::memory_order_relaxed);
+}
+
+ProgressSnapshot ProgressReporter::snapshot(double elapsed_s) const {
+  auto tally = [&](analysis::Outcome o) {
+    return tallies_[static_cast<std::size_t>(o)].load(
+        std::memory_order_relaxed);
+  };
+  ProgressSnapshot snapshot;
+  snapshot.done = completed_.load(std::memory_order_relaxed);
+  snapshot.total = total_;
+  snapshot.elapsed_s = elapsed_s;
+  snapshot.detected = tally(analysis::Outcome::kDetected);
+  snapshot.severe = tally(analysis::Outcome::kSeverePermanent) +
+                    tally(analysis::Outcome::kSevereSemiPermanent);
+  snapshot.minor = tally(analysis::Outcome::kMinorTransient) +
+                   tally(analysis::Outcome::kMinorInsignificant);
+  snapshot.benign = tally(analysis::Outcome::kLatent) +
+                    tally(analysis::Outcome::kOverwritten);
+  return snapshot;
 }
 
 void ProgressReporter::on_campaign_end(const fi::CampaignResult& result) {
@@ -56,41 +109,10 @@ void ProgressReporter::on_campaign_end(const fi::CampaignResult& result) {
 }
 
 void ProgressReporter::print_line(bool final_line) {
-  const std::size_t done = completed_.load(std::memory_order_relaxed);
-  const double elapsed_s =
-      static_cast<double>(now_ns(start_)) / 1e9;
-  const double rate = elapsed_s > 0.0 ? static_cast<double>(done) / elapsed_s
-                                      : 0.0;
-  const std::size_t remaining = total_ > done ? total_ - done : 0;
-  const double eta_s = rate > 0.0 ? static_cast<double>(remaining) / rate
-                                  : 0.0;
-  const double percent =
-      total_ > 0 ? 100.0 * static_cast<double>(done) /
-                       static_cast<double>(total_)
-                 : 100.0;
-
-  auto tally = [&](analysis::Outcome o) {
-    return tallies_[static_cast<std::size_t>(o)].load(
-        std::memory_order_relaxed);
-  };
-  const std::uint64_t detected = tally(analysis::Outcome::kDetected);
-  const std::uint64_t severe = tally(analysis::Outcome::kSeverePermanent) +
-                               tally(analysis::Outcome::kSevereSemiPermanent);
-  const std::uint64_t minor = tally(analysis::Outcome::kMinorTransient) +
-                              tally(analysis::Outcome::kMinorInsignificant);
-  const std::uint64_t benign = tally(analysis::Outcome::kLatent) +
-                               tally(analysis::Outcome::kOverwritten);
-
-  std::fprintf(options_.sink,
-               "%s%zu/%zu (%5.1f%%)  %8.1f exp/s  ETA %6.1fs  "
-               "det %llu  sev %llu  min %llu  benign %llu%s",
-               options_.carriage_return ? "\r" : "", done, total_, percent,
-               rate, final_line ? 0.0 : eta_s,
-               static_cast<unsigned long long>(detected),
-               static_cast<unsigned long long>(severe),
-               static_cast<unsigned long long>(minor),
-               static_cast<unsigned long long>(benign),
-               options_.carriage_return && !final_line ? "" : "\n");
+  const std::string line =
+      render_progress_line(snapshot(static_cast<double>(now_ns(start_)) / 1e9),
+                           final_line, options_.carriage_return);
+  std::fputs(line.c_str(), options_.sink);
   std::fflush(options_.sink);
 }
 

@@ -11,10 +11,36 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <string>
 
 #include "obs/observer.hpp"
 
 namespace earl::obs {
+
+/// A point-in-time view of campaign progress, decoupled from the atomics so
+/// line rendering and ETA math are pure (and testable) functions of it.
+struct ProgressSnapshot {
+  std::size_t done = 0;
+  std::size_t total = 0;
+  double elapsed_s = 0.0;
+  std::uint64_t detected = 0;
+  std::uint64_t severe = 0;
+  std::uint64_t minor = 0;
+  std::uint64_t benign = 0;
+};
+
+/// Observed throughput in experiments per second; 0 before any time passed.
+double progress_rate(std::size_t done, double elapsed_s);
+
+/// Remaining work over the observed rate; 0 when the rate is still 0 (no
+/// guess is better than a wild one) or when the campaign is done.
+double progress_eta_seconds(std::size_t done, std::size_t total,
+                            double elapsed_s);
+
+/// The progress line exactly as ProgressReporter prints it, including the
+/// leading '\r' / trailing '\n' dictated by `carriage_return`/`final_line`.
+std::string render_progress_line(const ProgressSnapshot& snapshot,
+                                 bool final_line, bool carriage_return);
 
 class ProgressReporter final : public CampaignObserver {
  public:
@@ -37,6 +63,15 @@ class ProgressReporter final : public CampaignObserver {
   std::size_t completed() const {
     return completed_.load(std::memory_order_relaxed);
   }
+
+  /// Claims the right to print at `now_ns` (nanoseconds since campaign
+  /// start): succeeds when min_interval has passed since the last winning
+  /// claim, via one compare-exchange so exactly one racing worker wins each
+  /// tick.  Exposed for the throttling tests.
+  bool try_claim_print(std::int64_t now_ns);
+
+  /// Current counters as a snapshot (elapsed time supplied by the caller).
+  ProgressSnapshot snapshot(double elapsed_s) const;
 
  private:
   void print_line(bool final_line);

@@ -32,6 +32,43 @@ std::string ExecutionTrace::to_listing(std::size_t max_records) const {
   return out;
 }
 
+std::vector<unsigned> RegisterDiff::registers() const {
+  std::vector<unsigned> out;
+  for (unsigned r = 0; r < kNumRegs; ++r) {
+    if ((mask >> r) & 1u) out.push_back(r);
+  }
+  return out;
+}
+
+std::string RegisterDiff::to_string() const {
+  if (empty()) return "-";
+  std::string out;
+  for (const unsigned r : registers()) {
+    if (!out.empty()) out.push_back(' ');
+    out += "r" + std::to_string(r);
+  }
+  return out;
+}
+
+RegisterDiff register_diff(const std::array<std::uint32_t, kNumRegs>& golden,
+                           const std::array<std::uint32_t, kNumRegs>& faulty) {
+  RegisterDiff diff;
+  for (unsigned r = 0; r < kNumRegs; ++r) {
+    if (golden[r] != faulty[r]) diff.mask |= 1u << r;
+  }
+  return diff;
+}
+
+RegisterDiff register_diff_at(const ExecutionTrace& golden,
+                              const ExecutionTrace& faulty,
+                              std::size_t index) {
+  if (index >= golden.records().size() || index >= faulty.records().size()) {
+    return {};
+  }
+  return register_diff(golden.records()[index].regs,
+                       faulty.records()[index].regs);
+}
+
 std::size_t first_divergence(const ExecutionTrace& golden,
                              const ExecutionTrace& faulty) {
   const auto& a = golden.records();

@@ -48,4 +48,27 @@ class ExecutionTrace : public TraceSink {
 std::size_t first_divergence(const ExecutionTrace& golden,
                              const ExecutionTrace& faulty);
 
+/// Architectural register-file delta between two matched trace records:
+/// bit r of `mask` is set when GPR r differs.  This is how propagation
+/// analysis names "which registers the fault had corrupted" compactly
+/// enough to travel in an experiment record.
+struct RegisterDiff {
+  std::uint32_t mask = 0;
+
+  bool empty() const { return mask == 0; }
+  /// Indices of differing registers, ascending.
+  std::vector<unsigned> registers() const;
+  /// " r1 r5"-style rendering ("-" when empty).
+  std::string to_string() const;
+};
+
+RegisterDiff register_diff(const std::array<std::uint32_t, kNumRegs>& golden,
+                           const std::array<std::uint32_t, kNumRegs>& faulty);
+
+/// Diff of the register files captured at `index` in two full-detail traces
+/// (empty when either trace is shorter or registers were not captured).
+RegisterDiff register_diff_at(const ExecutionTrace& golden,
+                              const ExecutionTrace& faulty,
+                              std::size_t index);
+
 }  // namespace earl::tvm

@@ -1,0 +1,253 @@
+// Unit tests for the offline JSONL trace reader, against hand-written event
+// streams (the integration round-trip against a live campaign lives in
+// tests/integration/trace_roundtrip_test.cpp).
+#include "analysis/trace_reader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace earl::analysis {
+namespace {
+
+const char* kStart =
+    R"({"event":"campaign_start","campaign":"unit","experiments":3,"seed":7,)"
+    R"("iterations":650,"fault_kind":"stuck_at_1","fault_multiplicity":1,)"
+    R"("workers":2,"fault_space_bits":1000,"register_partition_bits":600})"
+    "\n";
+
+std::optional<CampaignTrace> parse(const std::string& jsonl) {
+  std::istringstream in(jsonl);
+  return load_trace(in);
+}
+
+TEST(TraceReaderTest, RejectsStreamWithoutCampaignStart) {
+  EXPECT_FALSE(parse("").has_value());
+  EXPECT_FALSE(
+      parse(R"({"event":"experiment","id":0,"bits":[1],"time":2,)"
+            R"("cache":false,"outcome":"latent","end_iteration":650})"
+            "\n")
+          .has_value());
+}
+
+TEST(TraceReaderTest, ParsesCampaignMetadata) {
+  const std::optional<CampaignTrace> trace = parse(kStart);
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->campaign, "unit");
+  EXPECT_EQ(trace->seed, 7u);
+  EXPECT_EQ(trace->experiments_configured, 3u);
+  EXPECT_EQ(trace->iterations_configured, 650u);
+  EXPECT_EQ(trace->fault_kind, fi::FaultKind::kStuckAt1);
+  EXPECT_EQ(trace->workers, 2u);
+  EXPECT_TRUE(trace->experiments.empty());
+  EXPECT_TRUE(trace->golden.empty());
+}
+
+TEST(TraceReaderTest, GroupsOutOfOrderIterationRecords) {
+  // Iteration events land before their experiment event and out of k order
+  // (two workers interleaving); golden records are tagged, not id'd.
+  std::string jsonl = kStart;
+  jsonl +=
+      R"({"event":"iteration","golden":true,"k":1,"r":2000,"y":2000.5,)"
+      R"("u":6.5,"u_golden":6.5,"deviation":0,"state":6.4,"elapsed":90})"
+      "\n"
+      R"({"event":"iteration","id":3,"k":1,"r":2000,"y":1999,"u":7.25,)"
+      R"("u_golden":6.5,"deviation":0.75,"state":7,"elapsed":91})"
+      "\n"
+      R"({"event":"iteration","golden":true,"k":0,"r":2000,"y":2000,)"
+      R"("u":6.5,"u_golden":6.5,"deviation":0,"state":6.4,"elapsed":90})"
+      "\n"
+      R"({"event":"iteration","id":3,"k":0,"r":2000,"y":2000,"u":6.5,)"
+      R"("u_golden":6.5,"deviation":0,"state":6.4,"assertion":true,)"
+      R"("elapsed":89})"
+      "\n"
+      R"({"event":"experiment","id":3,"worker":1,"bits":[12],"time":44,)"
+      R"("cache":true,"outcome":"severe_permanent","end_iteration":650,)"
+      R"("wall_ns":5000,"first_strong":2,"strong_count":648,)"
+      R"("max_deviation":55.5})"
+      "\n";
+  const std::optional<CampaignTrace> trace = parse(jsonl);
+  ASSERT_TRUE(trace.has_value());
+
+  ASSERT_EQ(trace->golden.size(), 2u);
+  EXPECT_EQ(trace->golden[0].k, 0u);
+  EXPECT_EQ(trace->golden[1].k, 1u);
+  EXPECT_EQ(trace->golden_outputs(), (std::vector<float>{6.5f, 6.5f}));
+
+  ASSERT_EQ(trace->experiments.size(), 1u);
+  const TraceExperiment& e = trace->experiments[0];
+  EXPECT_EQ(e.id, 3u);
+  ASSERT_EQ(e.iterations.size(), 2u);
+  EXPECT_EQ(e.iterations[0].k, 0u);
+  EXPECT_TRUE(e.iterations[0].assertion_fired);
+  EXPECT_FALSE(e.iterations[0].recovery_fired);
+  EXPECT_EQ(e.iterations[1].k, 1u);
+  EXPECT_FLOAT_EQ(e.iterations[1].deviation, 0.75f);
+  EXPECT_EQ(e.outputs(), (std::vector<float>{6.5f, 7.25f}));
+}
+
+TEST(TraceReaderTest, ParsesExperimentOutcomeSpecificFields) {
+  std::string jsonl = kStart;
+  jsonl +=
+      R"({"event":"experiment","id":0,"worker":0,"bits":[3,17],"time":9,)"
+      R"("cache":false,"outcome":"detected","end_iteration":12,)"
+      R"("wall_ns":100,"edm":"watchdog","detection_distance":321})"
+      "\n"
+      R"({"event":"experiment","id":1,"worker":1,"bits":[5],"time":2,)"
+      R"("cache":true,"outcome":"minor_transient","end_iteration":650,)"
+      R"("wall_ns":100,"first_strong":40,"strong_count":3,)"
+      R"("max_deviation":1.25})"
+      "\n";
+  const std::optional<CampaignTrace> trace = parse(jsonl);
+  ASSERT_TRUE(trace.has_value());
+  ASSERT_EQ(trace->experiments.size(), 2u);
+
+  const TraceExperiment& detected = trace->experiments[0];
+  EXPECT_EQ(detected.outcome, Outcome::kDetected);
+  EXPECT_EQ(detected.edm, tvm::Edm::kWatchdog);
+  EXPECT_EQ(detected.detection_distance, 321u);
+  EXPECT_EQ(detected.end_iteration, 12u);
+  // The fault kind comes from the campaign-level spec.
+  EXPECT_EQ(detected.fault.kind, fi::FaultKind::kStuckAt1);
+  EXPECT_EQ(detected.fault.time, 9u);
+  EXPECT_EQ(detected.fault.bits, (std::vector<std::size_t>{3, 17}));
+  EXPECT_FALSE(detected.cache_location);
+
+  const TraceExperiment& minor = trace->experiments[1];
+  EXPECT_EQ(minor.outcome, Outcome::kMinorTransient);
+  EXPECT_TRUE(minor.cache_location);
+  EXPECT_EQ(minor.first_strong, 40u);
+  EXPECT_EQ(minor.strong_count, 3u);
+  EXPECT_DOUBLE_EQ(minor.max_deviation, 1.25);
+}
+
+TEST(TraceReaderTest, ParsesPropagationSubObject) {
+  std::string jsonl = kStart;
+  jsonl +=
+      R"({"event":"experiment","id":2,"worker":0,"bits":[8],"time":1,)"
+      R"("cache":false,"outcome":"severe_permanent","end_iteration":650,)"
+      R"("wall_ns":100,"first_strong":5,"strong_count":640,)"
+      R"("max_deviation":60,"propagation":{"diverged":true,"step":12,)"
+      R"("pc":4160,"regs":40,"memory_step":19,"memory_address":65540,)"
+      R"("cf_step":14}})"
+      "\n";
+  const std::optional<CampaignTrace> trace = parse(jsonl);
+  ASSERT_TRUE(trace.has_value());
+  const TraceExperiment* e = trace->find(2);
+  ASSERT_NE(e, nullptr);
+  ASSERT_TRUE(e->propagation.has_value());
+  const PropagationRecord& p = *e->propagation;
+  EXPECT_TRUE(p.diverged);
+  EXPECT_EQ(p.divergence_step, 12u);
+  EXPECT_EQ(p.divergence_pc, 4160u);
+  EXPECT_EQ(p.corrupted_regs, 40u);  // r3 | r5
+  EXPECT_TRUE(p.reached_memory);
+  EXPECT_EQ(p.memory_step, 19u);
+  EXPECT_EQ(p.memory_address, 65540u);
+  EXPECT_TRUE(p.control_flow_diverged);
+  EXPECT_EQ(p.control_flow_step, 14u);
+}
+
+TEST(TraceReaderTest, PropagationAbsentSectionsStayUnset) {
+  std::string jsonl = kStart;
+  jsonl +=
+      R"({"event":"experiment","id":0,"worker":0,"bits":[8],"time":1,)"
+      R"("cache":false,"outcome":"severe_permanent","end_iteration":650,)"
+      R"("wall_ns":100,"first_strong":5,"strong_count":640,)"
+      R"("max_deviation":60,"propagation":{"diverged":false}})"
+      "\n";
+  const std::optional<CampaignTrace> trace = parse(jsonl);
+  ASSERT_TRUE(trace.has_value());
+  const TraceExperiment* e = trace->find(0);
+  ASSERT_NE(e, nullptr);
+  ASSERT_TRUE(e->propagation.has_value());
+  EXPECT_FALSE(e->propagation->diverged);
+  EXPECT_FALSE(e->propagation->reached_memory);
+  EXPECT_FALSE(e->propagation->control_flow_diverged);
+}
+
+TEST(TraceReaderTest, SkipsUnknownEventsAndMalformedLines) {
+  std::string jsonl = kStart;
+  jsonl +=
+      "not json at all\n"
+      R"({"event":"future_event","anything":[1,2,{"x":3}]})"
+      "\n"
+      R"({"event":"golden_run","total_time":123,"max_iteration_time":9,)"
+      R"("outputs":650})"
+      "\n"
+      R"({"event":"experiment","id":0,"worker":0,"bits":[1],"time":0,)"
+      R"("cache":false,"outcome":"overwritten","end_iteration":650,)"
+      R"("wall_ns":10})"
+      "\n"
+      R"({"event":"campaign_end","campaign":"unit","experiments":3,)"
+      R"("outcomes":{"detected":1}})"
+      "\n";
+  const std::optional<CampaignTrace> trace = parse(jsonl);
+  ASSERT_TRUE(trace.has_value());
+  ASSERT_EQ(trace->experiments.size(), 1u);
+  EXPECT_EQ(trace->experiments[0].outcome, Outcome::kOverwritten);
+}
+
+TEST(TraceReaderTest, DecodesStringEscapes) {
+  std::string jsonl =
+      R"({"event":"campaign_start","campaign":"göteborg \"run\"\n2",)"
+      R"("experiments":1,"seed":1,"iterations":10,)"
+      R"("fault_kind":"single_bit_flip","workers":1})"
+      "\n";
+  const std::optional<CampaignTrace> trace = parse(jsonl);
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->campaign, "g\xc3\xb6teborg \"run\"\n2");
+}
+
+TEST(TraceReaderTest, ExperimentsSortedAndQueriesWork) {
+  std::string jsonl = kStart;
+  auto experiment = [](std::uint64_t id, const char* outcome) {
+    return std::string(R"({"event":"experiment","id":)") +
+           std::to_string(id) +
+           R"(,"worker":0,"bits":[1],"time":0,"cache":false,"outcome":")" +
+           outcome + R"(","end_iteration":650,"wall_ns":10})" + "\n";
+  };
+  jsonl += experiment(2, "latent");
+  jsonl += experiment(0, "overwritten");
+  jsonl += experiment(1, "latent");
+  const std::optional<CampaignTrace> trace = parse(jsonl);
+  ASSERT_TRUE(trace.has_value());
+  ASSERT_EQ(trace->experiments.size(), 3u);
+  EXPECT_EQ(trace->experiments[0].id, 0u);
+  EXPECT_EQ(trace->experiments[1].id, 1u);
+  EXPECT_EQ(trace->experiments[2].id, 2u);
+  EXPECT_EQ(trace->count(Outcome::kLatent), 2u);
+  EXPECT_EQ(trace->count(Outcome::kDetected), 0u);
+  ASSERT_NE(trace->first_of(Outcome::kLatent), nullptr);
+  EXPECT_EQ(trace->first_of(Outcome::kLatent)->id, 1u);
+  EXPECT_EQ(trace->first_of(Outcome::kDetected), nullptr);
+  EXPECT_EQ(trace->find(99), nullptr);
+}
+
+TEST(TraceRenderTest, ExemplarHeaderMatchesBenchFormat) {
+  fi::Fault fault;
+  fault.kind = fi::FaultKind::kSingleBitFlip;
+  fault.time = 1234;
+  fault.bits = {42};
+  const std::string header = render_exemplar_header(
+      "Figure 7", "severe undetected wrong result (permanent)", 17, fault,
+      /*cache_location=*/false, 21);
+  EXPECT_EQ(header,
+            "# Figure 7: severe undetected wrong result (permanent)\n"
+            "# specimen: experiment 17, fault flip @t=1234 bits=[42] "
+            "(register partition), first strong deviation at iteration 21\n");
+}
+
+TEST(TraceRenderTest, WaveformCsvRowsAndPrecision) {
+  const std::vector<float> faulty = {6.5f, 7.25f, 8.0f};
+  const std::vector<float> golden = {6.5f, 6.5f};  // shorter: rows = min
+  const std::string csv = render_waveform_csv(faulty, golden);
+  EXPECT_EQ(csv,
+            "t_s,u_faulty_deg,u_fault_free_deg\n"
+            "0.0000,6.50000,6.50000\n"
+            "0.0154,7.25000,6.50000\n");
+}
+
+}  // namespace
+}  // namespace earl::analysis

@@ -76,11 +76,12 @@ TEST(DatabaseTest, SaveLoadRoundTrip) {
   const ResultDatabase original = make_db();
   ASSERT_TRUE(original.save(path));
 
-  const ResultDatabase loaded = ResultDatabase::load(path);
-  ASSERT_EQ(loaded.size(), original.size());
-  for (std::size_t i = 0; i < loaded.size(); ++i) {
+  const std::optional<ResultDatabase> loaded = ResultDatabase::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), original.size());
+  for (std::size_t i = 0; i < loaded->size(); ++i) {
     const ExperimentResult& a = original.all()[i];
-    const ExperimentResult& b = loaded.all()[i];
+    const ExperimentResult& b = loaded->all()[i];
     EXPECT_EQ(a.id, b.id);
     EXPECT_EQ(a.fault.bits, b.fault.bits);
     EXPECT_EQ(a.fault.time, b.fault.time);
@@ -94,9 +95,8 @@ TEST(DatabaseTest, SaveLoadRoundTrip) {
   std::remove(path.c_str());
 }
 
-TEST(DatabaseTest, LoadMissingFileGivesEmpty) {
-  const ResultDatabase db = ResultDatabase::load("/nonexistent/db.csv");
-  EXPECT_EQ(db.size(), 0u);
+TEST(DatabaseTest, LoadMissingFileIsAnError) {
+  EXPECT_FALSE(ResultDatabase::load("/nonexistent/db.csv").has_value());
 }
 
 TEST(DatabaseTest, LoadRejectsWrongHeader) {
@@ -107,7 +107,22 @@ TEST(DatabaseTest, LoadRejectsWrongHeader) {
     fputs("not,a,database\n1,2,3\n", f);
     fclose(f);
   }
-  EXPECT_EQ(ResultDatabase::load(path).size(), 0u);
+  EXPECT_FALSE(ResultDatabase::load(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(DatabaseTest, LoadDistinguishesEmptyCampaignFromError) {
+  // A saved zero-row campaign is a valid database (engaged, size 0) — the
+  // case `earl-goofi --analyze` must report differently from a missing file.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "earl_empty.csv").string();
+  ResultDatabase empty("empty_campaign", 42);
+  ASSERT_TRUE(empty.save(path));
+  const std::optional<ResultDatabase> loaded = ResultDatabase::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 0u);
+  // Campaign metadata rides in per-row columns, so a zero-row file cannot
+  // carry it back — only the engaged/nullopt distinction survives.
   std::remove(path.c_str());
 }
 
@@ -124,9 +139,10 @@ TEST(DatabaseTest, CampaignMetadataPreserved) {
   const std::string path =
       (std::filesystem::temp_directory_path() / "earl_meta.csv").string();
   ASSERT_TRUE(db.save(path));
-  const ResultDatabase loaded = ResultDatabase::load(path);
-  EXPECT_EQ(loaded.campaign_name(), "test_campaign");
-  EXPECT_EQ(loaded.seed(), 777u);
+  const std::optional<ResultDatabase> loaded = ResultDatabase::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->campaign_name(), "test_campaign");
+  EXPECT_EQ(loaded->seed(), 777u);
   std::remove(path.c_str());
 }
 
@@ -139,10 +155,42 @@ TEST(DatabaseTest, MultiBitFaultBitsRoundTrip) {
   const std::string path =
       (std::filesystem::temp_directory_path() / "earl_multibit.csv").string();
   ASSERT_TRUE(db.save(path));
-  const ResultDatabase loaded = ResultDatabase::load(path);
-  ASSERT_EQ(loaded.size(), 1u);
-  EXPECT_EQ(loaded.all()[0].fault.bits, e.fault.bits);
-  EXPECT_EQ(loaded.all()[0].fault.kind, FaultKind::kMultiBitFlip);
+  const std::optional<ResultDatabase> loaded = ResultDatabase::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ(loaded->all()[0].fault.bits, e.fault.bits);
+  EXPECT_EQ(loaded->all()[0].fault.kind, FaultKind::kMultiBitFlip);
+  std::remove(path.c_str());
+}
+
+TEST(DatabaseTest, PropagationColumnRoundTrips) {
+  ResultDatabase db;
+  ExperimentResult with = make_experiment(0, analysis::Outcome::kSeverePermanent, true);
+  analysis::PropagationRecord record;
+  record.diverged = true;
+  record.divergence_step = 17;
+  record.divergence_pc = 0x1040;
+  record.corrupted_regs = (1u << 3) | (1u << 5);
+  record.reached_memory = true;
+  record.memory_step = 25;
+  record.memory_address = 0x2000;
+  record.control_flow_diverged = true;
+  record.control_flow_step = 21;
+  with.propagation = record;
+  ExperimentResult without =
+      make_experiment(1, analysis::Outcome::kOverwritten, false);
+  db.insert(with);
+  db.insert(without);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "earl_prop.csv").string();
+  ASSERT_TRUE(db.save(path));
+  const std::optional<ResultDatabase> loaded = ResultDatabase::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 2u);
+  ASSERT_TRUE(loaded->all()[0].propagation.has_value());
+  EXPECT_EQ(*loaded->all()[0].propagation, record);
+  EXPECT_FALSE(loaded->all()[1].propagation.has_value());
   std::remove(path.c_str());
 }
 

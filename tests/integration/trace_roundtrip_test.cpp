@@ -1,0 +1,150 @@
+// Detail-mode trace round-trip: a campaign recorded through the JSONL event
+// logger must be reconstructible offline, and the figure waveform rendered
+// from the recorded trace alone must be byte-identical to the one the bench
+// harness prints from a live replay (the earl-trace acceptance criterion).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "analysis/classify.hpp"
+#include "analysis/trace_reader.hpp"
+#include "fi/runner.hpp"
+#include "fi/workloads.hpp"
+#include "obs/events.hpp"
+
+namespace earl {
+namespace {
+
+class TraceRoundTripTest : public ::testing::Test {
+ protected:
+  // One recorded campaign shared by every test: full-length iterations (the
+  // figures need the whole 10 s window), a sample size small enough to keep
+  // the log in memory but large enough to contain value failures.
+  static void SetUpTestSuite() {
+    config_ = new fi::CampaignConfig(fi::table2_campaign(1.0));
+    config_->name = "trace_roundtrip";
+    config_->experiments = 60;
+    config_->workers = 3;
+    factory_ = new fi::TargetFactory(
+        fi::make_tvm_pi_factory(fi::paper_pi_config()));
+    runner_ = new fi::CampaignRunner(*config_);
+    runner_->set_propagation_prober(fi::make_tvm_propagation_prober(
+        std::make_shared<tvm::AssembledProgram>(
+            fi::build_pi_program(fi::paper_pi_config()))));
+
+    auto* sink = new std::ostringstream();
+    {
+      obs::JsonlEventLogger events(*sink);
+      events.set_detail(true);
+      result_ = new fi::CampaignResult(runner_->run(*factory_, &events));
+    }
+    auto in = std::istringstream(sink->str());
+    delete sink;
+    auto loaded = analysis::load_trace(in);
+    ASSERT_TRUE(loaded.has_value());
+    trace_ = new analysis::CampaignTrace(std::move(*loaded));
+  }
+  static void TearDownTestSuite() {
+    delete trace_;
+    delete result_;
+    delete runner_;
+    delete factory_;
+    delete config_;
+  }
+
+  static fi::CampaignConfig* config_;
+  static fi::TargetFactory* factory_;
+  static fi::CampaignRunner* runner_;
+  static fi::CampaignResult* result_;
+  static analysis::CampaignTrace* trace_;
+};
+
+fi::CampaignConfig* TraceRoundTripTest::config_ = nullptr;
+fi::TargetFactory* TraceRoundTripTest::factory_ = nullptr;
+fi::CampaignRunner* TraceRoundTripTest::runner_ = nullptr;
+fi::CampaignResult* TraceRoundTripTest::result_ = nullptr;
+analysis::CampaignTrace* TraceRoundTripTest::trace_ = nullptr;
+
+TEST_F(TraceRoundTripTest, CampaignMetadataSurvives) {
+  EXPECT_EQ(trace_->campaign, config_->name);
+  EXPECT_EQ(trace_->seed, config_->seed);
+  EXPECT_EQ(trace_->experiments_configured, config_->experiments);
+  EXPECT_EQ(trace_->iterations_configured, config_->iterations);
+  EXPECT_EQ(trace_->workers, 3u);
+  EXPECT_EQ(trace_->experiments.size(), result_->experiments.size());
+}
+
+TEST_F(TraceRoundTripTest, GoldenRunSurvivesExactly) {
+  // json_number emits the shortest round-trip decimal, so the recorded
+  // golden series must equal the live one exactly.
+  ASSERT_EQ(trace_->golden.size(), config_->iterations);
+  EXPECT_EQ(trace_->golden_outputs(), result_->golden.outputs);
+}
+
+TEST_F(TraceRoundTripTest, EveryExperimentRowSurvives) {
+  ASSERT_EQ(trace_->experiments.size(), result_->experiments.size());
+  for (std::size_t i = 0; i < result_->experiments.size(); ++i) {
+    const fi::ExperimentResult& live = result_->experiments[i];
+    const analysis::TraceExperiment& read = trace_->experiments[i];
+    EXPECT_EQ(read.id, live.id);
+    EXPECT_EQ(read.fault.bits, live.fault.bits);
+    EXPECT_EQ(read.fault.time, live.fault.time);
+    EXPECT_EQ(read.cache_location, live.cache_location);
+    EXPECT_EQ(read.outcome, live.outcome);
+    EXPECT_EQ(read.end_iteration, live.end_iteration);
+    if (live.outcome == analysis::Outcome::kDetected) {
+      EXPECT_EQ(read.edm, live.edm);
+      EXPECT_EQ(read.detection_distance, live.detection_distance);
+    }
+    if (analysis::is_value_failure(live.outcome)) {
+      EXPECT_EQ(read.first_strong, live.first_strong);
+      EXPECT_EQ(read.strong_count, live.strong_count);
+      EXPECT_DOUBLE_EQ(read.max_deviation, live.max_deviation);
+      // Detail mode attached a propagation record, and it round-tripped.
+      ASSERT_TRUE(live.propagation.has_value());
+      ASSERT_TRUE(read.propagation.has_value());
+      EXPECT_EQ(*read.propagation, *live.propagation);
+    }
+    // Detail mode logged one record per output-producing iteration.
+    EXPECT_EQ(read.iterations.size(), live.end_iteration);
+  }
+}
+
+TEST_F(TraceRoundTripTest, WaveformFromTraceMatchesLiveReplayByteForByte) {
+  // The core earl-trace guarantee: the figure a recorded trace renders is
+  // the figure the bench renders from a live deterministic replay.
+  const fi::ExperimentResult* specimen = nullptr;
+  for (const fi::ExperimentResult& e : result_->experiments) {
+    if (analysis::is_value_failure(e.outcome)) {
+      specimen = &e;
+      break;
+    }
+  }
+  ASSERT_NE(specimen, nullptr)
+      << "no value-failure specimen among " << result_->experiments.size()
+      << " experiments; enlarge the campaign";
+
+  const analysis::TraceExperiment* read = trace_->find(specimen->id);
+  ASSERT_NE(read, nullptr);
+  ASSERT_FALSE(read->iterations.empty());
+
+  const auto target = (*factory_)();
+  const std::vector<float> live_outputs =
+      runner_->replay_outputs(*target, specimen->fault, result_->golden);
+  EXPECT_EQ(read->outputs(), live_outputs);
+
+  EXPECT_EQ(analysis::render_exemplar_header(
+                "Figure", "value failure", read->id, read->fault,
+                read->cache_location, read->first_strong),
+            analysis::render_exemplar_header(
+                "Figure", "value failure", specimen->id, specimen->fault,
+                specimen->cache_location, specimen->first_strong));
+  EXPECT_EQ(analysis::render_waveform_csv(read->outputs(),
+                                          trace_->golden_outputs()),
+            analysis::render_waveform_csv(live_outputs,
+                                          result_->golden.outputs));
+}
+
+}  // namespace
+}  // namespace earl

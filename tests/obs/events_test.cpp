@@ -66,6 +66,25 @@ TEST(JsonTest, EscapesControlAndQuoteCharacters) {
   EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
 }
 
+TEST(JsonTest, EscapesLowControlCharactersAsUnicode) {
+  // \n, \r, \t have short forms; the rest of C0 goes through \u00XX.
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+  EXPECT_EQ(json_escape(std::string_view("\x1f", 1)), "\\u001f");
+  EXPECT_EQ(json_escape(std::string_view("\0", 1)), "\\u0000");
+  EXPECT_EQ(json_escape("a\bb"), "a\\u0008b");
+  EXPECT_EQ(json_escape("\r\n\t"), "\\r\\n\\t");
+}
+
+TEST(JsonTest, LeavesHighBytesAlone) {
+  // UTF-8 multibyte sequences pass through untouched.
+  EXPECT_EQ(json_escape("G\xc3\xb6teborg"), "G\xc3\xb6teborg");
+}
+
+TEST(JsonTest, EmbeddedQuotesInsideEscapes) {
+  EXPECT_EQ(json_escape("say \"\\\"hi\\\"\""),
+            "say \\\"\\\\\\\"hi\\\\\\\"\\\"");
+}
+
 TEST(JsonTest, NumberFormatting) {
   EXPECT_EQ(json_number(42.0), "42");
   EXPECT_EQ(json_number(2.5), "2.5");
@@ -174,6 +193,113 @@ TEST(EventsTest, CampaignEndTalliesOutcomes) {
   EXPECT_NE(outcomes.find("\"detected\":2"), std::string::npos);
   EXPECT_NE(outcomes.find("\"overwritten\":1"), std::string::npos);
   EXPECT_NE(outcomes.find("\"latent\":1"), std::string::npos);
+}
+
+TEST(EventsTest, IterationEventsRequireDetailMode) {
+  std::ostringstream sink;
+  JsonlEventLogger logger(sink);
+  EXPECT_FALSE(logger.wants_iterations());
+  logger.set_detail(true);
+  EXPECT_TRUE(logger.wants_iterations());
+}
+
+TEST(EventsTest, IterationEventCarriesLoopState) {
+  std::ostringstream sink;
+  JsonlEventLogger logger(sink);
+  logger.set_detail(true);
+  fi::CampaignConfig config;
+  CampaignStartInfo info;
+  info.workers = 1;
+  logger.on_campaign_start(config, info);
+
+  IterationRecord record;
+  record.experiment = 42;
+  record.iteration = 7;
+  record.reference = 209.4f;
+  record.measurement = 210.25f;
+  record.output = 6.5f;
+  record.golden_output = 6.75f;
+  record.deviation = 0.25f;
+  record.state = 6.625f;
+  record.assertion_fired = true;
+  record.recovery_fired = true;
+  record.elapsed = 91;
+  logger.on_iteration(0, record);
+  logger.flush();
+
+  const std::vector<std::string> lines = lines_of(sink.str());
+  ASSERT_EQ(lines.size(), 2u);
+  const std::string& e = lines[1];
+  EXPECT_EQ(field_of(e, "event"), "iteration");
+  EXPECT_EQ(field_of(e, "id"), "42");
+  EXPECT_EQ(field_of(e, "k"), "7");
+  EXPECT_EQ(field_of(e, "r"), json_number(209.4f));
+  EXPECT_EQ(field_of(e, "y"), json_number(210.25f));
+  EXPECT_EQ(field_of(e, "u"), "6.5");
+  EXPECT_EQ(field_of(e, "u_golden"), "6.75");
+  EXPECT_EQ(field_of(e, "deviation"), "0.25");
+  EXPECT_EQ(field_of(e, "state"), "6.625");
+  EXPECT_EQ(field_of(e, "assertion"), "true");
+  EXPECT_EQ(field_of(e, "recovery"), "true");
+  EXPECT_EQ(field_of(e, "elapsed"), "91");
+}
+
+TEST(EventsTest, GoldenIterationEventOmitsQuietFlags) {
+  std::ostringstream sink;
+  JsonlEventLogger logger(sink);
+  logger.set_detail(true);
+  fi::CampaignConfig config;
+  CampaignStartInfo info;
+  info.workers = 1;
+  logger.on_campaign_start(config, info);
+
+  IterationRecord record;
+  record.experiment = kGoldenExperimentId;
+  record.iteration = 3;
+  logger.on_iteration(0, record);
+  logger.flush();
+
+  const std::vector<std::string> lines = lines_of(sink.str());
+  ASSERT_EQ(lines.size(), 2u);
+  const std::string& e = lines[1];
+  EXPECT_EQ(field_of(e, "golden"), "true");
+  EXPECT_EQ(field_of(e, "id"), "");
+  // False flags stay off the wire: the iteration stream is chatty enough.
+  EXPECT_EQ(e.find("assertion"), std::string::npos);
+  EXPECT_EQ(e.find("recovery"), std::string::npos);
+}
+
+TEST(EventsTest, PropagationSubObjectEmittedWhenPresent) {
+  std::ostringstream sink;
+  JsonlEventLogger logger(sink);
+  fi::CampaignConfig config;
+  CampaignStartInfo info;
+  info.workers = 1;
+  logger.on_campaign_start(config, info);
+
+  fi::ExperimentResult result;
+  result.id = 9;
+  result.outcome = analysis::Outcome::kMinorTransient;
+  analysis::PropagationRecord prop;
+  prop.diverged = true;
+  prop.divergence_step = 4;
+  prop.divergence_pc = 0x1010;
+  prop.corrupted_regs = 1u << 2;
+  prop.control_flow_diverged = true;
+  prop.control_flow_step = 6;
+  result.propagation = prop;
+  logger.on_experiment_done(0, result, 100);
+  logger.flush();
+
+  const std::vector<std::string> lines = lines_of(sink.str());
+  ASSERT_EQ(lines.size(), 2u);
+  const std::string propagation = field_of(lines[1], "propagation");
+  EXPECT_NE(propagation.find("\"diverged\":true"), std::string::npos);
+  EXPECT_NE(propagation.find("\"step\":4"), std::string::npos);
+  EXPECT_NE(propagation.find("\"pc\":4112"), std::string::npos);
+  EXPECT_NE(propagation.find("\"regs\":4"), std::string::npos);
+  EXPECT_NE(propagation.find("\"cf_step\":6"), std::string::npos);
+  EXPECT_EQ(propagation.find("memory_step"), std::string::npos);
 }
 
 TEST(EventsTest, BuffersFlushOnDestruction) {

@@ -109,6 +109,79 @@ TEST(MetricsTest, ExportIsDeterministicallySorted) {
   EXPECT_LT(a.to_json().find("alpha"), a.to_json().find("zeta"));
 }
 
+TEST(PrometheusTest, NameSanitization) {
+  EXPECT_EQ(prometheus_name("campaign.outcome.detected"),
+            "campaign_outcome_detected");
+  EXPECT_EQ(prometheus_name("tvm.cache.hit-rate"), "tvm_cache_hit_rate");
+  EXPECT_EQ(prometheus_name("already_fine:colon"), "already_fine:colon");
+  EXPECT_EQ(prometheus_name("9lives"), "_9lives");
+}
+
+TEST(PrometheusTest, CounterBlockHasHelpTypeAndSample) {
+  MetricsRegistry registry;
+  registry.counter("campaign.outcome.detected").add(42);
+  registry.set_help("campaign.outcome.detected",
+                    "Experiments classified as detected");
+  const std::string prom = registry.to_prometheus();
+  EXPECT_NE(prom.find("# HELP campaign_outcome_detected "
+                      "Experiments classified as detected\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE campaign_outcome_detected counter\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("campaign_outcome_detected 42\n"), std::string::npos);
+}
+
+TEST(PrometheusTest, UnhelpedMetricFallsBackToItsName) {
+  MetricsRegistry registry;
+  registry.gauge("campaign.wall_s").set(1.5);
+  const std::string prom = registry.to_prometheus();
+  EXPECT_NE(prom.find("# HELP campaign_wall_s campaign.wall_s\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE campaign_wall_s gauge\n"), std::string::npos);
+  EXPECT_NE(prom.find("campaign_wall_s 1.5\n"), std::string::npos);
+}
+
+TEST(PrometheusTest, HistogramRendersCumulativeBuckets) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("lat", std::vector<double>{1.0, 10.0});
+  h.observe(0.5);   // bucket le=1
+  h.observe(5.0);   // bucket le=10
+  h.observe(100.0); // overflow
+  const std::string prom = registry.to_prometheus();
+  EXPECT_NE(prom.find("# TYPE lat histogram\n"), std::string::npos);
+  // Buckets are cumulative, capped by the mandatory +Inf series.
+  EXPECT_NE(prom.find("lat_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(prom.find("lat_bucket{le=\"10\"} 2\n"), std::string::npos);
+  EXPECT_NE(prom.find("lat_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(prom.find("lat_sum 105.5\n"), std::string::npos);
+  EXPECT_NE(prom.find("lat_count 3\n"), std::string::npos);
+}
+
+TEST(PrometheusTest, BlocksSortedByExpositionName) {
+  MetricsRegistry registry;
+  registry.counter("zeta").add(1);
+  registry.gauge("alpha").set(1.0);
+  registry.histogram("mid", std::vector<double>{1.0});
+  const std::string prom = registry.to_prometheus();
+  const std::size_t a = prom.find("# HELP alpha");
+  const std::size_t m = prom.find("# HELP mid");
+  const std::size_t z = prom.find("# HELP zeta");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(m, std::string::npos);
+  ASSERT_NE(z, std::string::npos);
+  EXPECT_LT(a, m);
+  EXPECT_LT(m, z);
+}
+
+TEST(PrometheusTest, HelpTextEscapesBackslashAndNewline) {
+  MetricsRegistry registry;
+  registry.counter("c").add(1);
+  registry.set_help("c", "line one\nback\\slash");
+  const std::string prom = registry.to_prometheus();
+  EXPECT_NE(prom.find("# HELP c line one\\nback\\\\slash\n"),
+            std::string::npos);
+}
+
 TEST(LabelsTest, SlugifyFoldsSeparators) {
   EXPECT_EQ(slugify("Severe (Semi-Permanent)"), "severe_semi_permanent");
   EXPECT_EQ(slugify("Master/Slave Comparator"), "master_slave_comparator");

@@ -4,11 +4,18 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
 #include <sstream>
 
+#include "analysis/classify.hpp"
+#include "fi/database.hpp"
 #include "fi/runner.hpp"
 #include "fi/workloads.hpp"
 #include "obs/collector.hpp"
+#include "obs/db_observer.hpp"
 #include "obs/events.hpp"
 #include "obs/labels.hpp"
 #include "obs/metrics.hpp"
@@ -97,6 +104,24 @@ TEST(ObserverTest, SerialCampaignReportsSingleWorker) {
   EXPECT_EQ(observer.max_worker.load(), 0u);
 }
 
+void expect_same_outcomes(const fi::CampaignResult& bare,
+                          const fi::CampaignResult& observed) {
+  ASSERT_EQ(bare.experiments.size(), observed.experiments.size());
+  EXPECT_EQ(bare.golden.outputs, observed.golden.outputs);
+  for (std::size_t i = 0; i < bare.experiments.size(); ++i) {
+    EXPECT_EQ(bare.experiments[i].outcome, observed.experiments[i].outcome);
+    EXPECT_EQ(bare.experiments[i].edm, observed.experiments[i].edm);
+    EXPECT_EQ(bare.experiments[i].end_iteration,
+              observed.experiments[i].end_iteration);
+    EXPECT_EQ(bare.experiments[i].fault.bits,
+              observed.experiments[i].fault.bits);
+    EXPECT_EQ(bare.experiments[i].detection_distance,
+              observed.experiments[i].detection_distance);
+    EXPECT_EQ(bare.experiments[i].max_deviation,
+              observed.experiments[i].max_deviation);
+  }
+}
+
 TEST(ObserverTest, ObserverDoesNotPerturbCampaign) {
   // Multithreaded observed campaign == unobserved campaign, bit for bit.
   const fi::CampaignConfig config = small_campaign(24, 3);
@@ -112,21 +137,61 @@ TEST(ObserverTest, ObserverDoesNotPerturbCampaign) {
   multi.add(&events);
   const fi::CampaignResult observed =
       fi::CampaignRunner(config).run(factory, &multi);
+  expect_same_outcomes(bare, observed);
+}
 
-  ASSERT_EQ(bare.experiments.size(), observed.experiments.size());
-  EXPECT_EQ(bare.golden.outputs, observed.golden.outputs);
-  for (std::size_t i = 0; i < bare.experiments.size(); ++i) {
-    EXPECT_EQ(bare.experiments[i].outcome, observed.experiments[i].outcome);
-    EXPECT_EQ(bare.experiments[i].edm, observed.experiments[i].edm);
-    EXPECT_EQ(bare.experiments[i].end_iteration,
-              observed.experiments[i].end_iteration);
-    EXPECT_EQ(bare.experiments[i].fault.bits,
-              observed.experiments[i].fault.bits);
-    EXPECT_EQ(bare.experiments[i].detection_distance,
-              observed.experiments[i].detection_distance);
-    EXPECT_EQ(bare.experiments[i].max_deviation,
-              observed.experiments[i].max_deviation);
+TEST(ObserverTest, DetailModeDoesNotPerturbCampaign) {
+  // The tentpole passivity guarantee: detail mode (per-iteration tracing +
+  // propagation probing) leaves every campaign outcome bit-identical.
+  const fi::CampaignConfig config = small_campaign(24, 3);
+  const auto factory = fi::make_tvm_pi_factory(fi::paper_pi_config());
+  const fi::CampaignResult bare = fi::CampaignRunner(config).run(factory);
+
+  std::ostringstream events_sink;
+  JsonlEventLogger events(events_sink);
+  events.set_detail(true);
+  fi::CampaignRunner runner(config);
+  runner.set_propagation_prober(fi::make_tvm_propagation_prober(
+      std::make_shared<tvm::AssembledProgram>(
+          fi::build_pi_program(fi::paper_pi_config()))));
+  const fi::CampaignResult observed = runner.run(factory, &events);
+  expect_same_outcomes(bare, observed);
+
+  // Value failures carry a propagation record; others never do.
+  for (const fi::ExperimentResult& e : observed.experiments) {
+    if (analysis::is_value_failure(e.outcome)) {
+      EXPECT_TRUE(e.propagation.has_value());
+    } else {
+      EXPECT_FALSE(e.propagation.has_value());
+    }
   }
+}
+
+TEST(ObserverTest, DetailModeEmitsOneIterationRecordPerLoopPass) {
+  const fi::CampaignConfig config = small_campaign(12, 2);
+  std::ostringstream sink;
+  JsonlEventLogger logger(sink);
+  logger.set_detail(true);
+  const fi::CampaignResult result = fi::CampaignRunner(config).run(
+      fi::make_tvm_pi_factory(fi::paper_pi_config()), &logger);
+
+  std::size_t golden_records = 0;
+  std::size_t experiment_records = 0;
+  std::istringstream in(sink.str());
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"event\":\"iteration\"") == std::string::npos) continue;
+    if (line.find("\"golden\":true") != std::string::npos) ++golden_records;
+    else ++experiment_records;
+  }
+  // Golden run logs every configured iteration; each experiment logs one
+  // record per output-producing iteration (== its end_iteration).
+  EXPECT_EQ(golden_records, config.iterations);
+  std::size_t expected = 0;
+  for (const fi::ExperimentResult& e : result.experiments) {
+    expected += e.end_iteration;
+  }
+  EXPECT_EQ(experiment_records, expected);
 }
 
 TEST(ObserverTest, EventLogHasOneExperimentEventPerExperiment) {
@@ -227,6 +292,49 @@ TEST(ObserverTest, RenderDetectionLatencyTableListsMechanisms) {
   const std::string table = render_detection_latency_table(result);
   EXPECT_NE(table.find("Mechanism"), std::string::npos);
   EXPECT_NE(table.find("Total"), std::string::npos);
+}
+
+TEST(ObserverTest, DatabaseObserverMatchesPostHocDatabase) {
+  // The streamed database (rows arriving out of order from workers) saves a
+  // CSV byte-identical to one materialised from the finished CampaignResult.
+  const fi::CampaignConfig config = small_campaign(24, 3);
+  const std::string streamed_path =
+      (std::filesystem::temp_directory_path() / "earl_obs_streamed.csv")
+          .string();
+  DatabaseObserver observer(streamed_path);
+  const fi::CampaignResult result = fi::CampaignRunner(config).run(
+      fi::make_tvm_pi_factory(fi::paper_pi_config()), &observer);
+
+  ASSERT_TRUE(observer.save_ok().has_value());
+  EXPECT_TRUE(*observer.save_ok());
+  EXPECT_EQ(observer.database().size(), result.experiments.size());
+
+  const fi::ResultDatabase post_hoc(result);
+  const std::string post_hoc_path =
+      (std::filesystem::temp_directory_path() / "earl_obs_posthoc.csv")
+          .string();
+  ASSERT_TRUE(post_hoc.save(post_hoc_path));
+
+  auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  };
+  const std::string streamed_csv = slurp(streamed_path);
+  EXPECT_FALSE(streamed_csv.empty());
+  EXPECT_EQ(streamed_csv, slurp(post_hoc_path));
+  std::remove(streamed_path.c_str());
+  std::remove(post_hoc_path.c_str());
+}
+
+TEST(ObserverTest, DatabaseObserverWithoutPathSkipsSave) {
+  const fi::CampaignConfig config = small_campaign(6, 1);
+  DatabaseObserver observer;
+  fi::CampaignRunner(config).run(
+      fi::make_tvm_pi_factory(fi::paper_pi_config()), &observer);
+  EXPECT_FALSE(observer.save_ok().has_value());
+  EXPECT_EQ(observer.database().size(), config.experiments);
 }
 
 TEST(ObserverTest, TargetProfileMergeAccumulates) {

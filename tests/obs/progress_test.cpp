@@ -1,0 +1,146 @@
+#include "obs/progress.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+
+namespace earl::obs {
+namespace {
+
+TEST(ProgressMathTest, RateIsZeroBeforeTimePasses) {
+  EXPECT_DOUBLE_EQ(progress_rate(100, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(progress_rate(100, -1.0), 0.0);
+}
+
+TEST(ProgressMathTest, RateIsDonePerSecond) {
+  EXPECT_DOUBLE_EQ(progress_rate(100, 4.0), 25.0);
+  EXPECT_DOUBLE_EQ(progress_rate(0, 4.0), 0.0);
+}
+
+TEST(ProgressMathTest, EtaIsRemainingOverRate) {
+  // 100 done in 4 s -> 25 exp/s; 300 remain -> 12 s.
+  EXPECT_DOUBLE_EQ(progress_eta_seconds(100, 400, 4.0), 12.0);
+}
+
+TEST(ProgressMathTest, EtaIsZeroWithoutARate) {
+  EXPECT_DOUBLE_EQ(progress_eta_seconds(0, 400, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(progress_eta_seconds(0, 400, 10.0), 0.0);
+}
+
+TEST(ProgressMathTest, EtaIsZeroWhenDone) {
+  EXPECT_DOUBLE_EQ(progress_eta_seconds(400, 400, 4.0), 0.0);
+  // Over-complete (shouldn't happen, but stay sane): remaining clamps to 0.
+  EXPECT_DOUBLE_EQ(progress_eta_seconds(500, 400, 4.0), 0.0);
+}
+
+ProgressSnapshot sample_snapshot() {
+  ProgressSnapshot snapshot;
+  snapshot.done = 100;
+  snapshot.total = 400;
+  snapshot.elapsed_s = 4.0;
+  snapshot.detected = 40;
+  snapshot.severe = 2;
+  snapshot.minor = 8;
+  snapshot.benign = 50;
+  return snapshot;
+}
+
+TEST(ProgressRenderTest, MidCampaignLineOverwritesItself) {
+  const std::string line =
+      render_progress_line(sample_snapshot(), /*final_line=*/false,
+                           /*carriage_return=*/true);
+  EXPECT_EQ(line.front(), '\r');
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_NE(line.find("100/400"), std::string::npos);
+  EXPECT_NE(line.find("( 25.0%)"), std::string::npos);
+  EXPECT_NE(line.find("25.0 exp/s"), std::string::npos);
+  EXPECT_NE(line.find("ETA   12.0s"), std::string::npos);
+  EXPECT_NE(line.find("det 40  sev 2  min 8  benign 50"), std::string::npos);
+}
+
+TEST(ProgressRenderTest, FinalLineZeroesEtaAndEndsTheLine) {
+  const std::string line =
+      render_progress_line(sample_snapshot(), /*final_line=*/true,
+                           /*carriage_return=*/true);
+  EXPECT_NE(line.find("ETA    0.0s"), std::string::npos);
+  EXPECT_EQ(line.back(), '\n');
+}
+
+TEST(ProgressRenderTest, PlainLogModeHasNoCarriageReturn) {
+  const std::string line =
+      render_progress_line(sample_snapshot(), /*final_line=*/false,
+                           /*carriage_return=*/false);
+  EXPECT_NE(line.front(), '\r');
+  EXPECT_EQ(line.back(), '\n');
+}
+
+TEST(ProgressRenderTest, EmptyCampaignReportsFullPercent) {
+  ProgressSnapshot snapshot;  // 0/0
+  const std::string line = render_progress_line(snapshot, true, true);
+  EXPECT_NE(line.find("(100.0%)"), std::string::npos);
+}
+
+class ThrottleTest : public ::testing::Test {
+ protected:
+  ProgressReporter make_reporter() {
+    ProgressReporter::Options options;
+    options.sink = stderr;  // never printed to: we only exercise the claim
+    options.min_interval = std::chrono::milliseconds(200);
+    return ProgressReporter(options);
+  }
+  static constexpr std::int64_t kIntervalNs = 200'000'000;
+};
+
+TEST_F(ThrottleTest, ClaimsOnceThenThrottles) {
+  ProgressReporter reporter = make_reporter();
+  EXPECT_TRUE(reporter.try_claim_print(kIntervalNs));
+  EXPECT_FALSE(reporter.try_claim_print(kIntervalNs));           // same tick
+  EXPECT_FALSE(reporter.try_claim_print(kIntervalNs + 1));       // too soon
+  EXPECT_FALSE(reporter.try_claim_print(2 * kIntervalNs - 1));   // still
+  EXPECT_TRUE(reporter.try_claim_print(2 * kIntervalNs));
+}
+
+TEST_F(ThrottleTest, ClaimBaseIsTheWinningClaimNotTheAttempt) {
+  ProgressReporter reporter = make_reporter();
+  EXPECT_TRUE(reporter.try_claim_print(3 * kIntervalNs));
+  // Failed attempts don't advance the window.
+  EXPECT_FALSE(reporter.try_claim_print(3 * kIntervalNs + 10));
+  EXPECT_TRUE(reporter.try_claim_print(4 * kIntervalNs));
+}
+
+TEST(ProgressReporterTest, TalliesGroupOutcomes) {
+  ProgressReporter::Options options;
+  options.sink = tmpfile();
+  ASSERT_NE(options.sink, nullptr);
+  options.min_interval = std::chrono::hours(1);  // never print mid-run
+  ProgressReporter reporter(options);
+
+  fi::CampaignConfig config;
+  config.experiments = 6;
+  reporter.on_campaign_start(config, CampaignStartInfo{});
+  auto done = [&](analysis::Outcome outcome) {
+    fi::ExperimentResult result;
+    result.outcome = outcome;
+    reporter.on_experiment_done(0, result, 1000);
+  };
+  done(analysis::Outcome::kDetected);
+  done(analysis::Outcome::kSeverePermanent);
+  done(analysis::Outcome::kSevereSemiPermanent);
+  done(analysis::Outcome::kMinorTransient);
+  done(analysis::Outcome::kLatent);
+  done(analysis::Outcome::kOverwritten);
+
+  const ProgressSnapshot snapshot = reporter.snapshot(1.0);
+  EXPECT_EQ(snapshot.done, 6u);
+  EXPECT_EQ(snapshot.total, 6u);
+  EXPECT_EQ(snapshot.detected, 1u);
+  EXPECT_EQ(snapshot.severe, 2u);
+  EXPECT_EQ(snapshot.minor, 1u);
+  EXPECT_EQ(snapshot.benign, 2u);
+  EXPECT_EQ(reporter.completed(), 6u);
+  std::fclose(options.sink);
+}
+
+}  // namespace
+}  // namespace earl::obs

@@ -27,6 +27,7 @@
 #include "fi/runner.hpp"
 #include "fi/workloads.hpp"
 #include "obs/collector.hpp"
+#include "obs/db_observer.hpp"
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
@@ -46,8 +47,10 @@ struct Options {
   std::size_t workers = 0;  // 0 = hardware concurrency
   bool parity = false;
   bool progress = false;
+  bool detail = false;
   std::string events_path;
   std::string metrics_path;
+  std::string metrics_prom_path;
   std::string save_path;
   std::string analyze_path;
   std::optional<std::uint64_t> replay_id;
@@ -69,10 +72,16 @@ usage: earl-goofi [options]
   --workers N       experiment worker threads (0 = hardware concurrency)
   --progress        live progress line (completed/total, exp/s, ETA) on stderr
   --events PATH     structured JSONL event log (one event per experiment)
+  --detail          GOOFI detail mode: per-iteration records in the event log
+                    (requires --events) and, for scifi, propagation capture
+                    on value failures; analyze offline with earl-trace
   --metrics PATH    campaign metrics as JSON (PATH ending in .csv => CSV):
                     instruction mix, cache hit/miss, per-EDM trigger counts,
                     detection-latency histograms
-  --save PATH       write the result database as CSV
+  --metrics-prom PATH  campaign metrics in Prometheus text format
+  --save PATH       write the result database as CSV (streamed while the
+                    campaign runs; --db is an alias)
+  --db PATH         alias for --save
   --analyze PATH    skip injection; re-analyze a saved database
   --replay ID       after the campaign, print experiment ID's output trace
   --help)");
@@ -109,9 +118,14 @@ bool parse(int argc, char** argv, Options* options) {
       options->progress = true;
     } else if (arg == "--events") {
       if (const char* v = next()) options->events_path = v; else return false;
+    } else if (arg == "--detail") {
+      options->detail = true;
     } else if (arg == "--metrics") {
       if (const char* v = next()) options->metrics_path = v; else return false;
-    } else if (arg == "--save") {
+    } else if (arg == "--metrics-prom") {
+      if (const char* v = next()) options->metrics_prom_path = v;
+      else return false;
+    } else if (arg == "--save" || arg == "--db") {
       if (const char* v = next()) options->save_path = v; else return false;
     } else if (arg == "--analyze") {
       if (const char* v = next()) options->analyze_path = v; else return false;
@@ -126,14 +140,25 @@ bool parse(int argc, char** argv, Options* options) {
   return true;
 }
 
-std::optional<fi::TargetFactory> make_factory(const Options& options) {
+/// Target factory plus the shared program image (null for swifi), which the
+/// detail-mode propagation prober re-executes offline.
+struct FactoryBundle {
+  fi::TargetFactory factory;
+  std::shared_ptr<const tvm::AssembledProgram> program;
+};
+
+std::optional<FactoryBundle> make_factory(const Options& options) {
   tvm::CacheConfig cache;
   cache.parity_enabled = options.parity;
   const control::PiConfig pi = fi::paper_pi_config();
 
   if (options.technique == "swifi") {
-    if (options.workload == "alg1") return fi::make_native_pi_factory(pi, false);
-    if (options.workload == "alg2") return fi::make_native_pi_factory(pi, true);
+    if (options.workload == "alg1") {
+      return FactoryBundle{fi::make_native_pi_factory(pi, false), nullptr};
+    }
+    if (options.workload == "alg2") {
+      return FactoryBundle{fi::make_native_pi_factory(pi, true), nullptr};
+    }
     std::fprintf(stderr, "swifi supports workloads alg1 | alg2\n");
     return std::nullopt;
   }
@@ -141,26 +166,31 @@ std::optional<fi::TargetFactory> make_factory(const Options& options) {
     std::fprintf(stderr, "unknown technique '%s'\n", options.technique.c_str());
     return std::nullopt;
   }
+
+  std::shared_ptr<const tvm::AssembledProgram> program;
   if (options.workload == "alg1") {
-    return fi::make_tvm_pi_factory(pi, codegen::RobustnessMode::kNone, cache);
-  }
-  if (options.workload == "alg2") {
-    return fi::make_tvm_pi_factory(pi, codegen::RobustnessMode::kRecover, cache);
-  }
-  if (options.workload == "trap") {
-    return fi::make_tvm_pi_factory(pi, codegen::RobustnessMode::kTrap, cache);
-  }
-  if (options.workload == "alg2rate") {
+    program = std::make_shared<tvm::AssembledProgram>(
+        fi::build_pi_program(pi, codegen::RobustnessMode::kNone));
+  } else if (options.workload == "alg2") {
+    program = std::make_shared<tvm::AssembledProgram>(
+        fi::build_pi_program(pi, codegen::RobustnessMode::kRecover));
+  } else if (options.workload == "trap") {
+    program = std::make_shared<tvm::AssembledProgram>(
+        fi::build_pi_program(pi, codegen::RobustnessMode::kTrap));
+  } else if (options.workload == "alg2rate") {
     const codegen::EmitResult emitted = codegen::emit_assembly(
         codegen::make_pi_diagram(pi), codegen::make_pi_options_with_rate(pi));
-    auto program = std::make_shared<tvm::AssembledProgram>(
+    program = std::make_shared<tvm::AssembledProgram>(
         tvm::assemble(emitted.assembly));
-    return [program, cache]() -> std::unique_ptr<fi::Target> {
-      return std::make_unique<fi::TvmTarget>(*program, cache);
-    };
+  } else {
+    std::fprintf(stderr, "unknown workload '%s'\n", options.workload.c_str());
+    return std::nullopt;
   }
-  std::fprintf(stderr, "unknown workload '%s'\n", options.workload.c_str());
-  return std::nullopt;
+  fi::TargetFactory factory = [program,
+                               cache]() -> std::unique_ptr<fi::Target> {
+    return std::make_unique<fi::TvmTarget>(*program, cache);
+  };
+  return FactoryBundle{std::move(factory), std::move(program)};
 }
 
 bool configure_fault(const Options& options, fi::CampaignConfig* config) {
@@ -194,21 +224,31 @@ bool configure_fault(const Options& options, fi::CampaignConfig* config) {
 }
 
 int analyze_only(const std::string& path) {
-  const fi::ResultDatabase db = fi::ResultDatabase::load(path);
-  if (db.size() == 0) {
-    std::fprintf(stderr, "could not load database '%s'\n", path.c_str());
+  const std::optional<fi::ResultDatabase> db = fi::ResultDatabase::load(path);
+  if (!db) {
+    std::fprintf(stderr,
+                 "could not load database '%s' (missing file or not a "
+                 "result database)\n",
+                 path.c_str());
     return 1;
   }
+  if (db->size() == 0) {
+    std::printf("database '%s' is a valid but empty campaign ('%s', seed "
+                "%llu) — nothing to analyze\n",
+                path.c_str(), db->campaign_name().c_str(),
+                static_cast<unsigned long long>(db->seed()));
+    return 0;
+  }
   fi::CampaignResult result;
-  result.config.name = db.campaign_name();
-  result.config.seed = db.seed();
-  result.experiments = db.all();
+  result.config.name = db->campaign_name();
+  result.config.seed = db->seed();
+  result.experiments = db->all();
   const analysis::CampaignReport report =
       analysis::CampaignReport::build(result);
   std::printf("%s\n",
               report.render("Analysis of " + path + " (campaign '" +
-                            db.campaign_name() + "', seed " +
-                            std::to_string(db.seed()) + ")")
+                            db->campaign_name() + "', seed " +
+                            std::to_string(db->seed()) + ")")
                   .c_str());
   return 0;
 }
@@ -227,8 +267,12 @@ int main(int argc, char** argv) {
   }
   if (!options.analyze_path.empty()) return analyze_only(options.analyze_path);
 
-  const auto factory = make_factory(options);
-  if (!factory) return 1;
+  const auto bundle = make_factory(options);
+  if (!bundle) return 1;
+  if (options.detail && options.events_path.empty()) {
+    std::fprintf(stderr, "--detail needs --events PATH for the records\n");
+    return 1;
+  }
 
   fi::CampaignConfig config = fi::table2_campaign(1.0);
   config.name = options.workload + "_" + options.technique;
@@ -244,10 +288,12 @@ int main(int argc, char** argv) {
               options.fault.c_str(), options.filter.c_str(),
               options.parity ? ", parity cache" : "");
 
-  // Telemetry: any combination of progress / events / metrics observers.
+  // Telemetry: any combination of progress / events / metrics / database
+  // observers, all feeding off the same campaign pass.
   obs::MultiObserver multi;
   std::unique_ptr<obs::ProgressReporter> progress;
   std::unique_ptr<obs::JsonlEventLogger> events;
+  std::unique_ptr<obs::DatabaseObserver> database;
   obs::MetricsRegistry registry;
   std::unique_ptr<obs::MetricsCollector> collector;
   if (options.progress) {
@@ -261,7 +307,12 @@ int main(int argc, char** argv) {
                    options.events_path.c_str());
       return 1;
     }
+    events->set_detail(options.detail);
     multi.add(events.get());
+  }
+  if (!options.save_path.empty()) {
+    database = std::make_unique<obs::DatabaseObserver>(options.save_path);
+    multi.add(database.get());
   }
   std::ofstream metrics_out;
   if (!options.metrics_path.empty()) {
@@ -273,13 +324,28 @@ int main(int argc, char** argv) {
                    options.metrics_path.c_str());
       return 1;
     }
+  }
+  std::ofstream prom_out;
+  if (!options.metrics_prom_path.empty()) {
+    prom_out.open(options.metrics_prom_path, std::ios::out | std::ios::trunc);
+    if (!prom_out.good()) {
+      std::fprintf(stderr, "cannot open metrics file '%s'\n",
+                   options.metrics_prom_path.c_str());
+      return 1;
+    }
+  }
+  if (!options.metrics_path.empty() || !options.metrics_prom_path.empty()) {
     collector = std::make_unique<obs::MetricsCollector>(registry);
     multi.add(collector.get());
   }
 
   fi::CampaignRunner runner(config);
+  if (options.detail && bundle->program != nullptr) {
+    runner.set_propagation_prober(
+        fi::make_tvm_propagation_prober(bundle->program));
+  }
   const fi::CampaignResult result =
-      runner.run(*factory, multi.empty() ? nullptr : &multi);
+      runner.run(bundle->factory, multi.empty() ? nullptr : &multi);
   const analysis::CampaignReport report =
       analysis::CampaignReport::build(result);
   std::printf("\n%s\n", report.render("Campaign results").c_str());
@@ -302,6 +368,17 @@ int main(int argc, char** argv) {
     std::printf("wrote metrics (%s) to %s\n", csv ? "CSV" : "JSON",
                 options.metrics_path.c_str());
   }
+  if (!options.metrics_prom_path.empty()) {
+    prom_out << registry.to_prometheus();
+    prom_out.flush();
+    if (!prom_out.good()) {
+      std::fprintf(stderr, "failed to write %s\n",
+                   options.metrics_prom_path.c_str());
+      return 1;
+    }
+    std::printf("wrote metrics (Prometheus) to %s\n",
+                options.metrics_prom_path.c_str());
+  }
 
   if (options.replay_id) {
     bool found = false;
@@ -312,7 +389,7 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(experiment.id),
                   experiment.fault.to_string().c_str(),
                   std::string(analysis::outcome_name(experiment.outcome)).c_str());
-      const auto target = (*factory)();
+      const auto target = bundle->factory();
       const auto outputs =
           runner.replay_outputs(*target, experiment.fault, result.golden);
       std::printf("t_s,u_faulty,u_golden\n");
@@ -328,10 +405,11 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!options.save_path.empty()) {
-    const fi::ResultDatabase db(result);
-    if (db.save(options.save_path)) {
-      std::printf("saved %zu records to %s\n", db.size(),
+  if (database != nullptr) {
+    // The DatabaseObserver streamed rows during the run and saved at
+    // campaign end; here we only report the outcome.
+    if (database->save_ok().value_or(false)) {
+      std::printf("saved %zu records to %s\n", database->database().size(),
                   options.save_path.c_str());
     } else {
       std::fprintf(stderr, "failed to write %s\n", options.save_path.c_str());

@@ -1,0 +1,318 @@
+// earl-trace — offline analysis of recorded campaign event logs.
+//
+// Works purely from a JSONL file written by `earl-goofi --events` (with
+// --detail for per-iteration records); no campaign is re-run.  Reconstructs
+// the paper's failure waveforms (Figures 7–9), prints architectural
+// propagation reports, and filters experiments by outcome / EDM /
+// partition.
+//
+// Examples
+//   earl-goofi -n 500 --events run.jsonl --detail      # record first
+//   earl-trace run.jsonl                               # summary
+//   earl-trace run.jsonl --list --outcome severe_permanent
+//   earl-trace run.jsonl --figure 7                    # Figure 7 waveform
+//   earl-trace run.jsonl --waveform 165                # one experiment
+//   earl-trace run.jsonl --propagation                 # divergence reports
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/trace_reader.hpp"
+#include "obs/labels.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace earl;
+
+struct Options {
+  std::string path;
+  bool list = false;
+  bool propagation = false;
+  std::optional<std::uint64_t> waveform_id;
+  std::optional<int> figure;
+  std::optional<analysis::Outcome> outcome;
+  std::optional<tvm::Edm> edm;
+  std::optional<bool> cache_partition;
+  std::optional<std::uint64_t> id;
+  bool help = false;
+};
+
+void print_usage() {
+  std::puts(R"(earl-trace — offline analysis of recorded campaign event logs
+
+usage: earl-trace TRACE.jsonl [options]
+  (no options)      campaign summary: outcome tallies, detail coverage
+  --list            one line per experiment (after filters)
+  --waveform ID     faulty vs. fault-free output series of experiment ID
+                    (needs detail-mode iteration records)
+  --figure N        N in {7,8,9}: reconstruct the paper-figure waveform from
+                    the first matching specimen, byte-identical to the
+                    bench_figN output for the same campaign
+  --propagation     architectural propagation report per traced experiment
+  --outcome SLUG    filter: outcome slug (e.g. severe_permanent, detected)
+  --edm SLUG        filter: detection mechanism slug
+  --partition P     filter: cache | register
+  --id N            filter: a single experiment id
+  --help)");
+}
+
+bool parse(int argc, char** argv, Options* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--help" || arg == "-h") {
+      options->help = true;
+    } else if (arg == "--list") {
+      options->list = true;
+    } else if (arg == "--propagation") {
+      options->propagation = true;
+    } else if (arg == "--waveform") {
+      if (const char* v = next()) {
+        options->waveform_id = std::strtoull(v, nullptr, 10);
+      } else {
+        return false;
+      }
+    } else if (arg == "--figure") {
+      if (const char* v = next()) options->figure = std::atoi(v);
+      else return false;
+    } else if (arg == "--outcome") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->outcome = obs::parse_outcome_slug(v);
+      if (!options->outcome) {
+        std::fprintf(stderr, "unknown outcome slug '%s'\n", v);
+        return false;
+      }
+    } else if (arg == "--edm") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->edm = obs::parse_edm_slug(v);
+      if (!options->edm) {
+        std::fprintf(stderr, "unknown edm slug '%s'\n", v);
+        return false;
+      }
+    } else if (arg == "--partition") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "cache") == 0) {
+        options->cache_partition = true;
+      } else if (std::strcmp(v, "register") == 0 ||
+                 std::strcmp(v, "registers") == 0) {
+        options->cache_partition = false;
+      } else {
+        std::fprintf(stderr, "unknown partition '%s'\n", v);
+        return false;
+      }
+    } else if (arg == "--id") {
+      if (const char* v = next()) options->id = std::strtoull(v, nullptr, 10);
+      else return false;
+    } else if (!arg.empty() && arg[0] != '-' && options->path.empty()) {
+      options->path = arg;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+bool matches(const Options& options, const analysis::TraceExperiment& e) {
+  if (options.outcome && e.outcome != *options.outcome) return false;
+  if (options.edm && e.edm != *options.edm) return false;
+  if (options.cache_partition && e.cache_location != *options.cache_partition) {
+    return false;
+  }
+  if (options.id && e.id != *options.id) return false;
+  return true;
+}
+
+std::vector<const analysis::TraceExperiment*> filtered(
+    const Options& options, const analysis::CampaignTrace& trace) {
+  std::vector<const analysis::TraceExperiment*> out;
+  for (const analysis::TraceExperiment& e : trace.experiments) {
+    if (matches(options, e)) out.push_back(&e);
+  }
+  return out;
+}
+
+int print_summary(const Options& options,
+                  const analysis::CampaignTrace& trace) {
+  std::printf("campaign '%s', seed %llu: %zu experiment records "
+              "(%zu configured), %zu workers\n",
+              trace.campaign.c_str(),
+              static_cast<unsigned long long>(trace.seed),
+              trace.experiments.size(), trace.experiments_configured,
+              trace.workers);
+  std::size_t traced = 0, probed = 0, iteration_records = trace.golden.size();
+  for (const analysis::TraceExperiment& e : trace.experiments) {
+    traced += !e.iterations.empty();
+    probed += e.propagation.has_value();
+    iteration_records += e.iterations.size();
+  }
+  std::printf("detail: %zu golden + %zu experiment iteration records "
+              "(%zu/%zu experiments traced, %zu propagation records)\n",
+              trace.golden.size(), iteration_records - trace.golden.size(),
+              traced, trace.experiments.size(), probed);
+
+  util::Table table({"Outcome", "N"});
+  table.set_align(1, util::Table::Align::kRight);
+  for (std::size_t o = 0; o < analysis::kOutcomeCount; ++o) {
+    const auto outcome = static_cast<analysis::Outcome>(o);
+    const std::size_t n = trace.count(outcome);
+    if (n == 0) continue;
+    table.add_row({std::string(analysis::outcome_name(outcome)),
+                   std::to_string(n)});
+  }
+  std::printf("%s", table.render().c_str());
+  (void)options;
+  return 0;
+}
+
+int print_list(const Options& options, const analysis::CampaignTrace& trace) {
+  util::Table table({"id", "fault", "partition", "outcome", "end", "max_dev",
+                     "traced"});
+  table.set_align(0, util::Table::Align::kRight);
+  table.set_align(4, util::Table::Align::kRight);
+  table.set_align(5, util::Table::Align::kRight);
+  char dev[32];
+  for (const analysis::TraceExperiment* e : filtered(options, trace)) {
+    std::snprintf(dev, sizeof dev, "%.4g", e->max_deviation);
+    table.add_row({std::to_string(e->id), e->fault.to_string(),
+                   e->cache_location ? "cache" : "register",
+                   obs::outcome_slug(e->outcome),
+                   std::to_string(e->end_iteration), dev,
+                   e->iterations.empty() ? "-" : "yes"});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int print_waveform(const analysis::CampaignTrace& trace,
+                   const analysis::TraceExperiment& e, const char* figure,
+                   const char* description) {
+  if (e.iterations.empty()) {
+    std::fprintf(stderr,
+                 "experiment %llu has no iteration records; re-run the "
+                 "campaign with --detail\n",
+                 static_cast<unsigned long long>(e.id));
+    return 1;
+  }
+  std::fputs(analysis::render_exemplar_header(figure, description, e.id,
+                                              e.fault, e.cache_location,
+                                              e.first_strong)
+                 .c_str(),
+             stdout);
+  std::fputs(analysis::render_waveform_csv(e.outputs(), trace.golden_outputs())
+                 .c_str(),
+             stdout);
+  return 0;
+}
+
+int print_figure(const Options& options, const analysis::CampaignTrace& trace,
+                 int figure) {
+  // The same specimen selection and rendering as the bench_fig7/8/9 tools,
+  // only sourced from the recorded trace instead of a fresh campaign.
+  analysis::Outcome wanted;
+  const char* name;
+  const char* description;
+  switch (figure) {
+    case 7:
+      wanted = analysis::Outcome::kSeverePermanent;
+      name = "Figure 7";
+      description = "severe undetected wrong result (permanent)";
+      break;
+    case 8:
+      wanted = analysis::Outcome::kSevereSemiPermanent;
+      name = "Figure 8";
+      description = "severe undetected wrong result (semi-permanent)";
+      break;
+    case 9:
+      wanted = analysis::Outcome::kMinorTransient;
+      name = "Figure 9";
+      description = "minor undetected wrong result (transient)";
+      break;
+    default:
+      std::fprintf(stderr, "--figure takes 7, 8 or 9\n");
+      return 1;
+  }
+  for (const analysis::TraceExperiment* e : filtered(options, trace)) {
+    if (e->outcome != wanted) continue;
+    return print_waveform(trace, *e, name, description);
+  }
+  std::printf("# %s: no %s specimen among %zu recorded experiments; "
+              "record a larger campaign.\n",
+              name, analysis::outcome_name(wanted).data(),
+              trace.experiments.size());
+  return 0;
+}
+
+int print_propagation(const Options& options,
+                      const analysis::CampaignTrace& trace) {
+  std::size_t shown = 0;
+  for (const analysis::TraceExperiment* e : filtered(options, trace)) {
+    if (!e->propagation) continue;
+    ++shown;
+    std::printf("experiment %llu: %s (%s partition, %s) — %s\n",
+                static_cast<unsigned long long>(e->id),
+                e->fault.to_string().c_str(),
+                e->cache_location ? "cache" : "register",
+                obs::outcome_slug(e->outcome).c_str(),
+                e->propagation->to_string().c_str());
+  }
+  if (shown == 0) {
+    std::printf("no propagation records (recorded without --detail, or no "
+                "value failures matched the filters)\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!parse(argc, argv, &options)) {
+    print_usage();
+    return 1;
+  }
+  if (options.help) {
+    print_usage();
+    return 0;
+  }
+  if (options.path.empty()) {
+    print_usage();
+    return 1;
+  }
+
+  const std::optional<analysis::CampaignTrace> trace =
+      analysis::load_trace_file(options.path);
+  if (!trace) {
+    std::fprintf(stderr,
+                 "could not load '%s' (missing file or not an earl-goofi "
+                 "event log)\n",
+                 options.path.c_str());
+    return 1;
+  }
+
+  if (options.waveform_id) {
+    const analysis::TraceExperiment* e = trace->find(*options.waveform_id);
+    if (e == nullptr) {
+      std::fprintf(stderr, "experiment %llu not in this trace\n",
+                   static_cast<unsigned long long>(*options.waveform_id));
+      return 1;
+    }
+    const std::string figure = "experiment " + std::to_string(e->id);
+    return print_waveform(*trace, *e, figure.c_str(),
+                          std::string(analysis::outcome_name(e->outcome))
+                              .c_str());
+  }
+  if (options.figure) return print_figure(options, *trace, *options.figure);
+  if (options.propagation) return print_propagation(options, *trace);
+  if (options.list) return print_list(options, *trace);
+  return print_summary(options, *trace);
+}
