@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "obs/labels.hpp"
+#include "obs/trace_codec.hpp"
 #include "plant/signals.hpp"
 
 namespace earl::analysis {
@@ -111,18 +112,36 @@ class JsonParser {
     }
   }
 
+  bool digit() const {
+    return pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9';
+  }
+
+  // Strict JSON number grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+  // Non-JSON tokens ("+5", "1e", a lone "."), which the lax version handed
+  // to strtod, are rejected; whatever follows the grammar's end is left for
+  // the caller, whose separator check rejects trailing garbage.
   std::optional<JsonValue> parse_number() {
     const std::size_t start = pos_;
-    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
-      ++pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (!digit()) return std::nullopt;
+    if (text_[pos_] == '0') {
+      ++pos_;  // leading zeros are not JSON: 0 ends the integer part
+    } else {
+      while (digit()) ++pos_;
     }
-    while (pos_ < text_.size() &&
-           ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '-' ||
-            text_[pos_] == '+')) {
+    if (pos_ < text_.size() && text_[pos_] == '.') {
       ++pos_;
+      if (!digit()) return std::nullopt;
+      while (digit()) ++pos_;
     }
-    if (pos_ == start) return std::nullopt;
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!digit()) return std::nullopt;
+      while (digit()) ++pos_;
+    }
     JsonValue value;
     value.kind = JsonValue::Kind::kNumber;
     value.number =
@@ -250,6 +269,21 @@ std::optional<PropagationRecord> parse_propagation(const JsonValue& event) {
   return record;
 }
 
+TraceIteration from_record(const obs::IterationRecord& record) {
+  TraceIteration it;
+  it.k = record.iteration;
+  it.reference = record.reference;
+  it.measurement = record.measurement;
+  it.output = record.output;
+  it.golden_output = record.golden_output;
+  it.deviation = record.deviation;
+  it.state = record.state;
+  it.assertion_fired = record.assertion_fired;
+  it.recovery_fired = record.recovery_fired;
+  it.elapsed = record.elapsed;
+  return it;
+}
+
 }  // namespace
 
 std::vector<float> TraceExperiment::outputs() const {
@@ -286,30 +320,62 @@ std::size_t CampaignTrace::count(Outcome outcome) const {
   return n;
 }
 
-std::optional<CampaignTrace> load_trace(std::istream& in) {
-  CampaignTrace trace;
+std::vector<float> StreamedTrace::golden_outputs() const {
+  std::vector<float> out;
+  out.reserve(golden.size());
+  for (const TraceIteration& it : golden) out.push_back(it.output);
+  return out;
+}
+
+std::optional<StreamedTrace> stream_trace(std::istream& in,
+                                          const TraceVisitor& visit) {
+  StreamedTrace trace;
   bool saw_start = false;
+  obs::CompactTraceDecoder decoder;
+  // Iteration records for experiments whose closing `experiment` event has
+  // not arrived yet — the only whole-experiment-sized state the pass keeps.
   std::map<std::uint64_t, std::vector<TraceIteration>> pending;
+  const auto by_k = [](const TraceIteration& a, const TraceIteration& b) {
+    return a.k < b.k;
+  };
 
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
+
+    if (obs::CompactTraceDecoder::is_compact_line(line)) {
+      const std::optional<obs::IterationRecord> record = decoder.decode(line);
+      if (!record) {
+        ++trace.stats.malformed_lines;
+        continue;
+      }
+      if (record->experiment == obs::kGoldenExperimentId) {
+        trace.golden.push_back(from_record(*record));
+      } else {
+        pending[record->experiment].push_back(from_record(*record));
+      }
+      continue;
+    }
+
     const std::optional<JsonValue> parsed = JsonParser(line).parse();
-    if (!parsed || parsed->kind != JsonValue::Kind::kObject) continue;
+    if (!parsed || parsed->kind != JsonValue::Kind::kObject) {
+      ++trace.stats.malformed_lines;
+      continue;
+    }
     const JsonValue& event = *parsed;
     const std::string kind = event.str("event");
 
     if (kind == "campaign_start") {
       saw_start = true;
-      trace.campaign = event.str("campaign");
-      trace.seed = static_cast<std::uint64_t>(event.num("seed"));
-      trace.experiments_configured =
+      trace.header.campaign = event.str("campaign");
+      trace.header.seed = static_cast<std::uint64_t>(event.num("seed"));
+      trace.header.experiments_configured =
           static_cast<std::size_t>(event.num("experiments"));
-      trace.iterations_configured =
+      trace.header.iterations_configured =
           static_cast<std::size_t>(event.num("iterations"));
-      trace.workers = static_cast<std::size_t>(event.num("workers"));
+      trace.header.workers = static_cast<std::size_t>(event.num("workers"));
       if (const auto k = obs::parse_fault_kind_slug(event.str("fault_kind"))) {
-        trace.fault_kind = *k;
+        trace.header.fault_kind = *k;
       }
     } else if (kind == "iteration") {
       const TraceIteration it = parse_iteration(event);
@@ -321,7 +387,7 @@ std::optional<CampaignTrace> load_trace(std::istream& in) {
     } else if (kind == "experiment") {
       TraceExperiment e;
       e.id = static_cast<std::uint64_t>(event.num("id"));
-      e.fault.kind = trace.fault_kind;
+      e.fault.kind = trace.header.fault_kind;
       e.fault.time = static_cast<std::uint64_t>(event.num("time"));
       if (const JsonValue* bits = event.find("bits");
           bits != nullptr && bits->kind == JsonValue::Kind::kArray) {
@@ -344,25 +410,44 @@ std::optional<CampaignTrace> load_trace(std::istream& in) {
       if (const auto it = pending.find(e.id); it != pending.end()) {
         e.iterations = std::move(it->second);
         pending.erase(it);
+        std::sort(e.iterations.begin(), e.iterations.end(), by_k);
       }
-      trace.experiments.push_back(std::move(e));
+      ++trace.stats.experiments;
+      if (visit) visit(std::move(e));
     }
     // golden_run / campaign_end / unknown events carry nothing the typed
     // records need; skipping them keeps old readers usable on new streams.
   }
   if (!saw_start) return std::nullopt;
 
+  // Iteration groups still pending at EOF lost their `experiment` event to
+  // a truncated (mid-write) log; surface the count rather than dropping
+  // them silently.
+  trace.stats.incomplete_experiments = pending.size();
+  std::sort(trace.golden.begin(), trace.golden.end(), by_k);
+  return trace;
+}
+
+std::optional<CampaignTrace> load_trace(std::istream& in) {
+  CampaignTrace trace;
+  std::optional<StreamedTrace> streamed =
+      stream_trace(in, [&trace](TraceExperiment&& e) {
+        trace.experiments.push_back(std::move(e));
+      });
+  if (!streamed) return std::nullopt;
+  trace.campaign = std::move(streamed->header.campaign);
+  trace.seed = streamed->header.seed;
+  trace.experiments_configured = streamed->header.experiments_configured;
+  trace.iterations_configured = streamed->header.iterations_configured;
+  trace.fault_kind = streamed->header.fault_kind;
+  trace.workers = streamed->header.workers;
+  trace.golden = std::move(streamed->golden);
+  trace.stats = streamed->stats;
+
   std::sort(trace.experiments.begin(), trace.experiments.end(),
             [](const TraceExperiment& a, const TraceExperiment& b) {
               return a.id < b.id;
             });
-  const auto by_k = [](const TraceIteration& a, const TraceIteration& b) {
-    return a.k < b.k;
-  };
-  std::sort(trace.golden.begin(), trace.golden.end(), by_k);
-  for (TraceExperiment& e : trace.experiments) {
-    std::sort(e.iterations.begin(), e.iterations.end(), by_k);
-  }
   return trace;
 }
 

@@ -1,15 +1,25 @@
 // Offline campaign-trace reader (the DETOx-style post-hoc analysis path).
 //
-// Parses the JSONL event stream obs::JsonlEventLogger writes — including
-// detail-mode `iteration` events — back into typed records, so failure
-// waveforms (the paper's Figures 7–9) and propagation reports can be
-// reconstructed from a recorded file alone, without re-running the
-// campaign.  The parser accepts any interleaving of events across workers:
-// iteration records are grouped per experiment id and re-sorted, and
-// experiments are returned in id order regardless of completion order.
+// Parses the event stream obs::JsonlEventLogger writes — JSONL, or the
+// compact delta-encoded detail format of obs/trace_codec.hpp, auto-detected
+// per line — back into typed records, so failure waveforms (the paper's
+// Figures 7–9) and propagation reports can be reconstructed from a recorded
+// file alone, without re-running the campaign.
+//
+// Two entry points:
+//   * stream_trace() — the single-pass core: each experiment is handed to a
+//     visitor as soon as its `experiment` event closes it, so resident
+//     memory stays O(golden run + experiments still in flight), and logs
+//     larger than RAM analyze fine.  `earl-trace` runs on this.
+//   * load_trace() — in-memory convenience wrapper: accumulates every
+//     experiment, sorts by id, and returns the whole CampaignTrace.
+//
+// Both accept any interleaving of events across workers: iteration records
+// are grouped per experiment id and re-sorted by k.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <istream>
 #include <optional>
 #include <span>
@@ -59,6 +69,27 @@ struct TraceExperiment {
   std::vector<float> outputs() const;
 };
 
+/// Campaign-level facts from the `campaign_start` event.
+struct TraceHeader {
+  std::string campaign;
+  std::uint64_t seed = 0;
+  std::size_t experiments_configured = 0;
+  std::size_t iterations_configured = 0;
+  fi::FaultKind fault_kind = fi::FaultKind::kSingleBitFlip;
+  std::size_t workers = 0;
+};
+
+/// Stream health facts a single pass accumulates.
+struct TraceStreamStats {
+  /// Complete experiment records seen (and handed to the visitor).
+  std::size_t experiments = 0;
+  /// Experiments with iteration records pending at EOF whose `experiment`
+  /// event never arrived — a truncated (mid-write) log.
+  std::size_t incomplete_experiments = 0;
+  /// Non-empty lines that parsed as neither JSON nor a compact record.
+  std::size_t malformed_lines = 0;
+};
+
 struct CampaignTrace {
   std::string campaign;
   std::uint64_t seed = 0;
@@ -68,6 +99,7 @@ struct CampaignTrace {
   std::size_t workers = 0;
   std::vector<TraceIteration> golden;        // golden run, iteration order
   std::vector<TraceExperiment> experiments;  // sorted by id
+  TraceStreamStats stats;
 
   std::vector<float> golden_outputs() const;
   const TraceExperiment* find(std::uint64_t id) const;
@@ -75,10 +107,31 @@ struct CampaignTrace {
   std::size_t count(Outcome outcome) const;
 };
 
-/// Parses a JSONL event stream.  Returns nullopt when the stream contains
-/// no `campaign_start` event (not an event log); unknown events and
-/// malformed lines are skipped, so readers stay compatible with streams
+/// What stream_trace() returns after the pass (experiments went to the
+/// visitor; everything whole-campaign-sized but bounded lives here).
+struct StreamedTrace {
+  TraceHeader header;
+  std::vector<TraceIteration> golden;  // complete only after the call
+  TraceStreamStats stats;
+
+  std::vector<float> golden_outputs() const;
+};
+
+/// Called once per complete experiment, in completion (file) order — NOT id
+/// order; sort downstream if order matters.  Iterations arrive sorted by k.
+using TraceVisitor = std::function<void(TraceExperiment&&)>;
+
+/// Single-pass streaming parse of a JSONL or compact event stream.
+/// Resident memory is O(golden + in-flight experiments), independent of log
+/// size.  Returns nullopt when the stream contains no `campaign_start`
+/// event (not an event log); unknown events and malformed lines are
+/// skipped (the latter counted), so readers stay compatible with streams
 /// from newer writers.
+std::optional<StreamedTrace> stream_trace(std::istream& in,
+                                          const TraceVisitor& visit);
+
+/// In-memory convenience wrapper over stream_trace(): accumulates all
+/// experiments and sorts them by id.
 std::optional<CampaignTrace> load_trace(std::istream& in);
 
 /// File variant; nullopt when the file cannot be opened or load_trace

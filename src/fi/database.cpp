@@ -12,8 +12,31 @@ namespace {
 util::CsvRow header_row() {
   return {"id",          "kind",        "time",        "bits",
           "cache",       "outcome",     "edm",         "end_iteration",
+          "detection_distance",
           "first_strong", "strong_count", "max_deviation", "propagation",
           "campaign",    "seed"};
+}
+
+// The pre-PR-3 header: no detection_distance column (save() used to drop
+// the field silently).  Still accepted by load(), distance defaulting to 0.
+util::CsvRow legacy_header_row() {
+  return {"id",          "kind",        "time",        "bits",
+          "cache",       "outcome",     "edm",         "end_iteration",
+          "first_strong", "strong_count", "max_deviation", "propagation",
+          "campaign",    "seed"};
+}
+
+// Full-token unsigned parse: nullopt on empty, trailing garbage, or a value
+// at or past `limit`.  The enum columns go through this instead of atoi so
+// a corrupted row cannot cast an arbitrary integer into an enum.
+std::optional<std::size_t> parse_bounded(const std::string& field,
+                                         std::size_t limit) {
+  if (field.empty()) return std::nullopt;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(field.c_str(), &end, 10);
+  if (end != field.c_str() + field.size()) return std::nullopt;
+  if (value >= limit) return std::nullopt;
+  return static_cast<std::size_t>(value);
 }
 
 std::string bits_field(const std::vector<std::size_t>& bits) {
@@ -140,6 +163,7 @@ bool ResultDatabase::save(const std::string& path) const {
         std::to_string(static_cast<int>(e.outcome)),
         std::to_string(static_cast<int>(e.edm)),
         std::to_string(e.end_iteration),
+        std::to_string(e.detection_distance),
         std::to_string(e.first_strong),
         std::to_string(e.strong_count),
         buf,
@@ -157,26 +181,46 @@ std::optional<ResultDatabase> ResultDatabase::load(const std::string& path) {
   // nothing) or a file that is not a result database; both are load errors.
   // A saved zero-row campaign still carries the header and loads as an
   // engaged, empty database.
-  if (rows.size() < 1 || rows[0] != header_row()) return std::nullopt;
+  if (rows.size() < 1) return std::nullopt;
+  const bool legacy = rows[0] == legacy_header_row();
+  if (!legacy && rows[0] != header_row()) return std::nullopt;
+  // Columns from detection_distance on sit one further right in the current
+  // format than in the legacy one.
+  const std::size_t shift = legacy ? 0 : 1;
   ResultDatabase db;
   for (std::size_t i = 1; i < rows.size(); ++i) {
     const util::CsvRow& row = rows[i];
-    if (row.size() != header_row().size()) continue;
+    if (row.size() != rows[0].size()) {
+      ++db.skipped_rows_;
+      continue;
+    }
+    const std::optional<std::size_t> kind =
+        parse_bounded(row[1], kFaultKindCount);
+    const std::optional<std::size_t> outcome =
+        parse_bounded(row[5], analysis::kOutcomeCount);
+    const std::optional<std::size_t> edm = parse_bounded(row[6], tvm::kEdmCount);
+    if (!kind || !outcome || !edm) {
+      ++db.skipped_rows_;
+      continue;
+    }
     ExperimentResult e;
     e.id = std::strtoull(row[0].c_str(), nullptr, 10);
-    e.fault.kind = static_cast<FaultKind>(std::atoi(row[1].c_str()));
+    e.fault.kind = static_cast<FaultKind>(*kind);
     e.fault.time = std::strtoull(row[2].c_str(), nullptr, 10);
     e.fault.bits = parse_bits(row[3]);
     e.cache_location = row[4] == "1";
-    e.outcome = static_cast<analysis::Outcome>(std::atoi(row[5].c_str()));
-    e.edm = static_cast<tvm::Edm>(std::atoi(row[6].c_str()));
+    e.outcome = static_cast<analysis::Outcome>(*outcome);
+    e.edm = static_cast<tvm::Edm>(*edm);
     e.end_iteration = std::strtoull(row[7].c_str(), nullptr, 10);
-    e.first_strong = std::strtoull(row[8].c_str(), nullptr, 10);
-    e.strong_count = std::strtoull(row[9].c_str(), nullptr, 10);
-    e.max_deviation = std::strtod(row[10].c_str(), nullptr);
-    e.propagation = parse_propagation(row[11]);
-    db.campaign_name_ = row[12];
-    db.seed_ = std::strtoull(row[13].c_str(), nullptr, 10);
+    if (!legacy) {
+      e.detection_distance = std::strtoull(row[8].c_str(), nullptr, 10);
+    }
+    e.first_strong = std::strtoull(row[8 + shift].c_str(), nullptr, 10);
+    e.strong_count = std::strtoull(row[9 + shift].c_str(), nullptr, 10);
+    e.max_deviation = std::strtod(row[10 + shift].c_str(), nullptr);
+    e.propagation = parse_propagation(row[11 + shift]);
+    db.campaign_name_ = row[12 + shift];
+    db.seed_ = std::strtoull(row[13 + shift].c_str(), nullptr, 10);
     db.experiments_.push_back(std::move(e));
   }
   return db;

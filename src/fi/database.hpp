@@ -39,9 +39,16 @@ class ResultDatabase {
   /// CSV persistence. save() returns false on I/O error.  load() returns
   /// nullopt when the file cannot be read or is not a result database
   /// (wrong/missing header) — distinct from an engaged database with zero
-  /// rows, which is what a valid empty campaign loads as.
+  /// rows, which is what a valid empty campaign loads as.  Files saved
+  /// before the detection_distance column (PR 3) still load, with the
+  /// distance defaulting to 0.  Rows with the wrong column count or an
+  /// out-of-range enum value are skipped and counted, never cast blindly.
   bool save(const std::string& path) const;
   static std::optional<ResultDatabase> load(const std::string& path);
+
+  /// Rows load() rejected (wrong column count, malformed or out-of-range
+  /// enum field); 0 for databases built in memory.
+  std::size_t skipped_rows() const { return skipped_rows_; }
 
   const std::string& campaign_name() const { return campaign_name_; }
   std::uint64_t seed() const { return seed_; }
@@ -50,6 +57,7 @@ class ResultDatabase {
   std::string campaign_name_;
   std::uint64_t seed_ = 0;
   std::vector<ExperimentResult> experiments_;
+  std::size_t skipped_rows_ = 0;
 };
 
 }  // namespace earl::fi

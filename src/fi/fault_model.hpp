@@ -23,6 +23,9 @@ enum class FaultKind : std::uint8_t {
                   //   of a permanent fault at scan-chain granularity)
 };
 
+/// Number of FaultKind values; bounds-checks for persisted integer kinds.
+inline constexpr std::size_t kFaultKindCount = 4;
+
 struct FaultSpec {
   FaultKind kind = FaultKind::kSingleBitFlip;
   unsigned multiplicity = 1;  // used by kMultiBitFlip

@@ -36,19 +36,28 @@ void JsonlEventLogger::write_line(const std::string& line) {
 }
 
 void JsonlEventLogger::flush() {
+  // Drain each worker buffer under its own mutex first, then write under
+  // the sink mutex — the same order append_buffered uses, so a flush racing
+  // a mid-campaign append sees either the whole line or none of it.
+  std::string drained;
+  for (const std::unique_ptr<WorkerBuffer>& buffer : buffers_) {
+    const std::lock_guard<std::mutex> lock(buffer->mutex);
+    drained += buffer->data;
+    buffer->data.clear();
+  }
   const std::lock_guard<std::mutex> lock(mutex_);
   if (out_ == nullptr) return;
-  for (std::string& buffer : buffers_) {
-    if (buffer.empty()) continue;
-    *out_ << buffer;
-    buffer.clear();
-  }
+  if (!drained.empty()) *out_ << drained;
   out_->flush();
 }
 
 void JsonlEventLogger::on_campaign_start(const fi::CampaignConfig& config,
                                          const CampaignStartInfo& info) {
-  buffers_.assign(info.workers, std::string());
+  buffers_.clear();
+  buffers_.reserve(info.workers);
+  for (std::size_t w = 0; w < info.workers; ++w) {
+    buffers_.push_back(std::make_unique<WorkerBuffer>());
+  }
   JsonObject event;
   event.field("event", "campaign_start")
       .field("campaign", config.name)
@@ -61,10 +70,17 @@ void JsonlEventLogger::on_campaign_start(const fi::CampaignConfig& config,
       .field("workers", static_cast<std::uint64_t>(info.workers))
       .field("fault_space_bits", info.fault_space_bits)
       .field("register_partition_bits", info.register_partition_bits);
+  if (format_ == TraceFormat::kCompact) {
+    event.field("trace_format", trace_format_slug(format_));
+  }
   write_line(std::move(event).str());
 }
 
 void JsonlEventLogger::on_golden_done(const fi::GoldenRun& golden) {
+  // Pin the buffered golden iteration records ahead of every experiment
+  // record: the compact decoder deltas experiment iterations against the
+  // golden record at the same k, so file order matters.
+  flush();
   JsonObject event;
   event.field("event", "golden_run")
       .field("total_time", golden.total_time)
@@ -74,19 +90,22 @@ void JsonlEventLogger::on_golden_done(const fi::GoldenRun& golden) {
 }
 
 void JsonlEventLogger::append_buffered(std::size_t worker, std::string line) {
-  line.push_back('\n');
-  if (worker < buffers_.size()) {
-    std::string& buffer = buffers_[worker];
-    buffer += line;
-    if (buffer.size() >= kFlushThreshold) {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      if (out_ != nullptr) *out_ << buffer;
-      buffer.clear();
-    }
-  } else {
+  if (worker >= buffers_.size()) {
     // Defensive: an unknown worker id (observer attached mid-run) still logs.
-    line.pop_back();
     write_line(line);
+    return;
+  }
+  line.push_back('\n');
+  WorkerBuffer& buffer = *buffers_[worker];
+  std::string full;
+  {
+    const std::lock_guard<std::mutex> lock(buffer.mutex);
+    buffer.data += line;
+    if (buffer.data.size() >= kFlushThreshold) full.swap(buffer.data);
+  }
+  if (!full.empty()) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (out_ != nullptr) *out_ << full;
   }
 }
 
@@ -136,6 +155,13 @@ void JsonlEventLogger::on_experiment_done(std::size_t worker,
 
 void JsonlEventLogger::on_iteration(std::size_t worker,
                                     const IterationRecord& record) {
+  if (format_ == TraceFormat::kCompact) {
+    // Golden records append to the encoder's delta base from the campaign
+    // thread, strictly before workers start encoding experiment records
+    // against it (pinned by the on_golden_done flush).
+    append_buffered(worker, encoder_.encode(record));
+    return;
+  }
   JsonObject event;
   event.field("event", "iteration");
   if (record.experiment == kGoldenExperimentId) {

@@ -15,21 +15,26 @@
 //                     sub-object
 //   campaign_end    — outcome tallies + total wall time
 //
-// Hot-path design: each worker appends formatted lines to a private string
-// buffer (no shared state touched), and only a full buffer (64 KiB) or the
-// final flush takes the sink mutex.  Experiment events therefore appear
-// roughly in completion order, not sorted by id — consumers must key on the
-// "id" field, never on line order.
+// Hot-path design: each worker appends formatted lines to a per-worker
+// buffer guarded by its own (uncontended) mutex; only a full buffer
+// (64 KiB) or a flush takes the shared sink mutex.  Experiment events
+// therefore appear roughly in completion order, not sorted by id —
+// consumers must key on the "id" field, never on line order.  Golden-run
+// iteration records are the one ordering guarantee: they are flushed to the
+// sink before the first experiment record (the compact codec depends on
+// it).
 #pragma once
 
 #include <cstdint>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "obs/observer.hpp"
+#include "obs/trace_codec.hpp"
 
 namespace earl::obs {
 
@@ -48,6 +53,15 @@ class JsonlEventLogger final : public CampaignObserver {
   /// Set before the campaign starts.
   void set_detail(bool enabled) { detail_ = enabled; }
 
+  /// Encoding for the (very chatty) iteration records: kJsonl emits one
+  /// JSON object each; kCompact emits the delta-encoded lines of
+  /// trace_codec.hpp (≥4x smaller logs, bit-exact reconstruction).  All
+  /// other events stay JSONL in both formats.  Set before the campaign
+  /// starts; compact streams carry `"trace_format":"compact"` in
+  /// campaign_start.
+  void set_format(TraceFormat format) { format_ = format; }
+  TraceFormat format() const { return format_; }
+
   void on_campaign_start(const fi::CampaignConfig& config,
                          const CampaignStartInfo& info) override;
   void on_golden_done(const fi::GoldenRun& golden) override;
@@ -64,14 +78,24 @@ class JsonlEventLogger final : public CampaignObserver {
   void flush();
 
  private:
+  /// Per-worker line buffer.  The worker appending and any thread flushing
+  /// both take `mutex`; the sink mutex is only ever acquired afterwards
+  /// (worker mutex -> sink mutex, never the reverse).
+  struct WorkerBuffer {
+    std::mutex mutex;
+    std::string data;
+  };
+
   void write_line(const std::string& line);  // takes the sink mutex
   void append_buffered(std::size_t worker, std::string line);
 
   std::ofstream file_;
   std::ostream* out_ = nullptr;
-  std::mutex mutex_;                   // guards *out_
-  std::vector<std::string> buffers_;   // one per worker, index = worker id
+  std::mutex mutex_;  // guards *out_
+  std::vector<std::unique_ptr<WorkerBuffer>> buffers_;  // index = worker id
   bool detail_ = false;
+  TraceFormat format_ = TraceFormat::kJsonl;
+  CompactTraceEncoder encoder_;
 };
 
 }  // namespace earl::obs

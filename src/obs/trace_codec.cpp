@@ -1,0 +1,186 @@
+#include "obs/trace_codec.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace earl::obs {
+
+namespace {
+
+// Both line kinds carry the same 8 delta fields (see the header grammar),
+// ordered most-likely-nonzero first so trailing-zero suppression bites as
+// early as possible.
+constexpr std::size_t kFieldCount = 8;
+
+std::uint32_t float_bits(float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  return bits;
+}
+
+float bits_float(std::uint32_t bits) {
+  float v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+/// The deviation value the runner derives from output and golden_output;
+/// storing only the XOR against it makes the field zero on every record the
+/// runner produced (and still bit-exact on hand-built ones).
+float expected_deviation(const IterationRecord& record) {
+  return std::fabs(record.output - record.golden_output);
+}
+
+void append_hex(std::string& out, std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%llx",
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+/// Parses one full token as an unsigned integer in `base`; nullopt on an
+/// empty token, a stray character, or an over-long one.
+std::optional<std::uint64_t> parse_uint(std::string_view token, int base) {
+  if (token.empty() || token.size() > 20) return std::nullopt;
+  char buf[24];
+  std::memcpy(buf, token.data(), token.size());
+  buf[token.size()] = '\0';
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(buf, &end, base);
+  if (end != buf + token.size()) return std::nullopt;
+  return static_cast<std::uint64_t>(value);
+}
+
+}  // namespace
+
+std::optional<TraceFormat> parse_trace_format(std::string_view name) {
+  if (name == "jsonl") return TraceFormat::kJsonl;
+  if (name == "compact") return TraceFormat::kCompact;
+  return std::nullopt;
+}
+
+std::string trace_format_slug(TraceFormat format) {
+  return format == TraceFormat::kCompact ? "compact" : "jsonl";
+}
+
+std::string CompactTraceEncoder::encode(const IterationRecord& record) {
+  const bool golden = record.experiment == kGoldenExperimentId;
+  IterationRecord base;  // zero record when nothing to delta against
+  if (golden) {
+    if (!golden_.empty()) base = golden_.back();
+  } else if (record.iteration < golden_.size()) {
+    base = golden_[record.iteration];
+  }
+
+  std::uint64_t fields[kFieldCount];
+  std::size_t n = 0;
+  fields[n++] = float_bits(record.measurement) ^ float_bits(base.measurement);
+  fields[n++] = float_bits(record.output) ^ float_bits(base.output);
+  fields[n++] = float_bits(record.state) ^ float_bits(base.state);
+  fields[n++] =
+      float_bits(record.deviation) ^ float_bits(expected_deviation(record));
+  fields[n++] = float_bits(record.reference) ^ float_bits(base.reference);
+  // A golden record's u_golden mirrors its own output; an experiment's
+  // mirrors the golden output at the same k.
+  fields[n++] = float_bits(record.golden_output) ^
+                float_bits(golden ? record.output : base.output);
+  fields[n++] = (record.assertion_fired ? 1u : 0u) |
+                (record.recovery_fired ? 2u : 0u);
+  fields[n++] = record.elapsed ^ base.elapsed;
+
+  std::size_t count = kFieldCount;
+  while (count > 0 && fields[count - 1] == 0) --count;
+
+  std::string out(golden ? "G " : "I ");
+  if (!golden) {
+    out += std::to_string(record.experiment);
+    out.push_back(' ');
+  }
+  out += std::to_string(record.iteration);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(' ');
+    append_hex(out, fields[i]);
+  }
+
+  if (golden) golden_.push_back(record);
+  return out;
+}
+
+bool CompactTraceDecoder::is_compact_line(std::string_view line) {
+  return line.size() >= 2 && (line[0] == 'G' || line[0] == 'I') &&
+         line[1] == ' ';
+}
+
+std::optional<IterationRecord> CompactTraceDecoder::decode(
+    std::string_view line) {
+  if (!is_compact_line(line)) return std::nullopt;
+  const bool golden = line[0] == 'G';
+  const std::size_t header_tokens = golden ? 1u : 2u;
+
+  // Tokenize on single spaces; empty tokens (double/trailing spaces) are
+  // malformed.  The leading id/k tokens are decimal, the fields hex.
+  std::uint64_t tokens[kFieldCount + 2];
+  std::size_t count = 0;
+  std::size_t pos = 2;
+  while (pos <= line.size()) {
+    const std::size_t next = line.find(' ', pos);
+    const std::string_view token =
+        line.substr(pos, next == std::string_view::npos ? std::string_view::npos
+                                                        : next - pos);
+    if (count >= header_tokens + kFieldCount) return std::nullopt;
+    const std::optional<std::uint64_t> value =
+        parse_uint(token, count < header_tokens ? 10 : 16);
+    if (!value) return std::nullopt;
+    tokens[count++] = *value;
+    if (next == std::string_view::npos) break;
+    pos = next + 1;
+  }
+  if (count < header_tokens) return std::nullopt;
+
+  std::uint64_t fields[kFieldCount] = {};
+  for (std::size_t i = header_tokens; i < count; ++i) {
+    fields[i - header_tokens] = tokens[i];
+  }
+
+  IterationRecord record;
+  IterationRecord base;
+  if (golden) {
+    record.experiment = kGoldenExperimentId;
+    record.iteration = static_cast<std::uint32_t>(tokens[0]);
+    // Golden lines are contiguous and in order; anything else means a
+    // corrupt or resequenced stream.
+    if (record.iteration != golden_.size()) return std::nullopt;
+    if (!golden_.empty()) base = golden_.back();
+  } else {
+    record.experiment = tokens[0];
+    record.iteration = static_cast<std::uint32_t>(tokens[1]);
+    if (record.iteration < golden_.size()) base = golden_[record.iteration];
+  }
+
+  std::size_t n = 0;
+  record.measurement = bits_float(float_bits(base.measurement) ^
+                                  static_cast<std::uint32_t>(fields[n++]));
+  record.output = bits_float(float_bits(base.output) ^
+                             static_cast<std::uint32_t>(fields[n++]));
+  record.state = bits_float(float_bits(base.state) ^
+                            static_cast<std::uint32_t>(fields[n++]));
+  const std::uint64_t deviation_delta = fields[n++];
+  record.reference = bits_float(float_bits(base.reference) ^
+                                static_cast<std::uint32_t>(fields[n++]));
+  record.golden_output =
+      bits_float(float_bits(golden ? record.output : base.output) ^
+                 static_cast<std::uint32_t>(fields[n++]));
+  const std::uint64_t flags = fields[n++];
+  if (flags > 3) return std::nullopt;
+  record.assertion_fired = (flags & 1) != 0;
+  record.recovery_fired = (flags & 2) != 0;
+  record.elapsed = base.elapsed ^ fields[n++];
+  record.deviation = bits_float(float_bits(expected_deviation(record)) ^
+                                static_cast<std::uint32_t>(deviation_delta));
+
+  if (golden) golden_.push_back(record);
+  return record;
+}
+
+}  // namespace earl::obs

@@ -1,0 +1,92 @@
+// Compact detail-trace encoding (the "make detail mode cheap enough to
+// leave on" codec).
+//
+// A JSONL `iteration` event is ~150 bytes, and a detail-mode campaign emits
+// one per output-producing iteration — gigabytes for a full Table-2 run.
+// The compact format replaces only those events with delta-encoded text
+// lines; every other event (campaign_start, golden_run, experiment,
+// campaign_end) stays JSONL, so one file mixes both and consumers dispatch
+// per line.  Reconstruction is bit-exact: float fields travel as IEEE-754
+// bit patterns, never as decimal round-trips.
+//
+// Line grammar (fields space-separated, hex lowercase, no leading zeros):
+//
+//   golden      G <k> [y u state dev r u_golden flags elapsed]
+//   experiment  I <id> <k> [y u state dev r u_golden flags elapsed]
+//
+// A golden line's fields are XOR deltas against the previous golden record
+// (a zero record for k = 0).  An experiment line's fields are XOR deltas
+// against the golden record at the same k — r and u_golden delta to zero by
+// construction, y/u/state delta to zero until the fault's effect reaches
+// the loop, and dev deltas against |u - u_golden| recomputed by the reader,
+// which the runner's own deviation computation matches exactly.  `flags`
+// (assertion | recovery << 1) is absolute, not a delta.  Trailing zero
+// fields are dropped, so the overwhelmingly common pre-divergence record is
+// just "I <id> <k>" — ~10 bytes against ~150 for its JSONL twin.
+//
+// Ordering contract: every golden line precedes every experiment line (the
+// logger flushes worker buffers at on_golden_done to pin this), because the
+// decoder needs the golden record at k to undo an experiment delta.
+// Experiment lines referencing a golden k the decoder has not seen decode
+// against a zero record — matching an encoder that had no golden record
+// either (unit-test usage) — except that a *partial* golden table cannot
+// happen in a well-formed file: golden lines are contiguous and first.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/observer.hpp"
+
+namespace earl::obs {
+
+/// Detail-trace encoding selected by `earl-goofi --trace-format`.
+enum class TraceFormat : std::uint8_t {
+  kJsonl,    // one JSON object per iteration event (the PR-2 format)
+  kCompact,  // delta-encoded iteration lines, everything else JSONL
+};
+
+/// Parses a --trace-format value ("jsonl" | "compact"); nullopt otherwise.
+std::optional<TraceFormat> parse_trace_format(std::string_view name);
+
+/// Stable slug for a format ("jsonl" | "compact"), the inverse of
+/// parse_trace_format; also the `trace_format` value in campaign_start.
+std::string trace_format_slug(TraceFormat format);
+
+/// Stateful encoder: one per event log.  Golden records (experiment ==
+/// kGoldenExperimentId) must all be encoded before the first experiment
+/// record and are retained as the delta base.  encode() is const after the
+/// golden run, so concurrent calls from worker threads are safe — the
+/// runner starts workers only after on_golden_done.
+class CompactTraceEncoder {
+ public:
+  /// Returns the encoded line, without a trailing newline.
+  std::string encode(const IterationRecord& record);
+
+ private:
+  std::vector<IterationRecord> golden_;
+};
+
+/// Stateful decoder: feed every compact line of one stream, in file order.
+class CompactTraceDecoder {
+ public:
+  /// True when `line` is a compact iteration line ("G " / "I " prefix) as
+  /// opposed to a JSONL event; dispatch before decode().
+  static bool is_compact_line(std::string_view line);
+
+  /// Decodes one line; nullopt when malformed (bad token, wrong field
+  /// count, or a golden line out of sequence).  Golden records are retained
+  /// as the delta base for subsequent experiment lines.
+  std::optional<IterationRecord> decode(std::string_view line);
+
+  /// Golden records decoded so far, in iteration order.
+  const std::vector<IterationRecord>& golden() const { return golden_; }
+
+ private:
+  std::vector<IterationRecord> golden_;
+};
+
+}  // namespace earl::obs

@@ -225,6 +225,68 @@ TEST(TraceReaderTest, ExperimentsSortedAndQueriesWork) {
   EXPECT_EQ(trace->find(99), nullptr);
 }
 
+// The event-stream parser accepts exactly the JSON number grammar; the lax
+// strtod-based version also took "+5", "1e", or a lone "." and invented
+// values for them.
+TEST(TraceReaderTest, NumberGrammarIsStrictJson) {
+  const auto seed_of = [](const char* token) -> std::optional<std::uint64_t> {
+    const std::string jsonl =
+        std::string(R"({"event":"campaign_start","campaign":"n","seed":)") +
+        token + R"(,"experiments":1,"iterations":10,)" +
+        R"("fault_kind":"single_bit_flip","workers":1})" + "\n";
+    const std::optional<CampaignTrace> trace = parse(jsonl);
+    if (!trace) return std::nullopt;
+    return trace->seed;
+  };
+  EXPECT_EQ(seed_of("0"), 0u);
+  EXPECT_EQ(seed_of("1000"), 1000u);
+  EXPECT_EQ(seed_of("1e3"), 1000u);
+  EXPECT_EQ(seed_of("1.5e2"), 150u);
+  EXPECT_EQ(seed_of("2.5E+1"), 25u);
+  // A malformed campaign_start is a malformed line, so no campaign_start is
+  // ever seen and the whole parse rejects.
+  EXPECT_EQ(seed_of("+5"), std::nullopt);     // leading plus
+  EXPECT_EQ(seed_of("1e"), std::nullopt);     // empty exponent
+  EXPECT_EQ(seed_of("1e+"), std::nullopt);    // signed empty exponent
+  EXPECT_EQ(seed_of(".5"), std::nullopt);     // no integer part
+  EXPECT_EQ(seed_of("1."), std::nullopt);     // no fraction digits
+  EXPECT_EQ(seed_of("01"), std::nullopt);     // leading zero
+  EXPECT_EQ(seed_of("-"), std::nullopt);      // sign alone
+  EXPECT_EQ(seed_of("--1"), std::nullopt);    // double sign
+  EXPECT_EQ(seed_of("12abc"), std::nullopt);  // trailing garbage
+  EXPECT_EQ(seed_of("NaN"), std::nullopt);    // not JSON
+}
+
+TEST(TraceReaderTest, NegativeAndFractionalNumbersStillParse) {
+  std::string jsonl = kStart;
+  jsonl +=
+      R"({"event":"iteration","golden":true,"k":0,"r":-2.5e-1,"y":-0.5,)"
+      R"("u":6.5,"u_golden":6.5,"deviation":0,"state":-3,"elapsed":90})"
+      "\n";
+  const std::optional<CampaignTrace> trace = parse(jsonl);
+  ASSERT_TRUE(trace.has_value());
+  ASSERT_EQ(trace->golden.size(), 1u);
+  EXPECT_FLOAT_EQ(trace->golden[0].reference, -0.25f);
+  EXPECT_FLOAT_EQ(trace->golden[0].measurement, -0.5f);
+  EXPECT_FLOAT_EQ(trace->golden[0].state, -3.0f);
+  EXPECT_EQ(trace->stats.malformed_lines, 0u);
+}
+
+TEST(TraceReaderTest, MalformedLinesAreCounted) {
+  std::string jsonl = kStart;
+  jsonl +=
+      "not json at all\n"
+      R"({"event":"iteration","golden":true,"k":)"  // cut mid-write
+      "\n"
+      R"({"event":"future_event","x":1})"
+      "\n";
+  const std::optional<CampaignTrace> trace = parse(jsonl);
+  ASSERT_TRUE(trace.has_value());
+  // Unknown-but-well-formed events are forward compatibility, not damage.
+  EXPECT_EQ(trace->stats.malformed_lines, 2u);
+  EXPECT_EQ(trace->stats.incomplete_experiments, 0u);
+}
+
 TEST(TraceRenderTest, ExemplarHeaderMatchesBenchFormat) {
   fi::Fault fault;
   fault.kind = fi::FaultKind::kSingleBitFlip;

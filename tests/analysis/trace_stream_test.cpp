@@ -1,0 +1,191 @@
+// Unit tests for the single-pass streaming reader: visitor delivery,
+// compact-line dispatch, and truncated-log accounting.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/trace_reader.hpp"
+#include "obs/trace_codec.hpp"
+
+namespace earl::analysis {
+namespace {
+
+const char* kStart =
+    R"({"event":"campaign_start","campaign":"stream","experiments":2,)"
+    R"("seed":11,"iterations":650,"fault_kind":"single_bit_flip",)"
+    R"("workers":2,"fault_space_bits":1000,"register_partition_bits":600})"
+    "\n";
+
+std::string experiment_event(std::uint64_t id, const char* outcome) {
+  return std::string(R"({"event":"experiment","id":)") + std::to_string(id) +
+         R"(,"worker":0,"bits":[1],"time":0,"cache":false,"outcome":")" +
+         outcome + R"(","end_iteration":650,"wall_ns":10})" + "\n";
+}
+
+std::string iteration_event(std::uint64_t id, std::uint32_t k, double u) {
+  return std::string(R"({"event":"iteration","id":)") + std::to_string(id) +
+         R"(,"k":)" + std::to_string(k) + R"(,"r":2000,"y":2000,"u":)" +
+         std::to_string(u) +
+         R"(,"u_golden":6.5,"deviation":0,"state":6.4,"elapsed":90})" + "\n";
+}
+
+TEST(TraceStreamTest, VisitorSeesExperimentsInFileOrderWithSortedIterations) {
+  std::string jsonl = kStart;
+  jsonl += iteration_event(5, 1, 7.25);
+  jsonl += iteration_event(5, 0, 6.5);
+  jsonl += experiment_event(5, "latent");
+  jsonl += experiment_event(2, "overwritten");
+
+  std::istringstream in(jsonl);
+  std::vector<TraceExperiment> seen;
+  const std::optional<StreamedTrace> trace = stream_trace(
+      in, [&seen](TraceExperiment&& e) { seen.push_back(std::move(e)); });
+  ASSERT_TRUE(trace.has_value());
+
+  EXPECT_EQ(trace->header.campaign, "stream");
+  EXPECT_EQ(trace->header.seed, 11u);
+  EXPECT_EQ(trace->header.experiments_configured, 2u);
+  EXPECT_EQ(trace->header.workers, 2u);
+  EXPECT_EQ(trace->stats.experiments, 2u);
+  EXPECT_EQ(trace->stats.incomplete_experiments, 0u);
+  EXPECT_EQ(trace->stats.malformed_lines, 0u);
+
+  // File order (5 closed before 2), not id order.
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].id, 5u);
+  EXPECT_EQ(seen[1].id, 2u);
+  // Iterations arrive sorted by k even though they landed out of order.
+  ASSERT_EQ(seen[0].iterations.size(), 2u);
+  EXPECT_EQ(seen[0].iterations[0].k, 0u);
+  EXPECT_EQ(seen[0].iterations[1].k, 1u);
+  EXPECT_TRUE(seen[1].iterations.empty());
+}
+
+TEST(TraceStreamTest, NullVisitorStillAccumulatesStats) {
+  std::string jsonl = kStart;
+  jsonl += experiment_event(0, "latent");
+  std::istringstream in(jsonl);
+  const std::optional<StreamedTrace> trace = stream_trace(in, nullptr);
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->stats.experiments, 1u);
+}
+
+TEST(TraceStreamTest, RejectsStreamWithoutCampaignStart) {
+  std::istringstream in(experiment_event(0, "latent"));
+  EXPECT_FALSE(stream_trace(in, nullptr).has_value());
+}
+
+TEST(TraceStreamTest, TruncatedLogSurfacesIncompleteExperiments) {
+  // A mid-write truncation: iteration records for experiments 4 and 9
+  // buffered out, but the campaign died before their experiment events.
+  std::string jsonl = kStart;
+  jsonl += iteration_event(4, 0, 6.5);
+  jsonl += iteration_event(9, 0, 6.5);
+  jsonl += iteration_event(9, 1, 7.0);
+  jsonl += experiment_event(4, "latent");
+
+  std::istringstream in(jsonl);
+  std::size_t visited = 0;
+  const std::optional<StreamedTrace> trace =
+      stream_trace(in, [&visited](TraceExperiment&&) { ++visited; });
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(visited, 1u);
+  EXPECT_EQ(trace->stats.experiments, 1u);
+  EXPECT_EQ(trace->stats.incomplete_experiments, 1u);  // experiment 9
+}
+
+TEST(TraceStreamTest, MidLineTruncationCountsAsMalformed) {
+  std::string jsonl = kStart;
+  jsonl += experiment_event(0, "latent");
+  // The writer died mid-line: no closing brace, no newline.
+  jsonl += R"({"event":"experiment","id":1,"worker":0,"bits":[1)";
+  std::istringstream in(jsonl);
+  const std::optional<StreamedTrace> trace = stream_trace(in, nullptr);
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->stats.experiments, 1u);
+  EXPECT_EQ(trace->stats.malformed_lines, 1u);
+}
+
+TEST(TraceStreamTest, DecodesCompactIterationLines) {
+  // A mixed-format stream, exactly as `earl-goofi --trace-format=compact`
+  // writes it: JSONL lifecycle events, compact iteration lines.
+  obs::CompactTraceEncoder encoder;
+  obs::IterationRecord golden;
+  golden.experiment = obs::kGoldenExperimentId;
+  golden.iteration = 0;
+  golden.reference = 209.4f;
+  golden.measurement = 210.25f;
+  golden.output = 6.5f;
+  golden.golden_output = 6.5f;
+  golden.state = 3.25f;
+  golden.elapsed = 90;
+  obs::IterationRecord faulty = golden;
+  faulty.experiment = 3;
+  faulty.output = 9.75f;
+  faulty.golden_output = 6.5f;
+  faulty.deviation = 3.25f;
+  faulty.recovery_fired = true;
+
+  std::string mixed = kStart;
+  mixed += encoder.encode(golden) + "\n";
+  mixed += encoder.encode(faulty) + "\n";
+  mixed += experiment_event(3, "minor_transient");
+
+  std::istringstream in(mixed);
+  std::vector<TraceExperiment> seen;
+  const std::optional<StreamedTrace> trace = stream_trace(
+      in, [&seen](TraceExperiment&& e) { seen.push_back(std::move(e)); });
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->stats.malformed_lines, 0u);
+
+  ASSERT_EQ(trace->golden.size(), 1u);
+  EXPECT_EQ(trace->golden[0].k, 0u);
+  EXPECT_EQ(trace->golden[0].output, 6.5f);
+  EXPECT_EQ(trace->golden[0].elapsed, 90u);
+  EXPECT_EQ(trace->golden_outputs(), (std::vector<float>{6.5f}));
+
+  ASSERT_EQ(seen.size(), 1u);
+  ASSERT_EQ(seen[0].iterations.size(), 1u);
+  const TraceIteration& it = seen[0].iterations[0];
+  EXPECT_EQ(it.k, 0u);
+  EXPECT_EQ(it.output, 9.75f);
+  EXPECT_EQ(it.golden_output, 6.5f);
+  EXPECT_EQ(it.deviation, 3.25f);
+  EXPECT_EQ(it.measurement, 210.25f);
+  EXPECT_FALSE(it.assertion_fired);
+  EXPECT_TRUE(it.recovery_fired);
+}
+
+TEST(TraceStreamTest, CorruptCompactLinesAreCountedNotFatal) {
+  std::string mixed = kStart;
+  mixed += "G 0\n";       // fine: zero golden record
+  mixed += "G 2\n";       // golden k out of sequence
+  mixed += "I 1 0 zz\n";  // bad hex
+  mixed += experiment_event(1, "latent");
+  std::istringstream in(mixed);
+  const std::optional<StreamedTrace> trace = stream_trace(in, nullptr);
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->golden.size(), 1u);
+  EXPECT_EQ(trace->stats.malformed_lines, 2u);
+  EXPECT_EQ(trace->stats.experiments, 1u);
+}
+
+TEST(TraceStreamTest, LoadTraceWrapsStreamAndSortsById) {
+  std::string jsonl = kStart;
+  jsonl += experiment_event(7, "latent");
+  jsonl += iteration_event(1, 0, 6.5);
+  jsonl += experiment_event(1, "overwritten");
+  std::istringstream in(jsonl);
+  const std::optional<CampaignTrace> trace = load_trace(in);
+  ASSERT_TRUE(trace.has_value());
+  ASSERT_EQ(trace->experiments.size(), 2u);
+  EXPECT_EQ(trace->experiments[0].id, 1u);
+  EXPECT_EQ(trace->experiments[1].id, 7u);
+  EXPECT_EQ(trace->stats.experiments, 2u);
+}
+
+}  // namespace
+}  // namespace earl::analysis

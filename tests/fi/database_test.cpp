@@ -19,6 +19,7 @@ ExperimentResult make_experiment(std::uint64_t id, analysis::Outcome outcome,
   e.outcome = outcome;
   e.edm = edm;
   e.end_iteration = 650;
+  e.detection_distance = outcome == analysis::Outcome::kDetected ? id * 9 : 0;
   e.first_strong = 10;
   e.strong_count = 3;
   e.max_deviation = 1.25;
@@ -89,9 +90,11 @@ TEST(DatabaseTest, SaveLoadRoundTrip) {
     EXPECT_EQ(a.outcome, b.outcome);
     EXPECT_EQ(a.edm, b.edm);
     EXPECT_EQ(a.end_iteration, b.end_iteration);
+    EXPECT_EQ(a.detection_distance, b.detection_distance);
     EXPECT_EQ(a.strong_count, b.strong_count);
     EXPECT_DOUBLE_EQ(a.max_deviation, b.max_deviation);
   }
+  EXPECT_EQ(loaded->skipped_rows(), 0u);
   std::remove(path.c_str());
 }
 
@@ -160,6 +163,84 @@ TEST(DatabaseTest, MultiBitFaultBitsRoundTrip) {
   ASSERT_EQ(loaded->size(), 1u);
   EXPECT_EQ(loaded->all()[0].fault.bits, e.fault.bits);
   EXPECT_EQ(loaded->all()[0].fault.kind, FaultKind::kMultiBitFlip);
+  std::remove(path.c_str());
+}
+
+TEST(DatabaseTest, LoadsLegacyHeaderWithoutDetectionDistance) {
+  // A database saved before the detection_distance column existed: same
+  // columns except that one, detection distances default to 0.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "earl_legacy.csv").string();
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    fputs("id,kind,time,bits,cache,outcome,edm,end_iteration,first_strong,"
+          "strong_count,max_deviation,propagation,campaign,seed\n",
+          f);
+    fputs("7,0,100,3;9,1,0,2,12,10,3,1.25,,legacy_campaign,55\n", f);
+    fclose(f);
+  }
+  const std::optional<ResultDatabase> loaded = ResultDatabase::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 1u);
+  const ExperimentResult& e = loaded->all()[0];
+  EXPECT_EQ(e.id, 7u);
+  EXPECT_EQ(e.outcome, analysis::Outcome::kDetected);
+  EXPECT_EQ(e.edm, tvm::Edm::kAddressError);
+  EXPECT_EQ(e.end_iteration, 12u);
+  EXPECT_EQ(e.detection_distance, 0u);
+  EXPECT_EQ(e.first_strong, 10u);
+  EXPECT_EQ(e.strong_count, 3u);
+  EXPECT_DOUBLE_EQ(e.max_deviation, 1.25);
+  EXPECT_EQ(loaded->campaign_name(), "legacy_campaign");
+  EXPECT_EQ(loaded->seed(), 55u);
+  std::remove(path.c_str());
+}
+
+TEST(DatabaseTest, RejectsOutOfRangeEnumRowsAndCountsThem) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "earl_badenum.csv").string();
+  ResultDatabase db;
+  db.insert(make_experiment(0, analysis::Outcome::kOverwritten, true));
+  ASSERT_TRUE(db.save(path));
+  {
+    FILE* f = fopen(path.c_str(), "a");
+    // kind 99, outcome 99, edm 99 — each alone out of range; plus one row
+    // with a non-numeric outcome and one with too few columns.
+    fputs("1,99,0,1,0,0,0,650,0,10,3,1.25,,c,1\n", f);
+    fputs("2,0,0,1,0,99,0,650,0,10,3,1.25,,c,1\n", f);
+    fputs("3,0,0,1,0,0,99,650,0,10,3,1.25,,c,1\n", f);
+    fputs("4,0,0,1,0,latent,0,650,0,10,3,1.25,,c,1\n", f);
+    fputs("5,0,0\n", f);
+    fclose(f);
+  }
+  const std::optional<ResultDatabase> loaded = ResultDatabase::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 1u);  // only the genuine row survives
+  EXPECT_EQ(loaded->all()[0].id, 0u);
+  EXPECT_EQ(loaded->skipped_rows(), 5u);
+  std::remove(path.c_str());
+}
+
+TEST(DatabaseTest, AcceptsEveryInRangeEnumValue) {
+  // Boundary check: the largest valid value of each enum column loads.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "earl_maxenum.csv").string();
+  ResultDatabase db;
+  ExperimentResult e = make_experiment(0, analysis::Outcome::kOverwritten, true);
+  e.fault.kind = static_cast<FaultKind>(kFaultKindCount - 1);
+  e.outcome = static_cast<analysis::Outcome>(analysis::kOutcomeCount - 1);
+  e.edm = static_cast<tvm::Edm>(tvm::kEdmCount - 1);
+  db.insert(e);
+  ASSERT_TRUE(db.save(path));
+  const std::optional<ResultDatabase> loaded = ResultDatabase::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ(loaded->all()[0].fault.kind,
+            static_cast<FaultKind>(kFaultKindCount - 1));
+  EXPECT_EQ(loaded->all()[0].outcome,
+            static_cast<analysis::Outcome>(analysis::kOutcomeCount - 1));
+  EXPECT_EQ(loaded->all()[0].edm, static_cast<tvm::Edm>(tvm::kEdmCount - 1));
+  EXPECT_EQ(loaded->skipped_rows(), 0u);
   std::remove(path.c_str());
 }
 

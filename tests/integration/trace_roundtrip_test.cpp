@@ -39,13 +39,35 @@ class TraceRoundTripTest : public ::testing::Test {
       events.set_detail(true);
       result_ = new fi::CampaignResult(runner_->run(*factory_, &events));
     }
+    jsonl_bytes_ = sink->str().size();
     auto in = std::istringstream(sink->str());
     delete sink;
     auto loaded = analysis::load_trace(in);
     ASSERT_TRUE(loaded.has_value());
     trace_ = new analysis::CampaignTrace(std::move(*loaded));
+
+    // The same campaign again, recorded compact: seed-determinism makes the
+    // two recordings describe the identical set of experiments.
+    auto* compact_sink = new std::ostringstream();
+    {
+      obs::JsonlEventLogger events(*compact_sink);
+      events.set_detail(true);
+      events.set_format(obs::TraceFormat::kCompact);
+      fi::CampaignRunner rerun(*config_);
+      rerun.set_propagation_prober(fi::make_tvm_propagation_prober(
+          std::make_shared<tvm::AssembledProgram>(
+              fi::build_pi_program(fi::paper_pi_config()))));
+      rerun.run(*factory_, &events);
+    }
+    compact_bytes_ = compact_sink->str().size();
+    auto compact_in = std::istringstream(compact_sink->str());
+    delete compact_sink;
+    auto compact_loaded = analysis::load_trace(compact_in);
+    ASSERT_TRUE(compact_loaded.has_value());
+    compact_trace_ = new analysis::CampaignTrace(std::move(*compact_loaded));
   }
   static void TearDownTestSuite() {
+    delete compact_trace_;
     delete trace_;
     delete result_;
     delete runner_;
@@ -58,6 +80,9 @@ class TraceRoundTripTest : public ::testing::Test {
   static fi::CampaignRunner* runner_;
   static fi::CampaignResult* result_;
   static analysis::CampaignTrace* trace_;
+  static analysis::CampaignTrace* compact_trace_;
+  static std::size_t jsonl_bytes_;
+  static std::size_t compact_bytes_;
 };
 
 fi::CampaignConfig* TraceRoundTripTest::config_ = nullptr;
@@ -65,6 +90,9 @@ fi::TargetFactory* TraceRoundTripTest::factory_ = nullptr;
 fi::CampaignRunner* TraceRoundTripTest::runner_ = nullptr;
 fi::CampaignResult* TraceRoundTripTest::result_ = nullptr;
 analysis::CampaignTrace* TraceRoundTripTest::trace_ = nullptr;
+analysis::CampaignTrace* TraceRoundTripTest::compact_trace_ = nullptr;
+std::size_t TraceRoundTripTest::jsonl_bytes_ = 0;
+std::size_t TraceRoundTripTest::compact_bytes_ = 0;
 
 TEST_F(TraceRoundTripTest, CampaignMetadataSurvives) {
   EXPECT_EQ(trace_->campaign, config_->name);
@@ -144,6 +172,62 @@ TEST_F(TraceRoundTripTest, WaveformFromTraceMatchesLiveReplayByteForByte) {
                                           trace_->golden_outputs()),
             analysis::render_waveform_csv(live_outputs,
                                           result_->golden.outputs));
+}
+
+TEST_F(TraceRoundTripTest, CompactRecordingDecodesIdenticallyToJsonl) {
+  // Same campaign, two encodings, one truth: every iteration record must
+  // reconstruct to the identical float bits the JSONL recording carries.
+  EXPECT_EQ(compact_trace_->stats.malformed_lines, 0u);
+  EXPECT_EQ(compact_trace_->stats.incomplete_experiments, 0u);
+  ASSERT_EQ(compact_trace_->golden.size(), trace_->golden.size());
+  EXPECT_EQ(compact_trace_->golden_outputs(), trace_->golden_outputs());
+  ASSERT_EQ(compact_trace_->experiments.size(), trace_->experiments.size());
+  for (std::size_t i = 0; i < trace_->experiments.size(); ++i) {
+    const analysis::TraceExperiment& a = trace_->experiments[i];
+    const analysis::TraceExperiment& b = compact_trace_->experiments[i];
+    ASSERT_EQ(a.id, b.id);
+    EXPECT_EQ(a.outcome, b.outcome);
+    ASSERT_EQ(a.iterations.size(), b.iterations.size()) << "experiment " << a.id;
+    for (std::size_t k = 0; k < a.iterations.size(); ++k) {
+      const analysis::TraceIteration& x = a.iterations[k];
+      const analysis::TraceIteration& y = b.iterations[k];
+      EXPECT_EQ(x.k, y.k);
+      EXPECT_EQ(x.reference, y.reference);
+      EXPECT_EQ(x.measurement, y.measurement);
+      EXPECT_EQ(x.output, y.output);
+      EXPECT_EQ(x.golden_output, y.golden_output);
+      EXPECT_EQ(x.deviation, y.deviation);
+      EXPECT_EQ(x.state, y.state);
+      EXPECT_EQ(x.assertion_fired, y.assertion_fired);
+      EXPECT_EQ(x.recovery_fired, y.recovery_fired);
+      EXPECT_EQ(x.elapsed, y.elapsed);
+    }
+  }
+}
+
+TEST_F(TraceRoundTripTest, WaveformsFromBothFormatsAreByteIdentical) {
+  // The acceptance criterion: Figure 7–9 renderers fed from the compact log
+  // produce the same bytes as from the JSONL log.
+  for (const analysis::TraceExperiment& a : trace_->experiments) {
+    if (a.iterations.empty()) continue;
+    const analysis::TraceExperiment* b = compact_trace_->find(a.id);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(analysis::render_exemplar_header("Figure", "specimen", a.id,
+                                               a.fault, a.cache_location,
+                                               a.first_strong),
+              analysis::render_exemplar_header("Figure", "specimen", b->id,
+                                               b->fault, b->cache_location,
+                                               b->first_strong));
+    EXPECT_EQ(
+        analysis::render_waveform_csv(a.outputs(), trace_->golden_outputs()),
+        analysis::render_waveform_csv(b->outputs(),
+                                      compact_trace_->golden_outputs()));
+  }
+}
+
+TEST_F(TraceRoundTripTest, CompactLogIsAtLeastFourTimesSmaller) {
+  EXPECT_GE(jsonl_bytes_, compact_bytes_ * 4)
+      << "jsonl=" << jsonl_bytes_ << " compact=" << compact_bytes_;
 }
 
 }  // namespace

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/json.hpp"
@@ -320,6 +322,98 @@ TEST(EventsTest, BuffersFlushOnDestruction) {
 TEST(EventsTest, UnwritablePathReportsNotOk) {
   JsonlEventLogger logger(std::string("/nonexistent-dir/run.jsonl"));
   EXPECT_FALSE(logger.ok());
+}
+
+TEST(EventsTest, ConcurrentAppendsAndFlushesLoseNothing) {
+  // The TSan target: workers append iteration records to their buffers
+  // while the main thread flushes mid-campaign (what a progress reporter or
+  // signal handler does).  Every line must land exactly once, whole.
+  std::ostringstream sink;
+  JsonlEventLogger logger(sink);
+  logger.set_detail(true);
+  fi::CampaignConfig config;
+  CampaignStartInfo info;
+  constexpr std::size_t kWorkers = 4;
+  constexpr std::uint32_t kPerWorker = 2000;
+  info.workers = kWorkers;
+  logger.on_campaign_start(config, info);
+
+  std::atomic<bool> done{false};
+  std::thread flusher([&logger, &done] {
+    while (!done.load(std::memory_order_relaxed)) logger.flush();
+  });
+  std::vector<std::thread> workers;
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&logger, w] {
+      IterationRecord record;
+      record.experiment = w;
+      for (std::uint32_t k = 0; k < kPerWorker; ++k) {
+        record.iteration = k;
+        logger.on_iteration(w, record);
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  done.store(true, std::memory_order_relaxed);
+  flusher.join();
+  logger.flush();
+
+  const std::vector<std::string> lines = lines_of(sink.str());
+  ASSERT_EQ(lines.size(), 1 + kWorkers * kPerWorker);
+  std::size_t iteration_lines = 0;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    // A torn line would start mid-object rather than at a '{'.
+    ASSERT_EQ(lines[i].front(), '{') << lines[i];
+    ASSERT_EQ(lines[i].back(), '}') << lines[i];
+    iteration_lines += field_of(lines[i], "event") == "iteration";
+  }
+  EXPECT_EQ(iteration_lines, kWorkers * kPerWorker);
+}
+
+TEST(EventsTest, CompactFormatTagsCampaignStartAndEncodesIterations) {
+  std::ostringstream sink;
+  JsonlEventLogger logger(sink);
+  logger.set_detail(true);
+  logger.set_format(TraceFormat::kCompact);
+  EXPECT_EQ(logger.format(), TraceFormat::kCompact);
+  fi::CampaignConfig config;
+  CampaignStartInfo info;
+  info.workers = 1;
+  logger.on_campaign_start(config, info);
+
+  IterationRecord golden;
+  golden.experiment = kGoldenExperimentId;
+  golden.iteration = 0;
+  golden.output = 6.5f;
+  golden.golden_output = 6.5f;
+  logger.on_iteration(0, golden);
+  fi::GoldenRun golden_run;
+  logger.on_golden_done(golden_run);
+  IterationRecord record = golden;
+  record.experiment = 12;
+  logger.on_iteration(0, record);
+  logger.flush();
+
+  const std::vector<std::string> lines = lines_of(sink.str());
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(field_of(lines[0], "trace_format"), "compact");
+  // on_golden_done flushed the golden record ahead of its own event, so the
+  // compact decoder meets golden lines before any experiment line.
+  EXPECT_EQ(lines[1].substr(0, 2), "G ");
+  EXPECT_EQ(field_of(lines[2], "event"), "golden_run");
+  EXPECT_EQ(lines[3], "I 12 0");
+}
+
+TEST(EventsTest, JsonlFormatOmitsTraceFormatField) {
+  // The default byte stream must not change shape when the feature is off.
+  std::ostringstream sink;
+  JsonlEventLogger logger(sink);
+  fi::CampaignConfig config;
+  CampaignStartInfo info;
+  info.workers = 1;
+  logger.on_campaign_start(config, info);
+  logger.flush();
+  EXPECT_EQ(lines_of(sink.str())[0].find("trace_format"), std::string::npos);
 }
 
 }  // namespace

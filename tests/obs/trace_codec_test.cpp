@@ -1,0 +1,228 @@
+#include "obs/trace_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace earl::obs {
+namespace {
+
+float from_bits(std::uint32_t bits) {
+  float v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::uint32_t to_bits(float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  return bits;
+}
+
+// Bit-pattern equality: the codec's contract is IEEE-754 exactness, which
+// operator== cannot check (NaN != NaN, -0.0f == 0.0f).
+void expect_same_record(const IterationRecord& a, const IterationRecord& b) {
+  EXPECT_EQ(a.experiment, b.experiment);
+  EXPECT_EQ(a.iteration, b.iteration);
+  EXPECT_EQ(to_bits(a.reference), to_bits(b.reference));
+  EXPECT_EQ(to_bits(a.measurement), to_bits(b.measurement));
+  EXPECT_EQ(to_bits(a.output), to_bits(b.output));
+  EXPECT_EQ(to_bits(a.golden_output), to_bits(b.golden_output));
+  EXPECT_EQ(to_bits(a.deviation), to_bits(b.deviation));
+  EXPECT_EQ(to_bits(a.state), to_bits(b.state));
+  EXPECT_EQ(a.assertion_fired, b.assertion_fired);
+  EXPECT_EQ(a.recovery_fired, b.recovery_fired);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+}
+
+IterationRecord golden_record(std::uint32_t k, float output) {
+  IterationRecord r;
+  r.experiment = kGoldenExperimentId;
+  r.iteration = k;
+  r.reference = 209.4f;
+  r.measurement = 210.0f + static_cast<float>(k) * 0.25f;
+  r.output = output;
+  r.golden_output = output;
+  r.deviation = 0.0f;
+  r.state = output * 0.5f;
+  r.elapsed = 90 + k;
+  return r;
+}
+
+TEST(TraceFormatTest, ParseAndSlugAreInverse) {
+  EXPECT_EQ(parse_trace_format("jsonl"), TraceFormat::kJsonl);
+  EXPECT_EQ(parse_trace_format("compact"), TraceFormat::kCompact);
+  EXPECT_EQ(parse_trace_format("csv"), std::nullopt);
+  EXPECT_EQ(parse_trace_format(""), std::nullopt);
+  EXPECT_EQ(trace_format_slug(TraceFormat::kJsonl), "jsonl");
+  EXPECT_EQ(trace_format_slug(TraceFormat::kCompact), "compact");
+}
+
+TEST(TraceCodecTest, CompactLineDetection) {
+  EXPECT_TRUE(CompactTraceDecoder::is_compact_line("G 0"));
+  EXPECT_TRUE(CompactTraceDecoder::is_compact_line("I 5 12 a0"));
+  EXPECT_FALSE(CompactTraceDecoder::is_compact_line("{\"event\":\"x\"}"));
+  EXPECT_FALSE(CompactTraceDecoder::is_compact_line("Golden"));
+  EXPECT_FALSE(CompactTraceDecoder::is_compact_line("G"));
+  EXPECT_FALSE(CompactTraceDecoder::is_compact_line(""));
+}
+
+TEST(TraceCodecTest, GoldenAndExperimentRecordsRoundTripBitExact) {
+  CompactTraceEncoder encoder;
+  CompactTraceDecoder decoder;
+  std::vector<IterationRecord> records;
+  for (std::uint32_t k = 0; k < 8; ++k) {
+    records.push_back(golden_record(k, 6.5f + static_cast<float>(k) * 0.01f));
+  }
+  IterationRecord faulty = golden_record(3, 9.75f);
+  faulty.experiment = 42;
+  faulty.golden_output = records[3].output;
+  faulty.deviation = std::fabs(faulty.output - faulty.golden_output);
+  faulty.assertion_fired = true;
+  records.push_back(faulty);
+
+  for (const IterationRecord& record : records) {
+    const std::string line = encoder.encode(record);
+    const std::optional<IterationRecord> decoded = decoder.decode(line);
+    ASSERT_TRUE(decoded.has_value()) << line;
+    expect_same_record(record, *decoded);
+  }
+  EXPECT_EQ(decoder.golden().size(), 8u);
+}
+
+TEST(TraceCodecTest, PreDivergenceRecordEncodesAsHeaderOnly) {
+  // An experiment record identical to the golden one at its k — the
+  // overwhelmingly common case — must shed every field ("I <id> <k>").
+  CompactTraceEncoder encoder;
+  const IterationRecord golden = golden_record(0, 6.5f);
+  encoder.encode(golden);
+  IterationRecord same = golden;
+  same.experiment = 17;
+  EXPECT_EQ(encoder.encode(same), "I 17 0");
+
+  CompactTraceDecoder decoder;
+  CompactTraceEncoder reference;
+  ASSERT_TRUE(decoder.decode(reference.encode(golden)).has_value());
+  const std::optional<IterationRecord> decoded = decoder.decode("I 17 0");
+  ASSERT_TRUE(decoded.has_value());
+  expect_same_record(same, *decoded);
+}
+
+TEST(TraceCodecTest, RunnerStyleDeviationCostsNothing) {
+  // deviation == |u - u_golden| (what the runner computes) encodes as a
+  // zero delta even when the output itself diverged.
+  CompactTraceEncoder encoder;
+  encoder.encode(golden_record(0, 6.5f));
+  IterationRecord faulty = golden_record(0, 123.0f);
+  faulty.experiment = 3;
+  faulty.golden_output = 6.5f;
+  faulty.deviation = std::fabs(123.0f - 6.5f);
+  const std::string line = encoder.encode(faulty);
+  // Fields: y u state dev ... — dev (4th) must already be suppressed to 0,
+  // and with r/u_golden/flags/elapsed all matching, the line ends at state:
+  // bits(123.0f)^bits(6.5f) and bits(61.5f)^bits(3.25f), both 0x02260000.
+  EXPECT_EQ(line, "I 3 0 0 2260000 2260000");
+}
+
+TEST(TraceCodecTest, SpecialFloatBitPatternsSurvive) {
+  CompactTraceEncoder encoder;
+  CompactTraceDecoder decoder;
+  IterationRecord r;
+  r.experiment = kGoldenExperimentId;
+  r.iteration = 0;
+  r.output = std::numeric_limits<float>::quiet_NaN();
+  r.golden_output = -0.0f;
+  r.measurement = from_bits(0x00000001);  // smallest denormal
+  r.state = std::numeric_limits<float>::infinity();
+  r.deviation = from_bits(0x7f800001);  // signalling-ish NaN pattern
+  r.reference = -std::numeric_limits<float>::max();
+  const std::optional<IterationRecord> decoded =
+      decoder.decode(encoder.encode(r));
+  ASSERT_TRUE(decoded.has_value());
+  expect_same_record(r, *decoded);
+}
+
+TEST(TraceCodecTest, ExperimentAgainstUnseenGoldenUsesZeroBase) {
+  // Encoder and decoder with no golden table must still agree (unit-test
+  // style usage; a well-formed file always carries golden lines first).
+  CompactTraceEncoder encoder;
+  CompactTraceDecoder decoder;
+  IterationRecord r = golden_record(5, 2.25f);
+  r.experiment = 7;
+  const std::optional<IterationRecord> decoded =
+      decoder.decode(encoder.encode(r));
+  ASSERT_TRUE(decoded.has_value());
+  expect_same_record(r, *decoded);
+}
+
+TEST(TraceCodecTest, RejectsMalformedLines) {
+  CompactTraceDecoder decoder;
+  EXPECT_EQ(decoder.decode("I"), std::nullopt);            // no header
+  EXPECT_EQ(decoder.decode("I 5"), std::nullopt);          // id but no k
+  EXPECT_EQ(decoder.decode("G "), std::nullopt);           // empty token
+  EXPECT_EQ(decoder.decode("G 0 "), std::nullopt);         // trailing space
+  EXPECT_EQ(decoder.decode("G 0  1"), std::nullopt);       // double space
+  EXPECT_EQ(decoder.decode("I 5 0 zz"), std::nullopt);     // bad hex
+  EXPECT_EQ(decoder.decode("I x 0"), std::nullopt);        // bad decimal
+  EXPECT_EQ(decoder.decode("G 1"), std::nullopt);          // golden k gap
+  EXPECT_EQ(decoder.decode("I 1 2 0 0 0 0 0 0 9 0"), std::nullopt);  // flags>3
+  EXPECT_EQ(decoder.decode("I 1 2 0 0 0 0 0 0 1 0 5"), std::nullopt);  // extra
+  EXPECT_EQ(decoder.decode("{\"event\":\"iteration\"}"), std::nullopt);
+}
+
+TEST(TraceCodecTest, GoldenSequenceEnforced) {
+  CompactTraceEncoder encoder;
+  CompactTraceDecoder decoder;
+  ASSERT_TRUE(decoder.decode(encoder.encode(golden_record(0, 1.0f))));
+  // Replaying k=0 or skipping to k=2 both break the contiguous contract.
+  EXPECT_EQ(decoder.decode("G 0"), std::nullopt);
+  EXPECT_EQ(decoder.decode("G 2"), std::nullopt);
+  EXPECT_EQ(decoder.golden().size(), 1u);
+}
+
+TEST(TraceCodecTest, CompactIsAtLeastFourTimesSmallerThanJsonl) {
+  // The size claim the format exists for, on a realistic mix: full golden
+  // run plus mostly pre-divergence experiment records.
+  CompactTraceEncoder encoder;
+  std::size_t compact_bytes = 0;
+  std::size_t jsonl_bytes = 0;
+  const char* jsonl_template =
+      "{\"event\":\"iteration\",\"id\":%llu,\"k\":%u,\"r\":209.4,"
+      "\"y\":210.25,\"u\":6.5,\"u_golden\":6.5,\"deviation\":0,"
+      "\"state\":3.25,\"elapsed\":%llu}";
+  const char* jsonl_golden_template =
+      "{\"event\":\"iteration\",\"golden\":true,\"k\":%u,\"r\":209.4,"
+      "\"y\":210.25,\"u\":6.5,\"u_golden\":6.5,\"deviation\":0,"
+      "\"state\":3.25,\"elapsed\":%llu}";
+  char jsonl[192];
+  for (std::uint32_t k = 0; k < 50; ++k) {
+    const IterationRecord g = golden_record(k, 6.5f);
+    compact_bytes += encoder.encode(g).size() + 1;
+    jsonl_bytes += static_cast<std::size_t>(
+        std::snprintf(jsonl, sizeof jsonl, jsonl_golden_template, k,
+                      static_cast<unsigned long long>(g.elapsed)));
+  }
+  for (std::uint64_t id = 0; id < 20; ++id) {
+    for (std::uint32_t k = 0; k < 50; ++k) {
+      IterationRecord r = golden_record(k, 6.5f);
+      r.experiment = id;
+      if (k > 40) r.output += 1.0f;  // late divergence
+      r.deviation = std::fabs(r.output - r.golden_output);
+      compact_bytes += encoder.encode(r).size() + 1;
+      jsonl_bytes += static_cast<std::size_t>(
+          std::snprintf(jsonl, sizeof jsonl, jsonl_template,
+                        static_cast<unsigned long long>(id), k,
+                        static_cast<unsigned long long>(r.elapsed)));
+    }
+  }
+  EXPECT_GE(jsonl_bytes, compact_bytes * 4)
+      << "jsonl=" << jsonl_bytes << " compact=" << compact_bytes;
+}
+
+}  // namespace
+}  // namespace earl::obs

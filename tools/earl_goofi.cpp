@@ -48,6 +48,8 @@ struct Options {
   bool parity = false;
   bool progress = false;
   bool detail = false;
+  obs::TraceFormat trace_format = obs::TraceFormat::kJsonl;
+  bool trace_format_set = false;
   std::string events_path;
   std::string metrics_path;
   std::string metrics_prom_path;
@@ -75,6 +77,9 @@ usage: earl-goofi [options]
   --detail          GOOFI detail mode: per-iteration records in the event log
                     (requires --events) and, for scifi, propagation capture
                     on value failures; analyze offline with earl-trace
+  --trace-format F  iteration-record encoding in the event log:
+                    jsonl | compact (delta-encoded, ~10x smaller, bit-exact;
+                    requires --events)                     (default jsonl)
   --metrics PATH    campaign metrics as JSON (PATH ending in .csv => CSV):
                     instruction mix, cache hit/miss, per-EDM trigger counts,
                     detection-latency histograms
@@ -120,6 +125,18 @@ bool parse(int argc, char** argv, Options* options) {
       if (const char* v = next()) options->events_path = v; else return false;
     } else if (arg == "--detail") {
       options->detail = true;
+    } else if (arg == "--trace-format") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      const std::optional<obs::TraceFormat> format =
+          obs::parse_trace_format(v);
+      if (!format) {
+        std::fprintf(stderr, "unknown trace format '%s' (jsonl | compact)\n",
+                     v);
+        return false;
+      }
+      options->trace_format = *format;
+      options->trace_format_set = true;
     } else if (arg == "--metrics") {
       if (const char* v = next()) options->metrics_path = v; else return false;
     } else if (arg == "--metrics-prom") {
@@ -232,6 +249,11 @@ int analyze_only(const std::string& path) {
                  path.c_str());
     return 1;
   }
+  if (db->skipped_rows() > 0) {
+    std::fprintf(stderr,
+                 "warning: skipped %zu malformed row(s) in '%s'\n",
+                 db->skipped_rows(), path.c_str());
+  }
   if (db->size() == 0) {
     std::printf("database '%s' is a valid but empty campaign ('%s', seed "
                 "%llu) — nothing to analyze\n",
@@ -273,6 +295,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--detail needs --events PATH for the records\n");
     return 1;
   }
+  if (options.trace_format_set && options.events_path.empty()) {
+    std::fprintf(stderr, "--trace-format needs --events PATH\n");
+    return 1;
+  }
 
   fi::CampaignConfig config = fi::table2_campaign(1.0);
   config.name = options.workload + "_" + options.technique;
@@ -308,6 +334,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     events->set_detail(options.detail);
+    events->set_format(options.trace_format);
     multi.add(events.get());
   }
   if (!options.save_path.empty()) {

@@ -1,10 +1,14 @@
 // earl-trace — offline analysis of recorded campaign event logs.
 //
-// Works purely from a JSONL file written by `earl-goofi --events` (with
-// --detail for per-iteration records); no campaign is re-run.  Reconstructs
-// the paper's failure waveforms (Figures 7–9), prints architectural
-// propagation reports, and filters experiments by outcome / EDM /
-// partition.
+// Works purely from a file written by `earl-goofi --events` (with --detail
+// for per-iteration records, JSONL or --trace-format=compact); no campaign
+// is re-run.  Reconstructs the paper's failure waveforms (Figures 7–9),
+// prints architectural propagation reports, and filters experiments by
+// outcome / EDM / partition.
+//
+// The file is consumed in one streaming pass (analysis::stream_trace):
+// each mode keeps only what it prints — tallies, formatted rows, or the
+// single specimen experiment — so logs far larger than RAM analyze fine.
 //
 // Examples
 //   earl-goofi -n 500 --events run.jsonl --detail      # record first
@@ -13,11 +17,15 @@
 //   earl-trace run.jsonl --figure 7                    # Figure 7 waveform
 //   earl-trace run.jsonl --waveform 165                # one experiment
 //   earl-trace run.jsonl --propagation                 # divergence reports
+#include <algorithm>
+#include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/trace_reader.hpp"
@@ -132,68 +140,24 @@ bool matches(const Options& options, const analysis::TraceExperiment& e) {
   return true;
 }
 
-std::vector<const analysis::TraceExperiment*> filtered(
-    const Options& options, const analysis::CampaignTrace& trace) {
-  std::vector<const analysis::TraceExperiment*> out;
-  for (const analysis::TraceExperiment& e : trace.experiments) {
-    if (matches(options, e)) out.push_back(&e);
-  }
-  return out;
-}
+// What one streaming pass accumulates.  Each mode keeps only its own slice
+// — tallies and formatted lines, never iteration records — except the
+// single specimen experiment the waveform modes print.
+struct Accumulated {
+  // summary
+  std::array<std::size_t, analysis::kOutcomeCount> tallies{};
+  std::size_t traced = 0;
+  std::size_t probed = 0;
+  std::size_t experiment_iterations = 0;
+  // list / propagation: (id, formatted row|line), sorted by id afterwards —
+  // the visitor sees completion order, the tools print id order.
+  std::vector<std::pair<std::uint64_t, std::vector<std::string>>> rows;
+  std::vector<std::pair<std::uint64_t, std::string>> lines;
+  // waveform / figure: the lowest-id matching specimen
+  std::optional<analysis::TraceExperiment> specimen;
+};
 
-int print_summary(const Options& options,
-                  const analysis::CampaignTrace& trace) {
-  std::printf("campaign '%s', seed %llu: %zu experiment records "
-              "(%zu configured), %zu workers\n",
-              trace.campaign.c_str(),
-              static_cast<unsigned long long>(trace.seed),
-              trace.experiments.size(), trace.experiments_configured,
-              trace.workers);
-  std::size_t traced = 0, probed = 0, iteration_records = trace.golden.size();
-  for (const analysis::TraceExperiment& e : trace.experiments) {
-    traced += !e.iterations.empty();
-    probed += e.propagation.has_value();
-    iteration_records += e.iterations.size();
-  }
-  std::printf("detail: %zu golden + %zu experiment iteration records "
-              "(%zu/%zu experiments traced, %zu propagation records)\n",
-              trace.golden.size(), iteration_records - trace.golden.size(),
-              traced, trace.experiments.size(), probed);
-
-  util::Table table({"Outcome", "N"});
-  table.set_align(1, util::Table::Align::kRight);
-  for (std::size_t o = 0; o < analysis::kOutcomeCount; ++o) {
-    const auto outcome = static_cast<analysis::Outcome>(o);
-    const std::size_t n = trace.count(outcome);
-    if (n == 0) continue;
-    table.add_row({std::string(analysis::outcome_name(outcome)),
-                   std::to_string(n)});
-  }
-  std::printf("%s", table.render().c_str());
-  (void)options;
-  return 0;
-}
-
-int print_list(const Options& options, const analysis::CampaignTrace& trace) {
-  util::Table table({"id", "fault", "partition", "outcome", "end", "max_dev",
-                     "traced"});
-  table.set_align(0, util::Table::Align::kRight);
-  table.set_align(4, util::Table::Align::kRight);
-  table.set_align(5, util::Table::Align::kRight);
-  char dev[32];
-  for (const analysis::TraceExperiment* e : filtered(options, trace)) {
-    std::snprintf(dev, sizeof dev, "%.4g", e->max_deviation);
-    table.add_row({std::to_string(e->id), e->fault.to_string(),
-                   e->cache_location ? "cache" : "register",
-                   obs::outcome_slug(e->outcome),
-                   std::to_string(e->end_iteration), dev,
-                   e->iterations.empty() ? "-" : "yes"});
-  }
-  std::printf("%s", table.render().c_str());
-  return 0;
-}
-
-int print_waveform(const analysis::CampaignTrace& trace,
+int print_waveform(const analysis::StreamedTrace& trace,
                    const analysis::TraceExperiment& e, const char* figure,
                    const char* description) {
   if (e.iterations.empty()) {
@@ -214,61 +178,53 @@ int print_waveform(const analysis::CampaignTrace& trace,
   return 0;
 }
 
-int print_figure(const Options& options, const analysis::CampaignTrace& trace,
-                 int figure) {
-  // The same specimen selection and rendering as the bench_fig7/8/9 tools,
-  // only sourced from the recorded trace instead of a fresh campaign.
-  analysis::Outcome wanted;
-  const char* name;
-  const char* description;
+bool figure_spec(int figure, analysis::Outcome* wanted, const char** name,
+                 const char** description) {
   switch (figure) {
     case 7:
-      wanted = analysis::Outcome::kSeverePermanent;
-      name = "Figure 7";
-      description = "severe undetected wrong result (permanent)";
-      break;
+      *wanted = analysis::Outcome::kSeverePermanent;
+      *name = "Figure 7";
+      *description = "severe undetected wrong result (permanent)";
+      return true;
     case 8:
-      wanted = analysis::Outcome::kSevereSemiPermanent;
-      name = "Figure 8";
-      description = "severe undetected wrong result (semi-permanent)";
-      break;
+      *wanted = analysis::Outcome::kSevereSemiPermanent;
+      *name = "Figure 8";
+      *description = "severe undetected wrong result (semi-permanent)";
+      return true;
     case 9:
-      wanted = analysis::Outcome::kMinorTransient;
-      name = "Figure 9";
-      description = "minor undetected wrong result (transient)";
-      break;
+      *wanted = analysis::Outcome::kMinorTransient;
+      *name = "Figure 9";
+      *description = "minor undetected wrong result (transient)";
+      return true;
     default:
       std::fprintf(stderr, "--figure takes 7, 8 or 9\n");
-      return 1;
+      return false;
   }
-  for (const analysis::TraceExperiment* e : filtered(options, trace)) {
-    if (e->outcome != wanted) continue;
-    return print_waveform(trace, *e, name, description);
-  }
-  std::printf("# %s: no %s specimen among %zu recorded experiments; "
-              "record a larger campaign.\n",
-              name, analysis::outcome_name(wanted).data(),
-              trace.experiments.size());
-  return 0;
 }
 
-int print_propagation(const Options& options,
-                      const analysis::CampaignTrace& trace) {
-  std::size_t shown = 0;
-  for (const analysis::TraceExperiment* e : filtered(options, trace)) {
-    if (!e->propagation) continue;
-    ++shown;
-    std::printf("experiment %llu: %s (%s partition, %s) — %s\n",
-                static_cast<unsigned long long>(e->id),
-                e->fault.to_string().c_str(),
-                e->cache_location ? "cache" : "register",
-                obs::outcome_slug(e->outcome).c_str(),
-                e->propagation->to_string().c_str());
+int print_summary(const analysis::StreamedTrace& trace,
+                  const Accumulated& acc) {
+  std::printf("campaign '%s', seed %llu: %zu experiment records "
+              "(%zu configured), %zu workers\n",
+              trace.header.campaign.c_str(),
+              static_cast<unsigned long long>(trace.header.seed),
+              trace.stats.experiments, trace.header.experiments_configured,
+              trace.header.workers);
+  std::printf("detail: %zu golden + %zu experiment iteration records "
+              "(%zu/%zu experiments traced, %zu propagation records)\n",
+              trace.golden.size(), acc.experiment_iterations, acc.traced,
+              trace.stats.experiments, acc.probed);
+
+  util::Table table({"Outcome", "N"});
+  table.set_align(1, util::Table::Align::kRight);
+  for (std::size_t o = 0; o < analysis::kOutcomeCount; ++o) {
+    const std::size_t n = acc.tallies[o];
+    if (n == 0) continue;
+    table.add_row(
+        {std::string(analysis::outcome_name(static_cast<analysis::Outcome>(o))),
+         std::to_string(n)});
   }
-  if (shown == 0) {
-    std::printf("no propagation records (recorded without --detail, or no "
-                "value failures matched the filters)\n");
-  }
+  std::printf("%s", table.render().c_str());
   return 0;
 }
 
@@ -289,8 +245,65 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const std::optional<analysis::CampaignTrace> trace =
-      analysis::load_trace_file(options.path);
+  // Resolve the figure spec before the (potentially long) pass so a bad
+  // figure number fails fast.
+  analysis::Outcome figure_outcome = analysis::Outcome::kOverwritten;
+  const char* figure_name = nullptr;
+  const char* figure_description = nullptr;
+  if (options.figure &&
+      !figure_spec(*options.figure, &figure_outcome, &figure_name,
+                   &figure_description)) {
+    return 1;
+  }
+
+  std::ifstream in(options.path);
+  Accumulated acc;
+  std::optional<analysis::StreamedTrace> trace;
+  if (in.is_open()) {
+    trace = analysis::stream_trace(
+        in, [&options, &acc, figure_outcome](analysis::TraceExperiment&& e) {
+          if (options.waveform_id && e.id != *options.waveform_id) return;
+          if (options.figure && e.outcome != figure_outcome) return;
+          if (!matches(options, e)) return;
+          if (options.waveform_id || options.figure) {
+            // Keep the lowest-id specimen: completion order varies with
+            // worker scheduling, id order is the deterministic pick the
+            // bench_figN tools make.
+            if (!acc.specimen || e.id < acc.specimen->id) {
+              acc.specimen = std::move(e);
+            }
+            return;
+          }
+          if (options.propagation) {
+            if (!e.propagation) return;
+            std::string line = "experiment " + std::to_string(e.id) + ": " +
+                               e.fault.to_string() + " (" +
+                               (e.cache_location ? "cache" : "register") +
+                               " partition, " + obs::outcome_slug(e.outcome) +
+                               ") — " + e.propagation->to_string();
+            acc.lines.emplace_back(e.id, std::move(line));
+            return;
+          }
+          if (options.list) {
+            char dev[32];
+            std::snprintf(dev, sizeof dev, "%.4g", e.max_deviation);
+            acc.rows.emplace_back(
+                e.id, std::vector<std::string>{
+                          std::to_string(e.id), e.fault.to_string(),
+                          e.cache_location ? "cache" : "register",
+                          obs::outcome_slug(e.outcome),
+                          std::to_string(e.end_iteration), dev,
+                          e.iterations.empty() ? "-" : "yes"});
+            return;
+          }
+          // summary
+          const auto o = static_cast<std::size_t>(e.outcome);
+          if (o < acc.tallies.size()) ++acc.tallies[o];
+          acc.traced += !e.iterations.empty();
+          acc.probed += e.propagation.has_value();
+          acc.experiment_iterations += e.iterations.size();
+        });
+  }
   if (!trace) {
     std::fprintf(stderr,
                  "could not load '%s' (missing file or not an earl-goofi "
@@ -298,21 +311,62 @@ int main(int argc, char** argv) {
                  options.path.c_str());
     return 1;
   }
+  if (trace->stats.incomplete_experiments > 0 ||
+      trace->stats.malformed_lines > 0) {
+    std::fprintf(stderr,
+                 "warning: truncated or damaged log: %zu experiment(s) with "
+                 "iteration records but no closing event, %zu malformed "
+                 "line(s)\n",
+                 trace->stats.incomplete_experiments,
+                 trace->stats.malformed_lines);
+  }
 
   if (options.waveform_id) {
-    const analysis::TraceExperiment* e = trace->find(*options.waveform_id);
-    if (e == nullptr) {
+    if (!acc.specimen) {
       std::fprintf(stderr, "experiment %llu not in this trace\n",
                    static_cast<unsigned long long>(*options.waveform_id));
       return 1;
     }
-    const std::string figure = "experiment " + std::to_string(e->id);
-    return print_waveform(*trace, *e, figure.c_str(),
-                          std::string(analysis::outcome_name(e->outcome))
-                              .c_str());
+    const std::string figure =
+        "experiment " + std::to_string(acc.specimen->id);
+    return print_waveform(
+        *trace, *acc.specimen, figure.c_str(),
+        std::string(analysis::outcome_name(acc.specimen->outcome)).c_str());
   }
-  if (options.figure) return print_figure(options, *trace, *options.figure);
-  if (options.propagation) return print_propagation(options, *trace);
-  if (options.list) return print_list(options, *trace);
-  return print_summary(options, *trace);
+  if (options.figure) {
+    if (acc.specimen) {
+      return print_waveform(*trace, *acc.specimen, figure_name,
+                            figure_description);
+    }
+    std::printf("# %s: no %s specimen among %zu recorded experiments; "
+                "record a larger campaign.\n",
+                figure_name, analysis::outcome_name(figure_outcome).data(),
+                trace->stats.experiments);
+    return 0;
+  }
+  if (options.propagation) {
+    std::sort(acc.lines.begin(), acc.lines.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [id, line] : acc.lines) {
+      std::printf("%s\n", line.c_str());
+    }
+    if (acc.lines.empty()) {
+      std::printf("no propagation records (recorded without --detail, or no "
+                  "value failures matched the filters)\n");
+    }
+    return 0;
+  }
+  if (options.list) {
+    std::sort(acc.rows.begin(), acc.rows.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    util::Table table({"id", "fault", "partition", "outcome", "end", "max_dev",
+                       "traced"});
+    table.set_align(0, util::Table::Align::kRight);
+    table.set_align(4, util::Table::Align::kRight);
+    table.set_align(5, util::Table::Align::kRight);
+    for (auto& [id, row] : acc.rows) table.add_row(std::move(row));
+    std::printf("%s", table.render().c_str());
+    return 0;
+  }
+  return print_summary(*trace, acc);
 }
