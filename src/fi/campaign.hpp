@@ -82,6 +82,9 @@ struct CampaignResult {
   std::vector<ExperimentResult> experiments;
   std::uint64_t fault_space_bits = 0;
   std::uint64_t register_partition_bits = 0;
+  /// True when the runner's stop flag drained the campaign early:
+  /// `experiments` then holds the completed prefix of the sampled faults.
+  bool interrupted = false;
 
   std::size_t count(analysis::Outcome outcome) const;
   std::size_t value_failures() const;

@@ -221,15 +221,22 @@ CampaignResult CampaignRunner::run(const TargetFactory& factory,
   result.experiments.resize(faults.size());
 
   if (workers <= 1) {
+    std::size_t completed = 0;
     for (std::size_t i = 0; i < faults.size(); ++i) {
+      if (stop_requested()) break;
       const auto started = std::chrono::steady_clock::now();
       result.experiments[i] =
           run_experiment(*probe, faults[i], i, result.golden,
                          result.register_partition_bits, observer, 0);
+      completed = i + 1;
       if (observer != nullptr) {
         observer->on_experiment_done(0, result.experiments[i],
                                      elapsed_ns(started));
       }
+    }
+    if (completed < faults.size()) {
+      result.experiments.resize(completed);
+      result.interrupted = true;
     }
     if (observer != nullptr) {
       observer->on_worker_profile(0, probe->profile());
@@ -251,6 +258,10 @@ CampaignResult CampaignRunner::run(const TargetFactory& factory,
       if (observer != nullptr && w != 0) mine.set_profiling(true);
       if (detail && w != 0) mine.set_detail(true);
       for (;;) {
+        // The stop check precedes the claim, so every claimed index is
+        // completed: [0, next) is a contiguous, fully-run prefix even when
+        // a drain stops the campaign mid-flight.
+        if (stop_requested()) break;
         const std::size_t i = next.fetch_add(1);
         if (i >= faults.size()) break;
         const auto started = std::chrono::steady_clock::now();
@@ -266,6 +277,11 @@ CampaignResult CampaignRunner::run(const TargetFactory& factory,
     });
   }
   for (std::thread& t : threads) t.join();
+  const std::size_t completed = std::min(next.load(), faults.size());
+  if (completed < faults.size()) {
+    result.experiments.resize(completed);
+    result.interrupted = true;
+  }
   if (observer != nullptr) observer->on_campaign_end(result);
   return result;
 }

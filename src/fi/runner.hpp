@@ -23,6 +23,7 @@
 // passive — the experiment outcomes stay bit-identical.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 
@@ -53,6 +54,13 @@ class CampaignRunner {
   void set_propagation_prober(PropagationProber prober) {
     prober_ = std::move(prober);
   }
+
+  /// Attaches a stop flag for graceful drain (SIGINT/SIGTERM handling):
+  /// once the flag reads true, workers stop claiming new experiments,
+  /// finish the ones already in flight, and run() returns a consistent
+  /// prefix of the campaign with CampaignResult::interrupted set.  The
+  /// flag must outlive run(); it is only ever read (signal-handler safe).
+  void set_stop_flag(const std::atomic<bool>* stop) { stop_ = stop; }
 
   /// Runs golden + all experiments. The factory is called once per worker.
   /// `observer`, when non-null, receives lifecycle + per-experiment events.
@@ -108,8 +116,13 @@ class CampaignRunner {
                                   obs::CampaignObserver* observer = nullptr,
                                   std::size_t worker = 0) const;
 
+  bool stop_requested() const {
+    return stop_ != nullptr && stop_->load(std::memory_order_relaxed);
+  }
+
   CampaignConfig config_;
   PropagationProber prober_;
+  const std::atomic<bool>* stop_ = nullptr;
 };
 
 }  // namespace earl::fi

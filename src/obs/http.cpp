@@ -1,0 +1,389 @@
+#include "obs/http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+namespace earl::obs {
+
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string HttpRequest::path() const {
+  const std::size_t query = target.find('?');
+  return query == std::string::npos ? target : target.substr(0, query);
+}
+
+std::string HttpRequest::header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (iequals(key, name)) return value;
+  }
+  return "";
+}
+
+bool HttpRequest::keep_alive() const {
+  const std::string connection = header("Connection");
+  if (version_minor >= 1) return !iequals(connection, "close");
+  return iequals(connection, "keep-alive");
+}
+
+HttpParse parse_http_request(std::string_view buffer, HttpRequest* out,
+                             std::size_t* consumed, std::size_t max_bytes) {
+  const std::size_t head_end = buffer.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) {
+    // No terminator yet: either the client is mid-send or it is flooding.
+    return buffer.size() > max_bytes ? HttpParse::kTooLarge
+                                     : HttpParse::kIncomplete;
+  }
+  if (head_end + 4 > max_bytes) return HttpParse::kTooLarge;
+
+  const std::string_view head = buffer.substr(0, head_end);
+  const std::size_t line_end = head.find("\r\n");
+  const std::string_view request_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+
+  // request-line = method SP request-target SP HTTP-version
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      request_line.find(' ', sp2 + 1) != std::string_view::npos) {
+    return HttpParse::kMalformed;
+  }
+  const std::string_view method = request_line.substr(0, sp1);
+  const std::string_view target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = request_line.substr(sp2 + 1);
+  if (method.empty() || target.empty()) return HttpParse::kMalformed;
+  if (target[0] != '/' && target != "*") return HttpParse::kMalformed;
+  if (version.size() != 8 || !version.starts_with("HTTP/1.") ||
+      version[7] < '0' || version[7] > '9') {
+    return HttpParse::kMalformed;
+  }
+
+  HttpRequest request;
+  request.method = std::string(method);
+  request.target = std::string(target);
+  request.version_minor = version[7] - '0';
+
+  std::size_t pos = line_end == std::string_view::npos ? head.size()
+                                                       : line_end + 2;
+  while (pos < head.size()) {
+    std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    const std::string_view line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return HttpParse::kMalformed;
+    }
+    const std::string_view name = line.substr(0, colon);
+    if (name.find(' ') != std::string_view::npos ||
+        name.find('\t') != std::string_view::npos) {
+      return HttpParse::kMalformed;
+    }
+    request.headers.emplace_back(std::string(name),
+                                 std::string(trim(line.substr(colon + 1))));
+  }
+
+  // Bodies are tolerated (and skipped) so a pipelined follow-up request
+  // still parses from the right offset.
+  std::size_t body_len = 0;
+  const std::string length = request.header("Content-Length");
+  if (!length.empty()) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(length.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') return HttpParse::kMalformed;
+    body_len = static_cast<std::size_t>(parsed);
+  }
+  const std::size_t total = head_end + 4 + body_len;
+  if (total > max_bytes) return HttpParse::kTooLarge;
+  if (buffer.size() < total) return HttpParse::kIncomplete;
+  request.body = std::string(buffer.substr(head_end + 4, body_len));
+
+  *out = std::move(request);
+  *consumed = total;
+  return HttpParse::kOk;
+}
+
+std::string_view http_status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string render_http_response(const HttpResponse& response,
+                                 bool keep_alive) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    std::string(http_status_reason(response.status)) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+bool HttpConnection::write_all(std::string_view data) {
+  if (!alive_) return false;
+  while (!data.empty()) {
+    const ssize_t sent =
+        ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      alive_ = false;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(sent));
+  }
+  return true;
+}
+
+bool HttpConnection::send_response(const HttpResponse& response,
+                                   bool keep_alive) {
+  return write_all(render_http_response(response, keep_alive));
+}
+
+bool HttpConnection::begin_stream(std::string_view content_type) {
+  streaming_ = true;
+  std::string head = "HTTP/1.1 200 OK\r\n";
+  head += "Content-Type: " + std::string(content_type) + "\r\n";
+  head += "Cache-Control: no-cache\r\n";
+  head += "Connection: close\r\n";
+  head += "\r\n";
+  return write_all(head);
+}
+
+HttpServer::HttpServer(Handler handler, Options options)
+    : handler_(std::move(handler)), options_(std::move(options)) {}
+
+HttpServer::~HttpServer() { stop(); }
+
+bool HttpServer::start(std::string* error) {
+  auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what + ": " + std::strerror(errno);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.address.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) {
+      *error = "invalid IPv4 listen address '" + options_.address + "'";
+    }
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    return fail("bind");
+  }
+  if (::listen(listen_fd_, 16) != 0) return fail("listen");
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    return fail("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+
+  running_.store(true, std::memory_order_release);
+  acceptor_ = std::thread([this] { accept_loop(); });
+  workers_.reserve(options_.handler_threads);
+  for (std::size_t i = 0; i < options_.handler_threads; ++i) {
+    workers_.emplace_back([this] { handler_loop(); });
+  }
+  return true;
+}
+
+void HttpServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    // Never started (or already stopped): nothing to join.
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return;
+  }
+  queue_cv_.notify_all();
+  {
+    // Unblock handler threads stuck in recv()/send() on live connections.
+    const std::lock_guard<std::mutex> lock(active_mutex_);
+    for (const int fd : active_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    for (const int fd : pending_) ::close(fd);
+    pending_.clear();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+std::string HttpServer::url() const {
+  return "http://" + options_.address + ":" + std::to_string(port_);
+}
+
+void HttpServer::accept_loop() {
+  while (running()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (!running()) break;
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    bool overloaded = false;
+    {
+      const std::lock_guard<std::mutex> lock(queue_mutex_);
+      if (pending_.size() >= options_.max_pending) {
+        overloaded = true;
+      } else {
+        pending_.push_back(fd);
+      }
+    }
+    if (overloaded) {
+      // Shed load at the door instead of stalling the acceptor.
+      HttpConnection connection(fd);
+      connection.send_response(
+          {503, "text/plain; charset=utf-8", "telemetry server overloaded\n"},
+          false);
+      ::close(fd);
+    } else {
+      queue_cv_.notify_one();
+    }
+  }
+}
+
+void HttpServer::handler_loop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return !running() || !pending_.empty(); });
+      if (!running() && pending_.empty()) return;
+      if (pending_.empty()) continue;
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    serve_connection(fd);
+  }
+}
+
+void HttpServer::track(int fd) {
+  const std::lock_guard<std::mutex> lock(active_mutex_);
+  active_.insert(fd);
+}
+
+void HttpServer::untrack(int fd) {
+  const std::lock_guard<std::mutex> lock(active_mutex_);
+  active_.erase(fd);
+}
+
+void HttpServer::serve_connection(int fd) {
+  track(fd);
+  HttpConnection connection(fd);
+  std::string buffer;
+  int idle_ms = 0;
+  bool open = true;
+  while (open && running()) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (!running()) break;
+    if (ready < 0) break;
+    if (ready == 0) {
+      idle_ms += 100;
+      if (idle_ms >= options_.idle_timeout_ms) break;
+      continue;
+    }
+    idle_ms = 0;
+    char chunk[4096];
+    const ssize_t got = ::recv(fd, chunk, sizeof chunk, 0);
+    if (got <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(got));
+
+    for (;;) {  // the buffer may hold several pipelined requests
+      HttpRequest request;
+      std::size_t consumed = 0;
+      const HttpParse status = parse_http_request(
+          buffer, &request, &consumed, options_.max_request_bytes);
+      if (status == HttpParse::kIncomplete) break;
+      if (status == HttpParse::kTooLarge) {
+        connection.send_response(
+            {431, "text/plain; charset=utf-8", "request too large\n"}, false);
+        open = false;
+        break;
+      }
+      if (status == HttpParse::kMalformed) {
+        connection.send_response(
+            {400, "text/plain; charset=utf-8", "malformed request\n"}, false);
+        open = false;
+        break;
+      }
+      buffer.erase(0, consumed);
+      handler_(request, connection);
+      if (connection.streaming() || !connection.alive() ||
+          !request.keep_alive()) {
+        open = false;
+        break;
+      }
+    }
+  }
+  untrack(fd);
+  ::close(fd);
+}
+
+}  // namespace earl::obs

@@ -1,0 +1,170 @@
+// Minimal, dependency-free blocking-socket HTTP/1.1 server primitives.
+//
+// Just enough protocol for a telemetry sidecar: GET-oriented request
+// parsing (incremental and size-capped, so a hostile or broken client can
+// send at most max_request_bytes before being rejected), deterministic
+// response rendering, and a small server — one acceptor thread plus a
+// bounded pool of handler threads.  No external dependencies: POSIX
+// sockets only, matching the project-wide "no new libraries" rule.
+//
+// Threading model:
+//   * accept_loop() runs on its own thread and only accepts + enqueues.
+//   * `handler_threads` workers pull connections from a bounded queue and
+//     run the user handler; when the queue is full new connections get an
+//     immediate 503 instead of stalling the acceptor.
+//   * The handler writes its own response (HttpConnection::send_response)
+//     or takes the connection over for streaming (begin_stream) — used by
+//     the Server-Sent Events endpoint, which never returns to keep-alive.
+//   * stop() (also run by the destructor) closes the listener, shuts down
+//     every in-flight connection, and joins all threads.  Blocking reads
+//     and SSE waits are poll()-bounded, so stop completes promptly.
+//
+// Nothing here knows about campaigns; obs::TelemetryServer composes this
+// with the observer layer.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace earl::obs {
+
+struct HttpRequest {
+  std::string method;           // "GET"
+  std::string target;           // origin-form, e.g. "/metrics?live=1"
+  int version_minor = 1;        // HTTP/1.<version_minor>
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// `target` up to (not including) the query string.
+  std::string path() const;
+  /// Case-insensitive header lookup; "" when absent.
+  std::string header(std::string_view name) const;
+  /// HTTP/1.1 defaults to keep-alive unless "Connection: close";
+  /// HTTP/1.0 defaults to close unless "Connection: keep-alive".
+  bool keep_alive() const;
+};
+
+enum class HttpParse {
+  kOk,          // one full request parsed; *consumed bytes eaten
+  kIncomplete,  // need more bytes
+  kMalformed,   // not HTTP — reply 400 and close
+  kTooLarge,    // exceeds max_bytes — reply 431 and close
+};
+
+/// Incremental parser: examines `buffer` (which may hold a partial request
+/// or several pipelined ones) and fills `*out` + `*consumed` on kOk.
+/// A request whose head + declared body exceed `max_bytes` is kTooLarge.
+HttpParse parse_http_request(std::string_view buffer, HttpRequest* out,
+                             std::size_t* consumed,
+                             std::size_t max_bytes = 8192);
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Reason phrase for the handful of statuses this server emits.
+std::string_view http_status_reason(int status);
+
+/// Full wire form: status line, Content-Type/Length, Connection, blank
+/// line, body.
+std::string render_http_response(const HttpResponse& response,
+                                 bool keep_alive);
+
+/// A connected client socket, owned by the serving thread for the duration
+/// of the handler call.
+class HttpConnection {
+ public:
+  explicit HttpConnection(int fd) : fd_(fd) {}
+
+  /// Sends every byte (MSG_NOSIGNAL; EINTR retried).  On failure the
+  /// connection is marked dead and false is returned.
+  bool write_all(std::string_view data);
+  bool send_response(const HttpResponse& response, bool keep_alive);
+
+  /// Switches to streaming: sends the response head with the given content
+  /// type and "Connection: close", after which the handler writes the body
+  /// incrementally with write_all().  The server closes the socket when
+  /// the handler returns; keep-alive never resumes.
+  bool begin_stream(std::string_view content_type);
+
+  bool streaming() const { return streaming_; }
+  bool alive() const { return alive_; }
+  int fd() const { return fd_; }
+
+ private:
+  int fd_;
+  bool streaming_ = false;
+  bool alive_ = true;
+};
+
+class HttpServer {
+ public:
+  /// Handles one parsed request; must send a response (or begin a stream)
+  /// on `connection` before returning.  Called concurrently from up to
+  /// `handler_threads` threads.
+  using Handler = std::function<void(const HttpRequest&, HttpConnection&)>;
+
+  struct Options {
+    std::string address = "127.0.0.1";
+    std::uint16_t port = 0;  // 0 = kernel-assigned (tests); port() tells
+    std::size_t handler_threads = 4;
+    std::size_t max_pending = 16;        // accepted-but-unserved bound
+    std::size_t max_request_bytes = 8192;
+    int idle_timeout_ms = 5000;          // keep-alive connections
+  };
+
+  HttpServer(Handler handler, Options options);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds + listens + spawns the threads.  On failure returns false with
+  /// an actionable message ("bind: Address already in use", ...).
+  bool start(std::string* error);
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (resolves kernel-assigned port 0); 0 before start().
+  std::uint16_t port() const { return port_; }
+  const std::string& address() const { return options_.address; }
+  /// "http://<address>:<port>".
+  std::string url() const;
+
+ private:
+  void accept_loop();
+  void handler_loop();
+  void serve_connection(int fd);
+  void track(int fd);
+  void untrack(int fd);
+
+  Handler handler_;
+  Options options_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;
+
+  std::mutex active_mutex_;
+  std::set<int> active_;  // fds currently inside serve_connection
+};
+
+}  // namespace earl::obs

@@ -173,6 +173,18 @@ std::string prometheus_name(std::string_view name) {
   return out;
 }
 
+std::string prometheus_label_escape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out.push_back(c);
+  }
+  return out;
+}
+
 void MetricsRegistry::set_help(std::string_view name, std::string_view help) {
   const std::lock_guard<std::mutex> lock(mutex_);
   help_[std::string(name)] = std::string(help);

@@ -111,6 +111,10 @@ class MetricsRegistry {
 /// '_' prefix.
 std::string prometheus_name(std::string_view name);
 
+/// Escapes a label *value* for Prometheus text exposition: backslash,
+/// double-quote, and newline become `\\`, `\"`, `\n`.
+std::string prometheus_label_escape(std::string_view value);
+
 /// Default bucket edges (in dynamic instructions) for detection-latency
 /// histograms: roughly logarithmic, covering same-instruction detection up
 /// to a full iteration's worth of distance.

@@ -1,12 +1,16 @@
 #include "obs/progress.hpp"
 
+#include <algorithm>
+
+#include "obs/json.hpp"
+
 namespace earl::obs {
 
 namespace {
 
-std::int64_t now_ns(std::chrono::steady_clock::time_point since) {
+std::int64_t steady_now_ns() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now() - since)
+             std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
 
@@ -46,6 +50,26 @@ std::string render_progress_line(const ProgressSnapshot& snapshot,
   return buf;
 }
 
+std::string render_progress_json(const ProgressSnapshot& snapshot) {
+  JsonObject object;
+  object.field("done", static_cast<std::uint64_t>(snapshot.done));
+  object.field("total", static_cast<std::uint64_t>(snapshot.total));
+  object.field("percent",
+               snapshot.total > 0
+                   ? 100.0 * static_cast<double>(snapshot.done) /
+                         static_cast<double>(snapshot.total)
+                   : 0.0);
+  object.field("elapsed_s", std::max(0.0, snapshot.elapsed_s));
+  object.field("rate", progress_rate(snapshot.done, snapshot.elapsed_s));
+  object.field("eta_s", progress_eta_seconds(snapshot.done, snapshot.total,
+                                             snapshot.elapsed_s));
+  object.field("detected", snapshot.detected);
+  object.field("severe", snapshot.severe);
+  object.field("minor", snapshot.minor);
+  object.field("benign", snapshot.benign);
+  return std::move(object).str();
+}
+
 ProgressReporter::ProgressReporter() : ProgressReporter(Options{}) {}
 
 ProgressReporter::ProgressReporter(Options options) : options_(options) {}
@@ -53,11 +77,13 @@ ProgressReporter::ProgressReporter(Options options) : options_(options) {}
 void ProgressReporter::on_campaign_start(const fi::CampaignConfig& config,
                                          const CampaignStartInfo& info) {
   (void)info;
-  total_ = config.experiments;
-  start_ = std::chrono::steady_clock::now();
+  total_.store(config.experiments, std::memory_order_relaxed);
+  end_ns_.store(0, std::memory_order_relaxed);
+  start_ns_.store(steady_now_ns(), std::memory_order_relaxed);
   completed_.store(0, std::memory_order_relaxed);
   last_print_ns_.store(0, std::memory_order_relaxed);
   for (auto& tally : tallies_) tally.store(0, std::memory_order_relaxed);
+  started_.store(true, std::memory_order_release);
 }
 
 void ProgressReporter::on_experiment_done(std::size_t worker,
@@ -69,7 +95,10 @@ void ProgressReporter::on_experiment_done(std::size_t worker,
       1, std::memory_order_relaxed);
   completed_.fetch_add(1, std::memory_order_relaxed);
 
-  if (try_claim_print(now_ns(start_))) print_line(false);
+  if (options_.sink == nullptr) return;
+  const std::int64_t elapsed =
+      steady_now_ns() - start_ns_.load(std::memory_order_relaxed);
+  if (try_claim_print(elapsed)) print_line(false);
 }
 
 bool ProgressReporter::try_claim_print(std::int64_t now_ns) {
@@ -91,7 +120,7 @@ ProgressSnapshot ProgressReporter::snapshot(double elapsed_s) const {
   };
   ProgressSnapshot snapshot;
   snapshot.done = completed_.load(std::memory_order_relaxed);
-  snapshot.total = total_;
+  snapshot.total = total_.load(std::memory_order_relaxed);
   snapshot.elapsed_s = elapsed_s;
   snapshot.detected = tally(analysis::Outcome::kDetected);
   snapshot.severe = tally(analysis::Outcome::kSeverePermanent) +
@@ -103,15 +132,25 @@ ProgressSnapshot ProgressReporter::snapshot(double elapsed_s) const {
   return snapshot;
 }
 
+ProgressSnapshot ProgressReporter::snapshot() const {
+  if (!started_.load(std::memory_order_acquire)) return ProgressSnapshot{};
+  const std::int64_t end = end_ns_.load(std::memory_order_relaxed);
+  const std::int64_t now = end != 0 ? end : steady_now_ns();
+  const std::int64_t elapsed =
+      now - start_ns_.load(std::memory_order_relaxed);
+  return snapshot(elapsed > 0 ? static_cast<double>(elapsed) / 1e9 : 0.0);
+}
+
 void ProgressReporter::on_campaign_end(const fi::CampaignResult& result) {
   (void)result;
+  end_ns_.store(steady_now_ns(), std::memory_order_relaxed);
   print_line(true);
 }
 
 void ProgressReporter::print_line(bool final_line) {
+  if (options_.sink == nullptr) return;
   const std::string line =
-      render_progress_line(snapshot(static_cast<double>(now_ns(start_)) / 1e9),
-                           final_line, options_.carriage_return);
+      render_progress_line(snapshot(), final_line, options_.carriage_return);
   std::fputs(line.c_str(), options_.sink);
   std::fflush(options_.sink);
 }

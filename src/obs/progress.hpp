@@ -42,9 +42,17 @@ double progress_eta_seconds(std::size_t done, std::size_t total,
 std::string render_progress_line(const ProgressSnapshot& snapshot,
                                  bool final_line, bool carriage_return);
 
+/// The snapshot as a one-line JSON object: done/total/percent, elapsed_s,
+/// rate, eta_s, and the outcome tallies.  Rate and ETA reuse the guarded
+/// helpers above and percent guards total == 0, so the zero-elapsed /
+/// zero-completed first tick can never leak `inf`/`nan` into the JSON.
+std::string render_progress_json(const ProgressSnapshot& snapshot);
+
 class ProgressReporter final : public CampaignObserver {
  public:
   struct Options {
+    /// Null sink disables printing entirely: the reporter then only keeps
+    /// counters, which snapshot() exposes (obs::TelemetryServer mode).
     std::FILE* sink = stderr;
     std::chrono::milliseconds min_interval{200};
     bool carriage_return = true;  // false = one line per update (plain logs)
@@ -73,12 +81,20 @@ class ProgressReporter final : public CampaignObserver {
   /// Current counters as a snapshot (elapsed time supplied by the caller).
   ProgressSnapshot snapshot(double elapsed_s) const;
 
+  /// Thread-safe self-clocked snapshot, callable at any time from any
+  /// thread (obs::TelemetryServer's /progress endpoint scrapes it while
+  /// workers tick).  All-zero before the campaign starts; elapsed time
+  /// freezes at the campaign-end value once the campaign finishes.
+  ProgressSnapshot snapshot() const;
+
  private:
   void print_line(bool final_line);
 
   Options options_;
-  std::size_t total_ = 0;
-  std::chrono::steady_clock::time_point start_{};
+  std::atomic<std::size_t> total_{0};
+  std::atomic<bool> started_{false};
+  std::atomic<std::int64_t> start_ns_{0};  // steady_clock, ns since epoch
+  std::atomic<std::int64_t> end_ns_{0};    // 0 while the campaign runs
   std::atomic<std::size_t> completed_{0};
   std::atomic<std::int64_t> last_print_ns_{0};
   std::array<std::atomic<std::uint64_t>, analysis::kOutcomeCount> tallies_{};

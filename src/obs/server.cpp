@@ -1,0 +1,496 @@
+#include "obs/server.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+#include "obs/labels.hpp"
+
+namespace earl::obs {
+
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+ProgressReporter::Options silent_progress_options() {
+  ProgressReporter::Options options;
+  options.sink = nullptr;  // counters only; /progress reads the snapshot
+  return options;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- watchdog
+
+void WorkerWatchdog::start(std::size_t workers, std::int64_t now_ns) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  active_ = true;
+  max_wall_ns_ = 0;
+  last_done_.assign(workers, now_ns);
+}
+
+void WorkerWatchdog::set_baseline(std::uint64_t wall_ns) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  max_wall_ns_ = std::max(max_wall_ns_, wall_ns);
+}
+
+void WorkerWatchdog::note_done(std::size_t worker, std::uint64_t wall_ns,
+                               std::int64_t now_ns) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (worker < last_done_.size()) last_done_[worker] = now_ns;
+  max_wall_ns_ = std::max(max_wall_ns_, wall_ns);
+}
+
+void WorkerWatchdog::finish() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  active_ = false;
+}
+
+bool WorkerWatchdog::active() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return active_;
+}
+
+std::size_t WorkerWatchdog::workers() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return last_done_.size();
+}
+
+std::int64_t WorkerWatchdog::threshold_locked() const {
+  const double scaled =
+      options_.stall_factor * static_cast<double>(max_wall_ns_);
+  return std::max(options_.min_threshold_ns,
+                  static_cast<std::int64_t>(scaled));
+}
+
+std::int64_t WorkerWatchdog::stall_threshold_ns() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return threshold_locked();
+}
+
+std::vector<std::size_t> WorkerWatchdog::stalled(std::int64_t now_ns) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::size_t> out;
+  if (!active_) return out;
+  const std::int64_t threshold = threshold_locked();
+  for (std::size_t w = 0; w < last_done_.size(); ++w) {
+    if (now_ns - last_done_[w] > threshold) out.push_back(w);
+  }
+  return out;
+}
+
+std::int64_t WorkerWatchdog::last_done_ns(std::size_t worker) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return worker < last_done_.size() ? last_done_[worker] : 0;
+}
+
+// -------------------------------------------------------------- event ring
+
+EventRing::EventRing(std::size_t capacity)
+    : ring_(std::max<std::size_t>(1, capacity)) {}
+
+std::uint64_t EventRing::push(ServerEvent event) {
+  std::uint64_t seq;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    seq = next_seq_++;
+    event.seq = seq;
+    ring_[seq % ring_.size()] = event;
+    if (next_seq_ > ring_.size()) ++evicted_;
+  }
+  cv_.notify_all();
+  return seq;
+}
+
+EventRing::Poll EventRing::poll(std::uint64_t* cursor,
+                                std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait_for(lock, timeout,
+               [&] { return closed_ || next_seq_ > *cursor; });
+  Poll result;
+  result.closed = closed_;
+  const std::uint64_t oldest =
+      next_seq_ > ring_.size() ? next_seq_ - ring_.size() : 0;
+  if (*cursor < oldest) {
+    result.dropped = oldest - *cursor;
+    *cursor = oldest;
+  }
+  while (*cursor < next_seq_) {
+    result.events.push_back(ring_[*cursor % ring_.size()]);
+    ++*cursor;
+  }
+  return result;
+}
+
+std::uint64_t EventRing::oldest_seq() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return next_seq_ > ring_.size() ? next_seq_ - ring_.size() : 0;
+}
+
+std::uint64_t EventRing::evicted() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return evicted_;
+}
+
+void EventRing::close() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+// ---------------------------------------------------------------- SSE text
+
+std::string render_sse_event(const ServerEvent& event,
+                             std::string_view campaign) {
+  std::string_view name;
+  JsonObject data;
+  switch (event.type) {
+    case ServerEvent::Type::kCampaignStart:
+      name = "campaign_start";
+      data.field("campaign", campaign);
+      data.field("experiments", event.arg0);
+      data.field("workers", event.arg1);
+      break;
+    case ServerEvent::Type::kGoldenDone:
+      name = "golden_run";
+      data.field("total_time", event.arg0);
+      data.field("max_iteration_time", event.arg1);
+      break;
+    case ServerEvent::Type::kExperiment:
+      name = "experiment";
+      data.field("id", event.id);
+      data.field("worker", static_cast<std::uint64_t>(event.worker));
+      data.field("outcome", outcome_slug(event.outcome));
+      if (event.outcome == analysis::Outcome::kDetected) {
+        data.field("edm", edm_slug(event.edm));
+      }
+      data.field("end_iteration", event.end_iteration);
+      data.field("wall_ns", event.wall_ns);
+      break;
+    case ServerEvent::Type::kCampaignEnd:
+      name = "campaign_end";
+      data.field("campaign", campaign);
+      data.field("completed", event.arg0);
+      data.field("interrupted", event.arg1 != 0);
+      break;
+  }
+  std::string out = "event: ";
+  out += name;
+  out += "\nid: " + std::to_string(event.seq);
+  out += "\ndata: " + std::move(data).str();
+  out += "\n\n";
+  return out;
+}
+
+// ----------------------------------------------------------------- server
+
+TelemetryServer::TelemetryServer(Options options,
+                                 const MetricsRegistry* registry)
+    : options_(std::move(options)),
+      registry_(registry),
+      http_(
+          [this](const HttpRequest& request, HttpConnection& connection) {
+            handle(request, connection);
+          },
+          HttpServer::Options{options_.address, options_.port,
+                              options_.handler_threads}),
+      watchdog_(options_.watchdog),
+      ring_(options_.event_capacity),
+      reporter_(silent_progress_options()) {}
+
+TelemetryServer::~TelemetryServer() { stop(); }
+
+bool TelemetryServer::start(std::string* error) {
+  return http_.start(error);
+}
+
+void TelemetryServer::stop() {
+  ring_.close();  // wake SSE handlers so HttpServer::stop can join them
+  http_.stop();
+}
+
+std::int64_t TelemetryServer::now() const {
+  return options_.now_ns ? options_.now_ns() : steady_now_ns();
+}
+
+std::string TelemetryServer::campaign_name() const {
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  return name_;
+}
+
+std::string_view TelemetryServer::state_slug() const {
+  switch (state_.load(std::memory_order_relaxed)) {
+    case CampaignState::kIdle: return "idle";
+    case CampaignState::kRunning: return "running";
+    case CampaignState::kDone: return "done";
+  }
+  return "idle";
+}
+
+// Observer callbacks — the campaign-facing (hot) side.
+
+void TelemetryServer::on_campaign_start(const fi::CampaignConfig& config,
+                                        const CampaignStartInfo& info) {
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    name_ = config.name;
+  }
+  campaign_workers_.store(info.workers, std::memory_order_relaxed);
+  campaign_start_ns_.store(now(), std::memory_order_relaxed);
+  state_.store(CampaignState::kRunning, std::memory_order_relaxed);
+  reporter_.on_campaign_start(config, info);
+
+  ServerEvent event;
+  event.type = ServerEvent::Type::kCampaignStart;
+  event.arg0 = config.experiments;
+  event.arg1 = info.workers;
+  ring_.push(event);
+}
+
+void TelemetryServer::on_golden_done(const fi::GoldenRun& golden) {
+  // Workers spawn right after the golden run: arm the watchdog here and
+  // seed its longest-experiment estimate with the golden run's own wall
+  // time (an experiment never outlasts a full golden-length execution).
+  const std::int64_t t = now();
+  watchdog_.start(campaign_workers_.load(std::memory_order_relaxed), t);
+  const std::int64_t golden_wall =
+      t - campaign_start_ns_.load(std::memory_order_relaxed);
+  watchdog_.set_baseline(
+      golden_wall > 0 ? static_cast<std::uint64_t>(golden_wall) : 0);
+
+  ServerEvent event;
+  event.type = ServerEvent::Type::kGoldenDone;
+  event.arg0 = golden.total_time;
+  event.arg1 = golden.max_iteration_time;
+  ring_.push(event);
+}
+
+void TelemetryServer::on_experiment_done(std::size_t worker,
+                                         const fi::ExperimentResult& result,
+                                         std::uint64_t wall_ns) {
+  reporter_.on_experiment_done(worker, result, wall_ns);
+  watchdog_.note_done(worker, wall_ns, now());
+
+  ServerEvent event;
+  event.type = ServerEvent::Type::kExperiment;
+  event.id = result.id;
+  event.worker = static_cast<std::uint32_t>(worker);
+  event.outcome = result.outcome;
+  event.edm = result.edm;
+  event.end_iteration = result.end_iteration;
+  event.wall_ns = wall_ns;
+  ring_.push(event);
+}
+
+void TelemetryServer::on_campaign_end(const fi::CampaignResult& result) {
+  reporter_.on_campaign_end(result);
+  watchdog_.finish();
+  state_.store(CampaignState::kDone, std::memory_order_relaxed);
+
+  ServerEvent event;
+  event.type = ServerEvent::Type::kCampaignEnd;
+  event.arg0 = result.experiments.size();
+  event.arg1 = result.interrupted ? 1 : 0;
+  ring_.push(event);
+}
+
+// HTTP handlers — the scrape-facing (read-only) side.
+
+void TelemetryServer::handle(const HttpRequest& request,
+                             HttpConnection& connection) {
+  http_requests_.fetch_add(1, std::memory_order_relaxed);
+  if (request.method != "GET") {
+    connection.send_response(
+        {405, "text/plain; charset=utf-8",
+         "method not allowed: telemetry endpoints are GET-only\n"},
+        request.keep_alive());
+    return;
+  }
+  const std::string path = request.path();
+  if (path == "/events") {
+    serve_events(connection);
+    return;
+  }
+  HttpResponse response;
+  if (path == "/metrics") {
+    response = metrics_response();
+  } else if (path == "/progress") {
+    response = progress_response();
+  } else if (path == "/healthz") {
+    response = healthz_response();
+  } else if (path == "/") {
+    response = index_response();
+  } else {
+    response = {404, "text/plain; charset=utf-8",
+                "not found; endpoints: /metrics /progress /healthz /events\n"};
+  }
+  connection.send_response(response, request.keep_alive());
+}
+
+std::string TelemetryServer::serve_metrics_text() {
+  const std::int64_t t = now();
+  const std::int64_t start =
+      campaign_start_ns_.load(std::memory_order_relaxed);
+  std::string out;
+
+  out += "# HELP earl_serve_http_requests_total HTTP requests handled by "
+         "the telemetry server.\n";
+  out += "# TYPE earl_serve_http_requests_total counter\n";
+  out += "earl_serve_http_requests_total " +
+         std::to_string(http_requests_.load(std::memory_order_relaxed)) +
+         "\n";
+
+  out += "# HELP earl_serve_sse_clients Connected /events subscribers.\n";
+  out += "# TYPE earl_serve_sse_clients gauge\n";
+  out += "earl_serve_sse_clients " +
+         std::to_string(sse_clients_.load(std::memory_order_relaxed)) + "\n";
+
+  out += "# HELP earl_serve_sse_evicted_total Lifecycle events evicted "
+         "from the bounded ring buffer (slow consumers miss these).\n";
+  out += "# TYPE earl_serve_sse_evicted_total counter\n";
+  out += "earl_serve_sse_evicted_total " + std::to_string(ring_.evicted()) +
+         "\n";
+
+  out += "# HELP earl_serve_campaign_info Campaign identity; the value is "
+         "always 1.\n";
+  out += "# TYPE earl_serve_campaign_info gauge\n";
+  out += "earl_serve_campaign_info{campaign=\"" +
+         prometheus_label_escape(campaign_name()) + "\",state=\"" +
+         std::string(state_slug()) + "\"} 1\n";
+
+  out += "# HELP earl_serve_watchdog_stall_threshold_seconds Worker "
+         "silence beyond this duration counts as a stall.\n";
+  out += "# TYPE earl_serve_watchdog_stall_threshold_seconds gauge\n";
+  out += "earl_serve_watchdog_stall_threshold_seconds " +
+         json_number(static_cast<double>(watchdog_.stall_threshold_ns()) /
+                     1e9) +
+         "\n";
+
+  const std::size_t workers = watchdog_.workers();
+  if (workers > 0) {
+    const std::vector<std::size_t> stalled = watchdog_.stalled(t);
+    out += "# HELP earl_serve_worker_last_done_seconds Seconds since "
+           "campaign start at each worker's last completed experiment.\n";
+    out += "# TYPE earl_serve_worker_last_done_seconds gauge\n";
+    for (std::size_t w = 0; w < workers; ++w) {
+      out += "earl_serve_worker_last_done_seconds{worker=\"" +
+             std::to_string(w) + "\"} " +
+             json_number(
+                 static_cast<double>(watchdog_.last_done_ns(w) - start) /
+                 1e9) +
+             "\n";
+    }
+    out += "# HELP earl_serve_worker_stalled Whether the watchdog "
+           "currently considers the worker stalled (1 = stalled).\n";
+    out += "# TYPE earl_serve_worker_stalled gauge\n";
+    for (std::size_t w = 0; w < workers; ++w) {
+      const bool is_stalled =
+          std::find(stalled.begin(), stalled.end(), w) != stalled.end();
+      out += "earl_serve_worker_stalled{worker=\"" + std::to_string(w) +
+             "\"} " + (is_stalled ? "1" : "0") + "\n";
+    }
+  }
+  return out;
+}
+
+HttpResponse TelemetryServer::metrics_response() {
+  HttpResponse response;
+  response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  if (registry_ != nullptr) response.body = registry_->to_prometheus();
+  response.body += serve_metrics_text();
+  return response;
+}
+
+HttpResponse TelemetryServer::progress_response() {
+  JsonObject object;
+  object.field("campaign", campaign_name());
+  object.field("state", state_slug());
+  object.raw_field("progress", render_progress_json(reporter_.snapshot()));
+  HttpResponse response;
+  response.content_type = "application/json";
+  response.body = std::move(object).str() + "\n";
+  return response;
+}
+
+HttpResponse TelemetryServer::healthz_response() {
+  const std::vector<std::size_t> stalled = watchdog_.stalled(now());
+  const bool unhealthy =
+      state_.load(std::memory_order_relaxed) == CampaignState::kRunning &&
+      !stalled.empty();
+  std::string stalled_json = "[";
+  for (std::size_t i = 0; i < stalled.size(); ++i) {
+    if (i) stalled_json += ",";
+    stalled_json += std::to_string(stalled[i]);
+  }
+  stalled_json += "]";
+
+  JsonObject object;
+  object.field("status", unhealthy ? "stalled" : "ok");
+  object.field("state", state_slug());
+  object.field("workers", static_cast<std::uint64_t>(watchdog_.workers()));
+  object.raw_field("stalled_workers", stalled_json);
+  object.field("stall_threshold_s",
+               static_cast<double>(watchdog_.stall_threshold_ns()) / 1e9);
+  HttpResponse response;
+  response.status = unhealthy ? 503 : 200;
+  response.content_type = "application/json";
+  response.body = std::move(object).str() + "\n";
+  return response;
+}
+
+HttpResponse TelemetryServer::index_response() {
+  HttpResponse response;
+  response.body =
+      "earl telemetry server\n"
+      "  /metrics   Prometheus text exposition (live)\n"
+      "  /progress  JSON progress snapshot (done/total, rate, ETA)\n"
+      "  /healthz   200 healthy / 503 worker stalled\n"
+      "  /events    Server-Sent Events lifecycle stream\n";
+  return response;
+}
+
+void TelemetryServer::serve_events(HttpConnection& connection) {
+  if (!connection.begin_stream("text/event-stream")) return;
+  sse_clients_.fetch_add(1, std::memory_order_relaxed);
+
+  // New subscribers catch up on whatever history the ring still holds.
+  std::uint64_t cursor = ring_.oldest_seq();
+  int idle_polls = 0;
+  bool open = connection.write_all("retry: 1000\n\n");
+  while (open && http_.running()) {
+    EventRing::Poll poll =
+        ring_.poll(&cursor, std::chrono::milliseconds(250));
+    if (poll.dropped > 0) {
+      open = connection.write_all(
+          "event: dropped\ndata: {\"dropped\":" +
+          std::to_string(poll.dropped) + "}\n\n");
+      if (!open) break;
+    }
+    for (const ServerEvent& event : poll.events) {
+      // campaign_start may carry a newer name than the one captured at
+      // connect time; re-read so multi-campaign processes stay accurate.
+      open = connection.write_all(
+          render_sse_event(event, campaign_name()));
+      if (!open) break;
+    }
+    if (poll.closed && poll.events.empty()) break;
+    if (poll.events.empty()) {
+      // Heartbeat comment roughly every 5s keeps proxies from timing the
+      // stream out and detects silently-gone clients.
+      if (++idle_polls >= 20) {
+        idle_polls = 0;
+        open = connection.write_all(": keep-alive\n\n");
+      }
+    } else {
+      idle_polls = 0;
+    }
+  }
+  sse_clients_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+}  // namespace earl::obs

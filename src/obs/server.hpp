@@ -1,0 +1,229 @@
+// Live campaign telemetry server (the DETOx/OpenSEA "watch the campaign"
+// role): one more passive CampaignObserver that serves the campaign's
+// state over HTTP while it runs.
+//
+// Endpoints:
+//   GET /metrics   Prometheus text exposition — the attached
+//                  MetricsRegistry's live snapshot plus the server's own
+//                  earl_serve_* series (per-worker watchdog gauges, HTTP
+//                  and SSE counters)
+//   GET /progress  JSON ProgressSnapshot: completed/total, rate, ETA,
+//                  per-outcome tallies
+//   GET /healthz   200 while workers are making progress, 503 when the
+//                  stall watchdog trips (a worker silent for stall_factor
+//                  times the longest experiment wall time observed so far,
+//                  seeded by the golden run's wall time)
+//   GET /events    Server-Sent Events stream of lifecycle events, fed from
+//                  a bounded ring buffer with a drop counter — a slow or
+//                  stuck consumer loses events, never stalls workers
+//
+// Passivity contract: every observer callback is O(a few atomic ops plus
+// one short uncontended mutex); no callback ever blocks on a socket.  The
+// HTTP side only *reads* shared state.  Campaign outcomes with the server
+// attached are bit-identical to the same seed without it
+// (tests/obs/http_test.cpp: ServeDoesNotPerturbCampaign).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/http.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
+#include "obs/progress.hpp"
+
+namespace earl::obs {
+
+/// Worker-liveness watchdog.  A worker is *stalled* when it has been
+/// silent (no on_experiment_done) for longer than
+/// max(min_threshold, stall_factor * longest experiment wall time seen),
+/// where the golden run's wall time seeds the longest-experiment estimate
+/// (experiments never run longer than a full golden-length execution, so
+/// it is a sound upper bound before any experiment completes).
+///
+/// All methods take explicit `now_ns` timestamps (any monotonic clock), so
+/// tests drive the watchdog deterministically.  Thread-safe.
+class WorkerWatchdog {
+ public:
+  struct Options {
+    double stall_factor = 10.0;
+    /// Floor on the stall threshold: sub-millisecond experiments must not
+    /// let scheduler jitter read as a stall.
+    std::int64_t min_threshold_ns = 2'000'000'000;
+  };
+
+  WorkerWatchdog() : WorkerWatchdog(Options{}) {}
+  explicit WorkerWatchdog(Options options) : options_(options) {}
+
+  /// Arms the watchdog: every worker's "last done" starts at `now_ns`.
+  void start(std::size_t workers, std::int64_t now_ns);
+  /// Seeds the longest-experiment estimate (golden-run wall time).
+  void set_baseline(std::uint64_t wall_ns);
+  void note_done(std::size_t worker, std::uint64_t wall_ns,
+                 std::int64_t now_ns);
+  /// Campaign drained; the watchdog disarms and reports healthy forever.
+  void finish();
+
+  bool active() const;
+  std::size_t workers() const;
+  std::int64_t stall_threshold_ns() const;
+  std::vector<std::size_t> stalled(std::int64_t now_ns) const;
+  bool healthy(std::int64_t now_ns) const { return stalled(now_ns).empty(); }
+  /// The worker's last completion timestamp (the start() time before its
+  /// first); 0 for out-of-range workers.
+  std::int64_t last_done_ns(std::size_t worker) const;
+
+ private:
+  std::int64_t threshold_locked() const;
+
+  mutable std::mutex mutex_;
+  Options options_;
+  bool active_ = false;
+  std::uint64_t max_wall_ns_ = 0;
+  std::vector<std::int64_t> last_done_;
+};
+
+/// One lifecycle event as stored in the SSE ring buffer: a small POD so
+/// the worker-side push is a struct copy under a short mutex, and all JSON
+/// formatting happens on the consumer's thread.
+struct ServerEvent {
+  enum class Type : std::uint8_t {
+    kCampaignStart,
+    kGoldenDone,
+    kExperiment,
+    kCampaignEnd,
+  };
+  Type type = Type::kExperiment;
+  std::uint64_t seq = 0;  // assigned by EventRing::push
+  // kExperiment:
+  std::uint64_t id = 0;
+  std::uint32_t worker = 0;
+  analysis::Outcome outcome = analysis::Outcome::kOverwritten;
+  tvm::Edm edm = tvm::Edm::kNone;
+  std::uint64_t end_iteration = 0;
+  std::uint64_t wall_ns = 0;
+  // kCampaignStart: {experiments, workers}; kGoldenDone: {total_time,
+  // max_iteration_time}; kCampaignEnd: {completed, interrupted}.
+  std::uint64_t arg0 = 0;
+  std::uint64_t arg1 = 0;
+};
+
+/// Bounded multi-consumer event ring.  Producers never block: when the
+/// ring is full the oldest event is evicted (counted), and each consumer
+/// learns via poll() how many events it personally missed.
+class EventRing {
+ public:
+  explicit EventRing(std::size_t capacity);
+
+  /// Appends (evicting the oldest entry when full) and wakes consumers.
+  /// Returns the event's sequence number.
+  std::uint64_t push(ServerEvent event);
+
+  struct Poll {
+    std::vector<ServerEvent> events;
+    std::uint64_t dropped = 0;  // events this consumer missed
+    bool closed = false;
+  };
+  /// Waits up to `timeout` for events with seq >= *cursor, returns them
+  /// and advances the cursor.  A lagging cursor is snapped forward to the
+  /// oldest retained event, with the gap reported as `dropped`.
+  Poll poll(std::uint64_t* cursor, std::chrono::milliseconds timeout);
+
+  /// Sequence number of the oldest retained event (== next unseen seq for
+  /// a consumer that wants available history).
+  std::uint64_t oldest_seq() const;
+  /// Total events evicted before at least the slowest possible consumer
+  /// could have read them (monotonic).
+  std::uint64_t evicted() const;
+  /// Wakes all consumers and makes every later poll() return closed.
+  void close();
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<ServerEvent> ring_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t evicted_ = 0;
+  bool closed_ = false;
+};
+
+class TelemetryServer final : public CampaignObserver {
+ public:
+  struct Options {
+    std::string address = "127.0.0.1";
+    std::uint16_t port = 0;  // 0 = kernel-assigned (tests)
+    std::size_t handler_threads = 4;
+    std::size_t event_capacity = 1024;
+    WorkerWatchdog::Options watchdog;
+    /// Monotonic clock, injectable for deterministic watchdog tests.
+    std::function<std::int64_t()> now_ns;  // default: steady_clock
+  };
+
+  explicit TelemetryServer(Options options,
+                           const MetricsRegistry* registry = nullptr);
+  ~TelemetryServer() override;
+
+  /// Binds and starts serving (callable before the campaign, so a bad
+  /// address or occupied port fails fast).  False + message on failure.
+  bool start(std::string* error);
+  void stop();
+
+  std::uint16_t port() const { return http_.port(); }
+  std::string url() const { return http_.url(); }
+
+  WorkerWatchdog& watchdog() { return watchdog_; }
+  std::uint64_t http_requests() const {
+    return http_requests_.load(std::memory_order_relaxed);
+  }
+
+  // CampaignObserver — all passive.
+  void on_campaign_start(const fi::CampaignConfig& config,
+                         const CampaignStartInfo& info) override;
+  void on_golden_done(const fi::GoldenRun& golden) override;
+  void on_experiment_done(std::size_t worker,
+                          const fi::ExperimentResult& result,
+                          std::uint64_t wall_ns) override;
+  void on_campaign_end(const fi::CampaignResult& result) override;
+
+ private:
+  enum class CampaignState : std::uint8_t { kIdle, kRunning, kDone };
+
+  std::int64_t now() const;
+  std::string_view state_slug() const;
+  void handle(const HttpRequest& request, HttpConnection& connection);
+  HttpResponse metrics_response();
+  HttpResponse progress_response();
+  HttpResponse healthz_response();
+  HttpResponse index_response();
+  void serve_events(HttpConnection& connection);
+  std::string serve_metrics_text();
+  std::string campaign_name() const;
+
+  Options options_;
+  const MetricsRegistry* registry_;
+  HttpServer http_;
+  WorkerWatchdog watchdog_;
+  EventRing ring_;
+  ProgressReporter reporter_;  // null sink: counters only, never prints
+
+  mutable std::mutex state_mutex_;  // guards name_
+  std::string name_;
+  std::atomic<CampaignState> state_{CampaignState::kIdle};
+  std::atomic<std::size_t> campaign_workers_{0};
+  std::atomic<std::int64_t> campaign_start_ns_{0};
+  std::atomic<std::uint64_t> http_requests_{0};
+  std::atomic<std::int64_t> sse_clients_{0};
+};
+
+/// Renders one ServerEvent as an SSE frame ("event: ...\ndata: {...}\n\n");
+/// exposed for tests.
+std::string render_sse_event(const ServerEvent& event,
+                             std::string_view campaign);
+
+}  // namespace earl::obs

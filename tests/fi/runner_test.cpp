@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+
 #include "fi/workloads.hpp"
 
 namespace earl::fi {
@@ -172,6 +174,93 @@ TEST(RunnerTest, PresetCampaignSizesMatchPaper) {
   EXPECT_EQ(table3_campaign().experiments, 2372u);
   EXPECT_EQ(table2_campaign(0.1).experiments, 929u);
   EXPECT_EQ(table2_campaign().iterations, 650u);
+}
+
+TEST(RunnerTest, PresetStopFlagDrainsImmediately) {
+  CampaignRunner runner(small_campaign(20));
+  const std::atomic<bool> stop{true};
+  runner.set_stop_flag(&stop);
+  const CampaignResult result =
+      runner.run(make_tvm_pi_factory(paper_pi_config()));
+  EXPECT_TRUE(result.interrupted);
+  EXPECT_TRUE(result.experiments.empty());
+  // The golden run still happened: a drained partial database stays usable.
+  EXPECT_FALSE(result.golden.outputs.empty());
+}
+
+/// Observer that raises the stop flag after a fixed number of completions.
+class StopAfterObserver final : public obs::CampaignObserver {
+ public:
+  StopAfterObserver(std::atomic<bool>* stop, std::size_t after)
+      : stop_(stop), after_(after) {}
+  void on_experiment_done(std::size_t, const ExperimentResult&,
+                          std::uint64_t) override {
+    if (done_.fetch_add(1) + 1 >= after_) stop_->store(true);
+  }
+
+ private:
+  std::atomic<bool>* stop_;
+  std::size_t after_;
+  std::atomic<std::size_t> done_{0};
+};
+
+TEST(RunnerTest, StopFlagYieldsConsistentPrefixSerial) {
+  const CampaignConfig config = small_campaign(30);
+  const auto factory = make_tvm_pi_factory(paper_pi_config());
+  const CampaignResult full = CampaignRunner(config).run(factory);
+
+  std::atomic<bool> stop{false};
+  StopAfterObserver observer(&stop, 5);
+  CampaignRunner runner(config);
+  runner.set_stop_flag(&stop);
+  const CampaignResult partial = runner.run(factory, &observer);
+
+  EXPECT_TRUE(partial.interrupted);
+  EXPECT_EQ(partial.experiments.size(), 5u);
+  for (std::size_t i = 0; i < partial.experiments.size(); ++i) {
+    EXPECT_EQ(partial.experiments[i].id, i);
+    EXPECT_EQ(partial.experiments[i].outcome, full.experiments[i].outcome);
+    EXPECT_EQ(partial.experiments[i].fault.bits,
+              full.experiments[i].fault.bits);
+  }
+}
+
+TEST(RunnerTest, StopFlagYieldsConsistentPrefixParallel) {
+  CampaignConfig config = small_campaign(40);
+  config.workers = 4;
+  const auto factory = make_tvm_pi_factory(paper_pi_config());
+  const CampaignResult full = CampaignRunner(small_campaign(40)).run(factory);
+
+  std::atomic<bool> stop{false};
+  StopAfterObserver observer(&stop, 8);
+  CampaignRunner runner(config);
+  runner.set_stop_flag(&stop);
+  const CampaignResult partial = runner.run(factory, &observer);
+
+  EXPECT_TRUE(partial.interrupted);
+  // In-flight experiments finish after the flag rises, so the prefix is at
+  // least the trigger count but never the whole campaign.
+  ASSERT_GE(partial.experiments.size(), 8u);
+  ASSERT_LT(partial.experiments.size(), 40u);
+  for (std::size_t i = 0; i < partial.experiments.size(); ++i) {
+    EXPECT_EQ(partial.experiments[i].id, i);
+    EXPECT_EQ(partial.experiments[i].outcome, full.experiments[i].outcome);
+  }
+}
+
+TEST(RunnerTest, UnraisedStopFlagChangesNothing) {
+  const CampaignConfig config = small_campaign(20);
+  const auto factory = make_tvm_pi_factory(paper_pi_config());
+  const CampaignResult bare = CampaignRunner(config).run(factory);
+  std::atomic<bool> stop{false};
+  CampaignRunner runner(config);
+  runner.set_stop_flag(&stop);
+  const CampaignResult flagged = runner.run(factory);
+  EXPECT_FALSE(flagged.interrupted);
+  ASSERT_EQ(flagged.experiments.size(), bare.experiments.size());
+  for (std::size_t i = 0; i < bare.experiments.size(); ++i) {
+    EXPECT_EQ(flagged.experiments[i].outcome, bare.experiments[i].outcome);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,697 @@
+// obs::HttpServer + obs::TelemetryServer: request parsing, the live
+// endpoints, the worker-stall watchdog, the SSE ring, and the passivity
+// contract (serving a campaign never changes its outcomes).
+#include "obs/http.hpp"
+
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fi/runner.hpp"
+#include "fi/workloads.hpp"
+#include "obs/server.hpp"
+
+namespace earl::obs {
+namespace {
+
+// ------------------------------------------------------------ parse tests
+
+TEST(HttpParseTest, SimpleGet) {
+  HttpRequest request;
+  std::size_t consumed = 0;
+  const std::string wire = "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
+  ASSERT_EQ(parse_http_request(wire, &request, &consumed), HttpParse::kOk);
+  EXPECT_EQ(consumed, wire.size());
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.target, "/metrics");
+  EXPECT_EQ(request.version_minor, 1);
+  EXPECT_EQ(request.header("host"), "x");
+}
+
+TEST(HttpParseTest, PathStripsQueryString) {
+  HttpRequest request;
+  std::size_t consumed = 0;
+  ASSERT_EQ(parse_http_request("GET /metrics?live=1 HTTP/1.1\r\n\r\n",
+                               &request, &consumed),
+            HttpParse::kOk);
+  EXPECT_EQ(request.target, "/metrics?live=1");
+  EXPECT_EQ(request.path(), "/metrics");
+}
+
+TEST(HttpParseTest, HeaderLookupIsCaseInsensitive) {
+  HttpRequest request;
+  std::size_t consumed = 0;
+  ASSERT_EQ(parse_http_request(
+                "GET / HTTP/1.1\r\nAccept: text/plain\r\n\r\n", &request,
+                &consumed),
+            HttpParse::kOk);
+  EXPECT_EQ(request.header("ACCEPT"), "text/plain");
+  EXPECT_EQ(request.header("accept"), "text/plain");
+  EXPECT_EQ(request.header("x-missing"), "");
+}
+
+TEST(HttpParseTest, KeepAliveDefaults) {
+  HttpRequest request;
+  std::size_t consumed = 0;
+  ASSERT_EQ(parse_http_request("GET / HTTP/1.1\r\n\r\n", &request, &consumed),
+            HttpParse::kOk);
+  EXPECT_TRUE(request.keep_alive());  // 1.1 default
+
+  ASSERT_EQ(parse_http_request("GET / HTTP/1.1\r\nConnection: close\r\n\r\n",
+                               &request, &consumed),
+            HttpParse::kOk);
+  EXPECT_FALSE(request.keep_alive());
+
+  ASSERT_EQ(parse_http_request("GET / HTTP/1.0\r\n\r\n", &request, &consumed),
+            HttpParse::kOk);
+  EXPECT_FALSE(request.keep_alive());  // 1.0 default
+
+  ASSERT_EQ(parse_http_request(
+                "GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", &request,
+                &consumed),
+            HttpParse::kOk);
+  EXPECT_TRUE(request.keep_alive());
+}
+
+TEST(HttpParseTest, IncompleteThenComplete) {
+  HttpRequest request;
+  std::size_t consumed = 0;
+  const std::string wire = "GET /progress HTTP/1.1\r\nHost: a\r\n\r\n";
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    EXPECT_EQ(parse_http_request(wire.substr(0, cut), &request, &consumed),
+              HttpParse::kIncomplete)
+        << "prefix length " << cut;
+  }
+  EXPECT_EQ(parse_http_request(wire, &request, &consumed), HttpParse::kOk);
+}
+
+TEST(HttpParseTest, MalformedStartLines) {
+  HttpRequest request;
+  std::size_t consumed = 0;
+  const char* bad[] = {
+      "GET\r\n\r\n",                      // too few tokens
+      "GET /a b HTTP/1.1\r\n\r\n",        // too many tokens
+      "GET noslash HTTP/1.1\r\n\r\n",     // target not origin-form
+      "GET / HTTPS/1.1\r\n\r\n",          // wrong protocol
+      "GET / HTTP/2\r\n\r\n",             // wrong version shape
+      "GET / HTTP/1.1\r\nNoColon\r\n\r\n",  // header missing ':'
+  };
+  for (const char* wire : bad) {
+    EXPECT_EQ(parse_http_request(wire, &request, &consumed),
+              HttpParse::kMalformed)
+        << wire;
+  }
+}
+
+TEST(HttpParseTest, OversizedRequestIsRejectedNotBuffered) {
+  HttpRequest request;
+  std::size_t consumed = 0;
+  std::string wire = "GET /";
+  wire += std::string(9000, 'a');  // head alone blows the cap
+  EXPECT_EQ(parse_http_request(wire, &request, &consumed, 8192),
+            HttpParse::kTooLarge);
+  // Declared body counts against the cap too.
+  EXPECT_EQ(parse_http_request(
+                "GET / HTTP/1.1\r\nContent-Length: 9999\r\n\r\n", &request,
+                &consumed, 8192),
+            HttpParse::kTooLarge);
+}
+
+TEST(HttpParseTest, BodyIsConsumedForPipelining) {
+  HttpRequest request;
+  std::size_t consumed = 0;
+  const std::string wire =
+      "POST /x HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcdGET / HTTP/1.1\r\n";
+  ASSERT_EQ(parse_http_request(wire, &request, &consumed), HttpParse::kOk);
+  EXPECT_EQ(request.body, "abcd");
+  EXPECT_EQ(wire.substr(consumed), "GET / HTTP/1.1\r\n");
+}
+
+TEST(HttpRenderTest, ResponseCarriesLengthAndConnection) {
+  const std::string close_form =
+      render_http_response({200, "text/plain; charset=utf-8", "hey"}, false);
+  EXPECT_NE(close_form.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(close_form.find("Content-Length: 3\r\n"), std::string::npos);
+  EXPECT_NE(close_form.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_EQ(close_form.substr(close_form.size() - 3), "hey");
+
+  const std::string keep_form =
+      render_http_response({404, "text/plain; charset=utf-8", ""}, true);
+  EXPECT_NE(keep_form.find("404 Not Found"), std::string::npos);
+  EXPECT_NE(keep_form.find("Connection: keep-alive\r\n"), std::string::npos);
+}
+
+// --------------------------------------------------------- watchdog tests
+
+TEST(WorkerWatchdogTest, InactiveUntilStartedAndAfterFinish) {
+  WorkerWatchdog watchdog;
+  EXPECT_FALSE(watchdog.active());
+  EXPECT_TRUE(watchdog.healthy(1'000'000'000'000));
+  watchdog.start(2, 0);
+  EXPECT_TRUE(watchdog.active());
+  watchdog.finish();
+  EXPECT_TRUE(watchdog.healthy(1'000'000'000'000));
+}
+
+TEST(WorkerWatchdogTest, ThresholdScalesWithLongestExperiment) {
+  WorkerWatchdog::Options options;
+  options.stall_factor = 10.0;
+  options.min_threshold_ns = 1'000;
+  WorkerWatchdog watchdog(options);
+  watchdog.start(1, 0);
+  EXPECT_EQ(watchdog.stall_threshold_ns(), 1'000);  // floor
+  watchdog.note_done(0, 500, 10);
+  EXPECT_EQ(watchdog.stall_threshold_ns(), 5'000);
+  watchdog.note_done(0, 200, 20);  // shorter experiment: no shrink
+  EXPECT_EQ(watchdog.stall_threshold_ns(), 5'000);
+}
+
+TEST(WorkerWatchdogTest, GoldenBaselineSeedsTheThreshold) {
+  WorkerWatchdog::Options options;
+  options.stall_factor = 2.0;
+  options.min_threshold_ns = 1;
+  WorkerWatchdog watchdog(options);
+  watchdog.start(1, 0);
+  watchdog.set_baseline(1'000'000);
+  EXPECT_EQ(watchdog.stall_threshold_ns(), 2'000'000);
+}
+
+TEST(WorkerWatchdogTest, SilentWorkerStallsAndRecovers) {
+  WorkerWatchdog::Options options;
+  options.stall_factor = 10.0;
+  options.min_threshold_ns = 1'000;
+  WorkerWatchdog watchdog(options);
+  watchdog.start(3, 0);
+  watchdog.note_done(1, 100, 500);
+  // Worker 1 reported at t=500; workers 0 and 2 are silent since t=0.
+  EXPECT_TRUE(watchdog.healthy(900));
+  const std::vector<std::size_t> stalled = watchdog.stalled(1'200);
+  EXPECT_EQ(stalled, (std::vector<std::size_t>{0, 2}));
+  EXPECT_FALSE(watchdog.healthy(1'200));
+  watchdog.note_done(0, 100, 1'200);
+  watchdog.note_done(1, 100, 1'200);
+  watchdog.note_done(2, 100, 1'200);
+  EXPECT_TRUE(watchdog.healthy(2'000));
+}
+
+// -------------------------------------------------------- event ring tests
+
+ServerEvent experiment_event(std::uint64_t id) {
+  ServerEvent event;
+  event.type = ServerEvent::Type::kExperiment;
+  event.id = id;
+  return event;
+}
+
+TEST(EventRingTest, DeliversInOrder) {
+  EventRing ring(8);
+  for (std::uint64_t i = 0; i < 5; ++i) ring.push(experiment_event(i));
+  std::uint64_t cursor = 0;
+  const EventRing::Poll poll =
+      ring.poll(&cursor, std::chrono::milliseconds(0));
+  ASSERT_EQ(poll.events.size(), 5u);
+  EXPECT_EQ(poll.dropped, 0u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(poll.events[i].id, i);
+    EXPECT_EQ(poll.events[i].seq, i);
+  }
+  EXPECT_EQ(cursor, 5u);
+}
+
+TEST(EventRingTest, SlowConsumerDropsOldestAndLearnsHowMany) {
+  EventRing ring(4);
+  for (std::uint64_t i = 0; i < 10; ++i) ring.push(experiment_event(i));
+  EXPECT_EQ(ring.evicted(), 6u);
+  EXPECT_EQ(ring.oldest_seq(), 6u);
+  std::uint64_t cursor = 0;  // never polled: personally missed 6
+  const EventRing::Poll poll =
+      ring.poll(&cursor, std::chrono::milliseconds(0));
+  EXPECT_EQ(poll.dropped, 6u);
+  ASSERT_EQ(poll.events.size(), 4u);
+  EXPECT_EQ(poll.events.front().id, 6u);
+  EXPECT_EQ(poll.events.back().id, 9u);
+}
+
+TEST(EventRingTest, CloseWakesBlockedConsumers) {
+  EventRing ring(4);
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ring.close();
+  });
+  std::uint64_t cursor = 0;
+  const EventRing::Poll poll =
+      ring.poll(&cursor, std::chrono::seconds(30));
+  EXPECT_TRUE(poll.closed);
+  closer.join();
+}
+
+// ------------------------------------------------------------- SSE format
+
+TEST(SseRenderTest, ExperimentFrame) {
+  ServerEvent event;
+  event.type = ServerEvent::Type::kExperiment;
+  event.seq = 7;
+  event.id = 42;
+  event.worker = 3;
+  event.outcome = analysis::Outcome::kDetected;
+  event.edm = tvm::Edm::kConstraintError;
+  event.end_iteration = 19;
+  event.wall_ns = 1234;
+  const std::string frame = render_sse_event(event, "alg1");
+  EXPECT_EQ(frame.substr(0, frame.find('\n')), "event: experiment");
+  EXPECT_NE(frame.find("id: 7\n"), std::string::npos);
+  EXPECT_NE(frame.find("\"id\":42"), std::string::npos);
+  EXPECT_NE(frame.find("\"worker\":3"), std::string::npos);
+  EXPECT_NE(frame.find("\"outcome\":\"detected\""), std::string::npos);
+  EXPECT_EQ(frame.substr(frame.size() - 2), "\n\n");
+}
+
+TEST(SseRenderTest, CampaignStartFrameNamesTheCampaign) {
+  ServerEvent event;
+  event.type = ServerEvent::Type::kCampaignStart;
+  event.arg0 = 100;
+  event.arg1 = 4;
+  const std::string frame = render_sse_event(event, "alg2_scifi");
+  EXPECT_NE(frame.find("event: campaign_start"), std::string::npos);
+  EXPECT_NE(frame.find("\"campaign\":\"alg2_scifi\""), std::string::npos);
+  EXPECT_NE(frame.find("\"experiments\":100"), std::string::npos);
+}
+
+// --------------------------------------------------- tiny blocking client
+
+/// Connects to 127.0.0.1:port; returns the fd or -1.
+int connect_local(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+/// Reads one framed response (headers + Content-Length body) from fd.
+/// Returns false on EOF/error before a full response arrived.
+bool read_response(int fd, std::string* response) {
+  std::string buffer;
+  char chunk[2048];
+  std::size_t body_start = std::string::npos;
+  std::size_t need = std::string::npos;
+  for (;;) {
+    if (body_start == std::string::npos) {
+      const std::size_t end = buffer.find("\r\n\r\n");
+      if (end != std::string::npos) {
+        body_start = end + 4;
+        const std::size_t at = buffer.find("Content-Length: ");
+        if (at == std::string::npos || at > end) return false;
+        need = std::strtoull(buffer.c_str() + at + 16, nullptr, 10);
+      }
+    }
+    if (body_start != std::string::npos &&
+        buffer.size() >= body_start + need) {
+      *response = buffer.substr(0, body_start + need);
+      return true;
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) return false;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+struct ClientResponse {
+  int status = 0;
+  std::string raw;
+  std::string body;
+};
+
+/// One-shot GET with "Connection: close".
+bool http_get(std::uint16_t port, const std::string& target,
+              ClientResponse* out) {
+  const int fd = connect_local(port);
+  if (fd < 0) return false;
+  const bool sent = send_all(
+      fd, "GET " + target + " HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+  const bool got = sent && read_response(fd, &out->raw);
+  ::close(fd);
+  if (!got) return false;
+  out->status = std::atoi(out->raw.c_str() + 9);
+  const std::size_t body = out->raw.find("\r\n\r\n");
+  out->body = body == std::string::npos ? "" : out->raw.substr(body + 4);
+  return true;
+}
+
+// ----------------------------------------------------- server integration
+
+TEST(HttpServerTest, ServesOnEphemeralPortAndStops) {
+  HttpServer server(
+      [](const HttpRequest& request, HttpConnection& connection) {
+        connection.send_response({200, "text/plain; charset=utf-8",
+                                  "path=" + request.path()},
+                                 request.keep_alive());
+      },
+      HttpServer::Options{});
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  ASSERT_NE(server.port(), 0);
+  EXPECT_EQ(server.url(),
+            "http://127.0.0.1:" + std::to_string(server.port()));
+
+  ClientResponse response;
+  ASSERT_TRUE(http_get(server.port(), "/hello", &response));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "path=/hello");
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(HttpServerTest, KeepAliveServesSequentialRequestsOnOneConnection) {
+  std::atomic<int> handled{0};
+  HttpServer server(
+      [&](const HttpRequest& request, HttpConnection& connection) {
+        ++handled;
+        connection.send_response(
+            {200, "text/plain; charset=utf-8", request.target},
+            request.keep_alive());
+      },
+      HttpServer::Options{});
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  const int fd = connect_local(server.port());
+  ASSERT_GE(fd, 0);
+  std::string response;
+  ASSERT_TRUE(send_all(fd, "GET /one HTTP/1.1\r\nHost: t\r\n\r\n"));
+  ASSERT_TRUE(read_response(fd, &response));
+  EXPECT_NE(response.find("Connection: keep-alive"), std::string::npos);
+  EXPECT_NE(response.find("/one"), std::string::npos);
+  ASSERT_TRUE(send_all(fd, "GET /two HTTP/1.1\r\nHost: t\r\n\r\n"));
+  ASSERT_TRUE(read_response(fd, &response));
+  EXPECT_NE(response.find("/two"), std::string::npos);
+  ::close(fd);
+  EXPECT_EQ(handled.load(), 2);
+}
+
+TEST(HttpServerTest, MalformedAndOversizedRequestsGetErrorStatuses) {
+  HttpServer::Options options;
+  options.max_request_bytes = 256;
+  HttpServer server(
+      [](const HttpRequest&, HttpConnection& connection) {
+        connection.send_response({200, "text/plain; charset=utf-8", "ok"},
+                                 false);
+      },
+      options);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  {
+    const int fd = connect_local(server.port());
+    ASSERT_GE(fd, 0);
+    std::string response;
+    ASSERT_TRUE(send_all(fd, "NOT HTTP AT ALL\r\n\r\n"));
+    ASSERT_TRUE(read_response(fd, &response));
+    EXPECT_NE(response.find("400 Bad Request"), std::string::npos);
+    ::close(fd);
+  }
+  {
+    const int fd = connect_local(server.port());
+    ASSERT_GE(fd, 0);
+    std::string response;
+    ASSERT_TRUE(
+        send_all(fd, "GET /" + std::string(300, 'a') + " HTTP/1.1\r\n"));
+    ASSERT_TRUE(read_response(fd, &response));
+    EXPECT_NE(response.find("431 "), std::string::npos);
+    ::close(fd);
+  }
+}
+
+TEST(HttpServerTest, PortAlreadyBoundFailsWithMessage) {
+  HttpServer first([](const HttpRequest&, HttpConnection& c) {
+    c.send_response({200, "text/plain; charset=utf-8", ""}, false);
+  }, HttpServer::Options{});
+  std::string error;
+  ASSERT_TRUE(first.start(&error)) << error;
+
+  HttpServer::Options taken;
+  taken.port = first.port();
+  HttpServer second([](const HttpRequest&, HttpConnection& c) {
+    c.send_response({200, "text/plain; charset=utf-8", ""}, false);
+  }, taken);
+  EXPECT_FALSE(second.start(&error));
+  EXPECT_NE(error.find("bind"), std::string::npos) << error;
+}
+
+// ------------------------------------------------- telemetry server tests
+
+fi::CampaignConfig small_campaign(std::size_t experiments,
+                                  std::size_t workers) {
+  fi::CampaignConfig config = fi::table2_campaign(1.0);
+  config.experiments = experiments;
+  config.iterations = 80;
+  config.workers = workers;
+  return config;
+}
+
+void expect_same_outcomes(const fi::CampaignResult& bare,
+                          const fi::CampaignResult& observed) {
+  ASSERT_EQ(bare.experiments.size(), observed.experiments.size());
+  EXPECT_EQ(bare.golden.outputs, observed.golden.outputs);
+  for (std::size_t i = 0; i < bare.experiments.size(); ++i) {
+    EXPECT_EQ(bare.experiments[i].outcome, observed.experiments[i].outcome);
+    EXPECT_EQ(bare.experiments[i].edm, observed.experiments[i].edm);
+    EXPECT_EQ(bare.experiments[i].end_iteration,
+              observed.experiments[i].end_iteration);
+    EXPECT_EQ(bare.experiments[i].fault.bits,
+              observed.experiments[i].fault.bits);
+    EXPECT_EQ(bare.experiments[i].detection_distance,
+              observed.experiments[i].detection_distance);
+    EXPECT_EQ(bare.experiments[i].max_deviation,
+              observed.experiments[i].max_deviation);
+  }
+}
+
+TEST(TelemetryServerTest, IndexAndUnknownPaths) {
+  TelemetryServer server(TelemetryServer::Options{});
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  ClientResponse response;
+  ASSERT_TRUE(http_get(server.port(), "/", &response));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("/metrics"), std::string::npos);
+
+  ASSERT_TRUE(http_get(server.port(), "/nope", &response));
+  EXPECT_EQ(response.status, 404);
+}
+
+TEST(TelemetryServerTest, NonGetIsRejected) {
+  TelemetryServer server(TelemetryServer::Options{});
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  const int fd = connect_local(server.port());
+  ASSERT_GE(fd, 0);
+  std::string response;
+  ASSERT_TRUE(send_all(
+      fd, "POST /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"));
+  ASSERT_TRUE(read_response(fd, &response));
+  EXPECT_NE(response.find("405 "), std::string::npos);
+  ::close(fd);
+}
+
+TEST(TelemetryServerTest, MetricsExposesRegistryAndServeSeries) {
+  MetricsRegistry registry;
+  registry.counter("campaign.outcome.detected").add(3);
+  TelemetryServer server(TelemetryServer::Options{}, &registry);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  ClientResponse response;
+  ASSERT_TRUE(http_get(server.port(), "/metrics", &response));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.raw.find("text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("campaign_outcome_detected 3"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("earl_serve_http_requests_total"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("earl_serve_campaign_info"),
+            std::string::npos);
+}
+
+TEST(TelemetryServerTest, ProgressReportsIdleThenCounts) {
+  TelemetryServer server(TelemetryServer::Options{});
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  ClientResponse response;
+  ASSERT_TRUE(http_get(server.port(), "/progress", &response));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"state\":\"idle\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"done\":0"), std::string::npos);
+  // The zero-progress snapshot must not leak non-finite JSON.
+  EXPECT_EQ(response.body.find("inf"), std::string::npos);
+  EXPECT_EQ(response.body.find("nan"), std::string::npos);
+
+  fi::CampaignConfig config;
+  config.name = "t";
+  config.experiments = 4;
+  CampaignStartInfo info;
+  info.workers = 1;
+  server.on_campaign_start(config, info);
+  fi::ExperimentResult result;
+  result.outcome = analysis::Outcome::kDetected;
+  server.on_experiment_done(0, result, 1000);
+
+  ASSERT_TRUE(http_get(server.port(), "/progress", &response));
+  EXPECT_NE(response.body.find("\"state\":\"running\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"done\":1"), std::string::npos);
+  EXPECT_NE(response.body.find("\"total\":4"), std::string::npos);
+  EXPECT_NE(response.body.find("\"detected\":1"), std::string::npos);
+}
+
+TEST(TelemetryServerTest, HealthzFlipsTo503OnArtificialStall) {
+  std::atomic<std::int64_t> fake_now{0};
+  TelemetryServer::Options options;
+  options.now_ns = [&] { return fake_now.load(); };
+  options.watchdog.stall_factor = 10.0;
+  options.watchdog.min_threshold_ns = 1'000'000;  // 1 ms in fake time
+  TelemetryServer server(options);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  // Idle server: healthy even though nothing ever completes.
+  ClientResponse response;
+  ASSERT_TRUE(http_get(server.port(), "/healthz", &response));
+  EXPECT_EQ(response.status, 200);
+
+  fi::CampaignConfig config;
+  config.experiments = 10;
+  CampaignStartInfo info;
+  info.workers = 2;
+  server.on_campaign_start(config, info);
+  server.on_golden_done(fi::GoldenRun{});
+
+  ASSERT_TRUE(http_get(server.port(), "/healthz", &response));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"status\":\"ok\""), std::string::npos);
+
+  // Worker 1 keeps finishing experiments; worker 0 goes silent far past
+  // the stall threshold.
+  fake_now.store(10'000'000);
+  fi::ExperimentResult result;
+  server.on_experiment_done(1, result, 1000);
+  ASSERT_TRUE(http_get(server.port(), "/healthz", &response));
+  EXPECT_EQ(response.status, 503);
+  EXPECT_NE(response.body.find("\"status\":\"stalled\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"stalled_workers\":[0]"),
+            std::string::npos);
+
+  // The stalled worker reports in: healthy again.
+  server.on_experiment_done(0, result, 1000);
+  ASSERT_TRUE(http_get(server.port(), "/healthz", &response));
+  EXPECT_EQ(response.status, 200);
+
+  // Campaign end disarms the watchdog: silence is no longer a stall.
+  fi::CampaignResult end;
+  server.on_campaign_end(end);
+  fake_now.store(1'000'000'000);
+  ASSERT_TRUE(http_get(server.port(), "/healthz", &response));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"state\":\"done\""), std::string::npos);
+}
+
+TEST(TelemetryServerTest, SseStreamsBufferedEvents) {
+  TelemetryServer server(TelemetryServer::Options{});
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  fi::CampaignConfig config;
+  config.name = "sse";
+  config.experiments = 2;
+  CampaignStartInfo info;
+  info.workers = 1;
+  server.on_campaign_start(config, info);
+  fi::ExperimentResult result;
+  result.id = 5;
+  server.on_experiment_done(0, result, 1000);
+
+  const int fd = connect_local(server.port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(send_all(fd, "GET /events HTTP/1.1\r\nHost: t\r\n\r\n"));
+  timeval timeout{5, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+  std::string buffer;
+  char chunk[1024];
+  while (buffer.find("\"id\":5") == std::string::npos) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    ASSERT_GT(n, 0) << "SSE stream ended before the experiment event";
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(buffer.find("text/event-stream"), std::string::npos);
+  EXPECT_NE(buffer.find("event: campaign_start"), std::string::npos);
+  EXPECT_NE(buffer.find("event: experiment"), std::string::npos);
+  server.stop();
+}
+
+TEST(TelemetryServerTest, ServeDoesNotPerturbCampaign) {
+  const fi::CampaignConfig config = small_campaign(60, 3);
+  const auto factory = fi::make_tvm_pi_factory(fi::paper_pi_config());
+  const fi::CampaignResult bare = fi::CampaignRunner(config).run(factory);
+
+  MetricsRegistry registry;
+  TelemetryServer server(TelemetryServer::Options{}, &registry);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  // Scrape threads hammer every endpoint while the campaign runs.
+  std::atomic<bool> done{false};
+  std::atomic<int> scrapes{0};
+  std::vector<std::thread> scrapers;
+  for (const std::string target : {"/metrics", "/progress", "/healthz"}) {
+    scrapers.emplace_back([&, target] {
+      while (!done.load()) {
+        ClientResponse response;
+        if (http_get(server.port(), target, &response)) ++scrapes;
+      }
+    });
+  }
+  const fi::CampaignResult observed =
+      fi::CampaignRunner(config).run(factory, &server);
+  done.store(true);
+  for (std::thread& t : scrapers) t.join();
+
+  expect_same_outcomes(bare, observed);
+  EXPECT_GT(scrapes.load(), 0);
+  EXPECT_GT(server.http_requests(), 0u);
+
+  // The post-campaign scrape still works (final scrape after drain).
+  ClientResponse response;
+  ASSERT_TRUE(http_get(server.port(), "/progress", &response));
+  EXPECT_NE(response.body.find("\"done\":60"), std::string::npos);
+  EXPECT_NE(response.body.find("\"state\":\"done\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace earl::obs

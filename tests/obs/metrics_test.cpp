@@ -173,6 +173,43 @@ TEST(PrometheusTest, BlocksSortedByExpositionName) {
   EXPECT_LT(m, z);
 }
 
+TEST(PrometheusTest, LabelValueEscaping) {
+  EXPECT_EQ(prometheus_label_escape("plain"), "plain");
+  EXPECT_EQ(prometheus_label_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(prometheus_label_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(prometheus_label_escape("two\nlines"), "two\\nlines");
+  EXPECT_EQ(prometheus_label_escape(""), "");
+}
+
+TEST(PrometheusTest, GoldenExpositionFormat) {
+  // Byte-exact spec check for a small mixed registry: HELP/TYPE headers,
+  // sorted blocks, cumulative le buckets ending in +Inf, and _sum/_count
+  // consistent with the observations.
+  MetricsRegistry registry;
+  registry.counter("campaign.experiments").add(3);
+  registry.set_help("campaign.experiments", "Experiments completed");
+  registry.gauge("campaign.wall_s").set(2.5);
+  Histogram& h =
+      registry.histogram("detect.latency", std::vector<double>{1.0, 10.0});
+  h.observe(0.5);
+  h.observe(4.0);
+  const std::string expected =
+      "# HELP campaign_experiments Experiments completed\n"
+      "# TYPE campaign_experiments counter\n"
+      "campaign_experiments 3\n"
+      "# HELP campaign_wall_s campaign.wall_s\n"
+      "# TYPE campaign_wall_s gauge\n"
+      "campaign_wall_s 2.5\n"
+      "# HELP detect_latency detect.latency\n"
+      "# TYPE detect_latency histogram\n"
+      "detect_latency_bucket{le=\"1\"} 1\n"
+      "detect_latency_bucket{le=\"10\"} 2\n"
+      "detect_latency_bucket{le=\"+Inf\"} 2\n"
+      "detect_latency_sum 4.5\n"
+      "detect_latency_count 2\n";
+  EXPECT_EQ(registry.to_prometheus(), expected);
+}
+
 TEST(PrometheusTest, HelpTextEscapesBackslashAndNewline) {
   MetricsRegistry registry;
   registry.counter("c").add(1);

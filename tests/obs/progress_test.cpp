@@ -109,6 +109,70 @@ TEST_F(ThrottleTest, ClaimBaseIsTheWinningClaimNotTheAttempt) {
   EXPECT_TRUE(reporter.try_claim_print(4 * kIntervalNs));
 }
 
+TEST(ProgressRenderTest, JsonCarriesAllFields) {
+  const std::string json = render_progress_json(sample_snapshot());
+  EXPECT_NE(json.find("\"done\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"total\":400"), std::string::npos);
+  EXPECT_NE(json.find("\"percent\":25"), std::string::npos);
+  EXPECT_NE(json.find("\"elapsed_s\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"rate\":25"), std::string::npos);
+  EXPECT_NE(json.find("\"eta_s\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"detected\":40"), std::string::npos);
+  EXPECT_NE(json.find("\"severe\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"minor\":8"), std::string::npos);
+  EXPECT_NE(json.find("\"benign\":50"), std::string::npos);
+}
+
+TEST(ProgressRenderTest, JsonNeverContainsNonFiniteNumbers) {
+  // The degenerate snapshots (0 total, 0 elapsed, negative elapsed) must
+  // stay valid JSON: no inf/nan from the rate and ETA divisions.
+  ProgressSnapshot zero;  // 0/0 at t=0
+  ProgressSnapshot degenerate;
+  degenerate.done = 10;
+  degenerate.total = 0;  // done > total
+  degenerate.elapsed_s = -1.0;
+  for (const auto* snapshot : {&zero, &degenerate}) {
+    const std::string json = render_progress_json(*snapshot);
+    EXPECT_EQ(json.find("inf"), std::string::npos) << json;
+    EXPECT_EQ(json.find("nan"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"percent\":0"), std::string::npos) << json;
+  }
+}
+
+TEST(ProgressReporterTest, SelfClockedSnapshotIsZeroBeforeStart) {
+  ProgressReporter::Options options;
+  options.sink = nullptr;
+  const ProgressReporter reporter(options);
+  const ProgressSnapshot snapshot = reporter.snapshot();
+  EXPECT_EQ(snapshot.done, 0u);
+  EXPECT_EQ(snapshot.total, 0u);
+  EXPECT_DOUBLE_EQ(snapshot.elapsed_s, 0.0);
+}
+
+TEST(ProgressReporterTest, SelfClockedSnapshotTracksCampaign) {
+  ProgressReporter::Options options;
+  options.sink = nullptr;  // counters only (telemetry-server mode)
+  ProgressReporter reporter(options);
+  fi::CampaignConfig config;
+  config.experiments = 3;
+  reporter.on_campaign_start(config, CampaignStartInfo{});
+  fi::ExperimentResult result;
+  result.outcome = analysis::Outcome::kDetected;
+  reporter.on_experiment_done(0, result, 500);
+
+  ProgressSnapshot snapshot = reporter.snapshot();
+  EXPECT_EQ(snapshot.done, 1u);
+  EXPECT_EQ(snapshot.total, 3u);
+  EXPECT_GE(snapshot.elapsed_s, 0.0);
+
+  fi::CampaignResult end;
+  reporter.on_campaign_end(end);
+  snapshot = reporter.snapshot();
+  const double frozen = snapshot.elapsed_s;
+  // After campaign end the elapsed clock freezes.
+  EXPECT_DOUBLE_EQ(reporter.snapshot().elapsed_s, frozen);
+}
+
 TEST(ProgressReporterTest, TalliesGroupOutcomes) {
   ProgressReporter::Options options;
   options.sink = tmpfile();

@@ -13,6 +13,9 @@
 //   earl-goofi --workload alg2 --filter cache --save out.csv
 //   earl-goofi --analyze out.csv                             # analysis only
 //   earl-goofi --workload alg1 --replay 165 --save out.csv   # trace one
+#include <atomic>
+#include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,6 +34,7 @@
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
+#include "obs/server.hpp"
 #include "plant/signals.hpp"
 
 namespace {
@@ -56,8 +60,20 @@ struct Options {
   std::string save_path;
   std::string analyze_path;
   std::optional<std::uint64_t> replay_id;
+  bool serve = false;
+  std::string serve_address = "127.0.0.1";
+  std::uint16_t serve_port = 0;
   bool help = false;
 };
+
+/// First SIGINT/SIGTERM requests a graceful drain; the handler restores the
+/// default disposition so a second signal force-kills a stuck campaign.
+std::atomic<bool> g_stop{false};
+
+void handle_stop_signal(int sig) {
+  g_stop.store(true, std::memory_order_relaxed);
+  std::signal(sig, SIG_DFL);
+}
 
 void print_usage() {
   std::puts(R"(earl-goofi — fault injection campaigns on the EARL stack
@@ -84,6 +100,10 @@ usage: earl-goofi [options]
                     instruction mix, cache hit/miss, per-EDM trigger counts,
                     detection-latency histograms
   --metrics-prom PATH  campaign metrics in Prometheus text format
+  --serve [A:]PORT  live telemetry server while the campaign runs:
+                    GET /metrics (Prometheus), /progress (JSON), /healthz
+                    (worker-stall watchdog), /events (SSE stream); address
+                    defaults to 127.0.0.1, port must be nonzero
   --save PATH       write the result database as CSV (streamed while the
                     campaign runs; --db is an alias)
   --db PATH         alias for --save
@@ -142,6 +162,34 @@ bool parse(int argc, char** argv, Options* options) {
     } else if (arg == "--metrics-prom") {
       if (const char* v = next()) options->metrics_prom_path = v;
       else return false;
+    } else if (arg == "--serve") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      std::string port_text = v;
+      const std::size_t colon = port_text.rfind(':');
+      if (colon != std::string::npos) {
+        options->serve_address = port_text.substr(0, colon);
+        port_text = port_text.substr(colon + 1);
+      }
+      if (port_text.empty() || options->serve_address.empty() ||
+          port_text.find_first_not_of("0123456789") != std::string::npos) {
+        std::fprintf(stderr,
+                     "--serve wants [ADDRESS:]PORT (e.g. 9464 or "
+                     "0.0.0.0:9464), got '%s'\n",
+                     v);
+        return false;
+      }
+      const unsigned long port = std::strtoul(port_text.c_str(), nullptr, 10);
+      if (port == 0 || port > 65535) {
+        std::fprintf(stderr,
+                     "--serve port must be 1-65535, got '%s' (port 0 would "
+                     "bind an arbitrary port your scraper cannot find; pick "
+                     "one, e.g. --serve 9464)\n",
+                     port_text.c_str());
+        return false;
+      }
+      options->serve = true;
+      options->serve_port = static_cast<std::uint16_t>(port);
     } else if (arg == "--save" || arg == "--db") {
       if (const char* v = next()) options->save_path = v; else return false;
     } else if (arg == "--analyze") {
@@ -287,7 +335,29 @@ int main(int argc, char** argv) {
     print_usage();
     return 0;
   }
-  if (!options.analyze_path.empty()) return analyze_only(options.analyze_path);
+  if (!options.analyze_path.empty()) {
+    // --analyze runs no campaign, so campaign-only flags are contradictions,
+    // not no-ops: reject them instead of silently ignoring half the line.
+    const char* conflict = options.replay_id            ? "--replay"
+                           : !options.save_path.empty() ? "--save/--db"
+                           : !options.events_path.empty() ? "--events"
+                           : options.detail               ? "--detail"
+                           : options.trace_format_set     ? "--trace-format"
+                           : !options.metrics_path.empty() ? "--metrics"
+                           : !options.metrics_prom_path.empty()
+                               ? "--metrics-prom"
+                           : options.serve    ? "--serve"
+                           : options.progress ? "--progress"
+                                              : nullptr;
+    if (conflict != nullptr) {
+      std::fprintf(stderr,
+                   "--analyze re-analyzes a saved database without running a "
+                   "campaign; it cannot be combined with %s\n",
+                   conflict);
+      return 1;
+    }
+    return analyze_only(options.analyze_path);
+  }
 
   const auto bundle = make_factory(options);
   if (!bundle) return 1;
@@ -361,18 +431,53 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  if (!options.metrics_path.empty() || !options.metrics_prom_path.empty()) {
+  if (!options.metrics_path.empty() || !options.metrics_prom_path.empty() ||
+      options.serve) {
     collector = std::make_unique<obs::MetricsCollector>(registry);
     multi.add(collector.get());
   }
+  std::unique_ptr<obs::TelemetryServer> server;
+  if (options.serve) {
+    obs::TelemetryServer::Options serve_options;
+    serve_options.address = options.serve_address;
+    serve_options.port = options.serve_port;
+    server = std::make_unique<obs::TelemetryServer>(serve_options, &registry);
+    std::string error;
+    // Bind before the campaign so an occupied port fails fast.
+    if (!server->start(&error)) {
+      std::fprintf(stderr,
+                   "--serve: cannot listen on %s:%u: %s\n"
+                   "(port taken by another campaign or service? pick another "
+                   "with --serve %s:PORT)\n",
+                   options.serve_address.c_str(), options.serve_port,
+                   error.c_str(), options.serve_address.c_str());
+      return 1;
+    }
+    std::printf("serving live telemetry on %s "
+                "(/metrics /progress /healthz /events)\n",
+                server->url().c_str());
+    multi.add(server.get());
+  }
 
   fi::CampaignRunner runner(config);
+  // First SIGINT/SIGTERM drains gracefully: workers finish their current
+  // experiment, the partial database stays loadable, and a final /metrics
+  // scrape still works.  A second signal force-kills (handler resets to
+  // SIG_DFL).
+  runner.set_stop_flag(&g_stop);
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
   if (options.detail && bundle->program != nullptr) {
     runner.set_propagation_prober(
         fi::make_tvm_propagation_prober(bundle->program));
   }
   const fi::CampaignResult result =
       runner.run(bundle->factory, multi.empty() ? nullptr : &multi);
+  if (result.interrupted) {
+    std::printf("\ncampaign interrupted after %zu/%zu experiments; the "
+                "completed prefix below is consistent and fully saved\n",
+                result.experiments.size(), config.experiments);
+  }
   const analysis::CampaignReport report =
       analysis::CampaignReport::build(result);
   std::printf("\n%s\n", report.render("Campaign results").c_str());
