@@ -414,6 +414,12 @@ std::optional<StreamedTrace> stream_trace(std::istream& in,
       }
       ++trace.stats.experiments;
       if (visit) visit(std::move(e));
+    } else if (kind == "campaign_extended") {
+      // The campaign grew mid-run (control-plane extend): the header's
+      // configured count tracks the largest total seen.
+      trace.header.experiments_configured =
+          std::max(trace.header.experiments_configured,
+                   static_cast<std::size_t>(event.num("experiments")));
     }
     // golden_run / campaign_end / unknown events carry nothing the typed
     // records need; skipping them keeps old readers usable on new streams.

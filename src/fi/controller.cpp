@@ -1,0 +1,154 @@
+#include "fi/controller.hpp"
+
+namespace earl::fi {
+
+const char* control_command_slug(ControlCommand command) {
+  switch (command) {
+    case ControlCommand::kPause: return "pause";
+    case ControlCommand::kResume: return "resume";
+    case ControlCommand::kStop: return "stop";
+    case ControlCommand::kExtend: return "extend";
+    case ControlCommand::kWorkers: return "workers";
+  }
+  return "unknown";
+}
+
+std::int64_t CampaignController::now() const {
+  if (now_ns_) return now_ns_();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void CampaignController::count_command(ControlCommand command) {
+  commands_[static_cast<std::size_t>(command)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void CampaignController::pause() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!paused_) {
+      paused_ = true;
+      pause_began_ns_ = now();
+    }
+  }
+  count_command(ControlCommand::kPause);
+  cv_.notify_all();
+}
+
+void CampaignController::resume() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (paused_) {
+      paused_ = false;
+      const std::int64_t delta = now() - pause_began_ns_;
+      if (delta > 0) paused_ns_total_ += static_cast<std::uint64_t>(delta);
+    }
+  }
+  count_command(ControlCommand::kResume);
+  cv_.notify_all();
+}
+
+void CampaignController::stop() {
+  // One relaxed store and nothing else: this is the async-signal-safe
+  // path, so no mutex and no condvar notify.  Parked workers observe the
+  // flag within kParkPollInterval; claiming workers observe it at the
+  // next claim.
+  stop_.store(true, std::memory_order_relaxed);
+  count_command(ControlCommand::kStop);
+}
+
+std::size_t CampaignController::extend(std::size_t additional) {
+  if (additional > 0 && !stop_requested()) {
+    extra_.fetch_add(additional, std::memory_order_relaxed);
+    count_command(ControlCommand::kExtend);
+    cv_.notify_all();
+  }
+  return target_experiments();
+}
+
+void CampaignController::set_workers(std::size_t cap) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    worker_cap_ = cap;
+  }
+  count_command(ControlCommand::kWorkers);
+  cv_.notify_all();
+}
+
+CampaignController::State CampaignController::state() const {
+  if (stop_requested()) return State::kDraining;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return paused_ ? State::kPaused : State::kRunning;
+}
+
+const char* CampaignController::state_slug() const {
+  switch (state()) {
+    case State::kRunning: return "running";
+    case State::kPaused: return "paused";
+    case State::kDraining: return "draining";
+  }
+  return "running";
+}
+
+std::size_t CampaignController::target_experiments() const {
+  return base_.load(std::memory_order_relaxed) +
+         extra_.load(std::memory_order_relaxed);
+}
+
+std::size_t CampaignController::worker_cap() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return worker_cap_;
+}
+
+std::size_t CampaignController::parked_workers() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return parked_;
+}
+
+std::uint64_t CampaignController::paused_ns() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = paused_ns_total_;
+  if (paused_) {
+    const std::int64_t delta = now() - pause_began_ns_;
+    if (delta > 0) total += static_cast<std::uint64_t>(delta);
+  }
+  return total;
+}
+
+std::uint64_t CampaignController::command_count(
+    ControlCommand command) const {
+  return commands_[static_cast<std::size_t>(command)].load(
+      std::memory_order_relaxed);
+}
+
+void CampaignController::bind_base_experiments(std::size_t base) {
+  base_.store(base, std::memory_order_relaxed);
+}
+
+bool CampaignController::wait_until_runnable(
+    std::size_t worker, const std::atomic<bool>* abandon) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto runnable = [&] {
+    return !paused_ && (worker_cap_ == 0 || worker < worker_cap_);
+  };
+  auto must_exit = [&] {
+    return stop_requested() ||
+           (abandon != nullptr && abandon->load(std::memory_order_relaxed));
+  };
+  if (!runnable() && !must_exit()) {
+    ++parked_;
+    // wait_for, not wait: stop() is notify-free (signal safety), so a
+    // parked worker must re-check the stop flag on its own tick.
+    while (!runnable() && !must_exit()) {
+      cv_.wait_for(lock, kParkPollInterval);
+    }
+    --parked_;
+  }
+  return !must_exit();
+}
+
+void CampaignController::wake_parked() const { cv_.notify_all(); }
+
+}  // namespace earl::fi

@@ -1,0 +1,163 @@
+// Campaign control plane: the operator-facing command mailbox for a
+// running fault-injection campaign.
+//
+// GOOFI exposes interactive control over its injection runs; this is the
+// equivalent for fi::CampaignRunner.  A CampaignController is a small
+// thread-safe mailbox shared between the operator side (HTTP handlers,
+// signal handlers, tests) and the runner's workers, which poll it at the
+// experiment claim point — never mid-experiment, so every command keeps
+// the completed prefix of the campaign contiguous and every claimed
+// experiment runs to completion:
+//
+//   pause()        workers park on a condvar before claiming the next
+//                  experiment; in-flight experiments finish normally
+//   resume()       parked workers wake and continue claiming
+//   stop()         graceful drain (subsumes the runner's deprecated
+//                  set_stop_flag): workers stop claiming, run() returns
+//                  the completed prefix with CampaignResult::interrupted
+//   extend(n)      grows the experiment count live; the runner re-derives
+//                  the extra faults deterministically from the campaign
+//                  seed, so "run N, extend M" is bit-identical to running
+//                  N + M from the start
+//   set_workers(n) soft-caps the active workers: workers with index >= n
+//                  park exactly like paused ones until the cap is raised
+//
+// Signal safety: stop() is a single relaxed atomic store and therefore
+// async-signal-safe — it is the designated SIGINT/SIGTERM path.  Parked
+// workers poll the stop flag on a short tick (they cannot rely on a
+// condvar notify from a signal handler), so a stop lands within
+// kParkPollInterval even with every worker parked.
+//
+// All other commands take the mailbox mutex and notify, so pause/resume/
+// extend/set_workers land immediately.  Commands are idempotent and safe
+// to issue at any time, including before run() starts (a campaign started
+// paused parks at the first claim) and after it ends (no-ops).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+namespace earl::fi {
+
+/// The commands a controller accepts, exported so telemetry can label
+/// per-command counters and SSE frames.
+enum class ControlCommand : std::uint8_t {
+  kPause,
+  kResume,
+  kStop,
+  kExtend,
+  kWorkers,
+};
+inline constexpr std::size_t kControlCommandCount = 5;
+
+/// Slug for metrics labels / SSE frames ("pause", "resume", ...).
+const char* control_command_slug(ControlCommand command);
+
+class CampaignController {
+ public:
+  enum class State : std::uint8_t {
+    kRunning,   // workers claim freely
+    kPaused,    // workers park at the claim point
+    kDraining,  // stop requested: workers finish in-flight work and exit
+  };
+
+  /// How often parked workers re-check the stop flag (stop() cannot
+  /// notify the condvar — see the signal-safety note above).
+  static constexpr std::chrono::milliseconds kParkPollInterval{50};
+
+  CampaignController() = default;
+  /// Injectable monotonic clock (nanoseconds) for deterministic
+  /// paused-time tests; defaults to std::chrono::steady_clock.
+  explicit CampaignController(std::function<std::int64_t()> now_ns)
+      : now_ns_(std::move(now_ns)) {}
+
+  CampaignController(const CampaignController&) = delete;
+  CampaignController& operator=(const CampaignController&) = delete;
+
+  // ------------------------------------------------------- operator side
+
+  void pause();
+  void resume();
+  /// Async-signal-safe graceful drain: one atomic store, no lock, no
+  /// notify.  Irreversible for the current campaign.
+  void stop();
+  /// Grows the campaign by `additional` experiments and returns the new
+  /// target.  Rejected (returns the unchanged target) once a stop was
+  /// requested or when `additional` is 0.
+  std::size_t extend(std::size_t additional);
+  /// Soft-caps active workers: workers with index >= `cap` park until the
+  /// cap rises.  0 restores "all workers".  The cap cannot add workers
+  /// beyond the count the campaign started with.
+  void set_workers(std::size_t cap);
+
+  // -------------------------------------------------------- introspection
+
+  State state() const;
+  /// Lowercase state name: "running" | "paused" | "draining".
+  const char* state_slug() const;
+  bool stop_requested() const {
+    return stop_.load(std::memory_order_relaxed);
+  }
+  /// Base experiment count + accepted extensions.  The base is bound by
+  /// the runner at campaign start; before that, only extensions count.
+  std::size_t target_experiments() const;
+  /// Extensions accepted so far (target minus the base).
+  std::size_t extended_experiments() const {
+    return extra_.load(std::memory_order_relaxed);
+  }
+  /// Current soft worker cap (0 = uncapped).
+  std::size_t worker_cap() const;
+  /// Workers currently parked at the claim point (paused or above the
+  /// worker cap).  Lets tests and telemetry observe a pause taking effect
+  /// without sleeping.
+  std::size_t parked_workers() const;
+  /// Cumulative wall time spent paused, including the current pause when
+  /// one is active.  Telemetry subtracts this from elapsed time so the
+  /// ETA ignores operator pauses.
+  std::uint64_t paused_ns() const;
+  /// Times each command was accepted (for the control_* metric series).
+  std::uint64_t command_count(ControlCommand command) const;
+
+  // ------------------------------------------------------- runner side
+
+  /// Binds the campaign's base experiment count (called once by the
+  /// runner before the first claim).
+  void bind_base_experiments(std::size_t base);
+
+  /// Parks while the campaign is paused or `worker` sits above the worker
+  /// cap; returns false when the worker must exit — a stop was requested,
+  /// or `abandon` (the runner's "queue drained" flag) went true — and true
+  /// when the worker may claim the next experiment.  Without `abandon`, a
+  /// capped worker would park forever after its peers drain the queue.
+  bool wait_until_runnable(std::size_t worker,
+                           const std::atomic<bool>* abandon = nullptr) const;
+
+  /// Wakes every parked worker so it re-evaluates its exit conditions
+  /// (called by the worker that observes the queue drain).
+  void wake_parked() const;
+
+ private:
+  std::int64_t now() const;
+  void count_command(ControlCommand command);
+
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  bool paused_ = false;
+  std::size_t worker_cap_ = 0;  // 0 = uncapped
+  std::int64_t pause_began_ns_ = 0;
+  std::uint64_t paused_ns_total_ = 0;
+  mutable std::size_t parked_ = 0;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> base_{0};
+  std::atomic<std::size_t> extra_{0};
+  std::atomic<std::uint64_t> commands_[kControlCommandCount] = {};
+
+  std::function<std::int64_t()> now_ns_;  // null = steady_clock
+};
+
+}  // namespace earl::fi

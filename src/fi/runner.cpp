@@ -5,7 +5,9 @@
 #include <cassert>
 #include <chrono>
 #include <cmath>
+#include <mutex>
 #include <thread>
+#include <vector>
 
 #include "util/rng.hpp"
 
@@ -109,27 +111,34 @@ GoldenRun CampaignRunner::run_golden(Target& target,
   return golden;
 }
 
-std::vector<Fault> CampaignRunner::sample_faults(
-    std::uint64_t fault_space_bits, std::uint64_t register_bits,
-    std::uint64_t time_space) const {
-  std::uint64_t location_lo = 0;
-  std::uint64_t location_hi = fault_space_bits;
+CampaignRunner::LocationBounds CampaignRunner::location_bounds(
+    std::uint64_t fault_space_bits, std::uint64_t register_bits) const {
+  LocationBounds bounds;
+  bounds.hi = fault_space_bits;
   switch (config_.filter) {
     case LocationFilter::kAll:
       break;
     case LocationFilter::kRegistersOnly:
-      location_hi = register_bits;
+      bounds.hi = register_bits;
       break;
     case LocationFilter::kCacheOnly:
-      location_lo = register_bits;
+      bounds.lo = register_bits;
       break;
   }
+  return bounds;
+}
+
+std::vector<Fault> CampaignRunner::sample_faults(
+    std::uint64_t fault_space_bits, std::uint64_t register_bits,
+    std::uint64_t time_space) const {
+  const LocationBounds bounds =
+      location_bounds(fault_space_bits, register_bits);
   util::Rng rng(config_.seed);
   std::vector<Fault> faults;
   faults.reserve(config_.experiments);
   for (std::size_t i = 0; i < config_.experiments; ++i) {
-    faults.push_back(sample_fault(config_.fault, location_lo, location_hi,
-                                  time_space, rng));
+    faults.push_back(
+        sample_fault(config_.fault, bounds.lo, bounds.hi, time_space, rng));
   }
   return faults;
 }
@@ -202,6 +211,10 @@ CampaignResult CampaignRunner::run(const TargetFactory& factory,
   }
   workers = std::min(workers, std::max<std::size_t>(1, config_.experiments));
 
+  if (controller_ != nullptr) {
+    controller_->bind_base_experiments(config_.experiments);
+  }
+
   if (observer != nullptr) {
     obs::CampaignStartInfo info;
     info.fault_space_bits = result.fault_space_bits;
@@ -214,74 +227,119 @@ CampaignResult CampaignRunner::run(const TargetFactory& factory,
   if (observer != nullptr) observer->on_golden_done(result.golden);
   const bool detail = observer != nullptr && observer->wants_iterations();
 
-  const std::vector<Fault> faults = sample_faults(
-      result.fault_space_bits, result.register_partition_bits,
-      result.golden.total_time);
+  // Shared work queue.  The fault list can grow mid-campaign (controller
+  // extend), so claims, result stores and growth all happen under one
+  // mutex; experiments themselves run unlocked on worker-private targets.
+  // The sampler persists across extensions: extending by M continues the
+  // seed-derived stream exactly where the initial N left off, which is
+  // what makes "run N, extend M" bit-identical to running N + M.
+  struct WorkQueue {
+    std::mutex mutex;
+    std::vector<Fault> faults;
+    std::vector<ExperimentResult> results;
+    std::size_t next = 0;
+    util::Rng rng;
+    explicit WorkQueue(std::uint64_t seed) : rng(seed) {}
+  };
+  WorkQueue queue(config_.seed);
+  const LocationBounds bounds = location_bounds(
+      result.fault_space_bits, result.register_partition_bits);
+  const std::uint64_t time_space = result.golden.total_time;
 
-  result.experiments.resize(faults.size());
-
-  if (workers <= 1) {
-    std::size_t completed = 0;
-    for (std::size_t i = 0; i < faults.size(); ++i) {
-      if (stop_requested()) break;
-      const auto started = std::chrono::steady_clock::now();
-      result.experiments[i] =
-          run_experiment(*probe, faults[i], i, result.golden,
-                         result.register_partition_bits, observer, 0);
-      completed = i + 1;
-      if (observer != nullptr) {
-        observer->on_experiment_done(0, result.experiments[i],
-                                     elapsed_ns(started));
-      }
-    }
-    if (completed < faults.size()) {
-      result.experiments.resize(completed);
-      result.interrupted = true;
-    }
-    if (observer != nullptr) {
-      observer->on_worker_profile(0, probe->profile());
-      observer->on_campaign_end(result);
-    }
-    return result;
+  queue.faults.reserve(config_.experiments);
+  for (std::size_t i = 0; i < config_.experiments; ++i) {
+    queue.faults.push_back(sample_fault(config_.fault, bounds.lo, bounds.hi,
+                                        time_space, queue.rng));
   }
+  queue.results.resize(queue.faults.size());
 
-  // Workers pull experiment indices from a shared counter; each owns a
-  // private target so no synchronization beyond the counter is needed.
-  std::atomic<std::size_t> next{0};
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    threads.emplace_back([&, w] {
-      const std::unique_ptr<Target> target =
-          w == 0 ? nullptr : factory();
-      Target& mine = w == 0 ? *probe : *target;
-      if (observer != nullptr && w != 0) mine.set_profiling(true);
-      if (detail && w != 0) mine.set_detail(true);
-      for (;;) {
-        // The stop check precedes the claim, so every claimed index is
-        // completed: [0, next) is a contiguous, fully-run prefix even when
-        // a drain stops the campaign mid-flight.
-        if (stop_requested()) break;
-        const std::size_t i = next.fetch_add(1);
-        if (i >= faults.size()) break;
-        const auto started = std::chrono::steady_clock::now();
-        result.experiments[i] =
-            run_experiment(mine, faults[i], i, result.golden,
-                           result.register_partition_bits, observer, w);
+  // Claims the next experiment, applying any pending extension first.
+  // Returns false when the queue is drained.  The extension notification
+  // fires under the queue mutex so observers learn the new total strictly
+  // before any on_experiment_done for an extended index.
+  const auto claim = [&](std::size_t w, std::size_t& index,
+                         Fault& fault) -> bool {
+    const std::lock_guard<std::mutex> lock(queue.mutex);
+    if (controller_ != nullptr) {
+      const std::size_t target_n = controller_->target_experiments();
+      if (target_n > queue.faults.size()) {
+        while (queue.faults.size() < target_n) {
+          queue.faults.push_back(sample_fault(config_.fault, bounds.lo,
+                                              bounds.hi, time_space,
+                                              queue.rng));
+        }
+        queue.results.resize(queue.faults.size());
         if (observer != nullptr) {
-          observer->on_experiment_done(w, result.experiments[i],
-                                       elapsed_ns(started));
+          observer->on_campaign_extended(w, queue.faults.size());
         }
       }
-      if (observer != nullptr) observer->on_worker_profile(w, mine.profile());
-    });
+    }
+    if (queue.next >= queue.faults.size()) return false;
+    index = queue.next++;
+    fault = queue.faults[index];
+    return true;
+  };
+
+  // Raised by the worker that finds the queue empty; releases workers
+  // parked above the soft cap, which would otherwise never observe the
+  // drain and hang the join below.
+  std::atomic<bool> drained{false};
+
+  const auto worker_fn = [&](std::size_t w, Target& mine) {
+    for (;;) {
+      // Control checks precede the claim, so every claimed index is
+      // completed: [0, next) is a contiguous, fully-run prefix across
+      // pauses, worker-cap parks and drains alike.
+      if (controller_ != nullptr &&
+          !controller_->wait_until_runnable(w, &drained)) {
+        break;
+      }
+      if (stop_requested()) break;
+      std::size_t i = 0;
+      Fault fault;
+      if (!claim(w, i, fault)) {
+        drained.store(true, std::memory_order_relaxed);
+        if (controller_ != nullptr) controller_->wake_parked();
+        break;
+      }
+      const auto started = std::chrono::steady_clock::now();
+      ExperimentResult experiment =
+          run_experiment(mine, fault, i, result.golden,
+                         result.register_partition_bits, observer, w);
+      if (observer != nullptr) {
+        observer->on_experiment_done(w, experiment, elapsed_ns(started));
+      }
+      const std::lock_guard<std::mutex> lock(queue.mutex);
+      queue.results[i] = std::move(experiment);
+    }
+    if (observer != nullptr) observer->on_worker_profile(w, mine.profile());
+  };
+
+  if (workers <= 1) {
+    worker_fn(0, *probe);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      threads.emplace_back([&, w] {
+        const std::unique_ptr<Target> target = w == 0 ? nullptr : factory();
+        Target& mine = w == 0 ? *probe : *target;
+        if (observer != nullptr && w != 0) mine.set_profiling(true);
+        if (detail && w != 0) mine.set_detail(true);
+        worker_fn(w, mine);
+      });
+    }
+    for (std::thread& t : threads) t.join();
   }
-  for (std::thread& t : threads) t.join();
-  const std::size_t completed = std::min(next.load(), faults.size());
-  if (completed < faults.size()) {
-    result.experiments.resize(completed);
-    result.interrupted = true;
-  }
+
+  const std::size_t total = queue.faults.size();
+  const std::size_t completed = std::min(queue.next, total);
+  queue.results.resize(completed);
+  result.experiments = std::move(queue.results);
+  result.interrupted = completed < total;
+  // Reflect live extensions so reports match a campaign configured this
+  // large from the start.
+  result.config.experiments = total;
   if (observer != nullptr) observer->on_campaign_end(result);
   return result;
 }

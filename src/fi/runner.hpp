@@ -21,6 +21,13 @@
 // prober, when attached, additionally re-executes each value failure on a
 // private machine to record its architectural propagation path.  Both are
 // passive — the experiment outcomes stay bit-identical.
+// Control plane: run() polls an optional fi::CampaignController at the
+// experiment claim point — pause/resume park workers on a condvar, stop
+// drains gracefully, extend(n) grows the fault list by continuing the
+// seed-derived sampling stream (so an extended campaign is bit-identical
+// to one configured larger from the start), and set_workers(n) soft-caps
+// the active workers.  Every command preserves the invariant that the
+// completed experiments form a contiguous prefix [0, N) of the campaign.
 #pragma once
 
 #include <atomic>
@@ -28,6 +35,7 @@
 #include <memory>
 
 #include "fi/campaign.hpp"
+#include "fi/controller.hpp"
 #include "fi/target.hpp"
 #include "obs/observer.hpp"
 #include "plant/environment.hpp"
@@ -55,12 +63,22 @@ class CampaignRunner {
     prober_ = std::move(prober);
   }
 
-  /// Attaches a stop flag for graceful drain (SIGINT/SIGTERM handling):
-  /// once the flag reads true, workers stop claiming new experiments,
-  /// finish the ones already in flight, and run() returns a consistent
-  /// prefix of the campaign with CampaignResult::interrupted set.  The
-  /// flag must outlive run(); it is only ever read (signal-handler safe).
+  /// Deprecated: use set_controller() + CampaignController::stop().
+  /// Attaches a stop flag for graceful drain: once the flag reads true,
+  /// workers stop claiming new experiments, finish the ones already in
+  /// flight, and run() returns a consistent prefix of the campaign with
+  /// CampaignResult::interrupted set.  The flag must outlive run(); it is
+  /// only ever read (signal-handler safe).  Kept as a thin shim — a raised
+  /// flag behaves exactly like CampaignController::stop().
   void set_stop_flag(const std::atomic<bool>* stop) { stop_ = stop; }
+
+  /// Attaches the campaign control mailbox (pause/resume/stop/extend/
+  /// set_workers — see fi/controller.hpp).  The controller must outlive
+  /// run().  Polled only between experiments, so control commands never
+  /// perturb an experiment in flight.
+  void set_controller(CampaignController* controller) {
+    controller_ = controller;
+  }
 
   /// Runs golden + all experiments. The factory is called once per worker.
   /// `observer`, when non-null, receives lifecycle + per-experiment events.
@@ -110,6 +128,14 @@ class CampaignRunner {
   /// Watchdog budget for faulty runs, derived from the golden run.
   std::uint64_t watchdog_budget(const GoldenRun& golden) const;
 
+  /// The [lo, hi) location range the configured LocationFilter admits.
+  struct LocationBounds {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+  };
+  LocationBounds location_bounds(std::uint64_t fault_space_bits,
+                                 std::uint64_t register_bits) const;
+
   ExperimentResult run_experiment(Target& target, const Fault& fault,
                                   std::uint64_t id, const GoldenRun& golden,
                                   std::uint64_t register_bits,
@@ -117,12 +143,16 @@ class CampaignRunner {
                                   std::size_t worker = 0) const;
 
   bool stop_requested() const {
-    return stop_ != nullptr && stop_->load(std::memory_order_relaxed);
+    // The legacy flag and the controller's stop command are equivalent:
+    // either one drains the campaign.
+    return (stop_ != nullptr && stop_->load(std::memory_order_relaxed)) ||
+           (controller_ != nullptr && controller_->stop_requested());
   }
 
   CampaignConfig config_;
   PropagationProber prober_;
   const std::atomic<bool>* stop_ = nullptr;
+  CampaignController* controller_ = nullptr;
 };
 
 }  // namespace earl::fi

@@ -109,6 +109,15 @@ void JsonlEventLogger::append_buffered(std::size_t worker, std::string line) {
   }
 }
 
+void JsonlEventLogger::on_campaign_extended(std::size_t worker,
+                                            std::size_t new_total) {
+  JsonObject event;
+  event.field("event", "campaign_extended")
+      .field("worker", static_cast<std::uint64_t>(worker))
+      .field("experiments", static_cast<std::uint64_t>(new_total));
+  append_buffered(worker, std::move(event).str());
+}
+
 void JsonlEventLogger::on_experiment_done(std::size_t worker,
                                           const fi::ExperimentResult& result,
                                           std::uint64_t wall_ns) {

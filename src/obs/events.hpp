@@ -13,6 +13,8 @@
 //                     end iteration, wall time; one per experiment.  Value
 //                     failures probed for propagation carry a "propagation"
 //                     sub-object
+//   campaign_extended — control-plane extend applied: the new experiment
+//                     total (consumers take the max across occurrences)
 //   campaign_end    — outcome tallies + total wall time
 //
 // Hot-path design: each worker appends formatted lines to a per-worker
@@ -68,6 +70,8 @@ class JsonlEventLogger final : public CampaignObserver {
   void on_experiment_done(std::size_t worker,
                           const fi::ExperimentResult& result,
                           std::uint64_t wall_ns) override;
+  void on_campaign_extended(std::size_t worker,
+                            std::size_t new_total) override;
   void on_campaign_end(const fi::CampaignResult& result) override;
   bool wants_iterations() const override { return detail_; }
   void on_iteration(std::size_t worker,

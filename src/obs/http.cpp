@@ -43,6 +43,48 @@ std::string HttpRequest::path() const {
   return query == std::string::npos ? target : target.substr(0, query);
 }
 
+std::string HttpRequest::query() const {
+  const std::size_t query = target.find('?');
+  return query == std::string::npos ? std::string()
+                                    : target.substr(query + 1);
+}
+
+std::string HttpRequest::query_param(std::string_view name) const {
+  const std::string qs = query();
+  std::string_view rest = qs;
+  while (!rest.empty()) {
+    const std::size_t amp = rest.find('&');
+    const std::string_view pair =
+        amp == std::string_view::npos ? rest : rest.substr(0, amp);
+    rest = amp == std::string_view::npos ? std::string_view()
+                                         : rest.substr(amp + 1);
+    const std::size_t eq = pair.find('=');
+    const std::string_view key =
+        eq == std::string_view::npos ? pair : pair.substr(0, eq);
+    if (key != name) continue;
+    const std::string_view raw =
+        eq == std::string_view::npos ? std::string_view() : pair.substr(eq + 1);
+    std::string value;
+    value.reserve(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] == '+') {
+        value.push_back(' ');
+      } else if (raw[i] == '%' && i + 2 < raw.size() &&
+                 std::isxdigit(static_cast<unsigned char>(raw[i + 1])) &&
+                 std::isxdigit(static_cast<unsigned char>(raw[i + 2]))) {
+        const std::string hex(raw.substr(i + 1, 2));
+        value.push_back(
+            static_cast<char>(std::stoi(hex, nullptr, 16)));
+        i += 2;
+      } else {
+        value.push_back(raw[i]);
+      }
+    }
+    return value;
+  }
+  return "";
+}
+
 std::string HttpRequest::header(std::string_view name) const {
   for (const auto& [key, value] : headers) {
     if (iequals(key, name)) return value;

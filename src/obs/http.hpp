@@ -47,6 +47,12 @@ struct HttpRequest {
 
   /// `target` up to (not including) the query string.
   std::string path() const;
+  /// The raw query string after '?' ("" when absent).
+  std::string query() const;
+  /// Value of `name` in the query string; "" when absent.  '+' and %XX
+  /// escapes are decoded in the value (enough for the control endpoints'
+  /// small integer/word arguments).
+  std::string query_param(std::string_view name) const;
   /// Case-insensitive header lookup; "" when absent.
   std::string header(std::string_view name) const;
   /// HTTP/1.1 defaults to keep-alive unless "Connection: close";

@@ -85,6 +85,16 @@ class CampaignObserver {
     (void)profile;
   }
 
+  /// The campaign grew mid-run (control-plane extend): `new_total` is the
+  /// new experiment count.  Called from the worker that applied the
+  /// extension, strictly before any on_experiment_done for an extended
+  /// index; same thread-safety contract as on_experiment_done.
+  virtual void on_campaign_extended(std::size_t worker,
+                                    std::size_t new_total) {
+    (void)worker;
+    (void)new_total;
+  }
+
   virtual void on_campaign_end(const fi::CampaignResult& result) {
     (void)result;
   }
@@ -131,6 +141,12 @@ class MultiObserver final : public CampaignObserver {
   void on_worker_profile(std::size_t worker,
                          const TargetProfile& profile) override {
     for (CampaignObserver* c : children_) c->on_worker_profile(worker, profile);
+  }
+  void on_campaign_extended(std::size_t worker,
+                            std::size_t new_total) override {
+    for (CampaignObserver* c : children_) {
+      c->on_campaign_extended(worker, new_total);
+    }
   }
   void on_campaign_end(const fi::CampaignResult& result) override {
     for (CampaignObserver* c : children_) c->on_campaign_end(result);

@@ -60,6 +60,7 @@ std::string render_progress_json(const ProgressSnapshot& snapshot) {
                          static_cast<double>(snapshot.total)
                    : 0.0);
   object.field("elapsed_s", std::max(0.0, snapshot.elapsed_s));
+  object.field("paused_s", std::max(0.0, snapshot.paused_s));
   object.field("rate", progress_rate(snapshot.done, snapshot.elapsed_s));
   object.field("eta_s", progress_eta_seconds(snapshot.done, snapshot.total,
                                              snapshot.elapsed_s));
@@ -136,9 +137,29 @@ ProgressSnapshot ProgressReporter::snapshot() const {
   if (!started_.load(std::memory_order_acquire)) return ProgressSnapshot{};
   const std::int64_t end = end_ns_.load(std::memory_order_relaxed);
   const std::int64_t now = end != 0 ? end : steady_now_ns();
-  const std::int64_t elapsed =
-      now - start_ns_.load(std::memory_order_relaxed);
-  return snapshot(elapsed > 0 ? static_cast<double>(elapsed) / 1e9 : 0.0);
+  std::int64_t elapsed = now - start_ns_.load(std::memory_order_relaxed);
+  std::uint64_t paused = paused_ns_source_ ? paused_ns_source_() : 0;
+  if (elapsed < 0) elapsed = 0;
+  // Active time is wall time minus paused time; clamp so a pause spanning
+  // the whole campaign cannot drive elapsed (and hence rate/ETA) negative.
+  if (paused > static_cast<std::uint64_t>(elapsed)) {
+    paused = static_cast<std::uint64_t>(elapsed);
+  }
+  ProgressSnapshot result = snapshot(
+      static_cast<double>(elapsed - static_cast<std::int64_t>(paused)) / 1e9);
+  result.paused_s = static_cast<double>(paused) / 1e9;
+  return result;
+}
+
+void ProgressReporter::on_campaign_extended(std::size_t worker,
+                                            std::size_t new_total) {
+  (void)worker;
+  // Monotonic: extensions only ever grow the campaign.
+  std::size_t current = total_.load(std::memory_order_relaxed);
+  while (current < new_total &&
+         !total_.compare_exchange_weak(current, new_total,
+                                       std::memory_order_relaxed)) {
+  }
 }
 
 void ProgressReporter::on_campaign_end(const fi::CampaignResult& result) {

@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <string>
 
 #include "obs/observer.hpp"
@@ -22,7 +23,11 @@ namespace earl::obs {
 struct ProgressSnapshot {
   std::size_t done = 0;
   std::size_t total = 0;
+  /// Active campaign time: wall time minus any control-plane paused time,
+  /// so rate and ETA describe the campaign's real throughput.
   double elapsed_s = 0.0;
+  /// Wall time spent paused by the control plane (0 without a controller).
+  double paused_s = 0.0;
   std::uint64_t detected = 0;
   std::uint64_t severe = 0;
   std::uint64_t minor = 0;
@@ -66,7 +71,18 @@ class ProgressReporter final : public CampaignObserver {
   void on_experiment_done(std::size_t worker,
                           const fi::ExperimentResult& result,
                           std::uint64_t wall_ns) override;
+  /// Control-plane extend: the denominator (and ETA) follow the new total.
+  void on_campaign_extended(std::size_t worker,
+                            std::size_t new_total) override;
   void on_campaign_end(const fi::CampaignResult& result) override;
+
+  /// Wires in a cumulative paused-time source (nanoseconds; typically
+  /// fi::CampaignController::paused_ns).  snapshot() subtracts it from
+  /// elapsed time so the ETA ignores operator pauses.  Set before the
+  /// campaign starts; the source must outlive the reporter.
+  void set_paused_ns_source(std::function<std::uint64_t()> source) {
+    paused_ns_source_ = std::move(source);
+  }
 
   std::size_t completed() const {
     return completed_.load(std::memory_order_relaxed);
@@ -98,6 +114,7 @@ class ProgressReporter final : public CampaignObserver {
   std::atomic<std::size_t> completed_{0};
   std::atomic<std::int64_t> last_print_ns_{0};
   std::array<std::atomic<std::uint64_t>, analysis::kOutcomeCount> tallies_{};
+  std::function<std::uint64_t()> paused_ns_source_;  // null = never paused
 };
 
 }  // namespace earl::obs

@@ -1,6 +1,7 @@
 #include "obs/server.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "obs/json.hpp"
 #include "obs/labels.hpp"
@@ -42,6 +43,11 @@ void WorkerWatchdog::note_done(std::size_t worker, std::uint64_t wall_ns,
   const std::lock_guard<std::mutex> lock(mutex_);
   if (worker < last_done_.size()) last_done_[worker] = now_ns;
   max_wall_ns_ = std::max(max_wall_ns_, wall_ns);
+}
+
+void WorkerWatchdog::touch_all(std::int64_t now_ns) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (std::int64_t& last : last_done_) last = now_ns;
 }
 
 void WorkerWatchdog::finish() {
@@ -172,6 +178,17 @@ std::string render_sse_event(const ServerEvent& event,
       data.field("end_iteration", event.end_iteration);
       data.field("wall_ns", event.wall_ns);
       break;
+    case ServerEvent::Type::kControl:
+      name = "control";
+      data.field("command", fi::control_command_slug(
+                                static_cast<fi::ControlCommand>(event.arg0)));
+      data.field("value", event.arg1);
+      break;
+    case ServerEvent::Type::kExtended:
+      name = "campaign_extended";
+      data.field("experiments", event.arg0);
+      data.field("worker", static_cast<std::uint64_t>(event.worker));
+      break;
     case ServerEvent::Type::kCampaignEnd:
       name = "campaign_end";
       data.field("campaign", campaign);
@@ -226,10 +243,23 @@ std::string TelemetryServer::campaign_name() const {
 std::string_view TelemetryServer::state_slug() const {
   switch (state_.load(std::memory_order_relaxed)) {
     case CampaignState::kIdle: return "idle";
-    case CampaignState::kRunning: return "running";
+    case CampaignState::kRunning:
+      // While the campaign runs the controller is the authority:
+      // running | paused | draining.
+      return controller_ != nullptr ? controller_->state_slug() : "running";
     case CampaignState::kDone: return "done";
   }
   return "idle";
+}
+
+void TelemetryServer::set_controller(fi::CampaignController* controller) {
+  controller_ = controller;
+  if (controller != nullptr) {
+    reporter_.set_paused_ns_source(
+        [controller] { return controller->paused_ns(); });
+  } else {
+    reporter_.set_paused_ns_source(nullptr);
+  }
 }
 
 // Observer callbacks — the campaign-facing (hot) side.
@@ -287,6 +317,17 @@ void TelemetryServer::on_experiment_done(std::size_t worker,
   ring_.push(event);
 }
 
+void TelemetryServer::on_campaign_extended(std::size_t worker,
+                                           std::size_t new_total) {
+  reporter_.on_campaign_extended(worker, new_total);
+
+  ServerEvent event;
+  event.type = ServerEvent::Type::kExtended;
+  event.worker = static_cast<std::uint32_t>(worker);
+  event.arg0 = new_total;
+  ring_.push(event);
+}
+
 void TelemetryServer::on_campaign_end(const fi::CampaignResult& result) {
   reporter_.on_campaign_end(result);
   watchdog_.finish();
@@ -304,6 +345,11 @@ void TelemetryServer::on_campaign_end(const fi::CampaignResult& result) {
 void TelemetryServer::handle(const HttpRequest& request,
                              HttpConnection& connection) {
   http_requests_.fetch_add(1, std::memory_order_relaxed);
+  const std::string path = request.path();
+  if (path.rfind("/control/", 0) == 0) {
+    connection.send_response(control_response(request), request.keep_alive());
+    return;
+  }
   if (request.method != "GET") {
     connection.send_response(
         {405, "text/plain; charset=utf-8",
@@ -311,7 +357,6 @@ void TelemetryServer::handle(const HttpRequest& request,
         request.keep_alive());
     return;
   }
-  const std::string path = request.path();
   if (path == "/events") {
     serve_events(connection);
     return;
@@ -327,9 +372,136 @@ void TelemetryServer::handle(const HttpRequest& request,
     response = index_response();
   } else {
     response = {404, "text/plain; charset=utf-8",
-                "not found; endpoints: /metrics /progress /healthz /events\n"};
+                "not found; endpoints: /metrics /progress /healthz /events "
+                "/control/{pause,resume,stop,extend,workers}\n"};
   }
   connection.send_response(response, request.keep_alive());
+}
+
+namespace {
+
+/// Strict positive-integer parse for control arguments ("n" query param);
+/// nullopt on empty, non-digit, zero, or overflow.
+std::optional<std::uint64_t> parse_positive(const std::string& text) {
+  if (text.empty() || text.size() > 18) return std::nullopt;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  if (value == 0) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+HttpResponse TelemetryServer::control_status(fi::ControlCommand command) {
+  JsonObject object;
+  object.field("ok", true);
+  object.field("command", fi::control_command_slug(command));
+  object.field("state", controller_->state_slug());
+  object.field("target_experiments",
+               static_cast<std::uint64_t>(controller_->target_experiments()));
+  object.field("worker_cap",
+               static_cast<std::uint64_t>(controller_->worker_cap()));
+  object.field("paused_s",
+               static_cast<double>(controller_->paused_ns()) / 1e9);
+  HttpResponse response;
+  response.content_type = "application/json";
+  response.body = std::move(object).str() + "\n";
+  return response;
+}
+
+HttpResponse TelemetryServer::control_response(const HttpRequest& request) {
+  if (request.method != "POST") {
+    return {405, "text/plain; charset=utf-8",
+            "method not allowed: control endpoints are POST-only\n"};
+  }
+  if (!options_.bearer_token.empty()) {
+    const std::string expected = "Bearer " + options_.bearer_token;
+    const std::string presented = request.header("Authorization");
+    // Length-independent comparison so the token cannot be guessed
+    // byte-by-byte from response timing.
+    bool match = presented.size() == expected.size();
+    unsigned char diff = 0;
+    for (std::size_t i = 0; i < presented.size(); ++i) {
+      diff |= static_cast<unsigned char>(
+          presented[i] ^ expected[i % std::max<std::size_t>(1,
+                                                            expected.size())]);
+    }
+    if (!match || diff != 0) {
+      return {401, "text/plain; charset=utf-8",
+              "unauthorized: control endpoints require \"Authorization: "
+              "Bearer <token>\"\n"};
+    }
+  }
+  if (controller_ == nullptr) {
+    return {503, "text/plain; charset=utf-8",
+            "control plane unavailable: no campaign controller attached\n"};
+  }
+
+  const std::string command = request.path().substr(9);  // after /control/
+  ServerEvent event;
+  event.type = ServerEvent::Type::kControl;
+  if (command == "pause") {
+    controller_->pause();
+    event.arg0 = static_cast<std::uint64_t>(fi::ControlCommand::kPause);
+    ring_.push(event);
+    return control_status(fi::ControlCommand::kPause);
+  }
+  if (command == "resume") {
+    controller_->resume();
+    // A long pause must not read as a stall the instant work resumes.
+    watchdog_.touch_all(now());
+    event.arg0 = static_cast<std::uint64_t>(fi::ControlCommand::kResume);
+    ring_.push(event);
+    return control_status(fi::ControlCommand::kResume);
+  }
+  if (command == "stop") {
+    controller_->stop();
+    event.arg0 = static_cast<std::uint64_t>(fi::ControlCommand::kStop);
+    ring_.push(event);
+    return control_status(fi::ControlCommand::kStop);
+  }
+  if (command == "extend") {
+    const std::optional<std::uint64_t> n =
+        parse_positive(request.query_param("n"));
+    if (!n) {
+      return {400, "text/plain; charset=utf-8",
+              "extend requires a positive integer query parameter, e.g. "
+              "POST /control/extend?n=50\n"};
+    }
+    if (controller_->stop_requested()) {
+      return {409, "text/plain; charset=utf-8",
+              "cannot extend: campaign is draining\n"};
+    }
+    const std::size_t target =
+        controller_->extend(static_cast<std::size_t>(*n));
+    event.arg0 = static_cast<std::uint64_t>(fi::ControlCommand::kExtend);
+    event.arg1 = target;
+    ring_.push(event);
+    return control_status(fi::ControlCommand::kExtend);
+  }
+  if (command == "workers") {
+    const std::optional<std::uint64_t> n =
+        parse_positive(request.query_param("n"));
+    if (!n) {
+      return {400, "text/plain; charset=utf-8",
+              "workers requires a positive integer query parameter, e.g. "
+              "POST /control/workers?n=2 (raise to or above the campaign's "
+              "worker count to uncap)\n"};
+    }
+    controller_->set_workers(static_cast<std::size_t>(*n));
+    // Raising the cap wakes workers whose last activity predates the cap.
+    watchdog_.touch_all(now());
+    event.arg0 = static_cast<std::uint64_t>(fi::ControlCommand::kWorkers);
+    event.arg1 = *n;
+    ring_.push(event);
+    return control_status(fi::ControlCommand::kWorkers);
+  }
+  return {404, "text/plain; charset=utf-8",
+          "unknown control command; commands: pause resume stop extend "
+          "workers\n"};
 }
 
 std::string TelemetryServer::serve_metrics_text() {
@@ -371,9 +543,57 @@ std::string TelemetryServer::serve_metrics_text() {
                      1e9) +
          "\n";
 
+  if (controller_ != nullptr) {
+    const fi::CampaignController::State state = controller_->state();
+    out += "# HELP earl_campaign_state Campaign control state (one-hot: "
+           "running/paused/draining).\n";
+    out += "# TYPE earl_campaign_state gauge\n";
+    const struct {
+      fi::CampaignController::State state;
+      const char* slug;
+    } kStates[] = {
+        {fi::CampaignController::State::kRunning, "running"},
+        {fi::CampaignController::State::kPaused, "paused"},
+        {fi::CampaignController::State::kDraining, "draining"},
+    };
+    for (const auto& s : kStates) {
+      out += "earl_campaign_state{state=\"" + std::string(s.slug) + "\"} " +
+             (state == s.state ? "1" : "0") + "\n";
+    }
+
+    out += "# HELP earl_control_commands_total Control commands accepted, "
+           "by command.\n";
+    out += "# TYPE earl_control_commands_total counter\n";
+    for (std::size_t c = 0; c < fi::kControlCommandCount; ++c) {
+      const auto command = static_cast<fi::ControlCommand>(c);
+      out += "earl_control_commands_total{command=\"" +
+             std::string(fi::control_command_slug(command)) + "\"} " +
+             std::to_string(controller_->command_count(command)) + "\n";
+    }
+
+    out += "# HELP earl_control_paused_seconds_total Cumulative wall time "
+           "the campaign spent paused.\n";
+    out += "# TYPE earl_control_paused_seconds_total counter\n";
+    out += "earl_control_paused_seconds_total " +
+           json_number(static_cast<double>(controller_->paused_ns()) / 1e9) +
+           "\n";
+
+    out += "# HELP earl_control_target_experiments Experiment target "
+           "including live extensions.\n";
+    out += "# TYPE earl_control_target_experiments gauge\n";
+    out += "earl_control_target_experiments " +
+           std::to_string(controller_->target_experiments()) + "\n";
+
+    out += "# HELP earl_control_worker_cap Soft cap on active workers "
+           "(0 = uncapped).\n";
+    out += "# TYPE earl_control_worker_cap gauge\n";
+    out += "earl_control_worker_cap " +
+           std::to_string(controller_->worker_cap()) + "\n";
+  }
+
   const std::size_t workers = watchdog_.workers();
   if (workers > 0) {
-    const std::vector<std::size_t> stalled = watchdog_.stalled(t);
+    const std::vector<std::size_t> stalled = current_stalled(t);
     out += "# HELP earl_serve_worker_last_done_seconds Seconds since "
            "campaign start at each worker's last completed experiment.\n";
     out += "# TYPE earl_serve_worker_last_done_seconds gauge\n";
@@ -407,18 +627,42 @@ HttpResponse TelemetryServer::metrics_response() {
 }
 
 HttpResponse TelemetryServer::progress_response() {
+  ProgressSnapshot snapshot = reporter_.snapshot();
+  if (controller_ != nullptr) {
+    // An accepted extension shows up in the target immediately, even
+    // though the runner applies it lazily at the next claim.
+    snapshot.total = std::max(snapshot.total,
+                              controller_->target_experiments());
+  }
   JsonObject object;
   object.field("campaign", campaign_name());
   object.field("state", state_slug());
-  object.raw_field("progress", render_progress_json(reporter_.snapshot()));
+  object.raw_field("progress", render_progress_json(snapshot));
   HttpResponse response;
   response.content_type = "application/json";
   response.body = std::move(object).str() + "\n";
   return response;
 }
 
+std::vector<std::size_t> TelemetryServer::current_stalled(
+    std::int64_t now_ns) const {
+  std::vector<std::size_t> stalled = watchdog_.stalled(now_ns);
+  if (controller_ == nullptr || stalled.empty()) return stalled;
+  // Paused workers are parked on purpose; so are workers above the cap.
+  if (controller_->state() == fi::CampaignController::State::kPaused) {
+    return {};
+  }
+  const std::size_t cap = controller_->worker_cap();
+  if (cap > 0) {
+    stalled.erase(std::remove_if(stalled.begin(), stalled.end(),
+                                 [cap](std::size_t w) { return w >= cap; }),
+                  stalled.end());
+  }
+  return stalled;
+}
+
 HttpResponse TelemetryServer::healthz_response() {
-  const std::vector<std::size_t> stalled = watchdog_.stalled(now());
+  const std::vector<std::size_t> stalled = current_stalled(now());
   const bool unhealthy =
       state_.load(std::memory_order_relaxed) == CampaignState::kRunning &&
       !stalled.empty();
@@ -450,7 +694,10 @@ HttpResponse TelemetryServer::index_response() {
       "  /metrics   Prometheus text exposition (live)\n"
       "  /progress  JSON progress snapshot (done/total, rate, ETA)\n"
       "  /healthz   200 healthy / 503 worker stalled\n"
-      "  /events    Server-Sent Events lifecycle stream\n";
+      "  /events    Server-Sent Events lifecycle stream\n"
+      "  POST /control/{pause,resume,stop}  campaign control\n"
+      "  POST /control/extend?n=M           grow the campaign\n"
+      "  POST /control/workers?n=K          soft-cap active workers\n";
   return response;
 }
 

@@ -17,11 +17,22 @@
 //                  a bounded ring buffer with a drop counter — a slow or
 //                  stuck consumer loses events, never stalls workers
 //
+// Control plane (only when a fi::CampaignController is attached via
+// set_controller, POST-only, optionally bearer-token guarded):
+//   POST /control/pause    park workers at the next claim point
+//   POST /control/resume   wake parked workers
+//   POST /control/stop     graceful drain (same as SIGINT)
+//   POST /control/extend?n=M   grow the campaign by M experiments
+//   POST /control/workers?n=K  soft-cap active workers to K
+//
 // Passivity contract: every observer callback is O(a few atomic ops plus
 // one short uncontended mutex); no callback ever blocks on a socket.  The
-// HTTP side only *reads* shared state.  Campaign outcomes with the server
-// attached are bit-identical to the same seed without it
-// (tests/obs/http_test.cpp: ServeDoesNotPerturbCampaign).
+// GET side only *reads* shared state; mutating commands exist solely under
+// POST /control/ and are explicit operator actions.  Campaign outcomes
+// with the server attached (and no control commands issued) are
+// bit-identical to the same seed without it (tests/obs/http_test.cpp:
+// ServeDoesNotPerturbCampaign); a paused-and-resumed campaign is
+// bit-identical to an uninterrupted one.
 #pragma once
 
 #include <atomic>
@@ -33,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "fi/controller.hpp"
 #include "obs/http.hpp"
 #include "obs/metrics.hpp"
 #include "obs/observer.hpp"
@@ -67,6 +79,9 @@ class WorkerWatchdog {
   void set_baseline(std::uint64_t wall_ns);
   void note_done(std::size_t worker, std::uint64_t wall_ns,
                  std::int64_t now_ns);
+  /// Resets every worker's "last done" to `now_ns` — called when a paused
+  /// campaign resumes, so the pause itself never reads as a stall.
+  void touch_all(std::int64_t now_ns);
   /// Campaign drained; the watchdog disarms and reports healthy forever.
   void finish();
 
@@ -97,19 +112,22 @@ struct ServerEvent {
     kCampaignStart,
     kGoldenDone,
     kExperiment,
+    kControl,   // a control command was accepted over HTTP
+    kExtended,  // the runner applied an extension (new experiment total)
     kCampaignEnd,
   };
   Type type = Type::kExperiment;
   std::uint64_t seq = 0;  // assigned by EventRing::push
   // kExperiment:
   std::uint64_t id = 0;
-  std::uint32_t worker = 0;
+  std::uint32_t worker = 0;  // also: the applying worker for kExtended
   analysis::Outcome outcome = analysis::Outcome::kOverwritten;
   tvm::Edm edm = tvm::Edm::kNone;
   std::uint64_t end_iteration = 0;
   std::uint64_t wall_ns = 0;
   // kCampaignStart: {experiments, workers}; kGoldenDone: {total_time,
-  // max_iteration_time}; kCampaignEnd: {completed, interrupted}.
+  // max_iteration_time}; kControl: {command enum, value}; kExtended:
+  // {new_total, -}; kCampaignEnd: {completed, interrupted}.
   std::uint64_t arg0 = 0;
   std::uint64_t arg1 = 0;
 };
@@ -163,6 +181,10 @@ class TelemetryServer final : public CampaignObserver {
     WorkerWatchdog::Options watchdog;
     /// Monotonic clock, injectable for deterministic watchdog tests.
     std::function<std::int64_t()> now_ns;  // default: steady_clock
+    /// When non-empty, POST /control/* requires
+    /// "Authorization: Bearer <token>" (401 otherwise).  GET endpoints are
+    /// never authenticated — they stay read-only.
+    std::string bearer_token;
   };
 
   explicit TelemetryServer(Options options,
@@ -182,6 +204,13 @@ class TelemetryServer final : public CampaignObserver {
     return http_requests_.load(std::memory_order_relaxed);
   }
 
+  /// Attaches the campaign control mailbox, enabling POST /control/*.
+  /// The controller must outlive the server; attach before start() (the
+  /// handler threads read the pointer).  Null detaches: control endpoints
+  /// then answer 503.  Also wires the progress reporter's pause-aware
+  /// clock so /progress ETAs exclude paused wall time.
+  void set_controller(fi::CampaignController* controller);
+
   // CampaignObserver — all passive.
   void on_campaign_start(const fi::CampaignConfig& config,
                          const CampaignStartInfo& info) override;
@@ -189,6 +218,8 @@ class TelemetryServer final : public CampaignObserver {
   void on_experiment_done(std::size_t worker,
                           const fi::ExperimentResult& result,
                           std::uint64_t wall_ns) override;
+  void on_campaign_extended(std::size_t worker,
+                            std::size_t new_total) override;
   void on_campaign_end(const fi::CampaignResult& result) override;
 
  private:
@@ -201,6 +232,11 @@ class TelemetryServer final : public CampaignObserver {
   HttpResponse progress_response();
   HttpResponse healthz_response();
   HttpResponse index_response();
+  HttpResponse control_response(const HttpRequest& request);
+  HttpResponse control_status(fi::ControlCommand command);
+  /// Watchdog stalls filtered through the control plane: none while
+  /// paused, and workers parked above the worker cap are not stalls.
+  std::vector<std::size_t> current_stalled(std::int64_t now_ns) const;
   void serve_events(HttpConnection& connection);
   std::string serve_metrics_text();
   std::string campaign_name() const;
@@ -211,6 +247,7 @@ class TelemetryServer final : public CampaignObserver {
   WorkerWatchdog watchdog_;
   EventRing ring_;
   ProgressReporter reporter_;  // null sink: counters only, never prints
+  fi::CampaignController* controller_ = nullptr;
 
   mutable std::mutex state_mutex_;  // guards name_
   std::string name_;

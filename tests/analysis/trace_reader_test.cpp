@@ -44,6 +44,17 @@ TEST(TraceReaderTest, ParsesCampaignMetadata) {
   EXPECT_TRUE(trace->golden.empty());
 }
 
+TEST(TraceReaderTest, CampaignExtendedRaisesConfiguredCount) {
+  std::string jsonl = kStart;
+  jsonl += R"({"event":"campaign_extended","worker":1,"experiments":8})"
+           "\n";
+  jsonl += R"({"event":"campaign_extended","worker":0,"experiments":5})"
+           "\n";  // stale lower total from a racing worker: ignored
+  const std::optional<CampaignTrace> trace = parse(jsonl);
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->experiments_configured, 8u);
+}
+
 TEST(TraceReaderTest, GroupsOutOfOrderIterationRecords) {
   // Iteration events land before their experiment event and out of k order
   // (two workers interleaving); golden records are tagged, not id'd.

@@ -1,0 +1,306 @@
+#include "fi/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "fi/runner.hpp"
+#include "fi/workloads.hpp"
+
+namespace earl::fi {
+namespace {
+
+CampaignConfig small_campaign(std::size_t experiments = 20) {
+  CampaignConfig config = table2_campaign(1.0);
+  config.experiments = experiments;
+  config.iterations = 80;  // short runs keep the suite fast
+  config.workers = 1;
+  return config;
+}
+
+void expect_same_experiments(const CampaignResult& a, const CampaignResult& b) {
+  ASSERT_EQ(a.experiments.size(), b.experiments.size());
+  for (std::size_t i = 0; i < a.experiments.size(); ++i) {
+    EXPECT_EQ(a.experiments[i].id, b.experiments[i].id);
+    EXPECT_EQ(a.experiments[i].fault.bits, b.experiments[i].fault.bits);
+    EXPECT_EQ(a.experiments[i].fault.time, b.experiments[i].fault.time);
+    EXPECT_EQ(a.experiments[i].outcome, b.experiments[i].outcome);
+    EXPECT_EQ(a.experiments[i].end_iteration, b.experiments[i].end_iteration);
+  }
+}
+
+/// Observer that issues a control command after a fixed number of
+/// completions (the controller analogue of runner_test's StopAfterObserver).
+class CommandAtObserver final : public obs::CampaignObserver {
+ public:
+  CommandAtObserver(std::size_t after, std::function<void()> command)
+      : after_(after), command_(std::move(command)) {}
+  void on_experiment_done(std::size_t, const ExperimentResult&,
+                          std::uint64_t) override {
+    if (done_.fetch_add(1) + 1 == after_) command_();
+  }
+
+ private:
+  std::size_t after_;
+  std::function<void()> command_;
+  std::atomic<std::size_t> done_{0};
+};
+
+TEST(ControllerTest, CommandSlugs) {
+  EXPECT_STREQ(control_command_slug(ControlCommand::kPause), "pause");
+  EXPECT_STREQ(control_command_slug(ControlCommand::kResume), "resume");
+  EXPECT_STREQ(control_command_slug(ControlCommand::kStop), "stop");
+  EXPECT_STREQ(control_command_slug(ControlCommand::kExtend), "extend");
+  EXPECT_STREQ(control_command_slug(ControlCommand::kWorkers), "workers");
+}
+
+TEST(ControllerTest, StateTransitionsAndCommandCounts) {
+  CampaignController controller;
+  EXPECT_EQ(controller.state(), CampaignController::State::kRunning);
+  EXPECT_STREQ(controller.state_slug(), "running");
+
+  controller.pause();
+  EXPECT_EQ(controller.state(), CampaignController::State::kPaused);
+  EXPECT_STREQ(controller.state_slug(), "paused");
+  EXPECT_EQ(controller.command_count(ControlCommand::kPause), 1u);
+
+  controller.resume();
+  EXPECT_EQ(controller.state(), CampaignController::State::kRunning);
+  EXPECT_EQ(controller.command_count(ControlCommand::kResume), 1u);
+
+  controller.pause();
+  controller.stop();  // draining wins over paused
+  EXPECT_EQ(controller.state(), CampaignController::State::kDraining);
+  EXPECT_STREQ(controller.state_slug(), "draining");
+  EXPECT_TRUE(controller.stop_requested());
+  EXPECT_EQ(controller.command_count(ControlCommand::kStop), 1u);
+}
+
+TEST(ControllerTest, ExtendAccumulatesAndRejects) {
+  CampaignController controller;
+  controller.bind_base_experiments(100);
+  EXPECT_EQ(controller.target_experiments(), 100u);
+  EXPECT_EQ(controller.extend(25), 125u);
+  EXPECT_EQ(controller.extend(0), 125u);  // no-op, not counted
+  EXPECT_EQ(controller.extended_experiments(), 25u);
+  EXPECT_EQ(controller.command_count(ControlCommand::kExtend), 1u);
+  controller.stop();
+  EXPECT_EQ(controller.extend(10), 125u);  // rejected while draining
+  EXPECT_EQ(controller.command_count(ControlCommand::kExtend), 1u);
+}
+
+TEST(ControllerTest, PausedNsUsesInjectedClock) {
+  std::int64_t fake_now = 0;
+  CampaignController controller([&fake_now] { return fake_now; });
+  EXPECT_EQ(controller.paused_ns(), 0u);
+
+  fake_now = 100;
+  controller.pause();
+  fake_now = 600;
+  EXPECT_EQ(controller.paused_ns(), 500u);  // active pause counts
+  controller.resume();
+  fake_now = 900;
+  EXPECT_EQ(controller.paused_ns(), 500u);  // frozen after resume
+
+  controller.pause();
+  fake_now = 1300;
+  EXPECT_EQ(controller.paused_ns(), 900u);  // accumulates across pauses
+  controller.pause();                       // idempotent: no restart
+  EXPECT_EQ(controller.paused_ns(), 900u);
+}
+
+TEST(ControllerTest, WaitUntilRunnableParksUntilResume) {
+  CampaignController controller;
+  controller.pause();
+  std::atomic<bool> released{false};
+  std::thread worker([&] {
+    EXPECT_TRUE(controller.wait_until_runnable(0));
+    released.store(true);
+  });
+  while (controller.parked_workers() == 0) std::this_thread::yield();
+  EXPECT_FALSE(released.load());
+  controller.resume();
+  worker.join();
+  EXPECT_TRUE(released.load());
+  EXPECT_EQ(controller.parked_workers(), 0u);
+}
+
+TEST(ControllerTest, StopReleasesParkedWorkerWithoutNotify) {
+  CampaignController controller;
+  controller.pause();
+  std::thread worker([&] { EXPECT_FALSE(controller.wait_until_runnable(0)); });
+  while (controller.parked_workers() == 0) std::this_thread::yield();
+  controller.stop();  // notify-free: the park tick must observe it
+  worker.join();
+}
+
+TEST(ControllerTest, AbandonFlagReleasesCappedWorker) {
+  CampaignController controller;
+  controller.set_workers(1);
+  std::atomic<bool> abandon{false};
+  std::thread capped([&] {
+    EXPECT_FALSE(controller.wait_until_runnable(1, &abandon));
+  });
+  while (controller.parked_workers() == 0) std::this_thread::yield();
+  abandon.store(true);
+  controller.wake_parked();
+  capped.join();
+  // An uncapped worker index keeps running regardless.
+  EXPECT_TRUE(controller.wait_until_runnable(0));
+}
+
+TEST(ControllerTest, AttachedButUnusedControllerIsPassive) {
+  const CampaignConfig config = small_campaign(20);
+  const auto factory = make_tvm_pi_factory(paper_pi_config());
+  const CampaignResult bare = CampaignRunner(config).run(factory);
+
+  CampaignController controller;
+  CampaignRunner runner(config);
+  runner.set_controller(&controller);
+  const CampaignResult controlled = runner.run(factory);
+
+  EXPECT_FALSE(controlled.interrupted);
+  expect_same_experiments(bare, controlled);
+}
+
+TEST(ControllerTest, PauseResumeKeepsCampaignBitIdentical) {
+  const CampaignConfig config = small_campaign(20);
+  const auto factory = make_tvm_pi_factory(paper_pi_config());
+  const CampaignResult bare = CampaignRunner(config).run(factory);
+
+  CampaignController controller;
+  CampaignRunner runner(config);
+  runner.set_controller(&controller);
+  CommandAtObserver observer(5, [&controller] { controller.pause(); });
+  // The worker parks at the claim point after the pause lands; resume once
+  // the park is observable so the pause provably took effect.
+  std::thread resumer([&controller] {
+    while (controller.parked_workers() == 0) std::this_thread::yield();
+    controller.resume();
+  });
+  const CampaignResult controlled = runner.run(factory, &observer);
+  resumer.join();
+
+  EXPECT_FALSE(controlled.interrupted);
+  EXPECT_GE(controller.paused_ns(), 0u);
+  expect_same_experiments(bare, controlled);
+}
+
+TEST(ControllerTest, ExtendMatchesFreshLargerCampaign) {
+  const auto factory = make_tvm_pi_factory(paper_pi_config());
+  const CampaignResult fresh = CampaignRunner(small_campaign(30)).run(factory);
+
+  CampaignController controller;
+  CampaignRunner runner(small_campaign(20));
+  runner.set_controller(&controller);
+  CommandAtObserver observer(5, [&controller] { controller.extend(10); });
+  const CampaignResult extended = runner.run(factory, &observer);
+
+  EXPECT_FALSE(extended.interrupted);
+  EXPECT_EQ(extended.config.experiments, 30u);
+  expect_same_experiments(fresh, extended);
+}
+
+TEST(ControllerTest, StopViaControllerYieldsConsistentPrefix) {
+  const CampaignConfig config = small_campaign(30);
+  const auto factory = make_tvm_pi_factory(paper_pi_config());
+  const CampaignResult full = CampaignRunner(config).run(factory);
+
+  CampaignController controller;
+  CampaignRunner runner(config);
+  runner.set_controller(&controller);
+  CommandAtObserver observer(5, [&controller] { controller.stop(); });
+  const CampaignResult partial = runner.run(factory, &observer);
+
+  EXPECT_TRUE(partial.interrupted);
+  ASSERT_EQ(partial.experiments.size(), 5u);
+  for (std::size_t i = 0; i < partial.experiments.size(); ++i) {
+    EXPECT_EQ(partial.experiments[i].id, i);
+    EXPECT_EQ(partial.experiments[i].outcome, full.experiments[i].outcome);
+    EXPECT_EQ(partial.experiments[i].fault.bits, full.experiments[i].fault.bits);
+  }
+}
+
+TEST(ControllerTest, PresetStopMatchesLegacyStopFlag) {
+  const CampaignConfig config = small_campaign(20);
+  const auto factory = make_tvm_pi_factory(paper_pi_config());
+
+  const std::atomic<bool> stop{true};
+  CampaignRunner legacy(config);
+  legacy.set_stop_flag(&stop);
+  const CampaignResult via_flag = legacy.run(factory);
+
+  CampaignController controller;
+  controller.stop();
+  CampaignRunner modern(config);
+  modern.set_controller(&controller);
+  const CampaignResult via_controller = modern.run(factory);
+
+  EXPECT_EQ(via_flag.interrupted, via_controller.interrupted);
+  EXPECT_TRUE(via_controller.interrupted);
+  EXPECT_TRUE(via_controller.experiments.empty());
+  // The golden run still happened: a drained partial database stays usable.
+  EXPECT_EQ(via_flag.golden.outputs, via_controller.golden.outputs);
+}
+
+TEST(ControllerTest, WorkerCapDrainsWithoutDeadlock) {
+  CampaignConfig config = small_campaign(24);
+  const auto factory = make_tvm_pi_factory(paper_pi_config());
+  const CampaignResult serial = CampaignRunner(config).run(factory);
+
+  config.workers = 4;
+  CampaignController controller;
+  controller.set_workers(1);  // workers 1..3 park; worker 0 drains the queue
+  CampaignRunner runner(config);
+  runner.set_controller(&controller);
+  const CampaignResult capped = runner.run(factory);
+
+  EXPECT_FALSE(capped.interrupted);
+  expect_same_experiments(serial, capped);
+}
+
+TEST(ControllerTest, ConcurrentCommandsKeepPrefixContiguous) {
+  CampaignConfig config = small_campaign(60);
+  config.workers = 3;
+  const auto factory = make_tvm_pi_factory(paper_pi_config());
+
+  CampaignController controller;
+  CampaignRunner runner(config);
+  runner.set_controller(&controller);
+
+  // Hammer the control plane from two threads while the campaign runs —
+  // primarily a TSan exercise; the invariant checked after is the
+  // contiguous completed prefix.
+  std::atomic<bool> done{false};
+  std::thread pauser([&] {
+    while (!done.load()) {
+      controller.pause();
+      controller.set_workers(2);
+      std::this_thread::yield();
+      controller.resume();
+      controller.set_workers(0);
+    }
+  });
+  std::thread extender([&] {
+    for (int i = 0; i < 3 && !done.load(); ++i) {
+      controller.extend(1);
+      std::this_thread::yield();
+    }
+    controller.stop();
+  });
+
+  const CampaignResult result = runner.run(factory);
+  done.store(true);
+  pauser.join();
+  extender.join();
+
+  for (std::size_t i = 0; i < result.experiments.size(); ++i) {
+    EXPECT_EQ(result.experiments[i].id, i);
+  }
+}
+
+}  // namespace
+}  // namespace earl::fi

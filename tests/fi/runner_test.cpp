@@ -4,6 +4,7 @@
 
 #include <atomic>
 
+#include "fi/controller.hpp"
 #include "fi/workloads.hpp"
 
 namespace earl::fi {
@@ -176,6 +177,9 @@ TEST(RunnerTest, PresetCampaignSizesMatchPaper) {
   EXPECT_EQ(table2_campaign().iterations, 650u);
 }
 
+// The set_stop_flag tests below deliberately keep exercising the deprecated
+// shim; controller_test.cpp covers the CampaignController::stop() path and
+// the equivalence between the two.
 TEST(RunnerTest, PresetStopFlagDrainsImmediately) {
   CampaignRunner runner(small_campaign(20));
   const std::atomic<bool> stop{true};
@@ -188,18 +192,25 @@ TEST(RunnerTest, PresetStopFlagDrainsImmediately) {
   EXPECT_FALSE(result.golden.outputs.empty());
 }
 
-/// Observer that raises the stop flag after a fixed number of completions.
+/// Observer that requests a stop after a fixed number of completions,
+/// through either the legacy flag or a controller.
 class StopAfterObserver final : public obs::CampaignObserver {
  public:
   StopAfterObserver(std::atomic<bool>* stop, std::size_t after)
       : stop_(stop), after_(after) {}
+  StopAfterObserver(CampaignController* controller, std::size_t after)
+      : controller_(controller), after_(after) {}
   void on_experiment_done(std::size_t, const ExperimentResult&,
                           std::uint64_t) override {
-    if (done_.fetch_add(1) + 1 >= after_) stop_->store(true);
+    if (done_.fetch_add(1) + 1 >= after_) {
+      if (stop_ != nullptr) stop_->store(true);
+      if (controller_ != nullptr) controller_->stop();
+    }
   }
 
  private:
-  std::atomic<bool>* stop_;
+  std::atomic<bool>* stop_ = nullptr;
+  CampaignController* controller_ = nullptr;
   std::size_t after_;
   std::atomic<std::size_t> done_{0};
 };
@@ -225,16 +236,16 @@ TEST(RunnerTest, StopFlagYieldsConsistentPrefixSerial) {
   }
 }
 
-TEST(RunnerTest, StopFlagYieldsConsistentPrefixParallel) {
+TEST(RunnerTest, StopYieldsConsistentPrefixParallel) {
   CampaignConfig config = small_campaign(40);
   config.workers = 4;
   const auto factory = make_tvm_pi_factory(paper_pi_config());
   const CampaignResult full = CampaignRunner(small_campaign(40)).run(factory);
 
-  std::atomic<bool> stop{false};
-  StopAfterObserver observer(&stop, 8);
+  CampaignController controller;
+  StopAfterObserver observer(&controller, 8);
   CampaignRunner runner(config);
-  runner.set_stop_flag(&stop);
+  runner.set_controller(&controller);
   const CampaignResult partial = runner.run(factory, &observer);
 
   EXPECT_TRUE(partial.interrupted);

@@ -140,6 +140,24 @@ TEST(EventsTest, ExperimentEventRoundTrip) {
   EXPECT_EQ(field_of(e, "wall_ns"), "52000");
 }
 
+TEST(EventsTest, CampaignExtendedEventCarriesNewTotal) {
+  std::ostringstream sink;
+  JsonlEventLogger logger(sink);
+  fi::CampaignConfig config;
+  config.experiments = 20;
+  CampaignStartInfo info;
+  info.workers = 2;
+  logger.on_campaign_start(config, info);
+  logger.on_campaign_extended(1, 30);
+  logger.flush();
+
+  const std::vector<std::string> lines = lines_of(sink.str());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(field_of(lines[1], "event"), "campaign_extended");
+  EXPECT_EQ(field_of(lines[1], "worker"), "1");
+  EXPECT_EQ(field_of(lines[1], "experiments"), "30");
+}
+
 TEST(EventsTest, ValueFailureEventCarriesDeviationFacts) {
   std::ostringstream sink;
   JsonlEventLogger logger(sink);

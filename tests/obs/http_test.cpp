@@ -693,5 +693,249 @@ TEST(TelemetryServerTest, ServeDoesNotPerturbCampaign) {
   EXPECT_NE(response.body.find("\"state\":\"done\""), std::string::npos);
 }
 
+// ----------------------------------------------------- control-plane tests
+
+/// One-shot POST with "Connection: close" and an optional Authorization
+/// header value ("Bearer s3cret").
+bool http_post(std::uint16_t port, const std::string& target,
+               ClientResponse* out, const std::string& auth = "") {
+  const int fd = connect_local(port);
+  if (fd < 0) return false;
+  std::string request = "POST " + target + " HTTP/1.1\r\nHost: t\r\n";
+  if (!auth.empty()) request += "Authorization: " + auth + "\r\n";
+  request += "Connection: close\r\n\r\n";
+  const bool sent = send_all(fd, request);
+  const bool got = sent && read_response(fd, &out->raw);
+  ::close(fd);
+  if (!got) return false;
+  out->status = std::atoi(out->raw.c_str() + 9);
+  const std::size_t body = out->raw.find("\r\n\r\n");
+  out->body = body == std::string::npos ? "" : out->raw.substr(body + 4);
+  return true;
+}
+
+TEST(HttpParseTest, QueryParamsDecode) {
+  HttpRequest request;
+  std::size_t consumed = 0;
+  ASSERT_EQ(parse_http_request(
+                "POST /control/extend?n=50&x=a%20b+c HTTP/1.1\r\n\r\n",
+                &request, &consumed),
+            HttpParse::kOk);
+  EXPECT_EQ(request.path(), "/control/extend");
+  EXPECT_EQ(request.query(), "n=50&x=a%20b+c");
+  EXPECT_EQ(request.query_param("n"), "50");
+  EXPECT_EQ(request.query_param("x"), "a b c");
+  EXPECT_EQ(request.query_param("missing"), "");
+}
+
+TEST(ControlPlaneTest, PostOnlyAndControllerRequired) {
+  TelemetryServer server(TelemetryServer::Options{});
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  // GET on a control path is a method error, not a 404.
+  ClientResponse response;
+  ASSERT_TRUE(http_get(server.port(), "/control/pause", &response));
+  EXPECT_EQ(response.status, 405);
+  EXPECT_NE(response.body.find("POST-only"), std::string::npos);
+
+  // POST without an attached controller: telemetry is up, control is not.
+  ASSERT_TRUE(http_post(server.port(), "/control/pause", &response));
+  EXPECT_EQ(response.status, 503);
+  EXPECT_NE(response.body.find("no campaign controller"), std::string::npos);
+}
+
+TEST(ControlPlaneTest, PauseResumeStopFlow) {
+  MetricsRegistry registry;
+  TelemetryServer server(TelemetryServer::Options{}, &registry);
+  fi::CampaignController controller;
+  server.set_controller(&controller);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  fi::CampaignConfig config;
+  config.name = "ctl";
+  config.experiments = 10;
+  CampaignStartInfo info;
+  info.workers = 2;
+  server.on_campaign_start(config, info);
+
+  ClientResponse response;
+  ASSERT_TRUE(http_post(server.port(), "/control/pause", &response));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"command\":\"pause\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"state\":\"paused\""), std::string::npos);
+  EXPECT_EQ(controller.state(), fi::CampaignController::State::kPaused);
+
+  // The pause is visible on the passive surfaces too.
+  ASSERT_TRUE(http_get(server.port(), "/progress", &response));
+  EXPECT_NE(response.body.find("\"state\":\"paused\""), std::string::npos);
+  ASSERT_TRUE(http_get(server.port(), "/metrics", &response));
+  EXPECT_NE(response.body.find("earl_campaign_state{state=\"paused\"} 1"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("earl_campaign_state{state=\"running\"} 0"),
+            std::string::npos);
+  EXPECT_NE(
+      response.body.find("earl_control_commands_total{command=\"pause\"} 1"),
+      std::string::npos);
+
+  ASSERT_TRUE(http_post(server.port(), "/control/resume", &response));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"state\":\"running\""), std::string::npos);
+
+  ASSERT_TRUE(http_post(server.port(), "/control/stop", &response));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"state\":\"draining\""), std::string::npos);
+  EXPECT_TRUE(controller.stop_requested());
+
+  // Draining campaigns reject growth.
+  ASSERT_TRUE(http_post(server.port(), "/control/extend?n=5", &response));
+  EXPECT_EQ(response.status, 409);
+}
+
+TEST(ControlPlaneTest, ExtendAndWorkersValidation) {
+  TelemetryServer server(TelemetryServer::Options{});
+  fi::CampaignController controller;
+  controller.bind_base_experiments(100);
+  server.set_controller(&controller);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  ClientResponse response;
+  ASSERT_TRUE(http_post(server.port(), "/control/extend", &response));
+  EXPECT_EQ(response.status, 400);
+  ASSERT_TRUE(http_post(server.port(), "/control/extend?n=0", &response));
+  EXPECT_EQ(response.status, 400);
+  ASSERT_TRUE(http_post(server.port(), "/control/extend?n=junk", &response));
+  EXPECT_EQ(response.status, 400);
+  ASSERT_TRUE(http_post(server.port(), "/control/extend?n=25", &response));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"target_experiments\":125"),
+            std::string::npos);
+  EXPECT_EQ(controller.target_experiments(), 125u);
+
+  ASSERT_TRUE(http_post(server.port(), "/control/workers", &response));
+  EXPECT_EQ(response.status, 400);
+  ASSERT_TRUE(http_post(server.port(), "/control/workers?n=2", &response));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"worker_cap\":2"), std::string::npos);
+  EXPECT_EQ(controller.worker_cap(), 2u);
+
+  ASSERT_TRUE(http_post(server.port(), "/control/frobnicate", &response));
+  EXPECT_EQ(response.status, 404);
+}
+
+TEST(ControlPlaneTest, BearerTokenGuardsControlButNotTelemetry) {
+  TelemetryServer::Options options;
+  options.bearer_token = "s3cret";
+  TelemetryServer server(options);
+  fi::CampaignController controller;
+  server.set_controller(&controller);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  ClientResponse response;
+  ASSERT_TRUE(http_post(server.port(), "/control/pause", &response));
+  EXPECT_EQ(response.status, 401);
+  ASSERT_TRUE(
+      http_post(server.port(), "/control/pause", &response, "Bearer nope"));
+  EXPECT_EQ(response.status, 401);
+  ASSERT_TRUE(
+      http_post(server.port(), "/control/pause", &response, "Bearer s3cret"));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(controller.state(), fi::CampaignController::State::kPaused);
+
+  // The read-only surfaces stay open: observability is never locked out.
+  ASSERT_TRUE(http_get(server.port(), "/metrics", &response));
+  EXPECT_EQ(response.status, 200);
+  ASSERT_TRUE(http_get(server.port(), "/progress", &response));
+  EXPECT_EQ(response.status, 200);
+}
+
+TEST(ControlPlaneTest, ControlCommandsAppearOnSse) {
+  TelemetryServer server(TelemetryServer::Options{});
+  fi::CampaignController controller;
+  server.set_controller(&controller);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  ClientResponse response;
+  ASSERT_TRUE(http_post(server.port(), "/control/pause", &response));
+  ASSERT_TRUE(http_post(server.port(), "/control/resume", &response));
+
+  const int fd = connect_local(server.port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(send_all(fd, "GET /events HTTP/1.1\r\nHost: t\r\n\r\n"));
+  timeval timeout{5, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+  std::string buffer;
+  char chunk[1024];
+  while (buffer.find("\"command\":\"resume\"") == std::string::npos) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    ASSERT_GT(n, 0) << "SSE stream ended before the control events";
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(buffer.find("event: control"), std::string::npos);
+  EXPECT_NE(buffer.find("\"command\":\"pause\""), std::string::npos);
+  server.stop();
+}
+
+// The acceptance flow: a campaign paused, extended and resumed purely over
+// HTTP produces results identical to a fresh campaign of the final size.
+TEST(ControlPlaneTest, HttpPauseExtendResumeMatchesFreshCampaign) {
+  const auto factory = fi::make_tvm_pi_factory(fi::paper_pi_config());
+  const fi::CampaignResult fresh =
+      fi::CampaignRunner(small_campaign(40, 2)).run(factory);
+
+  MetricsRegistry registry;
+  TelemetryServer server(TelemetryServer::Options{}, &registry);
+  fi::CampaignController controller;
+  server.set_controller(&controller);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  // Pause before launch: the workers park at their first claim, which
+  // makes the whole flow deterministic (nothing can drain early).
+  ClientResponse response;
+  ASSERT_TRUE(http_post(server.port(), "/control/pause", &response));
+  ASSERT_EQ(response.status, 200);
+
+  const fi::CampaignConfig config = small_campaign(30, 2);
+  fi::CampaignRunner runner(config);
+  runner.set_controller(&controller);
+  fi::CampaignResult observed;
+  std::thread campaign(
+      [&] { observed = runner.run(factory, &server); });
+
+  while (controller.parked_workers() < 2) std::this_thread::yield();
+  ASSERT_TRUE(http_get(server.port(), "/progress", &response));
+  EXPECT_NE(response.body.find("\"state\":\"paused\""), std::string::npos);
+
+  ASSERT_TRUE(http_post(server.port(), "/control/extend?n=10", &response));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"target_experiments\":40"),
+            std::string::npos);
+  // /progress already advertises the extended total while still paused.
+  ASSERT_TRUE(http_get(server.port(), "/progress", &response));
+  EXPECT_NE(response.body.find("\"total\":40"), std::string::npos);
+
+  ASSERT_TRUE(http_post(server.port(), "/control/resume", &response));
+  EXPECT_EQ(response.status, 200);
+  campaign.join();
+
+  EXPECT_FALSE(observed.interrupted);
+  EXPECT_EQ(observed.config.experiments, 40u);
+  expect_same_outcomes(fresh, observed);
+
+  // The pause left its trace on the metrics surface.
+  ASSERT_TRUE(http_get(server.port(), "/metrics", &response));
+  EXPECT_NE(
+      response.body.find("earl_control_commands_total{command=\"extend\"} 1"),
+      std::string::npos);
+  ASSERT_TRUE(http_get(server.port(), "/progress", &response));
+  EXPECT_NE(response.body.find("\"done\":40"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace earl::obs

@@ -173,6 +173,54 @@ TEST(ProgressReporterTest, SelfClockedSnapshotTracksCampaign) {
   EXPECT_DOUBLE_EQ(reporter.snapshot().elapsed_s, frozen);
 }
 
+TEST(ProgressReporterTest, PausedTimeIsExcludedFromElapsed) {
+  ProgressReporter::Options options;
+  options.sink = nullptr;
+  ProgressReporter reporter(options);
+  std::uint64_t paused_ns = 0;
+  reporter.set_paused_ns_source([&paused_ns] { return paused_ns; });
+
+  fi::CampaignConfig config;
+  config.experiments = 10;
+  reporter.on_campaign_start(config, CampaignStartInfo{});
+  fi::ExperimentResult result;
+  reporter.on_experiment_done(0, result, 500);
+
+  // A paused span longer than the wall clock itself (only possible with a
+  // fake source): the reporter clamps the pause to wall time, so active
+  // time bottoms out at zero instead of going negative and paused_s never
+  // exceeds what a scraper could have observed.
+  paused_ns = 3'600'000'000'000ull;  // one hour
+  ProgressSnapshot snapshot = reporter.snapshot();
+  EXPECT_DOUBLE_EQ(snapshot.elapsed_s, 0.0);
+  EXPECT_GT(snapshot.paused_s, 0.0);
+  EXPECT_LT(snapshot.paused_s, 3600.0);
+  // The clamped snapshot still renders finite JSON with a paused_s field.
+  const std::string json = render_progress_json(snapshot);
+  EXPECT_EQ(json.find("inf"), std::string::npos) << json;
+  EXPECT_EQ(json.find("nan"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"paused_s\":"), std::string::npos) << json;
+
+  // No pause: elapsed time flows normally again.
+  paused_ns = 0;
+  snapshot = reporter.snapshot();
+  EXPECT_GE(snapshot.elapsed_s, 0.0);
+  EXPECT_DOUBLE_EQ(snapshot.paused_s, 0.0);
+}
+
+TEST(ProgressReporterTest, ExtendRaisesTheTotalMonotonically) {
+  ProgressReporter::Options options;
+  options.sink = nullptr;
+  ProgressReporter reporter(options);
+  fi::CampaignConfig config;
+  config.experiments = 10;
+  reporter.on_campaign_start(config, CampaignStartInfo{});
+  reporter.on_campaign_extended(0, 25);
+  EXPECT_EQ(reporter.snapshot().total, 25u);
+  reporter.on_campaign_extended(1, 20);  // stale lower total: ignored
+  EXPECT_EQ(reporter.snapshot().total, 25u);
+}
+
 TEST(ProgressReporterTest, TalliesGroupOutcomes) {
   ProgressReporter::Options options;
   options.sink = tmpfile();

@@ -1,0 +1,186 @@
+#include "cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace earl::cli {
+namespace {
+
+/// argv adapter: gtest-local mutable copy of string literals.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : storage_(std::move(args)) {
+    pointers_.push_back(program_.data());
+    for (std::string& arg : storage_) pointers_.push_back(arg.data());
+  }
+  int argc() const { return static_cast<int>(pointers_.size()); }
+  char** argv() { return pointers_.data(); }
+
+ private:
+  std::string program_ = "prog";
+  std::vector<std::string> storage_;
+  std::vector<char*> pointers_;
+};
+
+TEST(CliParseU64Test, AcceptsStrictDecimal) {
+  std::uint64_t value = 0;
+  EXPECT_TRUE(parse_u64("0", &value));
+  EXPECT_EQ(value, 0u);
+  EXPECT_TRUE(parse_u64("18446744073709551615", &value));
+  EXPECT_EQ(value, ~std::uint64_t{0});
+}
+
+TEST(CliParseU64Test, RejectsJunkAndOverflow) {
+  std::uint64_t value = 0;
+  EXPECT_FALSE(parse_u64("", &value));
+  EXPECT_FALSE(parse_u64("-1", &value));
+  EXPECT_FALSE(parse_u64("12x", &value));
+  EXPECT_FALSE(parse_u64("0x10", &value));
+  EXPECT_FALSE(parse_u64("18446744073709551616", &value));  // 2^64
+  EXPECT_FALSE(parse_u64("99999999999999999999999", &value));
+}
+
+struct Outputs {
+  bool verbose = false;
+  bool help = false;
+  std::string db;
+  std::uint64_t seed = 0;
+  std::size_t experiments = 0;
+  std::string path;
+};
+
+Parser build(Outputs* out) {
+  Parser parser("prog", "a test program", "prog FILE [options]");
+  parser.add_positional(&out->path);
+  parser.add_flag("--verbose", "print more", &out->verbose);
+  parser.add_string("--database", "FILE", "results database", &out->db);
+  parser.add_u64("--seed", "S", "rng seed", &out->seed);
+  parser.add_size("--experiments", "N",
+                  "fault injections to run\n(default 100)",
+                  &out->experiments);
+  parser.add_alias("-n", "N", "shorthand for --experiments", "--experiments");
+  parser.add_flag("--help", "", &out->help);
+  parser.add_hidden_alias("-h", "--help");
+  return parser;
+}
+
+TEST(CliParserTest, ParsesTypedFlagsAndValues) {
+  Outputs out;
+  const Parser parser = build(&out);
+  Argv argv({"--verbose", "--database", "results.csv", "--seed", "2250",
+             "--experiments", "40", "run.jsonl"});
+  ASSERT_TRUE(parser.parse(argv.argc(), argv.argv()));
+  EXPECT_TRUE(out.verbose);
+  EXPECT_EQ(out.db, "results.csv");
+  EXPECT_EQ(out.seed, 2250u);
+  EXPECT_EQ(out.experiments, 40u);
+  EXPECT_EQ(out.path, "run.jsonl");
+}
+
+TEST(CliParserTest, AliasesResolveToTarget) {
+  Outputs out;
+  const Parser parser = build(&out);
+  Argv argv({"-n", "25", "-h"});
+  ASSERT_TRUE(parser.parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(out.experiments, 25u);
+  EXPECT_TRUE(out.help);
+}
+
+TEST(CliParserTest, RejectsUnknownOption) {
+  Outputs out;
+  const Parser parser = build(&out);
+  Argv argv({"--frobnicate"});
+  EXPECT_FALSE(parser.parse(argv.argc(), argv.argv()));
+}
+
+TEST(CliParserTest, RejectsMissingValue) {
+  Outputs out;
+  const Parser parser = build(&out);
+  Argv argv({"--seed"});
+  EXPECT_FALSE(parser.parse(argv.argc(), argv.argv()));
+}
+
+TEST(CliParserTest, RejectsInvalidUnsigned) {
+  Outputs out;
+  const Parser parser = build(&out);
+  Argv argv({"--seed", "twelve"});
+  EXPECT_FALSE(parser.parse(argv.argc(), argv.argv()));
+}
+
+TEST(CliParserTest, SecondPositionalIsAnError) {
+  Outputs out;
+  const Parser parser = build(&out);
+  Argv argv({"first.jsonl", "second.jsonl"});
+  EXPECT_FALSE(parser.parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(out.path, "first.jsonl");
+}
+
+TEST(CliParserTest, CustomHandlerRejectionFailsParse) {
+  std::optional<int> figure;
+  Parser parser("prog", "t", "prog");
+  parser.add_custom("--figure", "N", "7, 8 or 9",
+                    [&figure](const std::string& value) {
+                      if (value != "7" && value != "8" && value != "9") {
+                        return false;
+                      }
+                      figure = value[0] - '0';
+                      return true;
+                    });
+  Argv good({"--figure", "8"});
+  ASSERT_TRUE(parser.parse(good.argc(), good.argv()));
+  EXPECT_EQ(figure, 8);
+  Argv bad({"--figure", "6"});
+  EXPECT_FALSE(parser.parse(bad.argc(), bad.argv()));
+}
+
+TEST(CliParserTest, HelpLayoutIsGolden) {
+  Outputs out;
+  const Parser parser = build(&out);
+  // Registration order, description column at 20, multi-line help indented
+  // to the column, alias rows shown, hidden aliases (-h) absent, bare
+  // rows (--help) without trailing padding.
+  EXPECT_EQ(parser.help_text(),
+            "prog — a test program\n"
+            "\n"
+            "usage: prog FILE [options]\n"
+            "  --verbose         print more\n"
+            "  --database FILE   results database\n"
+            "  --seed S          rng seed\n"
+            "  --experiments N   fault injections to run\n"
+            "                    (default 100)\n"
+            "  -n N              shorthand for --experiments\n"
+            "  --help\n");
+}
+
+TEST(CliParserTest, NoteRowsRenderButNeverParse) {
+  Parser parser("prog", "t", "prog [options]");
+  bool flag = false;
+  parser.add_note("(no options)", "do the default thing");
+  parser.add_flag("--flag", "a flag", &flag);
+  EXPECT_EQ(parser.help_text(),
+            "prog — t\n"
+            "\n"
+            "usage: prog [options]\n"
+            "  (no options)      do the default thing\n"
+            "  --flag            a flag\n");
+  Argv argv({"(no options)"});
+  EXPECT_FALSE(parser.parse(argv.argc(), argv.argv()));
+}
+
+TEST(CliParserTest, LongLabelStillGetsTwoSpaces) {
+  Parser parser("prog", "t", "prog");
+  std::string value;
+  parser.add_string("--a-rather-long-option", "METAVAR", "text", &value);
+  EXPECT_EQ(parser.help_text(),
+            "prog — t\n"
+            "\n"
+            "usage: prog\n"
+            "  --a-rather-long-option METAVAR  text\n");
+}
+
+}  // namespace
+}  // namespace earl::cli

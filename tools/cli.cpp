@@ -1,0 +1,208 @@
+#include "cli.hpp"
+
+#include <cstdio>
+
+namespace earl::cli {
+
+namespace {
+
+/// Column where option descriptions start ("  --workload W      alg1...").
+constexpr std::size_t kHelpColumn = 20;
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    const std::size_t end = text.find('\n', begin);
+    if (end == std::string::npos) {
+      lines.push_back(text.substr(begin));
+      break;
+    }
+    lines.push_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return lines;
+}
+
+}  // namespace
+
+bool parse_u64(const std::string& text, std::uint64_t* out) {
+  if (text.empty() || text.size() > 20) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (~std::uint64_t{0} - digit) / 10) return false;  // overflow
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+Parser::Parser(std::string program, std::string tagline,
+               std::string usage_line)
+    : program_(std::move(program)),
+      tagline_(std::move(tagline)),
+      usage_line_(std::move(usage_line)) {}
+
+void Parser::add_flag(const std::string& name, const std::string& help,
+                      bool* out) {
+  Option option;
+  option.name = name;
+  option.help_lines = split_lines(help);
+  option.takes_value = false;
+  option.apply = [out](const std::string&) {
+    *out = true;
+    return true;
+  };
+  options_.push_back(std::move(option));
+}
+
+void Parser::add_string(const std::string& name, const std::string& metavar,
+                        const std::string& help, std::string* out) {
+  add_custom(name, metavar, help, [out](const std::string& value) {
+    *out = value;
+    return true;
+  });
+}
+
+void Parser::add_u64(const std::string& name, const std::string& metavar,
+                     const std::string& help, std::uint64_t* out) {
+  add_custom(name, metavar, help, [name, out](const std::string& value) {
+    if (!parse_u64(value, out)) {
+      std::fprintf(stderr,
+                   "invalid value '%s' for '%s' (expected unsigned integer)\n",
+                   value.c_str(), name.c_str());
+      return false;
+    }
+    return true;
+  });
+}
+
+void Parser::add_size(const std::string& name, const std::string& metavar,
+                      const std::string& help, std::size_t* out) {
+  add_custom(name, metavar, help, [name, out](const std::string& value) {
+    std::uint64_t parsed = 0;
+    if (!parse_u64(value, &parsed)) {
+      std::fprintf(stderr,
+                   "invalid value '%s' for '%s' (expected unsigned integer)\n",
+                   value.c_str(), name.c_str());
+      return false;
+    }
+    *out = static_cast<std::size_t>(parsed);
+    return true;
+  });
+}
+
+void Parser::add_custom(const std::string& name, const std::string& metavar,
+                        const std::string& help, ValueHandler handler) {
+  Option option;
+  option.name = name;
+  option.metavar = metavar;
+  option.help_lines = split_lines(help);
+  option.takes_value = true;
+  option.apply = std::move(handler);
+  options_.push_back(std::move(option));
+}
+
+void Parser::add_alias(const std::string& name, const std::string& metavar,
+                       const std::string& help, const std::string& target) {
+  Option option;
+  option.name = name;
+  option.metavar = metavar;
+  option.help_lines = split_lines(help);
+  option.alias_of = target;
+  const Option* resolved = find(target);
+  option.takes_value = resolved != nullptr && resolved->takes_value;
+  options_.push_back(std::move(option));
+}
+
+void Parser::add_hidden_alias(const std::string& name,
+                              const std::string& target) {
+  add_alias(name, "", "", target);
+  options_.back().show_in_help = false;
+}
+
+void Parser::add_note(const std::string& label, const std::string& help) {
+  Option option;
+  option.name = label;
+  option.help_lines = split_lines(help);
+  option.note = true;
+  options_.push_back(std::move(option));
+}
+
+void Parser::add_positional(std::string* out) { positional_ = out; }
+
+const Parser::Option* Parser::find(const std::string& name) const {
+  for (const Option& option : options_) {
+    if (!option.note && option.name == name) return &option;
+  }
+  return nullptr;
+}
+
+const Parser::Option* Parser::resolve(const Option* option) const {
+  while (option != nullptr && !option->alias_of.empty()) {
+    option = find(option->alias_of);
+  }
+  return option;
+}
+
+bool Parser::parse(int argc, char** argv) const {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const Option* option = resolve(find(arg));
+    if (option == nullptr) {
+      if (!arg.empty() && arg[0] != '-' && positional_ != nullptr &&
+          positional_->empty()) {
+        *positional_ = arg;
+        continue;
+      }
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return false;
+    }
+    if (!option->takes_value) {
+      if (!option->apply("")) return false;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for '%s'\n", arg.c_str());
+      return false;
+    }
+    if (!option->apply(argv[++i])) return false;
+  }
+  return true;
+}
+
+std::string Parser::help_text() const {
+  std::string out = program_ + " — " + tagline_ + "\n\n";
+  out += "usage: " + usage_line_ + "\n";
+  for (const Option& option : options_) {
+    if (!option.show_in_help) continue;
+    std::string label = "  " + option.name;
+    if (!option.metavar.empty()) label += " " + option.metavar;
+    const bool bare =
+        option.help_lines.empty() ||
+        (option.help_lines.size() == 1 && option.help_lines[0].empty());
+    if (bare) {
+      out += label + "\n";
+      continue;
+    }
+    if (label.size() + 2 > kHelpColumn) {
+      label += "  ";
+    } else {
+      label.append(kHelpColumn - label.size(), ' ');
+    }
+    out += label + option.help_lines[0] + "\n";
+    for (std::size_t i = 1; i < option.help_lines.size(); ++i) {
+      out += std::string(kHelpColumn, ' ') + option.help_lines[i] + "\n";
+    }
+  }
+  return out;
+}
+
+void Parser::print_help() const {
+  const std::string text = help_text();
+  std::fwrite(text.data(), 1, text.size(), stdout);
+}
+
+}  // namespace earl::cli

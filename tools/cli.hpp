@@ -1,0 +1,101 @@
+// Declarative command-line option table for the earl tools.
+//
+// Replaces the tools' hand-rolled argv loops with one registration-order
+// table per tool: typed flags (bool / string / unsigned), custom-validated
+// values, aliases with their own help rows, and at most one positional
+// argument.  `--help` output is generated from the table in registration
+// order, in the layout the tools have always printed (2-space indent,
+// description column at 20), so adding a flag cannot drift the help text
+// out of sync with the parser.
+//
+// Error behaviour is uniform across tools:
+//   unknown option '--frobnicate'
+//   missing value for '--seed'
+//   invalid value 'abc' for '--seed' (expected unsigned integer)
+// Custom handlers print their own message and return false; parse() then
+// returns false and the tool prints the full usage text.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace earl::cli {
+
+/// Strict unsigned-decimal parse (digits only, no overflow); false on
+/// anything else.  Exposed for custom handlers that want the same rules
+/// as add_u64.
+bool parse_u64(const std::string& text, std::uint64_t* out);
+
+class Parser {
+ public:
+  /// `program` and `tagline` render as "program — tagline"; `usage_line`
+  /// as "usage: <usage_line>".
+  Parser(std::string program, std::string tagline, std::string usage_line);
+
+  /// Custom value validator: parses/stores `value`, printing its own
+  /// error and returning false to reject.
+  using ValueHandler = std::function<bool(const std::string& value)>;
+
+  /// Multi-line `help` (embedded '\n') renders as continuation lines
+  /// indented to the description column.  An empty `help` renders the
+  /// flag row with no description (the "--help" row).
+  void add_flag(const std::string& name, const std::string& help, bool* out);
+  void add_string(const std::string& name, const std::string& metavar,
+                  const std::string& help, std::string* out);
+  void add_u64(const std::string& name, const std::string& metavar,
+               const std::string& help, std::uint64_t* out);
+  void add_size(const std::string& name, const std::string& metavar,
+                const std::string& help, std::size_t* out);
+  void add_custom(const std::string& name, const std::string& metavar,
+                  const std::string& help, ValueHandler handler);
+
+  /// A distinct spelling for `target` with its own help row ("-n N
+  /// shorthand for --experiments").  `target` must already be registered.
+  void add_alias(const std::string& name, const std::string& metavar,
+                 const std::string& help, const std::string& target);
+  /// Alias without a help row ("-h" for "--help").
+  void add_hidden_alias(const std::string& name, const std::string& target);
+
+  /// A help-only row rendered like an option ("(no options)   summary…")
+  /// but never matched during parsing.
+  void add_note(const std::string& label, const std::string& help);
+
+  /// At most one bare (non-flag) argument; a second one is an unknown
+  /// option.  Does not appear in the option rows (put it in usage_line).
+  void add_positional(std::string* out);
+
+  /// Applies argv to the registered outputs.  On failure an error line has
+  /// already been printed to stderr; the caller decides whether to print
+  /// the usage text.
+  bool parse(int argc, char** argv) const;
+
+  /// The full usage text, trailing newline included.
+  std::string help_text() const;
+  /// help_text() to stdout.
+  void print_help() const;
+
+ private:
+  struct Option {
+    std::string name;
+    std::string metavar;
+    std::vector<std::string> help_lines;  // empty = hidden from help
+    bool show_in_help = true;
+    bool note = false;  // help-only row, never parsed
+    bool takes_value = false;
+    ValueHandler apply;            // null for pure aliases
+    std::string alias_of;          // non-empty = delegate to that option
+  };
+
+  const Option* find(const std::string& name) const;
+  const Option* resolve(const Option* option) const;
+
+  std::string program_;
+  std::string tagline_;
+  std::string usage_line_;
+  std::vector<Option> options_;
+  std::string* positional_ = nullptr;
+};
+
+}  // namespace earl::cli

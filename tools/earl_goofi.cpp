@@ -13,19 +13,19 @@
 //   earl-goofi --workload alg2 --filter cache --save out.csv
 //   earl-goofi --analyze out.csv                             # analysis only
 //   earl-goofi --workload alg1 --replay 165 --save out.csv   # trace one
-#include <atomic>
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <memory>
 #include <optional>
 #include <string>
 
 #include "analysis/report.hpp"
+#include "cli.hpp"
 #include "codegen/emitter.hpp"
+#include "fi/controller.hpp"
 #include "fi/database.hpp"
 #include "fi/runner.hpp"
 #include "fi/workloads.hpp"
@@ -63,146 +63,159 @@ struct Options {
   bool serve = false;
   std::string serve_address = "127.0.0.1";
   std::uint16_t serve_port = 0;
+  std::string serve_token;
   bool help = false;
 };
 
-/// First SIGINT/SIGTERM requests a graceful drain; the handler restores the
-/// default disposition so a second signal force-kills a stuck campaign.
-std::atomic<bool> g_stop{false};
+/// The campaign control mailbox: shared by the signal handler (stop), the
+/// telemetry server's POST /control/* endpoints, and the runner's workers.
+fi::CampaignController g_controller;
 
+/// First SIGINT/SIGTERM requests a graceful drain (CampaignController::stop
+/// is async-signal-safe: one relaxed atomic store); the handler restores
+/// the default disposition so a second signal force-kills a stuck campaign.
 void handle_stop_signal(int sig) {
-  g_stop.store(true, std::memory_order_relaxed);
+  g_controller.stop();
   std::signal(sig, SIG_DFL);
 }
 
-void print_usage() {
-  std::puts(R"(earl-goofi — fault injection campaigns on the EARL stack
-
-usage: earl-goofi [options]
-  --workload W      alg1 | alg2 | alg2rate | trap        (default alg1)
-  --technique T     scifi (TVM scan chain) | swifi        (default scifi)
-  --experiments N   number of faults to inject            (default 1000)
-  -n N              shorthand for --experiments
-  --seed S          campaign seed                         (default 20010701)
-  --filter F        all | cache | registers               (default all)
-  --fault M         single | multi2 | multi4 | stuck0 | stuck1
-  --parity          enable the parity-protected data cache
-  --workers N       experiment worker threads (0 = hardware concurrency)
-  --progress        live progress line (completed/total, exp/s, ETA) on stderr
-  --events PATH     structured JSONL event log (one event per experiment)
-  --detail          GOOFI detail mode: per-iteration records in the event log
-                    (requires --events) and, for scifi, propagation capture
-                    on value failures; analyze offline with earl-trace
-  --trace-format F  iteration-record encoding in the event log:
-                    jsonl | compact (delta-encoded, ~10x smaller, bit-exact;
-                    requires --events)                     (default jsonl)
-  --metrics PATH    campaign metrics as JSON (PATH ending in .csv => CSV):
-                    instruction mix, cache hit/miss, per-EDM trigger counts,
-                    detection-latency histograms
-  --metrics-prom PATH  campaign metrics in Prometheus text format
-  --serve [A:]PORT  live telemetry server while the campaign runs:
-                    GET /metrics (Prometheus), /progress (JSON), /healthz
-                    (worker-stall watchdog), /events (SSE stream); address
-                    defaults to 127.0.0.1, port must be nonzero
-  --save PATH       write the result database as CSV (streamed while the
-                    campaign runs; --db is an alias)
-  --db PATH         alias for --save
-  --analyze PATH    skip injection; re-analyze a saved database
-  --replay ID       after the campaign, print experiment ID's output trace
-  --help)");
-}
-
-bool parse(int argc, char** argv, Options* options) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      return i + 1 < argc ? argv[++i] : nullptr;
-    };
-    if (arg == "--help" || arg == "-h") {
-      options->help = true;
-    } else if (arg == "--workload") {
-      if (const char* v = next()) options->workload = v; else return false;
-    } else if (arg == "--technique") {
-      if (const char* v = next()) options->technique = v; else return false;
-    } else if (arg == "--experiments" || arg == "-n") {
-      if (const char* v = next()) options->experiments = std::strtoull(v, nullptr, 10);
-      else return false;
-    } else if (arg == "--seed") {
-      if (const char* v = next()) options->seed = std::strtoull(v, nullptr, 10);
-      else return false;
-    } else if (arg == "--filter") {
-      if (const char* v = next()) options->filter = v; else return false;
-    } else if (arg == "--fault") {
-      if (const char* v = next()) options->fault = v; else return false;
-    } else if (arg == "--parity") {
-      options->parity = true;
-    } else if (arg == "--workers") {
-      if (const char* v = next()) options->workers = std::strtoull(v, nullptr, 10);
-      else return false;
-    } else if (arg == "--progress") {
-      options->progress = true;
-    } else if (arg == "--events") {
-      if (const char* v = next()) options->events_path = v; else return false;
-    } else if (arg == "--detail") {
-      options->detail = true;
-    } else if (arg == "--trace-format") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      const std::optional<obs::TraceFormat> format =
-          obs::parse_trace_format(v);
-      if (!format) {
-        std::fprintf(stderr, "unknown trace format '%s' (jsonl | compact)\n",
-                     v);
-        return false;
-      }
-      options->trace_format = *format;
-      options->trace_format_set = true;
-    } else if (arg == "--metrics") {
-      if (const char* v = next()) options->metrics_path = v; else return false;
-    } else if (arg == "--metrics-prom") {
-      if (const char* v = next()) options->metrics_prom_path = v;
-      else return false;
-    } else if (arg == "--serve") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      std::string port_text = v;
-      const std::size_t colon = port_text.rfind(':');
-      if (colon != std::string::npos) {
-        options->serve_address = port_text.substr(0, colon);
-        port_text = port_text.substr(colon + 1);
-      }
-      if (port_text.empty() || options->serve_address.empty() ||
-          port_text.find_first_not_of("0123456789") != std::string::npos) {
-        std::fprintf(stderr,
-                     "--serve wants [ADDRESS:]PORT (e.g. 9464 or "
-                     "0.0.0.0:9464), got '%s'\n",
-                     v);
-        return false;
-      }
-      const unsigned long port = std::strtoul(port_text.c_str(), nullptr, 10);
-      if (port == 0 || port > 65535) {
-        std::fprintf(stderr,
-                     "--serve port must be 1-65535, got '%s' (port 0 would "
-                     "bind an arbitrary port your scraper cannot find; pick "
-                     "one, e.g. --serve 9464)\n",
-                     port_text.c_str());
-        return false;
-      }
-      options->serve = true;
-      options->serve_port = static_cast<std::uint16_t>(port);
-    } else if (arg == "--save" || arg == "--db") {
-      if (const char* v = next()) options->save_path = v; else return false;
-    } else if (arg == "--analyze") {
-      if (const char* v = next()) options->analyze_path = v; else return false;
-    } else if (arg == "--replay") {
-      if (const char* v = next()) options->replay_id = std::strtoull(v, nullptr, 10);
-      else return false;
-    } else {
-      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
-      return false;
-    }
-  }
-  return true;
+cli::Parser build_parser(Options& options) {
+  cli::Parser parser("earl-goofi",
+                     "fault injection campaigns on the EARL stack",
+                     "earl-goofi [options]");
+  parser.add_string("--workload", "W",
+                    "alg1 | alg2 | alg2rate | trap        (default alg1)",
+                    &options.workload);
+  parser.add_string("--technique", "T",
+                    "scifi (TVM scan chain) | swifi        (default scifi)",
+                    &options.technique);
+  parser.add_size("--experiments", "N",
+                  "number of faults to inject            (default 1000)",
+                  &options.experiments);
+  parser.add_alias("-n", "N", "shorthand for --experiments", "--experiments");
+  parser.add_u64("--seed", "S",
+                 "campaign seed                         (default 20010701)",
+                 &options.seed);
+  parser.add_string("--filter", "F",
+                    "all | cache | registers               (default all)",
+                    &options.filter);
+  parser.add_string("--fault", "M",
+                    "single | multi2 | multi4 | stuck0 | stuck1",
+                    &options.fault);
+  parser.add_flag("--parity", "enable the parity-protected data cache",
+                  &options.parity);
+  parser.add_size("--workers", "N",
+                  "experiment worker threads (0 = hardware concurrency)",
+                  &options.workers);
+  parser.add_flag(
+      "--progress",
+      "live progress line (completed/total, exp/s, ETA) on stderr",
+      &options.progress);
+  parser.add_string("--events", "PATH",
+                    "structured JSONL event log (one event per experiment)",
+                    &options.events_path);
+  parser.add_flag(
+      "--detail",
+      "GOOFI detail mode: per-iteration records in the event log\n"
+      "(requires --events) and, for scifi, propagation capture\n"
+      "on value failures; analyze offline with earl-trace",
+      &options.detail);
+  parser.add_custom(
+      "--trace-format", "F",
+      "iteration-record encoding in the event log:\n"
+      "jsonl | compact (delta-encoded, ~10x smaller, bit-exact;\n"
+      "requires --events)                     (default jsonl)",
+      [&options](const std::string& value) {
+        const std::optional<obs::TraceFormat> format =
+            obs::parse_trace_format(value);
+        if (!format) {
+          std::fprintf(stderr, "unknown trace format '%s' (jsonl | compact)\n",
+                       value.c_str());
+          return false;
+        }
+        options.trace_format = *format;
+        options.trace_format_set = true;
+        return true;
+      });
+  parser.add_string(
+      "--metrics", "PATH",
+      "campaign metrics as JSON (PATH ending in .csv => CSV):\n"
+      "instruction mix, cache hit/miss, per-EDM trigger counts,\n"
+      "detection-latency histograms",
+      &options.metrics_path);
+  parser.add_string("--metrics-prom", "PATH",
+                    "campaign metrics in Prometheus text format",
+                    &options.metrics_prom_path);
+  parser.add_custom(
+      "--serve", "[A:]PORT",
+      "live telemetry server while the campaign runs:\n"
+      "GET /metrics (Prometheus), /progress (JSON), /healthz\n"
+      "(worker-stall watchdog), /events (SSE stream), plus the\n"
+      "POST /control/{pause,resume,stop,extend,workers} campaign\n"
+      "control plane; address defaults to 127.0.0.1, port must\n"
+      "be nonzero",
+      [&options](const std::string& value) {
+        std::string port_text = value;
+        const std::size_t colon = port_text.rfind(':');
+        if (colon != std::string::npos) {
+          options.serve_address = port_text.substr(0, colon);
+          port_text = port_text.substr(colon + 1);
+        }
+        if (port_text.empty() || options.serve_address.empty() ||
+            port_text.find_first_not_of("0123456789") != std::string::npos) {
+          std::fprintf(stderr,
+                       "--serve wants [ADDRESS:]PORT (e.g. 9464 or "
+                       "0.0.0.0:9464), got '%s'\n",
+                       value.c_str());
+          return false;
+        }
+        const unsigned long port =
+            std::strtoul(port_text.c_str(), nullptr, 10);
+        if (port == 0 || port > 65535) {
+          std::fprintf(stderr,
+                       "--serve port must be 1-65535, got '%s' (port 0 would "
+                       "bind an arbitrary port your scraper cannot find; pick "
+                       "one, e.g. --serve 9464)\n",
+                       port_text.c_str());
+          return false;
+        }
+        options.serve = true;
+        options.serve_port = static_cast<std::uint16_t>(port);
+        return true;
+      });
+  parser.add_string(
+      "--serve-token", "T",
+      "require \"Authorization: Bearer T\" on the POST /control/*\n"
+      "endpoints (GET telemetry stays open; requires --serve)",
+      &options.serve_token);
+  parser.add_string(
+      "--save", "PATH",
+      "write the result database as CSV (streamed while the\n"
+      "campaign runs; --db is an alias)",
+      &options.save_path);
+  parser.add_alias("--db", "PATH", "alias for --save", "--save");
+  parser.add_string("--analyze", "PATH",
+                    "skip injection; re-analyze a saved database",
+                    &options.analyze_path);
+  parser.add_custom(
+      "--replay", "ID",
+      "after the campaign, print experiment ID's output trace",
+      [&options](const std::string& value) {
+        std::uint64_t id = 0;
+        if (!cli::parse_u64(value, &id)) {
+          std::fprintf(
+              stderr,
+              "invalid value '%s' for '--replay' (expected unsigned "
+              "integer)\n",
+              value.c_str());
+          return false;
+        }
+        options.replay_id = id;
+        return true;
+      });
+  parser.add_flag("--help", "", &options.help);
+  parser.add_hidden_alias("-h", "--help");
+  return parser;
 }
 
 /// Target factory plus the shared program image (null for swifi), which the
@@ -327,13 +340,18 @@ int analyze_only(const std::string& path) {
 
 int main(int argc, char** argv) {
   Options options;
-  if (!parse(argc, argv, &options)) {
-    print_usage();
+  const cli::Parser parser = build_parser(options);
+  if (!parser.parse(argc, argv)) {
+    parser.print_help();
     return 1;
   }
   if (options.help) {
-    print_usage();
+    parser.print_help();
     return 0;
+  }
+  if (!options.serve_token.empty() && !options.serve) {
+    std::fprintf(stderr, "--serve-token needs --serve [A:]PORT\n");
+    return 1;
   }
   if (!options.analyze_path.empty()) {
     // --analyze runs no campaign, so campaign-only flags are contradictions,
@@ -347,6 +365,7 @@ int main(int argc, char** argv) {
                            : !options.metrics_prom_path.empty()
                                ? "--metrics-prom"
                            : options.serve    ? "--serve"
+                           : !options.serve_token.empty() ? "--serve-token"
                            : options.progress ? "--progress"
                                               : nullptr;
     if (conflict != nullptr) {
@@ -441,7 +460,9 @@ int main(int argc, char** argv) {
     obs::TelemetryServer::Options serve_options;
     serve_options.address = options.serve_address;
     serve_options.port = options.serve_port;
+    serve_options.bearer_token = options.serve_token;
     server = std::make_unique<obs::TelemetryServer>(serve_options, &registry);
+    server->set_controller(&g_controller);
     std::string error;
     // Bind before the campaign so an occupied port fails fast.
     if (!server->start(&error)) {
@@ -454,17 +475,19 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("serving live telemetry on %s "
-                "(/metrics /progress /healthz /events)\n",
-                server->url().c_str());
+                "(/metrics /progress /healthz /events; POST /control/*%s)\n",
+                server->url().c_str(),
+                options.serve_token.empty() ? "" : " [bearer token]");
     multi.add(server.get());
   }
 
   fi::CampaignRunner runner(config);
-  // First SIGINT/SIGTERM drains gracefully: workers finish their current
-  // experiment, the partial database stays loadable, and a final /metrics
-  // scrape still works.  A second signal force-kills (handler resets to
-  // SIG_DFL).
-  runner.set_stop_flag(&g_stop);
+  // The control mailbox drives graceful drains and (with --serve) the
+  // remote pause/resume/extend/workers commands.  First SIGINT/SIGTERM
+  // drains gracefully: workers finish their current experiment, the
+  // partial database stays loadable, and a final /metrics scrape still
+  // works.  A second signal force-kills (handler resets to SIG_DFL).
+  runner.set_controller(&g_controller);
   std::signal(SIGINT, handle_stop_signal);
   std::signal(SIGTERM, handle_stop_signal);
   if (options.detail && bundle->program != nullptr) {
@@ -474,9 +497,11 @@ int main(int argc, char** argv) {
   const fi::CampaignResult result =
       runner.run(bundle->factory, multi.empty() ? nullptr : &multi);
   if (result.interrupted) {
+    // result.config.experiments reflects live extensions, not just the
+    // configured count.
     std::printf("\ncampaign interrupted after %zu/%zu experiments; the "
                 "completed prefix below is consistent and fully saved\n",
-                result.experiments.size(), config.experiments);
+                result.experiments.size(), result.config.experiments);
   }
   const analysis::CampaignReport report =
       analysis::CampaignReport::build(result);

@@ -20,8 +20,6 @@
 #include <algorithm>
 #include <array>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <optional>
 #include <string>
@@ -29,6 +27,7 @@
 #include <vector>
 
 #include "analysis/trace_reader.hpp"
+#include "cli.hpp"
 #include "obs/labels.hpp"
 #include "util/table.hpp"
 
@@ -49,85 +48,91 @@ struct Options {
   bool help = false;
 };
 
-void print_usage() {
-  std::puts(R"(earl-trace — offline analysis of recorded campaign event logs
-
-usage: earl-trace TRACE.jsonl [options]
-  (no options)      campaign summary: outcome tallies, detail coverage
-  --list            one line per experiment (after filters)
-  --waveform ID     faulty vs. fault-free output series of experiment ID
-                    (needs detail-mode iteration records)
-  --figure N        N in {7,8,9}: reconstruct the paper-figure waveform from
-                    the first matching specimen, byte-identical to the
-                    bench_figN output for the same campaign
-  --propagation     architectural propagation report per traced experiment
-  --outcome SLUG    filter: outcome slug (e.g. severe_permanent, detected)
-  --edm SLUG        filter: detection mechanism slug
-  --partition P     filter: cache | register
-  --id N            filter: a single experiment id
-  --help)");
-}
-
-bool parse(int argc, char** argv, Options* options) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      return i + 1 < argc ? argv[++i] : nullptr;
-    };
-    if (arg == "--help" || arg == "-h") {
-      options->help = true;
-    } else if (arg == "--list") {
-      options->list = true;
-    } else if (arg == "--propagation") {
-      options->propagation = true;
-    } else if (arg == "--waveform") {
-      if (const char* v = next()) {
-        options->waveform_id = std::strtoull(v, nullptr, 10);
-      } else {
-        return false;
-      }
-    } else if (arg == "--figure") {
-      if (const char* v = next()) options->figure = std::atoi(v);
-      else return false;
-    } else if (arg == "--outcome") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      options->outcome = obs::parse_outcome_slug(v);
-      if (!options->outcome) {
-        std::fprintf(stderr, "unknown outcome slug '%s'\n", v);
-        return false;
-      }
-    } else if (arg == "--edm") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      options->edm = obs::parse_edm_slug(v);
-      if (!options->edm) {
-        std::fprintf(stderr, "unknown edm slug '%s'\n", v);
-        return false;
-      }
-    } else if (arg == "--partition") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      if (std::strcmp(v, "cache") == 0) {
-        options->cache_partition = true;
-      } else if (std::strcmp(v, "register") == 0 ||
-                 std::strcmp(v, "registers") == 0) {
-        options->cache_partition = false;
-      } else {
-        std::fprintf(stderr, "unknown partition '%s'\n", v);
-        return false;
-      }
-    } else if (arg == "--id") {
-      if (const char* v = next()) options->id = std::strtoull(v, nullptr, 10);
-      else return false;
-    } else if (!arg.empty() && arg[0] != '-' && options->path.empty()) {
-      options->path = arg;
-    } else {
-      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+/// Strict-decimal handler storing into an optional<uint64_t> slot.
+cli::Parser::ValueHandler optional_u64(const std::string& name,
+                                       std::optional<std::uint64_t>* out) {
+  return [name, out](const std::string& value) {
+    std::uint64_t parsed = 0;
+    if (!cli::parse_u64(value, &parsed)) {
+      std::fprintf(stderr,
+                   "invalid value '%s' for '%s' (expected unsigned integer)\n",
+                   value.c_str(), name.c_str());
       return false;
     }
-  }
-  return true;
+    *out = parsed;
+    return true;
+  };
+}
+
+cli::Parser build_parser(Options* options) {
+  cli::Parser parser("earl-trace",
+                     "offline analysis of recorded campaign event logs",
+                     "earl-trace TRACE.jsonl [options]");
+  parser.add_positional(&options->path);
+  parser.add_note("(no options)",
+                  "campaign summary: outcome tallies, detail coverage");
+  parser.add_flag("--list", "one line per experiment (after filters)",
+                  &options->list);
+  parser.add_custom("--waveform", "ID",
+                    "faulty vs. fault-free output series of experiment ID\n"
+                    "(needs detail-mode iteration records)",
+                    optional_u64("--waveform", &options->waveform_id));
+  parser.add_custom(
+      "--figure", "N",
+      "N in {7,8,9}: reconstruct the paper-figure waveform from\n"
+      "the first matching specimen, byte-identical to the\n"
+      "bench_figN output for the same campaign",
+      [options](const std::string& value) {
+        std::uint64_t parsed = 0;
+        if (!cli::parse_u64(value, &parsed) || parsed > 9) {
+          std::fprintf(stderr, "--figure takes 7, 8 or 9\n");
+          return false;
+        }
+        options->figure = static_cast<int>(parsed);
+        return true;
+      });
+  parser.add_flag("--propagation",
+                  "architectural propagation report per traced experiment",
+                  &options->propagation);
+  parser.add_custom(
+      "--outcome", "SLUG",
+      "filter: outcome slug (e.g. severe_permanent, detected)",
+      [options](const std::string& value) {
+        options->outcome = obs::parse_outcome_slug(value.c_str());
+        if (!options->outcome) {
+          std::fprintf(stderr, "unknown outcome slug '%s'\n", value.c_str());
+          return false;
+        }
+        return true;
+      });
+  parser.add_custom("--edm", "SLUG", "filter: detection mechanism slug",
+                    [options](const std::string& value) {
+                      options->edm = obs::parse_edm_slug(value.c_str());
+                      if (!options->edm) {
+                        std::fprintf(stderr, "unknown edm slug '%s'\n",
+                                     value.c_str());
+                        return false;
+                      }
+                      return true;
+                    });
+  parser.add_custom("--partition", "P", "filter: cache | register",
+                    [options](const std::string& value) {
+                      if (value == "cache") {
+                        options->cache_partition = true;
+                      } else if (value == "register" || value == "registers") {
+                        options->cache_partition = false;
+                      } else {
+                        std::fprintf(stderr, "unknown partition '%s'\n",
+                                     value.c_str());
+                        return false;
+                      }
+                      return true;
+                    });
+  parser.add_custom("--id", "N", "filter: a single experiment id",
+                    optional_u64("--id", &options->id));
+  parser.add_flag("--help", "", &options->help);
+  parser.add_hidden_alias("-h", "--help");
+  return parser;
 }
 
 bool matches(const Options& options, const analysis::TraceExperiment& e) {
@@ -232,16 +237,17 @@ int print_summary(const analysis::StreamedTrace& trace,
 
 int main(int argc, char** argv) {
   Options options;
-  if (!parse(argc, argv, &options)) {
-    print_usage();
+  const cli::Parser parser = build_parser(&options);
+  if (!parser.parse(argc, argv)) {
+    parser.print_help();
     return 1;
   }
   if (options.help) {
-    print_usage();
+    parser.print_help();
     return 0;
   }
   if (options.path.empty()) {
-    print_usage();
+    parser.print_help();
     return 1;
   }
 
