@@ -31,25 +31,29 @@ earl::fi::TargetFactory make_variant_factory(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace earl;
+  bench::BenchReporter reporter("ablation_assertion_parts", &argc, argv);
   const double scale = fi::campaign_scale_from_env();
 
   struct Variant {
     const char* name;
+    const char* slug;
     codegen::RobustnessMode mode;
     bool states;
     bool outputs;
   };
   const Variant variants[] = {
-      {"Algorithm I (no protection)", codegen::RobustnessMode::kNone, false,
-       false},
-      {"state assertion only", codegen::RobustnessMode::kRecover, true, false},
-      {"output assertion only", codegen::RobustnessMode::kRecover, false,
+      {"Algorithm I (no protection)", "alg1", codegen::RobustnessMode::kNone,
+       false, false},
+      {"state assertion only", "state_only",
+       codegen::RobustnessMode::kRecover, true, false},
+      {"output assertion only", "output_only",
+       codegen::RobustnessMode::kRecover, false, true},
+      {"Algorithm II (both)", "alg2", codegen::RobustnessMode::kRecover, true,
        true},
-      {"Algorithm II (both)", codegen::RobustnessMode::kRecover, true, true},
-      {"trap on violation (fail-stop)", codegen::RobustnessMode::kTrap, true,
-       true},
+      {"trap on violation (fail-stop)", "trap",
+       codegen::RobustnessMode::kTrap, true, true},
   };
 
   util::Table table({"Variant", "Permanent", "Semi-perm.", "Transient",
@@ -59,8 +63,11 @@ int main() {
   for (const Variant& variant : variants) {
     fi::CampaignConfig config = fi::table3_campaign(scale);
     config.name = variant.name;
-    const fi::CampaignResult result = fi::CampaignRunner(config).run(
-        make_variant_factory(variant.mode, variant.states, variant.outputs));
+    const fi::CampaignResult result = reporter.run_campaign(variant.slug, [&] {
+      return fi::CampaignRunner(config).run(
+          make_variant_factory(variant.mode, variant.states, variant.outputs),
+          reporter.observer());
+    });
     using analysis::Outcome;
     auto cell = [&](Outcome outcome) {
       return util::Proportion{result.count(outcome),
@@ -81,5 +88,5 @@ int main() {
               "lock-ups (corrupted x); the output assertion alone cannot; "
               "the trap variant converts them into detections instead of "
               "recoveries (omission rather than continued service).\n");
-  return 0;
+  return reporter.finish();
 }

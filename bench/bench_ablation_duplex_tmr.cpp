@@ -71,7 +71,8 @@ std::vector<float> run_system(node::NodeSystem& system,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReporter reporter("ablation_duplex_tmr", &argc, argv);
   const double scale = fi::campaign_scale_from_env();
   const std::size_t experiments =
       std::max<std::size_t>(50, static_cast<std::size_t>(400 * scale));
@@ -79,17 +80,21 @@ int main() {
 
   struct Variant {
     const char* name;
+    const char* slug;
     Arch arch;
     codegen::RobustnessMode mode;
   };
   const Variant variants[] = {
-      {"simplex + Algorithm I", Arch::kSimplex, codegen::RobustnessMode::kNone},
-      {"simplex + Algorithm II", Arch::kSimplex,
+      {"simplex + Algorithm I", "simplex_alg1", Arch::kSimplex,
+       codegen::RobustnessMode::kNone},
+      {"simplex + Algorithm II", "simplex_alg2", Arch::kSimplex,
        codegen::RobustnessMode::kRecover},
-      {"duplex + Algorithm I", Arch::kDuplex, codegen::RobustnessMode::kNone},
-      {"duplex + Algorithm II", Arch::kDuplex,
+      {"duplex + Algorithm I", "duplex_alg1", Arch::kDuplex,
+       codegen::RobustnessMode::kNone},
+      {"duplex + Algorithm II", "duplex_alg2", Arch::kDuplex,
        codegen::RobustnessMode::kRecover},
-      {"TMR + Algorithm I", Arch::kTmr, codegen::RobustnessMode::kNone},
+      {"TMR + Algorithm I", "tmr_alg1", Arch::kTmr,
+       codegen::RobustnessMode::kNone},
   };
 
   util::Table table(
@@ -98,6 +103,7 @@ int main() {
   table.set_align(2, util::Table::Align::kRight);
 
   for (const Variant& variant : variants) {
+    const auto variant_start = std::chrono::steady_clock::now();
     const fi::TargetFactory factory =
         fi::make_tvm_pi_factory(fi::paper_pi_config(), variant.mode);
 
@@ -138,7 +144,16 @@ int main() {
     table.add_row({variant.name,
                    util::Proportion{severe, experiments}.to_string(),
                    util::Proportion{deviated, experiments}.to_string()});
+    const std::string slug(variant.slug);
+    reporter.set_timing(slug + ".wall_s", "s",
+                        std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - variant_start)
+                            .count());
+    reporter.set_counter(slug + ".severe", static_cast<double>(severe));
+    reporter.set_counter(slug + ".deviated", static_cast<double>(deviated));
   }
+  reporter.set_counter("experiments_per_variant",
+                       static_cast<double>(experiments));
 
   std::printf("Ablation: node-level architectures under single CPU "
               "transients (%zu faults each, injected into one node)\n\n%s\n",
@@ -150,5 +165,5 @@ int main() {
               "Algorithm II then shrinks several-fold (the paper's duplex + "
               "assertions combination).  TMR masks both classes, at 3x "
               "hardware.\n");
-  return 0;
+  return reporter.finish();
 }

@@ -51,7 +51,8 @@ std::uint32_t sampled_address(util::Rng& rng) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReporter reporter("ablation_memory_edac", &argc, argv);
   const double scale = fi::campaign_scale_from_env();
   const std::size_t experiments =
       std::max<std::size_t>(100, static_cast<std::size_t>(1500 * scale));
@@ -70,6 +71,7 @@ int main() {
   for (const MemoryProtection protection :
        {MemoryProtection::kNone, MemoryProtection::kEdacDetect,
         MemoryProtection::kEdacCorrect}) {
+    const auto variant_start = std::chrono::steady_clock::now();
     util::Rng rng(1234);
     Tally tally;
     const auto target_ptr = factory();
@@ -129,7 +131,24 @@ int main() {
     };
     table.add_row({name, cell(tally.detected), cell(tally.severe),
                    cell(tally.minor), cell(tally.non_effective)});
+    const std::string slug = protection == MemoryProtection::kNone
+                                 ? "none"
+                                 : protection == MemoryProtection::kEdacDetect
+                                       ? "edac_detect"
+                                       : "edac_correct";
+    reporter.set_timing(slug + ".wall_s", "s",
+                        std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - variant_start)
+                            .count());
+    reporter.set_counter(slug + ".detected",
+                         static_cast<double>(tally.detected));
+    reporter.set_counter(slug + ".severe", static_cast<double>(tally.severe));
+    reporter.set_counter(slug + ".minor", static_cast<double>(tally.minor));
+    reporter.set_counter(slug + ".non_effective",
+                         static_cast<double>(tally.non_effective));
   }
+  reporter.set_counter("experiments_per_variant",
+                       static_cast<double>(experiments));
 
   std::printf("Ablation: main-memory upsets under different memory "
               "protection (%zu faults each, Algorithm I workload)\n\n%s\n",
@@ -142,5 +161,5 @@ int main() {
               "EDAC turns the residual live-word hits (the state variable's "
               "RAM copy between write-back and refill) into DATA ERROR "
               "fail-stops; correcting EDAC removes even those.\n");
-  return 0;
+  return reporter.finish();
 }

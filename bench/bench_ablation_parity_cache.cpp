@@ -14,20 +14,24 @@
 #include "bench_common.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace earl;
+  bench::BenchReporter reporter("ablation_parity_cache", &argc, argv);
   const double scale = fi::campaign_scale_from_env();
 
   struct Variant {
     const char* name;
+    const char* slug;
     codegen::RobustnessMode mode;
     bool parity;
   };
   const Variant variants[] = {
-      {"Algorithm I", codegen::RobustnessMode::kNone, false},
-      {"Algorithm I + parity cache", codegen::RobustnessMode::kNone, true},
-      {"Algorithm II", codegen::RobustnessMode::kRecover, false},
-      {"Algorithm II + parity cache", codegen::RobustnessMode::kRecover, true},
+      {"Algorithm I", "alg1", codegen::RobustnessMode::kNone, false},
+      {"Algorithm I + parity cache", "alg1_parity",
+       codegen::RobustnessMode::kNone, true},
+      {"Algorithm II", "alg2", codegen::RobustnessMode::kRecover, false},
+      {"Algorithm II + parity cache", "alg2_parity",
+       codegen::RobustnessMode::kRecover, true},
   };
 
   util::Table table({"Configuration", "Severe UWR", "Minor UWR",
@@ -39,8 +43,10 @@ int main() {
     config.name = variant.name;
     tvm::CacheConfig cache;
     cache.parity_enabled = variant.parity;
-    const fi::CampaignResult result =
-        bench::run_scifi_campaign(variant.mode, config, cache);
+    const fi::CampaignResult result = reporter.run_campaign(variant.slug, [&] {
+      return bench::run_scifi_campaign(variant.mode, config, cache,
+                                       reporter.observer());
+    });
     const analysis::CampaignReport report =
         analysis::CampaignReport::build(result);
 
@@ -69,5 +75,5 @@ int main() {
               "into detections (coverage up), while Algorithm II converts "
               "severe failures into minor ones; combining both removes "
               "nearly all severe failures.\n");
-  return 0;
+  return reporter.finish();
 }

@@ -17,19 +17,21 @@
 #include "tvm/assembler.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace earl;
+  bench::BenchReporter reporter("ablation_rate_assertion", &argc, argv);
   const double scale = fi::campaign_scale_from_env();
   const control::PiConfig pi = fi::paper_pi_config();
 
   struct Variant {
     const char* name;
+    const char* slug;
     codegen::EmitOptions options;
   };
   const Variant variants[] = {
-      {"Algorithm II (range only)",
+      {"Algorithm II (range only)", "range_only",
        codegen::make_pi_options(pi, codegen::RobustnessMode::kRecover)},
-      {"Algorithm II + rate assertion",
+      {"Algorithm II + rate assertion", "with_rate",
        codegen::make_pi_options_with_rate(pi, 1.0f)},
   };
 
@@ -44,10 +46,11 @@ int main() {
         tvm::assemble(emitted.assembly));
     fi::CampaignConfig config = fi::table3_campaign(scale);
     config.name = variant.name;
-    const fi::CampaignResult result =
-        fi::CampaignRunner(config).run([program] {
-          return std::make_unique<fi::TvmTarget>(*program);
-        });
+    const fi::CampaignResult result = reporter.run_campaign(variant.slug, [&] {
+      return fi::CampaignRunner(config).run(
+          [program] { return std::make_unique<fi::TvmTarget>(*program); },
+          reporter.observer());
+    });
     using analysis::Outcome;
     auto cell = [&](std::size_t count) {
       return util::Proportion{count, result.experiments.size()}.to_string();
@@ -67,5 +70,5 @@ int main() {
               "remaining semi-permanent failures (in-range state jumps, "
               "Figure 10) into transients, at a few extra instructions per "
               "iteration.\n");
-  return 0;
+  return reporter.finish();
 }

@@ -3,15 +3,28 @@
 // owns a private machine + engine); on multi-core hosts the speedup is
 // near-linear, on this class of single-core runners the numbers document
 // the sequential cost per experiment.
+//
+// With --json the bench additionally exercises the observability hot
+// paths it exists to regress: the runner records its experiment-claim
+// latency (earl_claim_latency_ns), and during the widest campaign a live
+// TelemetryServer is scraped continuously from a client thread, yielding
+// /metrics GET latency percentiles under full campaign load
+// (earl_http_request_ns from the server's side, scrape.p* from the
+// client's).
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <thread>
+#include <vector>
 
 #include "bench_common.hpp"
+#include "obs/http.hpp"
+#include "obs/server.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace earl;
+  bench::BenchReporter reporter("campaign_scaling", &argc, argv);
   const double scale = fi::campaign_scale_from_env();
   const std::size_t experiments =
       std::max<std::size_t>(100, static_cast<std::size_t>(600 * scale));
@@ -20,18 +33,80 @@ int main() {
                      "Throughput [exp/s]"});
   for (int c = 1; c <= 3; ++c) table.set_align(c, util::Table::Align::kRight);
 
+  const fi::TargetFactory factory =
+      fi::make_tvm_pi_factory(fi::paper_pi_config());
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  for (std::size_t workers : {std::size_t{1}, std::size_t{2},
-                              static_cast<std::size_t>(hw)}) {
+  const std::size_t worker_counts[] = {std::size_t{1}, std::size_t{2},
+                                       static_cast<std::size_t>(hw)};
+  for (std::size_t pass = 0; pass < std::size(worker_counts); ++pass) {
+    const std::size_t workers = worker_counts[pass];
     fi::CampaignConfig config = fi::table2_campaign(1.0);
     config.experiments = experiments;
     config.workers = workers;
+    fi::CampaignRunner runner(config);
+    if (reporter.registry() != nullptr) {
+      runner.set_metrics(reporter.registry());
+    }
+
+    // Scrape-under-load: during the widest campaign, hammer /metrics from
+    // a client thread and record the GET latency distribution.  Telemetry
+    // mode only — the plain bench runs exactly as before.
+    const bool scrape =
+        reporter.enabled() && pass + 1 == std::size(worker_counts);
+    std::unique_ptr<obs::TelemetryServer> server;
+    std::thread scraper;
+    std::atomic<bool> scraping{false};
+    std::vector<double> scrape_ns;
+    if (scrape) {
+      server = std::make_unique<obs::TelemetryServer>(obs::TelemetryServer::Options{},
+                                                      reporter.registry());
+      std::string error;
+      if (server->start(&error)) {
+        scraping.store(true);
+        const std::uint16_t port = server->port();
+        scraper = std::thread([&scraping, &scrape_ns, port] {
+          while (scraping.load(std::memory_order_relaxed)) {
+            const auto t0 = std::chrono::steady_clock::now();
+            const auto response = obs::http_get(port, "/metrics");
+            const auto elapsed =
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            if (response && response->status == 200) {
+              scrape_ns.push_back(static_cast<double>(elapsed));
+            }
+            std::this_thread::sleep_for(std::chrono::microseconds(500));
+          }
+        });
+      } else {
+        std::fprintf(stderr, "earl-bench: telemetry server: %s\n",
+                     error.c_str());
+        server.reset();
+      }
+    }
+
+    // The last pass runs at hardware_concurrency, which varies by host —
+    // a stable metric name keeps baselines portable across machines.
+    const std::string label = pass + 1 == std::size(worker_counts)
+                                  ? "workers_max"
+                                  : "workers_" + std::to_string(workers);
     const auto start = std::chrono::steady_clock::now();
-    const fi::CampaignResult result = bench::run_scifi_campaign(
-        codegen::RobustnessMode::kNone, config);
+    const fi::CampaignResult result = reporter.run_campaign(label, [&] {
+      return runner.run(factory, reporter.observer());
+    });
     const double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
+
+    if (scraper.joinable()) {
+      scraping.store(false);
+      scraper.join();
+    }
+    if (server != nullptr) {
+      reporter.record_percentiles("scrape", scrape_ns, "ns");
+      server.reset();
+    }
+
     char wall[32];
     char throughput[32];
     std::snprintf(wall, sizeof wall, "%.2f", seconds);
@@ -42,7 +117,21 @@ int main() {
                    throughput});
   }
 
+  if (const obs::MetricsRegistry* registry = reporter.registry()) {
+    if (const obs::Histogram* claims =
+            registry->find_histogram("earl.claim_latency_ns")) {
+      reporter.set_info("claim.observations", "count",
+                        static_cast<double>(claims->count()));
+      if (claims->count() > 0) {
+        reporter.set_timing("claim.mean_ns", "ns",
+                            claims->sum() /
+                                static_cast<double>(claims->count()));
+      }
+    }
+  }
+  reporter.set_info("hardware_concurrency", "count", static_cast<double>(hw));
+
   std::printf("Campaign throughput scaling (hardware concurrency: %u)\n\n%s\n",
               hw, table.render().c_str());
-  return 0;
+  return reporter.finish();
 }

@@ -2,32 +2,167 @@
 // and figures.  Campaign sizes honour EARL_CAMPAIGN_SCALE (0 < scale <= 1)
 // so the full suite can be smoke-run quickly; the default reproduces the
 // paper's fault counts (9290 / 2372).
+//
+// Every bench main additionally accepts `--json FILE`: alongside its
+// unchanged stdout it then writes one BENCH_<name>.json telemetry document
+// (schema earl.bench.v1, see obs/bench_report.hpp) that `earl-bench-diff`
+// gates against checked-in baselines.  Without the flag the BenchReporter
+// is inert — no observer attached, no registry, nothing written — so the
+// default bench behaviour (and stdout, byte for byte) is exactly what it
+// was before telemetry existed.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <memory>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "fi/runner.hpp"
 #include "fi/workloads.hpp"
+#include "obs/bench_report.hpp"
+#include "obs/build_info.hpp"
+#include "obs/collector.hpp"
+#include "util/csv.hpp"
 
 namespace earl::bench {
 
-inline fi::CampaignResult run_scifi_campaign(codegen::RobustnessMode mode,
-                                             fi::CampaignConfig config,
-                                             tvm::CacheConfig cache = {}) {
+inline fi::CampaignResult run_scifi_campaign(
+    codegen::RobustnessMode mode, fi::CampaignConfig config,
+    tvm::CacheConfig cache = {}, obs::CampaignObserver* observer = nullptr) {
   const fi::TargetFactory factory =
       fi::make_tvm_pi_factory(fi::paper_pi_config(), mode, cache);
-  return fi::CampaignRunner(std::move(config)).run(factory);
+  return fi::CampaignRunner(std::move(config)).run(factory, observer);
 }
 
-/// Prints a CSV column header + rows through stdout (the bench contract:
-/// figures are emitted as plottable series).
+/// Prints a CSV column header through stdout (the bench contract: figures
+/// are emitted as plottable series).  Formatting goes through util/csv so
+/// the quoting rules match every other CSV the project writes.
 inline void print_csv_header(const std::vector<std::string>& columns) {
-  for (std::size_t i = 0; i < columns.size(); ++i) {
-    std::printf("%s%s", i ? "," : "", columns[i].c_str());
-  }
-  std::printf("\n");
+  std::fputs(util::csv_format_row(columns).c_str(), stdout);
+  std::fputc('\n', stdout);
 }
+
+/// Per-bench telemetry: owns the BenchReport plus the metrics plumbing
+/// (registry + MetricsCollector observer) that fills its campaign
+/// counters.
+///
+/// Construction scans argv for `--json FILE` and removes the pair, so
+/// benches built on google-benchmark can hand the remaining flags to
+/// benchmark::Initialize untouched.  When the flag is absent the reporter
+/// is disabled: observer() is null (the runner skips all observer work,
+/// exactly as before), every record call is a no-op and finish() writes
+/// nothing.  The reporter never prints to stdout in either mode.
+class BenchReporter {
+ public:
+  BenchReporter(std::string bench, int* argc, char** argv)
+      : start_(std::chrono::steady_clock::now()) {
+    report_.bench = std::move(bench);
+    report_.build = obs::current_build_info();
+    report_.campaign_scale = fi::campaign_scale_from_env();
+    for (int i = 1; i < *argc; ++i) {
+      if (std::string_view(argv[i]) == "--json" && i + 1 < *argc) {
+        path_ = argv[i + 1];
+        for (int j = i + 2; j < *argc; ++j) argv[j - 2] = argv[j];
+        *argc -= 2;
+        break;
+      }
+    }
+    if (enabled()) {
+      registry_ = std::make_unique<obs::MetricsRegistry>();
+      obs::register_build_info(*registry_);
+      collector_ = std::make_unique<obs::MetricsCollector>(*registry_);
+    }
+  }
+
+  bool enabled() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+
+  /// Campaign observer feeding the counters; null when disabled.  Safe to
+  /// pass to run()/run_scifi_campaign unconditionally.
+  obs::CampaignObserver* observer() { return collector_.get(); }
+  /// The registry behind observer(); null when disabled.
+  obs::MetricsRegistry* registry() { return registry_.get(); }
+  obs::BenchReport& report() { return report_; }
+
+  /// Runs one labelled campaign section, recording `<label>.wall_s`
+  /// (timing) and `<label>.throughput_eps` (throughput over completed
+  /// experiments).  `fn` must return the fi::CampaignResult; it runs — and
+  /// its result is returned — whether or not telemetry is enabled.
+  template <typename Fn>
+  fi::CampaignResult run_campaign(const std::string& label, Fn&& fn) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fi::CampaignResult result = fn();
+    const double wall_s = seconds_since(t0);
+    set_timing(label + ".wall_s", "s", wall_s);
+    if (!result.experiments.empty() && wall_s > 0.0) {
+      set_throughput(label + ".throughput_eps", "eps",
+                     static_cast<double>(result.experiments.size()) / wall_s);
+    }
+    return result;
+  }
+
+  // Raw recorders — all no-ops when disabled.
+  void set_timing(std::string name, std::string unit, double value,
+                  double budget_pct = 0.0) {
+    if (!enabled()) return;
+    report_.set_metric(std::move(name), obs::BenchMetricKind::kTiming,
+                       std::move(unit), value, budget_pct);
+  }
+  void set_throughput(std::string name, std::string unit, double value,
+                      double budget_pct = 0.0) {
+    if (!enabled()) return;
+    report_.set_metric(std::move(name), obs::BenchMetricKind::kThroughput,
+                       std::move(unit), value, budget_pct);
+  }
+  void set_counter(std::string name, double value) {
+    if (!enabled()) return;
+    report_.set_metric(std::move(name), obs::BenchMetricKind::kCounter,
+                       "count", value);
+  }
+  void set_info(std::string name, std::string unit, double value) {
+    if (!enabled()) return;
+    report_.set_metric(std::move(name), obs::BenchMetricKind::kInfo,
+                       std::move(unit), value);
+  }
+  void record_percentiles(std::string_view prefix, std::span<const double> xs,
+                          std::string_view unit, double budget_pct = 0.0) {
+    if (!enabled()) return;
+    report_.set_percentiles(prefix, xs, unit, budget_pct);
+  }
+
+  /// Records `bench.total_wall_s`, snapshots the deterministic campaign
+  /// counters ("campaign." prefix) out of the registry, and writes the
+  /// JSON document.  Returns the bench exit code: 0, or 1 with a stderr
+  /// message when the file cannot be written.  No-op (0) when disabled.
+  int finish() {
+    if (!enabled()) return 0;
+    set_timing("bench.total_wall_s", "s", seconds_since(start_));
+    if (registry_ != nullptr) {
+      report_.add_registry_counters(*registry_, "campaign.");
+    }
+    std::string error;
+    if (!report_.write_file(path_, &error)) {
+      std::fprintf(stderr, "earl-bench: %s\n", error.c_str());
+      return 1;
+    }
+    return 0;
+  }
+
+ private:
+  static double seconds_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+  }
+
+  std::string path_;
+  obs::BenchReport report_;
+  std::unique_ptr<obs::MetricsRegistry> registry_;
+  std::unique_ptr<obs::MetricsCollector> collector_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 }  // namespace earl::bench

@@ -15,7 +15,7 @@
 namespace earl::bench {
 
 inline int print_exemplar(analysis::Outcome wanted, const char* figure,
-                          const char* description) {
+                          const char* description, BenchReporter& reporter) {
   // A fixed, modest campaign: exemplars only need enough samples to find
   // one specimen of the class.
   fi::CampaignConfig config = fi::table2_campaign(0.2);
@@ -23,7 +23,8 @@ inline int print_exemplar(analysis::Outcome wanted, const char* figure,
   const fi::TargetFactory factory =
       fi::make_tvm_pi_factory(fi::paper_pi_config());
   fi::CampaignRunner runner(config);
-  const fi::CampaignResult result = runner.run(factory);
+  const fi::CampaignResult result = reporter.run_campaign(
+      "campaign", [&] { return runner.run(factory, reporter.observer()); });
 
   std::optional<fi::ExperimentResult> specimen;
   for (const auto& experiment : result.experiments) {
@@ -32,13 +33,16 @@ inline int print_exemplar(analysis::Outcome wanted, const char* figure,
       break;
     }
   }
+  reporter.set_counter("exemplar.found", specimen ? 1.0 : 0.0);
   if (!specimen) {
     std::printf("# %s: no %s specimen among %zu sampled faults; "
                 "increase the campaign size.\n",
                 figure, analysis::outcome_name(wanted).data(),
                 result.experiments.size());
-    return 0;
+    return reporter.finish();
   }
+  reporter.set_counter("exemplar.specimen_id",
+                       static_cast<double>(specimen->id));
 
   const auto target = factory();
   const auto outputs =
@@ -54,7 +58,9 @@ inline int print_exemplar(analysis::Outcome wanted, const char* figure,
   std::fputs(
       analysis::render_waveform_csv(outputs, result.golden.outputs).c_str(),
       stdout);
-  return 0;
+  reporter.set_info("exemplar.points", "count",
+                    static_cast<double>(outputs.size()));
+  return reporter.finish();
 }
 
 }  // namespace earl::bench

@@ -11,8 +11,10 @@
 #include "plant/signals.hpp"
 #include "util/bitops.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace earl;
+  bench::BenchReporter reporter("fig10_inrange_corruption", &argc, argv);
+  const auto t0 = std::chrono::steady_clock::now();
   const auto factory = fi::make_tvm_pi_factory(
       fi::paper_pi_config(), codegen::RobustnessMode::kRecover);
 
@@ -44,6 +46,12 @@ int main() {
     }
   }
 
+  reporter.set_timing("trace.wall_s", "s",
+                      std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count());
+  reporter.set_counter("trace.points", static_cast<double>(golden.size()));
+
   std::printf("# Figure 10: fault-free output vs. in-range corruption of x\n");
   std::printf("# (x: ~10 -> 69 deg at t = 6 s; within [0, 70], so the range\n");
   std::printf("#  assertions of Algorithm II do not fire)\n");
@@ -53,5 +61,5 @@ int main() {
                 static_cast<double>(faulty[k]),
                 static_cast<double>(golden[k]));
   }
-  return 0;
+  return reporter.finish();
 }

@@ -6,11 +6,18 @@
 #include "control/pi.hpp"
 #include "plant/environment.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace earl;
+  bench::BenchReporter reporter("fig3_speed_trace", &argc, argv);
+  const auto t0 = std::chrono::steady_clock::now();
   control::PiController controller(fi::paper_pi_config());
   const auto trace = plant::run_closed_loop(
       {}, [&](float r, float y) { return controller.step(r, y); });
+  reporter.set_timing("trace.wall_s", "s",
+                      std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count());
+  reporter.set_counter("trace.points", static_cast<double>(trace.size()));
 
   std::printf("# Figure 3: reference speed and actual engine speed\n");
   bench::print_csv_header({"t_s", "reference_rpm", "engine_speed_rpm"});
@@ -19,5 +26,5 @@ int main() {
                 static_cast<double>(point.reference),
                 static_cast<double>(point.measurement));
   }
-  return 0;
+  return reporter.finish();
 }

@@ -5,13 +5,16 @@
 #include "bench_common.hpp"
 #include "plant/signals.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace earl;
+  bench::BenchReporter reporter("fig4_load_trace", &argc, argv);
   std::printf("# Figure 4: engine load\n");
   bench::print_csv_header({"t_s", "load"});
   for (std::size_t k = 0; k < plant::kIterations; ++k) {
     const double t = plant::iteration_time(k);
     std::printf("%.4f,%.4f\n", t, plant::engine_load(t));
   }
-  return 0;
+  reporter.set_counter("trace.points",
+                       static_cast<double>(plant::kIterations));
+  return reporter.finish();
 }

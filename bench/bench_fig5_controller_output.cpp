@@ -6,12 +6,22 @@
 #include "bench_common.hpp"
 #include "plant/signals.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace earl;
+  bench::BenchReporter reporter("fig5_controller_output", &argc, argv);
   fi::CampaignConfig config = fi::table2_campaign(1.0);
   fi::CampaignRunner runner(config);
   const auto target = fi::make_tvm_pi_factory(fi::paper_pi_config())();
+  const auto t0 = std::chrono::steady_clock::now();
   const fi::GoldenRun golden = runner.run_golden(*target);
+  reporter.set_timing("golden.wall_s", "s",
+                      std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count());
+  reporter.set_counter("golden.total_instructions",
+                       static_cast<double>(golden.total_time));
+  reporter.set_counter("golden.points",
+                       static_cast<double>(golden.outputs.size()));
 
   std::printf("# Figure 5: fault-free u_lim from the PI controller (TVM)\n");
   bench::print_csv_header({"t_s", "u_lim_deg"});
@@ -22,5 +32,5 @@ int main() {
   std::printf("# total dynamic instructions: %llu (%.1f per iteration)\n",
               static_cast<unsigned long long>(golden.total_time),
               static_cast<double>(golden.total_time) / golden.outputs.size());
-  return 0;
+  return reporter.finish();
 }

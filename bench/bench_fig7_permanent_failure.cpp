@@ -3,8 +3,9 @@
 // observed interval.
 #include "bench_exemplar.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  earl::bench::BenchReporter reporter("fig7_permanent_failure", &argc, argv);
   return earl::bench::print_exemplar(
       earl::analysis::Outcome::kSeverePermanent, "Figure 7",
-      "severe undetected wrong result (permanent)");
+      "severe undetected wrong result (permanent)", reporter);
 }

@@ -2,8 +2,10 @@
 // deviation over many iterations, converging back within the window.
 #include "bench_exemplar.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  earl::bench::BenchReporter reporter("fig8_semipermanent_failure", &argc,
+                                      argv);
   return earl::bench::print_exemplar(
       earl::analysis::Outcome::kSevereSemiPermanent, "Figure 8",
-      "severe undetected wrong result (semi-permanent)");
+      "severe undetected wrong result (semi-permanent)", reporter);
 }

@@ -2,8 +2,9 @@
 // deviation, rapidly reconverging.
 #include "bench_exemplar.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  earl::bench::BenchReporter reporter("fig9_transient_failure", &argc, argv);
   return earl::bench::print_exemplar(
       earl::analysis::Outcome::kMinorTransient, "Figure 9",
-      "minor undetected wrong result (transient)");
+      "minor undetected wrong result (transient)", reporter);
 }

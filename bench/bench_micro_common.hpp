@@ -1,0 +1,71 @@
+// Telemetry shim for the google-benchmark micro benches.
+//
+// The micro benches keep google-benchmark's console output as their stdout
+// contract; --json must not change a byte of it.  So instead of a file
+// reporter (which would need extra flags and reformat output), the bench
+// installs a *display-reporter decorator*: every byte of console rendering
+// is delegated to the default display reporter, while per-benchmark run
+// results are captured into the BenchReporter on the way through.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace earl::bench {
+
+/// Delegating display reporter: stdout is byte-identical to a run without
+/// --json, and every completed iteration run lands in the BenchReport as
+/// `<benchmark>.real_time` / `.cpu_time` timings plus an `.iterations`
+/// info metric.  Aggregate rows and errored runs are skipped.
+class CaptureReporter : public benchmark::BenchmarkReporter {
+ public:
+  explicit CaptureReporter(BenchReporter& reporter)
+      : inner_(benchmark::CreateDefaultDisplayReporter()),
+        reporter_(reporter) {}
+
+  bool ReportContext(const Context& context) override {
+    inner_->SetOutputStream(&GetOutputStream());
+    inner_->SetErrorStream(&GetErrorStream());
+    return inner_->ReportContext(context);
+  }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const std::string name = run.benchmark_name();
+      const std::string unit = benchmark::GetTimeUnitString(run.time_unit);
+      reporter_.set_timing(name + ".real_time", unit,
+                           run.GetAdjustedRealTime());
+      reporter_.set_timing(name + ".cpu_time", unit,
+                           run.GetAdjustedCPUTime());
+      reporter_.set_info(name + ".iterations", "count",
+                         static_cast<double>(run.iterations));
+    }
+    inner_->ReportRuns(runs);
+  }
+
+  void Finalize() override { inner_->Finalize(); }
+
+ private:
+  benchmark::BenchmarkReporter* inner_;  // library-owned singleton
+  BenchReporter& reporter_;
+};
+
+/// The shared micro-bench main tail.  Call after the BenchReporter has
+/// already stripped --json from argv, so google-benchmark only sees its
+/// own flags.
+inline int run_micro_benchmarks(BenchReporter& reporter, int argc,
+                                char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CaptureReporter capture(reporter);
+  benchmark::RunSpecifiedBenchmarks(&capture);
+  benchmark::Shutdown();
+  return reporter.finish();
+}
+
+}  // namespace earl::bench

@@ -5,7 +5,9 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
 
+#include "bench_micro_common.hpp"
 #include "control/pi.hpp"
 #include "core/robust_pi.hpp"
 #include "core/robust_wrapper.hpp"
@@ -69,17 +71,19 @@ BENCHMARK(BM_WrapperWithRateAssertion);
 int main(int argc, char** argv) {
   // Embedded cost report: TVM instructions per control iteration.
   using namespace earl;
+  bench::BenchReporter reporter("micro_controller", &argc, argv);
   std::printf("TVM instructions per control iteration (650-iteration golden "
               "run):\n");
   fi::CampaignConfig config = fi::table2_campaign(1.0);
   fi::CampaignRunner runner(config);
   const struct {
     const char* name;
+    const char* slug;
     codegen::RobustnessMode mode;
   } variants[] = {
-      {"Algorithm I ", codegen::RobustnessMode::kNone},
-      {"Algorithm II", codegen::RobustnessMode::kRecover},
-      {"Trap variant", codegen::RobustnessMode::kTrap},
+      {"Algorithm I ", "alg1", codegen::RobustnessMode::kNone},
+      {"Algorithm II", "alg2", codegen::RobustnessMode::kRecover},
+      {"Trap variant", "trap", codegen::RobustnessMode::kTrap},
   };
   double baseline = 0.0;
   for (const auto& variant : variants) {
@@ -91,11 +95,13 @@ int main(int argc, char** argv) {
     if (baseline == 0.0) baseline = per_iteration;
     std::printf("  %s: %7.1f instr/iteration (%+.1f%%)\n", variant.name,
                 per_iteration, 100.0 * (per_iteration / baseline - 1.0));
+    // Deterministic embedded cost: exact-match counters, the cheapest
+    // possible "assertions still cost ~20%" regression gate.
+    reporter.set_counter(
+        std::string("tvm.instructions.") + variant.slug,
+        static_cast<double>(golden.total_time));
   }
   std::printf("\n");
 
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return bench::run_micro_benchmarks(reporter, argc, argv);
 }

@@ -3,6 +3,7 @@
 // bounds how large a campaign a given time budget affords.
 #include <benchmark/benchmark.h>
 
+#include "bench_micro_common.hpp"
 #include "codegen/emitter.hpp"
 #include "fi/workloads.hpp"
 #include "tvm/assembler.hpp"
@@ -124,4 +125,7 @@ BENCHMARK(BM_EmitPiAssembly);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  earl::bench::BenchReporter reporter("micro_simulator", &argc, argv);
+  return earl::bench::run_micro_benchmarks(reporter, argc, argv);
+}

@@ -10,8 +10,9 @@
 #include "bench_common.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace earl;
+  bench::BenchReporter reporter("multibit_sweep", &argc, argv);
   const double scale = fi::campaign_scale_from_env();
   const std::size_t experiments =
       std::max<std::size_t>(100, static_cast<std::size_t>(1186 * scale));
@@ -29,8 +30,13 @@ int main() {
                                             : fi::FaultKind::kMultiBitFlip;
       config.fault.multiplicity = multiplicity;
       config.name = "multibit";
-      const fi::CampaignResult result =
-          bench::run_scifi_campaign(mode, config);
+      const std::string label =
+          "m" + std::to_string(multiplicity) +
+          (mode == codegen::RobustnessMode::kNone ? ".alg1" : ".alg2");
+      const fi::CampaignResult result = reporter.run_campaign(label, [&] {
+        return bench::run_scifi_campaign(mode, config, {},
+                                         reporter.observer());
+      });
       const analysis::CampaignReport report =
           analysis::CampaignReport::build(result);
       auto prop = [&](std::size_t n) {
@@ -52,5 +58,5 @@ int main() {
               "whole scan chain (a pessimistic spatial model); detection "
               "rates rise with multiplicity while the Algorithm II severe "
               "reduction persists.\n");
-  return 0;
+  return reporter.finish();
 }

@@ -7,8 +7,9 @@
 #include "analysis/compare.hpp"
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace earl;
+  bench::BenchReporter reporter("swifi_campaign", &argc, argv);
   const double scale = fi::campaign_scale_from_env();
   const std::size_t experiments =
       std::max<std::size_t>(100, static_cast<std::size_t>(2000 * scale));
@@ -17,8 +18,11 @@ int main() {
     fi::CampaignConfig config = fi::table2_campaign(1.0);
     config.name = robust ? "swifi_algorithm2" : "swifi_algorithm1";
     config.experiments = experiments;
-    return fi::CampaignRunner(config).run(
-        fi::make_native_pi_factory(fi::paper_pi_config(), robust));
+    return reporter.run_campaign(robust ? "alg2" : "alg1", [&] {
+      return fi::CampaignRunner(config).run(
+          fi::make_native_pi_factory(fi::paper_pi_config(), robust),
+          reporter.observer());
+    });
   };
 
   std::printf("SWIFI campaigns: %zu state-variable bit-flips per variant\n",
@@ -38,5 +42,5 @@ int main() {
               "severe rate is far above the SCIFI campaign's — this is the "
               "paper's \"errors in x cause severe failures\" in its purest "
               "form, and the strongest showcase of the recovery mechanism.\n");
-  return 0;
+  return reporter.finish();
 }

@@ -6,15 +6,18 @@
 #include "bench_common.hpp"
 #include "obs/collector.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace earl;
+  bench::BenchReporter reporter("table3_algorithm2", &argc, argv);
   const double scale = fi::campaign_scale_from_env();
   fi::CampaignConfig config = fi::table3_campaign(scale);
   std::printf("Running %zu fault-injection experiments (Algorithm II)...\n",
               config.experiments);
 
-  const fi::CampaignResult result =
-      bench::run_scifi_campaign(codegen::RobustnessMode::kRecover, config);
+  const fi::CampaignResult result = reporter.run_campaign("campaign", [&] {
+    return bench::run_scifi_campaign(codegen::RobustnessMode::kRecover,
+                                     config, {}, reporter.observer());
+  });
   const analysis::CampaignReport report =
       analysis::CampaignReport::build(result);
 
@@ -32,5 +35,5 @@ int main() {
   std::printf("\nDetection latency per mechanism "
               "(injection -> detection, dynamic instructions):\n%s\n",
               obs::render_detection_latency_table(result).c_str());
-  return 0;
+  return reporter.finish();
 }

@@ -7,18 +7,23 @@
 #include "analysis/compare.hpp"
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace earl;
+  bench::BenchReporter reporter("table4_comparison", &argc, argv);
   const double scale = fi::campaign_scale_from_env();
   fi::CampaignConfig c1 = fi::table2_campaign(scale);
   fi::CampaignConfig c2 = fi::table3_campaign(scale);
   std::printf("Running %zu (Algorithm I) + %zu (Algorithm II) experiments...\n",
               c1.experiments, c2.experiments);
 
-  const fi::CampaignResult alg1 =
-      bench::run_scifi_campaign(codegen::RobustnessMode::kNone, c1);
-  const fi::CampaignResult alg2 =
-      bench::run_scifi_campaign(codegen::RobustnessMode::kRecover, c2);
+  const fi::CampaignResult alg1 = reporter.run_campaign("alg1", [&] {
+    return bench::run_scifi_campaign(codegen::RobustnessMode::kNone, c1, {},
+                                     reporter.observer());
+  });
+  const fi::CampaignResult alg2 = reporter.run_campaign("alg2", [&] {
+    return bench::run_scifi_campaign(codegen::RobustnessMode::kRecover, c2,
+                                     {}, reporter.observer());
+  });
 
   const analysis::CampaignComparison comparison =
       analysis::CampaignComparison::build(alg1, alg2);
@@ -35,5 +40,5 @@ int main() {
   std::printf("Paper shape: permanent 0.12%% -> 0.00%%, semi-permanent "
               "0.42%% -> 0.17%%, transient 0.94%% -> 1.56%%, total wrong "
               "results ~equal (5.02%% vs 5.23%%).\n");
-  return 0;
+  return reporter.finish();
 }

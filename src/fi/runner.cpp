@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace earl::fi {
@@ -253,31 +254,56 @@ CampaignResult CampaignRunner::run(const TargetFactory& factory,
   }
   queue.results.resize(queue.faults.size());
 
+  // Hot-path self-observability: one sample per claim attempt covering
+  // lock acquisition, pending extensions and the fault hand-off — the
+  // series contention regressions show up in first.  Resolved once so the
+  // claim path never touches the registry's name map.
+  obs::Histogram* claim_latency = nullptr;
+  if (metrics_ != nullptr) {
+    metrics_->set_help("earl.claim_latency_ns",
+                       "Experiment-claim latency (queue mutex + fault "
+                       "sampling), nanoseconds.");
+    claim_latency =
+        &metrics_->histogram("earl.claim_latency_ns", obs::latency_ns_bounds());
+  }
+
   // Claims the next experiment, applying any pending extension first.
   // Returns false when the queue is drained.  The extension notification
   // fires under the queue mutex so observers learn the new total strictly
   // before any on_experiment_done for an extended index.
   const auto claim = [&](std::size_t w, std::size_t& index,
                          Fault& fault) -> bool {
-    const std::lock_guard<std::mutex> lock(queue.mutex);
-    if (controller_ != nullptr) {
-      const std::size_t target_n = controller_->target_experiments();
-      if (target_n > queue.faults.size()) {
-        while (queue.faults.size() < target_n) {
-          queue.faults.push_back(sample_fault(config_.fault, bounds.lo,
-                                              bounds.hi, time_space,
-                                              queue.rng));
-        }
-        queue.results.resize(queue.faults.size());
-        if (observer != nullptr) {
-          observer->on_campaign_extended(w, queue.faults.size());
+    const auto claim_start = std::chrono::steady_clock::now();
+    bool ok = false;
+    {
+      const std::lock_guard<std::mutex> lock(queue.mutex);
+      if (controller_ != nullptr) {
+        const std::size_t target_n = controller_->target_experiments();
+        if (target_n > queue.faults.size()) {
+          while (queue.faults.size() < target_n) {
+            queue.faults.push_back(sample_fault(config_.fault, bounds.lo,
+                                                bounds.hi, time_space,
+                                                queue.rng));
+          }
+          queue.results.resize(queue.faults.size());
+          if (observer != nullptr) {
+            observer->on_campaign_extended(w, queue.faults.size());
+          }
         }
       }
+      if (queue.next < queue.faults.size()) {
+        index = queue.next++;
+        fault = queue.faults[index];
+        ok = true;
+      }
     }
-    if (queue.next >= queue.faults.size()) return false;
-    index = queue.next++;
-    fault = queue.faults[index];
-    return true;
+    // Observed outside the queue mutex: Histogram::observe takes its own
+    // lock, and serializing it under the claim lock would inflate the
+    // very latency being measured.
+    if (claim_latency != nullptr) {
+      claim_latency->observe(static_cast<double>(elapsed_ns(claim_start)));
+    }
+    return ok;
   };
 
   // Raised by the worker that finds the queue empty; releases workers

@@ -40,6 +40,10 @@
 #include "obs/observer.hpp"
 #include "plant/environment.hpp"
 
+namespace earl::obs {
+class MetricsRegistry;
+}  // namespace earl::obs
+
 namespace earl::fi {
 
 using TargetFactory = std::function<std::unique_ptr<Target>()>;
@@ -79,6 +83,13 @@ class CampaignRunner {
   void set_controller(CampaignController* controller) {
     controller_ = controller;
   }
+
+  /// Attaches a metrics registry for hot-path self-observability: run()
+  /// records every experiment-claim (queue mutex + fault sampling) into
+  /// the `earl.claim_latency_ns` histogram, the series the campaign-
+  /// scaling bench and later perf PRs regress against.  The registry must
+  /// outlive run().  Purely additive — experiment results are unaffected.
+  void set_metrics(obs::MetricsRegistry* registry) { metrics_ = registry; }
 
   /// Runs golden + all experiments. The factory is called once per worker.
   /// `observer`, when non-null, receives lifecycle + per-experiment events.
@@ -153,6 +164,7 @@ class CampaignRunner {
   PropagationProber prober_;
   const std::atomic<bool>* stop_ = nullptr;
   CampaignController* controller_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace earl::fi

@@ -1,0 +1,270 @@
+#include "obs/bench_report.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "util/stats.hpp"
+
+namespace earl::obs {
+
+std::string_view bench_metric_kind_slug(BenchMetricKind kind) {
+  switch (kind) {
+    case BenchMetricKind::kTiming: return "timing";
+    case BenchMetricKind::kThroughput: return "throughput";
+    case BenchMetricKind::kCounter: return "counter";
+    case BenchMetricKind::kInfo: return "info";
+  }
+  return "info";
+}
+
+std::optional<BenchMetricKind> parse_bench_metric_kind(
+    std::string_view slug) {
+  if (slug == "timing") return BenchMetricKind::kTiming;
+  if (slug == "throughput") return BenchMetricKind::kThroughput;
+  if (slug == "counter") return BenchMetricKind::kCounter;
+  if (slug == "info") return BenchMetricKind::kInfo;
+  return std::nullopt;
+}
+
+void BenchReport::set_metric(std::string name, BenchMetricKind kind,
+                             std::string unit, double value,
+                             double budget_pct) {
+  // Kept sorted by name so the in-memory report, its serialization and a
+  // parsed document are all the same order (round-trip is operator==).
+  const auto at = std::lower_bound(
+      metrics.begin(), metrics.end(), name,
+      [](const BenchMetric& metric, const std::string& key) {
+        return metric.name < key;
+      });
+  if (at != metrics.end() && at->name == name) {
+    *at = {std::move(name), kind, std::move(unit), value, budget_pct};
+    return;
+  }
+  metrics.insert(at,
+                 {std::move(name), kind, std::move(unit), value, budget_pct});
+}
+
+void BenchReport::set_percentiles(std::string_view prefix,
+                                  std::span<const double> xs,
+                                  std::string_view unit, double budget_pct) {
+  const util::Percentiles p = util::percentiles(xs);
+  const std::string base(prefix);
+  const std::string suffix = "_" + std::string(unit);
+  set_metric(base + ".p50" + suffix, BenchMetricKind::kTiming,
+             std::string(unit), p.p50, budget_pct);
+  set_metric(base + ".p95" + suffix, BenchMetricKind::kTiming,
+             std::string(unit), p.p95, budget_pct);
+  set_metric(base + ".p99" + suffix, BenchMetricKind::kTiming,
+             std::string(unit), p.p99, budget_pct);
+  set_metric(base + ".samples", BenchMetricKind::kInfo, "count",
+             static_cast<double>(p.n));
+}
+
+void BenchReport::add_registry_counters(const MetricsRegistry& registry,
+                                        std::string_view prefix) {
+  for (const auto& [name, value] : registry.counters_snapshot()) {
+    if (name.rfind(prefix, 0) != 0) continue;
+    set_metric(name, BenchMetricKind::kCounter, "count",
+               static_cast<double>(value));
+  }
+}
+
+const BenchMetric* BenchReport::find_metric(std::string_view name) const {
+  for (const BenchMetric& metric : metrics) {
+    if (metric.name == name) return &metric;
+  }
+  return nullptr;
+}
+
+std::string BenchReport::to_json() const {
+  std::vector<const BenchMetric*> sorted;
+  sorted.reserve(metrics.size());
+  for (const BenchMetric& metric : metrics) sorted.push_back(&metric);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const BenchMetric* a, const BenchMetric* b) {
+              return a->name < b->name;
+            });
+
+  std::string out = "{\n";
+  out += "  \"schema\": \"" + std::string(kSchema) + "\",\n";
+  out += "  \"bench\": \"" + json_escape(bench) + "\",\n";
+  out += "  \"campaign_scale\": " + json_number(campaign_scale) + ",\n";
+  out += "  \"build\": {\n";
+  out += "    \"git\": \"" + json_escape(build.git) + "\",\n";
+  out += "    \"compiler\": \"" + json_escape(build.compiler) + "\",\n";
+  out += "    \"build_type\": \"" + json_escape(build.build_type) + "\",\n";
+  out += "    \"flags\": \"" + json_escape(build.flags) + "\"\n";
+  out += "  },\n";
+  out += "  \"metrics\": [";
+  bool first = true;
+  for (const BenchMetric* metric : sorted) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\": \"" + json_escape(metric->name) + "\", \"kind\": \"" +
+           std::string(bench_metric_kind_slug(metric->kind)) +
+           "\", \"unit\": \"" + json_escape(metric->unit) +
+           "\", \"value\": " + json_number(metric->value);
+    if (metric->budget_pct > 0.0) {
+      out += ", \"budget_pct\": " + json_number(metric->budget_pct);
+    }
+    out += "}";
+  }
+  out += first ? "]" : "\n  ]";
+  out += "\n}\n";
+  return out;
+}
+
+namespace {
+
+bool report_error(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+/// Fetches a required member of the expected kind; false + message
+/// otherwise.
+bool require(const JsonValue& object, std::string_view key,
+             JsonValue::Kind kind, const JsonValue** out,
+             std::string* error) {
+  const JsonValue* value = object.find(key);
+  if (value == nullptr) {
+    return report_error(error, "missing field \"" + std::string(key) + "\"");
+  }
+  if (value->kind != kind) {
+    return report_error(error,
+                        "field \"" + std::string(key) + "\" has wrong type");
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+std::optional<BenchReport> BenchReport::from_json(std::string_view text,
+                                                  std::string* error) {
+  std::string parse_error;
+  const std::optional<JsonValue> root = json_parse(text, &parse_error);
+  if (!root) {
+    report_error(error, "invalid JSON: " + parse_error);
+    return std::nullopt;
+  }
+  if (!root->is_object()) {
+    report_error(error, "document is not a JSON object");
+    return std::nullopt;
+  }
+
+  const JsonValue* schema = nullptr;
+  const JsonValue* bench = nullptr;
+  const JsonValue* scale = nullptr;
+  const JsonValue* build = nullptr;
+  const JsonValue* metrics = nullptr;
+  if (!require(*root, "schema", JsonValue::Kind::kString, &schema, error) ||
+      !require(*root, "bench", JsonValue::Kind::kString, &bench, error) ||
+      !require(*root, "campaign_scale", JsonValue::Kind::kNumber, &scale,
+               error) ||
+      !require(*root, "build", JsonValue::Kind::kObject, &build, error) ||
+      !require(*root, "metrics", JsonValue::Kind::kArray, &metrics, error)) {
+    return std::nullopt;
+  }
+  if (schema->string != kSchema) {
+    report_error(error, "unsupported schema \"" + schema->string +
+                            "\" (expected \"" + std::string(kSchema) + "\")");
+    return std::nullopt;
+  }
+
+  BenchReport report;
+  report.bench = bench->string;
+  report.campaign_scale = scale->number;
+
+  for (const char* key : {"git", "compiler", "build_type", "flags"}) {
+    const JsonValue* field = nullptr;
+    if (!require(*build, key, JsonValue::Kind::kString, &field, error)) {
+      return std::nullopt;
+    }
+    if (std::string_view(key) == "git") report.build.git = field->string;
+    else if (std::string_view(key) == "compiler")
+      report.build.compiler = field->string;
+    else if (std::string_view(key) == "build_type")
+      report.build.build_type = field->string;
+    else report.build.flags = field->string;
+  }
+
+  for (const JsonValue& entry : metrics->array) {
+    if (!entry.is_object()) {
+      report_error(error, "metrics entries must be objects");
+      return std::nullopt;
+    }
+    const JsonValue* name = nullptr;
+    const JsonValue* kind = nullptr;
+    const JsonValue* unit = nullptr;
+    const JsonValue* value = nullptr;
+    if (!require(entry, "name", JsonValue::Kind::kString, &name, error) ||
+        !require(entry, "kind", JsonValue::Kind::kString, &kind, error) ||
+        !require(entry, "unit", JsonValue::Kind::kString, &unit, error) ||
+        !require(entry, "value", JsonValue::Kind::kNumber, &value, error)) {
+      return std::nullopt;
+    }
+    const std::optional<BenchMetricKind> parsed_kind =
+        parse_bench_metric_kind(kind->string);
+    if (!parsed_kind) {
+      report_error(error, "unknown metric kind \"" + kind->string + "\"");
+      return std::nullopt;
+    }
+    BenchMetric metric;
+    metric.name = name->string;
+    metric.kind = *parsed_kind;
+    metric.unit = unit->string;
+    metric.value = value->number;
+    if (const JsonValue* budget = entry.find("budget_pct");
+        budget != nullptr) {
+      if (!budget->is_number() || budget->number <= 0.0) {
+        report_error(error, "budget_pct must be a positive number");
+        return std::nullopt;
+      }
+      metric.budget_pct = budget->number;
+    }
+    if (report.find_metric(metric.name) != nullptr) {
+      report_error(error, "duplicate metric \"" + metric.name + "\"");
+      return std::nullopt;
+    }
+    report.metrics.push_back(std::move(metric));
+  }
+  return report;
+}
+
+bool BenchReport::write_file(const std::string& path,
+                             std::string* error) const {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.good()) {
+    return report_error(error, "cannot open '" + path + "' for writing");
+  }
+  out << to_json();
+  out.flush();
+  if (!out.good()) return report_error(error, "failed to write '" + path + "'");
+  return true;
+}
+
+std::optional<BenchReport> BenchReport::load_file(const std::string& path,
+                                                  std::string* error) {
+  std::ifstream in(path, std::ios::in | std::ios::binary);
+  if (!in.good()) {
+    report_error(error, "cannot read '" + path + "'");
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string validation_error;
+  std::optional<BenchReport> report =
+      from_json(buffer.str(), &validation_error);
+  if (!report) report_error(error, path + ": " + validation_error);
+  return report;
+}
+
+std::string bench_report_filename(std::string_view bench) {
+  return "BENCH_" + std::string(bench) + ".json";
+}
+
+}  // namespace earl::obs

@@ -1,0 +1,112 @@
+// Machine-readable bench telemetry (the `BENCH_*.json` contract).
+//
+// Every bench binary accepts `--json FILE` and, alongside its unchanged
+// human-oriented stdout (CSV series, ASCII tables), emits one versioned
+// JSON document describing what it measured: monotonic wall timings,
+// throughput (experiments/sec), latency percentiles from util/stats, and
+// the campaign counters pulled from the MetricsRegistry the bench's
+// observer filled.  `earl-bench-diff` compares these documents against
+// checked-in baselines with per-metric budgets — the machinery that keeps
+// "≥10x campaign throughput" claims honest across PRs.
+//
+// Schema `earl.bench.v1`:
+//
+//   {
+//     "schema": "earl.bench.v1",
+//     "bench": "campaign_scaling",
+//     "campaign_scale": 1.0,
+//     "build": {"git": "...", "compiler": "...", "build_type": "...",
+//               "flags": "..."},
+//     "metrics": [
+//       {"name": "...", "kind": "timing|throughput|counter|info",
+//        "unit": "s|ns|eps|count|...", "value": 1.25,
+//        "budget_pct": 25.0}        // optional, overrides the diff default
+//     ]
+//   }
+//
+// Metrics are sorted by name; serialization is deterministic, so two
+// identical runs produce byte-identical documents except for the measured
+// values.  Budget semantics live with the *kind*: timing/throughput
+// metrics are compared within a relative budget, counter metrics must be
+// exactly equal when the campaign scale matches (campaigns are seed-
+// deterministic), info metrics only need to exist.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/build_info.hpp"
+
+namespace earl::obs {
+
+class MetricsRegistry;
+
+enum class BenchMetricKind { kTiming, kThroughput, kCounter, kInfo };
+
+std::string_view bench_metric_kind_slug(BenchMetricKind kind);
+std::optional<BenchMetricKind> parse_bench_metric_kind(std::string_view slug);
+
+struct BenchMetric {
+  std::string name;  // dot-path, e.g. "campaign.throughput_eps.workers_1"
+  BenchMetricKind kind = BenchMetricKind::kInfo;
+  std::string unit;  // "s", "ns", "eps", "count", ...
+  double value = 0.0;
+  /// Per-metric relative budget in percent; <= 0 means "use the diff
+  /// tool's default".  Serialized only when positive.
+  double budget_pct = 0.0;
+
+  bool operator==(const BenchMetric&) const = default;
+};
+
+struct BenchReport {
+  static constexpr std::string_view kSchema = "earl.bench.v1";
+
+  std::string bench;  // slug, e.g. "campaign_scaling"
+  BuildInfo build;
+  double campaign_scale = 1.0;
+  std::vector<BenchMetric> metrics;
+
+  bool operator==(const BenchReport&) const = default;
+
+  /// Adds (or overwrites — last set wins) one metric.
+  void set_metric(std::string name, BenchMetricKind kind, std::string unit,
+                  double value, double budget_pct = 0.0);
+
+  /// Records p50/p95/p99 of a latency sample as three timing metrics
+  /// `<prefix>.p50_<unit>` / `.p95_<unit>` / `.p99_<unit>` plus
+  /// `<prefix>.samples` (counter kind is deliberately NOT used: sample
+  /// counts vary with wall time, so they are informational).
+  void set_percentiles(std::string_view prefix, std::span<const double> xs,
+                       std::string_view unit, double budget_pct = 0.0);
+
+  /// Snapshots every counter whose dot-path starts with `prefix` out of a
+  /// registry as exact-match counter metrics ("campaign." pulls the
+  /// deterministic outcome/EDM tallies, not wall-clock noise).
+  void add_registry_counters(const MetricsRegistry& registry,
+                             std::string_view prefix);
+
+  const BenchMetric* find_metric(std::string_view name) const;
+
+  /// Deterministic serialization: metrics sorted by name, 2-space indent,
+  /// trailing newline.
+  std::string to_json() const;
+
+  /// Strict parse + schema validation.  nullopt + message on malformed
+  /// JSON, wrong schema version, missing fields or unknown metric kinds.
+  static std::optional<BenchReport> from_json(std::string_view text,
+                                              std::string* error = nullptr);
+
+  /// Whole-file convenience wrappers; false/nullopt + message on I/O or
+  /// validation failure.
+  bool write_file(const std::string& path, std::string* error = nullptr) const;
+  static std::optional<BenchReport> load_file(const std::string& path,
+                                              std::string* error = nullptr);
+};
+
+/// `BENCH_<bench>.json` — the canonical artifact/baseline filename.
+std::string bench_report_filename(std::string_view bench);
+
+}  // namespace earl::obs

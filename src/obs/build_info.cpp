@@ -1,0 +1,52 @@
+#include "obs/build_info.hpp"
+
+// Configure-time values; src/CMakeLists.txt defines these for this
+// translation unit only, so a new git revision recompiles one file.
+#ifndef EARL_GIT_DESCRIBE
+#define EARL_GIT_DESCRIBE "unknown"
+#endif
+#ifndef EARL_BUILD_TYPE
+#define EARL_BUILD_TYPE "unknown"
+#endif
+#ifndef EARL_CXX_FLAGS
+#define EARL_CXX_FLAGS ""
+#endif
+
+namespace earl::obs {
+
+namespace {
+
+std::string compiler_string() {
+#if defined(__clang__)
+  return "clang " + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__) + "." +
+         std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  return "gcc " + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__) + "." +
+         std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace
+
+const BuildInfo& current_build_info() {
+  static const BuildInfo info = {EARL_GIT_DESCRIBE, compiler_string(),
+                                 EARL_BUILD_TYPE, EARL_CXX_FLAGS};
+  return info;
+}
+
+void register_build_info(MetricsRegistry& registry) {
+  const BuildInfo& info = current_build_info();
+  registry.set_help("earl.build_info",
+                    "Toolchain that produced this binary; the value is "
+                    "always 1.");
+  registry.set_info("earl.build_info", {{"git", info.git},
+                                        {"compiler", info.compiler},
+                                        {"build_type", info.build_type},
+                                        {"flags", info.flags}});
+}
+
+}  // namespace earl::obs

@@ -1,0 +1,35 @@
+// Toolchain attribution for telemetry artifacts.
+//
+// Performance baselines are meaningless without knowing what produced
+// them: the same bench run under -O0 or a different compiler is a
+// different experiment.  Every bench JSON document embeds this block, and
+// campaigns export it as the `earl_build_info` info gauge, so a regression
+// table can always answer "same toolchain?" before comparing numbers.
+//
+// The git revision and build flags are baked in at configure time (see
+// src/CMakeLists.txt); the compiler string comes from the compiler itself.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace earl::obs {
+
+struct BuildInfo {
+  std::string git;         // `git describe --always --dirty`, or "unknown"
+  std::string compiler;    // e.g. "gcc 13.2.0"
+  std::string build_type;  // CMAKE_BUILD_TYPE, e.g. "RelWithDebInfo"
+  std::string flags;       // CMAKE_CXX_FLAGS (may be empty)
+
+  bool operator==(const BuildInfo&) const = default;
+};
+
+/// The build this binary was produced by.
+const BuildInfo& current_build_info();
+
+/// Registers the `earl.build_info` info gauge (exported as
+/// `earl_build_info{git="...",compiler="...",build_type="..."} 1`).
+void register_build_info(MetricsRegistry& registry);
+
+}  // namespace earl::obs

@@ -428,4 +428,62 @@ void HttpServer::serve_connection(int fd) {
   ::close(fd);
 }
 
+std::optional<HttpGetResult> http_get(std::uint16_t port,
+                                      std::string_view target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+
+  std::string request = "GET " + std::string(target) +
+                        " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                        "Connection: close\r\n\r\n";
+  std::string_view remaining = request;
+  while (!remaining.empty()) {
+    const ssize_t n =
+        ::send(fd, remaining.data(), remaining.size(), MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      ::close(fd);
+      return std::nullopt;
+    }
+    remaining.remove_prefix(static_cast<std::size_t>(n));
+  }
+
+  // Connection: close lets read-to-EOF frame the response — no
+  // Content-Length or chunked parsing needed.
+  std::string raw;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    raw.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  // "HTTP/1.x NNN ..." status line, headers, blank line, body.
+  if (raw.rfind("HTTP/1.", 0) != 0) return std::nullopt;
+  const std::size_t space = raw.find(' ');
+  if (space == std::string::npos || space + 4 > raw.size()) {
+    return std::nullopt;
+  }
+  HttpGetResult result;
+  result.status = 0;
+  for (std::size_t i = space + 1; i < space + 4; ++i) {
+    if (raw[i] < '0' || raw[i] > '9') return std::nullopt;
+    result.status = result.status * 10 + (raw[i] - '0');
+  }
+  const std::size_t head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string::npos) return std::nullopt;
+  result.body = raw.substr(head_end + 4);
+  return result;
+}
+
 }  // namespace earl::obs

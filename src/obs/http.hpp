@@ -29,6 +29,7 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <string>
 #include <string_view>
@@ -172,5 +173,18 @@ class HttpServer {
   std::mutex active_mutex_;
   std::set<int> active_;  // fds currently inside serve_connection
 };
+
+/// One blocking loopback GET (the scrape side of the primitives above):
+/// connects to 127.0.0.1:`port`, sends `GET <target>` with
+/// "Connection: close", reads to EOF and splits the response.  Used by the
+/// campaign-scaling bench's scrape-under-load measurement and by smoke
+/// tests; deliberately not a general client — no TLS, no redirects, no
+/// chunked encoding.  nullopt on connect/send/parse failure.
+struct HttpGetResult {
+  int status = 0;
+  std::string body;
+};
+std::optional<HttpGetResult> http_get(std::uint16_t port,
+                                      std::string_view target);
 
 }  // namespace earl::obs

@@ -1,11 +1,21 @@
-// Minimal JSON emission helpers shared by the event log and the metrics
-// exporter.  Emission only — the observability layer writes JSON/JSONL for
-// external consumers (jq, pandas, dashboards); it never parses it back.
+// Minimal JSON helpers shared by the event log, the metrics exporter and
+// the bench telemetry layer.  Two halves:
+//
+//   * Emission (json_escape / json_number / JsonObject) — the JSONL event
+//     contract: one object per line, deterministic field order.
+//   * Parsing (json_parse) — a strict RFC 8259 recursive-descent reader
+//     used by the bench-report round-trip and `earl-bench-diff`.  Strict
+//     means: no trailing commas, no comments, no bare NaN/Inf, no trailing
+//     garbage after the document, \uXXXX escapes decoded to UTF-8.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace earl::obs {
 
@@ -42,5 +52,34 @@ class JsonObject {
   std::string out_;
   bool first_ = true;
 };
+
+/// A parsed JSON document node.  Object member order is preserved (the
+/// emitters write deterministic field orders; the round-trip tests rely on
+/// re-serialization being stable).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  /// First member with the given key; nullptr when absent or not an
+  /// object.
+  const JsonValue* find(std::string_view key) const;
+};
+
+/// Strict parse of one complete JSON document.  On failure returns nullopt
+/// and, when `error` is non-null, stores a one-line message with the byte
+/// offset ("offset 17: trailing comma in object").
+std::optional<JsonValue> json_parse(std::string_view text,
+                                    std::string* error = nullptr);
 
 }  // namespace earl::obs

@@ -68,6 +68,20 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
   return *it->second;
 }
 
+void MetricsRegistry::set_info(std::string_view name, InfoLabels labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  infos_[std::string(name)] = std::move(labels);
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+MetricsRegistry::counters_snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+  return out;
+}
+
 const Counter* MetricsRegistry::find_counter(std::string_view name) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = counters_.find(name);
@@ -117,6 +131,25 @@ std::string MetricsRegistry::to_json() const {
     out += "]}";
   }
   out += first ? "}" : "\n  }";
+  // Info gauges appear only once set, so registries that never set one
+  // keep their historical byte-exact JSON shape.
+  if (!infos_.empty()) {
+    out += ",\n  \"info\": {";
+    first = true;
+    for (const auto& [name, labels] : infos_) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "    \"" + json_escape(name) + "\": {";
+      bool first_label = true;
+      for (const auto& [key, value] : labels) {
+        if (!first_label) out += ", ";
+        first_label = false;
+        out += "\"" + json_escape(key) + "\": \"" + json_escape(value) + "\"";
+      }
+      out += "}";
+    }
+    out += first ? "}" : "\n  }";
+  }
   out += "\n}\n";
   return out;
 }
@@ -156,6 +189,12 @@ std::string MetricsRegistry::to_csv() const {
              std::to_string(counts[i]) + "\n";
     }
   }
+  for (const auto& [name, labels] : infos_) {
+    for (const auto& [key, value] : labels) {
+      out += "info," + csv_quote(name) + "," + csv_quote(key) + "," +
+             csv_quote(value) + "\n";
+    }
+  }
   return out;
 }
 
@@ -183,6 +222,27 @@ std::string prometheus_label_escape(std::string_view value) {
     else out.push_back(c);
   }
   return out;
+}
+
+std::string prometheus_histogram_block(std::string_view prom,
+                                       std::string_view help,
+                                       const Histogram& histogram) {
+  std::string block =
+      "# HELP " + std::string(prom) + " " + std::string(help) + "\n";
+  block += "# TYPE " + std::string(prom) + " histogram\n";
+  const std::vector<std::uint64_t> counts = histogram.counts();
+  const std::vector<double>& bounds = histogram.bounds();
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    block += std::string(prom) + "_bucket{le=\"" +
+             (i < bounds.size() ? json_number(bounds[i]) : "+Inf") + "\"} " +
+             std::to_string(cumulative) + "\n";
+  }
+  block += std::string(prom) + "_sum " + json_number(histogram.sum()) + "\n";
+  block += std::string(prom) + "_count " + std::to_string(histogram.count()) +
+           "\n";
+  return block;
 }
 
 void MetricsRegistry::set_help(std::string_view name, std::string_view help) {
@@ -228,19 +288,22 @@ std::string MetricsRegistry::to_prometheus() const {
   }
   for (const auto& [name, h] : histograms_) {
     const std::string prom = prometheus_name(name);
+    blocks.emplace_back(prom,
+                        prometheus_histogram_block(prom, help_for(name), *h));
+  }
+  for (const auto& [name, labels] : infos_) {
+    const std::string prom = prometheus_name(name);
     std::string block = "# HELP " + prom + " " + help_for(name) + "\n";
-    block += "# TYPE " + prom + " histogram\n";
-    const std::vector<std::uint64_t> counts = h->counts();
-    const std::vector<double>& bounds = h->bounds();
-    std::uint64_t cumulative = 0;
-    for (std::size_t i = 0; i < counts.size(); ++i) {
-      cumulative += counts[i];
-      block += prom + "_bucket{le=\"" +
-               (i < bounds.size() ? json_number(bounds[i]) : "+Inf") + "\"} " +
-               std::to_string(cumulative) + "\n";
+    block += "# TYPE " + prom + " gauge\n";
+    block += prom + "{";
+    bool first = true;
+    for (const auto& [key, value] : labels) {
+      if (!first) block += ",";
+      first = false;
+      block += prometheus_name(key) + "=\"" + prometheus_label_escape(value) +
+               "\"";
     }
-    block += prom + "_sum " + json_number(h->sum()) + "\n";
-    block += prom + "_count " + std::to_string(h->count()) + "\n";
+    block += "} 1\n";
     blocks.emplace_back(prom, std::move(block));
   }
   std::sort(blocks.begin(), blocks.end(),
@@ -255,6 +318,13 @@ std::span<const double> detection_latency_bounds() {
   static constexpr double kBounds[] = {1,    2,    5,     10,    20,    50,
                                        100,  200,  500,   1000,  2000,  5000,
                                        10000, 20000, 50000, 100000};
+  return kBounds;
+}
+
+std::span<const double> latency_ns_bounds() {
+  static constexpr double kBounds[] = {
+      1e2, 2.5e2, 5e2, 1e3, 2.5e3, 5e3, 1e4, 2.5e4, 5e4,
+      1e5, 2.5e5, 5e5, 1e6, 2.5e6, 5e6, 1e7, 1e8,   1e9};
   return kBounds;
 }
 

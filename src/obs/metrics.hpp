@@ -80,6 +80,20 @@ class MetricsRegistry {
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name, std::span<const double> bounds);
 
+  /// Labels attached to an info-style gauge (earl_build_info and friends):
+  /// a constant-1 sample whose identity lives in the label set.
+  using InfoLabels = std::vector<std::pair<std::string, std::string>>;
+
+  /// Sets an info gauge: exported as `name{k="v",...} 1` in Prometheus,
+  /// as a string-valued object under "info" in JSON, and as
+  /// `info,name,k,v` rows in CSV.  Re-setting replaces the label set.
+  void set_info(std::string_view name, InfoLabels labels);
+
+  /// All counters, sorted by name (the bench reporter snapshots these into
+  /// its JSON document).
+  std::vector<std::pair<std::string, std::uint64_t>> counters_snapshot()
+      const;
+
   /// Snapshot export, instruments sorted by name.
   std::string to_json() const;
   std::string to_csv() const;
@@ -103,6 +117,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, InfoLabels, std::less<>> infos_;
   std::map<std::string, std::string, std::less<>> help_;
 };
 
@@ -115,9 +130,23 @@ std::string prometheus_name(std::string_view name);
 /// double-quote, and newline become `\\`, `\"`, `\n`.
 std::string prometheus_label_escape(std::string_view value);
 
+/// Renders one histogram as a Prometheus text-exposition block: HELP/TYPE
+/// header, cumulative `_bucket{le="..."}` series, `_sum`, `_count`.
+/// `prom` must already be a valid Prometheus metric name.  Shared between
+/// the registry exporter and standalone histograms (the telemetry
+/// server's own request-latency instrument).
+std::string prometheus_histogram_block(std::string_view prom,
+                                       std::string_view help,
+                                       const Histogram& histogram);
+
 /// Default bucket edges (in dynamic instructions) for detection-latency
 /// histograms: roughly logarithmic, covering same-instruction detection up
 /// to a full iteration's worth of distance.
 std::span<const double> detection_latency_bounds();
+
+/// Default bucket edges (in nanoseconds) for host-side latency histograms
+/// (experiment-claim path, HTTP request handling): log-spaced from 100 ns
+/// to 1 s.
+std::span<const double> latency_ns_bounds();
 
 }  // namespace earl::obs

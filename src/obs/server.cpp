@@ -345,9 +345,19 @@ void TelemetryServer::on_campaign_end(const fi::CampaignResult& result) {
 void TelemetryServer::handle(const HttpRequest& request,
                              HttpConnection& connection) {
   http_requests_.fetch_add(1, std::memory_order_relaxed);
+  // One earl_http_request_ns sample per request-response exchange;
+  // /events is excluded (the stream lives as long as its subscriber).
+  const auto request_start = std::chrono::steady_clock::now();
+  const auto observe_latency = [&] {
+    http_request_ns_.observe(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - request_start)
+            .count()));
+  };
   const std::string path = request.path();
   if (path.rfind("/control/", 0) == 0) {
     connection.send_response(control_response(request), request.keep_alive());
+    observe_latency();
     return;
   }
   if (request.method != "GET") {
@@ -355,6 +365,7 @@ void TelemetryServer::handle(const HttpRequest& request,
         {405, "text/plain; charset=utf-8",
          "method not allowed: telemetry endpoints are GET-only\n"},
         request.keep_alive());
+    observe_latency();
     return;
   }
   if (path == "/events") {
@@ -376,6 +387,7 @@ void TelemetryServer::handle(const HttpRequest& request,
                 "/control/{pause,resume,stop,extend,workers}\n"};
   }
   connection.send_response(response, request.keep_alive());
+  observe_latency();
 }
 
 namespace {
@@ -527,6 +539,12 @@ std::string TelemetryServer::serve_metrics_text() {
   out += "# TYPE earl_serve_sse_evicted_total counter\n";
   out += "earl_serve_sse_evicted_total " + std::to_string(ring_.evicted()) +
          "\n";
+
+  out += prometheus_histogram_block(
+      "earl_http_request_ns",
+      "Telemetry request handling latency in nanoseconds (SSE /events "
+      "streams excluded).",
+      http_request_ns_);
 
   out += "# HELP earl_serve_campaign_info Campaign identity; the value is "
          "always 1.\n";

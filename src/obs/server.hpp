@@ -204,6 +204,11 @@ class TelemetryServer final : public CampaignObserver {
     return http_requests_.load(std::memory_order_relaxed);
   }
 
+  /// Request-handling latency (exported as `earl_http_request_ns` on
+  /// /metrics).  SSE /events streams are excluded: they live as long as
+  /// the subscriber, which would swamp the per-request buckets.
+  const Histogram& http_request_ns() const { return http_request_ns_; }
+
   /// Attaches the campaign control mailbox, enabling POST /control/*.
   /// The controller must outlive the server; attach before start() (the
   /// handler threads read the pointer).  Null detaches: control endpoints
@@ -256,6 +261,7 @@ class TelemetryServer final : public CampaignObserver {
   std::atomic<std::int64_t> campaign_start_ns_{0};
   std::atomic<std::uint64_t> http_requests_{0};
   std::atomic<std::int64_t> sse_clients_{0};
+  Histogram http_request_ns_{latency_ns_bounds()};
 };
 
 /// Renders one ServerEvent as an SSE frame ("event: ...\ndata: {...}\n\n");

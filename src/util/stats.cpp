@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <vector>
 
 namespace earl::util {
 
@@ -66,6 +67,39 @@ Summary summarize(std::span<const double> xs) {
   for (double x : xs) var += (x - s.mean) * (x - s.mean);
   s.stddev = std::sqrt(var / static_cast<double>(xs.size()));
   return s;
+}
+
+namespace {
+
+// Percentile of an already-sorted sample.
+double percentile_sorted(std::span<const double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank =
+      p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+double percentile(std::span<const double> xs, double p) {
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  return percentile_sorted(sorted, p);
+}
+
+Percentiles percentiles(std::span<const double> xs) {
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  Percentiles out;
+  out.n = sorted.size();
+  out.p50 = percentile_sorted(sorted, 50.0);
+  out.p95 = percentile_sorted(sorted, 95.0);
+  out.p99 = percentile_sorted(sorted, 99.0);
+  return out;
 }
 
 double max_abs_diff(std::span<const float> a, std::span<const float> b) {

@@ -51,6 +51,23 @@ struct Summary {
 
 Summary summarize(std::span<const double> xs);
 
+/// Linear-interpolation percentile (the "inclusive" method: rank
+/// p/100 * (n-1), interpolating between the two straddling order
+/// statistics).  `p` is clamped to [0, 100].  Returns 0 on an empty
+/// sample; a single sample is every percentile of itself.
+double percentile(std::span<const double> xs, double p);
+
+/// The latency quantiles the bench telemetry tracks (see
+/// obs/bench_report.hpp): p50/p95/p99 over one sorted pass of the sample.
+struct Percentiles {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  std::size_t n = 0;
+};
+
+Percentiles percentiles(std::span<const double> xs);
+
 /// Maximum absolute pairwise difference between two equal-length series.
 /// Used to compare controller outputs against a golden trace.
 double max_abs_diff(std::span<const float> a, std::span<const float> b);

@@ -6,6 +6,7 @@
 
 #include "fi/controller.hpp"
 #include "fi/workloads.hpp"
+#include "obs/metrics.hpp"
 
 namespace earl::fi {
 namespace {
@@ -97,6 +98,37 @@ TEST(RunnerTest, CampaignIsReproducible) {
   for (std::size_t i = 0; i < a.experiments.size(); ++i) {
     EXPECT_EQ(a.experiments[i].outcome, b.experiments[i].outcome);
     EXPECT_EQ(a.experiments[i].edm, b.experiments[i].edm);
+  }
+}
+
+TEST(RunnerTest, ClaimLatencyHistogramRecordsEveryExperiment) {
+  const CampaignConfig config = small_campaign(30);
+  const auto factory = make_tvm_pi_factory(paper_pi_config());
+  obs::MetricsRegistry registry;
+  CampaignRunner runner(config);
+  runner.set_metrics(&registry);
+  const CampaignResult result = runner.run(factory);
+  const obs::Histogram* histogram =
+      registry.find_histogram("earl.claim_latency_ns");
+  ASSERT_NE(histogram, nullptr);
+  // One successful claim per experiment, plus the final empty-queue probe
+  // each worker makes before exiting.
+  EXPECT_GE(histogram->count(), result.experiments.size());
+  EXPECT_GT(histogram->sum(), 0.0);
+}
+
+TEST(RunnerTest, MetricsDoNotChangeCampaignOutcomes) {
+  const CampaignConfig config = small_campaign(30);
+  const auto factory = make_tvm_pi_factory(paper_pi_config());
+  const CampaignResult plain = CampaignRunner(config).run(factory);
+  obs::MetricsRegistry registry;
+  CampaignRunner observed_runner(config);
+  observed_runner.set_metrics(&registry);
+  const CampaignResult observed = observed_runner.run(factory);
+  ASSERT_EQ(plain.experiments.size(), observed.experiments.size());
+  for (std::size_t i = 0; i < plain.experiments.size(); ++i) {
+    EXPECT_EQ(plain.experiments[i].outcome, observed.experiments[i].outcome);
+    EXPECT_EQ(plain.experiments[i].edm, observed.experiments[i].edm);
   }
 }
 

@@ -1,0 +1,179 @@
+#include "obs/bench_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace earl::obs {
+namespace {
+
+BenchReport sample_report() {
+  BenchReport report;
+  report.bench = "campaign_scaling";
+  report.campaign_scale = 0.05;
+  report.build = {"abc123-dirty", "gcc 12.2.0", "Release", "-O2"};
+  report.set_metric("workers_1.wall_s", BenchMetricKind::kTiming, "s", 1.25);
+  report.set_metric("workers_1.throughput_eps", BenchMetricKind::kThroughput,
+                    "eps", 480.0, 25.0);
+  report.set_metric("campaign.outcome.latent", BenchMetricKind::kCounter,
+                    "count", 113.0);
+  report.set_metric("hardware_concurrency", BenchMetricKind::kInfo, "count",
+                    8.0);
+  return report;
+}
+
+TEST(BenchReportTest, KindSlugsRoundTrip) {
+  for (const BenchMetricKind kind :
+       {BenchMetricKind::kTiming, BenchMetricKind::kThroughput,
+        BenchMetricKind::kCounter, BenchMetricKind::kInfo}) {
+    const auto parsed = parse_bench_metric_kind(bench_metric_kind_slug(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(parse_bench_metric_kind("gauge").has_value());
+}
+
+TEST(BenchReportTest, JsonRoundTripIsExact) {
+  const BenchReport report = sample_report();
+  const std::string text = report.to_json();
+  std::string error;
+  const auto parsed = BenchReport::from_json(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(*parsed, report);
+  // Re-serialization is byte-stable (deterministic ordering).
+  EXPECT_EQ(parsed->to_json(), text);
+}
+
+TEST(BenchReportTest, SerializationIsStrictJson) {
+  // The emitted document must satisfy our own strict parser.
+  const auto doc = json_parse(sample_report().to_json());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("schema")->string, BenchReport::kSchema);
+  EXPECT_EQ(doc->find("bench")->string, "campaign_scaling");
+  EXPECT_TRUE(doc->find("metrics")->is_array());
+}
+
+TEST(BenchReportTest, MetricsSerializedSortedByName) {
+  BenchReport report;
+  report.bench = "b";
+  report.set_metric("zzz", BenchMetricKind::kInfo, "count", 1.0);
+  report.set_metric("aaa", BenchMetricKind::kInfo, "count", 2.0);
+  const auto parsed = BenchReport::from_json(report.to_json());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->metrics.size(), 2u);
+  EXPECT_EQ(parsed->metrics[0].name, "aaa");
+  EXPECT_EQ(parsed->metrics[1].name, "zzz");
+}
+
+TEST(BenchReportTest, SetMetricOverwritesByName) {
+  BenchReport report;
+  report.set_metric("x", BenchMetricKind::kTiming, "s", 1.0);
+  report.set_metric("x", BenchMetricKind::kTiming, "s", 2.0);
+  ASSERT_EQ(report.metrics.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.metrics[0].value, 2.0);
+}
+
+TEST(BenchReportTest, BudgetSerializedOnlyWhenPositive) {
+  const std::string text = sample_report().to_json();
+  // Exactly one metric in the sample carries a budget.
+  std::size_t occurrences = 0;
+  for (std::size_t at = text.find("budget_pct"); at != std::string::npos;
+       at = text.find("budget_pct", at + 1)) {
+    ++occurrences;
+  }
+  EXPECT_EQ(occurrences, 1u);
+}
+
+TEST(BenchReportTest, FindMetric) {
+  const BenchReport report = sample_report();
+  ASSERT_NE(report.find_metric("workers_1.wall_s"), nullptr);
+  EXPECT_DOUBLE_EQ(report.find_metric("workers_1.wall_s")->value, 1.25);
+  EXPECT_EQ(report.find_metric("nope"), nullptr);
+}
+
+TEST(BenchReportTest, RejectsWrongSchema) {
+  std::string text = sample_report().to_json();
+  const std::size_t at = text.find("earl.bench.v1");
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, 13, "earl.bench.v9");
+  std::string error;
+  EXPECT_FALSE(BenchReport::from_json(text, &error).has_value());
+  EXPECT_NE(error.find("schema"), std::string::npos);
+}
+
+TEST(BenchReportTest, RejectsUnknownMetricKind) {
+  std::string text = sample_report().to_json();
+  const std::size_t at = text.find("\"timing\"");
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, 8, "\"gauge\"");
+  EXPECT_FALSE(BenchReport::from_json(text).has_value());
+}
+
+TEST(BenchReportTest, RejectsMalformedJson) {
+  std::string error;
+  EXPECT_FALSE(BenchReport::from_json("{not json", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(BenchReport::from_json("[]").has_value());
+}
+
+TEST(BenchReportTest, AddRegistryCountersFiltersByPrefix) {
+  MetricsRegistry registry;
+  registry.counter("campaign.outcome.latent").add(7);
+  registry.counter("campaign.edm.overflow").add(2);
+  registry.counter("other.counter").add(9);
+  BenchReport report;
+  report.add_registry_counters(registry, "campaign.");
+  ASSERT_EQ(report.metrics.size(), 2u);
+  for (const BenchMetric& metric : report.metrics) {
+    EXPECT_EQ(metric.kind, BenchMetricKind::kCounter);
+    EXPECT_TRUE(metric.name.starts_with("campaign."));
+  }
+  EXPECT_DOUBLE_EQ(report.find_metric("campaign.outcome.latent")->value, 7.0);
+}
+
+TEST(BenchReportTest, SetPercentilesEmitsQuantilesAndSampleCount) {
+  BenchReport report;
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(static_cast<double>(i));
+  report.set_percentiles("scrape", xs, "ns");
+  ASSERT_NE(report.find_metric("scrape.p50_ns"), nullptr);
+  EXPECT_EQ(report.find_metric("scrape.p50_ns")->kind,
+            BenchMetricKind::kTiming);
+  EXPECT_EQ(report.find_metric("scrape.samples")->kind,
+            BenchMetricKind::kInfo);
+  EXPECT_DOUBLE_EQ(report.find_metric("scrape.samples")->value, 100.0);
+  EXPECT_LE(report.find_metric("scrape.p50_ns")->value,
+            report.find_metric("scrape.p99_ns")->value);
+}
+
+TEST(BenchReportTest, FileRoundTrip) {
+  const BenchReport report = sample_report();
+  const std::string path =
+      testing::TempDir() + "/earl_bench_report_roundtrip.json";
+  std::string error;
+  ASSERT_TRUE(report.write_file(path, &error)) << error;
+  const auto loaded = BenchReport::load_file(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(*loaded, report);
+  std::remove(path.c_str());
+}
+
+TEST(BenchReportTest, LoadMissingFileFails) {
+  std::string error;
+  EXPECT_FALSE(
+      BenchReport::load_file("/nonexistent/BENCH_x.json", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(BenchReportTest, Filename) {
+  EXPECT_EQ(bench_report_filename("swifi_campaign"),
+            "BENCH_swifi_campaign.json");
+}
+
+}  // namespace
+}  // namespace earl::obs

@@ -937,5 +937,58 @@ TEST(ControlPlaneTest, HttpPauseExtendResumeMatchesFreshCampaign) {
   EXPECT_NE(response.body.find("\"done\":40"), std::string::npos);
 }
 
+TEST(TelemetryServerTest, RequestLatencyHistogramOnMetrics) {
+  TelemetryServer server(TelemetryServer::Options{});
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  ClientResponse response;
+  ASSERT_TRUE(http_get(server.port(), "/healthz", &response));
+  ASSERT_TRUE(http_get(server.port(), "/nope", &response));  // 404s count too
+  ASSERT_TRUE(http_get(server.port(), "/metrics", &response));
+  EXPECT_EQ(response.status, 200);
+  // The scrape itself races with its own observation; the two requests
+  // before it are definitely recorded.
+  EXPECT_NE(response.body.find("earl_http_request_ns_bucket"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("earl_http_request_ns_sum"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("earl_http_request_ns_count"),
+            std::string::npos);
+  EXPECT_GE(server.http_request_ns().count(), 2u);
+}
+
+TEST(HttpGetClientTest, FetchesStatusAndBody) {
+  MetricsRegistry registry;
+  registry.counter("campaign.outcome.detected").add(5);
+  TelemetryServer server(TelemetryServer::Options{}, &registry);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  const auto ok = obs::http_get(server.port(), "/metrics");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->status, 200);
+  EXPECT_NE(ok->body.find("campaign_outcome_detected 5"), std::string::npos);
+
+  const auto missing = obs::http_get(server.port(), "/nope");
+  ASSERT_TRUE(missing.has_value());
+  EXPECT_EQ(missing->status, 404);
+}
+
+TEST(HttpGetClientTest, ConnectionRefusedIsNullopt) {
+  // Bind-then-close to get a port nothing listens on.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  socklen_t len = sizeof addr;
+  ASSERT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+  ::close(fd);
+  EXPECT_FALSE(obs::http_get(port, "/metrics").has_value());
+}
+
 }  // namespace
 }  // namespace earl::obs

@@ -1,0 +1,127 @@
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace earl::obs {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_EQ(json_parse("null")->kind, JsonValue::Kind::kNull);
+  EXPECT_TRUE(json_parse("true")->boolean);
+  EXPECT_FALSE(json_parse("false")->boolean);
+  EXPECT_DOUBLE_EQ(json_parse("42")->number, 42.0);
+  EXPECT_DOUBLE_EQ(json_parse("-0.5")->number, -0.5);
+  EXPECT_DOUBLE_EQ(json_parse("1e3")->number, 1000.0);
+  EXPECT_EQ(json_parse("\"hi\"")->string, "hi");
+}
+
+TEST(JsonParseTest, NestedDocument) {
+  const auto doc = json_parse(R"({"a": [1, 2, {"b": "c"}], "d": null})");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_object());
+  const JsonValue* a = doc->find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array[0].number, 1.0);
+  EXPECT_EQ(a->array[2].find("b")->string, "c");
+  EXPECT_EQ(doc->find("d")->kind, JsonValue::Kind::kNull);
+}
+
+TEST(JsonParseTest, ObjectMemberOrderPreserved) {
+  const auto doc = json_parse(R"({"z": 1, "a": 2})");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_EQ(doc->object.size(), 2u);
+  EXPECT_EQ(doc->object[0].first, "z");
+  EXPECT_EQ(doc->object[1].first, "a");
+}
+
+TEST(JsonParseTest, UnicodeEscapesDecodeToUtf8) {
+  const auto doc = json_parse(R"("é中")");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->string, "\xc3\xa9\xe4\xb8\xad");
+}
+
+TEST(JsonParseTest, StandardEscapes) {
+  const auto doc = json_parse(R"("a\"b\\c\n\t")");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->string, "a\"b\\c\n\t");
+}
+
+TEST(JsonParseTest, RejectsTrailingComma) {
+  EXPECT_FALSE(json_parse("[1, 2,]").has_value());
+  EXPECT_FALSE(json_parse(R"({"a": 1,})").has_value());
+}
+
+TEST(JsonParseTest, RejectsTrailingGarbage) {
+  EXPECT_FALSE(json_parse("{} x").has_value());
+  EXPECT_FALSE(json_parse("1 2").has_value());
+}
+
+TEST(JsonParseTest, RejectsComments) {
+  EXPECT_FALSE(json_parse("// hi\n1").has_value());
+  EXPECT_FALSE(json_parse("[1 /* x */]").has_value());
+}
+
+TEST(JsonParseTest, RejectsBareNanAndInf) {
+  EXPECT_FALSE(json_parse("NaN").has_value());
+  EXPECT_FALSE(json_parse("Infinity").has_value());
+  EXPECT_FALSE(json_parse("-Infinity").has_value());
+}
+
+TEST(JsonParseTest, RejectsMalformedNumbers) {
+  EXPECT_FALSE(json_parse("01").has_value());    // leading zero
+  EXPECT_FALSE(json_parse("+1").has_value());    // explicit plus
+  EXPECT_FALSE(json_parse("1.").has_value());    // bare decimal point
+  EXPECT_FALSE(json_parse(".5").has_value());    // missing integer part
+  EXPECT_FALSE(json_parse("1e").has_value());    // empty exponent
+}
+
+TEST(JsonParseTest, RejectsSingleQuotesAndBareKeys) {
+  EXPECT_FALSE(json_parse("'a'").has_value());
+  EXPECT_FALSE(json_parse("{a: 1}").has_value());
+}
+
+TEST(JsonParseTest, RejectsUnterminatedStructures) {
+  EXPECT_FALSE(json_parse("[1, 2").has_value());
+  EXPECT_FALSE(json_parse(R"({"a": )").has_value());
+  EXPECT_FALSE(json_parse("\"abc").has_value());
+  EXPECT_FALSE(json_parse("").has_value());
+}
+
+TEST(JsonParseTest, RejectsRawControlCharactersInStrings) {
+  const std::string text = std::string("\"a") + '\n' + "b\"";
+  EXPECT_FALSE(json_parse(text).has_value());
+}
+
+TEST(JsonParseTest, ErrorMessageCarriesOffset) {
+  std::string error;
+  EXPECT_FALSE(json_parse("[1, ]", &error).has_value());
+  EXPECT_NE(error.find("offset"), std::string::npos);
+}
+
+TEST(JsonParseTest, RoundTripsEmittedObject) {
+  JsonObject builder;
+  builder.field("name", "claim \"latency\"")
+      .field("count", std::uint64_t{3})
+      .field("mean", 2.5)
+      .field("ok", true);
+  const std::string line = std::move(builder).str();
+  const auto doc = json_parse(line);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("name")->string, "claim \"latency\"");
+  EXPECT_DOUBLE_EQ(doc->find("count")->number, 3.0);
+  EXPECT_DOUBLE_EQ(doc->find("mean")->number, 2.5);
+  EXPECT_TRUE(doc->find("ok")->boolean);
+}
+
+TEST(JsonParseTest, FindOnNonObjectIsNull) {
+  const auto doc = json_parse("[1]");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("a"), nullptr);
+}
+
+}  // namespace
+}  // namespace earl::obs

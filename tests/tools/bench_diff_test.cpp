@@ -1,0 +1,281 @@
+#include "bench_diff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+namespace earl::tools {
+namespace {
+
+namespace fs = std::filesystem;
+
+obs::BenchReport make_report(double wall_s, double latent) {
+  obs::BenchReport report;
+  report.bench = "swifi_campaign";
+  report.campaign_scale = 0.05;
+  report.set_metric("alg1.wall_s", obs::BenchMetricKind::kTiming, "s", wall_s);
+  report.set_metric("campaign.outcome.latent", obs::BenchMetricKind::kCounter,
+                    "count", latent);
+  report.set_metric("hardware_concurrency", obs::BenchMetricKind::kInfo,
+                    "count", 8.0);
+  return report;
+}
+
+TEST(BudgetOptionsTest, Precedence) {
+  BudgetOptions budgets;
+  // Built-in default when nothing is set.
+  EXPECT_DOUBLE_EQ(budgets.resolve("b", 0.0), 10.0);
+  // The metric's own budget beats the built-in default...
+  EXPECT_DOUBLE_EQ(budgets.resolve("b", 25.0), 25.0);
+  // ...but a CLI --budget beats the metric...
+  budgets.default_pct = 40.0;
+  budgets.cli_default = true;
+  EXPECT_DOUBLE_EQ(budgets.resolve("b", 25.0), 40.0);
+  // ...and --budget-for beats everything.
+  budgets.per_bench["b"] = 5.0;
+  EXPECT_DOUBLE_EQ(budgets.resolve("b", 25.0), 5.0);
+  EXPECT_DOUBLE_EQ(budgets.resolve("other", 25.0), 40.0);
+}
+
+TEST(BenchDiffTest, IdenticalReportsPass) {
+  DiffResult result;
+  diff_reports(make_report(1.0, 50.0), make_report(1.0, 50.0), {}, &result);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.benches, 1u);
+  EXPECT_EQ(result.rows.size(), 3u);
+}
+
+TEST(BenchDiffTest, TimingWithinBudgetPasses) {
+  DiffResult result;
+  diff_reports(make_report(1.0, 50.0), make_report(1.09, 50.0), {}, &result);
+  EXPECT_TRUE(result.ok());
+}
+
+TEST(BenchDiffTest, TimingOverBudgetFails) {
+  DiffResult result;
+  diff_reports(make_report(1.0, 50.0), make_report(1.2, 50.0), {}, &result);
+  EXPECT_EQ(result.failures(), 1u);
+  const MetricDiff* failed = nullptr;
+  for (const MetricDiff& row : result.rows) {
+    if (!row.ok) failed = &row;
+  }
+  ASSERT_NE(failed, nullptr);
+  EXPECT_EQ(failed->name, "alg1.wall_s");
+  EXPECT_TRUE(failed->relative);
+  EXPECT_NEAR(failed->delta_pct, 20.0, 1e-9);
+}
+
+TEST(BenchDiffTest, SpeedupBeyondBudgetAlsoFails) {
+  // A big "improvement" usually means the bench stopped measuring what it
+  // used to; the gate is symmetric and the fix is --update-baselines.
+  DiffResult result;
+  diff_reports(make_report(1.0, 50.0), make_report(0.5, 50.0), {}, &result);
+  EXPECT_EQ(result.failures(), 1u);
+}
+
+TEST(BenchDiffTest, WidenedBudgetPasses) {
+  BudgetOptions budgets;
+  budgets.default_pct = 400.0;
+  budgets.cli_default = true;
+  DiffResult result;
+  diff_reports(make_report(1.0, 50.0), make_report(3.0, 50.0), budgets,
+               &result);
+  EXPECT_TRUE(result.ok());
+}
+
+TEST(BenchDiffTest, MetricBudgetRespected) {
+  obs::BenchReport baseline = make_report(1.0, 50.0);
+  baseline.set_metric("alg1.wall_s", obs::BenchMetricKind::kTiming, "s", 1.0,
+                      /*budget_pct=*/50.0);
+  obs::BenchReport run = make_report(1.4, 50.0);
+  run.set_metric("alg1.wall_s", obs::BenchMetricKind::kTiming, "s", 1.4,
+                 /*budget_pct=*/50.0);
+  DiffResult result;
+  diff_reports(baseline, run, {}, &result);
+  EXPECT_TRUE(result.ok());
+}
+
+TEST(BenchDiffTest, CounterMismatchAtSameScaleFails) {
+  DiffResult result;
+  diff_reports(make_report(1.0, 50.0), make_report(1.0, 51.0), {}, &result);
+  EXPECT_EQ(result.failures(), 1u);
+  const MetricDiff* failed = nullptr;
+  for (const MetricDiff& row : result.rows) {
+    if (!row.ok) failed = &row;
+  }
+  ASSERT_NE(failed, nullptr);
+  EXPECT_EQ(failed->name, "campaign.outcome.latent");
+  EXPECT_FALSE(failed->relative);
+}
+
+TEST(BenchDiffTest, CounterSkippedAcrossScales) {
+  obs::BenchReport run = make_report(1.0, 9999.0);
+  run.campaign_scale = 1.0;
+  DiffResult result;
+  diff_reports(make_report(1.0, 50.0), run, {}, &result);
+  EXPECT_TRUE(result.ok());
+}
+
+TEST(BenchDiffTest, InfoComparesExistenceOnly) {
+  obs::BenchReport run = make_report(1.0, 50.0);
+  run.set_metric("hardware_concurrency", obs::BenchMetricKind::kInfo, "count",
+                 64.0);
+  DiffResult result;
+  diff_reports(make_report(1.0, 50.0), run, {}, &result);
+  EXPECT_TRUE(result.ok());
+}
+
+TEST(BenchDiffTest, MissingMetricFails) {
+  obs::BenchReport run = make_report(1.0, 50.0);
+  run.metrics.erase(run.metrics.begin());  // drop alg1.wall_s
+  DiffResult result;
+  diff_reports(make_report(1.0, 50.0), run, {}, &result);
+  EXPECT_EQ(result.failures(), 1u);
+  EXPECT_EQ(result.rows[0].note, "missing in run");
+}
+
+TEST(BenchDiffTest, ExtraMetricFails) {
+  obs::BenchReport run = make_report(1.0, 50.0);
+  run.set_metric("brand.new", obs::BenchMetricKind::kTiming, "s", 1.0);
+  DiffResult result;
+  diff_reports(make_report(1.0, 50.0), run, {}, &result);
+  EXPECT_EQ(result.failures(), 1u);
+  EXPECT_EQ(result.rows.back().note, "not in baseline");
+}
+
+TEST(BenchDiffTest, KindChangeFails) {
+  obs::BenchReport run = make_report(1.0, 50.0);
+  run.set_metric("hardware_concurrency", obs::BenchMetricKind::kCounter,
+                 "count", 8.0);
+  DiffResult result;
+  diff_reports(make_report(1.0, 50.0), run, {}, &result);
+  EXPECT_EQ(result.failures(), 1u);
+}
+
+TEST(BenchDiffTest, ZeroBaselineTiming) {
+  obs::BenchReport baseline = make_report(0.0, 50.0);
+  DiffResult result;
+  diff_reports(baseline, make_report(0.0, 50.0), {}, &result);
+  EXPECT_TRUE(result.ok());
+  DiffResult bad;
+  diff_reports(baseline, make_report(0.5, 50.0), {}, &bad);
+  EXPECT_EQ(bad.failures(), 1u);
+}
+
+TEST(BenchDiffTest, RenderMentionsBreachedMetric) {
+  DiffResult result;
+  diff_reports(make_report(1.0, 50.0), make_report(2.0, 50.0), {}, &result);
+  const std::string rendered = render_diff(result);
+  EXPECT_NE(rendered.find("alg1.wall_s"), std::string::npos);
+  EXPECT_NE(rendered.find("FAIL"), std::string::npos);
+  DiffResult green;
+  diff_reports(make_report(1.0, 50.0), make_report(1.0, 50.0), {}, &green);
+  EXPECT_NE(render_diff(green).find("OK"), std::string::npos);
+}
+
+class BenchDiffDirTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::path(testing::TempDir()) / "earl_bench_diff_test";
+    fs::remove_all(root_);
+    fs::create_directories(root_ / "run");
+    fs::create_directories(root_ / "base");
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  void write(const std::string& dir, const obs::BenchReport& report) {
+    const std::string path =
+        (root_ / dir / obs::bench_report_filename(report.bench)).string();
+    std::string error;
+    ASSERT_TRUE(report.write_file(path, &error)) << error;
+  }
+
+  std::string dir(const std::string& name) const {
+    return (root_ / name).string();
+  }
+
+  fs::path root_;
+};
+
+TEST_F(BenchDiffDirTest, MatchingDirectoriesPass) {
+  write("base", make_report(1.0, 50.0));
+  write("run", make_report(1.0, 50.0));
+  DiffResult result;
+  std::string error;
+  ASSERT_TRUE(diff_directories(dir("run"), dir("base"), {}, &result, &error))
+      << error;
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.benches, 1u);
+}
+
+TEST_F(BenchDiffDirTest, MissingRunReportFails) {
+  write("base", make_report(1.0, 50.0));
+  DiffResult result;
+  std::string error;
+  ASSERT_TRUE(diff_directories(dir("run"), dir("base"), {}, &result, &error));
+  EXPECT_EQ(result.failures(), 1u);
+  EXPECT_EQ(result.rows[0].note, "missing report in run");
+}
+
+TEST_F(BenchDiffDirTest, UnpairedRunReportFails) {
+  write("base", make_report(1.0, 50.0));
+  write("run", make_report(1.0, 50.0));
+  obs::BenchReport extra = make_report(1.0, 50.0);
+  extra.bench = "brand_new";
+  write("run", extra);
+  DiffResult result;
+  std::string error;
+  ASSERT_TRUE(diff_directories(dir("run"), dir("base"), {}, &result, &error));
+  EXPECT_EQ(result.failures(), 1u);
+}
+
+TEST_F(BenchDiffDirTest, CorruptReportIsFailureNotHardError) {
+  write("base", make_report(1.0, 50.0));
+  std::FILE* f = std::fopen(
+      (root_ / "run" / "BENCH_swifi_campaign.json").string().c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("{truncated", f);
+  std::fclose(f);
+  DiffResult result;
+  std::string error;
+  ASSERT_TRUE(diff_directories(dir("run"), dir("base"), {}, &result, &error));
+  EXPECT_EQ(result.failures(), 1u);
+}
+
+TEST_F(BenchDiffDirTest, MissingDirectoryIsHardError) {
+  DiffResult result;
+  std::string error;
+  EXPECT_FALSE(diff_directories(dir("nope"), dir("base"), {}, &result,
+                                &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST_F(BenchDiffDirTest, UpdateBaselinesAdoptsRun) {
+  write("base", make_report(1.0, 50.0));
+  write("run", make_report(9.0, 51.0));
+  std::string error;
+  ASSERT_TRUE(update_baselines(dir("run"), dir("base"), &error)) << error;
+  DiffResult result;
+  ASSERT_TRUE(diff_directories(dir("run"), dir("base"), {}, &result, &error));
+  EXPECT_TRUE(result.ok());
+}
+
+TEST_F(BenchDiffDirTest, UpdateBaselinesRejectsCorruptRun) {
+  std::FILE* f = std::fopen(
+      (root_ / "run" / "BENCH_bad.json").string().c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("{truncated", f);
+  std::fclose(f);
+  std::string error;
+  EXPECT_FALSE(update_baselines(dir("run"), dir("base"), &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST_F(BenchDiffDirTest, UpdateBaselinesNeedsReports) {
+  std::string error;
+  EXPECT_FALSE(update_baselines(dir("run"), dir("base"), &error));
+}
+
+}  // namespace
+}  // namespace earl::tools

@@ -119,6 +119,45 @@ TEST(CliParserTest, SecondPositionalIsAnError) {
   EXPECT_EQ(out.path, "first.jsonl");
 }
 
+TEST(CliParserTest, MultiplePositionalsFillInOrder) {
+  std::string run_dir;
+  std::string baseline_dir;
+  bool verbose = false;
+  Parser parser("prog", "t", "prog RUN BASE [options]");
+  parser.add_positional(&run_dir);
+  parser.add_positional(&baseline_dir);
+  parser.add_flag("--verbose", "print more", &verbose);
+  Argv argv({"run/", "--verbose", "baselines/"});
+  ASSERT_TRUE(parser.parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(run_dir, "run/");
+  EXPECT_EQ(baseline_dir, "baselines/");
+  EXPECT_TRUE(verbose);
+}
+
+TEST(CliParserTest, PositionalPastLastSlotIsAnError) {
+  std::string first;
+  std::string second;
+  Parser parser("prog", "t", "prog A B");
+  parser.add_positional(&first);
+  parser.add_positional(&second);
+  Argv argv({"a", "b", "c"});
+  EXPECT_FALSE(parser.parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(first, "a");
+  EXPECT_EQ(second, "b");
+}
+
+TEST(CliParserTest, MissingPositionalsStayEmpty) {
+  std::string first;
+  std::string second;
+  Parser parser("prog", "t", "prog A B");
+  parser.add_positional(&first);
+  parser.add_positional(&second);
+  Argv argv({"only"});
+  ASSERT_TRUE(parser.parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(first, "only");
+  EXPECT_TRUE(second.empty());
+}
+
 TEST(CliParserTest, CustomHandlerRejectionFailsParse) {
   std::optional<int> figure;
   Parser parser("prog", "t", "prog");

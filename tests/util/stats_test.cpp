@@ -114,6 +114,76 @@ TEST(SummaryTest, KnownMoments) {
   EXPECT_DOUBLE_EQ(s.max, 9.0);
 }
 
+TEST(PercentileTest, EmptySampleIsZero) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+  const Percentiles p = percentiles({});
+  EXPECT_EQ(p.n, 0u);
+  EXPECT_DOUBLE_EQ(p.p50, 0.0);
+  EXPECT_DOUBLE_EQ(p.p95, 0.0);
+  EXPECT_DOUBLE_EQ(p.p99, 0.0);
+}
+
+TEST(PercentileTest, SingleSampleIsEveryPercentile) {
+  const std::vector<double> xs = {7.5};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 7.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 7.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 7.5);
+}
+
+TEST(PercentileTest, TwoSamplesInterpolate) {
+  const std::vector<double> xs = {10.0, 20.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 15.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 75.0), 17.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 20.0);
+}
+
+TEST(PercentileTest, UnsortedInputIsSortedFirst) {
+  const std::vector<double> xs = {30.0, 10.0, 20.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 20.0);
+}
+
+TEST(PercentileTest, TiedValuesStayExact) {
+  const std::vector<double> xs = {5.0, 5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 99.0), 5.0);
+}
+
+TEST(PercentileTest, OutOfRangePIsClamped) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, -10.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 250.0), 3.0);
+}
+
+TEST(PercentileTest, LinearInterpolationRank) {
+  // Inclusive method: p99 of n=3 lies at rank 0.99 * 2 = 1.98 between
+  // the 2nd and 3rd order statistics.
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 99.0), 2.98);
+}
+
+TEST(PercentileTest, P99SmallSampleApproachesMax) {
+  // With fewer than ~100 samples the p99 hugs the maximum; it must never
+  // exceed it.
+  std::vector<double> xs;
+  for (int i = 1; i <= 10; ++i) xs.push_back(static_cast<double>(i));
+  const double p99 = percentile(xs, 99.0);
+  EXPECT_GT(p99, 9.0);
+  EXPECT_LE(p99, 10.0);
+}
+
+TEST(PercentileTest, PercentilesStructMatchesScalarCalls) {
+  std::vector<double> xs;
+  for (int i = 100; i >= 1; --i) xs.push_back(static_cast<double>(i));
+  const Percentiles p = percentiles(xs);
+  EXPECT_EQ(p.n, 100u);
+  EXPECT_DOUBLE_EQ(p.p50, percentile(xs, 50.0));
+  EXPECT_DOUBLE_EQ(p.p95, percentile(xs, 95.0));
+  EXPECT_DOUBLE_EQ(p.p99, percentile(xs, 99.0));
+  EXPECT_LE(p.p50, p.p95);
+  EXPECT_LE(p.p95, p.p99);
+}
+
 TEST(MaxAbsDiffTest, IdenticalSeriesIsZero) {
   const std::vector<float> a = {1.0f, 2.0f, 3.0f};
   EXPECT_DOUBLE_EQ(max_abs_diff(a, a), 0.0);

@@ -1,0 +1,271 @@
+#include "bench_diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "util/table.hpp"
+
+namespace earl::tools {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string format_value(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.6g", value);
+  return buffer;
+}
+
+std::string format_pct(double value, bool with_sign) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, with_sign ? "%+.1f%%" : "%.1f%%",
+                value);
+  return buffer;
+}
+
+/// Sorted `BENCH_*.json` filenames directly under `dir`.
+bool list_reports(const std::string& dir, std::vector<std::string>* names,
+                  std::string* error) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    *error = "not a directory: " + dir;
+    return false;
+  }
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.starts_with("BENCH_") && name.ends_with(".json")) {
+      names->push_back(name);
+    }
+  }
+  if (ec) {
+    *error = "cannot read directory " + dir + ": " + ec.message();
+    return false;
+  }
+  std::sort(names->begin(), names->end());
+  return true;
+}
+
+void add_file_failure(DiffResult* out, const std::string& bench,
+                      const std::string& note) {
+  MetricDiff row;
+  row.bench = bench;
+  row.name = "(report)";
+  row.kind = "file";
+  row.ok = false;
+  row.note = note;
+  out->rows.push_back(std::move(row));
+}
+
+}  // namespace
+
+double BudgetOptions::resolve(const std::string& bench,
+                              double metric_budget_pct) const {
+  const auto it = per_bench.find(bench);
+  if (it != per_bench.end()) return it->second;
+  if (cli_default) return default_pct;
+  if (metric_budget_pct > 0.0) return metric_budget_pct;
+  return default_pct;
+}
+
+std::size_t DiffResult::failures() const {
+  std::size_t n = 0;
+  for (const MetricDiff& row : rows) {
+    if (!row.ok) ++n;
+  }
+  return n;
+}
+
+void diff_reports(const obs::BenchReport& baseline, const obs::BenchReport& run,
+                  const BudgetOptions& budgets, DiffResult* out) {
+  ++out->benches;
+  if (baseline.bench != run.bench) {
+    add_file_failure(out, baseline.bench,
+                     "bench name mismatch (run says '" + run.bench + "')");
+    return;
+  }
+  const bool scale_match = baseline.campaign_scale == run.campaign_scale;
+
+  for (const obs::BenchMetric& base : baseline.metrics) {
+    MetricDiff row;
+    row.bench = baseline.bench;
+    row.name = base.name;
+    row.kind = std::string(obs::bench_metric_kind_slug(base.kind));
+    row.baseline = base.value;
+
+    const obs::BenchMetric* current = run.find_metric(base.name);
+    if (current == nullptr) {
+      row.ok = false;
+      row.note = "missing in run";
+      out->rows.push_back(std::move(row));
+      continue;
+    }
+    row.current = current->value;
+    if (current->kind != base.kind) {
+      row.ok = false;
+      row.note = "kind changed to '" +
+                 std::string(obs::bench_metric_kind_slug(current->kind)) + "'";
+      out->rows.push_back(std::move(row));
+      continue;
+    }
+
+    switch (base.kind) {
+      case obs::BenchMetricKind::kTiming:
+      case obs::BenchMetricKind::kThroughput: {
+        row.relative = true;
+        row.budget_pct = budgets.resolve(baseline.bench, base.budget_pct);
+        if (base.value == 0.0) {
+          row.ok = current->value == 0.0;
+          if (!row.ok) row.note = "baseline is zero";
+          break;
+        }
+        row.delta_pct = 100.0 * (current->value - base.value) / base.value;
+        row.ok = std::abs(row.delta_pct) <= row.budget_pct;
+        if (!row.ok) row.note = "over budget";
+        break;
+      }
+      case obs::BenchMetricKind::kCounter: {
+        if (!scale_match) {
+          row.note = "campaign scale differs; existence only";
+          break;
+        }
+        row.ok = base.value == current->value;
+        if (!row.ok) row.note = "exact mismatch (seed-deterministic)";
+        break;
+      }
+      case obs::BenchMetricKind::kInfo:
+        break;
+    }
+    out->rows.push_back(std::move(row));
+  }
+
+  for (const obs::BenchMetric& extra : run.metrics) {
+    if (baseline.find_metric(extra.name) != nullptr) continue;
+    MetricDiff row;
+    row.bench = baseline.bench;
+    row.name = extra.name;
+    row.kind = std::string(obs::bench_metric_kind_slug(extra.kind));
+    row.current = extra.value;
+    row.ok = false;
+    row.note = "not in baseline";
+    out->rows.push_back(std::move(row));
+  }
+}
+
+bool diff_directories(const std::string& run_dir,
+                      const std::string& baseline_dir,
+                      const BudgetOptions& budgets, DiffResult* out,
+                      std::string* error) {
+  std::vector<std::string> baseline_names;
+  std::vector<std::string> run_names;
+  if (!list_reports(baseline_dir, &baseline_names, error) ||
+      !list_reports(run_dir, &run_names, error)) {
+    return false;
+  }
+
+  for (const std::string& name : baseline_names) {
+    std::string message;
+    const auto baseline =
+        obs::BenchReport::load_file(baseline_dir + "/" + name, &message);
+    if (!baseline) {
+      add_file_failure(out, name, "baseline unreadable: " + message);
+      continue;
+    }
+    if (std::find(run_names.begin(), run_names.end(), name) ==
+        run_names.end()) {
+      ++out->benches;
+      add_file_failure(out, baseline->bench, "missing report in run");
+      continue;
+    }
+    const auto run = obs::BenchReport::load_file(run_dir + "/" + name,
+                                                 &message);
+    if (!run) {
+      ++out->benches;
+      add_file_failure(out, baseline->bench, "run unreadable: " + message);
+      continue;
+    }
+    diff_reports(*baseline, *run, budgets, out);
+  }
+
+  for (const std::string& name : run_names) {
+    if (std::find(baseline_names.begin(), baseline_names.end(), name) !=
+        baseline_names.end()) {
+      continue;
+    }
+    add_file_failure(out, name,
+                     "no baseline (use --update-baselines to adopt)");
+  }
+  return true;
+}
+
+std::string render_diff(const DiffResult& result) {
+  const std::size_t failed = result.failures();
+  char summary[160];
+  std::snprintf(summary, sizeof summary,
+                "earl-bench-diff: %zu bench(es), %zu metric(s) compared\n",
+                result.benches, result.rows.size());
+  std::string out = summary;
+  if (failed == 0) {
+    out += "OK: all metrics within budget\n";
+    return out;
+  }
+
+  util::Table table({"Bench", "Metric", "Kind", "Baseline", "Current",
+                     "Delta", "Budget", "Note"});
+  for (const std::size_t column : {3u, 4u, 5u, 6u}) {
+    table.set_align(column, util::Table::Align::kRight);
+  }
+  for (const MetricDiff& row : result.rows) {
+    if (row.ok) continue;
+    table.add_row({row.bench, row.name, row.kind,
+                   row.kind == "file" ? "-" : format_value(row.baseline),
+                   row.kind == "file" ? "-" : format_value(row.current),
+                   row.relative ? format_pct(row.delta_pct, true) : "-",
+                   row.relative ? format_pct(row.budget_pct, false) : "-",
+                   row.note});
+  }
+  out += "\n" + table.render() + "\n";
+  char verdict[96];
+  std::snprintf(verdict, sizeof verdict, "FAIL: %zu metric(s) breached\n",
+                failed);
+  out += verdict;
+  return out;
+}
+
+bool update_baselines(const std::string& run_dir,
+                      const std::string& baseline_dir, std::string* error) {
+  std::vector<std::string> run_names;
+  if (!list_reports(run_dir, &run_names, error)) return false;
+  if (run_names.empty()) {
+    *error = "no BENCH_*.json reports in " + run_dir;
+    return false;
+  }
+  std::error_code ec;
+  fs::create_directories(baseline_dir, ec);
+  if (ec) {
+    *error = "cannot create " + baseline_dir + ": " + ec.message();
+    return false;
+  }
+  for (const std::string& name : run_names) {
+    // Validate before adopting: a truncated or hand-edited run report
+    // must not silently become the gate's reference.
+    std::string message;
+    if (!obs::BenchReport::load_file(run_dir + "/" + name, &message)) {
+      *error = name + ": " + message;
+      return false;
+    }
+    fs::copy_file(run_dir + "/" + name, baseline_dir + "/" + name,
+                  fs::copy_options::overwrite_existing, ec);
+    if (ec) {
+      *error = "cannot copy " + name + ": " + ec.message();
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace earl::tools

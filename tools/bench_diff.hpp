@@ -1,0 +1,94 @@
+// Performance-regression gate over `BENCH_*.json` documents.
+//
+// `earl-bench-diff RUN_DIR BASELINE_DIR` pairs every baseline report with
+// the same-named report from a fresh run and compares metric-by-metric
+// under the schema's kind semantics:
+//
+//   timing / throughput — relative budget.  Precedence, most specific
+//     wins: `--budget-for BENCH=PCT` > `--budget PCT` > the metric's own
+//     `budget_pct` > the built-in 10% default.
+//   counter — campaigns are seed-deterministic, so counters must be
+//     EXACTLY equal when both documents ran at the same campaign scale;
+//     at different scales the tallies are incomparable and only the
+//     metric's existence is checked.
+//   info — existence only (values like iteration counts or core counts
+//     vary by host).
+//
+// Structural drift is a failure, not a warning: a baseline metric missing
+// from the run, a run metric missing from the baseline, a missing report
+// file, or mismatched bench names all breach the gate.  The fix for
+// intentional drift is `--update-baselines`, which copies the run's
+// reports over the baselines.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/bench_report.hpp"
+
+namespace earl::tools {
+
+/// Budget resolution knobs (CLI flags land here).
+struct BudgetOptions {
+  /// Built-in default when nothing more specific applies.
+  double default_pct = 10.0;
+  /// True when `--budget` was given: the CLI default then beats the
+  /// per-metric `budget_pct` baked into the baseline.
+  bool cli_default = false;
+  /// `--budget-for BENCH=PCT`, the most specific override.
+  std::map<std::string, double> per_bench;
+
+  /// The budget applied to one relative metric, following precedence.
+  double resolve(const std::string& bench, double metric_budget_pct) const;
+};
+
+/// One compared metric (or structural problem) — a row of the gate table.
+struct MetricDiff {
+  std::string bench;
+  std::string name;
+  std::string kind;   // "timing", "throughput", "counter", "info", "file"
+  double baseline = 0.0;
+  double current = 0.0;
+  /// Relative change in percent; only meaningful when `relative` is true.
+  double delta_pct = 0.0;
+  /// Budget applied; only meaningful when `relative` is true.
+  double budget_pct = 0.0;
+  bool relative = false;
+  bool ok = true;
+  std::string note;  // "exact mismatch", "missing in run", ...
+};
+
+struct DiffResult {
+  std::vector<MetricDiff> rows;
+  std::size_t benches = 0;
+
+  std::size_t failures() const;
+  bool ok() const { return failures() == 0; }
+};
+
+/// Compares one run report against its baseline; appends rows to `out`.
+void diff_reports(const obs::BenchReport& baseline, const obs::BenchReport& run,
+                  const BudgetOptions& budgets, DiffResult* out);
+
+/// Pairs every `BENCH_*.json` under `baseline_dir` with `run_dir` (and
+/// flags unpaired run reports), comparing each pair.  Returns false with
+/// a message only on environment errors (unreadable directory); malformed
+/// report files become failing rows, not hard errors.
+bool diff_directories(const std::string& run_dir,
+                      const std::string& baseline_dir,
+                      const BudgetOptions& budgets, DiffResult* out,
+                      std::string* error);
+
+/// Renders the failing rows as an aligned table plus a one-line verdict;
+/// a fully green result renders as the verdict line only.
+std::string render_diff(const DiffResult& result);
+
+/// Copies every `BENCH_*.json` from `run_dir` over `baseline_dir`
+/// (creating it if needed).  Reports are validated before copying so a
+/// truncated run cannot silently become the new baseline.
+bool update_baselines(const std::string& run_dir,
+                      const std::string& baseline_dir, std::string* error);
+
+}  // namespace earl::tools

@@ -131,7 +131,9 @@ void Parser::add_note(const std::string& label, const std::string& help) {
   options_.push_back(std::move(option));
 }
 
-void Parser::add_positional(std::string* out) { positional_ = out; }
+void Parser::add_positional(std::string* out) {
+  positionals_.push_back(out);
+}
 
 const Parser::Option* Parser::find(const std::string& name) const {
   for (const Option& option : options_) {
@@ -148,13 +150,14 @@ const Parser::Option* Parser::resolve(const Option* option) const {
 }
 
 bool Parser::parse(int argc, char** argv) const {
+  std::size_t next_positional = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const Option* option = resolve(find(arg));
     if (option == nullptr) {
-      if (!arg.empty() && arg[0] != '-' && positional_ != nullptr &&
-          positional_->empty()) {
-        *positional_ = arg;
+      if (!arg.empty() && arg[0] != '-' &&
+          next_positional < positionals_.size()) {
+        *positionals_[next_positional++] = arg;
         continue;
       }
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());

@@ -62,8 +62,10 @@ class Parser {
   /// but never matched during parsing.
   void add_note(const std::string& label, const std::string& help);
 
-  /// At most one bare (non-flag) argument; a second one is an unknown
-  /// option.  Does not appear in the option rows (put it in usage_line).
+  /// Registers the next bare (non-flag) argument slot; call once per
+  /// positional, in order.  Bare arguments fill the registered slots
+  /// left-to-right; one past the last slot is an unknown option.  Does
+  /// not appear in the option rows (put it in usage_line).
   void add_positional(std::string* out);
 
   /// Applies argv to the registered outputs.  On failure an error line has
@@ -95,7 +97,7 @@ class Parser {
   std::string tagline_;
   std::string usage_line_;
   std::vector<Option> options_;
-  std::string* positional_ = nullptr;
+  std::vector<std::string*> positionals_;
 };
 
 }  // namespace earl::cli

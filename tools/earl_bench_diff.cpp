@@ -1,0 +1,142 @@
+// earl-bench-diff — the performance-regression gate over bench telemetry.
+//
+// Compares a directory of fresh `BENCH_*.json` reports (written by the
+// bench binaries' `--json` flag) against checked-in baselines and fails
+// when a metric leaves its budget.  Kind semantics live in the schema:
+// timings/throughputs compare within a relative budget, campaign counters
+// must match exactly at equal campaign scale (runs are seed-
+// deterministic), info metrics only need to exist.  Structural drift —
+// new metrics, vanished metrics, missing reports — also breaches.
+//
+// Exit status: 0 all within budget, 1 gate breached, 2 usage or I/O
+// error.
+//
+// Examples
+//   EARL_CAMPAIGN_SCALE=0.05 ./bench_swifi_campaign --json run/BENCH_swifi_campaign.json
+//   earl-bench-diff run/ bench/baselines/
+//   earl-bench-diff run/ bench/baselines/ --budget 400       # shared CI runner
+//   earl-bench-diff run/ bench/baselines/ --budget-for micro_simulator=50
+//   earl-bench-diff run/ bench/baselines/ --update-baselines # adopt the run
+#include <cstdio>
+#include <string>
+
+#include "bench_diff.hpp"
+#include "cli.hpp"
+
+namespace {
+
+using namespace earl;
+
+struct Options {
+  std::string run_dir;
+  std::string baseline_dir;
+  tools::BudgetOptions budgets;
+  bool update = false;
+  bool help = false;
+};
+
+bool parse_pct(const std::string& text, double* out) {
+  // Strict non-negative decimal (digits plus optional fraction) — no
+  // scientific notation, signs or stray suffixes.
+  if (text.empty()) return false;
+  std::size_t dots = 0;
+  for (const char c : text) {
+    if (c == '.') {
+      if (++dots > 1) return false;
+      continue;
+    }
+    if (c < '0' || c > '9') return false;
+  }
+  if (text == ".") return false;
+  *out = std::stod(text);
+  return true;
+}
+
+cli::Parser build_parser(Options* options) {
+  cli::Parser parser("earl-bench-diff",
+                     "performance-regression gate over BENCH_*.json reports",
+                     "earl-bench-diff RUN_DIR BASELINE_DIR [options]");
+  parser.add_positional(&options->run_dir);
+  parser.add_positional(&options->baseline_dir);
+  parser.add_custom(
+      "--budget", "PCT",
+      "default relative budget for timings/throughputs, percent\n"
+      "(overrides per-metric budgets; built-in default 10)",
+      [options](const std::string& value) {
+        double pct = 0.0;
+        if (!parse_pct(value, &pct)) {
+          std::fprintf(stderr,
+                       "invalid value '%s' for '--budget' (expected percent)\n",
+                       value.c_str());
+          return false;
+        }
+        options->budgets.default_pct = pct;
+        options->budgets.cli_default = true;
+        return true;
+      });
+  parser.add_custom(
+      "--budget-for", "BENCH=PCT",
+      "per-bench budget override, repeatable (beats --budget)",
+      [options](const std::string& value) {
+        const std::size_t eq = value.find('=');
+        double pct = 0.0;
+        if (eq == 0 || eq == std::string::npos ||
+            !parse_pct(value.substr(eq + 1), &pct)) {
+          std::fprintf(stderr,
+                       "invalid value '%s' for '--budget-for' (expected "
+                       "BENCH=PCT)\n",
+                       value.c_str());
+          return false;
+        }
+        options->budgets.per_bench[value.substr(0, eq)] = pct;
+        return true;
+      });
+  parser.add_flag("--update-baselines",
+                  "copy the run's reports over the baselines and exit",
+                  &options->update);
+  parser.add_flag("--help", "", &options->help);
+  parser.add_hidden_alias("-h", "--help");
+  return parser;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  const cli::Parser parser = build_parser(&options);
+  if (!parser.parse(argc, argv)) {
+    std::fputc('\n', stderr);
+    std::fputs(parser.help_text().c_str(), stderr);
+    return 2;
+  }
+  if (options.help) {
+    parser.print_help();
+    return 0;
+  }
+  if (options.run_dir.empty() || options.baseline_dir.empty()) {
+    std::fprintf(stderr, "expected RUN_DIR and BASELINE_DIR\n\n");
+    std::fputs(parser.help_text().c_str(), stderr);
+    return 2;
+  }
+
+  std::string error;
+  if (options.update) {
+    if (!tools::update_baselines(options.run_dir, options.baseline_dir,
+                                 &error)) {
+      std::fprintf(stderr, "earl-bench-diff: %s\n", error.c_str());
+      return 2;
+    }
+    std::printf("baselines updated from %s\n", options.run_dir.c_str());
+    return 0;
+  }
+
+  tools::DiffResult result;
+  if (!tools::diff_directories(options.run_dir, options.baseline_dir,
+                               options.budgets, &result, &error)) {
+    std::fprintf(stderr, "earl-bench-diff: %s\n", error.c_str());
+    return 2;
+  }
+  const std::string rendered = tools::render_diff(result);
+  std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+  return result.ok() ? 0 : 1;
+}

@@ -29,6 +29,7 @@
 #include "fi/database.hpp"
 #include "fi/runner.hpp"
 #include "fi/workloads.hpp"
+#include "obs/build_info.hpp"
 #include "obs/collector.hpp"
 #include "obs/db_observer.hpp"
 #include "obs/events.hpp"
@@ -454,6 +455,7 @@ int main(int argc, char** argv) {
       options.serve) {
     collector = std::make_unique<obs::MetricsCollector>(registry);
     multi.add(collector.get());
+    obs::register_build_info(registry);
   }
   std::unique_ptr<obs::TelemetryServer> server;
   if (options.serve) {
@@ -488,6 +490,10 @@ int main(int argc, char** argv) {
   // partial database stays loadable, and a final /metrics scrape still
   // works.  A second signal force-kills (handler resets to SIG_DFL).
   runner.set_controller(&g_controller);
+  // With metrics on, the runner self-observes its experiment-claim path
+  // (earl_claim_latency_ns on /metrics): queue contention shows up in the
+  // scrape instead of needing a profiler attached to a live campaign.
+  if (collector != nullptr) runner.set_metrics(&registry);
   std::signal(SIGINT, handle_stop_signal);
   std::signal(SIGTERM, handle_stop_signal);
   if (options.detail && bundle->program != nullptr) {
