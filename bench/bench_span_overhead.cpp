@@ -1,0 +1,102 @@
+// Span-tracer overhead: the same SCIFI campaign run tracer-off, sampled
+// (every 16th experiment) and fully traced, plus a tight-loop cost of one
+// emit.  The contract under test is cheapness *and* passivity — the traced
+// runs must produce bit-identical outcomes to the untraced one, and the
+// tracer-off campaign is the configuration `earl-bench-diff` gates, so a
+// hot-path regression from the instrumentation itself shows up as an
+// alg1-style wall-time diff here.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "obs/span.hpp"
+
+namespace {
+
+bool same_outcomes(const earl::fi::CampaignResult& a,
+                   const earl::fi::CampaignResult& b) {
+  if (a.experiments.size() != b.experiments.size()) return false;
+  for (std::size_t i = 0; i < a.experiments.size(); ++i) {
+    if (a.experiments[i].outcome != b.experiments[i].outcome ||
+        a.experiments[i].edm != b.experiments[i].edm ||
+        a.experiments[i].end_iteration != b.experiments[i].end_iteration ||
+        a.experiments[i].fault.bits != b.experiments[i].fault.bits) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace earl;
+  bench::BenchReporter reporter("span_overhead", &argc, argv);
+  const double scale = fi::campaign_scale_from_env();
+  const std::size_t experiments =
+      std::max<std::size_t>(100, static_cast<std::size_t>(2000 * scale));
+
+  fi::CampaignConfig config = fi::table2_campaign(1.0);
+  config.name = "span_overhead";
+  config.experiments = experiments;
+  const fi::TargetFactory factory =
+      fi::make_tvm_pi_factory(fi::paper_pi_config());
+
+  std::printf("span-tracer overhead: %zu-experiment campaign, "
+              "tracer off / sampled 16 / full\n",
+              experiments);
+
+  auto run_mode = [&](const std::string& label, obs::SpanTracer* tracer) {
+    return reporter.run_campaign(label, [&] {
+      fi::CampaignRunner runner(config);
+      if (tracer != nullptr) runner.set_tracer(tracer);
+      return runner.run(factory, reporter.observer());
+    });
+  };
+
+  const fi::CampaignResult off = run_mode("off", nullptr);
+
+  obs::SpanTracer::Options sampled_options;
+  sampled_options.sample_every = 16;
+  obs::SpanTracer sampled_tracer(sampled_options);
+  const fi::CampaignResult sampled = run_mode("sampled", &sampled_tracer);
+
+  obs::SpanTracer full_tracer;
+  const fi::CampaignResult full = run_mode("full", &full_tracer);
+
+  // Passivity, checked in-bench so a baseline diff also catches it: both
+  // traced runs must agree with the untraced one bit for bit.
+  const bool identical =
+      same_outcomes(off, sampled) && same_outcomes(off, full);
+  std::printf("traced campaigns bit-identical to untraced: %s\n",
+              identical ? "yes" : "NO — passivity violated");
+  std::printf("spans emitted: sampled=%llu full=%llu\n",
+              static_cast<unsigned long long>(sampled_tracer.total_emitted()),
+              static_cast<unsigned long long>(full_tracer.total_emitted()));
+  reporter.set_counter("span.bit_identical", identical ? 1.0 : 0.0);
+  reporter.set_counter("span.emitted_sampled",
+                       static_cast<double>(sampled_tracer.total_emitted()));
+  reporter.set_counter("span.emitted_full",
+                       static_cast<double>(full_tracer.total_emitted()));
+
+  // Tight-loop cost of one emit (the instrumented hot path's unit price).
+  {
+    obs::SpanTracer tracer;
+    obs::SpanTrack* track = tracer.track("bench");
+    constexpr int kEmits = 1'000'000;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kEmits; ++i) {
+      track->emit(obs::SpanPhase::kClaim, i, i + 1,
+                  static_cast<std::uint64_t>(i));
+    }
+    const double ns =
+        std::chrono::duration<double, std::nano>(
+            std::chrono::steady_clock::now() - t0)
+            .count() /
+        kEmits;
+    std::printf("emit cost: %.1f ns/span over %d emits\n", ns, kEmits);
+    reporter.set_timing("span.emit_ns", "ns", ns);
+  }
+
+  return reporter.finish() + (identical ? 0 : 1);
+}

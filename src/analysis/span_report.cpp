@@ -1,0 +1,204 @@
+#include "analysis/span_report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace earl::analysis {
+namespace {
+
+/// The experiment-lifecycle leaf phases whose spans tile the timeline
+/// without overlap (matches obs::span_phase_name).  inject/target_reset
+/// nest inside these; http_request/control/campaign are not lifecycle
+/// work.
+bool is_leaf_phase(std::string_view name) {
+  return name == "sample_faults" || name == "golden_run" || name == "claim" ||
+         name == "setup" || name == "golden_replay" ||
+         name == "post_inject_run" || name == "classify" || name == "probe" ||
+         name == "store";
+}
+
+std::string format_ms(double ns) {
+  const double ms = ns / 1e6;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", ms);
+  return buf;
+}
+
+std::string format_pct(double fraction) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+}  // namespace
+
+std::optional<PhaseReport> PhaseReport::from_chrome_json(std::string_view text,
+                                                         std::string* error) {
+  std::string parse_error;
+  const std::optional<obs::JsonValue> doc =
+      obs::json_parse(text, &parse_error);
+  if (!doc.has_value()) {
+    if (error != nullptr) *error = parse_error;
+    return std::nullopt;
+  }
+  if (!doc->is_object()) {
+    if (error != nullptr) *error = "top-level value is not an object";
+    return std::nullopt;
+  }
+  const obs::JsonValue* events = doc->find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    if (error != nullptr) *error = "missing traceEvents array";
+    return std::nullopt;
+  }
+
+  PhaseReport report;
+  if (const obs::JsonValue* other = doc->find("otherData");
+      other != nullptr && other->is_object()) {
+    if (const obs::JsonValue* v = other->find("sample_every");
+        v != nullptr && v->is_number() && v->number >= 1.0) {
+      report.sample_every_ = static_cast<std::uint64_t>(v->number);
+    }
+    if (const obs::JsonValue* v = other->find("dropped");
+        v != nullptr && v->is_number() && v->number >= 0.0) {
+      report.dropped_ = static_cast<std::uint64_t>(v->number);
+    }
+  }
+
+  // Gather per-phase durations (ts/dur are microseconds in trace_event).
+  std::map<std::string, std::vector<double>> durations_ns;
+  std::map<std::uint64_t, bool> tids;
+  double hull_begin_ns = 0.0;
+  double hull_end_ns = 0.0;
+  bool have_hull = false;
+  double campaign_wall_ns = 0.0;
+  for (const obs::JsonValue& event : events->array) {
+    if (!event.is_object()) continue;
+    const obs::JsonValue* ph = event.find("ph");
+    if (ph == nullptr || !ph->is_string()) continue;
+    const obs::JsonValue* tid = event.find("tid");
+    if (tid != nullptr && tid->is_number()) {
+      tids[static_cast<std::uint64_t>(tid->number)] = true;
+    }
+    if (ph->string != "X") continue;
+    const obs::JsonValue* name = event.find("name");
+    const obs::JsonValue* ts = event.find("ts");
+    const obs::JsonValue* dur = event.find("dur");
+    if (name == nullptr || !name->is_string() || ts == nullptr ||
+        !ts->is_number() || dur == nullptr || !dur->is_number()) {
+      if (error != nullptr) *error = "X event missing name/ts/dur";
+      return std::nullopt;
+    }
+    const double begin_ns = ts->number * 1000.0;
+    const double dur_ns = std::max(dur->number, 0.0) * 1000.0;
+    durations_ns[name->string].push_back(dur_ns);
+    if (!have_hull || begin_ns < hull_begin_ns) hull_begin_ns = begin_ns;
+    if (!have_hull || begin_ns + dur_ns > hull_end_ns) {
+      hull_end_ns = begin_ns + dur_ns;
+    }
+    have_hull = true;
+    if (name->string == "campaign" && dur_ns > campaign_wall_ns) {
+      campaign_wall_ns = dur_ns;
+    }
+    report.span_count_ += 1;
+  }
+  if (report.span_count_ == 0) {
+    if (error != nullptr) *error = "no span events in traceEvents";
+    return std::nullopt;
+  }
+  report.track_count_ = tids.size();
+
+  for (auto& [name, samples] : durations_ns) {
+    PhaseStats stats;
+    stats.name = name;
+    stats.count = samples.size();
+    for (const double v : samples) stats.total_ns += v;
+    stats.p50_ns = util::percentile(samples, 50.0);
+    stats.p99_ns = util::percentile(samples, 99.0);
+    if (is_leaf_phase(name)) report.accounted_ns_ += stats.total_ns;
+    if (name == "golden_replay") report.golden_replay_ns_ = stats.total_ns;
+    if (name == "post_inject_run") report.post_inject_ns_ = stats.total_ns;
+    report.phases_.push_back(std::move(stats));
+  }
+  std::sort(report.phases_.begin(), report.phases_.end(),
+            [](const PhaseStats& a, const PhaseStats& b) {
+              if (a.total_ns != b.total_ns) return a.total_ns > b.total_ns;
+              return a.name < b.name;
+            });
+
+  if (campaign_wall_ns > 0.0) {
+    report.wall_ns_ = campaign_wall_ns;
+    report.wall_from_campaign_span_ = true;
+  } else {
+    report.wall_ns_ = hull_end_ns - hull_begin_ns;
+  }
+  return report;
+}
+
+double PhaseReport::golden_replay_share() const {
+  const double denom = golden_replay_ns_ + post_inject_ns_;
+  return denom > 0.0 ? golden_replay_ns_ / denom : 0.0;
+}
+
+std::string PhaseReport::render(std::string_view source) const {
+  std::string out = "span phase report: ";
+  out += source;
+  out += "\n";
+  out += std::to_string(track_count_);
+  out += " tracks, ";
+  out += std::to_string(span_count_);
+  out += " spans";
+  if (dropped_ > 0) {
+    out += " (";
+    out += std::to_string(dropped_);
+    out += " dropped)";
+  }
+  if (sample_every_ > 1) {
+    out += ", sampling every ";
+    out += std::to_string(sample_every_);
+    out += " experiments";
+  }
+  out += ", campaign wall time ";
+  out += format_ms(wall_ns_);
+  out += " ms";
+  if (!wall_from_campaign_span_) {
+    out += " (no campaign span; using the span hull)";
+  }
+  out += "\n\n";
+
+  util::Table table({"phase", "count", "total ms", "p50 ms", "p99 ms",
+                     "% of wall"});
+  for (std::size_t column = 1; column < 6; ++column) {
+    table.set_align(column, util::Table::Align::kRight);
+  }
+  for (const PhaseStats& phase : phases_) {
+    const double share = wall_ns_ > 0.0 ? phase.total_ns / wall_ns_ : 0.0;
+    table.add_row({phase.name, std::to_string(phase.count),
+                   format_ms(phase.total_ns), format_ms(phase.p50_ns),
+                   format_ms(phase.p99_ns), format_pct(share)});
+  }
+  out += table.render();
+
+  const double accounted_share =
+      wall_ns_ > 0.0 ? accounted_ns_ / wall_ns_ : 0.0;
+  out += "\naccounted lifecycle phases: ";
+  out += format_ms(accounted_ns_);
+  out += " ms = ";
+  out += format_pct(accounted_share);
+  out += " of campaign wall time\n";
+  out += "golden-replay share: ";
+  out += format_pct(golden_replay_share());
+  out += " of experiment execution (golden_replay ";
+  out += format_ms(golden_replay_ns_);
+  out += " ms vs post_inject_run ";
+  out += format_ms(post_inject_ns_);
+  out += " ms)\n";
+  return out;
+}
+
+}  // namespace earl::analysis

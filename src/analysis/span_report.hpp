@@ -1,0 +1,82 @@
+// Per-phase time attribution from a recorded span trace.
+//
+// `earl-goofi --spans-out` writes Chrome trace_event JSON (obs/span.hpp);
+// PhaseReport parses that file back and aggregates every "X" complete
+// event by phase name: count, total, p50/p99 durations, and share of
+// campaign wall-time.  The headline number is the golden-replay share —
+// the fraction of experiment execution spent re-running the fault-free
+// prefix, i.e. exactly the work a checkpoint/restore injector would skip
+// (the ROADMAP's ≥10× claim, measured instead of asserted).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace earl::analysis {
+
+struct PhaseStats {
+  std::string name;
+  std::uint64_t count = 0;
+  double total_ns = 0.0;
+  double p50_ns = 0.0;
+  double p99_ns = 0.0;
+};
+
+class PhaseReport {
+ public:
+  /// Parses a Chrome trace_event document (the `--spans-out` format).  On
+  /// failure returns nullopt and, when `error` is non-null, a one-line
+  /// reason (JSON error, missing traceEvents, no spans).
+  static std::optional<PhaseReport> from_chrome_json(
+      std::string_view text, std::string* error = nullptr);
+
+  /// Phases sorted by total time, descending.
+  const std::vector<PhaseStats>& phases() const { return phases_; }
+
+  /// Campaign wall-time in ns: the "campaign" span when present, else the
+  /// hull of all spans.
+  double wall_ns() const { return wall_ns_; }
+  bool wall_from_campaign_span() const { return wall_from_campaign_span_; }
+
+  /// Sum over the experiment-lifecycle leaf phases (claim, setup,
+  /// golden_replay, post_inject_run, classify, probe, store, plus the
+  /// campaign-level golden_run and sample_faults).  Nested spans (inject,
+  /// target_reset) and service spans (http_request, control) are excluded
+  /// so the tiling does not double-count; with full sampling this sums to
+  /// within ~1% of wall_ns().
+  double accounted_ns() const { return accounted_ns_; }
+
+  /// Golden-replay share of experiment execution:
+  /// golden_replay / (golden_replay + post_inject_run).  Zero when neither
+  /// phase was recorded.
+  double golden_replay_share() const;
+  double golden_replay_ns() const { return golden_replay_ns_; }
+  double post_inject_ns() const { return post_inject_ns_; }
+
+  std::uint64_t span_count() const { return span_count_; }
+  std::uint64_t track_count() const { return track_count_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t sample_every() const { return sample_every_; }
+
+  /// Human-readable attribution table plus the wall-accounting and
+  /// golden-replay share summary lines.  `source` labels the header (the
+  /// input path, typically).
+  std::string render(std::string_view source) const;
+
+ private:
+  std::vector<PhaseStats> phases_;
+  double wall_ns_ = 0.0;
+  bool wall_from_campaign_span_ = false;
+  double accounted_ns_ = 0.0;
+  double golden_replay_ns_ = 0.0;
+  double post_inject_ns_ = 0.0;
+  std::uint64_t span_count_ = 0;
+  std::uint64_t track_count_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t sample_every_ = 1;
+};
+
+}  // namespace earl::analysis

@@ -1,5 +1,7 @@
 #include "fi/controller.hpp"
 
+#include "obs/span.hpp"
+
 namespace earl::fi {
 
 const char* control_command_slug(ControlCommand command) {
@@ -26,6 +28,9 @@ void CampaignController::count_command(ControlCommand command) {
 }
 
 void CampaignController::pause() {
+  const obs::ScopedSpan span(
+      span_track(), obs::SpanPhase::kControl,
+      static_cast<std::uint64_t>(ControlCommand::kPause));
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (!paused_) {
@@ -38,6 +43,9 @@ void CampaignController::pause() {
 }
 
 void CampaignController::resume() {
+  const obs::ScopedSpan span(
+      span_track(), obs::SpanPhase::kControl,
+      static_cast<std::uint64_t>(ControlCommand::kResume));
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (paused_) {
@@ -60,6 +68,9 @@ void CampaignController::stop() {
 }
 
 std::size_t CampaignController::extend(std::size_t additional) {
+  const obs::ScopedSpan span(
+      span_track(), obs::SpanPhase::kControl,
+      static_cast<std::uint64_t>(ControlCommand::kExtend));
   if (additional > 0 && !stop_requested()) {
     extra_.fetch_add(additional, std::memory_order_relaxed);
     count_command(ControlCommand::kExtend);
@@ -69,6 +80,9 @@ std::size_t CampaignController::extend(std::size_t additional) {
 }
 
 void CampaignController::set_workers(std::size_t cap) {
+  const obs::ScopedSpan span(
+      span_track(), obs::SpanPhase::kControl,
+      static_cast<std::uint64_t>(ControlCommand::kWorkers));
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     worker_cap_ = cap;

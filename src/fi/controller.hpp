@@ -12,8 +12,7 @@
 //   pause()        workers park on a condvar before claiming the next
 //                  experiment; in-flight experiments finish normally
 //   resume()       parked workers wake and continue claiming
-//   stop()         graceful drain (subsumes the runner's deprecated
-//                  set_stop_flag): workers stop claiming, run() returns
+//   stop()         graceful drain: workers stop claiming, run() returns
 //                  the completed prefix with CampaignResult::interrupted
 //   extend(n)      grows the experiment count live; the runner re-derives
 //                  the extra faults deterministically from the campaign
@@ -40,6 +39,10 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+
+namespace earl::obs {
+class SpanTrack;
+}  // namespace earl::obs
 
 namespace earl::fi {
 
@@ -77,6 +80,15 @@ class CampaignController {
 
   CampaignController(const CampaignController&) = delete;
   CampaignController& operator=(const CampaignController&) = delete;
+
+  /// Attaches a span track: every accepted pause/resume/extend/set_workers
+  /// command emits a kControl span tagged with the command enum.  stop()
+  /// stays span-free — it is the async-signal-safe path and the tracer
+  /// clock is an arbitrary std::function.  Attach before concurrent
+  /// commands can arrive (the store is release/acquire-published).
+  void set_span_track(obs::SpanTrack* track) {
+    span_track_.store(track, std::memory_order_release);
+  }
 
   // ------------------------------------------------------- operator side
 
@@ -143,6 +155,9 @@ class CampaignController {
  private:
   std::int64_t now() const;
   void count_command(ControlCommand command);
+  obs::SpanTrack* span_track() const {
+    return span_track_.load(std::memory_order_acquire);
+  }
 
   mutable std::mutex mutex_;
   mutable std::condition_variable cv_;
@@ -156,6 +171,7 @@ class CampaignController {
   std::atomic<std::size_t> base_{0};
   std::atomic<std::size_t> extra_{0};
   std::atomic<std::uint64_t> commands_[kControlCommandCount] = {};
+  std::atomic<obs::SpanTrack*> span_track_{nullptr};
 
   std::function<std::int64_t()> now_ns_;  // null = steady_clock
 };

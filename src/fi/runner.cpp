@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/rng.hpp"
 
 namespace earl::fi {
@@ -35,13 +36,48 @@ struct CampaignRunner::IterationTap {
 
 CampaignRunner::ClosedLoop CampaignRunner::run_closed_loop(
     Target& target, const Fault* fault, std::uint64_t iteration_budget,
-    const IterationTap* tap) const {
+    const IterationTap* tap, obs::SpanTrack* track) const {
   ClosedLoop loop;
   loop.outputs.reserve(config_.iterations);
 
+  const std::int64_t setup_begin = track != nullptr ? track->now() : 0;
   target.reset();
   target.set_iteration_budget(iteration_budget);
   if (fault != nullptr) target.arm(*fault);
+  std::int64_t run_begin = 0;
+  if (track != nullptr) {
+    run_begin = track->now();
+    track->emit(obs::SpanPhase::kSetup, setup_begin, run_begin);
+  }
+  // Golden-replay vs post-inject attribution: the target injects inside
+  // the iterate whose cumulative time units cross fault->time, so a
+  // private accumulator (ClosedLoop::total_time excludes the detecting
+  // iterate) finds the boundary with one compare per iteration — clock
+  // reads happen only at the crossing and at the ends.
+  const bool split = track != nullptr && fault != nullptr;
+  std::uint64_t traced_time = 0;
+  bool crossed = false;
+  std::int64_t inject_ts = 0;
+  const auto note_iteration = [&](std::uint64_t elapsed) {
+    if (!split || crossed) return;
+    traced_time += elapsed;
+    if (traced_time > fault->time) {
+      crossed = true;
+      inject_ts = track->now();
+      track->emit(obs::SpanPhase::kGoldenReplay, run_begin, inject_ts);
+    }
+  };
+  const auto finish_run_span = [&] {
+    if (!split) return;
+    const std::int64_t end_ts = track->now();
+    if (crossed) {
+      track->emit(obs::SpanPhase::kPostInjectRun, inject_ts, end_ts);
+    } else {
+      // The whole run stayed on the golden prefix (injection time beyond
+      // the executed window).
+      track->emit(obs::SpanPhase::kGoldenReplay, run_begin, end_ts);
+    }
+  };
 
   plant::Engine engine(config_.engine);
   float y = static_cast<float>(engine.speed());
@@ -49,12 +85,14 @@ CampaignRunner::ClosedLoop CampaignRunner::run_closed_loop(
     const double t = plant::iteration_time(k);
     const float r = plant::reference_speed(t, config_.signals);
     const IterationOutcome step = target.iterate(r, y);
+    note_iteration(step.elapsed);
     if (step.detected) {
       assert(fault != nullptr && "golden run raised a detection");
       loop.detected = true;
       loop.edm = step.edm;
       loop.detection_distance = step.detection_distance;
       loop.end_iteration = k;
+      finish_run_span();
       return loop;
     }
     if (tap != nullptr) {
@@ -82,6 +120,7 @@ CampaignRunner::ClosedLoop CampaignRunner::run_closed_loop(
     y = engine.step(step.output, plant::engine_load(t, config_.signals));
   }
   loop.end_iteration = config_.iterations;
+  finish_run_span();
   return loop;
 }
 
@@ -147,7 +186,8 @@ std::vector<Fault> CampaignRunner::sample_faults(
 ExperimentResult CampaignRunner::run_experiment(
     Target& target, const Fault& fault, std::uint64_t id,
     const GoldenRun& golden, std::uint64_t register_bits,
-    obs::CampaignObserver* observer, std::size_t worker) const {
+    obs::CampaignObserver* observer, std::size_t worker,
+    obs::SpanTrack* track) const {
   ExperimentResult result;
   result.id = id;
   result.fault = fault;
@@ -163,7 +203,7 @@ ExperimentResult CampaignRunner::run_experiment(
   }
   const ClosedLoop loop = run_closed_loop(target, &fault,
                                           watchdog_budget(golden),
-                                          detail ? &tap : nullptr);
+                                          detail ? &tap : nullptr, track);
   result.end_iteration = loop.end_iteration;
   if (loop.detected) {
     result.outcome = analysis::Outcome::kDetected;
@@ -172,6 +212,7 @@ ExperimentResult CampaignRunner::run_experiment(
     return result;
   }
 
+  const std::int64_t classify_begin = track != nullptr ? track->now() : 0;
   const bool state_identical = target.observable_state() == golden.final_state;
   const analysis::DeviationStats stats =
       analysis::deviation_stats(golden.outputs, loop.outputs,
@@ -182,9 +223,13 @@ ExperimentResult CampaignRunner::run_experiment(
   result.first_strong = stats.first_strong;
   result.strong_count = stats.strong_count;
   result.max_deviation = stats.max_deviation;
+  if (track != nullptr) {
+    track->emit(obs::SpanPhase::kClassify, classify_begin, track->now());
+  }
   // Propagation capture runs after classification on a prober-private
   // execution, so it cannot influence the outcome above.
   if (prober_ && analysis::is_value_failure(result.outcome)) {
+    const obs::ScopedSpan probe_span(track, obs::SpanPhase::kProbe);
     result.propagation = prober_(fault);
   }
   return result;
@@ -200,6 +245,14 @@ CampaignResult CampaignRunner::run(const TargetFactory& factory,
                                    obs::CampaignObserver* observer) const {
   CampaignResult result;
   result.config = config_;
+
+  // Campaign-level spans (golden run, fault sampling, the whole campaign)
+  // live on their own track; per-experiment lifecycle spans go to
+  // per-worker tracks created below.
+  obs::SpanTrack* campaign_track =
+      tracer_ != nullptr ? tracer_->track("campaign") : nullptr;
+  const std::int64_t campaign_begin =
+      campaign_track != nullptr ? campaign_track->now() : 0;
 
   const std::unique_ptr<Target> probe = factory();
   if (observer != nullptr) probe->set_profiling(true);
@@ -224,7 +277,11 @@ CampaignResult CampaignRunner::run(const TargetFactory& factory,
     observer->on_campaign_start(config_, info);
   }
 
-  result.golden = run_golden(*probe, observer);
+  {
+    const obs::ScopedSpan golden_span(campaign_track,
+                                      obs::SpanPhase::kGoldenRun);
+    result.golden = run_golden(*probe, observer);
+  }
   if (observer != nullptr) observer->on_golden_done(result.golden);
   const bool detail = observer != nullptr && observer->wants_iterations();
 
@@ -247,12 +304,23 @@ CampaignResult CampaignRunner::run(const TargetFactory& factory,
       result.fault_space_bits, result.register_partition_bits);
   const std::uint64_t time_space = result.golden.total_time;
 
-  queue.faults.reserve(config_.experiments);
-  for (std::size_t i = 0; i < config_.experiments; ++i) {
-    queue.faults.push_back(sample_fault(config_.fault, bounds.lo, bounds.hi,
-                                        time_space, queue.rng));
+  {
+    const obs::ScopedSpan sample_span(campaign_track,
+                                      obs::SpanPhase::kSampleFaults);
+    queue.faults.reserve(config_.experiments);
+    for (std::size_t i = 0; i < config_.experiments; ++i) {
+      queue.faults.push_back(sample_fault(config_.fault, bounds.lo, bounds.hi,
+                                          time_space, queue.rng));
+    }
+    queue.results.resize(queue.faults.size());
   }
-  queue.results.resize(queue.faults.size());
+
+  std::vector<obs::SpanTrack*> worker_tracks(workers, nullptr);
+  if (tracer_ != nullptr) {
+    for (std::size_t w = 0; w < workers; ++w) {
+      worker_tracks[w] = tracer_->track("worker " + std::to_string(w));
+    }
+  }
 
   // Hot-path self-observability: one sample per claim attempt covering
   // lock acquisition, pending extensions and the fault hand-off — the
@@ -274,6 +342,7 @@ CampaignResult CampaignRunner::run(const TargetFactory& factory,
   const auto claim = [&](std::size_t w, std::size_t& index,
                          Fault& fault) -> bool {
     const auto claim_start = std::chrono::steady_clock::now();
+    const std::int64_t span_begin = tracer_ != nullptr ? tracer_->now() : 0;
     bool ok = false;
     {
       const std::lock_guard<std::mutex> lock(queue.mutex);
@@ -303,6 +372,13 @@ CampaignResult CampaignRunner::run(const TargetFactory& factory,
     if (claim_latency != nullptr) {
       claim_latency->observe(static_cast<double>(elapsed_ns(claim_start)));
     }
+    // The claim span is emitted post-hoc (the sampling decision needs the
+    // claimed index); set_scope tags the experiment's subsequent spans.
+    if (ok && tracer_ != nullptr && tracer_->sampled(index)) {
+      obs::SpanTrack* track = worker_tracks[w];
+      track->set_scope(index);
+      track->emit(obs::SpanPhase::kClaim, span_begin, track->now(), index);
+    }
     return ok;
   };
 
@@ -328,15 +404,28 @@ CampaignResult CampaignRunner::run(const TargetFactory& factory,
         if (controller_ != nullptr) controller_->wake_parked();
         break;
       }
+      obs::SpanTrack* track = nullptr;
+      if (tracer_ != nullptr) {
+        track = tracer_->sampled(i) ? worker_tracks[w] : nullptr;
+        // The target emits its nested spans (reset, inject) onto the same
+        // track; detaching for unsampled experiments keeps them span-free.
+        mine.set_span_track(track);
+      }
       const auto started = std::chrono::steady_clock::now();
       ExperimentResult experiment =
           run_experiment(mine, fault, i, result.golden,
-                         result.register_partition_bits, observer, w);
+                         result.register_partition_bits, observer, w, track);
+      const std::int64_t store_begin = track != nullptr ? track->now() : 0;
       if (observer != nullptr) {
         observer->on_experiment_done(w, experiment, elapsed_ns(started));
       }
-      const std::lock_guard<std::mutex> lock(queue.mutex);
-      queue.results[i] = std::move(experiment);
+      {
+        const std::lock_guard<std::mutex> lock(queue.mutex);
+        queue.results[i] = std::move(experiment);
+      }
+      if (track != nullptr) {
+        track->emit(obs::SpanPhase::kStore, store_begin, track->now());
+      }
     }
     if (observer != nullptr) observer->on_worker_profile(w, mine.profile());
   };
@@ -367,6 +456,10 @@ CampaignResult CampaignRunner::run(const TargetFactory& factory,
   // large from the start.
   result.config.experiments = total;
   if (observer != nullptr) observer->on_campaign_end(result);
+  if (campaign_track != nullptr) {
+    campaign_track->emit(obs::SpanPhase::kCampaign, campaign_begin,
+                         campaign_track->now());
+  }
   return result;
 }
 

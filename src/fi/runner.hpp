@@ -42,6 +42,8 @@
 
 namespace earl::obs {
 class MetricsRegistry;
+class SpanTracer;
+class SpanTrack;
 }  // namespace earl::obs
 
 namespace earl::fi {
@@ -67,15 +69,6 @@ class CampaignRunner {
     prober_ = std::move(prober);
   }
 
-  /// Deprecated: use set_controller() + CampaignController::stop().
-  /// Attaches a stop flag for graceful drain: once the flag reads true,
-  /// workers stop claiming new experiments, finish the ones already in
-  /// flight, and run() returns a consistent prefix of the campaign with
-  /// CampaignResult::interrupted set.  The flag must outlive run(); it is
-  /// only ever read (signal-handler safe).  Kept as a thin shim — a raised
-  /// flag behaves exactly like CampaignController::stop().
-  void set_stop_flag(const std::atomic<bool>* stop) { stop_ = stop; }
-
   /// Attaches the campaign control mailbox (pause/resume/stop/extend/
   /// set_workers — see fi/controller.hpp).  The controller must outlive
   /// run().  Polled only between experiments, so control commands never
@@ -90,6 +83,16 @@ class CampaignRunner {
   /// scaling bench and later perf PRs regress against.  The registry must
   /// outlive run().  Purely additive — experiment results are unaffected.
   void set_metrics(obs::MetricsRegistry* registry) { metrics_ = registry; }
+
+  /// Attaches a span tracer for causal timing: run() emits one span per
+  /// lifecycle phase of every sampled experiment (claim, setup,
+  /// golden-replay, inject, post-inject run, classify, probe, store) onto
+  /// a per-worker track, plus campaign-level golden-run/fault-sampling
+  /// spans (see obs/span.hpp).  The tracer must outlive run().  Passive by
+  /// contract: results are bit-identical with and without a tracer, and
+  /// with the tracer detached the hot path costs one pointer test per
+  /// phase.
+  void set_tracer(obs::SpanTracer* tracer) { tracer_ = tracer; }
 
   /// Runs golden + all experiments. The factory is called once per worker.
   /// `observer`, when non-null, receives lifecycle + per-experiment events.
@@ -132,9 +135,14 @@ class CampaignRunner {
   /// Detail-mode sink for run_closed_loop: where to send IterationRecords
   /// and what to compare outputs against. Null tap = no per-iteration work.
   struct IterationTap;
+  /// `track`, when non-null, receives setup and golden-replay/post-inject
+  /// spans; the replay/post-inject boundary is located by the iteration
+  /// whose cumulative time units cross the fault's injection time (one
+  /// integer compare per iteration when traced, nothing when not).
   ClosedLoop run_closed_loop(Target& target, const Fault* fault,
                              std::uint64_t iteration_budget,
-                             const IterationTap* tap = nullptr) const;
+                             const IterationTap* tap = nullptr,
+                             obs::SpanTrack* track = nullptr) const;
 
   /// Watchdog budget for faulty runs, derived from the golden run.
   std::uint64_t watchdog_budget(const GoldenRun& golden) const;
@@ -151,20 +159,18 @@ class CampaignRunner {
                                   std::uint64_t id, const GoldenRun& golden,
                                   std::uint64_t register_bits,
                                   obs::CampaignObserver* observer = nullptr,
-                                  std::size_t worker = 0) const;
+                                  std::size_t worker = 0,
+                                  obs::SpanTrack* track = nullptr) const;
 
   bool stop_requested() const {
-    // The legacy flag and the controller's stop command are equivalent:
-    // either one drains the campaign.
-    return (stop_ != nullptr && stop_->load(std::memory_order_relaxed)) ||
-           (controller_ != nullptr && controller_->stop_requested());
+    return controller_ != nullptr && controller_->stop_requested();
   }
 
   CampaignConfig config_;
   PropagationProber prober_;
-  const std::atomic<bool>* stop_ = nullptr;
   CampaignController* controller_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::SpanTracer* tracer_ = nullptr;
 };
 
 }  // namespace earl::fi

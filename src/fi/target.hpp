@@ -27,6 +27,10 @@
 #include "obs/profile.hpp"
 #include "tvm/edm.hpp"
 
+namespace earl::obs {
+class SpanTrack;
+}  // namespace earl::obs
+
 namespace earl::fi {
 
 /// Per-iteration facts captured only in detail mode (GOOFI's detail mode,
@@ -97,6 +101,13 @@ class Target {
   /// Detail facts for the most recent iterate() call; default-constructed
   /// when detail capture is disabled or unsupported.
   virtual IterationDetail iteration_detail() const { return {}; }
+
+  /// Attaches a span track for causal tracing of target-internal phases
+  /// (machine reset, injection); null detaches.  The runner re-points this
+  /// per experiment so only sampled experiments trace.  Like profiling and
+  /// detail, emitting spans must never change any observable behaviour.
+  /// Targets without instrumentation ignore it.
+  virtual void set_span_track(obs::SpanTrack* track) { (void)track; }
 };
 
 }  // namespace earl::fi

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <string_view>
 
+#include "obs/span.hpp"
 #include "util/bitops.hpp"
 
 namespace earl::fi {
@@ -62,6 +63,10 @@ TvmTarget::TvmTarget(const tvm::AssembledProgram& program,
 }
 
 void TvmTarget::reset() {
+  // "Reinitialising the target system and downloading the workload" — the
+  // per-experiment cost checkpoint/restore injection would amortize, so it
+  // gets its own span (nested inside the runner's setup span).
+  const obs::ScopedSpan span(span_track_, obs::SpanPhase::kTargetReset);
   if (profiling_) accumulate_cache_stats();
   machine_.reset(entry_);
   executed_ = 0;
@@ -189,7 +194,16 @@ IterationOutcome TvmTarget::iterate(float reference, float measurement) {
     if (armed_ && !injected_ && armed_->time >= executed_) {
       const std::uint64_t until_fault = armed_->time - executed_;
       if (until_fault == 0) {
-        apply_fault_bits();
+        // First injection only; stuck-at re-forcing above stays untraced
+        // (it runs every iteration and would swamp the trace).
+        if (span_track_ != nullptr) {
+          const std::int64_t inject_begin = span_track_->now();
+          apply_fault_bits();
+          span_track_->emit(obs::SpanPhase::kInject, inject_begin,
+                            span_track_->now());
+        } else {
+          apply_fault_bits();
+        }
         injected_ = true;
         continue;
       }

@@ -43,6 +43,7 @@ class TvmTarget : public Target {
   obs::TargetProfile profile() const override;
   void set_detail(bool enabled) override;
   IterationDetail iteration_detail() const override;
+  void set_span_track(obs::SpanTrack* track) override { span_track_ = track; }
 
   /// Scan-chain access for directed experiments (e.g. the Figure 10 bench
   /// corrupts the state variable to a chosen in-range value).
@@ -76,6 +77,10 @@ class TvmTarget : public Target {
   std::uint64_t iteration_budget_ = 1u << 20;
   std::optional<Fault> armed_;
   bool injected_ = false;
+
+  // Span tracing (see Target::set_span_track): reset and the injection
+  // point emit nested spans onto the attached track.
+  obs::SpanTrack* span_track_ = nullptr;
 
   // Profiling state (see Target::set_profiling).  Cache stats are cleared
   // by Machine::reset, so reset() folds them into profile_ first; the

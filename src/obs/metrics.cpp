@@ -35,6 +35,36 @@ std::vector<std::uint64_t> Histogram::counts() const {
   return out;
 }
 
+double Histogram::quantile(double q) const {
+  // Total from the bucket snapshot, not count_: concurrent observes can
+  // leave the two momentarily inconsistent, and the rank must refer to
+  // the same snapshot the scan walks.
+  const std::vector<std::uint64_t> counts = this->counts();
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double next = cumulative + static_cast<double>(counts[i]);
+    if (next >= rank && counts[i] > 0) {
+      if (i >= bounds_.size()) {
+        // Overflow bucket has no finite upper edge; report the highest
+        // finite bound, as histogram_quantile does.
+        return bounds_.empty() ? 0.0 : bounds_.back();
+      }
+      const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+      const double upper = bounds_[i];
+      const double fraction =
+          (rank - cumulative) / static_cast<double>(counts[i]);
+      return lower + (upper - lower) * std::clamp(fraction, 0.0, 1.0);
+    }
+    cumulative = next;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
 Counter& MetricsRegistry::counter(std::string_view name) {
   const std::lock_guard<std::mutex> lock(mutex_);
   auto it = counters_.find(name);
@@ -242,6 +272,21 @@ std::string prometheus_histogram_block(std::string_view prom,
   block += std::string(prom) + "_sum " + json_number(histogram.sum()) + "\n";
   block += std::string(prom) + "_count " + std::to_string(histogram.count()) +
            "\n";
+  // Server-side quantile estimates ride along as their own gauge family
+  // (exposition rules: a histogram family may only carry _bucket/_sum/
+  // _count samples, so the quantiles need a separate TYPE).
+  block += "# HELP " + std::string(prom) +
+           "_quantile Quantile estimates interpolated from the " +
+           std::string(prom) + " buckets.\n";
+  block += "# TYPE " + std::string(prom) + "_quantile gauge\n";
+  static constexpr struct {
+    double q;
+    const char* label;
+  } kQuantiles[] = {{0.5, "0.5"}, {0.9, "0.9"}, {0.99, "0.99"}};
+  for (const auto& [q, label] : kQuantiles) {
+    block += std::string(prom) + "_quantile{quantile=\"" + label + "\"} " +
+             json_number(histogram.quantile(q)) + "\n";
+  }
   return block;
 }
 

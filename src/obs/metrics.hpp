@@ -63,6 +63,12 @@ class Histogram {
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
 
+  /// Quantile estimate by linear interpolation within the straddling
+  /// bucket (the same estimator as PromQL's histogram_quantile).  `q` is
+  /// clamped to [0, 1].  Returns 0 on an empty histogram; quantiles that
+  /// land in the +inf overflow bucket report the highest finite bound.
+  double quantile(double q) const;
+
  private:
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;

@@ -262,6 +262,11 @@ void TelemetryServer::set_controller(fi::CampaignController* controller) {
   }
 }
 
+void TelemetryServer::set_tracer(SpanTracer* tracer) {
+  tracer_ = tracer;
+  http_track_ = tracer != nullptr ? tracer->track("http") : nullptr;
+}
+
 // Observer callbacks — the campaign-facing (hot) side.
 
 void TelemetryServer::on_campaign_start(const fi::CampaignConfig& config,
@@ -348,11 +353,19 @@ void TelemetryServer::handle(const HttpRequest& request,
   // One earl_http_request_ns sample per request-response exchange;
   // /events is excluded (the stream lives as long as its subscriber).
   const auto request_start = std::chrono::steady_clock::now();
+  const std::int64_t span_begin =
+      http_track_ != nullptr ? http_track_->now() : 0;
   const auto observe_latency = [&] {
     http_request_ns_.observe(static_cast<double>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - request_start)
             .count()));
+    // The "http" track is shared by all handler threads; SpanTrack::emit
+    // is multi-writer safe.
+    if (http_track_ != nullptr) {
+      http_track_->emit(SpanPhase::kHttpRequest, span_begin,
+                        http_track_->now(), kSpanNoArg);
+    }
   };
   const std::string path = request.path();
   if (path.rfind("/control/", 0) == 0) {
@@ -379,12 +392,14 @@ void TelemetryServer::handle(const HttpRequest& request,
     response = progress_response();
   } else if (path == "/healthz") {
     response = healthz_response();
+  } else if (path == "/spans") {
+    response = spans_response();
   } else if (path == "/") {
     response = index_response();
   } else {
     response = {404, "text/plain; charset=utf-8",
                 "not found; endpoints: /metrics /progress /healthz /events "
-                "/control/{pause,resume,stop,extend,workers}\n"};
+                "/spans /control/{pause,resume,stop,extend,workers}\n"};
   }
   connection.send_response(response, request.keep_alive());
   observe_latency();
@@ -705,6 +720,18 @@ HttpResponse TelemetryServer::healthz_response() {
   return response;
 }
 
+HttpResponse TelemetryServer::spans_response() {
+  if (tracer_ == nullptr) {
+    return {404, "text/plain; charset=utf-8",
+            "span tracing is not enabled; run earl-goofi with "
+            "--spans-out FILE\n"};
+  }
+  HttpResponse response;
+  response.content_type = "application/json";
+  response.body = render_chrome_trace(*tracer_);
+  return response;
+}
+
 HttpResponse TelemetryServer::index_response() {
   HttpResponse response;
   response.body =
@@ -713,6 +740,7 @@ HttpResponse TelemetryServer::index_response() {
       "  /progress  JSON progress snapshot (done/total, rate, ETA)\n"
       "  /healthz   200 healthy / 503 worker stalled\n"
       "  /events    Server-Sent Events lifecycle stream\n"
+      "  /spans     Chrome trace_event JSON span window (--spans-out)\n"
       "  POST /control/{pause,resume,stop}  campaign control\n"
       "  POST /control/extend?n=M           grow the campaign\n"
       "  POST /control/workers?n=K          soft-cap active workers\n";

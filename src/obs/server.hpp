@@ -16,6 +16,10 @@
 //   GET /events    Server-Sent Events stream of lifecycle events, fed from
 //                  a bounded ring buffer with a drop counter — a slow or
 //                  stuck consumer loses events, never stalls workers
+//   GET /spans     Chrome trace_event JSON of the attached SpanTracer's
+//                  retained span window (only when a tracer is attached
+//                  via set_tracer; 404 otherwise) — load in Perfetto live,
+//                  mid-campaign
 //
 // Control plane (only when a fi::CampaignController is attached via
 // set_controller, POST-only, optionally bearer-token guarded):
@@ -49,6 +53,7 @@
 #include "obs/metrics.hpp"
 #include "obs/observer.hpp"
 #include "obs/progress.hpp"
+#include "obs/span.hpp"
 
 namespace earl::obs {
 
@@ -216,6 +221,13 @@ class TelemetryServer final : public CampaignObserver {
   /// clock so /progress ETAs exclude paused wall time.
   void set_controller(fi::CampaignController* controller);
 
+  /// Attaches a span tracer: GET /spans serves its retained window as
+  /// Chrome trace_event JSON, and every non-SSE request emits a
+  /// kHttpRequest span onto the tracer's "http" track (multi-writer safe —
+  /// handler threads share it).  The tracer must outlive the server;
+  /// attach before start().  Null detaches (/spans answers 404).
+  void set_tracer(SpanTracer* tracer);
+
   // CampaignObserver — all passive.
   void on_campaign_start(const fi::CampaignConfig& config,
                          const CampaignStartInfo& info) override;
@@ -236,6 +248,7 @@ class TelemetryServer final : public CampaignObserver {
   HttpResponse metrics_response();
   HttpResponse progress_response();
   HttpResponse healthz_response();
+  HttpResponse spans_response();
   HttpResponse index_response();
   HttpResponse control_response(const HttpRequest& request);
   HttpResponse control_status(fi::ControlCommand command);
@@ -253,6 +266,8 @@ class TelemetryServer final : public CampaignObserver {
   EventRing ring_;
   ProgressReporter reporter_;  // null sink: counters only, never prints
   fi::CampaignController* controller_ = nullptr;
+  SpanTracer* tracer_ = nullptr;
+  SpanTrack* http_track_ = nullptr;
 
   mutable std::mutex state_mutex_;  // guards name_
   std::string name_;

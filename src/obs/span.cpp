@@ -1,0 +1,240 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/json.hpp"
+
+namespace earl::obs {
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+const char* span_phase_name(SpanPhase phase) {
+  switch (phase) {
+    case SpanPhase::kCampaign: return "campaign";
+    case SpanPhase::kSampleFaults: return "sample_faults";
+    case SpanPhase::kGoldenRun: return "golden_run";
+    case SpanPhase::kClaim: return "claim";
+    case SpanPhase::kSetup: return "setup";
+    case SpanPhase::kGoldenReplay: return "golden_replay";
+    case SpanPhase::kInject: return "inject";
+    case SpanPhase::kPostInjectRun: return "post_inject_run";
+    case SpanPhase::kClassify: return "classify";
+    case SpanPhase::kProbe: return "probe";
+    case SpanPhase::kStore: return "store";
+    case SpanPhase::kTargetReset: return "target_reset";
+    case SpanPhase::kHttpRequest: return "http_request";
+    case SpanPhase::kControl: return "control";
+  }
+  return "unknown";
+}
+
+SpanTrack::SpanTrack(const SpanTracer* tracer, std::string name,
+                     std::size_t capacity)
+    : tracer_(tracer),
+      name_(std::move(name)),
+      capacity_(round_up_pow2(std::max<std::size_t>(capacity, 2))),
+      mask_(capacity_ - 1),
+      slots_(std::make_unique<Slot[]>(capacity_)) {}
+
+std::int64_t SpanTrack::now() const { return tracer_->now(); }
+
+void SpanTrack::emit(SpanPhase phase, std::int64_t begin_ns,
+                     std::int64_t end_ns, std::uint64_t arg) {
+  const std::uint64_t index = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[index & mask_];
+  // Invalidate before overwriting so a concurrent snapshot's seq re-check
+  // rejects any copy that straddles this write.
+  slot.seq.store(0, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.phase.store(static_cast<std::uint8_t>(phase),
+                   std::memory_order_relaxed);
+  slot.begin_ns.store(begin_ns, std::memory_order_relaxed);
+  slot.end_ns.store(end_ns, std::memory_order_relaxed);
+  slot.arg.store(arg, std::memory_order_relaxed);
+  slot.seq.store(index + 1, std::memory_order_release);
+}
+
+std::vector<SpanRecord> SpanTrack::snapshot() const {
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t lo = head > capacity_ ? head - capacity_ : 0;
+  std::vector<SpanRecord> out;
+  out.reserve(static_cast<std::size_t>(head - lo));
+  for (std::uint64_t index = lo; index < head; ++index) {
+    const Slot& slot = slots_[index & mask_];
+    if (slot.seq.load(std::memory_order_acquire) != index + 1) {
+      continue;  // overwritten by a newer span, or still being written
+    }
+    SpanRecord record;
+    record.phase =
+        static_cast<SpanPhase>(slot.phase.load(std::memory_order_relaxed));
+    record.begin_ns = slot.begin_ns.load(std::memory_order_relaxed);
+    record.end_ns = slot.end_ns.load(std::memory_order_relaxed);
+    record.arg = slot.arg.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != index + 1) {
+      continue;  // torn: a writer claimed the slot mid-copy
+    }
+    out.push_back(record);
+  }
+  return out;
+}
+
+SpanTracer::SpanTracer(Options options) : options_(std::move(options)) {
+  if (options_.sample_every == 0) options_.sample_every = 1;
+}
+
+std::int64_t SpanTracer::now() const {
+  return options_.now_ns ? options_.now_ns() : steady_now_ns();
+}
+
+SpanTrack* SpanTracer::track(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& track : tracks_) {
+    if (track->name() == name) return track.get();
+  }
+  tracks_.push_back(std::unique_ptr<SpanTrack>(
+      new SpanTrack(this, std::string(name), options_.track_capacity)));
+  return tracks_.back().get();
+}
+
+std::vector<SpanTracer::TrackSnapshot> SpanTracer::snapshot() const {
+  // Copy the pointers under the lock, read the rings outside it: emitters
+  // never touch mutex_ and track pointers are stable.
+  std::vector<SpanTrack*> tracks;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    tracks.reserve(tracks_.size());
+    for (const auto& track : tracks_) tracks.push_back(track.get());
+  }
+  std::vector<TrackSnapshot> out;
+  out.reserve(tracks.size());
+  for (const SpanTrack* track : tracks) {
+    TrackSnapshot snap;
+    snap.name = track->name();
+    snap.emitted = track->emitted();
+    snap.dropped = track->dropped();
+    snap.spans = track->snapshot();
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+std::uint64_t SpanTracer::total_emitted() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& track : tracks_) total += track->emitted();
+  return total;
+}
+
+std::uint64_t SpanTracer::total_dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& track : tracks_) total += track->dropped();
+  return total;
+}
+
+std::string render_chrome_trace(
+    const std::vector<SpanTracer::TrackSnapshot>& tracks,
+    std::uint64_t sample_every) {
+  // Rebase timestamps so the trace starts at ts=0 regardless of the
+  // steady-clock epoch (Perfetto renders absolute nanosecond epochs as a
+  // useless far-future offset otherwise).
+  std::int64_t base_ns = 0;
+  bool have_base = false;
+  std::uint64_t total_spans = 0;
+  std::uint64_t total_dropped = 0;
+  for (const auto& track : tracks) {
+    total_spans += track.spans.size();
+    total_dropped += track.dropped;
+    for (const auto& span : track.spans) {
+      if (!have_base || span.begin_ns < base_ns) {
+        base_ns = span.begin_ns;
+        have_base = true;
+      }
+    }
+  }
+
+  std::string out;
+  out.reserve(128 + total_spans * 96);
+  out += "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"tool\":\"earl\","
+         "\"sample_every\":";
+  out += std::to_string(sample_every);
+  out += ",\"spans\":";
+  out += std::to_string(total_spans);
+  out += ",\"dropped\":";
+  out += std::to_string(total_dropped);
+  out += "},\"traceEvents\":[";
+
+  bool first = true;
+  const auto append = [&](const std::string& event) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n";
+    out += event;
+  };
+
+  append(std::string("{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"ts\":0,"
+                     "\"name\":\"process_name\",\"args\":{\"name\":"
+                     "\"earl campaign\"}}"));
+  for (std::size_t i = 0; i < tracks.size(); ++i) {
+    std::string event = "{\"ph\":\"M\",\"pid\":1,\"tid\":";
+    event += std::to_string(i);
+    event += ",\"ts\":0,\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    event += json_escape(tracks[i].name);
+    event += "\"}}";
+    append(event);
+  }
+
+  for (std::size_t i = 0; i < tracks.size(); ++i) {
+    for (const auto& span : tracks[i].spans) {
+      const std::int64_t begin = span.begin_ns - base_ns;
+      const std::int64_t dur =
+          span.end_ns > span.begin_ns ? span.end_ns - span.begin_ns : 0;
+      std::string event = "{\"ph\":\"X\",\"pid\":1,\"tid\":";
+      event += std::to_string(i);
+      event += ",\"ts\":";
+      event += json_number(static_cast<double>(begin) / 1000.0);
+      event += ",\"dur\":";
+      event += json_number(static_cast<double>(dur) / 1000.0);
+      event += ",\"cat\":\"earl\",\"name\":\"";
+      event += span_phase_name(span.phase);
+      event += "\"";
+      if (span.arg != kSpanNoArg) {
+        if (span.phase == SpanPhase::kControl) {
+          event += ",\"args\":{\"command\":";
+          event += std::to_string(span.arg);
+          event += "}";
+        } else {
+          event += ",\"args\":{\"experiment\":";
+          event += std::to_string(span.arg);
+          event += "}";
+        }
+      }
+      event += "}";
+      append(event);
+    }
+  }
+
+  out += "\n]}\n";
+  return out;
+}
+
+std::string render_chrome_trace(const SpanTracer& tracer) {
+  return render_chrome_trace(tracer.snapshot(), tracer.sample_every());
+}
+
+}  // namespace earl::obs

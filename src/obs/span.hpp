@@ -1,0 +1,236 @@
+// Causal span tracing for fault-injection campaigns (the "where does the
+// wall time go" layer the ROADMAP's checkpoint/restore work needs: the
+// golden-replay share of every experiment is exactly the work that
+// checkpointing would skip).
+//
+// A SpanTracer owns a set of named tracks, one per logical timeline (one
+// per campaign worker, plus "campaign", "http", "control").  Each track is
+// a fixed-capacity lock-free ring of completed spans: emitting is a
+// fetch_add slot claim plus a handful of relaxed atomic stores with a
+// seqlock-style publication, so the hot path never takes a lock and a slow
+// reader can never stall a worker — it just loses the oldest spans
+// (counted).  Snapshot readers validate each slot's sequence number before
+// and after the copy and discard entries overwritten mid-read, which keeps
+// concurrent snapshots (the /spans endpoint scrapes a live campaign)
+// TSan-clean without a writer-side mutex.
+//
+// Passivity contract, same as every observer in obs/: tracing must never
+// change campaign results.  The runner emits spans only when a tracer is
+// attached AND the experiment is sampled; a null SpanTrack* disables every
+// helper here, so the disabled hot path is a pointer test.
+//
+// Clocks are injectable (SpanTracer::Options::now_ns) so tests assert
+// byte-exact traces; the default is std::chrono::steady_clock.
+//
+// Export: render_chrome_trace() writes the Chrome trace_event JSON format
+// ({"traceEvents":[{"ph":"X","ts":...,"dur":...},...]}), loadable in
+// Perfetto (ui.perfetto.dev) or chrome://tracing and aggregated offline by
+// `earl-trace --phase-report` (analysis/span_report.hpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace earl::obs {
+
+/// The instrumented phases.  Experiment-lifecycle phases (claim through
+/// store) tile a worker's timeline; inject and target_reset nest inside
+/// them; campaign-level and service phases get their own tracks.
+enum class SpanPhase : std::uint8_t {
+  kCampaign,       // the whole CampaignRunner::run() call
+  kSampleFaults,   // deterministic fault-list sampling
+  kGoldenRun,      // the shared reference execution
+  kClaim,          // queue mutex + pending extensions + fault hand-off
+  kSetup,          // target reset + arm ("download the workload")
+  kGoldenReplay,   // executing the fault-free prefix up to the injection
+  kInject,         // scan-chain/state write at the injection point
+  kPostInjectRun,  // execution from injection to detection or run end
+  kClassify,       // state compare + deviation stats + outcome
+  kProbe,          // propagation prober re-execution (value failures)
+  kStore,          // observer callbacks + result store
+  kTargetReset,    // target-internal machine reset (nests inside setup)
+  kHttpRequest,    // one telemetry request-response exchange
+  kControl,        // one accepted control command
+};
+inline constexpr std::size_t kSpanPhaseCount = 14;
+
+/// Stable lowercase name ("golden_replay", ...), the `name` field of the
+/// exported trace events and the aggregation key of the phase report.
+const char* span_phase_name(SpanPhase phase);
+
+/// Sentinel for "no argument": the exporter omits the args field.  Equal
+/// to obs::kGoldenExperimentId on purpose — golden-run spans carry no
+/// experiment id.
+inline constexpr std::uint64_t kSpanNoArg = ~std::uint64_t{0};
+
+/// One completed span as read back out of a ring.
+struct SpanRecord {
+  SpanPhase phase = SpanPhase::kCampaign;
+  std::int64_t begin_ns = 0;
+  std::int64_t end_ns = 0;
+  std::uint64_t arg = kSpanNoArg;  // experiment id / command / phase-specific
+};
+
+class SpanTracer;
+
+/// One timeline's ring buffer.  emit() is safe from any number of threads
+/// (slots are claimed with fetch_add), though most tracks have a single
+/// writer; set_scope() is single-writer only — it tags subsequent emits
+/// with the current experiment id so nested spans (target reset, inject)
+/// inherit it without threading the id through every call.
+class SpanTrack {
+ public:
+  const std::string& name() const { return name_; }
+
+  /// The tracer's clock (injectable; see SpanTracer::Options::now_ns).
+  std::int64_t now() const;
+
+  /// Tags subsequent scope-arg emits with `arg` (an experiment id, or
+  /// kSpanNoArg).  Owner thread only.
+  void set_scope(std::uint64_t arg) { scope_ = arg; }
+  std::uint64_t scope() const { return scope_; }
+
+  /// Records a completed [begin_ns, end_ns) span.  Lock-free: one relaxed
+  /// fetch_add plus relaxed stores and one release publication.  When the
+  /// ring is full the oldest span is overwritten (counted in dropped()).
+  void emit(SpanPhase phase, std::int64_t begin_ns, std::int64_t end_ns) {
+    emit(phase, begin_ns, end_ns, scope_);
+  }
+  void emit(SpanPhase phase, std::int64_t begin_ns, std::int64_t end_ns,
+            std::uint64_t arg);
+
+  /// Spans emitted over the track's lifetime (monotonic).
+  std::uint64_t emitted() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+  /// Spans overwritten before any snapshot could retain them.
+  std::uint64_t dropped() const {
+    const std::uint64_t n = emitted();
+    return n > capacity_ ? n - capacity_ : 0;
+  }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Copies the retained window, oldest first.  Entries being overwritten
+  /// concurrently are validated out (seqlock re-check), so records are
+  /// never torn.  Safe from any thread at any time.
+  std::vector<SpanRecord> snapshot() const;
+
+ private:
+  friend class SpanTracer;
+  SpanTrack(const SpanTracer* tracer, std::string name, std::size_t capacity);
+
+  /// One ring slot.  `seq` holds index+1 once the record at that ring
+  /// index is published, 0 while a writer is between invalidation and
+  /// publication; every field is an atomic so concurrent snapshot copies
+  /// are race-free and a failed seq re-check discards the torn copy.
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint8_t> phase{0};
+    std::atomic<std::int64_t> begin_ns{0};
+    std::atomic<std::int64_t> end_ns{0};
+    std::atomic<std::uint64_t> arg{0};
+  };
+
+  const SpanTracer* tracer_;
+  std::string name_;
+  std::size_t capacity_;  // power of two
+  std::size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> head_{0};
+  std::uint64_t scope_ = kSpanNoArg;  // owner-thread span tag
+};
+
+/// RAII span: stamps begin at construction, emits at destruction.  A null
+/// track disables it entirely (two pointer tests, no clock reads).
+class ScopedSpan {
+ public:
+  /// Scope-arg span: the record carries the track's current scope.
+  ScopedSpan(SpanTrack* track, SpanPhase phase)
+      : ScopedSpan(track, phase, track != nullptr ? track->scope()
+                                                  : kSpanNoArg) {}
+  /// Explicit-arg span (control command, etc).
+  ScopedSpan(SpanTrack* track, SpanPhase phase, std::uint64_t arg)
+      : track_(track),
+        phase_(phase),
+        arg_(arg),
+        begin_ns_(track != nullptr ? track->now() : 0) {}
+  ~ScopedSpan() {
+    if (track_ != nullptr) track_->emit(phase_, begin_ns_, track_->now(), arg_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  SpanTrack* track_;
+  SpanPhase phase_;
+  std::uint64_t arg_;
+  std::int64_t begin_ns_;
+};
+
+class SpanTracer {
+ public:
+  struct Options {
+    /// Spans retained per track (rounded up to a power of two).  The
+    /// default holds ~2700 fully-traced experiments per worker.
+    std::size_t track_capacity = std::size_t{1} << 14;
+    /// Trace every Nth experiment (1 = all).  Campaign-level and service
+    /// spans are always recorded.
+    std::uint64_t sample_every = 1;
+    /// Monotonic clock in nanoseconds; null = std::chrono::steady_clock.
+    std::function<std::int64_t()> now_ns;
+  };
+
+  SpanTracer() : SpanTracer(Options{}) {}
+  explicit SpanTracer(Options options);
+
+  SpanTracer(const SpanTracer&) = delete;
+  SpanTracer& operator=(const SpanTracer&) = delete;
+
+  /// Finds or creates the named track.  The returned pointer stays valid
+  /// for the tracer's lifetime.  Registration takes a mutex; emitting on
+  /// the returned track never does.
+  SpanTrack* track(std::string_view name);
+
+  std::int64_t now() const;
+  std::uint64_t sample_every() const { return options_.sample_every; }
+  /// Whether the experiment id falls in the traced sample.
+  bool sampled(std::uint64_t experiment) const {
+    return options_.sample_every <= 1 ||
+           experiment % options_.sample_every == 0;
+  }
+
+  struct TrackSnapshot {
+    std::string name;
+    std::uint64_t emitted = 0;
+    std::uint64_t dropped = 0;
+    std::vector<SpanRecord> spans;
+  };
+  /// All tracks in registration order, each with its retained window.
+  std::vector<TrackSnapshot> snapshot() const;
+
+  std::uint64_t total_emitted() const;
+  std::uint64_t total_dropped() const;
+
+ private:
+  Options options_;
+  mutable std::mutex mutex_;  // guards tracks_ registration only
+  std::vector<std::unique_ptr<SpanTrack>> tracks_;
+};
+
+/// Renders track snapshots as Chrome trace_event JSON: one "M" thread_name
+/// metadata event per track, one "X" complete event per span (ts/dur in
+/// microseconds, rebased so the earliest span starts at 0), deterministic
+/// ordering.  `sample_every` and drop totals ride along in "otherData".
+std::string render_chrome_trace(
+    const std::vector<SpanTracer::TrackSnapshot>& tracks,
+    std::uint64_t sample_every);
+/// Convenience overload: snapshots the tracer and renders it.
+std::string render_chrome_trace(const SpanTracer& tracer);
+
+}  // namespace earl::obs

@@ -1,0 +1,140 @@
+#include "analysis/span_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "obs/span.hpp"
+
+namespace earl::analysis {
+namespace {
+
+using obs::SpanPhase;
+using obs::SpanTracer;
+
+/// A small synthetic campaign trace built through the real tracer +
+/// exporter, so the report test also pins the round-trip.
+std::string synthetic_trace() {
+  std::int64_t now = 0;
+  SpanTracer::Options options;
+  options.now_ns = [&now] { return now; };
+  SpanTracer tracer(options);
+
+  obs::SpanTrack* campaign = tracer.track("campaign");
+  campaign->emit(SpanPhase::kGoldenRun, 0, 100'000);
+  // Worker timeline: two experiments, microsecond-aligned so ns -> us -> ns
+  // survives exactly.
+  obs::SpanTrack* worker = tracer.track("worker 0");
+  worker->emit(SpanPhase::kSetup, 100'000, 110'000, 0);
+  worker->emit(SpanPhase::kGoldenReplay, 110'000, 150'000, 0);
+  worker->emit(SpanPhase::kPostInjectRun, 150'000, 170'000, 0);
+  worker->emit(SpanPhase::kClassify, 170'000, 180'000, 0);
+  worker->emit(SpanPhase::kSetup, 180'000, 190'000, 1);
+  worker->emit(SpanPhase::kGoldenReplay, 190'000, 250'000, 1);
+  worker->emit(SpanPhase::kPostInjectRun, 250'000, 290'000, 1);
+  worker->emit(SpanPhase::kClassify, 290'000, 300'000, 1);
+  // The whole-run span: wall time comes from here, not the hull.
+  campaign->emit(SpanPhase::kCampaign, 0, 300'000);
+  return render_chrome_trace(tracer);
+}
+
+TEST(SpanReportTest, AggregatesTotalsAndPercentilesExactly) {
+  std::string error;
+  const auto report = PhaseReport::from_chrome_json(synthetic_trace(), &error);
+  ASSERT_TRUE(report.has_value()) << error;
+
+  EXPECT_EQ(report->span_count(), 10u);
+  EXPECT_EQ(report->track_count(), 2u);
+  EXPECT_EQ(report->dropped(), 0u);
+  EXPECT_EQ(report->sample_every(), 1u);
+  EXPECT_TRUE(report->wall_from_campaign_span());
+  EXPECT_DOUBLE_EQ(report->wall_ns(), 300'000.0);
+
+  double golden_replay_total = 0.0;
+  for (const PhaseStats& phase : report->phases()) {
+    if (phase.name == "golden_replay") {
+      golden_replay_total = phase.total_ns;
+      EXPECT_EQ(phase.count, 2u);
+      // Durations 40us and 60us: interpolated p50 is their midpoint.
+      EXPECT_DOUBLE_EQ(phase.p50_ns, 50'000.0);
+      EXPECT_DOUBLE_EQ(phase.p99_ns, 59'800.0);
+    }
+  }
+  EXPECT_DOUBLE_EQ(golden_replay_total, 100'000.0);
+  EXPECT_DOUBLE_EQ(report->golden_replay_ns(), 100'000.0);
+  EXPECT_DOUBLE_EQ(report->post_inject_ns(), 60'000.0);
+  EXPECT_DOUBLE_EQ(report->golden_replay_share(), 100'000.0 / 160'000.0);
+
+  // golden_run + setup*2 + golden_replay*2 + post_inject*2 + classify*2.
+  EXPECT_DOUBLE_EQ(report->accounted_ns(),
+                   100'000.0 + 20'000.0 + 100'000.0 + 60'000.0 + 20'000.0);
+
+  // Phases are sorted by total time, descending.
+  const auto& phases = report->phases();
+  ASSERT_GE(phases.size(), 2u);
+  for (std::size_t i = 1; i < phases.size(); ++i) {
+    EXPECT_GE(phases[i - 1].total_ns, phases[i].total_ns);
+  }
+}
+
+TEST(SpanReportTest, FallsBackToSpanHullWithoutCampaignSpan) {
+  std::int64_t now = 0;
+  SpanTracer::Options options;
+  options.now_ns = [&now] { return now; };
+  SpanTracer tracer(options);
+  tracer.track("w")->emit(SpanPhase::kGoldenReplay, 50'000, 80'000, 0);
+  tracer.track("w")->emit(SpanPhase::kClassify, 90'000, 120'000, 0);
+
+  const auto report =
+      PhaseReport::from_chrome_json(render_chrome_trace(tracer));
+  ASSERT_TRUE(report.has_value());
+  EXPECT_FALSE(report->wall_from_campaign_span());
+  EXPECT_DOUBLE_EQ(report->wall_ns(), 70'000.0);  // hull: 50us .. 120us
+}
+
+TEST(SpanReportTest, ShareIsZeroWhenPhasesAbsent) {
+  std::int64_t now = 0;
+  SpanTracer::Options options;
+  options.now_ns = [&now] { return now; };
+  SpanTracer tracer(options);
+  tracer.track("w")->emit(SpanPhase::kSetup, 0, 1'000, 0);
+  const auto report =
+      PhaseReport::from_chrome_json(render_chrome_trace(tracer));
+  ASSERT_TRUE(report.has_value());
+  EXPECT_DOUBLE_EQ(report->golden_replay_share(), 0.0);
+}
+
+TEST(SpanReportTest, RenderContainsHeadlineLines) {
+  const auto report = PhaseReport::from_chrome_json(synthetic_trace());
+  ASSERT_TRUE(report.has_value());
+  const std::string text = report->render("spans.json");
+  EXPECT_NE(text.find("span phase report: spans.json"), std::string::npos);
+  EXPECT_NE(text.find("golden_replay"), std::string::npos);
+  EXPECT_NE(text.find("accounted lifecycle phases:"), std::string::npos);
+  EXPECT_NE(text.find("golden-replay share:"), std::string::npos);
+}
+
+TEST(SpanReportTest, MalformedInputsReportReasons) {
+  std::string error;
+  EXPECT_FALSE(PhaseReport::from_chrome_json("not json", &error).has_value());
+  EXPECT_FALSE(error.empty());
+
+  error.clear();
+  EXPECT_FALSE(PhaseReport::from_chrome_json("[1, 2]", &error).has_value());
+  EXPECT_FALSE(error.empty());
+
+  error.clear();
+  EXPECT_FALSE(PhaseReport::from_chrome_json("{\"a\": 1}", &error).has_value());
+  EXPECT_FALSE(error.empty());
+
+  // Structurally valid but empty: zero spans is an error, not a report.
+  error.clear();
+  EXPECT_FALSE(
+      PhaseReport::from_chrome_json("{\"traceEvents\": []}", &error)
+          .has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace earl::analysis

@@ -9,6 +9,7 @@
 
 #include "fi/runner.hpp"
 #include "fi/workloads.hpp"
+#include "obs/span.hpp"
 
 namespace earl::fi {
 namespace {
@@ -224,26 +225,46 @@ TEST(ControllerTest, StopViaControllerYieldsConsistentPrefix) {
   }
 }
 
-TEST(ControllerTest, PresetStopMatchesLegacyStopFlag) {
+TEST(ControllerTest, PresetStopDrainsBeforeFirstClaim) {
   const CampaignConfig config = small_campaign(20);
   const auto factory = make_tvm_pi_factory(paper_pi_config());
 
-  const std::atomic<bool> stop{true};
-  CampaignRunner legacy(config);
-  legacy.set_stop_flag(&stop);
-  const CampaignResult via_flag = legacy.run(factory);
-
   CampaignController controller;
   controller.stop();
-  CampaignRunner modern(config);
-  modern.set_controller(&controller);
-  const CampaignResult via_controller = modern.run(factory);
+  CampaignRunner runner(config);
+  runner.set_controller(&controller);
+  const CampaignResult result = runner.run(factory);
 
-  EXPECT_EQ(via_flag.interrupted, via_controller.interrupted);
-  EXPECT_TRUE(via_controller.interrupted);
-  EXPECT_TRUE(via_controller.experiments.empty());
+  EXPECT_TRUE(result.interrupted);
+  EXPECT_TRUE(result.experiments.empty());
   // The golden run still happened: a drained partial database stays usable.
-  EXPECT_EQ(via_flag.golden.outputs, via_controller.golden.outputs);
+  EXPECT_FALSE(result.golden.outputs.empty());
+}
+
+TEST(ControllerTest, ControlCommandsEmitSpansWithCommandArgs) {
+  std::int64_t fake_now = 0;
+  obs::SpanTracer::Options topt;
+  topt.now_ns = [&fake_now] { return fake_now; };
+  obs::SpanTracer tracer(topt);
+  obs::SpanTrack* track = tracer.track("control");
+
+  CampaignController controller;
+  controller.set_span_track(track);
+  fake_now = 100;
+  controller.pause();
+  fake_now = 250;
+  controller.resume();
+  // stop() stays span-free: it must remain async-signal-safe.
+  controller.stop();
+
+  const auto spans = track->snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].phase, obs::SpanPhase::kControl);
+  EXPECT_EQ(spans[0].begin_ns, 100);
+  EXPECT_EQ(spans[0].arg, static_cast<std::uint64_t>(ControlCommand::kPause));
+  EXPECT_EQ(spans[1].phase, obs::SpanPhase::kControl);
+  EXPECT_EQ(spans[1].begin_ns, 250);
+  EXPECT_EQ(spans[1].arg, static_cast<std::uint64_t>(ControlCommand::kResume));
 }
 
 TEST(ControllerTest, WorkerCapDrainsWithoutDeadlock) {

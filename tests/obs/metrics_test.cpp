@@ -76,6 +76,24 @@ TEST(MetricsTest, HistogramBucketEdgesAreInclusive) {
   EXPECT_DOUBLE_EQ(h.sum(), 1024.0);
 }
 
+TEST(MetricsTest, HistogramQuantileInterpolatesWithinBucket) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("q", std::vector<double>{1, 10, 100});
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty histogram
+  for (int i = 0; i < 10; ++i) h.observe(0.5);  // bucket le=1
+  for (int i = 0; i < 10; ++i) h.observe(5.0);  // bucket le=10
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 0.5);  // halfway through [0, 1]
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);   // first bucket exactly full
+  EXPECT_DOUBLE_EQ(h.quantile(0.75), 5.5);  // halfway through [1, 10]
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+  h.observe(1e9);  // overflow bucket
+  // Quantiles landing in +inf report the highest finite bound; out-of-range
+  // q clamps.
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), 100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), 0.0);
+}
+
 TEST(MetricsTest, JsonExportContainsAllInstruments) {
   MetricsRegistry registry;
   registry.counter("c.one").add(5);
@@ -155,6 +173,14 @@ TEST(PrometheusTest, HistogramRendersCumulativeBuckets) {
   EXPECT_NE(prom.find("lat_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
   EXPECT_NE(prom.find("lat_sum 105.5\n"), std::string::npos);
   EXPECT_NE(prom.find("lat_count 3\n"), std::string::npos);
+  // Quantile estimates ride along as a separate gauge family: p50
+  // interpolates within the straddling bucket, p99 lands in the overflow
+  // bucket and reports the highest finite bound.
+  EXPECT_NE(prom.find("# TYPE lat_quantile gauge\n"), std::string::npos);
+  EXPECT_NE(prom.find("lat_quantile{quantile=\"0.5\"} 5.5\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("lat_quantile{quantile=\"0.99\"} 10\n"),
+            std::string::npos);
 }
 
 TEST(PrometheusTest, BlocksSortedByExpositionName) {
@@ -206,7 +232,13 @@ TEST(PrometheusTest, GoldenExpositionFormat) {
       "detect_latency_bucket{le=\"10\"} 2\n"
       "detect_latency_bucket{le=\"+Inf\"} 2\n"
       "detect_latency_sum 4.5\n"
-      "detect_latency_count 2\n";
+      "detect_latency_count 2\n"
+      "# HELP detect_latency_quantile Quantile estimates interpolated from "
+      "the detect_latency buckets.\n"
+      "# TYPE detect_latency_quantile gauge\n"
+      "detect_latency_quantile{quantile=\"0.5\"} 1\n"
+      "detect_latency_quantile{quantile=\"0.9\"} 8.2\n"
+      "detect_latency_quantile{quantile=\"0.99\"} 9.82\n";
   EXPECT_EQ(registry.to_prometheus(), expected);
 }
 

@@ -36,6 +36,7 @@
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 #include "obs/server.hpp"
+#include "obs/span.hpp"
 #include "plant/signals.hpp"
 
 namespace {
@@ -58,6 +59,9 @@ struct Options {
   std::string events_path;
   std::string metrics_path;
   std::string metrics_prom_path;
+  std::string spans_path;
+  std::uint64_t spans_sample = 1;
+  bool spans_sample_set = false;
   std::string save_path;
   std::string analyze_path;
   std::optional<std::uint64_t> replay_id;
@@ -147,6 +151,32 @@ cli::Parser build_parser(Options& options) {
   parser.add_string("--metrics-prom", "PATH",
                     "campaign metrics in Prometheus text format",
                     &options.metrics_prom_path);
+  parser.add_string(
+      "--spans-out", "PATH",
+      "causal span trace as Chrome trace_event JSON: per-worker\n"
+      "experiment lifecycle (claim, setup, golden-replay, inject,\n"
+      "post-inject run, classify, store) plus campaign/HTTP/control\n"
+      "spans; open in Perfetto or chrome://tracing, aggregate with\n"
+      "earl-trace --phase-report; with --serve, GET /spans serves\n"
+      "the live window",
+      &options.spans_path);
+  parser.add_custom(
+      "--spans-sample", "N",
+      "trace every Nth experiment (default 1 = all; campaign-level\n"
+      "spans always record; requires --spans-out)",
+      [&options](const std::string& value) {
+        std::uint64_t n = 0;
+        if (!cli::parse_u64(value, &n) || n == 0) {
+          std::fprintf(stderr,
+                       "invalid value '%s' for '--spans-sample' (expected a "
+                       "positive integer)\n",
+                       value.c_str());
+          return false;
+        }
+        options.spans_sample = n;
+        options.spans_sample_set = true;
+        return true;
+      });
   parser.add_custom(
       "--serve", "[A:]PORT",
       "live telemetry server while the campaign runs:\n"
@@ -365,6 +395,8 @@ int main(int argc, char** argv) {
                            : !options.metrics_path.empty() ? "--metrics"
                            : !options.metrics_prom_path.empty()
                                ? "--metrics-prom"
+                           : !options.spans_path.empty() ? "--spans-out"
+                           : options.spans_sample_set    ? "--spans-sample"
                            : options.serve    ? "--serve"
                            : !options.serve_token.empty() ? "--serve-token"
                            : options.progress ? "--progress"
@@ -387,6 +419,10 @@ int main(int argc, char** argv) {
   }
   if (options.trace_format_set && options.events_path.empty()) {
     std::fprintf(stderr, "--trace-format needs --events PATH\n");
+    return 1;
+  }
+  if (options.spans_sample_set && options.spans_path.empty()) {
+    std::fprintf(stderr, "--spans-sample needs --spans-out PATH\n");
     return 1;
   }
 
@@ -457,6 +493,22 @@ int main(int argc, char** argv) {
     multi.add(collector.get());
     obs::register_build_info(registry);
   }
+  std::ofstream spans_out;
+  std::unique_ptr<obs::SpanTracer> tracer;
+  if (!options.spans_path.empty()) {
+    spans_out.open(options.spans_path, std::ios::out | std::ios::trunc);
+    if (!spans_out.good()) {
+      std::fprintf(stderr, "cannot open span trace file '%s'\n",
+                   options.spans_path.c_str());
+      return 1;
+    }
+    obs::SpanTracer::Options topt;
+    topt.sample_every = options.spans_sample;
+    tracer = std::make_unique<obs::SpanTracer>(topt);
+    // Control commands (remote pause/resume/extend/workers) show up on
+    // their own track; stop stays span-free for signal safety.
+    g_controller.set_span_track(tracer->track("control"));
+  }
   std::unique_ptr<obs::TelemetryServer> server;
   if (options.serve) {
     obs::TelemetryServer::Options serve_options;
@@ -465,6 +517,7 @@ int main(int argc, char** argv) {
     serve_options.bearer_token = options.serve_token;
     server = std::make_unique<obs::TelemetryServer>(serve_options, &registry);
     server->set_controller(&g_controller);
+    if (tracer != nullptr) server->set_tracer(tracer.get());
     std::string error;
     // Bind before the campaign so an occupied port fails fast.
     if (!server->start(&error)) {
@@ -494,6 +547,7 @@ int main(int argc, char** argv) {
   // (earl_claim_latency_ns on /metrics): queue contention shows up in the
   // scrape instead of needing a profiler attached to a live campaign.
   if (collector != nullptr) runner.set_metrics(&registry);
+  if (tracer != nullptr) runner.set_tracer(tracer.get());
   std::signal(SIGINT, handle_stop_signal);
   std::signal(SIGTERM, handle_stop_signal);
   if (options.detail && bundle->program != nullptr) {
@@ -541,6 +595,18 @@ int main(int argc, char** argv) {
     }
     std::printf("wrote metrics (Prometheus) to %s\n",
                 options.metrics_prom_path.c_str());
+  }
+  if (tracer != nullptr) {
+    spans_out << obs::render_chrome_trace(*tracer);
+    spans_out.flush();
+    if (!spans_out.good()) {
+      std::fprintf(stderr, "failed to write %s\n", options.spans_path.c_str());
+      return 1;
+    }
+    std::printf("wrote span trace (%llu spans, %llu dropped) to %s\n",
+                static_cast<unsigned long long>(tracer->total_emitted()),
+                static_cast<unsigned long long>(tracer->total_dropped()),
+                options.spans_path.c_str());
   }
 
   if (options.replay_id) {

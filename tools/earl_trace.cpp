@@ -17,15 +17,18 @@
 //   earl-trace run.jsonl --figure 7                    # Figure 7 waveform
 //   earl-trace run.jsonl --waveform 165                # one experiment
 //   earl-trace run.jsonl --propagation                 # divergence reports
+//   earl-trace spans.json --phase-report               # span time attribution
 #include <algorithm>
 #include <array>
 #include <cstdio>
 #include <fstream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "analysis/span_report.hpp"
 #include "analysis/trace_reader.hpp"
 #include "cli.hpp"
 #include "obs/labels.hpp"
@@ -39,6 +42,7 @@ struct Options {
   std::string path;
   bool list = false;
   bool propagation = false;
+  bool phase_report = false;
   std::optional<std::uint64_t> waveform_id;
   std::optional<int> figure;
   std::optional<analysis::Outcome> outcome;
@@ -94,6 +98,12 @@ cli::Parser build_parser(Options* options) {
   parser.add_flag("--propagation",
                   "architectural propagation report per traced experiment",
                   &options->propagation);
+  parser.add_flag(
+      "--phase-report",
+      "per-phase time attribution from a span trace written by\n"
+      "earl-goofi --spans-out (Chrome trace_event JSON, not an\n"
+      "event log): totals, p50/p99, golden-replay share",
+      &options->phase_report);
   parser.add_custom(
       "--outcome", "SLUG",
       "filter: outcome slug (e.g. severe_permanent, detected)",
@@ -249,6 +259,46 @@ int main(int argc, char** argv) {
   if (options.path.empty()) {
     parser.print_help();
     return 1;
+  }
+  if (options.phase_report) {
+    // A span trace is a different artifact than an event log: none of the
+    // event-log modes or filters apply to it.
+    const char* conflict = options.list          ? "--list"
+                           : options.propagation ? "--propagation"
+                           : options.waveform_id ? "--waveform"
+                           : options.figure      ? "--figure"
+                           : options.outcome     ? "--outcome"
+                           : options.edm         ? "--edm"
+                           : options.cache_partition ? "--partition"
+                           : options.id              ? "--id"
+                                                     : nullptr;
+    if (conflict != nullptr) {
+      std::fprintf(stderr,
+                   "--phase-report reads a span trace (earl-goofi "
+                   "--spans-out), not an event log; it cannot be combined "
+                   "with %s\n",
+                   conflict);
+      return 1;
+    }
+    std::ifstream spans(options.path);
+    if (!spans.is_open()) {
+      std::fprintf(stderr, "could not open '%s'\n", options.path.c_str());
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << spans.rdbuf();
+    std::string error;
+    const auto report =
+        analysis::PhaseReport::from_chrome_json(buffer.str(), &error);
+    if (!report) {
+      std::fprintf(stderr,
+                   "'%s' is not a span trace written by earl-goofi "
+                   "--spans-out: %s\n",
+                   options.path.c_str(), error.c_str());
+      return 1;
+    }
+    std::fputs(report->render(options.path).c_str(), stdout);
+    return 0;
   }
 
   // Resolve the figure spec before the (potentially long) pass so a bad
