@@ -29,30 +29,48 @@ int main(int argc, char** argv) {
   const std::size_t experiments =
       std::max<std::size_t>(100, static_cast<std::size_t>(600 * scale));
 
-  util::Table table({"Workers", "Experiments", "Wall time [s]",
+  util::Table table({"Workers", "Mode", "Experiments", "Wall time [s]",
                      "Throughput [exp/s]"});
-  for (int c = 1; c <= 3; ++c) table.set_align(c, util::Table::Align::kRight);
+  for (int c = 2; c <= 4; ++c) table.set_align(c, util::Table::Align::kRight);
 
   const fi::TargetFactory factory =
       fi::make_tvm_pi_factory(fi::paper_pi_config());
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  const std::size_t worker_counts[] = {std::size_t{1}, std::size_t{2},
-                                       static_cast<std::size_t>(hw)};
-  for (std::size_t pass = 0; pass < std::size(worker_counts); ++pass) {
-    const std::size_t workers = worker_counts[pass];
+  // The final pass reruns the widest campaign with checkpoint/restore
+  // injection plus def/use pruning — same seed, bit-identical results (the
+  // runner's headline guarantee), so pruned-vs-brute wall time is a pure
+  // speed comparison.
+  struct Pass {
+    std::size_t workers;
+    bool fast;  // --checkpoint-interval 10 --prune
+    const char* label;
+  };
+  const Pass passes[] = {{1, false, "workers_1"},
+                         {2, false, "workers_2"},
+                         {static_cast<std::size_t>(hw), false, "workers_max"},
+                         {static_cast<std::size_t>(hw), true, "pruned"}};
+  double brute_max_s = 0.0;
+  double pruned_s = 0.0;
+  for (std::size_t pass = 0; pass < std::size(passes); ++pass) {
+    const std::size_t workers = passes[pass].workers;
     fi::CampaignConfig config = fi::table2_campaign(1.0);
     config.experiments = experiments;
     config.workers = workers;
+    if (passes[pass].fast) {
+      config.checkpoint_interval = 10;
+      config.prune = true;
+    }
     fi::CampaignRunner runner(config);
     if (reporter.registry() != nullptr) {
       runner.set_metrics(reporter.registry());
     }
 
-    // Scrape-under-load: during the widest campaign, hammer /metrics from
-    // a client thread and record the GET latency distribution.  Telemetry
-    // mode only — the plain bench runs exactly as before.
-    const bool scrape =
-        reporter.enabled() && pass + 1 == std::size(worker_counts);
+    // Scrape-under-load: during the widest brute-force campaign, hammer
+    // /metrics from a client thread and record the GET latency
+    // distribution.  Telemetry mode only — the plain bench runs exactly as
+    // before.
+    const bool scrape = reporter.enabled() &&
+                        std::string_view(passes[pass].label) == "workers_max";
     std::unique_ptr<obs::TelemetryServer> server;
     std::thread scraper;
     std::atomic<bool> scraping{false};
@@ -85,11 +103,9 @@ int main(int argc, char** argv) {
       }
     }
 
-    // The last pass runs at hardware_concurrency, which varies by host —
-    // a stable metric name keeps baselines portable across machines.
-    const std::string label = pass + 1 == std::size(worker_counts)
-                                  ? "workers_max"
-                                  : "workers_" + std::to_string(workers);
+    // The wide passes run at hardware_concurrency, which varies by host —
+    // stable metric names keep baselines portable across machines.
+    const std::string label = passes[pass].label;
     const auto start = std::chrono::steady_clock::now();
     const fi::CampaignResult result = reporter.run_campaign(label, [&] {
       return runner.run(factory, reporter.observer());
@@ -107,17 +123,41 @@ int main(int argc, char** argv) {
       server.reset();
     }
 
+    if (std::string_view(passes[pass].label) == "workers_max") {
+      brute_max_s = seconds;
+    } else if (passes[pass].fast) {
+      pruned_s = seconds;
+    }
+
     char wall[32];
     char throughput[32];
     std::snprintf(wall, sizeof wall, "%.2f", seconds);
     std::snprintf(throughput, sizeof throughput, "%.0f",
                   result.experiments.size() / seconds);
     table.add_row({std::to_string(workers),
+                   passes[pass].fast ? "ckpt+prune" : "brute",
                    std::to_string(result.experiments.size()), wall,
                    throughput});
   }
 
+  // Brute-vs-pruned speedup at the widest scale (info: the ratio is
+  // machine-dependent, so baselines compare existence only).
+  if (pruned_s > 0.0) {
+    reporter.set_info("pruned.speedup_x", "x", brute_max_s / pruned_s);
+  }
+
   if (const obs::MetricsRegistry* registry = reporter.registry()) {
+    // Checkpoint/prune counters are seed-deterministic, so earl-bench-diff
+    // gates them exactly at matching campaign scale.
+    for (const char* name :
+         {"earl.checkpoint_captures", "earl.checkpoint_restores",
+          "earl.checkpoint_instructions_saved",
+          "earl.checkpoint_converge_exits", "earl.prune_classes",
+          "earl.prune_synthesized", "earl.prune_untouched"}) {
+      if (const obs::Counter* counter = registry->find_counter(name)) {
+        reporter.set_counter(name, static_cast<double>(counter->value()));
+      }
+    }
     if (const obs::Histogram* claims =
             registry->find_histogram("earl.claim_latency_ns")) {
       reporter.set_info("claim.observations", "count",

@@ -26,14 +26,18 @@ std::string Cell::to_string() const {
 }
 
 CampaignReport CampaignReport::build(const fi::CampaignResult& campaign) {
+  // Rows are weighted: expanded results all carry weight 1, while a
+  // collapsed (def/use pruned) row stands for its whole equivalence class,
+  // so both views of the same campaign summarize identically.
   CampaignReport report;
   for (const fi::ExperimentResult& e : campaign.experiments) {
+    const std::size_t w = static_cast<std::size_t>(e.weight);
     if (e.cache_location) {
-      ++report.faults_cache_;
+      report.faults_cache_ += w;
     } else {
-      ++report.faults_registers_;
+      report.faults_registers_ += w;
     }
-    ++report.faults_total_;
+    report.faults_total_ += w;
   }
 
   auto make_row = [&](const std::string& label, auto&& predicate) {
@@ -41,12 +45,13 @@ CampaignReport CampaignReport::build(const fi::CampaignResult& campaign) {
     row.label = label;
     for (const fi::ExperimentResult& e : campaign.experiments) {
       if (!predicate(e)) continue;
+      const std::size_t w = static_cast<std::size_t>(e.weight);
       if (e.cache_location) {
-        ++row.cache.proportion.count;
+        row.cache.proportion.count += w;
       } else {
-        ++row.registers.proportion.count;
+        row.registers.proportion.count += w;
       }
-      ++row.total.proportion.count;
+      row.total.proportion.count += w;
     }
     row.cache.proportion.total = report.faults_cache_;
     row.registers.proportion.total = report.faults_registers_;
@@ -97,10 +102,11 @@ CampaignReport CampaignReport::build(const fi::CampaignResult& campaign) {
       }));
 
   for (const fi::ExperimentResult& e : campaign.experiments) {
-    ++report.outcome_totals_[static_cast<std::size_t>(e.outcome)];
-    if (is_severe(e.outcome)) ++report.severe_total_;
+    const std::size_t w = static_cast<std::size_t>(e.weight);
+    report.outcome_totals_[static_cast<std::size_t>(e.outcome)] += w;
+    if (is_severe(e.outcome)) report.severe_total_ += w;
     if (is_value_failure(e.outcome) && !is_severe(e.outcome)) {
-      ++report.minor_total_;
+      report.minor_total_ += w;
     }
   }
   return report;

@@ -19,8 +19,18 @@ namespace {
 bool is_leaf_phase(std::string_view name) {
   return name == "sample_faults" || name == "golden_run" || name == "claim" ||
          name == "setup" || name == "golden_replay" ||
+         name == "checkpoint_restore" || name == "residual_replay" ||
          name == "post_inject_run" || name == "classify" || name == "probe" ||
          name == "store";
+}
+
+/// Leaf phases that run on a per-worker track (everything except the
+/// campaign-level golden_run / sample_faults).  The tracks carrying these
+/// execute concurrently, so their count is the parallelism the share
+/// normalization must divide by.
+bool is_worker_phase(std::string_view name) {
+  return is_leaf_phase(name) && name != "sample_faults" &&
+         name != "golden_run";
 }
 
 std::string format_ms(double ns) {
@@ -73,6 +83,7 @@ std::optional<PhaseReport> PhaseReport::from_chrome_json(std::string_view text,
   // Gather per-phase durations (ts/dur are microseconds in trace_event).
   std::map<std::string, std::vector<double>> durations_ns;
   std::map<std::uint64_t, bool> tids;
+  std::map<std::uint64_t, bool> worker_tids;
   double hull_begin_ns = 0.0;
   double hull_end_ns = 0.0;
   bool have_hull = false;
@@ -97,6 +108,13 @@ std::optional<PhaseReport> PhaseReport::from_chrome_json(std::string_view text,
     const double begin_ns = ts->number * 1000.0;
     const double dur_ns = std::max(dur->number, 0.0) * 1000.0;
     durations_ns[name->string].push_back(dur_ns);
+    if (is_worker_phase(name->string)) {
+      const std::uint64_t worker_tid =
+          tid != nullptr && tid->is_number()
+              ? static_cast<std::uint64_t>(tid->number)
+              : 0;
+      worker_tids[worker_tid] = true;
+    }
     if (!have_hull || begin_ns < hull_begin_ns) hull_begin_ns = begin_ns;
     if (!have_hull || begin_ns + dur_ns > hull_end_ns) {
       hull_end_ns = begin_ns + dur_ns;
@@ -112,6 +130,8 @@ std::optional<PhaseReport> PhaseReport::from_chrome_json(std::string_view text,
     return std::nullopt;
   }
   report.track_count_ = tids.size();
+  report.worker_track_count_ =
+      std::max<std::uint64_t>(1, worker_tids.size());
 
   for (auto& [name, samples] : durations_ns) {
     PhaseStats stats;
@@ -169,15 +189,25 @@ std::string PhaseReport::render(std::string_view source) const {
   if (!wall_from_campaign_span_) {
     out += " (no campaign span; using the span hull)";
   }
+  if (worker_track_count_ > 1) {
+    out += ", ";
+    out += std::to_string(worker_track_count_);
+    out += " worker tracks (shares normalized by worker count)";
+  }
   out += "\n\n";
 
+  // Worker tracks run concurrently, so summed phase time can legitimately
+  // exceed wall time W-fold; the share denominator is the aggregate time
+  // budget wall * workers, which keeps every share (and their sum) <= 100%.
+  const double budget_ns =
+      wall_ns_ * static_cast<double>(worker_track_count_);
   util::Table table({"phase", "count", "total ms", "p50 ms", "p99 ms",
                      "% of wall"});
   for (std::size_t column = 1; column < 6; ++column) {
     table.set_align(column, util::Table::Align::kRight);
   }
   for (const PhaseStats& phase : phases_) {
-    const double share = wall_ns_ > 0.0 ? phase.total_ns / wall_ns_ : 0.0;
+    const double share = budget_ns > 0.0 ? phase.total_ns / budget_ns : 0.0;
     table.add_row({phase.name, std::to_string(phase.count),
                    format_ms(phase.total_ns), format_ms(phase.p50_ns),
                    format_ms(phase.p99_ns), format_pct(share)});
@@ -185,7 +215,7 @@ std::string PhaseReport::render(std::string_view source) const {
   out += table.render();
 
   const double accounted_share =
-      wall_ns_ > 0.0 ? accounted_ns_ / wall_ns_ : 0.0;
+      budget_ns > 0.0 ? accounted_ns_ / budget_ns : 0.0;
   out += "\naccounted lifecycle phases: ";
   out += format_ms(accounted_ns_);
   out += " ms = ";

@@ -42,11 +42,12 @@ class PhaseReport {
   bool wall_from_campaign_span() const { return wall_from_campaign_span_; }
 
   /// Sum over the experiment-lifecycle leaf phases (claim, setup,
-  /// golden_replay, post_inject_run, classify, probe, store, plus the
-  /// campaign-level golden_run and sample_faults).  Nested spans (inject,
-  /// target_reset) and service spans (http_request, control) are excluded
-  /// so the tiling does not double-count; with full sampling this sums to
-  /// within ~1% of wall_ns().
+  /// golden_replay, checkpoint_restore, residual_replay, post_inject_run,
+  /// classify, probe, store, plus the campaign-level golden_run and
+  /// sample_faults).  Nested spans (inject, target_reset) and service spans
+  /// (http_request, control) are excluded so the tiling does not
+  /// double-count; with full sampling this sums to within ~1% of wall_ns()
+  /// times worker_track_count().
   double accounted_ns() const { return accounted_ns_; }
 
   /// Golden-replay share of experiment execution:
@@ -58,6 +59,14 @@ class PhaseReport {
 
   std::uint64_t span_count() const { return span_count_; }
   std::uint64_t track_count() const { return track_count_; }
+
+  /// Distinct tracks carrying per-worker lifecycle spans (claim, setup,
+  /// ..., store).  Worker tracks run concurrently, so render() divides
+  /// every share by wall * worker_track_count() — the aggregate time
+  /// budget — instead of bare wall time; on a single-worker trace the two
+  /// denominators coincide.  At least 1 even for traces with no worker
+  /// spans, so it is always a valid divisor.
+  std::uint64_t worker_track_count() const { return worker_track_count_; }
   std::uint64_t dropped() const { return dropped_; }
   std::uint64_t sample_every() const { return sample_every_; }
 
@@ -75,6 +84,7 @@ class PhaseReport {
   double post_inject_ns_ = 0.0;
   std::uint64_t span_count_ = 0;
   std::uint64_t track_count_ = 0;
+  std::uint64_t worker_track_count_ = 1;
   std::uint64_t dropped_ = 0;
   std::uint64_t sample_every_ = 1;
 };

@@ -2,10 +2,13 @@
 
 namespace earl::fi {
 
+// Weighted counts: expanded rows all carry weight 1, so these stay plain
+// tallies there, while a collapsed (pruned) row stands for its whole
+// def/use class.
 std::size_t CampaignResult::count(analysis::Outcome outcome) const {
   std::size_t n = 0;
   for (const ExperimentResult& e : experiments) {
-    if (e.outcome == outcome) ++n;
+    if (e.outcome == outcome) n += static_cast<std::size_t>(e.weight);
   }
   return n;
 }
@@ -13,7 +16,9 @@ std::size_t CampaignResult::count(analysis::Outcome outcome) const {
 std::size_t CampaignResult::value_failures() const {
   std::size_t n = 0;
   for (const ExperimentResult& e : experiments) {
-    if (analysis::is_value_failure(e.outcome)) ++n;
+    if (analysis::is_value_failure(e.outcome)) {
+      n += static_cast<std::size_t>(e.weight);
+    }
   }
   return n;
 }
@@ -21,7 +26,7 @@ std::size_t CampaignResult::value_failures() const {
 std::size_t CampaignResult::severe_failures() const {
   std::size_t n = 0;
   for (const ExperimentResult& e : experiments) {
-    if (analysis::is_severe(e.outcome)) ++n;
+    if (analysis::is_severe(e.outcome)) n += static_cast<std::size_t>(e.weight);
   }
   return n;
 }

@@ -45,6 +45,21 @@ struct CampaignConfig {
 
   /// Worker threads for the experiment loop (0 = hardware concurrency).
   std::size_t workers = 0;
+
+  /// Checkpoint/restore injection: snapshot the golden run every N
+  /// iterations and start each experiment from the nearest checkpoint at or
+  /// before its injection time instead of replaying from reset (0 = off).
+  /// Results are bit-identical either way; ignored in detail mode and on
+  /// targets without checkpoint support.
+  std::size_t checkpoint_interval = 0;
+
+  /// Def/use fault-space pruning: collapse faults whose flipped bits share
+  /// the same next touch on the golden trace into one executed
+  /// representative per class, synthesizing the members' rows
+  /// (bit-identical to running them; see fi/defuse.hpp).  Ignored for
+  /// stuck-at faults, in detail mode, and on targets without touch
+  /// recording.
+  bool prune = false;
 };
 
 /// Result of the fault-free reference execution (Section 3.3.3: "a
@@ -70,6 +85,13 @@ struct ExperimentResult {
   std::size_t strong_count = 0;
   double max_deviation = 0.0;
 
+  /// Experiments this row stands for.  Always 1 in `experiments` (every
+  /// sampled fault gets its own row, synthesized or executed); a def/use
+  /// class size in the collapsed `representatives` view and in databases
+  /// saved from it.  Analysis sums weights, so both views summarize
+  /// identically.
+  std::uint64_t weight = 1;
+
   /// Architectural propagation path, captured for value failures when the
   /// runner has a propagation prober attached (detail mode). The capture is
   /// a separate passive re-execution — it never influences the fields above.
@@ -85,6 +107,13 @@ struct CampaignResult {
   /// True when the runner's stop flag drained the campaign early:
   /// `experiments` then holds the completed prefix of the sampled faults.
   bool interrupted = false;
+
+  /// Collapsed view when def/use pruning ran: one row per equivalence class
+  /// within the completed prefix, each weighted by its class size.  Weights
+  /// sum to experiments.size(); empty when pruning was off.
+  std::vector<ExperimentResult> representatives;
+  std::size_t prune_classes = 0;      // classes actually executed
+  std::size_t prune_synthesized = 0;  // rows synthesized from a class rep
 
   std::size_t count(analysis::Outcome outcome) const;
   std::size_t value_failures() const;

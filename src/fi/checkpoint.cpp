@@ -1,0 +1,23 @@
+#include "fi/checkpoint.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace earl::fi {
+
+void CheckpointStore::add(Checkpoint checkpoint) {
+  assert(checkpoints_.empty() || checkpoints_.back().time <= checkpoint.time);
+  checkpoints_.push_back(std::move(checkpoint));
+}
+
+const Checkpoint* CheckpointStore::nearest(std::uint64_t time) const {
+  // First checkpoint with .time > time; the one before it (if any) is the
+  // latest usable snapshot.
+  const auto after = std::upper_bound(
+      checkpoints_.begin(), checkpoints_.end(), time,
+      [](std::uint64_t t, const Checkpoint& cp) { return t < cp.time; });
+  if (after == checkpoints_.begin()) return nullptr;
+  return &*(after - 1);
+}
+
+}  // namespace earl::fi

@@ -1,0 +1,70 @@
+// Golden-run checkpointing for fault-injection campaigns.
+//
+// SCIFI experiments are dominated by the fault-free prefix: every run
+// replays the golden execution up to its sampled injection instruction
+// before anything interesting happens (PR 7's phase report shows
+// golden_replay eating most of the campaign wall time).  That prefix is
+// identical across experiments by construction — the fault model's first
+// observable effect IS the injection — so the runner snapshots the whole
+// closed-loop state (target machine, engine, last sensor sample, elapsed
+// time) at iteration boundaries during the golden run, and each experiment
+// restores the nearest checkpoint at or before its injection time and
+// replays only the residual prefix.
+//
+// Correctness argument: a checkpoint taken at iteration boundary k with
+// cumulative time T is byte-identical to the state a from-reset replay
+// reaches after k iterations (the golden run *is* that replay).  Restoring
+// it and running iterations k..end with the same inputs therefore produces
+// the same machine states, the same injection, and the same outcome —
+// campaign results are bit-identical with checkpointing on or off, which
+// the brute-force-vs-checkpointed test proves end to end.
+//
+// Checkpoints are immutable after the golden run completes; workers share
+// them read-only (Target::restore_checkpoint copies out of the snapshot),
+// so no synchronisation is needed on the store during the campaign.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fi/target.hpp"
+#include "plant/engine.hpp"
+
+namespace earl::fi {
+
+/// One golden-run snapshot at an iteration boundary: everything
+/// run_closed_loop needs to resume as if it had executed iterations
+/// [0, iteration) from reset.
+struct Checkpoint {
+  std::size_t iteration = 0;  // first iteration still to run
+  std::uint64_t time = 0;     // time units retired before `iteration`
+  std::uint64_t max_iteration_time = 0;  // prefix max (watchdog base)
+  plant::Engine engine;       // host-side environment state
+  float measurement = 0.0f;   // sensor sample feeding iteration `iteration`
+  std::shared_ptr<const TargetCheckpoint> target;  // machine snapshot
+};
+
+/// Append-only store of golden-run checkpoints ordered by time; after the
+/// golden run it is read-only and shared across workers.
+class CheckpointStore {
+ public:
+  /// Appends a checkpoint; must be called in nondecreasing time order
+  /// (the golden run naturally does).
+  void add(Checkpoint checkpoint);
+
+  bool empty() const { return checkpoints_.empty(); }
+  std::size_t size() const { return checkpoints_.size(); }
+  const Checkpoint& at(std::size_t index) const { return checkpoints_[index]; }
+
+  /// The latest checkpoint whose time is <= `time`, or null when the store
+  /// is empty or every checkpoint is later.  A campaign store always holds
+  /// the iteration-0 checkpoint (time 0), so lookups never miss there.
+  const Checkpoint* nearest(std::uint64_t time) const;
+
+ private:
+  std::vector<Checkpoint> checkpoints_;  // nondecreasing .time
+};
+
+}  // namespace earl::fi

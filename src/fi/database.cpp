@@ -14,6 +14,16 @@ util::CsvRow header_row() {
           "cache",       "outcome",     "edm",         "end_iteration",
           "detection_distance",
           "first_strong", "strong_count", "max_deviation", "propagation",
+          "campaign",    "seed",         "weight"};
+}
+
+// The pre-weight header (PR 3 .. PR 7): no trailing weight column.  Still
+// accepted by load(), weight defaulting to 1.
+util::CsvRow v2_header_row() {
+  return {"id",          "kind",        "time",        "bits",
+          "cache",       "outcome",     "edm",         "end_iteration",
+          "detection_distance",
+          "first_strong", "strong_count", "max_deviation", "propagation",
           "campaign",    "seed"};
 }
 
@@ -170,6 +180,7 @@ bool ResultDatabase::save(const std::string& path) const {
         propagation_field(e.propagation),
         campaign_name_,
         std::to_string(seed_),
+        std::to_string(e.weight),
     });
   }
   return util::csv_write_file(path, header_row(), rows);
@@ -183,10 +194,13 @@ std::optional<ResultDatabase> ResultDatabase::load(const std::string& path) {
   // engaged, empty database.
   if (rows.size() < 1) return std::nullopt;
   const bool legacy = rows[0] == legacy_header_row();
-  if (!legacy && rows[0] != header_row()) return std::nullopt;
+  const bool v2 = !legacy && rows[0] == v2_header_row();
+  if (!legacy && !v2 && rows[0] != header_row()) return std::nullopt;
   // Columns from detection_distance on sit one further right in the current
-  // format than in the legacy one.
+  // format than in the legacy one; the weight column (current format only)
+  // trails everything.
   const std::size_t shift = legacy ? 0 : 1;
+  const bool has_weight = !legacy && !v2;
   ResultDatabase db;
   for (std::size_t i = 1; i < rows.size(); ++i) {
     const util::CsvRow& row = rows[i];
@@ -221,6 +235,10 @@ std::optional<ResultDatabase> ResultDatabase::load(const std::string& path) {
     e.propagation = parse_propagation(row[11 + shift]);
     db.campaign_name_ = row[12 + shift];
     db.seed_ = std::strtoull(row[13 + shift].c_str(), nullptr, 10);
+    if (has_weight) {
+      e.weight = std::strtoull(row[14 + shift].c_str(), nullptr, 10);
+      if (e.weight == 0) e.weight = 1;  // a weightless row stands for itself
+    }
     db.experiments_.push_back(std::move(e));
   }
   return db;

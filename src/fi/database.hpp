@@ -40,9 +40,10 @@ class ResultDatabase {
   /// nullopt when the file cannot be read or is not a result database
   /// (wrong/missing header) — distinct from an engaged database with zero
   /// rows, which is what a valid empty campaign loads as.  Files saved
-  /// before the detection_distance column (PR 3) still load, with the
-  /// distance defaulting to 0.  Rows with the wrong column count or an
-  /// out-of-range enum value are skipped and counted, never cast blindly.
+  /// before the detection_distance column (PR 3) or the trailing weight
+  /// column (PR 8) still load, with the distance defaulting to 0 and the
+  /// weight to 1.  Rows with the wrong column count or an out-of-range
+  /// enum value are skipped and counted, never cast blindly.
   bool save(const std::string& path) const;
   static std::optional<ResultDatabase> load(const std::string& path);
 

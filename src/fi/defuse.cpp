@@ -1,0 +1,63 @@
+#include "fi/defuse.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <utility>
+
+namespace earl::fi {
+
+std::vector<TouchQuery> make_touch_queries(const std::vector<Fault>& faults) {
+  std::size_t total = 0;
+  for (const Fault& fault : faults) total += fault.bits.size();
+  std::vector<TouchQuery> queries;
+  queries.reserve(total);
+  for (const Fault& fault : faults) {
+    for (const std::size_t bit : fault.bits) {
+      TouchQuery query;
+      query.bit = bit;
+      query.time = fault.time;
+      queries.push_back(query);
+    }
+  }
+  return queries;
+}
+
+PrunePlan build_prune_plan(const std::vector<Fault>& faults,
+                           const std::vector<TouchQuery>& queries) {
+  PrunePlan plan;
+  plan.rep.resize(faults.size());
+  plan.untouched.assign(faults.size(), 0);
+
+  // Class key: the sorted (bit, next_touch) pairs of one fault.  Sorting
+  // makes the key independent of bit enumeration order; an ordered map
+  // keeps the grouping deterministic.
+  using Key = std::vector<std::pair<std::size_t, std::uint64_t>>;
+  std::map<Key, std::size_t> first_with_key;
+
+  std::size_t cursor = 0;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const std::size_t bits = faults[i].bits.size();
+    assert(cursor + bits <= queries.size());
+    Key key;
+    key.reserve(bits);
+    bool never_touched = bits > 0;
+    for (std::size_t b = 0; b < bits; ++b) {
+      const TouchQuery& query = queries[cursor + b];
+      key.emplace_back(query.bit, query.next_touch);
+      if (query.next_touch != kNoNextTouch) never_touched = false;
+    }
+    cursor += bits;
+    plan.untouched[i] = never_touched ? 1 : 0;
+    std::sort(key.begin(), key.end());
+    const auto [it, inserted] = first_with_key.emplace(std::move(key), i);
+    plan.rep[i] = it->second;
+  }
+  assert(cursor == queries.size());
+
+  plan.classes = first_with_key.size();
+  plan.synthesized = faults.size() - plan.classes;
+  return plan;
+}
+
+}  // namespace earl::fi

@@ -1,0 +1,80 @@
+// Def/use fault-space pruning (DETOx-style liveness collapsing).
+//
+// Two sampled faults that flip the same scan-chain bits at times t1 < t2
+// are provably equivalent when no instruction reads OR writes any of those
+// bits in [t1, t2): execution in that window is byte-identical to the
+// golden run either way (nothing observes the flips), so by t2 both runs
+// are in the same state — golden-with-bits-flipped — and everything
+// downstream (detection, detection instruction, outputs, final state,
+// classification) coincides.  Grouping by "per-bit next touch at or after
+// the injection time" captures exactly that: equal next-touch vectors mean
+// an untouched shared window.  Bits never touched again collapse into one
+// class per bit set too — both runs end as golden-plus-flip, a latent
+// fault either way.
+//
+// The campaign runs one representative per class (the lowest-index member,
+// so claims in index order always execute it first) and synthesizes the
+// other members' rows from the representative's: same outcome, EDM, end
+// iteration and deviation stats; detection distance shifted by the
+// injection-time difference (same absolute detection instruction).  The
+// synthesized rows are bit-identical to brute-force runs — the headline
+// test compares the two ResultDatabases byte for byte.
+//
+// Soundness of over-approximation: targets may report touch supersets
+// (e.g. whole-cache-line granularity for a data-cache access).  Extra
+// touches only split classes finer — never merge faults that differ — so
+// pruning stays exact, just less aggressive.  Stuck-at faults are excluded
+// by the runner (re-forcing the bits each iteration breaks the untouched-
+// window argument), as is detail mode (members never execute, so their
+// per-iteration records cannot be observed).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "fi/fault_model.hpp"
+#include "fi/target.hpp"
+
+namespace earl::fi {
+
+/// The collapse of a fault list into def/use equivalence classes.
+struct PrunePlan {
+  /// rep[i] is the index of fault i's class representative (the lowest
+  /// class index), rep[i] == i for representatives.  Empty when pruning is
+  /// inactive; indices past the end (extensions sampled after the plan was
+  /// built) are their own representatives.
+  std::vector<std::size_t> rep;
+  /// untouched[i] != 0 when every bit of fault i is never read or written
+  /// at or after its injection time (all next-touches are kNoNextTouch).
+  /// Such a fault is provably latent: execution stays byte-identical to the
+  /// golden run forever, so its row can be synthesized from the golden
+  /// outputs with zero execution.  Parallel to `rep`; empty when inactive.
+  std::vector<std::uint8_t> untouched;
+  std::size_t classes = 0;      // distinct representatives
+  std::size_t synthesized = 0;  // members whose rows are synthesized
+
+  bool active() const { return !rep.empty(); }
+  std::size_t rep_of(std::size_t index) const {
+    return index < rep.size() ? rep[index] : index;
+  }
+  bool is_member(std::size_t index) const { return rep_of(index) != index; }
+  bool is_untouched(std::size_t index) const {
+    return index < untouched.size() && untouched[index] != 0;
+  }
+};
+
+/// One TouchQuery per (bit, injection time) cell of the fault list, in
+/// fault order (fault i's bits contribute queries
+/// [sum of bits before i, +bits[i].size())).  Resolve with
+/// Target::begin_touch_recording + one golden replay, then feed back into
+/// build_prune_plan.
+std::vector<TouchQuery> make_touch_queries(const std::vector<Fault>& faults);
+
+/// Groups faults whose (bit set, per-bit next touch) signatures match.
+/// `queries` must be the resolved output of make_touch_queries(faults).
+/// Deterministic: depends only on the fault list and the golden trace.
+PrunePlan build_prune_plan(const std::vector<Fault>& faults,
+                           const std::vector<TouchQuery>& queries);
+
+}  // namespace earl::fi

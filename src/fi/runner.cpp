@@ -5,12 +5,15 @@
 #include <cassert>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "fi/defuse.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "util/bitops.hpp"
 #include "util/rng.hpp"
 
 namespace earl::fi {
@@ -22,6 +25,60 @@ std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - since)
           .count());
+}
+
+/// A def/use class member's row, synthesized from its representative's.
+/// Equivalence (see fi/defuse.hpp) makes every field coincide except the
+/// identity ones and the detection distance: both runs detect at the same
+/// absolute instruction, so the injection->detection distance shifts by
+/// the injection-time difference.  The shift is provably non-negative —
+/// detection happens at or after the bits' next touch, which is at or
+/// after the member's injection time.
+ExperimentResult synthesize_member(const ExperimentResult& rep,
+                                   const Fault& rep_fault, const Fault& fault,
+                                   std::uint64_t id) {
+  ExperimentResult out = rep;
+  out.id = id;
+  out.fault = fault;
+  out.weight = 1;
+  if (out.outcome == analysis::Outcome::kDetected) {
+    out.detection_distance = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(rep.detection_distance) +
+        static_cast<std::int64_t>(rep_fault.time) -
+        static_cast<std::int64_t>(fault.time));
+  }
+  // The propagation record is re-probed per fault by the caller.
+  out.propagation.reset();
+  return out;
+}
+
+/// The row of a fault whose every bit is never read or written again
+/// (PrunePlan::is_untouched), synthesized with zero execution.  Such a run
+/// is byte-identical to the golden run — nothing ever observes the flipped
+/// bits — so it completes the full horizon with golden outputs, and its
+/// final observable state differs from the golden state by exactly the
+/// flipped bits (a bit-flip always toggles): a latent fault, field for
+/// field what the brute-force run produces.  Only valid when the watchdog
+/// budget admits the golden run's own iterations (the caller gates on
+/// that), and never for stuck-at faults (excluded from pruning entirely).
+ExperimentResult synthesize_latent(const Fault& fault, std::uint64_t id,
+                                   const GoldenRun& golden,
+                                   std::uint64_t register_bits,
+                                   const CampaignConfig& config) {
+  ExperimentResult out;
+  out.id = id;
+  out.fault = fault;
+  out.cache_location = fault.bits[0] >= register_bits;
+  out.end_iteration = config.iterations;
+  const analysis::DeviationStats stats = analysis::deviation_stats(
+      golden.outputs, golden.outputs, config.classify);
+  out.outcome = analysis::classify_outputs(golden.outputs, golden.outputs,
+                                           /*state_identical=*/false,
+                                           config.classify);
+  out.first_strong = stats.first_strong;
+  out.strong_count = stats.strong_count;
+  out.max_deviation = stats.max_deviation;
+  return out;
 }
 
 }  // namespace
@@ -36,26 +93,72 @@ struct CampaignRunner::IterationTap {
 
 CampaignRunner::ClosedLoop CampaignRunner::run_closed_loop(
     Target& target, const Fault* fault, std::uint64_t iteration_budget,
-    const IterationTap* tap, obs::SpanTrack* track) const {
+    const IterationTap* tap, obs::SpanTrack* track,
+    const LoopCheckpoints* checkpoints) const {
   ClosedLoop loop;
   loop.outputs.reserve(config_.iterations);
 
+  CheckpointStore* capture =
+      checkpoints != nullptr ? checkpoints->capture : nullptr;
+  const Checkpoint* resume =
+      checkpoints != nullptr ? checkpoints->resume : nullptr;
+  const CheckpointStore* converge =
+      checkpoints != nullptr ? checkpoints->converge : nullptr;
+  const std::vector<float>* golden_out =
+      checkpoints != nullptr ? checkpoints->golden_outputs : nullptr;
+  // Reconvergence tracking: outputs must stay bit-equal to the golden
+  // run's for the early exit to be sound (equal outputs pin the host-side
+  // engine/sensor state to the golden trajectory, so only the target's
+  // machine state needs comparing at a boundary).  A resumed run's
+  // prefilled prefix is the golden prefix, so it starts clean.
+  bool outputs_clean = true;
+
   const std::int64_t setup_begin = track != nullptr ? track->now() : 0;
-  target.reset();
-  target.set_iteration_budget(iteration_budget);
-  if (fault != nullptr) target.arm(*fault);
+  plant::Engine engine(config_.engine);
+  float y = 0.0f;
+  std::size_t start_k = 0;
+  if (resume != nullptr) {
+    // Resume from the golden snapshot: restore the machine, copy the
+    // host-side loop state, and prefill the skipped iterations' outputs
+    // from the golden run (they are bit-identical to what replaying them
+    // would produce — the golden run IS that replay).
+    target.restore_checkpoint(*resume->target);
+    target.set_iteration_budget(iteration_budget);
+    if (fault != nullptr) target.arm(*fault);
+    engine = resume->engine;
+    y = resume->measurement;
+    start_k = resume->iteration;
+    assert(checkpoints->golden_outputs != nullptr &&
+           checkpoints->golden_outputs->size() >= start_k);
+    loop.outputs.assign(checkpoints->golden_outputs->begin(),
+                        checkpoints->golden_outputs->begin() +
+                            static_cast<std::ptrdiff_t>(start_k));
+    loop.total_time = resume->time;
+    loop.max_iteration_time = resume->max_iteration_time;
+  } else {
+    target.reset();
+    target.set_iteration_budget(iteration_budget);
+    if (fault != nullptr) target.arm(*fault);
+    y = static_cast<float>(engine.speed());
+  }
   std::int64_t run_begin = 0;
   if (track != nullptr) {
     run_begin = track->now();
-    track->emit(obs::SpanPhase::kSetup, setup_begin, run_begin);
+    track->emit(resume != nullptr ? obs::SpanPhase::kCheckpointRestore
+                                  : obs::SpanPhase::kSetup,
+                setup_begin, run_begin);
   }
   // Golden-replay vs post-inject attribution: the target injects inside
   // the iterate whose cumulative time units cross fault->time, so a
   // private accumulator (ClosedLoop::total_time excludes the detecting
   // iterate) finds the boundary with one compare per iteration — clock
-  // reads happen only at the crossing and at the ends.
+  // reads happen only at the crossing and at the ends.  On a resumed run
+  // the pre-inject phase is the residual replay (checkpoint -> injection).
   const bool split = track != nullptr && fault != nullptr;
-  std::uint64_t traced_time = 0;
+  const obs::SpanPhase replay_phase = resume != nullptr
+                                          ? obs::SpanPhase::kResidualReplay
+                                          : obs::SpanPhase::kGoldenReplay;
+  std::uint64_t traced_time = resume != nullptr ? resume->time : 0;
   bool crossed = false;
   std::int64_t inject_ts = 0;
   const auto note_iteration = [&](std::uint64_t elapsed) {
@@ -64,7 +167,7 @@ CampaignRunner::ClosedLoop CampaignRunner::run_closed_loop(
     if (traced_time > fault->time) {
       crossed = true;
       inject_ts = track->now();
-      track->emit(obs::SpanPhase::kGoldenReplay, run_begin, inject_ts);
+      track->emit(replay_phase, run_begin, inject_ts);
     }
   };
   const auto finish_run_span = [&] {
@@ -75,13 +178,54 @@ CampaignRunner::ClosedLoop CampaignRunner::run_closed_loop(
     } else {
       // The whole run stayed on the golden prefix (injection time beyond
       // the executed window).
-      track->emit(obs::SpanPhase::kGoldenReplay, run_begin, end_ts);
+      track->emit(replay_phase, run_begin, end_ts);
     }
   };
 
-  plant::Engine engine(config_.engine);
-  float y = static_cast<float>(engine.speed());
-  for (std::size_t k = 0; k < config_.iterations; ++k) {
+  for (std::size_t k = start_k; k < config_.iterations; ++k) {
+    if (capture != nullptr && config_.checkpoint_interval > 0 &&
+        k % config_.checkpoint_interval == 0) {
+      Checkpoint cp;
+      cp.iteration = k;
+      cp.time = loop.total_time;
+      cp.max_iteration_time = loop.max_iteration_time;
+      cp.engine = engine;
+      cp.measurement = y;
+      cp.target = target.capture_checkpoint();
+      capture->add(std::move(cp));
+    }
+    // Reconvergence early exit: at a golden checkpoint boundary past the
+    // injection point, a run whose outputs are all bit-equal to the golden
+    // run's and whose machine state is bit-identical to the golden snapshot
+    // is on the golden trajectory in every state the remaining iterations
+    // can read — the tail it would execute IS the golden tail.  Copy it in
+    // verbatim and finish.  matches_checkpoint() additionally requires the
+    // fault to be a spent transient (injected, not stuck-at), so nothing
+    // can diverge the synthesized remainder.
+    if (converge != nullptr && fault != nullptr && outputs_clean &&
+        config_.checkpoint_interval > 0 && k > start_k &&
+        k % config_.checkpoint_interval == 0 &&
+        loop.total_time > fault->time) {
+      const std::size_t idx = k / config_.checkpoint_interval;
+      if (idx < converge->size()) {
+        const Checkpoint& cp = converge->at(idx);
+        if (cp.iteration == k && cp.target != nullptr &&
+            target.matches_checkpoint(*cp.target)) {
+          assert(golden_out != nullptr && golden_out->size() >= k);
+          loop.outputs.insert(
+              loop.outputs.end(),
+              golden_out->begin() + static_cast<std::ptrdiff_t>(k),
+              golden_out->end());
+          loop.end_iteration = config_.iterations;
+          loop.converged = true;
+          if (checkpoints->converge_exits != nullptr) {
+            checkpoints->converge_exits->add(1);
+          }
+          finish_run_span();
+          return loop;
+        }
+      }
+    }
     const double t = plant::iteration_time(k);
     const float r = plant::reference_speed(t, config_.signals);
     const IterationOutcome step = target.iterate(r, y);
@@ -114,6 +258,13 @@ CampaignRunner::ClosedLoop CampaignRunner::run_closed_loop(
       record.elapsed = step.elapsed;
       tap->observer->on_iteration(tap->worker, record);
     }
+    if (converge != nullptr && outputs_clean) {
+      // Bit compare, not ==: -0.0f must not pass for +0.0f (the synthesized
+      // tail claims bit-identical outputs).
+      outputs_clean = k < golden_out->size() &&
+                      util::float_to_bits(step.output) ==
+                          util::float_to_bits((*golden_out)[k]);
+    }
     loop.outputs.push_back(step.output);
     loop.total_time += step.elapsed;
     loop.max_iteration_time = std::max(loop.max_iteration_time, step.elapsed);
@@ -124,25 +275,49 @@ CampaignRunner::ClosedLoop CampaignRunner::run_closed_loop(
   return loop;
 }
 
+std::uint64_t scaled_watchdog_budget(std::uint64_t max_iteration_time,
+                                     double factor) {
+  if (factor <= 0.0) return 1;
+  // The factor keeps 16 fractional bits; the product runs in 128 bits, so
+  // no intermediate ever rounds (a double round-trip of the time loses
+  // precision above 2^53).  2^48 caps the fixed-point factor so the cast
+  // below cannot overflow even after the << 16.
+  constexpr unsigned kShift = 16;
+  constexpr double kMaxFactor = 281474976710656.0;  // 2^48
+  const double fixed_factor = factor * static_cast<double>(1u << kShift);
+  if (fixed_factor >= kMaxFactor) return ~std::uint64_t{0};
+  const unsigned __int128 product =
+      static_cast<unsigned __int128>(
+          static_cast<std::uint64_t>(fixed_factor)) *
+      max_iteration_time;
+  const unsigned __int128 budget = product >> kShift;
+  if (budget > static_cast<unsigned __int128>(~std::uint64_t{0})) {
+    return ~std::uint64_t{0};
+  }
+  return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(budget));
+}
+
 std::uint64_t CampaignRunner::watchdog_budget(const GoldenRun& golden) const {
-  return std::max<std::uint64_t>(
-      1, static_cast<std::uint64_t>(
-             static_cast<double>(golden.max_iteration_time) *
-             config_.watchdog_factor));
+  return scaled_watchdog_budget(golden.max_iteration_time,
+                                config_.watchdog_factor);
 }
 
 GoldenRun CampaignRunner::run_golden(Target& target,
-                                     obs::CampaignObserver* observer) const {
+                                     obs::CampaignObserver* observer,
+                                     CheckpointStore* capture) const {
   IterationTap tap;
   const bool detail = observer != nullptr && observer->wants_iterations();
   if (detail) {
     target.set_detail(true);
     tap.observer = observer;
   }
+  LoopCheckpoints hooks;
+  hooks.capture = capture;
   // An unconstrained budget for the reference run; the real watchdog value
   // derives from what this run measures.
   ClosedLoop loop = run_closed_loop(target, nullptr, std::uint64_t{1} << 32,
-                                    detail ? &tap : nullptr);
+                                    detail ? &tap : nullptr, nullptr,
+                                    capture != nullptr ? &hooks : nullptr);
   GoldenRun golden;
   golden.outputs = std::move(loop.outputs);
   golden.total_time = loop.total_time;
@@ -187,7 +362,8 @@ ExperimentResult CampaignRunner::run_experiment(
     Target& target, const Fault& fault, std::uint64_t id,
     const GoldenRun& golden, std::uint64_t register_bits,
     obs::CampaignObserver* observer, std::size_t worker,
-    obs::SpanTrack* track) const {
+    obs::SpanTrack* track, const Checkpoint* resume,
+    const CheckpointStore* converge, obs::Counter* converge_exits) const {
   ExperimentResult result;
   result.id = id;
   result.fault = fault;
@@ -201,9 +377,14 @@ ExperimentResult CampaignRunner::run_experiment(
     tap.experiment = id;
     tap.golden_outputs = &golden.outputs;
   }
-  const ClosedLoop loop = run_closed_loop(target, &fault,
-                                          watchdog_budget(golden),
-                                          detail ? &tap : nullptr, track);
+  LoopCheckpoints hooks;
+  hooks.resume = resume;
+  hooks.golden_outputs = &golden.outputs;
+  hooks.converge = converge;
+  hooks.converge_exits = converge_exits;
+  const ClosedLoop loop = run_closed_loop(
+      target, &fault, watchdog_budget(golden), detail ? &tap : nullptr, track,
+      resume != nullptr || converge != nullptr ? &hooks : nullptr);
   result.end_iteration = loop.end_iteration;
   if (loop.detected) {
     result.outcome = analysis::Outcome::kDetected;
@@ -213,7 +394,11 @@ ExperimentResult CampaignRunner::run_experiment(
   }
 
   const std::int64_t classify_begin = track != nullptr ? track->now() : 0;
-  const bool state_identical = target.observable_state() == golden.final_state;
+  // A converged run's final state is known (golden at the exit boundary,
+  // executing the golden tail lands on the golden final state) without
+  // asking the target, whose machine was left at the exit boundary.
+  const bool state_identical =
+      loop.converged || target.observable_state() == golden.final_state;
   const analysis::DeviationStats stats =
       analysis::deviation_stats(golden.outputs, loop.outputs,
                                 config_.classify);
@@ -277,13 +462,34 @@ CampaignResult CampaignRunner::run(const TargetFactory& factory,
     observer->on_campaign_start(config_, info);
   }
 
+  // Checkpoint/restore and def/use pruning are disabled in detail mode:
+  // restored runs skip the checkpointed prefix's iterations and synthesized
+  // members never execute at all, so neither can deliver the per-iteration
+  // records detail mode promises.
+  const bool detail = observer != nullptr && observer->wants_iterations();
+  CheckpointStore checkpoint_store;
+  const bool use_checkpoints = config_.checkpoint_interval > 0 && !detail &&
+                               probe->supports_checkpoints();
+
   {
     const obs::ScopedSpan golden_span(campaign_track,
                                       obs::SpanPhase::kGoldenRun);
-    result.golden = run_golden(*probe, observer);
+    result.golden = run_golden(*probe, observer,
+                               use_checkpoints ? &checkpoint_store : nullptr);
   }
   if (observer != nullptr) observer->on_golden_done(result.golden);
-  const bool detail = observer != nullptr && observer->wants_iterations();
+  // Every shortcut below — checkpoint restore, untouched-latent rows, the
+  // reconvergence early exit — claims some golden-identical iterations run
+  // to completion without a detection.  With a watchdog budget below the
+  // golden maximum that claim is false (even golden-identical iterations
+  // trip the watchdog), so all shortcuts are disabled and every experiment
+  // executes in full from reset.
+  const bool synth_safe =
+      watchdog_budget(result.golden) >= result.golden.max_iteration_time;
+  const CheckpointStore* checkpoints =
+      use_checkpoints && synth_safe && !checkpoint_store.empty()
+          ? &checkpoint_store
+          : nullptr;
 
   // Shared work queue.  The fault list can grow mid-campaign (controller
   // extend), so claims, result stores and growth all happen under one
@@ -295,6 +501,14 @@ CampaignResult CampaignRunner::run(const TargetFactory& factory,
     std::mutex mutex;
     std::vector<Fault> faults;
     std::vector<ExperimentResult> results;
+    /// done[i]: results[i] is stored.  Only consulted under pruning, where
+    /// a synthesized member must wait for its class representative (always
+    /// claimed first — representatives have the lowest class index and
+    /// claims go in index order, so the wait is only ever for an in-flight
+    /// experiment, which completes unconditionally; no deadlock with
+    /// pause/stop, whose checks precede claims).
+    std::vector<std::uint8_t> done;
+    std::condition_variable rep_done;
     std::size_t next = 0;
     util::Rng rng;
     explicit WorkQueue(std::uint64_t seed) : rng(seed) {}
@@ -313,6 +527,32 @@ CampaignResult CampaignRunner::run(const TargetFactory& factory,
                                           time_space, queue.rng));
     }
     queue.results.resize(queue.faults.size());
+    queue.done.resize(queue.faults.size(), 0);
+  }
+
+  // Def/use pruning: resolve every sampled (bit, time) cell's next touch
+  // with one recorded golden replay, then collapse equivalent faults.
+  // Stuck-at faults are excluded (re-forcing the bits every iteration
+  // breaks the untouched-window equivalence argument), as are extensions
+  // sampled after this point (they run unpruned, preserving the
+  // extend-vs-fresh bit-identity of the expanded rows).  A sub-golden
+  // watchdog budget disables pruning too: the member-synthesis
+  // detection-distance shift assumes detections track the injection time,
+  // but a prefix watchdog trip lands at a fault-independent iteration.
+  PrunePlan plan;
+  if (config_.prune && synth_safe && !detail &&
+      !is_stuck_at(config_.fault.kind) && !queue.faults.empty()) {
+    std::vector<TouchQuery> queries = make_touch_queries(queue.faults);
+    if (probe->begin_touch_recording(&queries)) {
+      {
+        // The recorded replay is a second golden run; account it as one.
+        const obs::ScopedSpan defuse_span(campaign_track,
+                                          obs::SpanPhase::kGoldenRun);
+        run_closed_loop(*probe, nullptr, std::uint64_t{1} << 32);
+      }
+      probe->end_touch_recording();
+      plan = build_prune_plan(queue.faults, queries);
+    }
   }
 
   std::vector<obs::SpanTrack*> worker_tracks(workers, nullptr);
@@ -327,12 +567,45 @@ CampaignResult CampaignRunner::run(const TargetFactory& factory,
   // series contention regressions show up in first.  Resolved once so the
   // claim path never touches the registry's name map.
   obs::Histogram* claim_latency = nullptr;
+  obs::Counter* checkpoint_restores = nullptr;
+  obs::Counter* checkpoint_saved = nullptr;
+  obs::Counter* converge_exits = nullptr;
+  obs::Counter* prune_untouched = nullptr;
   if (metrics_ != nullptr) {
     metrics_->set_help("earl.claim_latency_ns",
                        "Experiment-claim latency (queue mutex + fault "
                        "sampling), nanoseconds.");
     claim_latency =
         &metrics_->histogram("earl.claim_latency_ns", obs::latency_ns_bounds());
+    metrics_->set_help("earl.checkpoint_captures",
+                       "Golden-run checkpoints captured this campaign.");
+    metrics_->set_help("earl.checkpoint_restores",
+                       "Experiments started from a restored checkpoint.");
+    metrics_->set_help("earl.checkpoint_instructions_saved",
+                       "Golden-prefix time units skipped via checkpoint "
+                       "restore (sum over experiments).");
+    metrics_->set_help("earl.prune_classes",
+                       "Def/use equivalence classes in the initial fault "
+                       "list (each runs once).");
+    metrics_->set_help("earl.prune_synthesized",
+                       "Fault-list members whose results are synthesized "
+                       "from their class representative.");
+    metrics_->set_help("earl.checkpoint_converge_exits",
+                       "Experiments ended early at a golden checkpoint "
+                       "boundary they had provably reconverged to.");
+    metrics_->set_help("earl.prune_untouched",
+                       "Never-touched faults whose latent rows were "
+                       "synthesized with zero execution.");
+    metrics_->counter("earl.checkpoint_captures").add(checkpoint_store.size());
+    checkpoint_restores = &metrics_->counter("earl.checkpoint_restores");
+    checkpoint_saved =
+        &metrics_->counter("earl.checkpoint_instructions_saved");
+    converge_exits = &metrics_->counter("earl.checkpoint_converge_exits");
+    prune_untouched = &metrics_->counter("earl.prune_untouched");
+    if (plan.active()) {
+      metrics_->counter("earl.prune_classes").add(plan.classes);
+      metrics_->counter("earl.prune_synthesized").add(plan.synthesized);
+    }
   }
 
   // Claims the next experiment, applying any pending extension first.
@@ -355,6 +628,7 @@ CampaignResult CampaignRunner::run(const TargetFactory& factory,
                                                 queue.rng));
           }
           queue.results.resize(queue.faults.size());
+          queue.done.resize(queue.faults.size(), 0);
           if (observer != nullptr) {
             observer->on_campaign_extended(w, queue.faults.size());
           }
@@ -412,9 +686,47 @@ CampaignResult CampaignRunner::run(const TargetFactory& factory,
         mine.set_span_track(track);
       }
       const auto started = std::chrono::steady_clock::now();
-      ExperimentResult experiment =
-          run_experiment(mine, fault, i, result.golden,
-                         result.register_partition_bits, observer, w, track);
+      ExperimentResult experiment;
+      if (plan.is_member(i)) {
+        // Synthesized member: copy the class representative's result.  The
+        // rep has a lower index, so it was claimed strictly earlier; wait
+        // only for its in-flight run to store.  Copies happen under the
+        // mutex — extensions may reallocate the vectors.
+        const std::size_t rep = plan.rep_of(i);
+        ExperimentResult rep_result;
+        Fault rep_fault;
+        {
+          std::unique_lock<std::mutex> lock(queue.mutex);
+          queue.rep_done.wait(lock, [&] { return queue.done[rep] != 0; });
+          rep_result = queue.results[rep];
+          rep_fault = queue.faults[rep];
+        }
+        experiment = synthesize_member(rep_result, rep_fault, fault, i);
+        // Re-probe with the member's own fault so the (passive) propagation
+        // record matches the member, not the rep.
+        if (prober_ && analysis::is_value_failure(experiment.outcome)) {
+          const obs::ScopedSpan probe_span(track, obs::SpanPhase::kProbe);
+          experiment.propagation = prober_(fault);
+        }
+      } else if (plan.is_untouched(i)) {
+        // A fault no instruction ever observes again: its latent row is
+        // known without running anything (see synthesize_latent).
+        experiment = synthesize_latent(fault, i, result.golden,
+                                       result.register_partition_bits,
+                                       config_);
+        if (prune_untouched != nullptr) prune_untouched->add(1);
+      } else {
+        const Checkpoint* resume =
+            checkpoints != nullptr ? checkpoints->nearest(fault.time)
+                                   : nullptr;
+        if (resume != nullptr) {
+          if (checkpoint_restores != nullptr) checkpoint_restores->add(1);
+          if (checkpoint_saved != nullptr) checkpoint_saved->add(resume->time);
+        }
+        experiment = run_experiment(
+            mine, fault, i, result.golden, result.register_partition_bits,
+            observer, w, track, resume, checkpoints, converge_exits);
+      }
       const std::int64_t store_begin = track != nullptr ? track->now() : 0;
       if (observer != nullptr) {
         observer->on_experiment_done(w, experiment, elapsed_ns(started));
@@ -422,7 +734,9 @@ CampaignResult CampaignRunner::run(const TargetFactory& factory,
       {
         const std::lock_guard<std::mutex> lock(queue.mutex);
         queue.results[i] = std::move(experiment);
+        queue.done[i] = 1;
       }
+      if (plan.active()) queue.rep_done.notify_all();
       if (track != nullptr) {
         track->emit(obs::SpanPhase::kStore, store_begin, track->now());
       }
@@ -455,6 +769,24 @@ CampaignResult CampaignRunner::run(const TargetFactory& factory,
   // Reflect live extensions so reports match a campaign configured this
   // large from the start.
   result.config.experiments = total;
+  if (plan.active()) {
+    // Collapsed view: one row per class within the completed prefix, each
+    // weighted by how many sampled faults it stands for (extensions and
+    // unfinished members stay singletons/absent; rep_of(i) <= i keeps
+    // every referenced representative inside the prefix).
+    std::vector<std::uint64_t> weights(completed, 0);
+    for (std::size_t i = 0; i < completed; ++i) {
+      ++weights[plan.rep_of(i)];
+    }
+    for (std::size_t i = 0; i < completed; ++i) {
+      if (plan.rep_of(i) != i) continue;
+      ExperimentResult rep = result.experiments[i];
+      rep.weight = weights[i];
+      result.representatives.push_back(std::move(rep));
+    }
+    result.prune_classes = result.representatives.size();
+    result.prune_synthesized = completed - result.representatives.size();
+  }
   if (observer != nullptr) observer->on_campaign_end(result);
   if (campaign_track != nullptr) {
     campaign_track->emit(obs::SpanPhase::kCampaign, campaign_begin,

@@ -35,12 +35,14 @@
 #include <memory>
 
 #include "fi/campaign.hpp"
+#include "fi/checkpoint.hpp"
 #include "fi/controller.hpp"
 #include "fi/target.hpp"
 #include "obs/observer.hpp"
 #include "plant/environment.hpp"
 
 namespace earl::obs {
+class Counter;
 class MetricsRegistry;
 class SpanTracer;
 class SpanTrack;
@@ -49,6 +51,13 @@ class SpanTrack;
 namespace earl::fi {
 
 using TargetFactory = std::function<std::unique_ptr<Target>()>;
+
+/// Watchdog budget scaling in integer fixed point: floor(time * factor)
+/// with 16 fractional bits for the factor, computed in 128-bit so budgets
+/// above 2^53 time units stay exact (a double round-trip silently rounds
+/// them), saturating at UINT64_MAX and never returning less than 1.
+std::uint64_t scaled_watchdog_budget(std::uint64_t max_iteration_time,
+                                     double factor);
 
 class CampaignRunner {
  public:
@@ -102,8 +111,12 @@ class CampaignRunner {
   /// Reference execution only (also useful for Figure 3/4/5 traces).
   /// `observer`, when non-null and iteration-hungry, receives golden-run
   /// IterationRecords (experiment == obs::kGoldenExperimentId) on worker 0.
+  /// `capture`, when non-null, collects a checkpoint at every
+  /// checkpoint_interval iteration boundary (iteration 0 included), which
+  /// run() hands to experiments for restore-instead-of-replay injection.
   GoldenRun run_golden(Target& target,
-                       obs::CampaignObserver* observer = nullptr) const;
+                       obs::CampaignObserver* observer = nullptr,
+                       CheckpointStore* capture = nullptr) const;
 
   /// Re-runs a single already-sampled fault and returns the full output
   /// series (truncated at the detection point when detected early).
@@ -131,18 +144,45 @@ class CampaignRunner {
     std::size_t end_iteration = 0;
     std::uint64_t total_time = 0;          // summed iteration time units
     std::uint64_t max_iteration_time = 0;  // watchdog base
+    /// The run ended early at a golden checkpoint boundary it had provably
+    /// reconverged to (see LoopCheckpoints::converge): the outputs hold the
+    /// golden tail verbatim and the final machine state is known to equal
+    /// the golden run's without executing the remainder.
+    bool converged = false;
   };
   /// Detail-mode sink for run_closed_loop: where to send IterationRecords
   /// and what to compare outputs against. Null tap = no per-iteration work.
   struct IterationTap;
+  /// Checkpoint hooks for run_closed_loop.  `capture` (golden run only):
+  /// snapshot the full closed-loop state at every checkpoint_interval
+  /// iteration boundary.  `resume` (experiments): restore that state
+  /// instead of resetting, prefill the skipped iterations' outputs from
+  /// `golden_outputs` (bit-identical to replaying them — the golden run is
+  /// that replay), and run only the residual iterations.
+  /// `converge` (experiments): at every golden checkpoint boundary past the
+  /// injection point, test whether the run has reconverged to the golden
+  /// execution (all outputs so far bit-equal and the target's state
+  /// bit-equal to the golden snapshot); if so, the remaining iterations are
+  /// provably identical to the golden tail, which is copied in verbatim and
+  /// the run ends early.
+  struct LoopCheckpoints {
+    CheckpointStore* capture = nullptr;
+    const Checkpoint* resume = nullptr;
+    const std::vector<float>* golden_outputs = nullptr;
+    const CheckpointStore* converge = nullptr;
+    obs::Counter* converge_exits = nullptr;  // bumped on each early exit
+  };
   /// `track`, when non-null, receives setup and golden-replay/post-inject
   /// spans; the replay/post-inject boundary is located by the iteration
   /// whose cumulative time units cross the fault's injection time (one
-  /// integer compare per iteration when traced, nothing when not).
+  /// integer compare per iteration when traced, nothing when not).  On a
+  /// resumed run the phases become checkpoint_restore / residual_replay.
   ClosedLoop run_closed_loop(Target& target, const Fault* fault,
                              std::uint64_t iteration_budget,
                              const IterationTap* tap = nullptr,
-                             obs::SpanTrack* track = nullptr) const;
+                             obs::SpanTrack* track = nullptr,
+                             const LoopCheckpoints* checkpoints = nullptr)
+      const;
 
   /// Watchdog budget for faulty runs, derived from the golden run.
   std::uint64_t watchdog_budget(const GoldenRun& golden) const;
@@ -155,12 +195,22 @@ class CampaignRunner {
   LocationBounds location_bounds(std::uint64_t fault_space_bits,
                                  std::uint64_t register_bits) const;
 
+  /// `resume`, when non-null, starts the experiment from that golden-run
+  /// checkpoint (its time must be <= fault.time) instead of from reset.
+  /// `converge`, when non-null, enables reconvergence early exit against
+  /// the golden checkpoint store (see LoopCheckpoints::converge); only
+  /// valid when the watchdog budget is at least the golden max iteration
+  /// time, else a synthesized tail could mask a watchdog trip.
   ExperimentResult run_experiment(Target& target, const Fault& fault,
                                   std::uint64_t id, const GoldenRun& golden,
                                   std::uint64_t register_bits,
                                   obs::CampaignObserver* observer = nullptr,
                                   std::size_t worker = 0,
-                                  obs::SpanTrack* track = nullptr) const;
+                                  obs::SpanTrack* track = nullptr,
+                                  const Checkpoint* resume = nullptr,
+                                  const CheckpointStore* converge = nullptr,
+                                  obs::Counter* converge_exits =
+                                      nullptr) const;
 
   bool stop_requested() const {
     return controller_ != nullptr && controller_->stop_requested();

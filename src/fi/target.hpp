@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -32,6 +33,32 @@ class SpanTrack;
 }  // namespace earl::obs
 
 namespace earl::fi {
+
+/// Opaque snapshot of a target's complete execution state (machine, caches,
+/// retired-instruction count), captured during the golden run and restored
+/// at the start of later experiments so they replay only the residual
+/// prefix up to their injection point.  Concrete targets subclass this;
+/// snapshots are shared read-only between workers, so restoring must copy.
+struct TargetCheckpoint {
+  virtual ~TargetCheckpoint() = default;
+};
+
+/// Sentinel for a TouchQuery that is never resolved: the bit is neither
+/// read nor written at or after the queried time.
+inline constexpr std::uint64_t kNoNextTouch = ~std::uint64_t{0};
+
+/// One def/use liveness question over the golden trace: "when is scan-chain
+/// bit `bit` next read or written at or after dynamic time `time`?".  The
+/// runner batches one query per sampled (bit, time) cell and resolves them
+/// all in a single recorded golden replay; two faults whose bits share the
+/// same answers are provably equivalent (nothing observes the flipped bits
+/// between the two injection points), which is what def/use pruning
+/// collapses.
+struct TouchQuery {
+  std::size_t bit = 0;
+  std::uint64_t time = 0;
+  std::uint64_t next_touch = kNoNextTouch;
+};
 
 /// Per-iteration facts captured only in detail mode (GOOFI's detail mode,
 /// surfaced through obs::CampaignObserver::on_iteration).  All fields are
@@ -108,6 +135,53 @@ class Target {
   /// detail, emitting spans must never change any observable behaviour.
   /// Targets without instrumentation ignore it.
   virtual void set_span_track(obs::SpanTrack* track) { (void)track; }
+
+  /// Checkpoint/restore (PR 8).  A target that can snapshot and restore its
+  /// complete execution state opts in by returning true here; the runner
+  /// then captures checkpoints during the golden run and starts experiments
+  /// from the nearest checkpoint at or before the injection time instead of
+  /// replaying the whole fault-free prefix.  Targets that keep the default
+  /// are simply run brute-force — correctness never depends on support.
+  virtual bool supports_checkpoints() const { return false; }
+
+  /// Snapshot of the full current state, valid to restore on any target
+  /// instance of the same concrete type running the same program.  Called
+  /// only at iteration boundaries of the golden run.  nullptr when
+  /// unsupported.
+  virtual std::shared_ptr<const TargetCheckpoint> capture_checkpoint() const {
+    return nullptr;
+  }
+
+  /// Replaces the current state with `checkpoint` (disarming any fault);
+  /// the caller re-arms and re-applies the iteration budget afterwards.
+  virtual void restore_checkpoint(const TargetCheckpoint& checkpoint) {
+    (void)checkpoint;
+  }
+
+  /// True when the target's complete state is bit-identical to `checkpoint`
+  /// AND execution from here on is guaranteed to stay identical to the
+  /// golden run's (no armed fault pending, no stuck-at re-forcing).  The
+  /// runner uses this at golden checkpoint boundaries to end an experiment
+  /// early: a reconverged machine produces the golden tail verbatim.
+  /// Targets must return false whenever they cannot prove both conditions.
+  virtual bool matches_checkpoint(const TargetCheckpoint& checkpoint) const {
+    (void)checkpoint;
+    return false;
+  }
+
+  /// Def/use touch recording for fault-space pruning: the runner fills
+  /// `queries` with (bit, time) cells and replays the golden run; the
+  /// target resolves each query's `next_touch` to the first dynamic time >=
+  /// `time` at which that scan-chain bit is read or written (kNoNextTouch
+  /// when never).  Returns false when unsupported (queries untouched — the
+  /// runner then skips pruning).  `queries` must outlive the recording.
+  virtual bool begin_touch_recording(std::vector<TouchQuery>* queries) {
+    (void)queries;
+    return false;
+  }
+
+  /// Stops touch recording and detaches from the query vector.
+  virtual void end_touch_recording() {}
 };
 
 }  // namespace earl::fi

@@ -18,6 +18,249 @@ bool has_prefix(std::string_view name, std::string_view prefix) {
 
 }  // namespace
 
+// Checkpoint payload: the whole machine plus the retired-instruction count.
+// A Machine copy is byte-faithful (memory, cache lines, CPU latches), so a
+// restore is indistinguishable from having replayed the golden prefix.
+struct TvmTarget::Snapshot final : TargetCheckpoint {
+  tvm::Machine machine;
+  std::uint64_t executed;
+
+  Snapshot(const tvm::Machine& source, std::uint64_t executed_count)
+      : machine(source), executed(executed_count) {
+    // The copy carried the source CPU's observer pointers; a snapshot is
+    // shared between workers and must not reference any live target.
+    machine.cpu.set_trace_sink(nullptr);
+    machine.cpu.set_exec_profile(nullptr);
+  }
+};
+
+// Def/use trace sink: maps every operand each retired instruction reads or
+// writes onto its scan-chain element and resolves the pending next-touch
+// queries in one forward pass.  Touch sets are supersets of the true
+// read/write sets (e.g. a memory access touches its whole direct-mapped
+// cache line, ldw touches rd whether the load hits or traps) — supersets
+// only split def/use classes finer, never merge distinct ones, so pruning
+// stays exact.
+struct TvmTarget::TouchRecorder final : tvm::TraceSink {
+  static constexpr int kNoElement = -1;
+
+  // Scan-element ordinal per machine unit (kNoElement when the element does
+  // not exist, e.g. parity elements of a parity-disabled cache).
+  std::array<int, tvm::kNumRegs> gpr;
+  int pc = kNoElement;
+  int ir = kNoElement;
+  int mar = kNoElement;
+  int mdr = kNoElement;
+  int ex = kNoElement;
+  int sig = kNoElement;
+  int psr = kNoElement;
+  std::array<std::array<int, tvm::kWordsPerLine>, tvm::kCacheLines> cache_data;
+  std::array<std::array<int, tvm::kWordsPerLine>, tvm::kCacheLines>
+      cache_parity;
+  std::array<int, tvm::kCacheLines> cache_tag;
+  std::array<int, tvm::kCacheLines> cache_valid;
+  std::array<int, tvm::kCacheLines> cache_dirty;
+
+  // Per-element pending queries sorted by injection time; `cursor` advances
+  // as touches at increasing step indices answer every query whose time is
+  // at or before the touch.
+  struct Pending {
+    std::vector<TouchQuery*> queries;
+    std::size_t cursor = 0;
+  };
+  std::vector<Pending> pending;
+  std::uint64_t now = 0;    // dynamic index of the instruction retiring
+  std::uint64_t steps = 0;  // instructions seen so far
+
+  TouchRecorder(const tvm::ScanChain& scan, std::vector<TouchQuery>* queries) {
+    gpr.fill(kNoElement);
+    for (auto& line : cache_data) line.fill(kNoElement);
+    for (auto& line : cache_parity) line.fill(kNoElement);
+    cache_tag.fill(kNoElement);
+    cache_valid.fill(kNoElement);
+    cache_dirty.fill(kNoElement);
+
+    const std::vector<tvm::ScanElement>& elements = scan.elements();
+    pending.resize(elements.size());
+    for (std::size_t i = 0; i < elements.size(); ++i) {
+      const tvm::ScanElement& e = elements[i];
+      const int ord = static_cast<int>(i);
+      switch (e.unit) {
+        case tvm::ScanUnit::kGpr: gpr[e.index & 15u] = ord; break;
+        case tvm::ScanUnit::kPc: pc = ord; break;
+        case tvm::ScanUnit::kIr: ir = ord; break;
+        case tvm::ScanUnit::kMar: mar = ord; break;
+        case tvm::ScanUnit::kMdr: mdr = ord; break;
+        case tvm::ScanUnit::kEx: ex = ord; break;
+        case tvm::ScanUnit::kSig: sig = ord; break;
+        case tvm::ScanUnit::kPsr: psr = ord; break;
+        case tvm::ScanUnit::kCacheData:
+          cache_data[e.index][e.subindex] = ord;
+          break;
+        case tvm::ScanUnit::kCacheTag: cache_tag[e.index] = ord; break;
+        case tvm::ScanUnit::kCacheValid: cache_valid[e.index] = ord; break;
+        case tvm::ScanUnit::kCacheDirty: cache_dirty[e.index] = ord; break;
+        case tvm::ScanUnit::kCacheParity:
+          cache_parity[e.index][e.subindex] = ord;
+          break;
+      }
+    }
+
+    // Route each query to its bit's element (elements are offset-sorted).
+    for (TouchQuery& query : *queries) {
+      const auto after = std::upper_bound(
+          elements.begin(), elements.end(), query.bit,
+          [](std::size_t bit, const tvm::ScanElement& e) {
+            return bit < e.offset;
+          });
+      assert(after != elements.begin());
+      const auto element = after - 1;
+      assert(query.bit < element->offset + element->width);
+      pending[static_cast<std::size_t>(element - elements.begin())]
+          .queries.push_back(&query);
+    }
+    for (Pending& p : pending) {
+      std::sort(p.queries.begin(), p.queries.end(),
+                [](const TouchQuery* a, const TouchQuery* b) {
+                  return a->time < b->time;
+                });
+    }
+  }
+
+  void touch(int element) {
+    if (element < 0) return;
+    Pending& p = pending[static_cast<std::size_t>(element)];
+    while (p.cursor < p.queries.size() &&
+           p.queries[p.cursor]->time <= now) {
+      p.queries[p.cursor]->next_touch = now;
+      ++p.cursor;
+    }
+  }
+
+  void touch_gpr(unsigned reg) {
+    if ((reg & 15u) != 0) touch(gpr[reg & 15u]);  // r0 is not a state element
+  }
+
+  void touch_line(unsigned line) {
+    touch(cache_tag[line]);
+    touch(cache_valid[line]);
+    touch(cache_dirty[line]);
+    for (unsigned word = 0; word < tvm::kWordsPerLine; ++word) {
+      touch(cache_data[line][word]);
+      touch(cache_parity[line][word]);
+    }
+  }
+
+  void touch_all() {
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      touch(static_cast<int>(i));
+    }
+  }
+
+  void on_step(const tvm::CpuState& before, std::uint32_t word) override {
+    now = steps++;
+    // Every retired instruction reads PC/IR (fetch + prefetch), updates the
+    // control-flow signature, reads the PSR mode bit for the privilege
+    // check, and has its next fetch bounds-checked against the stack
+    // pointer (Cpu::finish), so those elements are touched unconditionally.
+    touch(pc);
+    touch(ir);
+    touch(sig);
+    touch(psr);
+    touch_gpr(tvm::kRegSp);
+
+    const auto decoded = tvm::decode(word);
+    if (!decoded) {
+      // Architecturally undefined word: never retires on a golden trace,
+      // but stay sound if it ever does.
+      touch_all();
+      return;
+    }
+    const tvm::Instruction& ins = *decoded;
+    using tvm::Opcode;
+    switch (ins.op) {
+      case Opcode::kNop:
+      case Opcode::kHalt:
+      case Opcode::kYield:
+      case Opcode::kSig:
+      case Opcode::kTrap:
+        break;
+      case Opcode::kAdd:
+      case Opcode::kSub:
+      case Opcode::kMul:
+      case Opcode::kDivs:
+      case Opcode::kAnd:
+      case Opcode::kOr:
+      case Opcode::kXor:
+      case Opcode::kSll:
+      case Opcode::kSrl:
+      case Opcode::kSra:
+      case Opcode::kFadd:
+      case Opcode::kFsub:
+      case Opcode::kFmul:
+      case Opcode::kFdiv:
+        touch_gpr(ins.ra);
+        touch_gpr(ins.rb);
+        touch_gpr(ins.rd);
+        touch(ex);
+        break;
+      case Opcode::kAddi:
+      case Opcode::kOri:
+      case Opcode::kAndi:
+      case Opcode::kXori:
+      case Opcode::kFneg:
+      case Opcode::kFabs:
+      case Opcode::kItof:
+      case Opcode::kFtoi:
+        touch_gpr(ins.ra);
+        touch_gpr(ins.rd);
+        touch(ex);
+        break;
+      case Opcode::kMovi:
+      case Opcode::kMovhi:
+        touch_gpr(ins.rd);
+        touch(ex);
+        break;
+      case Opcode::kLdw:
+      case Opcode::kStw: {
+        touch_gpr(ins.ra);
+        touch_gpr(ins.rd);  // ldw writes rd, stw reads it
+        touch(mar);
+        touch(mdr);
+        const std::uint32_t addr =
+            (ins.ra == 0 ? 0u : before.regs[ins.ra & 15u]) +
+            static_cast<std::uint32_t>(ins.imm);
+        if (!tvm::is_uncached(addr)) {
+          touch_line((addr >> 4) & (tvm::kCacheLines - 1));
+        }
+        break;
+      }
+      case Opcode::kCmp:
+      case Opcode::kFcmp:
+        touch_gpr(ins.ra);
+        touch_gpr(ins.rb);
+        break;
+      case Opcode::kCmpi:
+        touch_gpr(ins.ra);
+        break;
+      case Opcode::kBeq:
+      case Opcode::kBne:
+      case Opcode::kBlt:
+      case Opcode::kBge:
+      case Opcode::kBle:
+      case Opcode::kBgt:
+      case Opcode::kJmp:
+        break;  // PSR/PC already touched above
+      case Opcode::kJal:
+        touch_gpr(tvm::kRegLr);
+        break;
+      case Opcode::kJr:
+        touch_gpr(ins.ra);
+        break;
+    }
+  }
+};
+
 TvmTarget::TvmTarget(const tvm::AssembledProgram& program,
                      tvm::CacheConfig cache_config)
     : machine_(cache_config),
@@ -62,6 +305,58 @@ TvmTarget::TvmTarget(const tvm::AssembledProgram& program,
   machine_.reset(entry_);
 }
 
+TvmTarget::~TvmTarget() = default;
+
+std::shared_ptr<const TargetCheckpoint> TvmTarget::capture_checkpoint() const {
+  return std::make_shared<Snapshot>(machine_, executed_);
+}
+
+void TvmTarget::restore_checkpoint(const TargetCheckpoint& checkpoint) {
+  // The amortized replacement for reset(): nests inside the runner's
+  // checkpoint_restore span the way reset() nests inside setup.
+  const obs::ScopedSpan span(span_track_, obs::SpanPhase::kTargetReset);
+  const auto& snap = static_cast<const Snapshot&>(checkpoint);
+  // Same bookkeeping as reset(): fold the outgoing run's cache stats into
+  // the profile before the machine is replaced.
+  if (profiling_) accumulate_cache_stats();
+  machine_ = snap.machine;
+  // The snapshot carries the golden prefix's cache counters; drop them so
+  // the profile counts only work actually executed (the skipped prefix is
+  // exactly the cost checkpointing removes).
+  machine_.cache.clear_stats();
+  // Machine assignment copied the snapshot's (null) observer pointers;
+  // re-attach this target's hooks.
+  machine_.cpu.set_exec_profile(profiling_ ? &exec_profile_ : nullptr);
+  machine_.cpu.set_trace_sink(detail_sink());
+  executed_ = snap.executed;
+  armed_.reset();
+  injected_ = false;
+}
+
+bool TvmTarget::matches_checkpoint(const TargetCheckpoint& checkpoint) const {
+  // Only a spent transient fault leaves future execution state-determined:
+  // a pending injection would fire later, and a stuck-at keeps re-forcing
+  // its bits every iteration, so neither may claim convergence even from a
+  // bit-identical machine.
+  if (!armed_ || !injected_ || is_stuck_at(armed_->kind)) return false;
+  const auto& snap = static_cast<const Snapshot&>(checkpoint);
+  return machine_.cpu.state_equals(snap.machine.cpu) &&
+         machine_.cache.state_equals(snap.machine.cache) &&
+         machine_.mem.state_equals(snap.machine.mem);
+}
+
+bool TvmTarget::begin_touch_recording(std::vector<TouchQuery>* queries) {
+  if (queries == nullptr) return false;
+  recorder_ = std::make_unique<TouchRecorder>(scan_, queries);
+  machine_.cpu.set_trace_sink(recorder_.get());
+  return true;
+}
+
+void TvmTarget::end_touch_recording() {
+  recorder_.reset();
+  machine_.cpu.set_trace_sink(detail_sink());
+}
+
 void TvmTarget::reset() {
   // "Reinitialising the target system and downloading the workload" — the
   // per-experiment cost checkpoint/restore injection would amortize, so it
@@ -97,14 +392,17 @@ void TvmTarget::DetailProbe::on_step(const tvm::CpuState& before,
   }
 }
 
-void TvmTarget::set_detail(bool enabled) {
-  detail_ = enabled;
-  detail_probe_.owner = this;
+tvm::TraceSink* TvmTarget::detail_sink() {
   // The sink is purely observational (and Cpu::reset preserves it), so the
   // probe cannot perturb the run; skip it entirely for programs without
   // assertion regions.
-  machine_.cpu.set_trace_sink(
-      enabled && !detail_regions_.empty() ? &detail_probe_ : nullptr);
+  return detail_ && !detail_regions_.empty() ? &detail_probe_ : nullptr;
+}
+
+void TvmTarget::set_detail(bool enabled) {
+  detail_ = enabled;
+  detail_probe_.owner = this;
+  machine_.cpu.set_trace_sink(detail_sink());
   assertion_seen_ = false;
 }
 

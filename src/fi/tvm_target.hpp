@@ -27,6 +27,7 @@ class TvmTarget : public Target {
   /// The program must already have assembled cleanly (asserted).
   explicit TvmTarget(const tvm::AssembledProgram& program,
                      tvm::CacheConfig cache_config = {});
+  ~TvmTarget() override;
 
   // The CPU's profile hook points at a member, so the target must not move.
   TvmTarget(const TvmTarget&) = delete;
@@ -45,6 +46,22 @@ class TvmTarget : public Target {
   IterationDetail iteration_detail() const override;
   void set_span_track(obs::SpanTrack* track) override { span_track_ = track; }
 
+  // Checkpoint/restore injection (see fi/checkpoint.hpp): a snapshot is a
+  // full Machine copy plus the retired-instruction count, so restoring is
+  // byte-identical to replaying the golden prefix from reset.
+  bool supports_checkpoints() const override { return true; }
+  std::shared_ptr<const TargetCheckpoint> capture_checkpoint() const override;
+  void restore_checkpoint(const TargetCheckpoint& checkpoint) override;
+  bool matches_checkpoint(const TargetCheckpoint& checkpoint) const override;
+
+  // Def/use touch recording (see fi/defuse.hpp): attaches a trace sink that
+  // maps every operand each retired instruction reads or writes to its
+  // scan-chain element and resolves the pending next-touch queries.  Cache
+  // accesses touch the whole (direct-mapped) line they index — a sound
+  // superset.
+  bool begin_touch_recording(std::vector<TouchQuery>* queries) override;
+  void end_touch_recording() override;
+
   /// Scan-chain access for directed experiments (e.g. the Figure 10 bench
   /// corrupts the state variable to a chosen in-range value).
   tvm::Machine& machine() { return machine_; }
@@ -56,8 +73,14 @@ class TvmTarget : public Target {
   std::optional<std::size_t> cache_bit_of_address(std::uint32_t addr) const;
 
  private:
+  struct Snapshot;       // TargetCheckpoint: Machine copy + executed count
+  struct TouchRecorder;  // def/use trace sink (defined in the .cpp)
+
   void apply_fault_bits();
   void accumulate_cache_stats();
+  /// The detail-mode sink when detail capture is active, else null; used
+  /// wherever the CPU's trace sink must be (re)established.
+  tvm::TraceSink* detail_sink();
   /// Reads a data-RAM word through the cache (the cached copy wins when the
   /// line is resident, so a dirty integrator value is seen). Side-effect
   /// free: uses DataCache::probe + raw accessors only.
@@ -100,6 +123,9 @@ class TvmTarget : public Target {
   DetailProbe detail_probe_;
   std::vector<std::pair<std::uint32_t, std::uint32_t>> detail_regions_;
   std::optional<std::uint32_t> state_addr_;
+
+  // Live only between begin_touch_recording and end_touch_recording.
+  std::unique_ptr<TouchRecorder> recorder_;
 };
 
 }  // namespace earl::fi

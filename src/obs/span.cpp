@@ -38,6 +38,8 @@ const char* span_phase_name(SpanPhase phase) {
     case SpanPhase::kTargetReset: return "target_reset";
     case SpanPhase::kHttpRequest: return "http_request";
     case SpanPhase::kControl: return "control";
+    case SpanPhase::kCheckpointRestore: return "checkpoint_restore";
+    case SpanPhase::kResidualReplay: return "residual_replay";
   }
   return "unknown";
 }

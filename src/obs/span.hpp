@@ -57,8 +57,10 @@ enum class SpanPhase : std::uint8_t {
   kTargetReset,    // target-internal machine reset (nests inside setup)
   kHttpRequest,    // one telemetry request-response exchange
   kControl,        // one accepted control command
+  kCheckpointRestore,  // golden-state restore + arm (replaces setup)
+  kResidualReplay,     // checkpoint -> injection prefix (replaces replay)
 };
-inline constexpr std::size_t kSpanPhaseCount = 14;
+inline constexpr std::size_t kSpanPhaseCount = 16;
 
 /// Stable lowercase name ("golden_replay", ...), the `name` field of the
 /// exported trace events and the aggregation key of the phase report.

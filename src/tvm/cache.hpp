@@ -71,9 +71,20 @@ class DataCache {
 
   const CacheConfig& config() const { return config_; }
   const CacheStats& stats() const { return stats_; }
+  /// Zeroes the hit/miss/writeback counters without touching cache state.
+  /// Checkpoint restore copies a whole Machine (stats included) and then
+  /// clears them so profiles count only the work actually executed.
+  void clear_stats() { stats_ = CacheStats{}; }
 
   /// True when `addr` currently hits in the cache (no state change).
   bool probe(std::uint32_t addr) const;
+
+  /// True when every line (tag, valid, dirty, data, parity) matches
+  /// `other`.  Statistics counters are bookkeeping, not machine state, and
+  /// are excluded — equal lines mean future accesses behave identically.
+  bool state_equals(const DataCache& other) const {
+    return lines_ == other.lines_;
+  }
 
   // --- Scan-chain access (raw state elements; no side effects) ------------
   std::uint32_t data_word(unsigned line, unsigned word) const;
@@ -94,6 +105,8 @@ class DataCache {
     bool valid = false;
     bool dirty = false;
     std::array<bool, kWordsPerLine> parity{};
+
+    bool operator==(const Line&) const = default;
   };
 
   static unsigned index_of(std::uint32_t addr) { return (addr >> 4) & 7u; }

@@ -36,6 +36,8 @@ struct Psr {
   bool c = false;
   bool v = false;
   bool user_mode = true;
+
+  bool operator==(const Psr&) const = default;
 };
 
 /// All architected + micro-architected CPU state. Plain data: copying a
@@ -50,6 +52,8 @@ struct CpuState {
   std::uint32_t ex = 0;          // ALU/FPU result latch
   std::uint16_t sig = 0;         // control-flow signature accumulator
   Psr psr;
+
+  bool operator==(const CpuState&) const = default;
 };
 
 struct StepOutcome {
@@ -111,6 +115,14 @@ class Cpu {
   /// Register read honouring the r0-is-zero convention.
   std::uint32_t reg(unsigned index) const {
     return index == 0 ? 0u : state_.regs[index & 15u];
+  }
+
+  /// True when the architectural state (registers, latches, PSR, stop
+  /// condition) matches `other`.  The retired-instruction counter and the
+  /// observer hooks are bookkeeping and excluded: two CPUs with equal
+  /// architectural state execute identically from here on.
+  bool state_equals(const Cpu& other) const {
+    return state_ == other.state_ && stopped_ == other.stopped_;
   }
 
  private:

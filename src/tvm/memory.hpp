@@ -102,6 +102,17 @@ class MemoryMap {
 
   std::size_t code_words() const { return code_image_.size(); }
 
+  /// True when every mutable word (RAM, stack, I/O, poison marks) matches
+  /// `other`.  Code ROM is immutable after load and both operands of the
+  /// only caller (checkpoint-convergence detection) share one program, so
+  /// it is excluded.  Equal mutable state means future accesses behave
+  /// identically.
+  bool state_equals(const MemoryMap& other) const {
+    return data_ == other.data_ && stack_ == other.stack_ &&
+           io_ == other.io_ && data_poison_ == other.data_poison_ &&
+           stack_poison_ == other.stack_poison_;
+  }
+
  private:
   std::vector<std::uint32_t> code_;
   std::vector<std::uint32_t> code_image_;

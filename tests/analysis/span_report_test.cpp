@@ -105,6 +105,43 @@ TEST(SpanReportTest, ShareIsZeroWhenPhasesAbsent) {
   EXPECT_DOUBLE_EQ(report->golden_replay_share(), 0.0);
 }
 
+TEST(SpanReportTest, MultiWorkerSharesNormalizedByWorkerCount) {
+  std::int64_t now = 0;
+  SpanTracer::Options options;
+  options.now_ns = [&now] { return now; };
+  SpanTracer tracer(options);
+  obs::SpanTrack* campaign = tracer.track("campaign");
+  obs::SpanTrack* w0 = tracer.track("worker 0");
+  obs::SpanTrack* w1 = tracer.track("worker 1");
+  for (obs::SpanTrack* worker : {w0, w1}) {
+    worker->emit(SpanPhase::kGoldenReplay, 0, 60'000, 0);
+    worker->emit(SpanPhase::kClassify, 60'000, 100'000, 0);
+  }
+  campaign->emit(SpanPhase::kCampaign, 0, 100'000);
+
+  const auto report =
+      PhaseReport::from_chrome_json(render_chrome_trace(tracer));
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->worker_track_count(), 2u);
+  EXPECT_DOUBLE_EQ(report->wall_ns(), 100'000.0);
+  // Two fully busy concurrent workers: summed phase time is 2x wall, and
+  // the report must say 100% accounted, not 200%.
+  EXPECT_DOUBLE_EQ(report->accounted_ns(), 200'000.0);
+  const std::string text = report->render("spans.json");
+  EXPECT_NE(text.find("2 worker tracks"), std::string::npos);
+  EXPECT_NE(text.find("normalized by worker count"), std::string::npos);
+  EXPECT_NE(text.find("100.0% of campaign wall time"), std::string::npos);
+  EXPECT_EQ(text.find("200.0%"), std::string::npos);
+}
+
+TEST(SpanReportTest, SingleWorkerReportSkipsNormalizationNote) {
+  const auto report = PhaseReport::from_chrome_json(synthetic_trace());
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->worker_track_count(), 1u);
+  EXPECT_EQ(report->render("spans.json").find("worker tracks"),
+            std::string::npos);
+}
+
 TEST(SpanReportTest, RenderContainsHeadlineLines) {
   const auto report = PhaseReport::from_chrome_json(synthetic_trace());
   ASSERT_TRUE(report.has_value());

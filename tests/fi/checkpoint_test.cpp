@@ -1,0 +1,229 @@
+// Checkpoint/restore injection + def/use pruning: the headline guarantee
+// is that a checkpointed, pruned campaign produces a ResultDatabase
+// bit-identical to brute force — every acceleration in fi/checkpoint.hpp,
+// fi/defuse.hpp and the runner's synthesis paths is an exactness-preserving
+// shortcut, never an approximation.
+#include "fi/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "fi/defuse.hpp"
+#include "fi/runner.hpp"
+#include "fi/workloads.hpp"
+#include "obs/metrics.hpp"
+
+namespace earl::fi {
+namespace {
+
+CampaignConfig small_campaign(std::size_t experiments = 40) {
+  CampaignConfig config = table2_campaign(1.0);
+  config.experiments = experiments;
+  config.iterations = 80;  // short runs keep the suite fast
+  config.workers = 2;
+  return config;
+}
+
+/// Field-for-field equality of every classification-bearing member — the
+/// in-memory equivalent of comparing the saved CSVs byte for byte.
+void expect_identical_rows(const CampaignResult& a, const CampaignResult& b) {
+  ASSERT_EQ(a.experiments.size(), b.experiments.size());
+  for (std::size_t i = 0; i < a.experiments.size(); ++i) {
+    const ExperimentResult& x = a.experiments[i];
+    const ExperimentResult& y = b.experiments[i];
+    EXPECT_EQ(x.id, y.id) << "row " << i;
+    EXPECT_EQ(x.fault.kind, y.fault.kind) << "row " << i;
+    EXPECT_EQ(x.fault.bits, y.fault.bits) << "row " << i;
+    EXPECT_EQ(x.fault.time, y.fault.time) << "row " << i;
+    EXPECT_EQ(x.cache_location, y.cache_location) << "row " << i;
+    EXPECT_EQ(x.outcome, y.outcome) << "row " << i;
+    EXPECT_EQ(x.edm, y.edm) << "row " << i;
+    EXPECT_EQ(x.end_iteration, y.end_iteration) << "row " << i;
+    EXPECT_EQ(x.detection_distance, y.detection_distance) << "row " << i;
+    EXPECT_EQ(x.first_strong, y.first_strong) << "row " << i;
+    EXPECT_EQ(x.strong_count, y.strong_count) << "row " << i;
+    EXPECT_EQ(x.max_deviation, y.max_deviation) << "row " << i;  // bit-exact
+    EXPECT_EQ(x.weight, y.weight) << "row " << i;
+  }
+}
+
+TEST(CheckpointStoreTest, NearestPicksLatestAtOrBefore) {
+  CheckpointStore store;
+  EXPECT_EQ(store.nearest(0), nullptr);
+  for (const std::uint64_t t : {0u, 100u, 250u}) {
+    Checkpoint cp;
+    cp.time = t;
+    cp.iteration = t / 10;
+    store.add(std::move(cp));
+  }
+  ASSERT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.nearest(0)->time, 0u);
+  EXPECT_EQ(store.nearest(99)->time, 0u);
+  EXPECT_EQ(store.nearest(100)->time, 100u);
+  EXPECT_EQ(store.nearest(249)->time, 100u);
+  EXPECT_EQ(store.nearest(250)->time, 250u);
+  EXPECT_EQ(store.nearest(~std::uint64_t{0})->time, 250u);
+}
+
+TEST(DefUseTest, PrunePlanFlagsUntouchedFaults) {
+  std::vector<Fault> faults(3);
+  faults[0].bits = {4};
+  faults[0].time = 10;  // bit 4 never touched again -> untouched, latent
+  faults[1].bits = {4};
+  faults[1].time = 50;  // same signature -> collapses into fault 0's class
+  faults[2].bits = {7};
+  faults[2].time = 10;  // touched at 60 -> must execute
+  std::vector<TouchQuery> queries = make_touch_queries(faults);
+  ASSERT_EQ(queries.size(), 3u);
+  queries[0].next_touch = kNoNextTouch;
+  queries[1].next_touch = kNoNextTouch;
+  queries[2].next_touch = 60;
+
+  const PrunePlan plan = build_prune_plan(faults, queries);
+  EXPECT_TRUE(plan.active());
+  EXPECT_EQ(plan.classes, 2u);
+  EXPECT_EQ(plan.synthesized, 1u);
+  EXPECT_EQ(plan.rep_of(0), 0u);
+  EXPECT_EQ(plan.rep_of(1), 0u);
+  EXPECT_EQ(plan.rep_of(2), 2u);
+  EXPECT_TRUE(plan.is_untouched(0));
+  EXPECT_TRUE(plan.is_untouched(1));
+  EXPECT_FALSE(plan.is_untouched(2));
+  // Indices past the plan (extensions) are neither members nor untouched.
+  EXPECT_FALSE(plan.is_member(3));
+  EXPECT_FALSE(plan.is_untouched(3));
+}
+
+TEST(CheckpointCampaignTest, CheckpointingAloneBitIdenticalToBruteForce) {
+  CampaignConfig config = small_campaign(60);
+  const auto factory = make_tvm_pi_factory(paper_pi_config());
+  const CampaignResult brute = CampaignRunner(config).run(factory);
+  config.checkpoint_interval = 8;
+  const CampaignResult fast = CampaignRunner(config).run(factory);
+  expect_identical_rows(brute, fast);
+  EXPECT_TRUE(fast.representatives.empty());  // pruning was off
+}
+
+TEST(CheckpointCampaignTest, PrunedCheckpointedCampaignBitIdenticalToBrute) {
+  CampaignConfig config = small_campaign(120);
+  const auto factory = make_tvm_pi_factory(paper_pi_config());
+  const CampaignResult brute = CampaignRunner(config).run(factory);
+  config.checkpoint_interval = 8;
+  config.prune = true;
+  const CampaignResult fast = CampaignRunner(config).run(factory);
+  expect_identical_rows(brute, fast);
+
+  // The collapsed view stands for exactly the sampled fault list: one row
+  // per class, weights summing to the experiment count, each representative
+  // identical to its own expanded row apart from the weight.
+  ASSERT_FALSE(fast.representatives.empty());
+  EXPECT_EQ(fast.representatives.size(), fast.prune_classes);
+  EXPECT_EQ(fast.prune_classes + fast.prune_synthesized,
+            fast.experiments.size());
+  std::uint64_t weight_sum = 0;
+  for (const ExperimentResult& rep : fast.representatives) {
+    weight_sum += rep.weight;
+    const ExperimentResult& row = fast.experiments[rep.id];
+    EXPECT_EQ(rep.id, row.id);
+    EXPECT_EQ(rep.outcome, row.outcome);
+    EXPECT_EQ(rep.end_iteration, row.end_iteration);
+    EXPECT_EQ(row.weight, 1u);
+  }
+  EXPECT_EQ(weight_sum, fast.experiments.size());
+}
+
+TEST(CheckpointCampaignTest, TightWatchdogDisablesSynthesisButStaysExact) {
+  // A watchdog budget below the golden maximum means even golden-identical
+  // iterations trip the watchdog; the runner must disable both synthesis
+  // shortcuts (untouched-latent rows, reconvergence exit) and still match
+  // brute force bit for bit.
+  CampaignConfig config = small_campaign(40);
+  config.watchdog_factor = 0.5;
+  const auto factory = make_tvm_pi_factory(paper_pi_config());
+  const CampaignResult brute = CampaignRunner(config).run(factory);
+  config.checkpoint_interval = 8;
+  config.prune = true;
+  const CampaignResult fast = CampaignRunner(config).run(factory);
+  expect_identical_rows(brute, fast);
+}
+
+TEST(CheckpointCampaignTest, MetricsCountCapturesAndCoverTheFaultList) {
+  CampaignConfig config = small_campaign(40);
+  config.checkpoint_interval = 8;
+  config.prune = true;
+  obs::MetricsRegistry registry;
+  CampaignRunner runner(config);
+  runner.set_metrics(&registry);
+  const CampaignResult result =
+      runner.run(make_tvm_pi_factory(paper_pi_config()));
+
+  // 80 iterations at interval 8 -> boundaries 0, 8, ..., 72.
+  const obs::Counter* captures = registry.find_counter("earl.checkpoint_captures");
+  ASSERT_NE(captures, nullptr);
+  EXPECT_EQ(captures->value(), 10u);
+  const obs::Counter* classes = registry.find_counter("earl.prune_classes");
+  const obs::Counter* synthesized =
+      registry.find_counter("earl.prune_synthesized");
+  ASSERT_NE(classes, nullptr);
+  ASSERT_NE(synthesized, nullptr);
+  EXPECT_EQ(classes->value() + synthesized->value(),
+            result.experiments.size());
+  // Every executed experiment starts from a restored checkpoint (the store
+  // always holds the iteration-0 snapshot), except the rows synthesized
+  // without execution (class members and never-touched faults).
+  const obs::Counter* restores =
+      registry.find_counter("earl.checkpoint_restores");
+  const obs::Counter* untouched = registry.find_counter("earl.prune_untouched");
+  ASSERT_NE(restores, nullptr);
+  ASSERT_NE(untouched, nullptr);
+  EXPECT_EQ(restores->value() + synthesized->value() + untouched->value(),
+            result.experiments.size());
+}
+
+TEST(CheckpointCampaignTest, ExtendMatchesFreshLargerCheckpointedCampaign) {
+  // The PR 5 guarantee with every acceleration on: "run N, extend M" is
+  // bit-identical to a fresh N+M campaign.  (Extensions sampled after the
+  // prune plan run unpruned; the expanded rows must not care.)
+  CampaignConfig fresh_config = small_campaign(30);
+  fresh_config.checkpoint_interval = 8;
+  fresh_config.prune = true;
+  const auto factory = make_tvm_pi_factory(paper_pi_config());
+  const CampaignResult fresh = CampaignRunner(fresh_config).run(factory);
+
+  CampaignConfig base = small_campaign(20);
+  base.checkpoint_interval = 8;
+  base.prune = true;
+  CampaignController controller;
+  CampaignRunner runner(base);
+  runner.set_controller(&controller);
+  controller.extend(10);
+  const CampaignResult extended = runner.run(factory);
+
+  EXPECT_FALSE(extended.interrupted);
+  EXPECT_EQ(extended.config.experiments, 30u);
+  expect_identical_rows(fresh, extended);
+}
+
+TEST(WatchdogBudgetTest, IntegerScalingIsExactAboveDoublePrecision) {
+  // (2^60 + 1) * 10 cannot round-trip through a double (53-bit mantissa);
+  // the fixed-point path must keep the low digit.
+  const std::uint64_t time = (std::uint64_t{1} << 60) + 1;
+  EXPECT_EQ(scaled_watchdog_budget(time, 10.0), time * 10);
+  // Unit factor is exact everywhere.
+  EXPECT_EQ(scaled_watchdog_budget(time, 1.0), time);
+}
+
+TEST(WatchdogBudgetTest, SaturatesAndNeverReturnsZero) {
+  const std::uint64_t max = ~std::uint64_t{0};
+  EXPECT_EQ(scaled_watchdog_budget(max, 3.0), max);            // overflow
+  EXPECT_EQ(scaled_watchdog_budget(1, 1e30), max);             // huge factor
+  EXPECT_EQ(scaled_watchdog_budget(0, 5.0), 1u);               // floor of 1
+  EXPECT_EQ(scaled_watchdog_budget(100, 0.0), 1u);             // degenerate
+  EXPECT_EQ(scaled_watchdog_budget(100, -2.0), 1u);
+  EXPECT_EQ(scaled_watchdog_budget(10, 0.5), 5u);              // plain case
+}
+
+}  // namespace
+}  // namespace earl::fi

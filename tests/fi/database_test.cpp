@@ -196,6 +196,81 @@ TEST(DatabaseTest, LoadsLegacyHeaderWithoutDetectionDistance) {
   std::remove(path.c_str());
 }
 
+TEST(DatabaseTest, LegacyHeaderRejectsOutOfRangeEnumRows) {
+  // The 14-column legacy loader maps columns by position; rows with enum
+  // values outside the valid ranges must be counted in skipped_rows(),
+  // never shifted silently into the wrong columns or clamped.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "earl_legacy_bad.csv")
+          .string();
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    fputs("id,kind,time,bits,cache,outcome,edm,end_iteration,first_strong,"
+          "strong_count,max_deviation,propagation,campaign,seed\n",
+          f);
+    fputs("0,0,100,3,1,0,2,12,10,3,1.25,,legacy,55\n", f);   // genuine
+    fputs("1,99,100,3,1,0,2,12,10,3,1.25,,legacy,55\n", f);  // kind
+    fputs("2,0,100,3,1,99,2,12,10,3,1.25,,legacy,55\n", f);  // outcome
+    fputs("3,0,100,3,1,0,99,12,10,3,1.25,,legacy,55\n", f);  // edm
+    fclose(f);
+  }
+  const std::optional<ResultDatabase> loaded = ResultDatabase::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 1u);
+  EXPECT_EQ(loaded->all()[0].id, 0u);
+  EXPECT_EQ(loaded->skipped_rows(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(DatabaseTest, WeightRoundTripsAndWeightlessRowsDefaultToOne) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "earl_weight.csv").string();
+  ResultDatabase db;
+  ExperimentResult weighted =
+      make_experiment(0, analysis::Outcome::kOverwritten, true);
+  weighted.weight = 37;  // a def/use class representative
+  db.insert(weighted);
+  ASSERT_TRUE(db.save(path));
+  {
+    // A zero weight (a hand-edited or truncated row) must clamp to 1 — a
+    // row that stands for no experiments would silently skew analysis.
+    FILE* f = fopen(path.c_str(), "a");
+    fputs("1,0,100,3,1,0,0,650,0,10,3,1.25,,c,1,0\n", f);
+    fclose(f);
+  }
+  const std::optional<ResultDatabase> loaded = ResultDatabase::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(loaded->all()[0].weight, 37u);
+  EXPECT_EQ(loaded->all()[1].weight, 1u);
+  EXPECT_EQ(loaded->skipped_rows(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(DatabaseTest, PreWeightHeaderLoadsWithUnitWeights) {
+  // A database saved before the weight column existed (15 columns): every
+  // row stands for itself.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "earl_v2.csv").string();
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    fputs("id,kind,time,bits,cache,outcome,edm,end_iteration,"
+          "detection_distance,first_strong,strong_count,max_deviation,"
+          "propagation,campaign,seed\n",
+          f);
+    fputs("4,0,100,3;9,1,5,0,650,0,10,3,1.25,,v2_campaign,55\n", f);
+    fclose(f);
+  }
+  const std::optional<ResultDatabase> loaded = ResultDatabase::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ(loaded->all()[0].id, 4u);
+  EXPECT_EQ(loaded->all()[0].weight, 1u);
+  EXPECT_EQ(loaded->all()[0].outcome, analysis::Outcome::kLatent);
+  EXPECT_EQ(loaded->campaign_name(), "v2_campaign");
+  std::remove(path.c_str());
+}
+
 TEST(DatabaseTest, RejectsOutOfRangeEnumRowsAndCountsThem) {
   const std::string path =
       (std::filesystem::temp_directory_path() / "earl_badenum.csv").string();

@@ -163,6 +163,36 @@ TEST(BenchDiffTest, ZeroBaselineTiming) {
   EXPECT_EQ(bad.failures(), 1u);
 }
 
+TEST(BenchDiffTest, ZeroBaselineThroughputIsExactMatch) {
+  // A zero-valued relative baseline (e.g. a drop counter exported as
+  // throughput) must not divide: it is gated as exact-match, never as an
+  // inf/NaN percentage.
+  obs::BenchReport baseline = make_report(1.0, 50.0);
+  baseline.set_metric("queue.drops_per_s", obs::BenchMetricKind::kThroughput,
+                      "eps", 0.0);
+  obs::BenchReport same = make_report(1.0, 50.0);
+  same.set_metric("queue.drops_per_s", obs::BenchMetricKind::kThroughput,
+                  "eps", 0.0);
+  DiffResult ok;
+  diff_reports(baseline, same, {}, &ok);
+  EXPECT_TRUE(ok.ok());
+
+  obs::BenchReport drifted = make_report(1.0, 50.0);
+  drifted.set_metric("queue.drops_per_s", obs::BenchMetricKind::kThroughput,
+                     "eps", 0.25);
+  DiffResult bad;
+  diff_reports(baseline, drifted, {}, &bad);
+  EXPECT_EQ(bad.failures(), 1u);
+  bool found = false;
+  for (const MetricDiff& row : bad.rows) {
+    if (row.name != "queue.drops_per_s") continue;
+    found = true;
+    EXPECT_FALSE(row.ok);
+    EXPECT_EQ(row.note, "baseline is zero");
+  }
+  EXPECT_TRUE(found);
+}
+
 TEST(BenchDiffTest, RenderMentionsBreachedMetric) {
   DiffResult result;
   diff_reports(make_report(1.0, 50.0), make_report(2.0, 50.0), {}, &result);

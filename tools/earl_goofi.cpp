@@ -62,6 +62,9 @@ struct Options {
   std::string spans_path;
   std::uint64_t spans_sample = 1;
   bool spans_sample_set = false;
+  std::size_t checkpoint_interval = 0;  // 0 = off
+  bool prune = false;
+  std::string save_collapsed_path;
   std::string save_path;
   std::string analyze_path;
   std::optional<std::uint64_t> replay_id;
@@ -219,6 +222,26 @@ cli::Parser build_parser(Options& options) {
       "require \"Authorization: Bearer T\" on the POST /control/*\n"
       "endpoints (GET telemetry stays open; requires --serve)",
       &options.serve_token);
+  parser.add_size(
+      "--checkpoint-interval", "N",
+      "snapshot the golden run every N iterations; experiments\n"
+      "restore the nearest checkpoint at or before their injection\n"
+      "point instead of replaying the whole fault-free prefix\n"
+      "(bit-identical results; 0 = off, scifi only)",
+      &options.checkpoint_interval);
+  parser.add_flag(
+      "--prune",
+      "def/use fault-space pruning: collapse faults whose flipped\n"
+      "bits are provably untouched between injection points into\n"
+      "one representative experiment per equivalence class; results\n"
+      "are expanded back to full weight-1 rows (bit-identical\n"
+      "database; scifi transient faults only)",
+      &options.prune);
+  parser.add_string(
+      "--save-collapsed", "PATH",
+      "also write the collapsed view — one weighted row per def/use\n"
+      "equivalence class — as CSV (requires --prune)",
+      &options.save_collapsed_path);
   parser.add_string(
       "--save", "PATH",
       "write the result database as CSV (streamed while the\n"
@@ -399,6 +422,11 @@ int main(int argc, char** argv) {
                            : options.spans_sample_set    ? "--spans-sample"
                            : options.serve    ? "--serve"
                            : !options.serve_token.empty() ? "--serve-token"
+                           : options.checkpoint_interval > 0
+                               ? "--checkpoint-interval"
+                           : options.prune ? "--prune"
+                           : !options.save_collapsed_path.empty()
+                               ? "--save-collapsed"
                            : options.progress ? "--progress"
                                               : nullptr;
     if (conflict != nullptr) {
@@ -425,12 +453,35 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--spans-sample needs --spans-out PATH\n");
     return 1;
   }
+  if (options.detail && (options.prune || options.checkpoint_interval > 0)) {
+    // Detail mode streams every iteration of every experiment; skipping the
+    // prefix (checkpoints) or whole experiments (pruning) would drop records.
+    std::fprintf(stderr,
+                 "--detail records every iteration and cannot be combined "
+                 "with %s\n",
+                 options.prune ? "--prune" : "--checkpoint-interval");
+    return 1;
+  }
+  if (!options.save_collapsed_path.empty() && !options.prune) {
+    std::fprintf(stderr, "--save-collapsed needs --prune\n");
+    return 1;
+  }
+  if (options.technique == "swifi" &&
+      (options.prune || options.checkpoint_interval > 0)) {
+    // Both shortcuts need a snapshotable scan-chain target; on swifi they
+    // would silently no-op, so reject the contradiction instead.
+    std::fprintf(stderr, "%s requires --technique scifi\n",
+                 options.prune ? "--prune" : "--checkpoint-interval");
+    return 1;
+  }
 
   fi::CampaignConfig config = fi::table2_campaign(1.0);
   config.name = options.workload + "_" + options.technique;
   config.experiments = options.experiments;
   config.seed = options.seed;
   config.workers = options.workers;
+  config.checkpoint_interval = options.checkpoint_interval;
+  config.prune = options.prune;
   if (!configure_fault(options, &config)) return 1;
 
   std::printf("campaign '%s': %zu experiments, seed %llu, fault=%s, "
@@ -644,6 +695,25 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "failed to write %s\n", options.save_path.c_str());
       return 1;
     }
+  }
+  if (options.prune && !result.experiments.empty()) {
+    std::printf("def/use pruning: %zu equivalence classes, %zu of %zu "
+                "experiments synthesized from class representatives\n",
+                result.prune_classes, result.prune_synthesized,
+                result.experiments.size());
+  }
+  if (!options.save_collapsed_path.empty()) {
+    fi::ResultDatabase collapsed(config.name, config.seed);
+    for (const auto& representative : result.representatives) {
+      collapsed.insert(representative);
+    }
+    if (!collapsed.save(options.save_collapsed_path)) {
+      std::fprintf(stderr, "failed to write %s\n",
+                   options.save_collapsed_path.c_str());
+      return 1;
+    }
+    std::printf("saved %zu weighted class representatives to %s\n",
+                collapsed.size(), options.save_collapsed_path.c_str());
   }
   return 0;
 }
