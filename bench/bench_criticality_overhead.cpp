@@ -1,0 +1,112 @@
+// Criticality-observer overhead: the same SCIFI campaign run with and
+// without a live obs::CriticalityObserver attached, plus the tight-loop
+// unit price of one index fold.  The contract under test is cheapness
+// *and* passivity — the observed campaign's ResultDatabase must be
+// byte-identical to the unobserved one (the same identity the live
+// /criticality vs. offline earl-trace diff rests on), and the baseline
+// gates the wall-time cost via `earl-bench-diff`.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/criticality.hpp"
+#include "bench_common.hpp"
+#include "fi/database.hpp"
+#include "obs/criticality_observer.hpp"
+#include "obs/observer.hpp"
+
+namespace {
+
+std::string saved_bytes(const earl::fi::CampaignResult& result,
+                        const char* tag) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       (std::string("bench_crit_") + tag + ".csv"))
+          .string();
+  if (!earl::fi::ResultDatabase(result).save(path)) return {};
+  std::ifstream in(path, std::ios::in | std::ios::binary);
+  std::ostringstream bytes;
+  bytes << in.rdbuf();
+  std::remove(path.c_str());
+  return bytes.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace earl;
+  bench::BenchReporter reporter("criticality_overhead", &argc, argv);
+  const double scale = fi::campaign_scale_from_env();
+  const std::size_t experiments =
+      std::max<std::size_t>(100, static_cast<std::size_t>(2000 * scale));
+
+  fi::CampaignConfig config = fi::table2_campaign(1.0);
+  config.name = "criticality_overhead";
+  config.experiments = experiments;
+  const fi::TargetFactory factory =
+      fi::make_tvm_pi_factory(fi::paper_pi_config());
+
+  std::printf("criticality-observer overhead: %zu-experiment campaign, "
+              "observer off / on\n",
+              experiments);
+
+  const fi::CampaignResult off = reporter.run_campaign("off", [&] {
+    return fi::CampaignRunner(config).run(factory, reporter.observer());
+  });
+
+  obs::CriticalityObserver criticality;
+  const fi::CampaignResult on = reporter.run_campaign("observed", [&] {
+    obs::MultiObserver multi;
+    multi.add(&criticality);
+    multi.add(reporter.observer());
+    return fi::CampaignRunner(config).run(factory, &multi);
+  });
+
+  // Passivity, checked at the artifact level: the database the observed
+  // campaign would save is byte-for-byte the unobserved one.
+  const std::string bytes_off = saved_bytes(off, "off");
+  const std::string bytes_on = saved_bytes(on, "on");
+  const bool identical = !bytes_off.empty() && bytes_off == bytes_on;
+  std::printf("observed campaign database bit-identical: %s\n",
+              identical ? "yes" : "NO — passivity violated");
+  const std::size_t elements = criticality.snapshot().ranked().size();
+  std::printf("criticality index: %llu weighted experiments over %zu "
+              "elements\n",
+              static_cast<unsigned long long>(criticality.experiments_seen()),
+              elements);
+  reporter.set_counter("criticality.bit_identical", identical ? 1.0 : 0.0);
+  reporter.set_counter("criticality.elements",
+                       static_cast<double>(elements));
+
+  // Tight-loop unit price of one fold (the per-experiment work the
+  // observer adds under its lock, sans lock).
+  {
+    analysis::CriticalityIndex index;
+    index.set_time_space(off.golden.total_time);
+    constexpr int kAdds = 200'000;
+    fi::ExperimentResult row;
+    row.outcome = analysis::Outcome::kSeverePermanent;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kAdds; ++i) {
+      row.fault.bits = {static_cast<std::size_t>(i) % 64};
+      row.fault.time =
+          off.golden.total_time == 0
+              ? 0
+              : static_cast<std::uint64_t>(i) % off.golden.total_time;
+      index.add(row);
+    }
+    const double ns =
+        std::chrono::duration<double, std::nano>(
+            std::chrono::steady_clock::now() - t0)
+            .count() /
+        kAdds;
+    std::printf("fold cost: %.1f ns/add over %d adds\n", ns, kAdds);
+    reporter.set_timing("criticality.add_ns", "ns", ns);
+  }
+
+  return reporter.finish() + (identical ? 0 : 1);
+}

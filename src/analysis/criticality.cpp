@@ -1,0 +1,366 @@
+#include "analysis/criticality.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "fi/database.hpp"
+#include "obs/json.hpp"
+#include "tvm/scan_chain.hpp"
+
+namespace earl::analysis {
+namespace {
+
+std::uint64_t total_of(const ClassCounts& counts) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  return total;
+}
+
+std::uint64_t severity_of(const ClassCounts& counts) {
+  std::uint64_t severity = 0;
+  for (std::size_t c = 0; c < kCriticalityClassCount; ++c) {
+    severity +=
+        criticality_severity_weight(static_cast<CriticalityClass>(c)) *
+        counts[c];
+  }
+  return severity;
+}
+
+double score_of(const ClassCounts& counts) {
+  const std::uint64_t faults = total_of(counts);
+  if (faults == 0) return 0.0;
+  return static_cast<double>(severity_of(counts)) /
+         (100.0 * static_cast<double>(faults));
+}
+
+std::string classes_json(const ClassCounts& counts) {
+  obs::JsonObject obj;
+  for (std::size_t c = 0; c < kCriticalityClassCount; ++c) {
+    obj.field(criticality_class_slug(static_cast<CriticalityClass>(c)),
+              counts[c]);
+  }
+  return std::move(obj).str();
+}
+
+std::string rates_json(const ClassCounts& counts, std::uint64_t total) {
+  obs::JsonObject obj;
+  for (std::size_t c = 0; c < kCriticalityClassCount; ++c) {
+    const double rate = total > 0 ? static_cast<double>(counts[c]) /
+                                        static_cast<double>(total)
+                                  : 0.0;
+    obj.field(criticality_class_slug(static_cast<CriticalityClass>(c)), rate);
+  }
+  return std::move(obj).str();
+}
+
+std::string format_score(double score) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6f", score);
+  return buf;
+}
+
+}  // namespace
+
+BitResolver scan_chain_resolver(const tvm::CacheConfig& cache_config) {
+  // One shared chain serves every lookup; the enumeration depends only on
+  // the cache geometry.
+  auto chain = std::make_shared<tvm::ScanChain>(cache_config);
+  return [chain](std::size_t flat_bit) -> BitLocation {
+    const std::vector<tvm::ScanElement>& elements = chain->elements();
+    if (flat_bit >= chain->total_bits() || elements.empty()) {
+      return {"bit[" + std::to_string(flat_bit) + "]", 0, false};
+    }
+    auto it = std::upper_bound(
+        elements.begin(), elements.end(), flat_bit,
+        [](std::size_t value, const tvm::ScanElement& e) {
+          return value < e.offset;
+        });
+    --it;
+    return {it->name, static_cast<unsigned>(flat_bit - it->offset),
+            chain->is_cache_bit(flat_bit)};
+  };
+}
+
+BitResolver swifi_resolver() {
+  return [](std::size_t flat_bit) -> BitLocation {
+    return {"state[" + std::to_string(flat_bit / 32) + "]",
+            static_cast<unsigned>(flat_bit % 32), false};
+  };
+}
+
+std::uint64_t ElementProfile::severity() const {
+  return severity_of(classes);
+}
+
+double ElementProfile::score() const { return score_of(classes); }
+
+double ElementProfile::mean_detection_distance() const {
+  const std::uint64_t detected =
+      classes[static_cast<std::size_t>(CriticalityClass::kDetected)];
+  if (detected == 0) return 0.0;
+  return static_cast<double>(detection_distance_sum) /
+         static_cast<double>(detected);
+}
+
+CriticalityIndex::CriticalityIndex(CriticalityConfig config,
+                                   BitResolver resolver)
+    : config_(config),
+      resolver_(resolver ? std::move(resolver) : scan_chain_resolver()) {
+  if (config_.time_buckets == 0) config_.time_buckets = 1;
+}
+
+std::size_t CriticalityIndex::bucket_of(std::uint64_t time) const {
+  if (time_space_ == 0) return 0;
+  const std::uint64_t bucket = time * config_.time_buckets / time_space_;
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(bucket, config_.time_buckets - 1));
+}
+
+std::vector<const ElementProfile*> CriticalityIndex::add(
+    const fi::ExperimentResult& result) {
+  const std::uint64_t weight = result.weight == 0 ? 1 : result.weight;
+  const std::size_t cls =
+      static_cast<std::size_t>(criticality_class(result.outcome));
+  const std::size_t bucket = bucket_of(result.fault.time);
+  total_weight_ += weight;
+  class_totals_[cls] += weight;
+
+  // Group the flipped bits by element so a multi-bit fault confined to one
+  // element still counts the experiment there exactly once.
+  std::map<std::string, std::vector<BitLocation>, std::less<>> touched;
+  for (const std::size_t flat_bit : result.fault.bits) {
+    BitLocation location = resolver_(flat_bit);
+    touched[location.element].push_back(std::move(location));
+  }
+  std::vector<const ElementProfile*> updated;
+  updated.reserve(touched.size());
+  for (auto& [name, locations] : touched) {
+    ElementProfile& element = elements_[name];
+    updated.push_back(&element);
+    if (element.name.empty()) {
+      element.name = name;
+      element.cache = locations.front().cache;
+      element.buckets.assign(config_.time_buckets, ClassCounts{});
+    }
+    element.faults += weight;
+    element.classes[cls] += weight;
+    if (result.outcome == Outcome::kDetected) {
+      element.detection_distance_sum += weight * result.detection_distance;
+    }
+    element.buckets[bucket][cls] += weight;
+    for (const BitLocation& location : locations) {
+      BitProfile& bit = element.bits[location.bit];
+      bit.faults += weight;
+      bit.classes[cls] += weight;
+    }
+  }
+  return updated;
+}
+
+std::vector<const ElementProfile*> CriticalityIndex::ranked() const {
+  std::vector<const ElementProfile*> out;
+  out.reserve(elements_.size());
+  for (const auto& [name, element] : elements_) out.push_back(&element);
+  std::sort(out.begin(), out.end(),
+            [](const ElementProfile* a, const ElementProfile* b) {
+              // score(a) > score(b) compared as cross-multiplied integers,
+              // so ranking never depends on floating-point rounding.
+              const unsigned __int128 lhs =
+                  static_cast<unsigned __int128>(a->severity()) * b->faults;
+              const unsigned __int128 rhs =
+                  static_cast<unsigned __int128>(b->severity()) * a->faults;
+              if (lhs != rhs) return lhs > rhs;
+              if (a->faults != b->faults) return a->faults > b->faults;
+              return a->name < b->name;
+            });
+  return out;
+}
+
+const ElementProfile* CriticalityIndex::find(std::string_view element) const {
+  const auto it = elements_.find(element);
+  return it == elements_.end() ? nullptr : &it->second;
+}
+
+std::string CriticalityIndex::to_json(std::size_t top_k) const {
+  const std::vector<const ElementProfile*> order = ranked();
+  const std::size_t n = std::min(top_k, order.size());
+  std::string ranking = "[";
+  for (std::size_t i = 0; i < n; ++i) {
+    const ElementProfile& element = *order[i];
+    obs::JsonObject entry;
+    entry.field("element", element.name);
+    entry.field("partition", element.cache ? "cache" : "register");
+    entry.field("faults", element.faults);
+    entry.field("score", element.score());
+    entry.field("mean_detection_distance", element.mean_detection_distance());
+    entry.raw_field("classes", classes_json(element.classes));
+    entry.raw_field("rates", rates_json(element.classes, element.faults));
+    if (i > 0) ranking += ",";
+    ranking += std::move(entry).str();
+  }
+  ranking += "]";
+
+  obs::JsonObject doc;
+  doc.field("campaign", campaign_);
+  doc.field("experiments", total_weight_);
+  doc.field("time_space", time_space_);
+  doc.field("time_buckets",
+            static_cast<std::uint64_t>(config_.time_buckets));
+  doc.field("elements", static_cast<std::uint64_t>(elements_.size()));
+  doc.field("top", static_cast<std::uint64_t>(n));
+  doc.raw_field("classes", classes_json(class_totals_));
+  doc.raw_field("rates", rates_json(class_totals_, total_weight_));
+  doc.raw_field("ranking", ranking);
+  return std::move(doc).str() + "\n";
+}
+
+std::string CriticalityIndex::element_json(std::string_view element) const {
+  const ElementProfile* profile = find(element);
+  if (profile == nullptr) return {};
+
+  std::string bits = "[";
+  bool first = true;
+  for (const auto& [bit, counts] : profile->bits) {
+    obs::JsonObject entry;
+    entry.field("bit", static_cast<std::uint64_t>(bit));
+    entry.field("faults", counts.faults);
+    entry.field("score", score_of(counts.classes));
+    entry.raw_field("classes", classes_json(counts.classes));
+    if (!first) bits += ",";
+    first = false;
+    bits += std::move(entry).str();
+  }
+  bits += "]";
+
+  std::string buckets = "[";
+  for (std::size_t b = 0; b < profile->buckets.size(); ++b) {
+    const ClassCounts& counts = profile->buckets[b];
+    obs::JsonObject entry;
+    entry.field("bucket", static_cast<std::uint64_t>(b));
+    entry.field("faults", total_of(counts));
+    entry.field("score", score_of(counts));
+    entry.raw_field("classes", classes_json(counts));
+    if (b > 0) buckets += ",";
+    buckets += std::move(entry).str();
+  }
+  buckets += "]";
+
+  obs::JsonObject doc;
+  doc.field("element", profile->name);
+  doc.field("partition", profile->cache ? "cache" : "register");
+  doc.field("faults", profile->faults);
+  doc.field("score", profile->score());
+  doc.field("mean_detection_distance", profile->mean_detection_distance());
+  doc.raw_field("classes", classes_json(profile->classes));
+  doc.raw_field("rates", rates_json(profile->classes, profile->faults));
+  doc.raw_field("bits", bits);
+  doc.raw_field("time_buckets", buckets);
+  return std::move(doc).str() + "\n";
+}
+
+std::string CriticalityIndex::heatmap_csv() const {
+  std::string out = "element";
+  for (std::size_t b = 0; b < config_.time_buckets; ++b) {
+    out += ",bucket_" + std::to_string(b);
+  }
+  out += "\n";
+  for (const ElementProfile* element : ranked()) {
+    out += element->name;
+    for (const ClassCounts& counts : element->buckets) {
+      out += ",";
+      out += format_score(score_of(counts));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string CriticalityIndex::heatmap_svg() const {
+  const std::vector<const ElementProfile*> order = ranked();
+  const std::size_t buckets = config_.time_buckets;
+  const int cell_w = 44;
+  const int cell_h = 18;
+  const int gap = 2;
+  int label_w = 96;
+  for (const ElementProfile* element : order) {
+    label_w = std::max(
+        label_w, static_cast<int>(element->name.size()) * 8 + 16);
+  }
+  const int top = 56;
+  const int width =
+      label_w + static_cast<int>(buckets) * (cell_w + gap) + 16;
+  const int height =
+      top + static_cast<int>(order.size()) * (cell_h + gap) + 28;
+
+  std::string svg;
+  svg += "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" +
+         std::to_string(width) + "\" height=\"" + std::to_string(height) +
+         "\" viewBox=\"0 0 " + std::to_string(width) + " " +
+         std::to_string(height) + "\">\n";
+  svg += "<style>text{font-family:monospace;font-size:11px;fill:#222}"
+         ".t{font-size:13px;font-weight:bold}</style>\n";
+  svg += "<rect width=\"100%\" height=\"100%\" fill=\"#ffffff\"/>\n";
+  svg += "<text class=\"t\" x=\"8\" y=\"18\">fault criticality — " +
+         obs::json_escape(campaign_) +
+         " (score per element × injection-time bucket)</text>\n";
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const int x = label_w + static_cast<int>(b) * (cell_w + gap);
+    svg += "<text x=\"" + std::to_string(x + cell_w / 2) + "\" y=\"" +
+           std::to_string(top - 8) +
+           "\" text-anchor=\"middle\">t" + std::to_string(b) + "</text>\n";
+  }
+  for (std::size_t row = 0; row < order.size(); ++row) {
+    const ElementProfile& element = *order[row];
+    const int y = top + static_cast<int>(row) * (cell_h + gap);
+    svg += "<text x=\"" + std::to_string(label_w - 8) + "\" y=\"" +
+           std::to_string(y + cell_h - 5) + "\" text-anchor=\"end\">" +
+           obs::json_escape(element.name) + "</text>\n";
+    for (std::size_t b = 0; b < buckets; ++b) {
+      const ClassCounts& counts = element.buckets[b];
+      const std::uint64_t faults = total_of(counts);
+      const double score = score_of(counts);
+      const int x = label_w + static_cast<int>(b) * (cell_w + gap);
+      std::string fill = "#f2f2f2";  // no faults sampled in this cell
+      if (faults > 0) {
+        const int fade =
+            255 - static_cast<int>(score * 255.0 + 0.5);  // white → red
+        fill = "rgb(255," + std::to_string(fade) + "," +
+               std::to_string(fade) + ")";
+      }
+      svg += "<rect x=\"" + std::to_string(x) + "\" y=\"" +
+             std::to_string(y) + "\" width=\"" + std::to_string(cell_w) +
+             "\" height=\"" + std::to_string(cell_h) +
+             "\" fill=\"" + fill + "\" stroke=\"#dddddd\"><title>" +
+             obs::json_escape(element.name) + " t" + std::to_string(b) +
+             ": score " + format_score(score) + " (n=" +
+             std::to_string(faults) + ")</title></rect>\n";
+    }
+  }
+  svg += "<text x=\"8\" y=\"" + std::to_string(height - 10) +
+         "\">score 0 = detected/non-effective · 1 = severe permanent"
+         "</text>\n";
+  svg += "</svg>\n";
+  return svg;
+}
+
+CriticalityIndex CriticalityIndex::from_database(const fi::ResultDatabase& db,
+                                                 CriticalityConfig config,
+                                                 BitResolver resolver) {
+  CriticalityIndex index(config, std::move(resolver));
+  index.set_campaign(db.campaign_name());
+  std::uint64_t time_space = db.total_time();
+  if (time_space == 0) {
+    // Databases saved before the total_time column: reconstruct the same
+    // sampling space both feeds would use, the tightest bound the rows
+    // themselves witness.
+    for (const fi::ExperimentResult& e : db.all()) {
+      time_space = std::max(time_space, e.fault.time + 1);
+    }
+  }
+  index.set_time_space(time_space);
+  for (const fi::ExperimentResult& e : db.all()) index.add(e);
+  return index;
+}
+
+}  // namespace earl::analysis

@@ -1,0 +1,225 @@
+// Fault-criticality index (the "which state matters" data product).
+//
+// The paper's argument turns on *where* bit-flips hurt: which Thor state
+// elements produce severe value failures versus harmless latent errors.
+// `CriticalityIndex` aggregates campaign outcomes — streamed one
+// `ExperimentResult` at a time, or loaded from a saved `ResultDatabase` —
+// into a per-(state-element, bit, injection-time-bucket) severity profile:
+// prune-weighted counts per error class, mean detection distance, a scalar
+// criticality score, and a ranked top-k view over state elements.
+//
+// Both feeds must agree bit-identically: the live `obs::CriticalityObserver`
+// builds the index from expanded campaign rows (weight 1 each), the offline
+// `earl-trace --criticality-report` builds it from DB rows honoring def/use
+// collapse weights, and `to_json()` is the single deterministic serializer
+// both the `/criticality` endpoint and the CLI print — so CI can literally
+// `diff` the two.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/classify.hpp"
+#include "fi/campaign.hpp"
+#include "tvm/cpu.hpp"
+
+namespace earl::fi {
+class ResultDatabase;
+}  // namespace earl::fi
+
+namespace earl::analysis {
+
+/// Reporting classes for criticality attribution.  Coarser than `Outcome`:
+/// the two non-effective outcomes (latent / overwritten) collapse into one
+/// class, because neither ever reaches the actuator.
+enum class CriticalityClass : std::uint8_t {
+  kDetected,
+  kSeverePermanent,
+  kSevereSemiPermanent,
+  kTransient,      // Minor (Transient)
+  kInsignificant,  // Minor (Insignificant)
+  kNonEffective,   // Latent + Overwritten
+  kCount,
+};
+
+constexpr std::size_t kCriticalityClassCount =
+    static_cast<std::size_t>(CriticalityClass::kCount);
+
+constexpr CriticalityClass criticality_class(Outcome o) {
+  switch (o) {
+    case Outcome::kDetected: return CriticalityClass::kDetected;
+    case Outcome::kSeverePermanent: return CriticalityClass::kSeverePermanent;
+    case Outcome::kSevereSemiPermanent:
+      return CriticalityClass::kSevereSemiPermanent;
+    case Outcome::kMinorTransient: return CriticalityClass::kTransient;
+    case Outcome::kMinorInsignificant: return CriticalityClass::kInsignificant;
+    case Outcome::kLatent:
+    case Outcome::kOverwritten:
+    case Outcome::kCount: break;
+  }
+  return CriticalityClass::kNonEffective;
+}
+
+constexpr std::string_view criticality_class_slug(CriticalityClass c) {
+  switch (c) {
+    case CriticalityClass::kDetected: return "detected";
+    case CriticalityClass::kSeverePermanent: return "severe_permanent";
+    case CriticalityClass::kSevereSemiPermanent:
+      return "severe_semi_permanent";
+    case CriticalityClass::kTransient: return "transient";
+    case CriticalityClass::kInsignificant: return "insignificant";
+    case CriticalityClass::kNonEffective: return "non_effective";
+    case CriticalityClass::kCount: break;
+  }
+  return "unknown";
+}
+
+/// Integer severity weights (per weighted experiment) behind the scalar
+/// score.  score = Σ weight(class)·count(class) / (100 · faults), so a
+/// score of 1.0 means every fault in the element was a permanent severe
+/// failure and 0.0 means every fault was detected or non-effective.
+constexpr std::uint64_t criticality_severity_weight(CriticalityClass c) {
+  switch (c) {
+    case CriticalityClass::kSeverePermanent: return 100;
+    case CriticalityClass::kSevereSemiPermanent: return 60;
+    case CriticalityClass::kTransient: return 20;
+    case CriticalityClass::kInsignificant: return 5;
+    case CriticalityClass::kDetected:
+    case CriticalityClass::kNonEffective:
+    case CriticalityClass::kCount: break;
+  }
+  return 0;
+}
+
+using ClassCounts = std::array<std::uint64_t, kCriticalityClassCount>;
+
+/// Where a flat fault-space bit lives: the state element's stable name, the
+/// bit offset inside it, and which partition it belongs to.
+struct BitLocation {
+  std::string element;
+  unsigned bit = 0;
+  bool cache = false;
+};
+
+/// Maps a flat scan-chain (or SWIFI state) bit to its element.  Must be
+/// pure: the same flat bit always resolves to the same location, in the
+/// live observer and the offline report alike.
+using BitResolver = std::function<BitLocation(std::size_t)>;
+
+/// Resolver over the TVM scan chain (SCIFI campaigns): "r5", "pc",
+/// "cache.data[3][2]", ...  Out-of-range bits degrade to "bit[N]" so stale
+/// databases from a different cache geometry still aggregate.
+BitResolver scan_chain_resolver(const tvm::CacheConfig& cache_config = {});
+
+/// Resolver for SWIFI campaigns, whose fault space is the controller state
+/// vector (32-bit words): flat bit N → element "state[N/32]", bit N%32.
+BitResolver swifi_resolver();
+
+struct CriticalityConfig {
+  /// Injection-time axis resolution of the profile (bucket = t·B/T over a
+  /// time space of T golden time units).
+  std::size_t time_buckets = 8;
+};
+
+/// Default ranked-element count shared by `GET /criticality?top=` and
+/// `earl-trace --top` — the two feeds must default identically for their
+/// reports to diff clean.
+inline constexpr std::size_t kDefaultCriticalityTop = 20;
+
+/// Per-bit slice of an element's profile.
+struct BitProfile {
+  std::uint64_t faults = 0;  // weighted experiments touching this bit
+  ClassCounts classes{};
+};
+
+/// Aggregated severity profile of one state element.
+struct ElementProfile {
+  std::string name;
+  bool cache = false;
+  std::uint64_t faults = 0;  // weighted experiments touching the element
+  ClassCounts classes{};
+  std::uint64_t detection_distance_sum = 0;  // weighted, detected rows only
+  std::map<unsigned, BitProfile> bits;       // bit offset → per-class counts
+  std::vector<ClassCounts> buckets;          // time bucket → per-class counts
+
+  /// Σ severity_weight(class)·classes[class] — the score numerator.
+  std::uint64_t severity() const;
+  /// Scalar criticality in [0, 1]; 0 when the element saw no faults.
+  double score() const;
+  /// Weighted mean injection→detection distance over detected rows.
+  double mean_detection_distance() const;
+};
+
+class CriticalityIndex {
+ public:
+  explicit CriticalityIndex(CriticalityConfig config = {},
+                            BitResolver resolver = {});
+
+  /// Campaign identity echoed into every report.
+  void set_campaign(std::string name) { campaign_ = std::move(name); }
+  const std::string& campaign() const { return campaign_; }
+
+  /// Injection-time sampling space (the golden run's total_time).  Must be
+  /// set before `add` for time buckets to be meaningful; rows added with a
+  /// zero time space all land in bucket 0.
+  void set_time_space(std::uint64_t time_space) { time_space_ = time_space; }
+  std::uint64_t time_space() const { return time_space_; }
+
+  /// Folds one experiment row in, multiplied by its def/use collapse
+  /// weight.  A multi-bit fault attributes the full experiment to every
+  /// element it touches (deduplicated per experiment).  Returns the
+  /// touched profiles so a live exporter can update per-element series
+  /// without resolving the bits a second time; pointers stay valid for
+  /// the index's lifetime.
+  std::vector<const ElementProfile*> add(const fi::ExperimentResult& result);
+
+  std::uint64_t total_weight() const { return total_weight_; }
+  const ClassCounts& class_totals() const { return class_totals_; }
+  std::size_t time_buckets() const { return config_.time_buckets; }
+
+  /// Elements ranked by (score desc, weighted faults desc, name asc).
+  std::vector<const ElementProfile*> ranked() const;
+  /// nullptr when the element saw no faults.
+  const ElementProfile* find(std::string_view element) const;
+
+  /// The shared report document: campaign identity, class totals, and the
+  /// top-k ranked elements with per-class weighted counts and rates.
+  /// Deterministic — no wall-clock fields — and newline-terminated, so the
+  /// live endpoint body and the CLI stdout are diffable verbatim.
+  std::string to_json(std::size_t top_k) const;
+
+  /// Bit- and time-bucket-level detail for one element (the endpoint's
+  /// `?element=` view).  Empty string when the element is unknown.
+  std::string element_json(std::string_view element) const;
+
+  /// Heatmap export: per-cell criticality score over element (ranked
+  /// order) × injection-time bucket.
+  std::string heatmap_csv() const;
+  /// Self-contained SVG rendering of the same grid (white → red scale).
+  std::string heatmap_svg() const;
+
+  /// Builds an index from a saved database, honoring row weights.  The
+  /// time space comes from the DB's recorded golden total_time; databases
+  /// predating that column fall back to max(fault time)+1 over the rows.
+  static CriticalityIndex from_database(const fi::ResultDatabase& db,
+                                        CriticalityConfig config = {},
+                                        BitResolver resolver = {});
+
+ private:
+  std::size_t bucket_of(std::uint64_t time) const;
+
+  CriticalityConfig config_;
+  BitResolver resolver_;
+  std::string campaign_;
+  std::uint64_t time_space_ = 0;
+  std::uint64_t total_weight_ = 0;
+  ClassCounts class_totals_{};
+  std::map<std::string, ElementProfile, std::less<>> elements_;
+};
+
+}  // namespace earl::analysis

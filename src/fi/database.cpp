@@ -14,6 +14,16 @@ util::CsvRow header_row() {
           "cache",       "outcome",     "edm",         "end_iteration",
           "detection_distance",
           "first_strong", "strong_count", "max_deviation", "propagation",
+          "campaign",    "seed",         "weight",      "total_time"};
+}
+
+// The pre-total_time header (PR 8): weight but no golden time-space column.
+// Still accepted by load(), total_time defaulting to 0.
+util::CsvRow v3_header_row() {
+  return {"id",          "kind",        "time",        "bits",
+          "cache",       "outcome",     "edm",         "end_iteration",
+          "detection_distance",
+          "first_strong", "strong_count", "max_deviation", "propagation",
           "campaign",    "seed",         "weight"};
 }
 
@@ -116,6 +126,7 @@ std::optional<analysis::PropagationRecord> parse_propagation(
 ResultDatabase::ResultDatabase(const CampaignResult& campaign)
     : campaign_name_(campaign.config.name),
       seed_(campaign.config.seed),
+      total_time_(campaign.golden.total_time),
       experiments_(campaign.experiments) {}
 
 void ResultDatabase::insert(const ExperimentResult& experiment) {
@@ -181,6 +192,7 @@ bool ResultDatabase::save(const std::string& path) const {
         campaign_name_,
         std::to_string(seed_),
         std::to_string(e.weight),
+        std::to_string(total_time_),
     });
   }
   return util::csv_write_file(path, header_row(), rows);
@@ -195,12 +207,14 @@ std::optional<ResultDatabase> ResultDatabase::load(const std::string& path) {
   if (rows.size() < 1) return std::nullopt;
   const bool legacy = rows[0] == legacy_header_row();
   const bool v2 = !legacy && rows[0] == v2_header_row();
-  if (!legacy && !v2 && rows[0] != header_row()) return std::nullopt;
+  const bool v3 = !legacy && !v2 && rows[0] == v3_header_row();
+  if (!legacy && !v2 && !v3 && rows[0] != header_row()) return std::nullopt;
   // Columns from detection_distance on sit one further right in the current
-  // format than in the legacy one; the weight column (current format only)
-  // trails everything.
+  // format than in the legacy one; the weight column (v3 onward) and the
+  // total_time column (current format only) trail everything.
   const std::size_t shift = legacy ? 0 : 1;
   const bool has_weight = !legacy && !v2;
+  const bool has_total_time = has_weight && !v3;
   ResultDatabase db;
   for (std::size_t i = 1; i < rows.size(); ++i) {
     const util::CsvRow& row = rows[i];
@@ -238,6 +252,9 @@ std::optional<ResultDatabase> ResultDatabase::load(const std::string& path) {
     if (has_weight) {
       e.weight = std::strtoull(row[14 + shift].c_str(), nullptr, 10);
       if (e.weight == 0) e.weight = 1;  // a weightless row stands for itself
+    }
+    if (has_total_time) {
+      db.total_time_ = std::strtoull(row[15 + shift].c_str(), nullptr, 10);
     }
     db.experiments_.push_back(std::move(e));
   }

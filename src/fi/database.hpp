@@ -40,10 +40,11 @@ class ResultDatabase {
   /// nullopt when the file cannot be read or is not a result database
   /// (wrong/missing header) — distinct from an engaged database with zero
   /// rows, which is what a valid empty campaign loads as.  Files saved
-  /// before the detection_distance column (PR 3) or the trailing weight
-  /// column (PR 8) still load, with the distance defaulting to 0 and the
-  /// weight to 1.  Rows with the wrong column count or an out-of-range
-  /// enum value are skipped and counted, never cast blindly.
+  /// before the detection_distance column (PR 3), the weight column
+  /// (PR 8) or the total_time column still load, with the distance
+  /// defaulting to 0, the weight to 1 and the total time to 0.  Rows with
+  /// the wrong column count or an out-of-range enum value are skipped and
+  /// counted, never cast blindly.
   bool save(const std::string& path) const;
   static std::optional<ResultDatabase> load(const std::string& path);
 
@@ -54,9 +55,17 @@ class ResultDatabase {
   const std::string& campaign_name() const { return campaign_name_; }
   std::uint64_t seed() const { return seed_; }
 
+  /// The golden run's injection-time sampling space, persisted so offline
+  /// analysis buckets fault times exactly like the live campaign did.  0
+  /// for databases saved before the column existed (and for streaming
+  /// databases until the golden run completes).
+  std::uint64_t total_time() const { return total_time_; }
+  void set_total_time(std::uint64_t total_time) { total_time_ = total_time; }
+
  private:
   std::string campaign_name_;
   std::uint64_t seed_ = 0;
+  std::uint64_t total_time_ = 0;
   std::vector<ExperimentResult> experiments_;
   std::size_t skipped_rows_ = 0;
 };

@@ -1,0 +1,116 @@
+#include "obs/criticality_observer.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace earl::obs {
+
+CriticalityObserver::CriticalityObserver(Options options,
+                                         MetricsRegistry* registry)
+    : options_(std::move(options)),
+      registry_(registry),
+      index_(options_.criticality, options_.resolver) {
+  if (registry_ != nullptr) {
+    registry_->set_help(
+        "earl.experiments_by_class",
+        "Weighted experiments per criticality class and state element.");
+    registry_->set_help(
+        "earl.criticality_score",
+        "Scalar fault-criticality score per state element (0 = harmless, "
+        "1 = every fault a permanent severe failure).");
+  }
+}
+
+void CriticalityObserver::on_campaign_start(const fi::CampaignConfig& config,
+                                            const CampaignStartInfo& info) {
+  (void)info;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  index_ = analysis::CriticalityIndex(options_.criticality,
+                                      options_.resolver);
+  index_.set_campaign(config.name);
+  // Registry members are cumulative across campaigns; only the handle
+  // cache resets (handles re-resolve on first touch).
+  series_.clear();
+}
+
+void CriticalityObserver::on_golden_done(const fi::GoldenRun& golden) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  index_.set_time_space(golden.total_time);
+}
+
+void CriticalityObserver::on_experiment_done(std::size_t worker,
+                                             const fi::ExperimentResult& result,
+                                             std::uint64_t wall_ns) {
+  (void)worker;
+  (void)wall_ns;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::vector<const analysis::ElementProfile*> touched =
+      index_.add(result);
+  if (registry_ == nullptr) return;
+  const std::uint64_t weight = result.weight == 0 ? 1 : result.weight;
+  const std::size_t cls = static_cast<std::size_t>(
+      analysis::criticality_class(result.outcome));
+  for (const analysis::ElementProfile* element : touched) {
+    ElementSeries& series = series_[element->name];
+    if (series.score == nullptr) {
+      for (std::size_t c = 0; c < analysis::kCriticalityClassCount; ++c) {
+        series.classes[c] = &registry_->labeled_counter(
+            "earl.experiments_by_class",
+            {{"class",
+              std::string(analysis::criticality_class_slug(
+                  static_cast<analysis::CriticalityClass>(c)))},
+             {"element", element->name}});
+      }
+      series.score = &registry_->labeled_gauge(
+          "earl.criticality_score", {{"element", element->name}});
+    }
+    series.classes[cls]->add(weight);
+    series.score->set(element->score());
+  }
+}
+
+std::string CriticalityObserver::report_json(std::size_t top_k) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return index_.to_json(top_k);
+}
+
+std::string CriticalityObserver::element_json(
+    std::string_view element) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return index_.element_json(element);
+}
+
+std::string CriticalityObserver::digest_json(std::size_t top_k) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::vector<const analysis::ElementProfile*> order = index_.ranked();
+  const std::size_t n = std::min(top_k, order.size());
+  std::string top = "[";
+  for (std::size_t i = 0; i < n; ++i) {
+    JsonObject entry;
+    entry.field("element", order[i]->name);
+    entry.field("score", order[i]->score());
+    if (i > 0) top += ",";
+    top += std::move(entry).str();
+  }
+  top += "]";
+  JsonObject doc;
+  doc.field("experiments", index_.total_weight());
+  doc.field("elements", static_cast<std::uint64_t>(order.size()));
+  doc.raw_field("top", top);
+  return std::move(doc).str();
+}
+
+std::uint64_t CriticalityObserver::experiments_seen() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return index_.total_weight();
+}
+
+analysis::CriticalityIndex CriticalityObserver::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return index_;
+}
+
+}  // namespace earl::obs

@@ -1,0 +1,77 @@
+// Live fault-criticality observer.
+//
+// Streams every completed experiment into an `analysis::CriticalityIndex`
+// under a mutex (the DatabaseObserver threading pattern) and, when a
+// metrics registry is attached, keeps the per-element Prometheus series
+// current: `earl_experiments_by_class{class=...,element=...}` counters and
+// `earl_criticality_score{element=...}` gauges.  Strictly passive — the
+// per-experiment work is one lock, a handful of integer adds, and (for the
+// registry path) cached lock-free instrument updates, so campaigns stay
+// bit-identical with the observer attached (bench_criticality_overhead
+// proves it against a checked-in baseline).
+//
+// The snapshot accessors serialize through the same `CriticalityIndex`
+// serializers the offline `earl-trace --criticality-report` uses, which is
+// what lets CI diff the live `/criticality` body against the offline
+// report verbatim.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "analysis/criticality.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
+
+namespace earl::obs {
+
+class CriticalityObserver final : public CampaignObserver {
+ public:
+  struct Options {
+    analysis::CriticalityConfig criticality;
+    /// Flat-bit → element mapping; defaults to the SCIFI scan chain.
+    analysis::BitResolver resolver;
+  };
+
+  explicit CriticalityObserver(Options options = {},
+                               MetricsRegistry* registry = nullptr);
+
+  void on_campaign_start(const fi::CampaignConfig& config,
+                         const CampaignStartInfo& info) override;
+  void on_golden_done(const fi::GoldenRun& golden) override;
+  void on_experiment_done(std::size_t worker,
+                          const fi::ExperimentResult& result,
+                          std::uint64_t wall_ns) override;
+
+  /// The `/criticality` body: ranked top-k report (CriticalityIndex::
+  /// to_json under the lock).
+  std::string report_json(std::size_t top_k) const;
+  /// Bit/time-bucket detail for `?element=`; empty when unknown.
+  std::string element_json(std::string_view element) const;
+  /// Compact one-line digest for the SSE `criticality_updated` event.
+  std::string digest_json(std::size_t top_k = 5) const;
+
+  /// Weighted experiments folded in so far.
+  std::uint64_t experiments_seen() const;
+
+  /// Deep copy of the index for tests and offline comparison.
+  analysis::CriticalityIndex snapshot() const;
+
+ private:
+  struct ElementSeries {
+    std::array<Counter*, analysis::kCriticalityClassCount> classes{};
+    Gauge* score = nullptr;
+  };
+
+  Options options_;
+  MetricsRegistry* registry_;
+  mutable std::mutex mutex_;
+  analysis::CriticalityIndex index_;
+  std::unordered_map<std::string, ElementSeries> series_;
+};
+
+}  // namespace earl::obs

@@ -14,6 +14,11 @@ void DatabaseObserver::on_campaign_start(const fi::CampaignConfig& config,
   save_ok_.reset();
 }
 
+void DatabaseObserver::on_golden_done(const fi::GoldenRun& golden) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  database_.set_total_time(golden.total_time);
+}
+
 void DatabaseObserver::on_experiment_done(std::size_t worker,
                                           const fi::ExperimentResult& result,
                                           std::uint64_t wall_ns) {
@@ -34,6 +39,7 @@ void DatabaseObserver::on_campaign_end(const fi::CampaignResult& result) {
               return a.id < b.id;
             });
   fi::ResultDatabase rebuilt(database_.campaign_name(), database_.seed());
+  rebuilt.set_total_time(database_.total_time());
   for (fi::ExperimentResult& e : sorted) rebuilt.insert(e);
   database_ = std::move(rebuilt);
   if (!path_.empty()) save_ok_ = database_.save(path_);

@@ -25,6 +25,7 @@ class DatabaseObserver final : public CampaignObserver {
 
   void on_campaign_start(const fi::CampaignConfig& config,
                          const CampaignStartInfo& info) override;
+  void on_golden_done(const fi::GoldenRun& golden) override;
   void on_experiment_done(std::size_t worker,
                           const fi::ExperimentResult& result,
                           std::uint64_t wall_ns) override;

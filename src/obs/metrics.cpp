@@ -65,6 +65,25 @@ double Histogram::quantile(double q) const {
   return bounds_.empty() ? 0.0 : bounds_.back();
 }
 
+namespace {
+
+// Rendered label set — `{class="detected",element="r1"}` — used both as
+// the member key inside a family and verbatim in the exposition output.
+std::string render_labels(const MetricsRegistry::Labels& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += prometheus_name(key) + "=\"" + prometheus_label_escape(value) +
+           "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
 Counter& MetricsRegistry::counter(std::string_view name) {
   const std::lock_guard<std::mutex> lock(mutex_);
   auto it = counters_.find(name);
@@ -96,6 +115,50 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
     assert(it->second->bounds().size() == bounds.size());
   }
   return *it->second;
+}
+
+Counter& MetricsRegistry::labeled_counter(std::string_view family,
+                                          const Labels& labels) {
+  const std::string key = render_labels(labels);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto family_it = counter_families_.find(family);
+  if (family_it == counter_families_.end()) {
+    family_it =
+        counter_families_.emplace(std::string(family), FamilyMembers<Counter>())
+            .first;
+  }
+  auto it = family_it->second.find(key);
+  if (it == family_it->second.end()) {
+    it = family_it->second.emplace(key, std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::labeled_gauge(std::string_view family,
+                                      const Labels& labels) {
+  const std::string key = render_labels(labels);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto family_it = gauge_families_.find(family);
+  if (family_it == gauge_families_.end()) {
+    family_it =
+        gauge_families_.emplace(std::string(family), FamilyMembers<Gauge>())
+            .first;
+  }
+  auto it = family_it->second.find(key);
+  if (it == family_it->second.end()) {
+    it = family_it->second.emplace(key, std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+const Counter* MetricsRegistry::find_labeled_counter(
+    std::string_view family, const Labels& labels) const {
+  const std::string key = render_labels(labels);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto family_it = counter_families_.find(family);
+  if (family_it == counter_families_.end()) return nullptr;
+  const auto it = family_it->second.find(key);
+  return it == family_it->second.end() ? nullptr : it->second.get();
 }
 
 void MetricsRegistry::set_info(std::string_view name, InfoLabels labels) {
@@ -161,6 +224,29 @@ std::string MetricsRegistry::to_json() const {
     out += "]}";
   }
   out += first ? "}" : "\n  }";
+  // Labeled families appear only once created, keeping the historical
+  // byte-exact JSON shape for registries that never use them.
+  if (!counter_families_.empty() || !gauge_families_.empty()) {
+    out += ",\n  \"labeled\": {";
+    first = true;
+    for (const auto& [name, members] : counter_families_) {
+      for (const auto& [labels, c] : members) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"" + json_escape(name + labels) + "\": " +
+               std::to_string(c->value());
+      }
+    }
+    for (const auto& [name, members] : gauge_families_) {
+      for (const auto& [labels, g] : members) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"" + json_escape(name + labels) + "\": " +
+               json_number(g->value());
+      }
+    }
+    out += first ? "}" : "\n  }";
+  }
   // Info gauges appear only once set, so registries that never set one
   // keep their historical byte-exact JSON shape.
   if (!infos_.empty()) {
@@ -217,6 +303,18 @@ std::string MetricsRegistry::to_csv() const {
       out += "histogram," + csv_quote(name) + ",le_" +
              (i < bounds.size() ? json_number(bounds[i]) : "inf") + "," +
              std::to_string(counts[i]) + "\n";
+    }
+  }
+  for (const auto& [name, members] : counter_families_) {
+    for (const auto& [labels, c] : members) {
+      out += "counter," + csv_quote(name + labels) + ",value," +
+             std::to_string(c->value()) + "\n";
+    }
+  }
+  for (const auto& [name, members] : gauge_families_) {
+    for (const auto& [labels, g] : members) {
+      out += "gauge," + csv_quote(name + labels) + ",value," +
+             json_number(g->value()) + "\n";
     }
   }
   for (const auto& [name, labels] : infos_) {
@@ -335,6 +433,24 @@ std::string MetricsRegistry::to_prometheus() const {
     const std::string prom = prometheus_name(name);
     blocks.emplace_back(prom,
                         prometheus_histogram_block(prom, help_for(name), *h));
+  }
+  for (const auto& [name, members] : counter_families_) {
+    const std::string prom = prometheus_name(name);
+    std::string block = "# HELP " + prom + " " + help_for(name) + "\n";
+    block += "# TYPE " + prom + " counter\n";
+    for (const auto& [labels, c] : members) {
+      block += prom + labels + " " + std::to_string(c->value()) + "\n";
+    }
+    blocks.emplace_back(prom, std::move(block));
+  }
+  for (const auto& [name, members] : gauge_families_) {
+    const std::string prom = prometheus_name(name);
+    std::string block = "# HELP " + prom + " " + help_for(name) + "\n";
+    block += "# TYPE " + prom + " gauge\n";
+    for (const auto& [labels, g] : members) {
+      block += prom + labels + " " + json_number(g->value()) + "\n";
+    }
+    blocks.emplace_back(prom, std::move(block));
   }
   for (const auto& [name, labels] : infos_) {
     const std::string prom = prometheus_name(name);

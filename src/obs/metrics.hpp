@@ -90,6 +90,21 @@ class MetricsRegistry {
   /// a constant-1 sample whose identity lives in the label set.
   using InfoLabels = std::vector<std::pair<std::string, std::string>>;
 
+  /// Label set identifying one member of a labeled family, rendered in the
+  /// order given (callers keep the order stable so the member key is too).
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
+  /// Finds or creates one member of a labeled family (the per-class
+  /// criticality series: `earl_experiments_by_class{class=...,element=...}`).
+  /// Same handle contract as the unlabeled instruments: resolved once under
+  /// the mutex, lock-free to update, stable for the registry's lifetime.
+  /// Exported as one `# HELP`/`# TYPE` block per family with samples sorted
+  /// by rendered label set, label values escaped per the exposition format.
+  /// Labeled members do not appear in counters_snapshot() — bench baselines
+  /// track the unlabeled campaign counters only.
+  Counter& labeled_counter(std::string_view family, const Labels& labels);
+  Gauge& labeled_gauge(std::string_view family, const Labels& labels);
+
   /// Sets an info gauge: exported as `name{k="v",...} 1` in Prometheus,
   /// as a string-valued object under "info" in JSON, and as
   /// `info,name,k,v` rows in CSV.  Re-setting replaces the label set.
@@ -117,12 +132,21 @@ class MetricsRegistry {
   /// Lookup for tests/tools; nullptr when absent.
   const Counter* find_counter(std::string_view name) const;
   const Histogram* find_histogram(std::string_view name) const;
+  const Counter* find_labeled_counter(std::string_view family,
+                                      const Labels& labels) const;
 
  private:
+  template <typename Instrument>
+  using FamilyMembers =
+      std::map<std::string, std::unique_ptr<Instrument>, std::less<>>;
+
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, FamilyMembers<Counter>, std::less<>>
+      counter_families_;
+  std::map<std::string, FamilyMembers<Gauge>, std::less<>> gauge_families_;
   std::map<std::string, InfoLabels, std::less<>> infos_;
   std::map<std::string, std::string, std::less<>> help_;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "obs/criticality_observer.hpp"
 #include "obs/json.hpp"
 #include "obs/labels.hpp"
 
@@ -195,6 +196,12 @@ std::string render_sse_event(const ServerEvent& event,
       data.field("completed", event.arg0);
       data.field("interrupted", event.arg1 != 0);
       break;
+    case ServerEvent::Type::kCriticality:
+      // Fallback frame; serve_events() substitutes the live digest from
+      // the attached CriticalityObserver at consume time.
+      name = "criticality_updated";
+      data.field("experiments", event.arg0);
+      break;
   }
   std::string out = "event: ";
   out += name;
@@ -267,6 +274,10 @@ void TelemetryServer::set_tracer(SpanTracer* tracer) {
   http_track_ = tracer != nullptr ? tracer->track("http") : nullptr;
 }
 
+void TelemetryServer::set_criticality(CriticalityObserver* criticality) {
+  criticality_ = criticality;
+}
+
 // Observer callbacks — the campaign-facing (hot) side.
 
 void TelemetryServer::on_campaign_start(const fi::CampaignConfig& config,
@@ -277,6 +288,7 @@ void TelemetryServer::on_campaign_start(const fi::CampaignConfig& config,
   }
   campaign_workers_.store(info.workers, std::memory_order_relaxed);
   campaign_start_ns_.store(now(), std::memory_order_relaxed);
+  criticality_seen_.store(0, std::memory_order_relaxed);
   state_.store(CampaignState::kRunning, std::memory_order_relaxed);
   reporter_.on_campaign_start(config, info);
 
@@ -320,6 +332,17 @@ void TelemetryServer::on_experiment_done(std::size_t worker,
   event.end_iteration = result.end_iteration;
   event.wall_ns = wall_ns;
   ring_.push(event);
+
+  if (criticality_ != nullptr && options_.criticality_digest_every > 0) {
+    const std::uint64_t seen =
+        criticality_seen_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (seen % options_.criticality_digest_every == 0) {
+      ServerEvent digest;
+      digest.type = ServerEvent::Type::kCriticality;
+      digest.arg0 = seen;
+      ring_.push(digest);
+    }
+  }
 }
 
 void TelemetryServer::on_campaign_extended(std::size_t worker,
@@ -343,6 +366,15 @@ void TelemetryServer::on_campaign_end(const fi::CampaignResult& result) {
   event.arg0 = result.experiments.size();
   event.arg1 = result.interrupted ? 1 : 0;
   ring_.push(event);
+
+  // Final digest so subscribers see the completed ranking even when the
+  // campaign length is not a multiple of the digest cadence.
+  if (criticality_ != nullptr && options_.criticality_digest_every > 0) {
+    ServerEvent digest;
+    digest.type = ServerEvent::Type::kCriticality;
+    digest.arg0 = criticality_seen_.load(std::memory_order_relaxed);
+    ring_.push(digest);
+  }
 }
 
 // HTTP handlers — the scrape-facing (read-only) side.
@@ -394,12 +426,15 @@ void TelemetryServer::handle(const HttpRequest& request,
     response = healthz_response();
   } else if (path == "/spans") {
     response = spans_response();
+  } else if (path == "/criticality") {
+    response = criticality_response(request);
   } else if (path == "/") {
     response = index_response();
   } else {
     response = {404, "text/plain; charset=utf-8",
                 "not found; endpoints: /metrics /progress /healthz /events "
-                "/spans /control/{pause,resume,stop,extend,workers}\n"};
+                "/spans /criticality "
+                "/control/{pause,resume,stop,extend,workers}\n"};
   }
   connection.send_response(response, request.keep_alive());
   observe_latency();
@@ -732,6 +767,37 @@ HttpResponse TelemetryServer::spans_response() {
   return response;
 }
 
+HttpResponse TelemetryServer::criticality_response(
+    const HttpRequest& request) {
+  if (criticality_ == nullptr) {
+    return {404, "text/plain; charset=utf-8",
+            "criticality tracking is not enabled; run earl-goofi with "
+            "--serve\n"};
+  }
+  const std::string element = request.query_param("element");
+  if (!element.empty()) {
+    std::string body = criticality_->element_json(element);
+    if (body.empty()) {
+      return {404, "text/plain; charset=utf-8",
+              "unknown element \"" + element +
+                  "\"; GET /criticality lists the ranked elements\n"};
+    }
+    return {200, "application/json", std::move(body)};
+  }
+  std::size_t top = analysis::kDefaultCriticalityTop;
+  if (const std::string top_param = request.query_param("top");
+      !top_param.empty()) {
+    const std::optional<std::uint64_t> parsed = parse_positive(top_param);
+    if (!parsed) {
+      return {400, "text/plain; charset=utf-8",
+              "top must be a positive integer, e.g. GET /criticality?top="
+              "10\n"};
+    }
+    top = static_cast<std::size_t>(*parsed);
+  }
+  return {200, "application/json", criticality_->report_json(top)};
+}
+
 HttpResponse TelemetryServer::index_response() {
   HttpResponse response;
   response.body =
@@ -741,6 +807,8 @@ HttpResponse TelemetryServer::index_response() {
       "  /healthz   200 healthy / 503 worker stalled\n"
       "  /events    Server-Sent Events lifecycle stream\n"
       "  /spans     Chrome trace_event JSON span window (--spans-out)\n"
+      "  /criticality  JSON fault-criticality ranking "
+      "(?element=NAME, ?top=K)\n"
       "  POST /control/{pause,resume,stop}  campaign control\n"
       "  POST /control/extend?n=M           grow the campaign\n"
       "  POST /control/workers?n=K          soft-cap active workers\n";
@@ -753,11 +821,15 @@ void TelemetryServer::serve_events(HttpConnection& connection) {
 
   // New subscribers catch up on whatever history the ring still holds.
   std::uint64_t cursor = ring_.oldest_seq();
-  int idle_polls = 0;
+  // Heartbeat cadence in units of the 250 ms poll tick; sub-tick intervals
+  // degrade to one comment per tick.
+  constexpr std::chrono::milliseconds kPollTick{250};
+  const long heartbeat_polls = std::max<long>(
+      1, options_.heartbeat_interval / kPollTick);
+  long idle_polls = 0;
   bool open = connection.write_all("retry: 1000\n\n");
   while (open && http_.running()) {
-    EventRing::Poll poll =
-        ring_.poll(&cursor, std::chrono::milliseconds(250));
+    EventRing::Poll poll = ring_.poll(&cursor, kPollTick);
     if (poll.dropped > 0) {
       open = connection.write_all(
           "event: dropped\ndata: {\"dropped\":" +
@@ -767,17 +839,27 @@ void TelemetryServer::serve_events(HttpConnection& connection) {
     for (const ServerEvent& event : poll.events) {
       // campaign_start may carry a newer name than the one captured at
       // connect time; re-read so multi-campaign processes stay accurate.
-      open = connection.write_all(
-          render_sse_event(event, campaign_name()));
+      // Criticality digests render from the live observer here on the
+      // consumer thread, keeping the worker-side push a plain POD copy.
+      std::string frame;
+      if (event.type == ServerEvent::Type::kCriticality &&
+          criticality_ != nullptr) {
+        frame = "event: criticality_updated\nid: " +
+                std::to_string(event.seq) +
+                "\ndata: " + criticality_->digest_json() + "\n\n";
+      } else {
+        frame = render_sse_event(event, campaign_name());
+      }
+      open = connection.write_all(frame);
       if (!open) break;
     }
     if (poll.closed && poll.events.empty()) break;
     if (poll.events.empty()) {
-      // Heartbeat comment roughly every 5s keeps proxies from timing the
-      // stream out and detects silently-gone clients.
-      if (++idle_polls >= 20) {
+      // Periodic comment keeps proxies from timing the stream out and
+      // detects silently-gone clients (15 s default, configurable).
+      if (++idle_polls >= heartbeat_polls) {
         idle_polls = 0;
-        open = connection.write_all(": keep-alive\n\n");
+        open = connection.write_all(": heartbeat\n\n");
       }
     } else {
       idle_polls = 0;

@@ -20,6 +20,11 @@
 //                  retained span window (only when a tracer is attached
 //                  via set_tracer; 404 otherwise) — load in Perfetto live,
 //                  mid-campaign
+//   GET /criticality  JSON fault-criticality ranking from the attached
+//                  CriticalityObserver (set_criticality; 404 otherwise):
+//                  ranked elements with per-class weighted rates, bit-level
+//                  detail via ?element=NAME, top-k via ?top=K — the same
+//                  document `earl-trace --criticality-report` prints
 //
 // Control plane (only when a fi::CampaignController is attached via
 // set_controller, POST-only, optionally bearer-token guarded):
@@ -56,6 +61,8 @@
 #include "obs/span.hpp"
 
 namespace earl::obs {
+
+class CriticalityObserver;
 
 /// Worker-liveness watchdog.  A worker is *stalled* when it has been
 /// silent (no on_experiment_done) for longer than
@@ -117,9 +124,11 @@ struct ServerEvent {
     kCampaignStart,
     kGoldenDone,
     kExperiment,
-    kControl,   // a control command was accepted over HTTP
-    kExtended,  // the runner applied an extension (new experiment total)
+    kControl,      // a control command was accepted over HTTP
+    kExtended,     // the runner applied an extension (new experiment total)
     kCampaignEnd,
+    kCriticality,  // periodic criticality digest marker; the SSE writer
+                   // renders the live digest at consume time
   };
   Type type = Type::kExperiment;
   std::uint64_t seq = 0;  // assigned by EventRing::push
@@ -132,7 +141,8 @@ struct ServerEvent {
   std::uint64_t wall_ns = 0;
   // kCampaignStart: {experiments, workers}; kGoldenDone: {total_time,
   // max_iteration_time}; kControl: {command enum, value}; kExtended:
-  // {new_total, -}; kCampaignEnd: {completed, interrupted}.
+  // {new_total, -}; kCampaignEnd: {completed, interrupted};
+  // kCriticality: {experiments aggregated, -}.
   std::uint64_t arg0 = 0;
   std::uint64_t arg1 = 0;
 };
@@ -190,6 +200,14 @@ class TelemetryServer final : public CampaignObserver {
     /// "Authorization: Bearer <token>" (401 otherwise).  GET endpoints are
     /// never authenticated — they stay read-only.
     std::string bearer_token;
+    /// Idle `/events` streams emit a `: heartbeat` comment at this cadence
+    /// so proxies and load balancers do not time the stream out.
+    /// Effective resolution is the SSE poll tick (250 ms).
+    std::chrono::milliseconds heartbeat_interval{15000};
+    /// Push an SSE `criticality_updated` digest every N completed
+    /// experiments (plus one at campaign end) when a CriticalityObserver
+    /// is attached; 0 disables the digest events.
+    std::size_t criticality_digest_every = 100;
   };
 
   explicit TelemetryServer(Options options,
@@ -221,6 +239,12 @@ class TelemetryServer final : public CampaignObserver {
   /// clock so /progress ETAs exclude paused wall time.
   void set_controller(fi::CampaignController* controller);
 
+  /// Attaches a criticality observer: GET /criticality serves its ranked
+  /// report, and completed experiments emit periodic `criticality_updated`
+  /// SSE digests.  The observer must outlive the server; attach before
+  /// start().  Null detaches (/criticality answers 404).
+  void set_criticality(CriticalityObserver* criticality);
+
   /// Attaches a span tracer: GET /spans serves its retained window as
   /// Chrome trace_event JSON, and every non-SSE request emits a
   /// kHttpRequest span onto the tracer's "http" track (multi-writer safe —
@@ -249,6 +273,7 @@ class TelemetryServer final : public CampaignObserver {
   HttpResponse progress_response();
   HttpResponse healthz_response();
   HttpResponse spans_response();
+  HttpResponse criticality_response(const HttpRequest& request);
   HttpResponse index_response();
   HttpResponse control_response(const HttpRequest& request);
   HttpResponse control_status(fi::ControlCommand command);
@@ -268,6 +293,8 @@ class TelemetryServer final : public CampaignObserver {
   fi::CampaignController* controller_ = nullptr;
   SpanTracer* tracer_ = nullptr;
   SpanTrack* http_track_ = nullptr;
+  CriticalityObserver* criticality_ = nullptr;
+  std::atomic<std::uint64_t> criticality_seen_{0};
 
   mutable std::mutex state_mutex_;  // guards name_
   std::string name_;

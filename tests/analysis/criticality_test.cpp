@@ -1,0 +1,362 @@
+#include "analysis/criticality.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fi/database.hpp"
+
+namespace earl::analysis {
+namespace {
+
+/// Deterministic two-element fault space, independent of the scan-chain
+/// layout: bits 0..7 are register "alpha", bits 8+ are cache "beta".
+BitResolver two_element_resolver() {
+  return [](std::size_t flat_bit) -> BitLocation {
+    if (flat_bit < 8) return {"alpha", static_cast<unsigned>(flat_bit), false};
+    return {"beta", static_cast<unsigned>(flat_bit - 8), true};
+  };
+}
+
+fi::ExperimentResult row(std::uint64_t id, std::vector<std::size_t> bits,
+                         Outcome outcome, std::uint64_t time = 0,
+                         std::uint64_t weight = 1,
+                         std::uint64_t distance = 0) {
+  fi::ExperimentResult result;
+  result.id = id;
+  result.fault.bits = std::move(bits);
+  result.fault.time = time;
+  result.outcome = outcome;
+  result.weight = weight;
+  result.detection_distance = distance;
+  return result;
+}
+
+TEST(CriticalityClassTest, OutcomesCollapseToSixClasses) {
+  EXPECT_EQ(criticality_class(Outcome::kDetected),
+            CriticalityClass::kDetected);
+  EXPECT_EQ(criticality_class(Outcome::kSeverePermanent),
+            CriticalityClass::kSeverePermanent);
+  EXPECT_EQ(criticality_class(Outcome::kSevereSemiPermanent),
+            CriticalityClass::kSevereSemiPermanent);
+  EXPECT_EQ(criticality_class(Outcome::kMinorTransient),
+            CriticalityClass::kTransient);
+  EXPECT_EQ(criticality_class(Outcome::kMinorInsignificant),
+            CriticalityClass::kInsignificant);
+  // Neither latent nor overwritten errors ever reach the actuator: one
+  // reporting class.
+  EXPECT_EQ(criticality_class(Outcome::kLatent),
+            CriticalityClass::kNonEffective);
+  EXPECT_EQ(criticality_class(Outcome::kOverwritten),
+            CriticalityClass::kNonEffective);
+}
+
+TEST(CriticalityClassTest, SlugsAndSeverityWeights) {
+  EXPECT_EQ(criticality_class_slug(CriticalityClass::kDetected), "detected");
+  EXPECT_EQ(criticality_class_slug(CriticalityClass::kSeverePermanent),
+            "severe_permanent");
+  EXPECT_EQ(criticality_class_slug(CriticalityClass::kSevereSemiPermanent),
+            "severe_semi_permanent");
+  EXPECT_EQ(criticality_class_slug(CriticalityClass::kTransient),
+            "transient");
+  EXPECT_EQ(criticality_class_slug(CriticalityClass::kInsignificant),
+            "insignificant");
+  EXPECT_EQ(criticality_class_slug(CriticalityClass::kNonEffective),
+            "non_effective");
+
+  EXPECT_EQ(criticality_severity_weight(CriticalityClass::kSeverePermanent),
+            100u);
+  EXPECT_EQ(
+      criticality_severity_weight(CriticalityClass::kSevereSemiPermanent),
+      60u);
+  EXPECT_EQ(criticality_severity_weight(CriticalityClass::kTransient), 20u);
+  EXPECT_EQ(criticality_severity_weight(CriticalityClass::kInsignificant),
+            5u);
+  EXPECT_EQ(criticality_severity_weight(CriticalityClass::kDetected), 0u);
+  EXPECT_EQ(criticality_severity_weight(CriticalityClass::kNonEffective),
+            0u);
+}
+
+TEST(CriticalityIndexTest, ScoreSeverityAndDetectionDistance) {
+  CriticalityIndex index({}, two_element_resolver());
+  index.set_time_space(800);
+  index.add(row(0, {0}, Outcome::kSeverePermanent));
+  index.add(row(1, {1}, Outcome::kDetected, 0, 1, 40));
+
+  const ElementProfile* alpha = index.find("alpha");
+  ASSERT_NE(alpha, nullptr);
+  EXPECT_EQ(alpha->faults, 2u);
+  EXPECT_FALSE(alpha->cache);
+  EXPECT_EQ(alpha->severity(), 100u);
+  EXPECT_DOUBLE_EQ(alpha->score(), 0.5);
+  EXPECT_DOUBLE_EQ(alpha->mean_detection_distance(), 40.0);
+  EXPECT_EQ(index.total_weight(), 2u);
+  EXPECT_EQ(index.class_totals()[static_cast<std::size_t>(
+                CriticalityClass::kSeverePermanent)],
+            1u);
+  EXPECT_EQ(index.find("beta"), nullptr);
+  EXPECT_EQ(index.find("nope"), nullptr);
+}
+
+TEST(CriticalityIndexTest, WeightsMultiplyLikeRepeatedRows) {
+  // One collapsed row of weight 3 must aggregate exactly like the three
+  // expanded rows it stands for (the def/use identity the offline feed
+  // relies on).  Zero weights clamp to 1, matching legacy databases.
+  CriticalityIndex collapsed({}, two_element_resolver());
+  collapsed.set_time_space(800);
+  collapsed.add(row(0, {9}, Outcome::kMinorTransient, 250, 3));
+  collapsed.add(row(1, {9}, Outcome::kDetected, 50, 0, 10));
+
+  CriticalityIndex expanded({}, two_element_resolver());
+  expanded.set_time_space(800);
+  for (int i = 0; i < 3; ++i) {
+    expanded.add(row(10 + i, {9}, Outcome::kMinorTransient, 250));
+  }
+  expanded.add(row(13, {9}, Outcome::kDetected, 50, 1, 10));
+
+  EXPECT_EQ(collapsed.total_weight(), 4u);
+  EXPECT_EQ(collapsed.to_json(kDefaultCriticalityTop),
+            expanded.to_json(kDefaultCriticalityTop));
+  EXPECT_EQ(collapsed.element_json("beta"), expanded.element_json("beta"));
+}
+
+TEST(CriticalityIndexTest, MultiBitFaultCountsOncePerElement) {
+  CriticalityIndex index({}, two_element_resolver());
+  // Both bits live in "alpha": one experiment, not two — but both bit
+  // profiles advance.  The third bit drags "beta" in as its own element.
+  index.add(row(0, {2, 3, 8}, Outcome::kSeverePermanent));
+
+  const ElementProfile* alpha = index.find("alpha");
+  ASSERT_NE(alpha, nullptr);
+  EXPECT_EQ(alpha->faults, 1u);
+  ASSERT_EQ(alpha->bits.size(), 2u);
+  EXPECT_EQ(alpha->bits.at(2).faults, 1u);
+  EXPECT_EQ(alpha->bits.at(3).faults, 1u);
+  const ElementProfile* beta = index.find("beta");
+  ASSERT_NE(beta, nullptr);
+  EXPECT_EQ(beta->faults, 1u);
+  EXPECT_TRUE(beta->cache);
+  // Element attribution double-counts across elements by design; the
+  // campaign-level totals count the experiment once.
+  EXPECT_EQ(index.total_weight(), 1u);
+}
+
+TEST(CriticalityIndexTest, RankingBreaksTiesByFaultsThenName) {
+  const BitResolver names = [](std::size_t flat_bit) -> BitLocation {
+    static const char* kNames[] = {"mid", "busy", "quiet"};
+    return {kNames[flat_bit % 3], 0, false};
+  };
+  CriticalityIndex index({}, names);
+  // "busy" and "quiet" both score 1.0; "busy" saw more weighted faults so
+  // it ranks first, and a lower score lands "mid" last regardless of its
+  // fault count.
+  index.add(row(0, {1}, Outcome::kSeverePermanent, 0, 2));
+  index.add(row(1, {2}, Outcome::kSeverePermanent));
+  index.add(row(2, {0}, Outcome::kSeverePermanent));
+  index.add(row(3, {0}, Outcome::kDetected));
+
+  const std::vector<const ElementProfile*> ranked = index.ranked();
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0]->name, "busy");
+  EXPECT_EQ(ranked[1]->name, "quiet");
+  EXPECT_EQ(ranked[2]->name, "mid");
+
+  // Exact tie (same score, same faults): name ascending.
+  CriticalityIndex tie({}, names);
+  tie.add(row(0, {1}, Outcome::kSeverePermanent));
+  tie.add(row(1, {2}, Outcome::kSeverePermanent));
+  const std::vector<const ElementProfile*> order = tie.ranked();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0]->name, "busy");
+  EXPECT_EQ(order[1]->name, "quiet");
+}
+
+TEST(CriticalityIndexTest, TimeBucketEdgesAndClamping) {
+  CriticalityConfig config;
+  config.time_buckets = 8;
+  CriticalityIndex index(config, two_element_resolver());
+  index.set_time_space(800);
+  index.add(row(0, {0}, Outcome::kSeverePermanent, 0));     // bucket 0
+  index.add(row(1, {0}, Outcome::kSeverePermanent, 99));    // bucket 0
+  index.add(row(2, {0}, Outcome::kSeverePermanent, 100));   // bucket 1
+  index.add(row(3, {0}, Outcome::kSeverePermanent, 799));   // bucket 7
+  index.add(row(4, {0}, Outcome::kSeverePermanent, 800));   // clamps to 7
+
+  const ElementProfile* alpha = index.find("alpha");
+  ASSERT_NE(alpha, nullptr);
+  ASSERT_EQ(alpha->buckets.size(), 8u);
+  const auto bucket_faults = [&](std::size_t b) {
+    std::uint64_t total = 0;
+    for (const std::uint64_t c : alpha->buckets[b]) total += c;
+    return total;
+  };
+  EXPECT_EQ(bucket_faults(0), 2u);
+  EXPECT_EQ(bucket_faults(1), 1u);
+  EXPECT_EQ(bucket_faults(7), 2u);
+  EXPECT_EQ(bucket_faults(2) + bucket_faults(3) + bucket_faults(4) +
+                bucket_faults(5) + bucket_faults(6),
+            0u);
+}
+
+TEST(CriticalityIndexTest, ZeroTimeSpaceAndZeroBucketsDegrade) {
+  // No time space: everything lands in bucket 0 instead of dividing by
+  // zero.  A zero-bucket config clamps to one bucket.
+  CriticalityConfig config;
+  config.time_buckets = 0;
+  CriticalityIndex index(config, two_element_resolver());
+  EXPECT_EQ(index.time_buckets(), 1u);
+  index.add(row(0, {0}, Outcome::kSeverePermanent, 12345));
+  const ElementProfile* alpha = index.find("alpha");
+  ASSERT_NE(alpha, nullptr);
+  ASSERT_EQ(alpha->buckets.size(), 1u);
+  EXPECT_EQ(alpha->buckets[0][static_cast<std::size_t>(
+                CriticalityClass::kSeverePermanent)],
+            1u);
+}
+
+TEST(CriticalityResolverTest, ScanChainNamesAndOutOfRangeFallback) {
+  const BitResolver resolver = scan_chain_resolver();
+  const BitLocation first = resolver(0);
+  EXPECT_FALSE(first.element.empty());
+  EXPECT_FALSE(first.cache);
+  // Far past any plausible chain: degrade to a stable synthetic name so
+  // stale databases from another geometry still aggregate.
+  const BitLocation wild = resolver(1u << 30);
+  EXPECT_EQ(wild.element, "bit[1073741824]");
+
+  // Purity: the same flat bit always resolves identically.
+  const BitLocation again = resolver(0);
+  EXPECT_EQ(again.element, first.element);
+  EXPECT_EQ(again.bit, first.bit);
+}
+
+TEST(CriticalityResolverTest, SwifiWordsAre32Bit) {
+  const BitResolver resolver = swifi_resolver();
+  EXPECT_EQ(resolver(0).element, "state[0]");
+  EXPECT_EQ(resolver(0).bit, 0u);
+  EXPECT_EQ(resolver(37).element, "state[1]");
+  EXPECT_EQ(resolver(37).bit, 5u);
+  EXPECT_FALSE(resolver(37).cache);
+}
+
+TEST(CriticalityIndexTest, ToJsonIsDeterministicAndShaped) {
+  CriticalityIndex a({}, two_element_resolver());
+  a.set_campaign("det");
+  a.set_time_space(800);
+  a.add(row(0, {0}, Outcome::kSeverePermanent, 10));
+  a.add(row(1, {9}, Outcome::kDetected, 20, 1, 15));
+
+  // Same rows, opposite insertion order: identical document.
+  CriticalityIndex b({}, two_element_resolver());
+  b.set_campaign("det");
+  b.set_time_space(800);
+  b.add(row(1, {9}, Outcome::kDetected, 20, 1, 15));
+  b.add(row(0, {0}, Outcome::kSeverePermanent, 10));
+  EXPECT_EQ(a.to_json(kDefaultCriticalityTop),
+            b.to_json(kDefaultCriticalityTop));
+
+  const std::string json = a.to_json(kDefaultCriticalityTop);
+  EXPECT_EQ(json.back(), '\n');
+  EXPECT_NE(json.find("\"campaign\":\"det\""), std::string::npos);
+  EXPECT_NE(json.find("\"experiments\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"time_space\":800"), std::string::npos);
+  EXPECT_NE(json.find("\"time_buckets\":8"), std::string::npos);
+  EXPECT_NE(json.find("\"elements\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"top\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"element\":\"alpha\""), std::string::npos);
+  EXPECT_NE(json.find("\"partition\":\"cache\""), std::string::npos);
+  EXPECT_NE(json.find("\"severe_permanent\":1"), std::string::npos);
+  // alpha (score 1.0) ranks ahead of beta (0.0).
+  EXPECT_LT(json.find("\"element\":\"alpha\""),
+            json.find("\"element\":\"beta\""));
+
+  // top_k truncates the ranking but not the totals.
+  const std::string top1 = a.to_json(1);
+  EXPECT_NE(top1.find("\"top\":1"), std::string::npos);
+  EXPECT_NE(top1.find("\"elements\":2"), std::string::npos);
+  EXPECT_EQ(top1.find("\"element\":\"beta\""), std::string::npos);
+}
+
+TEST(CriticalityIndexTest, ElementJsonDetailAndUnknown) {
+  CriticalityIndex index({}, two_element_resolver());
+  index.set_time_space(800);
+  index.add(row(0, {3}, Outcome::kSeverePermanent, 150));
+
+  const std::string detail = index.element_json("alpha");
+  EXPECT_NE(detail.find("\"element\":\"alpha\""), std::string::npos);
+  EXPECT_NE(detail.find("\"bit\":3"), std::string::npos);
+  EXPECT_NE(detail.find("\"bucket\":1"), std::string::npos);
+  EXPECT_NE(detail.find("\"time_buckets\":["), std::string::npos);
+  EXPECT_EQ(detail.back(), '\n');
+
+  EXPECT_TRUE(index.element_json("nope").empty());
+}
+
+TEST(CriticalityIndexTest, HeatmapCsvIsExact) {
+  CriticalityConfig config;
+  config.time_buckets = 4;
+  CriticalityIndex index(config, two_element_resolver());
+  index.set_time_space(400);
+  index.add(row(0, {0}, Outcome::kSeverePermanent, 0));     // alpha, bucket 0
+  index.add(row(1, {0}, Outcome::kDetected, 350, 1, 5));    // alpha, bucket 3
+  index.add(row(2, {9}, Outcome::kMinorTransient, 150));    // beta, bucket 1
+
+  EXPECT_EQ(index.heatmap_csv(),
+            "element,bucket_0,bucket_1,bucket_2,bucket_3\n"
+            "alpha,1.000000,0.000000,0.000000,0.000000\n"
+            "beta,0.000000,0.200000,0.000000,0.000000\n");
+}
+
+TEST(CriticalityIndexTest, HeatmapSvgRendersCellsAndTitles) {
+  CriticalityConfig config;
+  config.time_buckets = 2;
+  CriticalityIndex index(config, two_element_resolver());
+  index.set_campaign("svg");
+  index.set_time_space(200);
+  index.add(row(0, {0}, Outcome::kSeverePermanent, 0));
+
+  const std::string svg = index.heatmap_svg();
+  EXPECT_NE(svg.find("<svg xmlns=\"http://www.w3.org/2000/svg\""),
+            std::string::npos);
+  EXPECT_NE(svg.find("fault criticality — svg"), std::string::npos);
+  // Score 1.0 renders as pure red; the never-sampled cell stays neutral.
+  EXPECT_NE(svg.find("fill=\"rgb(255,0,0)\""), std::string::npos);
+  EXPECT_NE(svg.find("fill=\"#f2f2f2\""), std::string::npos);
+  EXPECT_NE(svg.find("<title>alpha t0: score 1.000000 (n=1)</title>"),
+            std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(CriticalityIndexTest, FromDatabaseHonorsWeightsAndInfersTimeSpace) {
+  fi::ResultDatabase db;
+  db.insert(row(0, {9}, Outcome::kMinorTransient, 250, 3));
+  db.insert(row(1, {9}, Outcome::kDetected, 799, 1, 10));
+  ASSERT_EQ(db.total_time(), 0u);  // in-memory build never recorded one
+
+  const CriticalityIndex index =
+      CriticalityIndex::from_database(db, {}, two_element_resolver());
+  // No recorded golden total_time: the sampling space falls back to the
+  // tightest bound the rows witness, max(fault time) + 1.
+  EXPECT_EQ(index.time_space(), 800u);
+  EXPECT_EQ(index.total_weight(), 4u);
+
+  CriticalityIndex manual({}, two_element_resolver());
+  manual.set_time_space(800);
+  manual.add(row(0, {9}, Outcome::kMinorTransient, 250, 3));
+  manual.add(row(1, {9}, Outcome::kDetected, 799, 1, 10));
+  EXPECT_EQ(index.to_json(kDefaultCriticalityTop),
+            manual.to_json(kDefaultCriticalityTop));
+  EXPECT_EQ(index.element_json("beta"), manual.element_json("beta"));
+
+  // A recorded total_time wins over the row bound.
+  fi::ResultDatabase timed = db;
+  timed.set_total_time(1600);
+  const CriticalityIndex wide =
+      CriticalityIndex::from_database(timed, {}, two_element_resolver());
+  EXPECT_EQ(wide.time_space(), 1600u);
+}
+
+}  // namespace
+}  // namespace earl::analysis

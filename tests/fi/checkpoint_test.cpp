@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "analysis/criticality.hpp"
 #include "fi/defuse.hpp"
 #include "fi/runner.hpp"
 #include "fi/workloads.hpp"
@@ -132,6 +133,51 @@ TEST(CheckpointCampaignTest, PrunedCheckpointedCampaignBitIdenticalToBrute) {
     EXPECT_EQ(row.weight, 1u);
   }
   EXPECT_EQ(weight_sum, fast.experiments.size());
+}
+
+TEST(CheckpointCampaignTest, CriticalityIndexIdenticalAcrossPruningViews) {
+  // The criticality data product must not notice pruning: the pruned
+  // campaign's expanded rows build a byte-identical index, and the
+  // collapsed representatives reproduce the same report through their
+  // weights.
+  CampaignConfig config = small_campaign(120);
+  const auto factory = make_tvm_pi_factory(paper_pi_config());
+  const CampaignResult brute = CampaignRunner(config).run(factory);
+  config.checkpoint_interval = 8;
+  config.prune = true;
+  const CampaignResult fast = CampaignRunner(config).run(factory);
+  ASSERT_FALSE(fast.representatives.empty());
+
+  const auto build = [&config](const std::vector<ExperimentResult>& rows,
+                               std::uint64_t total_time) {
+    analysis::CriticalityIndex index;
+    index.set_campaign(config.name);
+    index.set_time_space(total_time);
+    for (const ExperimentResult& row : rows) index.add(row);
+    return index;
+  };
+  const analysis::CriticalityIndex from_brute =
+      build(brute.experiments, brute.golden.total_time);
+  const analysis::CriticalityIndex from_pruned =
+      build(fast.experiments, fast.golden.total_time);
+
+  EXPECT_EQ(from_brute.to_json(analysis::kDefaultCriticalityTop),
+            from_pruned.to_json(analysis::kDefaultCriticalityTop));
+  EXPECT_EQ(from_brute.heatmap_csv(), from_pruned.heatmap_csv());
+  for (const analysis::ElementProfile* element : from_brute.ranked()) {
+    EXPECT_EQ(from_brute.element_json(element->name),
+              from_pruned.element_json(element->name))
+        << element->name;
+  }
+
+  // Collapsed view: weights stand in for the synthesized members.  Time
+  // attribution follows each representative's own injection time, so the
+  // identity covers the bucket-free report (ranking, class totals, rates).
+  const analysis::CriticalityIndex from_reps =
+      build(fast.representatives, fast.golden.total_time);
+  EXPECT_EQ(from_reps.total_weight(), from_brute.total_weight());
+  EXPECT_EQ(from_reps.to_json(analysis::kDefaultCriticalityTop),
+            from_brute.to_json(analysis::kDefaultCriticalityTop));
 }
 
 TEST(CheckpointCampaignTest, TightWatchdogDisablesSynthesisButStaysExact) {

@@ -235,7 +235,7 @@ TEST(DatabaseTest, WeightRoundTripsAndWeightlessRowsDefaultToOne) {
     // A zero weight (a hand-edited or truncated row) must clamp to 1 — a
     // row that stands for no experiments would silently skew analysis.
     FILE* f = fopen(path.c_str(), "a");
-    fputs("1,0,100,3,1,0,0,650,0,10,3,1.25,,c,1,0\n", f);
+    fputs("1,0,100,3,1,0,0,650,0,10,3,1.25,,c,1,0,0\n", f);
     fclose(f);
   }
   const std::optional<ResultDatabase> loaded = ResultDatabase::load(path);
@@ -244,6 +244,52 @@ TEST(DatabaseTest, WeightRoundTripsAndWeightlessRowsDefaultToOne) {
   EXPECT_EQ(loaded->all()[0].weight, 37u);
   EXPECT_EQ(loaded->all()[1].weight, 1u);
   EXPECT_EQ(loaded->skipped_rows(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(DatabaseTest, TotalTimeRoundTrips) {
+  // The golden run's total_time persists so offline criticality reports
+  // bucket fault times exactly like the live campaign did.
+  CampaignResult campaign;
+  campaign.config.name = "timed_campaign";
+  campaign.config.seed = 9;
+  campaign.golden.total_time = 123456;
+  campaign.experiments.push_back(
+      make_experiment(0, analysis::Outcome::kDetected, false));
+  const ResultDatabase db(campaign);
+  EXPECT_EQ(db.total_time(), 123456u);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "earl_ttime.csv").string();
+  ASSERT_TRUE(db.save(path));
+  const std::optional<ResultDatabase> loaded = ResultDatabase::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->total_time(), 123456u);
+  std::remove(path.c_str());
+}
+
+TEST(DatabaseTest, PreTotalTimeHeaderLoadsWithZeroTotalTime) {
+  // A database saved before the total_time column existed (16 columns,
+  // weight but no total_time): rows load, total_time reports 0 so readers
+  // fall back to inferring the time space from the rows themselves.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "earl_v3.csv").string();
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    fputs("id,kind,time,bits,cache,outcome,edm,end_iteration,"
+          "detection_distance,first_strong,strong_count,max_deviation,"
+          "propagation,campaign,seed,weight\n",
+          f);
+    fputs("4,0,100,3;9,1,5,0,650,0,10,3,1.25,,v3_campaign,55,12\n", f);
+    fclose(f);
+  }
+  const std::optional<ResultDatabase> loaded = ResultDatabase::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ(loaded->all()[0].id, 4u);
+  EXPECT_EQ(loaded->all()[0].weight, 12u);
+  EXPECT_EQ(loaded->total_time(), 0u);
+  EXPECT_EQ(loaded->campaign_name(), "v3_campaign");
   std::remove(path.c_str());
 }
 

@@ -11,13 +11,19 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "analysis/criticality.hpp"
+#include "fi/database.hpp"
 #include "fi/runner.hpp"
 #include "fi/workloads.hpp"
+#include "obs/criticality_observer.hpp"
 #include "obs/json.hpp"
 #include "obs/server.hpp"
 
@@ -1107,6 +1113,303 @@ TEST(HttpGetClientTest, FetchesStatusAndBody) {
   const auto missing = obs::http_get(server.port(), "/nope");
   ASSERT_TRUE(missing.has_value());
   EXPECT_EQ(missing->status, 404);
+}
+
+// ------------------------------------------------- criticality endpoint
+
+fi::ExperimentResult criticality_row(std::uint64_t id, std::size_t bit,
+                                     analysis::Outcome outcome,
+                                     std::uint64_t time = 0) {
+  fi::ExperimentResult result;
+  result.id = id;
+  result.fault.bits = {bit};
+  result.fault.time = time;
+  result.outcome = outcome;
+  if (outcome == analysis::Outcome::kDetected) {
+    result.edm = tvm::Edm::kAddressError;
+    result.detection_distance = 40;
+  }
+  return result;
+}
+
+TEST(TelemetryServerTest, CriticalityAnswers404WithoutObserver) {
+  TelemetryServer server(TelemetryServer::Options{});
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  ClientResponse response;
+  ASSERT_TRUE(http_get(server.port(), "/criticality", &response));
+  EXPECT_EQ(response.status, 404);
+  EXPECT_NE(response.body.find("--serve"), std::string::npos);
+}
+
+TEST(TelemetryServerTest, CriticalityServesObserverViews) {
+  MetricsRegistry registry;
+  CriticalityObserver criticality({}, &registry);
+  TelemetryServer server(TelemetryServer::Options{}, &registry);
+  server.set_criticality(&criticality);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  fi::CampaignConfig config;
+  config.name = "crit";
+  config.experiments = 3;
+  CampaignStartInfo info;
+  info.workers = 1;
+  criticality.on_campaign_start(config, info);
+  fi::GoldenRun golden;
+  golden.total_time = 800;
+  criticality.on_golden_done(golden);
+
+  // Two distinct elements, derived from the same resolver the index uses
+  // so the expected names never drift from the scan-chain layout.
+  const analysis::BitResolver resolver = analysis::scan_chain_resolver();
+  const std::string severe = resolver(0).element;
+  const std::string benign = resolver(200).element;
+  ASSERT_NE(severe, benign);
+  criticality.on_experiment_done(
+      0, criticality_row(0, 0, analysis::Outcome::kSeverePermanent, 100),
+      1000);
+  criticality.on_experiment_done(
+      0, criticality_row(1, 0, analysis::Outcome::kSeverePermanent, 700),
+      1000);
+  criticality.on_experiment_done(
+      0, criticality_row(2, 200, analysis::Outcome::kDetected, 350), 1000);
+
+  // The report body is the observer's serializer verbatim.
+  ClientResponse response;
+  ASSERT_TRUE(http_get(server.port(), "/criticality", &response));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.raw.find("application/json"), std::string::npos);
+  EXPECT_EQ(response.body,
+            criticality.report_json(analysis::kDefaultCriticalityTop));
+  EXPECT_NE(response.body.find("\"element\":\"" + severe + "\""),
+            std::string::npos);
+
+  ASSERT_TRUE(http_get(server.port(), "/criticality?top=1", &response));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, criticality.report_json(1));
+
+  ASSERT_TRUE(http_get(server.port(), "/criticality?top=0", &response));
+  EXPECT_EQ(response.status, 400);
+  EXPECT_NE(response.body.find("positive integer"), std::string::npos);
+
+  ASSERT_TRUE(http_get(server.port(), "/criticality?element=" + severe,
+                       &response));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, criticality.element_json(severe));
+  EXPECT_NE(response.body.find("\"bits\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"time_buckets\""), std::string::npos);
+
+  ASSERT_TRUE(http_get(server.port(), "/criticality?element=nope",
+                       &response));
+  EXPECT_EQ(response.status, 404);
+  EXPECT_NE(response.body.find("unknown element \"nope\""),
+            std::string::npos);
+
+  // The registry carries the per-element series the observer maintains.
+  ASSERT_TRUE(http_get(server.port(), "/metrics", &response));
+  EXPECT_NE(response.body.find("earl_criticality_score{element=\"" + severe +
+                               "\"}"),
+            std::string::npos);
+  EXPECT_NE(
+      response.body.find("earl_experiments_by_class{class=\"severe_"
+                         "permanent\",element=\"" +
+                         severe + "\"} 2"),
+      std::string::npos);
+  EXPECT_NE(response.body.find("earl_experiments_by_class{class=\"detected\""
+                               ",element=\"" +
+                               benign + "\"} 1"),
+            std::string::npos);
+}
+
+TEST(TelemetryServerTest, LiveReportMatchesOfflineDatabaseReport) {
+  // The CI smoke test diffs `curl /criticality` against `earl-trace
+  // --criticality-report` on the saved database; this is the same identity
+  // in-process: stream the campaign through the observer, save the result,
+  // rebuild offline, and require byte equality — plus observer passivity.
+  const fi::CampaignConfig config = small_campaign(60, 3);
+  const auto factory = fi::make_tvm_pi_factory(fi::paper_pi_config());
+  const fi::CampaignResult bare = fi::CampaignRunner(config).run(factory);
+
+  CriticalityObserver criticality;
+  const fi::CampaignResult observed =
+      fi::CampaignRunner(config).run(factory, &criticality);
+  expect_same_outcomes(bare, observed);
+  EXPECT_EQ(criticality.experiments_seen(), observed.experiments.size());
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "earl_crit_live.csv")
+          .string();
+  ASSERT_TRUE(fi::ResultDatabase(observed).save(path));
+  const auto loaded = fi::ResultDatabase::load(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.has_value());
+  const analysis::CriticalityIndex offline =
+      analysis::CriticalityIndex::from_database(*loaded);
+
+  EXPECT_EQ(criticality.report_json(analysis::kDefaultCriticalityTop),
+            offline.to_json(analysis::kDefaultCriticalityTop));
+  const std::vector<const analysis::ElementProfile*> ranked =
+      offline.ranked();
+  ASSERT_FALSE(ranked.empty());
+  EXPECT_EQ(criticality.element_json(ranked.front()->name),
+            offline.element_json(ranked.front()->name));
+}
+
+TEST(TelemetryServerTest, SseIdleStreamEmitsHeartbeats) {
+  TelemetryServer::Options options;
+  options.heartbeat_interval = std::chrono::milliseconds(250);
+  TelemetryServer server(options);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  const int fd = connect_local(server.port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(send_all(fd, "GET /events HTTP/1.1\r\nHost: t\r\n\r\n"));
+  timeval timeout{5, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+  std::string buffer;
+  char chunk[1024];
+  // Nothing is ever pushed: the only traffic after the preamble is the
+  // keepalive comment.  Wait for two so the cadence is covered too.
+  while (buffer.find(": heartbeat\n\n", buffer.find(": heartbeat\n\n") + 1) ==
+         std::string::npos) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    ASSERT_GT(n, 0) << "SSE stream ended before two heartbeats";
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_EQ(buffer.find("event:"), std::string::npos);
+  server.stop();
+}
+
+TEST(TelemetryServerTest, SseDropAccountingThenHeartbeat) {
+  // A tiny ring plus a burst far past its capacity: the slow subscriber
+  // must see every event either delivered or counted in a dropped frame,
+  // and the stream must fall back to heartbeats once the burst drains.
+  TelemetryServer::Options options;
+  options.event_capacity = 16;
+  options.heartbeat_interval = std::chrono::milliseconds(250);
+  TelemetryServer server(options);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  const int fd = connect_local(server.port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(send_all(fd, "GET /events HTTP/1.1\r\nHost: t\r\n\r\n"));
+  timeval timeout{5, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+  std::string buffer;
+  char chunk[2048];
+  // Wait for the preamble so the subscriber's cursor is pinned before the
+  // burst: everything pushed from here on is delivered or dropped.
+  while (buffer.find("retry:") == std::string::npos) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    ASSERT_GT(n, 0);
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+
+  fi::CampaignConfig config;
+  config.name = "burst";
+  config.experiments = 2000;
+  CampaignStartInfo info;
+  info.workers = 1;
+  server.on_campaign_start(config, info);
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    server.on_experiment_done(0, criticality_row(i, 0,
+                                                 analysis::Outcome::kLatent),
+                              1000);
+  }
+
+  const auto count_of = [&buffer](const std::string& needle) {
+    std::size_t count = 0;
+    for (std::size_t at = buffer.find(needle); at != std::string::npos;
+         at = buffer.find(needle, at + needle.size())) {
+      ++count;
+    }
+    return count;
+  };
+  const auto dropped_sum = [&buffer] {
+    std::uint64_t sum = 0;
+    const std::string needle = "\"dropped\":";
+    for (std::size_t at = buffer.find(needle); at != std::string::npos;
+         at = buffer.find(needle, at + needle.size())) {
+      sum += std::strtoull(buffer.c_str() + at + needle.size(), nullptr, 10);
+    }
+    return sum;
+  };
+  // 2001 events total (campaign_start + 2000 experiments); read until the
+  // delivered + dropped ledger balances exactly.
+  while (count_of("event: experiment\n") + count_of("event: campaign_start\n") +
+             dropped_sum() <
+         2001) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    ASSERT_GT(n, 0) << "SSE stream ended before the ledger balanced";
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  EXPECT_EQ(count_of("event: experiment\n") +
+                count_of("event: campaign_start\n") + dropped_sum(),
+            2001u);
+  EXPECT_GT(dropped_sum(), 0u) << "burst fit the 16-slot ring?";
+
+  // Burst over: the idle stream resumes heartbeats.
+  while (buffer.rfind(": heartbeat\n\n") == std::string::npos ||
+         buffer.rfind(": heartbeat\n\n") < buffer.rfind("event:")) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    ASSERT_GT(n, 0) << "no heartbeat after the burst drained";
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  server.stop();
+}
+
+TEST(TelemetryServerTest, SseCriticalityDigestFrames) {
+  TelemetryServer::Options options;
+  options.criticality_digest_every = 2;
+  CriticalityObserver criticality;
+  TelemetryServer server(options);
+  server.set_criticality(&criticality);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  fi::CampaignConfig config;
+  config.name = "digest";
+  config.experiments = 2;
+  CampaignStartInfo info;
+  info.workers = 1;
+  criticality.on_campaign_start(config, info);
+  server.on_campaign_start(config, info);
+  fi::GoldenRun golden;
+  golden.total_time = 800;
+  criticality.on_golden_done(golden);
+
+  const int fd = connect_local(server.port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(send_all(fd, "GET /events HTTP/1.1\r\nHost: t\r\n\r\n"));
+  timeval timeout{5, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+
+  // Observer before server, matching the MultiObserver order earl-goofi
+  // uses — the digest rendered at consume time includes the experiment
+  // whose completion triggered it.
+  for (std::uint64_t i = 0; i < 2; ++i) {
+    const fi::ExperimentResult row =
+        criticality_row(i, 0, analysis::Outcome::kSeverePermanent, 100);
+    criticality.on_experiment_done(0, row, 1000);
+    server.on_experiment_done(0, row, 1000);
+  }
+
+  std::string buffer;
+  char chunk[2048];
+  while (buffer.find("event: criticality_updated\n") == std::string::npos ||
+         buffer.find("\"experiments\":2") == std::string::npos) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    ASSERT_GT(n, 0) << "SSE stream ended before the criticality digest";
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(buffer.find("\"top\":["), std::string::npos);
+  server.stop();
 }
 
 TEST(HttpGetClientTest, ConnectionRefusedIsNullopt) {

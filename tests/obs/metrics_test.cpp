@@ -209,8 +209,9 @@ TEST(PrometheusTest, LabelValueEscaping) {
 
 TEST(PrometheusTest, GoldenExpositionFormat) {
   // Byte-exact spec check for a small mixed registry: HELP/TYPE headers,
-  // sorted blocks, cumulative le buckets ending in +Inf, and _sum/_count
-  // consistent with the observations.
+  // sorted blocks, cumulative le buckets ending in +Inf, _sum/_count
+  // consistent with the observations, and a labeled counter family as one
+  // block with label-sorted members.
   MetricsRegistry registry;
   registry.counter("campaign.experiments").add(3);
   registry.set_help("campaign.experiments", "Experiments completed");
@@ -219,6 +220,15 @@ TEST(PrometheusTest, GoldenExpositionFormat) {
       registry.histogram("detect.latency", std::vector<double>{1.0, 10.0});
   h.observe(0.5);
   h.observe(4.0);
+  registry
+      .labeled_counter("exp.by_class",
+                       {{"class", "severe_permanent"}, {"element", "r1"}})
+      .add(1);
+  registry
+      .labeled_counter("exp.by_class",
+                       {{"class", "detected"}, {"element", "r1"}})
+      .add(2);
+  registry.set_help("exp.by_class", "Experiments per criticality class");
   const std::string expected =
       "# HELP campaign_experiments Experiments completed\n"
       "# TYPE campaign_experiments counter\n"
@@ -238,8 +248,75 @@ TEST(PrometheusTest, GoldenExpositionFormat) {
       "# TYPE detect_latency_quantile gauge\n"
       "detect_latency_quantile{quantile=\"0.5\"} 1\n"
       "detect_latency_quantile{quantile=\"0.9\"} 8.2\n"
-      "detect_latency_quantile{quantile=\"0.99\"} 9.82\n";
+      "detect_latency_quantile{quantile=\"0.99\"} 9.82\n"
+      "# HELP exp_by_class Experiments per criticality class\n"
+      "# TYPE exp_by_class counter\n"
+      "exp_by_class{class=\"detected\",element=\"r1\"} 2\n"
+      "exp_by_class{class=\"severe_permanent\",element=\"r1\"} 1\n";
   EXPECT_EQ(registry.to_prometheus(), expected);
+}
+
+TEST(PrometheusTest, LabeledFamilyMembersSortByLabelsAndEscape) {
+  // One HELP/TYPE block per family; members ordered by their rendered
+  // label string (not insertion order), values escaped per the exposition
+  // format.  Gauge families render as gauges.
+  MetricsRegistry registry;
+  registry
+      .labeled_counter("exp.by_class",
+                       {{"class", "detected"}, {"element", "r1"}})
+      .add(2);
+  registry
+      .labeled_counter("exp.by_class",
+                       {{"class", "detected"}, {"element", "a\"b"}})
+      .add(3);
+  registry.labeled_gauge("crit.score", {{"element", "r1"}}).set(0.25);
+  const std::string expected =
+      "# HELP crit_score crit.score\n"
+      "# TYPE crit_score gauge\n"
+      "crit_score{element=\"r1\"} 0.25\n"
+      "# HELP exp_by_class exp.by_class\n"
+      "# TYPE exp_by_class counter\n"
+      "exp_by_class{class=\"detected\",element=\"a\\\"b\"} 3\n"
+      "exp_by_class{class=\"detected\",element=\"r1\"} 2\n";
+  EXPECT_EQ(registry.to_prometheus(), expected);
+}
+
+TEST(MetricsTest, LabeledFamilyHandlesAreStableAndFindable) {
+  MetricsRegistry registry;
+  Counter& a = registry.labeled_counter("fam", {{"k", "v"}});
+  Counter& again = registry.labeled_counter("fam", {{"k", "v"}});
+  EXPECT_EQ(&a, &again);
+  a.add(4);
+  const Counter* found = registry.find_labeled_counter("fam", {{"k", "v"}});
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->value(), 4u);
+  EXPECT_EQ(registry.find_labeled_counter("fam", {{"k", "w"}}), nullptr);
+  EXPECT_EQ(registry.find_labeled_counter("nope", {{"k", "v"}}), nullptr);
+  EXPECT_NE(&registry.labeled_counter("fam", {{"k", "w"}}), &a);
+}
+
+TEST(MetricsTest, LabeledMembersExportButStayOutOfCountersSnapshot) {
+  MetricsRegistry registry;
+  registry.counter("plain").add(1);
+  registry.labeled_counter("fam", {{"k", "v"}}).add(2);
+  registry.labeled_gauge("score", {{"element", "r1"}}).set(0.5);
+
+  // Bench baselines track unlabeled counters only.
+  const auto snapshot = registry.counters_snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].first, "plain");
+
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"labeled\""), std::string::npos);
+  EXPECT_NE(json.find("\"fam{k=\\\"v\\\"}\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"score{element=\\\"r1\\\"}\": 0.5"),
+            std::string::npos);
+
+  const std::string csv = registry.to_csv();
+  EXPECT_NE(csv.find("counter,\"fam{k=\"\"v\"\"}\",value,2\n"),
+            std::string::npos);
+  EXPECT_NE(csv.find("gauge,\"score{element=\"\"r1\"\"}\",value,0.5\n"),
+            std::string::npos);
 }
 
 TEST(PrometheusTest, HelpTextEscapesBackslashAndNewline) {

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+
 #include <cstdint>
+#include <cstdio>
 #include <optional>
 #include <string>
 #include <vector>
@@ -220,6 +223,105 @@ TEST(CliParserTest, LongLabelStillGetsTwoSpaces) {
             "usage: prog\n"
             "  --a-rather-long-option METAVAR  text\n");
 }
+
+// ----------------------------------------------- tool validation (end-to-end)
+//
+// The criticality flags interact across the option table (shapers need the
+// mode flag; the mode conflicts with event-log filters), which only the real
+// binaries exercise.  CMake injects their paths; every run here must fail
+// validation before touching any input file.
+
+#if defined(EARL_TRACE_BIN) && defined(EARL_GOOFI_BIN)
+
+struct ToolRun {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr interleaved
+};
+
+ToolRun run_tool(const std::string& command) {
+  ToolRun run;
+  FILE* pipe = ::popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return run;
+  char chunk[512];
+  std::size_t n = 0;
+  while ((n = std::fread(chunk, 1, sizeof chunk, pipe)) > 0) {
+    run.output.append(chunk, n);
+  }
+  const int status = ::pclose(pipe);
+  run.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return run;
+}
+
+TEST(TraceCliValidationTest, CriticalityShapersNeedTheReportFlag) {
+  const std::string bin = EARL_TRACE_BIN;
+  ToolRun run = run_tool(bin + " db.csv --criticality-heatmap heat.csv");
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(
+      run.output.find("--criticality-heatmap needs --criticality-report"),
+      std::string::npos)
+      << run.output;
+
+  run = run_tool(bin + " db.csv --top 5");
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.output.find("--top needs --criticality-report"),
+            std::string::npos)
+      << run.output;
+
+  run = run_tool(bin + " db.csv --fault-space swifi");
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.output.find("--fault-space needs --criticality-report"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(TraceCliValidationTest, ZeroCountsRejectedWithActionableErrors) {
+  const std::string bin = EARL_TRACE_BIN;
+  ToolRun run = run_tool(bin + " db.csv --criticality-report --top 0");
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.output.find("--top 0 would rank no elements; pass a "
+                            "positive count, e.g. --top 10"),
+            std::string::npos)
+      << run.output;
+
+  run = run_tool(bin + " db.csv --criticality-report --time-buckets 0");
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.output.find("--time-buckets 0 would leave no buckets to "
+                            "profile; pass a positive count"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(TraceCliValidationTest, CriticalityReportConflictsWithEventLogModes) {
+  const std::string bin = EARL_TRACE_BIN;
+  ToolRun run = run_tool(bin + " db.csv --criticality-report --list");
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.output.find("cannot be combined with --list"),
+            std::string::npos)
+      << run.output;
+
+  run = run_tool(bin + " db.csv --criticality-report --phase-report");
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.output.find("cannot be combined with --phase-report"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(GoofiCliValidationTest, ServeShapersNeedServe) {
+  const std::string bin = EARL_GOOFI_BIN;
+  ToolRun run = run_tool(bin + " --serve-linger");
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.output.find("--serve-linger needs --serve [A:]PORT"),
+            std::string::npos)
+      << run.output;
+
+  run = run_tool(bin + " --serve-heartbeat 30");
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.output.find("--serve-heartbeat needs --serve [A:]PORT"),
+            std::string::npos)
+      << run.output;
+}
+
+#endif  // EARL_TRACE_BIN && EARL_GOOFI_BIN
 
 }  // namespace
 }  // namespace earl::cli

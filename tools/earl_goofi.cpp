@@ -13,6 +13,7 @@
 //   earl-goofi --workload alg2 --filter cache --save out.csv
 //   earl-goofi --analyze out.csv                             # analysis only
 //   earl-goofi --workload alg1 --replay 165 --save out.csv   # trace one
+#include <chrono>
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
@@ -21,7 +22,9 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 
+#include "analysis/criticality.hpp"
 #include "analysis/report.hpp"
 #include "cli.hpp"
 #include "codegen/emitter.hpp"
@@ -31,6 +34,7 @@
 #include "fi/workloads.hpp"
 #include "obs/build_info.hpp"
 #include "obs/collector.hpp"
+#include "obs/criticality_observer.hpp"
 #include "obs/db_observer.hpp"
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
@@ -72,6 +76,9 @@ struct Options {
   std::string serve_address = "127.0.0.1";
   std::uint16_t serve_port = 0;
   std::string serve_token;
+  bool serve_linger = false;
+  std::uint64_t serve_heartbeat_s = 15;
+  bool serve_heartbeat_set = false;
   bool help = false;
 };
 
@@ -222,6 +229,29 @@ cli::Parser build_parser(Options& options) {
       "require \"Authorization: Bearer T\" on the POST /control/*\n"
       "endpoints (GET telemetry stays open; requires --serve)",
       &options.serve_token);
+  parser.add_flag(
+      "--serve-linger",
+      "keep the telemetry server up after the campaign finishes,\n"
+      "until SIGINT/SIGTERM, so scrapers can still read the final\n"
+      "/criticality and /metrics (requires --serve)",
+      &options.serve_linger);
+  parser.add_custom(
+      "--serve-heartbeat", "S",
+      "SSE keep-alive comment interval on /events, in seconds\n"
+      "(default 15; requires --serve)",
+      [&options](const std::string& value) {
+        std::uint64_t seconds = 0;
+        if (!cli::parse_u64(value, &seconds) || seconds == 0) {
+          std::fprintf(stderr,
+                       "invalid value '%s' for '--serve-heartbeat' (expected "
+                       "a positive number of seconds, e.g. 15)\n",
+                       value.c_str());
+          return false;
+        }
+        options.serve_heartbeat_s = seconds;
+        options.serve_heartbeat_set = true;
+        return true;
+      });
   parser.add_size(
       "--checkpoint-interval", "N",
       "snapshot the golden run every N iterations; experiments\n"
@@ -407,6 +437,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--serve-token needs --serve [A:]PORT\n");
     return 1;
   }
+  if (options.serve_linger && !options.serve) {
+    std::fprintf(stderr, "--serve-linger needs --serve [A:]PORT\n");
+    return 1;
+  }
+  if (options.serve_heartbeat_set && !options.serve) {
+    std::fprintf(stderr, "--serve-heartbeat needs --serve [A:]PORT\n");
+    return 1;
+  }
   if (!options.analyze_path.empty()) {
     // --analyze runs no campaign, so campaign-only flags are contradictions,
     // not no-ops: reject them instead of silently ignoring half the line.
@@ -560,15 +598,34 @@ int main(int argc, char** argv) {
     // their own track; stop stays span-free for signal safety.
     g_controller.set_span_track(tracer->track("control"));
   }
+  // The observer outlives the server (declaration order): the server's
+  // consumer thread renders live criticality digests until it stops.
+  std::unique_ptr<obs::CriticalityObserver> criticality;
   std::unique_ptr<obs::TelemetryServer> server;
   if (options.serve) {
     obs::TelemetryServer::Options serve_options;
     serve_options.address = options.serve_address;
     serve_options.port = options.serve_port;
     serve_options.bearer_token = options.serve_token;
+    serve_options.heartbeat_interval =
+        std::chrono::milliseconds(options.serve_heartbeat_s * 1000);
     server = std::make_unique<obs::TelemetryServer>(serve_options, &registry);
     server->set_controller(&g_controller);
     if (tracer != nullptr) server->set_tracer(tracer.get());
+    // The live criticality index mirrors what earl-trace
+    // --criticality-report computes offline from the saved database; the
+    // resolver must match the campaign's fault space for the two to agree.
+    obs::CriticalityObserver::Options crit_options;
+    if (options.technique == "swifi") {
+      crit_options.resolver = analysis::swifi_resolver();
+    } else {
+      tvm::CacheConfig crit_cache;
+      crit_cache.parity_enabled = options.parity;
+      crit_options.resolver = analysis::scan_chain_resolver(crit_cache);
+    }
+    criticality = std::make_unique<obs::CriticalityObserver>(
+        std::move(crit_options), &registry);
+    server->set_criticality(criticality.get());
     std::string error;
     // Bind before the campaign so an occupied port fails fast.
     if (!server->start(&error)) {
@@ -581,9 +638,11 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("serving live telemetry on %s "
-                "(/metrics /progress /healthz /events; POST /control/*%s)\n",
+                "(/metrics /progress /healthz /events /criticality; "
+                "POST /control/*%s)\n",
                 server->url().c_str(),
                 options.serve_token.empty() ? "" : " [bearer token]");
+    multi.add(criticality.get());
     multi.add(server.get());
   }
 
@@ -714,6 +773,20 @@ int main(int argc, char** argv) {
     }
     std::printf("saved %zu weighted class representatives to %s\n",
                 collapsed.size(), options.save_collapsed_path.c_str());
+  }
+  if (options.serve_linger && server != nullptr) {
+    // Reports are all written; keep serving the final telemetry (state
+    // "done" on /progress, the full /criticality ranking) until a stop
+    // signal.  A campaign already interrupted by SIGINT skips the linger:
+    // the operator asked to leave.
+    if (!g_controller.stop_requested()) {
+      std::printf("lingering on %s until SIGINT/SIGTERM (--serve-linger)\n",
+                  server->url().c_str());
+      std::fflush(stdout);
+    }
+    while (!g_controller.stop_requested()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
   }
   return 0;
 }

@@ -18,6 +18,7 @@
 //   earl-trace run.jsonl --waveform 165                # one experiment
 //   earl-trace run.jsonl --propagation                 # divergence reports
 //   earl-trace spans.json --phase-report               # span time attribution
+//   earl-trace out.csv --criticality-report --top 10   # DB criticality index
 #include <algorithm>
 #include <array>
 #include <cstdio>
@@ -28,9 +29,11 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/criticality.hpp"
 #include "analysis/span_report.hpp"
 #include "analysis/trace_reader.hpp"
 #include "cli.hpp"
+#include "fi/database.hpp"
 #include "obs/labels.hpp"
 #include "util/table.hpp"
 
@@ -43,6 +46,14 @@ struct Options {
   bool list = false;
   bool propagation = false;
   bool phase_report = false;
+  bool criticality_report = false;
+  std::size_t top = analysis::kDefaultCriticalityTop;
+  bool top_set = false;
+  std::size_t time_buckets = analysis::CriticalityConfig{}.time_buckets;
+  bool time_buckets_set = false;
+  std::string heatmap_path;
+  std::string fault_space = "scan";  // scan | scan-parity | swifi
+  bool fault_space_set = false;
   std::optional<std::uint64_t> waveform_id;
   std::optional<int> figure;
   std::optional<analysis::Outcome> outcome;
@@ -104,6 +115,72 @@ cli::Parser build_parser(Options* options) {
       "earl-goofi --spans-out (Chrome trace_event JSON, not an\n"
       "event log): totals, p50/p99, golden-replay share",
       &options->phase_report);
+  parser.add_flag(
+      "--criticality-report",
+      "per-state-element fault criticality from a saved result\n"
+      "database (earl-goofi --save CSV, not an event log): class\n"
+      "totals, prune-weighted rates, and the top-k elements ranked\n"
+      "by severity score; the JSON is byte-identical to the live\n"
+      "GET /criticality body for the same campaign",
+      &options->criticality_report);
+  parser.add_custom(
+      "--top", "K",
+      "ranked elements in the criticality report (default 20;\n"
+      "requires --criticality-report)",
+      [options](const std::string& value) {
+        std::uint64_t parsed = 0;
+        if (!cli::parse_u64(value, &parsed) || parsed == 0) {
+          std::fprintf(stderr,
+                       "--top %s would rank no elements; pass a positive "
+                       "count, e.g. --top 10\n",
+                       value.c_str());
+          return false;
+        }
+        options->top = static_cast<std::size_t>(parsed);
+        options->top_set = true;
+        return true;
+      });
+  parser.add_custom(
+      "--time-buckets", "N",
+      "injection-time buckets in the criticality profile\n"
+      "(default 8; requires --criticality-report)",
+      [options](const std::string& value) {
+        std::uint64_t parsed = 0;
+        if (!cli::parse_u64(value, &parsed) || parsed == 0) {
+          std::fprintf(stderr,
+                       "--time-buckets %s would leave no buckets to profile; "
+                       "pass a positive count, e.g. --time-buckets 8\n",
+                       value.c_str());
+          return false;
+        }
+        options->time_buckets = static_cast<std::size_t>(parsed);
+        options->time_buckets_set = true;
+        return true;
+      });
+  parser.add_string(
+      "--criticality-heatmap", "FILE",
+      "write the element × time-bucket score grid as CSV to FILE\n"
+      "and a self-contained SVG rendering to FILE.svg (requires\n"
+      "--criticality-report)",
+      &options->heatmap_path);
+  parser.add_custom(
+      "--fault-space", "S",
+      "bit → state-element mapping for the database's flat fault\n"
+      "space: scan | scan-parity | swifi   (default scan; must\n"
+      "match the campaign's --technique/--parity; requires\n"
+      "--criticality-report)",
+      [options](const std::string& value) {
+        if (value != "scan" && value != "scan-parity" && value != "swifi") {
+          std::fprintf(stderr,
+                       "unknown fault space '%s' (scan | scan-parity | "
+                       "swifi)\n",
+                       value.c_str());
+          return false;
+        }
+        options->fault_space = value;
+        options->fault_space_set = true;
+        return true;
+      });
   parser.add_custom(
       "--outcome", "SLUG",
       "filter: outcome slug (e.g. severe_permanent, detected)",
@@ -217,6 +294,65 @@ bool figure_spec(int figure, analysis::Outcome* wanted, const char** name,
   }
 }
 
+int print_criticality_report(const Options& options) {
+  const std::optional<fi::ResultDatabase> db =
+      fi::ResultDatabase::load(options.path);
+  if (!db) {
+    std::fprintf(stderr,
+                 "could not load '%s' (missing file or not a result "
+                 "database; --criticality-report reads earl-goofi --save "
+                 "CSV, not an event log)\n",
+                 options.path.c_str());
+    return 1;
+  }
+  if (db->skipped_rows() > 0) {
+    std::fprintf(stderr, "warning: skipped %zu malformed row(s) in '%s'\n",
+                 db->skipped_rows(), options.path.c_str());
+  }
+
+  analysis::BitResolver resolver;
+  if (options.fault_space == "swifi") {
+    resolver = analysis::swifi_resolver();
+  } else {
+    tvm::CacheConfig cache;
+    cache.parity_enabled = options.fault_space == "scan-parity";
+    resolver = analysis::scan_chain_resolver(cache);
+  }
+  analysis::CriticalityConfig config;
+  config.time_buckets = options.time_buckets;
+  const analysis::CriticalityIndex index =
+      analysis::CriticalityIndex::from_database(*db, config,
+                                                std::move(resolver));
+
+  if (!options.heatmap_path.empty()) {
+    std::ofstream csv(options.heatmap_path,
+                      std::ios::out | std::ios::trunc | std::ios::binary);
+    csv << index.heatmap_csv();
+    csv.flush();
+    if (!csv.good()) {
+      std::fprintf(stderr, "failed to write %s\n",
+                   options.heatmap_path.c_str());
+      return 1;
+    }
+    const std::string svg_path = options.heatmap_path + ".svg";
+    std::ofstream svg(svg_path,
+                      std::ios::out | std::ios::trunc | std::ios::binary);
+    svg << index.heatmap_svg();
+    svg.flush();
+    if (!svg.good()) {
+      std::fprintf(stderr, "failed to write %s\n", svg_path.c_str());
+      return 1;
+    }
+    // Confirmations go to stderr: stdout carries only the report JSON so
+    // it stays diffable against the live /criticality body.
+    std::fprintf(stderr, "wrote criticality heatmap to %s (CSV) and %s "
+                 "(SVG)\n",
+                 options.heatmap_path.c_str(), svg_path.c_str());
+  }
+  std::fputs(index.to_json(options.top).c_str(), stdout);
+  return 0;
+}
+
 int print_summary(const analysis::StreamedTrace& trace,
                   const Accumulated& acc) {
   std::printf("campaign '%s', seed %llu: %zu experiment records "
@@ -259,6 +395,43 @@ int main(int argc, char** argv) {
   if (options.path.empty()) {
     parser.print_help();
     return 1;
+  }
+  if (!options.criticality_report) {
+    // These flags only shape the criticality report; alone they would be
+    // silent no-ops, so reject the contradiction instead.
+    const char* needs = options.top_set            ? "--top"
+                        : options.time_buckets_set ? "--time-buckets"
+                        : !options.heatmap_path.empty()
+                            ? "--criticality-heatmap"
+                        : options.fault_space_set ? "--fault-space"
+                                                  : nullptr;
+    if (needs != nullptr) {
+      std::fprintf(stderr, "%s needs --criticality-report\n", needs);
+      return 1;
+    }
+  }
+  if (options.criticality_report) {
+    // A result database is a different artifact than an event log or a
+    // span trace: none of the other modes or filters apply to it.
+    const char* conflict = options.phase_report  ? "--phase-report"
+                           : options.list        ? "--list"
+                           : options.propagation ? "--propagation"
+                           : options.waveform_id ? "--waveform"
+                           : options.figure      ? "--figure"
+                           : options.outcome     ? "--outcome"
+                           : options.edm         ? "--edm"
+                           : options.cache_partition ? "--partition"
+                           : options.id              ? "--id"
+                                                     : nullptr;
+    if (conflict != nullptr) {
+      std::fprintf(stderr,
+                   "--criticality-report reads a result database (earl-goofi "
+                   "--save), not an event log; it cannot be combined with "
+                   "%s\n",
+                   conflict);
+      return 1;
+    }
+    return print_criticality_report(options);
   }
   if (options.phase_report) {
     // A span trace is a different artifact than an event log: none of the
