@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "fi/coordinator.hpp"
+#include "fi/worker.hpp"
 #include "obs/http.hpp"
 #include "obs/server.hpp"
 #include "util/table.hpp"
@@ -49,6 +51,7 @@ int main(int argc, char** argv) {
                          {2, false, "workers_2"},
                          {static_cast<std::size_t>(hw), false, "workers_max"},
                          {static_cast<std::size_t>(hw), true, "pruned"}};
+  double single_s = 0.0;
   double brute_max_s = 0.0;
   double pruned_s = 0.0;
   for (std::size_t pass = 0; pass < std::size(passes); ++pass) {
@@ -123,7 +126,9 @@ int main(int argc, char** argv) {
       server.reset();
     }
 
-    if (std::string_view(passes[pass].label) == "workers_max") {
+    if (std::string_view(passes[pass].label) == "workers_1") {
+      single_s = seconds;
+    } else if (std::string_view(passes[pass].label) == "workers_max") {
       brute_max_s = seconds;
     } else if (passes[pass].fast) {
       pruned_s = seconds;
@@ -144,6 +149,93 @@ int main(int argc, char** argv) {
   // machine-dependent, so baselines compare existence only).
   if (pruned_s > 0.0) {
     reporter.set_info("pruned.speedup_x", "x", brute_max_s / pruned_s);
+  }
+
+  // Coordinated passes: the same campaign sharded over the loopback
+  // /api/v1/shard protocol — a CampaignCoordinator behind a live
+  // TelemetryServer, with the fleet running real run_worker() loops
+  // (handshake, lease, heartbeat, CSV submit).  Wall time vs the
+  // workers_1 pass isolates the distribution overhead; the merge timing
+  // covers the coordinator's shard-concatenation step.  These passes
+  // bypass reporter.run_campaign()/observer() on purpose so the
+  // deterministic campaign.* counters keep their single-node values.
+  for (const std::size_t fleet : {std::size_t{2}, std::size_t{4}}) {
+    fi::CampaignSpec spec;  // defaults are the table2 alg1/scifi campaign
+    spec.experiments = experiments;
+    fi::CampaignCoordinator::Options coord_options;
+    coord_options.spec = spec;
+    coord_options.shards = fleet;
+    fi::CampaignCoordinator coordinator(coord_options);
+
+    obs::TelemetryServer::Options serve_options;
+    serve_options.port = 0;
+    serve_options.max_request_bytes = 64u << 20;
+    obs::TelemetryServer server(serve_options);
+    server.set_coordinator(&coordinator);
+    std::string error;
+    if (!server.start(&error)) {
+      std::fprintf(stderr, "earl-bench: coordinator server: %s\n",
+                   error.c_str());
+      return 1;
+    }
+
+    const std::size_t threads_each =
+        std::max<std::size_t>(1, static_cast<std::size_t>(hw) / fleet);
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> fleet_threads;
+    fleet_threads.reserve(fleet);
+    for (std::size_t w = 0; w < fleet; ++w) {
+      fleet_threads.emplace_back([&, w] {
+        fi::WorkerOptions options;
+        options.port = server.port();
+        options.name = "bench-w" + std::to_string(w);
+        options.threads = threads_each;
+        options.poll_ms = 10;
+        const fi::WorkerReport report = fi::run_worker(options);
+        if (!report.ok) {
+          std::fprintf(stderr, "earl-bench: worker %zu: %s\n", w,
+                       report.error.c_str());
+        }
+      });
+    }
+    for (std::thread& thread : fleet_threads) thread.join();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+
+    const auto merge_start = std::chrono::steady_clock::now();
+    const std::optional<fi::ResultDatabase> merged = coordinator.merged();
+    const double merge_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      merge_start)
+            .count();
+    server.stop();
+    if (!merged.has_value() || merged->size() != experiments) {
+      std::fprintf(stderr,
+                   "earl-bench: distributed_%zu merge incomplete\n", fleet);
+      return 1;
+    }
+
+    const std::string label = "distributed_" + std::to_string(fleet);
+    reporter.set_timing(label + ".wall_s", "s", seconds);
+    reporter.set_timing(label + ".merge_s", "s", merge_s);
+    if (seconds > 0.0) {
+      reporter.set_throughput(
+          label + ".throughput_eps", "eps",
+          static_cast<double>(merged->size()) / seconds);
+      // The ratio is machine-dependent (info: existence-gated, like
+      // pruned.speedup_x).
+      reporter.set_info(label + ".speedup_x", "x", single_s / seconds);
+    }
+
+    char wall[32];
+    char throughput[32];
+    std::snprintf(wall, sizeof wall, "%.2f", seconds);
+    std::snprintf(throughput, sizeof throughput, "%.0f",
+                  merged->size() / seconds);
+    table.add_row({std::to_string(fleet), "distributed",
+                   std::to_string(merged->size()), wall, throughput});
   }
 
   if (const obs::MetricsRegistry* registry = reporter.registry()) {

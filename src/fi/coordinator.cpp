@@ -1,0 +1,438 @@
+#include "fi/coordinator.hpp"
+
+#include <algorithm>
+
+#include "fi/workloads.hpp"
+#include "obs/json.hpp"
+#include "tvm/cpu.hpp"
+
+namespace earl::fi {
+
+namespace {
+
+std::string_view shard_state_slug(CampaignCoordinator::ShardState state) {
+  switch (state) {
+    case CampaignCoordinator::ShardState::kPending: return "pending";
+    case CampaignCoordinator::ShardState::kLeased: return "leased";
+    case CampaignCoordinator::ShardState::kDone: return "done";
+  }
+  return "unknown";
+}
+
+/// The same element naming the single-node live observer and the offline
+/// report use, so fleet aggregation diffs clean against both.
+analysis::BitResolver spec_resolver(const CampaignSpec& spec) {
+  if (spec.technique == "swifi") return analysis::swifi_resolver();
+  tvm::CacheConfig cache;
+  cache.parity_enabled = spec.parity;
+  return analysis::scan_chain_resolver(cache);
+}
+
+std::optional<std::uint64_t> json_u64(const obs::JsonValue* value) {
+  if (value == nullptr || !value->is_number()) return std::nullopt;
+  if (value->number < 0) return std::nullopt;
+  return static_cast<std::uint64_t>(value->number);
+}
+
+}  // namespace
+
+std::string CampaignSpec::to_json() const {
+  obs::JsonObject doc;
+  doc.field("workload", workload);
+  doc.field("technique", technique);
+  doc.field("fault", fault);
+  doc.field("filter", filter);
+  doc.field("experiments", static_cast<std::uint64_t>(experiments));
+  doc.field("seed", seed);
+  doc.field("parity", parity);
+  doc.field("checkpoint_interval",
+            static_cast<std::uint64_t>(checkpoint_interval));
+  doc.field("prune", prune);
+  return std::move(doc).str();
+}
+
+std::optional<CampaignSpec> CampaignSpec::from_json(
+    const obs::JsonValue& doc) {
+  if (!doc.is_object()) return std::nullopt;
+  CampaignSpec spec;
+  const obs::JsonValue* workload = doc.find("workload");
+  const obs::JsonValue* technique = doc.find("technique");
+  if (workload == nullptr || !workload->is_string() || technique == nullptr ||
+      !technique->is_string()) {
+    return std::nullopt;
+  }
+  spec.workload = workload->string;
+  spec.technique = technique->string;
+  if (const obs::JsonValue* fault = doc.find("fault");
+      fault != nullptr && fault->is_string()) {
+    spec.fault = fault->string;
+  }
+  if (const obs::JsonValue* filter = doc.find("filter");
+      filter != nullptr && filter->is_string()) {
+    spec.filter = filter->string;
+  }
+  const std::optional<std::uint64_t> experiments =
+      json_u64(doc.find("experiments"));
+  const std::optional<std::uint64_t> seed = json_u64(doc.find("seed"));
+  if (!experiments || !seed) return std::nullopt;
+  spec.experiments = static_cast<std::size_t>(*experiments);
+  spec.seed = *seed;
+  if (const obs::JsonValue* parity = doc.find("parity");
+      parity != nullptr && parity->kind == obs::JsonValue::Kind::kBool) {
+    spec.parity = parity->boolean;
+  }
+  if (const std::optional<std::uint64_t> interval =
+          json_u64(doc.find("checkpoint_interval"))) {
+    spec.checkpoint_interval = static_cast<std::size_t>(*interval);
+  }
+  if (const obs::JsonValue* prune = doc.find("prune");
+      prune != nullptr && prune->kind == obs::JsonValue::Kind::kBool) {
+    spec.prune = prune->boolean;
+  }
+  return spec;
+}
+
+std::optional<CampaignConfig> CampaignSpec::to_config(
+    std::string* error) const {
+  CampaignConfig config = table2_campaign(1.0);
+  config.name = name();
+  config.experiments = experiments;
+  config.seed = seed;
+  config.checkpoint_interval = checkpoint_interval;
+  config.prune = prune;
+  if (fault == "single") {
+    config.fault.kind = FaultKind::kSingleBitFlip;
+  } else if (fault == "multi2") {
+    config.fault.kind = FaultKind::kMultiBitFlip;
+    config.fault.multiplicity = 2;
+  } else if (fault == "multi4") {
+    config.fault.kind = FaultKind::kMultiBitFlip;
+    config.fault.multiplicity = 4;
+  } else if (fault == "stuck0") {
+    config.fault.kind = FaultKind::kStuckAt0;
+  } else if (fault == "stuck1") {
+    config.fault.kind = FaultKind::kStuckAt1;
+  } else {
+    if (error != nullptr) *error = "unknown fault model '" + fault + "'";
+    return std::nullopt;
+  }
+  if (filter == "all") {
+    config.filter = LocationFilter::kAll;
+  } else if (filter == "cache") {
+    config.filter = LocationFilter::kCacheOnly;
+  } else if (filter == "registers") {
+    config.filter = LocationFilter::kRegistersOnly;
+  } else {
+    if (error != nullptr) *error = "unknown filter '" + filter + "'";
+    return std::nullopt;
+  }
+  return config;
+}
+
+CampaignCoordinator::CampaignCoordinator(Options options)
+    : options_(std::move(options)),
+      criticality_(analysis::CriticalityConfig{},
+                   spec_resolver(options_.spec)) {
+  criticality_.set_campaign(options_.spec.name());
+  // Never more shards than experiments (an empty shard would complete
+  // instantly and skew the plan for no benefit).
+  const std::size_t experiments = options_.spec.experiments;
+  std::size_t shards = std::max<std::size_t>(1, options_.shards);
+  shards = std::min(shards, std::max<std::size_t>(1, experiments));
+  const std::size_t base = experiments / shards;
+  const std::size_t remainder = experiments % shards;
+  shards_.resize(shards);
+  std::size_t first = 0;
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_[i].first = first;
+    shards_[i].count = base + (i < remainder ? 1 : 0);
+    first += shards_[i].count;
+  }
+}
+
+std::int64_t CampaignCoordinator::now() const {
+  if (options_.now_ns) return options_.now_ns();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void CampaignCoordinator::expire_stale_locked() {
+  const std::int64_t t = now();
+  for (Shard& shard : shards_) {
+    if (shard.state == ShardState::kLeased && t >= shard.deadline_ns) {
+      shard.state = ShardState::kPending;
+      ++reassignments_;
+    }
+  }
+}
+
+bool CampaignCoordinator::complete_locked() const {
+  for (const Shard& shard : shards_) {
+    if (shard.state != ShardState::kDone) return false;
+  }
+  return true;
+}
+
+std::size_t CampaignCoordinator::done_experiments_locked() const {
+  std::size_t done = 0;
+  for (const Shard& shard : shards_) {
+    if (shard.state == ShardState::kDone) {
+      done += shard.count;
+    } else if (shard.state == ShardState::kLeased) {
+      done += static_cast<std::size_t>(
+          std::min<std::uint64_t>(shard.completed, shard.count));
+    }
+  }
+  return done;
+}
+
+std::size_t CampaignCoordinator::shard_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return shards_.size();
+}
+
+std::size_t CampaignCoordinator::shard_first(std::size_t shard) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return shard < shards_.size() ? shards_[shard].first : 0;
+}
+
+std::size_t CampaignCoordinator::shard_size(std::size_t shard) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return shard < shards_.size() ? shards_[shard].count : 0;
+}
+
+CampaignCoordinator::Lease CampaignCoordinator::lease(
+    const std::string& worker) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  expire_stale_locked();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = shards_[i];
+    if (shard.state != ShardState::kPending) continue;
+    shard.state = ShardState::kLeased;
+    shard.token = ++next_token_;
+    shard.worker = worker;
+    shard.deadline_ns = now() + options_.lease_timeout_ns;
+    shard.completed = 0;
+    Lease granted;
+    granted.status = Lease::Status::kGranted;
+    granted.shard = i;
+    granted.first = shard.first;
+    granted.count = shard.count;
+    granted.token = shard.token;
+    return granted;
+  }
+  Lease idle;
+  idle.status = complete_locked() ? Lease::Status::kComplete
+                                  : Lease::Status::kWait;
+  return idle;
+}
+
+CampaignCoordinator::HeartbeatReply CampaignCoordinator::heartbeat(
+    std::size_t shard_index, std::uint64_t token, std::uint64_t completed) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  expire_stale_locked();
+  HeartbeatReply reply;
+  if (shard_index >= shards_.size()) return reply;
+  reply.known = true;
+  Shard& shard = shards_[shard_index];
+  if (shard.state == ShardState::kLeased && shard.token == token) {
+    shard.deadline_ns = now() + options_.lease_timeout_ns;
+    shard.completed = completed;
+    reply.ok = true;
+    reply.state = "leased";
+    return reply;
+  }
+  // Expired-and-reassigned, never-leased, or already-done: the sender no
+  // longer holds this shard and should stop working on it.
+  reply.ok = false;
+  reply.state =
+      shard.state == ShardState::kDone ? "done" : std::string("lost");
+  return reply;
+}
+
+CampaignCoordinator::SubmitReply CampaignCoordinator::submit(
+    std::size_t shard_index, std::uint64_t token, const std::string& csv) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  expire_stale_locked();
+  SubmitReply reply;
+  if (shard_index >= shards_.size()) {
+    reply.error = "unknown shard index";
+    return reply;
+  }
+  Shard& shard = shards_[shard_index];
+  if (shard.state == ShardState::kDone) {
+    // Deterministic data: a second copy adds nothing and conflicts with
+    // nothing.  (token deliberately unchecked — see header.)
+    reply.accepted = true;
+    reply.duplicate = true;
+    reply.complete = complete_locked();
+    return reply;
+  }
+  (void)token;
+  const std::optional<ResultDatabase> db = ResultDatabase::from_csv(csv);
+  if (!db) {
+    reply.error = "body is not a result-database CSV";
+    return reply;
+  }
+  if (db->skipped_rows() > 0) {
+    reply.error = "shard database has malformed rows";
+    return reply;
+  }
+  if (db->campaign_name() != options_.spec.name() ||
+      db->seed() != options_.spec.seed) {
+    reply.error = "shard campaign/seed does not match the coordinated spec";
+    return reply;
+  }
+  if (db->size() != shard.count) {
+    reply.error = "expected " + std::to_string(shard.count) +
+                  " rows for shard " + std::to_string(shard_index) + ", got " +
+                  std::to_string(db->size());
+    return reply;
+  }
+  const std::vector<ExperimentResult>& rows = db->all();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].id != shard.first + i) {
+      reply.error = "shard rows are not the contiguous id range [" +
+                    std::to_string(shard.first) + ", " +
+                    std::to_string(shard.first + shard.count) + ")";
+      return reply;
+    }
+  }
+  if (total_time_ != 0 && db->total_time() != total_time_) {
+    // Every shard recomputes the same golden run; a mismatch means a
+    // worker ran a different workload build.
+    reply.error = "shard golden time-space disagrees with earlier shards";
+    return reply;
+  }
+  if (total_time_ == 0) {
+    total_time_ = db->total_time();
+    criticality_.set_time_space(total_time_);
+  }
+  shard.rows = rows;
+  shard.state = ShardState::kDone;
+  for (const ExperimentResult& row : shard.rows) criticality_.add(row);
+  reply.accepted = true;
+  reply.complete = complete_locked();
+  std::size_t remaining = 0;
+  for (const Shard& s : shards_) {
+    if (s.state != ShardState::kDone) ++remaining;
+  }
+  reply.remaining = remaining;
+  lock.unlock();
+  done_cv_.notify_all();
+  return reply;
+}
+
+bool CampaignCoordinator::complete() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return complete_locked();
+}
+
+bool CampaignCoordinator::wait_complete_for(
+    std::chrono::milliseconds timeout) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return done_cv_.wait_for(lock, timeout,
+                           [this] { return complete_locked(); });
+}
+
+std::optional<ResultDatabase> CampaignCoordinator::merged() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!complete_locked()) return std::nullopt;
+  ResultDatabase db(options_.spec.name(), options_.spec.seed);
+  db.set_total_time(total_time_);
+  for (const Shard& shard : shards_) {
+    for (const ExperimentResult& row : shard.rows) db.insert(row);
+  }
+  return db;
+}
+
+std::uint64_t CampaignCoordinator::reassignments() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return reassignments_;
+}
+
+std::string CampaignCoordinator::progress_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t pending = 0;
+  std::size_t leased = 0;
+  std::size_t done = 0;
+  for (const Shard& shard : shards_) {
+    switch (shard.state) {
+      case ShardState::kPending: ++pending; break;
+      case ShardState::kLeased: ++leased; break;
+      case ShardState::kDone: ++done; break;
+    }
+  }
+  obs::JsonObject doc;
+  doc.field("schema", "earl.fleet.v1");
+  doc.field("campaign", options_.spec.name());
+  doc.field("state", complete_locked()
+                         ? "done"
+                         : (leased > 0 ? "running" : "waiting"));
+  obs::JsonObject experiments;
+  experiments.field("total",
+                    static_cast<std::uint64_t>(options_.spec.experiments));
+  experiments.field("done",
+                    static_cast<std::uint64_t>(done_experiments_locked()));
+  doc.raw_field("experiments", std::move(experiments).str());
+  obs::JsonObject shards;
+  shards.field("total", static_cast<std::uint64_t>(shards_.size()));
+  shards.field("pending", static_cast<std::uint64_t>(pending));
+  shards.field("leased", static_cast<std::uint64_t>(leased));
+  shards.field("done", static_cast<std::uint64_t>(done));
+  doc.raw_field("shards", std::move(shards).str());
+  doc.field("workers", static_cast<std::uint64_t>(leased));
+  doc.field("reassignments", reassignments_);
+  return std::move(doc).str() + "\n";
+}
+
+std::string CampaignCoordinator::metrics_text() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t by_state[3] = {0, 0, 0};
+  for (const Shard& shard : shards_) {
+    ++by_state[static_cast<std::size_t>(shard.state)];
+  }
+  std::string out;
+  out += "# HELP earl_coord_shards Campaign shards by lease state.\n";
+  out += "# TYPE earl_coord_shards gauge\n";
+  for (const ShardState state :
+       {ShardState::kPending, ShardState::kLeased, ShardState::kDone}) {
+    out += "earl_coord_shards{state=\"" +
+           std::string(shard_state_slug(state)) + "\"} " +
+           std::to_string(by_state[static_cast<std::size_t>(state)]) + "\n";
+  }
+  out += "# HELP earl_coord_experiments_total Experiments in the "
+         "coordinated campaign.\n";
+  out += "# TYPE earl_coord_experiments_total gauge\n";
+  out += "earl_coord_experiments_total " +
+         std::to_string(options_.spec.experiments) + "\n";
+  out += "# HELP earl_coord_experiments_done Experiments finished across "
+         "the fleet (done shards + heartbeat progress).\n";
+  out += "# TYPE earl_coord_experiments_done gauge\n";
+  out += "earl_coord_experiments_done " +
+         std::to_string(done_experiments_locked()) + "\n";
+  out += "# HELP earl_coord_lease_reassignments_total Leases expired and "
+         "returned to pending.\n";
+  out += "# TYPE earl_coord_lease_reassignments_total counter\n";
+  out += "earl_coord_lease_reassignments_total " +
+         std::to_string(reassignments_) + "\n";
+  out += "# HELP earl_coord_complete 1 once every shard is merged.\n";
+  out += "# TYPE earl_coord_complete gauge\n";
+  out += std::string("earl_coord_complete ") +
+         (complete_locked() ? "1" : "0") + "\n";
+  return out;
+}
+
+std::string CampaignCoordinator::criticality_json(std::size_t top_k) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return criticality_.to_json(top_k);
+}
+
+std::string CampaignCoordinator::criticality_element_json(
+    std::string_view element) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return criticality_.element_json(element);
+}
+
+}  // namespace earl::fi

@@ -1,0 +1,183 @@
+// Distributed campaign coordinator (the fleet side of the runner's
+// run_range shard entry point).
+//
+// A campaign's fault list derives from the seed alone, so splitting the
+// persistent sample stream into N contiguous ranges and running each range
+// on a different machine reproduces the single-node campaign exactly: the
+// coordinator hands out shard leases over HTTP (obs::TelemetryServer's
+// /api/v1/shard/* endpoints), collects each shard's ResultDatabase CSV,
+// and concatenates the rows in shard order — byte-identical to the CSV a
+// single-node run saves, the same guarantee controller extend(n) proves
+// per node.
+//
+// Fault tolerance is lease-based: a granted shard carries a monotonically
+// increasing token and a deadline; workers extend the deadline with
+// heartbeats, and any coordinator call first sweeps expired leases back to
+// pending (bumping the reassignment counter) so the next idle worker picks
+// the orphaned shard up.  Because shard data is deterministic, a submit
+// carrying a stale token is still accepted when the shard is incomplete —
+// whoever ran it, the rows are the rows.
+//
+// Thread-safety: every public method locks the one internal mutex; the
+// HTTP handler pool calls in concurrently.  Time is injectable (Options::
+// now_ns) so the lease state machine is unit-testable without sleeping.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/criticality.hpp"
+#include "fi/campaign.hpp"
+#include "fi/database.hpp"
+
+namespace earl::obs {
+struct JsonValue;
+}  // namespace earl::obs
+
+namespace earl::fi {
+
+/// Wire description of a campaign — everything a worker needs to rebuild
+/// the exact CampaignConfig + target factory locally.  Field values use
+/// the CLI's vocabulary (workload "alg1", technique "scifi", fault
+/// "single", filter "all") so the spec round-trips through operators and
+/// logs unchanged.
+struct CampaignSpec {
+  std::string workload = "alg1";
+  std::string technique = "scifi";
+  std::string fault = "single";
+  std::string filter = "all";
+  std::size_t experiments = 1000;
+  std::uint64_t seed = 20010701;
+  bool parity = false;
+  std::size_t checkpoint_interval = 0;
+  bool prune = false;
+
+  /// "<workload>_<technique>" — the same campaign name the CLI derives.
+  std::string name() const { return workload + "_" + technique; }
+
+  std::string to_json() const;
+  static std::optional<CampaignSpec> from_json(const obs::JsonValue& doc);
+
+  /// The full-campaign CampaignConfig (table2 preset + this spec's
+  /// overrides).  nullopt with a message in `*error` for an unknown fault
+  /// or filter word.  Worker threads are NOT part of the spec — each
+  /// worker picks its own.
+  std::optional<CampaignConfig> to_config(std::string* error = nullptr) const;
+};
+
+class CampaignCoordinator {
+ public:
+  struct Options {
+    CampaignSpec spec;
+    std::size_t shards = 1;
+    /// A leased shard with no heartbeat for this long goes back to
+    /// pending.
+    std::int64_t lease_timeout_ns = 60'000'000'000;
+    /// Heartbeat cadence advertised to workers in the lease grant.
+    std::uint64_t heartbeat_s = 5;
+    /// Injectable clock (tests); defaults to steady_clock.
+    std::function<std::int64_t()> now_ns;
+  };
+
+  enum class ShardState : std::uint8_t { kPending, kLeased, kDone };
+
+  struct Lease {
+    enum class Status { kGranted, kWait, kComplete };
+    Status status = Status::kWait;
+    std::size_t shard = 0;
+    std::size_t first = 0;
+    std::size_t count = 0;
+    std::uint64_t token = 0;
+  };
+
+  struct HeartbeatReply {
+    bool known = false;  // false: no such shard (HTTP 404)
+    bool ok = false;     // false with known: lease lost — stop running it
+    std::string state;   // "leased" | "lost" | "done"
+  };
+
+  struct SubmitReply {
+    bool accepted = false;
+    bool duplicate = false;  // shard was already done; rows ignored
+    std::string error;       // non-empty: rejected (HTTP 400)
+    std::size_t remaining = 0;
+    bool complete = false;
+  };
+
+  explicit CampaignCoordinator(Options options);
+
+  const CampaignSpec& spec() const { return options_.spec; }
+  /// Lease parameters advertised in grant documents (immutable options,
+  /// safe to read without the mutex).
+  std::int64_t lease_timeout_ns() const { return options_.lease_timeout_ns; }
+  std::uint64_t heartbeat_s() const { return options_.heartbeat_s; }
+  std::size_t shard_count() const;
+  std::size_t shard_first(std::size_t shard) const;
+  std::size_t shard_size(std::size_t shard) const;
+
+  /// Grants the lowest pending shard (expiring stale leases first).
+  Lease lease(const std::string& worker);
+  /// Refreshes a lease's deadline and records shard progress.
+  HeartbeatReply heartbeat(std::size_t shard, std::uint64_t token,
+                           std::uint64_t completed);
+  /// Validates and stores a shard's ResultDatabase CSV.  Stale tokens are
+  /// accepted while the shard is incomplete (deterministic data is valid
+  /// regardless of which worker produced it); re-submitting a done shard
+  /// is an idempotent duplicate.
+  SubmitReply submit(std::size_t shard, std::uint64_t token,
+                     const std::string& csv);
+
+  bool complete() const;
+  /// Waits until every shard is done (or the timeout lapses); true when
+  /// complete.
+  bool wait_complete_for(std::chrono::milliseconds timeout) const;
+
+  /// The merged single-node-identical database; nullopt until complete().
+  std::optional<ResultDatabase> merged() const;
+
+  /// Leases that timed out and went back to pending.
+  std::uint64_t reassignments() const;
+
+  /// Fleet aggregates for the telemetry endpoints.
+  std::string progress_json() const;
+  std::string metrics_text() const;
+  std::string criticality_json(std::size_t top_k) const;
+  /// "" when the element is unknown (the endpoint 404s).
+  std::string criticality_element_json(std::string_view element) const;
+
+ private:
+  struct Shard {
+    std::size_t first = 0;
+    std::size_t count = 0;
+    ShardState state = ShardState::kPending;
+    std::uint64_t token = 0;         // current lease generation
+    std::string worker;              // holder (or last holder)
+    std::int64_t deadline_ns = 0;    // lease expiry on the injected clock
+    std::uint64_t completed = 0;     // last heartbeat's progress report
+    std::vector<ExperimentResult> rows;
+  };
+
+  std::int64_t now() const;
+  /// Returns expired leases to pending; called under the mutex by every
+  /// entry point, so liveness needs no timer thread.
+  void expire_stale_locked();
+  bool complete_locked() const;
+  std::size_t done_experiments_locked() const;
+
+  Options options_;
+  mutable std::mutex mutex_;
+  mutable std::condition_variable done_cv_;
+  std::vector<Shard> shards_;
+  std::uint64_t next_token_ = 0;
+  std::uint64_t reassignments_ = 0;
+  std::uint64_t total_time_ = 0;  // golden time space from the first submit
+  analysis::CriticalityIndex criticality_;
+};
+
+}  // namespace earl::fi

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 #include "util/csv.hpp"
 
@@ -170,12 +172,19 @@ std::optional<ExperimentResult> ResultDatabase::first_of(
 }
 
 bool ResultDatabase::save(const std::string& path) const {
-  std::vector<util::CsvRow> rows;
-  rows.reserve(experiments_.size());
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_csv();
+  return static_cast<bool>(out);
+}
+
+std::string ResultDatabase::to_csv() const {
+  std::string out = util::csv_format_row(header_row());
+  out += '\n';
   char buf[32];
   for (const ExperimentResult& e : experiments_) {
     std::snprintf(buf, sizeof buf, "%.9g", e.max_deviation);
-    rows.push_back({
+    out += util::csv_format_row({
         std::to_string(e.id),
         std::to_string(static_cast<int>(e.fault.kind)),
         std::to_string(e.fault.time),
@@ -194,8 +203,17 @@ bool ResultDatabase::save(const std::string& path) const {
         std::to_string(e.weight),
         std::to_string(total_time_),
     });
+    out += '\n';
   }
-  return util::csv_write_file(path, header_row(), rows);
+  return out;
+}
+
+std::optional<ResultDatabase> ResultDatabase::from_csv(
+    const std::string& text) {
+  std::istringstream in(text);
+  const std::vector<util::CsvRow> rows = util::csv_read_all(in);
+  if (rows.size() < 1) return std::nullopt;
+  return from_rows(rows);
 }
 
 std::optional<ResultDatabase> ResultDatabase::load(const std::string& path) {
@@ -205,6 +223,11 @@ std::optional<ResultDatabase> ResultDatabase::load(const std::string& path) {
   // A saved zero-row campaign still carries the header and loads as an
   // engaged, empty database.
   if (rows.size() < 1) return std::nullopt;
+  return from_rows(rows);
+}
+
+std::optional<ResultDatabase> ResultDatabase::from_rows(
+    const std::vector<util::CsvRow>& rows) {
   const bool legacy = rows[0] == legacy_header_row();
   const bool v2 = !legacy && rows[0] == v2_header_row();
   const bool v3 = !legacy && !v2 && rows[0] == v3_header_row();

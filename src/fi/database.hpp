@@ -48,6 +48,13 @@ class ResultDatabase {
   bool save(const std::string& path) const;
   static std::optional<ResultDatabase> load(const std::string& path);
 
+  /// In-memory form of the same byte format save()/load() use on disk —
+  /// what a shard worker ships to the coordinator over HTTP and what the
+  /// coordinator validates before merging.  save(p) writes exactly
+  /// to_csv(); from_csv(to_csv()) round-trips.
+  std::string to_csv() const;
+  static std::optional<ResultDatabase> from_csv(const std::string& text);
+
   /// Rows load() rejected (wrong column count, malformed or out-of-range
   /// enum field); 0 for databases built in memory.
   std::size_t skipped_rows() const { return skipped_rows_; }
@@ -63,6 +70,11 @@ class ResultDatabase {
   void set_total_time(std::uint64_t total_time) { total_time_ = total_time; }
 
  private:
+  /// Shared decode path for load()/from_csv(): header sniffing (current,
+  /// v3, v2, legacy) + per-row bounded enum parsing.
+  static std::optional<ResultDatabase> from_rows(
+      const std::vector<std::vector<std::string>>& rows);
+
   std::string campaign_name_;
   std::uint64_t seed_ = 0;
   std::uint64_t total_time_ = 0;

@@ -428,6 +428,17 @@ std::vector<float> CampaignRunner::replay_outputs(Target& target,
 
 CampaignResult CampaignRunner::run(const TargetFactory& factory,
                                    obs::CampaignObserver* observer) const {
+  return run_range(factory, observer, 0, config_.experiments);
+}
+
+CampaignResult CampaignRunner::run_range(const TargetFactory& factory,
+                                         obs::CampaignObserver* observer,
+                                         std::size_t first,
+                                         std::size_t count) const {
+  first = std::min(first, config_.experiments);
+  count = std::min(count, config_.experiments - first);
+  const bool sharded = first != 0 || count != config_.experiments;
+
   CampaignResult result;
   result.config = config_;
 
@@ -448,9 +459,11 @@ CampaignResult CampaignRunner::run(const TargetFactory& factory,
   if (workers == 0) {
     workers = std::max(1u, std::thread::hardware_concurrency());
   }
-  workers = std::min(workers, std::max<std::size_t>(1, config_.experiments));
+  workers = std::min(workers, std::max<std::size_t>(1, count));
 
-  if (controller_ != nullptr) {
+  // A sharded run never honors extensions (the shard bounds are part of
+  // the coordinator's plan), so the extend baseline is not bound either.
+  if (controller_ != nullptr && !sharded) {
     controller_->bind_base_experiments(config_.experiments);
   }
 
@@ -521,13 +534,18 @@ CampaignResult CampaignRunner::run(const TargetFactory& factory,
   {
     const obs::ScopedSpan sample_span(campaign_track,
                                       obs::SpanPhase::kSampleFaults);
-    queue.faults.reserve(config_.experiments);
-    for (std::size_t i = 0; i < config_.experiments; ++i) {
+    // A shard samples the whole prefix [0, first+count) — the faults
+    // before `first` are discarded but advancing the persistent stream
+    // through them is what gives every shard the same absolute fault list
+    // a single-node run sees.
+    queue.faults.reserve(first + count);
+    for (std::size_t i = 0; i < first + count; ++i) {
       queue.faults.push_back(sample_fault(config_.fault, bounds.lo, bounds.hi,
                                           time_space, queue.rng));
     }
     queue.results.resize(queue.faults.size());
     queue.done.resize(queue.faults.size(), 0);
+    queue.next = first;
   }
 
   // Def/use pruning: resolve every sampled (bit, time) cell's next touch
@@ -539,10 +557,18 @@ CampaignResult CampaignRunner::run(const TargetFactory& factory,
   // watchdog budget disables pruning too: the member-synthesis
   // detection-distance shift assumes detections track the injection time,
   // but a prefix watchdog trip lands at a fault-independent iteration.
+  // Plan indices are shard-relative (absolute = first + relative): the
+  // plan is built over this run's own slice so a synthesized member's
+  // representative is always claimed by this run, never by another shard.
+  // Shard-local pruning collapses fewer classes than a whole-campaign plan
+  // would, but expanded rows are bit-identical to brute force either way,
+  // so the merged campaign is unaffected.
   PrunePlan plan;
   if (config_.prune && synth_safe && !detail &&
-      !is_stuck_at(config_.fault.kind) && !queue.faults.empty()) {
-    std::vector<TouchQuery> queries = make_touch_queries(queue.faults);
+      !is_stuck_at(config_.fault.kind) && queue.faults.size() > first) {
+    const std::vector<Fault> shard_faults(queue.faults.begin() + first,
+                                          queue.faults.end());
+    std::vector<TouchQuery> queries = make_touch_queries(shard_faults);
     if (probe->begin_touch_recording(&queries)) {
       {
         // The recorded replay is a second golden run; account it as one.
@@ -551,7 +577,7 @@ CampaignResult CampaignRunner::run(const TargetFactory& factory,
         run_closed_loop(*probe, nullptr, std::uint64_t{1} << 32);
       }
       probe->end_touch_recording();
-      plan = build_prune_plan(queue.faults, queries);
+      plan = build_prune_plan(shard_faults, queries);
     }
   }
 
@@ -619,7 +645,7 @@ CampaignResult CampaignRunner::run(const TargetFactory& factory,
     bool ok = false;
     {
       const std::lock_guard<std::mutex> lock(queue.mutex);
-      if (controller_ != nullptr) {
+      if (controller_ != nullptr && !sharded) {
         const std::size_t target_n = controller_->target_experiments();
         if (target_n > queue.faults.size()) {
           while (queue.faults.size() < target_n) {
@@ -687,12 +713,12 @@ CampaignResult CampaignRunner::run(const TargetFactory& factory,
       }
       const auto started = std::chrono::steady_clock::now();
       ExperimentResult experiment;
-      if (plan.is_member(i)) {
+      if (plan.is_member(i - first)) {
         // Synthesized member: copy the class representative's result.  The
         // rep has a lower index, so it was claimed strictly earlier; wait
         // only for its in-flight run to store.  Copies happen under the
         // mutex — extensions may reallocate the vectors.
-        const std::size_t rep = plan.rep_of(i);
+        const std::size_t rep = first + plan.rep_of(i - first);
         ExperimentResult rep_result;
         Fault rep_fault;
         {
@@ -708,7 +734,7 @@ CampaignResult CampaignRunner::run(const TargetFactory& factory,
           const obs::ScopedSpan probe_span(track, obs::SpanPhase::kProbe);
           experiment.propagation = prober_(fault);
         }
-      } else if (plan.is_untouched(i)) {
+      } else if (plan.is_untouched(i - first)) {
         // A fault no instruction ever observes again: its latent row is
         // known without running anything (see synthesize_latent).
         experiment = synthesize_latent(fault, i, result.golden,
@@ -764,28 +790,35 @@ CampaignResult CampaignRunner::run(const TargetFactory& factory,
   const std::size_t total = queue.faults.size();
   const std::size_t completed = std::min(queue.next, total);
   queue.results.resize(completed);
-  result.experiments = std::move(queue.results);
+  // A shard reports only its own slice (still id-ordered, absolute ids);
+  // the never-run prefix [0, first) is dropped.
+  result.experiments.assign(
+      std::make_move_iterator(queue.results.begin() + first),
+      std::make_move_iterator(queue.results.end()));
   result.interrupted = completed < total;
   // Reflect live extensions so reports match a campaign configured this
-  // large from the start.
-  result.config.experiments = total;
+  // large from the start.  A shard keeps the full-campaign total: its rows
+  // are a slice of that campaign, not a smaller one.
+  result.config.experiments = sharded ? config_.experiments : total;
   if (plan.active()) {
     // Collapsed view: one row per class within the completed prefix, each
     // weighted by how many sampled faults it stands for (extensions and
     // unfinished members stay singletons/absent; rep_of(i) <= i keeps
-    // every referenced representative inside the prefix).
-    std::vector<std::uint64_t> weights(completed, 0);
-    for (std::size_t i = 0; i < completed; ++i) {
+    // every referenced representative inside the prefix).  Shard-relative
+    // throughout — result.experiments is already the slice.
+    const std::size_t done = completed - first;
+    std::vector<std::uint64_t> weights(done, 0);
+    for (std::size_t i = 0; i < done; ++i) {
       ++weights[plan.rep_of(i)];
     }
-    for (std::size_t i = 0; i < completed; ++i) {
+    for (std::size_t i = 0; i < done; ++i) {
       if (plan.rep_of(i) != i) continue;
       ExperimentResult rep = result.experiments[i];
       rep.weight = weights[i];
       result.representatives.push_back(std::move(rep));
     }
     result.prune_classes = result.representatives.size();
-    result.prune_synthesized = completed - result.representatives.size();
+    result.prune_synthesized = done - result.representatives.size();
   }
   if (observer != nullptr) observer->on_campaign_end(result);
   if (campaign_track != nullptr) {

@@ -108,6 +108,22 @@ class CampaignRunner {
   CampaignResult run(const TargetFactory& factory,
                      obs::CampaignObserver* observer = nullptr) const;
 
+  /// Runs only the contiguous shard [first, first+count) of the campaign's
+  /// deterministic fault stream — the distributed-campaign entry point.
+  /// The golden run and the fault samples for [0, first) are recomputed
+  /// locally (both derive from the config alone), so a shard needs nothing
+  /// but (first, count) to reproduce its slice: result.experiments holds
+  /// the shard's rows with absolute ids, and concatenating every shard's
+  /// rows in order is bit-identical to a single run() — the same guarantee
+  /// controller extend(n) proves for the tail.  Checkpoint restore and
+  /// def/use pruning stay active (pruning collapses within the shard
+  /// only).  A sharded run ignores controller extensions;
+  /// result.config.experiments reports the full-campaign total.
+  /// run(f, o) == run_range(f, o, 0, config().experiments).
+  CampaignResult run_range(const TargetFactory& factory,
+                           obs::CampaignObserver* observer,
+                           std::size_t first, std::size_t count) const;
+
   /// Reference execution only (also useful for Figure 3/4/5 traces).
   /// `observer`, when non-null and iteration-hungry, receives golden-run
   /// IterationRecords (experiment == obs::kGoldenExperimentId) on worker 0.

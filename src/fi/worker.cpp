@@ -1,0 +1,327 @@
+#include "fi/worker.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <thread>
+
+#include "fi/controller.hpp"
+#include "fi/coordinator.hpp"
+#include "fi/database.hpp"
+#include "fi/runner.hpp"
+#include "fi/workloads.hpp"
+#include "obs/http.hpp"
+#include "obs/json.hpp"
+#include "obs/observer.hpp"
+
+namespace earl::fi {
+
+namespace {
+
+/// Counts completed experiments for the heartbeat's progress report.
+class ShardProgressObserver : public obs::CampaignObserver {
+ public:
+  void on_experiment_done(std::size_t worker, const ExperimentResult& result,
+                          std::uint64_t wall_ns) override {
+    (void)worker;
+    (void)result;
+    (void)wall_ns;
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+};
+
+std::optional<obs::HttpGetResult> rpc(const WorkerOptions& options,
+                                      const std::string& method,
+                                      const std::string& target,
+                                      const std::string& body,
+                                      const std::string& content_type = "") {
+  obs::HttpClientRequest request;
+  request.host = options.host;
+  request.port = options.port;
+  request.method = method;
+  request.target = target;
+  request.body = body;
+  if (!content_type.empty()) {
+    request.headers.emplace_back("Content-Type", content_type);
+  }
+  if (!options.token.empty()) {
+    request.headers.emplace_back("Authorization",
+                                 "Bearer " + options.token);
+  }
+  return obs::http_request(request);
+}
+
+/// First line of an error envelope's detail (or the raw body) for
+/// human-readable failure reports.
+std::string error_detail(const std::string& body) {
+  if (const std::optional<obs::JsonValue> doc = obs::json_parse(body)) {
+    if (const obs::JsonValue* detail = doc->find("detail");
+        detail != nullptr && detail->is_string()) {
+      return detail->string;
+    }
+  }
+  std::string line = body;
+  if (const std::size_t eol = line.find('\n'); eol != std::string::npos) {
+    line.resize(eol);
+  }
+  return line;
+}
+
+}  // namespace
+
+std::string handshake_error(const std::string& version_body) {
+  std::string parse_error;
+  const std::optional<obs::JsonValue> doc =
+      obs::json_parse(version_body, &parse_error);
+  if (!doc || !doc->is_object()) {
+    return "version document is not JSON (" + parse_error + ")";
+  }
+  const obs::JsonValue* api = doc->find("api_version");
+  if (api == nullptr || !api->is_number() || api->number != 1.0) {
+    return "coordinator speaks an incompatible api_version (need 1)";
+  }
+  const obs::JsonValue* shard = doc->find("shard_protocol");
+  if (shard == nullptr || !shard->is_number() || shard->number != 1.0) {
+    return "coordinator speaks an incompatible shard_protocol (need 1)";
+  }
+  const obs::JsonValue* capabilities = doc->find("capabilities");
+  if (capabilities != nullptr && capabilities->is_array()) {
+    for (const obs::JsonValue& capability : capabilities->array) {
+      if (capability.is_string() && capability.string == "coordinator") {
+        return "";
+      }
+    }
+  }
+  return "server has no campaign coordinator attached "
+         "(start it with earl-goofi --coordinate N)";
+}
+
+WorkerReport run_worker(const WorkerOptions& options) {
+  using std::chrono::milliseconds;
+  WorkerReport report;
+  const auto log = [&](const std::string& line) {
+    if (options.log) options.log(line);
+  };
+  const auto stopping = [&] {
+    return options.should_stop && options.should_stop();
+  };
+  const std::string where =
+      options.host + ":" + std::to_string(options.port);
+
+  const std::optional<obs::HttpGetResult> version =
+      rpc(options, "GET", "/api/v1/version", "");
+  if (!version || version->status != 200) {
+    report.error = "cannot reach coordinator at " + where;
+    return report;
+  }
+  if (std::string mismatch = handshake_error(version->body);
+      !mismatch.empty()) {
+    report.error = std::move(mismatch);
+    return report;
+  }
+
+  int lease_failures = 0;
+  for (;;) {
+    if (stopping()) {
+      report.ok = true;
+      return report;
+    }
+    const std::optional<obs::HttpGetResult> lease = rpc(
+        options, "POST", "/api/v1/shard/lease?worker=" + options.name, "");
+    if (!lease) {
+      // Transient: the coordinator may be restarting its listener.  Give
+      // up only after a sustained outage.
+      if (++lease_failures >= 50) {
+        report.error = "lost contact with coordinator at " + where;
+        return report;
+      }
+      std::this_thread::sleep_for(milliseconds(options.poll_ms));
+      continue;
+    }
+    lease_failures = 0;
+    if (lease->status == 401) {
+      report.error =
+          "coordinator rejected the bearer token (--serve-token mismatch)";
+      return report;
+    }
+    if (lease->status != 200) {
+      report.error = "lease request failed: " + error_detail(lease->body);
+      return report;
+    }
+    const std::optional<obs::JsonValue> doc = obs::json_parse(lease->body);
+    const obs::JsonValue* status =
+        doc && doc->is_object() ? doc->find("status") : nullptr;
+    if (status == nullptr || !status->is_string()) {
+      report.error = "lease reply is not a shard grant document";
+      return report;
+    }
+    if (status->string == "complete") {
+      report.ok = true;
+      return report;
+    }
+    if (status->string == "wait") {
+      std::this_thread::sleep_for(milliseconds(options.poll_ms));
+      continue;
+    }
+    const obs::JsonValue* shard_v = doc->find("shard");
+    const obs::JsonValue* first_v = doc->find("first");
+    const obs::JsonValue* count_v = doc->find("count");
+    const obs::JsonValue* token_v = doc->find("token");
+    const obs::JsonValue* heartbeat_v = doc->find("heartbeat_s");
+    const obs::JsonValue* campaign_v = doc->find("campaign");
+    if (status->string != "granted" || shard_v == nullptr ||
+        !shard_v->is_number() || first_v == nullptr ||
+        !first_v->is_number() || count_v == nullptr ||
+        !count_v->is_number() || token_v == nullptr ||
+        !token_v->is_number() || campaign_v == nullptr) {
+      report.error = "lease reply is not a shard grant document";
+      return report;
+    }
+    const std::size_t shard = static_cast<std::size_t>(shard_v->number);
+    const std::size_t first = static_cast<std::size_t>(first_v->number);
+    const std::size_t count = static_cast<std::size_t>(count_v->number);
+    const std::uint64_t token = static_cast<std::uint64_t>(token_v->number);
+    const std::int64_t heartbeat_ms =
+        heartbeat_v != nullptr && heartbeat_v->is_number() &&
+                heartbeat_v->number >= 1.0
+            ? static_cast<std::int64_t>(heartbeat_v->number * 1000.0) / 2
+            : 2500;
+
+    const std::optional<CampaignSpec> spec =
+        CampaignSpec::from_json(*campaign_v);
+    if (!spec) {
+      report.error = "lease grant carried an unreadable campaign spec";
+      return report;
+    }
+    std::string spec_error;
+    std::optional<CampaignConfig> config = spec->to_config(&spec_error);
+    if (!config) {
+      report.error = spec_error;
+      return report;
+    }
+    config->workers = options.threads;
+    std::string factory_error;
+    const TargetFactory factory = make_campaign_factory(
+        spec->technique, spec->workload, spec->parity, &factory_error);
+    if (!factory) {
+      report.error = factory_error;
+      return report;
+    }
+
+    log("leased shard " + std::to_string(shard) + " [" +
+        std::to_string(first) + ", " + std::to_string(first + count) + ")");
+
+    CampaignRunner runner(*config);
+    CampaignController controller;
+    runner.set_controller(&controller);
+    ShardProgressObserver progress;
+    const std::string shard_query = "shard=" + std::to_string(shard) +
+                                    "&token=" + std::to_string(token);
+
+    // The heartbeat thread keeps the lease alive at half the advertised
+    // cadence and forwards two stop signals into the run: the caller's
+    // should_stop, and a "lost"/"done" heartbeat reply (the coordinator
+    // reassigned the shard — finishing it would be wasted work).
+    std::atomic<bool> run_done{false};
+    std::atomic<bool> lease_lost{false};
+    std::thread heartbeat([&] {
+      std::int64_t since_ms = 0;
+      while (!run_done.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(milliseconds(100));
+        since_ms += 100;
+        if (stopping()) controller.stop();
+        if (since_ms < heartbeat_ms) continue;
+        since_ms = 0;
+        const std::optional<obs::HttpGetResult> beat =
+            rpc(options, "POST",
+                "/api/v1/shard/heartbeat?" + shard_query +
+                    "&completed=" + std::to_string(progress.count()),
+                "");
+        if (!beat || beat->status != 200) continue;  // lease timeout backstops
+        const std::optional<obs::JsonValue> reply = obs::json_parse(beat->body);
+        const obs::JsonValue* ok =
+            reply && reply->is_object() ? reply->find("ok") : nullptr;
+        if (ok != nullptr && ok->kind == obs::JsonValue::Kind::kBool &&
+            !ok->boolean) {
+          lease_lost.store(true, std::memory_order_release);
+          controller.stop();
+        }
+      }
+    });
+    const CampaignResult result =
+        runner.run_range(factory, &progress, first, count);
+    run_done.store(true, std::memory_order_release);
+    heartbeat.join();
+
+    if (lease_lost.load(std::memory_order_acquire)) {
+      log("lease for shard " + std::to_string(shard) +
+          " expired; abandoning it");
+      continue;
+    }
+    if (result.interrupted) {
+      // Only a stop request interrupts a sharded run (extensions are
+      // disabled); a partial shard is never submitted.
+      report.ok = stopping();
+      if (!report.ok) {
+        report.error = "shard run stopped before completing";
+      }
+      return report;
+    }
+
+    ResultDatabase db(config->name, config->seed);
+    db.set_total_time(result.golden.total_time);
+    for (const ExperimentResult& row : result.experiments) db.insert(row);
+    const std::string csv = db.to_csv();
+
+    bool submitted = false;
+    bool campaign_complete = false;
+    for (int attempt = 0; attempt < 10; ++attempt) {
+      const std::optional<obs::HttpGetResult> reply =
+          rpc(options, "POST", "/api/v1/shard/result?" + shard_query, csv,
+              "text/csv");
+      if (!reply) {
+        std::this_thread::sleep_for(milliseconds(options.poll_ms));
+        continue;
+      }
+      if (reply->status == 200) {
+        submitted = true;
+        const std::optional<obs::JsonValue> accepted =
+            obs::json_parse(reply->body);
+        const obs::JsonValue* complete =
+            accepted && accepted->is_object() ? accepted->find("complete")
+                                              : nullptr;
+        campaign_complete = complete != nullptr &&
+                            complete->kind == obs::JsonValue::Kind::kBool &&
+                            complete->boolean;
+        break;
+      }
+      report.error = "coordinator rejected shard " + std::to_string(shard) +
+                     ": " + error_detail(reply->body);
+      return report;
+    }
+    if (!submitted) {
+      report.error = "could not deliver shard " + std::to_string(shard) +
+                     " to coordinator at " + where;
+      return report;
+    }
+    ++report.shards_run;
+    report.experiments += count;
+    log("shard " + std::to_string(shard) + " submitted (" +
+        std::to_string(count) + " experiments)");
+    if (campaign_complete) {
+      // This submit finished the campaign; the coordinator may exit before
+      // another lease poll would answer, so don't race it.
+      report.ok = true;
+      return report;
+    }
+  }
+}
+
+}  // namespace earl::fi

@@ -1,0 +1,58 @@
+// Distributed campaign worker (the `earl-goofi --worker` engine).
+//
+// Connects to a CampaignCoordinator exposed through obs::TelemetryServer,
+// performs the /api/v1/version compatibility handshake, then loops: lease
+// a shard, rebuild the campaign locally from the coordinator's
+// CampaignSpec, run it with CampaignRunner::run_range (checkpoint/prune
+// and the rest of the single-node accelerations intact), and POST the
+// shard's ResultDatabase CSV back.  A heartbeat thread keeps the lease
+// alive; a "lost" heartbeat reply (lease expired and reassigned) stops the
+// in-flight run and abandons the shard — its rows will come from whoever
+// holds the new lease, bit-identical by construction.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace earl::fi {
+
+/// Inspects a GET /api/v1/version body and decides whether this worker
+/// can speak to the server: it must be API v1, shard protocol 1, and
+/// advertise the "coordinator" capability.  Returns "" when compatible,
+/// else a one-line reason (the handshake-mismatch rejection message).
+std::string handshake_error(const std::string& version_body);
+
+struct WorkerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Bearer token for the shard RPCs (the coordinator's --serve-token).
+  std::string token;
+  /// Name reported in lease requests (diagnostics only).
+  std::string name = "worker";
+  /// Campaign worker threads for the local shard run (0 = hardware).
+  std::size_t threads = 0;
+  /// Poll cadence while the coordinator has no pending shard.
+  int poll_ms = 200;
+  /// Cooperative stop (SIGINT): checked between shards and forwarded to
+  /// the in-flight run's controller.
+  std::function<bool()> should_stop;
+  /// When non-null, one-line progress messages are appended here (the CLI
+  /// prints them; tests leave it unset).
+  std::function<void(const std::string&)> log;
+};
+
+struct WorkerReport {
+  bool ok = false;
+  std::size_t shards_run = 0;
+  std::size_t experiments = 0;
+  /// Non-empty when ok is false: connect/handshake/protocol failure.
+  std::string error;
+};
+
+/// Runs the worker loop until the coordinator reports the campaign
+/// complete (ok), should_stop fires (ok, possibly with shards abandoned),
+/// or a protocol error occurs (not ok, error set).
+WorkerReport run_worker(const WorkerOptions& options);
+
+}  // namespace earl::fi

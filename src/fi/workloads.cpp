@@ -80,6 +80,44 @@ TargetFactory make_native_pi_factory(const control::PiConfig& config,
   };
 }
 
+TargetFactory make_campaign_factory(const std::string& technique,
+                                    const std::string& workload, bool parity,
+                                    std::string* error) {
+  const control::PiConfig pi = paper_pi_config();
+  if (technique == "swifi") {
+    if (workload == "alg1") return make_native_pi_factory(pi, false);
+    if (workload == "alg2") return make_native_pi_factory(pi, true);
+    if (error != nullptr) *error = "swifi supports workloads alg1 | alg2";
+    return nullptr;
+  }
+  if (technique != "scifi") {
+    if (error != nullptr) *error = "unknown technique '" + technique + "'";
+    return nullptr;
+  }
+  tvm::CacheConfig cache;
+  cache.parity_enabled = parity;
+  if (workload == "alg1") {
+    return make_tvm_pi_factory(pi, codegen::RobustnessMode::kNone, cache);
+  }
+  if (workload == "alg2") {
+    return make_tvm_pi_factory(pi, codegen::RobustnessMode::kRecover, cache);
+  }
+  if (workload == "trap") {
+    return make_tvm_pi_factory(pi, codegen::RobustnessMode::kTrap, cache);
+  }
+  if (workload == "alg2rate") {
+    const codegen::EmitResult emitted = codegen::emit_assembly(
+        codegen::make_pi_diagram(pi), codegen::make_pi_options_with_rate(pi));
+    auto program =
+        std::make_shared<tvm::AssembledProgram>(tvm::assemble(emitted.assembly));
+    return [program, cache]() -> std::unique_ptr<Target> {
+      return std::make_unique<TvmTarget>(*program, cache);
+    };
+  }
+  if (error != nullptr) *error = "unknown workload '" + workload + "'";
+  return nullptr;
+}
+
 namespace {
 
 CampaignConfig base_campaign() {

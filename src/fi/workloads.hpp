@@ -53,6 +53,16 @@ CampaignRunner::PropagationProber make_tvm_propagation_prober(
     std::shared_ptr<const tvm::AssembledProgram> program,
     analysis::PropagationOptions options = {});
 
+/// Factory for a (technique, workload) pair in the CLI's vocabulary
+/// (technique "scifi" | "swifi"; workload "alg1" | "alg2" | "alg2rate" |
+/// "trap", the latter two SCIFI-only) — shared by earl-goofi and the
+/// distributed-campaign worker so a CampaignSpec rebuilds the exact same
+/// target everywhere.  Returns a null factory with a one-line message in
+/// `*error` for unknown combinations.
+TargetFactory make_campaign_factory(const std::string& technique,
+                                    const std::string& workload, bool parity,
+                                    std::string* error);
+
 /// Campaign presets. `scale` in (0, 1] shrinks the experiment count for
 /// quick runs (tests use ~0.05); benches honour the EARL_CAMPAIGN_SCALE
 /// environment variable through campaign_scale_from_env().

@@ -7,9 +7,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <cstring>
+
+#include "obs/json.hpp"
 
 namespace earl::obs {
 
@@ -180,13 +183,37 @@ std::string_view http_status_reason(int status) {
   switch (status) {
     case 200: return "OK";
     case 400: return "Bad Request";
+    case 401: return "Unauthorized";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
     case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
     case 503: return "Service Unavailable";
     default: return "Unknown";
   }
+}
+
+HttpResponse json_error_response(int status, std::string_view error,
+                                 std::string_view detail) {
+  JsonObject envelope;
+  envelope.field("error", error);
+  envelope.field("detail", detail);
+  envelope.field("status", static_cast<std::uint64_t>(status));
+  return {status, "application/json", std::move(envelope).str() + "\n", {}};
+}
+
+bool constant_time_equal(std::string_view a, std::string_view b) {
+  // Size mismatch folds into the accumulator instead of early-returning;
+  // the scan length depends only on the attacker-controlled input `a`.
+  unsigned char diff = a.size() == b.size() ? 0 : 1;
+  const std::size_t modulus = std::max<std::size_t>(1, b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const unsigned char expected =
+        b.empty() ? 0 : static_cast<unsigned char>(b[i % modulus]);
+    diff |= static_cast<unsigned char>(a[i]) ^ expected;
+  }
+  return diff == 0;
 }
 
 std::string render_http_response(const HttpResponse& response,
@@ -195,6 +222,9 @@ std::string render_http_response(const HttpResponse& response,
                     std::string(http_status_reason(response.status)) + "\r\n";
   out += "Content-Type: " + response.content_type + "\r\n";
   out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  for (const auto& [name, value] : response.extra_headers) {
+    out += name + ": " + value + "\r\n";
+  }
   out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
   out += "\r\n";
   out += response.body;
@@ -221,11 +251,16 @@ bool HttpConnection::send_response(const HttpResponse& response,
   return write_all(render_http_response(response, keep_alive));
 }
 
-bool HttpConnection::begin_stream(std::string_view content_type) {
+bool HttpConnection::begin_stream(
+    std::string_view content_type,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
   streaming_ = true;
   std::string head = "HTTP/1.1 200 OK\r\n";
   head += "Content-Type: " + std::string(content_type) + "\r\n";
   head += "Cache-Control: no-cache\r\n";
+  for (const auto& [name, value] : extra_headers) {
+    head += name + ": " + value + "\r\n";
+  }
   head += "Connection: close\r\n";
   head += "\r\n";
   return write_all(head);
@@ -341,7 +376,7 @@ void HttpServer::accept_loop() {
       // Shed load at the door instead of stalling the acceptor.
       HttpConnection connection(fd);
       connection.send_response(
-          {503, "text/plain; charset=utf-8", "telemetry server overloaded\n"},
+          json_error_response(503, "overloaded", "telemetry server overloaded"),
           false);
       ::close(fd);
     } else {
@@ -405,13 +440,15 @@ void HttpServer::serve_connection(int fd) {
       if (status == HttpParse::kIncomplete) break;
       if (status == HttpParse::kTooLarge) {
         connection.send_response(
-            {431, "text/plain; charset=utf-8", "request too large\n"}, false);
+            json_error_response(431, "request_too_large", "request too large"),
+            false);
         open = false;
         break;
       }
       if (status == HttpParse::kMalformed) {
         connection.send_response(
-            {400, "text/plain; charset=utf-8", "malformed request\n"}, false);
+            json_error_response(400, "bad_request", "malformed request"),
+            false);
         open = false;
         break;
       }
@@ -428,23 +465,41 @@ void HttpServer::serve_connection(int fd) {
   ::close(fd);
 }
 
-std::optional<HttpGetResult> http_get(std::uint16_t port,
-                                      std::string_view target) {
+std::string HttpGetResult::header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (iequals(key, name)) return value;
+  }
+  return "";
+}
+
+std::optional<HttpGetResult> http_request(const HttpClientRequest& request) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return std::nullopt;
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(request.port);
+  const std::string host =
+      request.host == "localhost" ? "127.0.0.1" : request.host;
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return std::nullopt;
+  }
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
     ::close(fd);
     return std::nullopt;
   }
 
-  std::string request = "GET " + std::string(target) +
-                        " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
-                        "Connection: close\r\n\r\n";
-  std::string_view remaining = request;
+  std::string wire = request.method + " " + request.target +
+                     " HTTP/1.1\r\nHost: " + host + "\r\n";
+  for (const auto& [name, value] : request.headers) {
+    wire += name + ": " + value + "\r\n";
+  }
+  if (!request.body.empty() || request.method != "GET") {
+    wire += "Content-Length: " + std::to_string(request.body.size()) + "\r\n";
+  }
+  wire += "Connection: close\r\n\r\n";
+  wire += request.body;
+  std::string_view remaining = wire;
   while (!remaining.empty()) {
     const ssize_t n =
         ::send(fd, remaining.data(), remaining.size(), MSG_NOSIGNAL);
@@ -482,8 +537,29 @@ std::optional<HttpGetResult> http_get(std::uint16_t port,
   }
   const std::size_t head_end = raw.find("\r\n\r\n");
   if (head_end == std::string::npos) return std::nullopt;
+  const std::size_t line_end = raw.find("\r\n");
+  std::size_t pos = line_end + 2;
+  while (pos < head_end) {
+    std::size_t eol = raw.find("\r\n", pos);
+    if (eol == std::string::npos || eol > head_end) eol = head_end;
+    const std::string_view line =
+        std::string_view(raw).substr(pos, eol - pos);
+    pos = eol + 2;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) continue;
+    result.headers.emplace_back(std::string(line.substr(0, colon)),
+                                std::string(trim(line.substr(colon + 1))));
+  }
   result.body = raw.substr(head_end + 4);
   return result;
+}
+
+std::optional<HttpGetResult> http_get(std::uint16_t port,
+                                      std::string_view target) {
+  HttpClientRequest request;
+  request.port = port;
+  request.target = std::string(target);
+  return http_request(request);
 }
 
 }  // namespace earl::obs

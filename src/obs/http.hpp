@@ -79,10 +79,26 @@ struct HttpResponse {
   int status = 200;
   std::string content_type = "text/plain; charset=utf-8";
   std::string body;
+  /// Rendered verbatim after Content-Length (e.g. the `Deprecation` header
+  /// on legacy-alias responses).  Names and values must be header-safe;
+  /// callers only pass literals.
+  std::vector<std::pair<std::string, std::string>> extra_headers = {};
 };
 
 /// Reason phrase for the handful of statuses this server emits.
 std::string_view http_status_reason(int status);
+
+/// The uniform v1 error envelope: `{"error","detail","status"}` as
+/// application/json.  `error` is a stable machine-readable slug
+/// ("not_found", "unauthorized", ...); `detail` is the human-readable
+/// explanation the pre-v1 plain-text bodies used to carry.
+HttpResponse json_error_response(int status, std::string_view error,
+                                 std::string_view detail);
+
+/// Length-independent comparison for bearer tokens: scans all of `a`
+/// regardless of where the first mismatch is, so timing does not leak the
+/// matching prefix length.  Unequal lengths compare unequal.
+bool constant_time_equal(std::string_view a, std::string_view b);
 
 /// Full wire form: status line, Content-Type/Length, Connection, blank
 /// line, body.
@@ -103,8 +119,12 @@ class HttpConnection {
   /// Switches to streaming: sends the response head with the given content
   /// type and "Connection: close", after which the handler writes the body
   /// incrementally with write_all().  The server closes the socket when
-  /// the handler returns; keep-alive never resumes.
-  bool begin_stream(std::string_view content_type);
+  /// the handler returns; keep-alive never resumes.  `extra_headers` (if
+  /// any) are rendered into the head — used for the Deprecation header on
+  /// the legacy /events alias.
+  bool begin_stream(std::string_view content_type,
+                    const std::vector<std::pair<std::string, std::string>>&
+                        extra_headers = {});
 
   bool streaming() const { return streaming_; }
   bool alive() const { return alive_; }
@@ -174,16 +194,33 @@ class HttpServer {
   std::set<int> active_;  // fds currently inside serve_connection
 };
 
-/// One blocking loopback GET (the scrape side of the primitives above):
-/// connects to 127.0.0.1:`port`, sends `GET <target>` with
-/// "Connection: close", reads to EOF and splits the response.  Used by the
-/// campaign-scaling bench's scrape-under-load measurement and by smoke
-/// tests; deliberately not a general client — no TLS, no redirects, no
-/// chunked encoding.  nullopt on connect/send/parse failure.
+/// One blocking request/response exchange (the client side of the
+/// primitives above): connect, send, read to EOF ("Connection: close"
+/// framing), split status/headers/body.  Deliberately not a general
+/// client — IPv4 only (dotted quad or "localhost"), no TLS, no redirects,
+/// no chunked encoding.  Used by worker→coordinator RPCs, the bench's
+/// scrape-under-load measurement, and smoke tests.  nullopt on
+/// connect/send/parse failure.
 struct HttpGetResult {
   int status = 0;
   std::string body;
+  std::vector<std::pair<std::string, std::string>> headers;
+
+  /// Case-insensitive response-header lookup; "" when absent.
+  std::string header(std::string_view name) const;
 };
+
+struct HttpClientRequest {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string method = "GET";
+  std::string target = "/";
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;  // sent with Content-Length when non-empty or non-GET
+};
+std::optional<HttpGetResult> http_request(const HttpClientRequest& request);
+
+/// Shorthand for a loopback GET (the common scrape case).
 std::optional<HttpGetResult> http_get(std::uint16_t port,
                                       std::string_view target);
 

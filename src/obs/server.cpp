@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <optional>
 
+#include "fi/coordinator.hpp"
+#include "obs/build_info.hpp"
 #include "obs/criticality_observer.hpp"
 #include "obs/json.hpp"
 #include "obs/labels.hpp"
@@ -21,6 +23,15 @@ ProgressReporter::Options silent_progress_options() {
   ProgressReporter::Options options;
   options.sink = nullptr;  // counters only; /progress reads the snapshot
   return options;
+}
+
+HttpServer::Options make_http_options(const TelemetryServer::Options& options) {
+  HttpServer::Options out;
+  out.address = options.address;
+  out.port = options.port;
+  out.handler_threads = options.handler_threads;
+  out.max_request_bytes = options.max_request_bytes;
+  return out;
 }
 
 }  // namespace
@@ -221,8 +232,7 @@ TelemetryServer::TelemetryServer(Options options,
           [this](const HttpRequest& request, HttpConnection& connection) {
             handle(request, connection);
           },
-          HttpServer::Options{options_.address, options_.port,
-                              options_.handler_threads}),
+          make_http_options(options_)),
       watchdog_(options_.watchdog),
       ring_(options_.event_capacity),
       reporter_(silent_progress_options()) {}
@@ -267,6 +277,10 @@ void TelemetryServer::set_controller(fi::CampaignController* controller) {
   } else {
     reporter_.set_paused_ns_source(nullptr);
   }
+}
+
+void TelemetryServer::set_coordinator(fi::CampaignCoordinator* coordinator) {
+  coordinator_ = coordinator;
 }
 
 void TelemetryServer::set_tracer(SpanTracer* tracer) {
@@ -399,22 +413,60 @@ void TelemetryServer::handle(const HttpRequest& request,
                         http_track_->now(), kSpanNoArg);
     }
   };
-  const std::string path = request.path();
-  if (path.rfind("/control/", 0) == 0) {
-    connection.send_response(control_response(request), request.keep_alive());
+  // Canonicalize: /api/v1/<name> is the canonical surface, the bare
+  // legacy paths are aliases answered identically plus a Deprecation
+  // header pointing at their successor.
+  const std::string raw_path = request.path();
+  bool legacy = true;
+  std::string path = raw_path;
+  if (raw_path == "/api/v1") {
+    legacy = false;
+    path = "/";
+  } else if (raw_path.rfind("/api/v1/", 0) == 0) {
+    legacy = false;
+    path = raw_path.substr(7);  // keep the leading '/'
+  }
+  const auto finish = [&](HttpResponse response) {
+    if (legacy && path != "/") {
+      response.extra_headers.emplace_back("Deprecation", "true");
+      response.extra_headers.emplace_back(
+          "Link", "</api/v1" + path + ">; rel=\"successor-version\"");
+    }
+    connection.send_response(response, request.keep_alive());
     observe_latency();
+  };
+  if (path.rfind("/shard/", 0) == 0) {
+    if (legacy) {
+      finish(json_error_response(
+          404, "not_found",
+          "shard endpoints are versioned; use /api/v1" + path));
+      return;
+    }
+    finish(shard_response(request, path));
+    return;
+  }
+  if (path.rfind("/control/", 0) == 0) {
+    finish(control_response(request));
     return;
   }
   if (request.method != "GET") {
-    connection.send_response(
-        {405, "text/plain; charset=utf-8",
-         "method not allowed: telemetry endpoints are GET-only\n"},
-        request.keep_alive());
-    observe_latency();
+    finish(json_error_response(
+        405, "method_not_allowed",
+        "method not allowed: telemetry endpoints are GET-only"));
     return;
   }
   if (path == "/events") {
-    serve_events(connection);
+    serve_events(connection, legacy);
+    return;
+  }
+  if (path == "/version") {
+    if (legacy) {
+      finish(json_error_response(404, "not_found",
+                                 "the version document is versioned; GET "
+                                 "/api/v1/version"));
+      return;
+    }
+    finish(version_response());
     return;
   }
   HttpResponse response;
@@ -431,27 +483,35 @@ void TelemetryServer::handle(const HttpRequest& request,
   } else if (path == "/") {
     response = index_response();
   } else {
-    response = {404, "text/plain; charset=utf-8",
-                "not found; endpoints: /metrics /progress /healthz /events "
-                "/spans /criticality "
-                "/control/{pause,resume,stop,extend,workers}\n"};
+    response = json_error_response(
+        404, "not_found",
+        "not found; endpoints: /metrics /progress /healthz /events "
+        "/spans /criticality /api/v1/version "
+        "/control/{pause,resume,stop,extend,workers} /api/v1/shard/"
+        "{lease,heartbeat,result}");
   }
-  connection.send_response(response, request.keep_alive());
-  observe_latency();
+  finish(std::move(response));
 }
 
 namespace {
 
-/// Strict positive-integer parse for control arguments ("n" query param);
-/// nullopt on empty, non-digit, zero, or overflow.
-std::optional<std::uint64_t> parse_positive(const std::string& text) {
+/// Strict decimal parse for query parameters; nullopt on empty, non-digit,
+/// or overflow.  Zero is valid (shard ids and progress counts start at 0).
+std::optional<std::uint64_t> parse_nonneg(const std::string& text) {
   if (text.empty() || text.size() > 18) return std::nullopt;
   std::uint64_t value = 0;
   for (const char c : text) {
     if (c < '0' || c > '9') return std::nullopt;
     value = value * 10 + static_cast<std::uint64_t>(c - '0');
   }
-  if (value == 0) return std::nullopt;
+  return value;
+}
+
+/// Strict positive-integer parse for control arguments ("n" query param);
+/// additionally rejects zero.
+std::optional<std::uint64_t> parse_positive(const std::string& text) {
+  const std::optional<std::uint64_t> value = parse_nonneg(text);
+  if (value && *value == 0) return std::nullopt;
   return value;
 }
 
@@ -474,35 +534,34 @@ HttpResponse TelemetryServer::control_status(fi::ControlCommand command) {
   return response;
 }
 
+bool TelemetryServer::authorized(const HttpRequest& request) const {
+  if (options_.bearer_token.empty()) return true;
+  // Length-independent comparison so the token cannot be guessed
+  // byte-by-byte from response timing.
+  return constant_time_equal(request.header("Authorization"),
+                             "Bearer " + options_.bearer_token);
+}
+
 HttpResponse TelemetryServer::control_response(const HttpRequest& request) {
   if (request.method != "POST") {
-    return {405, "text/plain; charset=utf-8",
-            "method not allowed: control endpoints are POST-only\n"};
+    return json_error_response(
+        405, "method_not_allowed",
+        "method not allowed: control endpoints are POST-only");
   }
-  if (!options_.bearer_token.empty()) {
-    const std::string expected = "Bearer " + options_.bearer_token;
-    const std::string presented = request.header("Authorization");
-    // Length-independent comparison so the token cannot be guessed
-    // byte-by-byte from response timing.
-    bool match = presented.size() == expected.size();
-    unsigned char diff = 0;
-    for (std::size_t i = 0; i < presented.size(); ++i) {
-      diff |= static_cast<unsigned char>(
-          presented[i] ^ expected[i % std::max<std::size_t>(1,
-                                                            expected.size())]);
-    }
-    if (!match || diff != 0) {
-      return {401, "text/plain; charset=utf-8",
-              "unauthorized: control endpoints require \"Authorization: "
-              "Bearer <token>\"\n"};
-    }
+  if (!authorized(request)) {
+    return json_error_response(
+        401, "unauthorized",
+        "unauthorized: control endpoints require \"Authorization: "
+        "Bearer <token>\"");
   }
   if (controller_ == nullptr) {
-    return {503, "text/plain; charset=utf-8",
-            "control plane unavailable: no campaign controller attached\n"};
+    return json_error_response(
+        503, "unavailable",
+        "control plane unavailable: no campaign controller attached");
   }
 
-  const std::string command = request.path().substr(9);  // after /control/
+  std::string command = request.path();
+  command = command.substr(command.find("/control/") + 9);
   ServerEvent event;
   event.type = ServerEvent::Type::kControl;
   if (command == "pause") {
@@ -529,13 +588,14 @@ HttpResponse TelemetryServer::control_response(const HttpRequest& request) {
     const std::optional<std::uint64_t> n =
         parse_positive(request.query_param("n"));
     if (!n) {
-      return {400, "text/plain; charset=utf-8",
-              "extend requires a positive integer query parameter, e.g. "
-              "POST /control/extend?n=50\n"};
+      return json_error_response(
+          400, "bad_request",
+          "extend requires a positive integer query parameter, e.g. "
+          "POST /control/extend?n=50");
     }
     if (controller_->stop_requested()) {
-      return {409, "text/plain; charset=utf-8",
-              "cannot extend: campaign is draining\n"};
+      return json_error_response(409, "conflict",
+                                 "cannot extend: campaign is draining");
     }
     const std::size_t target =
         controller_->extend(static_cast<std::size_t>(*n));
@@ -548,10 +608,11 @@ HttpResponse TelemetryServer::control_response(const HttpRequest& request) {
     const std::optional<std::uint64_t> n =
         parse_positive(request.query_param("n"));
     if (!n) {
-      return {400, "text/plain; charset=utf-8",
-              "workers requires a positive integer query parameter, e.g. "
-              "POST /control/workers?n=2 (raise to or above the campaign's "
-              "worker count to uncap)\n"};
+      return json_error_response(
+          400, "bad_request",
+          "workers requires a positive integer query parameter, e.g. "
+          "POST /control/workers?n=2 (raise to or above the campaign's "
+          "worker count to uncap)");
     }
     controller_->set_workers(static_cast<std::size_t>(*n));
     // Raising the cap wakes workers whose last activity predates the cap.
@@ -561,9 +622,139 @@ HttpResponse TelemetryServer::control_response(const HttpRequest& request) {
     ring_.push(event);
     return control_status(fi::ControlCommand::kWorkers);
   }
-  return {404, "text/plain; charset=utf-8",
-          "unknown control command; commands: pause resume stop extend "
-          "workers\n"};
+  return json_error_response(404, "not_found",
+                             "unknown control command; commands: pause "
+                             "resume stop extend workers");
+}
+
+HttpResponse TelemetryServer::shard_response(const HttpRequest& request,
+                                             const std::string& path) {
+  if (request.method != "POST") {
+    return json_error_response(
+        405, "method_not_allowed",
+        "method not allowed: shard endpoints are POST-only");
+  }
+  if (!authorized(request)) {
+    return json_error_response(
+        401, "unauthorized",
+        "unauthorized: shard endpoints require \"Authorization: "
+        "Bearer <token>\"");
+  }
+  if (coordinator_ == nullptr) {
+    return json_error_response(
+        503, "unavailable",
+        "shard plane unavailable: no campaign coordinator attached "
+        "(start the server with earl-goofi --coordinate N)");
+  }
+  const std::string command = path.substr(7);  // after /shard/
+  if (command == "lease") {
+    const fi::CampaignCoordinator::Lease lease =
+        coordinator_->lease(request.query_param("worker"));
+    JsonObject object;
+    switch (lease.status) {
+      case fi::CampaignCoordinator::Lease::Status::kComplete:
+        object.field("status", "complete");
+        break;
+      case fi::CampaignCoordinator::Lease::Status::kWait:
+        object.field("status", "wait");
+        object.field("retry_ms", std::uint64_t{500});
+        break;
+      case fi::CampaignCoordinator::Lease::Status::kGranted:
+        object.field("status", "granted");
+        object.field("shard", static_cast<std::uint64_t>(lease.shard));
+        object.field("first", static_cast<std::uint64_t>(lease.first));
+        object.field("count", static_cast<std::uint64_t>(lease.count));
+        object.field("token", lease.token);
+        object.field("lease_s",
+                     static_cast<double>(coordinator_->lease_timeout_ns()) /
+                         1e9);
+        object.field("heartbeat_s", coordinator_->heartbeat_s());
+        object.raw_field("campaign", coordinator_->spec().to_json());
+        break;
+    }
+    return {200, "application/json", std::move(object).str() + "\n"};
+  }
+  if (command == "heartbeat") {
+    const std::optional<std::uint64_t> shard =
+        parse_nonneg(request.query_param("shard"));
+    const std::optional<std::uint64_t> token =
+        parse_nonneg(request.query_param("token"));
+    const std::optional<std::uint64_t> completed =
+        parse_nonneg(request.query_param("completed"));
+    if (!shard || !token) {
+      return json_error_response(
+          400, "bad_request",
+          "heartbeat requires shard= and token= query parameters");
+    }
+    const fi::CampaignCoordinator::HeartbeatReply reply =
+        coordinator_->heartbeat(static_cast<std::size_t>(*shard), *token,
+                                completed.value_or(0));
+    if (!reply.known) {
+      return json_error_response(
+          404, "not_found",
+          "unknown shard " + request.query_param("shard"));
+    }
+    JsonObject object;
+    object.field("ok", reply.ok);
+    object.field("state", reply.state);
+    return {200, "application/json", std::move(object).str() + "\n"};
+  }
+  if (command == "result") {
+    const std::optional<std::uint64_t> shard =
+        parse_nonneg(request.query_param("shard"));
+    const std::optional<std::uint64_t> token =
+        parse_nonneg(request.query_param("token"));
+    if (!shard || !token) {
+      return json_error_response(
+          400, "bad_request",
+          "result requires shard= and token= query parameters");
+    }
+    const fi::CampaignCoordinator::SubmitReply reply = coordinator_->submit(
+        static_cast<std::size_t>(*shard), *token, request.body);
+    if (!reply.error.empty()) {
+      return json_error_response(400, "rejected", reply.error);
+    }
+    JsonObject object;
+    object.field("accepted", reply.accepted);
+    object.field("duplicate", reply.duplicate);
+    object.field("remaining", static_cast<std::uint64_t>(reply.remaining));
+    object.field("complete", reply.complete);
+    return {200, "application/json", std::move(object).str() + "\n"};
+  }
+  return json_error_response(
+      404, "not_found",
+      "unknown shard command; commands: lease heartbeat result");
+}
+
+HttpResponse TelemetryServer::version_response() {
+  const BuildInfo& info = current_build_info();
+  JsonObject build;
+  build.field("git", info.git);
+  build.field("compiler", info.compiler);
+  build.field("build_type", info.build_type);
+
+  std::string capabilities = "[\"telemetry\",\"events\"";
+  if (controller_ != nullptr) capabilities += ",\"control\"";
+  if (tracer_ != nullptr) capabilities += ",\"spans\"";
+  if (criticality_ != nullptr || coordinator_ != nullptr) {
+    capabilities += ",\"criticality\"";
+  }
+  if (coordinator_ != nullptr) capabilities += ",\"coordinator\"";
+  capabilities += "]";
+
+  JsonObject object;
+  object.field("schema", "earl.api.v1");
+  object.field("api_version", std::uint64_t{1});
+  object.field("shard_protocol", std::uint64_t{1});
+  object.raw_field("build", std::move(build).str());
+  object.raw_field("capabilities", capabilities);
+  object.raw_field(
+      "endpoints",
+      "[\"/api/v1/version\",\"/api/v1/metrics\",\"/api/v1/progress\","
+      "\"/api/v1/healthz\",\"/api/v1/events\",\"/api/v1/spans\","
+      "\"/api/v1/criticality\",\"/api/v1/control/{pause,resume,stop,"
+      "extend,workers}\",\"/api/v1/shard/{lease,heartbeat,result}\"]");
+  return {200, "application/json", std::move(object).str() + "\n"};
 }
 
 std::string TelemetryServer::serve_metrics_text() {
@@ -691,10 +882,16 @@ HttpResponse TelemetryServer::metrics_response() {
   response.content_type = "text/plain; version=0.0.4; charset=utf-8";
   if (registry_ != nullptr) response.body = registry_->to_prometheus();
   response.body += serve_metrics_text();
+  if (coordinator_ != nullptr) response.body += coordinator_->metrics_text();
   return response;
 }
 
 HttpResponse TelemetryServer::progress_response() {
+  if (coordinator_ != nullptr) {
+    // Coordinated runs report fleet-wide shard/experiment totals, not the
+    // (idle) local campaign counters.
+    return {200, "application/json", coordinator_->progress_json()};
+  }
   ProgressSnapshot snapshot = reporter_.snapshot();
   if (controller_ != nullptr) {
     // An accepted extension shows up in the target immediately, even
@@ -757,9 +954,9 @@ HttpResponse TelemetryServer::healthz_response() {
 
 HttpResponse TelemetryServer::spans_response() {
   if (tracer_ == nullptr) {
-    return {404, "text/plain; charset=utf-8",
-            "span tracing is not enabled; run earl-goofi with "
-            "--spans-out FILE\n"};
+    return json_error_response(404, "not_found",
+                               "span tracing is not enabled; run earl-goofi "
+                               "with --spans-out FILE");
   }
   HttpResponse response;
   response.content_type = "application/json";
@@ -769,18 +966,21 @@ HttpResponse TelemetryServer::spans_response() {
 
 HttpResponse TelemetryServer::criticality_response(
     const HttpRequest& request) {
-  if (criticality_ == nullptr) {
-    return {404, "text/plain; charset=utf-8",
-            "criticality tracking is not enabled; run earl-goofi with "
-            "--serve\n"};
+  if (criticality_ == nullptr && coordinator_ == nullptr) {
+    return json_error_response(404, "not_found",
+                               "criticality tracking is not enabled; run "
+                               "earl-goofi with --serve");
   }
   const std::string element = request.query_param("element");
   if (!element.empty()) {
-    std::string body = criticality_->element_json(element);
+    std::string body = coordinator_ != nullptr
+                           ? coordinator_->criticality_element_json(element)
+                           : criticality_->element_json(element);
     if (body.empty()) {
-      return {404, "text/plain; charset=utf-8",
-              "unknown element \"" + element +
-                  "\"; GET /criticality lists the ranked elements\n"};
+      return json_error_response(
+          404, "not_found",
+          "unknown element \"" + element +
+              "\"; GET /criticality lists the ranked elements");
     }
     return {200, "application/json", std::move(body)};
   }
@@ -789,11 +989,14 @@ HttpResponse TelemetryServer::criticality_response(
       !top_param.empty()) {
     const std::optional<std::uint64_t> parsed = parse_positive(top_param);
     if (!parsed) {
-      return {400, "text/plain; charset=utf-8",
-              "top must be a positive integer, e.g. GET /criticality?top="
-              "10\n"};
+      return json_error_response(400, "bad_request",
+                                 "top must be a positive integer, e.g. GET "
+                                 "/criticality?top=10");
     }
     top = static_cast<std::size_t>(*parsed);
+  }
+  if (coordinator_ != nullptr) {
+    return {200, "application/json", coordinator_->criticality_json(top)};
   }
   return {200, "application/json", criticality_->report_json(top)};
 }
@@ -801,7 +1004,7 @@ HttpResponse TelemetryServer::criticality_response(
 HttpResponse TelemetryServer::index_response() {
   HttpResponse response;
   response.body =
-      "earl telemetry server\n"
+      "earl telemetry server (canonical surface: /api/v1/...)\n"
       "  /metrics   Prometheus text exposition (live)\n"
       "  /progress  JSON progress snapshot (done/total, rate, ETA)\n"
       "  /healthz   200 healthy / 503 worker stalled\n"
@@ -809,14 +1012,23 @@ HttpResponse TelemetryServer::index_response() {
       "  /spans     Chrome trace_event JSON span window (--spans-out)\n"
       "  /criticality  JSON fault-criticality ranking "
       "(?element=NAME, ?top=K)\n"
+      "  /api/v1/version  API + shard protocol versions, capabilities\n"
       "  POST /control/{pause,resume,stop}  campaign control\n"
       "  POST /control/extend?n=M           grow the campaign\n"
-      "  POST /control/workers?n=K          soft-cap active workers\n";
+      "  POST /control/workers?n=K          soft-cap active workers\n"
+      "  POST /api/v1/shard/{lease,heartbeat,result}  distributed "
+      "campaign RPCs (--coordinate)\n";
   return response;
 }
 
-void TelemetryServer::serve_events(HttpConnection& connection) {
-  if (!connection.begin_stream("text/event-stream")) return;
+void TelemetryServer::serve_events(HttpConnection& connection, bool legacy) {
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+  if (legacy) {
+    extra_headers.emplace_back("Deprecation", "true");
+    extra_headers.emplace_back("Link",
+                               "</api/v1/events>; rel=\"successor-version\"");
+  }
+  if (!connection.begin_stream("text/event-stream", extra_headers)) return;
   sse_clients_.fetch_add(1, std::memory_order_relaxed);
 
   // New subscribers catch up on whatever history the ring still holds.

@@ -2,6 +2,16 @@
 // role): one more passive CampaignObserver that serves the campaign's
 // state over HTTP while it runs.
 //
+// The canonical surface lives under /api/v1/... — every endpoint below is
+// reachable as /api/v1/<name>, every 4xx/5xx answers with the uniform JSON
+// error envelope {"error","detail","status"}, and GET /api/v1/version
+// publishes the API/shard protocol versions plus a capability list (the
+// coordinator<->worker handshake document).  The bare legacy paths
+// (/metrics, /progress, ...) remain as byte-identical aliases that add a
+// `Deprecation: true` header and a `Link: </api/v1/...>;
+// rel="successor-version"` pointer; /api/v1/version and /api/v1/shard/*
+// are v1-only (404 on the legacy root).
+//
 // Endpoints:
 //   GET /metrics   Prometheus text exposition — the attached
 //                  MetricsRegistry's live snapshot plus the server's own
@@ -59,6 +69,10 @@
 #include "obs/observer.hpp"
 #include "obs/progress.hpp"
 #include "obs/span.hpp"
+
+namespace earl::fi {
+class CampaignCoordinator;
+}  // namespace earl::fi
 
 namespace earl::obs {
 
@@ -193,6 +207,10 @@ class TelemetryServer final : public CampaignObserver {
     std::uint16_t port = 0;  // 0 = kernel-assigned (tests)
     std::size_t handler_threads = 4;
     std::size_t event_capacity = 1024;
+    /// Per-request byte cap forwarded to the HTTP layer.  Coordinators
+    /// raise it so POST /api/v1/shard/result can carry a full shard's
+    /// ResultDatabase CSV.
+    std::size_t max_request_bytes = 8192;
     WorkerWatchdog::Options watchdog;
     /// Monotonic clock, injectable for deterministic watchdog tests.
     std::function<std::int64_t()> now_ns;  // default: steady_clock
@@ -239,6 +257,14 @@ class TelemetryServer final : public CampaignObserver {
   /// clock so /progress ETAs exclude paused wall time.
   void set_controller(fi::CampaignController* controller);
 
+  /// Attaches a campaign coordinator, enabling the POST /api/v1/shard/*
+  /// lease/heartbeat/result RPCs (bearer-guarded like /control/*) and
+  /// switching /progress, /criticality and the coordinator block of
+  /// /metrics to fleet-wide aggregates.  The coordinator must outlive the
+  /// server; attach before start().  Null detaches (shard endpoints then
+  /// answer 503).
+  void set_coordinator(fi::CampaignCoordinator* coordinator);
+
   /// Attaches a criticality observer: GET /criticality serves its ranked
   /// report, and completed experiments emit periodic `criticality_updated`
   /// SSE digests.  The observer must outlive the server; attach before
@@ -275,12 +301,18 @@ class TelemetryServer final : public CampaignObserver {
   HttpResponse spans_response();
   HttpResponse criticality_response(const HttpRequest& request);
   HttpResponse index_response();
+  HttpResponse version_response();
   HttpResponse control_response(const HttpRequest& request);
   HttpResponse control_status(fi::ControlCommand command);
+  HttpResponse shard_response(const HttpRequest& request,
+                              const std::string& path);
+  /// Constant-time bearer check shared by every mutating endpoint
+  /// (/control/* and /api/v1/shard/*); always true with no token set.
+  bool authorized(const HttpRequest& request) const;
   /// Watchdog stalls filtered through the control plane: none while
   /// paused, and workers parked above the worker cap are not stalls.
   std::vector<std::size_t> current_stalled(std::int64_t now_ns) const;
-  void serve_events(HttpConnection& connection);
+  void serve_events(HttpConnection& connection, bool legacy);
   std::string serve_metrics_text();
   std::string campaign_name() const;
 
@@ -291,6 +323,7 @@ class TelemetryServer final : public CampaignObserver {
   EventRing ring_;
   ProgressReporter reporter_;  // null sink: counters only, never prints
   fi::CampaignController* controller_ = nullptr;
+  fi::CampaignCoordinator* coordinator_ = nullptr;
   SpanTracer* tracer_ = nullptr;
   SpanTrack* http_track_ = nullptr;
   CriticalityObserver* criticality_ = nullptr;

@@ -1,0 +1,419 @@
+// Distributed campaign coordinator tests: shard planning, the
+// lease/heartbeat/submit state machine on an injectable clock, the
+// CampaignSpec wire round-trip, the version handshake, and end-to-end
+// bit-identity of the merged database against a single-node run — both
+// via direct submit() calls and over the loopback /api/v1 HTTP surface
+// with real run_worker() loops.
+#include "fi/coordinator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "fi/database.hpp"
+#include "fi/runner.hpp"
+#include "fi/worker.hpp"
+#include "fi/workloads.hpp"
+#include "obs/json.hpp"
+#include "obs/server.hpp"
+
+namespace earl::fi {
+namespace {
+
+CampaignSpec small_spec() {
+  CampaignSpec spec;
+  spec.workload = "alg1";
+  spec.technique = "scifi";
+  spec.experiments = 18;
+  spec.seed = 424242;
+  return spec;
+}
+
+CampaignResult run_single_node(const CampaignSpec& spec) {
+  std::optional<CampaignConfig> config = spec.to_config();
+  EXPECT_TRUE(config.has_value());
+  std::string error;
+  const TargetFactory factory = make_campaign_factory(
+      spec.technique, spec.workload, spec.parity, &error);
+  EXPECT_TRUE(factory != nullptr) << error;
+  CampaignRunner runner(*config);
+  return runner.run(factory, nullptr);
+}
+
+std::string single_node_csv(const CampaignSpec& spec,
+                            const CampaignResult& result) {
+  ResultDatabase db(spec.name(), spec.seed);
+  db.set_total_time(result.golden.total_time);
+  for (const ExperimentResult& row : result.experiments) db.insert(row);
+  return db.to_csv();
+}
+
+/// The CSV an honest worker would submit for shard [first, first+count).
+std::string shard_csv(const CampaignSpec& spec, const CampaignResult& result,
+                      std::size_t first, std::size_t count) {
+  ResultDatabase db(spec.name(), spec.seed);
+  db.set_total_time(result.golden.total_time);
+  for (std::size_t i = first; i < first + count; ++i) {
+    db.insert(result.experiments[i]);
+  }
+  return db.to_csv();
+}
+
+TEST(CampaignSpecTest, JsonRoundTripPreservesEveryField) {
+  CampaignSpec spec;
+  spec.workload = "alg2";
+  spec.technique = "swifi";
+  spec.fault = "multi4";
+  spec.filter = "cache";
+  spec.experiments = 777;
+  spec.seed = 20010701;
+  spec.parity = true;
+  spec.checkpoint_interval = 50;
+  spec.prune = true;
+
+  const std::string json = spec.to_json();
+  std::string error;
+  const std::optional<obs::JsonValue> doc = obs::json_parse(json, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  const std::optional<CampaignSpec> round = CampaignSpec::from_json(*doc);
+  ASSERT_TRUE(round.has_value());
+  EXPECT_EQ(round->workload, spec.workload);
+  EXPECT_EQ(round->technique, spec.technique);
+  EXPECT_EQ(round->fault, spec.fault);
+  EXPECT_EQ(round->filter, spec.filter);
+  EXPECT_EQ(round->experiments, spec.experiments);
+  EXPECT_EQ(round->seed, spec.seed);
+  EXPECT_EQ(round->parity, spec.parity);
+  EXPECT_EQ(round->checkpoint_interval, spec.checkpoint_interval);
+  EXPECT_EQ(round->prune, spec.prune);
+  EXPECT_EQ(round->name(), "alg2_swifi");
+}
+
+TEST(CampaignSpecTest, ToConfigMapsTheCliVocabulary) {
+  CampaignSpec spec = small_spec();
+  spec.fault = "multi4";
+  spec.filter = "cache";
+  const std::optional<CampaignConfig> config = spec.to_config();
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->name, "alg1_scifi");
+  EXPECT_EQ(config->experiments, spec.experiments);
+  EXPECT_EQ(config->seed, spec.seed);
+  EXPECT_EQ(config->fault.kind, FaultKind::kMultiBitFlip);
+  EXPECT_EQ(config->fault.multiplicity, 4u);
+  EXPECT_EQ(config->filter, LocationFilter::kCacheOnly);
+
+  spec.fault = "sideways";
+  std::string error;
+  EXPECT_FALSE(spec.to_config(&error).has_value());
+  EXPECT_NE(error.find("unknown fault model 'sideways'"), std::string::npos);
+
+  spec.fault = "single";
+  spec.filter = "everything";
+  EXPECT_FALSE(spec.to_config(&error).has_value());
+  EXPECT_NE(error.find("unknown filter 'everything'"), std::string::npos);
+}
+
+TEST(CampaignCoordinatorTest, ShardPlanIsContiguousWithRemainderUpFront) {
+  CampaignCoordinator::Options options;
+  options.spec = small_spec();
+  options.spec.experiments = 10;
+  options.shards = 3;
+  CampaignCoordinator coordinator(options);
+  ASSERT_EQ(coordinator.shard_count(), 3u);
+  EXPECT_EQ(coordinator.shard_first(0), 0u);
+  EXPECT_EQ(coordinator.shard_size(0), 4u);
+  EXPECT_EQ(coordinator.shard_first(1), 4u);
+  EXPECT_EQ(coordinator.shard_size(1), 3u);
+  EXPECT_EQ(coordinator.shard_first(2), 7u);
+  EXPECT_EQ(coordinator.shard_size(2), 3u);
+}
+
+TEST(CampaignCoordinatorTest, ShardCountNeverExceedsExperiments) {
+  CampaignCoordinator::Options options;
+  options.spec = small_spec();
+  options.spec.experiments = 2;
+  options.shards = 8;
+  CampaignCoordinator coordinator(options);
+  EXPECT_EQ(coordinator.shard_count(), 2u);
+  EXPECT_EQ(coordinator.shard_size(0), 1u);
+  EXPECT_EQ(coordinator.shard_size(1), 1u);
+}
+
+TEST(CampaignCoordinatorTest, LeaseExpiryReassignsWithFreshToken) {
+  std::int64_t clock = 0;
+  CampaignCoordinator::Options options;
+  options.spec = small_spec();
+  options.shards = 2;
+  options.lease_timeout_ns = 1'000;
+  options.now_ns = [&clock] { return clock; };
+  CampaignCoordinator coordinator(options);
+
+  const CampaignCoordinator::Lease first = coordinator.lease("w1");
+  ASSERT_EQ(first.status, CampaignCoordinator::Lease::Status::kGranted);
+  EXPECT_EQ(first.shard, 0u);
+
+  // Silent worker: past the deadline the shard goes back to pending and
+  // the next idle worker picks it up under a new token generation.
+  clock = 2'000;
+  const CampaignCoordinator::Lease second = coordinator.lease("w2");
+  ASSERT_EQ(second.status, CampaignCoordinator::Lease::Status::kGranted);
+  EXPECT_EQ(second.shard, 0u);
+  EXPECT_GT(second.token, first.token);
+  EXPECT_EQ(coordinator.reassignments(), 1u);
+
+  // The original holder's heartbeat now reports the lease lost.
+  const CampaignCoordinator::HeartbeatReply stale =
+      coordinator.heartbeat(0, first.token, 3);
+  EXPECT_TRUE(stale.known);
+  EXPECT_FALSE(stale.ok);
+  EXPECT_EQ(stale.state, "lost");
+
+  // The new holder's heartbeat is live.
+  const CampaignCoordinator::HeartbeatReply live =
+      coordinator.heartbeat(0, second.token, 1);
+  EXPECT_TRUE(live.known);
+  EXPECT_TRUE(live.ok);
+  EXPECT_EQ(live.state, "leased");
+}
+
+TEST(CampaignCoordinatorTest, HeartbeatExtendsTheDeadline) {
+  std::int64_t clock = 0;
+  CampaignCoordinator::Options options;
+  options.spec = small_spec();
+  options.shards = 2;
+  options.lease_timeout_ns = 1'000;
+  options.now_ns = [&clock] { return clock; };
+  CampaignCoordinator coordinator(options);
+
+  const CampaignCoordinator::Lease lease = coordinator.lease("w1");
+  ASSERT_EQ(lease.status, CampaignCoordinator::Lease::Status::kGranted);
+  clock = 900;
+  EXPECT_TRUE(coordinator.heartbeat(0, lease.token, 2).ok);
+  // Past the original deadline but within the refreshed one: shard 0 is
+  // still held, so a second worker gets shard 1.
+  clock = 1'500;
+  const CampaignCoordinator::Lease other = coordinator.lease("w2");
+  ASSERT_EQ(other.status, CampaignCoordinator::Lease::Status::kGranted);
+  EXPECT_EQ(other.shard, 1u);
+  EXPECT_EQ(coordinator.reassignments(), 0u);
+}
+
+TEST(CampaignCoordinatorTest, HeartbeatUnknownShardIsNotKnown) {
+  CampaignCoordinator::Options options;
+  options.spec = small_spec();
+  options.shards = 2;
+  CampaignCoordinator coordinator(options);
+  EXPECT_FALSE(coordinator.heartbeat(99, 1, 0).known);
+}
+
+TEST(CampaignCoordinatorTest, SubmitValidatesMergesAndDeduplicates) {
+  const CampaignSpec spec = small_spec();
+  const CampaignResult result = run_single_node(spec);
+  ASSERT_EQ(result.experiments.size(), spec.experiments);
+
+  CampaignCoordinator::Options options;
+  options.spec = spec;
+  options.shards = 3;
+  CampaignCoordinator coordinator(options);
+  const std::size_t per_shard = spec.experiments / 3;
+
+  const CampaignCoordinator::Lease lease0 = coordinator.lease("w1");
+  ASSERT_EQ(lease0.status, CampaignCoordinator::Lease::Status::kGranted);
+
+  // Garbage body.
+  EXPECT_FALSE(coordinator.submit(0, lease0.token, "not a csv").error.empty());
+  // Wrong id range (shard 1's rows offered for shard 0).
+  const std::string wrong_rows =
+      shard_csv(spec, result, per_shard, per_shard);
+  EXPECT_NE(coordinator.submit(0, lease0.token, wrong_rows)
+                .error.find("contiguous id range"),
+            std::string::npos);
+  // Wrong campaign identity.
+  CampaignSpec other = spec;
+  other.seed = 1;
+  EXPECT_NE(coordinator.submit(0, lease0.token,
+                               shard_csv(other, result, 0, per_shard))
+                .error.find("does not match"),
+            std::string::npos);
+
+  // The honest submit lands.
+  const CampaignCoordinator::SubmitReply ok =
+      coordinator.submit(0, lease0.token, shard_csv(spec, result, 0,
+                                                    per_shard));
+  EXPECT_TRUE(ok.error.empty());
+  EXPECT_TRUE(ok.accepted);
+  EXPECT_FALSE(ok.duplicate);
+  EXPECT_EQ(ok.remaining, 2u);
+
+  // Re-submitting a done shard is an idempotent duplicate.
+  const CampaignCoordinator::SubmitReply again =
+      coordinator.submit(0, lease0.token, shard_csv(spec, result, 0,
+                                                    per_shard));
+  EXPECT_TRUE(again.accepted);
+  EXPECT_TRUE(again.duplicate);
+
+  // A stale token still delivers valid deterministic data: shard 1 was
+  // never leased here, and the token is junk, yet the rows are the rows.
+  const CampaignCoordinator::SubmitReply stale = coordinator.submit(
+      1, 999'999, shard_csv(spec, result, per_shard, per_shard));
+  EXPECT_TRUE(stale.accepted) << stale.error;
+
+  EXPECT_FALSE(coordinator.complete());
+  EXPECT_FALSE(coordinator.merged().has_value());
+  const CampaignCoordinator::SubmitReply last = coordinator.submit(
+      2, 1, shard_csv(spec, result, 2 * per_shard, per_shard));
+  EXPECT_TRUE(last.accepted) << last.error;
+  EXPECT_TRUE(last.complete);
+  ASSERT_TRUE(coordinator.complete());
+
+  // Every further lease request reports the campaign complete.
+  EXPECT_EQ(coordinator.lease("w9").status,
+            CampaignCoordinator::Lease::Status::kComplete);
+
+  const std::optional<ResultDatabase> merged = coordinator.merged();
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(merged->to_csv(), single_node_csv(spec, result));
+}
+
+TEST(CampaignRunnerShardTest, RunRangeConcatenationMatchesFullRun) {
+  const CampaignSpec spec = small_spec();
+  const CampaignResult full = run_single_node(spec);
+
+  std::string error;
+  const TargetFactory factory = make_campaign_factory(
+      spec.technique, spec.workload, spec.parity, &error);
+  ASSERT_TRUE(factory != nullptr) << error;
+  const std::optional<CampaignConfig> config = spec.to_config();
+  ASSERT_TRUE(config.has_value());
+
+  ResultDatabase stitched(spec.name(), spec.seed);
+  const std::size_t firsts[] = {0, 7, 12};
+  const std::size_t counts[] = {7, 5, 6};
+  for (std::size_t s = 0; s < 3; ++s) {
+    CampaignRunner runner(*config);
+    const CampaignResult piece =
+        runner.run_range(factory, nullptr, firsts[s], counts[s]);
+    ASSERT_EQ(piece.experiments.size(), counts[s]);
+    EXPECT_EQ(piece.golden.total_time, full.golden.total_time);
+    if (s == 0) stitched.set_total_time(piece.golden.total_time);
+    for (const ExperimentResult& row : piece.experiments) {
+      stitched.insert(row);
+    }
+  }
+  EXPECT_EQ(stitched.to_csv(), single_node_csv(spec, full));
+}
+
+TEST(HandshakeTest, AcceptsACompatibleCoordinator) {
+  EXPECT_EQ(handshake_error(
+                R"({"api_version":1,"shard_protocol":1,)"
+                R"("capabilities":["telemetry","coordinator"]})"),
+            "");
+}
+
+TEST(HandshakeTest, RejectsVersionAndCapabilityMismatches) {
+  EXPECT_NE(handshake_error("plain text").find("not JSON"),
+            std::string::npos);
+  EXPECT_NE(handshake_error(
+                R"({"api_version":2,"shard_protocol":1,)"
+                R"("capabilities":["coordinator"]})")
+                .find("incompatible api_version"),
+            std::string::npos);
+  EXPECT_NE(handshake_error(
+                R"({"api_version":1,"shard_protocol":2,)"
+                R"("capabilities":["coordinator"]})")
+                .find("incompatible shard_protocol"),
+            std::string::npos);
+  EXPECT_NE(handshake_error(
+                R"({"api_version":1,"shard_protocol":1,)"
+                R"("capabilities":["telemetry"]})")
+                .find("no campaign coordinator"),
+            std::string::npos);
+}
+
+TEST(DistributedCampaignTest, WorkerRejectsServerWithoutCoordinator) {
+  obs::TelemetryServer::Options serve_options;
+  serve_options.port = 0;
+  obs::TelemetryServer server(serve_options);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  WorkerOptions worker;
+  worker.port = server.port();
+  const WorkerReport report = run_worker(worker);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.error.find("no campaign coordinator"), std::string::npos);
+  server.stop();
+}
+
+TEST(DistributedCampaignTest, TwoWorkersOverLoopbackMergeBitIdentically) {
+  const CampaignSpec spec = small_spec();
+  const std::string expected =
+      single_node_csv(spec, run_single_node(spec));
+
+  CampaignCoordinator::Options coord_options;
+  coord_options.spec = spec;
+  coord_options.shards = 3;
+  CampaignCoordinator coordinator(coord_options);
+
+  obs::TelemetryServer::Options serve_options;
+  serve_options.port = 0;
+  serve_options.bearer_token = "sekrit";
+  serve_options.max_request_bytes = 4u << 20;
+  obs::TelemetryServer server(serve_options);
+  server.set_coordinator(&coordinator);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  WorkerOptions base;
+  base.port = server.port();
+  base.token = "sekrit";
+  base.threads = 2;
+  base.poll_ms = 20;
+  WorkerReport reports[2];
+  std::thread workers[2];
+  for (int w = 0; w < 2; ++w) {
+    workers[w] = std::thread([&, w] {
+      WorkerOptions options = base;
+      options.name = "w" + std::to_string(w);
+      reports[w] = run_worker(options);
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_TRUE(reports[0].ok) << reports[0].error;
+  EXPECT_TRUE(reports[1].ok) << reports[1].error;
+  EXPECT_EQ(reports[0].shards_run + reports[1].shards_run, 3u);
+
+  ASSERT_TRUE(coordinator.complete());
+  const std::optional<ResultDatabase> merged = coordinator.merged();
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(merged->to_csv(), expected);
+  EXPECT_EQ(coordinator.reassignments(), 0u);
+  server.stop();
+}
+
+TEST(DistributedCampaignTest, WorkerWithWrongTokenIsRejected) {
+  CampaignCoordinator::Options coord_options;
+  coord_options.spec = small_spec();
+  CampaignCoordinator coordinator(coord_options);
+
+  obs::TelemetryServer::Options serve_options;
+  serve_options.port = 0;
+  serve_options.bearer_token = "right";
+  obs::TelemetryServer server(serve_options);
+  server.set_coordinator(&coordinator);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  WorkerOptions worker;
+  worker.port = server.port();
+  worker.token = "wrong";
+  const WorkerReport report = run_worker(worker);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.error.find("bearer token"), std::string::npos);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace earl::fi

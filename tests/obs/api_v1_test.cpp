@@ -1,0 +1,242 @@
+// Versioned HTTP surface tests: the golden v1 error envelope on every
+// failure path, byte-equivalence between legacy aliases and their
+// /api/v1 successors, Deprecation/Link headers on the legacy side only,
+// the /api/v1/version handshake document, and the constant-time token
+// compare guarding the mutating endpoints.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "fi/coordinator.hpp"
+#include "obs/http.hpp"
+#include "obs/json.hpp"
+#include "obs/server.hpp"
+
+namespace earl::obs {
+namespace {
+
+/// Asserts `result` is a well-formed v1 error envelope
+/// {"error": slug, "detail": <non-empty>, "status": status}.
+void expect_envelope(const std::optional<HttpGetResult>& result, int status,
+                     const std::string& slug) {
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->status, status);
+  std::string error;
+  const std::optional<JsonValue> doc = json_parse(result->body, &error);
+  ASSERT_TRUE(doc.has_value()) << error << " in: " << result->body;
+  ASSERT_TRUE(doc->is_object());
+  const JsonValue* error_field = doc->find("error");
+  ASSERT_TRUE(error_field != nullptr && error_field->is_string());
+  EXPECT_EQ(error_field->string, slug);
+  const JsonValue* detail = doc->find("detail");
+  ASSERT_TRUE(detail != nullptr && detail->is_string());
+  EXPECT_FALSE(detail->string.empty());
+  const JsonValue* status_field = doc->find("status");
+  ASSERT_TRUE(status_field != nullptr && status_field->is_number());
+  EXPECT_EQ(static_cast<int>(status_field->number), status);
+}
+
+std::optional<HttpGetResult> post(std::uint16_t port,
+                                  const std::string& target,
+                                  const std::string& auth = "") {
+  HttpClientRequest request;
+  request.port = port;
+  request.method = "POST";
+  request.target = target;
+  if (!auth.empty()) request.headers.emplace_back("Authorization", auth);
+  return http_request(request);
+}
+
+class ApiV1Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TelemetryServer::Options options;
+    options.port = 0;
+    server_ = std::make_unique<TelemetryServer>(options);
+    std::string error;
+    ASSERT_TRUE(server_->start(&error)) << error;
+  }
+  void TearDown() override { server_->stop(); }
+
+  std::uint16_t port() const { return server_->port(); }
+
+  std::unique_ptr<TelemetryServer> server_;
+};
+
+TEST_F(ApiV1Test, UnknownPathReturnsTheErrorEnvelope) {
+  expect_envelope(http_get(port(), "/api/v1/nope"), 404, "not_found");
+}
+
+TEST_F(ApiV1Test, NonGetOnTelemetryEndpointsIsMethodNotAllowed) {
+  expect_envelope(post(port(), "/api/v1/metrics"), 405,
+                  "method_not_allowed");
+}
+
+TEST_F(ApiV1Test, ControlOverGetIsMethodNotAllowed) {
+  const std::optional<HttpGetResult> result =
+      http_get(port(), "/api/v1/control/pause");
+  expect_envelope(result, 405, "method_not_allowed");
+  EXPECT_NE(result->body.find("POST-only"), std::string::npos);
+}
+
+TEST_F(ApiV1Test, ControlWithoutControllerIsUnavailable) {
+  const std::optional<HttpGetResult> result =
+      post(port(), "/api/v1/control/pause");
+  expect_envelope(result, 503, "unavailable");
+  EXPECT_NE(result->body.find("no campaign controller"), std::string::npos);
+}
+
+TEST_F(ApiV1Test, SpansWithoutTracerIsNotFoundWithHint) {
+  const std::optional<HttpGetResult> result =
+      http_get(port(), "/api/v1/spans");
+  expect_envelope(result, 404, "not_found");
+  EXPECT_NE(result->body.find("--spans-out"), std::string::npos);
+}
+
+TEST_F(ApiV1Test, CriticalityWithoutIndexIsNotFound) {
+  expect_envelope(http_get(port(), "/api/v1/criticality"), 404,
+                  "not_found");
+}
+
+TEST_F(ApiV1Test, ShardEndpointsWithoutCoordinatorAreUnavailable) {
+  expect_envelope(post(port(), "/api/v1/shard/lease?worker=w1"), 503,
+                  "unavailable");
+}
+
+TEST_F(ApiV1Test, ShardEndpointsAreVersionOnly) {
+  // The unversioned spelling never existed; no Deprecation alias.
+  expect_envelope(post(port(), "/shard/lease?worker=w1"), 404, "not_found");
+}
+
+TEST_F(ApiV1Test, VersionHandshakeIsVersionOnly) {
+  expect_envelope(http_get(port(), "/version"), 404, "not_found");
+}
+
+TEST_F(ApiV1Test, VersionHandshakeDocument) {
+  const std::optional<HttpGetResult> result =
+      http_get(port(), "/api/v1/version");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->status, 200);
+  std::string error;
+  const std::optional<JsonValue> doc = json_parse(result->body, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  const JsonValue* schema = doc->find("schema");
+  ASSERT_TRUE(schema != nullptr && schema->is_string());
+  EXPECT_EQ(schema->string, "earl.api.v1");
+  const JsonValue* api = doc->find("api_version");
+  ASSERT_TRUE(api != nullptr && api->is_number());
+  EXPECT_EQ(api->number, 1.0);
+  const JsonValue* shard = doc->find("shard_protocol");
+  ASSERT_TRUE(shard != nullptr && shard->is_number());
+  EXPECT_EQ(shard->number, 1.0);
+  const JsonValue* build = doc->find("build");
+  ASSERT_TRUE(build != nullptr && build->is_object());
+  EXPECT_TRUE(build->find("git") != nullptr);
+  const JsonValue* capabilities = doc->find("capabilities");
+  ASSERT_TRUE(capabilities != nullptr && capabilities->is_array());
+  bool telemetry = false;
+  bool coordinator = false;
+  for (const JsonValue& capability : capabilities->array) {
+    if (capability.is_string() && capability.string == "telemetry") {
+      telemetry = true;
+    }
+    if (capability.is_string() && capability.string == "coordinator") {
+      coordinator = true;
+    }
+  }
+  EXPECT_TRUE(telemetry);
+  // No coordinator attached to this server.
+  EXPECT_FALSE(coordinator);
+}
+
+TEST_F(ApiV1Test, LegacyAliasesAreByteEquivalentToV1) {
+  // /metrics is excluded: it carries a request counter and a latency
+  // histogram, so two successive scrapes legitimately differ.
+  for (const std::string path : {"/healthz", "/progress"}) {
+    const std::optional<HttpGetResult> legacy = http_get(port(), path);
+    const std::optional<HttpGetResult> v1 =
+        http_get(port(), "/api/v1" + path);
+    ASSERT_TRUE(legacy.has_value() && v1.has_value()) << path;
+    EXPECT_EQ(legacy->status, v1->status) << path;
+    EXPECT_EQ(legacy->body, v1->body) << path;
+  }
+  // Error envelopes are alias-equivalent too.
+  const std::optional<HttpGetResult> legacy = http_get(port(), "/nope");
+  const std::optional<HttpGetResult> v1 = http_get(port(), "/api/v1/nope");
+  ASSERT_TRUE(legacy.has_value() && v1.has_value());
+  EXPECT_EQ(legacy->status, 404);
+  EXPECT_EQ(legacy->body, v1->body);
+}
+
+TEST_F(ApiV1Test, LegacyResponsesCarryDeprecationAndSuccessorLink) {
+  const std::optional<HttpGetResult> legacy = http_get(port(), "/healthz");
+  ASSERT_TRUE(legacy.has_value());
+  EXPECT_EQ(legacy->header("Deprecation"), "true");
+  EXPECT_EQ(legacy->header("Link"),
+            "</api/v1/healthz>; rel=\"successor-version\"");
+
+  const std::optional<HttpGetResult> v1 =
+      http_get(port(), "/api/v1/healthz");
+  ASSERT_TRUE(v1.has_value());
+  EXPECT_EQ(v1->header("Deprecation"), "");
+  EXPECT_EQ(v1->header("Link"), "");
+}
+
+TEST(ApiV1AuthTest, MutatingEndpointsRequireTheBearerToken) {
+  fi::CampaignCoordinator::Options coord_options;
+  coord_options.spec.experiments = 4;
+  fi::CampaignCoordinator coordinator(coord_options);
+
+  TelemetryServer::Options options;
+  options.port = 0;
+  options.bearer_token = "sekrit";
+  TelemetryServer server(options);
+  server.set_coordinator(&coordinator);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  // No credentials / wrong credentials: 401 envelope, on both the control
+  // and the shard planes.
+  expect_envelope(post(server.port(), "/api/v1/shard/lease?worker=w"), 401,
+                  "unauthorized");
+  expect_envelope(post(server.port(), "/api/v1/shard/lease?worker=w",
+                       "Bearer wrong"),
+                  401, "unauthorized");
+  expect_envelope(post(server.port(), "/api/v1/control/pause",
+                       "Bearer sekri"),
+                  401, "unauthorized");
+
+  // The right token reaches the coordinator and gets a shard grant.
+  const std::optional<HttpGetResult> lease = post(
+      server.port(), "/api/v1/shard/lease?worker=w", "Bearer sekrit");
+  ASSERT_TRUE(lease.has_value());
+  EXPECT_EQ(lease->status, 200);
+  EXPECT_NE(lease->body.find("\"status\":\"granted\""), std::string::npos)
+      << lease->body;
+
+  // Malformed shard RPC arguments are 400 envelopes.
+  expect_envelope(post(server.port(), "/api/v1/shard/heartbeat?shard=0",
+                       "Bearer sekrit"),
+                  400, "bad_request");
+  expect_envelope(post(server.port(), "/api/v1/shard/result?shard=0",
+                       "Bearer sekrit"),
+                  400, "bad_request");
+  expect_envelope(post(server.port(), "/api/v1/shard/unknown",
+                       "Bearer sekrit"),
+                  404, "not_found");
+  server.stop();
+}
+
+TEST(ConstantTimeEqualTest, ComparesContentNotTiming) {
+  EXPECT_TRUE(constant_time_equal("", ""));
+  EXPECT_TRUE(constant_time_equal("token", "token"));
+  EXPECT_FALSE(constant_time_equal("token", "tokem"));
+  EXPECT_FALSE(constant_time_equal("token", "toke"));
+  EXPECT_FALSE(constant_time_equal("", "x"));
+  EXPECT_FALSE(constant_time_equal("x", ""));
+}
+
+}  // namespace
+}  // namespace earl::obs

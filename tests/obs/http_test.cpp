@@ -1203,7 +1203,8 @@ TEST(TelemetryServerTest, CriticalityServesObserverViews) {
   ASSERT_TRUE(http_get(server.port(), "/criticality?element=nope",
                        &response));
   EXPECT_EQ(response.status, 404);
-  EXPECT_NE(response.body.find("unknown element \"nope\""),
+  // The error envelope JSON-escapes the quotes around the element name.
+  EXPECT_NE(response.body.find("unknown element \\\"nope\\\""),
             std::string::npos);
 
   // The registry carries the per-element series the observer maintains.

@@ -29,8 +29,10 @@
 #include "cli.hpp"
 #include "codegen/emitter.hpp"
 #include "fi/controller.hpp"
+#include "fi/coordinator.hpp"
 #include "fi/database.hpp"
 #include "fi/runner.hpp"
+#include "fi/worker.hpp"
 #include "fi/workloads.hpp"
 #include "obs/build_info.hpp"
 #include "obs/collector.hpp"
@@ -79,6 +81,12 @@ struct Options {
   bool serve_linger = false;
   std::uint64_t serve_heartbeat_s = 15;
   bool serve_heartbeat_set = false;
+  std::size_t coordinate_shards = 0;  // 0 = not coordinating
+  std::string worker_target;          // HOST:PORT; empty = not a worker
+  std::string worker_name = "worker";
+  bool worker_name_set = false;
+  std::uint64_t lease_timeout_s = 60;
+  bool lease_timeout_set = false;
   bool help = false;
 };
 
@@ -253,6 +261,49 @@ cli::Parser build_parser(Options& options) {
         return true;
       });
   parser.add_size(
+      "--coordinate", "N",
+      "distributed campaign coordinator: split the campaign into\n"
+      "N contiguous shards of the seed's fault stream, serve the\n"
+      "POST /api/v1/shard/{lease,heartbeat,result} RPCs on the\n"
+      "--serve address, reassign shards whose worker goes silent,\n"
+      "and merge the results bit-identically to a single-node run\n"
+      "(requires --serve; --serve-token guards the shard RPCs)",
+      &options.coordinate_shards);
+  parser.add_string(
+      "--worker", "[H:]PORT",
+      "distributed campaign worker: lease shards from the\n"
+      "coordinator at HOST:PORT (host defaults to 127.0.0.1),\n"
+      "run each locally with --workers threads, stream the shard\n"
+      "databases back; campaign parameters come from the\n"
+      "coordinator's spec, not local flags",
+      &options.worker_target);
+  parser.add_custom(
+      "--worker-name", "NAME",
+      "worker name reported in lease requests, for the\n"
+      "coordinator's logs (default worker; requires --worker)",
+      [&options](const std::string& value) {
+        options.worker_name = value;
+        options.worker_name_set = true;
+        return true;
+      });
+  parser.add_custom(
+      "--lease-timeout", "S",
+      "reassign a leased shard after S seconds without a worker\n"
+      "heartbeat (default 60; requires --coordinate)",
+      [&options](const std::string& value) {
+        std::uint64_t seconds = 0;
+        if (!cli::parse_u64(value, &seconds) || seconds == 0) {
+          std::fprintf(stderr,
+                       "invalid value '%s' for '--lease-timeout' (expected a "
+                       "positive number of seconds, e.g. 60)\n",
+                       value.c_str());
+          return false;
+        }
+        options.lease_timeout_s = seconds;
+        options.lease_timeout_set = true;
+        return true;
+      });
+  parser.add_size(
       "--checkpoint-interval", "N",
       "snapshot the golden run every N iterations; experiments\n"
       "restore the nearest checkpoint at or before their injection\n"
@@ -420,6 +471,185 @@ int analyze_only(const std::string& path) {
   return 0;
 }
 
+/// The campaign described by the command line as a wire spec — what
+/// --coordinate publishes to its workers.
+fi::CampaignSpec spec_from_options(const Options& options) {
+  fi::CampaignSpec spec;
+  spec.workload = options.workload;
+  spec.technique = options.technique;
+  spec.fault = options.fault;
+  spec.filter = options.filter;
+  spec.experiments = options.experiments;
+  spec.seed = options.seed;
+  spec.parity = options.parity;
+  spec.checkpoint_interval = options.checkpoint_interval;
+  spec.prune = options.prune;
+  return spec;
+}
+
+int run_coordinator_mode(const Options& options) {
+  const fi::CampaignSpec spec = spec_from_options(options);
+  // Validate the spec locally before any worker sees it: an unknown
+  // fault/filter/workload word should fail here, not fan out as N worker
+  // rejections.
+  std::string error;
+  if (!spec.to_config(&error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  if (!fi::make_campaign_factory(spec.technique, spec.workload, spec.parity,
+                                 &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+
+  fi::CampaignCoordinator::Options coord_options;
+  coord_options.spec = spec;
+  coord_options.shards = options.coordinate_shards;
+  coord_options.lease_timeout_ns =
+      static_cast<std::int64_t>(options.lease_timeout_s) * 1'000'000'000;
+  // Workers heartbeat at half the advertised cadence; keep several beats
+  // inside one lease timeout so a live worker never expires spuriously
+  // when --lease-timeout is short.
+  coord_options.heartbeat_s =
+      std::max<std::uint64_t>(1, options.lease_timeout_s / 4);
+  fi::CampaignCoordinator coordinator(coord_options);
+
+  obs::MetricsRegistry registry;
+  obs::register_build_info(registry);
+  obs::TelemetryServer::Options serve_options;
+  serve_options.address = options.serve_address;
+  serve_options.port = options.serve_port;
+  serve_options.bearer_token = options.serve_token;
+  serve_options.heartbeat_interval =
+      std::chrono::milliseconds(options.serve_heartbeat_s * 1000);
+  // A shard result POST carries the shard's whole ResultDatabase CSV.
+  serve_options.max_request_bytes = 64u << 20;
+  obs::TelemetryServer server(serve_options, &registry);
+  server.set_coordinator(&coordinator);
+  if (!server.start(&error)) {
+    std::fprintf(stderr,
+                 "--coordinate: cannot listen on %s:%u: %s\n"
+                 "(port taken? pick another with --serve %s:PORT)\n",
+                 options.serve_address.c_str(), options.serve_port,
+                 error.c_str(), options.serve_address.c_str());
+    return 1;
+  }
+  std::printf("coordinating campaign '%s': %zu experiments in %zu shard(s) "
+              "on %s%s\n"
+              "workers join with: earl-goofi --worker HOST:%u%s\n",
+              spec.name().c_str(), spec.experiments,
+              coordinator.shard_count(), server.url().c_str(),
+              options.serve_token.empty() ? "" : " [bearer token]",
+              options.serve_port,
+              options.serve_token.empty() ? "" : " --serve-token T");
+  std::fflush(stdout);
+
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  while (!coordinator.wait_complete_for(std::chrono::milliseconds(200))) {
+    if (g_controller.stop_requested()) break;
+  }
+  if (!coordinator.complete()) {
+    std::printf("coordinator stopped before the campaign completed "
+                "(%s)\n",
+                coordinator.progress_json().c_str());
+    return 1;
+  }
+  const std::optional<fi::ResultDatabase> merged = coordinator.merged();
+  if (!merged) {
+    std::fprintf(stderr, "internal error: complete campaign has no merged "
+                         "database\n");
+    return 1;
+  }
+  std::printf("campaign complete: %zu experiments merged from %zu shard(s), "
+              "%llu lease reassignment(s)\n",
+              merged->size(), coordinator.shard_count(),
+              static_cast<unsigned long long>(coordinator.reassignments()));
+
+  fi::CampaignResult result;
+  result.config.name = merged->campaign_name();
+  result.config.seed = merged->seed();
+  result.experiments = merged->all();
+  const analysis::CampaignReport report =
+      analysis::CampaignReport::build(result);
+  std::printf("\n%s\n", report.render("Campaign results").c_str());
+
+  if (!options.save_path.empty()) {
+    if (!merged->save(options.save_path)) {
+      std::fprintf(stderr, "failed to write %s\n", options.save_path.c_str());
+      return 1;
+    }
+    std::printf("saved %zu records to %s\n", merged->size(),
+                options.save_path.c_str());
+  }
+  if (options.serve_linger && !g_controller.stop_requested()) {
+    std::printf("lingering on %s until SIGINT/SIGTERM (--serve-linger)\n",
+                server.url().c_str());
+    std::fflush(stdout);
+    while (!g_controller.stop_requested()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  } else {
+    // Stay up long enough for workers parked in the wait-poll loop (500 ms
+    // retry) to observe the "complete" lease status and exit cleanly
+    // instead of reporting a lost coordinator.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1200));
+  }
+  return 0;
+}
+
+int run_worker_mode(const Options& options) {
+  fi::WorkerOptions worker_options;
+  std::string port_text = options.worker_target;
+  const std::size_t colon = port_text.rfind(':');
+  if (colon != std::string::npos) {
+    worker_options.host = port_text.substr(0, colon);
+    port_text = port_text.substr(colon + 1);
+  }
+  if (port_text.empty() || worker_options.host.empty() ||
+      port_text.find_first_not_of("0123456789") != std::string::npos) {
+    std::fprintf(stderr,
+                 "--worker wants [HOST:]PORT (e.g. 9464 or "
+                 "coordinator.lan:9464), got '%s'\n",
+                 options.worker_target.c_str());
+    return 1;
+  }
+  const unsigned long port = std::strtoul(port_text.c_str(), nullptr, 10);
+  if (port == 0 || port > 65535) {
+    std::fprintf(stderr, "--worker port must be 1-65535, got '%s'\n",
+                 port_text.c_str());
+    return 1;
+  }
+  worker_options.port = static_cast<std::uint16_t>(port);
+  worker_options.token = options.serve_token;
+  worker_options.name = options.worker_name;
+  worker_options.threads = options.workers;
+  worker_options.should_stop = [] { return g_controller.stop_requested(); };
+  worker_options.log = [](const std::string& line) {
+    std::printf("%s\n", line.c_str());
+    std::fflush(stdout);
+  };
+
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  std::printf("worker '%s' joining coordinator at %s:%u\n",
+              worker_options.name.c_str(), worker_options.host.c_str(),
+              worker_options.port);
+  std::fflush(stdout);
+  const fi::WorkerReport report = fi::run_worker(worker_options);
+  if (!report.ok) {
+    std::fprintf(stderr, "worker '%s': %s\n", worker_options.name.c_str(),
+                 report.error.c_str());
+    return 1;
+  }
+  std::printf("worker '%s' done: %zu shard(s), %zu experiment(s)%s\n",
+              worker_options.name.c_str(), report.shards_run,
+              report.experiments,
+              g_controller.stop_requested() ? " (stopped by signal)" : "");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -433,8 +663,31 @@ int main(int argc, char** argv) {
     parser.print_help();
     return 0;
   }
-  if (!options.serve_token.empty() && !options.serve) {
-    std::fprintf(stderr, "--serve-token needs --serve [A:]PORT\n");
+  if (options.coordinate_shards > 0 && !options.worker_target.empty()) {
+    std::fprintf(stderr,
+                 "--coordinate and --worker are different roles; run them as "
+                 "separate processes\n");
+    return 1;
+  }
+  if (options.coordinate_shards > 0 && !options.serve) {
+    std::fprintf(stderr,
+                 "--coordinate needs --serve [A:]PORT — workers reach the "
+                 "shard RPCs on that address\n");
+    return 1;
+  }
+  if (options.lease_timeout_set && options.coordinate_shards == 0) {
+    std::fprintf(stderr, "--lease-timeout needs --coordinate N\n");
+    return 1;
+  }
+  if (options.worker_name_set && options.worker_target.empty()) {
+    std::fprintf(stderr, "--worker-name needs --worker [HOST:]PORT\n");
+    return 1;
+  }
+  if (!options.serve_token.empty() && !options.serve &&
+      options.worker_target.empty()) {
+    std::fprintf(stderr,
+                 "--serve-token needs --serve [A:]PORT (or --worker, where it "
+                 "authenticates against the coordinator)\n");
     return 1;
   }
   if (options.serve_linger && !options.serve) {
@@ -460,6 +713,8 @@ int main(int argc, char** argv) {
                            : options.spans_sample_set    ? "--spans-sample"
                            : options.serve    ? "--serve"
                            : !options.serve_token.empty() ? "--serve-token"
+                           : options.coordinate_shards > 0 ? "--coordinate"
+                           : !options.worker_target.empty() ? "--worker"
                            : options.checkpoint_interval > 0
                                ? "--checkpoint-interval"
                            : options.prune ? "--prune"
@@ -475,6 +730,63 @@ int main(int argc, char** argv) {
       return 1;
     }
     return analyze_only(options.analyze_path);
+  }
+
+  if (!options.worker_target.empty()) {
+    // Worker campaigns are defined by the coordinator's spec; local
+    // observer/output flags would silently not apply — reject them.
+    const char* conflict = options.serve            ? "--serve"
+                           : options.serve_linger   ? "--serve-linger"
+                           : !options.save_path.empty() ? "--save/--db"
+                           : !options.save_collapsed_path.empty()
+                               ? "--save-collapsed"
+                           : !options.events_path.empty() ? "--events"
+                           : options.detail               ? "--detail"
+                           : options.trace_format_set     ? "--trace-format"
+                           : !options.metrics_path.empty() ? "--metrics"
+                           : !options.metrics_prom_path.empty()
+                               ? "--metrics-prom"
+                           : !options.spans_path.empty() ? "--spans-out"
+                           : options.spans_sample_set    ? "--spans-sample"
+                           : options.progress            ? "--progress"
+                           : options.replay_id           ? "--replay"
+                           : options.prune               ? "--prune"
+                           : options.checkpoint_interval > 0
+                               ? "--checkpoint-interval"
+                               : nullptr;
+    if (conflict != nullptr) {
+      std::fprintf(stderr,
+                   "--worker runs shards of the coordinator's campaign; it "
+                   "cannot be combined with %s\n",
+                   conflict);
+      return 1;
+    }
+    return run_worker_mode(options);
+  }
+  if (options.coordinate_shards > 0) {
+    // The coordinator never executes experiments itself, so per-experiment
+    // observer flags have nothing to observe.
+    const char* conflict = options.progress           ? "--progress"
+                           : !options.events_path.empty() ? "--events"
+                           : options.detail               ? "--detail"
+                           : options.trace_format_set     ? "--trace-format"
+                           : !options.metrics_path.empty() ? "--metrics"
+                           : !options.metrics_prom_path.empty()
+                               ? "--metrics-prom"
+                           : !options.spans_path.empty() ? "--spans-out"
+                           : options.spans_sample_set    ? "--spans-sample"
+                           : options.replay_id           ? "--replay"
+                           : !options.save_collapsed_path.empty()
+                               ? "--save-collapsed"
+                               : nullptr;
+    if (conflict != nullptr) {
+      std::fprintf(stderr,
+                   "--coordinate delegates experiments to workers; it cannot "
+                   "be combined with %s\n",
+                   conflict);
+      return 1;
+    }
+    return run_coordinator_mode(options);
   }
 
   const auto bundle = make_factory(options);
